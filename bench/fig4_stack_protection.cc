@@ -1,0 +1,43 @@
+// Reproduces Figure 4: "Performance of EnGarde to check the Stack protection
+// policy" — every benchmark rebuilt with -fstack-protector-all-style
+// instrumentation, EnGarde verifying the prologue/epilogue pattern in every
+// function.
+#include "bench/harness.h"
+
+int main() {
+  using namespace engarde;
+  using namespace engarde::bench;
+
+  PrintFigureHeader("Figure 4", "stack protection (-fstack-protector-all)");
+
+  for (const workload::CatalogEntry& entry : workload::PaperBenchmarks()) {
+    auto program = workload::BuildBenchmark(
+        entry, workload::BuildFlavor::kStackProtector);
+    if (!program.ok()) {
+      std::printf("%-11s BUILD FAILED: %s\n", entry.name,
+                  program.status().ToString().c_str());
+      return 1;
+    }
+    auto measured = MeasureProvisioning(
+        *program, workload::BuildFlavor::kStackProtector);
+    if (!measured.ok() || !measured->compliant) {
+      std::printf("%-11s FAILED: %s\n", entry.name,
+                  measured.ok() ? "unexpected rejection"
+                                : measured.status().ToString().c_str());
+      return 1;
+    }
+    PrintFigureRow(entry.name, *measured,
+                   {entry.fig4_disasm_cycles, entry.fig4_policy_cycles,
+                    entry.fig4_load_cycles});
+  }
+
+  std::printf(
+      "\nShape check: stack-protection checking is the same order of "
+      "magnitude as disassembly (paper P/D 0.99-25;\nper-function pattern "
+      "scans instead of per-byte hashing), i.e. systematically CHEAPER than "
+      "the library-linking\npolicy of Figure 3 and far costlier than the IFCC "
+      "scan of Figure 5. #Inst grows vs Figure 3 because the\ninstrumentation "
+      "adds prologue/epilogue code, as in the paper (e.g. Nginx 262,228 -> "
+      "271,106 there).\n");
+  return 0;
+}

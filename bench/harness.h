@@ -1,0 +1,141 @@
+// Shared harness for the figure-reproduction benches: runs the full EnGarde
+// provisioning pipeline for one catalog benchmark under one policy
+// configuration and reports the per-phase cycle costs under the paper's cost
+// model (10K cycles per SGX instruction + native time at 3.5 GHz).
+#ifndef ENGARDE_BENCH_HARNESS_H_
+#define ENGARDE_BENCH_HARNESS_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "client/client.h"
+#include "core/engarde.h"
+#include "core/policy_ifcc.h"
+#include "core/policy_liblink.h"
+#include "core/policy_stackprot.h"
+#include "workload/catalog.h"
+
+namespace engarde::bench {
+
+struct PhaseCycles {
+  size_t instructions = 0;
+  uint64_t disassembly = 0;
+  uint64_t policy_check = 0;
+  uint64_t loading = 0;
+  uint64_t channel = 0;
+  bool compliant = false;
+};
+
+// Which policy module to install, matching the figure being reproduced.
+inline core::PolicySet PolicyFor(workload::BuildFlavor flavor,
+                                 const workload::SynthLibcOptions& libc) {
+  core::PolicySet policies;
+  switch (flavor) {
+    case workload::BuildFlavor::kPlain: {
+      auto db = workload::BuildLibcHashDb(libc);
+      if (db.ok()) {
+        policies.push_back(std::make_unique<core::LibraryLinkingPolicy>(
+            "synth-musl v" + libc.version, std::move(db).value()));
+      }
+      break;
+    }
+    case workload::BuildFlavor::kStackProtector:
+      policies.push_back(std::make_unique<core::StackProtectionPolicy>());
+      break;
+    case workload::BuildFlavor::kIfcc:
+      policies.push_back(std::make_unique<core::IndirectCallPolicy>());
+      break;
+  }
+  return policies;
+}
+
+// Provisions `program` through a fresh enclave and returns the phase costs.
+inline Result<PhaseCycles> MeasureProvisioning(
+    const workload::BuiltProgram& program, workload::BuildFlavor flavor) {
+  sgx::CycleAccountant accountant;
+  sgx::SgxDevice device(sgx::SgxDevice::Options{}, &accountant);
+  sgx::HostOs host(&device);
+
+  static const auto* quoting = [] {
+    auto qe = sgx::QuotingEnclave::Provision(ToBytes("bench-device"), 1024);
+    return qe.ok() ? new sgx::QuotingEnclave(std::move(qe).value()) : nullptr;
+  }();
+  if (quoting == nullptr) return InternalError("quoting enclave provisioning");
+
+  core::EngardeOptions options;
+  options.rsa_bits = 1024;  // key size does not affect the measured phases
+  auto enclave = core::EngardeEnclave::Create(
+      &host, *quoting, PolicyFor(flavor, program.libc_options), options);
+  RETURN_IF_ERROR(enclave.status());
+
+  crypto::DuplexPipe pipe;
+  RETURN_IF_ERROR(enclave->SendHello(pipe.EndA()));
+
+  client::ClientOptions client_options;
+  client_options.attestation_key = quoting->attestation_public_key();
+  client_options.skip_measurement_check = true;  // measured path only
+  client::Client cl(client_options, program.image);
+  RETURN_IF_ERROR(cl.SendProgram(pipe.EndB()));
+
+  // Reset the accountant so enclave-build costs do not pollute the phases.
+  accountant.Reset();
+  ASSIGN_OR_RETURN(const core::ProvisionOutcome outcome,
+                   enclave->RunProvisioning(pipe.EndA()));
+
+  PhaseCycles out;
+  out.instructions = outcome.stats.instruction_count;
+  out.disassembly =
+      accountant.phase_cost(sgx::Phase::kDisassembly).Cycles();
+  out.policy_check =
+      accountant.phase_cost(sgx::Phase::kPolicyCheck).Cycles();
+  out.loading = accountant.phase_cost(sgx::Phase::kLoading).Cycles();
+  out.channel = accountant.phase_cost(sgx::Phase::kChannel).Cycles();
+  out.compliant = outcome.verdict.compliant;
+  return out;
+}
+
+inline void PrintFigureHeader(const char* figure, const char* policy_name) {
+  std::printf("%s — EnGarde checking the %s policy\n", figure, policy_name);
+  std::printf(
+      "Cost model: SGX instruction = 10,000 cycles; non-SGX work at native "
+      "speed, converted at 3.5 GHz (paper Section 5).\n");
+  std::printf(
+      "Absolute cycles differ from the paper (their substrate is QEMU-based "
+      "OpenSGX); the shape — per-phase ordering,\nscaling with #Inst, "
+      "policy/disassembly ratios — is the reproduction target. "
+      "See EXPERIMENTS.md.\n\n");
+  std::printf(
+      "%-11s %9s | %15s %15s %13s | %15s %15s %13s | %8s %8s\n",
+      "Benchmark", "#Inst", "Disasm(meas)", "Policy(meas)", "Load(meas)",
+      "Disasm(paper)", "Policy(paper)", "Load(paper)", "P/D meas", "P/D ppr");
+  std::printf("%s\n", std::string(150, '-').c_str());
+}
+
+struct PaperRow {
+  uint64_t disasm, policy, load;
+};
+
+inline void PrintFigureRow(const char* name, const PhaseCycles& measured,
+                           const PaperRow& paper) {
+  const double pd_meas =
+      measured.disassembly > 0
+          ? static_cast<double>(measured.policy_check) /
+                static_cast<double>(measured.disassembly)
+          : 0.0;
+  const double pd_paper =
+      static_cast<double>(paper.policy) / static_cast<double>(paper.disasm);
+  std::printf(
+      "%-11s %9zu | %15llu %15llu %13llu | %15llu %15llu %13llu | %8.3f %8.3f\n",
+      name, measured.instructions,
+      static_cast<unsigned long long>(measured.disassembly),
+      static_cast<unsigned long long>(measured.policy_check),
+      static_cast<unsigned long long>(measured.loading),
+      static_cast<unsigned long long>(paper.disasm),
+      static_cast<unsigned long long>(paper.policy),
+      static_cast<unsigned long long>(paper.load), pd_meas, pd_paper);
+}
+
+}  // namespace engarde::bench
+
+#endif  // ENGARDE_BENCH_HARNESS_H_

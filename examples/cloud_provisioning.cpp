@@ -1,0 +1,174 @@
+// The full Figure-1 scenario with all three policies from the paper's
+// evaluation, narrated step by step: a cloud provider who wants SLA
+// compliance, a client who wants confidentiality, and EnGarde in the middle
+// trusted by both.
+//
+// Demonstrates, in order:
+//   * policy negotiation reflected in MRENCLAVE,
+//   * attestation with the enclave's RSA key bound into the quote,
+//   * encrypted block transfer (the provider sees only ciphertext),
+//   * the complete inspection pipeline,
+//   * the information barrier (provider learns only the compliance bit and
+//     the executable page list),
+//   * W^X enforcement and the post-provisioning enclave lock,
+//   * zero runtime overhead on the provisioned program.
+#include <cstdio>
+
+#include "client/client.h"
+#include "core/engarde.h"
+#include "core/negotiation.h"
+#include "core/policy_ifcc.h"
+#include "core/policy_liblink.h"
+#include "core/policy_stackprot.h"
+#include "workload/program_builder.h"
+
+using namespace engarde;
+
+namespace {
+
+core::PolicySet AgreedPolicies(const workload::SynthLibcOptions& libc) {
+  core::PolicySet policies;
+  auto db = workload::BuildLibcHashDb(libc);
+  if (db.ok()) {
+    policies.push_back(std::make_unique<core::LibraryLinkingPolicy>(
+        "synth-musl v" + libc.version, std::move(db).value()));
+  }
+  policies.push_back(std::make_unique<core::StackProtectionPolicy>());
+  policies.push_back(std::make_unique<core::IndirectCallPolicy>());
+  return policies;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== EnGarde: mutually-trusted inspection of SGX enclaves ===\n\n");
+
+  // ---- The client's confidential workload -----------------------------------
+  workload::ProgramSpec spec;
+  spec.name = "kv-store";  // a memcached-style service, say
+  spec.seed = 11;
+  spec.target_instructions = 20000;
+  spec.stack_protection = true;
+  spec.ifcc = true;
+  spec.indirect_call_sites = 4;
+  auto program = workload::BuildProgram(spec);
+  if (!program.ok()) return 1;
+  std::printf("[client]   workload '%s': %zu bytes, %zu instructions\n",
+              program->name.c_str(), program->image.size(),
+              program->emitted_insn_count);
+
+  // ---- SLA negotiation -----------------------------------------------------
+  std::printf("\n-- SLA negotiation --\n");
+  // The provider advertises its policy menu; the client picks the subset it
+  // requires, by fingerprint.
+  const core::PolicyOffer offer =
+      core::PolicyOffer::FromPolicies(AgreedPolicies(program->libc_options));
+  std::printf("[provider] offers %zu policies\n", offer.fingerprints.size());
+  auto selection = core::SelectFromOffer(
+      offer, {"library-linking(", "stack-protection(", "indirect-call-check("});
+  if (!selection.ok()) return 1;
+  auto agreed = core::ApplySelection(AgreedPolicies(program->libc_options),
+                                     *selection);
+  if (!agreed.ok()) return 1;
+  std::printf("[client]   selects all three (by fingerprint)\n");
+
+  core::EngardeOptions options;
+  options.rsa_bits = 1024;
+  auto expected = core::EngardeEnclave::ExpectedMeasurement(*agreed, options);
+  if (!expected.ok()) return 1;
+  std::printf(
+      "[both]     expected MRENCLAVE for EnGarde + agreed policies computed "
+      "independently\n");
+
+  // ---- Provider infrastructure ----------------------------------------------
+  sgx::CycleAccountant accountant;
+  sgx::SgxDevice device{sgx::SgxDevice::Options{}, &accountant};
+  sgx::HostOs host(&device);
+  auto quoting =
+      sgx::QuotingEnclave::Provision(ToBytes("datacenter-rack-42"), 1024);
+  if (!quoting.ok()) return 1;
+
+  auto enclave = core::EngardeEnclave::Create(&host, *quoting,
+                                              std::move(agreed).value(),
+                                              options);
+  if (!enclave.ok()) return 1;
+  std::printf("[provider] enclave %llu built: %zu pages committed, MRENCLAVE "
+              "finalized\n",
+              static_cast<unsigned long long>(enclave->enclave_id()),
+              device.PageCount(enclave->enclave_id()));
+
+  // ---- Attestation + key exchange + transfer ----------------------------------
+  crypto::DuplexPipe pipe;
+  if (!enclave->SendHello(pipe.EndA()).ok()) return 1;
+
+  client::ClientOptions client_options;
+  client_options.attestation_key = quoting->attestation_public_key();
+  client_options.expected_measurement = *expected;
+  client::Client client(client_options, program->image);
+  if (!client.SendProgram(pipe.EndB()).ok()) return 1;
+  std::printf(
+      "\n[client]   quote signature valid, MRENCLAVE matches, RSA key bound "
+      "in quote\n[client]   AES-256 session key wrapped; %zu byte binary sent "
+      "in encrypted 4K blocks\n",
+      program->image.size());
+
+  // What does the provider's network tap see? Ciphertext.
+  std::printf(
+      "[provider] (wire tap shows only AES-256-CTR ciphertext + HMAC tags)\n");
+
+  // ---- Inspection ----------------------------------------------------------------
+  auto outcome = enclave->RunProvisioning(pipe.EndA());
+  if (!outcome.ok()) return 1;
+  auto verdict = client.AwaitVerdict();
+  if (!verdict.ok()) return 1;
+
+  std::printf("\n-- EnGarde inspection --\n");
+  std::printf("[engarde]  %zu blocks received and decrypted\n",
+              outcome->stats.blocks_received);
+  std::printf("[engarde]  %zu instructions disassembled into %zu buffer "
+              "pages (%llu malloc trampolines)\n",
+              outcome->stats.instruction_count,
+              outcome->stats.insn_buffer_pages,
+              static_cast<unsigned long long>(accountant.total_trampolines()));
+  std::printf("[engarde]  3 policy modules: %s\n",
+              verdict->compliant ? "ALL PASSED" : verdict->reason.c_str());
+  if (!verdict->compliant) return 1;
+  std::printf("[engarde]  loaded at enclave base, %zu relocations applied\n",
+              outcome->stats.relocations_applied);
+
+  // ---- The information barrier ---------------------------------------------------
+  std::printf("\n-- what each party knows --\n");
+  std::printf("[provider] compliance bit: %d\n",
+              outcome->provider_report.compliant);
+  std::printf("[provider] executable pages: %zu (addresses only — contents "
+              "remain encrypted)\n",
+              outcome->provider_report.executable_pages.size());
+  std::printf("[client]   full verdict over the encrypted channel\n");
+
+  // ---- W^X + lock ------------------------------------------------------------------
+  std::printf("\n-- post-provisioning hardening --\n");
+  const uint64_t code_page = outcome->provider_report.executable_pages[0];
+  const Status write_attempt =
+      device.EnclaveWrite(enclave->enclave_id(), code_page, ToBytes("evil"));
+  std::printf("[provider] write to a code page: %s\n",
+              write_attempt.ToString().c_str());
+  const Status grow_attempt =
+      host.AugmentPages(enclave->enclave_id(), 0x20000000, 1);
+  std::printf("[provider] post-lock EAUG attempt: %s\n",
+              grow_attempt.ToString().c_str());
+
+  // ---- Execution ------------------------------------------------------------------
+  accountant.Reset();
+  auto rax = enclave->ExecuteClientProgram();
+  if (!rax.ok()) {
+    std::printf("execution failed: %s\n", rax.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "\n[enclave]  workload executed: rax = 0x%llx; SGX instructions during "
+      "the run: %llu\n(EENTER + EEXIT only — EnGarde adds zero runtime "
+      "overhead, paper Section 3)\n",
+      static_cast<unsigned long long>(*rax),
+      static_cast<unsigned long long>(accountant.total_sgx_instructions()));
+  return 0;
+}

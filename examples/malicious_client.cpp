@@ -1,0 +1,185 @@
+// Malicious-client gallery: five ways a client can try to cheat the SLA, and
+// how EnGarde (or the attested protocol around it) stops each one.
+//
+//   1. Linking a vulnerable library version (the HeartBleed scenario from
+//      paper Section 5) — caught by the library-linking policy.
+//   2. Shipping one function without stack protection in an otherwise
+//      compliant binary — caught by the stack-protection policy.
+//   3. Making an unguarded indirect call (control-flow hijack surface) —
+//      caught by the IFCC policy.
+//   4. Sending a stripped binary — auto-rejected (EnGarde needs symbols).
+//   5. Trying to inject code after approval — stopped by W^X + enclave lock.
+#include <cstdio>
+
+#include "client/client.h"
+#include "core/engarde.h"
+#include "core/policy_ifcc.h"
+#include "core/policy_liblink.h"
+#include "core/policy_stackprot.h"
+#include "elf/builder.h"
+#include "workload/program_builder.h"
+
+using namespace engarde;
+
+namespace {
+
+core::PolicySet AgreedPolicies(const workload::SynthLibcOptions& libc) {
+  core::PolicySet policies;
+  auto db = workload::BuildLibcHashDb(libc);
+  if (db.ok()) {
+    policies.push_back(std::make_unique<core::LibraryLinkingPolicy>(
+        "synth-musl v" + libc.version, std::move(db).value()));
+  }
+  policies.push_back(std::make_unique<core::StackProtectionPolicy>());
+  policies.push_back(std::make_unique<core::IndirectCallPolicy>());
+  return policies;
+}
+
+// Runs the protocol for one attempt; prints the verdict. Returns the outcome
+// for post-mortem checks.
+struct AttemptResult {
+  bool ran = false;
+  core::ProvisionOutcome outcome;
+  uint64_t enclave_id = 0;
+};
+
+AttemptResult Attempt(const char* title, const Bytes& image,
+                      const workload::SynthLibcOptions& db_options,
+                      sgx::HostOs& host,
+                      const sgx::QuotingEnclave& quoting) {
+  std::printf("\n=== %s ===\n", title);
+  AttemptResult result;
+
+  core::EngardeOptions options;
+  options.rsa_bits = 1024;
+  // Modest enclaves: five attempts must fit the 32,000-page EPC together.
+  options.layout.heap_pages = 512;
+  options.layout.load_pages = 256;
+  auto enclave = core::EngardeEnclave::Create(&host, quoting,
+                                              AgreedPolicies(db_options),
+                                              options);
+  if (!enclave.ok()) {
+    std::printf("  setup failed: %s\n", enclave.status().ToString().c_str());
+    return result;
+  }
+
+  crypto::DuplexPipe pipe;
+  if (!enclave->SendHello(pipe.EndA()).ok()) return result;
+  client::ClientOptions client_options;
+  client_options.attestation_key = quoting.attestation_public_key();
+  client_options.skip_measurement_check = true;
+  client::Client client(client_options, image);
+  if (const Status s = client.SendProgram(pipe.EndB()); !s.ok()) {
+    std::printf("  client-side abort: %s\n", s.ToString().c_str());
+    return result;
+  }
+  auto outcome = enclave->RunProvisioning(pipe.EndA());
+  if (!outcome.ok()) {
+    std::printf("  protocol error: %s\n", outcome.status().ToString().c_str());
+    return result;
+  }
+  std::printf("  verdict: %s\n", outcome->verdict.compliant
+                                     ? "COMPLIANT"
+                                     : "REJECTED");
+  if (!outcome->verdict.compliant) {
+    std::printf("  reason (client-only): %s\n",
+                outcome->verdict.reason.c_str());
+    std::printf("  provider sees: compliant=0 and nothing else\n");
+  }
+  result.ran = true;
+  result.outcome = std::move(outcome).value();
+  result.enclave_id = enclave->enclave_id();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  sgx::SgxDevice device{sgx::SgxDevice::Options{}};
+  sgx::HostOs host(&device);
+  auto quoting = sgx::QuotingEnclave::Provision(ToBytes("mal-device"), 1024);
+  if (!quoting.ok()) return 1;
+
+  // The honest baseline everyone negotiated: stack-protected, IFCC'd,
+  // linked against synth-musl v1.0.5.
+  workload::ProgramSpec honest;
+  honest.name = "workload";
+  honest.seed = 5;
+  honest.target_instructions = 6000;
+  honest.stack_protection = true;
+  honest.ifcc = true;
+
+  // ---- 1. Wrong library version ------------------------------------------------
+  {
+    workload::ProgramSpec spec = honest;
+    spec.libc.version = "1.0.4";  // the "vulnerable" release
+    auto program = workload::BuildProgram(spec);
+    if (!program.ok()) return 1;
+    workload::SynthLibcOptions agreed = program->libc_options;
+    agreed.version = "1.0.5";  // the SLA pins the patched release
+    Attempt("Attempt 1: link the vulnerable libc v1.0.4", program->image,
+            agreed, host, *quoting);
+  }
+
+  // ---- 2. One unprotected function ---------------------------------------------
+  {
+    workload::ProgramSpec spec = honest;
+    spec.sabotage_one_function = true;
+    auto program = workload::BuildProgram(spec);
+    if (!program.ok()) return 1;
+    Attempt("Attempt 2: sneak in one function without a canary check",
+            program->image, program->libc_options, host, *quoting);
+  }
+
+  // ---- 3. Unguarded indirect call ------------------------------------------------
+  {
+    workload::ProgramSpec spec = honest;
+    spec.ifcc = false;
+    spec.unguarded_indirect_call = true;
+    auto program = workload::BuildProgram(spec);
+    if (!program.ok()) return 1;
+    Attempt("Attempt 3: indirect call without the IFCC guard",
+            program->image, program->libc_options, host, *quoting);
+  }
+
+  // ---- 4. Stripped binary ----------------------------------------------------------
+  {
+    elf::ElfBuilder builder;
+    Bytes text(64, 0x90);
+    text[63] = 0xc3;
+    builder.AddTextSection(".text", text);
+    // No function symbols at all: EnGarde cannot resolve call targets.
+    auto image = builder.Build();
+    if (!image.ok()) return 1;
+    workload::SynthLibcOptions agreed;
+    Attempt("Attempt 4: ship a stripped binary", *image, agreed, host,
+            *quoting);
+  }
+
+  // ---- 5. Post-approval code injection ---------------------------------------------
+  {
+    auto program = workload::BuildProgram(honest);
+    if (!program.ok()) return 1;
+    AttemptResult compliant =
+        Attempt("Attempt 5: get approved, then inject code afterwards",
+                program->image, program->libc_options, host, *quoting);
+    if (compliant.ran && compliant.outcome.verdict.compliant) {
+      const uint64_t code_page =
+          compliant.outcome.provider_report.executable_pages[0];
+      std::printf("  ...now the client (or a compromised host) attacks:\n");
+      std::printf("  write shellcode over a code page -> %s\n",
+                  device
+                      .EnclaveWrite(compliant.enclave_id, code_page,
+                                    ToBytes("\xcc\xcc\xcc\xcc"))
+                      .ToString()
+                      .c_str());
+      std::printf("  grow the enclave with a fresh RWX page -> %s\n",
+                  host.AugmentPages(compliant.enclave_id, 0x30000000, 1)
+                      .ToString()
+                      .c_str());
+    }
+  }
+
+  std::printf("\nAll five attack attempts were stopped.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Quickstart: the smallest end-to-end EnGarde flow.
+//
+//   1. The cloud provider sets up an SGX machine and an EnGarde enclave that
+//      enforces one mutually-agreed policy (stack protection).
+//   2. The client builds a (synthetic) stack-protected executable, attests
+//      the enclave, and ships the binary over the encrypted channel.
+//   3. EnGarde inspects, approves, loads — and the program actually runs
+//      inside the enclave.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "client/client.h"
+#include "core/engarde.h"
+#include "core/policy_stackprot.h"
+#include "workload/program_builder.h"
+
+using namespace engarde;
+
+int main() {
+  // ---- Cloud provider: SGX machine + quoting enclave -----------------------
+  sgx::SgxDevice device{sgx::SgxDevice::Options{}};
+  sgx::HostOs host(&device);
+  auto quoting = sgx::QuotingEnclave::Provision(ToBytes("quickstart-device"),
+                                                /*key_bits=*/1024);
+  if (!quoting.ok()) return 1;
+
+  // ---- Mutually agreed policy set -------------------------------------------
+  core::PolicySet policies;
+  policies.push_back(std::make_unique<core::StackProtectionPolicy>());
+
+  core::EngardeOptions options;
+  options.rsa_bits = 1024;
+
+  // Both parties can compute the expected measurement independently.
+  auto expected = core::EngardeEnclave::ExpectedMeasurement(policies, options);
+  if (!expected.ok()) return 1;
+
+  // ---- Provider creates the EnGarde enclave ---------------------------------
+  auto enclave = core::EngardeEnclave::Create(&host, *quoting,
+                                              std::move(policies), options);
+  if (!enclave.ok()) {
+    std::printf("enclave creation failed: %s\n",
+                enclave.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("[provider] EnGarde enclave %llu created and attested\n",
+              static_cast<unsigned long long>(enclave->enclave_id()));
+
+  // ---- Client builds its confidential program --------------------------------
+  workload::ProgramSpec spec;
+  spec.name = "hello-enclave";
+  spec.seed = 2026;
+  spec.target_instructions = 4000;
+  spec.stack_protection = true;  // complies with the agreed policy
+  auto program = workload::BuildProgram(spec);
+  if (!program.ok()) return 1;
+  std::printf("[client]   built %s: %zu bytes, %zu instructions\n",
+              program->name.c_str(), program->image.size(),
+              program->emitted_insn_count);
+
+  // ---- The protocol ------------------------------------------------------------
+  crypto::DuplexPipe pipe;
+  if (!enclave->SendHello(pipe.EndA()).ok()) return 1;
+
+  client::ClientOptions client_options;
+  client_options.attestation_key = quoting->attestation_public_key();
+  client_options.expected_measurement = *expected;
+  client::Client client(client_options, program->image);
+  if (const Status s = client.SendProgram(pipe.EndB()); !s.ok()) {
+    std::printf("[client]   aborted before sending anything: %s\n",
+                s.ToString().c_str());
+    return 1;
+  }
+  std::printf("[client]   quote verified; program sent encrypted\n");
+
+  auto outcome = enclave->RunProvisioning(pipe.EndA());
+  if (!outcome.ok()) return 1;
+  auto verdict = client.AwaitVerdict();
+  if (!verdict.ok()) return 1;
+
+  std::printf("[engarde]  verdict: %s\n",
+              verdict->compliant ? "COMPLIANT — loaded and locked"
+                                 : verdict->reason.c_str());
+  std::printf("[provider] learns only: compliant=%d, %zu executable pages\n",
+              outcome->provider_report.compliant,
+              outcome->provider_report.executable_pages.size());
+  if (!verdict->compliant) return 1;
+
+  // ---- Run the provisioned program inside the enclave -------------------------
+  auto rax = enclave->ExecuteClientProgram();
+  if (!rax.ok()) {
+    std::printf("execution failed: %s\n", rax.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("[enclave]  client program ran to completion, rax = 0x%llx\n",
+              static_cast<unsigned long long>(*rax));
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Runtime policy enforcement — the extension the paper leaves as future work
+// (Section 1: "One can also imagine an extension of EnGarde that instruments
+// client code to enforce policies at runtime").
+//
+// Static inspection can prove the *code* carries stack protectors and IFCC
+// guards, but some attacks only materialise at runtime: a return address
+// overwritten through a dangling pointer, a function pointer corrupted to
+// land mid-function. This example provisions a binary that passes every
+// static check, demonstrates a successful return-address hijack without the
+// monitor, then shows the shadow-stack runtime policy stopping it cold.
+#include <cstdio>
+
+#include "client/client.h"
+#include "core/engarde.h"
+#include "core/runtime_monitor.h"
+#include "elf/builder.h"
+#include "x86/encoder.h"
+
+using namespace engarde;
+
+namespace {
+
+// A small position-independent program with a deliberate ret-hijack:
+//   _start: call victim ; hlt
+//   victim: lea gadget(%rip), %rax ; mov %rax,(%rsp) ; ret   <- overwrites RA
+//   gadget: mov $0x1337, %eax ; ret                          <- "shellcode"
+// Every *static* property is clean: separated code/data, symbols present,
+// NaCl-valid, no unguarded indirect calls (there are none), so EnGarde's
+// static pipeline accepts it.
+Bytes BuildHijackDemo() {
+  x86::Assembler as(0x1000);
+  as.CallAbs(0x1020);
+  as.Hlt();
+  as.AlignTo(32);
+  as.LeaRipRelTo(x86::kRax, 0x1040);
+  as.MovStore(x86::kRsp, 0, x86::kRax);
+  as.Ret();
+  as.AlignTo(32);
+  as.MovRegImm32(x86::kRax, 0x1337);
+  as.Ret();
+
+  elf::ElfBuilder builder;
+  builder.AddTextSection(".text", as.bytes());
+  builder.AddSymbol("_start", 0x1000, 6, elf::kSttFunc);
+  builder.AddSymbol("victim", 0x1020, 12, elf::kSttFunc);
+  builder.AddSymbol("gadget", 0x1040, 6, elf::kSttFunc);
+  builder.SetEntry(0x1000);
+  auto image = builder.Build();
+  return image.ok() ? *image : Bytes{};
+}
+
+}  // namespace
+
+int main() {
+  sgx::SgxDevice device{sgx::SgxDevice::Options{}};
+  sgx::HostOs host(&device);
+  auto quoting = sgx::QuotingEnclave::Provision(ToBytes("rt-device"), 1024);
+  if (!quoting.ok()) return 1;
+
+  core::EngardeOptions options;
+  options.rsa_bits = 1024;
+  auto enclave = core::EngardeEnclave::Create(&host, *quoting,
+                                              core::PolicySet{}, options);
+  if (!enclave.ok()) return 1;
+
+  const Bytes image = BuildHijackDemo();
+  crypto::DuplexPipe pipe;
+  if (!enclave->SendHello(pipe.EndA()).ok()) return 1;
+  client::ClientOptions client_options;
+  client_options.attestation_key = quoting->attestation_public_key();
+  client_options.skip_measurement_check = true;
+  client::Client client(client_options, image);
+  if (!client.SendProgram(pipe.EndB()).ok()) return 1;
+  auto outcome = enclave->RunProvisioning(pipe.EndA());
+  if (!outcome.ok() || !outcome->verdict.compliant) {
+    std::printf("unexpected: static pipeline rejected the demo binary\n");
+    return 1;
+  }
+  std::printf(
+      "static inspection: COMPLIANT (the hijack is invisible to static "
+      "checks)\n\n");
+
+  // ---- Without the runtime monitor ------------------------------------------
+  auto rax = enclave->ExecuteClientProgram();
+  if (rax.ok()) {
+    std::printf("without runtime monitor: program returned 0x%llx\n",
+                static_cast<unsigned long long>(*rax));
+    std::printf("  -> 0x1337 means the return-address hijack reached the "
+                "gadget undetected\n\n");
+  }
+
+  // ---- With the shadow stack ---------------------------------------------------
+  core::RuntimeMonitor monitor;
+  monitor.AddPolicy(std::make_unique<core::ShadowStackPolicy>());
+  monitor.AddPolicy(std::make_unique<core::IndirectTargetPolicy>(
+      core::IndirectTargetPolicy::FromSymbols(
+          *enclave->loaded_symbols(), enclave->load_result()->load_base)));
+  monitor.AddPolicy(std::make_unique<core::InstructionBudgetPolicy>(100000));
+  monitor.BeginRun();
+  auto guarded = enclave->ExecuteClientProgram(1u << 22, &monitor);
+  if (guarded.ok()) {
+    std::printf("runtime monitor FAILED to stop the hijack\n");
+    return 1;
+  }
+  std::printf("with runtime monitor (%zu policies): execution aborted\n",
+              monitor.policy_count());
+  std::printf("  %s\n", monitor.violation().c_str());
+  std::printf(
+      "\nThe shadow stack caught the backward-edge hijack the moment the "
+      "corrupted RET fired —\nwithout any instrumentation in the client "
+      "binary itself.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "client/client.h"
+
+#include <set>
+
+#include "elf/reader.h"
+
+namespace engarde::client {
+
+Result<core::Manifest> BuildManifest(ByteView executable) {
+  ASSIGN_OR_RETURN(const elf::ElfFile elf, elf::ElfFile::Parse(executable));
+  core::Manifest manifest;
+  manifest.file_size = executable.size();
+  std::set<uint64_t> code_pages;
+  for (const elf::Shdr& section : elf.sections()) {
+    if (!(section.flags & elf::kShfAlloc)) continue;
+    if (!(section.flags & elf::kShfExecinstr)) continue;
+    if (section.type == elf::kShtNobits || section.size == 0) continue;
+    const uint64_t first = section.addr / 4096;
+    const uint64_t last = (section.addr + section.size - 1) / 4096;
+    for (uint64_t page = first; page <= last; ++page) code_pages.insert(page);
+  }
+  manifest.code_pages.assign(code_pages.begin(), code_pages.end());
+  return manifest;
+}
+
+Status Client::SendProgram(crypto::DuplexPipe::Endpoint endpoint) {
+  // ---- Hello: quote + enclave public key -----------------------------------
+  ASSIGN_OR_RETURN(const Bytes quote_wire, core::ReadFrame(endpoint));
+  ASSIGN_OR_RETURN(const sgx::Quote quote,
+                   sgx::Quote::Deserialize(ByteView(quote_wire.data(),
+                                                    quote_wire.size())));
+  ASSIGN_OR_RETURN(const Bytes key_wire, core::ReadFrame(endpoint));
+  ASSIGN_OR_RETURN(const crypto::RsaPublicKey enclave_key,
+                   crypto::RsaPublicKey::Deserialize(
+                       ByteView(key_wire.data(), key_wire.size())));
+
+  // ---- Attestation -----------------------------------------------------------
+  if (options_.skip_measurement_check) {
+    RETURN_IF_ERROR(sgx::VerifyQuote(quote, options_.attestation_key));
+  } else {
+    RETURN_IF_ERROR(sgx::VerifyQuote(quote, options_.attestation_key,
+                                     options_.expected_measurement));
+  }
+  // The public key must be the one bound inside the signed quote, or a
+  // man-in-the-middle could substitute their own.
+  if (quote.report.report_data != sgx::BindPublicKey(enclave_key)) {
+    return IntegrityError(
+        "enclave public key is not the one bound in the attestation quote");
+  }
+
+  // ---- Key exchange -----------------------------------------------------------
+  const Bytes master_key = drbg_.Generate(32);
+  ASSIGN_OR_RETURN(
+      const Bytes wrapped,
+      crypto::RsaEncrypt(enclave_key,
+                         ByteView(master_key.data(), master_key.size()),
+                         drbg_));
+  RETURN_IF_ERROR(
+      core::WriteFrame(endpoint, ByteView(wrapped.data(), wrapped.size())));
+
+  const crypto::SessionKeys keys = crypto::SessionKeys::Derive(
+      ByteView(master_key.data(), master_key.size()));
+  channel_.emplace(endpoint, keys, /*is_enclave_side=*/false);
+
+  // ---- Manifest + blocks --------------------------------------------------------
+  ASSIGN_OR_RETURN(const core::Manifest manifest,
+                   BuildManifest(ByteView(executable_.data(),
+                                          executable_.size())));
+  const Bytes manifest_wire = manifest.Serialize();
+  RETURN_IF_ERROR(core::SendMessage(*channel_, core::MessageType::kManifest,
+                                    ByteView(manifest_wire.data(),
+                                             manifest_wire.size())));
+  for (size_t offset = 0; offset < executable_.size();
+       offset += core::kBlockSize) {
+    const size_t take =
+        std::min(core::kBlockSize, executable_.size() - offset);
+    RETURN_IF_ERROR(core::SendMessage(
+        *channel_, core::MessageType::kBlock,
+        ByteView(executable_.data() + offset, take)));
+  }
+  return core::SendMessage(*channel_, core::MessageType::kDone, {});
+}
+
+Result<core::Verdict> Client::AwaitVerdict() {
+  if (!channel_.has_value()) {
+    return FailedPreconditionError("SendProgram has not established a channel");
+  }
+  ASSIGN_OR_RETURN(const core::Message message,
+                   core::ReceiveMessage(*channel_));
+  if (message.type != core::MessageType::kVerdict) {
+    return ProtocolError("expected a verdict record");
+  }
+  return core::Verdict::Deserialize(ByteView(message.payload.data(),
+                                             message.payload.size()));
+}
+
+}  // namespace engarde::client

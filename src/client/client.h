@@ -1,0 +1,64 @@
+// The client-side program (paper Figure 2 lists it as a separate component):
+// runs on the client's own machine, far from the cloud. It
+//   1. receives the enclave's quote + ephemeral RSA public key,
+//   2. verifies the quote against the hardware vendor's attestation key and
+//      the *expected EnGarde measurement* (pinning the agreed policy set),
+//      and checks that the RSA key is the one bound inside the quote,
+//   3. generates a fresh 256-bit AES master key, wraps it with RSA, and
+//   4. streams the executable in encrypted page-sized blocks, then reads the
+//      verdict.
+#ifndef ENGARDE_CLIENT_CLIENT_H_
+#define ENGARDE_CLIENT_CLIENT_H_
+
+#include <optional>
+
+#include "core/protocol.h"
+#include "crypto/channel.h"
+#include "crypto/drbg.h"
+#include "crypto/rsa.h"
+#include "crypto/sha256.h"
+#include "sgx/attestation.h"
+
+namespace engarde::client {
+
+struct ClientOptions {
+  // The hardware vendor's attestation verification key (out of band).
+  crypto::RsaPublicKey attestation_key;
+  // The expected MRENCLAVE of an EnGarde enclave with the agreed policies.
+  crypto::Sha256Digest expected_measurement{};
+  // Client-side entropy for the AES master key.
+  Bytes entropy = {0xc1, 0x1e, 0x47};
+  // Skip the measurement pin (used by tests that exercise the mismatch path
+  // deliberately; production clients always pin).
+  bool skip_measurement_check = false;
+};
+
+class Client {
+ public:
+  Client(ClientOptions options, Bytes executable)
+      : options_(std::move(options)),
+        executable_(std::move(executable)),
+        drbg_(ByteView(options_.entropy.data(), options_.entropy.size())) {}
+
+  // Protocol steps 1-4: consume the hello, verify, send key + manifest +
+  // blocks + done. Returns an error if attestation fails (in which case
+  // nothing confidential has been sent).
+  Status SendProgram(crypto::DuplexPipe::Endpoint endpoint);
+
+  // Reads the enclave's verdict (after the enclave ran its pipeline).
+  Result<core::Verdict> AwaitVerdict();
+
+ private:
+  ClientOptions options_;
+  Bytes executable_;
+  crypto::HmacDrbg drbg_;
+  std::optional<crypto::SecureChannel> channel_;
+};
+
+// Derives the manifest (file size + code-page list) from the executable the
+// honest client is about to send. Exposed so tests can build tampered ones.
+Result<core::Manifest> BuildManifest(ByteView executable);
+
+}  // namespace engarde::client
+
+#endif  // ENGARDE_CLIENT_CLIENT_H_

@@ -1,0 +1,12 @@
+#include "common/bytes.h"
+
+namespace engarde {
+
+bool ConstantTimeEqual(ByteView a, ByteView b) noexcept {
+  if (a.size() != b.size()) return false;
+  uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) acc |= static_cast<uint8_t>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+}  // namespace engarde

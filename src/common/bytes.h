@@ -1,0 +1,153 @@
+// Byte-buffer vocabulary types and little-endian serialization helpers.
+// Everything that crosses a module boundary as "raw bytes" uses these.
+#ifndef ENGARDE_COMMON_BYTES_H_
+#define ENGARDE_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace engarde {
+
+using Bytes = std::vector<uint8_t>;
+using ByteView = std::span<const uint8_t>;
+using MutableByteView = std::span<uint8_t>;
+
+inline Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string ToString(ByteView b) {
+  return std::string(b.begin(), b.end());
+}
+
+// Constant-time equality for MAC/digest comparison; never early-exits.
+bool ConstantTimeEqual(ByteView a, ByteView b) noexcept;
+
+// Little-endian load/store for the fixed-width integers used by the ELF,
+// x86 and protocol encoders. Loads assume the caller validated bounds.
+inline uint16_t LoadLe16(const uint8_t* p) noexcept {
+  return static_cast<uint16_t>(p[0]) | static_cast<uint16_t>(p[1]) << 8;
+}
+inline uint32_t LoadLe32(const uint8_t* p) noexcept {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+inline uint64_t LoadLe64(const uint8_t* p) noexcept {
+  return static_cast<uint64_t>(LoadLe32(p)) |
+         static_cast<uint64_t>(LoadLe32(p + 4)) << 32;
+}
+
+inline void StoreLe16(uint8_t* p, uint16_t v) noexcept {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+inline void StoreLe32(uint8_t* p, uint32_t v) noexcept {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+inline void StoreLe64(uint8_t* p, uint64_t v) noexcept {
+  StoreLe32(p, static_cast<uint32_t>(v));
+  StoreLe32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+// Big-endian loads/stores (used by SHA-256 and network-order framing).
+inline uint32_t LoadBe32(const uint8_t* p) noexcept {
+  return static_cast<uint32_t>(p[0]) << 24 | static_cast<uint32_t>(p[1]) << 16 |
+         static_cast<uint32_t>(p[2]) << 8 | static_cast<uint32_t>(p[3]);
+}
+inline uint64_t LoadBe64(const uint8_t* p) noexcept {
+  return static_cast<uint64_t>(LoadBe32(p)) << 32 |
+         static_cast<uint64_t>(LoadBe32(p + 4));
+}
+inline void StoreBe32(uint8_t* p, uint32_t v) noexcept {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+inline void StoreBe64(uint8_t* p, uint64_t v) noexcept {
+  StoreBe32(p, static_cast<uint32_t>(v >> 32));
+  StoreBe32(p + 4, static_cast<uint32_t>(v));
+}
+
+// Append helpers used by serializers.
+inline void AppendLe16(Bytes& out, uint16_t v) {
+  uint8_t tmp[2];
+  StoreLe16(tmp, v);
+  out.insert(out.end(), tmp, tmp + 2);
+}
+inline void AppendLe32(Bytes& out, uint32_t v) {
+  uint8_t tmp[4];
+  StoreLe32(tmp, v);
+  out.insert(out.end(), tmp, tmp + 4);
+}
+inline void AppendLe64(Bytes& out, uint64_t v) {
+  uint8_t tmp[8];
+  StoreLe64(tmp, v);
+  out.insert(out.end(), tmp, tmp + 8);
+}
+inline void AppendBytes(Bytes& out, ByteView v) {
+  out.insert(out.end(), v.begin(), v.end());
+}
+
+// Cursor for safe, bounds-checked sequential reads from a ByteView.
+// All Read* methods fail (return false) instead of reading out of range,
+// which protocol and file parsers turn into INVALID_ARGUMENT statuses.
+class ByteReader {
+ public:
+  explicit ByteReader(ByteView data) noexcept : data_(data) {}
+
+  size_t remaining() const noexcept { return data_.size() - pos_; }
+  size_t position() const noexcept { return pos_; }
+  bool AtEnd() const noexcept { return pos_ == data_.size(); }
+
+  bool Skip(size_t n) noexcept {
+    if (n > remaining()) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool ReadU8(uint8_t& out) noexcept {
+    if (remaining() < 1) return false;
+    out = data_[pos_++];
+    return true;
+  }
+  bool ReadLe16(uint16_t& out) noexcept {
+    if (remaining() < 2) return false;
+    out = LoadLe16(data_.data() + pos_);
+    pos_ += 2;
+    return true;
+  }
+  bool ReadLe32(uint32_t& out) noexcept {
+    if (remaining() < 4) return false;
+    out = LoadLe32(data_.data() + pos_);
+    pos_ += 4;
+    return true;
+  }
+  bool ReadLe64(uint64_t& out) noexcept {
+    if (remaining() < 8) return false;
+    out = LoadLe64(data_.data() + pos_);
+    pos_ += 8;
+    return true;
+  }
+  bool ReadBytes(size_t n, ByteView& out) noexcept {
+    if (remaining() < n) return false;
+    out = data_.subspan(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  ByteView data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace engarde
+
+#endif  // ENGARDE_COMMON_BYTES_H_

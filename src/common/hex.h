@@ -1,0 +1,21 @@
+// Hex encoding/decoding for digests, keys and test fixtures.
+#ifndef ENGARDE_COMMON_HEX_H_
+#define ENGARDE_COMMON_HEX_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace engarde {
+
+// Lowercase hex, two characters per byte.
+std::string HexEncode(ByteView data);
+
+// Strict decode: even length, [0-9a-fA-F] only.
+Result<Bytes> HexDecode(std::string_view hex);
+
+}  // namespace engarde
+
+#endif  // ENGARDE_COMMON_HEX_H_

@@ -1,0 +1,34 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace engarde {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+const char* LevelTag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarning: return "W";
+    case LogLevel::kError: return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) noexcept { g_level.store(level); }
+LogLevel GetLogLevel() noexcept { return g_level.load(); }
+
+namespace internal {
+
+void Emit(LogLevel level, const std::string& message) {
+  if (level < g_level.load()) return;
+  std::fprintf(stderr, "[%s] %s\n", LevelTag(level), message.c_str());
+}
+
+}  // namespace internal
+}  // namespace engarde

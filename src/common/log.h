@@ -1,0 +1,45 @@
+// Minimal leveled logger. EnGarde's in-enclave components log through this;
+// the provider-visible audit trail is separate (core/report.h) because the
+// threat model forbids leaking client code details to the host.
+#ifndef ENGARDE_COMMON_LOG_H_
+#define ENGARDE_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace engarde {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; defaults to kWarning so tests/benches are quiet.
+void SetLogLevel(LogLevel level) noexcept;
+LogLevel GetLogLevel() noexcept;
+
+namespace internal {
+void Emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) noexcept : level_(level) {}
+  ~LogLine() { Emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define ENGARDE_LOG(level) \
+  ::engarde::internal::LogLine(::engarde::LogLevel::level)
+
+}  // namespace engarde
+
+#endif  // ENGARDE_COMMON_LOG_H_

@@ -1,0 +1,78 @@
+#include "common/rng.h"
+
+#include <cassert>
+
+namespace engarde {
+namespace {
+
+// splitmix64: expands the single seed word into the xoshiro state, per the
+// reference initialization recommended by the xoshiro authors.
+uint64_t SplitMix64(uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) noexcept { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) noexcept {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(sm);
+  // All-zero state is the one forbidden state for xoshiro.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::NextU64() noexcept {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) noexcept {
+  assert(bound > 0);
+  // Rejection sampling over the largest multiple of bound that fits in 2^64.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+uint64_t Rng::NextInRange(uint64_t lo, uint64_t hi) noexcept {
+  assert(lo <= hi);
+  const uint64_t span = hi - lo + 1;
+  if (span == 0) return NextU64();  // full range [0, 2^64)
+  return lo + NextBelow(span);
+}
+
+bool Rng::NextChance(uint64_t num, uint64_t den) noexcept {
+  assert(den > 0 && num <= den);
+  return NextBelow(den) < num;
+}
+
+Bytes Rng::NextBytes(size_t n) {
+  Bytes out(n);
+  size_t i = 0;
+  while (i + 8 <= n) {
+    StoreLe64(out.data() + i, NextU64());
+    i += 8;
+  }
+  if (i < n) {
+    uint8_t tmp[8];
+    StoreLe64(tmp, NextU64());
+    for (size_t j = 0; i < n; ++i, ++j) out[i] = tmp[j];
+  }
+  return out;
+}
+
+}  // namespace engarde

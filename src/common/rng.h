@@ -1,0 +1,39 @@
+// Deterministic pseudo-random source (xoshiro256**). Used by the workload
+// generator and tests so every run of the benchmark harness builds bit-for-bit
+// identical programs. Cryptographic randomness comes from crypto/drbg, not
+// from here.
+#ifndef ENGARDE_COMMON_RNG_H_
+#define ENGARDE_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace engarde {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) noexcept;
+
+  uint64_t NextU64() noexcept;
+  uint32_t NextU32() noexcept { return static_cast<uint32_t>(NextU64() >> 32); }
+
+  // Uniform in [0, bound). bound must be > 0. Uses rejection sampling so the
+  // distribution is exact (matters for reproducible workload shapes).
+  uint64_t NextBelow(uint64_t bound) noexcept;
+
+  // Uniform in [lo, hi], inclusive. Requires lo <= hi.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) noexcept;
+
+  // True with probability num/den. Requires num <= den, den > 0.
+  bool NextChance(uint64_t num, uint64_t den) noexcept;
+
+  Bytes NextBytes(size_t n);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace engarde
+
+#endif  // ENGARDE_COMMON_RNG_H_

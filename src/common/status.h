@@ -1,0 +1,184 @@
+// Lightweight Status / Result<T> error-handling vocabulary used across the
+// EnGarde codebase. Modelled after absl::Status / std::expected: a Status is
+// cheap to copy when OK, and a Result<T> carries either a value or a Status.
+//
+// Error handling policy (see DESIGN.md): anything that can fail because of
+// *input* (malformed ELF, non-compliant code, bad ciphertext, protocol
+// violations) returns Status/Result. Programming errors (out-of-contract
+// calls) use assertions.
+#ifndef ENGARDE_COMMON_STATUS_H_
+#define ENGARDE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace engarde {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    // caller-supplied data is malformed
+  kFailedPrecondition, // operation invalid in the current state
+  kNotFound,           // lookup miss (symbol, section, page, ...)
+  kOutOfRange,         // offset/index outside a valid range
+  kPermissionDenied,   // access-control violation (EPCM, page perms, lock)
+  kPolicyViolation,    // client code failed a policy module
+  kIntegrityError,     // MAC/signature/hash/measurement mismatch
+  kProtocolError,      // provisioning protocol framing/state violation
+  kResourceExhausted,  // out of EPC pages, buffer capacity, ...
+  kUnimplemented,      // decoder hit an instruction outside supported set
+  kInternal,           // invariant violation detected at runtime
+};
+
+std::string_view StatusCodeName(StatusCode code) noexcept;
+
+// Status: OK or (code, message). The OK state allocates nothing.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk && "use Status::Ok() for success");
+  }
+
+  static Status Ok() noexcept { return Status(); }
+
+  bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  StatusCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  // Human-readable "CODE: message" rendering for logs and test failures.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out(StatusCodeName(code_));
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;  // messages are advisory
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::string_view StatusCodeName(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case StatusCode::kPolicyViolation: return "POLICY_VIOLATION";
+    case StatusCode::kIntegrityError: return "INTEGRITY_ERROR";
+    case StatusCode::kProtocolError: return "PROTOCOL_ERROR";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+// Convenience constructors, mirroring absl's factory style.
+inline Status InvalidArgumentError(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status FailedPreconditionError(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status NotFoundError(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status OutOfRangeError(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status PermissionDeniedError(std::string msg) {
+  return Status(StatusCode::kPermissionDenied, std::move(msg));
+}
+inline Status PolicyViolationError(std::string msg) {
+  return Status(StatusCode::kPolicyViolation, std::move(msg));
+}
+inline Status IntegrityError(std::string msg) {
+  return Status(StatusCode::kIntegrityError, std::move(msg));
+}
+inline Status ProtocolError(std::string msg) {
+  return Status(StatusCode::kProtocolError, std::move(msg));
+}
+inline Status ResourceExhaustedError(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status UnimplementedError(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status InternalError(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+// Result<T>: value or error Status. Access to value() asserts ok().
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok() &&
+           "constructing Result<T> from OK status loses the value");
+  }
+
+  bool ok() const noexcept { return std::holds_alternative<T>(rep_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(rep_);
+  }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+// Propagation macros. Double-underscore concat keeps temporaries unique per
+// line so nested uses inside one function do not collide.
+#define ENGARDE_CONCAT_INNER_(a, b) a##b
+#define ENGARDE_CONCAT_(a, b) ENGARDE_CONCAT_INNER_(a, b)
+
+#define RETURN_IF_ERROR(expr)                        \
+  do {                                               \
+    ::engarde::Status engarde_status_ = (expr);      \
+    if (!engarde_status_.ok()) return engarde_status_; \
+  } while (false)
+
+#define ASSIGN_OR_RETURN(lhs, expr)                               \
+  auto ENGARDE_CONCAT_(engarde_result_, __LINE__) = (expr);       \
+  if (!ENGARDE_CONCAT_(engarde_result_, __LINE__).ok())           \
+    return ENGARDE_CONCAT_(engarde_result_, __LINE__).status();   \
+  lhs = std::move(ENGARDE_CONCAT_(engarde_result_, __LINE__)).value()
+
+}  // namespace engarde
+
+#endif  // ENGARDE_COMMON_STATUS_H_

@@ -1,0 +1,420 @@
+#include "core/engarde.h"
+
+#include <cstring>
+#include <set>
+
+#include "core/sealing.h"
+#include "x86/decoder.h"
+#include "x86/interp.h"
+#include "x86/validator.h"
+
+namespace engarde::core {
+namespace {
+
+// Rejection-class statuses become a non-compliant verdict; everything else
+// (channel integrity, protocol framing, internal errors) stays a hard error.
+bool IsRejection(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kPolicyViolation:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kUnimplemented:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Bytes EngardeEnclave::BootstrapImage(const PolicySet& policies) {
+  Bytes image = ToBytes("ENGARDE/1.0 bootstrap: loader+crypto+nacl-disasm\n");
+  for (const auto& policy : policies) {
+    AppendBytes(image, ToBytes("policy: " + policy->Fingerprint() + "\n"));
+  }
+  return image;
+}
+
+Result<crypto::Sha256Digest> EngardeEnclave::ExpectedMeasurement(
+    const PolicySet& policies, const EngardeOptions& options) {
+  // Reference build on a scratch device: measurement depends only on the
+  // bootstrap image and the layout, both of which are public.
+  sgx::SgxDevice device(
+      sgx::SgxDevice::Options{.epc_pages = options.layout.TotalPages() + 8});
+  sgx::HostOs host(&device);
+  const Bytes image = BootstrapImage(policies);
+  ASSIGN_OR_RETURN(const uint64_t enclave_id,
+                   host.BuildEnclave(options.layout,
+                                     ByteView(image.data(), image.size())));
+  return device.Measurement(enclave_id);
+}
+
+Result<EngardeEnclave> EngardeEnclave::Create(
+    sgx::HostOs* host, const sgx::QuotingEnclave& quoting, PolicySet policies,
+    EngardeOptions options) {
+  const Bytes image = BootstrapImage(policies);
+  ASSIGN_OR_RETURN(const uint64_t enclave_id,
+                   host->BuildEnclave(options.layout,
+                                      ByteView(image.data(), image.size())));
+
+  // "The bootstrap code loaded into a freshly-created enclave first generates
+  // a 2048-bit RSA key pair" (Section 3).
+  crypto::HmacDrbg keygen_drbg(ByteView(options.enclave_entropy.data(),
+                                        options.enclave_entropy.size()));
+  ASSIGN_OR_RETURN(crypto::RsaKeyPair rsa,
+                   crypto::RsaGenerateKey(options.rsa_bits, keygen_drbg));
+
+  // Quote binds the public key to the measurement via report_data.
+  ASSIGN_OR_RETURN(
+      const sgx::Report report,
+      host->device()->EReport(enclave_id,
+                              sgx::BindPublicKey(rsa.public_key)));
+  ASSIGN_OR_RETURN(sgx::Quote quote, quoting.CreateQuote(report));
+
+  return EngardeEnclave(host, std::move(policies), std::move(options),
+                        std::move(rsa), enclave_id, std::move(quote));
+}
+
+EngardeEnclave::EngardeEnclave(sgx::HostOs* host, PolicySet policies,
+                               EngardeOptions options, crypto::RsaKeyPair rsa,
+                               uint64_t enclave_id, sgx::Quote quote)
+    : host_(host),
+      policies_(std::move(policies)),
+      options_(std::move(options)),
+      rsa_(std::move(rsa)),
+      enclave_id_(enclave_id),
+      quote_(std::move(quote)),
+      drbg_(ByteView(options_.enclave_entropy.data(),
+                     options_.enclave_entropy.size())) {
+  drbg_.Reseed(ToBytes("post-keygen state separation"));
+}
+
+Status EngardeEnclave::SendHello(crypto::DuplexPipe::Endpoint endpoint) {
+  const Bytes quote_wire = quote_.Serialize();
+  RETURN_IF_ERROR(WriteFrame(endpoint, ByteView(quote_wire.data(),
+                                                quote_wire.size())));
+  const Bytes key_wire = rsa_.public_key.Serialize();
+  return WriteFrame(endpoint, ByteView(key_wire.data(), key_wire.size()));
+}
+
+Status EngardeEnclave::CheckPageSeparation(const elf::ElfFile& elf,
+                                           const Manifest& manifest) const {
+  // Classify every file page by the sections whose *content* overlaps it.
+  // "EnGarde operates at the granularity of memory pages ... EnGarde rejects
+  // pages that contain mixed code and data."
+  std::set<uint64_t> code_pages;
+  std::set<uint64_t> data_pages;
+  for (const elf::Shdr& section : elf.sections()) {
+    if (!(section.flags & elf::kShfAlloc)) continue;
+    if (section.type == elf::kShtNobits || section.size == 0) continue;
+    const bool is_code = (section.flags & elf::kShfExecinstr) != 0;
+    const uint64_t first = section.addr / sgx::kPageSize;
+    const uint64_t last = (section.addr + section.size - 1) / sgx::kPageSize;
+    for (uint64_t page = first; page <= last; ++page) {
+      (is_code ? code_pages : data_pages).insert(page);
+    }
+  }
+  for (const uint64_t page : code_pages) {
+    if (data_pages.count(page) != 0) {
+      return PolicyViolationError(
+          "page " + std::to_string(page) +
+          " mixes code and data; compile with separated sections");
+    }
+  }
+
+  // The client's claimed code-page set must match what the ELF actually says.
+  const std::set<uint64_t> claimed(manifest.code_pages.begin(),
+                                   manifest.code_pages.end());
+  if (claimed != code_pages) {
+    return PolicyViolationError(
+        "manifest code-page list disagrees with the ELF section headers");
+  }
+  return Status::Ok();
+}
+
+Result<ProvisionOutcome> EngardeEnclave::RunProvisioning(
+    crypto::DuplexPipe::Endpoint endpoint) {
+  sgx::CycleAccountant* accountant = host_->device()->accountant();
+
+  // ---- Key exchange ---------------------------------------------------------
+  // EENTER: the host switches into the enclave to run EnGarde.
+  RETURN_IF_ERROR(host_->device()->EEnter(enclave_id_));
+  ASSIGN_OR_RETURN(const Bytes wrapped_key, ReadFrame(endpoint));
+  ASSIGN_OR_RETURN(
+      const Bytes master_key,
+      crypto::RsaDecrypt(rsa_.private_key,
+                         ByteView(wrapped_key.data(), wrapped_key.size())));
+  if (master_key.size() != 32) {
+    return ProtocolError("client AES key must be 256 bits");
+  }
+  const crypto::SessionKeys keys = crypto::SessionKeys::Derive(
+      ByteView(master_key.data(), master_key.size()));
+  crypto::SecureChannel channel(endpoint, keys, /*is_enclave_side=*/true);
+
+  ProvisionOutcome outcome;
+
+  // ---- Receive the manifest and the encrypted blocks ------------------------
+  Manifest manifest;
+  Bytes image;
+  {
+    sgx::ScopedPhase phase(accountant, sgx::Phase::kChannel);
+    ASSIGN_OR_RETURN(const Message first, ReceiveMessage(channel));
+    if (first.type != MessageType::kManifest) {
+      return ProtocolError("expected manifest as the first record");
+    }
+    ASSIGN_OR_RETURN(manifest, Manifest::Deserialize(ByteView(
+                                   first.payload.data(),
+                                   first.payload.size())));
+    if (manifest.file_size > options_.layout.heap_pages * sgx::kPageSize) {
+      return ProtocolError("executable exceeds the enclave staging area");
+    }
+    image.reserve(manifest.file_size);
+    for (;;) {
+      // Each block crosses the enclave boundary through a trampoline.
+      if (accountant) accountant->CountTrampoline();
+      ASSIGN_OR_RETURN(const Message message, ReceiveMessage(channel));
+      if (message.type == MessageType::kDone) break;
+      if (message.type != MessageType::kBlock) {
+        return ProtocolError("unexpected record type during code transfer");
+      }
+      AppendBytes(image, ByteView(message.payload.data(),
+                                  message.payload.size()));
+      ++outcome.stats.blocks_received;
+      if (image.size() > manifest.file_size) {
+        return ProtocolError("client sent more bytes than the manifest size");
+      }
+    }
+    if (image.size() != manifest.file_size) {
+      return ProtocolError("client sent fewer bytes than the manifest size");
+    }
+    // Stage the plaintext image in the enclave heap (EnGarde's working copy).
+    RETURN_IF_ERROR(host_->device()->EnclaveWrite(
+        enclave_id_, options_.layout.HeapStart(),
+        ByteView(image.data(), image.size())));
+  }
+
+  // ---- Inspect ---------------------------------------------------------------
+  auto result = InspectAndLoad(manifest, image);
+  if (result.ok() && result->verdict.compliant) {
+    approved_image_ = std::move(image);  // retained for SealApprovedProgram
+  }
+
+  // ---- Verdict ----------------------------------------------------------------
+  Verdict verdict;
+  ProvisionOutcome final_outcome;
+  if (result.ok()) {
+    final_outcome = std::move(result).value();
+    final_outcome.stats.blocks_received = outcome.stats.blocks_received;
+    verdict = final_outcome.verdict;
+  } else if (IsRejection(result.status())) {
+    verdict.compliant = false;
+    verdict.reason = result.status().ToString();
+    final_outcome.verdict = verdict;
+    final_outcome.provider_report.compliant = false;
+  } else {
+    return result.status();  // hard protocol/crypto error
+  }
+
+  const Bytes verdict_wire = verdict.Serialize();
+  RETURN_IF_ERROR(SendMessage(channel, MessageType::kVerdict,
+                              ByteView(verdict_wire.data(),
+                                       verdict_wire.size())));
+  RETURN_IF_ERROR(host_->device()->EExit(enclave_id_));
+  return final_outcome;
+}
+
+Result<ProvisionOutcome> EngardeEnclave::InspectAndLoad(
+    const Manifest& manifest, const Bytes& image) {
+  sgx::CycleAccountant* accountant = host_->device()->accountant();
+  ProvisionOutcome outcome;
+
+  // ---- Container checks (front door) ---------------------------------------
+  // "Before disassembling the code sections of the executable, the loader
+  // checks its header to verify that the executable is correctly formatted."
+  ASSIGN_OR_RETURN(const elf::ElfFile elf,
+                   elf::ElfFile::Parse(ByteView(image.data(), image.size())));
+  RETURN_IF_ERROR(elf.ValidateForEnclave());
+  RETURN_IF_ERROR(CheckPageSeparation(elf, manifest));
+
+  // ---- Disassembly -------------------------------------------------------------
+  x86::InsnBuffer insns([accountant](size_t) {
+    // "we reduce the involved overhead by restricting the calls to malloc by
+    // allocating a memory page at a time": one trampoline per buffer page.
+    if (accountant) accountant->CountTrampoline();
+  });
+  SymbolHashTable symbols;
+  {
+    sgx::ScopedPhase phase(accountant, sgx::Phase::kDisassembly);
+    uint64_t text_start = UINT64_MAX;
+    uint64_t text_end = 0;
+    for (const elf::Shdr* section : elf.TextSections()) {
+      ASSIGN_OR_RETURN(const ByteView content, elf.SectionContent(*section));
+      size_t offset = 0;
+      while (offset < content.size()) {
+        ASSIGN_OR_RETURN(const x86::Insn insn,
+                         x86::DecodeOne(content, offset, section->addr));
+        insns.Append(insn);
+        offset += insn.length;
+      }
+      text_start = std::min(text_start, section->addr);
+      text_end = std::max(text_end, section->addr + section->size);
+    }
+
+    // "Along with disassembling the executable, the loader also reads the
+    // symbol tables ... constructs a symbol hash table."
+    symbols = SymbolHashTable::Build(elf);
+
+    // NaCl structural constraints (Section 3). Roots: the entry point plus
+    // every named function (a statically-linked binary legitimately contains
+    // functions reached only via the symbol table or jump tables).
+    x86::ValidationInput validation;
+    validation.text_start = text_start;
+    validation.text_end = text_end;
+    validation.roots.push_back(elf.header().entry);
+    for (const SymbolHashTable::Function& fn : symbols.functions()) {
+      validation.roots.push_back(fn.start);
+    }
+    RETURN_IF_ERROR(x86::ValidateNaClConstraints(insns, validation));
+  }
+  outcome.stats.instruction_count = insns.size();
+  outcome.stats.insn_buffer_pages = insns.chunk_allocations();
+
+  // ---- Policy checks ------------------------------------------------------------
+  {
+    sgx::ScopedPhase phase(accountant, sgx::Phase::kPolicyCheck);
+    PolicyContext context;
+    context.insns = &insns;
+    context.symbols = &symbols;
+    context.elf = &elf;
+    for (const auto& policy : policies_) {
+      const Status status = policy->Check(context);
+      if (!status.ok()) {
+        outcome.verdict.compliant = false;
+        outcome.verdict.reason =
+            std::string(policy->name()) + ": " + status.ToString();
+        outcome.provider_report.compliant = false;
+        return outcome;
+      }
+    }
+  }
+
+  // ---- Load, relocate, enforce W^X, lock ------------------------------------
+  {
+    sgx::ScopedPhase phase(accountant, sgx::Phase::kLoading);
+    const Bytes canary = drbg_.Generate(8);
+    ASSIGN_OR_RETURN(
+        LoadResult load,
+        EnclaveLoader::Load(*host_->device(), enclave_id_, options_.layout,
+                            elf, ByteView(canary.data(), canary.size())));
+    outcome.stats.relocations_applied = load.relocations_applied;
+
+    // Inform the host component: it flips page-table permission bits for the
+    // loaded span (kernel memory writes) and prevents any further enclave
+    // extension. Each request is one enclave exit + re-entry.
+    if (accountant) accountant->CountTrampoline();
+    RETURN_IF_ERROR(host_->ApplyWxPolicy(enclave_id_, options_.layout,
+                                         load.span_pages,
+                                         load.executable_pages));
+    if (accountant) accountant->CountTrampoline();
+    RETURN_IF_ERROR(host_->LockEnclave(enclave_id_));
+
+    outcome.provider_report.compliant = true;
+    outcome.provider_report.executable_pages = load.executable_pages;
+    load_ = std::move(load);
+    loaded_symbols_ = std::move(symbols);
+    outcome.load = load_;
+  }
+
+  // ---- SGX2 EPCM hardening ---------------------------------------------------
+  // Beyond the paper's measured prototype: anchor the W^X split in the EPCM
+  // so a malicious host cannot revert it via page tables (the SGX1 attack
+  // the paper cites as its reason to require SGX2). Accounted separately —
+  // the paper's "Loading and Relocation" column does not include it.
+  if (host_->device()->sgx_version() >= 2) {
+    sgx::ScopedPhase phase(accountant, sgx::Phase::kWxHardening);
+    RETURN_IF_ERROR(
+        host_->HardenWxInEpcm(enclave_id_, load_->executable_pages));
+  }
+
+  outcome.verdict.compliant = true;
+  return outcome;
+}
+
+Result<Bytes> EngardeEnclave::SealApprovedProgram() {
+  if (approved_image_.empty()) {
+    return FailedPreconditionError(
+        "nothing to seal: no compliant program has been provisioned");
+  }
+  const uint64_t key_id = seal_counter_++;
+  ASSIGN_OR_RETURN(const crypto::Aes256Key key,
+                   host_->device()->EGetkey(enclave_id_, key_id));
+  std::array<uint8_t, 12> nonce{};
+  const Bytes nonce_bytes = drbg_.Generate(nonce.size());
+  std::copy(nonce_bytes.begin(), nonce_bytes.end(), nonce.begin());
+  const SealedBlob blob =
+      Seal(key, key_id, nonce,
+           ByteView(approved_image_.data(), approved_image_.size()));
+  return blob.Serialize();
+}
+
+Status EngardeEnclave::RestoreFromSealed(ByteView sealed_blob) {
+  if (load_.has_value()) {
+    return FailedPreconditionError(
+        "enclave already holds a provisioned program");
+  }
+  ASSIGN_OR_RETURN(const SealedBlob blob,
+                   SealedBlob::Deserialize(sealed_blob));
+  ASSIGN_OR_RETURN(const crypto::Aes256Key key,
+                   host_->device()->EGetkey(enclave_id_, blob.key_id));
+  // A forged/tampered blob, or one sealed by an enclave with a different
+  // policy set (different MRENCLAVE -> different key), fails here.
+  ASSIGN_OR_RETURN(const Bytes image, Unseal(key, blob));
+
+  // The seal covers a binary this exact EnGarde configuration already judged
+  // compliant, so only the structural front door is re-checked before the
+  // load path re-runs.
+  ASSIGN_OR_RETURN(const elf::ElfFile elf,
+                   elf::ElfFile::Parse(ByteView(image.data(), image.size())));
+  RETURN_IF_ERROR(elf.ValidateForEnclave());
+
+  sgx::CycleAccountant* accountant = host_->device()->accountant();
+  sgx::ScopedPhase phase(accountant, sgx::Phase::kLoading);
+  const Bytes canary = drbg_.Generate(8);
+  ASSIGN_OR_RETURN(
+      LoadResult load,
+      EnclaveLoader::Load(*host_->device(), enclave_id_, options_.layout, elf,
+                          ByteView(canary.data(), canary.size())));
+  RETURN_IF_ERROR(host_->ApplyWxPolicy(enclave_id_, options_.layout,
+                                       load.span_pages,
+                                       load.executable_pages));
+  RETURN_IF_ERROR(host_->LockEnclave(enclave_id_));
+  if (host_->device()->sgx_version() >= 2) {
+    RETURN_IF_ERROR(host_->HardenWxInEpcm(enclave_id_, load.executable_pages));
+  }
+  loaded_symbols_ = SymbolHashTable::Build(elf);
+  approved_image_ = image;
+  load_ = std::move(load);
+  return Status::Ok();
+}
+
+Result<uint64_t> EngardeEnclave::ExecuteClientProgram(
+    uint64_t max_steps, x86::ExecutionObserver* observer) {
+  if (!load_.has_value()) {
+    return FailedPreconditionError(
+        "no client program has been provisioned into this enclave");
+  }
+  RETURN_IF_ERROR(host_->device()->EEnter(enclave_id_));
+  auto memory = host_->device()->MakeEnclaveView(enclave_id_);
+  x86::MachineConfig config;
+  config.stack_top = load_->stack_top;
+  config.fs_base = load_->tls_base;
+  config.max_steps = max_steps;
+  config.observer = observer;
+  x86::Machine machine(memory.get(), config);
+  auto result = machine.Run(load_->entry);
+  RETURN_IF_ERROR(host_->device()->EExit(enclave_id_));
+  return result;
+}
+
+}  // namespace engarde::core

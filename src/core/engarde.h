@@ -1,0 +1,166 @@
+// EnGarde: the mutually-trusted enclave inspection library (the paper's core
+// contribution). One EngardeEnclave instance models the in-enclave bootstrap
+// the cloud provider loads into a freshly created enclave:
+//
+//   1. Create()          — the host builds the enclave with the EnGarde
+//                          bootstrap (whose image encodes the agreed policy
+//                          set, so MRENCLAVE pins the policies), generates the
+//                          ephemeral 2048-bit RSA key pair inside, and obtains
+//                          a quote binding that key to the measurement.
+//   2. SendHello()       — quote + public key go to the client in the clear.
+//   3. RunProvisioning() — receives the RSA-wrapped AES key, then the
+//                          client's executable in encrypted page-sized
+//                          blocks; validates the ELF, enforces code/data page
+//                          separation, disassembles with the NaCl-style
+//                          decoder into the page-chunked instruction buffer,
+//                          builds the symbol hash table, runs every policy
+//                          module, and — on compliance — loads, relocates,
+//                          applies W^X through the host component and locks
+//                          the enclave. Returns the client verdict and the
+//                          provider report (compliance bit + executable page
+//                          list, nothing else).
+//   4. ExecuteClientProgram() — enters the enclave and runs the loaded code
+//                          (interpreter-backed; EnGarde itself added no
+//                          runtime instrumentation, matching the paper's
+//                          zero-runtime-overhead property).
+#ifndef ENGARDE_CORE_ENGARDE_H_
+#define ENGARDE_CORE_ENGARDE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/loader.h"
+#include "core/policy.h"
+#include "core/protocol.h"
+#include "crypto/channel.h"
+#include "crypto/drbg.h"
+#include "crypto/rsa.h"
+#include "sgx/attestation.h"
+#include "sgx/hostos.h"
+
+namespace engarde::core {
+
+struct EngardeOptions {
+  sgx::EnclaveLayout layout;
+  size_t rsa_bits = 2048;  // tests dial this down for speed
+  // Entropy for the in-enclave DRBG (RSA key, canary). On real hardware this
+  // comes from RDRAND inside the enclave.
+  Bytes enclave_entropy = {0xe7, 0x6a, 0x2d, 0xe0};
+};
+
+// Everything the cloud provider is allowed to learn (threat model,
+// Section 3): the compliance bit and "the virtual addresses of the pages
+// that contain the client's code".
+struct ProviderReport {
+  bool compliant = false;
+  std::vector<uint64_t> executable_pages;
+};
+
+struct ProvisionStats {
+  size_t instruction_count = 0;      // #Inst column of Figures 3-5
+  size_t insn_buffer_pages = 0;      // malloc-trampoline allocations
+  size_t blocks_received = 0;
+  size_t relocations_applied = 0;
+};
+
+struct ProvisionOutcome {
+  Verdict verdict;                 // sent to the client
+  ProviderReport provider_report;  // visible to the host
+  ProvisionStats stats;
+  std::optional<LoadResult> load;  // set iff compliant
+};
+
+class EngardeEnclave {
+ public:
+  // Builds the enclave via the host OS and provisions the EnGarde bootstrap.
+  // `quoting_enclave` signs the attestation quote. The PolicySet is the
+  // mutually-agreed policy configuration.
+  static Result<EngardeEnclave> Create(sgx::HostOs* host,
+                                       const sgx::QuotingEnclave& quoting,
+                                       PolicySet policies,
+                                       EngardeOptions options = {});
+
+  // The deterministic bootstrap image for a policy set: version banner plus
+  // every policy fingerprint. Both parties can recompute it (and hence the
+  // expected MRENCLAVE) independently.
+  static Bytes BootstrapImage(const PolicySet& policies);
+  // Reference build: the measurement a correctly-provisioned EnGarde enclave
+  // with this policy set and layout must have. Clients pin this value.
+  static Result<crypto::Sha256Digest> ExpectedMeasurement(
+      const PolicySet& policies, const EngardeOptions& options);
+
+  uint64_t enclave_id() const { return enclave_id_; }
+  const sgx::Quote& quote() const { return quote_; }
+  const crypto::RsaPublicKey& public_key() const {
+    return rsa_.public_key;
+  }
+
+  // Protocol step 1: plaintext hello frame (serialized quote, then key).
+  Status SendHello(crypto::DuplexPipe::Endpoint endpoint);
+
+  // Protocol steps 2..n: runs the full inspection pipeline against whatever
+  // the client queued on the pipe, sends the verdict back, and returns the
+  // outcome. Policy violations and malformed binaries yield a non-compliant
+  // verdict; channel-integrity and protocol failures are hard errors.
+  Result<ProvisionOutcome> RunProvisioning(
+      crypto::DuplexPipe::Endpoint endpoint);
+
+  // Runs the provisioned program inside the enclave. Fails if provisioning
+  // has not succeeded. Returns the program's RAX at exit. An optional
+  // observer (e.g. core::RuntimeMonitor) receives execution events for
+  // runtime policy enforcement — the paper's future-work extension.
+  Result<uint64_t> ExecuteClientProgram(
+      uint64_t max_steps = 1u << 22,
+      x86::ExecutionObserver* observer = nullptr);
+
+  // ---- Sealed program caching ------------------------------------------------
+  // After a compliant provisioning, seals the approved executable under an
+  // EGETKEY-derived key bound to this enclave's MRENCLAVE. The host stores
+  // the blob; the client's code never leaves the enclave in plaintext.
+  Result<Bytes> SealApprovedProgram();
+  // On a freshly built EnGarde enclave with the *same* measurement (same
+  // bootstrap + policy set on the same device), restores a sealed program:
+  // verifies + decrypts the blob, re-validates the container, loads,
+  // re-applies W^X and locks — without the client round-trip or the full
+  // re-inspection (which the seal's trust argument makes redundant).
+  Status RestoreFromSealed(ByteView sealed_blob);
+
+  const LoadResult* load_result() const {
+    return load_.has_value() ? &*load_ : nullptr;
+  }
+  // The symbol hash table EnGarde built during inspection (file-vaddr
+  // space); present after a compliant provisioning. Runtime policies use it
+  // to build target whitelists.
+  const SymbolHashTable* loaded_symbols() const {
+    return loaded_symbols_.has_value() ? &*loaded_symbols_ : nullptr;
+  }
+
+ private:
+  EngardeEnclave(sgx::HostOs* host, PolicySet policies, EngardeOptions options,
+                 crypto::RsaKeyPair rsa, uint64_t enclave_id,
+                 sgx::Quote quote);
+
+  // The inspection pipeline on an assembled executable image.
+  Result<ProvisionOutcome> InspectAndLoad(const Manifest& manifest,
+                                          const Bytes& image);
+  Status CheckPageSeparation(const elf::ElfFile& elf,
+                             const Manifest& manifest) const;
+
+  sgx::HostOs* host_;
+  PolicySet policies_;
+  EngardeOptions options_;
+  crypto::RsaKeyPair rsa_;
+  uint64_t enclave_id_;
+  sgx::Quote quote_;
+  crypto::HmacDrbg drbg_;
+  std::optional<LoadResult> load_;
+  std::optional<SymbolHashTable> loaded_symbols_;
+  Bytes approved_image_;  // retained for sealing; empty until compliant
+  uint64_t seal_counter_ = 0;
+};
+
+}  // namespace engarde::core
+
+#endif  // ENGARDE_CORE_ENGARDE_H_

@@ -1,0 +1,91 @@
+#include "core/library_db.h"
+
+#include "core/symbol_table.h"
+
+namespace engarde::core {
+
+const crypto::Sha256Digest* LibraryHashDb::Lookup(
+    std::string_view name) const {
+  const auto it = entries_.find(std::string(name));
+  if (it == entries_.end()) return nullptr;
+  return &it->second;
+}
+
+Result<LibraryHashDb> LibraryHashDb::FromLibraryImage(
+    const elf::ElfFile& elf) {
+  const SymbolHashTable symbols = SymbolHashTable::Build(elf);
+  if (symbols.empty()) {
+    return InvalidArgumentError("library image has no function symbols");
+  }
+
+  LibraryHashDb db;
+  for (const SymbolHashTable::Function& fn : symbols.functions()) {
+    // Locate the containing text section and hash the body bytes.
+    bool hashed = false;
+    for (const elf::Shdr* section : elf.TextSections()) {
+      if (fn.start < section->addr ||
+          fn.start >= section->addr + section->size) {
+        continue;
+      }
+      ASSIGN_OR_RETURN(const ByteView content, elf.SectionContent(*section));
+      const uint64_t begin = fn.start - section->addr;
+      const uint64_t end = std::min<uint64_t>(fn.end - section->addr,
+                                              section->size);
+      db.Add(fn.name, crypto::Sha256::Hash(content.subspan(begin, end - begin)));
+      hashed = true;
+      break;
+    }
+    if (!hashed) {
+      return InvalidArgumentError("function " + fn.name +
+                                  " lies outside all text sections");
+    }
+  }
+  return db;
+}
+
+crypto::Sha256Digest LibraryHashDb::DbDigest() const {
+  crypto::Sha256 hash;
+  for (const auto& [name, digest] : entries_) {  // std::map: sorted, stable
+    hash.Update(ToBytes(name));
+    hash.Update(crypto::DigestView(digest));
+  }
+  return hash.Finalize();
+}
+
+Bytes LibraryHashDb::Serialize() const {
+  Bytes out;
+  AppendLe32(out, static_cast<uint32_t>(entries_.size()));
+  for (const auto& [name, digest] : entries_) {
+    AppendLe32(out, static_cast<uint32_t>(name.size()));
+    AppendBytes(out, ToBytes(name));
+    AppendBytes(out, crypto::DigestView(digest));
+  }
+  return out;
+}
+
+Result<LibraryHashDb> LibraryHashDb::Deserialize(ByteView data) {
+  ByteReader reader(data);
+  uint32_t count = 0;
+  if (!reader.ReadLe32(count)) {
+    return InvalidArgumentError("library db: truncated header");
+  }
+  LibraryHashDb db;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    ByteView name_bytes;
+    ByteView digest_bytes;
+    if (!reader.ReadLe32(name_len) || !reader.ReadBytes(name_len, name_bytes) ||
+        !reader.ReadBytes(crypto::Sha256::kDigestSize, digest_bytes)) {
+      return InvalidArgumentError("library db: truncated entry");
+    }
+    crypto::Sha256Digest digest;
+    std::copy(digest_bytes.begin(), digest_bytes.end(), digest.begin());
+    db.Add(ToString(name_bytes), digest);
+  }
+  if (!reader.AtEnd()) {
+    return InvalidArgumentError("library db: trailing bytes");
+  }
+  return db;
+}
+
+}  // namespace engarde::core

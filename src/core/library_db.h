@@ -1,0 +1,51 @@
+// Per-function SHA-256 database for the library-linking policy (paper
+// Section 5): "we first generate the SHA-256 hashes of all the functions of
+// musl-libc v1.0.5" — here, of whatever reference library image the provider
+// and client agree on (the synthetic musl stand-in in this reproduction).
+//
+// Hashing rule (identical on the build side and the check side): the digest
+// covers the raw instruction bytes from the function's start up to the next
+// function start, capped at the end of the containing text section.
+#ifndef ENGARDE_CORE_LIBRARY_DB_H_
+#define ENGARDE_CORE_LIBRARY_DB_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/sha256.h"
+#include "elf/reader.h"
+
+namespace engarde::core {
+
+class LibraryHashDb {
+ public:
+  LibraryHashDb() = default;
+
+  void Add(std::string name, const crypto::Sha256Digest& digest) {
+    entries_[std::move(name)] = digest;
+  }
+  const crypto::Sha256Digest* Lookup(std::string_view name) const;
+  size_t size() const { return entries_.size(); }
+
+  // Builds the reference database from a library image (an ELF whose symbol
+  // table names the library's functions). This is what the cloud provider
+  // runs offline over musl-libc v1.0.5.
+  static Result<LibraryHashDb> FromLibraryImage(const elf::ElfFile& elf);
+
+  // Stable digest of the whole database (feeds the policy fingerprint).
+  crypto::Sha256Digest DbDigest() const;
+
+  // Wire format for shipping the database into the enclave bootstrap.
+  Bytes Serialize() const;
+  static Result<LibraryHashDb> Deserialize(ByteView data);
+
+ private:
+  std::map<std::string, crypto::Sha256Digest> entries_;
+};
+
+}  // namespace engarde::core
+
+#endif  // ENGARDE_CORE_LIBRARY_DB_H_

@@ -1,0 +1,99 @@
+#include "core/loader.h"
+
+#include <algorithm>
+#include <set>
+
+namespace engarde::core {
+
+Result<LoadResult> EnclaveLoader::Load(sgx::SgxDevice& device,
+                                       uint64_t enclave_id,
+                                       const sgx::EnclaveLayout& layout,
+                                       const elf::ElfFile& elf,
+                                       ByteView canary) {
+  LoadResult result;
+  result.load_base = layout.LoadStart();
+
+  // ---- Span check ----------------------------------------------------------
+  uint64_t max_vaddr = 0;
+  for (const elf::Phdr& segment : elf.segments()) {
+    if (segment.type != elf::kPtLoad) continue;
+    max_vaddr = std::max(max_vaddr, segment.vaddr + segment.memsz);
+  }
+  if (max_vaddr > layout.load_pages * sgx::kPageSize) {
+    return ResourceExhaustedError(
+        "executable needs " + std::to_string(max_vaddr) +
+        " bytes of load region; enclave has " +
+        std::to_string(layout.load_pages * sgx::kPageSize));
+  }
+  result.span_pages = (max_vaddr + sgx::kPageSize - 1) / sgx::kPageSize;
+
+  // ---- Map segments ---------------------------------------------------------
+  const ByteView image = elf.image();
+  std::set<uint64_t> exec_pages;
+  for (const elf::Phdr& segment : elf.segments()) {
+    if (segment.type != elf::kPtLoad) continue;
+    if (segment.filesz > 0) {
+      RETURN_IF_ERROR(device.EnclaveWrite(
+          enclave_id, result.load_base + segment.vaddr,
+          image.subspan(segment.offset, segment.filesz)));
+    }
+    // memsz > filesz tail (.bss) stays zero: load-region pages were EADDed
+    // zeroed and nothing wrote them yet.
+    if (segment.flags & elf::kPfX) {
+      const uint64_t first = sgx::kPageSize *
+                             ((result.load_base + segment.vaddr) / sgx::kPageSize);
+      const uint64_t last = result.load_base + segment.vaddr + segment.memsz;
+      for (uint64_t page = first; page < last; page += sgx::kPageSize) {
+        exec_pages.insert(page);
+      }
+    }
+  }
+  result.executable_pages.assign(exec_pages.begin(), exec_pages.end());
+
+  // ---- Relocations -----------------------------------------------------------
+  // "The loader determines the address and the size of relocation tables ...
+  // by reading appropriate entries of the .dynamic section."
+  const auto rela_addr = elf.DynamicValue(elf::kDtRela);
+  const auto rela_size = elf.DynamicValue(elf::kDtRelasz);
+  if (rela_addr.has_value() != rela_size.has_value()) {
+    return InvalidArgumentError(".dynamic has DT_RELA without DT_RELASZ");
+  }
+  if (rela_addr.has_value() && *rela_size > 0) {
+    for (const elf::Rela& rela : elf.relocations()) {
+      switch (rela.type) {
+        case elf::kRX8664Relative: {
+          // B + A: the slot receives load_base + addend.
+          uint8_t slot[8];
+          StoreLe64(slot, result.load_base +
+                              static_cast<uint64_t>(rela.addend));
+          RETURN_IF_ERROR(device.EnclaveWrite(enclave_id,
+                                              result.load_base + rela.offset,
+                                              ByteView(slot, 8)));
+          ++result.relocations_applied;
+          break;
+        }
+        case elf::kRX8664None:
+          break;
+        default:
+          return UnimplementedError(
+              "unsupported relocation type " + std::to_string(rela.type) +
+              " (statically-linked PIEs need only R_X86_64_RELATIVE)");
+      }
+    }
+  }
+
+  // ---- Stack and TLS ----------------------------------------------------------
+  // 16-byte-aligned stack top, growing down through the stack region.
+  result.stack_top =
+      layout.StackStart() + layout.stack_pages * sgx::kPageSize - 16;
+  result.tls_base = layout.TlsStart();
+  if (!canary.empty()) {
+    RETURN_IF_ERROR(
+        device.EnclaveWrite(enclave_id, result.tls_base + 0x28, canary));
+  }
+
+  result.entry = result.load_base + elf.header().entry;
+  return result;
+}
+
+}  // namespace engarde::core

@@ -1,0 +1,49 @@
+// The in-enclave loader (paper Section 4, "Loading"): after the executable
+// passes policy checks, "the loader maps the text, data and bss segments to
+// the enclave memory, making the text segment be executable but read-only,
+// the data segment and bss segment be writable but non-executable. It then
+// locates the sections that require relocations ... The loader acquires all
+// the information that it needs for relocations from the .dynamic section
+// ... Upon completing relocation, the loader sets up a call stack and
+// transfers control to the executable."
+//
+// Permissions themselves are applied by the host component
+// (HostOs::ApplyWxPolicy) from the executable-page list this loader returns.
+#ifndef ENGARDE_CORE_LOADER_H_
+#define ENGARDE_CORE_LOADER_H_
+
+#include <vector>
+
+#include "elf/reader.h"
+#include "sgx/hostos.h"
+
+namespace engarde::core {
+
+struct LoadResult {
+  // Enclave linear address corresponding to the file's vaddr 0 (the binary
+  // is a PIE, so EnGarde picks the base).
+  uint64_t load_base = 0;
+  uint64_t entry = 0;  // absolute enclave linear address
+  // Absolute addresses of the pages that must be executable (text), i.e. the
+  // only code-location information the cloud provider learns.
+  std::vector<uint64_t> executable_pages;
+  uint64_t stack_top = 0;
+  uint64_t tls_base = 0;  // %fs base; canary lives at tls_base + 0x28
+  size_t relocations_applied = 0;
+  // Number of load-region pages the image occupies (text+data+bss span).
+  uint64_t span_pages = 0;
+};
+
+class EnclaveLoader {
+ public:
+  // Maps segments into the enclave's load region, applies RELA relocations
+  // (R_X86_64_RELATIVE), and prepares stack/TLS. Does NOT change page
+  // permissions — the caller hands `executable_pages` to the host component.
+  static Result<LoadResult> Load(sgx::SgxDevice& device, uint64_t enclave_id,
+                                 const sgx::EnclaveLayout& layout,
+                                 const elf::ElfFile& elf, ByteView canary);
+};
+
+}  // namespace engarde::core
+
+#endif  // ENGARDE_CORE_LOADER_H_

@@ -1,0 +1,98 @@
+#include "core/negotiation.h"
+
+#include <algorithm>
+
+namespace engarde::core {
+namespace {
+
+Bytes SerializeStringList(const std::vector<std::string>& strings) {
+  Bytes out;
+  AppendLe32(out, static_cast<uint32_t>(strings.size()));
+  for (const std::string& s : strings) {
+    AppendLe32(out, static_cast<uint32_t>(s.size()));
+    AppendBytes(out, ToBytes(s));
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> DeserializeStringList(ByteView data) {
+  ByteReader reader(data);
+  uint32_t count = 0;
+  if (!reader.ReadLe32(count) || count > 1024) {
+    return ProtocolError("malformed policy list header");
+  }
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t len = 0;
+    ByteView bytes;
+    if (!reader.ReadLe32(len) || len > 4096 || !reader.ReadBytes(len, bytes)) {
+      return ProtocolError("malformed policy list entry");
+    }
+    out.push_back(ToString(bytes));
+  }
+  if (!reader.AtEnd()) return ProtocolError("policy list has trailing bytes");
+  return out;
+}
+
+}  // namespace
+
+Bytes PolicyOffer::Serialize() const { return SerializeStringList(fingerprints); }
+
+Result<PolicyOffer> PolicyOffer::Deserialize(ByteView data) {
+  ASSIGN_OR_RETURN(auto fingerprints, DeserializeStringList(data));
+  return PolicyOffer{std::move(fingerprints)};
+}
+
+PolicyOffer PolicyOffer::FromPolicies(const PolicySet& policies) {
+  PolicyOffer offer;
+  offer.fingerprints.reserve(policies.size());
+  for (const auto& policy : policies) {
+    offer.fingerprints.push_back(policy->Fingerprint());
+  }
+  return offer;
+}
+
+Bytes PolicySelection::Serialize() const {
+  return SerializeStringList(fingerprints);
+}
+
+Result<PolicySelection> PolicySelection::Deserialize(ByteView data) {
+  ASSIGN_OR_RETURN(auto fingerprints, DeserializeStringList(data));
+  return PolicySelection{std::move(fingerprints)};
+}
+
+Result<PolicySelection> SelectFromOffer(
+    const PolicyOffer& offer, const std::vector<std::string>& required) {
+  PolicySelection selection;
+  for (const std::string& want : required) {
+    const auto it = std::find_if(
+        offer.fingerprints.begin(), offer.fingerprints.end(),
+        [&want](const std::string& fp) { return fp.rfind(want, 0) == 0; });
+    if (it == offer.fingerprints.end()) {
+      return NotFoundError("provider does not offer a policy matching '" +
+                           want + "'");
+    }
+    selection.fingerprints.push_back(*it);
+  }
+  return selection;
+}
+
+Result<PolicySet> ApplySelection(PolicySet menu,
+                                 const PolicySelection& selection) {
+  PolicySet out;
+  for (const std::string& fp : selection.fingerprints) {
+    const auto it = std::find_if(menu.begin(), menu.end(),
+                                 [&fp](const std::unique_ptr<PolicyModule>& p) {
+                                   return p != nullptr && p->Fingerprint() == fp;
+                                 });
+    if (it == menu.end() || *it == nullptr) {
+      return NotFoundError("selection names an unknown or repeated policy: " +
+                           fp);
+    }
+    out.push_back(std::move(*it));  // nulls the slot; repeats then fail
+  }
+  return out;
+}
+
+}  // namespace engarde::core

@@ -1,0 +1,60 @@
+// SLA policy negotiation — the step the paper assumes ("the cloud provider
+// and client mutually agree upon the set of policies", Section 3) made
+// concrete as a small wire protocol:
+//
+//   1. The provider advertises its policy menu: an ordered list of
+//      fingerprints (name + configuration digest, the same strings that feed
+//      the bootstrap measurement).
+//   2. The client selects the subset it requires, by fingerprint — not by
+//      index alone, so a menu reshuffle cannot silently swap policies.
+//   3. The provider instantiates EnGarde with exactly the selected policies;
+//      both sides compute the expected MRENCLAVE from the agreed
+//      fingerprints, and attestation later proves the provider kept its word.
+//
+// Negotiation runs in the clear: per the threat model, EnGarde's code and
+// policy configurations are public to both parties.
+#ifndef ENGARDE_CORE_NEGOTIATION_H_
+#define ENGARDE_CORE_NEGOTIATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "core/policy.h"
+
+namespace engarde::core {
+
+struct PolicyOffer {
+  std::vector<std::string> fingerprints;  // provider's menu, ordered
+
+  Bytes Serialize() const;
+  static Result<PolicyOffer> Deserialize(ByteView data);
+
+  static PolicyOffer FromPolicies(const PolicySet& policies);
+};
+
+struct PolicySelection {
+  // The agreed subset, by fingerprint, in the order they will run.
+  std::vector<std::string> fingerprints;
+
+  Bytes Serialize() const;
+  static Result<PolicySelection> Deserialize(ByteView data);
+};
+
+// Client side: pick required policies off the menu. NOT_FOUND if the
+// provider's menu is missing any required fingerprint prefix (clients may
+// match on the "name(" prefix to accept any compatible configuration, or on
+// the full fingerprint to pin one exactly).
+Result<PolicySelection> SelectFromOffer(
+    const PolicyOffer& offer, const std::vector<std::string>& required);
+
+// Provider side: reduce the full menu PolicySet to the client's selection,
+// preserving the selection's order. Errors if the selection names unknown
+// fingerprints or repeats one.
+Result<PolicySet> ApplySelection(PolicySet menu,
+                                 const PolicySelection& selection);
+
+}  // namespace engarde::core
+
+#endif  // ENGARDE_CORE_NEGOTIATION_H_

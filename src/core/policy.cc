@@ -1,0 +1,16 @@
+#include "core/policy.h"
+
+namespace engarde::core {
+
+Result<ByteView> PolicyContext::TextBytes(uint64_t addr, size_t length) const {
+  if (elf == nullptr) return InternalError("PolicyContext missing ELF");
+  for (const elf::Shdr* section : elf->TextSections()) {
+    if (addr >= section->addr && addr + length <= section->addr + section->size) {
+      ASSIGN_OR_RETURN(const ByteView content, elf->SectionContent(*section));
+      return content.subspan(addr - section->addr, length);
+    }
+  }
+  return OutOfRangeError("text byte range crosses section boundaries");
+}
+
+}  // namespace engarde::core

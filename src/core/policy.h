@@ -1,0 +1,58 @@
+// The pluggable policy-module interface (paper Section 3): "EnGarde's
+// architecture supports plugging in policy modules, which check compliance
+// based upon the policies that the cloud provider and client mutually agree
+// upon. Each policy module checks compliance for a specific property."
+//
+// A policy module is stateless with respect to the client binary: it receives
+// a read-only PolicyContext (the full instruction buffer, the symbol hash
+// table, the parsed ELF and raw text bytes) and returns OK or a
+// POLICY_VIOLATION status naming the offending location.
+//
+// Fingerprint() feeds the enclave's bootstrap image, so the agreed policy set
+// is covered by MRENCLAVE: provider and client both attest *which* policies
+// this EnGarde instance enforces.
+#ifndef ENGARDE_CORE_POLICY_H_
+#define ENGARDE_CORE_POLICY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/symbol_table.h"
+#include "elf/reader.h"
+#include "x86/insn_buffer.h"
+
+namespace engarde::core {
+
+struct PolicyContext {
+  const x86::InsnBuffer* insns = nullptr;
+  const SymbolHashTable* symbols = nullptr;
+  const elf::ElfFile* elf = nullptr;
+
+  // Raw bytes of the text region [text_start, text_end) in file-vaddr space;
+  // used by hashing policies. Sections may be disjoint; Bytes() resolves via
+  // the ELF.
+  Result<ByteView> TextBytes(uint64_t addr, size_t length) const;
+};
+
+class PolicyModule {
+ public:
+  virtual ~PolicyModule() = default;
+
+  virtual std::string_view name() const = 0;
+  // Stable description of the module + its configuration (library version,
+  // exemption lists, ...). Folded into the enclave measurement.
+  virtual std::string Fingerprint() const = 0;
+
+  // OK iff the client code complies. Must not mutate anything and must not
+  // leak information beyond the status (threat model, Section 3).
+  virtual Status Check(const PolicyContext& context) const = 0;
+};
+
+using PolicySet = std::vector<std::unique_ptr<PolicyModule>>;
+
+}  // namespace engarde::core
+
+#endif  // ENGARDE_CORE_POLICY_H_

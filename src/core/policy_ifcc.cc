@@ -1,0 +1,145 @@
+#include "core/policy_ifcc.h"
+
+#include <algorithm>
+
+namespace engarde::core {
+namespace {
+
+using x86::Insn;
+using x86::Mnemonic;
+using x86::OperandKind;
+
+std::string InsnError(const Insn& insn, const std::string& what) {
+  return "indirect call [" + insn.ToString() + "]: " + what;
+}
+
+}  // namespace
+
+std::string IndirectCallPolicy::Fingerprint() const {
+  return "indirect-call-check(" + options_.table_symbol_prefix + ",entry=" +
+         std::to_string(options_.entry_size) + ")";
+}
+
+Status IndirectCallPolicy::Check(const PolicyContext& context) const {
+  const x86::InsnBuffer& insns = *context.insns;
+  const SymbolHashTable& symbols = *context.symbols;
+
+  // ---- Recover the jump-table range from its entry symbols. ---------------
+  uint64_t table_start = UINT64_MAX;
+  uint64_t table_end = 0;
+  size_t entry_count = 0;
+  for (const SymbolHashTable::Function& fn : symbols.functions()) {
+    if (fn.name.rfind(options_.table_symbol_prefix, 0) != 0) continue;
+    table_start = std::min(table_start, fn.start);
+    table_end = std::max(table_end, fn.start + options_.entry_size);
+    ++entry_count;
+  }
+
+  // Does the program contain indirect calls at all?
+  bool has_indirect_calls = false;
+  for (const Insn& insn : insns) {
+    if (insn.mnemonic == Mnemonic::kCallIndirect) {
+      has_indirect_calls = true;
+      break;
+    }
+  }
+  if (!has_indirect_calls) return Status::Ok();
+  if (entry_count == 0) {
+    return PolicyViolationError(
+        "program makes indirect calls but has no IFCC jump table (" +
+        options_.table_symbol_prefix + "* symbols missing)");
+  }
+
+  // ---- Structurally verify every jump-table entry: jmpq rel32; nopl. ------
+  for (uint64_t entry = table_start; entry < table_end;
+       entry += options_.entry_size) {
+    const size_t jmp_idx = insns.IndexOfAddr(entry);
+    if (jmp_idx == x86::InsnBuffer::npos ||
+        insns[jmp_idx].mnemonic != Mnemonic::kJmp ||
+        insns[jmp_idx].length != 5) {
+      return PolicyViolationError(
+          "malformed jump-table entry (expected jmpq rel32) at index " +
+          std::to_string((entry - table_start) / options_.entry_size));
+    }
+    const size_t nop_idx = jmp_idx + 1;
+    if (nop_idx >= insns.size() ||
+        insns[nop_idx].mnemonic != Mnemonic::kNop ||
+        insns[nop_idx].addr != entry + 5 || insns[nop_idx].length != 3) {
+      return PolicyViolationError(
+          "malformed jump-table entry (expected trailing nopl)");
+    }
+  }
+
+  // ---- Verify the guard sequence before every indirect call. -------------
+  for (size_t i = 0; i < insns.size(); ++i) {
+    const Insn& call = insns[i];
+    if (call.mnemonic != Mnemonic::kCallIndirect) continue;
+
+    if (call.src.kind != OperandKind::kReg) {
+      return PolicyViolationError(
+          InsnError(call, "indirect call through memory is not IFCC-checkable"));
+    }
+    const uint8_t target_reg = call.src.reg;  // %C
+    if (i < 4) {
+      return PolicyViolationError(InsnError(call, "missing IFCC guard"));
+    }
+
+    const Insn& lea = insns[i - 4];
+    const Insn& sub = insns[i - 3];
+    const Insn& mask = insns[i - 2];
+    const Insn& add = insns[i - 1];
+
+    // lea <table>(%rip), %A
+    if (lea.mnemonic != Mnemonic::kLea ||
+        lea.src.kind != OperandKind::kRipRel ||
+        lea.dst.kind != OperandKind::kReg) {
+      return PolicyViolationError(
+          InsnError(call, "guard does not start with lea <table>(%rip),%reg"));
+    }
+    const uint8_t base_reg = lea.dst.reg;  // %A
+    const uint64_t lea_target =
+        lea.NextAddr() + static_cast<uint64_t>(
+                             static_cast<int64_t>(lea.src.mem.disp));
+    if (lea_target != table_start) {
+      return PolicyViolationError(
+          InsnError(call, "guard lea does not target the jump table base"));
+    }
+
+    // sub %A, %C (32-bit in LLVM's emission; accept 32- or 64-bit).
+    if (sub.mnemonic != Mnemonic::kSub || !sub.dst.IsReg(target_reg) ||
+        !sub.src.IsReg(base_reg)) {
+      return PolicyViolationError(
+          InsnError(call, "guard missing sub %table_base,%target"));
+    }
+
+    // and $MASK, %C
+    if (mask.mnemonic != Mnemonic::kAnd || !mask.dst.IsReg(target_reg) ||
+        mask.src.kind != OperandKind::kImm) {
+      return PolicyViolationError(
+          InsnError(call, "guard missing and $mask,%target"));
+    }
+    // The mask must keep offsets entry-aligned (low bits clear) and inside
+    // the table (largest masked offset + entry size <= table size).
+    const int64_t mask_value = mask.src.imm;
+    if (mask_value < 0 ||
+        (mask_value & static_cast<int64_t>(options_.entry_size - 1)) != 0) {
+      return PolicyViolationError(
+          InsnError(call, "IFCC mask does not preserve entry alignment"));
+    }
+    if (static_cast<uint64_t>(mask_value) + options_.entry_size >
+        table_end - table_start) {
+      return PolicyViolationError(InsnError(
+          call, "IFCC mask permits offsets beyond the jump table"));
+    }
+
+    // add %A, %C
+    if (add.mnemonic != Mnemonic::kAdd || !add.dst.IsReg(target_reg) ||
+        !add.src.IsReg(base_reg)) {
+      return PolicyViolationError(
+          InsnError(call, "guard missing add %table_base,%target"));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace engarde::core

@@ -1,0 +1,49 @@
+// Indirect function-call compliance (paper Section 5, "Restricting Indirect
+// Function Calls"): verifies that the executable carries Google's IFCC
+// forward-edge CFI instrumentation. Every indirect call must be preceded by
+// the masking sequence
+//
+//   lea  <jump_table>(%rip), %A     ; table base
+//   sub  %A(32), %C(32)             ; offset into the table
+//   and  $MASK, %C                  ; bound + 8-byte-align the offset
+//   add  %A, %C                     ; rebased, masked target
+//   callq *%C
+//
+// with the shown register dataflow, and the masked target range must fall
+// inside the jump table, whose entries are "jmpq <fn>; nopl (%rax)" pairs.
+//
+// The jump-table range is recovered from the __llvm_jump_instr_table_*
+// symbols (exactly the names LLVM's IFCC patch emits), and each entry is
+// structurally verified.
+#ifndef ENGARDE_CORE_POLICY_IFCC_H_
+#define ENGARDE_CORE_POLICY_IFCC_H_
+
+#include <string>
+
+#include "core/policy.h"
+
+namespace engarde::core {
+
+class IndirectCallPolicy : public PolicyModule {
+ public:
+  struct Options {
+    // Prefix of the jump-table entry symbols.
+    std::string table_symbol_prefix = "__llvm_jump_instr_table_";
+    // Size of one jump-table entry (jmpq rel32 = 5 bytes + nopl = 3).
+    uint64_t entry_size = 8;
+  };
+
+  IndirectCallPolicy() = default;
+  explicit IndirectCallPolicy(Options options) : options_(std::move(options)) {}
+
+  std::string_view name() const override { return "indirect-call-check"; }
+  std::string Fingerprint() const override;
+  Status Check(const PolicyContext& context) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace engarde::core
+
+#endif  // ENGARDE_CORE_POLICY_IFCC_H_

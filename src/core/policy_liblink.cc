@@ -1,0 +1,74 @@
+#include "core/policy_liblink.h"
+
+#include <set>
+
+#include "common/hex.h"
+
+namespace engarde::core {
+
+std::string LibraryLinkingPolicy::Fingerprint() const {
+  // The memoization knob does not change what is accepted, only how fast,
+  // so it is deliberately not part of the fingerprint.
+  return "library-linking(" + library_name_ + "," +
+         HexEncode(crypto::DigestView(db_.DbDigest())) + ")";
+}
+
+Status LibraryLinkingPolicy::Check(const PolicyContext& context) const {
+  const x86::InsnBuffer& insns = *context.insns;
+  const SymbolHashTable& symbols = *context.symbols;
+  std::set<uint64_t> verified;  // function starts already checked (memoized)
+
+  for (const x86::Insn& insn : insns) {
+    if (insn.mnemonic != x86::Mnemonic::kCall) continue;
+    const uint64_t target = insn.BranchTarget();
+    if (options_.memoize_functions && verified.count(target) != 0) continue;
+
+    // "If the target does not exist in the symbol hash table the check will
+    // mark the function call as invalid."
+    const SymbolHashTable::Function* fn = symbols.FunctionAt(target);
+    if (fn == nullptr) {
+      return PolicyViolationError(
+          "direct call [" + insn.ToString() +
+          "] targets an address with no symbol-table entry");
+    }
+
+    // Only functions the library database names are version-checked;
+    // application-private functions are outside this policy's scope.
+    const crypto::Sha256Digest* expected = db_.Lookup(fn->name);
+    if (options_.memoize_functions) verified.insert(target);
+    if (expected == nullptr) continue;
+
+    // Hash the function body the way the paper describes: "the policy module
+    // sequentially reads instructions starting from the computed target
+    // address and stops when it comes across an instruction that is at the
+    // beginning of another function", consulting the symbol hash table per
+    // instruction. (No per-function memoisation — the paper's check re-hashes
+    // on every call site, and so do we.)
+    size_t index = insns.IndexOfAddr(target);
+    if (index == x86::InsnBuffer::npos) {
+      return PolicyViolationError("direct call [" + insn.ToString() +
+                                  "] targets a non-instruction address");
+    }
+    crypto::Sha256 hash;
+    for (; index < insns.size(); ++index) {
+      const x86::Insn& body_insn = insns[index];
+      if (body_insn.addr != target && symbols.IsFunctionStart(body_insn.addr)) {
+        break;
+      }
+      if (body_insn.addr >= fn->end) break;  // section-end cap
+      ASSIGN_OR_RETURN(const ByteView bytes,
+                       context.TextBytes(body_insn.addr, body_insn.length));
+      hash.Update(bytes);
+    }
+    const crypto::Sha256Digest actual = hash.Finalize();
+    if (!ConstantTimeEqual(crypto::DigestView(actual),
+                           crypto::DigestView(*expected))) {
+      return PolicyViolationError(
+          "function " + fn->name + " does not match the required " +
+          library_name_ + " implementation (wrong library version?)");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace engarde::core

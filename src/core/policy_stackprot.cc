@@ -1,0 +1,211 @@
+#include "core/policy_stackprot.h"
+
+#include <sstream>
+#include <vector>
+
+namespace engarde::core {
+namespace {
+
+using x86::Insn;
+using x86::Mnemonic;
+using x86::OperandKind;
+using x86::Segment;
+
+// mov %fs:<canary_offset>, %REG — the canary load. Returns the destination
+// register, or -1.
+int CanaryLoadDest(const Insn& insn, int32_t canary_offset) {
+  if (insn.mnemonic != Mnemonic::kMov) return -1;
+  if (insn.dst.kind != OperandKind::kReg) return -1;
+  if (insn.src.kind != OperandKind::kMem) return -1;
+  if (insn.src.mem.segment != Segment::kFs) return -1;
+  if (!insn.src.mem.IsAbsolute() || insn.src.mem.disp != canary_offset) {
+    return -1;
+  }
+  return insn.dst.reg;
+}
+
+// A stack frame slot: base register + displacement.
+struct Slot {
+  uint8_t base = 0;
+  int32_t disp = 0;
+  bool operator==(const Slot&) const = default;
+};
+
+// "looks for instructions that affect the stack's variables (e.g.,
+// mov %rax,(%rsp))": any register store through rsp or rbp.
+bool IsStackStore(const Insn& insn, uint8_t& reg_out, Slot& slot_out) {
+  if (insn.mnemonic != Mnemonic::kMov) return false;
+  if (insn.src.kind != OperandKind::kReg) return false;
+  if (insn.dst.kind != OperandKind::kMem) return false;
+  if (insn.dst.mem.segment != Segment::kNone) return false;
+  if (!(insn.dst.IsMemWithBase(x86::kRsp) || insn.dst.IsMemWithBase(x86::kRbp))) {
+    return false;
+  }
+  reg_out = insn.src.reg;
+  slot_out.base = static_cast<uint8_t>(insn.dst.mem.base);
+  slot_out.disp = insn.dst.mem.disp;
+  return true;
+}
+
+// Whether `insn` writes `reg` (for the backward dataflow scan). push/cmp/test
+// name a register without modifying it.
+bool WritesReg(const Insn& insn, uint8_t reg) {
+  if (insn.dst.kind != OperandKind::kReg || insn.dst.reg != reg) return false;
+  switch (insn.mnemonic) {
+    case Mnemonic::kCmp:
+    case Mnemonic::kTest:
+    case Mnemonic::kPush:
+    case Mnemonic::kNop:
+      return false;
+    default:
+      return true;
+  }
+}
+
+// cmp <slot>, %REG (AT&T) — encoded as kCmp with dst=REG, src=mem.
+bool IsCanaryCompare(const Insn& insn, uint8_t reg, const Slot& slot) {
+  if (insn.mnemonic != Mnemonic::kCmp) return false;
+  if (insn.dst.kind != OperandKind::kReg || insn.dst.reg != reg) return false;
+  if (insn.src.kind != OperandKind::kMem) return false;
+  return insn.src.mem.base == static_cast<int8_t>(slot.base) &&
+         insn.src.mem.disp == slot.disp;
+}
+
+std::string FnError(const std::string& fn, const std::string& what) {
+  return "function " + fn + ": " + what;
+}
+
+}  // namespace
+
+std::string StackProtectionPolicy::Fingerprint() const {
+  std::ostringstream os;
+  os << "stack-protection(fs:0x" << std::hex << options_.canary_fs_offset
+     << "," << options_.fail_symbol;
+  for (const std::string& name : options_.exempt) os << ",-" << name;
+  for (const std::string& prefix : options_.exempt_prefixes) {
+    os << ",-" << prefix << "*";
+  }
+  os << ")";
+  return os.str();
+}
+
+Status StackProtectionPolicy::Check(const PolicyContext& context) const {
+  const x86::InsnBuffer& insns = *context.insns;
+  const SymbolHashTable& symbols = *context.symbols;
+
+  // "the policy module iterates through the instruction buffer and
+  // identifies the start of a function using the symbol hash table": the
+  // outer walk queries the hash table at every instruction, exactly as the
+  // paper describes (function boundaries are discovered, not precomputed).
+  for (size_t cursor = 0; cursor < insns.size();) {
+    const std::string* fn_name = symbols.NameAt(insns[cursor].addr);
+    if (fn_name == nullptr) {
+      ++cursor;  // padding or unlabeled bytes between functions
+      continue;
+    }
+    const SymbolHashTable::Function& fn = *symbols.FunctionAt(insns[cursor].addr);
+    const size_t begin = cursor;
+    // Find the function's extent by walking until the next function start.
+    size_t end = begin + 1;
+    while (end < insns.size() && insns[end].addr < fn.end &&
+           !symbols.IsFunctionStart(insns[end].addr)) {
+      ++end;
+    }
+    cursor = end;
+
+    if (options_.exempt.count(*fn_name) != 0) continue;
+    bool prefix_exempt = false;
+    for (const std::string& prefix : options_.exempt_prefixes) {
+      if (fn.name.rfind(prefix, 0) == 0) {
+        prefix_exempt = true;
+        break;
+      }
+    }
+    if (prefix_exempt) continue;
+
+    // ---- Pass 1: find the canary spill (paper algorithm) -------------------
+    // "the policy check looks for instructions that affect the stack's
+    // variables ... It then identifies the source operand of the instruction
+    // (%rax) and figures out the value of the source operand
+    // (mov %fs:0x28,%rax)": for EVERY stack store, scan backwards for the
+    // defining instruction of the stored register and test whether it is the
+    // canary load. This per-store dataflow walk is what makes the check
+    // expensive on store-heavy functions (cf. 401.bzip2 in Figure 4).
+    std::vector<Slot> canary_slots;
+    for (size_t i = begin; i < end; ++i) {
+      uint8_t reg = 0;
+      Slot slot;
+      if (!IsStackStore(insns[i], reg, slot)) continue;
+      // Walk back toward the function start for the instruction that
+      // produced the stored value. The nearest write decides; a canary load
+      // marks this slot as a canary spill. (This per-store walk is the
+      // quadratic term that blows up on store-heavy functions — cf. the
+      // 401.bzip2 row of Figure 4, 25x its own disassembly cost.)
+      for (size_t j = i; j-- > begin;) {
+        if (CanaryLoadDest(insns[j], options_.canary_fs_offset) ==
+            static_cast<int>(reg)) {
+          canary_slots.push_back(slot);
+          break;
+        }
+        if (WritesReg(insns[j], reg)) break;  // value comes from elsewhere
+      }
+    }
+    if (canary_slots.empty()) {
+      return PolicyViolationError(FnError(
+          fn.name,
+          "no stack-protector prologue (mov %fs:0x28,%reg; mov %reg,(%rsp))"));
+    }
+
+    // ---- Pass 2: the epilogue check ------------------------------------------
+    // cmp against a canary slot, immediately preceded by a canary reload into
+    // the compared register, followed by jne whose target is a direct call to
+    // __stack_chk_fail (resolved through the symbol hash table).
+    bool checked = false;
+    for (size_t i = begin; i < end && !checked; ++i) {
+      const Insn& insn = insns[i];
+      if (insn.mnemonic != Mnemonic::kCmp) continue;
+      if (insn.dst.kind != OperandKind::kReg) continue;
+      bool slot_matches = false;
+      for (const Slot& slot : canary_slots) {
+        if (IsCanaryCompare(insn, insn.dst.reg, slot)) {
+          slot_matches = true;
+          break;
+        }
+      }
+      if (!slot_matches) continue;
+
+      // "It also has to check that just preceding the cmp instruction, there
+      // is an instruction that computes the original value of the source
+      // operand (mov %fs:0x28,%rax)."
+      if (i == begin ||
+          CanaryLoadDest(insns[i - 1], options_.canary_fs_offset) !=
+              insn.dst.reg) {
+        continue;
+      }
+
+      // Next instruction: jne to the failure edge.
+      if (i + 1 >= end) break;
+      const Insn& branch = insns[i + 1];
+      if (branch.mnemonic != Mnemonic::kJcc || branch.cond != x86::kCondNe) {
+        continue;
+      }
+      const size_t fail_idx = insns.IndexOfAddr(branch.BranchTarget());
+      if (fail_idx == x86::InsnBuffer::npos) continue;
+      const Insn& fail_insn = insns[fail_idx];
+      if (fail_insn.mnemonic != Mnemonic::kCall) continue;
+      const std::string* callee = symbols.NameAt(fail_insn.BranchTarget());
+      if (callee == nullptr || *callee != options_.fail_symbol) continue;
+
+      checked = true;
+    }
+    if (!checked) {
+      return PolicyViolationError(FnError(
+          fn.name,
+          "no stack-protector epilogue (reload; cmp; jne; callq " +
+              options_.fail_symbol + ")"));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace engarde::core

@@ -1,0 +1,55 @@
+// Stack-protection compliance (paper Section 5, "Compliance for Stack
+// Protection"): verifies that every function carries Clang's
+// -fstack-protector-all instrumentation:
+//
+//   prologue:  mov %fs:0x28, %REG          ; load the canary
+//              mov %REG, (%rsp)            ; spill it to the frame
+//   epilogue:  mov %fs:0x28, %REG'         ; reload the canary
+//              cmp <frame slot>, %REG'     ; compare against the spill
+//              jne <fail>                  ; mismatch ->
+//   fail:      callq __stack_chk_fail
+//
+// The check follows the paper: within each function (bounds from the symbol
+// hash table) it finds the canary spill, tracks which frame slot and source
+// register were used, requires the reload to immediately precede the cmp,
+// and resolves the jne target to a direct call to __stack_chk_fail.
+#ifndef ENGARDE_CORE_POLICY_STACKPROT_H_
+#define ENGARDE_CORE_POLICY_STACKPROT_H_
+
+#include <set>
+#include <string>
+
+#include "core/policy.h"
+
+namespace engarde::core {
+
+class StackProtectionPolicy : public PolicyModule {
+ public:
+  struct Options {
+    // Canary location within the thread area (%fs:<offset>); 0x28 on x86-64.
+    int32_t canary_fs_offset = 0x28;
+    // Symbol the failure edge must call.
+    std::string fail_symbol = "__stack_chk_fail";
+    // Functions exempt from the check. The failure handler itself can't be
+    // instrumented; the process entry point runs before the canary exists.
+    std::set<std::string> exempt = {"__stack_chk_fail", "_start"};
+    // Symbol prefixes exempt from the check: IFCC jump-table entries carry
+    // STT_FUNC symbols but are two-instruction thunks, not real frames.
+    std::vector<std::string> exempt_prefixes = {"__llvm_jump_instr_table_"};
+  };
+
+  StackProtectionPolicy() = default;
+  explicit StackProtectionPolicy(Options options)
+      : options_(std::move(options)) {}
+
+  std::string_view name() const override { return "stack-protection"; }
+  std::string Fingerprint() const override;
+  Status Check(const PolicyContext& context) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace engarde::core
+
+#endif  // ENGARDE_CORE_POLICY_STACKPROT_H_

@@ -1,0 +1,88 @@
+#include "core/protocol.h"
+
+namespace engarde::core {
+
+Bytes Manifest::Serialize() const {
+  Bytes out;
+  out.reserve(12 + code_pages.size() * 8);
+  AppendLe64(out, file_size);
+  AppendLe32(out, static_cast<uint32_t>(code_pages.size()));
+  for (const uint64_t page : code_pages) AppendLe64(out, page);
+  return out;
+}
+
+Result<Manifest> Manifest::Deserialize(ByteView data) {
+  ByteReader reader(data);
+  Manifest manifest;
+  uint32_t count = 0;
+  if (!reader.ReadLe64(manifest.file_size) || !reader.ReadLe32(count)) {
+    return ProtocolError("truncated manifest");
+  }
+  manifest.code_pages.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t page = 0;
+    if (!reader.ReadLe64(page)) return ProtocolError("truncated manifest");
+    manifest.code_pages.push_back(page);
+  }
+  if (!reader.AtEnd()) return ProtocolError("manifest has trailing bytes");
+  return manifest;
+}
+
+Bytes Verdict::Serialize() const {
+  Bytes out;
+  out.push_back(compliant ? 1 : 0);
+  AppendLe32(out, static_cast<uint32_t>(reason.size()));
+  AppendBytes(out, ToBytes(reason));
+  return out;
+}
+
+Result<Verdict> Verdict::Deserialize(ByteView data) {
+  ByteReader reader(data);
+  uint8_t flag = 0;
+  uint32_t reason_len = 0;
+  ByteView reason_bytes;
+  if (!reader.ReadU8(flag) || !reader.ReadLe32(reason_len) ||
+      !reader.ReadBytes(reason_len, reason_bytes) || !reader.AtEnd()) {
+    return ProtocolError("malformed verdict");
+  }
+  Verdict verdict;
+  verdict.compliant = flag != 0;
+  verdict.reason = ToString(reason_bytes);
+  return verdict;
+}
+
+Status WriteFrame(crypto::DuplexPipe::Endpoint& endpoint, ByteView payload) {
+  Bytes header;
+  AppendLe32(header, static_cast<uint32_t>(payload.size()));
+  endpoint.Write(ByteView(header.data(), header.size()));
+  endpoint.Write(payload);
+  return Status::Ok();
+}
+
+Result<Bytes> ReadFrame(crypto::DuplexPipe::Endpoint& endpoint) {
+  ASSIGN_OR_RETURN(const Bytes header, endpoint.Read(4));
+  const uint32_t length = LoadLe32(header.data());
+  if (length > (64u << 20)) {
+    return ProtocolError("oversized frame");
+  }
+  return endpoint.Read(length);
+}
+
+Status SendMessage(crypto::SecureChannel& channel, MessageType type,
+                   ByteView payload) {
+  Bytes record;
+  record.push_back(static_cast<uint8_t>(type));
+  AppendBytes(record, payload);
+  return channel.Send(record);
+}
+
+Result<Message> ReceiveMessage(crypto::SecureChannel& channel) {
+  ASSIGN_OR_RETURN(Bytes record, channel.Receive());
+  if (record.empty()) return ProtocolError("empty protocol record");
+  Message message;
+  message.type = static_cast<MessageType>(record[0]);
+  message.payload.assign(record.begin() + 1, record.end());
+  return message;
+}
+
+}  // namespace engarde::core

@@ -1,0 +1,68 @@
+// Wire protocol between the client machine and the EnGarde enclave.
+//
+// Two layers (paper Section 3, "Overall Design"):
+//  * Plaintext handshake over the raw socket: the enclave sends its quote and
+//    ephemeral RSA public key; the client returns the RSA-wrapped 256-bit AES
+//    master key.
+//  * Encrypted records over crypto::SecureChannel: a manifest, the executable
+//    in page-sized blocks ("the client sends the content in encrypted
+//    blocks"), a DONE marker, and finally the enclave's verdict.
+#ifndef ENGARDE_CORE_PROTOCOL_H_
+#define ENGARDE_CORE_PROTOCOL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/channel.h"
+
+namespace engarde::core {
+
+inline constexpr size_t kBlockSize = 4096;  // page-granularity transfer
+
+enum class MessageType : uint8_t {
+  kManifest = 1,
+  kBlock = 2,
+  kDone = 3,
+  kVerdict = 4,
+};
+
+// The client's description of what it is sending. EnGarde independently
+// re-derives the code-page set from the ELF section headers and rejects the
+// submission when the claims disagree (or when any page mixes code and data).
+struct Manifest {
+  uint64_t file_size = 0;
+  // File-vaddr page numbers (vaddr / 4096) the client claims contain code.
+  std::vector<uint64_t> code_pages;
+
+  Bytes Serialize() const;
+  static Result<Manifest> Deserialize(ByteView data);
+};
+
+struct Verdict {
+  bool compliant = false;
+  // Human-readable reason on rejection. Sent to the *client* only — the
+  // provider learns nothing beyond the compliance bit (threat model).
+  std::string reason;
+
+  Bytes Serialize() const;
+  static Result<Verdict> Deserialize(ByteView data);
+};
+
+// Helpers for the plaintext (pre-channel) frames: u32 length || payload.
+Status WriteFrame(crypto::DuplexPipe::Endpoint& endpoint, ByteView payload);
+Result<Bytes> ReadFrame(crypto::DuplexPipe::Endpoint& endpoint);
+
+// Helpers for typed records over the secure channel.
+Status SendMessage(crypto::SecureChannel& channel, MessageType type,
+                   ByteView payload);
+struct Message {
+  MessageType type;
+  Bytes payload;
+};
+Result<Message> ReceiveMessage(crypto::SecureChannel& channel);
+
+}  // namespace engarde::core
+
+#endif  // ENGARDE_CORE_PROTOCOL_H_

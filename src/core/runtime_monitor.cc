@@ -1,0 +1,113 @@
+#include "core/runtime_monitor.h"
+
+#include <sstream>
+
+namespace engarde::core {
+namespace {
+
+using TransferKind = x86::ExecutionObserver::TransferKind;
+
+std::string AddrString(uint64_t addr) {
+  std::ostringstream os;
+  os << "0x" << std::hex << addr;
+  return os.str();
+}
+
+}  // namespace
+
+Status ShadowStackPolicy::OnControlTransfer(TransferKind kind, uint64_t site,
+                                            uint64_t target,
+                                            uint64_t return_addr) {
+  switch (kind) {
+    case TransferKind::kCall:
+    case TransferKind::kCallIndirect:
+      shadow_.push_back(return_addr);
+      return Status::Ok();
+    case TransferKind::kReturn: {
+      // The top-level return targets the machine's exit sentinel, which no
+      // call in this run pushed.
+      if (shadow_.empty()) {
+        if (target == x86::Machine::kExitAddr) return Status::Ok();
+        return PolicyViolationError("return at " + AddrString(site) +
+                                    " with an empty shadow stack");
+      }
+      const uint64_t expected = shadow_.back();
+      shadow_.pop_back();
+      if (target != expected) {
+        return PolicyViolationError(
+            "return-address hijack at " + AddrString(site) + ": returning to " +
+            AddrString(target) + ", call site expected " +
+            AddrString(expected));
+      }
+      return Status::Ok();
+    }
+    case TransferKind::kJumpIndirect:
+      return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+IndirectTargetPolicy IndirectTargetPolicy::FromSymbols(
+    const SymbolHashTable& symbols, uint64_t load_base) {
+  std::set<uint64_t> allowed;
+  for (const SymbolHashTable::Function& fn : symbols.functions()) {
+    allowed.insert(load_base + fn.start);
+  }
+  return IndirectTargetPolicy(std::move(allowed));
+}
+
+Status IndirectTargetPolicy::OnControlTransfer(TransferKind kind,
+                                               uint64_t site, uint64_t target,
+                                               uint64_t /*return_addr*/) {
+  if (kind != TransferKind::kCallIndirect &&
+      kind != TransferKind::kJumpIndirect) {
+    return Status::Ok();
+  }
+  if (allowed_.count(target) == 0) {
+    return PolicyViolationError("indirect transfer at " + AddrString(site) +
+                                " to non-whitelisted target " +
+                                AddrString(target));
+  }
+  return Status::Ok();
+}
+
+Status InstructionBudgetPolicy::OnInstruction(const x86::Insn& /*insn*/) {
+  if (++executed_ > budget_) {
+    return PolicyViolationError("instruction budget of " +
+                                std::to_string(budget_) + " exceeded");
+  }
+  return Status::Ok();
+}
+
+void RuntimeMonitor::BeginRun() {
+  violation_.clear();
+  transfers_ = 0;
+  for (const auto& policy : policies_) policy->OnRunStart();
+}
+
+Status RuntimeMonitor::Record(std::string_view policy, const Status& status) {
+  if (status.ok()) return status;
+  violation_ = std::string(policy) + ": " + status.ToString();
+  return status;
+}
+
+Status RuntimeMonitor::OnInstruction(const x86::Insn& insn) {
+  for (const auto& policy : policies_) {
+    RETURN_IF_ERROR(Record(policy->name(), policy->OnInstruction(insn)));
+  }
+  return Status::Ok();
+}
+
+Status RuntimeMonitor::OnControlTransfer(TransferKind kind, uint64_t site,
+                                         uint64_t target,
+                                         uint64_t return_addr) {
+  ++transfers_;
+  for (const auto& policy : policies_) {
+    RETURN_IF_ERROR(Record(
+        policy->name(),
+        policy->OnControlTransfer(kind, site, target, return_addr)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace engarde::core

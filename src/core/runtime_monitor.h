@@ -1,0 +1,143 @@
+// Runtime policy enforcement — the extension the paper sketches but does not
+// build (Section 1: "One can also imagine an extension of EnGarde that
+// instruments client code to enforce policies at runtime, but our current
+// implementation only implements support for static code inspection").
+//
+// The RuntimeMonitor attaches to the enclave's execution (the interpreter's
+// ExecutionObserver hooks) and enforces dynamic policies that static
+// inspection cannot express:
+//
+//   * ShadowStackPolicy      — backward-edge CFI: every RET must return to
+//                              the address its CALL pushed. Complements the
+//                              static IFCC policy, which protects only the
+//                              forward edge.
+//   * IndirectTargetPolicy   — dynamic forward-edge CFI: indirect calls and
+//                              jumps may only land on a whitelist (function
+//                              entries + jump-table entries from the symbol
+//                              hash table EnGarde built at provisioning).
+//   * InstructionBudgetPolicy — SLA metering: aborts a run that exceeds the
+//                              agreed instruction budget.
+//
+// Violations abort execution with POLICY_VIOLATION, and the monitor records
+// which policy fired and where.
+#ifndef ENGARDE_CORE_RUNTIME_MONITOR_H_
+#define ENGARDE_CORE_RUNTIME_MONITOR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/symbol_table.h"
+#include "x86/interp.h"
+
+namespace engarde::core {
+
+class RuntimePolicy {
+ public:
+  virtual ~RuntimePolicy() = default;
+  virtual std::string_view name() const = 0;
+
+  virtual Status OnInstruction(const x86::Insn& insn) {
+    (void)insn;
+    return Status::Ok();
+  }
+  virtual Status OnControlTransfer(x86::ExecutionObserver::TransferKind kind,
+                                   uint64_t site, uint64_t target,
+                                   uint64_t return_addr) {
+    (void)kind;
+    (void)site;
+    (void)target;
+    (void)return_addr;
+    return Status::Ok();
+  }
+  // Called when a fresh run starts (reset any per-run state).
+  virtual void OnRunStart() {}
+};
+
+// Backward-edge CFI via a shadow stack maintained outside the enclave's own
+// (attacker-writable) stack.
+class ShadowStackPolicy : public RuntimePolicy {
+ public:
+  std::string_view name() const override { return "shadow-stack"; }
+  void OnRunStart() override { shadow_.clear(); }
+  Status OnControlTransfer(x86::ExecutionObserver::TransferKind kind,
+                           uint64_t site, uint64_t target,
+                           uint64_t return_addr) override;
+
+  size_t depth() const { return shadow_.size(); }
+
+ private:
+  std::vector<uint64_t> shadow_;
+};
+
+// Forward-edge CFI: indirect transfers must land on whitelisted addresses.
+class IndirectTargetPolicy : public RuntimePolicy {
+ public:
+  explicit IndirectTargetPolicy(std::set<uint64_t> allowed_targets)
+      : allowed_(std::move(allowed_targets)) {}
+
+  // Builds the whitelist from the provisioning-time symbol hash table,
+  // rebased to where the program was loaded.
+  static IndirectTargetPolicy FromSymbols(const SymbolHashTable& symbols,
+                                          uint64_t load_base);
+
+  std::string_view name() const override { return "indirect-target"; }
+  Status OnControlTransfer(x86::ExecutionObserver::TransferKind kind,
+                           uint64_t site, uint64_t target,
+                           uint64_t return_addr) override;
+
+ private:
+  std::set<uint64_t> allowed_;
+};
+
+// SLA metering: cap the instructions one run may execute.
+class InstructionBudgetPolicy : public RuntimePolicy {
+ public:
+  explicit InstructionBudgetPolicy(uint64_t budget) : budget_(budget) {}
+
+  std::string_view name() const override { return "instruction-budget"; }
+  void OnRunStart() override { executed_ = 0; }
+  Status OnInstruction(const x86::Insn& insn) override;
+
+  uint64_t executed() const { return executed_; }
+
+ private:
+  uint64_t budget_;
+  uint64_t executed_ = 0;
+};
+
+// Fans interpreter events out to the registered policies. Attach via
+// MachineConfig::observer (or EngardeEnclave::ExecuteClientProgram).
+class RuntimeMonitor : public x86::ExecutionObserver {
+ public:
+  RuntimeMonitor() = default;
+
+  void AddPolicy(std::unique_ptr<RuntimePolicy> policy) {
+    policies_.push_back(std::move(policy));
+  }
+  size_t policy_count() const { return policies_.size(); }
+
+  // Resets per-run policy state; call before each execution.
+  void BeginRun();
+
+  Status OnInstruction(const x86::Insn& insn) override;
+  Status OnControlTransfer(TransferKind kind, uint64_t site, uint64_t target,
+                           uint64_t return_addr) override;
+
+  // Set when a policy aborted the run.
+  const std::string& violation() const { return violation_; }
+  uint64_t transfers_observed() const { return transfers_; }
+
+ private:
+  Status Record(std::string_view policy, const Status& status);
+
+  std::vector<std::unique_ptr<RuntimePolicy>> policies_;
+  std::string violation_;
+  uint64_t transfers_ = 0;
+};
+
+}  // namespace engarde::core
+
+#endif  // ENGARDE_CORE_RUNTIME_MONITOR_H_

@@ -1,0 +1,87 @@
+#include "core/sealing.h"
+
+#include <cstring>
+
+#include "crypto/hmac.h"
+
+namespace engarde::core {
+namespace {
+
+constexpr char kMagic[8] = {'E', 'G', 'S', 'E', 'A', 'L', '0', '1'};
+
+crypto::Sha256Digest ComputeTag(const crypto::Aes256Key& key,
+                                const SealedBlob& blob) {
+  // MAC key domain-separated from the encryption key.
+  const crypto::Sha256Digest mac_key = crypto::HmacSha256::Mac(
+      ByteView(key.data(), key.size()), ToBytes("seal-mac"));
+  crypto::HmacSha256 mac(crypto::DigestView(mac_key));
+  uint8_t key_id_le[8];
+  StoreLe64(key_id_le, blob.key_id);
+  mac.Update(ByteView(key_id_le, 8));
+  mac.Update(ByteView(blob.nonce.data(), blob.nonce.size()));
+  mac.Update(ByteView(blob.ciphertext.data(), blob.ciphertext.size()));
+  return mac.Finalize();
+}
+
+}  // namespace
+
+Bytes SealedBlob::Serialize() const {
+  Bytes out;
+  AppendBytes(out, ByteView(reinterpret_cast<const uint8_t*>(kMagic), 8));
+  AppendLe64(out, key_id);
+  AppendBytes(out, ByteView(nonce.data(), nonce.size()));
+  AppendLe32(out, static_cast<uint32_t>(ciphertext.size()));
+  AppendBytes(out, ByteView(ciphertext.data(), ciphertext.size()));
+  AppendBytes(out, ByteView(tag.data(), tag.size()));
+  return out;
+}
+
+Result<SealedBlob> SealedBlob::Deserialize(ByteView data) {
+  ByteReader reader(data);
+  ByteView magic;
+  SealedBlob blob;
+  ByteView nonce_bytes;
+  uint32_t ct_len = 0;
+  ByteView ct;
+  ByteView tag_bytes;
+  if (!reader.ReadBytes(8, magic) ||
+      std::memcmp(magic.data(), kMagic, 8) != 0) {
+    return InvalidArgumentError("not a sealed blob (bad magic)");
+  }
+  if (!reader.ReadLe64(blob.key_id) || !reader.ReadBytes(12, nonce_bytes) ||
+      !reader.ReadLe32(ct_len) || !reader.ReadBytes(ct_len, ct) ||
+      !reader.ReadBytes(32, tag_bytes) || !reader.AtEnd()) {
+    return InvalidArgumentError("truncated or malformed sealed blob");
+  }
+  std::copy(nonce_bytes.begin(), nonce_bytes.end(), blob.nonce.begin());
+  blob.ciphertext.assign(ct.begin(), ct.end());
+  std::copy(tag_bytes.begin(), tag_bytes.end(), blob.tag.begin());
+  return blob;
+}
+
+SealedBlob Seal(const crypto::Aes256Key& key, uint64_t key_id,
+                const std::array<uint8_t, 12>& nonce, ByteView plaintext) {
+  SealedBlob blob;
+  blob.key_id = key_id;
+  blob.nonce = nonce;
+  crypto::AesCtr ctr(key, nonce);
+  blob.ciphertext = ctr.Crypt(0, plaintext);
+  const crypto::Sha256Digest tag = ComputeTag(key, blob);
+  std::copy(tag.begin(), tag.end(), blob.tag.begin());
+  return blob;
+}
+
+Result<Bytes> Unseal(const crypto::Aes256Key& key, const SealedBlob& blob) {
+  const crypto::Sha256Digest expected = ComputeTag(key, blob);
+  if (!ConstantTimeEqual(crypto::DigestView(expected),
+                         ByteView(blob.tag.data(), blob.tag.size()))) {
+    return IntegrityError(
+        "sealed blob fails authentication (tampered, or sealed by a "
+        "different enclave identity)");
+  }
+  crypto::AesCtr ctr(key, blob.nonce);
+  return ctr.Crypt(0, ByteView(blob.ciphertext.data(),
+                               blob.ciphertext.size()));
+}
+
+}  // namespace engarde::core

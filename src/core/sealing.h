@@ -1,0 +1,45 @@
+// Sealed program caching: once EnGarde has approved a client executable, the
+// enclave can *seal* it (AES-256-CTR + HMAC under an EGETKEY-derived key
+// bound to MRENCLAVE) and hand the opaque blob to the host for storage.
+// When the machine restarts the provider rebuilds the same EnGarde enclave
+// (same bootstrap, same policies, hence the same MRENCLAVE and the same
+// sealing key), unseals the cached program and loads it — skipping the
+// client round-trip and the full re-inspection.
+//
+// Security argument: the sealing key exists only inside an enclave with the
+// *identical* measurement, i.e. the identical EnGarde + policy set. A host
+// cannot forge a blob (MAC), substitute another program (MAC covers the
+// image), or replay the blob into an enclave with weaker policies (different
+// MRENCLAVE -> different key -> MAC fails).
+#ifndef ENGARDE_CORE_SEALING_H_
+#define ENGARDE_CORE_SEALING_H_
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/aes.h"
+
+namespace engarde::core {
+
+// Versioned, authenticated container for sealed data.
+//   wire = magic(8) || key_id(8) || nonce(12) || len(4) || ct || tag(32)
+struct SealedBlob {
+  uint64_t key_id = 0;
+  std::array<uint8_t, 12> nonce{};
+  Bytes ciphertext;
+  std::array<uint8_t, 32> tag{};
+
+  Bytes Serialize() const;
+  static Result<SealedBlob> Deserialize(ByteView data);
+};
+
+// Seals `plaintext` under `key` (from EGETKEY). The nonce must be unique per
+// (key, seal) pair; callers pass a counter or DRBG output.
+SealedBlob Seal(const crypto::Aes256Key& key, uint64_t key_id,
+                const std::array<uint8_t, 12>& nonce, ByteView plaintext);
+
+// Verifies and decrypts. INTEGRITY_ERROR on any tamper or wrong key.
+Result<Bytes> Unseal(const crypto::Aes256Key& key, const SealedBlob& blob);
+
+}  // namespace engarde::core
+
+#endif  // ENGARDE_CORE_SEALING_H_

@@ -1,0 +1,88 @@
+#include "core/symbol_table.h"
+
+#include <algorithm>
+
+namespace engarde::core {
+
+SymbolHashTable SymbolHashTable::Build(const elf::ElfFile& elf) {
+  SymbolHashTable table;
+
+  for (const elf::Sym& sym : elf.symbols()) {
+    if (!sym.IsFunction() || sym.name.empty()) continue;
+    table.functions_.push_back(Function{sym.value, 0, sym.name});
+  }
+  std::sort(table.functions_.begin(), table.functions_.end(),
+            [](const Function& a, const Function& b) {
+              return a.start < b.start;
+            });
+  // Duplicate addresses (aliases) keep the first name only.
+  table.functions_.erase(
+      std::unique(table.functions_.begin(), table.functions_.end(),
+                  [](const Function& a, const Function& b) {
+                    return a.start == b.start;
+                  }),
+      table.functions_.end());
+
+  // Compute each function's end: the next function start, capped at the end
+  // of the text section containing it.
+  const auto text_sections = elf.TextSections();
+  auto section_end_for = [&](uint64_t addr) -> uint64_t {
+    for (const elf::Shdr* section : text_sections) {
+      if (addr >= section->addr && addr < section->addr + section->size) {
+        return section->addr + section->size;
+      }
+    }
+    return addr;  // not inside any text section; empty body
+  };
+
+  for (size_t i = 0; i < table.functions_.size(); ++i) {
+    Function& fn = table.functions_[i];
+    const uint64_t section_end = section_end_for(fn.start);
+    uint64_t end = section_end;
+    if (i + 1 < table.functions_.size() &&
+        table.functions_[i + 1].start < section_end) {
+      end = table.functions_[i + 1].start;
+    }
+    fn.end = end;
+  }
+
+  for (size_t i = 0; i < table.functions_.size(); ++i) {
+    table.by_addr_.emplace(table.functions_[i].start, i);
+    table.by_name_.emplace(table.functions_[i].name, i);
+  }
+  return table;
+}
+
+const std::string* SymbolHashTable::NameAt(uint64_t addr) const {
+  const auto it = by_addr_.find(addr);
+  if (it == by_addr_.end()) return nullptr;
+  return &functions_[it->second].name;
+}
+
+std::optional<uint64_t> SymbolHashTable::AddrOf(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return functions_[it->second].start;
+}
+
+const SymbolHashTable::Function* SymbolHashTable::FunctionContaining(
+    uint64_t addr) const {
+  // Binary search for the last function with start <= addr.
+  auto it = std::upper_bound(functions_.begin(), functions_.end(), addr,
+                             [](uint64_t a, const Function& fn) {
+                               return a < fn.start;
+                             });
+  if (it == functions_.begin()) return nullptr;
+  --it;
+  if (addr >= it->end) return nullptr;
+  return &*it;
+}
+
+const SymbolHashTable::Function* SymbolHashTable::FunctionAt(
+    uint64_t addr) const {
+  const auto it = by_addr_.find(addr);
+  if (it == by_addr_.end()) return nullptr;
+  return &functions_[it->second];
+}
+
+}  // namespace engarde::core

@@ -1,0 +1,59 @@
+// The symbol hash table from paper Section 4: "the loader also reads the
+// symbol tables to keep track of the address and name of all the functions in
+// the executable. It constructs a symbol hash table whose key is the address
+// of a function and value is the name of the function." Policy modules use it
+// to resolve direct-call targets, detect function starts, and find the
+// boundaries of function bodies for hashing.
+#ifndef ENGARDE_CORE_SYMBOL_TABLE_H_
+#define ENGARDE_CORE_SYMBOL_TABLE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "elf/reader.h"
+
+namespace engarde::core {
+
+class SymbolHashTable {
+ public:
+  struct Function {
+    uint64_t start = 0;
+    // One past the last byte that belongs to this function: the next
+    // function's start, capped at the end of the containing text section.
+    uint64_t end = 0;
+    std::string name;
+  };
+
+  // Builds from the ELF's STT_FUNC symbols. Text section bounds cap the
+  // last function in each section.
+  static SymbolHashTable Build(const elf::ElfFile& elf);
+
+  size_t size() const { return functions_.size(); }
+  bool empty() const { return functions_.empty(); }
+
+  // Key lookup: function name at exactly this address (the paper's hash
+  // table), or nullptr.
+  const std::string* NameAt(uint64_t addr) const;
+  bool IsFunctionStart(uint64_t addr) const { return NameAt(addr) != nullptr; }
+
+  std::optional<uint64_t> AddrOf(std::string_view name) const;
+
+  // The function whose [start, end) contains addr, or nullptr.
+  const Function* FunctionContaining(uint64_t addr) const;
+  const Function* FunctionAt(uint64_t addr) const;
+
+  // All functions in ascending address order.
+  const std::vector<Function>& functions() const { return functions_; }
+
+ private:
+  std::vector<Function> functions_;                    // sorted by start
+  std::unordered_map<uint64_t, size_t> by_addr_;       // start -> index
+  std::unordered_map<std::string, size_t> by_name_;    // name -> index
+};
+
+}  // namespace engarde::core
+
+#endif  // ENGARDE_CORE_SYMBOL_TABLE_H_

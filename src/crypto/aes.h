@@ -1,0 +1,57 @@
+// AES-256 block cipher (FIPS 197) and CTR-mode stream (SP 800-38A),
+// implemented from scratch. The provisioning channel encrypts the client's
+// code blocks with AES-256-CTR, exactly as EnGarde's crypto library does with
+// the client-supplied 256-bit AES key (Section 3, "Overall Design").
+#ifndef ENGARDE_CRYPTO_AES_H_
+#define ENGARDE_CRYPTO_AES_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace engarde::crypto {
+
+using Aes256Key = std::array<uint8_t, 32>;
+using AesBlock = std::array<uint8_t, 16>;
+
+// The raw block cipher. Exposed for tests against the FIPS-197 vectors;
+// application code should use AesCtr.
+class Aes256 {
+ public:
+  explicit Aes256(const Aes256Key& key) noexcept;
+
+  void EncryptBlock(const uint8_t in[16], uint8_t out[16]) const noexcept;
+  void DecryptBlock(const uint8_t in[16], uint8_t out[16]) const noexcept;
+
+ private:
+  static constexpr int kRounds = 14;
+  // Round keys, 4 words per round plus the initial AddRoundKey.
+  uint32_t enc_round_keys_[4 * (kRounds + 1)];
+};
+
+// CTR mode: the 16-byte counter block is nonce(12) || big-endian counter(4).
+// Seek-able keystream so blocks can be decrypted out of order if the protocol
+// ever retransmits.
+class AesCtr {
+ public:
+  AesCtr(const Aes256Key& key, const std::array<uint8_t, 12>& nonce) noexcept;
+
+  // XORs the keystream starting at `stream_offset` into data (in place).
+  // Encrypt and decrypt are the same operation in CTR mode.
+  void Crypt(uint64_t stream_offset, MutableByteView data) noexcept;
+
+  // Convenience: allocates the output buffer.
+  Bytes Crypt(uint64_t stream_offset, ByteView data);
+
+ private:
+  void KeystreamBlock(uint32_t counter, uint8_t out[16]) const noexcept;
+
+  Aes256 cipher_;
+  std::array<uint8_t, 12> nonce_;
+};
+
+}  // namespace engarde::crypto
+
+#endif  // ENGARDE_CRYPTO_AES_H_

@@ -1,0 +1,354 @@
+#include "crypto/bigint.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hex.h"
+
+namespace engarde::crypto {
+
+void BigInt::Trim() noexcept {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt BigInt::FromU64(uint64_t v) {
+  BigInt out;
+  if (v != 0) out.limbs_.push_back(static_cast<uint32_t>(v));
+  if (v >> 32) out.limbs_.push_back(static_cast<uint32_t>(v >> 32));
+  return out;
+}
+
+BigInt BigInt::FromBytes(ByteView bytes) {
+  BigInt out;
+  out.limbs_.assign((bytes.size() + 3) / 4, 0);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    // bytes are big-endian: bytes[size-1] is the least significant.
+    const size_t bit_index = bytes.size() - 1 - i;
+    out.limbs_[bit_index / 4] |= static_cast<uint32_t>(bytes[i])
+                                 << (8 * (bit_index % 4));
+  }
+  out.Trim();
+  return out;
+}
+
+Result<BigInt> BigInt::FromHex(std::string_view hex) {
+  std::string padded(hex);
+  if (padded.size() % 2 != 0) padded.insert(padded.begin(), '0');
+  ASSIGN_OR_RETURN(const Bytes bytes, HexDecode(padded));
+  return FromBytes(ByteView(bytes.data(), bytes.size()));
+}
+
+size_t BigInt::BitLength() const noexcept {
+  if (limbs_.empty()) return 0;
+  const uint32_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 32;
+  return bits + (32 - static_cast<size_t>(__builtin_clz(top)));
+}
+
+bool BigInt::GetBit(size_t i) const noexcept {
+  const size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+uint64_t BigInt::ToU64() const noexcept {
+  uint64_t v = limbs_.empty() ? 0 : limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+Bytes BigInt::ToBytes(size_t min_size) const {
+  const size_t bit_len = BitLength();
+  const size_t byte_len = std::max((bit_len + 7) / 8, min_size);
+  Bytes out(byte_len, 0);
+  for (size_t i = 0; i < byte_len; ++i) {
+    const size_t limb = i / 4;
+    if (limb >= limbs_.size()) break;
+    out[byte_len - 1 - i] =
+        static_cast<uint8_t>(limbs_[limb] >> (8 * (i % 4)));
+  }
+  return out;
+}
+
+std::string BigInt::ToHex() const {
+  if (IsZero()) return "0";
+  std::string hex = HexEncode(ToBytes());
+  // Strip leading zero nibbles for canonical form.
+  size_t first = hex.find_first_not_of('0');
+  return hex.substr(first);
+}
+
+int BigInt::Compare(const BigInt& a, const BigInt& b) noexcept {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigInt BigInt::Add(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  const size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.reserve(n + 1);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry;
+    if (i < a.limbs_.size()) sum += a.limbs_[i];
+    if (i < b.limbs_.size()) sum += b.limbs_[i];
+    out.limbs_.push_back(static_cast<uint32_t>(sum));
+    carry = sum >> 32;
+  }
+  if (carry) out.limbs_.push_back(static_cast<uint32_t>(carry));
+  return out;
+}
+
+BigInt BigInt::Sub(const BigInt& a, const BigInt& b) {
+  assert(Compare(a, b) >= 0 && "BigInt::Sub requires a >= b");
+  BigInt out;
+  out.limbs_.reserve(a.limbs_.size());
+  int64_t borrow = 0;
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) diff -= b.limbs_[i];
+    if (diff < 0) {
+      diff += (1LL << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_.push_back(static_cast<uint32_t>(diff));
+  }
+  out.Trim();
+  return out;
+}
+
+BigInt BigInt::Mul(const BigInt& a, const BigInt& b) {
+  if (a.IsZero() || b.IsZero()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    const uint64_t ai = a.limbs_[i];
+    for (size_t j = 0; j < b.limbs_.size(); ++j) {
+      const uint64_t cur =
+          static_cast<uint64_t>(out.limbs_[i + j]) + ai * b.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    size_t k = i + b.limbs_.size();
+    while (carry) {
+      const uint64_t cur = static_cast<uint64_t>(out.limbs_[k]) + carry;
+      out.limbs_[k] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.Trim();
+  return out;
+}
+
+BigInt BigInt::ShiftLeft(size_t bits) const {
+  if (IsZero() || bits == 0) {
+    BigInt out = *this;
+    return out;
+  }
+  const size_t limb_shift = bits / 32;
+  const size_t bit_shift = bits % 32;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    const uint64_t v = static_cast<uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<uint32_t>(v >> 32);
+  }
+  out.Trim();
+  return out;
+}
+
+BigInt BigInt::ShiftRight(size_t bits) const {
+  const size_t limb_shift = bits / 32;
+  if (limb_shift >= limbs_.size()) return BigInt();
+  const size_t bit_shift = bits % 32;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    uint64_t v = static_cast<uint64_t>(limbs_[i + limb_shift]) >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<uint64_t>(limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<uint32_t>(v);
+  }
+  out.Trim();
+  return out;
+}
+
+// Knuth TAOCP Vol. 2, Algorithm D (division of nonnegative integers).
+void BigInt::DivMod(const BigInt& a, const BigInt& divisor, BigInt& quotient,
+                    BigInt& remainder) {
+  assert(!divisor.IsZero() && "division by zero");
+  if (Compare(a, divisor) < 0) {
+    quotient = BigInt();
+    remainder = a;
+    return;
+  }
+
+  // Single-limb divisor: simple short division.
+  if (divisor.limbs_.size() == 1) {
+    const uint64_t d = divisor.limbs_[0];
+    BigInt q;
+    q.limbs_.assign(a.limbs_.size(), 0);
+    uint64_t rem = 0;
+    for (size_t i = a.limbs_.size(); i-- > 0;) {
+      const uint64_t cur = (rem << 32) | a.limbs_[i];
+      q.limbs_[i] = static_cast<uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.Trim();
+    quotient = std::move(q);
+    remainder = FromU64(rem);
+    return;
+  }
+
+  // D1: normalize so the divisor's top limb has its high bit set.
+  const size_t shift =
+      static_cast<size_t>(__builtin_clz(divisor.limbs_.back()));
+  const BigInt u = a.ShiftLeft(shift);
+  const BigInt v = divisor.ShiftLeft(shift);
+  const size_t n = v.limbs_.size();
+  const size_t m = u.limbs_.size() - n;
+
+  std::vector<uint32_t> un(u.limbs_);
+  un.push_back(0);  // extra high limb for the algorithm
+  const std::vector<uint32_t>& vn = v.limbs_;
+
+  BigInt q;
+  q.limbs_.assign(m + 1, 0);
+
+  for (size_t j = m + 1; j-- > 0;) {
+    // D3: estimate q̂.
+    const uint64_t numerator =
+        (static_cast<uint64_t>(un[j + n]) << 32) | un[j + n - 1];
+    uint64_t qhat = numerator / vn[n - 1];
+    uint64_t rhat = numerator % vn[n - 1];
+    while (qhat >= (1ULL << 32) ||
+           qhat * vn[n - 2] > ((rhat << 32) | un[j + n - 2])) {
+      --qhat;
+      rhat += vn[n - 1];
+      if (rhat >= (1ULL << 32)) break;
+    }
+
+    // D4: multiply and subtract.
+    int64_t borrow = 0;
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t p = qhat * vn[i] + carry;
+      carry = p >> 32;
+      const int64_t t =
+          static_cast<int64_t>(un[i + j]) - borrow -
+          static_cast<int64_t>(static_cast<uint32_t>(p));
+      un[i + j] = static_cast<uint32_t>(t);
+      borrow = (t < 0) ? 1 : 0;
+    }
+    const int64_t t =
+        static_cast<int64_t>(un[j + n]) - borrow - static_cast<int64_t>(carry);
+    un[j + n] = static_cast<uint32_t>(t);
+
+    // D5/D6: if we subtracted too much, add back.
+    if (t < 0) {
+      --qhat;
+      uint64_t carry2 = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const uint64_t sum =
+            static_cast<uint64_t>(un[i + j]) + vn[i] + carry2;
+        un[i + j] = static_cast<uint32_t>(sum);
+        carry2 = sum >> 32;
+      }
+      un[j + n] = static_cast<uint32_t>(un[j + n] + carry2);
+    }
+    q.limbs_[j] = static_cast<uint32_t>(qhat);
+  }
+
+  q.Trim();
+  quotient = std::move(q);
+
+  BigInt r;
+  r.limbs_.assign(un.begin(), un.begin() + static_cast<long>(n));
+  r.Trim();
+  remainder = r.ShiftRight(shift);
+}
+
+BigInt BigInt::Mod(const BigInt& a, const BigInt& m) {
+  BigInt q, r;
+  DivMod(a, m, q, r);
+  return r;
+}
+
+BigInt BigInt::ModExp(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  assert(!m.IsZero());
+  BigInt result = FromU64(1);
+  result = Mod(result, m);
+  BigInt b = Mod(base, m);
+  const size_t bits = exp.BitLength();
+  for (size_t i = 0; i < bits; ++i) {
+    if (exp.GetBit(i)) result = Mod(Mul(result, b), m);
+    b = Mod(Mul(b, b), m);
+  }
+  return result;
+}
+
+BigInt BigInt::Gcd(BigInt a, BigInt b) {
+  while (!b.IsZero()) {
+    BigInt r = Mod(a, b);
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+Result<BigInt> BigInt::ModInverse(const BigInt& a, const BigInt& m) {
+  // Extended Euclid with explicit sign tracking for the Bezout coefficient.
+  BigInt r0 = m, r1 = Mod(a, m);
+  BigInt t0, t1 = FromU64(1);
+  bool t0_neg = false, t1_neg = false;
+
+  while (!r1.IsZero()) {
+    BigInt q, r2;
+    DivMod(r0, r1, q, r2);
+
+    // t2 = t0 - q*t1 (signed)
+    const BigInt qt1 = Mul(q, t1);
+    BigInt t2;
+    bool t2_neg;
+    if (t0_neg == t1_neg) {
+      // Same sign: t0 - q*t1 may flip sign.
+      if (Compare(t0, qt1) >= 0) {
+        t2 = Sub(t0, qt1);
+        t2_neg = t0_neg;
+      } else {
+        t2 = Sub(qt1, t0);
+        t2_neg = !t0_neg;
+      }
+    } else {
+      t2 = Add(t0, qt1);
+      t2_neg = t0_neg;
+    }
+
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    t0 = std::move(t1);
+    t0_neg = t1_neg;
+    t1 = std::move(t2);
+    t1_neg = t2_neg;
+  }
+
+  if (Compare(r0, FromU64(1)) != 0) {
+    return InvalidArgumentError("ModInverse: operands are not coprime");
+  }
+  if (t0_neg) return Sub(m, Mod(t0, m));
+  return Mod(t0, m);
+}
+
+}  // namespace engarde::crypto

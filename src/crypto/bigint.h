@@ -1,0 +1,76 @@
+// Arbitrary-precision unsigned integers for RSA-2048 (key generation, modular
+// exponentiation, modular inverse). 32-bit limbs, little-endian limb order;
+// division is Knuth Algorithm D so modular exponentiation at 2048 bits is
+// fast enough for tests. No signed support — RSA needs none except inside
+// the extended Euclid, which tracks signs explicitly.
+#ifndef ENGARDE_CRYPTO_BIGINT_H_
+#define ENGARDE_CRYPTO_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace engarde::crypto {
+
+class BigInt {
+ public:
+  BigInt() = default;  // zero
+  static BigInt FromU64(uint64_t v);
+  // Big-endian byte string (leading zeros permitted).
+  static BigInt FromBytes(ByteView bytes);
+  static Result<BigInt> FromHex(std::string_view hex);
+
+  bool IsZero() const noexcept { return limbs_.empty(); }
+  bool IsOdd() const noexcept { return !limbs_.empty() && (limbs_[0] & 1); }
+  // Number of significant bits; 0 for zero.
+  size_t BitLength() const noexcept;
+  bool GetBit(size_t i) const noexcept;
+  uint64_t ToU64() const noexcept;  // truncates to low 64 bits
+
+  // Big-endian bytes, zero-padded on the left to at least min_size.
+  Bytes ToBytes(size_t min_size = 0) const;
+  std::string ToHex() const;
+
+  // Three-way comparison: -1, 0, +1.
+  static int Compare(const BigInt& a, const BigInt& b) noexcept;
+  bool operator==(const BigInt& other) const noexcept {
+    return Compare(*this, other) == 0;
+  }
+  bool operator<(const BigInt& other) const noexcept {
+    return Compare(*this, other) < 0;
+  }
+  bool operator<=(const BigInt& other) const noexcept {
+    return Compare(*this, other) <= 0;
+  }
+
+  static BigInt Add(const BigInt& a, const BigInt& b);
+  // Requires a >= b (asserted).
+  static BigInt Sub(const BigInt& a, const BigInt& b);
+  static BigInt Mul(const BigInt& a, const BigInt& b);
+  // Requires divisor != 0 (asserted). quotient*divisor + remainder == a.
+  static void DivMod(const BigInt& a, const BigInt& divisor, BigInt& quotient,
+                     BigInt& remainder);
+  static BigInt Mod(const BigInt& a, const BigInt& m);
+
+  BigInt ShiftLeft(size_t bits) const;
+  BigInt ShiftRight(size_t bits) const;
+
+  // (base^exp) mod m; m must be nonzero.
+  static BigInt ModExp(const BigInt& base, const BigInt& exp, const BigInt& m);
+  static BigInt Gcd(BigInt a, BigInt b);
+  // Multiplicative inverse of a mod m; error if gcd(a, m) != 1.
+  static Result<BigInt> ModInverse(const BigInt& a, const BigInt& m);
+
+ private:
+  void Trim() noexcept;
+
+  std::vector<uint32_t> limbs_;  // little-endian; empty == zero
+};
+
+}  // namespace engarde::crypto
+
+#endif  // ENGARDE_CRYPTO_BIGINT_H_

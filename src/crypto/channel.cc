@@ -1,0 +1,111 @@
+#include "crypto/channel.h"
+
+#include <cstring>
+
+namespace engarde::crypto {
+namespace {
+
+constexpr std::array<uint8_t, 12> kClientToEnclaveNonce = {
+    'C', '2', 'E', 0, 0, 0, 0, 0, 0, 0, 0, 0};
+constexpr std::array<uint8_t, 12> kEnclaveToClientNonce = {
+    'E', '2', 'C', 0, 0, 0, 0, 0, 0, 0, 0, 0};
+
+Aes256Key DeriveAesKey(ByteView master, std::string_view label) {
+  const Sha256Digest d = HmacSha256::Mac(master, ToBytes(std::string(label)));
+  Aes256Key key;
+  std::memcpy(key.data(), d.data(), key.size());
+  return key;
+}
+
+Sha256Digest DeriveMacKey(ByteView master, std::string_view label) {
+  return HmacSha256::Mac(master, ToBytes(std::string(label)));
+}
+
+}  // namespace
+
+Result<Bytes> ByteQueue::Read(size_t n) {
+  if (buffer_.size() < n) {
+    return ProtocolError("short read: peer closed or sent a truncated record");
+  }
+  Bytes out(buffer_.begin(), buffer_.begin() + static_cast<long>(n));
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(n));
+  return out;
+}
+
+SessionKeys SessionKeys::Derive(ByteView master_key) {
+  SessionKeys keys;
+  keys.client_to_enclave_aes = DeriveAesKey(master_key, "engarde c2e aes");
+  keys.enclave_to_client_aes = DeriveAesKey(master_key, "engarde e2c aes");
+  keys.client_to_enclave_mac = DeriveMacKey(master_key, "engarde c2e mac");
+  keys.enclave_to_client_mac = DeriveMacKey(master_key, "engarde e2c mac");
+  return keys;
+}
+
+SecureChannel::SecureChannel(DuplexPipe::Endpoint endpoint,
+                             const SessionKeys& keys,
+                             bool is_enclave_side) noexcept
+    : endpoint_(endpoint),
+      send_cipher_(is_enclave_side ? keys.enclave_to_client_aes
+                                   : keys.client_to_enclave_aes,
+                   is_enclave_side ? kEnclaveToClientNonce
+                                   : kClientToEnclaveNonce),
+      recv_cipher_(is_enclave_side ? keys.client_to_enclave_aes
+                                   : keys.enclave_to_client_aes,
+                   is_enclave_side ? kClientToEnclaveNonce
+                                   : kEnclaveToClientNonce),
+      send_mac_key_(is_enclave_side ? keys.enclave_to_client_mac
+                                    : keys.client_to_enclave_mac),
+      recv_mac_key_(is_enclave_side ? keys.client_to_enclave_mac
+                                    : keys.enclave_to_client_mac) {}
+
+Status SecureChannel::Send(ByteView plaintext) {
+  if (plaintext.size() > 0x7fffffff) {
+    return InvalidArgumentError("record too large");
+  }
+  Bytes ciphertext = send_cipher_.Crypt(send_stream_offset_, plaintext);
+  send_stream_offset_ += ciphertext.size();
+
+  Bytes header;
+  AppendLe32(header, static_cast<uint32_t>(ciphertext.size()));
+  AppendLe64(header, send_seq_);
+
+  // Tag covers header (length + sequence) and ciphertext.
+  HmacSha256 mac(DigestView(send_mac_key_));
+  mac.Update(ByteView(header.data(), header.size()));
+  mac.Update(ByteView(ciphertext.data(), ciphertext.size()));
+  const Sha256Digest tag = mac.Finalize();
+
+  endpoint_.Write(ByteView(header.data(), header.size()));
+  endpoint_.Write(ByteView(ciphertext.data(), ciphertext.size()));
+  endpoint_.Write(DigestView(tag));
+  ++send_seq_;
+  return Status::Ok();
+}
+
+Result<Bytes> SecureChannel::Receive() {
+  ASSIGN_OR_RETURN(const Bytes header, endpoint_.Read(12));
+  const uint32_t len = LoadLe32(header.data());
+  const uint64_t seq = LoadLe64(header.data() + 4);
+  if (seq != recv_seq_) {
+    return ProtocolError("record sequence number mismatch (replay/reorder?)");
+  }
+  ASSIGN_OR_RETURN(Bytes ciphertext, endpoint_.Read(len));
+  ASSIGN_OR_RETURN(const Bytes wire_tag, endpoint_.Read(HmacSha256::kTagSize));
+
+  HmacSha256 mac(DigestView(recv_mac_key_));
+  mac.Update(ByteView(header.data(), header.size()));
+  mac.Update(ByteView(ciphertext.data(), ciphertext.size()));
+  const Sha256Digest expected = mac.Finalize();
+  if (!ConstantTimeEqual(DigestView(expected),
+                         ByteView(wire_tag.data(), wire_tag.size()))) {
+    return IntegrityError("record MAC verification failed");
+  }
+
+  recv_cipher_.Crypt(recv_stream_offset_,
+                     MutableByteView(ciphertext.data(), ciphertext.size()));
+  recv_stream_offset_ += ciphertext.size();
+  ++recv_seq_;
+  return ciphertext;
+}
+
+}  // namespace engarde::crypto

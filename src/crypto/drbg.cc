@@ -1,0 +1,76 @@
+#include "crypto/drbg.h"
+
+#include <cstring>
+
+#include "crypto/hmac.h"
+
+namespace engarde::crypto {
+
+HmacDrbg::HmacDrbg(ByteView seed) {
+  std::memset(k_, 0x00, sizeof(k_));
+  std::memset(v_, 0x01, sizeof(v_));
+  UpdateState(seed);
+}
+
+void HmacDrbg::Reseed(ByteView seed) { UpdateState(seed); }
+
+void HmacDrbg::UpdateState(ByteView provided) {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+  {
+    HmacSha256 mac(ByteView(k_, sizeof(k_)));
+    mac.Update(ByteView(v_, sizeof(v_)));
+    const uint8_t zero = 0x00;
+    mac.Update(ByteView(&zero, 1));
+    mac.Update(provided);
+    const Sha256Digest k = mac.Finalize();
+    std::memcpy(k_, k.data(), k.size());
+  }
+  {
+    const Sha256Digest v =
+        HmacSha256::Mac(ByteView(k_, sizeof(k_)), ByteView(v_, sizeof(v_)));
+    std::memcpy(v_, v.data(), v.size());
+  }
+  if (provided.empty()) return;
+  // Second round with 0x01 separator, per SP 800-90A.
+  {
+    HmacSha256 mac(ByteView(k_, sizeof(k_)));
+    mac.Update(ByteView(v_, sizeof(v_)));
+    const uint8_t one = 0x01;
+    mac.Update(ByteView(&one, 1));
+    mac.Update(provided);
+    const Sha256Digest k = mac.Finalize();
+    std::memcpy(k_, k.data(), k.size());
+  }
+  {
+    const Sha256Digest v =
+        HmacSha256::Mac(ByteView(k_, sizeof(k_)), ByteView(v_, sizeof(v_)));
+    std::memcpy(v_, v.data(), v.size());
+  }
+}
+
+void HmacDrbg::Generate(MutableByteView out) {
+  size_t produced = 0;
+  while (produced < out.size()) {
+    const Sha256Digest v =
+        HmacSha256::Mac(ByteView(k_, sizeof(k_)), ByteView(v_, sizeof(v_)));
+    std::memcpy(v_, v.data(), v.size());
+    const size_t take = std::min(out.size() - produced, v.size());
+    std::memcpy(out.data() + produced, v_, take);
+    produced += take;
+  }
+  UpdateState({});
+}
+
+Bytes HmacDrbg::Generate(size_t n) {
+  Bytes out(n);
+  Generate(MutableByteView(out.data(), out.size()));
+  return out;
+}
+
+uint64_t HmacDrbg::NextU64() {
+  uint8_t tmp[8];
+  Generate(MutableByteView(tmp, sizeof(tmp)));
+  return LoadLe64(tmp);
+}
+
+}  // namespace engarde::crypto

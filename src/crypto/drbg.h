@@ -1,0 +1,36 @@
+// HMAC-DRBG over SHA-256 (NIST SP 800-90A, simplified: no personalization
+// string handling beyond seed material, reseed supported). This is the
+// cryptographic randomness source for RSA key generation and AES session
+// keys. It is deliberately deterministic from its seed so the whole
+// reproduction (attestation keys, session keys) is replayable in tests.
+#ifndef ENGARDE_CRYPTO_DRBG_H_
+#define ENGARDE_CRYPTO_DRBG_H_
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace engarde::crypto {
+
+class HmacDrbg {
+ public:
+  explicit HmacDrbg(ByteView seed);
+
+  // Mixes additional entropy into the state.
+  void Reseed(ByteView seed);
+
+  // Fills out with pseudo-random bytes.
+  void Generate(MutableByteView out);
+  Bytes Generate(size_t n);
+
+  uint64_t NextU64();
+
+ private:
+  void UpdateState(ByteView provided);
+
+  uint8_t k_[Sha256::kDigestSize];
+  uint8_t v_[Sha256::kDigestSize];
+};
+
+}  // namespace engarde::crypto
+
+#endif  // ENGARDE_CRYPTO_DRBG_H_

@@ -1,0 +1,38 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace engarde::crypto {
+
+HmacSha256::HmacSha256(ByteView key) noexcept {
+  uint8_t block_key[Sha256::kBlockSize] = {};
+  if (key.size() > Sha256::kBlockSize) {
+    const Sha256Digest d = Sha256::Hash(key);
+    std::memcpy(block_key, d.data(), d.size());
+  } else {
+    std::memcpy(block_key, key.data(), key.size());
+  }
+
+  uint8_t ipad_key[Sha256::kBlockSize];
+  for (size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad_key[i] = block_key[i] ^ 0x36;
+    opad_key_[i] = block_key[i] ^ 0x5c;
+  }
+  inner_.Update(ByteView(ipad_key, sizeof(ipad_key)));
+}
+
+Sha256Digest HmacSha256::Finalize() noexcept {
+  const Sha256Digest inner_digest = inner_.Finalize();
+  Sha256 outer;
+  outer.Update(ByteView(opad_key_, sizeof(opad_key_)));
+  outer.Update(DigestView(inner_digest));
+  return outer.Finalize();
+}
+
+Sha256Digest HmacSha256::Mac(ByteView key, ByteView data) noexcept {
+  HmacSha256 mac(key);
+  mac.Update(data);
+  return mac.Finalize();
+}
+
+}  // namespace engarde::crypto

@@ -1,0 +1,29 @@
+// HMAC-SHA256 (RFC 2104 / FIPS 198-1). Authenticates the provisioning
+// channel's ciphertext (encrypt-then-MAC) and drives the HMAC-DRBG.
+#ifndef ENGARDE_CRYPTO_HMAC_H_
+#define ENGARDE_CRYPTO_HMAC_H_
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace engarde::crypto {
+
+class HmacSha256 {
+ public:
+  static constexpr size_t kTagSize = Sha256::kDigestSize;
+
+  explicit HmacSha256(ByteView key) noexcept;
+
+  void Update(ByteView data) noexcept { inner_.Update(data); }
+  Sha256Digest Finalize() noexcept;
+
+  static Sha256Digest Mac(ByteView key, ByteView data) noexcept;
+
+ private:
+  Sha256 inner_;
+  uint8_t opad_key_[Sha256::kBlockSize];
+};
+
+}  // namespace engarde::crypto
+
+#endif  // ENGARDE_CRYPTO_HMAC_H_

@@ -1,0 +1,278 @@
+#include "crypto/rsa.h"
+
+#include <cassert>
+
+namespace engarde::crypto {
+namespace {
+
+// Small primes for trial division before Miller-Rabin.
+constexpr uint32_t kSmallPrimes[] = {
+    3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,  47,
+    53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107, 109,
+    113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269,
+    271, 277, 281, 283, 293, 307, 311, 313, 317, 331, 337, 347, 349, 353,
+    359, 367, 373, 379, 383, 389, 397, 401, 409, 419, 421, 431, 433, 439,
+    443, 449, 457, 461, 463, 467, 479, 487, 491, 499, 503, 509, 521, 523,
+    541, 547, 557, 563, 569, 571, 577, 587, 593, 599, 601, 607, 613, 617,
+    619, 631, 641, 643, 647, 653, 659, 661, 673, 677, 683, 691, 701, 709,
+    719, 727, 733, 739, 743, 751, 757, 761, 769, 773, 787, 797, 809, 811,
+    821, 823, 827, 829, 839, 853, 857, 859, 863, 877, 881, 883, 887, 907,
+    911, 919, 929, 937, 941, 947, 953, 967, 971, 977, 983, 991, 997};
+
+// Uniform random BigInt in [2, n-2] for Miller-Rabin witnesses.
+BigInt RandomWitness(const BigInt& n, HmacDrbg& drbg) {
+  const size_t bytes = (n.BitLength() + 7) / 8;
+  for (;;) {
+    const Bytes raw = drbg.Generate(bytes);
+    BigInt candidate = BigInt::FromBytes(ByteView(raw.data(), raw.size()));
+    candidate = BigInt::Mod(candidate, n);
+    if (BigInt::Compare(candidate, BigInt::FromU64(2)) >= 0 &&
+        BigInt::Compare(candidate, BigInt::Sub(n, BigInt::FromU64(2))) <= 0) {
+      return candidate;
+    }
+  }
+}
+
+BigInt RandomOddWithTopBits(size_t bits, HmacDrbg& drbg) {
+  assert(bits % 8 == 0 && bits >= 16);
+  Bytes raw = drbg.Generate(bits / 8);
+  // Force the top two bits so the product of two such primes has the full
+  // 2*bits length, and force oddness.
+  raw[0] |= 0xc0;
+  raw.back() |= 0x01;
+  return BigInt::FromBytes(ByteView(raw.data(), raw.size()));
+}
+
+}  // namespace
+
+bool IsProbablePrime(const BigInt& n, HmacDrbg& drbg, int rounds) {
+  if (n.IsZero()) return false;
+  if (BigInt::Compare(n, BigInt::FromU64(3)) <= 0) {
+    const uint64_t v = n.ToU64();
+    return v == 2 || v == 3;
+  }
+  if (!n.IsOdd()) return false;
+
+  for (const uint32_t p : kSmallPrimes) {
+    const BigInt bp = BigInt::FromU64(p);
+    if (BigInt::Compare(n, bp) == 0) return true;
+    if (BigInt::Mod(n, bp).IsZero()) return false;
+  }
+
+  // Write n-1 = d * 2^r with d odd.
+  const BigInt n_minus_1 = BigInt::Sub(n, BigInt::FromU64(1));
+  BigInt d = n_minus_1;
+  size_t r = 0;
+  while (!d.IsOdd()) {
+    d = d.ShiftRight(1);
+    ++r;
+  }
+
+  for (int i = 0; i < rounds; ++i) {
+    const BigInt a = RandomWitness(n, drbg);
+    BigInt x = BigInt::ModExp(a, d, n);
+    if (BigInt::Compare(x, BigInt::FromU64(1)) == 0 ||
+        BigInt::Compare(x, n_minus_1) == 0) {
+      continue;
+    }
+    bool witness = true;
+    for (size_t j = 0; j + 1 < r; ++j) {
+      x = BigInt::Mod(BigInt::Mul(x, x), n);
+      if (BigInt::Compare(x, n_minus_1) == 0) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+namespace {
+
+BigInt GeneratePrime(size_t bits, HmacDrbg& drbg) {
+  for (;;) {
+    BigInt candidate = RandomOddWithTopBits(bits, drbg);
+    if (IsProbablePrime(candidate, drbg)) return candidate;
+  }
+}
+
+}  // namespace
+
+Bytes RsaPublicKey::Serialize() const {
+  Bytes out;
+  const Bytes n_bytes = n.ToBytes();
+  const Bytes e_bytes = e.ToBytes();
+  AppendLe32(out, static_cast<uint32_t>(n_bytes.size()));
+  AppendBytes(out, ByteView(n_bytes.data(), n_bytes.size()));
+  AppendLe32(out, static_cast<uint32_t>(e_bytes.size()));
+  AppendBytes(out, ByteView(e_bytes.data(), e_bytes.size()));
+  return out;
+}
+
+Result<RsaPublicKey> RsaPublicKey::Deserialize(ByteView data) {
+  ByteReader reader(data);
+  uint32_t n_len = 0;
+  ByteView n_bytes;
+  uint32_t e_len = 0;
+  ByteView e_bytes;
+  if (!reader.ReadLe32(n_len) || !reader.ReadBytes(n_len, n_bytes) ||
+      !reader.ReadLe32(e_len) || !reader.ReadBytes(e_len, e_bytes) ||
+      !reader.AtEnd()) {
+    return InvalidArgumentError("malformed RSA public key encoding");
+  }
+  RsaPublicKey key;
+  key.n = BigInt::FromBytes(n_bytes);
+  key.e = BigInt::FromBytes(e_bytes);
+  if (key.n.IsZero() || key.e.IsZero()) {
+    return InvalidArgumentError("RSA public key has zero component");
+  }
+  return key;
+}
+
+Result<RsaKeyPair> RsaGenerateKey(size_t modulus_bits, HmacDrbg& drbg) {
+  if (modulus_bits < 256 || modulus_bits % 16 != 0) {
+    return InvalidArgumentError(
+        "RSA modulus must be a multiple of 16 bits, >= 256");
+  }
+  const BigInt e = BigInt::FromU64(65537);
+  const size_t prime_bits = modulus_bits / 2;
+
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const BigInt p = GeneratePrime(prime_bits, drbg);
+    const BigInt q = GeneratePrime(prime_bits, drbg);
+    if (BigInt::Compare(p, q) == 0) continue;
+
+    const BigInt n = BigInt::Mul(p, q);
+    if (n.BitLength() != modulus_bits) continue;
+
+    const BigInt p1 = BigInt::Sub(p, BigInt::FromU64(1));
+    const BigInt q1 = BigInt::Sub(q, BigInt::FromU64(1));
+    const BigInt phi = BigInt::Mul(p1, q1);
+    if (BigInt::Compare(BigInt::Gcd(e, phi), BigInt::FromU64(1)) != 0) {
+      continue;
+    }
+    auto d = BigInt::ModInverse(e, phi);
+    if (!d.ok()) continue;
+
+    RsaKeyPair pair;
+    pair.public_key = {n, e};
+    pair.private_key = {pair.public_key, std::move(d).value(), p, q};
+    return pair;
+  }
+  return InternalError("RSA key generation did not converge");
+}
+
+Result<Bytes> RsaEncrypt(const RsaPublicKey& key, ByteView message,
+                         HmacDrbg& drbg) {
+  const size_t k = key.ModulusBytes();
+  if (message.size() + 11 > k) {
+    return InvalidArgumentError("RSA plaintext too long for modulus");
+  }
+  // EM = 0x00 || 0x02 || PS (nonzero random) || 0x00 || M
+  Bytes em(k, 0);
+  em[1] = 0x02;
+  const size_t ps_len = k - message.size() - 3;
+  for (size_t i = 0; i < ps_len; ++i) {
+    uint8_t b = 0;
+    do {
+      Bytes one = drbg.Generate(1);
+      b = one[0];
+    } while (b == 0);
+    em[2 + i] = b;
+  }
+  em[2 + ps_len] = 0x00;
+  std::copy(message.begin(), message.end(), em.begin() + 3 + ps_len);
+
+  const BigInt m = BigInt::FromBytes(ByteView(em.data(), em.size()));
+  const BigInt c = BigInt::ModExp(m, key.e, key.n);
+  return c.ToBytes(k);
+}
+
+Result<Bytes> RsaDecrypt(const RsaPrivateKey& key, ByteView ciphertext) {
+  const size_t k = key.public_key.ModulusBytes();
+  if (ciphertext.size() != k) {
+    return InvalidArgumentError("RSA ciphertext has wrong length");
+  }
+  const BigInt c = BigInt::FromBytes(ciphertext);
+  if (BigInt::Compare(c, key.public_key.n) >= 0) {
+    return InvalidArgumentError("RSA ciphertext out of range");
+  }
+  const BigInt m = BigInt::ModExp(c, key.d, key.public_key.n);
+  const Bytes em = m.ToBytes(k);
+
+  if (em.size() != k || em[0] != 0x00 || em[1] != 0x02) {
+    return IntegrityError("RSA decryption: bad PKCS#1 type-2 header");
+  }
+  size_t sep = 2;
+  while (sep < k && em[sep] != 0x00) ++sep;
+  if (sep == k || sep < 10) {  // at least 8 bytes of PS
+    return IntegrityError("RSA decryption: malformed padding");
+  }
+  return Bytes(em.begin() + static_cast<long>(sep) + 1, em.end());
+}
+
+namespace {
+
+// DigestInfo-style prefix marking "this is a SHA-256 hash". We use a fixed
+// ASCII tag rather than ASN.1 DER; both sides of the protocol are ours.
+constexpr char kSigTag[] = "ENGARDE-SHA256:";
+
+Bytes BuildSignaturePayload(ByteView message) {
+  const Sha256Digest digest = Sha256::Hash(message);
+  Bytes payload = ToBytes(kSigTag);
+  AppendBytes(payload, DigestView(digest));
+  return payload;
+}
+
+}  // namespace
+
+Result<Bytes> RsaSign(const RsaPrivateKey& key, ByteView message) {
+  const size_t k = key.public_key.ModulusBytes();
+  const Bytes payload = BuildSignaturePayload(message);
+  if (payload.size() + 11 > k) {
+    return InvalidArgumentError("RSA modulus too small to sign SHA-256");
+  }
+  // EM = 0x00 || 0x01 || 0xFF..0xFF || 0x00 || payload
+  Bytes em(k, 0xff);
+  em[0] = 0x00;
+  em[1] = 0x01;
+  em[k - payload.size() - 1] = 0x00;
+  std::copy(payload.begin(), payload.end(),
+            em.begin() + static_cast<long>(k - payload.size()));
+
+  const BigInt m = BigInt::FromBytes(ByteView(em.data(), em.size()));
+  const BigInt s = BigInt::ModExp(m, key.d, key.public_key.n);
+  return s.ToBytes(k);
+}
+
+Status RsaVerify(const RsaPublicKey& key, ByteView message,
+                 ByteView signature) {
+  const size_t k = key.ModulusBytes();
+  if (signature.size() != k) {
+    return IntegrityError("RSA signature has wrong length");
+  }
+  const BigInt s = BigInt::FromBytes(signature);
+  if (BigInt::Compare(s, key.n) >= 0) {
+    return IntegrityError("RSA signature out of range");
+  }
+  const BigInt m = BigInt::ModExp(s, key.e, key.n);
+  const Bytes em = m.ToBytes(k);
+
+  const Bytes payload = BuildSignaturePayload(message);
+  Bytes expected(k, 0xff);
+  expected[0] = 0x00;
+  expected[1] = 0x01;
+  expected[k - payload.size() - 1] = 0x00;
+  std::copy(payload.begin(), payload.end(),
+            expected.begin() + static_cast<long>(k - payload.size()));
+
+  if (!ConstantTimeEqual(ByteView(em.data(), em.size()),
+                         ByteView(expected.data(), expected.size()))) {
+    return IntegrityError("RSA signature verification failed");
+  }
+  return Status::Ok();
+}
+
+}  // namespace engarde::crypto

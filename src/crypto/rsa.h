@@ -1,0 +1,69 @@
+// RSA over crypto/bigint. Two uses in EnGarde (Section 3):
+//  1. The freshly-created enclave generates a 2048-bit RSA key pair; the
+//     client wraps its 256-bit AES session key with the enclave public key.
+//  2. The quoting enclave signs attestation quotes with a device key
+//     (standing in for the Intel EPID key, which is a group signature in
+//     real SGX — the trust structure is the same: only the quoting enclave
+//     holds the private half, clients hold the public half).
+//
+// Padding: PKCS#1 v1.5 type 2 for encryption, type 1 with an embedded
+// SHA-256 digest for signatures. Randomness comes from a caller-supplied
+// HmacDrbg so key generation is deterministic per seed.
+#ifndef ENGARDE_CRYPTO_RSA_H_
+#define ENGARDE_CRYPTO_RSA_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/bigint.h"
+#include "crypto/drbg.h"
+#include "crypto/sha256.h"
+
+namespace engarde::crypto {
+
+struct RsaPublicKey {
+  BigInt n;
+  BigInt e;
+
+  size_t ModulusBytes() const { return (n.BitLength() + 7) / 8; }
+
+  // Wire form: len(n) || n || len(e) || e, lengths as 32-bit LE.
+  Bytes Serialize() const;
+  static Result<RsaPublicKey> Deserialize(ByteView data);
+};
+
+struct RsaPrivateKey {
+  RsaPublicKey public_key;
+  BigInt d;
+  BigInt p;
+  BigInt q;
+};
+
+struct RsaKeyPair {
+  RsaPublicKey public_key;
+  RsaPrivateKey private_key;
+};
+
+// Generates an RSA key with a modulus of `modulus_bits` (e.g. 2048; tests use
+// smaller sizes for speed). e = 65537.
+Result<RsaKeyPair> RsaGenerateKey(size_t modulus_bits, HmacDrbg& drbg);
+
+// PKCS#1 v1.5 type-2 encryption. Message must fit: len <= k - 11.
+Result<Bytes> RsaEncrypt(const RsaPublicKey& key, ByteView message,
+                         HmacDrbg& drbg);
+Result<Bytes> RsaDecrypt(const RsaPrivateKey& key, ByteView ciphertext);
+
+// PKCS#1 v1.5 type-1 signature over SHA-256(message).
+Result<Bytes> RsaSign(const RsaPrivateKey& key, ByteView message);
+// OK on valid signature; INTEGRITY_ERROR otherwise.
+Status RsaVerify(const RsaPublicKey& key, ByteView message,
+                 ByteView signature);
+
+// Miller-Rabin primality test (exposed for tests). `rounds` witnesses drawn
+// from drbg; deterministic small-prime trial division happens first.
+bool IsProbablePrime(const BigInt& n, HmacDrbg& drbg, int rounds = 20);
+
+}  // namespace engarde::crypto
+
+#endif  // ENGARDE_CRYPTO_RSA_H_

@@ -1,0 +1,48 @@
+// SHA-256 (FIPS 180-4), implemented from scratch. Used for:
+//  * enclave measurement (MRENCLAVE-style build log digest, Section 2),
+//  * the library-linking policy's per-function digests (Section 5),
+//  * HMAC / HMAC-DRBG, and attestation quote hashing.
+#ifndef ENGARDE_CRYPTO_SHA256_H_
+#define ENGARDE_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace engarde::crypto {
+
+using Sha256Digest = std::array<uint8_t, 32>;
+
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  static constexpr size_t kBlockSize = 64;
+
+  Sha256() noexcept { Reset(); }
+
+  void Reset() noexcept;
+  void Update(ByteView data) noexcept;
+
+  // Finalize consumes the state; call Reset() to reuse the object.
+  Sha256Digest Finalize() noexcept;
+
+  // One-shot convenience.
+  static Sha256Digest Hash(ByteView data) noexcept;
+
+ private:
+  void ProcessBlock(const uint8_t* block) noexcept;
+
+  uint32_t state_[8];
+  uint64_t total_bytes_;
+  uint8_t buffer_[kBlockSize];
+  size_t buffer_len_;
+};
+
+inline ByteView DigestView(const Sha256Digest& d) noexcept {
+  return ByteView(d.data(), d.size());
+}
+
+}  // namespace engarde::crypto
+
+#endif  // ENGARDE_CRYPTO_SHA256_H_

@@ -1,0 +1,341 @@
+#include "elf/builder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace engarde::elf {
+namespace {
+
+constexpr uint64_t kTextStart = 0x1000;
+constexpr uint64_t kBundleAlign = 32;  // NaCl bundle size
+
+uint64_t AlignUp(uint64_t v, uint64_t a) { return (v + a - 1) & ~(a - 1); }
+
+// Simple string table builder: offset 0 is the empty string.
+class StrTab {
+ public:
+  StrTab() { blob_.push_back(0); }
+
+  uint32_t Intern(const std::string& s) {
+    auto [it, inserted] = offsets_.try_emplace(s, 0);
+    if (inserted) {
+      it->second = static_cast<uint32_t>(blob_.size());
+      blob_.insert(blob_.end(), s.begin(), s.end());
+      blob_.push_back(0);
+    }
+    return it->second;
+  }
+
+  const Bytes& blob() const { return blob_; }
+
+ private:
+  Bytes blob_;
+  std::map<std::string, uint32_t> offsets_;
+};
+
+}  // namespace
+
+uint64_t ElfBuilder::TextEnd() const {
+  uint64_t end = kTextStart;
+  for (const SectionSpec& s : text_sections_) {
+    end = AlignUp(end, kBundleAlign) + s.content.size();
+  }
+  return end;
+}
+
+uint64_t ElfBuilder::DataStart() const { return PageAlignUp(TextEnd()); }
+
+uint64_t ElfBuilder::DataEnd() const {
+  uint64_t end = DataStart();
+  for (const SectionSpec& s : data_sections_) {
+    end = AlignUp(end, 8) + s.content.size();
+  }
+  return end;
+}
+
+uint64_t ElfBuilder::AddTextSection(const std::string& name, Bytes content) {
+  assert(!data_started_ && "all text sections must precede data sections");
+  const uint64_t vaddr = AlignUp(TextEnd(), kBundleAlign);
+  text_sections_.push_back({name, std::move(content), vaddr});
+  return vaddr;
+}
+
+uint64_t ElfBuilder::AddDataSection(const std::string& name, Bytes content) {
+  assert(bss_size_ == 0 && "data sections must precede bss");
+  data_started_ = true;
+  const uint64_t vaddr = AlignUp(DataEnd(), 8);
+  data_sections_.push_back({name, std::move(content), vaddr});
+  return vaddr;
+}
+
+uint64_t ElfBuilder::AddBss(uint64_t size) {
+  assert(bss_size_ == 0 && "at most one bss region");
+  data_started_ = true;
+  bss_vaddr_ = AlignUp(DataEnd(), 8);
+  bss_size_ = size;
+  return bss_vaddr_;
+}
+
+void ElfBuilder::AddSymbol(const std::string& name, uint64_t vaddr,
+                           uint64_t size, uint8_t type, uint8_t bind) {
+  symbols_.push_back({name, vaddr, size, type, bind});
+}
+
+void ElfBuilder::AddRelativeRelocation(uint64_t slot_vaddr, int64_t addend) {
+  relas_.push_back({slot_vaddr, addend});
+}
+
+Result<Bytes> ElfBuilder::Build() const {
+  if (text_sections_.empty()) {
+    return FailedPreconditionError("cannot build an ELF without text");
+  }
+
+  // ---- Layout ----------------------------------------------------------
+  const uint64_t data_start = DataStart();
+  const uint64_t data_end = DataEnd();
+  const uint64_t bss_end =
+      bss_size_ > 0 ? bss_vaddr_ + bss_size_ : data_end;
+
+  // Dynamic region (rela + dynamic) sits page-aligned after bss in vaddr
+  // space and page-aligned after the data file content in the file.
+  const uint64_t dyn_vaddr = PageAlignUp(bss_end);
+  const uint64_t dyn_offset = PageAlignUp(data_end);
+  const uint64_t rela_size = relas_.size() * kRelaSize;
+  // 4 fixed dynamic entries (RELA, RELASZ, RELAENT, NULL).
+  const uint64_t dynamic_vaddr = dyn_vaddr + rela_size;
+  const uint64_t dynamic_size = 4 * kDynSize;
+  const uint64_t dyn_region_size = rela_size + dynamic_size;
+
+  // ---- Section table assembly -------------------------------------------
+  struct OutSection {
+    std::string name;
+    uint32_t type;
+    uint64_t flags;
+    uint64_t addr;
+    uint64_t offset;
+    uint64_t size;
+    uint32_t link;
+    uint64_t entsize;
+  };
+  std::vector<OutSection> sections;
+  sections.push_back({"", kShtNull, 0, 0, 0, 0, 0, 0});  // index 0
+
+  for (const SectionSpec& s : text_sections_) {
+    sections.push_back({s.name, kShtProgbits, kShfAlloc | kShfExecinstr,
+                        s.vaddr, s.vaddr, s.content.size(), 0, 0});
+  }
+  for (const SectionSpec& s : data_sections_) {
+    sections.push_back({s.name, kShtProgbits, kShfAlloc | kShfWrite, s.vaddr,
+                        s.vaddr, s.content.size(), 0, 0});
+  }
+  if (bss_size_ > 0) {
+    sections.push_back({".bss", kShtNobits, kShfAlloc | kShfWrite, bss_vaddr_,
+                        0, bss_size_, 0, 0});
+  }
+  sections.push_back({".rela.dyn", kShtRela, kShfAlloc, dyn_vaddr, dyn_offset,
+                      rela_size, 0, kRelaSize});
+  sections.push_back({".dynamic", kShtDynamic, kShfAlloc | kShfWrite,
+                      dynamic_vaddr, dyn_offset + rela_size, dynamic_size, 0,
+                      kDynSize});
+
+  // Symbols: null first, then locals, then globals (ELF ordering rule).
+  std::vector<SymbolSpec> ordered = symbols_;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const SymbolSpec& a, const SymbolSpec& b) {
+                     return (a.bind == kStbLocal) > (b.bind == kStbLocal);
+                   });
+  size_t local_count = 1;  // the null symbol counts as local
+  for (const SymbolSpec& s : ordered) {
+    if (s.bind == kStbLocal) ++local_count;
+  }
+
+  // Resolve each symbol's section index by address containment.
+  auto section_index_for = [&](uint64_t vaddr) -> uint16_t {
+    for (size_t i = 1; i < sections.size(); ++i) {
+      const OutSection& s = sections[i];
+      if (!(s.flags & kShfAlloc)) continue;
+      if (vaddr >= s.addr && vaddr < s.addr + std::max<uint64_t>(s.size, 1)) {
+        return static_cast<uint16_t>(i);
+      }
+    }
+    return 0;
+  };
+
+  StrTab strtab;
+  Bytes symtab_blob(kSymSize, 0);  // null symbol
+  for (const SymbolSpec& s : ordered) {
+    const uint32_t name_off = strtab.Intern(s.name);
+    Bytes rec(kSymSize, 0);
+    StoreLe32(rec.data(), name_off);
+    rec[4] = MakeSymInfo(s.bind, s.type);
+    rec[5] = 0;  // st_other: default visibility
+    StoreLe16(rec.data() + 6, section_index_for(s.vaddr));
+    StoreLe64(rec.data() + 8, s.vaddr);
+    StoreLe64(rec.data() + 16, s.size);
+    AppendBytes(symtab_blob, ByteView(rec.data(), rec.size()));
+  }
+
+  // Non-alloc sections live after the dynamic region in the file.
+  uint64_t cursor = dyn_offset + dyn_region_size;
+  cursor = AlignUp(cursor, 8);
+  const uint64_t symtab_offset = cursor;
+  cursor += symtab_blob.size();
+  const uint64_t strtab_offset = cursor;
+  cursor += strtab.blob().size();
+
+  const uint32_t strtab_index = static_cast<uint32_t>(sections.size() + 1);
+  sections.push_back({".symtab", kShtSymtab, 0, 0, symtab_offset,
+                      symtab_blob.size(), strtab_index, kSymSize});
+  sections.push_back({".strtab", kShtStrtab, 0, 0, strtab_offset,
+                      strtab.blob().size(), 0, 0});
+
+  // .shstrtab content depends on all names; intern them now.
+  StrTab shstrtab;
+  std::vector<uint32_t> name_offsets;
+  name_offsets.reserve(sections.size() + 1);
+  for (const OutSection& s : sections) name_offsets.push_back(shstrtab.Intern(s.name));
+  name_offsets.push_back(shstrtab.Intern(".shstrtab"));
+
+  const uint64_t shstrtab_offset = cursor;
+  sections.push_back({".shstrtab", kShtStrtab, 0, 0, shstrtab_offset,
+                      shstrtab.blob().size(), 0, 0});
+  cursor += shstrtab.blob().size();
+
+  const uint64_t shoff = AlignUp(cursor, 8);
+  const uint16_t shnum = static_cast<uint16_t>(sections.size());
+  const uint16_t shstrndx = shnum - 1;
+
+  // ---- Program headers ---------------------------------------------------
+  struct OutPhdr {
+    uint32_t type, flags;
+    uint64_t offset, vaddr, filesz, memsz, align;
+  };
+  std::vector<OutPhdr> phdrs;
+  const uint16_t phnum_est = 5;
+  const uint64_t headers_size = kEhdrSize + phnum_est * kPhdrSize;
+  phdrs.push_back({kPtLoad, kPfR, 0, 0, headers_size, headers_size, kPageSize});
+  phdrs.push_back({kPtLoad, kPfR | kPfX, kTextStart, kTextStart,
+                   TextEnd() - kTextStart, TextEnd() - kTextStart, kPageSize});
+  if (data_end > data_start || bss_size_ > 0) {
+    phdrs.push_back({kPtLoad, kPfR | kPfW, data_start, data_start,
+                     data_end - data_start, bss_end - data_start, kPageSize});
+  }
+  phdrs.push_back({kPtLoad, kPfR | kPfW, dyn_offset, dyn_vaddr,
+                   dyn_region_size, dyn_region_size, kPageSize});
+  phdrs.push_back({kPtDynamic, kPfR | kPfW, dyn_offset + rela_size,
+                   dynamic_vaddr, dynamic_size, dynamic_size, 8});
+  assert(phdrs.size() <= phnum_est);
+  const uint16_t phnum = static_cast<uint16_t>(phdrs.size());
+
+  if (headers_size > kTextStart) {
+    return InternalError("program headers overflow the header page");
+  }
+
+  // ---- Serialize ----------------------------------------------------------
+  Bytes out(shoff + shnum * kShdrSize, 0);
+
+  // ELF header.
+  out[0] = kMag0;
+  out[1] = kMag1;
+  out[2] = kMag2;
+  out[3] = kMag3;
+  out[4] = kClass64;
+  out[5] = kDataLsb;
+  out[6] = kVersionCurrent;
+  StoreLe16(out.data() + 16, kEtDyn);
+  StoreLe16(out.data() + 18, kEmX8664);
+  StoreLe32(out.data() + 20, 1);  // e_version
+  StoreLe64(out.data() + 24,
+            entry_ != 0 ? entry_ : text_sections_.front().vaddr);
+  StoreLe64(out.data() + 32, kEhdrSize);  // e_phoff
+  StoreLe64(out.data() + 40, shoff);
+  StoreLe16(out.data() + 52, kEhdrSize);  // e_ehsize
+  StoreLe16(out.data() + 54, kPhdrSize);
+  StoreLe16(out.data() + 56, phnum);
+  StoreLe16(out.data() + 58, kShdrSize);
+  StoreLe16(out.data() + 60, shnum);
+  StoreLe16(out.data() + 62, shstrndx);
+
+  // Program headers.
+  for (size_t i = 0; i < phdrs.size(); ++i) {
+    uint8_t* p = out.data() + kEhdrSize + i * kPhdrSize;
+    StoreLe32(p, phdrs[i].type);
+    StoreLe32(p + 4, phdrs[i].flags);
+    StoreLe64(p + 8, phdrs[i].offset);
+    StoreLe64(p + 16, phdrs[i].vaddr);
+    StoreLe64(p + 24, phdrs[i].vaddr);  // paddr = vaddr
+    StoreLe64(p + 32, phdrs[i].filesz);
+    StoreLe64(p + 40, phdrs[i].memsz);
+    StoreLe64(p + 48, phdrs[i].align);
+  }
+
+  // Section content: text and data at offset == vaddr.
+  for (const SectionSpec& s : text_sections_) {
+    std::copy(s.content.begin(), s.content.end(), out.begin() + static_cast<long>(s.vaddr));
+  }
+  for (const SectionSpec& s : data_sections_) {
+    std::copy(s.content.begin(), s.content.end(), out.begin() + static_cast<long>(s.vaddr));
+  }
+
+  // Relocations.
+  for (size_t i = 0; i < relas_.size(); ++i) {
+    uint8_t* p = out.data() + dyn_offset + i * kRelaSize;
+    StoreLe64(p, relas_[i].offset);
+    StoreLe64(p + 8, MakeRelaInfo(0, kRX8664Relative));
+    StoreLe64(p + 16, static_cast<uint64_t>(relas_[i].addend));
+  }
+
+  // Dynamic table.
+  {
+    uint8_t* p = out.data() + dyn_offset + rela_size;
+    auto emit = [&p](int64_t tag, uint64_t value) {
+      StoreLe64(p, static_cast<uint64_t>(tag));
+      StoreLe64(p + 8, value);
+      p += kDynSize;
+    };
+    emit(kDtRela, dyn_vaddr);
+    emit(kDtRelasz, rela_size);
+    emit(kDtRelaent, kRelaSize);
+    emit(kDtNull, 0);
+  }
+
+  // Symbol/string tables.
+  std::copy(symtab_blob.begin(), symtab_blob.end(),
+            out.begin() + static_cast<long>(symtab_offset));
+  std::copy(strtab.blob().begin(), strtab.blob().end(),
+            out.begin() + static_cast<long>(strtab_offset));
+  std::copy(shstrtab.blob().begin(), shstrtab.blob().end(),
+            out.begin() + static_cast<long>(shstrtab_offset));
+
+  // Section headers.
+  for (size_t i = 0; i < sections.size(); ++i) {
+    uint8_t* p = out.data() + shoff + i * kShdrSize;
+    const OutSection& s = sections[i];
+    StoreLe32(p, name_offsets[i]);
+    StoreLe32(p + 4, s.type);
+    StoreLe64(p + 8, s.flags);
+    StoreLe64(p + 16, s.addr);
+    StoreLe64(p + 24, s.offset);
+    StoreLe64(p + 32, s.size);
+    StoreLe32(p + 40, s.link);
+    StoreLe32(p + 44, 0);  // sh_info (unused; symtab local count is advisory)
+    StoreLe64(p + 48, i == 0 ? 0 : 8);  // sh_addralign
+    StoreLe64(p + 56, s.entsize);
+  }
+  // symtab sh_info = index of first non-local symbol.
+  {
+    // Find .symtab's section header index.
+    for (size_t i = 0; i < sections.size(); ++i) {
+      if (sections[i].name == ".symtab") {
+        StoreLe32(out.data() + shoff + i * kShdrSize + 44,
+                  static_cast<uint32_t>(local_count));
+        break;
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace engarde::elf

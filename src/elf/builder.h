@@ -1,0 +1,89 @@
+// ElfBuilder: constructs 64-bit ELF position-independent executables of the
+// shape EnGarde accepts — separated code/data sections, symbol table, RELA
+// relocations, .dynamic table. The workload generator uses this to stand in
+// for "clang/LLVM-3.6 + musl-libc" from the paper's evaluation; tests use it
+// to produce both well-formed and deliberately malformed inputs.
+//
+// Layout produced (offset == vaddr for all allocated content):
+//   0x0000  ELF header + program headers        PT_LOAD  R
+//   0x1000  text sections (contiguous)          PT_LOAD  R+X
+//   page    data sections, then .bss (memsz)    PT_LOAD  R+W
+//   page    .rela.dyn, .dynamic                 PT_LOAD  R+W  (+PT_DYNAMIC)
+//   ----    .symtab, .strtab, .shstrtab, section headers (non-alloc)
+#ifndef ENGARDE_ELF_BUILDER_H_
+#define ENGARDE_ELF_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "elf/elf_types.h"
+
+namespace engarde::elf {
+
+class ElfBuilder {
+ public:
+  ElfBuilder() = default;
+
+  // Adds an executable section; returns its assigned virtual address.
+  // All text sections must be added before any data/bss. Content is placed
+  // contiguously, each section aligned to 32 bytes (the NaCl bundle size).
+  uint64_t AddTextSection(const std::string& name, Bytes content);
+
+  // Adds a writable data section; returns its assigned virtual address.
+  uint64_t AddDataSection(const std::string& name, Bytes content);
+
+  // Reserves .bss space after the data sections; returns its virtual address.
+  // At most one bss region.
+  uint64_t AddBss(uint64_t size);
+
+  // Declares a symbol at an absolute virtual address. type/bind use the
+  // kStt*/kStb* constants from elf_types.h.
+  void AddSymbol(const std::string& name, uint64_t vaddr, uint64_t size,
+                 uint8_t type, uint8_t bind = kStbGlobal);
+
+  // R_X86_64_RELATIVE: at load time, *(u64*)(base + slot_vaddr) = base + addend.
+  void AddRelativeRelocation(uint64_t slot_vaddr, int64_t addend);
+
+  void SetEntry(uint64_t vaddr) { entry_ = vaddr; }
+
+  // Serializes the executable. The builder can be reused afterwards (Build is
+  // const). Fails if no text was added or layout invariants are violated.
+  Result<Bytes> Build() const;
+
+ private:
+  struct SectionSpec {
+    std::string name;
+    Bytes content;
+    uint64_t vaddr = 0;
+  };
+  struct SymbolSpec {
+    std::string name;
+    uint64_t vaddr = 0;
+    uint64_t size = 0;
+    uint8_t type = 0;
+    uint8_t bind = 0;
+  };
+  struct RelaSpec {
+    uint64_t offset = 0;
+    int64_t addend = 0;
+  };
+
+  uint64_t TextEnd() const;
+  uint64_t DataStart() const;
+  uint64_t DataEnd() const;
+
+  std::vector<SectionSpec> text_sections_;
+  std::vector<SectionSpec> data_sections_;
+  uint64_t bss_size_ = 0;
+  uint64_t bss_vaddr_ = 0;
+  std::vector<SymbolSpec> symbols_;
+  std::vector<RelaSpec> relas_;
+  uint64_t entry_ = 0;
+  bool data_started_ = false;
+};
+
+}  // namespace engarde::elf
+
+#endif  // ENGARDE_ELF_BUILDER_H_

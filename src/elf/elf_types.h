@@ -1,0 +1,162 @@
+// ELF64 on-disk structures and constants (System V ABI / ELF-64 object file
+// format), restricted to what EnGarde's loader needs: x86-64, little-endian,
+// position-independent executables with separated code and data sections
+// (paper Section 4, "Binary Disassembly" and "Loading").
+#ifndef ENGARDE_ELF_ELF_TYPES_H_
+#define ENGARDE_ELF_ELF_TYPES_H_
+
+#include <cstdint>
+
+namespace engarde::elf {
+
+// e_ident layout.
+inline constexpr uint8_t kMag0 = 0x7f;
+inline constexpr uint8_t kMag1 = 'E';
+inline constexpr uint8_t kMag2 = 'L';
+inline constexpr uint8_t kMag3 = 'F';
+inline constexpr uint8_t kClass64 = 2;      // ELFCLASS64
+inline constexpr uint8_t kDataLsb = 1;      // ELFDATA2LSB
+inline constexpr uint8_t kVersionCurrent = 1;
+
+// e_type values.
+inline constexpr uint16_t kEtExec = 2;  // ET_EXEC (fixed-address; rejected)
+inline constexpr uint16_t kEtDyn = 3;   // ET_DYN (PIE; required)
+
+// e_machine.
+inline constexpr uint16_t kEmX8664 = 62;  // EM_X86_64
+
+// Program header types.
+inline constexpr uint32_t kPtNull = 0;
+inline constexpr uint32_t kPtLoad = 1;
+inline constexpr uint32_t kPtDynamic = 2;
+
+// Program header flags.
+inline constexpr uint32_t kPfX = 1;
+inline constexpr uint32_t kPfW = 2;
+inline constexpr uint32_t kPfR = 4;
+
+// Section header types.
+inline constexpr uint32_t kShtNull = 0;
+inline constexpr uint32_t kShtProgbits = 1;
+inline constexpr uint32_t kShtSymtab = 2;
+inline constexpr uint32_t kShtStrtab = 3;
+inline constexpr uint32_t kShtRela = 4;
+inline constexpr uint32_t kShtNobits = 8;
+inline constexpr uint32_t kShtDynamic = 6;
+
+// Section flags.
+inline constexpr uint64_t kShfWrite = 0x1;
+inline constexpr uint64_t kShfAlloc = 0x2;
+inline constexpr uint64_t kShfExecinstr = 0x4;
+
+// Symbol binding / type (packed into st_info).
+inline constexpr uint8_t kStbLocal = 0;
+inline constexpr uint8_t kStbGlobal = 1;
+inline constexpr uint8_t kSttNotype = 0;
+inline constexpr uint8_t kSttObject = 1;
+inline constexpr uint8_t kSttFunc = 2;
+
+inline constexpr uint8_t MakeSymInfo(uint8_t bind, uint8_t type) {
+  return static_cast<uint8_t>(bind << 4 | (type & 0xf));
+}
+inline constexpr uint8_t SymBind(uint8_t info) { return info >> 4; }
+inline constexpr uint8_t SymType(uint8_t info) { return info & 0xf; }
+
+// Relocation types (x86-64 psABI).
+inline constexpr uint32_t kRX8664None = 0;
+inline constexpr uint32_t kRX866464 = 1;       // S + A, 64-bit
+inline constexpr uint32_t kRX8664Relative = 8;  // B + A, 64-bit
+
+inline constexpr uint64_t MakeRelaInfo(uint32_t sym, uint32_t type) {
+  return static_cast<uint64_t>(sym) << 32 | type;
+}
+inline constexpr uint32_t RelaSym(uint64_t info) {
+  return static_cast<uint32_t>(info >> 32);
+}
+inline constexpr uint32_t RelaType(uint64_t info) {
+  return static_cast<uint32_t>(info);
+}
+
+// Dynamic table tags.
+inline constexpr int64_t kDtNull = 0;
+inline constexpr int64_t kDtStrtab = 5;
+inline constexpr int64_t kDtSymtab = 6;
+inline constexpr int64_t kDtRela = 7;
+inline constexpr int64_t kDtRelasz = 8;
+inline constexpr int64_t kDtRelaent = 9;
+
+// Fixed sizes of the on-disk records.
+inline constexpr size_t kEhdrSize = 64;
+inline constexpr size_t kPhdrSize = 56;
+inline constexpr size_t kShdrSize = 64;
+inline constexpr size_t kSymSize = 24;
+inline constexpr size_t kRelaSize = 24;
+inline constexpr size_t kDynSize = 16;
+
+inline constexpr uint64_t kPageSize = 4096;
+
+inline constexpr uint64_t PageAlignUp(uint64_t v) {
+  return (v + kPageSize - 1) & ~(kPageSize - 1);
+}
+inline constexpr uint64_t PageAlignDown(uint64_t v) {
+  return v & ~(kPageSize - 1);
+}
+
+// Parsed (host-endian) views of the on-disk records.
+struct Ehdr {
+  uint16_t type = 0;
+  uint16_t machine = 0;
+  uint64_t entry = 0;
+  uint64_t phoff = 0;
+  uint64_t shoff = 0;
+  uint16_t phnum = 0;
+  uint16_t shnum = 0;
+  uint16_t shstrndx = 0;
+};
+
+struct Phdr {
+  uint32_t type = 0;
+  uint32_t flags = 0;
+  uint64_t offset = 0;
+  uint64_t vaddr = 0;
+  uint64_t filesz = 0;
+  uint64_t memsz = 0;
+  uint64_t align = 0;
+};
+
+struct Shdr {
+  std::string name;  // resolved from .shstrtab
+  uint32_t type = 0;
+  uint64_t flags = 0;
+  uint64_t addr = 0;
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  uint32_t link = 0;
+  uint64_t entsize = 0;
+};
+
+struct Sym {
+  std::string name;  // resolved from the linked string table
+  uint8_t info = 0;
+  uint16_t shndx = 0;
+  uint64_t value = 0;
+  uint64_t size = 0;
+
+  bool IsFunction() const { return SymType(info) == kSttFunc; }
+};
+
+struct Rela {
+  uint64_t offset = 0;
+  uint32_t sym = 0;
+  uint32_t type = 0;
+  int64_t addend = 0;
+};
+
+struct Dyn {
+  int64_t tag = 0;
+  uint64_t value = 0;
+};
+
+}  // namespace engarde::elf
+
+#endif  // ENGARDE_ELF_ELF_TYPES_H_

@@ -1,0 +1,323 @@
+#include "elf/reader.h"
+
+#include <algorithm>
+
+namespace engarde::elf {
+namespace {
+
+// Resolves a NUL-terminated string at `offset` inside a string table blob.
+Result<std::string> StringAt(ByteView strtab, uint64_t offset) {
+  if (offset >= strtab.size()) {
+    return InvalidArgumentError("string table offset out of range");
+  }
+  const auto* begin = strtab.data() + offset;
+  const auto* end = strtab.data() + strtab.size();
+  const auto* nul = std::find(begin, end, uint8_t{0});
+  if (nul == end) {
+    return InvalidArgumentError("unterminated string in string table");
+  }
+  return std::string(reinterpret_cast<const char*>(begin),
+                     static_cast<size_t>(nul - begin));
+}
+
+// Bounds-checks that [offset, offset+size) lies inside the image.
+Status CheckRange(ByteView image, uint64_t offset, uint64_t size,
+                  const char* what) {
+  if (offset > image.size() || size > image.size() - offset) {
+    return InvalidArgumentError(std::string(what) +
+                                " extends beyond end of file");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<ElfFile> ElfFile::Parse(ByteView image) {
+  ElfFile file;
+  file.image_.assign(image.begin(), image.end());
+  const ByteView img(file.image_.data(), file.image_.size());
+
+  if (img.size() < kEhdrSize) {
+    return InvalidArgumentError("file too small for an ELF header");
+  }
+
+  // e_ident: magic, class, data encoding, version.
+  if (img[0] != kMag0 || img[1] != kMag1 || img[2] != kMag2 ||
+      img[3] != kMag3) {
+    return InvalidArgumentError("bad ELF magic");
+  }
+  if (img[4] != kClass64) {
+    return InvalidArgumentError("not a 64-bit ELF (ELFCLASS64 required)");
+  }
+  if (img[5] != kDataLsb) {
+    return InvalidArgumentError("not little-endian (ELFDATA2LSB required)");
+  }
+  if (img[6] != kVersionCurrent) {
+    return InvalidArgumentError("unsupported ELF version");
+  }
+
+  Ehdr& e = file.ehdr_;
+  e.type = LoadLe16(img.data() + 16);
+  e.machine = LoadLe16(img.data() + 18);
+  e.entry = LoadLe64(img.data() + 24);
+  e.phoff = LoadLe64(img.data() + 32);
+  e.shoff = LoadLe64(img.data() + 40);
+  const uint16_t phentsize = LoadLe16(img.data() + 54);
+  e.phnum = LoadLe16(img.data() + 56);
+  const uint16_t shentsize = LoadLe16(img.data() + 58);
+  e.shnum = LoadLe16(img.data() + 60);
+  e.shstrndx = LoadLe16(img.data() + 62);
+
+  if (e.phnum > 0 && phentsize != kPhdrSize) {
+    return InvalidArgumentError("unexpected program header entry size");
+  }
+  if (e.shnum > 0 && shentsize != kShdrSize) {
+    return InvalidArgumentError("unexpected section header entry size");
+  }
+
+  // Program headers.
+  RETURN_IF_ERROR(CheckRange(img, e.phoff,
+                             static_cast<uint64_t>(e.phnum) * kPhdrSize,
+                             "program header table"));
+  file.phdrs_.reserve(e.phnum);
+  for (uint16_t i = 0; i < e.phnum; ++i) {
+    const uint8_t* p = img.data() + e.phoff + i * kPhdrSize;
+    Phdr ph;
+    ph.type = LoadLe32(p);
+    ph.flags = LoadLe32(p + 4);
+    ph.offset = LoadLe64(p + 8);
+    ph.vaddr = LoadLe64(p + 16);
+    ph.filesz = LoadLe64(p + 32);
+    ph.memsz = LoadLe64(p + 40);
+    ph.align = LoadLe64(p + 48);
+    if (ph.type == kPtLoad) {
+      RETURN_IF_ERROR(CheckRange(img, ph.offset, ph.filesz, "PT_LOAD segment"));
+      if (ph.memsz < ph.filesz) {
+        return InvalidArgumentError("segment memsz smaller than filesz");
+      }
+    }
+    file.phdrs_.push_back(ph);
+  }
+
+  // Section headers: first pass reads raw fields, second resolves names.
+  RETURN_IF_ERROR(CheckRange(img, e.shoff,
+                             static_cast<uint64_t>(e.shnum) * kShdrSize,
+                             "section header table"));
+  struct RawShdr {
+    uint32_t name_off;
+    Shdr shdr;
+  };
+  std::vector<RawShdr> raw;
+  raw.reserve(e.shnum);
+  for (uint16_t i = 0; i < e.shnum; ++i) {
+    const uint8_t* p = img.data() + e.shoff + i * kShdrSize;
+    RawShdr r;
+    r.name_off = LoadLe32(p);
+    r.shdr.type = LoadLe32(p + 4);
+    r.shdr.flags = LoadLe64(p + 8);
+    r.shdr.addr = LoadLe64(p + 16);
+    r.shdr.offset = LoadLe64(p + 24);
+    r.shdr.size = LoadLe64(p + 32);
+    r.shdr.link = LoadLe32(p + 40);
+    r.shdr.entsize = LoadLe64(p + 56);
+    if (r.shdr.type != kShtNobits && r.shdr.type != kShtNull) {
+      RETURN_IF_ERROR(CheckRange(img, r.shdr.offset, r.shdr.size, "section"));
+    }
+    raw.push_back(std::move(r));
+  }
+
+  if (e.shnum > 0) {
+    if (e.shstrndx >= e.shnum) {
+      return InvalidArgumentError("shstrndx out of range");
+    }
+    const Shdr& shstr = raw[e.shstrndx].shdr;
+    if (shstr.type != kShtStrtab) {
+      return InvalidArgumentError("shstrndx does not point at a string table");
+    }
+    const ByteView shstrtab = img.subspan(shstr.offset, shstr.size);
+    for (auto& r : raw) {
+      ASSIGN_OR_RETURN(r.shdr.name, StringAt(shstrtab, r.name_off));
+      file.shdrs_.push_back(std::move(r.shdr));
+    }
+  }
+
+  // Symbol table (at most one SHT_SYMTAB; the paper's loader builds its
+  // symbol hash table from it).
+  for (const Shdr& s : file.shdrs_) {
+    if (s.type != kShtSymtab) continue;
+    if (s.entsize != kSymSize || s.size % kSymSize != 0) {
+      return InvalidArgumentError("malformed symbol table geometry");
+    }
+    if (s.link >= file.shdrs_.size() ||
+        file.shdrs_[s.link].type != kShtStrtab) {
+      return InvalidArgumentError("symbol table has no linked string table");
+    }
+    const Shdr& strtab_hdr = file.shdrs_[s.link];
+    const ByteView strtab = img.subspan(strtab_hdr.offset, strtab_hdr.size);
+
+    const size_t count = s.size / kSymSize;
+    file.symbols_.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      const uint8_t* p = img.data() + s.offset + i * kSymSize;
+      Sym sym;
+      const uint32_t name_off = LoadLe32(p);
+      sym.info = p[4];
+      sym.shndx = LoadLe16(p + 6);
+      sym.value = LoadLe64(p + 8);
+      sym.size = LoadLe64(p + 16);
+      ASSIGN_OR_RETURN(sym.name, StringAt(strtab, name_off));
+      file.symbols_.push_back(std::move(sym));
+    }
+  }
+
+  // RELA relocation sections.
+  for (const Shdr& s : file.shdrs_) {
+    if (s.type != kShtRela) continue;
+    if (s.entsize != kRelaSize || s.size % kRelaSize != 0) {
+      return InvalidArgumentError("malformed RELA section geometry");
+    }
+    const size_t count = s.size / kRelaSize;
+    file.relas_.reserve(file.relas_.size() + count);
+    for (size_t i = 0; i < count; ++i) {
+      const uint8_t* p = img.data() + s.offset + i * kRelaSize;
+      Rela rela;
+      rela.offset = LoadLe64(p);
+      const uint64_t info = LoadLe64(p + 8);
+      rela.sym = RelaSym(info);
+      rela.type = RelaType(info);
+      rela.addend = static_cast<int64_t>(LoadLe64(p + 16));
+      file.relas_.push_back(rela);
+    }
+  }
+
+  // Dynamic table.
+  for (const Shdr& s : file.shdrs_) {
+    if (s.type != kShtDynamic) continue;
+    if (s.entsize != kDynSize || s.size % kDynSize != 0) {
+      return InvalidArgumentError("malformed dynamic section geometry");
+    }
+    const size_t count = s.size / kDynSize;
+    for (size_t i = 0; i < count; ++i) {
+      const uint8_t* p = img.data() + s.offset + i * kDynSize;
+      Dyn d;
+      d.tag = static_cast<int64_t>(LoadLe64(p));
+      d.value = LoadLe64(p + 8);
+      if (d.tag == kDtNull) break;
+      file.dynamic_.push_back(d);
+    }
+  }
+
+  return file;
+}
+
+const Shdr* ElfFile::SectionByName(std::string_view name) const {
+  for (const Shdr& s : shdrs_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const Shdr*> ElfFile::TextSections() const {
+  std::vector<const Shdr*> out;
+  for (const Shdr& s : shdrs_) {
+    if (s.type == kShtProgbits && (s.flags & kShfExecinstr)) out.push_back(&s);
+  }
+  return out;
+}
+
+Result<ByteView> ElfFile::SectionContent(const Shdr& section) const {
+  if (section.type == kShtNobits) return ByteView{};
+  const ByteView img(image_.data(), image_.size());
+  if (section.offset > img.size() ||
+      section.size > img.size() - section.offset) {
+    return OutOfRangeError("section content out of file bounds");
+  }
+  return img.subspan(section.offset, section.size);
+}
+
+std::optional<uint64_t> ElfFile::DynamicValue(int64_t tag) const {
+  for (const Dyn& d : dynamic_) {
+    if (d.tag == tag) return d.value;
+  }
+  return std::nullopt;
+}
+
+Status ElfFile::ValidateForEnclave() const {
+  if (ehdr_.machine != kEmX8664) {
+    return InvalidArgumentError("enclave code must be x86-64");
+  }
+  if (ehdr_.type != kEtDyn) {
+    return InvalidArgumentError(
+        "enclave code must be a position-independent executable (ET_DYN)");
+  }
+
+  // Statically linked: a PT_INTERP segment (type 3) means a dynamic loader
+  // is required, which EnGarde does not provide inside the enclave.
+  for (const Phdr& ph : phdrs_) {
+    if (ph.type == 3 /* PT_INTERP */) {
+      return InvalidArgumentError(
+          "enclave code must be statically linked (found PT_INTERP)");
+    }
+  }
+
+  // Code/data separation at segment granularity: no PT_LOAD may be both
+  // writable and executable, and every executable section must live in an
+  // executable, non-writable segment. "EnGarde rejects pages that contain
+  // mixed code and data."
+  for (const Phdr& ph : phdrs_) {
+    if (ph.type != kPtLoad) continue;
+    if ((ph.flags & kPfX) && (ph.flags & kPfW)) {
+      return PolicyViolationError("segment is both writable and executable");
+    }
+  }
+  for (const Shdr& s : shdrs_) {
+    if (s.type != kShtProgbits || !(s.flags & kShfExecinstr)) continue;
+    if (s.flags & kShfWrite) {
+      return PolicyViolationError("section " + s.name +
+                                  " is both writable and executable");
+    }
+    bool covered = false;
+    for (const Phdr& ph : phdrs_) {
+      if (ph.type != kPtLoad || !(ph.flags & kPfX)) continue;
+      if (s.addr >= ph.vaddr && s.addr + s.size <= ph.vaddr + ph.memsz) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      return InvalidArgumentError("text section " + s.name +
+                                  " not covered by an executable segment");
+    }
+  }
+
+  // Symbol-table requirement: stripped binaries are auto-rejected because the
+  // policy modules resolve call targets through the symbol hash table.
+  bool has_function_symbol = false;
+  for (const Sym& sym : symbols_) {
+    if (sym.IsFunction() && !sym.name.empty()) {
+      has_function_symbol = true;
+      break;
+    }
+  }
+  if (!has_function_symbol) {
+    return InvalidArgumentError(
+        "stripped binary: EnGarde requires function symbols");
+  }
+
+  // Entry point must land inside some executable segment.
+  bool entry_ok = false;
+  for (const Phdr& ph : phdrs_) {
+    if (ph.type == kPtLoad && (ph.flags & kPfX) && ehdr_.entry >= ph.vaddr &&
+        ehdr_.entry < ph.vaddr + ph.memsz) {
+      entry_ok = true;
+      break;
+    }
+  }
+  if (!entry_ok) {
+    return InvalidArgumentError("entry point outside executable segments");
+  }
+
+  return Status::Ok();
+}
+
+}  // namespace engarde::elf

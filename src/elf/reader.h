@@ -1,0 +1,64 @@
+// ElfReader: parses and validates the 64-bit ELF executables clients ship to
+// EnGarde. Mirrors the loader checks from paper Section 4: signature, ELF
+// class, position-independent (ET_DYN) x86-64, statically linked, and
+// separated code/data sections. Also exposes the symbol table (EnGarde
+// auto-rejects binaries without one — Section 6, "Recognizing Functions in
+// Binary Code"), RELA relocations and the .dynamic table used for loading.
+#ifndef ENGARDE_ELF_READER_H_
+#define ENGARDE_ELF_READER_H_
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "elf/elf_types.h"
+
+namespace engarde::elf {
+
+class ElfFile {
+ public:
+  // Parses headers, sections, segments, symbols, relocations and the dynamic
+  // table. The returned object keeps a copy of the raw image, so section
+  // content views remain valid for its lifetime.
+  static Result<ElfFile> Parse(ByteView image);
+
+  const Ehdr& header() const { return ehdr_; }
+  const std::vector<Phdr>& segments() const { return phdrs_; }
+  const std::vector<Shdr>& sections() const { return shdrs_; }
+  const std::vector<Sym>& symbols() const { return symbols_; }
+  const std::vector<Rela>& relocations() const { return relas_; }
+  const std::vector<Dyn>& dynamic() const { return dynamic_; }
+
+  const Shdr* SectionByName(std::string_view name) const;
+  // All sections with SHF_EXECINSTR — "the loader reads the program header of
+  // the executable to extract all text sections".
+  std::vector<const Shdr*> TextSections() const;
+  // Raw content of a section (empty for SHT_NOBITS).
+  Result<ByteView> SectionContent(const Shdr& section) const;
+
+  std::optional<uint64_t> DynamicValue(int64_t tag) const;
+
+  // The EnGarde front-door checks, in the order the paper applies them.
+  // Distinct from Parse: Parse rejects *malformed* files, Validate rejects
+  // well-formed files that violate EnGarde's input contract.
+  Status ValidateForEnclave() const;
+
+  ByteView image() const { return ByteView(image_.data(), image_.size()); }
+
+ private:
+  ElfFile() = default;
+
+  Bytes image_;
+  Ehdr ehdr_;
+  std::vector<Phdr> phdrs_;
+  std::vector<Shdr> shdrs_;
+  std::vector<Sym> symbols_;
+  std::vector<Rela> relas_;
+  std::vector<Dyn> dynamic_;
+};
+
+}  // namespace engarde::elf
+
+#endif  // ENGARDE_ELF_READER_H_

@@ -1,0 +1,78 @@
+#include "sgx/attestation.h"
+
+#include <cstring>
+
+namespace engarde::sgx {
+
+Bytes Quote::Serialize() const {
+  Bytes out = report.Serialize();
+  AppendLe32(out, static_cast<uint32_t>(signature.size()));
+  AppendBytes(out, ByteView(signature.data(), signature.size()));
+  return out;
+}
+
+Result<Quote> Quote::Deserialize(ByteView data) {
+  constexpr size_t kReportSize = 32 + 8 + 8 + 64;
+  if (data.size() < kReportSize + 4) {
+    return InvalidArgumentError("quote too small");
+  }
+  Quote quote;
+  ASSIGN_OR_RETURN(quote.report,
+                   Report::Deserialize(data.subspan(0, kReportSize)));
+  const uint32_t sig_len = LoadLe32(data.data() + kReportSize);
+  if (data.size() != kReportSize + 4 + sig_len) {
+    return InvalidArgumentError("quote has trailing or missing bytes");
+  }
+  quote.signature.assign(data.begin() + kReportSize + 4, data.end());
+  return quote;
+}
+
+Result<QuotingEnclave> QuotingEnclave::Provision(ByteView seed,
+                                                 size_t key_bits) {
+  crypto::HmacDrbg drbg(seed);
+  ASSIGN_OR_RETURN(crypto::RsaKeyPair pair,
+                   crypto::RsaGenerateKey(key_bits, drbg));
+  return QuotingEnclave(std::move(pair));
+}
+
+Result<Quote> QuotingEnclave::CreateQuote(const Report& report) const {
+  Quote quote;
+  quote.report = report;
+  const Bytes body = report.Serialize();
+  ASSIGN_OR_RETURN(quote.signature,
+                   crypto::RsaSign(key_pair_.private_key,
+                                   ByteView(body.data(), body.size())));
+  return quote;
+}
+
+Status VerifyQuote(const Quote& quote,
+                   const crypto::RsaPublicKey& attestation_key) {
+  const Bytes body = quote.report.Serialize();
+  return crypto::RsaVerify(attestation_key, ByteView(body.data(), body.size()),
+                           ByteView(quote.signature.data(),
+                                    quote.signature.size()));
+}
+
+Status VerifyQuote(const Quote& quote,
+                   const crypto::RsaPublicKey& attestation_key,
+                   const crypto::Sha256Digest& expected_mrenclave) {
+  RETURN_IF_ERROR(VerifyQuote(quote, attestation_key));
+  if (!ConstantTimeEqual(crypto::DigestView(quote.report.mr_enclave),
+                         crypto::DigestView(expected_mrenclave))) {
+    return IntegrityError(
+        "MRENCLAVE mismatch: enclave does not run the expected EnGarde "
+        "bootstrap");
+  }
+  return Status::Ok();
+}
+
+std::array<uint8_t, 64> BindPublicKey(const crypto::RsaPublicKey& key) {
+  std::array<uint8_t, 64> data{};
+  const Bytes wire = key.Serialize();
+  const crypto::Sha256Digest digest =
+      crypto::Sha256::Hash(ByteView(wire.data(), wire.size()));
+  std::memcpy(data.data(), digest.data(), digest.size());
+  return data;
+}
+
+}  // namespace engarde::sgx

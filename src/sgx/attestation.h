@@ -1,0 +1,66 @@
+// Remote attestation (paper Section 2): each SGX machine carries an
+// Intel-provided quoting enclave whose device-specific private key (the EPID
+// key on real hardware; an RSA key here — same trust structure, only the
+// quoting enclave holds the private half) signs enclave measurements.
+// Clients verify quotes against the vendor's public key and compare
+// MRENCLAVE against the expected EnGarde bootstrap measurement.
+//
+// The 64-byte report_data field binds the enclave's ephemeral RSA public key
+// (its SHA-256) into the quote, giving the client a hardware-rooted guarantee
+// that the key it encrypts the AES session key to lives inside *that*
+// enclave — the channel-bootstrapping trick from Section 2.
+#ifndef ENGARDE_SGX_ATTESTATION_H_
+#define ENGARDE_SGX_ATTESTATION_H_
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/rsa.h"
+#include "sgx/device.h"
+
+namespace engarde::sgx {
+
+struct Quote {
+  Report report;
+  Bytes signature;  // over Report::Serialize()
+
+  Bytes Serialize() const;
+  static Result<Quote> Deserialize(ByteView data);
+};
+
+class QuotingEnclave {
+ public:
+  // Provisioning the quoting enclave generates the device attestation key
+  // from the given seed (deterministic for tests). `key_bits` is tunable so
+  // unit tests can use small keys.
+  static Result<QuotingEnclave> Provision(ByteView seed,
+                                          size_t key_bits = 2048);
+
+  // The public half, distributed out of band (Intel Attestation Service).
+  const crypto::RsaPublicKey& attestation_public_key() const {
+    return key_pair_.public_key;
+  }
+
+  // Signs a hardware report into a quote.
+  Result<Quote> CreateQuote(const Report& report) const;
+
+ private:
+  explicit QuotingEnclave(crypto::RsaKeyPair key_pair)
+      : key_pair_(std::move(key_pair)) {}
+
+  crypto::RsaKeyPair key_pair_;
+};
+
+// Client-side verification: checks the signature and (optionally) the
+// expected measurement. Pure function of public data.
+Status VerifyQuote(const Quote& quote,
+                   const crypto::RsaPublicKey& attestation_key);
+Status VerifyQuote(const Quote& quote,
+                   const crypto::RsaPublicKey& attestation_key,
+                   const crypto::Sha256Digest& expected_mrenclave);
+
+// Convenience: the report_data binding for an RSA public key.
+std::array<uint8_t, 64> BindPublicKey(const crypto::RsaPublicKey& key);
+
+}  // namespace engarde::sgx
+
+#endif  // ENGARDE_SGX_ATTESTATION_H_

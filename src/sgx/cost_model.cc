@@ -1,0 +1,49 @@
+#include "sgx/cost_model.h"
+
+namespace engarde::sgx {
+
+std::string_view PhaseName(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::kIdle: return "idle";
+    case Phase::kChannel: return "channel";
+    case Phase::kDisassembly: return "disassembly";
+    case Phase::kPolicyCheck: return "policy-check";
+    case Phase::kLoading: return "loading-and-relocation";
+    case Phase::kWxHardening: return "wx-epcm-hardening";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+void CycleAccountant::CountSgxInstruction() noexcept {
+  ++total_sgx_;
+  ++costs_[static_cast<size_t>(current_)].sgx_instructions;
+}
+
+void CycleAccountant::CountTrampoline() noexcept {
+  ++trampolines_;
+  CountSgxInstruction();  // EEXIT
+  CountSgxInstruction();  // EENTER
+}
+
+void CycleAccountant::BeginPhase(Phase phase) noexcept {
+  const auto now = Clock::now();
+  costs_[static_cast<size_t>(current_)].native_ns +=
+      static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                now - phase_start_)
+                                .count());
+  current_ = phase;
+  phase_start_ = now;
+}
+
+void CycleAccountant::EndPhase() noexcept { BeginPhase(Phase::kIdle); }
+
+void CycleAccountant::Reset() noexcept {
+  costs_ = {};
+  current_ = Phase::kIdle;
+  phase_start_ = Clock::now();
+  total_sgx_ = 0;
+  trampolines_ = 0;
+}
+
+}  // namespace engarde::sgx

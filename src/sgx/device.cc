@@ -1,0 +1,642 @@
+#include "sgx/device.h"
+
+#include <cstring>
+
+#include "crypto/hmac.h"
+
+namespace engarde::sgx {
+namespace {
+
+uint64_t PageBase(uint64_t linear) { return linear & ~(kPageSize - 1); }
+
+std::string LinearString(uint64_t linear) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(linear));
+  return buf;
+}
+
+}  // namespace
+
+Bytes Report::Serialize() const {
+  Bytes out;
+  AppendBytes(out, crypto::DigestView(mr_enclave));
+  AppendLe64(out, enclave_id);
+  AppendLe64(out, attributes);
+  AppendBytes(out, ByteView(report_data.data(), report_data.size()));
+  return out;
+}
+
+Result<Report> Report::Deserialize(ByteView data) {
+  if (data.size() != 32 + 8 + 8 + 64) {
+    return InvalidArgumentError("bad report size");
+  }
+  Report report;
+  std::memcpy(report.mr_enclave.data(), data.data(), 32);
+  report.enclave_id = LoadLe64(data.data() + 32);
+  report.attributes = LoadLe64(data.data() + 40);
+  std::memcpy(report.report_data.data(), data.data() + 48, 64);
+  return report;
+}
+
+SgxDevice::SgxDevice(const Options& options, CycleAccountant* accountant)
+    : epc_(options.epc_pages),
+      sgx_version_(options.sgx_version),
+      accountant_(accountant),
+      device_secret_(options.device_seed) {}
+
+Result<SgxDevice::Enclave*> SgxDevice::FindEnclave(uint64_t enclave_id) {
+  auto it = enclaves_.find(enclave_id);
+  if (it == enclaves_.end()) {
+    return NotFoundError("no enclave with id " + std::to_string(enclave_id));
+  }
+  return &it->second;
+}
+
+Result<const SgxDevice::Enclave*> SgxDevice::FindEnclave(
+    uint64_t enclave_id) const {
+  auto it = enclaves_.find(enclave_id);
+  if (it == enclaves_.end()) {
+    return NotFoundError("no enclave with id " + std::to_string(enclave_id));
+  }
+  return &it->second;
+}
+
+Result<size_t> SgxDevice::ResolvePage(const Enclave& enclave,
+                                      uint64_t linear) const {
+  const auto it = enclave.pages.find(PageBase(linear));
+  if (it == enclave.pages.end()) {
+    if (enclave.evicted.count(PageBase(linear)) != 0) {
+      return FailedPreconditionError("page " + LinearString(linear) +
+                                     " is evicted (needs ELDU)");
+    }
+    return NotFoundError("no enclave page at " + LinearString(linear));
+  }
+  return it->second;
+}
+
+Result<size_t> SgxDevice::ResolvePageFaulting(Enclave& enclave,
+                                              uint64_t linear) {
+  auto resolved = ResolvePage(enclave, linear);
+  if (resolved.ok()) return resolved;
+  // Only the "page is evicted" precondition is recoverable by the OS.
+  if (resolved.status().code() != StatusCode::kFailedPrecondition ||
+      fault_handler_ == nullptr || in_fault_) {
+    return resolved;
+  }
+  in_fault_ = true;
+  const Status handled = fault_handler_->OnEpcFault(enclave.id, linear);
+  in_fault_ = false;
+  RETURN_IF_ERROR(handled);
+  return ResolvePage(enclave, linear);
+}
+
+PagePerms SgxDevice::EffectivePerms(const Enclave& enclave, uint64_t linear,
+                                    const EpcmEntry& entry) const {
+  PagePerms perms = entry.perms;
+  // Two-level check: the OS page tables can only *remove* access.
+  if (page_table_ != nullptr) {
+    const PagePerms pt = page_table_->PageTablePerms(enclave.id, linear);
+    perms.r = perms.r && pt.r;
+    perms.w = perms.w && pt.w;
+    perms.x = perms.x && pt.x;
+  }
+  return perms;
+}
+
+crypto::Aes256Key SgxDevice::PageEncryptionKey(uint64_t enclave_id) const {
+  Bytes info = ToBytes("sgx-page-key");
+  AppendLe64(info, enclave_id);
+  const crypto::Sha256Digest d = crypto::HmacSha256::Mac(
+      ByteView(device_secret_.data(), device_secret_.size()),
+      ByteView(info.data(), info.size()));
+  crypto::Aes256Key key;
+  std::memcpy(key.data(), d.data(), key.size());
+  return key;
+}
+
+// ---- SGX1 lifecycle ---------------------------------------------------------
+
+Result<uint64_t> SgxDevice::ECreate(uint64_t base, uint64_t size) {
+  Charge();
+  if (base % kPageSize != 0 || size % kPageSize != 0 || size == 0) {
+    return InvalidArgumentError("enclave range must be page-aligned");
+  }
+  // The SECS itself occupies an EPC page.
+  ASSIGN_OR_RETURN(const size_t secs_page, epc_.AllocatePage());
+  EpcmEntry& secs = epc_.Entry(secs_page);
+  secs.type = PageType::kSecs;
+
+  Enclave enclave;
+  enclave.id = next_enclave_id_++;
+  enclave.base = base;
+  enclave.size = size;
+  secs.enclave_id = enclave.id;
+
+  // Open the measurement log, exactly mirroring the hardware's
+  // "SHA-256 digest of a log of all activities during enclave initialization".
+  Bytes record = ToBytes("ECREATE");
+  AppendLe64(record, size);
+  enclave.measurement_stream.Update(ByteView(record.data(), record.size()));
+
+  const uint64_t id = enclave.id;
+  enclaves_.emplace(id, std::move(enclave));
+  return id;
+}
+
+Status SgxDevice::EAdd(uint64_t enclave_id, uint64_t linear, ByteView content,
+                       PagePerms perms, PageType type) {
+  Charge();
+  ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
+  if (enclave->initialized) {
+    return FailedPreconditionError(
+        "EADD after EINIT (use EAUG on SGX2 for dynamic pages)");
+  }
+  if (linear % kPageSize != 0) {
+    return InvalidArgumentError("EADD linear address must be page-aligned");
+  }
+  if (linear < enclave->base || linear >= enclave->base + enclave->size) {
+    return OutOfRangeError("EADD outside the enclave's linear range");
+  }
+  if (content.size() > kPageSize) {
+    return InvalidArgumentError("EADD content exceeds one page");
+  }
+  if (enclave->pages.count(linear) != 0) {
+    return FailedPreconditionError("EADD over an existing page");
+  }
+
+  ASSIGN_OR_RETURN(const size_t epc_index, epc_.AllocatePage());
+  EpcmEntry& entry = epc_.Entry(epc_index);
+  entry.enclave_id = enclave_id;
+  entry.linear_addr = linear;
+  entry.type = type;
+  entry.perms = perms;
+  std::memcpy(epc_.PageData(epc_index), content.data(), content.size());
+  enclave->pages.emplace(linear, epc_index);
+
+  // Measurement log entry: page offset + security attributes (not content;
+  // content is covered by EEXTEND, as on real hardware).
+  Bytes record = ToBytes("EADD");
+  AppendLe64(record, linear - enclave->base);
+  record.push_back(static_cast<uint8_t>((perms.r << 2) | (perms.w << 1) |
+                                        perms.x));
+  record.push_back(static_cast<uint8_t>(type));
+  enclave->measurement_stream.Update(ByteView(record.data(), record.size()));
+  return Status::Ok();
+}
+
+Status SgxDevice::EExtend(uint64_t enclave_id, uint64_t chunk_linear) {
+  Charge();
+  ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
+  if (enclave->initialized) {
+    return FailedPreconditionError("EEXTEND after EINIT");
+  }
+  if (chunk_linear % 256 != 0) {
+    return InvalidArgumentError("EEXTEND chunk must be 256-byte aligned");
+  }
+  ASSIGN_OR_RETURN(const size_t epc_index, ResolvePage(*enclave, chunk_linear));
+  const size_t offset = chunk_linear % kPageSize;
+
+  Bytes record = ToBytes("EEXTEND");
+  AppendLe64(record, chunk_linear - enclave->base);
+  AppendBytes(record, ByteView(epc_.PageData(epc_index) + offset, 256));
+  enclave->measurement_stream.Update(ByteView(record.data(), record.size()));
+  return Status::Ok();
+}
+
+Status SgxDevice::ExtendPage(uint64_t enclave_id, uint64_t linear) {
+  for (size_t chunk = 0; chunk < kPageSize; chunk += 256) {
+    RETURN_IF_ERROR(EExtend(enclave_id, PageBase(linear) + chunk));
+  }
+  return Status::Ok();
+}
+
+Status SgxDevice::EInit(uint64_t enclave_id) {
+  Charge();
+  ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
+  if (enclave->initialized) {
+    return FailedPreconditionError("enclave already initialized");
+  }
+  enclave->mr_enclave = enclave->measurement_stream.Finalize();
+  enclave->initialized = true;
+  return Status::Ok();
+}
+
+Status SgxDevice::EEnter(uint64_t enclave_id) {
+  Charge();
+  ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
+  if (!enclave->initialized) {
+    return FailedPreconditionError("EENTER before EINIT");
+  }
+  ++enclave->enter_depth;
+  return Status::Ok();
+}
+
+Status SgxDevice::EExit(uint64_t enclave_id) {
+  Charge();
+  ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
+  if (enclave->enter_depth == 0) {
+    return FailedPreconditionError("EEXIT without matching EENTER");
+  }
+  --enclave->enter_depth;
+  return Status::Ok();
+}
+
+Status SgxDevice::ERemove(uint64_t enclave_id, uint64_t linear) {
+  Charge();
+  ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
+  if (enclave->enter_depth > 0) {
+    return FailedPreconditionError("EREMOVE while enclave threads are inside");
+  }
+  ASSIGN_OR_RETURN(const size_t epc_index, ResolvePage(*enclave, linear));
+  RETURN_IF_ERROR(epc_.FreePage(epc_index));
+  enclave->pages.erase(PageBase(linear));
+  return Status::Ok();
+}
+
+Status SgxDevice::DestroyEnclave(uint64_t enclave_id) {
+  ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
+  while (!enclave->pages.empty()) {
+    RETURN_IF_ERROR(ERemove(enclave_id, enclave->pages.begin()->first));
+  }
+  // Free the SECS page.
+  for (size_t i = 0; i < epc_.capacity(); ++i) {
+    EpcmEntry& entry = epc_.Entry(i);
+    if (entry.valid && entry.enclave_id == enclave_id &&
+        entry.type == PageType::kSecs) {
+      RETURN_IF_ERROR(epc_.FreePage(i));
+      break;
+    }
+  }
+  enclaves_.erase(enclave_id);
+  return Status::Ok();
+}
+
+// ---- SGX2 -----------------------------------------------------------------
+
+Status SgxDevice::EAug(uint64_t enclave_id, uint64_t linear) {
+  Charge();
+  if (sgx_version_ < 2) {
+    return UnimplementedError("EAUG requires SGX2 (device is version 1)");
+  }
+  ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
+  if (!enclave->initialized) {
+    return FailedPreconditionError("EAUG before EINIT (use EADD)");
+  }
+  if (linear % kPageSize != 0 || linear < enclave->base ||
+      linear >= enclave->base + enclave->size) {
+    return OutOfRangeError("EAUG outside the enclave's linear range");
+  }
+  if (enclave->pages.count(linear) != 0) {
+    return FailedPreconditionError("EAUG over an existing page");
+  }
+  ASSIGN_OR_RETURN(const size_t epc_index, epc_.AllocatePage());
+  EpcmEntry& entry = epc_.Entry(epc_index);
+  entry.enclave_id = enclave_id;
+  entry.linear_addr = linear;
+  entry.type = PageType::kReg;
+  entry.perms = PagePerms::RW();
+  entry.pending = true;
+  enclave->pages.emplace(linear, epc_index);
+  return Status::Ok();
+}
+
+Status SgxDevice::EAccept(uint64_t enclave_id, uint64_t linear) {
+  Charge();
+  if (sgx_version_ < 2) {
+    return UnimplementedError("EACCEPT requires SGX2 (device is version 1)");
+  }
+  ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
+  ASSIGN_OR_RETURN(const size_t epc_index, ResolvePage(*enclave, linear));
+  EpcmEntry& entry = epc_.Entry(epc_index);
+  if (!entry.pending) {
+    return FailedPreconditionError("EACCEPT on a non-pending page");
+  }
+  entry.pending = false;
+  return Status::Ok();
+}
+
+Status SgxDevice::EModpr(uint64_t enclave_id, uint64_t linear,
+                         PagePerms perms) {
+  Charge();
+  if (sgx_version_ < 2) {
+    return UnimplementedError(
+        "EMODPR requires SGX2: version-1 hardware cannot change EPC page "
+        "permissions (the gap EnGarde needs closed — paper Section 4)");
+  }
+  ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
+  ASSIGN_OR_RETURN(const size_t epc_index, ResolvePage(*enclave, linear));
+  EpcmEntry& entry = epc_.Entry(epc_index);
+  if (!entry.perms.Covers(perms)) {
+    return InvalidArgumentError("EMODPR can only restrict permissions");
+  }
+  entry.perms = perms;
+  entry.pending = true;  // enclave must EACCEPT the restriction
+  return Status::Ok();
+}
+
+Status SgxDevice::EModpe(uint64_t enclave_id, uint64_t linear,
+                         PagePerms perms) {
+  Charge();
+  if (sgx_version_ < 2) {
+    return UnimplementedError("EMODPE requires SGX2 (device is version 1)");
+  }
+  ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
+  ASSIGN_OR_RETURN(const size_t epc_index, ResolvePage(*enclave, linear));
+  EpcmEntry& entry = epc_.Entry(epc_index);
+  if (!perms.Covers(entry.perms)) {
+    return InvalidArgumentError("EMODPE can only extend permissions");
+  }
+  entry.perms = perms;
+  return Status::Ok();
+}
+
+// ---- Attestation -------------------------------------------------------------
+
+Result<Report> SgxDevice::EReport(uint64_t enclave_id,
+                                  const std::array<uint8_t, 64>& report_data) {
+  Charge();
+  ASSIGN_OR_RETURN(const Enclave* const enclave, FindEnclave(enclave_id));
+  if (!enclave->initialized) {
+    return FailedPreconditionError("EREPORT before EINIT");
+  }
+  Report report;
+  report.mr_enclave = enclave->mr_enclave;
+  report.enclave_id = enclave_id;
+  report.attributes = 0x1 | (sgx_version_ >= 2 ? 0x2 : 0x0);
+  report.report_data = report_data;
+  return report;
+}
+
+Result<crypto::Aes256Key> SgxDevice::EGetkey(uint64_t enclave_id,
+                                             uint64_t key_id) {
+  Charge();
+  ASSIGN_OR_RETURN(const Enclave* const enclave, FindEnclave(enclave_id));
+  if (!enclave->initialized) {
+    return FailedPreconditionError("EGETKEY before EINIT");
+  }
+  // KDF over (device secret, MRENCLAVE, key id): the MRENCLAVE policy of
+  // real SGX sealing — identical enclave code on the same device derives
+  // the identical key; anything else derives garbage.
+  Bytes info = ToBytes("sgx-seal-key");
+  AppendBytes(info, crypto::DigestView(enclave->mr_enclave));
+  AppendLe64(info, key_id);
+  const crypto::Sha256Digest d = crypto::HmacSha256::Mac(
+      ByteView(device_secret_.data(), device_secret_.size()),
+      ByteView(info.data(), info.size()));
+  crypto::Aes256Key key;
+  std::memcpy(key.data(), d.data(), key.size());
+  return key;
+}
+
+// ---- Paging --------------------------------------------------------------
+
+Status SgxDevice::Ewb(uint64_t enclave_id, uint64_t linear) {
+  Charge();
+  ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
+  ASSIGN_OR_RETURN(const size_t epc_index, ResolvePage(*enclave, linear));
+
+  EvictedPage evicted;
+  evicted.entry = epc_.Entry(epc_index);
+  evicted.version = enclave->next_version++;
+
+  // Encrypt with a per-(enclave, page, version) keystream and MAC the
+  // ciphertext together with the metadata (anti-tamper + anti-rollback).
+  const crypto::Aes256Key key = PageEncryptionKey(enclave_id);
+  std::array<uint8_t, 12> nonce{};
+  StoreLe64(nonce.data(), PageBase(linear));
+  StoreLe32(nonce.data() + 8, static_cast<uint32_t>(evicted.version));
+  crypto::AesCtr ctr(key, nonce);
+  evicted.ciphertext =
+      ctr.Crypt(0, ByteView(epc_.PageData(epc_index), kPageSize));
+
+  Bytes mac_input = evicted.ciphertext;
+  AppendLe64(mac_input, PageBase(linear));
+  AppendLe64(mac_input, evicted.version);
+  evicted.mac = crypto::HmacSha256::Mac(
+      ByteView(device_secret_.data(), device_secret_.size()),
+      ByteView(mac_input.data(), mac_input.size()));
+
+  enclave->evicted[PageBase(linear)] = std::move(evicted);
+  RETURN_IF_ERROR(epc_.FreePage(epc_index));
+  enclave->pages.erase(PageBase(linear));
+  return Status::Ok();
+}
+
+Status SgxDevice::Eldu(uint64_t enclave_id, uint64_t linear) {
+  Charge();
+  ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
+  auto it = enclave->evicted.find(PageBase(linear));
+  if (it == enclave->evicted.end()) {
+    return NotFoundError("no evicted page at " + LinearString(linear));
+  }
+  EvictedPage& evicted = it->second;
+
+  Bytes mac_input = evicted.ciphertext;
+  AppendLe64(mac_input, PageBase(linear));
+  AppendLe64(mac_input, evicted.version);
+  const crypto::Sha256Digest expected = crypto::HmacSha256::Mac(
+      ByteView(device_secret_.data(), device_secret_.size()),
+      ByteView(mac_input.data(), mac_input.size()));
+  if (!ConstantTimeEqual(crypto::DigestView(expected),
+                         crypto::DigestView(evicted.mac))) {
+    return IntegrityError("evicted page failed MAC verification");
+  }
+
+  ASSIGN_OR_RETURN(const size_t epc_index, epc_.AllocatePage());
+  const crypto::Aes256Key key = PageEncryptionKey(enclave_id);
+  std::array<uint8_t, 12> nonce{};
+  StoreLe64(nonce.data(), PageBase(linear));
+  StoreLe32(nonce.data() + 8, static_cast<uint32_t>(evicted.version));
+  crypto::AesCtr ctr(key, nonce);
+  const Bytes plaintext = ctr.Crypt(
+      0, ByteView(evicted.ciphertext.data(), evicted.ciphertext.size()));
+  std::memcpy(epc_.PageData(epc_index), plaintext.data(), kPageSize);
+
+  epc_.Entry(epc_index) = evicted.entry;
+  epc_.Entry(epc_index).valid = true;
+  enclave->pages.emplace(PageBase(linear), epc_index);
+  enclave->evicted.erase(it);
+  return Status::Ok();
+}
+
+// ---- Memory access ----------------------------------------------------------
+
+Status SgxDevice::EnclaveWrite(uint64_t enclave_id, uint64_t linear,
+                               ByteView data) {
+  ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
+  size_t written = 0;
+  while (written < data.size()) {
+    const uint64_t addr = linear + written;
+    ASSIGN_OR_RETURN(const size_t epc_index,
+                     ResolvePageFaulting(*enclave, addr));
+    const EpcmEntry& entry = epc_.Entry(epc_index);
+    if (entry.pending) {
+      return FailedPreconditionError("write to a pending (unaccepted) page");
+    }
+    if (!EffectivePerms(*enclave, addr, entry).w) {
+      return PermissionDeniedError("write to non-writable enclave page at " +
+                                   LinearString(addr));
+    }
+    const size_t offset = addr % kPageSize;
+    const size_t take = std::min(kPageSize - offset, data.size() - written);
+    std::memcpy(epc_.PageData(epc_index) + offset, data.data() + written, take);
+    written += take;
+  }
+  return Status::Ok();
+}
+
+Status SgxDevice::EnclaveRead(uint64_t enclave_id, uint64_t linear,
+                              MutableByteView out) {
+  ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
+  size_t read = 0;
+  while (read < out.size()) {
+    const uint64_t addr = linear + read;
+    ASSIGN_OR_RETURN(const size_t epc_index,
+                     ResolvePageFaulting(*enclave, addr));
+    const EpcmEntry& entry = epc_.Entry(epc_index);
+    if (entry.pending) {
+      return FailedPreconditionError("read from a pending (unaccepted) page");
+    }
+    if (!EffectivePerms(*enclave, addr, entry).r) {
+      return PermissionDeniedError("read from non-readable enclave page at " +
+                                   LinearString(addr));
+    }
+    const size_t offset = addr % kPageSize;
+    const size_t take = std::min(kPageSize - offset, out.size() - read);
+    std::memcpy(out.data() + read, epc_.PageData(epc_index) + offset, take);
+    read += take;
+  }
+  return Status::Ok();
+}
+
+Result<Bytes> SgxDevice::ReadAsOutsider(uint64_t enclave_id,
+                                        uint64_t linear) const {
+  ASSIGN_OR_RETURN(const Enclave* const enclave, FindEnclave(enclave_id));
+  ASSIGN_OR_RETURN(const size_t epc_index, ResolvePage(*enclave, linear));
+  // Outside the enclave the memory bus carries only ciphertext: encrypt the
+  // page image with the device key before handing it out.
+  const crypto::Aes256Key key = PageEncryptionKey(enclave_id);
+  std::array<uint8_t, 12> nonce{};
+  StoreLe64(nonce.data(), PageBase(linear));
+  nonce[11] = 0xbb;  // bus-observation context
+  crypto::AesCtr ctr(key, nonce);
+  return ctr.Crypt(
+      0, ByteView(const_cast<Epc&>(epc_).PageData(epc_index), kPageSize));
+}
+
+// ---- Introspection --------------------------------------------------------
+
+bool SgxDevice::IsInitialized(uint64_t enclave_id) const {
+  auto enclave = FindEnclave(enclave_id);
+  return enclave.ok() && (*enclave)->initialized;
+}
+
+Result<crypto::Sha256Digest> SgxDevice::Measurement(
+    uint64_t enclave_id) const {
+  ASSIGN_OR_RETURN(const Enclave* const enclave, FindEnclave(enclave_id));
+  if (!enclave->initialized) {
+    return FailedPreconditionError("measurement is final only after EINIT");
+  }
+  return enclave->mr_enclave;
+}
+
+Result<PagePerms> SgxDevice::EpcmPerms(uint64_t enclave_id,
+                                       uint64_t linear) const {
+  ASSIGN_OR_RETURN(const Enclave* const enclave, FindEnclave(enclave_id));
+  ASSIGN_OR_RETURN(const size_t epc_index, ResolvePage(*enclave, linear));
+  return epc_.Entry(epc_index).perms;
+}
+
+bool SgxDevice::HasPage(uint64_t enclave_id, uint64_t linear) const {
+  auto enclave = FindEnclave(enclave_id);
+  if (!enclave.ok()) return false;
+  return (*enclave)->pages.count(PageBase(linear)) != 0;
+}
+
+size_t SgxDevice::PageCount(uint64_t enclave_id) const {
+  auto enclave = FindEnclave(enclave_id);
+  return enclave.ok() ? (*enclave)->pages.size() : 0;
+}
+
+std::vector<uint64_t> SgxDevice::ResidentPages(uint64_t enclave_id) const {
+  std::vector<uint64_t> out;
+  auto enclave = FindEnclave(enclave_id);
+  if (!enclave.ok()) return out;
+  out.reserve((*enclave)->pages.size());
+  for (const auto& [linear, epc_index] : (*enclave)->pages) {
+    if (epc_.Entry(epc_index).type == PageType::kReg) out.push_back(linear);
+  }
+  return out;
+}
+
+size_t SgxDevice::EvictedPageCount(uint64_t enclave_id) const {
+  auto enclave = FindEnclave(enclave_id);
+  return enclave.ok() ? (*enclave)->evicted.size() : 0;
+}
+
+// ---- Interpreter adapter -----------------------------------------------------
+
+class SgxDevice::EnclaveView : public x86::MemoryIface {
+ public:
+  EnclaveView(SgxDevice* device, uint64_t enclave_id)
+      : device_(device), enclave_id_(enclave_id) {}
+
+  Result<uint64_t> Load(uint64_t addr, uint8_t size) override {
+    uint8_t buf[8] = {};
+    RETURN_IF_ERROR(
+        device_->EnclaveRead(enclave_id_, addr, MutableByteView(buf, size)));
+    uint64_t v = 0;
+    for (int i = size; i-- > 0;) v = (v << 8) | buf[i];
+    return v;
+  }
+
+  Status Store(uint64_t addr, uint8_t size, uint64_t value) override {
+    uint8_t buf[8];
+    for (int i = 0; i < size; ++i) buf[i] = static_cast<uint8_t>(value >> (8 * i));
+    return device_->EnclaveWrite(enclave_id_, addr, ByteView(buf, size));
+  }
+
+  Status Fetch(uint64_t addr, MutableByteView out) override {
+    // Instruction fetch needs read access at the hardware level; the X check
+    // happens separately in IsExecutable. Fetch near the end of the mapped
+    // region may cross into an unmapped page: shorten rather than fault, the
+    // decoder will fail cleanly if the instruction is actually truncated.
+    size_t len = out.size();
+    while (len > 0) {
+      const Status status = device_->EnclaveRead(
+          enclave_id_, addr, MutableByteView(out.data(), len));
+      if (status.ok()) return Status::Ok();
+      if (len > 1 && (addr + len - 1) / kPageSize != addr / kPageSize) {
+        // Trim to the end of the current page and retry.
+        len = kPageSize - (addr % kPageSize);
+        continue;
+      }
+      return status;
+    }
+    return OutOfRangeError("empty fetch");
+  }
+
+  bool IsExecutable(uint64_t addr) const override {
+    auto enclave = device_->FindEnclave(enclave_id_);
+    if (!enclave.ok()) return false;
+    // Instruction fetch demand-pages evicted code back in, like a data
+    // access would.
+    auto epc_index = device_->ResolvePageFaulting(**enclave, addr);
+    if (!epc_index.ok()) return false;
+    const EpcmEntry& entry = device_->epc_.Entry(*epc_index);
+    if (entry.pending) return false;
+    return device_->EffectivePerms(**enclave, addr, entry).x;
+  }
+
+ private:
+  SgxDevice* device_;
+  uint64_t enclave_id_;
+};
+
+std::unique_ptr<x86::MemoryIface> SgxDevice::MakeEnclaveView(
+    uint64_t enclave_id) {
+  return std::make_unique<EnclaveView>(this, enclave_id);
+}
+
+}  // namespace engarde::sgx

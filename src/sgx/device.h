@@ -1,0 +1,207 @@
+// Software model of an SGX-capable CPU: enclave lifecycle instructions
+// (SGX1: ECREATE/EADD/EEXTEND/EINIT/EENTER/EEXIT/EREMOVE/EWB/ELDU/EREPORT;
+// SGX2: EAUG/EACCEPT/EMODPR/EMODPE), the EPC with per-page EPCM checks, and
+// the measurement register (MRENCLAVE).
+//
+// Why a model and not hardware: the paper itself runs on OpenSGX, a QEMU
+// emulator, because (Section 4) SGX1 silicon cannot change EPC page
+// permissions — which EnGarde's W^X enforcement requires — while SGX2 was
+// not commercially available. The device takes an `sgx_version` knob so the
+// benchmarks can demonstrate exactly that gap: EMODPR/EMODPE fault on
+// version 1 and succeed on version 2.
+//
+// Every instruction charges 10K cycles through the CycleAccountant, matching
+// the paper's cost model.
+#ifndef ENGARDE_SGX_DEVICE_H_
+#define ENGARDE_SGX_DEVICE_H_
+
+#include <array>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/aes.h"
+#include "crypto/sha256.h"
+#include "sgx/cost_model.h"
+#include "sgx/epc.h"
+#include "x86/interp.h"
+
+namespace engarde::sgx {
+
+// Hardware report produced by EREPORT: consumed by the quoting enclave.
+struct Report {
+  crypto::Sha256Digest mr_enclave{};
+  uint64_t enclave_id = 0;
+  uint64_t attributes = 0;  // bit 0: initialized; bit 1: sgx2 features
+  std::array<uint8_t, 64> report_data{};  // user data (binds the RSA key)
+
+  Bytes Serialize() const;
+  static Result<Report> Deserialize(ByteView data);
+};
+
+// The OS-owned page-table view of an enclave's pages. SGX performs a
+// "two-level page protection check ... at the page-table level and at the
+// hardware level" (Section 4); HostOs implements this interface.
+class PageTablePolicy {
+ public:
+  virtual ~PageTablePolicy() = default;
+  // Permissions the OS page tables grant for the page containing `linear`.
+  virtual PagePerms PageTablePerms(uint64_t enclave_id,
+                                   uint64_t linear) const = 0;
+};
+
+// EPC-fault delegate: when an access touches an evicted page, the device
+// raises a fault to the OS, which (like a real SGX driver) ELDUs it back —
+// evicting a victim first if the EPC is full. Registered by HostOs.
+class EpcFaultHandler {
+ public:
+  virtual ~EpcFaultHandler() = default;
+  // Make the page at `linear` resident again. OK = retry the access.
+  virtual Status OnEpcFault(uint64_t enclave_id, uint64_t linear) = 0;
+};
+
+class SgxDevice {
+ public:
+  struct Options {
+    size_t epc_pages = kDefaultEpcPages;
+    int sgx_version = 2;  // 1 = Skylake-era (no EPC perm changes), 2 = full
+    // Root of the device's key hierarchy (fused at manufacturing on real
+    // hardware; a seed here so tests are reproducible).
+    Bytes device_seed = {0xde, 0x71, 0xce, 0x00};
+  };
+
+  explicit SgxDevice(const Options& options,
+                     CycleAccountant* accountant = nullptr);
+
+  int sgx_version() const noexcept { return sgx_version_; }
+  Epc& epc() noexcept { return epc_; }
+  CycleAccountant* accountant() noexcept { return accountant_; }
+  void SetPageTablePolicy(const PageTablePolicy* policy) noexcept {
+    page_table_ = policy;
+  }
+  void SetFaultHandler(EpcFaultHandler* handler) noexcept {
+    fault_handler_ = handler;
+  }
+
+  // ---- SGX1 lifecycle ------------------------------------------------------
+  // ECREATE: allocates the SECS page and opens the measurement log.
+  Result<uint64_t> ECreate(uint64_t base, uint64_t size);
+  // EADD: adds a 4K page at `linear` with `content` (<= 4096 bytes,
+  // zero-padded) and initial EPCM permissions. Pre-EINIT only.
+  Status EAdd(uint64_t enclave_id, uint64_t linear, ByteView content,
+              PagePerms perms, PageType type = PageType::kReg);
+  // EEXTEND: measures one 256-byte chunk at `chunk_linear` into MRENCLAVE.
+  Status EExtend(uint64_t enclave_id, uint64_t chunk_linear);
+  // Convenience: EEXTENDs all 16 chunks of a page (16 SGX instructions).
+  Status ExtendPage(uint64_t enclave_id, uint64_t linear);
+  // EINIT: finalizes MRENCLAVE; the enclave becomes enterable.
+  Status EInit(uint64_t enclave_id);
+  Status EEnter(uint64_t enclave_id);
+  Status EExit(uint64_t enclave_id);
+  Status ERemove(uint64_t enclave_id, uint64_t linear);
+  Status DestroyEnclave(uint64_t enclave_id);
+
+  // ---- SGX2 dynamic memory -------------------------------------------------
+  // EAUG: OS adds a pending RW page to an initialized enclave.
+  Status EAug(uint64_t enclave_id, uint64_t linear);
+  // EACCEPT: enclave accepts a pending page (or a permission restriction).
+  Status EAccept(uint64_t enclave_id, uint64_t linear);
+  // EMODPR: OS restricts EPCM permissions (new must be a subset).
+  Status EModpr(uint64_t enclave_id, uint64_t linear, PagePerms perms);
+  // EMODPE: enclave extends EPCM permissions.
+  Status EModpe(uint64_t enclave_id, uint64_t linear, PagePerms perms);
+
+  // ---- Attestation -----------------------------------------------------------
+  Result<Report> EReport(uint64_t enclave_id,
+                         const std::array<uint8_t, 64>& report_data);
+
+  // EGETKEY: derives an enclave-specific sealing key bound to MRENCLAVE and
+  // the device secret. Only the same enclave *code* on the same device gets
+  // the same key — the foundation of SGX data sealing. `key_id` selects
+  // among multiple keys (wear-out / domain separation).
+  Result<crypto::Aes256Key> EGetkey(uint64_t enclave_id, uint64_t key_id);
+
+  // ---- Paging (EWB / ELDU) ---------------------------------------------------
+  // Evicts a page: encrypts (AES-256-CTR under the device key), MACs, and
+  // versions it, then frees the EPC slot.
+  Status Ewb(uint64_t enclave_id, uint64_t linear);
+  // Loads an evicted page back, verifying MAC and version (anti-rollback).
+  Status Eldu(uint64_t enclave_id, uint64_t linear);
+
+  // ---- Memory access ---------------------------------------------------------
+  // Enclave-software view (EnGarde running inside the enclave). Checks both
+  // EPCM and page-table permissions; faults on evicted pages are raised to
+  // the registered EpcFaultHandler (demand paging), so these are non-const.
+  Status EnclaveWrite(uint64_t enclave_id, uint64_t linear, ByteView data);
+  Status EnclaveRead(uint64_t enclave_id, uint64_t linear, MutableByteView out);
+  // What an adversary outside the enclave observes: the encrypted page image.
+  Result<Bytes> ReadAsOutsider(uint64_t enclave_id, uint64_t linear) const;
+
+  // ---- Introspection ----------------------------------------------------------
+  bool IsInitialized(uint64_t enclave_id) const;
+  Result<crypto::Sha256Digest> Measurement(uint64_t enclave_id) const;
+  Result<PagePerms> EpcmPerms(uint64_t enclave_id, uint64_t linear) const;
+  bool HasPage(uint64_t enclave_id, uint64_t linear) const;
+  size_t PageCount(uint64_t enclave_id) const;
+  // Linear addresses of the enclave's resident (non-evicted) REG pages, in
+  // ascending order. The OS paging policy picks eviction victims from this.
+  std::vector<uint64_t> ResidentPages(uint64_t enclave_id) const;
+  size_t EvictedPageCount(uint64_t enclave_id) const;
+
+  // x86::MemoryIface adapter over one enclave's address space, for running
+  // loaded client code in the interpreter.
+  std::unique_ptr<x86::MemoryIface> MakeEnclaveView(uint64_t enclave_id);
+
+ private:
+  struct EvictedPage {
+    Bytes ciphertext;
+    crypto::Sha256Digest mac;
+    uint64_t version = 0;
+    EpcmEntry entry;
+  };
+
+  struct Enclave {
+    uint64_t id = 0;
+    uint64_t base = 0;
+    uint64_t size = 0;
+    bool initialized = false;
+    int enter_depth = 0;
+    crypto::Sha256 measurement_stream;
+    crypto::Sha256Digest mr_enclave{};
+    std::map<uint64_t, size_t> pages;  // linear page addr -> EPC index
+    std::map<uint64_t, EvictedPage> evicted;
+    uint64_t next_version = 1;
+  };
+
+  class EnclaveView;
+
+  void Charge() noexcept {
+    if (accountant_) accountant_->CountSgxInstruction();
+  }
+  Result<Enclave*> FindEnclave(uint64_t enclave_id);
+  Result<const Enclave*> FindEnclave(uint64_t enclave_id) const;
+  // Resolves linear -> (epc index, offset in page); checks residency.
+  Result<size_t> ResolvePage(const Enclave& enclave, uint64_t linear) const;
+  // Like ResolvePage, but on an evicted page raises the EPC fault to the
+  // registered handler and retries once (demand paging).
+  Result<size_t> ResolvePageFaulting(Enclave& enclave, uint64_t linear);
+  PagePerms EffectivePerms(const Enclave& enclave, uint64_t linear,
+                           const EpcmEntry& entry) const;
+  crypto::Aes256Key PageEncryptionKey(uint64_t enclave_id) const;
+
+  Epc epc_;
+  int sgx_version_;
+  CycleAccountant* accountant_;
+  const PageTablePolicy* page_table_ = nullptr;
+  EpcFaultHandler* fault_handler_ = nullptr;
+  bool in_fault_ = false;  // re-entrancy guard for the fault path
+  Bytes device_secret_;
+  std::map<uint64_t, Enclave> enclaves_;
+  uint64_t next_enclave_id_ = 1;
+};
+
+}  // namespace engarde::sgx
+
+#endif  // ENGARDE_SGX_DEVICE_H_

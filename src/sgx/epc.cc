@@ -1,0 +1,45 @@
+#include "sgx/epc.h"
+
+#include <cstring>
+
+namespace engarde::sgx {
+
+Result<size_t> Epc::AllocatePage() {
+  if (in_use_ == entries_.size()) {
+    return ResourceExhaustedError("EPC is full (" +
+                                  std::to_string(entries_.size()) + " pages)");
+  }
+  for (size_t probe = 0; probe < entries_.size(); ++probe) {
+    const size_t index = (next_hint_ + probe) % entries_.size();
+    if (!entries_[index].valid) {
+      entries_[index] = EpcmEntry{};
+      entries_[index].valid = true;
+      if (!storage_[index]) {
+        storage_[index] = std::make_unique<uint8_t[]>(kPageSize);
+      }
+      std::memset(storage_[index].get(), 0, kPageSize);
+      ++in_use_;
+      next_hint_ = index + 1;
+      return index;
+    }
+  }
+  return InternalError("EPC bookkeeping out of sync");
+}
+
+Status Epc::FreePage(size_t index) {
+  if (index >= entries_.size()) {
+    return OutOfRangeError("EPC page index out of range");
+  }
+  if (!entries_[index].valid) {
+    return FailedPreconditionError("freeing an invalid EPC page");
+  }
+  entries_[index] = EpcmEntry{};
+  // Scrub on free: evicted or reused pages must never leak plaintext.
+  std::memset(storage_[index].get(), 0, kPageSize);
+  --in_use_;
+  return Status::Ok();
+}
+
+uint8_t* Epc::PageData(size_t index) { return storage_[index].get(); }
+
+}  // namespace engarde::sgx

@@ -1,0 +1,82 @@
+// The Enclave Page Cache (EPC) and its metadata (EPCM), as described in
+// paper Section 2: physical pages whose contents the hardware protects, with
+// per-page metadata tracking validity, owning enclave, linear address, page
+// type and (on SGX2) permissions and pending state.
+//
+// The paper's prototype raises OpenSGX's default of 2,000 EPC pages to
+// 32,000 (128 MB) so that the client executable plus its decoded instruction
+// buffer fit; we use the same default.
+#ifndef ENGARDE_SGX_EPC_H_
+#define ENGARDE_SGX_EPC_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace engarde::sgx {
+
+inline constexpr size_t kPageSize = 4096;
+inline constexpr size_t kDefaultEpcPages = 32000;  // 128 MB, per the paper
+
+struct PagePerms {
+  bool r = false;
+  bool w = false;
+  bool x = false;
+
+  static PagePerms RW() { return {true, true, false}; }
+  static PagePerms RX() { return {true, false, true}; }
+  static PagePerms R() { return {true, false, false}; }
+  static PagePerms RWX() { return {true, true, true}; }
+
+  bool Covers(const PagePerms& other) const {
+    return (!other.r || r) && (!other.w || w) && (!other.x || x);
+  }
+  bool operator==(const PagePerms&) const = default;
+};
+
+enum class PageType : uint8_t { kSecs, kTcs, kReg };
+
+struct EpcmEntry {
+  bool valid = false;
+  uint64_t enclave_id = 0;
+  uint64_t linear_addr = 0;
+  PageType type = PageType::kReg;
+  PagePerms perms;
+  bool pending = false;   // SGX2: EAUG'd, awaiting EACCEPT
+  bool evicted = false;   // swapped out via EWB
+};
+
+class Epc {
+ public:
+  explicit Epc(size_t num_pages = kDefaultEpcPages) : entries_(num_pages) {
+    storage_.resize(num_pages);
+  }
+
+  size_t capacity() const noexcept { return entries_.size(); }
+  size_t pages_in_use() const noexcept { return in_use_; }
+
+  // Finds a free page and marks it valid. Page storage is allocated lazily so
+  // a 128 MB EPC does not cost 128 MB of host memory up front.
+  Result<size_t> AllocatePage();
+  Status FreePage(size_t index);
+
+  EpcmEntry& Entry(size_t index) { return entries_[index]; }
+  const EpcmEntry& Entry(size_t index) const { return entries_[index]; }
+
+  // Plaintext page content, as seen from inside the owning enclave. The
+  // "hardware encryption" boundary is enforced by SgxDevice, which refuses to
+  // hand this view to non-enclave accessors.
+  uint8_t* PageData(size_t index);
+
+ private:
+  std::vector<EpcmEntry> entries_;
+  std::vector<std::unique_ptr<uint8_t[]>> storage_;
+  size_t in_use_ = 0;
+  size_t next_hint_ = 0;
+};
+
+}  // namespace engarde::sgx
+
+#endif  // ENGARDE_SGX_EPC_H_

@@ -1,0 +1,164 @@
+#include "sgx/hostos.h"
+
+#include <algorithm>
+
+namespace engarde::sgx {
+
+Result<uint64_t> HostOs::BuildEnclave(const EnclaveLayout& layout,
+                                      ByteView bootstrap_image) {
+  if (bootstrap_image.size() > layout.bootstrap_pages * kPageSize) {
+    return InvalidArgumentError("bootstrap image exceeds bootstrap region");
+  }
+  ASSIGN_OR_RETURN(const uint64_t enclave_id,
+                   device_->ECreate(layout.base, layout.TotalSize()));
+
+  // Bootstrap: EnGarde's code, executable, measured page by page. Both the
+  // provider and the client later verify this measurement via attestation.
+  for (uint64_t i = 0; i < layout.bootstrap_pages; ++i) {
+    const uint64_t linear = layout.BootstrapStart() + i * kPageSize;
+    const size_t offset = static_cast<size_t>(i * kPageSize);
+    ByteView content;
+    if (offset < bootstrap_image.size()) {
+      content = bootstrap_image.subspan(
+          offset, std::min(kPageSize, bootstrap_image.size() - offset));
+    }
+    RETURN_IF_ERROR(
+        device_->EAdd(enclave_id, linear, content, PagePerms::RX()));
+    RETURN_IF_ERROR(device_->ExtendPage(enclave_id, linear));
+  }
+
+  // Heap, load region, stack, TLS: zeroed writable pages. SGX1 requires all
+  // enclave memory committed at build time (paper Section 4), so everything
+  // is EADDed here even though the load region is only used after policy
+  // checks pass. Unmeasured, as client content must not influence MRENCLAVE.
+  // When the EPC fills up mid-build, the OS pages earlier additions out to
+  // the encrypted backing store (EWB) and keeps going — enclaves larger than
+  // the EPC are routine on real SGX.
+  auto add_rw_region = [&](uint64_t start, uint64_t pages) -> Status {
+    for (uint64_t i = 0; i < pages; ++i) {
+      const uint64_t linear = start + i * kPageSize;
+      for (;;) {
+        const Status status =
+            device_->EAdd(enclave_id, linear, {}, PagePerms::RW());
+        if (status.ok()) break;
+        if (status.code() != StatusCode::kResourceExhausted) return status;
+        RETURN_IF_ERROR(EvictOneVictim(enclave_id, linear));
+      }
+    }
+    return Status::Ok();
+  };
+  RETURN_IF_ERROR(add_rw_region(layout.HeapStart(), layout.heap_pages));
+  RETURN_IF_ERROR(add_rw_region(layout.LoadStart(), layout.load_pages));
+  RETURN_IF_ERROR(add_rw_region(layout.StackStart(), layout.stack_pages));
+  RETURN_IF_ERROR(add_rw_region(layout.TlsStart(), layout.tls_pages));
+
+  RETURN_IF_ERROR(device_->EInit(enclave_id));
+  return enclave_id;
+}
+
+PagePerms HostOs::PageTablePerms(uint64_t enclave_id, uint64_t linear) const {
+  const uint64_t page = linear & ~(kPageSize - 1);
+  const auto it = page_tables_.find({enclave_id, page});
+  if (it == page_tables_.end()) return PagePerms::RWX();
+  return it->second;
+}
+
+Status HostOs::SetPageTablePerms(uint64_t enclave_id, uint64_t linear,
+                                 uint64_t page_count, PagePerms perms) {
+  if (linear % kPageSize != 0) {
+    return InvalidArgumentError("page-table update must be page-aligned");
+  }
+  for (uint64_t i = 0; i < page_count; ++i) {
+    page_tables_[{enclave_id, linear + i * kPageSize}] = perms;
+  }
+  return Status::Ok();
+}
+
+Status HostOs::ApplyWxPolicy(uint64_t enclave_id, const EnclaveLayout& layout,
+                             uint64_t span_pages,
+                             const std::vector<uint64_t>& executable_pages) {
+  if (span_pages > layout.load_pages) {
+    return InvalidArgumentError("loaded span exceeds the load region");
+  }
+  // Pages the loader populated: writable, not executable...
+  RETURN_IF_ERROR(SetPageTablePerms(enclave_id, layout.LoadStart(), span_pages,
+                                    PagePerms::RW()));
+  // ...except the pages EnGarde identified as code: executable, read-only.
+  for (const uint64_t page : executable_pages) {
+    if (page < layout.LoadStart() ||
+        page >= layout.LoadStart() + layout.load_pages * kPageSize) {
+      return InvalidArgumentError(
+          "executable page list includes a page outside the load region");
+    }
+    RETURN_IF_ERROR(SetPageTablePerms(enclave_id, page, 1, PagePerms::RX()));
+  }
+  return Status::Ok();
+}
+
+Status HostOs::HardenWxInEpcm(uint64_t enclave_id,
+                              const std::vector<uint64_t>& executable_pages) {
+  if (device_->sgx_version() < 2) {
+    return UnimplementedError(
+        "EPCM hardening requires SGX2: on version-1 hardware the W^X split "
+        "exists only in host-controlled page tables (paper Section 4)");
+  }
+  for (const uint64_t page : executable_pages) {
+    // Load-region pages start RW: the enclave first *extends* to RWX
+    // (EMODPE), then the W bit is *restricted* away (EMODPR + EACCEPT
+    // handshake), leaving RX that the host cannot silently revert.
+    RETURN_IF_ERROR(device_->EModpe(enclave_id, page, PagePerms::RWX()));
+    RETURN_IF_ERROR(device_->EModpr(enclave_id, page, PagePerms::RX()));
+    RETURN_IF_ERROR(device_->EAccept(enclave_id, page));
+  }
+  return Status::Ok();
+}
+
+Status HostOs::LockEnclave(uint64_t enclave_id) {
+  locked_.insert(enclave_id);
+  return Status::Ok();
+}
+
+Status HostOs::EvictOneVictim(uint64_t enclave_id, uint64_t protect_linear) {
+  const std::vector<uint64_t> resident = device_->ResidentPages(enclave_id);
+  for (const uint64_t victim : resident) {
+    if (victim == protect_linear) continue;
+    RETURN_IF_ERROR(device_->Ewb(enclave_id, victim));
+    ++pages_evicted_;
+    return Status::Ok();
+  }
+  return ResourceExhaustedError(
+      "EPC full and the enclave has no evictable resident pages");
+}
+
+Status HostOs::OnEpcFault(uint64_t enclave_id, uint64_t linear) {
+  ++faults_handled_;
+  // Make room if needed, then reload the faulting page.
+  Status reloaded = device_->Eldu(enclave_id, linear);
+  if (reloaded.code() == StatusCode::kResourceExhausted) {
+    RETURN_IF_ERROR(EvictOneVictim(enclave_id, linear));
+    reloaded = device_->Eldu(enclave_id, linear);
+  }
+  return reloaded;
+}
+
+Status HostOs::EvictPages(uint64_t enclave_id, uint64_t count) {
+  for (uint64_t i = 0; i < count; ++i) {
+    RETURN_IF_ERROR(EvictOneVictim(enclave_id, /*protect_linear=*/UINT64_MAX));
+  }
+  return Status::Ok();
+}
+
+Status HostOs::AugmentPages(uint64_t enclave_id, uint64_t linear,
+                            uint64_t page_count) {
+  if (IsLocked(enclave_id)) {
+    return PermissionDeniedError(
+        "enclave is locked: EnGarde forbids extension after provisioning");
+  }
+  for (uint64_t i = 0; i < page_count; ++i) {
+    RETURN_IF_ERROR(device_->EAug(enclave_id, linear + i * kPageSize));
+    RETURN_IF_ERROR(device_->EAccept(enclave_id, linear + i * kPageSize));
+  }
+  return Status::Ok();
+}
+
+}  // namespace engarde::sgx

@@ -1,0 +1,118 @@
+// The host-OS side of the SGX stack: enclave construction (ECREATE + EADD +
+// EEXTEND + EINIT on behalf of a process), process page tables, and EnGarde's
+// in-kernel component (paper Section 3): after in-enclave inspection approves
+// the client code, this component "marks these pages as executable, but not
+// writable. The remaining pages are given write permissions, but are not
+// given execute permissions. The host OS component of EnGarde also prevents
+// the enclave from being extended after it has been provisioned."
+#ifndef ENGARDE_SGX_HOSTOS_H_
+#define ENGARDE_SGX_HOSTOS_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "sgx/device.h"
+
+namespace engarde::sgx {
+
+// Linear-address layout of an EnGarde enclave. All regions page-aligned.
+struct EnclaveLayout {
+  uint64_t base = 0x10000000;
+  uint64_t bootstrap_pages = 16;  // EnGarde + crypto + policy modules (RX)
+  uint64_t heap_pages = 10000;    // staging buffer + instruction buffer (RW)
+  uint64_t load_pages = 2048;     // where client segments get mapped (RW)
+  uint64_t stack_pages = 16;      // client thread stack (RW)
+  uint64_t tls_pages = 1;         // thread area; canary at fs:0x28 (RW)
+
+  uint64_t BootstrapStart() const { return base; }
+  uint64_t HeapStart() const {
+    return BootstrapStart() + bootstrap_pages * kPageSize;
+  }
+  uint64_t LoadStart() const { return HeapStart() + heap_pages * kPageSize; }
+  uint64_t StackStart() const { return LoadStart() + load_pages * kPageSize; }
+  uint64_t TlsStart() const { return StackStart() + stack_pages * kPageSize; }
+  uint64_t TotalPages() const {
+    return bootstrap_pages + heap_pages + load_pages + stack_pages + tls_pages;
+  }
+  uint64_t TotalSize() const { return TotalPages() * kPageSize; }
+};
+
+class HostOs : public PageTablePolicy, public EpcFaultHandler {
+ public:
+  explicit HostOs(SgxDevice* device) : device_(device) {
+    device_->SetPageTablePolicy(this);
+    device_->SetFaultHandler(this);
+  }
+
+  SgxDevice* device() noexcept { return device_; }
+
+  // Builds and initializes an EnGarde enclave: bootstrap pages carry
+  // `bootstrap_image` (measured into MRENCLAVE), heap/load/stack/TLS pages
+  // are added zeroed and writable. Returns the enclave id.
+  Result<uint64_t> BuildEnclave(const EnclaveLayout& layout,
+                                ByteView bootstrap_image);
+
+  // ---- Page tables ------------------------------------------------------
+  // PageTablePolicy: permissions default to RWX (permissive) until the
+  // EnGarde host component restricts them.
+  PagePerms PageTablePerms(uint64_t enclave_id, uint64_t linear) const override;
+  Status SetPageTablePerms(uint64_t enclave_id, uint64_t linear,
+                           uint64_t page_count, PagePerms perms);
+
+  // ---- EnGarde in-kernel component -----------------------------------------
+  // Applies the W^X decision EnGarde's in-enclave component reports:
+  // executable pages become R+X, the other pages the loader touched
+  // (`span_pages` from LoadStart) stay R+W. Page-table updates are plain
+  // kernel memory writes (no SGX instructions) — this is what the paper's
+  // prototype measures under "Loading and Relocation".
+  Status ApplyWxPolicy(uint64_t enclave_id, const EnclaveLayout& layout,
+                       uint64_t span_pages,
+                       const std::vector<uint64_t>& executable_pages);
+
+  // SGX2 EPCM hardening: pushes RX into the EPCM for every executable page
+  // (EMODPE to gain X, EMODPR + EACCEPT to drop W) so a later page-table
+  // flip by a malicious host is powerless. Faults on SGX1 devices — the
+  // hardware gap that makes the paper require SGX2 (Section 4).
+  Status HardenWxInEpcm(uint64_t enclave_id,
+                        const std::vector<uint64_t>& executable_pages);
+
+  // Prevents any further growth of the enclave (EAUG requests are refused).
+  Status LockEnclave(uint64_t enclave_id);
+  bool IsLocked(uint64_t enclave_id) const {
+    return locked_.count(enclave_id) != 0;
+  }
+
+  // OS service: grow an enclave with zeroed RW pages (pre-lock only).
+  Status AugmentPages(uint64_t enclave_id, uint64_t linear,
+                      uint64_t page_count);
+
+  // ---- Demand paging (the SGX driver's EWB/ELDU duty) -----------------------
+  // EpcFaultHandler: an access touched an evicted page. Evict a victim if
+  // the EPC is full (FIFO over the enclave's resident pages), then ELDU the
+  // faulting page back.
+  Status OnEpcFault(uint64_t enclave_id, uint64_t linear) override;
+  // Explicitly push `count` of the enclave's resident pages out to the
+  // encrypted backing store (memory-pressure simulation).
+  Status EvictPages(uint64_t enclave_id, uint64_t count);
+  uint64_t epc_faults_handled() const { return faults_handled_; }
+  uint64_t pages_evicted() const { return pages_evicted_; }
+
+ private:
+  // Picks an eviction victim among the enclave's resident pages, preferring
+  // pages other than `protect_linear`.
+  Status EvictOneVictim(uint64_t enclave_id, uint64_t protect_linear);
+
+  SgxDevice* device_;
+  uint64_t faults_handled_ = 0;
+  uint64_t pages_evicted_ = 0;
+  // (enclave, linear page) -> perms; absent = RWX.
+  std::map<std::pair<uint64_t, uint64_t>, PagePerms> page_tables_;
+  std::set<uint64_t> locked_;
+};
+
+}  // namespace engarde::sgx
+
+#endif  // ENGARDE_SGX_HOSTOS_H_

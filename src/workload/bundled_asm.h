@@ -1,0 +1,82 @@
+// BundledAsm: an Assembler wrapper that maintains the NaCl discipline the
+// generated binaries must satisfy — no instruction may straddle a 32-byte
+// bundle boundary — and counts every emitted instruction (padding NOPs
+// included), so the generator can hit the paper's per-benchmark instruction
+// counts exactly.
+#ifndef ENGARDE_WORKLOAD_BUNDLED_ASM_H_
+#define ENGARDE_WORKLOAD_BUNDLED_ASM_H_
+
+#include <cassert>
+#include <utility>
+
+#include "x86/encoder.h"
+
+namespace engarde::workload {
+
+class BundledAsm {
+ public:
+  explicit BundledAsm(uint64_t base_vaddr) : as_(base_vaddr) {
+    assert(base_vaddr % x86::kBundleSize == 0 &&
+           "bundle math requires a 32-aligned base");
+  }
+
+  x86::Assembler& raw() { return as_; }
+  uint64_t CurrentVaddr() const { return as_.CurrentVaddr(); }
+  size_t size() const { return as_.size(); }
+  size_t insn_count() const { return count_; }
+  Bytes TakeBytes() { return as_.TakeBytes(); }
+
+  // Emits exactly one instruction produced by `f` (which must not use
+  // labels): measures it on a scratch assembler, pads if it would straddle a
+  // bundle boundary, then re-emits at the final address (so absolute-target
+  // encodings stay correct).
+  template <typename F>
+  void Emit(F&& f) {
+    x86::Assembler scratch(as_.CurrentVaddr());
+    f(scratch);
+    PadFor(scratch.size());
+    f(as_);
+    ++count_;
+  }
+
+  // Label-based branches have fixed encodings (6 / 5 bytes).
+  void EmitJccLabel(x86::Cond cond, const x86::Assembler::Label& label) {
+    PadFor(6);
+    as_.JccLabel(cond, label);
+    ++count_;
+  }
+  void EmitJmpLabel(const x86::Assembler::Label& label) {
+    PadFor(5);
+    as_.JmpLabel(label);
+    ++count_;
+  }
+  x86::Assembler::Label NewLabel() { return as_.NewLabel(); }
+  void Bind(x86::Assembler::Label& label) { as_.Bind(label); }
+
+  // Ensures the next `len` bytes are bundle-contiguous (len <= 32). Used for
+  // instruction groups the policies require to be adjacent (canary reload +
+  // cmp + jne; the IFCC guard + call).
+  void ReserveContiguous(size_t len) { PadFor(len); }
+
+  // Pads to the next bundle boundary, counting the padding NOPs.
+  void AlignToBundle() {
+    const size_t rem = as_.size() % x86::kBundleSize;
+    if (rem == 0) return;
+    const size_t pad = x86::kBundleSize - rem;
+    count_ += pad / 9 + (pad % 9 != 0 ? 1 : 0);  // NopBytes chunking
+    as_.NopBytes(pad);
+  }
+
+ private:
+  void PadFor(size_t insn_len) {
+    const size_t pos = as_.size() % x86::kBundleSize;
+    if (pos + insn_len > x86::kBundleSize) AlignToBundle();
+  }
+
+  x86::Assembler as_;
+  size_t count_ = 0;
+};
+
+}  // namespace engarde::workload
+
+#endif  // ENGARDE_WORKLOAD_BUNDLED_ASM_H_

@@ -1,0 +1,69 @@
+#include "workload/catalog.h"
+
+namespace engarde::workload {
+
+const std::vector<CatalogEntry>& PaperBenchmarks() {
+  // Columns: name, #Inst for Figures 3/4/5, then (disassembly, policy,
+  // load+reloc) cycles for Figures 3, 4 and 5, exactly as printed in the
+  // paper.
+  static const std::vector<CatalogEntry> kEntries = {
+      {"Nginx", 262228, 271106, 267669,
+       694405019, 1307411662, 128696,
+       719360640, 713772098, 128662,
+       821734999, 20843253, 128668},
+      {"401.bzip2", 24112, 24226, 24201,
+       34071240, 148922245, 4239,
+       34292136, 862023613, 4206,
+       34235817, 1751276, 4206},
+      {"Graph-500", 100411, 100488, 100424,
+       140307017, 246669796, 4582,
+       140588361, 195218892, 4548,
+       140429738, 7014913, 4548},
+      {"429.mcf", 12903, 12985, 12903,
+       18242127, 123895553, 4363,
+       18288921, 31459881, 4330,
+       18242127, 1177429, 4330},
+      {"Memcached", 71437, 71677, 71508,
+       137372517, 489914732, 8115,
+       137877497, 325442403, 8081,
+       138231446, 5301168, 8081},
+      {"Netperf", 51403, 51868, 51431,
+       90616563, 367356878, 18090,
+       91577335, 183274713, 18057,
+       91161601, 3775318, 18057},
+      {"Otp-gen", 28125, 28217, 28132,
+       42823024, 198587525, 5388,
+       43053386, 217302816, 5355,
+       42829680, 2334847, 5355},
+  };
+  return kEntries;
+}
+
+Result<BuiltProgram> BuildBenchmark(const CatalogEntry& entry,
+                                    BuildFlavor flavor) {
+  return BuildBenchmarkScaled(entry, flavor, 1.0);
+}
+
+Result<BuiltProgram> BuildBenchmarkScaled(const CatalogEntry& entry,
+                                          BuildFlavor flavor, double scale) {
+  ProgramSpec spec;
+  spec.name = entry.name;
+  // Deterministic per-benchmark seed: the same benchmark always builds the
+  // same binary, across figures the *base* program is shared and only the
+  // instrumentation differs — as with a real recompile.
+  spec.seed = 0xb455ull;
+  for (const char* c = entry.name; *c != '\0'; ++c) {
+    spec.seed = spec.seed * 131 + static_cast<uint64_t>(*c);
+  }
+  spec.target_instructions = static_cast<size_t>(
+      static_cast<double>(entry.InstructionsFor(flavor)) * scale);
+  spec.stack_protection = flavor == BuildFlavor::kStackProtector;
+  spec.ifcc = flavor == BuildFlavor::kIfcc;
+  spec.indirect_call_sites = flavor == BuildFlavor::kIfcc ? 8 : 0;
+  // Scale the data segment roughly with the program.
+  spec.data_bytes = 256 + spec.target_instructions / 64;
+  spec.bss_bytes = 4096;
+  return BuildProgram(spec);
+}
+
+}  // namespace engarde::workload

@@ -1,0 +1,66 @@
+// The paper's benchmark suite (Section 5): "Nginx (an HTTP server),
+// Memcached (a popular key-value store), Netperf (a networking benchmark),
+// otp-gen (a password generator), graph-500 (a graph data benchmark) and two
+// SPEC benchmarks (401.bzip2 and 429.mcf)", all compiled as statically
+// linked PIEs against musl-libc.
+//
+// We do not have those programs (or clang-3.6/musl) in this environment; the
+// catalog reproduces each one as a synthetic program with the *same
+// instruction count* the paper reports in Figure 3, since every cost the
+// evaluation measures (disassembly, policy checking, loading) is a function
+// of the instruction stream, not of what the program computes.
+#ifndef ENGARDE_WORKLOAD_CATALOG_H_
+#define ENGARDE_WORKLOAD_CATALOG_H_
+
+#include <vector>
+
+#include "workload/program_builder.h"
+
+namespace engarde::workload {
+
+// Which instrumentation the benchmark build carries — one per evaluated
+// policy (Figures 3, 4, 5).
+enum class BuildFlavor {
+  kPlain,           // Figure 3: library-linking check
+  kStackProtector,  // Figure 4: clang -fstack-protector-all
+  kIfcc,            // Figure 5: LLVM IFCC patch
+};
+
+struct CatalogEntry {
+  const char* name;
+  // #Inst as the paper reports it per figure: the instrumented builds are
+  // larger binaries (e.g. Nginx 262,228 plain -> 271,106 with stack
+  // protectors -> 267,669 with IFCC).
+  size_t fig3_instructions;
+  size_t fig4_instructions;
+  size_t fig5_instructions;
+  // Paper-reported cycle counts, for side-by-side output in the benches.
+  uint64_t fig3_disasm_cycles, fig3_policy_cycles, fig3_load_cycles;
+  uint64_t fig4_disasm_cycles, fig4_policy_cycles, fig4_load_cycles;
+  uint64_t fig5_disasm_cycles, fig5_policy_cycles, fig5_load_cycles;
+
+  size_t InstructionsFor(BuildFlavor flavor) const {
+    switch (flavor) {
+      case BuildFlavor::kPlain: return fig3_instructions;
+      case BuildFlavor::kStackProtector: return fig4_instructions;
+      case BuildFlavor::kIfcc: return fig5_instructions;
+    }
+    return fig3_instructions;
+  }
+};
+
+// The seven benchmarks with the paper's published numbers.
+const std::vector<CatalogEntry>& PaperBenchmarks();
+
+// Builds the synthetic equivalent of a catalog entry at the paper's
+// instruction scale.
+Result<BuiltProgram> BuildBenchmark(const CatalogEntry& entry,
+                                    BuildFlavor flavor);
+
+// Same, scaled: target_instructions multiplied by `scale` (tests use < 1).
+Result<BuiltProgram> BuildBenchmarkScaled(const CatalogEntry& entry,
+                                          BuildFlavor flavor, double scale);
+
+}  // namespace engarde::workload
+
+#endif  // ENGARDE_WORKLOAD_CATALOG_H_

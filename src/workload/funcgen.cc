@@ -1,0 +1,158 @@
+#include "workload/funcgen.h"
+
+namespace engarde::workload {
+namespace {
+
+using x86::Assembler;
+using x86::Reg;
+
+// Scratch registers for filler code: everything except rsp/rbp (frame) and
+// rax (accumulator with a defined role).
+constexpr Reg kScratch[] = {x86::kRcx, x86::kRdx, x86::kRsi, x86::kRdi,
+                            x86::kR8,  x86::kR9,  x86::kR10, x86::kR11};
+
+Reg PickScratch(Rng& rng) {
+  return kScratch[rng.NextBelow(std::size(kScratch))];
+}
+
+// One filler instruction drawn from a fixed distribution: register ALU ops,
+// local branches, and stack spills/reloads below the stack pointer (real
+// compiled code stores to the frame constantly — and those stores are what
+// makes the paper's stack-protection check expensive, since every one
+// triggers a backward dataflow scan).
+void EmitFillerOp(BundledAsm& basm, Rng& rng, uint32_t flavor) {
+  const Reg a = PickScratch(rng);
+  const Reg b = PickScratch(rng);
+  switch (rng.NextBelow(13)) {
+    case 0:
+      basm.Emit([&](Assembler& as) {
+        as.MovRegImm32(a, static_cast<uint32_t>(rng.NextU32() ^ flavor));
+      });
+      break;
+    case 1:
+      basm.Emit([&](Assembler& as) { as.AddRegReg(a, b); });
+      break;
+    case 2:
+      basm.Emit([&](Assembler& as) { as.XorRegReg(a, b); });
+      break;
+    case 3:
+      basm.Emit([&](Assembler& as) { as.SubRegReg(a, b); });
+      break;
+    case 4:
+      basm.Emit([&](Assembler& as) { as.ImulRegReg(a, b); });
+      break;
+    case 5:
+      basm.Emit([&](Assembler& as) {
+        as.ShlRegImm8(a, static_cast<uint8_t>(rng.NextInRange(1, 13)));
+      });
+      break;
+    case 6:
+      basm.Emit([&](Assembler& as) { as.OrRegReg(a, b); });
+      break;
+    case 7:
+      basm.Emit([&](Assembler& as) {
+        as.AddRegImm32(a, static_cast<int32_t>(rng.NextU32() & 0xffff));
+      });
+      break;
+    case 8:
+      basm.Emit([&](Assembler& as) { as.MovRegReg(a, b); });
+      break;
+    case 9: {
+      // Short forward branch over a couple of filler instructions: gives the
+      // code realistic local control flow.
+      auto skip = basm.NewLabel();
+      basm.Emit([&](Assembler& as) {
+        as.CmpRegImm32(a, static_cast<int32_t>(rng.NextBelow(100)));
+      });
+      basm.EmitJccLabel(rng.NextChance(1, 2) ? x86::kCondE : x86::kCondL, skip);
+      basm.Emit([&](Assembler& as) { as.XorRegReg(b, b); });
+      basm.Emit([&](Assembler& as) { as.AddRegImm32(b, 1); });
+      basm.Bind(skip);
+      break;
+    }
+    case 10:
+    case 11: {
+      // Spill to the frame (below rsp, clear of the canary slot).
+      const int32_t disp =
+          -8 * static_cast<int32_t>(rng.NextInRange(1, 8));
+      basm.Emit([&](Assembler& as) { as.MovStore(x86::kRsp, disp, a); });
+      break;
+    }
+    case 12: {
+      // Reload from the frame.
+      const int32_t disp =
+          -8 * static_cast<int32_t>(rng.NextInRange(1, 8));
+      basm.Emit([&](Assembler& as) { as.MovLoad(a, x86::kRsp, disp); });
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void EmitFunction(BundledAsm& basm, Rng& rng, const FuncGenConfig& config,
+                  const std::vector<uint64_t>& callees, size_t filler_ops) {
+  constexpr int32_t kFrameSize = 0x18;
+  constexpr int32_t kCanarySlot = 0x10;
+
+  // ---- Prologue ----------------------------------------------------------
+  if (config.stack_protect) {
+    basm.Emit([&](Assembler& as) { as.SubRegImm32(x86::kRsp, kFrameSize); });
+    // mov %fs:0x28, %rax ; mov %rax, 0x10(%rsp)
+    basm.Emit([&](Assembler& as) { as.MovRegFsDisp(x86::kRax, 0x28); });
+    basm.Emit([&](Assembler& as) {
+      as.MovStore(x86::kRsp, kCanarySlot, x86::kRax);
+    });
+  }
+
+  // ---- Body ----------------------------------------------------------------
+  // Seed the accumulator with a flavor-dependent constant: this is what makes
+  // two "library versions" differ byte-for-byte in every function.
+  basm.Emit([&](Assembler& as) {
+    as.MovRegImm32(x86::kRax, config.flavor ^ static_cast<uint32_t>(rng.NextU32()));
+  });
+  size_t remaining = filler_ops;
+  size_t calls_made = 0;
+  while (remaining > 0) {
+    if (calls_made < config.max_calls && !callees.empty() &&
+        rng.NextChance(1, 4)) {
+      const uint64_t target = callees[rng.NextBelow(callees.size())];
+      basm.Emit([&](Assembler& as) { as.CallAbs(target); });
+      ++calls_made;
+    } else {
+      EmitFillerOp(basm, rng, config.flavor);
+    }
+    --remaining;
+  }
+  // Fold a scratch register into the result so the body is not dead code.
+  basm.Emit([&](Assembler& as) { as.AddRegReg(x86::kRax, x86::kRcx); });
+
+  // ---- Epilogue ------------------------------------------------------------
+  if (config.stack_protect && !config.sabotage_epilogue) {
+    // The policy requires reload / cmp / jne to be adjacent, so keep the
+    // triple inside one bundle (9 + 5 + 6 = 20 bytes).
+    auto fail = basm.NewLabel();
+    basm.ReserveContiguous(20);
+    basm.Emit([&](Assembler& as) { as.MovRegFsDisp(x86::kRcx, 0x28); });
+    basm.Emit([&](Assembler& as) {
+      as.CmpRegMem(x86::kRcx, x86::kRsp, kCanarySlot);
+    });
+    basm.EmitJccLabel(x86::kCondNe, fail);
+    basm.Emit([&](Assembler& as) { as.AddRegImm32(x86::kRsp, kFrameSize); });
+    basm.Emit([&](Assembler& as) { as.Ret(); });
+    // The jne must land exactly on the callq (the policy resolves the branch
+    // target), so make sure no bundle padding lands after the label.
+    basm.ReserveContiguous(6);
+    basm.Bind(fail);
+    basm.Emit([&](Assembler& as) { as.CallAbs(config.stack_chk_fail); });
+    basm.Emit([&](Assembler& as) { as.Hlt(); });
+  } else if (config.stack_protect) {
+    // Sabotaged: tear the frame down without checking the canary.
+    basm.Emit([&](Assembler& as) { as.AddRegImm32(x86::kRsp, kFrameSize); });
+    basm.Emit([&](Assembler& as) { as.Ret(); });
+  } else {
+    basm.Emit([&](Assembler& as) { as.Ret(); });
+  }
+}
+
+}  // namespace engarde::workload

@@ -1,0 +1,41 @@
+// Shared function-body generator for the synthetic libc and the synthetic
+// application programs: deterministic filler code with optional
+// -fstack-protector-all-style instrumentation (the exact shape from paper
+// Section 5) and optional direct calls to already-placed functions.
+#ifndef ENGARDE_WORKLOAD_FUNCGEN_H_
+#define ENGARDE_WORKLOAD_FUNCGEN_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/bundled_asm.h"
+
+namespace engarde::workload {
+
+struct FuncGenConfig {
+  bool stack_protect = false;
+  // Absolute vaddr of __stack_chk_fail (same address space as the assembler
+  // base). Required when stack_protect is set.
+  uint64_t stack_chk_fail = 0;
+  // Mixed into every body so different "library versions" / programs hash
+  // differently.
+  uint32_t flavor = 0;
+  // If true, emit the prologue/epilogue but sabotage the epilogue (no
+  // reload+cmp) — the "malicious client" variant for tests.
+  bool sabotage_epilogue = false;
+  // Maximum direct calls this function makes into `callees`. Application
+  // functions use 3 (dense call graphs, as in real programs); library
+  // functions use 1 so the runtime call tree stays linear.
+  size_t max_calls = 1;
+};
+
+// Emits one complete function at the current (bundle-aligned) position:
+// prologue, `filler_ops` filler instructions with optional direct calls into
+// `callees`, epilogue, terminator. Returns nothing; basm.insn_count()
+// advances by everything emitted.
+void EmitFunction(BundledAsm& basm, Rng& rng, const FuncGenConfig& config,
+                  const std::vector<uint64_t>& callees, size_t filler_ops);
+
+}  // namespace engarde::workload
+
+#endif  // ENGARDE_WORKLOAD_FUNCGEN_H_

@@ -1,0 +1,339 @@
+#include "workload/program_builder.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "elf/builder.h"
+#include "workload/funcgen.h"
+
+namespace engarde::workload {
+namespace {
+
+using x86::Assembler;
+
+constexpr uint64_t kAppBase = 0x1000;  // ElfBuilder places .text here
+constexpr int32_t kFrameSize = 0x18;
+constexpr int32_t kCanarySlot = 0x10;
+
+struct AppSymbol {
+  std::string name;
+  uint64_t vaddr = 0;
+  uint64_t size = 0;
+};
+
+// Everything one generation pass produces. Addresses of later items depend
+// on sizes of earlier ones; the caller iterates to a fixed point (sizes are
+// address-independent, so the second pass converges).
+struct AppText {
+  Bytes code;
+  size_t insn_count = 0;
+  std::vector<AppSymbol> symbols;
+  uint64_t entry = 0;
+  uint64_t table_base = 0;          // jump table start (0 if none)
+  size_t table_entries = 0;         // padded to a power of two
+  std::vector<uint64_t> slot_addends;  // file vaddrs the data slots point at
+};
+
+// Layout assumptions fed forward from the previous pass.
+struct LayoutGuess {
+  uint64_t libc_base = 0x200000;
+  uint64_t table_base = 0x100000;
+  std::vector<uint64_t> fn_addrs;   // app function addresses
+  uint64_t data_base = 0x300000;    // for RIP-relative slot loads
+};
+
+size_t NextPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+AppText GenerateAppText(const ProgramSpec& spec, const SynthLibrary& libc,
+                        const LayoutGuess& guess) {
+  AppText out;
+  BundledAsm basm(kAppBase);
+  Rng rng(spec.seed * 0x9e3779b97f4a7c15ULL + 1);
+
+  const uint64_t chk_fail = guess.libc_base + libc.OffsetOf("__stack_chk_fail");
+  const uint32_t flavor = static_cast<uint32_t>(spec.seed * 2654435761u);
+
+  std::vector<uint64_t> libc_addrs;
+  libc_addrs.reserve(libc.functions.size());
+  for (const SynthFunction& fn : libc.functions) {
+    if (fn.name == "__stack_chk_fail") continue;
+    libc_addrs.push_back(guess.libc_base + fn.offset);
+  }
+
+  // ---- Budget ---------------------------------------------------------------
+  // Instruction budget for the application text: everything except libc.
+  const size_t budget =
+      spec.target_instructions > libc.insn_count + 64
+          ? spec.target_instructions - libc.insn_count
+          : 64;
+
+  // ---- _start -----------------------------------------------------------------
+  // call main; hlt. main's address is taken from the previous pass.
+  out.entry = basm.CurrentVaddr();
+  const uint64_t main_guess =
+      guess.fn_addrs.empty() ? kAppBase + 64 : guess.fn_addrs[0];
+  out.symbols.push_back({"_start", basm.CurrentVaddr(), 0});
+  basm.Emit([&](Assembler& as) { as.CallAbs(main_guess); });
+  basm.Emit([&](Assembler& as) { as.Hlt(); });
+  out.symbols.back().size = basm.CurrentVaddr() - out.symbols.back().vaddr;
+  basm.AlignToBundle();
+
+  // ---- main ---------------------------------------------------------------------
+  const bool emit_indirect = spec.ifcc || spec.unguarded_indirect_call;
+  const size_t sites = emit_indirect ? std::max<size_t>(spec.indirect_call_sites, 1) : 0;
+
+  out.symbols.push_back({"main", basm.CurrentVaddr(), 0});
+  {
+    if (spec.stack_protection) {
+      basm.Emit([&](Assembler& as) { as.SubRegImm32(x86::kRsp, kFrameSize); });
+      basm.Emit([&](Assembler& as) { as.MovRegFsDisp(x86::kRax, 0x28); });
+      basm.Emit([&](Assembler& as) {
+        as.MovStore(x86::kRsp, kCanarySlot, x86::kRax);
+      });
+    }
+    basm.Emit([&](Assembler& as) { as.MovRegImm32(x86::kRax, flavor); });
+
+    // Direct calls into a few application functions and libc.
+    const size_t direct_calls = std::min<size_t>(4, guess.fn_addrs.size() > 1
+                                                       ? guess.fn_addrs.size() - 1
+                                                       : 0);
+    for (size_t i = 0; i < direct_calls; ++i) {
+      const uint64_t target = guess.fn_addrs[1 + i];
+      basm.Emit([&](Assembler& as) { as.CallAbs(target); });
+    }
+    if (!libc_addrs.empty()) {
+      basm.Emit([&](Assembler& as) {
+        as.CallAbs(libc_addrs[rng.NextBelow(libc_addrs.size())]);
+      });
+    }
+
+    // Indirect call sites.
+    const size_t padded_entries = NextPow2(std::max<size_t>(sites, 1));
+    const int32_t ifcc_mask = static_cast<int32_t>((padded_entries - 1) * 8);
+    for (size_t site = 0; site < sites; ++site) {
+      const uint64_t slot_vaddr = guess.data_base + site * 8;
+      basm.Emit([&](Assembler& as) {
+        as.MovLoadRipRelTo(x86::kRcx, slot_vaddr);
+      });
+      if (spec.unguarded_indirect_call) {
+        basm.Emit([&](Assembler& as) { as.CallIndirectReg(x86::kRcx); });
+        continue;
+      }
+      // The policy requires lea/sub/and/add/call adjacency (7+2+7+3+2 = 21).
+      basm.ReserveContiguous(21);
+      basm.Emit([&](Assembler& as) {
+        as.LeaRipRelTo(x86::kRax, guess.table_base);
+      });
+      basm.Emit([&](Assembler& as) { as.SubRegReg32(x86::kRcx, x86::kRax); });
+      basm.Emit([&](Assembler& as) { as.AndRegImm32(x86::kRcx, ifcc_mask); });
+      basm.Emit([&](Assembler& as) { as.AddRegReg(x86::kRcx, x86::kRax); });
+      basm.Emit([&](Assembler& as) { as.CallIndirectReg(x86::kRcx); });
+    }
+
+    if (spec.stack_protection) {
+      auto fail = basm.NewLabel();
+      basm.ReserveContiguous(20);
+      basm.Emit([&](Assembler& as) { as.MovRegFsDisp(x86::kRcx, 0x28); });
+      basm.Emit([&](Assembler& as) {
+        as.CmpRegMem(x86::kRcx, x86::kRsp, kCanarySlot);
+      });
+      basm.EmitJccLabel(x86::kCondNe, fail);
+      basm.Emit([&](Assembler& as) { as.AddRegImm32(x86::kRsp, kFrameSize); });
+      basm.Emit([&](Assembler& as) { as.Ret(); });
+      // No padding between the label and the callq (see funcgen.cc).
+      basm.ReserveContiguous(6);
+      basm.Bind(fail);
+      basm.Emit([&](Assembler& as) { as.CallAbs(chk_fail); });
+      basm.Emit([&](Assembler& as) { as.Hlt(); });
+    } else {
+      basm.Emit([&](Assembler& as) { as.Ret(); });
+    }
+  }
+  out.symbols.back().size = basm.CurrentVaddr() - out.symbols.back().vaddr;
+  basm.AlignToBundle();
+
+  // ---- Application functions --------------------------------------------------
+  std::vector<uint64_t> fn_addrs;  // [0] = main, then fn_0, fn_1, ...
+  fn_addrs.push_back(out.symbols[1].vaddr);
+
+  size_t fn_index = 0;
+  const size_t sabotage_index = 0;  // deterministic victim: fn_0 always exists
+  // Reserve room for the jump table in the budget (2 insns per entry).
+  const size_t table_budget =
+      spec.ifcc ? 2 * NextPow2(std::max<size_t>(sites, 1)) + 4 : 0;
+  while (basm.insn_count() + 48 + table_budget < budget) {
+    basm.AlignToBundle();
+    const uint64_t vaddr = basm.CurrentVaddr();
+    FuncGenConfig config;
+    config.stack_protect = spec.stack_protection;
+    config.stack_chk_fail = chk_fail;
+    config.flavor = flavor;
+    config.max_calls = 6;  // dense call graph into libc (drives Figure 3)
+    config.sabotage_epilogue =
+        spec.sabotage_one_function && fn_index == sabotage_index;
+    const size_t remaining = budget - table_budget - basm.insn_count();
+    const size_t filler = std::min<size_t>(
+        rng.NextInRange(40, 160), remaining > 64 ? remaining - 32 : 1);
+    // Callees: libc plus strictly earlier app functions (first three only) —
+    // earlier-only keeps the runtime call graph acyclic so any generated
+    // program terminates under the interpreter.
+    std::vector<uint64_t> callees = libc_addrs;
+    for (size_t j = 1; j < guess.fn_addrs.size() && j <= 3 && j <= fn_index;
+         ++j) {
+      callees.push_back(guess.fn_addrs[j]);
+    }
+    EmitFunction(basm, rng, config, callees, filler);
+    out.symbols.push_back({"fn_" + std::to_string(fn_index), vaddr,
+                           basm.CurrentVaddr() - vaddr});
+    fn_addrs.push_back(vaddr);
+    ++fn_index;
+  }
+
+  // ---- IFCC jump table -----------------------------------------------------------
+  if (spec.ifcc) {
+    basm.AlignToBundle();
+    out.table_base = basm.CurrentVaddr();
+    const size_t padded_entries = NextPow2(std::max<size_t>(sites, 1));
+    out.table_entries = padded_entries;
+    // Targets: cycle through the generated functions (skip _start).
+    std::vector<uint64_t> targets;
+    for (size_t i = 1; i < out.symbols.size() && targets.size() < padded_entries;
+         ++i) {
+      if (out.symbols[i].name == "main") continue;
+      targets.push_back(out.symbols[i].vaddr);
+    }
+    if (targets.empty()) targets.push_back(out.symbols[1].vaddr);
+
+    for (size_t entry = 0; entry < padded_entries; ++entry) {
+      const uint64_t entry_vaddr = basm.CurrentVaddr();
+      assert(entry_vaddr % 8 == 0);
+      const uint64_t target = targets[entry % targets.size()];
+      // jmpq <fn> (5) ; nopl (%rax) (3) — one 8-byte entry.
+      basm.Emit([&](Assembler& as) { as.JmpAbs(target); });
+      basm.Emit([&](Assembler& as) { as.NopMem(); });
+      out.symbols.push_back({"__llvm_jump_instr_table_0_" +
+                                 std::to_string(entry),
+                             entry_vaddr, 8});
+    }
+    basm.AlignToBundle();
+
+    // Data slots point at the first `sites` table entries.
+    for (size_t site = 0; site < sites; ++site) {
+      out.slot_addends.push_back(out.table_base + site * 8);
+    }
+  } else if (spec.unguarded_indirect_call) {
+    // Slots point straight at functions — no table.
+    for (size_t site = 0; site < sites; ++site) {
+      out.slot_addends.push_back(
+          fn_addrs[std::min<size_t>(1 + site, fn_addrs.size() - 1)]);
+    }
+  }
+
+  basm.AlignToBundle();
+  out.insn_count = basm.insn_count();
+  out.code = basm.TakeBytes();
+  return out;
+}
+
+}  // namespace
+
+Result<BuiltProgram> BuildProgram(const ProgramSpec& spec) {
+  SynthLibcOptions libc_options = spec.libc;
+  libc_options.stack_protect = spec.stack_protection;
+  SynthLibrary libc = GenerateSynthLibc(libc_options);
+  // Small programs link against a slimmer libc (as real small programs pull
+  // in fewer objects from the archive): keep the library under half of the
+  // instruction budget so application code exists at every scale.
+  while (libc.insn_count * 2 > spec.target_instructions &&
+         libc_options.function_count > 8) {
+    libc_options.function_count /= 2;
+    libc = GenerateSynthLibc(libc_options);
+  }
+
+  // Fixed-point generation: addresses stabilize after the second pass
+  // because every encoding the generator emits has an address-independent
+  // length.
+  LayoutGuess guess;
+  AppText app;
+  for (int pass = 0; pass < 8; ++pass) {
+    app = GenerateAppText(spec, libc, guess);
+
+    LayoutGuess next;
+    next.libc_base = (kAppBase + app.code.size() + 31) & ~uint64_t{31};
+    next.table_base = app.table_base;
+    next.data_base =
+        elf::PageAlignUp(next.libc_base + libc.code.size());
+    for (const AppSymbol& symbol : app.symbols) {
+      if (symbol.name == "main") {
+        next.fn_addrs.insert(next.fn_addrs.begin(), symbol.vaddr);
+      } else if (symbol.name.rfind("fn_", 0) == 0) {
+        next.fn_addrs.push_back(symbol.vaddr);
+      }
+    }
+    const bool stable = next.libc_base == guess.libc_base &&
+                        next.table_base == guess.table_base &&
+                        next.data_base == guess.data_base &&
+                        next.fn_addrs == guess.fn_addrs;
+    guess = std::move(next);
+    if (stable) break;
+    if (pass == 7) {
+      return InternalError("program layout did not converge");
+    }
+  }
+
+  // ---- Assemble the ELF ------------------------------------------------------
+  elf::ElfBuilder builder;
+  const uint64_t app_vaddr = builder.AddTextSection(".text", app.code);
+  if (app_vaddr != kAppBase) {
+    return InternalError("unexpected .text placement");
+  }
+  const uint64_t libc_vaddr =
+      builder.AddTextSection(".text.libc", libc.code);
+  if (libc_vaddr != guess.libc_base) {
+    return InternalError("libc base mismatch after convergence");
+  }
+
+  // Data: pointer slots first, then filler bytes.
+  Rng data_rng(spec.seed ^ 0xda7a);
+  const size_t slot_bytes = app.slot_addends.size() * 8;
+  Bytes data(slot_bytes, 0);
+  const Bytes filler_data = data_rng.NextBytes(spec.data_bytes);
+  AppendBytes(data, ByteView(filler_data.data(), filler_data.size()));
+  const uint64_t data_vaddr = builder.AddDataSection(".data", data);
+  if (data_vaddr != guess.data_base) {
+    return InternalError("data base mismatch after convergence");
+  }
+  if (spec.bss_bytes > 0) builder.AddBss(spec.bss_bytes);
+
+  // Relocations: each slot gets base + addend at load time.
+  for (size_t i = 0; i < app.slot_addends.size(); ++i) {
+    builder.AddRelativeRelocation(data_vaddr + i * 8,
+                                  static_cast<int64_t>(app.slot_addends[i]));
+  }
+
+  // Symbols.
+  for (const AppSymbol& symbol : app.symbols) {
+    builder.AddSymbol(symbol.name, symbol.vaddr, symbol.size, elf::kSttFunc);
+  }
+  for (const SynthFunction& fn : libc.functions) {
+    builder.AddSymbol(fn.name, libc_vaddr + fn.offset, fn.size,
+                      elf::kSttFunc);
+  }
+  builder.AddSymbol("__data_start", data_vaddr, data.size(), elf::kSttObject);
+  builder.SetEntry(app.entry);
+
+  ASSIGN_OR_RETURN(Bytes image, builder.Build());
+
+  BuiltProgram built;
+  built.name = spec.name;
+  built.image = std::move(image);
+  built.emitted_insn_count = app.insn_count + libc.insn_count;
+  built.libc_options = libc_options;
+  return built;
+}
+
+}  // namespace engarde::workload

@@ -1,0 +1,51 @@
+// Synthesizes the client executables for the evaluation: NaCl-clean x86-64
+// ELF PIEs, statically "linked" against the synthetic musl, with the paper's
+// three instrumentations togglable — stack protectors (Figure 4), IFCC jump
+// tables + guards (Figure 5) — plus deliberately non-compliant variants for
+// the rejection tests. Instruction counts are steered to the exact
+// per-benchmark sizes the paper reports.
+#ifndef ENGARDE_WORKLOAD_PROGRAM_BUILDER_H_
+#define ENGARDE_WORKLOAD_PROGRAM_BUILDER_H_
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "workload/synth_libc.h"
+
+namespace engarde::workload {
+
+struct ProgramSpec {
+  std::string name = "program";
+  uint64_t seed = 1;
+  // Total decoded instructions (application + jump table + libc + padding).
+  // The builder lands within a fraction of a percent of this.
+  size_t target_instructions = 8000;
+
+  // Instrumentation the "compiler" applied.
+  bool stack_protection = false;
+  bool ifcc = false;
+  size_t indirect_call_sites = 4;  // emitted when ifcc or unguarded variant
+
+  // Malicious-client variants for rejection tests.
+  bool unguarded_indirect_call = false;   // indirect calls with no IFCC guard
+  bool sabotage_one_function = false;     // one function missing its epilogue
+
+  SynthLibcOptions libc;  // stack_protect is forced to match the program
+
+  size_t data_bytes = 512;
+  size_t bss_bytes = 4096;
+};
+
+struct BuiltProgram {
+  std::string name;
+  Bytes image;                 // the ELF executable
+  size_t emitted_insn_count;   // exact, counted during generation
+  SynthLibcOptions libc_options;  // what the library db must be built from
+};
+
+Result<BuiltProgram> BuildProgram(const ProgramSpec& spec);
+
+}  // namespace engarde::workload
+
+#endif  // ENGARDE_WORKLOAD_PROGRAM_BUILDER_H_

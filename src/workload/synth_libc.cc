@@ -1,0 +1,101 @@
+#include "workload/synth_libc.h"
+
+#include <cassert>
+
+#include "crypto/sha256.h"
+#include "elf/builder.h"
+#include "workload/funcgen.h"
+
+namespace engarde::workload {
+namespace {
+
+// musl-flavoured names for the first functions; the remainder get generic
+// internal names.
+constexpr const char* kCoreNames[] = {
+    "memcpy",   "memset",  "memmove", "strlen",  "strcmp",  "strcpy",
+    "strncmp",  "malloc",  "free",    "calloc",  "realloc", "printf",
+    "fprintf",  "snprintf", "fopen",  "fclose",  "fread",   "fwrite",
+    "open",     "close",   "read",    "write",   "socket",  "bind",
+    "listen",   "accept",  "connect", "send",    "recv",    "atoi",
+    "strtol",   "getenv",  "time",    "rand",    "srand",   "qsort",
+    "bsearch",  "memchr",  "strchr",  "strstr",  "abort",   "exit"};
+
+uint32_t VersionFlavor(const std::string& version) {
+  const crypto::Sha256Digest d =
+      crypto::Sha256::Hash(ToBytes("synth-musl-" + version));
+  return LoadLe32(d.data());
+}
+
+}  // namespace
+
+uint64_t SynthLibrary::OffsetOf(std::string_view name) const {
+  for (const SynthFunction& fn : functions) {
+    if (fn.name == name) return fn.offset;
+  }
+  assert(false && "unknown synthetic libc function");
+  return 0;
+}
+
+SynthLibrary GenerateSynthLibc(const SynthLibcOptions& options) {
+  SynthLibrary library;
+  BundledAsm basm(0);  // position-independent: emit at base 0
+  Rng rng(options.seed ^ (static_cast<uint64_t>(VersionFlavor(options.version))
+                          << 17));
+  const uint32_t flavor = VersionFlavor(options.version);
+
+  // __stack_chk_fail comes first so every later function can call it.
+  basm.AlignToBundle();
+  const uint64_t chk_fail_offset = basm.CurrentVaddr();
+  library.functions.push_back({"__stack_chk_fail", chk_fail_offset, 0});
+  basm.Emit([&](x86::Assembler& as) { as.Hlt(); });
+
+  std::vector<uint64_t> placed;  // offsets callable by later functions
+  const size_t total = options.function_count;
+  for (size_t i = 0; i < total; ++i) {
+    basm.AlignToBundle();
+    const uint64_t offset = basm.CurrentVaddr();
+    const std::string name = i < std::size(kCoreNames)
+                                 ? kCoreNames[i]
+                                 : "musl_internal_" + std::to_string(i);
+
+    FuncGenConfig config;
+    config.stack_protect = options.stack_protect;
+    config.stack_chk_fail = chk_fail_offset;
+    config.flavor = flavor;
+    config.max_calls = 1;  // linear internal call chains
+    const size_t filler = rng.NextInRange(40, 160);
+    EmitFunction(basm, rng, config, placed, filler);
+
+    library.functions.push_back({name, offset, basm.CurrentVaddr() - offset});
+    placed.push_back(offset);
+  }
+  basm.AlignToBundle();
+
+  // Record __stack_chk_fail's size now that its successor is known.
+  library.functions[0].size = library.functions.size() > 1
+                                  ? library.functions[1].offset
+                                  : basm.size();
+
+  library.insn_count = basm.insn_count();
+  library.code = basm.TakeBytes();
+  return library;
+}
+
+Result<core::LibraryHashDb> BuildLibcHashDb(const SynthLibcOptions& options) {
+  const SynthLibrary library = GenerateSynthLibc(options);
+
+  // Wrap the blob in a standalone library image, as the provider would wrap
+  // (or directly read) the real musl archive.
+  elf::ElfBuilder builder;
+  const uint64_t text_vaddr = builder.AddTextSection(".text", library.code);
+  for (const SynthFunction& fn : library.functions) {
+    builder.AddSymbol(fn.name, text_vaddr + fn.offset, fn.size,
+                      elf::kSttFunc);
+  }
+  ASSIGN_OR_RETURN(const Bytes image, builder.Build());
+  ASSIGN_OR_RETURN(const elf::ElfFile elf,
+                   elf::ElfFile::Parse(ByteView(image.data(), image.size())));
+  return core::LibraryHashDb::FromLibraryImage(elf);
+}
+
+}  // namespace engarde::workload

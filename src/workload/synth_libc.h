@@ -1,0 +1,60 @@
+// Synthetic stand-in for musl-libc (paper Section 5 links every benchmark
+// against musl-libc v1.0.5 "to keep the size of the executables small").
+// We do not have musl's sources in this environment, so we *simulate* the
+// library: a deterministic, position-independent corpus of functions with
+// musl-style names, generated from a seed. The "version" knob perturbs every
+// function body, so v1.0.4 and v1.0.5 hash differently — reproducing exactly
+// the property the library-linking policy checks.
+//
+// The blob is position-independent (internal calls are rel32), so the same
+// bytes can be embedded as a .text.libc section in any program, and the
+// per-function SHA-256 digests computed from the standalone library image
+// match the digests of the linked copy.
+#ifndef ENGARDE_WORKLOAD_SYNTH_LIBC_H_
+#define ENGARDE_WORKLOAD_SYNTH_LIBC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "core/library_db.h"
+
+namespace engarde::workload {
+
+struct SynthLibcOptions {
+  std::string version = "1.0.5";
+  size_t function_count = 48;  // includes the named core functions
+  // Instrument library functions with stack protectors (the library must be
+  // compiled the same way as the application for Figure-4 configurations).
+  bool stack_protect = false;
+  uint64_t seed = 0x5eed;
+
+  bool operator==(const SynthLibcOptions&) const = default;
+};
+
+struct SynthFunction {
+  std::string name;
+  uint64_t offset = 0;  // from blob start
+  uint64_t size = 0;
+};
+
+struct SynthLibrary {
+  Bytes code;  // position-independent; place at any 32-aligned vaddr
+  std::vector<SynthFunction> functions;  // ascending offset
+  size_t insn_count = 0;
+
+  uint64_t OffsetOf(std::string_view name) const;  // asserts existence
+};
+
+// Deterministic generation: same options -> bit-identical blob.
+SynthLibrary GenerateSynthLibc(const SynthLibcOptions& options);
+
+// Builds the reference hash database the provider distributes: wraps the
+// blob in a standalone library ELF image and hashes every function, exactly
+// as LibraryHashDb::FromLibraryImage would over real musl.
+Result<core::LibraryHashDb> BuildLibcHashDb(const SynthLibcOptions& options);
+
+}  // namespace engarde::workload
+
+#endif  // ENGARDE_WORKLOAD_SYNTH_LIBC_H_

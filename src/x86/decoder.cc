@@ -1,0 +1,747 @@
+#include "x86/decoder.h"
+
+#include <sstream>
+
+namespace engarde::x86 {
+namespace {
+
+// How the instruction's explicit operands map onto ModRM/immediate fields.
+enum class Form : uint8_t {
+  kNone,      // no explicit operands (ret, leave, syscall, ...)
+  kRmReg,     // dst = r/m, src = reg        (e.g. 0x89 mov r/m,r)
+  kRegRm,     // dst = reg, src = r/m        (e.g. 0x8B mov r,r/m)
+  kRmImm,     // dst = r/m, src = imm        (e.g. 0x81 grp1)
+  kRmOnly,    // dst = r/m                   (unary group ops, setcc)
+  kRmSrc,     // src = r/m                   (push r/m, call/jmp r/m)
+  kRegOpImm,  // dst = reg from opcode, src = imm (0xB8+r)
+  kRegOp,     // reg encoded in low opcode bits  (push/pop/xchg/bswap)
+  kAccImm,    // dst = rAX, src = imm        (0x05 add eax,imm ...)
+  kRel,       // direct branch
+};
+
+struct Decoded {
+  Mnemonic mnemonic = Mnemonic::kUnknown;
+  Form form = Form::kNone;
+  bool has_modrm = false;
+  uint8_t imm_bytes = 0;   // fixed immediate size (0/1/2/4/8)
+  bool imm_by_opsize = false;  // imm is 2 bytes for 16-bit ops, else 4
+  uint8_t rel_bytes = 0;   // 1 or 4 for direct branches
+  bool byte_op = false;    // 8-bit operand size
+  bool default64 = false;  // push/pop/branches default to 64-bit
+  uint8_t cond = 0;
+};
+
+Mnemonic Grp1Mnemonic(uint8_t reg_field) {
+  static constexpr Mnemonic kMap[8] = {
+      Mnemonic::kAdd, Mnemonic::kOr,  Mnemonic::kAdc, Mnemonic::kSbb,
+      Mnemonic::kAnd, Mnemonic::kSub, Mnemonic::kXor, Mnemonic::kCmp};
+  return kMap[reg_field & 7];
+}
+
+Mnemonic AluMnemonicFromOpcode(uint8_t opcode) {
+  return Grp1Mnemonic(static_cast<uint8_t>(opcode >> 3));
+}
+
+// Reader over the instruction bytes with the 15-byte architectural cap.
+class InsnCursor {
+ public:
+  InsnCursor(ByteView code, size_t offset)
+      : code_(code), start_(offset), pos_(offset) {}
+
+  bool Next(uint8_t& out) {
+    if (pos_ >= code_.size() || pos_ - start_ >= kMaxInsnLength) return false;
+    out = code_[pos_++];
+    return true;
+  }
+  bool Peek(uint8_t& out) const {
+    if (pos_ >= code_.size() || pos_ - start_ >= kMaxInsnLength) return false;
+    out = code_[pos_];
+    return true;
+  }
+  bool Take(size_t n, ByteView& out) {
+    if (pos_ + n > code_.size() || pos_ + n - start_ > kMaxInsnLength) {
+      return false;
+    }
+    out = code_.subspan(pos_, n);
+    pos_ += n;
+    return true;
+  }
+  size_t consumed() const { return pos_ - start_; }
+
+ private:
+  ByteView code_;
+  size_t start_;
+  size_t pos_;
+};
+
+Status TruncatedError(uint64_t addr) {
+  std::ostringstream os;
+  os << "truncated or overlong instruction at 0x" << std::hex << addr;
+  return InvalidArgumentError(os.str());
+}
+
+Status UnsupportedOpcode(uint64_t addr, const char* map, unsigned opcode) {
+  std::ostringstream os;
+  os << "unsupported " << map << " opcode 0x" << std::hex << opcode
+     << " at 0x" << addr;
+  return UnimplementedError(os.str());
+}
+
+int64_t SignExtend(uint64_t value, uint8_t bytes) {
+  switch (bytes) {
+    case 1: return static_cast<int8_t>(value);
+    case 2: return static_cast<int16_t>(value);
+    case 4: return static_cast<int32_t>(value);
+    default: return static_cast<int64_t>(value);
+  }
+}
+
+}  // namespace
+
+Result<Insn> DecodeOne(ByteView code, size_t offset, uint64_t vaddr) {
+  const uint64_t addr = vaddr + offset;
+  InsnCursor cur(code, offset);
+
+  Insn insn;
+  insn.addr = addr;
+
+  // ---- Prefixes -----------------------------------------------------------
+  bool opsize16 = false;
+  bool rep_f3 = false;
+  Segment segment = Segment::kNone;
+  uint8_t legacy_prefixes = 0;
+  uint8_t b = 0;
+
+  for (;;) {
+    if (!cur.Peek(b)) return TruncatedError(addr);
+    bool is_prefix = true;
+    switch (b) {
+      case 0x66: opsize16 = true; break;
+      case 0x67: break;                       // address-size (tracked only)
+      case 0xf0: break;                       // lock
+      case 0xf2: break;                       // repne
+      case 0xf3: rep_f3 = true; break;        // rep / instruction modifier
+      case 0x2e: case 0x36: case 0x3e: case 0x26: break;  // null segments
+      case 0x64: segment = Segment::kFs; break;
+      case 0x65: segment = Segment::kGs; break;
+      default: is_prefix = false; break;
+    }
+    if (!is_prefix) break;
+    (void)cur.Next(b);
+    if (++legacy_prefixes > 4) {
+      return InvalidArgumentError("too many legacy prefixes");
+    }
+  }
+
+  uint8_t rex = 0;
+  if (b >= 0x40 && b <= 0x4f) {
+    rex = b;
+    (void)cur.Next(b);
+    if (!cur.Peek(b)) return TruncatedError(addr);
+  }
+  insn.rex = rex;
+  const bool rex_w = (rex & 0x08) != 0;
+  const uint8_t rex_r = (rex & 0x04) ? 8 : 0;
+  const uint8_t rex_x = (rex & 0x02) ? 8 : 0;
+  const uint8_t rex_b = (rex & 0x01) ? 8 : 0;
+
+  insn.prefix_len = static_cast<uint8_t>(cur.consumed());
+
+  // ---- Opcode -------------------------------------------------------------
+  uint8_t op = 0;
+  if (!cur.Next(op)) return TruncatedError(addr);
+  bool two_byte = false;
+  uint8_t op2 = 0;
+  if (op == 0x0f) {
+    two_byte = true;
+    if (!cur.Next(op2)) return TruncatedError(addr);
+    if (op2 == 0x38 || op2 == 0x3a) {
+      return UnsupportedOpcode(addr, "three-byte-map", op2);
+    }
+  }
+  insn.opcode_len = two_byte ? 2 : 1;
+
+  Decoded d;
+
+  if (!two_byte) {
+    switch (op) {
+      // ALU families: 8 groups of 6 encodings each.
+      case 0x00: case 0x01: case 0x08: case 0x09: case 0x10: case 0x11:
+      case 0x18: case 0x19: case 0x20: case 0x21: case 0x28: case 0x29:
+      case 0x30: case 0x31: case 0x38: case 0x39:
+        d.mnemonic = AluMnemonicFromOpcode(op);
+        d.form = Form::kRmReg;
+        d.has_modrm = true;
+        d.byte_op = (op & 1) == 0;
+        break;
+      case 0x02: case 0x03: case 0x0a: case 0x0b: case 0x12: case 0x13:
+      case 0x1a: case 0x1b: case 0x22: case 0x23: case 0x2a: case 0x2b:
+      case 0x32: case 0x33: case 0x3a: case 0x3b:
+        d.mnemonic = AluMnemonicFromOpcode(op);
+        d.form = Form::kRegRm;
+        d.has_modrm = true;
+        d.byte_op = (op & 1) == 0;
+        break;
+      case 0x04: case 0x05: case 0x0c: case 0x0d: case 0x14: case 0x15:
+      case 0x1c: case 0x1d: case 0x24: case 0x25: case 0x2c: case 0x2d:
+      case 0x34: case 0x35: case 0x3c: case 0x3d:
+        d.mnemonic = AluMnemonicFromOpcode(op);
+        d.form = Form::kAccImm;
+        d.byte_op = (op & 1) == 0;
+        if (d.byte_op) {
+          d.imm_bytes = 1;
+        } else {
+          d.imm_by_opsize = true;
+        }
+        break;
+
+      case 0x50: case 0x51: case 0x52: case 0x53:
+      case 0x54: case 0x55: case 0x56: case 0x57:
+        d.mnemonic = Mnemonic::kPush;
+        d.form = Form::kRegOp;
+        d.default64 = true;
+        break;
+      case 0x58: case 0x59: case 0x5a: case 0x5b:
+      case 0x5c: case 0x5d: case 0x5e: case 0x5f:
+        d.mnemonic = Mnemonic::kPop;
+        d.form = Form::kRegOp;
+        d.default64 = true;
+        break;
+
+      case 0x63:
+        d.mnemonic = Mnemonic::kMovsxd;
+        d.form = Form::kRegRm;
+        d.has_modrm = true;
+        break;
+      case 0x68:
+        d.mnemonic = Mnemonic::kPush;
+        d.form = Form::kAccImm;  // src = imm, no dst register
+        d.imm_by_opsize = true;
+        d.default64 = true;
+        break;
+      case 0x69:
+        d.mnemonic = Mnemonic::kImul;
+        d.form = Form::kRegRm;
+        d.has_modrm = true;
+        d.imm_by_opsize = true;
+        break;
+      case 0x6a:
+        d.mnemonic = Mnemonic::kPush;
+        d.form = Form::kAccImm;
+        d.imm_bytes = 1;
+        d.default64 = true;
+        break;
+      case 0x6b:
+        d.mnemonic = Mnemonic::kImul;
+        d.form = Form::kRegRm;
+        d.has_modrm = true;
+        d.imm_bytes = 1;
+        break;
+
+      case 0x70: case 0x71: case 0x72: case 0x73: case 0x74: case 0x75:
+      case 0x76: case 0x77: case 0x78: case 0x79: case 0x7a: case 0x7b:
+      case 0x7c: case 0x7d: case 0x7e: case 0x7f:
+        d.mnemonic = Mnemonic::kJcc;
+        d.form = Form::kRel;
+        d.rel_bytes = 1;
+        d.cond = op & 0xf;
+        break;
+
+      case 0x80:
+        d.form = Form::kRmImm;
+        d.has_modrm = true;
+        d.byte_op = true;
+        d.imm_bytes = 1;
+        break;  // mnemonic from reg field below
+      case 0x81:
+        d.form = Form::kRmImm;
+        d.has_modrm = true;
+        d.imm_by_opsize = true;
+        break;
+      case 0x83:
+        d.form = Form::kRmImm;
+        d.has_modrm = true;
+        d.imm_bytes = 1;
+        break;
+
+      case 0x84: case 0x85:
+        d.mnemonic = Mnemonic::kTest;
+        d.form = Form::kRmReg;
+        d.has_modrm = true;
+        d.byte_op = op == 0x84;
+        break;
+      case 0x86: case 0x87:
+        d.mnemonic = Mnemonic::kXchg;
+        d.form = Form::kRmReg;
+        d.has_modrm = true;
+        d.byte_op = op == 0x86;
+        break;
+      case 0x88: case 0x89:
+        d.mnemonic = Mnemonic::kMov;
+        d.form = Form::kRmReg;
+        d.has_modrm = true;
+        d.byte_op = op == 0x88;
+        break;
+      case 0x8a: case 0x8b:
+        d.mnemonic = Mnemonic::kMov;
+        d.form = Form::kRegRm;
+        d.has_modrm = true;
+        d.byte_op = op == 0x8a;
+        break;
+      case 0x8d:
+        d.mnemonic = Mnemonic::kLea;
+        d.form = Form::kRegRm;
+        d.has_modrm = true;
+        break;
+      case 0x8f:
+        d.mnemonic = Mnemonic::kPop;
+        d.form = Form::kRmOnly;
+        d.has_modrm = true;
+        d.default64 = true;
+        break;
+
+      case 0x90:
+        d.mnemonic = Mnemonic::kNop;  // 0x90, and F3 90 (pause)
+        break;
+      case 0x91: case 0x92: case 0x93: case 0x94: case 0x95: case 0x96:
+      case 0x97:
+        d.mnemonic = Mnemonic::kXchg;
+        d.form = Form::kRegOp;
+        break;
+      case 0x98:
+        d.mnemonic = Mnemonic::kCdqe;
+        break;
+      case 0x99:
+        d.mnemonic = Mnemonic::kCqo;
+        break;
+
+      case 0xa8:
+        d.mnemonic = Mnemonic::kTest;
+        d.form = Form::kAccImm;
+        d.byte_op = true;
+        d.imm_bytes = 1;
+        break;
+      case 0xa9:
+        d.mnemonic = Mnemonic::kTest;
+        d.form = Form::kAccImm;
+        d.imm_by_opsize = true;
+        break;
+
+      case 0xb0: case 0xb1: case 0xb2: case 0xb3:
+      case 0xb4: case 0xb5: case 0xb6: case 0xb7:
+        d.mnemonic = Mnemonic::kMov;
+        d.form = Form::kRegOpImm;
+        d.byte_op = true;
+        d.imm_bytes = 1;
+        break;
+      case 0xb8: case 0xb9: case 0xba: case 0xbb:
+      case 0xbc: case 0xbd: case 0xbe: case 0xbf:
+        d.mnemonic = Mnemonic::kMov;
+        d.form = Form::kRegOpImm;
+        d.imm_bytes = rex_w ? 8 : 0;
+        if (!rex_w) d.imm_by_opsize = true;
+        break;
+
+      case 0xc0: case 0xc1:
+        d.form = Form::kRmImm;  // grp2, mnemonic from reg field
+        d.has_modrm = true;
+        d.byte_op = op == 0xc0;
+        d.imm_bytes = 1;
+        break;
+      case 0xc2:
+        d.mnemonic = Mnemonic::kRet;
+        d.imm_bytes = 2;
+        d.default64 = true;
+        break;
+      case 0xc3:
+        d.mnemonic = Mnemonic::kRet;
+        d.default64 = true;
+        break;
+      case 0xc6:
+        d.mnemonic = Mnemonic::kMov;
+        d.form = Form::kRmImm;
+        d.has_modrm = true;
+        d.byte_op = true;
+        d.imm_bytes = 1;
+        break;
+      case 0xc7:
+        d.mnemonic = Mnemonic::kMov;
+        d.form = Form::kRmImm;
+        d.has_modrm = true;
+        d.imm_by_opsize = true;
+        break;
+      case 0xc9:
+        d.mnemonic = Mnemonic::kLeave;
+        d.default64 = true;
+        break;
+      case 0xcc:
+        d.mnemonic = Mnemonic::kInt3;
+        break;
+      case 0xcd:
+        d.mnemonic = Mnemonic::kInt;
+        d.imm_bytes = 1;
+        break;
+
+      case 0xd0: case 0xd1: case 0xd2: case 0xd3:
+        d.form = Form::kRmOnly;  // grp2 by 1 / by CL
+        d.has_modrm = true;
+        d.byte_op = (op & 1) == 0;
+        break;
+
+      case 0xe8:
+        d.mnemonic = Mnemonic::kCall;
+        d.form = Form::kRel;
+        d.rel_bytes = 4;
+        d.default64 = true;
+        break;
+      case 0xe9:
+        d.mnemonic = Mnemonic::kJmp;
+        d.form = Form::kRel;
+        d.rel_bytes = 4;
+        d.default64 = true;
+        break;
+      case 0xeb:
+        d.mnemonic = Mnemonic::kJmp;
+        d.form = Form::kRel;
+        d.rel_bytes = 1;
+        d.default64 = true;
+        break;
+
+      case 0xf4:
+        d.mnemonic = Mnemonic::kHlt;
+        break;
+      case 0xf6: case 0xf7:
+        d.form = Form::kRmOnly;  // grp3, mnemonic + imm from reg field
+        d.has_modrm = true;
+        d.byte_op = op == 0xf6;
+        break;
+      case 0xfe:
+        d.form = Form::kRmOnly;  // grp4
+        d.has_modrm = true;
+        d.byte_op = true;
+        break;
+      case 0xff:
+        d.form = Form::kRmOnly;  // grp5
+        d.has_modrm = true;
+        break;
+
+      default:
+        return UnsupportedOpcode(addr, "one-byte", op);
+    }
+  } else {
+    switch (op2) {
+      case 0x05:
+        d.mnemonic = Mnemonic::kSyscall;
+        break;
+      case 0x0b:
+        d.mnemonic = Mnemonic::kUd2;
+        break;
+      case 0x1e:
+        // F3 0F 1E FA = endbr64; other forms are reserved-NOP with ModRM.
+        d.mnemonic = Mnemonic::kNop;
+        d.has_modrm = true;
+        d.form = Form::kNone;
+        break;
+      case 0x1f:
+        d.mnemonic = Mnemonic::kNop;  // multi-byte NOP, e.g. nopl (%rax)
+        d.has_modrm = true;
+        d.form = Form::kRmOnly;
+        break;
+      case 0x31:
+        d.mnemonic = Mnemonic::kRdtsc;
+        break;
+      case 0xa2:
+        d.mnemonic = Mnemonic::kCpuid;
+        break;
+      case 0xaf:
+        d.mnemonic = Mnemonic::kImul;
+        d.form = Form::kRegRm;
+        d.has_modrm = true;
+        break;
+      case 0xb6: case 0xb7:
+        d.mnemonic = Mnemonic::kMovzx;
+        d.form = Form::kRegRm;
+        d.has_modrm = true;
+        break;
+      case 0xbe: case 0xbf:
+        d.mnemonic = Mnemonic::kMovsx;
+        d.form = Form::kRegRm;
+        d.has_modrm = true;
+        break;
+      case 0xc8: case 0xc9: case 0xca: case 0xcb:
+      case 0xcc: case 0xcd: case 0xce: case 0xcf:
+        d.mnemonic = Mnemonic::kBswap;
+        d.form = Form::kRegOp;
+        break;
+      default:
+        if (op2 >= 0x40 && op2 <= 0x4f) {
+          d.mnemonic = Mnemonic::kCmov;
+          d.form = Form::kRegRm;
+          d.has_modrm = true;
+          d.cond = op2 & 0xf;
+        } else if (op2 >= 0x80 && op2 <= 0x8f) {
+          d.mnemonic = Mnemonic::kJcc;
+          d.form = Form::kRel;
+          d.rel_bytes = 4;
+          d.cond = op2 & 0xf;
+        } else if (op2 >= 0x90 && op2 <= 0x9f) {
+          d.mnemonic = Mnemonic::kSetcc;
+          d.form = Form::kRmOnly;
+          d.has_modrm = true;
+          d.byte_op = true;
+          d.cond = op2 & 0xf;
+        } else {
+          return UnsupportedOpcode(addr, "two-byte", op2);
+        }
+        break;
+    }
+  }
+
+  // ---- Operand size -------------------------------------------------------
+  if (d.byte_op) {
+    insn.op_size = 1;
+  } else if (rex_w || d.default64) {
+    insn.op_size = 8;
+  } else if (opsize16) {
+    insn.op_size = 2;
+  } else {
+    insn.op_size = 4;
+  }
+
+  // ---- ModRM / SIB / displacement -----------------------------------------
+  Operand rm_operand;
+  uint8_t reg_field = 0;
+  if (d.has_modrm) {
+    uint8_t modrm = 0;
+    if (!cur.Next(modrm)) return TruncatedError(addr);
+    insn.modrm_len = 1;
+    const uint8_t mod = modrm >> 6;
+    reg_field = static_cast<uint8_t>(((modrm >> 3) & 7) | rex_r);
+    const uint8_t rm = modrm & 7;
+
+    if (mod == 3) {
+      rm_operand.kind = OperandKind::kReg;
+      rm_operand.reg = static_cast<uint8_t>(rm | rex_b);
+    } else {
+      rm_operand.kind = OperandKind::kMem;
+      rm_operand.mem.segment = segment;
+      uint8_t disp_bytes = (mod == 1) ? 1 : (mod == 2) ? 4 : 0;
+
+      if (rm == 4) {
+        uint8_t sib = 0;
+        if (!cur.Next(sib)) return TruncatedError(addr);
+        insn.sib_len = 1;
+        const uint8_t scale_bits = sib >> 6;
+        const uint8_t index = static_cast<uint8_t>(((sib >> 3) & 7) | rex_x);
+        const uint8_t base = static_cast<uint8_t>((sib & 7) | rex_b);
+        if (index != 4) {  // index=100b (without REX.X) means "no index"
+          rm_operand.mem.index = static_cast<int8_t>(index);
+          rm_operand.mem.scale = static_cast<uint8_t>(1 << scale_bits);
+        }
+        if ((sib & 7) == 5 && mod == 0) {
+          rm_operand.mem.base = -1;  // absolute disp32
+          disp_bytes = 4;
+        } else {
+          rm_operand.mem.base = static_cast<int8_t>(base);
+        }
+      } else if (rm == 5 && mod == 0) {
+        rm_operand.kind = OperandKind::kRipRel;
+        rm_operand.mem.segment = segment;
+        disp_bytes = 4;
+      } else {
+        rm_operand.mem.base = static_cast<int8_t>(rm | rex_b);
+      }
+
+      if (disp_bytes > 0) {
+        ByteView disp_raw;
+        if (!cur.Take(disp_bytes, disp_raw)) return TruncatedError(addr);
+        insn.disp_len = disp_bytes;
+        const uint64_t raw = disp_bytes == 1
+                                 ? disp_raw[0]
+                                 : static_cast<uint64_t>(LoadLe32(disp_raw.data()));
+        rm_operand.mem.disp =
+            static_cast<int32_t>(SignExtend(raw, disp_bytes));
+      }
+    }
+  }
+
+  // ---- Group mnemonic resolution ------------------------------------------
+  if (!two_byte) {
+    switch (op) {
+      case 0x80: case 0x81: case 0x83:
+        d.mnemonic = Grp1Mnemonic(reg_field & 7);
+        break;
+      case 0xc0: case 0xc1: case 0xd0: case 0xd1: case 0xd2: case 0xd3: {
+        static constexpr Mnemonic kGrp2[8] = {
+            Mnemonic::kRol, Mnemonic::kRor, Mnemonic::kUnknown,
+            Mnemonic::kUnknown, Mnemonic::kShl, Mnemonic::kShr,
+            Mnemonic::kShl, Mnemonic::kSar};
+        d.mnemonic = kGrp2[reg_field & 7];
+        if (d.mnemonic == Mnemonic::kUnknown) {
+          return UnsupportedOpcode(addr, "grp2-rcl-rcr", op);
+        }
+        break;
+      }
+      case 0xf6: case 0xf7: {
+        static constexpr Mnemonic kGrp3[8] = {
+            Mnemonic::kTest, Mnemonic::kTest, Mnemonic::kNot, Mnemonic::kNeg,
+            Mnemonic::kMul, Mnemonic::kImul, Mnemonic::kDiv, Mnemonic::kIdiv};
+        d.mnemonic = kGrp3[reg_field & 7];
+        if ((reg_field & 7) <= 1) {  // TEST r/m, imm
+          if (op == 0xf6) {
+            d.imm_bytes = 1;
+          } else {
+            d.imm_by_opsize = true;
+          }
+          d.form = Form::kRmImm;
+        }
+        break;
+      }
+      case 0xfe: {
+        const uint8_t sel = reg_field & 7;
+        if (sel == 0) {
+          d.mnemonic = Mnemonic::kInc;
+        } else if (sel == 1) {
+          d.mnemonic = Mnemonic::kDec;
+        } else {
+          return UnsupportedOpcode(addr, "grp4", op);
+        }
+        break;
+      }
+      case 0xff: {
+        switch (reg_field & 7) {
+          case 0: d.mnemonic = Mnemonic::kInc; break;
+          case 1: d.mnemonic = Mnemonic::kDec; break;
+          case 2:
+            d.mnemonic = Mnemonic::kCallIndirect;
+            d.form = Form::kRmSrc;
+            insn.op_size = 8;
+            break;
+          case 4:
+            d.mnemonic = Mnemonic::kJmpIndirect;
+            d.form = Form::kRmSrc;
+            insn.op_size = 8;
+            break;
+          case 6:
+            d.mnemonic = Mnemonic::kPush;
+            d.form = Form::kRmSrc;
+            insn.op_size = 8;
+            break;
+          default:
+            return UnsupportedOpcode(addr, "grp5", op);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // ---- Immediate / branch displacement ------------------------------------
+  uint8_t imm_bytes = d.imm_bytes;
+  if (d.imm_by_opsize) imm_bytes = (insn.op_size == 2) ? 2 : 4;
+
+  int64_t imm_value = 0;
+  if (imm_bytes > 0) {
+    ByteView raw;
+    if (!cur.Take(imm_bytes, raw)) return TruncatedError(addr);
+    insn.imm_len = imm_bytes;
+    uint64_t v = 0;
+    for (size_t i = 0; i < imm_bytes; ++i) {
+      v |= static_cast<uint64_t>(raw[i]) << (8 * i);
+    }
+    imm_value = SignExtend(v, imm_bytes);
+  }
+
+  if (d.rel_bytes > 0) {
+    ByteView raw;
+    if (!cur.Take(d.rel_bytes, raw)) return TruncatedError(addr);
+    insn.imm_len = d.rel_bytes;
+    uint64_t v = 0;
+    for (size_t i = 0; i < d.rel_bytes; ++i) {
+      v |= static_cast<uint64_t>(raw[i]) << (8 * i);
+    }
+    insn.rel = SignExtend(v, d.rel_bytes);
+  }
+
+  // ---- Operand assembly -----------------------------------------------------
+  insn.mnemonic = d.mnemonic;
+  insn.cond = d.cond;
+  switch (d.form) {
+    case Form::kNone:
+    case Form::kRel:
+      break;
+    case Form::kRmReg:
+      insn.dst = rm_operand;
+      insn.src.kind = OperandKind::kReg;
+      insn.src.reg = reg_field;
+      break;
+    case Form::kRegRm:
+      insn.dst.kind = OperandKind::kReg;
+      insn.dst.reg = reg_field;
+      insn.src = rm_operand;
+      // Three-operand imul (reg, r/m, imm): the immediate rides in dst.imm
+      // since dst.kind is kReg and its imm field is otherwise unused.
+      if (imm_bytes > 0) insn.dst.imm = imm_value;
+      break;
+    case Form::kRmImm:
+      insn.dst = rm_operand;
+      insn.src.kind = OperandKind::kImm;
+      insn.src.imm = imm_value;
+      break;
+    case Form::kRmOnly:
+      insn.dst = rm_operand;
+      break;
+    case Form::kRmSrc:
+      insn.src = rm_operand;
+      break;
+    case Form::kRegOpImm:
+      insn.dst.kind = OperandKind::kReg;
+      insn.dst.reg = static_cast<uint8_t>((two_byte ? op2 : op) & 7) | rex_b;
+      insn.src.kind = OperandKind::kImm;
+      insn.src.imm = imm_value;
+      break;
+    case Form::kRegOp:
+      insn.dst.kind = OperandKind::kReg;
+      insn.dst.reg = static_cast<uint8_t>(((two_byte ? op2 : op) & 7) | rex_b);
+      break;
+    case Form::kAccImm:
+      if (d.mnemonic != Mnemonic::kPush) {
+        insn.dst.kind = OperandKind::kReg;
+        insn.dst.reg = kRax;
+      }
+      insn.src.kind = OperandKind::kImm;
+      insn.src.imm = imm_value;
+      break;
+  }
+
+  // endbr64: F3 0F 1E /r where the "modrm" is the fixed byte 0xFA.
+  if (two_byte && op2 == 0x1e && rep_f3) {
+    insn.mnemonic = Mnemonic::kEndbr64;
+    insn.dst = Operand{};
+    insn.src = Operand{};
+  }
+
+  // lea must take a memory operand.
+  if (insn.mnemonic == Mnemonic::kLea &&
+      insn.src.kind != OperandKind::kMem &&
+      insn.src.kind != OperandKind::kRipRel) {
+    return InvalidArgumentError("lea with register source operand");
+  }
+
+  insn.length = static_cast<uint8_t>(cur.consumed());
+  return insn;
+}
+
+Result<std::vector<Insn>> DecodeAll(ByteView code, uint64_t vaddr) {
+  std::vector<Insn> out;
+  size_t offset = 0;
+  while (offset < code.size()) {
+    ASSIGN_OR_RETURN(const Insn insn, DecodeOne(code, offset, vaddr));
+    offset += insn.length;
+    out.push_back(insn);
+  }
+  return out;
+}
+
+}  // namespace engarde::x86

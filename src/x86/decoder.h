@@ -1,0 +1,36 @@
+// Table-driven x86-64 instruction decoder, modelled after the NaCl 64-bit
+// disassembler EnGarde builds on (paper Section 4: "Using prefix and opcode
+// tables for x86-64 bit instruction set, the disassembler parses the byte
+// sequence of the text sections into instructions and associated metadata").
+//
+// Supported: the general-purpose integer subset that compiled C code (and
+// the three policy instrumentations) uses — legacy + REX prefixes, one- and
+// two-byte opcode maps, ModRM/SIB/displacement/immediate forms. Anything
+// outside that set (SSE, VEX, three-byte maps, far control transfers) decodes
+// to UNIMPLEMENTED, which EnGarde treats as grounds for rejection: code it
+// cannot disassemble cannot be inspected, so it is not policy-compliant.
+#ifndef ENGARDE_X86_DECODER_H_
+#define ENGARDE_X86_DECODER_H_
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "x86/insn.h"
+
+namespace engarde::x86 {
+
+// Architectural maximum instruction length.
+inline constexpr size_t kMaxInsnLength = 15;
+
+// Decodes the instruction starting at code[offset]; `vaddr` is the virtual
+// address of code[0] (so the instruction's address is vaddr + offset).
+Result<Insn> DecodeOne(ByteView code, size_t offset, uint64_t vaddr);
+
+// Decodes an entire code region sequentially. Fails on the first undecodable
+// byte sequence (with its offset in the message).
+Result<std::vector<Insn>> DecodeAll(ByteView code, uint64_t vaddr);
+
+}  // namespace engarde::x86
+
+#endif  // ENGARDE_X86_DECODER_H_

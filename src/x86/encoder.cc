@@ -1,0 +1,397 @@
+#include "x86/encoder.h"
+
+#include <cassert>
+
+namespace engarde::x86 {
+
+void Assembler::Emit32(uint32_t v) {
+  Emit8(static_cast<uint8_t>(v));
+  Emit8(static_cast<uint8_t>(v >> 8));
+  Emit8(static_cast<uint8_t>(v >> 16));
+  Emit8(static_cast<uint8_t>(v >> 24));
+}
+
+void Assembler::Emit64(uint64_t v) {
+  Emit32(static_cast<uint32_t>(v));
+  Emit32(static_cast<uint32_t>(v >> 32));
+}
+
+void Assembler::EmitRex(bool w, uint8_t reg, uint8_t rm, uint8_t index) {
+  uint8_t rex = 0x40;
+  if (w) rex |= 0x08;
+  if (reg & 8) rex |= 0x04;
+  if (index & 8) rex |= 0x02;
+  if (rm & 8) rex |= 0x01;
+  if (rex != 0x40) Emit8(rex);
+}
+
+void Assembler::EmitModRmRegReg(uint8_t reg_field, uint8_t rm_reg) {
+  Emit8(static_cast<uint8_t>(0xc0 | ((reg_field & 7) << 3) | (rm_reg & 7)));
+}
+
+void Assembler::EmitModRmMem(uint8_t reg_field, uint8_t base, int32_t disp) {
+  const uint8_t base_low = base & 7;
+  const bool needs_sib = base_low == 4;                 // rsp / r12
+  const bool forces_disp = base_low == 5;               // rbp / r13
+  uint8_t mod;
+  if (disp == 0 && !forces_disp) {
+    mod = 0;
+  } else if (disp >= -128 && disp <= 127) {
+    mod = 1;
+  } else {
+    mod = 2;
+  }
+  Emit8(static_cast<uint8_t>((mod << 6) | ((reg_field & 7) << 3) |
+                             (needs_sib ? 4 : base_low)));
+  if (needs_sib) Emit8(0x24);  // scale=0, index=none, base=rsp/r12
+  if (mod == 1) {
+    Emit8(static_cast<uint8_t>(disp));
+  } else if (mod == 2) {
+    Emit32(static_cast<uint32_t>(disp));
+  }
+}
+
+Bytes Assembler::TakeBytes() {
+  for (const Fixup& f : fixups_) {
+    const int64_t pos = label_positions_[static_cast<size_t>(f.label_id)];
+    assert(pos >= 0 && "unbound label at TakeBytes");
+    const int64_t rel =
+        pos - static_cast<int64_t>(f.rel32_offset) - 4;  // from insn end
+    StoreLe32(code_.data() + f.rel32_offset, static_cast<uint32_t>(rel));
+  }
+  fixups_.clear();
+  return std::move(code_);
+}
+
+// ---- Moves ------------------------------------------------------------
+
+void Assembler::MovRegImm64(Reg dst, uint64_t imm) {
+  EmitRex(true, 0, dst);
+  Emit8(static_cast<uint8_t>(0xb8 | (dst & 7)));
+  Emit64(imm);
+}
+
+void Assembler::MovRegImm32(Reg dst, uint32_t imm) {
+  EmitRex(false, 0, dst);
+  Emit8(static_cast<uint8_t>(0xb8 | (dst & 7)));
+  Emit32(imm);
+}
+
+void Assembler::MovRegReg(Reg dst, Reg src) {
+  EmitRex(true, src, dst);
+  Emit8(0x89);
+  EmitModRmRegReg(src, dst);
+}
+
+void Assembler::MovRegReg32(Reg dst, Reg src) {
+  EmitRex(false, src, dst);
+  Emit8(0x89);
+  EmitModRmRegReg(src, dst);
+}
+
+void Assembler::MovRegFsDisp(Reg dst, int32_t disp) {
+  // mov %fs:disp, %dst  =>  64 REX.W 8b modrm(04|reg) sib(25) disp32
+  Emit8(0x64);
+  EmitRex(true, dst, 0);
+  Emit8(0x8b);
+  Emit8(static_cast<uint8_t>(0x04 | ((dst & 7) << 3)));
+  Emit8(0x25);
+  Emit32(static_cast<uint32_t>(disp));
+}
+
+void Assembler::MovStore(Reg base, int32_t disp, Reg src) {
+  EmitRex(true, src, base);
+  Emit8(0x89);
+  EmitModRmMem(src, base, disp);
+}
+
+void Assembler::MovLoad(Reg dst, Reg base, int32_t disp) {
+  EmitRex(true, dst, base);
+  Emit8(0x8b);
+  EmitModRmMem(dst, base, disp);
+}
+
+void Assembler::MovLoadRipRel(Reg dst, int32_t disp) {
+  EmitRex(true, dst, 0);
+  Emit8(0x8b);
+  Emit8(static_cast<uint8_t>(0x05 | ((dst & 7) << 3)));  // mod00 rm101 = RIP
+  Emit32(static_cast<uint32_t>(disp));
+}
+
+void Assembler::MovLoadRipRelTo(Reg dst, uint64_t target_vaddr) {
+  const uint64_t next = CurrentVaddr() + 7;
+  MovLoadRipRel(dst, static_cast<int32_t>(static_cast<int64_t>(target_vaddr) -
+                                          static_cast<int64_t>(next)));
+}
+
+// ---- Comparison ---------------------------------------------------------
+
+void Assembler::CmpRegMem(Reg reg, Reg base, int32_t disp) {
+  EmitRex(true, reg, base);
+  Emit8(0x3b);
+  EmitModRmMem(reg, base, disp);
+}
+
+void Assembler::CmpMemReg(Reg base, int32_t disp, Reg reg) {
+  EmitRex(true, reg, base);
+  Emit8(0x39);
+  EmitModRmMem(reg, base, disp);
+}
+
+void Assembler::CmpRegReg(Reg a, Reg b) {
+  EmitRex(true, b, a);
+  Emit8(0x39);
+  EmitModRmRegReg(b, a);
+}
+
+void Assembler::CmpRegImm32(Reg reg, int32_t imm) {
+  EmitRex(true, 0, reg);
+  Emit8(0x81);
+  EmitModRmRegReg(7, reg);  // /7 = cmp
+  Emit32(static_cast<uint32_t>(imm));
+}
+
+void Assembler::TestRegReg(Reg a, Reg b) {
+  EmitRex(true, b, a);
+  Emit8(0x85);
+  EmitModRmRegReg(b, a);
+}
+
+// ---- LEA ------------------------------------------------------------------
+
+void Assembler::LeaRipRel(Reg dst, int32_t disp) {
+  EmitRex(true, dst, 0);
+  Emit8(0x8d);
+  Emit8(static_cast<uint8_t>(0x05 | ((dst & 7) << 3)));  // mod00 rm101 = RIP
+  Emit32(static_cast<uint32_t>(disp));
+}
+
+void Assembler::LeaRipRelTo(Reg dst, uint64_t target_vaddr) {
+  // Length is fixed: REX(1) + opcode(1) + modrm(1) + disp32(4) = 7 bytes.
+  const uint64_t next = CurrentVaddr() + 7;
+  LeaRipRel(dst, static_cast<int32_t>(static_cast<int64_t>(target_vaddr) -
+                                      static_cast<int64_t>(next)));
+}
+
+// ---- ALU ----------------------------------------------------------------
+
+void Assembler::AluRegReg64(uint8_t opcode, Reg dst, Reg src) {
+  EmitRex(true, src, dst);
+  Emit8(opcode);
+  EmitModRmRegReg(src, dst);
+}
+
+void Assembler::AddRegReg(Reg dst, Reg src) { AluRegReg64(0x01, dst, src); }
+void Assembler::SubRegReg(Reg dst, Reg src) { AluRegReg64(0x29, dst, src); }
+void Assembler::AndRegReg(Reg dst, Reg src) { AluRegReg64(0x21, dst, src); }
+void Assembler::XorRegReg(Reg dst, Reg src) { AluRegReg64(0x31, dst, src); }
+void Assembler::OrRegReg(Reg dst, Reg src) { AluRegReg64(0x09, dst, src); }
+
+void Assembler::SubRegReg32(Reg dst, Reg src) {
+  EmitRex(false, src, dst);
+  Emit8(0x29);
+  EmitModRmRegReg(src, dst);
+}
+
+void Assembler::XorRegReg32(Reg dst, Reg src) {
+  EmitRex(false, src, dst);
+  Emit8(0x31);
+  EmitModRmRegReg(src, dst);
+}
+
+void Assembler::AddRegImm32(Reg dst, int32_t imm) {
+  EmitRex(true, 0, dst);
+  Emit8(0x81);
+  EmitModRmRegReg(0, dst);
+  Emit32(static_cast<uint32_t>(imm));
+}
+
+void Assembler::SubRegImm32(Reg dst, int32_t imm) {
+  EmitRex(true, 0, dst);
+  Emit8(0x81);
+  EmitModRmRegReg(5, dst);
+  Emit32(static_cast<uint32_t>(imm));
+}
+
+void Assembler::AndRegImm32(Reg dst, int32_t imm) {
+  EmitRex(true, 0, dst);
+  Emit8(0x81);
+  EmitModRmRegReg(4, dst);
+  Emit32(static_cast<uint32_t>(imm));
+}
+
+void Assembler::ImulRegReg(Reg dst, Reg src) {
+  EmitRex(true, dst, src);
+  Emit8(0x0f);
+  Emit8(0xaf);
+  EmitModRmRegReg(dst, src);
+}
+
+void Assembler::ShlRegImm8(Reg dst, uint8_t count) {
+  EmitRex(true, 0, dst);
+  Emit8(0xc1);
+  EmitModRmRegReg(4, dst);  // /4 = shl
+  Emit8(count);
+}
+
+void Assembler::ShrRegImm8(Reg dst, uint8_t count) {
+  EmitRex(true, 0, dst);
+  Emit8(0xc1);
+  EmitModRmRegReg(5, dst);  // /5 = shr
+  Emit8(count);
+}
+
+// ---- Stack ----------------------------------------------------------------
+
+void Assembler::Push(Reg reg) {
+  EmitRex(false, 0, reg);
+  Emit8(static_cast<uint8_t>(0x50 | (reg & 7)));
+}
+
+void Assembler::Pop(Reg reg) {
+  EmitRex(false, 0, reg);
+  Emit8(static_cast<uint8_t>(0x58 | (reg & 7)));
+}
+
+// ---- Control flow -----------------------------------------------------------
+
+void Assembler::CallAbs(uint64_t target_vaddr) {
+  const uint64_t next = CurrentVaddr() + 5;
+  Emit8(0xe8);
+  Emit32(static_cast<uint32_t>(target_vaddr - next));
+}
+
+void Assembler::JmpAbs(uint64_t target_vaddr) {
+  const uint64_t next = CurrentVaddr() + 5;
+  Emit8(0xe9);
+  Emit32(static_cast<uint32_t>(target_vaddr - next));
+}
+
+void Assembler::JccAbs(Cond cond, uint64_t target_vaddr) {
+  const uint64_t next = CurrentVaddr() + 6;
+  Emit8(0x0f);
+  Emit8(static_cast<uint8_t>(0x80 | cond));
+  Emit32(static_cast<uint32_t>(target_vaddr - next));
+}
+
+void Assembler::CallIndirectReg(Reg reg) {
+  EmitRex(false, 0, reg);
+  Emit8(0xff);
+  EmitModRmRegReg(2, reg);  // /2 = call
+}
+
+void Assembler::JmpIndirectReg(Reg reg) {
+  EmitRex(false, 0, reg);
+  Emit8(0xff);
+  EmitModRmRegReg(4, reg);  // /4 = jmp
+}
+
+void Assembler::Ret() { Emit8(0xc3); }
+void Assembler::Leave() { Emit8(0xc9); }
+
+// ---- Labels -----------------------------------------------------------------
+
+Assembler::Label Assembler::NewLabel() {
+  Label l;
+  l.id_ = next_label_++;
+  label_positions_.push_back(-1);
+  return l;
+}
+
+void Assembler::Bind(Label& label) {
+  assert(label.id_ >= 0 && "label not created via NewLabel");
+  assert(label_positions_[static_cast<size_t>(label.id_)] == -1 &&
+         "label bound twice");
+  label_positions_[static_cast<size_t>(label.id_)] =
+      static_cast<int64_t>(code_.size());
+}
+
+void Assembler::JmpLabel(const Label& label) {
+  Emit8(0xe9);
+  fixups_.push_back({code_.size(), label.id_});
+  Emit32(0);
+}
+
+void Assembler::JccLabel(Cond cond, const Label& label) {
+  Emit8(0x0f);
+  Emit8(static_cast<uint8_t>(0x80 | cond));
+  fixups_.push_back({code_.size(), label.id_});
+  Emit32(0);
+}
+
+// ---- NOPs and misc ---------------------------------------------------------
+
+void Assembler::Nop() { Emit8(0x90); }
+
+void Assembler::NopMem() {
+  Emit8(0x0f);
+  Emit8(0x1f);
+  Emit8(0x00);  // nopl (%rax)
+}
+
+void Assembler::NopBytes(size_t n) {
+  // Canonical recommended multi-byte NOPs (Intel SDM Vol 2, Table 4-12).
+  static const uint8_t k1[] = {0x90};
+  static const uint8_t k2[] = {0x66, 0x90};
+  static const uint8_t k3[] = {0x0f, 0x1f, 0x00};
+  static const uint8_t k4[] = {0x0f, 0x1f, 0x40, 0x00};
+  static const uint8_t k5[] = {0x0f, 0x1f, 0x44, 0x00, 0x00};
+  static const uint8_t k6[] = {0x66, 0x0f, 0x1f, 0x44, 0x00, 0x00};
+  static const uint8_t k7[] = {0x0f, 0x1f, 0x80, 0x00, 0x00, 0x00, 0x00};
+  static const uint8_t k8[] = {0x0f, 0x1f, 0x84, 0x00, 0x00, 0x00, 0x00, 0x00};
+  static const uint8_t k9[] = {0x66, 0x0f, 0x1f, 0x84,
+                               0x00, 0x00, 0x00, 0x00, 0x00};
+  static const uint8_t* const kNops[] = {k1, k2, k3, k4, k5, k6, k7, k8, k9};
+
+  while (n > 0) {
+    const size_t take = n < 9 ? n : 9;
+    const uint8_t* seq = kNops[take - 1];
+    for (size_t i = 0; i < take; ++i) Emit8(seq[i]);
+    n -= take;
+  }
+}
+
+void Assembler::Endbr64() {
+  Emit8(0xf3);
+  Emit8(0x0f);
+  Emit8(0x1e);
+  Emit8(0xfa);
+}
+
+void Assembler::Int3() { Emit8(0xcc); }
+
+void Assembler::Syscall() {
+  Emit8(0x0f);
+  Emit8(0x05);
+}
+
+void Assembler::Hlt() { Emit8(0xf4); }
+
+void Assembler::Ud2() {
+  Emit8(0x0f);
+  Emit8(0x0b);
+}
+
+void Assembler::Cpuid() {
+  Emit8(0x0f);
+  Emit8(0xa2);
+}
+
+void Assembler::Rdtsc() {
+  Emit8(0x0f);
+  Emit8(0x31);
+}
+
+void Assembler::AlignTo(size_t alignment) {
+  assert(alignment > 0 && (alignment & (alignment - 1)) == 0);
+  const size_t rem = code_.size() & (alignment - 1);
+  if (rem != 0) NopBytes(alignment - rem);
+}
+
+void Assembler::BundleAlignFor(size_t insn_len) {
+  assert(insn_len <= kBundleSize);
+  const size_t pos_in_bundle = code_.size() & (kBundleSize - 1);
+  if (pos_in_bundle + insn_len > kBundleSize) AlignTo(kBundleSize);
+}
+
+}  // namespace engarde::x86

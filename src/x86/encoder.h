@@ -1,0 +1,142 @@
+// x86-64 instruction encoder ("assembler"). The workload generator uses this
+// to synthesize NaCl-clean client binaries with the paper's three policy
+// instrumentations (stack-protector prologues/epilogues, IFCC guard
+// sequences, jump tables); tests use it to produce byte-exact inputs for the
+// decoder. Emits the same encodings clang produces for the sequences quoted
+// in the paper (Section 5).
+#ifndef ENGARDE_X86_ENCODER_H_
+#define ENGARDE_X86_ENCODER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "x86/insn.h"
+
+namespace engarde::x86 {
+
+inline constexpr size_t kBundleSize = 32;  // NaCl bundle
+
+class Assembler {
+ public:
+  // `base_vaddr` is the virtual address the first emitted byte will load at;
+  // absolute branch targets are encoded relative to it.
+  explicit Assembler(uint64_t base_vaddr) : base_(base_vaddr) {}
+
+  const Bytes& bytes() const { return code_; }
+  Bytes TakeBytes();  // finalizes labels, then moves the buffer out
+  size_t size() const { return code_.size(); }
+  uint64_t CurrentVaddr() const { return base_ + code_.size(); }
+
+  // ---- Moves ----------------------------------------------------------
+  void MovRegImm64(Reg dst, uint64_t imm);            // movabs $imm, %dst
+  void MovRegImm32(Reg dst, uint32_t imm);            // mov $imm, %dst(32)
+  void MovRegReg(Reg dst, Reg src);                   // mov %src, %dst (64)
+  void MovRegReg32(Reg dst, Reg src);                 // mov %src, %dst (32)
+  void MovRegFsDisp(Reg dst, int32_t disp);           // mov %fs:disp, %dst
+  void MovStore(Reg base, int32_t disp, Reg src);     // mov %src, disp(%base)
+  void MovLoad(Reg dst, Reg base, int32_t disp);      // mov disp(%base), %dst
+  void MovLoadRipRel(Reg dst, int32_t disp);          // mov disp(%rip), %dst
+  // Load from an absolute vaddr via RIP-relative addressing (7 bytes).
+  void MovLoadRipRelTo(Reg dst, uint64_t target_vaddr);
+
+  // ---- Comparison -------------------------------------------------------
+  void CmpRegMem(Reg reg, Reg base, int32_t disp);    // cmp disp(%base), %reg
+  void CmpMemReg(Reg base, int32_t disp, Reg reg);    // cmp %reg, disp(%base)
+  void CmpRegReg(Reg a, Reg b);                       // cmp %b, %a (64-bit)
+  void CmpRegImm32(Reg reg, int32_t imm);             // cmp $imm, %reg
+  void TestRegReg(Reg a, Reg b);                      // test %b, %a
+
+  // ---- LEA ---------------------------------------------------------------
+  void LeaRipRel(Reg dst, int32_t disp);              // lea disp(%rip), %dst
+  // lea targeting an absolute vaddr: computes the rel32 from the insn end.
+  void LeaRipRelTo(Reg dst, uint64_t target_vaddr);
+
+  // ---- ALU (64-bit reg/reg) ----------------------------------------------
+  void AddRegReg(Reg dst, Reg src);
+  void SubRegReg(Reg dst, Reg src);
+  void SubRegReg32(Reg dst, Reg src);                 // sub %src, %dst (32)
+  void AndRegReg(Reg dst, Reg src);
+  void XorRegReg(Reg dst, Reg src);
+  void XorRegReg32(Reg dst, Reg src);
+  void OrRegReg(Reg dst, Reg src);
+  void AddRegImm32(Reg dst, int32_t imm);             // 48 81 /0
+  void SubRegImm32(Reg dst, int32_t imm);             // 48 81 /5
+  void AndRegImm32(Reg dst, int32_t imm);             // 48 81 /4
+  void ImulRegReg(Reg dst, Reg src);                  // 0f af
+  void ShlRegImm8(Reg dst, uint8_t count);
+  void ShrRegImm8(Reg dst, uint8_t count);
+
+  // ---- Stack -----------------------------------------------------------
+  void Push(Reg reg);
+  void Pop(Reg reg);
+
+  // ---- Control flow -----------------------------------------------------
+  void CallAbs(uint64_t target_vaddr);     // e8 rel32
+  void JmpAbs(uint64_t target_vaddr);      // e9 rel32
+  void JccAbs(Cond cond, uint64_t target_vaddr);  // 0f 8x rel32
+  void CallIndirectReg(Reg reg);           // callq *%reg
+  void JmpIndirectReg(Reg reg);            // jmpq *%reg
+  void Ret();
+  void Leave();
+
+  // ---- Labels (forward references, rel32) ---------------------------------
+  class Label {
+   public:
+    Label() = default;
+
+   private:
+    friend class Assembler;
+    int id_ = -1;
+  };
+  Label NewLabel();
+  void Bind(Label& label);
+  void JmpLabel(const Label& label);
+  void JccLabel(Cond cond, const Label& label);
+
+  // ---- NOPs / padding ------------------------------------------------------
+  void Nop();                 // 90
+  void NopMem();              // 0f 1f 00 — "nopl (%rax)" (jump-table filler)
+  void NopBytes(size_t n);    // canonical multi-byte NOP sequence, n >= 1
+  void Endbr64();
+  void Int3();
+  void Syscall();
+  void Hlt();
+  void Ud2();
+  void Cpuid();
+  void Rdtsc();
+
+  // Pads to the next `alignment` boundary (power of two) with NOPs chosen so
+  // that no NOP itself straddles a bundle boundary.
+  void AlignTo(size_t alignment);
+  // If an instruction of `insn_len` bytes would straddle a 32-byte bundle
+  // boundary at the current position, pads to the next boundary first.
+  void BundleAlignFor(size_t insn_len);
+
+ private:
+  void Emit8(uint8_t b) { code_.push_back(b); }
+  void Emit32(uint32_t v);
+  void Emit64(uint64_t v);
+  // REX for reg-field `reg` and rm-field `rm` register numbers.
+  void EmitRex(bool w, uint8_t reg, uint8_t rm, uint8_t index = 0);
+  void EmitModRmRegReg(uint8_t reg_field, uint8_t rm_reg);
+  // Memory operand with base register + displacement (picks mod/disp8/32 and
+  // SIB when base is rsp/r12; rbp/r13 force an explicit displacement).
+  void EmitModRmMem(uint8_t reg_field, uint8_t base, int32_t disp);
+  void AluRegReg64(uint8_t opcode, Reg dst, Reg src);
+
+  struct Fixup {
+    size_t rel32_offset;  // where the 4 placeholder bytes live
+    int label_id;
+  };
+
+  uint64_t base_;
+  Bytes code_;
+  std::vector<int64_t> label_positions_;  // -1 = unbound
+  std::vector<Fixup> fixups_;
+  int next_label_ = 0;
+};
+
+}  // namespace engarde::x86
+
+#endif  // ENGARDE_X86_ENCODER_H_

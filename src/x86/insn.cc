@@ -1,0 +1,155 @@
+#include "x86/insn.h"
+
+#include <sstream>
+
+namespace engarde::x86 {
+namespace {
+
+const char* const kReg64[16] = {"rax", "rcx", "rdx", "rbx", "rsp", "rbp",
+                                "rsi", "rdi", "r8",  "r9",  "r10", "r11",
+                                "r12", "r13", "r14", "r15"};
+const char* const kReg32[16] = {"eax",  "ecx",  "edx",  "ebx", "esp", "ebp",
+                                "esi",  "edi",  "r8d",  "r9d", "r10d", "r11d",
+                                "r12d", "r13d", "r14d", "r15d"};
+const char* const kReg16[16] = {"ax",   "cx",   "dx",   "bx",  "sp",  "bp",
+                                "si",   "di",   "r8w",  "r9w", "r10w", "r11w",
+                                "r12w", "r13w", "r14w", "r15w"};
+const char* const kReg8[16] = {"al",   "cl",   "dl",   "bl",  "spl", "bpl",
+                               "sil",  "dil",  "r8b",  "r9b", "r10b", "r11b",
+                               "r12b", "r13b", "r14b", "r15b"};
+
+const char* const kCondName[16] = {"o", "no", "b", "ae", "e", "ne", "be", "a",
+                                   "s", "ns", "p", "np", "l", "ge", "le", "g"};
+
+void FormatOperand(std::ostream& os, const Operand& op, uint8_t op_size,
+                   const Insn& insn) {
+  switch (op.kind) {
+    case OperandKind::kNone:
+      break;
+    case OperandKind::kReg:
+      os << "%" << RegName(op.reg, op_size);
+      break;
+    case OperandKind::kImm:
+      os << "$0x" << std::hex << op.imm << std::dec;
+      break;
+    case OperandKind::kRipRel:
+      os << "0x" << std::hex << op.mem.disp << std::dec << "(%rip)";
+      break;
+    case OperandKind::kMem: {
+      if (op.mem.segment == Segment::kFs) os << "%fs:";
+      if (op.mem.segment == Segment::kGs) os << "%gs:";
+      if (op.mem.disp != 0 || op.mem.IsAbsolute()) {
+        os << "0x" << std::hex << op.mem.disp << std::dec;
+      }
+      if (!op.mem.IsAbsolute()) {
+        os << "(";
+        if (op.mem.base >= 0) os << "%" << RegName(static_cast<uint8_t>(op.mem.base), 8);
+        if (op.mem.index >= 0) {
+          os << ",%" << RegName(static_cast<uint8_t>(op.mem.index), 8) << ","
+             << static_cast<int>(op.mem.scale);
+        }
+        os << ")";
+      }
+      break;
+    }
+  }
+  (void)insn;
+}
+
+}  // namespace
+
+const char* RegName(uint8_t reg, uint8_t size) {
+  reg &= 0xf;
+  switch (size) {
+    case 1: return kReg8[reg];
+    case 2: return kReg16[reg];
+    case 4: return kReg32[reg];
+    default: return kReg64[reg];
+  }
+}
+
+const char* MnemonicName(Mnemonic m) {
+  switch (m) {
+    case Mnemonic::kUnknown: return "(unknown)";
+    case Mnemonic::kMov: return "mov";
+    case Mnemonic::kLea: return "lea";
+    case Mnemonic::kMovzx: return "movzx";
+    case Mnemonic::kMovsx: return "movsx";
+    case Mnemonic::kMovsxd: return "movsxd";
+    case Mnemonic::kPush: return "push";
+    case Mnemonic::kPop: return "pop";
+    case Mnemonic::kXchg: return "xchg";
+    case Mnemonic::kAdd: return "add";
+    case Mnemonic::kOr: return "or";
+    case Mnemonic::kAdc: return "adc";
+    case Mnemonic::kSbb: return "sbb";
+    case Mnemonic::kAnd: return "and";
+    case Mnemonic::kSub: return "sub";
+    case Mnemonic::kXor: return "xor";
+    case Mnemonic::kCmp: return "cmp";
+    case Mnemonic::kTest: return "test";
+    case Mnemonic::kInc: return "inc";
+    case Mnemonic::kDec: return "dec";
+    case Mnemonic::kNeg: return "neg";
+    case Mnemonic::kNot: return "not";
+    case Mnemonic::kMul: return "mul";
+    case Mnemonic::kImul: return "imul";
+    case Mnemonic::kDiv: return "div";
+    case Mnemonic::kIdiv: return "idiv";
+    case Mnemonic::kShl: return "shl";
+    case Mnemonic::kShr: return "shr";
+    case Mnemonic::kSar: return "sar";
+    case Mnemonic::kRol: return "rol";
+    case Mnemonic::kRor: return "ror";
+    case Mnemonic::kBswap: return "bswap";
+    case Mnemonic::kCmov: return "cmov";
+    case Mnemonic::kSetcc: return "set";
+    case Mnemonic::kCdqe: return "cdqe";
+    case Mnemonic::kCqo: return "cqo";
+    case Mnemonic::kCall: return "callq";
+    case Mnemonic::kCallIndirect: return "callq*";
+    case Mnemonic::kJmp: return "jmpq";
+    case Mnemonic::kJmpIndirect: return "jmpq*";
+    case Mnemonic::kJcc: return "j";
+    case Mnemonic::kRet: return "retq";
+    case Mnemonic::kLeave: return "leave";
+    case Mnemonic::kNop: return "nop";
+    case Mnemonic::kEndbr64: return "endbr64";
+    case Mnemonic::kInt3: return "int3";
+    case Mnemonic::kInt: return "int";
+    case Mnemonic::kSyscall: return "syscall";
+    case Mnemonic::kHlt: return "hlt";
+    case Mnemonic::kCpuid: return "cpuid";
+    case Mnemonic::kRdtsc: return "rdtsc";
+    case Mnemonic::kUd2: return "ud2";
+  }
+  return "(bad)";
+}
+
+std::string Insn::ToString() const {
+  std::ostringstream os;
+  os << std::hex << addr << std::dec << ": " << MnemonicName(mnemonic);
+  if (mnemonic == Mnemonic::kJcc || mnemonic == Mnemonic::kSetcc ||
+      mnemonic == Mnemonic::kCmov) {
+    os << kCondName[cond & 0xf];
+  }
+  if (IsDirectBranch()) {
+    os << " 0x" << std::hex << BranchTarget() << std::dec;
+    return os.str();
+  }
+  // AT&T order: src, dst.
+  if (src.kind != OperandKind::kNone) {
+    os << " ";
+    FormatOperand(os, src, op_size, *this);
+    if (dst.kind != OperandKind::kNone) {
+      os << ",";
+      FormatOperand(os, dst, op_size, *this);
+    }
+  } else if (dst.kind != OperandKind::kNone) {
+    os << " ";
+    FormatOperand(os, dst, op_size, *this);
+  }
+  return os.str();
+}
+
+}  // namespace engarde::x86

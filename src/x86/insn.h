@@ -1,0 +1,202 @@
+// x86-64 instruction model. The decoder fills one Insn per instruction with
+// the metadata the paper's policy modules consume: mnemonic class, operand
+// shapes (register / immediate / memory with segment override / RIP-relative)
+// and the byte-level breakdown (prefix/opcode/displacement/immediate sizes,
+// as in NaCl's decoder tables).
+#ifndef ENGARDE_X86_INSN_H_
+#define ENGARDE_X86_INSN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace engarde::x86 {
+
+// Register numbers follow hardware encoding: RAX=0 ... RDI=7, R8=8 ... R15=15.
+enum Reg : uint8_t {
+  kRax = 0,
+  kRcx = 1,
+  kRdx = 2,
+  kRbx = 3,
+  kRsp = 4,
+  kRbp = 5,
+  kRsi = 6,
+  kRdi = 7,
+  kR8 = 8,
+  kR9 = 9,
+  kR10 = 10,
+  kR11 = 11,
+  kR12 = 12,
+  kR13 = 13,
+  kR14 = 14,
+  kR15 = 15,
+};
+
+const char* RegName(uint8_t reg, uint8_t size);
+
+// Condition codes as encoded in the opcode low nibble of Jcc/SETcc/CMOVcc.
+enum Cond : uint8_t {
+  kCondO = 0x0,
+  kCondNo = 0x1,
+  kCondB = 0x2,
+  kCondAe = 0x3,
+  kCondE = 0x4,   // equal / zero
+  kCondNe = 0x5,  // not equal / not zero
+  kCondBe = 0x6,
+  kCondA = 0x7,
+  kCondS = 0x8,
+  kCondNs = 0x9,
+  kCondP = 0xa,
+  kCondNp = 0xb,
+  kCondL = 0xc,
+  kCondGe = 0xd,
+  kCondLe = 0xe,
+  kCondG = 0xf,
+};
+
+enum class Mnemonic : uint8_t {
+  kUnknown = 0,
+  // Data movement.
+  kMov,
+  kLea,
+  kMovzx,
+  kMovsx,
+  kMovsxd,
+  kPush,
+  kPop,
+  kXchg,
+  // ALU.
+  kAdd,
+  kOr,
+  kAdc,
+  kSbb,
+  kAnd,
+  kSub,
+  kXor,
+  kCmp,
+  kTest,
+  kInc,
+  kDec,
+  kNeg,
+  kNot,
+  kMul,
+  kImul,
+  kDiv,
+  kIdiv,
+  kShl,
+  kShr,
+  kSar,
+  kRol,
+  kRor,
+  kBswap,
+  kCmov,
+  kSetcc,
+  kCdqe,  // cbw/cwde/cdqe family
+  kCqo,   // cwd/cdq/cqo family
+  // Control flow.
+  kCall,          // direct, rel32
+  kCallIndirect,  // FF /2
+  kJmp,           // direct, rel8/rel32
+  kJmpIndirect,   // FF /4
+  kJcc,
+  kRet,
+  kLeave,
+  // No-ops and system.
+  kNop,  // 0x90 and the 0F 1F multi-byte family
+  kEndbr64,
+  kInt3,
+  kInt,
+  kSyscall,
+  kHlt,
+  kCpuid,
+  kRdtsc,
+  kUd2,
+};
+
+const char* MnemonicName(Mnemonic m);
+
+// Segment override actually relevant to enclave code: FS (0x64 prefix) hosts
+// the stack-protector canary at %fs:0x28. GS tracked for completeness.
+enum class Segment : uint8_t { kNone = 0, kFs, kGs };
+
+enum class OperandKind : uint8_t { kNone = 0, kReg, kImm, kMem, kRipRel };
+
+struct MemRef {
+  int8_t base = -1;   // register number or -1 (absolute / RIP-relative)
+  int8_t index = -1;  // register number or -1
+  uint8_t scale = 1;  // 1, 2, 4 or 8
+  int32_t disp = 0;
+  Segment segment = Segment::kNone;
+
+  bool HasBase(uint8_t reg) const { return base == static_cast<int8_t>(reg); }
+  bool IsAbsolute() const { return base == -1 && index == -1; }
+};
+
+struct Operand {
+  OperandKind kind = OperandKind::kNone;
+  uint8_t reg = 0;    // for kReg
+  int64_t imm = 0;    // for kImm
+  MemRef mem;         // for kMem; for kRipRel `mem.disp` is the displacement
+
+  bool IsReg(uint8_t r) const {
+    return kind == OperandKind::kReg && reg == r;
+  }
+  bool IsMemWithBase(uint8_t base_reg) const {
+    return kind == OperandKind::kMem && mem.HasBase(base_reg);
+  }
+  bool IsSegMem(Segment seg) const {
+    return kind == OperandKind::kMem && mem.segment == seg;
+  }
+};
+
+struct Insn {
+  uint64_t addr = 0;   // virtual address of the first byte
+  uint8_t length = 0;  // total encoded length in bytes
+
+  Mnemonic mnemonic = Mnemonic::kUnknown;
+  uint8_t cond = 0;      // condition code for kJcc / kSetcc / kCmov
+  uint8_t op_size = 4;   // operand size in bytes: 1, 2, 4 or 8
+
+  Operand dst;
+  Operand src;
+
+  // For direct control transfers: displacement relative to the next
+  // instruction. Target = addr + length + rel.
+  int64_t rel = 0;
+
+  // Byte-structure metadata, mirroring what NaCl's disassembler reports
+  // ("number of prefix bytes, number of opcode bytes and number of
+  // displacement bytes" — paper Section 4).
+  uint8_t prefix_len = 0;  // legacy prefixes + REX
+  uint8_t opcode_len = 0;
+  uint8_t modrm_len = 0;   // 0 or 1
+  uint8_t sib_len = 0;     // 0 or 1
+  uint8_t disp_len = 0;
+  uint8_t imm_len = 0;
+  uint8_t rex = 0;         // raw REX byte, 0 if absent
+
+  bool IsDirectBranch() const {
+    return mnemonic == Mnemonic::kCall || mnemonic == Mnemonic::kJmp ||
+           mnemonic == Mnemonic::kJcc;
+  }
+  bool IsIndirectBranch() const {
+    return mnemonic == Mnemonic::kCallIndirect ||
+           mnemonic == Mnemonic::kJmpIndirect;
+  }
+  // Instructions after which execution does not fall through.
+  bool EndsBasicBlock() const {
+    return mnemonic == Mnemonic::kJmp || mnemonic == Mnemonic::kJmpIndirect ||
+           mnemonic == Mnemonic::kRet || mnemonic == Mnemonic::kHlt ||
+           mnemonic == Mnemonic::kUd2;
+  }
+  uint64_t BranchTarget() const {
+    return addr + length + static_cast<uint64_t>(rel);
+  }
+  uint64_t NextAddr() const { return addr + length; }
+
+  // Render as AT&T-flavoured text (for diagnostics and tests).
+  std::string ToString() const;
+};
+
+}  // namespace engarde::x86
+
+#endif  // ENGARDE_X86_INSN_H_

@@ -1,0 +1,29 @@
+#include "x86/insn_buffer.h"
+
+namespace engarde::x86 {
+
+void InsnBuffer::Append(const Insn& insn) {
+  if (size_ == chunks_.size() * kInsnsPerChunk) {
+    chunks_.push_back(std::make_unique<Chunk>());
+    if (hook_) hook_(kChunkBytes);
+  }
+  chunks_.back()->insns[size_ % kInsnsPerChunk] = insn;
+  ++size_;
+}
+
+size_t InsnBuffer::IndexOfAddr(uint64_t addr) const {
+  size_t lo = 0, hi = size_;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    const uint64_t mid_addr = (*this)[mid].addr;
+    if (mid_addr == addr) return mid;
+    if (mid_addr < addr) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return npos;
+}
+
+}  // namespace engarde::x86

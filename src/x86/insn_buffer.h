@@ -1,0 +1,84 @@
+// InsnBuffer: holds every decoded instruction of the client binary.
+//
+// The paper (Section 4) replaces NaCl's small sliding window with "a
+// dynamically allocated buffer that can hold all the instructions", and
+// amortizes the cost of in-enclave malloc — each allocation exits the enclave
+// through a trampoline — by "allocating a memory page at a time instead of
+// just a memory region for an instruction". This class reproduces that
+// design: instructions are stored in page-sized chunks, and each chunk
+// allocation fires a hook through which the SGX cost model charges the
+// trampoline's EEXIT/EENTER pair.
+#ifndef ENGARDE_X86_INSN_BUFFER_H_
+#define ENGARDE_X86_INSN_BUFFER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "x86/insn.h"
+
+namespace engarde::x86 {
+
+class InsnBuffer {
+ public:
+  // Fired once per page-sized chunk allocation (the malloc trampoline).
+  using AllocHook = std::function<void(size_t bytes)>;
+
+  static constexpr size_t kChunkBytes = 4096;
+  static constexpr size_t kInsnsPerChunk = kChunkBytes / sizeof(Insn);
+
+  explicit InsnBuffer(AllocHook hook = nullptr) : hook_(std::move(hook)) {}
+
+  void Append(const Insn& insn);
+
+  size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  size_t chunk_allocations() const noexcept { return chunks_.size(); }
+
+  const Insn& operator[](size_t i) const {
+    return chunks_[i / kInsnsPerChunk]->insns[i % kInsnsPerChunk];
+  }
+
+  // Index of the instruction starting at `addr`, or npos. Instructions are
+  // appended in ascending address order (sequential disassembly), so this is
+  // a binary search.
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  size_t IndexOfAddr(uint64_t addr) const;
+
+  // Minimal forward iterator so range-for and <algorithm> work.
+  class const_iterator {
+   public:
+    using value_type = Insn;
+    using reference = const Insn&;
+    using difference_type = std::ptrdiff_t;
+
+    const_iterator(const InsnBuffer* buf, size_t i) : buf_(buf), i_(i) {}
+    reference operator*() const { return (*buf_)[i_]; }
+    const Insn* operator->() const { return &(*buf_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const InsnBuffer* buf_;
+    size_t i_;
+  };
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size_); }
+
+ private:
+  struct Chunk {
+    Insn insns[kInsnsPerChunk];
+  };
+
+  AllocHook hook_;
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  size_t size_ = 0;
+};
+
+}  // namespace engarde::x86
+
+#endif  // ENGARDE_X86_INSN_BUFFER_H_

@@ -1,0 +1,106 @@
+// A small x86-64 interpreter over the decoder's instruction model. EnGarde
+// itself never executes client code — it is a *static* inspector — but the
+// examples and integration tests use this interpreter to demonstrate that a
+// provisioned enclave actually runs: code is fetched through the enclave's
+// memory view, W^X is enforced on every fetch, and FS-relative accesses hit
+// the thread area where the stack-protector canary lives.
+#ifndef ENGARDE_X86_INTERP_H_
+#define ENGARDE_X86_INTERP_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "x86/insn.h"
+
+namespace engarde::x86 {
+
+// Memory access surface the machine runs against (implemented by the SGX
+// enclave view in src/sgx, and by flat test memories in unit tests).
+class MemoryIface {
+ public:
+  virtual ~MemoryIface() = default;
+  virtual Result<uint64_t> Load(uint64_t addr, uint8_t size) = 0;
+  virtual Status Store(uint64_t addr, uint8_t size, uint64_t value) = 0;
+  // Fills `out` with instruction bytes starting at addr; used for fetch.
+  virtual Status Fetch(uint64_t addr, MutableByteView out) = 0;
+  // Execute permission check for the page containing addr.
+  virtual bool IsExecutable(uint64_t addr) const = 0;
+};
+
+// Observes execution for runtime policy enforcement (EnGarde's future-work
+// extension, paper Section 1: "an extension of EnGarde that instruments
+// client code to enforce policies at runtime"). Any non-OK status aborts
+// execution with that status.
+class ExecutionObserver {
+ public:
+  virtual ~ExecutionObserver() = default;
+
+  enum class TransferKind : uint8_t {
+    kCall,          // direct call
+    kCallIndirect,
+    kJumpIndirect,
+    kReturn,
+  };
+
+  // Before the instruction executes.
+  virtual Status OnInstruction(const Insn& insn) {
+    (void)insn;
+    return Status::Ok();
+  }
+  // After a control transfer resolved its target, before the jump happens.
+  // For calls, `return_addr` is the address the matching RET should come
+  // back to; 0 for jumps and returns.
+  virtual Status OnControlTransfer(TransferKind kind, uint64_t site,
+                                   uint64_t target, uint64_t return_addr) {
+    (void)kind;
+    (void)site;
+    (void)target;
+    (void)return_addr;
+    return Status::Ok();
+  }
+};
+
+struct MachineConfig {
+  uint64_t stack_top = 0;     // initial rsp (16-byte aligned)
+  uint64_t fs_base = 0;       // FS segment base (thread area / canary)
+  uint64_t max_steps = 1u << 22;
+  ExecutionObserver* observer = nullptr;  // optional, not owned
+};
+
+class Machine {
+ public:
+  // The address a top-level RET "returns" to; hitting it stops execution.
+  static constexpr uint64_t kExitAddr = 0xffffffff00000000ull;
+
+  Machine(MemoryIface* memory, const MachineConfig& config);
+
+  // Runs from `entry` until the top-level return, HLT, or an error.
+  // Returns the final RAX value.
+  Result<uint64_t> Run(uint64_t entry);
+
+  uint64_t reg(uint8_t r) const { return regs_[r & 0xf]; }
+  void set_reg(uint8_t r, uint64_t v) { regs_[r & 0xf] = v; }
+  uint64_t steps_executed() const { return steps_; }
+
+ private:
+  Status Step(bool& halted);
+  Result<uint64_t> EffectiveAddr(const Operand& op, const Insn& insn) const;
+  Result<uint64_t> ReadOperand(const Operand& op, const Insn& insn);
+  Status WriteOperand(const Operand& op, const Insn& insn, uint64_t value);
+  bool CondHolds(uint8_t cond) const;
+  void SetAluFlags(uint64_t result, uint8_t size);
+  Status DoPush(uint64_t value);
+  Result<uint64_t> DoPop();
+
+  MemoryIface* memory_;
+  MachineConfig config_;
+  uint64_t regs_[16] = {};
+  uint64_t rip_ = 0;
+  uint64_t steps_ = 0;
+  bool zf_ = false, sf_ = false, cf_ = false, of_ = false;
+};
+
+}  // namespace engarde::x86
+
+#endif  // ENGARDE_X86_INTERP_H_

@@ -1,0 +1,97 @@
+#include "x86/validator.h"
+
+#include <sstream>
+#include <vector>
+
+#include "x86/encoder.h"  // kBundleSize
+
+namespace engarde::x86 {
+namespace {
+
+std::string AddrString(uint64_t addr) {
+  std::ostringstream os;
+  os << "0x" << std::hex << addr;
+  return os.str();
+}
+
+}  // namespace
+
+Status ValidateNaClConstraints(const InsnBuffer& insns,
+                               const ValidationInput& input) {
+  // Rule 1: no instruction overlaps a 32-byte bundle boundary.
+  for (const Insn& insn : insns) {
+    const uint64_t in_bundle = insn.addr % kBundleSize;
+    if (in_bundle + insn.length > kBundleSize) {
+      return PolicyViolationError("instruction at " + AddrString(insn.addr) +
+                                  " overlaps a 32-byte bundle boundary");
+    }
+  }
+
+  // Rule 2: every direct control transfer targets a valid instruction start.
+  for (const Insn& insn : insns) {
+    if (!insn.IsDirectBranch()) continue;
+    const uint64_t target = insn.BranchTarget();
+    if (target < input.text_start || target >= input.text_end) {
+      return PolicyViolationError("control transfer at " +
+                                  AddrString(insn.addr) + " targets " +
+                                  AddrString(target) + " outside text");
+    }
+    if (insns.IndexOfAddr(target) == InsnBuffer::npos) {
+      return PolicyViolationError(
+          "control transfer at " + AddrString(insn.addr) + " targets " +
+          AddrString(target) + ", which is not an instruction start");
+    }
+  }
+
+  // Rule 3: all instructions reachable from the roots.
+  if (insns.empty()) return Status::Ok();
+
+  std::vector<uint8_t> reached(insns.size(), 0);
+  std::vector<size_t> worklist;
+  for (const uint64_t root : input.roots) {
+    const size_t idx = insns.IndexOfAddr(root);
+    if (idx == InsnBuffer::npos) {
+      return PolicyViolationError("reachability root " + AddrString(root) +
+                                  " is not an instruction start");
+    }
+    if (!reached[idx]) {
+      reached[idx] = 1;
+      worklist.push_back(idx);
+    }
+  }
+
+  while (!worklist.empty()) {
+    const size_t idx = worklist.back();
+    worklist.pop_back();
+    const Insn& insn = insns[idx];
+
+    auto visit = [&](size_t next) {
+      if (next < insns.size() && !reached[next]) {
+        reached[next] = 1;
+        worklist.push_back(next);
+      }
+    };
+
+    if (insn.IsDirectBranch()) {
+      const size_t target = insns.IndexOfAddr(insn.BranchTarget());
+      if (target != InsnBuffer::npos) visit(target);
+    }
+    // Fall-through edge (calls return; conditional branches may not be taken).
+    if (!insn.EndsBasicBlock() && idx + 1 < insns.size()) visit(idx + 1);
+  }
+
+  for (size_t i = 0; i < insns.size(); ++i) {
+    if (reached[i]) continue;
+    // Alignment padding (NOPs, and INT3 as used by some linkers) between
+    // functions is never executed and is exempt, as in NaCl.
+    if (insns[i].mnemonic == Mnemonic::kNop ||
+        insns[i].mnemonic == Mnemonic::kInt3) {
+      continue;
+    }
+    return PolicyViolationError("instruction at " + AddrString(insns[i].addr) +
+                                " is unreachable from the start addresses");
+  }
+  return Status::Ok();
+}
+
+}  // namespace engarde::x86

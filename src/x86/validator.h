@@ -1,0 +1,36 @@
+// NaCl-style structural validator. The paper (Section 3) lists the
+// constraints EnGarde inherits from NaCl's disassembler:
+//   1. no instruction overlaps a 32-byte boundary,
+//   2. all control transfers target valid instructions, and
+//   3. all valid instructions are reachable from the start address.
+//
+// Reachability roots are the program entry point plus every function-symbol
+// address and every jump-table entry: a statically linked binary legitimately
+// carries library functions reached only through the symbol table, and
+// jump-table entries are reached only through checked indirect calls.
+#ifndef ENGARDE_X86_VALIDATOR_H_
+#define ENGARDE_X86_VALIDATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "x86/insn_buffer.h"
+
+namespace engarde::x86 {
+
+struct ValidationInput {
+  // Address range of the text region the instructions came from.
+  uint64_t text_start = 0;
+  uint64_t text_end = 0;
+  // Reachability roots (entry point, function starts, jump-table entries).
+  std::vector<uint64_t> roots;
+};
+
+// Returns OK iff all three NaCl constraints hold for `insns` (which must be
+// the complete, in-order disassembly of [text_start, text_end)).
+Status ValidateNaClConstraints(const InsnBuffer& insns,
+                               const ValidationInput& input);
+
+}  // namespace engarde::x86
+
+#endif  // ENGARDE_X86_VALIDATOR_H_

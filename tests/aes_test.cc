@@ -1,0 +1,146 @@
+#include "crypto/aes.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+
+namespace engarde::crypto {
+namespace {
+
+Aes256Key KeyFromHex(const std::string& hex) {
+  auto bytes = HexDecode(hex);
+  EXPECT_TRUE(bytes.ok());
+  Aes256Key key{};
+  std::copy(bytes->begin(), bytes->end(), key.begin());
+  return key;
+}
+
+// FIPS-197 Appendix C.3: AES-256 single-block vector.
+TEST(Aes256Test, Fips197AppendixC3) {
+  const Aes256Key key = KeyFromHex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const auto pt = HexDecode("00112233445566778899aabbccddeeff");
+  ASSERT_TRUE(pt.ok());
+
+  Aes256 cipher(key);
+  uint8_t ct[16];
+  cipher.EncryptBlock(pt->data(), ct);
+  EXPECT_EQ(HexEncode(ByteView(ct, 16)), "8ea2b7ca516745bfeafc49904b496089");
+
+  uint8_t back[16];
+  cipher.DecryptBlock(ct, back);
+  EXPECT_EQ(HexEncode(ByteView(back, 16)), "00112233445566778899aabbccddeeff");
+}
+
+// SP 800-38A F.5.5: CTR-AES256.Encrypt (block 1).
+// The SP's counter block is f0f1...ff; our CTR layout is nonce(12)||ctr(4),
+// so nonce = f0..fb and the first counter value is 0xfcfdfeff.
+TEST(AesCtrTest, Sp80038aCtrAes256FirstBlock) {
+  const Aes256Key key = KeyFromHex(
+      "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4");
+  std::array<uint8_t, 12> nonce{};
+  for (int i = 0; i < 12; ++i) nonce[i] = static_cast<uint8_t>(0xf0 + i);
+
+  // Stream offset such that the counter equals 0xfcfdfeff for the first block.
+  const uint64_t offset = 0xfcfdfeffull * 16;
+  AesCtr ctr(key, nonce);
+  auto pt = HexDecode("6bc1bee22e409f96e93d7e117393172a");
+  ASSERT_TRUE(pt.ok());
+  const Bytes ct = ctr.Crypt(offset, ByteView(pt->data(), pt->size()));
+  EXPECT_EQ(HexEncode(ByteView(ct.data(), ct.size())),
+            "601ec313775789a5b7a7f504bbf3d228");
+}
+
+TEST(AesCtrTest, EncryptDecryptRoundTrip) {
+  const Aes256Key key = KeyFromHex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const std::array<uint8_t, 12> nonce = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+
+  AesCtr enc(key, nonce);
+  AesCtr dec(key, nonce);
+  const Bytes msg = ToBytes("the quick brown fox jumps over the lazy dog");
+  const Bytes ct = enc.Crypt(0, ByteView(msg.data(), msg.size()));
+  EXPECT_NE(ct, msg);
+  EXPECT_EQ(dec.Crypt(0, ByteView(ct.data(), ct.size())), msg);
+}
+
+TEST(AesCtrTest, SeekableKeystream) {
+  const Aes256Key key = KeyFromHex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const std::array<uint8_t, 12> nonce{};
+
+  // Encrypt 100 bytes in one go, then decrypt a middle slice by offset.
+  AesCtr ctr(key, nonce);
+  Bytes msg(100);
+  for (size_t i = 0; i < msg.size(); ++i) msg[i] = static_cast<uint8_t>(i);
+  const Bytes ct = ctr.Crypt(0, ByteView(msg.data(), msg.size()));
+
+  AesCtr ctr2(key, nonce);
+  const Bytes slice =
+      ctr2.Crypt(37, ByteView(ct.data() + 37, 25));
+  EXPECT_EQ(slice, Bytes(msg.begin() + 37, msg.begin() + 62));
+}
+
+TEST(AesCtrTest, DistinctNoncesDistinctStreams) {
+  const Aes256Key key{};
+  const std::array<uint8_t, 12> n1 = {1};
+  const std::array<uint8_t, 12> n2 = {2};
+  AesCtr a(key, n1), b(key, n2);
+  const Bytes zeros(64, 0);
+  EXPECT_NE(a.Crypt(0, ByteView(zeros.data(), zeros.size())),
+            b.Crypt(0, ByteView(zeros.data(), zeros.size())));
+}
+
+TEST(AesCtrTest, EmptyInputIsNoop) {
+  const Aes256Key key{};
+  const std::array<uint8_t, 12> nonce{};
+  AesCtr ctr(key, nonce);
+  EXPECT_TRUE(ctr.Crypt(0, ByteView{}).empty());
+}
+
+// Round-trip over many lengths, including non-block-aligned and offset ones.
+class AesCtrLengthSweep
+    : public ::testing::TestWithParam<std::pair<size_t, uint64_t>> {};
+
+TEST_P(AesCtrLengthSweep, RoundTrips) {
+  const auto [len, offset] = GetParam();
+  const Aes256Key key = KeyFromHex(
+      "2b7e151628aed2a6abf7158809cf4f3c2b7e151628aed2a6abf7158809cf4f3c");
+  const std::array<uint8_t, 12> nonce = {9, 9, 9};
+  Bytes msg(len);
+  for (size_t i = 0; i < len; ++i) msg[i] = static_cast<uint8_t>(i * 17 + 3);
+
+  AesCtr ctr(key, nonce);
+  Bytes ct = ctr.Crypt(offset, ByteView(msg.data(), msg.size()));
+  AesCtr ctr2(key, nonce);
+  EXPECT_EQ(ctr2.Crypt(offset, ByteView(ct.data(), ct.size())), msg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AesCtrLengthSweep,
+    ::testing::Values(std::pair<size_t, uint64_t>{1, 0},
+                      std::pair<size_t, uint64_t>{15, 0},
+                      std::pair<size_t, uint64_t>{16, 0},
+                      std::pair<size_t, uint64_t>{17, 0},
+                      std::pair<size_t, uint64_t>{4096, 0},
+                      std::pair<size_t, uint64_t>{100, 1},
+                      std::pair<size_t, uint64_t>{100, 15},
+                      std::pair<size_t, uint64_t>{100, 16},
+                      std::pair<size_t, uint64_t>{333, 12345}));
+
+// Property: decrypt(encrypt(x)) == x for every byte value pattern.
+TEST(Aes256Test, AllByteValuesRoundTripThroughBlock) {
+  const Aes256Key key = KeyFromHex(
+      "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4");
+  Aes256 cipher(key);
+  for (int fill = 0; fill < 256; fill += 5) {
+    uint8_t pt[16], ct[16], back[16];
+    std::fill(pt, pt + 16, static_cast<uint8_t>(fill));
+    cipher.EncryptBlock(pt, ct);
+    cipher.DecryptBlock(ct, back);
+    EXPECT_TRUE(std::equal(pt, pt + 16, back)) << "fill=" << fill;
+  }
+}
+
+}  // namespace
+}  // namespace engarde::crypto

@@ -1,0 +1,259 @@
+#include "crypto/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace engarde::crypto {
+namespace {
+
+BigInt RandomBigInt(engarde::Rng& rng, size_t max_bytes) {
+  const size_t n = rng.NextInRange(0, max_bytes);
+  const Bytes bytes = rng.NextBytes(n);
+  return BigInt::FromBytes(ByteView(bytes.data(), bytes.size()));
+}
+
+TEST(BigIntTest, ZeroProperties) {
+  BigInt zero;
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_FALSE(zero.IsOdd());
+  EXPECT_EQ(zero.BitLength(), 0u);
+  EXPECT_EQ(zero.ToU64(), 0u);
+  EXPECT_EQ(zero.ToHex(), "0");
+}
+
+TEST(BigIntTest, FromU64RoundTrip) {
+  for (uint64_t v : {0ull, 1ull, 255ull, 1ull << 31, 1ull << 32,
+                     0xffffffffffffffffull}) {
+    EXPECT_EQ(BigInt::FromU64(v).ToU64(), v);
+  }
+}
+
+TEST(BigIntTest, FromBytesIgnoresLeadingZeros) {
+  const Bytes a = {0x00, 0x00, 0x01, 0x02};
+  const Bytes b = {0x01, 0x02};
+  EXPECT_EQ(BigInt::FromBytes(a), BigInt::FromBytes(b));
+  EXPECT_EQ(BigInt::FromBytes(a).ToU64(), 0x0102u);
+}
+
+TEST(BigIntTest, ToBytesPadsToMinSize) {
+  const BigInt v = BigInt::FromU64(0xabcd);
+  const Bytes padded = v.ToBytes(8);
+  ASSERT_EQ(padded.size(), 8u);
+  EXPECT_EQ(padded[6], 0xab);
+  EXPECT_EQ(padded[7], 0xcd);
+  EXPECT_EQ(padded[0], 0x00);
+}
+
+TEST(BigIntTest, HexRoundTrip) {
+  auto v = BigInt::FromHex("deadbeefcafebabe0123456789");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->ToHex(), "deadbeefcafebabe0123456789");
+  // Odd-length hex gets an implicit leading zero.
+  auto w = BigInt::FromHex("f00");
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->ToU64(), 0xf00u);
+}
+
+TEST(BigIntTest, CompareOrdering) {
+  const BigInt a = BigInt::FromU64(100);
+  const BigInt b = BigInt::FromU64(200);
+  const BigInt c = *BigInt::FromHex("10000000000000000");  // 2^64
+  EXPECT_LT(BigInt::Compare(a, b), 0);
+  EXPECT_GT(BigInt::Compare(b, a), 0);
+  EXPECT_EQ(BigInt::Compare(a, a), 0);
+  EXPECT_LT(BigInt::Compare(b, c), 0);
+}
+
+TEST(BigIntTest, AddCarriesAcrossLimbs) {
+  const BigInt max32 = BigInt::FromU64(0xffffffff);
+  EXPECT_EQ(BigInt::Add(max32, BigInt::FromU64(1)).ToU64(), 0x100000000ull);
+  const BigInt big = *BigInt::FromHex("ffffffffffffffffffffffff");
+  EXPECT_EQ(BigInt::Add(big, BigInt::FromU64(1)).ToHex(),
+            "1000000000000000000000000");
+}
+
+TEST(BigIntTest, SubBorrowsAcrossLimbs) {
+  const BigInt big = *BigInt::FromHex("1000000000000000000000000");
+  EXPECT_EQ(BigInt::Sub(big, BigInt::FromU64(1)).ToHex(),
+            "ffffffffffffffffffffffff");
+  EXPECT_TRUE(BigInt::Sub(big, big).IsZero());
+}
+
+TEST(BigIntTest, MulSmall) {
+  EXPECT_EQ(BigInt::Mul(BigInt::FromU64(7), BigInt::FromU64(6)).ToU64(), 42u);
+  EXPECT_TRUE(BigInt::Mul(BigInt(), BigInt::FromU64(5)).IsZero());
+}
+
+TEST(BigIntTest, MulKnownWide) {
+  // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+  const BigInt v = BigInt::FromU64(0xffffffffffffffffull);
+  EXPECT_EQ(BigInt::Mul(v, v).ToHex(), "fffffffffffffffe0000000000000001");
+}
+
+TEST(BigIntTest, ShiftLeftRightInverse) {
+  const BigInt v = *BigInt::FromHex("123456789abcdef0fedcba9876543210");
+  for (size_t s : {0u, 1u, 31u, 32u, 33u, 100u}) {
+    EXPECT_EQ(v.ShiftLeft(s).ShiftRight(s), v) << "shift=" << s;
+  }
+  EXPECT_TRUE(v.ShiftRight(v.BitLength()).IsZero());
+}
+
+TEST(BigIntTest, GetBitMatchesShift) {
+  const BigInt v = *BigInt::FromHex("8000000000000001");
+  EXPECT_TRUE(v.GetBit(0));
+  EXPECT_TRUE(v.GetBit(63));
+  EXPECT_FALSE(v.GetBit(1));
+  EXPECT_FALSE(v.GetBit(64));
+}
+
+TEST(BigIntTest, DivModSmall) {
+  BigInt q, r;
+  BigInt::DivMod(BigInt::FromU64(100), BigInt::FromU64(7), q, r);
+  EXPECT_EQ(q.ToU64(), 14u);
+  EXPECT_EQ(r.ToU64(), 2u);
+}
+
+TEST(BigIntTest, DivModDividendSmallerThanDivisor) {
+  BigInt q, r;
+  BigInt::DivMod(BigInt::FromU64(3), BigInt::FromU64(7), q, r);
+  EXPECT_TRUE(q.IsZero());
+  EXPECT_EQ(r.ToU64(), 3u);
+}
+
+TEST(BigIntTest, DivModExactDivision) {
+  const BigInt a = *BigInt::FromHex("100000000000000000000");
+  BigInt q, r;
+  BigInt::DivMod(a, BigInt::FromU64(16), q, r);
+  EXPECT_TRUE(r.IsZero());
+  EXPECT_EQ(q.ToHex(), "10000000000000000000");
+}
+
+// Property: for random a, b != 0 — a == q*b + r and r < b. This exercises the
+// Knuth-D add-back path statistically.
+TEST(BigIntTest, DivModInvariantRandomized) {
+  engarde::Rng rng(2024);
+  for (int i = 0; i < 500; ++i) {
+    const BigInt a = RandomBigInt(rng, 64);
+    BigInt b = RandomBigInt(rng, 32);
+    if (b.IsZero()) b = BigInt::FromU64(1);
+    BigInt q, r;
+    BigInt::DivMod(a, b, q, r);
+    EXPECT_LT(BigInt::Compare(r, b), 0);
+    EXPECT_EQ(BigInt::Add(BigInt::Mul(q, b), r), a);
+  }
+}
+
+// Targeted Knuth-D stress: divisors with a top limb of 0x80000000 and
+// dividends full of 0xff bytes hit the qhat-correction branches.
+TEST(BigIntTest, DivModQhatCorrectionCases) {
+  const BigInt a = *BigInt::FromHex("ffffffffffffffffffffffffffffffff");
+  const BigInt b = *BigInt::FromHex("80000000ffffffff");
+  BigInt q, r;
+  BigInt::DivMod(a, b, q, r);
+  EXPECT_EQ(BigInt::Add(BigInt::Mul(q, b), r), a);
+  EXPECT_LT(BigInt::Compare(r, b), 0);
+
+  const BigInt c = *BigInt::FromHex("7fffffff800000010000000000000000");
+  const BigInt d = *BigInt::FromHex("800000008000000000000001");
+  BigInt q2, r2;
+  BigInt::DivMod(c, d, q2, r2);
+  EXPECT_EQ(BigInt::Add(BigInt::Mul(q2, d), r2), c);
+  EXPECT_LT(BigInt::Compare(r2, d), 0);
+}
+
+TEST(BigIntTest, AddSubRoundTripRandomized) {
+  engarde::Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const BigInt a = RandomBigInt(rng, 48);
+    const BigInt b = RandomBigInt(rng, 48);
+    const BigInt sum = BigInt::Add(a, b);
+    EXPECT_EQ(BigInt::Sub(sum, b), a);
+    EXPECT_EQ(BigInt::Sub(sum, a), b);
+  }
+}
+
+TEST(BigIntTest, MulCommutesAndDistributesRandomized) {
+  engarde::Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    const BigInt a = RandomBigInt(rng, 24);
+    const BigInt b = RandomBigInt(rng, 24);
+    const BigInt c = RandomBigInt(rng, 24);
+    EXPECT_EQ(BigInt::Mul(a, b), BigInt::Mul(b, a));
+    EXPECT_EQ(BigInt::Mul(a, BigInt::Add(b, c)),
+              BigInt::Add(BigInt::Mul(a, b), BigInt::Mul(a, c)));
+  }
+}
+
+TEST(BigIntTest, ModExpSmallKnownValues) {
+  // 3^7 mod 10 = 2187 mod 10 = 7
+  EXPECT_EQ(BigInt::ModExp(BigInt::FromU64(3), BigInt::FromU64(7),
+                           BigInt::FromU64(10))
+                .ToU64(),
+            7u);
+  // x^0 = 1
+  EXPECT_EQ(BigInt::ModExp(BigInt::FromU64(5), BigInt(), BigInt::FromU64(7))
+                .ToU64(),
+            1u);
+  // Fermat: 2^(p-1) mod p == 1 for prime p
+  const BigInt p = BigInt::FromU64(1000000007);
+  EXPECT_EQ(BigInt::ModExp(BigInt::FromU64(2),
+                           BigInt::Sub(p, BigInt::FromU64(1)), p)
+                .ToU64(),
+            1u);
+}
+
+TEST(BigIntTest, ModExpMatchesNaiveRandomized) {
+  engarde::Rng rng(99);
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t base = rng.NextInRange(0, 1000);
+    const uint64_t exp = rng.NextInRange(0, 20);
+    const uint64_t mod = rng.NextInRange(2, 10000);
+    // Naive computation with overflow-safe u64 math (mod < 2^14 keeps
+    // products < 2^28).
+    uint64_t expect = 1 % mod;
+    for (uint64_t k = 0; k < exp; ++k) expect = (expect * (base % mod)) % mod;
+    EXPECT_EQ(BigInt::ModExp(BigInt::FromU64(base), BigInt::FromU64(exp),
+                             BigInt::FromU64(mod))
+                  .ToU64(),
+              expect);
+  }
+}
+
+TEST(BigIntTest, GcdKnownValues) {
+  EXPECT_EQ(BigInt::Gcd(BigInt::FromU64(48), BigInt::FromU64(18)).ToU64(), 6u);
+  EXPECT_EQ(BigInt::Gcd(BigInt::FromU64(17), BigInt::FromU64(5)).ToU64(), 1u);
+  EXPECT_EQ(BigInt::Gcd(BigInt::FromU64(0), BigInt::FromU64(5)).ToU64(), 5u);
+}
+
+TEST(BigIntTest, ModInverseKnownValues) {
+  // 3 * 7 = 21 == 1 mod 10
+  auto inv = BigInt::ModInverse(BigInt::FromU64(3), BigInt::FromU64(10));
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(inv->ToU64(), 7u);
+  // Not coprime -> error
+  EXPECT_FALSE(BigInt::ModInverse(BigInt::FromU64(4), BigInt::FromU64(8)).ok());
+}
+
+TEST(BigIntTest, ModInverseRandomized) {
+  engarde::Rng rng(31337);
+  const BigInt m = *BigInt::FromHex("fffffffb");  // prime 2^32-5
+  for (int i = 0; i < 100; ++i) {
+    BigInt a = BigInt::FromU64(rng.NextInRange(1, 0xfffffffa));
+    auto inv = BigInt::ModInverse(a, m);
+    ASSERT_TRUE(inv.ok());
+    EXPECT_EQ(BigInt::Mod(BigInt::Mul(a, *inv), m).ToU64(), 1u);
+  }
+}
+
+TEST(BigIntTest, ModInverseLargeModulus) {
+  const BigInt m = *BigInt::FromHex(
+      "ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff61");
+  const BigInt a = *BigInt::FromHex("123456789abcdef0123456789abcdef");
+  auto inv = BigInt::ModInverse(a, m);
+  ASSERT_TRUE(inv.ok());
+  EXPECT_EQ(BigInt::Mod(BigInt::Mul(a, *inv), m), BigInt::FromU64(1));
+}
+
+}  // namespace
+}  // namespace engarde::crypto

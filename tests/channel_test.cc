@@ -1,0 +1,184 @@
+#include "crypto/channel.h"
+
+#include <gtest/gtest.h>
+
+namespace engarde::crypto {
+namespace {
+
+SessionKeys TestKeys() {
+  const Bytes master = ToBytes("0123456789abcdef0123456789abcdef");
+  return SessionKeys::Derive(ByteView(master.data(), master.size()));
+}
+
+TEST(ByteQueueTest, FifoOrder) {
+  ByteQueue q;
+  q.Write(ToBytes("abc"));
+  q.Write(ToBytes("def"));
+  auto first = q.Read(4);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(ToString(ByteView(first->data(), first->size())), "abcd");
+  EXPECT_EQ(q.Available(), 2u);
+}
+
+TEST(ByteQueueTest, ShortReadIsProtocolError) {
+  ByteQueue q;
+  q.Write(ToBytes("ab"));
+  EXPECT_EQ(q.Read(3).status().code(), StatusCode::kProtocolError);
+}
+
+TEST(DuplexPipeTest, EndsAreCrossConnected) {
+  DuplexPipe pipe;
+  auto a = pipe.EndA();
+  auto b = pipe.EndB();
+  a.Write(ToBytes("ping"));
+  b.Write(ToBytes("pong"));
+  auto from_a = b.Read(4);
+  auto from_b = a.Read(4);
+  ASSERT_TRUE(from_a.ok() && from_b.ok());
+  EXPECT_EQ(ToString(ByteView(from_a->data(), from_a->size())), "ping");
+  EXPECT_EQ(ToString(ByteView(from_b->data(), from_b->size())), "pong");
+}
+
+TEST(SessionKeysTest, DirectionsAndRolesDiffer) {
+  const SessionKeys keys = TestKeys();
+  EXPECT_NE(keys.client_to_enclave_aes, keys.enclave_to_client_aes);
+  EXPECT_NE(keys.client_to_enclave_mac, keys.enclave_to_client_mac);
+  EXPECT_NE(
+      Bytes(keys.client_to_enclave_aes.begin(), keys.client_to_enclave_aes.end()),
+      Bytes(keys.client_to_enclave_mac.begin(), keys.client_to_enclave_mac.end()));
+}
+
+TEST(SessionKeysTest, DeterministicFromMaster) {
+  const Bytes master = ToBytes("master-key-bytes");
+  const SessionKeys a = SessionKeys::Derive(ByteView(master.data(), master.size()));
+  const SessionKeys b = SessionKeys::Derive(ByteView(master.data(), master.size()));
+  EXPECT_EQ(a.client_to_enclave_aes, b.client_to_enclave_aes);
+}
+
+class SecureChannelTest : public ::testing::Test {
+ protected:
+  SecureChannelTest()
+      : keys_(TestKeys()),
+        client_(pipe_.EndA(), keys_, /*is_enclave_side=*/false),
+        enclave_(pipe_.EndB(), keys_, /*is_enclave_side=*/true) {}
+
+  DuplexPipe pipe_;
+  SessionKeys keys_;
+  SecureChannel client_;
+  SecureChannel enclave_;
+};
+
+TEST_F(SecureChannelTest, RoundTripBothDirections) {
+  ASSERT_TRUE(client_.Send(ToBytes("hello enclave")).ok());
+  auto got = enclave_.Receive();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(ToString(ByteView(got->data(), got->size())), "hello enclave");
+
+  ASSERT_TRUE(enclave_.Send(ToBytes("hello client")).ok());
+  auto back = client_.Receive();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(ToString(ByteView(back->data(), back->size())), "hello client");
+}
+
+TEST_F(SecureChannelTest, CiphertextOnTheWireDiffersFromPlaintext) {
+  const Bytes msg = ToBytes("plaintext code page bytes");
+  ASSERT_TRUE(client_.Send(msg).ok());
+  // Peek at the raw wire: header(12) + ct + tag(32).
+  auto wire = pipe_.EndB().Read(12 + msg.size() + 32);
+  ASSERT_TRUE(wire.ok());
+  const ByteView ct(wire->data() + 12, msg.size());
+  EXPECT_NE(Bytes(ct.begin(), ct.end()), msg);
+}
+
+TEST_F(SecureChannelTest, MultipleRecordsInOrder) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(client_.Send(ToBytes("record " + std::to_string(i))).ok());
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto got = enclave_.Receive();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(ToString(ByteView(got->data(), got->size())),
+              "record " + std::to_string(i));
+  }
+  EXPECT_EQ(enclave_.records_received(), 10u);
+}
+
+TEST_F(SecureChannelTest, EmptyRecordAllowed) {
+  ASSERT_TRUE(client_.Send({}).ok());
+  auto got = enclave_.Receive();
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST_F(SecureChannelTest, TamperedCiphertextRejected) {
+  ASSERT_TRUE(client_.Send(ToBytes("sensitive")).ok());
+  // Corrupt one ciphertext byte in flight.
+  auto b_end = pipe_.EndB();
+  auto raw = b_end.Read(12 + 9 + 32);
+  ASSERT_TRUE(raw.ok());
+  (*raw)[12] ^= 0xff;
+  // Re-inject through the A->B direction by writing at the enclave's inbox.
+  // (Endpoint B reads from a_to_b; we need to write into that queue, which
+  // only EndA can do.)
+  pipe_.EndA().Write(ByteView(raw->data(), raw->size()));
+  EXPECT_EQ(enclave_.Receive().status().code(), StatusCode::kIntegrityError);
+}
+
+TEST_F(SecureChannelTest, TamperedLengthRejected) {
+  ASSERT_TRUE(client_.Send(ToBytes("abcdef")).ok());
+  auto raw = pipe_.EndB().Read(12 + 6 + 32);
+  ASSERT_TRUE(raw.ok());
+  (*raw)[0] ^= 0x01;  // flip a length bit; record now misparses
+  pipe_.EndA().Write(ByteView(raw->data(), raw->size()));
+  EXPECT_FALSE(enclave_.Receive().ok());
+}
+
+TEST_F(SecureChannelTest, ReplayedRecordRejected) {
+  ASSERT_TRUE(client_.Send(ToBytes("first")).ok());
+  auto raw = pipe_.EndB().Read(12 + 5 + 32);
+  ASSERT_TRUE(raw.ok());
+  // Deliver the record once (accepted), then replay it (sequence mismatch).
+  pipe_.EndA().Write(ByteView(raw->data(), raw->size()));
+  ASSERT_TRUE(enclave_.Receive().ok());
+  pipe_.EndA().Write(ByteView(raw->data(), raw->size()));
+  EXPECT_EQ(enclave_.Receive().status().code(), StatusCode::kProtocolError);
+}
+
+TEST_F(SecureChannelTest, ReflectedRecordRejected) {
+  // A record the client sent must not authenticate when fed back to the
+  // client as if it came from the enclave (per-direction keys).
+  ASSERT_TRUE(client_.Send(ToBytes("boomerang")).ok());
+  auto raw = pipe_.EndB().Read(12 + 9 + 32);
+  ASSERT_TRUE(raw.ok());
+  pipe_.EndB().Write(ByteView(raw->data(), raw->size()));  // reflect to client
+  EXPECT_EQ(client_.Receive().status().code(), StatusCode::kIntegrityError);
+}
+
+TEST_F(SecureChannelTest, TruncatedRecordIsProtocolError) {
+  ASSERT_TRUE(client_.Send(ToBytes("cut short")).ok());
+  auto raw = pipe_.EndB().Read(12 + 4);  // swallow part of the record
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(enclave_.Receive().status().code(), StatusCode::kProtocolError);
+}
+
+TEST_F(SecureChannelTest, LargeRecordRoundTrip) {
+  Bytes big(1 << 20);
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<uint8_t>(i);
+  ASSERT_TRUE(client_.Send(big).ok());
+  auto got = enclave_.Receive();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, big);
+}
+
+TEST(SecureChannelKeysTest, WrongMasterKeyFailsAuthentication) {
+  DuplexPipe pipe;
+  const Bytes m1 = ToBytes("master-one");
+  const Bytes m2 = ToBytes("master-two");
+  SecureChannel sender(pipe.EndA(), SessionKeys::Derive(ByteView(m1.data(), m1.size())), false);
+  SecureChannel receiver(pipe.EndB(), SessionKeys::Derive(ByteView(m2.data(), m2.size())), true);
+  ASSERT_TRUE(sender.Send(ToBytes("hello")).ok());
+  EXPECT_EQ(receiver.Receive().status().code(), StatusCode::kIntegrityError);
+}
+
+}  // namespace
+}  // namespace engarde::crypto

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bytes.h"
+#include "common/hex.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace engarde {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = PolicyViolationError("function f not protected");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kPolicyViolation);
+  EXPECT_EQ(s.ToString(), "POLICY_VIOLATION: function f not protected");
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(InvalidArgumentError("a"), InvalidArgumentError("b"));
+  EXPECT_FALSE(InvalidArgumentError("a") == NotFoundError("a"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFoundError("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Doubled(Result<int> in) {
+  ASSIGN_OR_RETURN(const int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_EQ(Doubled(InternalError("boom")).status().code(),
+            StatusCode::kInternal);
+}
+
+Status FailsIfNegative(int v) {
+  RETURN_IF_ERROR(v < 0 ? InvalidArgumentError("negative") : Status::Ok());
+  return Status::Ok();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(FailsIfNegative(1).ok());
+  EXPECT_EQ(FailsIfNegative(-1).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BytesTest, LittleEndianRoundTrip) {
+  uint8_t buf[8];
+  StoreLe64(buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(LoadLe64(buf), 0x0123456789abcdefULL);
+  EXPECT_EQ(LoadLe32(buf), 0x89abcdefu);
+  EXPECT_EQ(LoadLe16(buf), 0xcdefu);
+  EXPECT_EQ(buf[0], 0xef);  // least significant byte first
+}
+
+TEST(BytesTest, BigEndianRoundTrip) {
+  uint8_t buf[8];
+  StoreBe64(buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(LoadBe64(buf), 0x0123456789abcdefULL);
+  EXPECT_EQ(buf[0], 0x01);  // most significant byte first
+}
+
+TEST(BytesTest, AppendHelpers) {
+  Bytes out;
+  AppendLe16(out, 0x1122);
+  AppendLe32(out, 0x33445566);
+  AppendLe64(out, 0x778899aabbccddeeULL);
+  AppendBytes(out, ToBytes("xy"));
+  ASSERT_EQ(out.size(), 16u);
+  EXPECT_EQ(LoadLe16(out.data()), 0x1122);
+  EXPECT_EQ(LoadLe32(out.data() + 2), 0x33445566u);
+  EXPECT_EQ(LoadLe64(out.data() + 6), 0x778899aabbccddeeULL);
+  EXPECT_EQ(out[14], 'x');
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  const Bytes a = ToBytes("hello");
+  const Bytes b = ToBytes("hello");
+  const Bytes c = ToBytes("hellO");
+  const Bytes d = ToBytes("hell");
+  EXPECT_TRUE(ConstantTimeEqual(a, b));
+  EXPECT_FALSE(ConstantTimeEqual(a, c));
+  EXPECT_FALSE(ConstantTimeEqual(a, d));
+  EXPECT_TRUE(ConstantTimeEqual({}, {}));
+}
+
+TEST(ByteReaderTest, SequentialReads) {
+  Bytes data;
+  AppendLe32(data, 7);
+  AppendLe64(data, 9);
+  data.push_back(0xaa);
+  ByteReader reader(ByteView(data.data(), data.size()));
+
+  uint32_t a = 0;
+  uint64_t b = 0;
+  uint8_t c = 0;
+  EXPECT_TRUE(reader.ReadLe32(a));
+  EXPECT_TRUE(reader.ReadLe64(b));
+  EXPECT_TRUE(reader.ReadU8(c));
+  EXPECT_EQ(a, 7u);
+  EXPECT_EQ(b, 9u);
+  EXPECT_EQ(c, 0xaa);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ByteReaderTest, RefusesOutOfRange) {
+  Bytes data = {1, 2, 3};
+  ByteReader reader(ByteView(data.data(), data.size()));
+  uint32_t v = 0;
+  EXPECT_FALSE(reader.ReadLe32(v));
+  // Position unchanged after a failed read.
+  uint8_t b = 0;
+  EXPECT_TRUE(reader.ReadU8(b));
+  EXPECT_EQ(b, 1);
+  ByteView span;
+  EXPECT_FALSE(reader.ReadBytes(3, span));
+  EXPECT_TRUE(reader.ReadBytes(2, span));
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(HexTest, EncodeDecodeRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(HexEncode(data), "0001abff");
+  auto decoded = HexDecode("0001abff");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(HexTest, DecodeAcceptsUppercase) {
+  auto decoded = HexDecode("ABCDEF");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(HexEncode(*decoded), "abcdef");
+}
+
+TEST(HexTest, DecodeRejectsBadInput) {
+  EXPECT_FALSE(HexDecode("abc").ok());   // odd length
+  EXPECT_FALSE(HexDecode("zz").ok());    // non-hex
+  EXPECT_TRUE(HexDecode("").ok());       // empty is fine
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(12345), b(12345), c(54321);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+  EXPECT_NE(a.NextU64(), c.NextU64());
+}
+
+TEST(RngTest, NextBelowStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.NextInRange(3, 5));
+  EXPECT_EQ(seen, (std::set<uint64_t>{3, 4, 5}));
+}
+
+TEST(RngTest, NextBytesLengthAndDeterminism) {
+  Rng a(99), b(99);
+  EXPECT_EQ(a.NextBytes(33), b.NextBytes(33));
+  EXPECT_EQ(a.NextBytes(0).size(), 0u);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(rng.NextChance(1, 1));
+    EXPECT_FALSE(rng.NextChance(0, 1));
+  }
+}
+
+// Property sweep: NextBelow over many bounds never escapes and hits both
+// halves of the range (crude uniformity check).
+class RngBoundSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngBoundSweep, InBoundsAndSpread) {
+  const uint64_t bound = GetParam();
+  Rng rng(bound ^ 0xdeadbeef);
+  bool low_half = false, high_half = false;
+  for (int i = 0; i < 512; ++i) {
+    const uint64_t v = rng.NextBelow(bound);
+    ASSERT_LT(v, bound);
+    if (v < bound / 2) low_half = true;
+    if (v >= bound / 2) high_half = true;
+  }
+  EXPECT_TRUE(high_half);
+  if (bound > 1) {
+    EXPECT_TRUE(low_half);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundSweep,
+                         ::testing::Values(1, 2, 3, 10, 255, 256, 1000,
+                                           1ull << 32, (1ull << 63) + 5));
+
+}  // namespace
+}  // namespace engarde

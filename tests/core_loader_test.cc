@@ -1,0 +1,178 @@
+#include "core/loader.h"
+
+#include <gtest/gtest.h>
+
+#include "core/protocol.h"
+#include "elf/builder.h"
+#include "workload/program_builder.h"
+
+namespace engarde::core {
+namespace {
+
+class LoaderTest : public ::testing::Test {
+ protected:
+  LoaderTest() : device_(sgx::SgxDevice::Options{.epc_pages = 512}), host_(&device_) {
+    layout_.bootstrap_pages = 1;
+    layout_.heap_pages = 32;
+    layout_.load_pages = 32;
+    layout_.stack_pages = 4;
+    auto eid = host_.BuildEnclave(layout_, ToBytes("B"));
+    EXPECT_TRUE(eid.ok());
+    eid_ = *eid;
+  }
+
+  sgx::SgxDevice device_;
+  sgx::HostOs host_;
+  sgx::EnclaveLayout layout_;
+  uint64_t eid_ = 0;
+};
+
+TEST_F(LoaderTest, MapsSegmentsAndAppliesRelocations) {
+  // Text + data with one RELATIVE relocation pointing at the text base.
+  elf::ElfBuilder builder;
+  Bytes text(64, 0x90);
+  text[63] = 0xc3;
+  const uint64_t tv = builder.AddTextSection(".text", text);
+  const uint64_t dv = builder.AddDataSection(".data", Bytes(16, 0xaa));
+  builder.AddSymbol("main", tv, 64, elf::kSttFunc);
+  builder.AddRelativeRelocation(dv, static_cast<int64_t>(tv));
+  builder.SetEntry(tv);
+  auto image = builder.Build();
+  ASSERT_TRUE(image.ok());
+  auto elf = elf::ElfFile::Parse(*image);
+  ASSERT_TRUE(elf.ok());
+
+  const Bytes canary = ToBytes("12345678");
+  auto load = EnclaveLoader::Load(device_, eid_, layout_, *elf,
+                                  ByteView(canary.data(), canary.size()));
+  ASSERT_TRUE(load.ok()) << load.status().ToString();
+
+  EXPECT_EQ(load->load_base, layout_.LoadStart());
+  EXPECT_EQ(load->entry, load->load_base + tv);
+  EXPECT_EQ(load->relocations_applied, 1u);
+
+  // Text content landed at load_base + tv.
+  Bytes readback(64);
+  ASSERT_TRUE(device_
+                  .EnclaveRead(eid_, load->load_base + tv,
+                               MutableByteView(readback.data(), 64))
+                  .ok());
+  EXPECT_EQ(readback, text);
+
+  // The relocated slot holds load_base + addend.
+  Bytes slot(8);
+  ASSERT_TRUE(device_
+                  .EnclaveRead(eid_, load->load_base + dv,
+                               MutableByteView(slot.data(), 8))
+                  .ok());
+  EXPECT_EQ(LoadLe64(slot.data()), load->load_base + tv);
+
+  // Canary installed at fs:0x28.
+  Bytes canary_read(8);
+  ASSERT_TRUE(device_
+                  .EnclaveRead(eid_, load->tls_base + 0x28,
+                               MutableByteView(canary_read.data(), 8))
+                  .ok());
+  EXPECT_EQ(canary_read, canary);
+}
+
+TEST_F(LoaderTest, ExecutablePagesCoverTextOnly) {
+  workload::ProgramSpec spec;
+  spec.target_instructions = 1800;
+  auto program = workload::BuildProgram(spec);
+  ASSERT_TRUE(program.ok());
+  auto elf = elf::ElfFile::Parse(ByteView(program->image.data(),
+                                          program->image.size()));
+  ASSERT_TRUE(elf.ok());
+
+  auto load = EnclaveLoader::Load(device_, eid_, layout_, *elf, {});
+  ASSERT_TRUE(load.ok()) << load.status().ToString();
+  ASSERT_FALSE(load->executable_pages.empty());
+
+  // Every executable page must intersect an executable segment, and no
+  // data-segment page may appear.
+  for (const uint64_t page : load->executable_pages) {
+    const uint64_t file_vaddr = page - load->load_base;
+    bool in_text = false;
+    for (const elf::Phdr& ph : elf->segments()) {
+      if (ph.type != elf::kPtLoad || !(ph.flags & elf::kPfX)) continue;
+      if (file_vaddr + sgx::kPageSize > ph.vaddr &&
+          file_vaddr < ph.vaddr + ph.memsz) {
+        in_text = true;
+      }
+    }
+    EXPECT_TRUE(in_text) << "page " << std::hex << page;
+  }
+}
+
+TEST_F(LoaderTest, RejectsOversizedExecutable) {
+  elf::ElfBuilder builder;
+  const uint64_t tv = builder.AddTextSection(".text", Bytes(64, 0x90));
+  builder.AddSymbol("main", tv, 64, elf::kSttFunc);
+  // bss larger than the whole load region.
+  builder.AddBss(layout_.load_pages * sgx::kPageSize + sgx::kPageSize);
+  auto image = builder.Build();
+  ASSERT_TRUE(image.ok());
+  auto elf = elf::ElfFile::Parse(*image);
+  ASSERT_TRUE(elf.ok());
+  EXPECT_EQ(EnclaveLoader::Load(device_, eid_, layout_, *elf, {}).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(ProtocolTest, ManifestRoundTrip) {
+  Manifest manifest;
+  manifest.file_size = 123456;
+  manifest.code_pages = {1, 2, 3, 17};
+  auto parsed = Manifest::Deserialize(manifest.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->file_size, 123456u);
+  EXPECT_EQ(parsed->code_pages, manifest.code_pages);
+}
+
+TEST(ProtocolTest, ManifestRejectsTruncation) {
+  Manifest manifest;
+  manifest.file_size = 1;
+  manifest.code_pages = {1, 2};
+  Bytes wire = manifest.Serialize();
+  wire.pop_back();
+  EXPECT_FALSE(Manifest::Deserialize(wire).ok());
+  wire.push_back(0);
+  wire.push_back(0);  // trailing
+  EXPECT_FALSE(Manifest::Deserialize(wire).ok());
+}
+
+TEST(ProtocolTest, VerdictRoundTrip) {
+  Verdict verdict;
+  verdict.compliant = false;
+  verdict.reason = "function f: no stack-protector prologue";
+  auto parsed = Verdict::Deserialize(verdict.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->compliant);
+  EXPECT_EQ(parsed->reason, verdict.reason);
+}
+
+TEST(ProtocolTest, FramesRoundTrip) {
+  crypto::DuplexPipe pipe;
+  auto a = pipe.EndA();
+  auto b = pipe.EndB();
+  ASSERT_TRUE(WriteFrame(a, ToBytes("hello")).ok());
+  ASSERT_TRUE(WriteFrame(a, {}).ok());
+  auto first = ReadFrame(b);
+  auto second = ReadFrame(b);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(ToString(ByteView(first->data(), first->size())), "hello");
+  EXPECT_TRUE(second->empty());
+}
+
+TEST(ProtocolTest, OversizedFrameRejected) {
+  crypto::DuplexPipe pipe;
+  auto a = pipe.EndA();
+  Bytes header;
+  AppendLe32(header, 0x7fffffff);
+  a.Write(ByteView(header.data(), header.size()));
+  auto b = pipe.EndB();
+  EXPECT_EQ(ReadFrame(b).status().code(), StatusCode::kProtocolError);
+}
+
+}  // namespace
+}  // namespace engarde::core

@@ -1,0 +1,144 @@
+#include "core/negotiation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engarde.h"
+#include "core/policy_ifcc.h"
+#include "core/policy_liblink.h"
+#include "core/policy_stackprot.h"
+#include "workload/synth_libc.h"
+
+namespace engarde::core {
+namespace {
+
+PolicySet FullMenu() {
+  PolicySet menu;
+  auto db = workload::BuildLibcHashDb({});
+  EXPECT_TRUE(db.ok());
+  menu.push_back(std::make_unique<LibraryLinkingPolicy>(
+      "synth-musl v1.0.5", std::move(db).value()));
+  menu.push_back(std::make_unique<StackProtectionPolicy>());
+  menu.push_back(std::make_unique<IndirectCallPolicy>());
+  return menu;
+}
+
+TEST(NegotiationTest, OfferListsFingerprints) {
+  const PolicySet menu = FullMenu();
+  const PolicyOffer offer = PolicyOffer::FromPolicies(menu);
+  ASSERT_EQ(offer.fingerprints.size(), 3u);
+  EXPECT_EQ(offer.fingerprints[0].rfind("library-linking(", 0), 0u);
+  EXPECT_EQ(offer.fingerprints[1].rfind("stack-protection(", 0), 0u);
+  EXPECT_EQ(offer.fingerprints[2].rfind("indirect-call-check(", 0), 0u);
+}
+
+TEST(NegotiationTest, OfferSerializationRoundTrip) {
+  const PolicyOffer offer = PolicyOffer::FromPolicies(FullMenu());
+  auto parsed = PolicyOffer::Deserialize(offer.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->fingerprints, offer.fingerprints);
+  EXPECT_FALSE(PolicyOffer::Deserialize(ToBytes("junk")).ok());
+}
+
+TEST(NegotiationTest, ClientSelectsByPrefix) {
+  const PolicyOffer offer = PolicyOffer::FromPolicies(FullMenu());
+  auto selection = SelectFromOffer(
+      offer, {"stack-protection(", "indirect-call-check("});
+  ASSERT_TRUE(selection.ok());
+  ASSERT_EQ(selection->fingerprints.size(), 2u);
+  EXPECT_EQ(selection->fingerprints[0], offer.fingerprints[1]);
+}
+
+TEST(NegotiationTest, MissingPolicyIsAnError) {
+  const PolicyOffer offer = PolicyOffer::FromPolicies(FullMenu());
+  auto selection = SelectFromOffer(offer, {"taint-tracking("});
+  ASSERT_FALSE(selection.ok());
+  EXPECT_EQ(selection.status().code(), StatusCode::kNotFound);
+}
+
+TEST(NegotiationTest, ExactFingerprintPinning) {
+  const PolicyOffer offer = PolicyOffer::FromPolicies(FullMenu());
+  // Pinning the full fingerprint works...
+  auto pinned = SelectFromOffer(offer, {offer.fingerprints[0]});
+  ASSERT_TRUE(pinned.ok());
+  // ...and a fingerprint for a *different* db (different library version)
+  // does not match.
+  auto db104 = workload::BuildLibcHashDb({.version = "1.0.4"});
+  ASSERT_TRUE(db104.ok());
+  LibraryLinkingPolicy other("synth-musl v1.0.4", std::move(db104).value());
+  auto wrong = SelectFromOffer(offer, {other.Fingerprint()});
+  EXPECT_FALSE(wrong.ok());
+}
+
+TEST(NegotiationTest, ApplySelectionReducesMenu) {
+  PolicySet menu = FullMenu();
+  const PolicyOffer offer = PolicyOffer::FromPolicies(menu);
+  PolicySelection selection;
+  selection.fingerprints = {offer.fingerprints[2], offer.fingerprints[1]};
+
+  auto agreed = ApplySelection(std::move(menu), selection);
+  ASSERT_TRUE(agreed.ok());
+  ASSERT_EQ(agreed->size(), 2u);
+  // Selection order preserved: ifcc first, stackprot second.
+  EXPECT_EQ((*agreed)[0]->name(), "indirect-call-check");
+  EXPECT_EQ((*agreed)[1]->name(), "stack-protection");
+}
+
+TEST(NegotiationTest, ApplySelectionRejectsUnknownAndRepeats) {
+  {
+    PolicySet menu = FullMenu();
+    PolicySelection bad;
+    bad.fingerprints = {"nonexistent(policy)"};
+    EXPECT_FALSE(ApplySelection(std::move(menu), bad).ok());
+  }
+  {
+    PolicySet menu = FullMenu();
+    const std::string fp = menu[1]->Fingerprint();
+    PolicySelection repeat;
+    repeat.fingerprints = {fp, fp};
+    EXPECT_FALSE(ApplySelection(std::move(menu), repeat).ok());
+  }
+}
+
+TEST(NegotiationTest, AgreedSetDeterminesMeasurement) {
+  // End-to-end property of the negotiation: both parties can derive the
+  // expected MRENCLAVE from the agreed fingerprints alone, and different
+  // selections give different measurements.
+  EngardeOptions options;
+
+  PolicySet menu1 = FullMenu();
+  const PolicyOffer offer = PolicyOffer::FromPolicies(menu1);
+  PolicySelection sel_a;
+  sel_a.fingerprints = {offer.fingerprints[1]};
+  auto agreed_a = ApplySelection(std::move(menu1), sel_a);
+  ASSERT_TRUE(agreed_a.ok());
+
+  PolicySet menu2 = FullMenu();
+  PolicySelection sel_b;
+  sel_b.fingerprints = {offer.fingerprints[1], offer.fingerprints[2]};
+  auto agreed_b = ApplySelection(std::move(menu2), sel_b);
+  ASSERT_TRUE(agreed_b.ok());
+
+  auto m_a = EngardeEnclave::ExpectedMeasurement(*agreed_a, options);
+  auto m_b = EngardeEnclave::ExpectedMeasurement(*agreed_b, options);
+  ASSERT_TRUE(m_a.ok() && m_b.ok());
+  EXPECT_NE(*m_a, *m_b);
+
+  // And a re-derivation from an identical selection matches exactly.
+  PolicySet menu3 = FullMenu();
+  auto agreed_a2 = ApplySelection(std::move(menu3), sel_a);
+  ASSERT_TRUE(agreed_a2.ok());
+  auto m_a2 = EngardeEnclave::ExpectedMeasurement(*agreed_a2, options);
+  ASSERT_TRUE(m_a2.ok());
+  EXPECT_EQ(*m_a, *m_a2);
+}
+
+TEST(NegotiationTest, SelectionSerializationRoundTrip) {
+  PolicySelection selection;
+  selection.fingerprints = {"a(1)", "b(2)"};
+  auto parsed = PolicySelection::Deserialize(selection.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->fingerprints, selection.fingerprints);
+}
+
+}  // namespace
+}  // namespace engarde::core

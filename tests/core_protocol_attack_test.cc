@@ -1,0 +1,213 @@
+// Adversarial protocol tests: an active network attacker (or the cloud
+// provider itself, per the threat model) manipulating the wire between the
+// client and the enclave, plus multi-tenant isolation checks.
+#include <gtest/gtest.h>
+
+#include "client/client.h"
+#include "core/engarde.h"
+#include "core/policy_stackprot.h"
+#include "workload/program_builder.h"
+
+namespace engarde::core {
+namespace {
+
+constexpr size_t kRsaBits = 768;
+
+class ProtocolAttackTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto qe = sgx::QuotingEnclave::Provision(ToBytes("atk-device"), kRsaBits);
+    ASSERT_TRUE(qe.ok());
+    qe_ = new sgx::QuotingEnclave(std::move(qe).value());
+    workload::ProgramSpec spec;
+    spec.seed = 123;
+    spec.target_instructions = 2000;
+    auto program = workload::BuildProgram(spec);
+    ASSERT_TRUE(program.ok());
+    image_ = new Bytes(program->image);
+  }
+  static void TearDownTestSuite() {
+    delete qe_;
+    qe_ = nullptr;
+    delete image_;
+    image_ = nullptr;
+  }
+
+  static EngardeOptions Options() {
+    EngardeOptions options;
+    options.rsa_bits = kRsaBits;
+    options.layout.heap_pages = 128;
+    options.layout.load_pages = 32;
+    return options;
+  }
+
+  static sgx::QuotingEnclave* qe_;
+  static Bytes* image_;
+};
+
+sgx::QuotingEnclave* ProtocolAttackTest::qe_ = nullptr;
+Bytes* ProtocolAttackTest::image_ = nullptr;
+
+TEST_F(ProtocolAttackTest, MitmKeySubstitutionDetected) {
+  // The attacker intercepts the hello, keeps the genuine quote, but swaps in
+  // their own RSA public key hoping the client wraps the AES key for them.
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = 512});
+  sgx::HostOs host(&device);
+  auto enclave =
+      EngardeEnclave::Create(&host, *qe_, PolicySet{}, Options());
+  ASSERT_TRUE(enclave.ok());
+
+  crypto::DuplexPipe upstream;    // enclave <-> attacker
+  crypto::DuplexPipe downstream;  // attacker <-> client
+  ASSERT_TRUE(enclave->SendHello(upstream.EndA()).ok());
+
+  // Attacker reads the two hello frames...
+  auto attacker_end = upstream.EndB();
+  auto quote_frame = ReadFrame(attacker_end);
+  auto key_frame = ReadFrame(attacker_end);
+  ASSERT_TRUE(quote_frame.ok() && key_frame.ok());
+
+  // ...and forwards the quote unchanged but substitutes their own key.
+  crypto::HmacDrbg attacker_rng(ToBytes("attacker"));
+  auto attacker_key = crypto::RsaGenerateKey(kRsaBits, attacker_rng);
+  ASSERT_TRUE(attacker_key.ok());
+  auto a_end = downstream.EndA();
+  ASSERT_TRUE(WriteFrame(a_end, ByteView(quote_frame->data(),
+                                         quote_frame->size()))
+                  .ok());
+  const Bytes evil_key = attacker_key->public_key.Serialize();
+  ASSERT_TRUE(
+      WriteFrame(a_end, ByteView(evil_key.data(), evil_key.size())).ok());
+
+  client::ClientOptions client_options;
+  client_options.attestation_key = qe_->attestation_public_key();
+  client_options.skip_measurement_check = true;
+  client::Client client(client_options, *image_);
+  const Status status = client.SendProgram(downstream.EndB());
+  ASSERT_EQ(status.code(), StatusCode::kIntegrityError);
+  EXPECT_NE(status.message().find("bound"), std::string::npos);
+  // Nothing confidential left the client.
+  EXPECT_EQ(downstream.EndA().Available(), 0u);
+}
+
+TEST_F(ProtocolAttackTest, ReplayedQuoteFromOtherEnclaveDetected) {
+  // The attacker replays a *genuine* quote of enclave A while fronting for
+  // enclave B (whose key they relay). Keys are bound per-quote, so the
+  // binding check fails.
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = 1024});
+  sgx::HostOs host(&device);
+  EngardeOptions options_a = Options();
+  options_a.enclave_entropy = {1};
+  EngardeOptions options_b = Options();
+  options_b.enclave_entropy = {2};
+  // Different entropy -> different ephemeral RSA keys, same measurement.
+  auto enclave_a = EngardeEnclave::Create(&host, *qe_, PolicySet{}, options_a);
+  auto enclave_b = EngardeEnclave::Create(&host, *qe_, PolicySet{}, options_b);
+  ASSERT_TRUE(enclave_a.ok() && enclave_b.ok());
+
+  crypto::DuplexPipe wire;
+  // Frankenstein hello: A's quote, B's public key.
+  const Bytes quote_wire = enclave_a->quote().Serialize();
+  const Bytes key_wire = enclave_b->public_key().Serialize();
+  auto end = wire.EndA();
+  ASSERT_TRUE(WriteFrame(end, ByteView(quote_wire.data(), quote_wire.size())).ok());
+  ASSERT_TRUE(WriteFrame(end, ByteView(key_wire.data(), key_wire.size())).ok());
+
+  client::ClientOptions client_options;
+  client_options.attestation_key = qe_->attestation_public_key();
+  client_options.skip_measurement_check = true;
+  client::Client client(client_options, *image_);
+  EXPECT_EQ(client.SendProgram(wire.EndB()).code(),
+            StatusCode::kIntegrityError);
+}
+
+TEST_F(ProtocolAttackTest, CorruptedBlockAbortsProvisioningHard) {
+  // Bit flips inside an encrypted block are a channel-integrity failure —
+  // a hard protocol error, NOT a policy verdict (the enclave cannot know
+  // what the client actually sent).
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = 512});
+  sgx::HostOs host(&device);
+  auto enclave = EngardeEnclave::Create(&host, *qe_, PolicySet{}, Options());
+  ASSERT_TRUE(enclave.ok());
+
+  crypto::DuplexPipe pipe;
+  ASSERT_TRUE(enclave->SendHello(pipe.EndA()).ok());
+  client::ClientOptions client_options;
+  client_options.attestation_key = qe_->attestation_public_key();
+  client_options.skip_measurement_check = true;
+  client::Client client(client_options, *image_);
+  ASSERT_TRUE(client.SendProgram(pipe.EndB()).ok());
+
+  // Corrupt one byte somewhere in the middle of the queued ciphertext: pull
+  // everything off the wire, flip, re-inject.
+  auto b_end = pipe.EndB();
+  const size_t queued = pipe.EndA().Available();
+  ASSERT_GT(queued, 1000u);
+  auto raw = pipe.EndA().Read(queued);
+  ASSERT_TRUE(raw.ok());
+  (*raw)[queued / 2] ^= 0x01;
+  b_end.Write(ByteView(raw->data(), raw->size()));
+
+  auto outcome = enclave->RunProvisioning(pipe.EndA());
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kIntegrityError);
+}
+
+TEST_F(ProtocolAttackTest, MultiTenantIsolation) {
+  // Two tenants on one machine: each provisions its own enclave; neither
+  // can read the other's plaintext, and the device keeps their pages apart.
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = 2048});
+  sgx::HostOs host(&device);
+
+  auto run_tenant = [&](uint64_t seed, Bytes entropy)
+      -> Result<std::pair<uint64_t, uint64_t>> {  // (enclave id, rax)
+    workload::ProgramSpec spec;
+    spec.seed = seed;
+    spec.target_instructions = 2000;
+    ASSIGN_OR_RETURN(auto program, workload::BuildProgram(spec));
+    EngardeOptions options = Options();
+    options.enclave_entropy = std::move(entropy);
+    ASSIGN_OR_RETURN(auto enclave, EngardeEnclave::Create(
+                                       &host, *qe_, PolicySet{}, options));
+    crypto::DuplexPipe pipe;
+    RETURN_IF_ERROR(enclave.SendHello(pipe.EndA()));
+    client::ClientOptions client_options;
+    client_options.attestation_key = qe_->attestation_public_key();
+    client_options.skip_measurement_check = true;
+    client::Client client(client_options, program.image);
+    RETURN_IF_ERROR(client.SendProgram(pipe.EndB()));
+    ASSIGN_OR_RETURN(const ProvisionOutcome outcome,
+                     enclave.RunProvisioning(pipe.EndA()));
+    if (!outcome.verdict.compliant) return InternalError("rejected");
+    ASSIGN_OR_RETURN(const uint64_t rax, enclave.ExecuteClientProgram());
+    return std::make_pair(enclave.enclave_id(), rax);
+  };
+
+  auto tenant1 = run_tenant(501, {0xaa});
+  auto tenant2 = run_tenant(502, {0xbb});
+  ASSERT_TRUE(tenant1.ok()) << tenant1.status().ToString();
+  ASSERT_TRUE(tenant2.ok()) << tenant2.status().ToString();
+  EXPECT_NE(tenant1->first, tenant2->first);
+
+  // Cross-enclave access: tenant 2's enclave id cannot read tenant 1's
+  // pages through any API surface — addresses resolve per-enclave.
+  Bytes buf(16);
+  const Status cross = device.EnclaveRead(
+      tenant2->first, 0x10000000 + 42 * sgx::kPageSize,
+      MutableByteView(buf.data(), buf.size()));
+  // Either the page simply is not mapped in tenant 2's enclave, or it is
+  // tenant 2's OWN page — never tenant 1's content. Verify by checking the
+  // outsider view of tenant 1's pages stays ciphertext.
+  (void)cross;
+  auto observed = device.ReadAsOutsider(tenant1->first, 0x10000000);
+  ASSERT_TRUE(observed.ok());
+  Bytes plain(16);
+  ASSERT_TRUE(device
+                  .EnclaveRead(tenant1->first, 0x10000000,
+                               MutableByteView(plain.data(), plain.size()))
+                  .ok());
+  EXPECT_NE(Bytes(observed->begin(), observed->begin() + 16), plain);
+}
+
+}  // namespace
+}  // namespace engarde::core

@@ -1,0 +1,287 @@
+// Tests for the runtime-enforcement extension: shadow-stack (backward-edge
+// CFI), indirect-target whitelisting (dynamic forward-edge CFI) and
+// instruction metering, attached to programs provisioned through the full
+// EnGarde pipeline.
+#include "core/runtime_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "client/client.h"
+#include "core/engarde.h"
+#include "elf/builder.h"
+#include "workload/program_builder.h"
+#include "x86/encoder.h"
+
+namespace engarde::core {
+namespace {
+
+// Provisions `image` through EnGarde with an empty static policy set and
+// returns a ready-to-execute enclave. The test fixture owns device/host.
+class RuntimeMonitorTest : public ::testing::Test {
+ protected:
+  RuntimeMonitorTest()
+      : device_(sgx::SgxDevice::Options{.epc_pages = 2048}), host_(&device_) {}
+
+  static void SetUpTestSuite() {
+    auto qe = sgx::QuotingEnclave::Provision(ToBytes("rt-device"), 768);
+    ASSERT_TRUE(qe.ok());
+    qe_ = new sgx::QuotingEnclave(std::move(qe).value());
+  }
+  static void TearDownTestSuite() {
+    delete qe_;
+    qe_ = nullptr;
+  }
+
+  Result<EngardeEnclave> Provision(const Bytes& image) {
+    EngardeOptions options;
+    options.rsa_bits = 768;
+    options.layout.heap_pages = 256;
+    options.layout.load_pages = 64;
+    ASSIGN_OR_RETURN(auto enclave, EngardeEnclave::Create(
+                                       &host_, *qe_, PolicySet{}, options));
+    crypto::DuplexPipe pipe;
+    RETURN_IF_ERROR(enclave.SendHello(pipe.EndA()));
+    client::ClientOptions client_options;
+    client_options.attestation_key = qe_->attestation_public_key();
+    client_options.skip_measurement_check = true;
+    client::Client client(client_options, image);
+    RETURN_IF_ERROR(client.SendProgram(pipe.EndB()));
+    ASSIGN_OR_RETURN(const ProvisionOutcome outcome,
+                     enclave.RunProvisioning(pipe.EndA()));
+    if (!outcome.verdict.compliant) {
+      return InternalError("unexpected rejection: " + outcome.verdict.reason);
+    }
+    return enclave;
+  }
+
+  sgx::SgxDevice device_;
+  sgx::HostOs host_;
+
+ private:
+  static sgx::QuotingEnclave* qe_;
+};
+
+sgx::QuotingEnclave* RuntimeMonitorTest::qe_ = nullptr;
+
+// Position-independent variant: the victim computes the gadget address with
+// lea gadget(%rip), %rax — works at any load base.
+Bytes BuildRetHijackProgramRipRel() {
+  x86::Assembler as(0x1000);
+  as.CallAbs(0x1020);  // _start
+  as.Hlt();
+  as.AlignTo(32);
+  as.LeaRipRelTo(x86::kRax, 0x1040);  // victim: rax = &gadget (RIP-relative)
+  as.MovStore(x86::kRsp, 0, x86::kRax);
+  as.Ret();
+  as.AlignTo(32);
+  as.MovRegImm32(x86::kRax, 0x1337);  // gadget
+  as.Ret();
+
+  elf::ElfBuilder builder;
+  const uint64_t tv = builder.AddTextSection(".text", as.bytes());
+  EXPECT_EQ(tv, 0x1000u);
+  builder.AddSymbol("_start", 0x1000, 6, elf::kSttFunc);
+  builder.AddSymbol("victim", 0x1020, 12, elf::kSttFunc);
+  builder.AddSymbol("gadget", 0x1040, 6, elf::kSttFunc);
+  builder.SetEntry(0x1000);
+  auto image = builder.Build();
+  EXPECT_TRUE(image.ok());
+  return *image;
+}
+
+TEST_F(RuntimeMonitorTest, RetHijackSucceedsWithoutMonitor) {
+  auto enclave = Provision(BuildRetHijackProgramRipRel());
+  ASSERT_TRUE(enclave.ok()) << enclave.status().ToString();
+  auto rax = enclave->ExecuteClientProgram();
+  ASSERT_TRUE(rax.ok()) << rax.status().ToString();
+  EXPECT_EQ(*rax, 0x1337u);  // the hijack reached the gadget undetected
+}
+
+TEST_F(RuntimeMonitorTest, ShadowStackCatchesRetHijack) {
+  auto enclave = Provision(BuildRetHijackProgramRipRel());
+  ASSERT_TRUE(enclave.ok());
+
+  RuntimeMonitor monitor;
+  monitor.AddPolicy(std::make_unique<ShadowStackPolicy>());
+  monitor.BeginRun();
+  auto rax = enclave->ExecuteClientProgram(1u << 22, &monitor);
+  ASSERT_FALSE(rax.ok());
+  EXPECT_EQ(rax.status().code(), StatusCode::kPolicyViolation);
+  EXPECT_NE(monitor.violation().find("shadow-stack"), std::string::npos);
+  EXPECT_NE(monitor.violation().find("hijack"), std::string::npos);
+}
+
+TEST_F(RuntimeMonitorTest, ShadowStackPassesHonestProgram) {
+  workload::ProgramSpec spec;
+  spec.seed = 77;
+  spec.target_instructions = 2500;
+  spec.ifcc = true;  // include indirect calls through the jump table
+  auto program = workload::BuildProgram(spec);
+  ASSERT_TRUE(program.ok());
+  auto enclave = Provision(program->image);
+  ASSERT_TRUE(enclave.ok()) << enclave.status().ToString();
+
+  RuntimeMonitor monitor;
+  monitor.AddPolicy(std::make_unique<ShadowStackPolicy>());
+  monitor.BeginRun();
+  auto rax = enclave->ExecuteClientProgram(1u << 22, &monitor);
+  ASSERT_TRUE(rax.ok()) << rax.status().ToString() << " / "
+                        << monitor.violation();
+  EXPECT_GT(monitor.transfers_observed(), 0u);
+}
+
+TEST_F(RuntimeMonitorTest, IndirectTargetWhitelistPassesJumpTableCalls) {
+  workload::ProgramSpec spec;
+  spec.seed = 78;
+  spec.target_instructions = 2500;
+  spec.ifcc = true;
+  auto program = workload::BuildProgram(spec);
+  ASSERT_TRUE(program.ok());
+  auto enclave = Provision(program->image);
+  ASSERT_TRUE(enclave.ok());
+
+  ASSERT_NE(enclave->loaded_symbols(), nullptr);
+  ASSERT_NE(enclave->load_result(), nullptr);
+  RuntimeMonitor monitor;
+  monitor.AddPolicy(std::make_unique<IndirectTargetPolicy>(
+      IndirectTargetPolicy::FromSymbols(*enclave->loaded_symbols(),
+                                        enclave->load_result()->load_base)));
+  monitor.BeginRun();
+  auto rax = enclave->ExecuteClientProgram(1u << 22, &monitor);
+  ASSERT_TRUE(rax.ok()) << rax.status().ToString() << " / "
+                        << monitor.violation();
+}
+
+TEST_F(RuntimeMonitorTest, IndirectTargetWhitelistCatchesWildPointer) {
+  // A program that calls through a pointer into the middle of a function:
+  //   _start: lea victim+4(%rip), %rcx ; call *%rcx ; hlt
+  x86::Assembler as(0x1000);
+  as.LeaRipRelTo(x86::kRcx, 0x1020 + 4);  // NOT a function entry
+  as.CallIndirectReg(x86::kRcx);
+  as.Hlt();
+  as.AlignTo(32);
+  as.NopBytes(4);
+  as.MovRegImm32(x86::kRax, 7);  // the wild pointer lands here
+  as.Ret();
+
+  elf::ElfBuilder builder;
+  builder.AddTextSection(".text", as.bytes());
+  builder.AddSymbol("_start", 0x1000, 10, elf::kSttFunc);
+  builder.AddSymbol("victim", 0x1020, 10, elf::kSttFunc);
+  builder.SetEntry(0x1000);
+  auto image = builder.Build();
+  ASSERT_TRUE(image.ok());
+
+  auto enclave = Provision(*image);
+  ASSERT_TRUE(enclave.ok()) << enclave.status().ToString();
+
+  // Without the monitor the wild call goes through.
+  auto unmonitored = enclave->ExecuteClientProgram();
+  ASSERT_TRUE(unmonitored.ok());
+  EXPECT_EQ(*unmonitored, 7u);
+
+  RuntimeMonitor monitor;
+  monitor.AddPolicy(std::make_unique<IndirectTargetPolicy>(
+      IndirectTargetPolicy::FromSymbols(*enclave->loaded_symbols(),
+                                        enclave->load_result()->load_base)));
+  monitor.BeginRun();
+  auto rax = enclave->ExecuteClientProgram(1u << 22, &monitor);
+  ASSERT_FALSE(rax.ok());
+  EXPECT_EQ(rax.status().code(), StatusCode::kPolicyViolation);
+  EXPECT_NE(monitor.violation().find("non-whitelisted"), std::string::npos);
+}
+
+TEST_F(RuntimeMonitorTest, InstructionBudgetMetersRuns) {
+  workload::ProgramSpec spec;
+  spec.seed = 79;
+  spec.target_instructions = 2500;
+  auto program = workload::BuildProgram(spec);
+  ASSERT_TRUE(program.ok());
+  auto enclave = Provision(program->image);
+  ASSERT_TRUE(enclave.ok());
+
+  // Generous budget: passes.
+  {
+    RuntimeMonitor monitor;
+    monitor.AddPolicy(std::make_unique<InstructionBudgetPolicy>(1u << 22));
+    monitor.BeginRun();
+    EXPECT_TRUE(enclave->ExecuteClientProgram(1u << 22, &monitor).ok());
+  }
+  // Tiny budget: metered out.
+  {
+    RuntimeMonitor monitor;
+    monitor.AddPolicy(std::make_unique<InstructionBudgetPolicy>(10));
+    monitor.BeginRun();
+    auto rax = enclave->ExecuteClientProgram(1u << 22, &monitor);
+    ASSERT_FALSE(rax.ok());
+    EXPECT_EQ(rax.status().code(), StatusCode::kPolicyViolation);
+    EXPECT_NE(monitor.violation().find("instruction-budget"),
+              std::string::npos);
+  }
+}
+
+TEST_F(RuntimeMonitorTest, MultiplePoliciesCompose) {
+  workload::ProgramSpec spec;
+  spec.seed = 80;
+  spec.target_instructions = 2500;
+  spec.ifcc = true;
+  auto program = workload::BuildProgram(spec);
+  ASSERT_TRUE(program.ok());
+  auto enclave = Provision(program->image);
+  ASSERT_TRUE(enclave.ok());
+
+  RuntimeMonitor monitor;
+  monitor.AddPolicy(std::make_unique<ShadowStackPolicy>());
+  monitor.AddPolicy(std::make_unique<IndirectTargetPolicy>(
+      IndirectTargetPolicy::FromSymbols(*enclave->loaded_symbols(),
+                                        enclave->load_result()->load_base)));
+  monitor.AddPolicy(std::make_unique<InstructionBudgetPolicy>(1u << 22));
+  monitor.BeginRun();
+  EXPECT_EQ(monitor.policy_count(), 3u);
+  auto rax = enclave->ExecuteClientProgram(1u << 22, &monitor);
+  EXPECT_TRUE(rax.ok()) << rax.status().ToString() << " / "
+                        << monitor.violation();
+
+  // Deterministic across runs, including the transfer count.
+  const uint64_t transfers = monitor.transfers_observed();
+  monitor.BeginRun();
+  auto rax2 = enclave->ExecuteClientProgram(1u << 22, &monitor);
+  ASSERT_TRUE(rax2.ok());
+  EXPECT_EQ(*rax, *rax2);
+  EXPECT_EQ(monitor.transfers_observed(), transfers);
+}
+
+TEST(ShadowStackUnitTest, EmptyStackReturnToExitSentinelAllowed) {
+  ShadowStackPolicy policy;
+  policy.OnRunStart();
+  EXPECT_TRUE(policy
+                  .OnControlTransfer(
+                      x86::ExecutionObserver::TransferKind::kReturn, 0x1000,
+                      x86::Machine::kExitAddr, 0)
+                  .ok());
+}
+
+TEST(ShadowStackUnitTest, EmptyStackReturnElsewhereRejected) {
+  ShadowStackPolicy policy;
+  policy.OnRunStart();
+  EXPECT_FALSE(policy
+                   .OnControlTransfer(
+                       x86::ExecutionObserver::TransferKind::kReturn, 0x1000,
+                       0x2000, 0)
+                   .ok());
+}
+
+TEST(ShadowStackUnitTest, NestedCallsBalance) {
+  using TK = x86::ExecutionObserver::TransferKind;
+  ShadowStackPolicy policy;
+  policy.OnRunStart();
+  EXPECT_TRUE(policy.OnControlTransfer(TK::kCall, 0x100, 0x500, 0x105).ok());
+  EXPECT_TRUE(policy.OnControlTransfer(TK::kCallIndirect, 0x510, 0x800, 0x512).ok());
+  EXPECT_EQ(policy.depth(), 2u);
+  EXPECT_TRUE(policy.OnControlTransfer(TK::kReturn, 0x805, 0x512, 0).ok());
+  EXPECT_TRUE(policy.OnControlTransfer(TK::kReturn, 0x520, 0x105, 0).ok());
+  EXPECT_EQ(policy.depth(), 0u);
+}
+
+}  // namespace
+}  // namespace engarde::core

@@ -1,0 +1,263 @@
+// Tests for EGETKEY-based sealing and the sealed-program fast-reload path.
+#include "core/sealing.h"
+
+#include <gtest/gtest.h>
+
+#include "client/client.h"
+#include "core/engarde.h"
+#include "core/policy_stackprot.h"
+#include "workload/program_builder.h"
+
+namespace engarde::core {
+namespace {
+
+crypto::Aes256Key TestKey(uint8_t fill) {
+  crypto::Aes256Key key;
+  key.fill(fill);
+  return key;
+}
+
+TEST(SealingTest, SealUnsealRoundTrip) {
+  const Bytes secret = ToBytes("the client's confidential executable bytes");
+  const SealedBlob blob = Seal(TestKey(1), 7, {1, 2, 3}, secret);
+  EXPECT_NE(blob.ciphertext, secret);  // actually encrypted
+  auto opened = Unseal(TestKey(1), blob);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*opened, secret);
+}
+
+TEST(SealingTest, WrongKeyRejected) {
+  const SealedBlob blob = Seal(TestKey(1), 0, {}, ToBytes("data"));
+  EXPECT_EQ(Unseal(TestKey(2), blob).status().code(),
+            StatusCode::kIntegrityError);
+}
+
+TEST(SealingTest, TamperDetected) {
+  const Bytes secret(1000, 0x5a);
+  SealedBlob blob = Seal(TestKey(3), 0, {9}, secret);
+  // Flip one ciphertext byte.
+  SealedBlob corrupted = blob;
+  corrupted.ciphertext[500] ^= 1;
+  EXPECT_FALSE(Unseal(TestKey(3), corrupted).ok());
+  // Flip the key id (MAC covers it).
+  corrupted = blob;
+  corrupted.key_id ^= 1;
+  EXPECT_FALSE(Unseal(TestKey(3), corrupted).ok());
+  // Flip the nonce.
+  corrupted = blob;
+  corrupted.nonce[0] ^= 1;
+  EXPECT_FALSE(Unseal(TestKey(3), corrupted).ok());
+}
+
+TEST(SealingTest, SerializationRoundTrip) {
+  const SealedBlob blob = Seal(TestKey(4), 42, {7, 7, 7}, ToBytes("payload"));
+  const Bytes wire = blob.Serialize();
+  auto parsed = SealedBlob::Deserialize(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->key_id, 42u);
+  EXPECT_EQ(parsed->ciphertext, blob.ciphertext);
+  auto opened = Unseal(TestKey(4), *parsed);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(ToString(ByteView(opened->data(), opened->size())), "payload");
+}
+
+TEST(SealingTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(SealedBlob::Deserialize(ToBytes("nonsense")).ok());
+  Bytes wire = Seal(TestKey(5), 0, {}, ToBytes("x")).Serialize();
+  wire.pop_back();
+  EXPECT_FALSE(SealedBlob::Deserialize(wire).ok());
+  wire.push_back(0);
+  wire.push_back(0);
+  EXPECT_FALSE(SealedBlob::Deserialize(wire).ok());
+}
+
+// ---- EGETKEY semantics ------------------------------------------------------
+
+TEST(EgetkeyTest, SameMeasurementSameKey) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = 128});
+  sgx::HostOs host(&device);
+  sgx::EnclaveLayout layout;
+  layout.bootstrap_pages = 1;
+  layout.heap_pages = 2;
+  layout.load_pages = 2;
+  layout.stack_pages = 1;
+  auto e1 = host.BuildEnclave(layout, ToBytes("SAME-BOOTSTRAP"));
+  auto e2 = host.BuildEnclave(layout, ToBytes("SAME-BOOTSTRAP"));
+  auto e3 = host.BuildEnclave(layout, ToBytes("DIFF-BOOTSTRAP"));
+  ASSERT_TRUE(e1.ok() && e2.ok() && e3.ok());
+  auto k1 = device.EGetkey(*e1, 0);
+  auto k2 = device.EGetkey(*e2, 0);
+  auto k3 = device.EGetkey(*e3, 0);
+  ASSERT_TRUE(k1.ok() && k2.ok() && k3.ok());
+  EXPECT_EQ(*k1, *k2);  // identical code -> identical sealing key
+  EXPECT_NE(*k1, *k3);  // different code -> different key
+  // Key-id separation.
+  auto k1b = device.EGetkey(*e1, 1);
+  ASSERT_TRUE(k1b.ok());
+  EXPECT_NE(*k1, *k1b);
+}
+
+TEST(EgetkeyTest, DifferentDevicesDifferentKeys) {
+  auto key_on = [](Bytes seed) {
+    sgx::SgxDevice device(
+        sgx::SgxDevice::Options{.epc_pages = 64, .device_seed = seed});
+    auto eid = device.ECreate(0x10000000, 4 * sgx::kPageSize);
+    EXPECT_TRUE(eid.ok());
+    EXPECT_TRUE(device.EInit(*eid).ok());
+    auto key = device.EGetkey(*eid, 0);
+    EXPECT_TRUE(key.ok());
+    return *key;
+  };
+  EXPECT_NE(key_on({1, 2, 3}), key_on({4, 5, 6}));
+}
+
+TEST(EgetkeyTest, RequiresInit) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = 64});
+  auto eid = device.ECreate(0x10000000, 4 * sgx::kPageSize);
+  ASSERT_TRUE(eid.ok());
+  EXPECT_FALSE(device.EGetkey(*eid, 0).ok());
+}
+
+// ---- Sealed program fast reload ------------------------------------------------
+
+class SealedReloadTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto qe = sgx::QuotingEnclave::Provision(ToBytes("seal-device"), 768);
+    ASSERT_TRUE(qe.ok());
+    qe_ = new sgx::QuotingEnclave(std::move(qe).value());
+  }
+  static void TearDownTestSuite() {
+    delete qe_;
+    qe_ = nullptr;
+  }
+
+  static EngardeOptions Options() {
+    EngardeOptions options;
+    options.rsa_bits = 768;
+    options.layout.heap_pages = 256;
+    options.layout.load_pages = 64;
+    return options;
+  }
+
+  static PolicySet Policies() {
+    PolicySet policies;
+    policies.push_back(std::make_unique<StackProtectionPolicy>());
+    return policies;
+  }
+
+  // First boot: full protocol; returns the sealed blob and the program's rax.
+  Result<std::pair<Bytes, uint64_t>> FirstBoot(sgx::HostOs& host,
+                                               const Bytes& image) {
+    ASSIGN_OR_RETURN(auto enclave, EngardeEnclave::Create(&host, *qe_,
+                                                          Policies(),
+                                                          Options()));
+    crypto::DuplexPipe pipe;
+    RETURN_IF_ERROR(enclave.SendHello(pipe.EndA()));
+    client::ClientOptions client_options;
+    client_options.attestation_key = qe_->attestation_public_key();
+    client_options.skip_measurement_check = true;
+    client::Client client(client_options, image);
+    RETURN_IF_ERROR(client.SendProgram(pipe.EndB()));
+    ASSIGN_OR_RETURN(const ProvisionOutcome outcome,
+                     enclave.RunProvisioning(pipe.EndA()));
+    if (!outcome.verdict.compliant) {
+      return InternalError("rejected: " + outcome.verdict.reason);
+    }
+    ASSIGN_OR_RETURN(const Bytes sealed, enclave.SealApprovedProgram());
+    ASSIGN_OR_RETURN(const uint64_t rax, enclave.ExecuteClientProgram());
+    return std::make_pair(sealed, rax);
+  }
+
+  static sgx::QuotingEnclave* qe_;
+};
+
+sgx::QuotingEnclave* SealedReloadTest::qe_ = nullptr;
+
+TEST_F(SealedReloadTest, RestartRestoresAndRunsIdentically) {
+  workload::ProgramSpec spec;
+  spec.seed = 31;
+  spec.target_instructions = 2500;
+  spec.stack_protection = true;
+  auto program = workload::BuildProgram(spec);
+  ASSERT_TRUE(program.ok());
+
+  // "Machine 1": full provisioning, seal, run.
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = 1024});
+  sgx::HostOs host(&device);
+  auto boot1 = FirstBoot(host, program->image);
+  ASSERT_TRUE(boot1.ok()) << boot1.status().ToString();
+
+  // "After restart": same device (the sealing key is device-bound), fresh
+  // EnGarde enclave with the same policies -> same MRENCLAVE -> restore.
+  auto enclave2 =
+      EngardeEnclave::Create(&host, *qe_, Policies(), Options());
+  ASSERT_TRUE(enclave2.ok());
+  ASSERT_TRUE(enclave2->RestoreFromSealed(boot1->first).ok());
+  auto rax2 = enclave2->ExecuteClientProgram();
+  ASSERT_TRUE(rax2.ok()) << rax2.status().ToString();
+  EXPECT_EQ(*rax2, boot1->second);  // identical behaviour after reload
+
+  // W^X and the lock hold on the restored enclave too.
+  ASSERT_NE(enclave2->load_result(), nullptr);
+  const uint64_t code_page = enclave2->load_result()->executable_pages[0];
+  EXPECT_EQ(device.EnclaveWrite(enclave2->enclave_id(), code_page,
+                                ToBytes("x"))
+                .code(),
+            StatusCode::kPermissionDenied);
+  EXPECT_TRUE(host.IsLocked(enclave2->enclave_id()));
+}
+
+TEST_F(SealedReloadTest, DifferentPolicySetCannotUnseal) {
+  workload::ProgramSpec spec;
+  spec.seed = 32;
+  spec.target_instructions = 2500;
+  spec.stack_protection = true;
+  auto program = workload::BuildProgram(spec);
+  ASSERT_TRUE(program.ok());
+
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = 1024});
+  sgx::HostOs host(&device);
+  auto boot1 = FirstBoot(host, program->image);
+  ASSERT_TRUE(boot1.ok()) << boot1.status().ToString();
+
+  // A malicious provider rebuilds EnGarde WITHOUT the agreed policies and
+  // tries to shortcut-load the cached program into it: different bootstrap
+  // -> different MRENCLAVE -> different EGETKEY -> MAC failure.
+  auto weak = EngardeEnclave::Create(&host, *qe_, PolicySet{}, Options());
+  ASSERT_TRUE(weak.ok());
+  EXPECT_EQ(weak->RestoreFromSealed(boot1->first).code(),
+            StatusCode::kIntegrityError);
+}
+
+TEST_F(SealedReloadTest, TamperedBlobRejected) {
+  workload::ProgramSpec spec;
+  spec.seed = 33;
+  spec.target_instructions = 2500;
+  spec.stack_protection = true;
+  auto program = workload::BuildProgram(spec);
+  ASSERT_TRUE(program.ok());
+
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = 1024});
+  sgx::HostOs host(&device);
+  auto boot1 = FirstBoot(host, program->image);
+  ASSERT_TRUE(boot1.ok());
+
+  Bytes tampered = boot1->first;
+  tampered[tampered.size() / 2] ^= 0x40;
+  auto enclave2 = EngardeEnclave::Create(&host, *qe_, Policies(), Options());
+  ASSERT_TRUE(enclave2.ok());
+  EXPECT_FALSE(enclave2->RestoreFromSealed(tampered).ok());
+}
+
+TEST_F(SealedReloadTest, SealRequiresApprovedProgram) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = 1024});
+  sgx::HostOs host(&device);
+  auto enclave = EngardeEnclave::Create(&host, *qe_, Policies(), Options());
+  ASSERT_TRUE(enclave.ok());
+  EXPECT_EQ(enclave->SealApprovedProgram().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace engarde::core

@@ -1,0 +1,107 @@
+#include "core/symbol_table.h"
+
+#include <gtest/gtest.h>
+
+#include "elf/builder.h"
+
+namespace engarde::core {
+namespace {
+
+// Image with two text sections and functions at known addresses.
+elf::ElfFile MakeImage() {
+  elf::ElfBuilder builder;
+  const uint64_t t1 = builder.AddTextSection(".text", Bytes(128, 0x90));
+  const uint64_t t2 = builder.AddTextSection(".text.libc", Bytes(64, 0x90));
+  builder.AddSymbol("main", t1, 40, elf::kSttFunc);
+  builder.AddSymbol("helper", t1 + 40, 24, elf::kSttFunc);
+  builder.AddSymbol("tail", t1 + 96, 32, elf::kSttFunc);
+  builder.AddSymbol("memcpy", t2, 32, elf::kSttFunc);
+  builder.AddSymbol("global_var", t1 + 8, 8, elf::kSttObject);  // not a func
+  auto image = builder.Build();
+  EXPECT_TRUE(image.ok());
+  auto file = elf::ElfFile::Parse(*image);
+  EXPECT_TRUE(file.ok());
+  return std::move(file).value();
+}
+
+TEST(SymbolHashTableTest, BuildsOnlyFunctions) {
+  const elf::ElfFile elf = MakeImage();
+  const SymbolHashTable table = SymbolHashTable::Build(elf);
+  EXPECT_EQ(table.size(), 4u);
+  EXPECT_FALSE(table.AddrOf("global_var").has_value());
+}
+
+TEST(SymbolHashTableTest, NameAtExactAddressOnly) {
+  const SymbolHashTable table = SymbolHashTable::Build(MakeImage());
+  const std::string* name = table.NameAt(0x1000);
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(*name, "main");
+  EXPECT_EQ(table.NameAt(0x1001), nullptr);  // middle of main
+  EXPECT_TRUE(table.IsFunctionStart(0x1000 + 40));
+}
+
+TEST(SymbolHashTableTest, AddrOf) {
+  const SymbolHashTable table = SymbolHashTable::Build(MakeImage());
+  EXPECT_EQ(table.AddrOf("helper"), 0x1000u + 40);
+  EXPECT_FALSE(table.AddrOf("nonexistent").has_value());
+}
+
+TEST(SymbolHashTableTest, FunctionEndsAtNextFunction) {
+  const SymbolHashTable table = SymbolHashTable::Build(MakeImage());
+  const auto* main_fn = table.FunctionAt(0x1000);
+  ASSERT_NE(main_fn, nullptr);
+  // main ends where helper starts — not at its st_size.
+  EXPECT_EQ(main_fn->end, 0x1000u + 40);
+}
+
+TEST(SymbolHashTableTest, LastFunctionInSectionCappedAtSectionEnd) {
+  const SymbolHashTable table = SymbolHashTable::Build(MakeImage());
+  // "tail" is the last function in .text (size 128): ends at section end,
+  // not at the next section's first function.
+  const auto* tail = table.FunctionAt(0x1000 + 96);
+  ASSERT_NE(tail, nullptr);
+  EXPECT_EQ(tail->end, 0x1000u + 128);
+  // memcpy (in .text.libc) is capped at its own section end.
+  const auto* memcpy_fn = table.FunctionAt(0x1000 + 128);
+  ASSERT_NE(memcpy_fn, nullptr);
+  EXPECT_EQ(memcpy_fn->name, "memcpy");
+  EXPECT_EQ(memcpy_fn->end, 0x1000u + 128 + 64);
+}
+
+TEST(SymbolHashTableTest, FunctionContaining) {
+  const SymbolHashTable table = SymbolHashTable::Build(MakeImage());
+  const auto* fn = table.FunctionContaining(0x1000 + 45);
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn->name, "helper");
+  // Gap between helper's end (tail start at +96 is next fn; helper runs to
+  // +96) — address +70 is inside helper's range.
+  const auto* gap = table.FunctionContaining(0x1000 + 70);
+  ASSERT_NE(gap, nullptr);
+  EXPECT_EQ(gap->name, "helper");
+  // Before all functions.
+  EXPECT_EQ(table.FunctionContaining(0x500), nullptr);
+}
+
+TEST(SymbolHashTableTest, FunctionsSortedAscending) {
+  const SymbolHashTable table = SymbolHashTable::Build(MakeImage());
+  uint64_t prev = 0;
+  for (const auto& fn : table.functions()) {
+    EXPECT_GT(fn.start, prev);
+    prev = fn.start;
+  }
+}
+
+TEST(SymbolHashTableTest, EmptyElf) {
+  elf::ElfBuilder builder;
+  builder.AddTextSection(".text", Bytes(32, 0x90));
+  auto image = builder.Build();
+  ASSERT_TRUE(image.ok());
+  auto file = elf::ElfFile::Parse(*image);
+  ASSERT_TRUE(file.ok());
+  const SymbolHashTable table = SymbolHashTable::Build(*file);
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.FunctionContaining(0x1000), nullptr);
+}
+
+}  // namespace
+}  // namespace engarde::core

@@ -1,0 +1,194 @@
+// Cross-cutting property tests for the crypto substrate: algebraic
+// invariants, domain separation, and keystream hygiene that the
+// vector-based unit suites do not cover.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hex.h"
+#include "common/rng.h"
+#include "crypto/aes.h"
+#include "crypto/bigint.h"
+#include "crypto/drbg.h"
+#include "crypto/hmac.h"
+#include "crypto/rsa.h"
+#include "crypto/sha256.h"
+
+namespace engarde::crypto {
+namespace {
+
+TEST(Sha256Properties, ConcatenationViaUpdateEqualsJoinedMessage) {
+  engarde::Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Bytes a = rng.NextBytes(rng.NextBelow(200));
+    const Bytes b = rng.NextBytes(rng.NextBelow(200));
+    Bytes joined = a;
+    AppendBytes(joined, ByteView(b.data(), b.size()));
+    Sha256 h;
+    h.Update(a);
+    h.Update(b);
+    EXPECT_EQ(h.Finalize(), Sha256::Hash(joined));
+  }
+}
+
+TEST(Sha256Properties, PrefixFreedom) {
+  // hash(m) never equals hash(m || suffix) for any sampled m: no trivial
+  // length-extension collision inside the digest itself.
+  engarde::Rng rng(12);
+  for (int trial = 0; trial < 30; ++trial) {
+    Bytes m = rng.NextBytes(rng.NextInRange(1, 120));
+    const Sha256Digest d = Sha256::Hash(m);
+    m.push_back(0x00);
+    EXPECT_NE(Sha256::Hash(m), d);
+  }
+}
+
+TEST(HmacProperties, KeyLengthSweepAllDistinct) {
+  // Keys of every length from 0 to 2 blocks produce distinct tags for the
+  // same message (exercises the hash-long-keys path and padding).
+  const Bytes msg = ToBytes("constant message");
+  std::set<std::string> tags;
+  for (size_t len = 0; len <= 2 * Sha256::kBlockSize; ++len) {
+    const Bytes key(len, 0x42);
+    tags.insert(HexEncode(DigestView(HmacSha256::Mac(key, msg))));
+  }
+  EXPECT_EQ(tags.size(), 2 * Sha256::kBlockSize + 1);
+}
+
+TEST(HmacProperties, DomainSeparationFromPlainHash) {
+  const Bytes key = ToBytes("k");
+  const Bytes msg = ToBytes("m");
+  EXPECT_NE(HmacSha256::Mac(key, msg), Sha256::Hash(msg));
+}
+
+TEST(AesProperties, KeystreamBlocksNeverRepeatAcrossCounters) {
+  Aes256Key key{};
+  key[0] = 9;
+  AesCtr ctr(key, {});
+  std::set<std::string> blocks;
+  Bytes zeros(16, 0);
+  for (uint64_t block = 0; block < 512; ++block) {
+    const Bytes ks = ctr.Crypt(block * 16, ByteView(zeros.data(), 16));
+    EXPECT_TRUE(blocks.insert(HexEncode(ByteView(ks.data(), 16))).second)
+        << "keystream repeat at block " << block;
+  }
+}
+
+TEST(AesProperties, SingleBitKeyChangeDiffusesEverywhere) {
+  Aes256Key k1{}, k2{};
+  k2[31] ^= 0x01;
+  uint8_t pt[16] = {}, c1[16], c2[16];
+  Aes256(k1).EncryptBlock(pt, c1);
+  Aes256(k2).EncryptBlock(pt, c2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (c1[i] != c2[i]) ++differing;
+  }
+  EXPECT_GE(differing, 8);  // avalanche
+}
+
+TEST(BigIntProperties, MulDivRoundTripRandomized) {
+  engarde::Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Bytes a_raw = rng.NextBytes(rng.NextInRange(1, 40));
+    const Bytes b_raw = rng.NextBytes(rng.NextInRange(1, 24));
+    const BigInt a = BigInt::FromBytes(ByteView(a_raw.data(), a_raw.size()));
+    BigInt b = BigInt::FromBytes(ByteView(b_raw.data(), b_raw.size()));
+    if (b.IsZero()) b = BigInt::FromU64(3);
+    // (a*b) / b == a exactly.
+    BigInt q, r;
+    BigInt::DivMod(BigInt::Mul(a, b), b, q, r);
+    EXPECT_TRUE(r.IsZero());
+    EXPECT_EQ(q, a);
+  }
+}
+
+TEST(BigIntProperties, ShiftEqualsMulByPowerOfTwo) {
+  engarde::Rng rng(78);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Bytes raw = rng.NextBytes(rng.NextInRange(1, 32));
+    const BigInt v = BigInt::FromBytes(ByteView(raw.data(), raw.size()));
+    const size_t shift = rng.NextInRange(0, 70);
+    const BigInt pow2 = BigInt::FromU64(1).ShiftLeft(shift);
+    EXPECT_EQ(v.ShiftLeft(shift), BigInt::Mul(v, pow2));
+  }
+}
+
+TEST(BigIntProperties, ModExpMultiplicative) {
+  // (a*b)^e mod m == (a^e * b^e) mod m for random small cases.
+  engarde::Rng rng(79);
+  const BigInt m = *BigInt::FromHex("fffffffb");  // prime
+  const BigInt e = BigInt::FromU64(65537);
+  for (int trial = 0; trial < 25; ++trial) {
+    const BigInt a = BigInt::FromU64(rng.NextInRange(2, 1u << 30));
+    const BigInt b = BigInt::FromU64(rng.NextInRange(2, 1u << 30));
+    const BigInt lhs = BigInt::ModExp(BigInt::Mul(a, b), e, m);
+    const BigInt rhs = BigInt::Mod(
+        BigInt::Mul(BigInt::ModExp(a, e, m), BigInt::ModExp(b, e, m)), m);
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST(BigIntProperties, FermatLittleTheoremOnLargePrime) {
+  // a^(p-1) == 1 mod p for 2^127-1 and random bases.
+  const BigInt p = *BigInt::FromHex("7fffffffffffffffffffffffffffffff");
+  const BigInt p1 = BigInt::Sub(p, BigInt::FromU64(1));
+  engarde::Rng rng(80);
+  for (int trial = 0; trial < 5; ++trial) {
+    const BigInt a = BigInt::FromU64(rng.NextInRange(2, ~0ull - 1));
+    EXPECT_EQ(BigInt::ModExp(a, p1, p), BigInt::FromU64(1));
+  }
+}
+
+TEST(RsaProperties, SignaturesAreDeterministicPerKey) {
+  HmacDrbg drbg(ToBytes("det"));
+  auto pair = RsaGenerateKey(512, drbg);
+  ASSERT_TRUE(pair.ok());
+  const Bytes msg = ToBytes("deterministic");
+  auto s1 = RsaSign(pair->private_key, msg);
+  auto s2 = RsaSign(pair->private_key, msg);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_EQ(*s1, *s2);  // PKCS#1 v1.5 type-1 padding is deterministic
+}
+
+TEST(RsaProperties, EncryptThenDecryptForAllKeySizes) {
+  for (const size_t bits : {512ul, 768ul, 1024ul}) {
+    HmacDrbg drbg(ToBytes("sz" + std::to_string(bits)));
+    auto pair = RsaGenerateKey(bits, drbg);
+    ASSERT_TRUE(pair.ok()) << bits;
+    const Bytes key = drbg.Generate(32);
+    auto ct = RsaEncrypt(pair->public_key, key, drbg);
+    ASSERT_TRUE(ct.ok()) << bits;
+    auto pt = RsaDecrypt(pair->private_key, *ct);
+    ASSERT_TRUE(pt.ok()) << bits;
+    EXPECT_EQ(*pt, key) << bits;
+  }
+}
+
+TEST(DrbgProperties, StreamsFromRelatedSeedsDiverge) {
+  // Seeds differing by one bit produce unrelated streams.
+  Bytes seed1 = ToBytes("related-seed");
+  Bytes seed2 = seed1;
+  seed2.back() ^= 0x01;
+  HmacDrbg d1(ByteView(seed1.data(), seed1.size()));
+  HmacDrbg d2(ByteView(seed2.data(), seed2.size()));
+  const Bytes s1 = d1.Generate(64);
+  const Bytes s2 = d2.Generate(64);
+  int differing = 0;
+  for (size_t i = 0; i < 64; ++i) {
+    if (s1[i] != s2[i]) ++differing;
+  }
+  EXPECT_GE(differing, 32);
+}
+
+TEST(PrimalityProperties, ProductsOfGeneratedPrimesAreComposite) {
+  HmacDrbg drbg(ToBytes("pp"));
+  auto pair = RsaGenerateKey(512, drbg);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_TRUE(IsProbablePrime(pair->private_key.p, drbg));
+  EXPECT_TRUE(IsProbablePrime(pair->private_key.q, drbg));
+  EXPECT_FALSE(IsProbablePrime(pair->public_key.n, drbg));
+}
+
+}  // namespace
+}  // namespace engarde::crypto

@@ -1,0 +1,221 @@
+// Edge-case coverage for the ELF substrate: geometry corruption, symbol
+// table corner cases, multi-section layouts, and reader/builder agreement on
+// addresses.
+#include <gtest/gtest.h>
+
+#include "elf/builder.h"
+#include "elf/reader.h"
+
+namespace engarde::elf {
+namespace {
+
+Bytes BasicImage() {
+  ElfBuilder b;
+  const uint64_t tv = b.AddTextSection(".text", Bytes(64, 0x90));
+  b.AddSymbol("f", tv, 64, kSttFunc);
+  auto image = b.Build();
+  EXPECT_TRUE(image.ok());
+  return *image;
+}
+
+TEST(ElfEdgeTest, ManyTextSections) {
+  ElfBuilder b;
+  std::vector<uint64_t> vaddrs;
+  for (int i = 0; i < 12; ++i) {
+    vaddrs.push_back(
+        b.AddTextSection(".text." + std::to_string(i), Bytes(40 + i, 0x90)));
+  }
+  b.AddSymbol("f", vaddrs[0], 40, kSttFunc);
+  auto image = b.Build();
+  ASSERT_TRUE(image.ok());
+  auto file = ElfFile::Parse(*image);
+  ASSERT_TRUE(file.ok());
+  const auto texts = file->TextSections();
+  ASSERT_EQ(texts.size(), 12u);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(texts[i]->addr, vaddrs[i]) << i;
+    EXPECT_EQ(texts[i]->size, 40u + i) << i;
+    EXPECT_EQ(texts[i]->addr % 32, 0u);  // bundle-aligned
+  }
+}
+
+TEST(ElfEdgeTest, ManyDataSectionsAndSymbols) {
+  ElfBuilder b;
+  const uint64_t tv = b.AddTextSection(".text", Bytes(32, 0x90));
+  b.AddSymbol("f", tv, 32, kSttFunc);
+  for (int i = 0; i < 8; ++i) {
+    const uint64_t dv =
+        b.AddDataSection(".data." + std::to_string(i), Bytes(24 + i, 1));
+    b.AddSymbol("obj_" + std::to_string(i), dv, 24 + i, kSttObject);
+  }
+  auto image = b.Build();
+  ASSERT_TRUE(image.ok());
+  auto file = ElfFile::Parse(*image);
+  ASSERT_TRUE(file.ok());
+  // 1 null + 1 func + 8 objects.
+  EXPECT_EQ(file->symbols().size(), 10u);
+  // All object symbols resolve to distinct addresses inside data sections.
+  std::set<uint64_t> addrs;
+  for (const Sym& s : file->symbols()) {
+    if (SymType(s.info) == kSttObject) addrs.insert(s.value);
+  }
+  EXPECT_EQ(addrs.size(), 8u);
+}
+
+TEST(ElfEdgeTest, HundredsOfSymbols) {
+  ElfBuilder b;
+  const uint64_t tv = b.AddTextSection(".text", Bytes(4096, 0x90));
+  for (int i = 0; i < 500; ++i) {
+    b.AddSymbol("fn_" + std::to_string(i), tv + i * 8, 8, kSttFunc);
+  }
+  auto image = b.Build();
+  ASSERT_TRUE(image.ok());
+  auto file = ElfFile::Parse(*image);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->symbols().size(), 501u);
+  // Spot-check resolution both ways.
+  bool found = false;
+  for (const Sym& s : file->symbols()) {
+    if (s.name == "fn_250") {
+      EXPECT_EQ(s.value, tv + 250 * 8);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ElfEdgeTest, ManyRelocations) {
+  ElfBuilder b;
+  const uint64_t tv = b.AddTextSection(".text", Bytes(32, 0x90));
+  b.AddSymbol("f", tv, 32, kSttFunc);
+  const uint64_t dv = b.AddDataSection(".data", Bytes(8 * 200, 0));
+  for (int i = 0; i < 200; ++i) {
+    b.AddRelativeRelocation(dv + i * 8, static_cast<int64_t>(tv + i));
+  }
+  auto image = b.Build();
+  ASSERT_TRUE(image.ok());
+  auto file = ElfFile::Parse(*image);
+  ASSERT_TRUE(file.ok());
+  ASSERT_EQ(file->relocations().size(), 200u);
+  EXPECT_EQ(*file->DynamicValue(kDtRelasz), 200u * kRelaSize);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(file->relocations()[i].offset, dv + i * 8);
+    EXPECT_EQ(file->relocations()[i].addend, static_cast<int64_t>(tv + i));
+  }
+}
+
+TEST(ElfEdgeTest, CorruptSymtabGeometryRejected) {
+  Bytes image = BasicImage();
+  auto file = ElfFile::Parse(image);
+  ASSERT_TRUE(file.ok());
+  // Find .symtab's header and corrupt sh_entsize.
+  const Shdr* symtab = file->SectionByName(".symtab");
+  ASSERT_NE(symtab, nullptr);
+  const uint64_t shoff = LoadLe64(image.data() + 40);
+  const uint16_t shnum = LoadLe16(image.data() + 60);
+  for (uint16_t i = 0; i < shnum; ++i) {
+    uint8_t* p = image.data() + shoff + i * kShdrSize;
+    if (LoadLe32(p + 4) == kShtSymtab) {
+      StoreLe64(p + 56, 23);  // bogus entsize
+    }
+  }
+  EXPECT_FALSE(ElfFile::Parse(image).ok());
+}
+
+TEST(ElfEdgeTest, CorruptRelaGeometryRejected) {
+  Bytes image = BasicImage();
+  const uint64_t shoff = LoadLe64(image.data() + 40);
+  const uint16_t shnum = LoadLe16(image.data() + 60);
+  for (uint16_t i = 0; i < shnum; ++i) {
+    uint8_t* p = image.data() + shoff + i * kShdrSize;
+    if (LoadLe32(p + 4) == kShtRela) {
+      StoreLe64(p + 32, 7);  // size not a multiple of entsize
+    }
+  }
+  EXPECT_FALSE(ElfFile::Parse(image).ok());
+}
+
+TEST(ElfEdgeTest, SymtabWithBrokenStrtabLinkRejected) {
+  Bytes image = BasicImage();
+  const uint64_t shoff = LoadLe64(image.data() + 40);
+  const uint16_t shnum = LoadLe16(image.data() + 60);
+  for (uint16_t i = 0; i < shnum; ++i) {
+    uint8_t* p = image.data() + shoff + i * kShdrSize;
+    if (LoadLe32(p + 4) == kShtSymtab) {
+      StoreLe32(p + 40, 0xffff);  // sh_link out of range
+    }
+  }
+  EXPECT_FALSE(ElfFile::Parse(image).ok());
+}
+
+TEST(ElfEdgeTest, UnterminatedStringTableRejected) {
+  Bytes image = BasicImage();
+  auto file = ElfFile::Parse(image);
+  ASSERT_TRUE(file.ok());
+  const Shdr* strtab = file->SectionByName(".strtab");
+  ASSERT_NE(strtab, nullptr);
+  // Symbol name offsets point into .strtab; shrink the table so the name at
+  // its end loses the terminator.
+  const uint64_t shoff = LoadLe64(image.data() + 40);
+  const uint16_t shnum = LoadLe16(image.data() + 60);
+  const uint16_t shstrndx = LoadLe16(image.data() + 62);
+  for (uint16_t i = 0; i < shnum; ++i) {
+    if (i == shstrndx) continue;
+    uint8_t* p = image.data() + shoff + i * kShdrSize;
+    if (LoadLe32(p + 4) == kShtStrtab) {
+      const uint64_t size = LoadLe64(p + 32);
+      StoreLe64(p + 32, size - 1);
+    }
+  }
+  EXPECT_FALSE(ElfFile::Parse(image).ok());
+}
+
+TEST(ElfEdgeTest, SectionContentOffsetsEqualVaddrs) {
+  // The builder's offset==vaddr convention, which the loader and the
+  // policy tests rely on, holds for every allocated progbits section.
+  ElfBuilder b;
+  b.AddTextSection(".text", Bytes(100, 0x90));
+  b.AddTextSection(".text.libc", Bytes(50, 0x90));
+  b.AddDataSection(".data", Bytes(30, 2));
+  b.AddSymbol("f", 0x1000, 100, kSttFunc);
+  auto image = b.Build();
+  ASSERT_TRUE(image.ok());
+  auto file = ElfFile::Parse(*image);
+  ASSERT_TRUE(file.ok());
+  for (const Shdr& s : file->sections()) {
+    if (s.type != kShtProgbits || !(s.flags & kShfAlloc)) continue;
+    EXPECT_EQ(s.offset, s.addr) << s.name;
+  }
+}
+
+TEST(ElfEdgeTest, EmptyDataSectionAllowed) {
+  ElfBuilder b;
+  const uint64_t tv = b.AddTextSection(".text", Bytes(32, 0x90));
+  b.AddSymbol("f", tv, 32, kSttFunc);
+  b.AddDataSection(".data", {});
+  auto image = b.Build();
+  ASSERT_TRUE(image.ok());
+  auto file = ElfFile::Parse(*image);
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE(file->ValidateForEnclave().ok());
+}
+
+TEST(ElfEdgeTest, LargeBssOnly) {
+  ElfBuilder b;
+  const uint64_t tv = b.AddTextSection(".text", Bytes(32, 0x90));
+  b.AddSymbol("f", tv, 32, kSttFunc);
+  const uint64_t bss = b.AddBss(1 << 20);
+  auto image = b.Build();
+  ASSERT_TRUE(image.ok());
+  // A 1 MiB bss costs no file bytes beyond headers/tables/padding.
+  EXPECT_LT(image->size(), static_cast<size_t>(16384));
+  auto file = ElfFile::Parse(*image);
+  ASSERT_TRUE(file.ok());
+  const Shdr* bss_sec = file->SectionByName(".bss");
+  ASSERT_NE(bss_sec, nullptr);
+  EXPECT_EQ(bss_sec->addr, bss);
+  EXPECT_EQ(bss_sec->size, 1u << 20);
+}
+
+}  // namespace
+}  // namespace engarde::elf

@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include "elf/builder.h"
+#include "elf/reader.h"
+
+namespace engarde::elf {
+namespace {
+
+// A minimal well-formed executable: one text section with two "functions",
+// one data section, bss, a relocation and an entry point.
+ElfBuilder MakeBasicBuilder() {
+  ElfBuilder b;
+  Bytes text(64, 0x90);  // NOPs
+  text[32] = 0xc3;       // RET at the second function
+  const uint64_t text_vaddr = b.AddTextSection(".text", text);
+  const uint64_t data_vaddr = b.AddDataSection(".data", ToBytes("hello world"));
+  const uint64_t bss_vaddr = b.AddBss(256);
+  b.AddSymbol("main", text_vaddr, 32, kSttFunc);
+  b.AddSymbol("helper", text_vaddr + 32, 32, kSttFunc);
+  b.AddSymbol("greeting", data_vaddr, 11, kSttObject);
+  b.AddSymbol("buffer", bss_vaddr, 256, kSttObject, kStbLocal);
+  b.AddRelativeRelocation(data_vaddr, static_cast<int64_t>(text_vaddr));
+  b.SetEntry(text_vaddr);
+  return b;
+}
+
+Bytes MakeBasicImage() {
+  auto image = MakeBasicBuilder().Build();
+  EXPECT_TRUE(image.ok()) << image.status().ToString();
+  return *image;
+}
+
+TEST(ElfBuilderTest, BuildsNonEmptyImage) {
+  const Bytes image = MakeBasicImage();
+  ASSERT_GT(image.size(), kEhdrSize);
+  EXPECT_EQ(image[0], 0x7f);
+  EXPECT_EQ(image[1], 'E');
+}
+
+TEST(ElfBuilderTest, RequiresText) {
+  ElfBuilder b;
+  EXPECT_EQ(b.Build().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ElfBuilderTest, TextSectionsAreBundleAligned) {
+  ElfBuilder b;
+  const uint64_t t1 = b.AddTextSection(".text", Bytes(33, 0x90));
+  const uint64_t t2 = b.AddTextSection(".text.cold", Bytes(10, 0x90));
+  EXPECT_EQ(t1 % 32, 0u);
+  EXPECT_EQ(t2 % 32, 0u);
+  EXPECT_GE(t2, t1 + 33);
+}
+
+TEST(ElfBuilderTest, DataFollowsTextPageAligned) {
+  ElfBuilder b;
+  const uint64_t t = b.AddTextSection(".text", Bytes(100, 0x90));
+  const uint64_t d = b.AddDataSection(".data", Bytes(8, 0));
+  EXPECT_EQ(d % kPageSize, 0u);
+  EXPECT_GT(d, t);
+}
+
+TEST(ElfReaderTest, ParsesBasicImage) {
+  const Bytes image = MakeBasicImage();
+  auto file = ElfFile::Parse(image);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+
+  EXPECT_EQ(file->header().type, kEtDyn);
+  EXPECT_EQ(file->header().machine, kEmX8664);
+  EXPECT_EQ(file->header().entry, 0x1000u);
+}
+
+TEST(ElfReaderTest, FindsSectionsByName) {
+  auto file = ElfFile::Parse(MakeBasicImage());
+  ASSERT_TRUE(file.ok());
+  EXPECT_NE(file->SectionByName(".text"), nullptr);
+  EXPECT_NE(file->SectionByName(".data"), nullptr);
+  EXPECT_NE(file->SectionByName(".bss"), nullptr);
+  EXPECT_NE(file->SectionByName(".rela.dyn"), nullptr);
+  EXPECT_NE(file->SectionByName(".dynamic"), nullptr);
+  EXPECT_NE(file->SectionByName(".symtab"), nullptr);
+  EXPECT_EQ(file->SectionByName(".no.such.section"), nullptr);
+}
+
+TEST(ElfReaderTest, TextSectionsDetected) {
+  ElfBuilder b;
+  b.AddTextSection(".text", Bytes(32, 0x90));
+  b.AddTextSection(".text.hot", Bytes(32, 0x90));
+  b.AddDataSection(".data", Bytes(8, 0));
+  b.AddSymbol("f", 0x1000, 32, kSttFunc);
+  auto image = b.Build();
+  ASSERT_TRUE(image.ok());
+  auto file = ElfFile::Parse(*image);
+  ASSERT_TRUE(file.ok());
+  const auto texts = file->TextSections();
+  ASSERT_EQ(texts.size(), 2u);
+  EXPECT_EQ(texts[0]->name, ".text");
+  EXPECT_EQ(texts[1]->name, ".text.hot");
+  EXPECT_TRUE(texts[0]->flags & kShfExecinstr);
+}
+
+TEST(ElfReaderTest, SectionContentRoundTrips) {
+  auto file = ElfFile::Parse(MakeBasicImage());
+  ASSERT_TRUE(file.ok());
+  const Shdr* data = file->SectionByName(".data");
+  ASSERT_NE(data, nullptr);
+  auto content = file->SectionContent(*data);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(ToString(*content), "hello world");
+
+  // NOBITS (.bss) content is empty but the header carries the size.
+  const Shdr* bss = file->SectionByName(".bss");
+  ASSERT_NE(bss, nullptr);
+  EXPECT_EQ(bss->size, 256u);
+  auto bss_content = file->SectionContent(*bss);
+  ASSERT_TRUE(bss_content.ok());
+  EXPECT_TRUE(bss_content->empty());
+}
+
+TEST(ElfReaderTest, SymbolsResolved) {
+  auto file = ElfFile::Parse(MakeBasicImage());
+  ASSERT_TRUE(file.ok());
+  ASSERT_EQ(file->symbols().size(), 5u);  // null + 4 declared
+  // Null symbol first.
+  EXPECT_TRUE(file->symbols()[0].name.empty());
+  // Locals sort before globals: "buffer" is the only local.
+  EXPECT_EQ(file->symbols()[1].name, "buffer");
+  EXPECT_EQ(SymBind(file->symbols()[1].info), kStbLocal);
+
+  bool found_main = false;
+  for (const Sym& s : file->symbols()) {
+    if (s.name == "main") {
+      found_main = true;
+      EXPECT_TRUE(s.IsFunction());
+      EXPECT_EQ(s.value, 0x1000u);
+      EXPECT_EQ(s.size, 32u);
+    }
+  }
+  EXPECT_TRUE(found_main);
+}
+
+TEST(ElfReaderTest, RelocationsResolved) {
+  auto file = ElfFile::Parse(MakeBasicImage());
+  ASSERT_TRUE(file.ok());
+  ASSERT_EQ(file->relocations().size(), 1u);
+  const Rela& r = file->relocations()[0];
+  EXPECT_EQ(r.type, kRX8664Relative);
+  EXPECT_EQ(r.addend, 0x1000);
+  EXPECT_EQ(r.offset % 8, 0u);
+}
+
+TEST(ElfReaderTest, DynamicTableResolved) {
+  auto file = ElfFile::Parse(MakeBasicImage());
+  ASSERT_TRUE(file.ok());
+  const auto rela_addr = file->DynamicValue(kDtRela);
+  const auto rela_size = file->DynamicValue(kDtRelasz);
+  const auto rela_ent = file->DynamicValue(kDtRelaent);
+  ASSERT_TRUE(rela_addr.has_value());
+  ASSERT_TRUE(rela_size.has_value());
+  ASSERT_TRUE(rela_ent.has_value());
+  EXPECT_EQ(*rela_size, kRelaSize);
+  EXPECT_EQ(*rela_ent, kRelaSize);
+  EXPECT_FALSE(file->DynamicValue(999).has_value());
+
+  // DT_RELA points at the .rela.dyn section's vaddr.
+  const Shdr* rela_sec = file->SectionByName(".rela.dyn");
+  ASSERT_NE(rela_sec, nullptr);
+  EXPECT_EQ(*rela_addr, rela_sec->addr);
+}
+
+TEST(ElfReaderTest, ValidatesBasicImageForEnclave) {
+  auto file = ElfFile::Parse(MakeBasicImage());
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE(file->ValidateForEnclave().ok());
+}
+
+// ---- Malformed input rejection -------------------------------------------
+
+TEST(ElfReaderTest, RejectsTruncatedFile) {
+  EXPECT_FALSE(ElfFile::Parse(Bytes(10, 0)).ok());
+  EXPECT_FALSE(ElfFile::Parse({}).ok());
+}
+
+TEST(ElfReaderTest, RejectsBadMagic) {
+  Bytes image = MakeBasicImage();
+  image[0] = 0x7e;
+  EXPECT_FALSE(ElfFile::Parse(image).ok());
+}
+
+TEST(ElfReaderTest, Rejects32BitClass) {
+  Bytes image = MakeBasicImage();
+  image[4] = 1;  // ELFCLASS32
+  auto r = ElfFile::Parse(image);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("64-bit"), std::string::npos);
+}
+
+TEST(ElfReaderTest, RejectsBigEndian) {
+  Bytes image = MakeBasicImage();
+  image[5] = 2;  // ELFDATA2MSB
+  EXPECT_FALSE(ElfFile::Parse(image).ok());
+}
+
+TEST(ElfReaderTest, RejectsSectionBeyondEof) {
+  Bytes image = MakeBasicImage();
+  // Corrupt the section header table offset to point past the end.
+  StoreLe64(image.data() + 40, image.size() + 1000);
+  EXPECT_FALSE(ElfFile::Parse(image).ok());
+}
+
+TEST(ElfReaderTest, TruncationAnywhereNeverCrashes) {
+  // Parsing any prefix of a valid image must fail cleanly, not crash.
+  const Bytes image = MakeBasicImage();
+  for (size_t len = 0; len < image.size(); len += 97) {
+    auto r = ElfFile::Parse(ByteView(image.data(), len));
+    EXPECT_FALSE(r.ok()) << "prefix length " << len;
+  }
+}
+
+TEST(ElfReaderTest, BitFlipsNeverCrash) {
+  // Flip bytes across the header/metadata region; Parse must either succeed
+  // or fail cleanly. (Content flips are fine; geometry flips must be caught.)
+  const Bytes image = MakeBasicImage();
+  for (size_t pos = 0; pos < std::min<size_t>(image.size(), 4096); pos += 13) {
+    Bytes mutated = image;
+    mutated[pos] ^= 0xff;
+    (void)ElfFile::Parse(mutated);  // must not crash or hang
+  }
+  SUCCEED();
+}
+
+// ---- EnGarde front-door validation ----------------------------------------
+
+TEST(ValidateTest, RejectsNonPie) {
+  Bytes image = MakeBasicImage();
+  StoreLe16(image.data() + 16, kEtExec);
+  auto file = ElfFile::Parse(image);
+  ASSERT_TRUE(file.ok());
+  const Status s = file->ValidateForEnclave();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("position-independent"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsWrongMachine) {
+  Bytes image = MakeBasicImage();
+  StoreLe16(image.data() + 18, 40);  // EM_ARM
+  auto file = ElfFile::Parse(image);
+  ASSERT_TRUE(file.ok());
+  EXPECT_FALSE(file->ValidateForEnclave().ok());
+}
+
+TEST(ValidateTest, RejectsStrippedBinary) {
+  ElfBuilder b;
+  b.AddTextSection(".text", Bytes(32, 0x90));
+  // No function symbols at all.
+  auto image = b.Build();
+  ASSERT_TRUE(image.ok());
+  auto file = ElfFile::Parse(*image);
+  ASSERT_TRUE(file.ok());
+  const Status s = file->ValidateForEnclave();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("stripped"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsWritableExecutableSegment) {
+  Bytes image = MakeBasicImage();
+  // Set the W bit on the text PT_LOAD (phdr index 1).
+  uint8_t* p = image.data() + kEhdrSize + 1 * kPhdrSize;
+  ASSERT_EQ(LoadLe32(p), kPtLoad);
+  StoreLe32(p + 4, kPfR | kPfW | kPfX);
+  auto file = ElfFile::Parse(image);
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->ValidateForEnclave().code(), StatusCode::kPolicyViolation);
+}
+
+TEST(ValidateTest, RejectsEntryOutsideText) {
+  ElfBuilder b = MakeBasicBuilder();
+  b.SetEntry(0x10);  // inside the header page, not executable
+  auto image = b.Build();
+  ASSERT_TRUE(image.ok());
+  auto file = ElfFile::Parse(*image);
+  ASSERT_TRUE(file.ok());
+  const Status s = file->ValidateForEnclave();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("entry point"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsInterpSegment) {
+  Bytes image = MakeBasicImage();
+  // Rewrite the first PT_LOAD as PT_INTERP (type 3) to simulate a
+  // dynamically-linked binary.
+  uint8_t* p = image.data() + kEhdrSize;
+  StoreLe32(p, 3);
+  auto file = ElfFile::Parse(image);
+  ASSERT_TRUE(file.ok());
+  const Status s = file->ValidateForEnclave();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("statically linked"), std::string::npos);
+}
+
+// Round-trip property over varying section shapes.
+class ElfRoundTrip : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ElfRoundTrip, ContentSurvives) {
+  const size_t text_size = GetParam();
+  ElfBuilder b;
+  Bytes text(text_size);
+  for (size_t i = 0; i < text.size(); ++i) text[i] = static_cast<uint8_t>(i);
+  const uint64_t tv = b.AddTextSection(".text", text);
+  b.AddSymbol("f", tv, text_size, kSttFunc);
+  auto image = b.Build();
+  ASSERT_TRUE(image.ok());
+  auto file = ElfFile::Parse(*image);
+  ASSERT_TRUE(file.ok());
+  const Shdr* sec = file->SectionByName(".text");
+  ASSERT_NE(sec, nullptr);
+  auto content = file->SectionContent(*sec);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(Bytes(content->begin(), content->end()), text);
+  EXPECT_TRUE(file->ValidateForEnclave().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ElfRoundTrip,
+                         ::testing::Values(1, 31, 32, 33, 4095, 4096, 4097,
+                                           65536));
+
+}  // namespace
+}  // namespace engarde::elf

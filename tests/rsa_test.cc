@@ -1,0 +1,179 @@
+#include "crypto/rsa.h"
+
+#include <gtest/gtest.h>
+
+namespace engarde::crypto {
+namespace {
+
+// Shared 768-bit key: generated once, reused across tests (keygen is the
+// expensive part). 768 bits is far too small for security but exercises the
+// identical code paths as the 2048-bit production configuration.
+class RsaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    HmacDrbg drbg(ToBytes("rsa-test-seed"));
+    auto pair = RsaGenerateKey(768, drbg);
+    ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+    key_ = new RsaKeyPair(std::move(pair).value());
+  }
+  static void TearDownTestSuite() {
+    delete key_;
+    key_ = nullptr;
+  }
+
+  static const RsaKeyPair& key() { return *key_; }
+
+ private:
+  static RsaKeyPair* key_;
+};
+
+RsaKeyPair* RsaTest::key_ = nullptr;
+
+TEST_F(RsaTest, KeyHasExpectedShape) {
+  EXPECT_EQ(key().public_key.n.BitLength(), 768u);
+  EXPECT_EQ(key().public_key.e.ToU64(), 65537u);
+  EXPECT_EQ(BigInt::Mul(key().private_key.p, key().private_key.q),
+            key().public_key.n);
+}
+
+TEST_F(RsaTest, EncryptDecryptRoundTrip) {
+  HmacDrbg drbg(ToBytes("enc"));
+  const Bytes msg = ToBytes("256-bit AES session key here....");
+  auto ct = RsaEncrypt(key().public_key, msg, drbg);
+  ASSERT_TRUE(ct.ok());
+  EXPECT_EQ(ct->size(), key().public_key.ModulusBytes());
+  auto pt = RsaDecrypt(key().private_key, *ct);
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(*pt, msg);
+}
+
+TEST_F(RsaTest, EncryptionIsRandomized) {
+  HmacDrbg drbg(ToBytes("enc2"));
+  const Bytes msg = ToBytes("same message");
+  auto c1 = RsaEncrypt(key().public_key, msg, drbg);
+  auto c2 = RsaEncrypt(key().public_key, msg, drbg);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  EXPECT_NE(*c1, *c2);  // fresh PS bytes every time
+}
+
+TEST_F(RsaTest, RejectsOverlongPlaintext) {
+  HmacDrbg drbg(ToBytes("enc3"));
+  const Bytes msg(key().public_key.ModulusBytes() - 10, 0x41);
+  EXPECT_FALSE(RsaEncrypt(key().public_key, msg, drbg).ok());
+}
+
+TEST_F(RsaTest, DecryptRejectsWrongLength) {
+  const Bytes ct(7, 0x01);
+  EXPECT_FALSE(RsaDecrypt(key().private_key, ct).ok());
+}
+
+TEST_F(RsaTest, DecryptRejectsTamperedCiphertext) {
+  HmacDrbg drbg(ToBytes("enc4"));
+  const Bytes msg = ToBytes("secret");
+  auto ct = RsaEncrypt(key().public_key, msg, drbg);
+  ASSERT_TRUE(ct.ok());
+  Bytes tampered = *ct;
+  tampered[tampered.size() / 2] ^= 0x01;
+  auto pt = RsaDecrypt(key().private_key, tampered);
+  // Either padding check fails, or we get a different plaintext; both are
+  // acceptable failure surfaces for PKCS#1 v1.5.
+  if (pt.ok()) {
+    EXPECT_NE(*pt, msg);
+  }
+}
+
+TEST_F(RsaTest, SignVerifyRoundTrip) {
+  const Bytes msg = ToBytes("attestation quote body");
+  auto sig = RsaSign(key().private_key, msg);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(RsaVerify(key().public_key, msg, *sig).ok());
+}
+
+TEST_F(RsaTest, VerifyRejectsModifiedMessage) {
+  const Bytes msg = ToBytes("attestation quote body");
+  auto sig = RsaSign(key().private_key, msg);
+  ASSERT_TRUE(sig.ok());
+  const Bytes other = ToBytes("attestation quote bodY");
+  EXPECT_EQ(RsaVerify(key().public_key, other, *sig).code(),
+            StatusCode::kIntegrityError);
+}
+
+TEST_F(RsaTest, VerifyRejectsModifiedSignature) {
+  const Bytes msg = ToBytes("msg");
+  auto sig = RsaSign(key().private_key, msg);
+  ASSERT_TRUE(sig.ok());
+  Bytes bad = *sig;
+  bad[0] ^= 0x80;
+  EXPECT_FALSE(RsaVerify(key().public_key, msg, bad).ok());
+}
+
+TEST_F(RsaTest, VerifyRejectsWrongKey) {
+  HmacDrbg drbg(ToBytes("other-key"));
+  auto other = RsaGenerateKey(512, drbg);
+  ASSERT_TRUE(other.ok());
+  const Bytes msg = ToBytes("msg");
+  auto sig = RsaSign(other->private_key, msg);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_FALSE(RsaVerify(key().public_key, msg, *sig).ok());
+}
+
+TEST_F(RsaTest, PublicKeySerializationRoundTrip) {
+  const Bytes wire = key().public_key.Serialize();
+  auto parsed = RsaPublicKey::Deserialize(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->n, key().public_key.n);
+  EXPECT_EQ(parsed->e, key().public_key.e);
+}
+
+TEST_F(RsaTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(RsaPublicKey::Deserialize(ToBytes("nonsense")).ok());
+  EXPECT_FALSE(RsaPublicKey::Deserialize({}).ok());
+  // Trailing bytes are a protocol smell; reject them.
+  Bytes wire = key().public_key.Serialize();
+  wire.push_back(0x00);
+  EXPECT_FALSE(RsaPublicKey::Deserialize(wire).ok());
+}
+
+TEST(RsaKeygenTest, RejectsBadModulusSizes) {
+  HmacDrbg drbg(ToBytes("x"));
+  EXPECT_FALSE(RsaGenerateKey(128, drbg).ok());   // too small
+  EXPECT_FALSE(RsaGenerateKey(300, drbg).ok());   // not multiple of 16
+}
+
+TEST(RsaKeygenTest, DeterministicFromSeed) {
+  HmacDrbg d1(ToBytes("same-seed"));
+  HmacDrbg d2(ToBytes("same-seed"));
+  auto k1 = RsaGenerateKey(512, d1);
+  auto k2 = RsaGenerateKey(512, d2);
+  ASSERT_TRUE(k1.ok() && k2.ok());
+  EXPECT_EQ(k1->public_key.n, k2->public_key.n);
+  EXPECT_EQ(k1->private_key.d, k2->private_key.d);
+}
+
+TEST(PrimalityTest, KnownPrimes) {
+  HmacDrbg drbg(ToBytes("p"));
+  for (uint64_t p : {2ull, 3ull, 5ull, 65537ull, 1000000007ull,
+                     2147483647ull /* 2^31-1, Mersenne */}) {
+    EXPECT_TRUE(IsProbablePrime(BigInt::FromU64(p), drbg)) << p;
+  }
+}
+
+TEST(PrimalityTest, KnownComposites) {
+  HmacDrbg drbg(ToBytes("c"));
+  for (uint64_t c : {1ull, 4ull, 561ull /* Carmichael */, 65536ull,
+                     1000000008ull, 341ull /* 2-pseudoprime */}) {
+    EXPECT_FALSE(IsProbablePrime(BigInt::FromU64(c), drbg)) << c;
+  }
+}
+
+TEST(PrimalityTest, LargeKnownPrime) {
+  // 2^127 - 1 (Mersenne prime)
+  const BigInt p = *BigInt::FromHex("7fffffffffffffffffffffffffffffff");
+  HmacDrbg drbg(ToBytes("m"));
+  EXPECT_TRUE(IsProbablePrime(p, drbg));
+  // Its square is certainly composite.
+  EXPECT_FALSE(IsProbablePrime(BigInt::Mul(p, p), drbg));
+}
+
+}  // namespace
+}  // namespace engarde::crypto

@@ -1,0 +1,172 @@
+#include "sgx/attestation.h"
+
+#include <gtest/gtest.h>
+
+#include "sgx/hostos.h"
+
+namespace engarde::sgx {
+namespace {
+
+class AttestationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto qe = QuotingEnclave::Provision(ToBytes("test-device"), 768);
+    ASSERT_TRUE(qe.ok());
+    qe_ = new QuotingEnclave(std::move(qe).value());
+  }
+  static void TearDownTestSuite() {
+    delete qe_;
+    qe_ = nullptr;
+  }
+  static const QuotingEnclave& qe() { return *qe_; }
+
+  // Builds a tiny enclave and returns (device is a member so it outlives it).
+  Result<uint64_t> BuildEnclave(ByteView bootstrap) {
+    EnclaveLayout layout;
+    layout.bootstrap_pages = 1;
+    layout.heap_pages = 1;
+    layout.load_pages = 1;
+    layout.stack_pages = 1;
+    return host_.BuildEnclave(layout, bootstrap);
+  }
+
+  SgxDevice device_{SgxDevice::Options{.epc_pages = 64}};
+  HostOs host_{&device_};
+
+ private:
+  static QuotingEnclave* qe_;
+};
+
+QuotingEnclave* AttestationTest::qe_ = nullptr;
+
+TEST_F(AttestationTest, QuoteRoundTrip) {
+  auto eid = BuildEnclave(ToBytes("ENGARDE-BOOTSTRAP"));
+  ASSERT_TRUE(eid.ok()) << eid.status().ToString();
+
+  std::array<uint8_t, 64> report_data{};
+  report_data[0] = 0x99;
+  auto report = device_.EReport(*eid, report_data);
+  ASSERT_TRUE(report.ok());
+
+  auto quote = qe().CreateQuote(*report);
+  ASSERT_TRUE(quote.ok());
+  EXPECT_TRUE(VerifyQuote(*quote, qe().attestation_public_key()).ok());
+
+  // And against the expected measurement.
+  auto m = device_.Measurement(*eid);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(VerifyQuote(*quote, qe().attestation_public_key(), *m).ok());
+}
+
+TEST_F(AttestationTest, TamperedMeasurementDetected) {
+  auto eid = BuildEnclave(ToBytes("ENGARDE-BOOTSTRAP"));
+  ASSERT_TRUE(eid.ok());
+  auto report = device_.EReport(*eid, {});
+  ASSERT_TRUE(report.ok());
+  auto quote = qe().CreateQuote(*report);
+  ASSERT_TRUE(quote.ok());
+
+  // Flip a bit in the reported measurement: signature check must fail.
+  quote->report.mr_enclave[0] ^= 0x01;
+  EXPECT_EQ(VerifyQuote(*quote, qe().attestation_public_key()).code(),
+            StatusCode::kIntegrityError);
+}
+
+TEST_F(AttestationTest, TamperedReportDataDetected) {
+  auto eid = BuildEnclave(ToBytes("ENGARDE-BOOTSTRAP"));
+  ASSERT_TRUE(eid.ok());
+  std::array<uint8_t, 64> data{};
+  data[5] = 0xaa;
+  auto report = device_.EReport(*eid, data);
+  ASSERT_TRUE(report.ok());
+  auto quote = qe().CreateQuote(*report);
+  ASSERT_TRUE(quote.ok());
+
+  quote->report.report_data[5] = 0xbb;  // MITM swaps the bound key hash
+  EXPECT_FALSE(VerifyQuote(*quote, qe().attestation_public_key()).ok());
+}
+
+TEST_F(AttestationTest, WrongBootstrapMeasurementRejected) {
+  // An enclave running *different* bootstrap code produces a different
+  // MRENCLAVE; the client comparing against the published EnGarde
+  // measurement must reject it.
+  auto good = BuildEnclave(ToBytes("ENGARDE-BOOTSTRAP"));
+  ASSERT_TRUE(good.ok());
+  auto expected = device_.Measurement(*good);
+  ASSERT_TRUE(expected.ok());
+
+  auto evil = BuildEnclave(ToBytes("EVIL-BOOTSTRAP!!!"));
+  ASSERT_TRUE(evil.ok());
+  auto report = device_.EReport(*evil, {});
+  ASSERT_TRUE(report.ok());
+  auto quote = qe().CreateQuote(*report);
+  ASSERT_TRUE(quote.ok());
+
+  EXPECT_TRUE(VerifyQuote(*quote, qe().attestation_public_key()).ok());
+  EXPECT_EQ(
+      VerifyQuote(*quote, qe().attestation_public_key(), *expected).code(),
+      StatusCode::kIntegrityError);
+}
+
+TEST_F(AttestationTest, ForgedQuoteWithoutDeviceKeyRejected) {
+  auto eid = BuildEnclave(ToBytes("ENGARDE-BOOTSTRAP"));
+  ASSERT_TRUE(eid.ok());
+  auto report = device_.EReport(*eid, {});
+  ASSERT_TRUE(report.ok());
+
+  // An attacker with their own key pair signs the report.
+  auto attacker = QuotingEnclave::Provision(ToBytes("attacker"), 768);
+  ASSERT_TRUE(attacker.ok());
+  auto forged = attacker->CreateQuote(*report);
+  ASSERT_TRUE(forged.ok());
+  // The client verifies against the *genuine* vendor key: rejected.
+  EXPECT_FALSE(VerifyQuote(*forged, qe().attestation_public_key()).ok());
+}
+
+TEST_F(AttestationTest, QuoteSerializationRoundTrip) {
+  auto eid = BuildEnclave(ToBytes("ENGARDE-BOOTSTRAP"));
+  ASSERT_TRUE(eid.ok());
+  auto report = device_.EReport(*eid, BindPublicKey(qe().attestation_public_key()));
+  ASSERT_TRUE(report.ok());
+  auto quote = qe().CreateQuote(*report);
+  ASSERT_TRUE(quote.ok());
+
+  const Bytes wire = quote->Serialize();
+  auto parsed = Quote::Deserialize(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->report.mr_enclave, quote->report.mr_enclave);
+  EXPECT_EQ(parsed->report.report_data, quote->report.report_data);
+  EXPECT_EQ(parsed->signature, quote->signature);
+  EXPECT_TRUE(VerifyQuote(*parsed, qe().attestation_public_key()).ok());
+}
+
+TEST_F(AttestationTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Quote::Deserialize(ToBytes("junk")).ok());
+  auto eid = BuildEnclave(ToBytes("B"));
+  ASSERT_TRUE(eid.ok());
+  auto report = device_.EReport(*eid, {});
+  ASSERT_TRUE(report.ok());
+  auto quote = qe().CreateQuote(*report);
+  ASSERT_TRUE(quote.ok());
+  Bytes wire = quote->Serialize();
+  wire.push_back(0);  // trailing byte
+  EXPECT_FALSE(Quote::Deserialize(wire).ok());
+}
+
+TEST_F(AttestationTest, ReportRequiresInitializedEnclave) {
+  auto eid = device_.ECreate(0x10000000, 4 * kPageSize);
+  ASSERT_TRUE(eid.ok());
+  EXPECT_FALSE(device_.EReport(*eid, {}).ok());
+}
+
+TEST(BindPublicKeyTest, DistinctKeysDistinctBindings) {
+  crypto::HmacDrbg d1(ToBytes("k1")), d2(ToBytes("k2"));
+  auto k1 = crypto::RsaGenerateKey(512, d1);
+  auto k2 = crypto::RsaGenerateKey(512, d2);
+  ASSERT_TRUE(k1.ok() && k2.ok());
+  EXPECT_NE(BindPublicKey(k1->public_key), BindPublicKey(k2->public_key));
+  EXPECT_EQ(BindPublicKey(k1->public_key), BindPublicKey(k1->public_key));
+}
+
+}  // namespace
+}  // namespace engarde::sgx

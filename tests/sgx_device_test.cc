@@ -1,0 +1,403 @@
+#include "sgx/device.h"
+
+#include <gtest/gtest.h>
+
+namespace engarde::sgx {
+namespace {
+
+constexpr uint64_t kBase = 0x10000000;
+
+SgxDevice::Options SmallOptions(int version = 2) {
+  SgxDevice::Options options;
+  options.epc_pages = 64;
+  options.sgx_version = version;
+  return options;
+}
+
+Bytes PageOf(uint8_t fill) { return Bytes(kPageSize, fill); }
+
+TEST(SgxDeviceTest, ECreateAllocatesSecs) {
+  SgxDevice device(SmallOptions());
+  auto eid = device.ECreate(kBase, 16 * kPageSize);
+  ASSERT_TRUE(eid.ok());
+  EXPECT_EQ(device.epc().pages_in_use(), 1u);  // the SECS page
+  EXPECT_FALSE(device.IsInitialized(*eid));
+}
+
+TEST(SgxDeviceTest, ECreateRejectsUnalignedRange) {
+  SgxDevice device(SmallOptions());
+  EXPECT_FALSE(device.ECreate(kBase + 1, kPageSize).ok());
+  EXPECT_FALSE(device.ECreate(kBase, kPageSize + 7).ok());
+  EXPECT_FALSE(device.ECreate(kBase, 0).ok());
+}
+
+TEST(SgxDeviceTest, EAddPlacesContent) {
+  SgxDevice device(SmallOptions());
+  auto eid = device.ECreate(kBase, 16 * kPageSize);
+  ASSERT_TRUE(eid.ok());
+  ASSERT_TRUE(device.EAdd(*eid, kBase, PageOf(0xab), PagePerms::RW()).ok());
+  EXPECT_TRUE(device.HasPage(*eid, kBase));
+  EXPECT_EQ(device.PageCount(*eid), 1u);
+
+  Bytes readback(16);
+  ASSERT_TRUE(device.EnclaveRead(*eid, kBase, MutableByteView(readback.data(),
+                                                              readback.size()))
+                  .ok());
+  EXPECT_EQ(readback, Bytes(16, 0xab));
+}
+
+TEST(SgxDeviceTest, EAddRejections) {
+  SgxDevice device(SmallOptions());
+  auto eid = device.ECreate(kBase, 4 * kPageSize);
+  ASSERT_TRUE(eid.ok());
+  // Unaligned.
+  EXPECT_FALSE(device.EAdd(*eid, kBase + 12, {}, PagePerms::RW()).ok());
+  // Outside range.
+  EXPECT_FALSE(
+      device.EAdd(*eid, kBase + 64 * kPageSize, {}, PagePerms::RW()).ok());
+  // Duplicate.
+  ASSERT_TRUE(device.EAdd(*eid, kBase, {}, PagePerms::RW()).ok());
+  EXPECT_FALSE(device.EAdd(*eid, kBase, {}, PagePerms::RW()).ok());
+  // After EINIT.
+  ASSERT_TRUE(device.EInit(*eid).ok());
+  EXPECT_FALSE(
+      device.EAdd(*eid, kBase + kPageSize, {}, PagePerms::RW()).ok());
+}
+
+TEST(SgxDeviceTest, MeasurementIsDeterministic) {
+  auto build = [](uint8_t fill) {
+    SgxDevice device(SmallOptions());
+    auto eid = device.ECreate(kBase, 4 * kPageSize);
+    EXPECT_TRUE(eid.ok());
+    EXPECT_TRUE(device.EAdd(*eid, kBase, PageOf(fill), PagePerms::RX()).ok());
+    EXPECT_TRUE(device.ExtendPage(*eid, kBase).ok());
+    EXPECT_TRUE(device.EInit(*eid).ok());
+    auto m = device.Measurement(*eid);
+    EXPECT_TRUE(m.ok());
+    return *m;
+  };
+  EXPECT_EQ(build(0x11), build(0x11));   // same build -> same MRENCLAVE
+  EXPECT_NE(build(0x11), build(0x12));   // different content -> different
+}
+
+TEST(SgxDeviceTest, MeasurementSensitiveToPagePosition) {
+  auto build = [](uint64_t linear) {
+    SgxDevice device(SmallOptions());
+    auto eid = device.ECreate(kBase, 8 * kPageSize);
+    EXPECT_TRUE(eid.ok());
+    EXPECT_TRUE(device.EAdd(*eid, linear, PageOf(0x5a), PagePerms::RX()).ok());
+    EXPECT_TRUE(device.ExtendPage(*eid, linear).ok());
+    EXPECT_TRUE(device.EInit(*eid).ok());
+    return *device.Measurement(*eid);
+  };
+  EXPECT_NE(build(kBase), build(kBase + kPageSize));
+}
+
+TEST(SgxDeviceTest, MeasurementSensitiveToPerms) {
+  auto build = [](PagePerms perms) {
+    SgxDevice device(SmallOptions());
+    auto eid = device.ECreate(kBase, 8 * kPageSize);
+    EXPECT_TRUE(eid.ok());
+    EXPECT_TRUE(device.EAdd(*eid, kBase, PageOf(0x5a), perms).ok());
+    EXPECT_TRUE(device.EInit(*eid).ok());
+    return *device.Measurement(*eid);
+  };
+  EXPECT_NE(build(PagePerms::RX()), build(PagePerms::RW()));
+}
+
+TEST(SgxDeviceTest, UnmeasuredContentDoesNotAffectMrenclave) {
+  auto build = [](uint8_t heap_fill) {
+    SgxDevice device(SmallOptions());
+    auto eid = device.ECreate(kBase, 8 * kPageSize);
+    EXPECT_TRUE(eid.ok());
+    EXPECT_TRUE(device.EAdd(*eid, kBase, PageOf(0x5a), PagePerms::RX()).ok());
+    EXPECT_TRUE(device.ExtendPage(*eid, kBase).ok());
+    // Heap page EADDed but not EEXTENDed: perms/offset are measured,
+    // content is not.
+    EXPECT_TRUE(device.EAdd(*eid, kBase + kPageSize, PageOf(heap_fill),
+                            PagePerms::RW())
+                    .ok());
+    EXPECT_TRUE(device.EInit(*eid).ok());
+    return *device.Measurement(*eid);
+  };
+  EXPECT_EQ(build(0x00), build(0xff));
+}
+
+TEST(SgxDeviceTest, EnterRequiresInit) {
+  SgxDevice device(SmallOptions());
+  auto eid = device.ECreate(kBase, 4 * kPageSize);
+  ASSERT_TRUE(eid.ok());
+  EXPECT_FALSE(device.EEnter(*eid).ok());
+  ASSERT_TRUE(device.EInit(*eid).ok());
+  EXPECT_TRUE(device.EEnter(*eid).ok());
+  EXPECT_TRUE(device.EExit(*eid).ok());
+  EXPECT_FALSE(device.EExit(*eid).ok());  // unbalanced
+}
+
+TEST(SgxDeviceTest, PermissionsEnforcedOnAccess) {
+  SgxDevice device(SmallOptions());
+  auto eid = device.ECreate(kBase, 4 * kPageSize);
+  ASSERT_TRUE(eid.ok());
+  ASSERT_TRUE(device.EAdd(*eid, kBase, PageOf(1), PagePerms::RX()).ok());
+  ASSERT_TRUE(
+      device.EAdd(*eid, kBase + kPageSize, PageOf(2), PagePerms::RW()).ok());
+  ASSERT_TRUE(device.EInit(*eid).ok());
+
+  Bytes buf(8);
+  // RX page: readable, not writable.
+  EXPECT_TRUE(
+      device.EnclaveRead(*eid, kBase, MutableByteView(buf.data(), 8)).ok());
+  EXPECT_EQ(
+      device.EnclaveWrite(*eid, kBase, ToBytes("x")).code(),
+      StatusCode::kPermissionDenied);
+  // RW page: both.
+  EXPECT_TRUE(device.EnclaveWrite(*eid, kBase + kPageSize, ToBytes("x")).ok());
+}
+
+TEST(SgxDeviceTest, CrossPageReadWrite) {
+  SgxDevice device(SmallOptions());
+  auto eid = device.ECreate(kBase, 4 * kPageSize);
+  ASSERT_TRUE(eid.ok());
+  ASSERT_TRUE(device.EAdd(*eid, kBase, {}, PagePerms::RW()).ok());
+  ASSERT_TRUE(device.EAdd(*eid, kBase + kPageSize, {}, PagePerms::RW()).ok());
+  ASSERT_TRUE(device.EInit(*eid).ok());
+
+  const Bytes data = ToBytes("spans-two-pages!");
+  const uint64_t addr = kBase + kPageSize - 8;
+  ASSERT_TRUE(device.EnclaveWrite(*eid, addr, data).ok());
+  Bytes readback(data.size());
+  ASSERT_TRUE(device.EnclaveRead(*eid, addr,
+                                 MutableByteView(readback.data(),
+                                                 readback.size()))
+                  .ok());
+  EXPECT_EQ(readback, data);
+}
+
+TEST(SgxDeviceTest, AccessToUnmappedPageFails) {
+  SgxDevice device(SmallOptions());
+  auto eid = device.ECreate(kBase, 4 * kPageSize);
+  ASSERT_TRUE(eid.ok());
+  ASSERT_TRUE(device.EInit(*eid).ok());
+  Bytes buf(4);
+  EXPECT_FALSE(
+      device.EnclaveRead(*eid, kBase, MutableByteView(buf.data(), 4)).ok());
+}
+
+TEST(SgxDeviceTest, OutsiderSeesOnlyCiphertext) {
+  SgxDevice device(SmallOptions());
+  auto eid = device.ECreate(kBase, 4 * kPageSize);
+  ASSERT_TRUE(eid.ok());
+  const Bytes secret = PageOf(0x42);
+  ASSERT_TRUE(device.EAdd(*eid, kBase, secret, PagePerms::RW()).ok());
+  ASSERT_TRUE(device.EInit(*eid).ok());
+
+  auto observed = device.ReadAsOutsider(*eid, kBase);
+  ASSERT_TRUE(observed.ok());
+  EXPECT_EQ(observed->size(), kPageSize);
+  EXPECT_NE(*observed, secret);
+  // And it is not a trivial transform: at least half the bytes differ.
+  size_t differing = 0;
+  for (size_t i = 0; i < kPageSize; ++i) {
+    if ((*observed)[i] != secret[i]) ++differing;
+  }
+  EXPECT_GT(differing, kPageSize / 2);
+}
+
+TEST(SgxDeviceTest, EpcExhaustion) {
+  SgxDevice::Options options;
+  options.epc_pages = 4;
+  SgxDevice device(options);
+  auto eid = device.ECreate(kBase, 16 * kPageSize);  // SECS takes 1 of 4
+  ASSERT_TRUE(eid.ok());
+  ASSERT_TRUE(device.EAdd(*eid, kBase, {}, PagePerms::RW()).ok());
+  ASSERT_TRUE(device.EAdd(*eid, kBase + kPageSize, {}, PagePerms::RW()).ok());
+  ASSERT_TRUE(
+      device.EAdd(*eid, kBase + 2 * kPageSize, {}, PagePerms::RW()).ok());
+  EXPECT_EQ(
+      device.EAdd(*eid, kBase + 3 * kPageSize, {}, PagePerms::RW()).code(),
+      StatusCode::kResourceExhausted);
+}
+
+TEST(SgxDeviceTest, ERemoveFreesEpc) {
+  SgxDevice device(SmallOptions());
+  auto eid = device.ECreate(kBase, 4 * kPageSize);
+  ASSERT_TRUE(eid.ok());
+  ASSERT_TRUE(device.EAdd(*eid, kBase, {}, PagePerms::RW()).ok());
+  const size_t used = device.epc().pages_in_use();
+  ASSERT_TRUE(device.ERemove(*eid, kBase).ok());
+  EXPECT_EQ(device.epc().pages_in_use(), used - 1);
+  EXPECT_FALSE(device.HasPage(*eid, kBase));
+}
+
+TEST(SgxDeviceTest, DestroyEnclaveReleasesEverything) {
+  SgxDevice device(SmallOptions());
+  auto eid = device.ECreate(kBase, 8 * kPageSize);
+  ASSERT_TRUE(eid.ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        device.EAdd(*eid, kBase + i * kPageSize, {}, PagePerms::RW()).ok());
+  }
+  ASSERT_TRUE(device.DestroyEnclave(*eid).ok());
+  EXPECT_EQ(device.epc().pages_in_use(), 0u);
+  EXPECT_FALSE(device.HasPage(*eid, kBase));
+}
+
+// ---- SGX2 dynamic memory -----------------------------------------------------
+
+TEST(Sgx2Test, AugAcceptLifecycle) {
+  SgxDevice device(SmallOptions(2));
+  auto eid = device.ECreate(kBase, 8 * kPageSize);
+  ASSERT_TRUE(eid.ok());
+  ASSERT_TRUE(device.EInit(*eid).ok());
+  // EAUG post-init; page unusable until EACCEPT.
+  ASSERT_TRUE(device.EAug(*eid, kBase).ok());
+  EXPECT_FALSE(device.EnclaveWrite(*eid, kBase, ToBytes("x")).ok());
+  ASSERT_TRUE(device.EAccept(*eid, kBase).ok());
+  EXPECT_TRUE(device.EnclaveWrite(*eid, kBase, ToBytes("x")).ok());
+}
+
+TEST(Sgx2Test, AugBeforeInitRejected) {
+  SgxDevice device(SmallOptions(2));
+  auto eid = device.ECreate(kBase, 8 * kPageSize);
+  ASSERT_TRUE(eid.ok());
+  EXPECT_FALSE(device.EAug(*eid, kBase).ok());
+}
+
+TEST(Sgx2Test, ModprRestrictsAndRequiresAccept) {
+  SgxDevice device(SmallOptions(2));
+  auto eid = device.ECreate(kBase, 8 * kPageSize);
+  ASSERT_TRUE(eid.ok());
+  ASSERT_TRUE(device.EAdd(*eid, kBase, {}, PagePerms::RW()).ok());
+  ASSERT_TRUE(device.EInit(*eid).ok());
+
+  ASSERT_TRUE(device.EModpr(*eid, kBase, PagePerms::R()).ok());
+  // Pending until the enclave EACCEPTs.
+  EXPECT_FALSE(device.EnclaveWrite(*eid, kBase, ToBytes("x")).ok());
+  ASSERT_TRUE(device.EAccept(*eid, kBase).ok());
+  auto perms = device.EpcmPerms(*eid, kBase);
+  ASSERT_TRUE(perms.ok());
+  EXPECT_EQ(*perms, PagePerms::R());
+  EXPECT_EQ(device.EnclaveWrite(*eid, kBase, ToBytes("x")).code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST(Sgx2Test, ModprCannotExtend) {
+  SgxDevice device(SmallOptions(2));
+  auto eid = device.ECreate(kBase, 8 * kPageSize);
+  ASSERT_TRUE(eid.ok());
+  ASSERT_TRUE(device.EAdd(*eid, kBase, {}, PagePerms::R()).ok());
+  ASSERT_TRUE(device.EInit(*eid).ok());
+  EXPECT_FALSE(device.EModpr(*eid, kBase, PagePerms::RWX()).ok());
+}
+
+TEST(Sgx2Test, ModpeExtends) {
+  SgxDevice device(SmallOptions(2));
+  auto eid = device.ECreate(kBase, 8 * kPageSize);
+  ASSERT_TRUE(eid.ok());
+  ASSERT_TRUE(device.EAdd(*eid, kBase, {}, PagePerms::R()).ok());
+  ASSERT_TRUE(device.EInit(*eid).ok());
+  ASSERT_TRUE(device.EModpe(*eid, kBase, PagePerms::RW()).ok());
+  EXPECT_TRUE(device.EnclaveWrite(*eid, kBase, ToBytes("x")).ok());
+}
+
+TEST(Sgx1Test, DynamicInstructionsFaultOnVersion1) {
+  // The paper's central hardware argument: version-1 silicon cannot change
+  // EPC page permissions or grow enclaves, so EnGarde needs SGX2.
+  SgxDevice device(SmallOptions(1));
+  auto eid = device.ECreate(kBase, 8 * kPageSize);
+  ASSERT_TRUE(eid.ok());
+  ASSERT_TRUE(device.EAdd(*eid, kBase, {}, PagePerms::RW()).ok());
+  ASSERT_TRUE(device.EInit(*eid).ok());
+  EXPECT_EQ(device.EAug(*eid, kBase + kPageSize).code(),
+            StatusCode::kUnimplemented);
+  EXPECT_EQ(device.EModpr(*eid, kBase, PagePerms::R()).code(),
+            StatusCode::kUnimplemented);
+  EXPECT_EQ(device.EModpe(*eid, kBase, PagePerms::RWX()).code(),
+            StatusCode::kUnimplemented);
+}
+
+// ---- EWB / ELDU ------------------------------------------------------------
+
+TEST(PagingTest, EvictAndReloadRoundTrips) {
+  SgxDevice device(SmallOptions());
+  auto eid = device.ECreate(kBase, 8 * kPageSize);
+  ASSERT_TRUE(eid.ok());
+  ASSERT_TRUE(device.EAdd(*eid, kBase, PageOf(0x77), PagePerms::RW()).ok());
+  ASSERT_TRUE(device.EInit(*eid).ok());
+
+  const size_t used_before = device.epc().pages_in_use();
+  ASSERT_TRUE(device.Ewb(*eid, kBase).ok());
+  EXPECT_EQ(device.epc().pages_in_use(), used_before - 1);
+
+  // Evicted page is inaccessible until reloaded.
+  Bytes buf(8);
+  EXPECT_FALSE(
+      device.EnclaveRead(*eid, kBase, MutableByteView(buf.data(), 8)).ok());
+
+  ASSERT_TRUE(device.Eldu(*eid, kBase).ok());
+  ASSERT_TRUE(
+      device.EnclaveRead(*eid, kBase, MutableByteView(buf.data(), 8)).ok());
+  EXPECT_EQ(buf, Bytes(8, 0x77));
+}
+
+TEST(PagingTest, ReloadRestoresPermissions) {
+  SgxDevice device(SmallOptions());
+  auto eid = device.ECreate(kBase, 8 * kPageSize);
+  ASSERT_TRUE(eid.ok());
+  ASSERT_TRUE(device.EAdd(*eid, kBase, {}, PagePerms::RX()).ok());
+  ASSERT_TRUE(device.EInit(*eid).ok());
+  ASSERT_TRUE(device.Ewb(*eid, kBase).ok());
+  ASSERT_TRUE(device.Eldu(*eid, kBase).ok());
+  auto perms = device.EpcmPerms(*eid, kBase);
+  ASSERT_TRUE(perms.ok());
+  EXPECT_EQ(*perms, PagePerms::RX());
+}
+
+TEST(PagingTest, ElduWithoutEwbFails) {
+  SgxDevice device(SmallOptions());
+  auto eid = device.ECreate(kBase, 8 * kPageSize);
+  ASSERT_TRUE(eid.ok());
+  ASSERT_TRUE(device.EInit(*eid).ok());
+  EXPECT_FALSE(device.Eldu(*eid, kBase).ok());
+}
+
+// ---- Cost accounting --------------------------------------------------------
+
+TEST(CostModelTest, SgxInstructionsCharged) {
+  CycleAccountant accountant;
+  SgxDevice device(SmallOptions(), &accountant);
+  auto eid = device.ECreate(kBase, 4 * kPageSize);  // 1 SGX insn
+  ASSERT_TRUE(eid.ok());
+  ASSERT_TRUE(device.EAdd(*eid, kBase, {}, PagePerms::RX()).ok());  // 1
+  ASSERT_TRUE(device.ExtendPage(*eid, kBase).ok());                 // 16
+  ASSERT_TRUE(device.EInit(*eid).ok());                             // 1
+  EXPECT_EQ(accountant.total_sgx_instructions(), 19u);
+}
+
+TEST(CostModelTest, PhaseAttribution) {
+  CycleAccountant accountant;
+  accountant.BeginPhase(Phase::kDisassembly);
+  accountant.CountSgxInstruction();
+  accountant.CountSgxInstruction();
+  accountant.EndPhase();
+  accountant.BeginPhase(Phase::kPolicyCheck);
+  accountant.CountTrampoline();  // 2 instructions
+  accountant.EndPhase();
+
+  EXPECT_EQ(accountant.phase_cost(Phase::kDisassembly).sgx_instructions, 2u);
+  EXPECT_EQ(accountant.phase_cost(Phase::kPolicyCheck).sgx_instructions, 2u);
+  EXPECT_EQ(accountant.total_trampolines(), 1u);
+  // Cycles include the 10K-per-instruction charge.
+  EXPECT_GE(accountant.phase_cost(Phase::kDisassembly).Cycles(), 20000u);
+}
+
+TEST(CostModelTest, ResetClears) {
+  CycleAccountant accountant;
+  accountant.CountSgxInstruction();
+  accountant.Reset();
+  EXPECT_EQ(accountant.total_sgx_instructions(), 0u);
+  EXPECT_EQ(accountant.phase_cost(Phase::kIdle).sgx_instructions, 0u);
+}
+
+}  // namespace
+}  // namespace engarde::sgx

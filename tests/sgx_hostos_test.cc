@@ -1,0 +1,196 @@
+#include "sgx/hostos.h"
+
+#include <gtest/gtest.h>
+
+namespace engarde::sgx {
+namespace {
+
+EnclaveLayout SmallLayout() {
+  EnclaveLayout layout;
+  layout.bootstrap_pages = 2;
+  layout.heap_pages = 4;
+  layout.load_pages = 4;
+  layout.stack_pages = 2;
+  layout.tls_pages = 1;
+  return layout;
+}
+
+class HostOsTest : public ::testing::Test {
+ protected:
+  HostOsTest() : device_(SgxDevice::Options{.epc_pages = 64}), host_(&device_) {}
+
+  SgxDevice device_;
+  HostOs host_;
+};
+
+TEST_F(HostOsTest, BuildEnclaveCreatesAllRegions) {
+  const EnclaveLayout layout = SmallLayout();
+  auto eid = host_.BuildEnclave(layout, ToBytes("BOOTSTRAP"));
+  ASSERT_TRUE(eid.ok()) << eid.status().ToString();
+  EXPECT_TRUE(device_.IsInitialized(*eid));
+  EXPECT_EQ(device_.PageCount(*eid), layout.TotalPages());
+  EXPECT_TRUE(device_.HasPage(*eid, layout.BootstrapStart()));
+  EXPECT_TRUE(device_.HasPage(*eid, layout.HeapStart()));
+  EXPECT_TRUE(device_.HasPage(*eid, layout.LoadStart()));
+  EXPECT_TRUE(device_.HasPage(*eid, layout.StackStart()));
+  EXPECT_TRUE(device_.HasPage(*eid, layout.TlsStart()));
+}
+
+TEST_F(HostOsTest, BootstrapIsExecutableHeapIsNot) {
+  const EnclaveLayout layout = SmallLayout();
+  auto eid = host_.BuildEnclave(layout, ToBytes("BOOTSTRAP"));
+  ASSERT_TRUE(eid.ok());
+  auto boot = device_.EpcmPerms(*eid, layout.BootstrapStart());
+  auto heap = device_.EpcmPerms(*eid, layout.HeapStart());
+  ASSERT_TRUE(boot.ok() && heap.ok());
+  EXPECT_EQ(*boot, PagePerms::RX());
+  EXPECT_EQ(*heap, PagePerms::RW());
+}
+
+TEST_F(HostOsTest, BootstrapContentLandsInEnclave) {
+  const EnclaveLayout layout = SmallLayout();
+  const Bytes image = ToBytes("ENGARDE-v1+liblink+stackprot");
+  auto eid = host_.BuildEnclave(layout, image);
+  ASSERT_TRUE(eid.ok());
+  Bytes readback(image.size());
+  ASSERT_TRUE(device_
+                  .EnclaveRead(*eid, layout.BootstrapStart(),
+                               MutableByteView(readback.data(), readback.size()))
+                  .ok());
+  EXPECT_EQ(readback, image);
+}
+
+TEST_F(HostOsTest, OversizedBootstrapRejected) {
+  EnclaveLayout layout = SmallLayout();
+  layout.bootstrap_pages = 1;
+  const Bytes image(2 * kPageSize, 0x90);
+  EXPECT_FALSE(host_.BuildEnclave(layout, image).ok());
+}
+
+TEST_F(HostOsTest, DifferentBootstrapsDifferentMeasurements) {
+  auto e1 = host_.BuildEnclave(SmallLayout(), ToBytes("policy-set-A"));
+  auto e2 = host_.BuildEnclave(SmallLayout(), ToBytes("policy-set-B"));
+  ASSERT_TRUE(e1.ok() && e2.ok());
+  EXPECT_NE(*device_.Measurement(*e1), *device_.Measurement(*e2));
+}
+
+TEST_F(HostOsTest, PageTablePermsDefaultPermissive) {
+  const EnclaveLayout layout = SmallLayout();
+  auto eid = host_.BuildEnclave(layout, {});
+  ASSERT_TRUE(eid.ok());
+  EXPECT_EQ(host_.PageTablePerms(*eid, layout.HeapStart()), PagePerms::RWX());
+}
+
+TEST_F(HostOsTest, PageTableRestrictionsAffectAccess) {
+  const EnclaveLayout layout = SmallLayout();
+  auto eid = host_.BuildEnclave(layout, {});
+  ASSERT_TRUE(eid.ok());
+  // Heap page is EPCM-RW; restrict page tables to R only -> writes fault.
+  ASSERT_TRUE(host_.SetPageTablePerms(*eid, layout.HeapStart(), 1,
+                                      PagePerms::R())
+                  .ok());
+  EXPECT_EQ(device_.EnclaveWrite(*eid, layout.HeapStart(), ToBytes("x")).code(),
+            StatusCode::kPermissionDenied);
+  // Restore and the write goes through.
+  ASSERT_TRUE(host_.SetPageTablePerms(*eid, layout.HeapStart(), 1,
+                                      PagePerms::RW())
+                  .ok());
+  EXPECT_TRUE(device_.EnclaveWrite(*eid, layout.HeapStart(), ToBytes("x")).ok());
+}
+
+TEST_F(HostOsTest, ApplyWxPolicySplitsLoadRegion) {
+  const EnclaveLayout layout = SmallLayout();
+  auto eid = host_.BuildEnclave(layout, {});
+  ASSERT_TRUE(eid.ok());
+
+  const uint64_t code_page = layout.LoadStart();
+  const uint64_t data_page = layout.LoadStart() + kPageSize;
+  ASSERT_TRUE(host_.ApplyWxPolicy(*eid, layout, 2, {code_page}).ok());
+  ASSERT_TRUE(host_.HardenWxInEpcm(*eid, {code_page}).ok());
+
+  // Code page: executable, not writable (both levels on SGX2).
+  EXPECT_EQ(host_.PageTablePerms(*eid, code_page), PagePerms::RX());
+  EXPECT_EQ(*device_.EpcmPerms(*eid, code_page), PagePerms::RX());
+  EXPECT_EQ(device_.EnclaveWrite(*eid, code_page, ToBytes("!")).code(),
+            StatusCode::kPermissionDenied);
+
+  // Data page: writable, not executable.
+  EXPECT_EQ(host_.PageTablePerms(*eid, data_page), PagePerms::RW());
+  EXPECT_EQ(*device_.EpcmPerms(*eid, data_page), PagePerms::RW());
+  EXPECT_TRUE(device_.EnclaveWrite(*eid, data_page, ToBytes("!")).ok());
+}
+
+TEST_F(HostOsTest, ApplyWxPolicyRejectsPagesOutsideLoadRegion) {
+  const EnclaveLayout layout = SmallLayout();
+  auto eid = host_.BuildEnclave(layout, {});
+  ASSERT_TRUE(eid.ok());
+  // Claiming the bootstrap region as "client code" is a protocol violation.
+  EXPECT_FALSE(
+      host_.ApplyWxPolicy(*eid, layout, 1, {layout.BootstrapStart()}).ok());
+  // As is claiming a span beyond the load region.
+  EXPECT_FALSE(host_.ApplyWxPolicy(*eid, layout, layout.load_pages + 1, {})
+                   .ok());
+}
+
+TEST_F(HostOsTest, LockPreventsAugmentation) {
+  const EnclaveLayout layout = SmallLayout();
+  auto eid = host_.BuildEnclave(layout, {});
+  ASSERT_TRUE(eid.ok());
+
+  ASSERT_TRUE(host_.LockEnclave(*eid).ok());
+  EXPECT_TRUE(host_.IsLocked(*eid));
+  const Status s = host_.AugmentPages(*eid, layout.TlsStart() + kPageSize, 1);
+  EXPECT_EQ(s.code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(HostOsTest, Sgx1WxGapIsObservable) {
+  // On SGX1 the EPCM cannot be restricted: after ApplyWxPolicy the page
+  // tables say RX but the EPCM still says RW(X) — and since the page tables
+  // are *host-controlled*, a malicious host can silently flip them back.
+  // This is the attack surface (AsyncShock et al.) that makes the paper
+  // require SGX2.
+  SgxDevice sgx1(SgxDevice::Options{.epc_pages = 64, .sgx_version = 1});
+  HostOs host1(&sgx1);
+  const EnclaveLayout layout = SmallLayout();
+  auto eid = host1.BuildEnclave(layout, {});
+  ASSERT_TRUE(eid.ok());
+
+  const uint64_t code_page = layout.LoadStart();
+  ASSERT_TRUE(host1.ApplyWxPolicy(*eid, layout, 1, {code_page}).ok());
+  // EPCM hardening is impossible on version-1 silicon.
+  EXPECT_EQ(host1.HardenWxInEpcm(*eid, {code_page}).code(),
+            StatusCode::kUnimplemented);
+  // Page tables enforce for now...
+  EXPECT_EQ(sgx1.EnclaveWrite(*eid, code_page, ToBytes("!")).code(),
+            StatusCode::kPermissionDenied);
+  // ...but the EPCM was never restricted (SGX1), so the host can revert.
+  EXPECT_EQ(*sgx1.EpcmPerms(*eid, code_page), PagePerms::RW());
+  ASSERT_TRUE(
+      host1.SetPageTablePerms(*eid, code_page, 1, PagePerms::RWX()).ok());
+  EXPECT_TRUE(sgx1.EnclaveWrite(*eid, code_page, ToBytes("!")).ok());
+
+  // On SGX2 the same revert is useless: the EPCM level still blocks writes.
+  SgxDevice sgx2(SgxDevice::Options{.epc_pages = 64, .sgx_version = 2});
+  HostOs host2(&sgx2);
+  auto eid2 = host2.BuildEnclave(layout, {});
+  ASSERT_TRUE(eid2.ok());
+  ASSERT_TRUE(host2.ApplyWxPolicy(*eid2, layout, 1, {code_page}).ok());
+  ASSERT_TRUE(host2.HardenWxInEpcm(*eid2, {code_page}).ok());
+  ASSERT_TRUE(
+      host2.SetPageTablePerms(*eid2, code_page, 1, PagePerms::RWX()).ok());
+  EXPECT_EQ(sgx2.EnclaveWrite(*eid2, code_page, ToBytes("!")).code(),
+            StatusCode::kPermissionDenied);
+}
+
+TEST_F(HostOsTest, AugmentWorksBeforeLock) {
+  // Build an enclave whose linear range is larger than its committed pages
+  // by using a custom ECREATE through the device, then EAUG into the gap.
+  const EnclaveLayout layout = SmallLayout();
+  auto eid = host_.BuildEnclave(layout, {});
+  ASSERT_TRUE(eid.ok());
+  // All pages committed: augmenting over an existing page fails cleanly.
+  EXPECT_FALSE(host_.AugmentPages(*eid, layout.HeapStart(), 1).ok());
+}
+
+}  // namespace
+}  // namespace engarde::sgx

@@ -1,0 +1,155 @@
+// Demand-paging tests: enclaves larger than the EPC, transparent ELDU on
+// access faults, and integrity of paged content — the driver-level EWB/ELDU
+// duty a real SGX OS performs, which lets EnGarde handle executables whose
+// staging + instruction buffer exceed physical EPC.
+#include <gtest/gtest.h>
+
+#include "client/client.h"
+#include "core/engarde.h"
+#include "sgx/hostos.h"
+#include "workload/program_builder.h"
+
+namespace engarde::sgx {
+namespace {
+
+TEST(PagingPressureTest, BuildEnclaveLargerThanEpc) {
+  // 64 EPC pages, but the layout wants ~100: the build must succeed by
+  // paging earlier additions out.
+  SgxDevice device(SgxDevice::Options{.epc_pages = 64});
+  HostOs host(&device);
+  EnclaveLayout layout;
+  layout.bootstrap_pages = 2;
+  layout.heap_pages = 64;
+  layout.load_pages = 24;
+  layout.stack_pages = 8;
+  layout.tls_pages = 1;
+  ASSERT_GT(layout.TotalPages(), 64u);
+
+  auto eid = host.BuildEnclave(layout, ToBytes("BOOT"));
+  ASSERT_TRUE(eid.ok()) << eid.status().ToString();
+  EXPECT_GT(host.pages_evicted(), 0u);
+  EXPECT_GT(device.EvictedPageCount(*eid), 0u);
+  // Committed (resident + evicted) covers the whole layout.
+  EXPECT_EQ(device.PageCount(*eid) + device.EvictedPageCount(*eid),
+            layout.TotalPages());
+}
+
+TEST(PagingPressureTest, AccessFaultsPageContentBackIn) {
+  SgxDevice device(SgxDevice::Options{.epc_pages = 64});
+  HostOs host(&device);
+  EnclaveLayout layout;
+  layout.bootstrap_pages = 1;
+  layout.heap_pages = 80;
+  layout.load_pages = 8;
+  layout.stack_pages = 2;
+  auto eid = host.BuildEnclave(layout, {});
+  ASSERT_TRUE(eid.ok());
+
+  // Write a pattern across the whole heap (touching every page faults the
+  // evicted ones back in, evicting others).
+  const uint64_t heap = layout.HeapStart();
+  for (uint64_t i = 0; i < layout.heap_pages; ++i) {
+    Bytes marker;
+    AppendLe64(marker, i * 0x1111);
+    ASSERT_TRUE(device.EnclaveWrite(*eid, heap + i * kPageSize, marker).ok())
+        << "page " << i;
+  }
+  EXPECT_GT(host.epc_faults_handled(), 0u);
+
+  // Read everything back — more faults, and every byte must round-trip
+  // through the encrypted backing store intact.
+  for (uint64_t i = 0; i < layout.heap_pages; ++i) {
+    Bytes readback(8);
+    ASSERT_TRUE(device
+                    .EnclaveRead(*eid, heap + i * kPageSize,
+                                 MutableByteView(readback.data(), 8))
+                    .ok())
+        << "page " << i;
+    EXPECT_EQ(LoadLe64(readback.data()), i * 0x1111) << "page " << i;
+  }
+}
+
+TEST(PagingPressureTest, ExplicitEvictionAndTransparentReload) {
+  SgxDevice device(SgxDevice::Options{.epc_pages = 128});
+  HostOs host(&device);
+  EnclaveLayout layout;
+  layout.bootstrap_pages = 1;
+  layout.heap_pages = 16;
+  layout.load_pages = 4;
+  layout.stack_pages = 2;
+  auto eid = host.BuildEnclave(layout, {});
+  ASSERT_TRUE(eid.ok());
+
+  ASSERT_TRUE(
+      device.EnclaveWrite(*eid, layout.HeapStart(), ToBytes("persist")).ok());
+  ASSERT_TRUE(host.EvictPages(*eid, 10).ok());
+  EXPECT_EQ(device.EvictedPageCount(*eid), 10u);
+
+  // Access is transparent again: the fault handler reloads on demand.
+  Bytes readback(7);
+  ASSERT_TRUE(device
+                  .EnclaveRead(*eid, layout.HeapStart(),
+                               MutableByteView(readback.data(), 7))
+                  .ok());
+  EXPECT_EQ(ToString(ByteView(readback.data(), 7)), "persist");
+}
+
+TEST(PagingPressureTest, NoHandlerMeansHardFault) {
+  SgxDevice device(SgxDevice::Options{.epc_pages = 64});
+  auto eid = device.ECreate(0x10000000, 16 * kPageSize);
+  ASSERT_TRUE(eid.ok());
+  ASSERT_TRUE(device.EAdd(*eid, 0x10000000, {}, PagePerms::RW()).ok());
+  ASSERT_TRUE(device.EInit(*eid).ok());
+  ASSERT_TRUE(device.Ewb(*eid, 0x10000000).ok());
+  // No HostOs registered: the access fails instead of paging in.
+  Bytes buf(4);
+  EXPECT_EQ(device.EnclaveRead(*eid, 0x10000000, MutableByteView(buf.data(), 4))
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PagingPressureTest, FullProvisioningUnderEpcPressure) {
+  // End to end: EnGarde provisions and runs a client program on a machine
+  // whose EPC is much smaller than the enclave.
+  SgxDevice device(SgxDevice::Options{.epc_pages = 160});
+  HostOs host(&device);
+  auto quoting = QuotingEnclave::Provision(ToBytes("paging-device"), 768);
+  ASSERT_TRUE(quoting.ok());
+
+  core::EngardeOptions options;
+  options.rsa_bits = 768;
+  options.layout.bootstrap_pages = 2;
+  options.layout.heap_pages = 160;  // alone more than the whole EPC
+  options.layout.load_pages = 48;
+  options.layout.stack_pages = 8;
+  ASSERT_GT(options.layout.TotalPages(), 160u);
+
+  auto enclave = core::EngardeEnclave::Create(&host, *quoting,
+                                              core::PolicySet{}, options);
+  ASSERT_TRUE(enclave.ok()) << enclave.status().ToString();
+
+  workload::ProgramSpec spec;
+  spec.seed = 404;
+  spec.target_instructions = 2500;
+  auto program = workload::BuildProgram(spec);
+  ASSERT_TRUE(program.ok());
+
+  crypto::DuplexPipe pipe;
+  ASSERT_TRUE(enclave->SendHello(pipe.EndA()).ok());
+  client::ClientOptions client_options;
+  client_options.attestation_key = quoting->attestation_public_key();
+  client_options.skip_measurement_check = true;
+  client::Client client(client_options, program->image);
+  ASSERT_TRUE(client.SendProgram(pipe.EndB()).ok());
+
+  auto outcome = enclave->RunProvisioning(pipe.EndA());
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_TRUE(outcome->verdict.compliant) << outcome->verdict.reason;
+  EXPECT_GT(host.epc_faults_handled() + host.pages_evicted(), 0u);
+
+  auto rax = enclave->ExecuteClientProgram();
+  ASSERT_TRUE(rax.ok()) << rax.status().ToString();
+}
+
+}  // namespace
+}  // namespace engarde::sgx

@@ -1,0 +1,96 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/hex.h"
+
+namespace engarde::crypto {
+namespace {
+
+std::string HashHex(ByteView data) {
+  return HexEncode(DigestView(Sha256::Hash(data)));
+}
+
+// NIST / FIPS 180-4 reference vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(HashHex({}),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  const Bytes msg = ToBytes("abc");
+  EXPECT_EQ(HashHex(msg),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  const Bytes msg =
+      ToBytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  EXPECT_EQ(HashHex(msg),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Bytes msg(1000000, 'a');
+  EXPECT_EQ(HashHex(msg),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  // Feed the same message in irregular chunk sizes; digest must not change.
+  const Bytes msg = ToBytes(std::string(300, 'x') + std::string(41, 'y'));
+  const Sha256Digest oneshot = Sha256::Hash(msg);
+
+  for (size_t chunk : {1u, 7u, 63u, 64u, 65u, 128u}) {
+    Sha256 h;
+    for (size_t i = 0; i < msg.size(); i += chunk) {
+      const size_t take = std::min(chunk, msg.size() - i);
+      h.Update(ByteView(msg.data() + i, take));
+    }
+    EXPECT_EQ(h.Finalize(), oneshot) << "chunk=" << chunk;
+  }
+}
+
+TEST(Sha256Test, ResetAllowsReuse) {
+  Sha256 h;
+  h.Update(ToBytes("garbage"));
+  h.Reset();
+  h.Update(ToBytes("abc"));
+  EXPECT_EQ(HexEncode(DigestView(h.Finalize())),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// Boundary lengths around the 64-byte block and 56-byte padding threshold.
+class Sha256PaddingBoundary : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(Sha256PaddingBoundary, MatchesIncrementalByteAtATime) {
+  const size_t len = GetParam();
+  Bytes msg(len);
+  for (size_t i = 0; i < len; ++i) msg[i] = static_cast<uint8_t>(i * 31 + 7);
+
+  const Sha256Digest oneshot = Sha256::Hash(msg);
+  Sha256 h;
+  for (uint8_t b : msg) h.Update(ByteView(&b, 1));
+  EXPECT_EQ(h.Finalize(), oneshot);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Sha256PaddingBoundary,
+                         ::testing::Values(0, 1, 55, 56, 57, 63, 64, 65, 119,
+                                           120, 121, 127, 128, 129, 1000));
+
+TEST(Sha256Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha256::Hash(ToBytes("a")), Sha256::Hash(ToBytes("b")));
+  // One-bit flip anywhere changes the digest.
+  Bytes msg(64, 0);
+  const Sha256Digest base = Sha256::Hash(msg);
+  for (size_t i = 0; i < msg.size(); ++i) {
+    msg[i] ^= 1;
+    EXPECT_NE(Sha256::Hash(msg), base) << "flip at " << i;
+    msg[i] ^= 1;
+  }
+}
+
+}  // namespace
+}  // namespace engarde::crypto

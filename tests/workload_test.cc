@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "elf/reader.h"
+#include "workload/catalog.h"
+#include "workload/program_builder.h"
+#include "workload/synth_libc.h"
+#include "x86/decoder.h"
+#include "x86/validator.h"
+
+namespace engarde::workload {
+namespace {
+
+TEST(SynthLibcTest, DeterministicGeneration) {
+  const SynthLibcOptions options;
+  const SynthLibrary a = GenerateSynthLibc(options);
+  const SynthLibrary b = GenerateSynthLibc(options);
+  EXPECT_EQ(a.code, b.code);
+  EXPECT_EQ(a.insn_count, b.insn_count);
+  EXPECT_EQ(a.functions.size(), b.functions.size());
+}
+
+TEST(SynthLibcTest, VersionChangesEveryFunctionBody) {
+  SynthLibcOptions v5;
+  v5.version = "1.0.5";
+  SynthLibcOptions v4 = v5;
+  v4.version = "1.0.4";
+  const SynthLibrary a = GenerateSynthLibc(v5);
+  const SynthLibrary b = GenerateSynthLibc(v4);
+  EXPECT_NE(a.code, b.code);
+  // Same function inventory (an update does not rename functions).
+  ASSERT_EQ(a.functions.size(), b.functions.size());
+  for (size_t i = 0; i < a.functions.size(); ++i) {
+    EXPECT_EQ(a.functions[i].name, b.functions[i].name);
+  }
+}
+
+TEST(SynthLibcTest, HasMuslStyleNames) {
+  const SynthLibrary lib = GenerateSynthLibc({});
+  std::set<std::string> names;
+  for (const SynthFunction& fn : lib.functions) names.insert(fn.name);
+  EXPECT_TRUE(names.count("memcpy"));
+  EXPECT_TRUE(names.count("malloc"));
+  EXPECT_TRUE(names.count("__stack_chk_fail"));
+}
+
+TEST(SynthLibcTest, BlobDecodesCompletely) {
+  const SynthLibrary lib = GenerateSynthLibc({});
+  auto insns = x86::DecodeAll(ByteView(lib.code.data(), lib.code.size()), 0);
+  ASSERT_TRUE(insns.ok()) << insns.status().ToString();
+  EXPECT_EQ(insns->size(), lib.insn_count);
+}
+
+TEST(SynthLibcTest, PositionIndependentHashes) {
+  // The same blob embedded at two different bases must hash identically per
+  // function — the property that makes the library db transferable.
+  const SynthLibrary lib = GenerateSynthLibc({});
+  auto db1 = BuildLibcHashDb({});
+  auto db2 = BuildLibcHashDb({});
+  ASSERT_TRUE(db1.ok() && db2.ok());
+  EXPECT_EQ(db1->DbDigest(), db2->DbDigest());
+}
+
+TEST(SynthLibcTest, StackProtectVariantDiffers) {
+  SynthLibcOptions plain;
+  SynthLibcOptions prot = plain;
+  prot.stack_protect = true;
+  EXPECT_NE(GenerateSynthLibc(plain).code, GenerateSynthLibc(prot).code);
+}
+
+TEST(LibcHashDbTest, SerializationRoundTrip) {
+  auto db = BuildLibcHashDb({});
+  ASSERT_TRUE(db.ok());
+  const Bytes wire = db->Serialize();
+  auto parsed = core::LibraryHashDb::Deserialize(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), db->size());
+  EXPECT_EQ(parsed->DbDigest(), db->DbDigest());
+  EXPECT_FALSE(core::LibraryHashDb::Deserialize(ToBytes("junk")).ok());
+}
+
+TEST(ProgramBuilderTest, Deterministic) {
+  ProgramSpec spec;
+  spec.seed = 99;
+  spec.target_instructions = 2000;
+  auto a = BuildProgram(spec);
+  auto b = BuildProgram(spec);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->image, b->image);
+}
+
+TEST(ProgramBuilderTest, ProducesValidEnclaveElf) {
+  ProgramSpec spec;
+  spec.target_instructions = 2000;
+  auto program = BuildProgram(spec);
+  ASSERT_TRUE(program.ok());
+  auto elf = elf::ElfFile::Parse(ByteView(program->image.data(),
+                                          program->image.size()));
+  ASSERT_TRUE(elf.ok()) << elf.status().ToString();
+  EXPECT_TRUE(elf->ValidateForEnclave().ok())
+      << elf->ValidateForEnclave().ToString();
+  EXPECT_NE(elf->SectionByName(".text"), nullptr);
+  EXPECT_NE(elf->SectionByName(".text.libc"), nullptr);
+  EXPECT_NE(elf->SectionByName(".data"), nullptr);
+}
+
+TEST(ProgramBuilderTest, SatisfiesNaClConstraints) {
+  ProgramSpec spec;
+  spec.target_instructions = 3000;
+  spec.stack_protection = true;
+  spec.ifcc = true;
+  auto program = BuildProgram(spec);
+  ASSERT_TRUE(program.ok());
+  auto elf = elf::ElfFile::Parse(ByteView(program->image.data(),
+                                          program->image.size()));
+  ASSERT_TRUE(elf.ok());
+
+  x86::InsnBuffer insns;
+  uint64_t text_start = UINT64_MAX, text_end = 0;
+  for (const elf::Shdr* section : elf->TextSections()) {
+    auto content = elf->SectionContent(*section);
+    ASSERT_TRUE(content.ok());
+    auto decoded = x86::DecodeAll(*content, section->addr);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    for (const auto& insn : *decoded) insns.Append(insn);
+    text_start = std::min(text_start, section->addr);
+    text_end = std::max(text_end, section->addr + section->size);
+  }
+
+  x86::ValidationInput input;
+  input.text_start = text_start;
+  input.text_end = text_end;
+  input.roots.push_back(elf->header().entry);
+  for (const elf::Sym& sym : elf->symbols()) {
+    if (sym.IsFunction() && !sym.name.empty()) {
+      input.roots.push_back(sym.value);
+    }
+  }
+  EXPECT_TRUE(x86::ValidateNaClConstraints(insns, input).ok())
+      << x86::ValidateNaClConstraints(insns, input).ToString();
+}
+
+TEST(ProgramBuilderTest, InstructionTargetingAccuracy) {
+  for (const size_t target : {1500ul, 5000ul, 20000ul}) {
+    ProgramSpec spec;
+    spec.seed = target;
+    spec.target_instructions = target;
+    auto program = BuildProgram(spec);
+    ASSERT_TRUE(program.ok());
+    const double ratio = static_cast<double>(program->emitted_insn_count) /
+                         static_cast<double>(target);
+    EXPECT_GT(ratio, 0.95) << target << " -> " << program->emitted_insn_count;
+    EXPECT_LT(ratio, 1.06) << target << " -> " << program->emitted_insn_count;
+  }
+}
+
+TEST(ProgramBuilderTest, SeedsProduceDistinctPrograms) {
+  ProgramSpec a, b;
+  a.seed = 1;
+  b.seed = 2;
+  a.target_instructions = b.target_instructions = 1500;
+  auto pa = BuildProgram(a);
+  auto pb = BuildProgram(b);
+  ASSERT_TRUE(pa.ok() && pb.ok());
+  EXPECT_NE(pa->image, pb->image);
+}
+
+TEST(CatalogTest, SevenBenchmarks) {
+  const auto& entries = PaperBenchmarks();
+  ASSERT_EQ(entries.size(), 7u);
+  EXPECT_STREQ(entries[0].name, "Nginx");
+  EXPECT_EQ(entries[0].fig3_instructions, 262228u);
+  EXPECT_EQ(entries[3].fig3_instructions, 12903u);  // 429.mcf
+}
+
+TEST(CatalogTest, ScaledBuildHitsTarget) {
+  // Build 429.mcf (the smallest) at 20% scale; full-scale builds are
+  // exercised by the benches.
+  const auto& mcf = PaperBenchmarks()[3];
+  auto program = BuildBenchmarkScaled(mcf, BuildFlavor::kPlain, 0.2);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const double target = 12903 * 0.2;
+  const double ratio = static_cast<double>(program->emitted_insn_count) / target;
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 1.1);
+}
+
+TEST(CatalogTest, FlavorsChangeInstrumentationNotIdentity) {
+  const auto& mcf = PaperBenchmarks()[3];
+  auto plain = BuildBenchmarkScaled(mcf, BuildFlavor::kPlain, 0.15);
+  auto prot = BuildBenchmarkScaled(mcf, BuildFlavor::kStackProtector, 0.15);
+  auto ifcc = BuildBenchmarkScaled(mcf, BuildFlavor::kIfcc, 0.15);
+  ASSERT_TRUE(plain.ok() && prot.ok() && ifcc.ok());
+  EXPECT_NE(plain->image, prot->image);
+  EXPECT_NE(plain->image, ifcc->image);
+  // Same benchmark name across flavors (it is the same program recompiled).
+  EXPECT_EQ(plain->name, prot->name);
+}
+
+}  // namespace
+}  // namespace engarde::workload

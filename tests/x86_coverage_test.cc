@@ -1,0 +1,283 @@
+// Broad-coverage decoder properties: byte-structure invariants over every
+// instruction the generator can emit, golden decodes across the supported
+// opcode map, register naming, and renderer smoke checks.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/hex.h"
+#include "common/rng.h"
+#include "workload/program_builder.h"
+#include "x86/decoder.h"
+#include "x86/encoder.h"
+
+namespace engarde::x86 {
+namespace {
+
+// ---- Structural invariants over a large generated corpus --------------------
+
+class CorpusInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CorpusInvariants, ByteStructureSumsToLength) {
+  workload::ProgramSpec spec;
+  spec.seed = GetParam();
+  spec.target_instructions = 4000;
+  spec.stack_protection = (GetParam() % 2) == 0;
+  spec.ifcc = (GetParam() % 3) == 0;
+  auto program = workload::BuildProgram(spec);
+  ASSERT_TRUE(program.ok());
+
+  auto elf = elf::ElfFile::Parse(
+      ByteView(program->image.data(), program->image.size()));
+  ASSERT_TRUE(elf.ok());
+
+  size_t total = 0;
+  std::set<Mnemonic> seen;
+  for (const elf::Shdr* section : elf->TextSections()) {
+    auto content = elf->SectionContent(*section);
+    ASSERT_TRUE(content.ok());
+    auto insns = DecodeAll(*content, section->addr);
+    ASSERT_TRUE(insns.ok());
+    uint64_t expected_addr = section->addr;
+    for (const Insn& insn : *insns) {
+      // Addresses tile the section exactly.
+      EXPECT_EQ(insn.addr, expected_addr);
+      expected_addr += insn.length;
+      // Component lengths account for every byte.
+      EXPECT_EQ(insn.prefix_len + insn.opcode_len + insn.modrm_len +
+                    insn.sib_len + insn.disp_len + insn.imm_len,
+                insn.length)
+          << insn.ToString();
+      // Architectural bounds.
+      EXPECT_GE(insn.length, 1);
+      EXPECT_LE(insn.length, kMaxInsnLength);
+      EXPECT_NE(insn.mnemonic, Mnemonic::kUnknown) << insn.ToString();
+      // NaCl bundle discipline.
+      EXPECT_LE(insn.addr % 32 + insn.length, 32u) << insn.ToString();
+      seen.insert(insn.mnemonic);
+      ++total;
+    }
+    EXPECT_EQ(expected_addr, section->addr + section->size);
+  }
+  EXPECT_EQ(total, program->emitted_insn_count);
+  // The corpus exercises a meaningful slice of the instruction set.
+  EXPECT_GE(seen.size(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorpusInvariants,
+                         ::testing::Values(1, 2, 3, 4, 6, 12));
+
+// ---- Golden decodes across the opcode map ------------------------------------
+
+struct Golden {
+  const char* hex;
+  Mnemonic mnemonic;
+  uint8_t length;
+  uint8_t op_size;
+};
+
+class GoldenDecode : public ::testing::TestWithParam<Golden> {};
+
+TEST_P(GoldenDecode, Decodes) {
+  const Golden& g = GetParam();
+  auto bytes = HexDecode(g.hex);
+  ASSERT_TRUE(bytes.ok());
+  auto insn = DecodeOne(ByteView(bytes->data(), bytes->size()), 0, 0x1000);
+  ASSERT_TRUE(insn.ok()) << g.hex << ": " << insn.status().ToString();
+  EXPECT_EQ(insn->mnemonic, g.mnemonic) << g.hex;
+  EXPECT_EQ(insn->length, g.length) << g.hex;
+  EXPECT_EQ(insn->op_size, g.op_size) << g.hex;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OneByteMap, GoldenDecode,
+    ::testing::Values(
+        Golden{"00d8", Mnemonic::kAdd, 2, 1},        // add %bl,%al
+        Golden{"01d8", Mnemonic::kAdd, 2, 4},        // add %ebx,%eax
+        Golden{"4801d8", Mnemonic::kAdd, 3, 8},      // add %rbx,%rax
+        Golden{"02d8", Mnemonic::kAdd, 2, 1},        // add %al,%bl
+        Golden{"0401", Mnemonic::kAdd, 2, 1},        // add $1,%al
+        Golden{"0501000000", Mnemonic::kAdd, 5, 4},  // add $1,%eax
+        Golden{"66050100", Mnemonic::kAdd, 4, 2},    // add $1,%ax (imm16)
+        Golden{"08d8", Mnemonic::kOr, 2, 1},
+        Golden{"10d8", Mnemonic::kAdc, 2, 1},
+        Golden{"18d8", Mnemonic::kSbb, 2, 1},
+        Golden{"20d8", Mnemonic::kAnd, 2, 1},
+        Golden{"28d8", Mnemonic::kSub, 2, 1},
+        Golden{"30d8", Mnemonic::kXor, 2, 1},
+        Golden{"38d8", Mnemonic::kCmp, 2, 1},
+        Golden{"6310", Mnemonic::kMovsxd, 2, 4},     // movsxd (%rax),%edx
+        Golden{"4863d0", Mnemonic::kMovsxd, 3, 8},
+        Golden{"6801000000", Mnemonic::kPush, 5, 8},  // push $1
+        Golden{"6a7f", Mnemonic::kPush, 2, 8},        // push $0x7f
+        Golden{"69c010270000", Mnemonic::kImul, 6, 4},  // imul $10000,%eax
+        Golden{"6bc064", Mnemonic::kImul, 3, 4},      // imul $100,%eax
+        Golden{"84c0", Mnemonic::kTest, 2, 1},
+        Golden{"4885c0", Mnemonic::kTest, 3, 8},
+        Golden{"86c8", Mnemonic::kXchg, 2, 1},
+        Golden{"9190", Mnemonic::kXchg, 1, 4},        // xchg %ecx,%eax (0x91)
+        Golden{"4898", Mnemonic::kCdqe, 2, 8},
+        Golden{"4899", Mnemonic::kCqo, 2, 8},
+        Golden{"a855", Mnemonic::kTest, 2, 1},        // test $0x55,%al
+        Golden{"a955000000", Mnemonic::kTest, 5, 4},
+        Golden{"b0ff", Mnemonic::kMov, 2, 1},         // mov $0xff,%al
+        Golden{"c0e003", Mnemonic::kShl, 3, 1},       // shl $3,%al
+        Golden{"48c1e803", Mnemonic::kShr, 4, 8},
+        Golden{"48c1f803", Mnemonic::kSar, 4, 8},
+        Golden{"48c1c003", Mnemonic::kRol, 4, 8},
+        Golden{"48c1c803", Mnemonic::kRor, 4, 8},
+        Golden{"48d1e0", Mnemonic::kShl, 3, 8},       // shl $1,%rax (d1 /4)
+        Golden{"48d3e0", Mnemonic::kShl, 3, 8},       // shl %cl,%rax
+        Golden{"c6010a", Mnemonic::kMov, 3, 1},       // movb $10,(%rcx)
+        Golden{"48c7c103000000", Mnemonic::kMov, 7, 8},
+        Golden{"c9", Mnemonic::kLeave, 1, 8},
+        Golden{"48f7d8", Mnemonic::kNeg, 3, 8},
+        Golden{"48f7d0", Mnemonic::kNot, 3, 8},
+        Golden{"48f7e1", Mnemonic::kMul, 3, 8},
+        Golden{"48f7e9", Mnemonic::kImul, 3, 8},
+        Golden{"48f7f1", Mnemonic::kDiv, 3, 8},
+        Golden{"48f7f9", Mnemonic::kIdiv, 3, 8},
+        Golden{"f6c101", Mnemonic::kTest, 3, 1},      // test $1,%cl
+        Golden{"48f7c001000000", Mnemonic::kTest, 7, 8},
+        Golden{"fec0", Mnemonic::kInc, 2, 1},
+        Golden{"fec8", Mnemonic::kDec, 2, 1},
+        Golden{"48ffc0", Mnemonic::kInc, 3, 8},
+        Golden{"48ffc8", Mnemonic::kDec, 3, 8},
+        Golden{"ff30", Mnemonic::kPush, 2, 8},        // push (%rax)
+        Golden{"ff20", Mnemonic::kJmpIndirect, 2, 8}, // jmp *(%rax)
+        Golden{"ff10", Mnemonic::kCallIndirect, 2, 8}),
+    [](const ::testing::TestParamInfo<Golden>& info) {
+      std::string name = info.param.hex;
+      for (char& c : name) {
+        if (c == ' ') c = '_';
+      }
+      return "x" + name;
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    TwoByteMap, GoldenDecode,
+    ::testing::Values(
+        Golden{"0f05", Mnemonic::kSyscall, 2, 4},
+        Golden{"0f0b", Mnemonic::kUd2, 2, 4},
+        Golden{"0f1f4000", Mnemonic::kNop, 4, 4},
+        Golden{"0f31", Mnemonic::kRdtsc, 2, 4},
+        Golden{"0fa2", Mnemonic::kCpuid, 2, 4},
+        Golden{"480fafc1", Mnemonic::kImul, 4, 8},
+        Golden{"0fb6c1", Mnemonic::kMovzx, 3, 4},    // movzbl %cl,%eax
+        Golden{"480fb6c1", Mnemonic::kMovzx, 4, 8},
+        Golden{"0fb7c1", Mnemonic::kMovzx, 3, 4},    // movzwl
+        Golden{"0fbec1", Mnemonic::kMovsx, 3, 4},
+        Golden{"0fbfc1", Mnemonic::kMovsx, 3, 4},
+        Golden{"0fc8", Mnemonic::kBswap, 2, 4},      // bswap %eax
+        Golden{"480fc8", Mnemonic::kBswap, 3, 8},
+        Golden{"0f44c1", Mnemonic::kCmov, 3, 4},
+        Golden{"0f94c0", Mnemonic::kSetcc, 3, 1},
+        Golden{"f30f1efa", Mnemonic::kEndbr64, 4, 4}),
+    [](const ::testing::TestParamInfo<Golden>& info) {
+      return "x" + std::string(info.param.hex);
+    });
+
+// ---- Register naming ---------------------------------------------------------
+
+TEST(RegNameTest, AllRegistersAllSizes) {
+  EXPECT_STREQ(RegName(kRax, 8), "rax");
+  EXPECT_STREQ(RegName(kRax, 4), "eax");
+  EXPECT_STREQ(RegName(kRax, 2), "ax");
+  EXPECT_STREQ(RegName(kRax, 1), "al");
+  EXPECT_STREQ(RegName(kRsp, 8), "rsp");
+  EXPECT_STREQ(RegName(kRsp, 1), "spl");
+  EXPECT_STREQ(RegName(kR8, 8), "r8");
+  EXPECT_STREQ(RegName(kR8, 4), "r8d");
+  EXPECT_STREQ(RegName(kR8, 2), "r8w");
+  EXPECT_STREQ(RegName(kR8, 1), "r8b");
+  EXPECT_STREQ(RegName(kR15, 8), "r15");
+  // Out-of-range register numbers are masked, never UB.
+  EXPECT_STREQ(RegName(16, 8), "rax");
+}
+
+TEST(MnemonicNameTest, EveryMnemonicHasAName) {
+  for (int m = 0; m <= static_cast<int>(Mnemonic::kUd2); ++m) {
+    const char* name = MnemonicName(static_cast<Mnemonic>(m));
+    EXPECT_NE(name, nullptr);
+    EXPECT_STRNE(name, "(bad)");
+  }
+}
+
+// ---- Random-byte robustness (differential structural check) ------------------
+
+TEST(DecoderRobustness, RandomBytesNeverViolateInvariants) {
+  Rng rng(0xfeed);
+  size_t decoded = 0;
+  for (int trial = 0; trial < 20000; ++trial) {
+    const Bytes junk = rng.NextBytes(kMaxInsnLength);
+    auto insn = DecodeOne(ByteView(junk.data(), junk.size()), 0, 0);
+    if (!insn.ok()) continue;
+    ++decoded;
+    EXPECT_GE(insn->length, 1);
+    EXPECT_LE(insn->length, kMaxInsnLength);
+    EXPECT_EQ(insn->prefix_len + insn->opcode_len + insn->modrm_len +
+                  insn->sib_len + insn->disp_len + insn->imm_len,
+              insn->length);
+    // Rendering must never crash on any decodable instruction.
+    EXPECT_FALSE(insn->ToString().empty());
+  }
+  // A decent fraction of random bytes is decodable (dense opcode coverage).
+  EXPECT_GT(decoded, 2000u);
+}
+
+// ---- Encoder determinism across the whole surface -----------------------------
+
+TEST(EncoderDeterminism, SameProgramSameBytes) {
+  auto emit = [] {
+    Assembler as(0x1000);
+    for (int r = 0; r < 16; ++r) {
+      as.MovRegImm64(static_cast<Reg>(r), 0x123456789abcdef0ull + r);
+      as.Push(static_cast<Reg>(r));
+      as.Pop(static_cast<Reg>(r));
+      as.AddRegReg(static_cast<Reg>(r), kRax);
+      as.MovStore(static_cast<Reg>(r), 0x40, kRcx);
+      as.MovLoad(kRcx, static_cast<Reg>(r), -0x40);
+    }
+    as.Ret();
+    return as.bytes();
+  };
+  EXPECT_EQ(emit(), emit());
+}
+
+TEST(EncoderDeterminism, AllRegPairsRoundTripThroughDecoder) {
+  for (int dst = 0; dst < 16; ++dst) {
+    for (int src = 0; src < 16; src += 3) {
+      Assembler as(0);
+      as.MovRegReg(static_cast<Reg>(dst), static_cast<Reg>(src));
+      as.SubRegReg(static_cast<Reg>(dst), static_cast<Reg>(src));
+      as.CmpRegReg(static_cast<Reg>(dst), static_cast<Reg>(src));
+      auto insns = DecodeAll(ByteView(as.bytes().data(), as.bytes().size()), 0);
+      ASSERT_TRUE(insns.ok()) << dst << "," << src;
+      ASSERT_EQ(insns->size(), 3u);
+      EXPECT_TRUE((*insns)[0].dst.IsReg(static_cast<uint8_t>(dst)));
+      EXPECT_TRUE((*insns)[0].src.IsReg(static_cast<uint8_t>(src)));
+      EXPECT_EQ((*insns)[1].mnemonic, Mnemonic::kSub);
+      EXPECT_EQ((*insns)[2].mnemonic, Mnemonic::kCmp);
+    }
+  }
+}
+
+TEST(EncoderDeterminism, MemoryDisplacementSweep) {
+  // Exercise mod=00/01/10 across bases including the rsp/rbp special cases.
+  for (int base = 0; base < 16; ++base) {
+    for (const int32_t disp : {0, 1, 127, 128, -1, -128, -129, 0x10000}) {
+      Assembler as(0);
+      as.MovStore(static_cast<Reg>(base), disp, kRax);
+      auto insn = DecodeOne(ByteView(as.bytes().data(), as.bytes().size()), 0, 0);
+      ASSERT_TRUE(insn.ok()) << "base=" << base << " disp=" << disp;
+      ASSERT_EQ(insn->dst.kind, OperandKind::kMem);
+      EXPECT_EQ(insn->dst.mem.base, base);
+      EXPECT_EQ(insn->dst.mem.disp, disp);
+      EXPECT_EQ(insn->length, as.bytes().size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace engarde::x86

@@ -1,0 +1,467 @@
+#include "x86/decoder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "x86/encoder.h"
+
+namespace engarde::x86 {
+namespace {
+
+Insn DecodeHex(const std::string& hex, uint64_t vaddr = 0x1000) {
+  auto bytes = HexDecode(hex);
+  EXPECT_TRUE(bytes.ok()) << hex;
+  auto insn = DecodeOne(ByteView(bytes->data(), bytes->size()), 0, vaddr);
+  EXPECT_TRUE(insn.ok()) << hex << " -> " << insn.status().ToString();
+  return insn.ok() ? *insn : Insn{};
+}
+
+// ---- The exact byte sequences from the paper's policy listings ------------
+
+TEST(DecoderTest, MovFsCanaryLoad) {
+  // 19311: mov %fs:0x28, %rax
+  const Insn insn = DecodeHex("64488b042528000000");
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kMov);
+  EXPECT_EQ(insn.length, 9);
+  EXPECT_EQ(insn.op_size, 8);
+  ASSERT_EQ(insn.dst.kind, OperandKind::kReg);
+  EXPECT_EQ(insn.dst.reg, kRax);
+  ASSERT_EQ(insn.src.kind, OperandKind::kMem);
+  EXPECT_EQ(insn.src.mem.segment, Segment::kFs);
+  EXPECT_TRUE(insn.src.mem.IsAbsolute());
+  EXPECT_EQ(insn.src.mem.disp, 0x28);
+}
+
+TEST(DecoderTest, MovCanaryToStack) {
+  // 1931a: mov %rax, (%rsp)
+  const Insn insn = DecodeHex("48890424");
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kMov);
+  ASSERT_EQ(insn.dst.kind, OperandKind::kMem);
+  EXPECT_TRUE(insn.dst.IsMemWithBase(kRsp));
+  EXPECT_EQ(insn.dst.mem.disp, 0);
+  ASSERT_EQ(insn.src.kind, OperandKind::kReg);
+  EXPECT_EQ(insn.src.reg, kRax);
+}
+
+TEST(DecoderTest, CmpStackAgainstCanary) {
+  // 19407: cmp (%rsp), %rax
+  const Insn insn = DecodeHex("483b0424");
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kCmp);
+  ASSERT_EQ(insn.dst.kind, OperandKind::kReg);
+  EXPECT_EQ(insn.dst.reg, kRax);
+  EXPECT_TRUE(insn.src.IsMemWithBase(kRsp));
+}
+
+TEST(DecoderTest, JneRel8) {
+  // 1940b: jne 1941f  (jne rel8, from next insn at 0x1002: rel = 0x12)
+  const Insn insn = DecodeHex("7512", 0x1000);
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kJcc);
+  EXPECT_EQ(insn.cond, kCondNe);
+  EXPECT_EQ(insn.BranchTarget(), 0x1014u);
+}
+
+TEST(DecoderTest, CallRel32) {
+  // callq __stack_chk_fail
+  const Insn insn = DecodeHex("e8fb040000", 0x2000);
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kCall);
+  EXPECT_EQ(insn.length, 5);
+  EXPECT_EQ(insn.BranchTarget(), 0x2000u + 5 + 0x4fb);
+}
+
+TEST(DecoderTest, LeaRipRelative) {
+  // 1b459: lea 0x85c70(%rip), %rax
+  const Insn insn = DecodeHex("488d05705c0800", 0x1b459);
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kLea);
+  EXPECT_EQ(insn.length, 7);
+  ASSERT_EQ(insn.dst.kind, OperandKind::kReg);
+  EXPECT_EQ(insn.dst.reg, kRax);
+  ASSERT_EQ(insn.src.kind, OperandKind::kRipRel);
+  EXPECT_EQ(insn.src.mem.disp, 0x85c70);
+}
+
+TEST(DecoderTest, SubEaxEcx) {
+  // 1b460: sub %eax, %ecx (32-bit)
+  const Insn insn = DecodeHex("29c1");
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kSub);
+  EXPECT_EQ(insn.op_size, 4);
+  EXPECT_TRUE(insn.dst.IsReg(kRcx));
+  EXPECT_TRUE(insn.src.IsReg(kRax));
+}
+
+TEST(DecoderTest, AndRcxImm) {
+  // 1b462: and $0x1ff8, %rcx
+  const Insn insn = DecodeHex("4881e1f81f0000");
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kAnd);
+  EXPECT_EQ(insn.op_size, 8);
+  EXPECT_TRUE(insn.dst.IsReg(kRcx));
+  ASSERT_EQ(insn.src.kind, OperandKind::kImm);
+  EXPECT_EQ(insn.src.imm, 0x1ff8);
+}
+
+TEST(DecoderTest, AddRaxRcx) {
+  // 1b469: add %rax, %rcx
+  const Insn insn = DecodeHex("4801c1");
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kAdd);
+  EXPECT_TRUE(insn.dst.IsReg(kRcx));
+  EXPECT_TRUE(insn.src.IsReg(kRax));
+}
+
+TEST(DecoderTest, CallIndirectRcx) {
+  // 1b475: callq *%rcx
+  const Insn insn = DecodeHex("ffd1");
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kCallIndirect);
+  ASSERT_EQ(insn.src.kind, OperandKind::kReg);
+  EXPECT_EQ(insn.src.reg, kRcx);
+  EXPECT_TRUE(insn.IsIndirectBranch());
+}
+
+TEST(DecoderTest, JumpTableEntry) {
+  // a19d0: jmpq <target> ; nopl (%rax)
+  auto bytes = HexDecode("e9bbf6ffff0f1f00");
+  ASSERT_TRUE(bytes.ok());
+  auto insns = DecodeAll(ByteView(bytes->data(), bytes->size()), 0xa19d0);
+  ASSERT_TRUE(insns.ok());
+  ASSERT_EQ(insns->size(), 2u);
+  EXPECT_EQ((*insns)[0].mnemonic, Mnemonic::kJmp);
+  EXPECT_EQ((*insns)[0].length, 5);
+  EXPECT_EQ((*insns)[1].mnemonic, Mnemonic::kNop);
+  EXPECT_EQ((*insns)[1].length, 3);
+}
+
+// ---- General decode coverage ------------------------------------------------
+
+TEST(DecoderTest, PushPopAllRegisters) {
+  for (int r = 0; r < 16; ++r) {
+    Assembler as(0);
+    as.Push(static_cast<Reg>(r));
+    as.Pop(static_cast<Reg>(r));
+    auto insns = DecodeAll(ByteView(as.bytes().data(), as.bytes().size()), 0);
+    ASSERT_TRUE(insns.ok()) << "reg " << r;
+    ASSERT_EQ(insns->size(), 2u);
+    EXPECT_EQ((*insns)[0].mnemonic, Mnemonic::kPush);
+    EXPECT_EQ((*insns)[0].dst.reg, r);
+    EXPECT_EQ((*insns)[1].mnemonic, Mnemonic::kPop);
+    EXPECT_EQ((*insns)[1].dst.reg, r);
+    // push/pop default to 64-bit without REX.W.
+    EXPECT_EQ((*insns)[0].op_size, 8);
+  }
+}
+
+TEST(DecoderTest, MovImm64) {
+  const Insn insn = DecodeHex("48b8efcdab8967452301");
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kMov);
+  EXPECT_EQ(insn.length, 10);
+  EXPECT_EQ(insn.op_size, 8);
+  EXPECT_TRUE(insn.dst.IsReg(kRax));
+  EXPECT_EQ(static_cast<uint64_t>(insn.src.imm), 0x0123456789abcdefull);
+}
+
+TEST(DecoderTest, MovImm32ZeroExtends) {
+  const Insn insn = DecodeHex("b878563412");  // mov $0x12345678, %eax
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kMov);
+  EXPECT_EQ(insn.op_size, 4);
+  EXPECT_EQ(insn.src.imm, 0x12345678);
+}
+
+TEST(DecoderTest, Grp1SignExtendedImm8) {
+  const Insn insn = DecodeHex("4883c0f8");  // add $-8, %rax
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kAdd);
+  EXPECT_EQ(insn.src.imm, -8);
+}
+
+TEST(DecoderTest, MemOperandWithDisp8AndDisp32) {
+  const Insn d8 = DecodeHex("488b4510");  // mov 0x10(%rbp), %rax
+  EXPECT_TRUE(d8.src.IsMemWithBase(kRbp));
+  EXPECT_EQ(d8.src.mem.disp, 0x10);
+  EXPECT_EQ(d8.disp_len, 1);
+
+  const Insn d32 = DecodeHex("488b8000010000");  // mov 0x100(%rax), %rax
+  EXPECT_TRUE(d32.src.IsMemWithBase(kRax));
+  EXPECT_EQ(d32.src.mem.disp, 0x100);
+  EXPECT_EQ(d32.disp_len, 4);
+}
+
+TEST(DecoderTest, SibWithIndexAndScale) {
+  const Insn insn = DecodeHex("488b04c8");  // mov (%rax,%rcx,8), %rax
+  ASSERT_EQ(insn.src.kind, OperandKind::kMem);
+  EXPECT_EQ(insn.src.mem.base, kRax);
+  EXPECT_EQ(insn.src.mem.index, kRcx);
+  EXPECT_EQ(insn.src.mem.scale, 8);
+}
+
+TEST(DecoderTest, ExtendedRegisters) {
+  const Insn insn = DecodeHex("4d89c8");  // mov %r9, %r8
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kMov);
+  EXPECT_TRUE(insn.dst.IsReg(kR8));
+  EXPECT_TRUE(insn.src.IsReg(kR9));
+}
+
+TEST(DecoderTest, JccRel32AllConditions) {
+  for (int cc = 0; cc < 16; ++cc) {
+    Bytes code = {0x0f, static_cast<uint8_t>(0x80 | cc), 0x10, 0, 0, 0};
+    auto insn = DecodeOne(ByteView(code.data(), code.size()), 0, 0x400000);
+    ASSERT_TRUE(insn.ok()) << cc;
+    EXPECT_EQ(insn->mnemonic, Mnemonic::kJcc);
+    EXPECT_EQ(insn->cond, cc);
+    EXPECT_EQ(insn->BranchTarget(), 0x400016u);
+  }
+}
+
+TEST(DecoderTest, SetccAndCmovcc) {
+  const Insn setne = DecodeHex("0f95c0");  // setne %al
+  EXPECT_EQ(setne.mnemonic, Mnemonic::kSetcc);
+  EXPECT_EQ(setne.cond, kCondNe);
+  EXPECT_EQ(setne.op_size, 1);
+
+  const Insn cmove = DecodeHex("480f44c1");  // cmove %rcx, %rax
+  EXPECT_EQ(cmove.mnemonic, Mnemonic::kCmov);
+  EXPECT_EQ(cmove.cond, kCondE);
+  EXPECT_TRUE(cmove.dst.IsReg(kRax));
+}
+
+TEST(DecoderTest, SystemInstructions) {
+  EXPECT_EQ(DecodeHex("0f05").mnemonic, Mnemonic::kSyscall);
+  EXPECT_EQ(DecodeHex("cc").mnemonic, Mnemonic::kInt3);
+  EXPECT_EQ(DecodeHex("cd80").mnemonic, Mnemonic::kInt);
+  EXPECT_EQ(DecodeHex("f4").mnemonic, Mnemonic::kHlt);
+  EXPECT_EQ(DecodeHex("0fa2").mnemonic, Mnemonic::kCpuid);
+  EXPECT_EQ(DecodeHex("0f31").mnemonic, Mnemonic::kRdtsc);
+  EXPECT_EQ(DecodeHex("0f0b").mnemonic, Mnemonic::kUd2);
+}
+
+TEST(DecoderTest, Endbr64) {
+  const Insn insn = DecodeHex("f30f1efa");
+  EXPECT_EQ(insn.mnemonic, Mnemonic::kEndbr64);
+  EXPECT_EQ(insn.length, 4);
+}
+
+TEST(DecoderTest, MultiByteNops) {
+  for (size_t n = 1; n <= 9; ++n) {
+    Assembler as(0);
+    as.NopBytes(n);
+    ASSERT_EQ(as.bytes().size(), n);
+    auto insn = DecodeOne(ByteView(as.bytes().data(), n), 0, 0);
+    ASSERT_TRUE(insn.ok()) << "nop size " << n << ": " << insn.status().ToString();
+    EXPECT_EQ(insn->mnemonic, Mnemonic::kNop) << n;
+    EXPECT_EQ(insn->length, n) << n;
+  }
+}
+
+TEST(DecoderTest, RetForms) {
+  EXPECT_EQ(DecodeHex("c3").mnemonic, Mnemonic::kRet);
+  const Insn retn = DecodeHex("c20800");  // ret $8
+  EXPECT_EQ(retn.mnemonic, Mnemonic::kRet);
+  EXPECT_EQ(retn.length, 3);
+}
+
+TEST(DecoderTest, ByteStructureMetadata) {
+  // 64 48 8b 04 25 28 00 00 00: seg prefix + REX + opcode + modrm + sib + disp32
+  const Insn insn = DecodeHex("64488b042528000000");
+  EXPECT_EQ(insn.prefix_len, 2);  // 0x64 + REX
+  EXPECT_EQ(insn.opcode_len, 1);
+  EXPECT_EQ(insn.modrm_len, 1);
+  EXPECT_EQ(insn.sib_len, 1);
+  EXPECT_EQ(insn.disp_len, 4);
+  EXPECT_EQ(insn.imm_len, 0);
+  EXPECT_EQ(insn.prefix_len + insn.opcode_len + insn.modrm_len + insn.sib_len +
+                insn.disp_len + insn.imm_len,
+            insn.length);
+}
+
+// ---- Rejection behaviour -----------------------------------------------------
+
+TEST(DecoderTest, RejectsTruncatedInstruction) {
+  auto bytes = HexDecode("4881");  // and/cmp/... missing modrm+imm
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_FALSE(DecodeOne(ByteView(bytes->data(), bytes->size()), 0, 0).ok());
+}
+
+TEST(DecoderTest, RejectsUnsupportedOpcodes) {
+  // SSE (0F 10 = movups) must be UNIMPLEMENTED, not misdecoded.
+  auto bytes = HexDecode("0f1000");
+  ASSERT_TRUE(bytes.ok());
+  auto r = DecodeOne(ByteView(bytes->data(), bytes->size()), 0, 0);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(DecoderTest, RejectsThreeByteMaps) {
+  auto bytes = HexDecode("0f3800c0");
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(DecodeOne(ByteView(bytes->data(), bytes->size()), 0, 0)
+                .status()
+                .code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(DecoderTest, RejectsPrefixFlood) {
+  Bytes code(8, 0x66);
+  code.push_back(0x90);
+  EXPECT_FALSE(DecodeOne(ByteView(code.data(), code.size()), 0, 0).ok());
+}
+
+TEST(DecoderTest, NeverCrashesOnArbitraryBytes) {
+  // Exhaustive two-byte prefix sweep: decode must always terminate with
+  // either a valid instruction or a clean error.
+  Bytes code(kMaxInsnLength, 0);
+  for (int b0 = 0; b0 < 256; ++b0) {
+    for (int b1 = 0; b1 < 256; b1 += 7) {
+      code[0] = static_cast<uint8_t>(b0);
+      code[1] = static_cast<uint8_t>(b1);
+      (void)DecodeOne(ByteView(code.data(), code.size()), 0, 0);
+    }
+  }
+  SUCCEED();
+}
+
+// ---- Encoder/decoder round-trip properties ----------------------------------
+
+struct RoundTripCase {
+  const char* name;
+  void (*emit)(Assembler&);
+  Mnemonic expect;
+};
+
+void EmitMovRegReg(Assembler& a) { a.MovRegReg(kRbx, kR12); }
+void EmitMovLoad(Assembler& a) { a.MovLoad(kRdx, kRbp, -24); }
+void EmitMovStore(Assembler& a) { a.MovStore(kRsp, 8, kRdi); }
+void EmitAdd(Assembler& a) { a.AddRegReg(kR9, kRsi); }
+void EmitSub32(Assembler& a) { a.SubRegReg32(kRcx, kRax); }
+void EmitAndImm(Assembler& a) { a.AndRegImm32(kRcx, 0x1ff8); }
+void EmitXor(Assembler& a) { a.XorRegReg(kR15, kR15); }
+void EmitCmpMem(Assembler& a) { a.CmpRegMem(kRax, kRsp, 0); }
+void EmitLea(Assembler& a) { a.LeaRipRel(kR11, 0x1234); }
+void EmitImul(Assembler& a) { a.ImulRegReg(kRax, kRdx); }
+void EmitShl(Assembler& a) { a.ShlRegImm8(kRdi, 3); }
+void EmitCallInd(Assembler& a) { a.CallIndirectReg(kR10); }
+void EmitJmpInd(Assembler& a) { a.JmpIndirectReg(kRax); }
+void EmitFsLoad(Assembler& a) { a.MovRegFsDisp(kRcx, 0x28); }
+void EmitMovImm64(Assembler& a) { a.MovRegImm64(kR14, 0xdeadbeefcafebabe); }
+void EmitTest(Assembler& a) { a.TestRegReg(kRax, kRax); }
+void EmitCmpImm(Assembler& a) { a.CmpRegImm32(kRbx, 100); }
+
+class EncoderRoundTrip : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(EncoderRoundTrip, DecodesToSameMnemonic) {
+  const RoundTripCase& c = GetParam();
+  Assembler as(0x400000);
+  c.emit(as);
+  auto insns = DecodeAll(ByteView(as.bytes().data(), as.bytes().size()),
+                         0x400000);
+  ASSERT_TRUE(insns.ok()) << c.name << ": " << insns.status().ToString();
+  ASSERT_EQ(insns->size(), 1u) << c.name;
+  EXPECT_EQ((*insns)[0].mnemonic, c.expect) << c.name;
+  EXPECT_EQ((*insns)[0].length, as.bytes().size()) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, EncoderRoundTrip,
+    ::testing::Values(
+        RoundTripCase{"mov_rr", EmitMovRegReg, Mnemonic::kMov},
+        RoundTripCase{"mov_load", EmitMovLoad, Mnemonic::kMov},
+        RoundTripCase{"mov_store", EmitMovStore, Mnemonic::kMov},
+        RoundTripCase{"add", EmitAdd, Mnemonic::kAdd},
+        RoundTripCase{"sub32", EmitSub32, Mnemonic::kSub},
+        RoundTripCase{"and_imm", EmitAndImm, Mnemonic::kAnd},
+        RoundTripCase{"xor", EmitXor, Mnemonic::kXor},
+        RoundTripCase{"cmp_mem", EmitCmpMem, Mnemonic::kCmp},
+        RoundTripCase{"lea", EmitLea, Mnemonic::kLea},
+        RoundTripCase{"imul", EmitImul, Mnemonic::kImul},
+        RoundTripCase{"shl", EmitShl, Mnemonic::kShl},
+        RoundTripCase{"call_ind", EmitCallInd, Mnemonic::kCallIndirect},
+        RoundTripCase{"jmp_ind", EmitJmpInd, Mnemonic::kJmpIndirect},
+        RoundTripCase{"fs_load", EmitFsLoad, Mnemonic::kMov},
+        RoundTripCase{"mov_imm64", EmitMovImm64, Mnemonic::kMov},
+        RoundTripCase{"test", EmitTest, Mnemonic::kTest},
+        RoundTripCase{"cmp_imm", EmitCmpImm, Mnemonic::kCmp}),
+    [](const ::testing::TestParamInfo<RoundTripCase>& info) {
+      return info.param.name;
+    });
+
+TEST(EncoderTest, BranchTargetsResolve) {
+  Assembler as(0x1000);
+  as.CallAbs(0x2000);          // at 0x1000
+  as.JmpAbs(0x1000);           // at 0x1005
+  as.JccAbs(kCondNe, 0x1800);  // at 0x100a
+  auto insns = DecodeAll(ByteView(as.bytes().data(), as.bytes().size()), 0x1000);
+  ASSERT_TRUE(insns.ok());
+  ASSERT_EQ(insns->size(), 3u);
+  EXPECT_EQ((*insns)[0].BranchTarget(), 0x2000u);
+  EXPECT_EQ((*insns)[1].BranchTarget(), 0x1000u);
+  EXPECT_EQ((*insns)[2].BranchTarget(), 0x1800u);
+}
+
+TEST(EncoderTest, LabelsFixUpForwardReferences) {
+  Assembler as(0x1000);
+  auto skip = as.NewLabel();
+  as.JccLabel(kCondE, skip);
+  as.Nop();
+  as.Nop();
+  as.Bind(skip);
+  as.Ret();
+  Bytes code = as.TakeBytes();
+  auto insns = DecodeAll(ByteView(code.data(), code.size()), 0x1000);
+  ASSERT_TRUE(insns.ok());
+  // jcc (6) + nop + nop -> label at 0x1008.
+  EXPECT_EQ((*insns)[0].BranchTarget(), 0x1008u);
+  EXPECT_EQ((*insns)[3].mnemonic, Mnemonic::kRet);
+}
+
+TEST(EncoderTest, LeaRipRelToComputesDisplacement) {
+  Assembler as(0x5000);
+  as.LeaRipRelTo(kRax, 0x85c70 + 0x5007);  // paper's lea shape
+  auto insn = DecodeOne(ByteView(as.bytes().data(), as.bytes().size()), 0, 0x5000);
+  ASSERT_TRUE(insn.ok());
+  // target = next(0x5007) + disp
+  EXPECT_EQ(insn->NextAddr() + static_cast<uint64_t>(insn->src.mem.disp),
+            0x85c70u + 0x5007u);
+}
+
+TEST(EncoderTest, BundleAlignForPreventsStraddle) {
+  Assembler as(0);
+  as.NopBytes(30);  // position 30 within the bundle
+  as.BundleAlignFor(5);
+  EXPECT_EQ(as.size() % 32, 0u);  // padded to the boundary
+  as.CallAbs(0x100);
+  // Re-check: instruction sits fully inside bundle 2.
+  EXPECT_LE(as.size(), 64u);
+}
+
+TEST(EncoderTest, RspAndR12MemOperandsUseSib) {
+  // rsp and r12 as base registers force a SIB byte; make sure both decode.
+  Assembler as(0);
+  as.MovStore(kRsp, 0, kRax);
+  as.MovStore(kR12, 0, kRax);
+  as.MovLoad(kRbx, kRsp, 64);
+  as.MovLoad(kRbx, kR12, 64);
+  auto insns = DecodeAll(ByteView(as.bytes().data(), as.bytes().size()), 0);
+  ASSERT_TRUE(insns.ok()) << insns.status().ToString();
+  ASSERT_EQ(insns->size(), 4u);
+  EXPECT_TRUE((*insns)[0].dst.IsMemWithBase(kRsp));
+  EXPECT_TRUE((*insns)[1].dst.IsMemWithBase(kR12));
+  EXPECT_TRUE((*insns)[2].src.IsMemWithBase(kRsp));
+  EXPECT_TRUE((*insns)[3].src.IsMemWithBase(kR12));
+}
+
+TEST(EncoderTest, RbpAndR13MemOperandsForceDisp) {
+  // rbp/r13 with zero displacement still need mod=01 disp8=0.
+  Assembler as(0);
+  as.MovStore(kRbp, 0, kRax);
+  as.MovStore(kR13, 0, kRax);
+  auto insns = DecodeAll(ByteView(as.bytes().data(), as.bytes().size()), 0);
+  ASSERT_TRUE(insns.ok());
+  EXPECT_TRUE((*insns)[0].dst.IsMemWithBase(kRbp));
+  EXPECT_EQ((*insns)[0].dst.mem.disp, 0);
+  EXPECT_TRUE((*insns)[1].dst.IsMemWithBase(kR13));
+}
+
+TEST(InsnTest, ToStringRendersKeyForms) {
+  EXPECT_NE(DecodeHex("64488b042528000000").ToString().find("%fs:"),
+            std::string::npos);
+  EXPECT_NE(DecodeHex("ffd1").ToString().find("callq*"), std::string::npos);
+  EXPECT_NE(DecodeHex("7512", 0x1000).ToString().find("jne"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace engarde::x86

@@ -1,0 +1,301 @@
+#include "x86/interp.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "x86/encoder.h"
+
+namespace engarde::x86 {
+namespace {
+
+// Flat test memory: code at kCodeBase (execute-only), data/stack/TLS writable.
+class FlatMemory : public MemoryIface {
+ public:
+  static constexpr uint64_t kCodeBase = 0x10000;
+  static constexpr uint64_t kDataBase = 0x20000;
+  static constexpr uint64_t kStackTop = 0x40000;
+  static constexpr uint64_t kFsBase = 0x50000;
+  static constexpr size_t kSize = 0x60000;
+
+  explicit FlatMemory(const Bytes& code) : mem_(kSize, 0) {
+    std::memcpy(mem_.data() + kCodeBase, code.data(), code.size());
+    code_end_ = kCodeBase + code.size();
+  }
+
+  void Poke64(uint64_t addr, uint64_t v) { StoreLe64(mem_.data() + addr, v); }
+  uint64_t Peek64(uint64_t addr) const { return LoadLe64(mem_.data() + addr); }
+
+  Result<uint64_t> Load(uint64_t addr, uint8_t size) override {
+    if (addr + size > mem_.size()) return OutOfRangeError("load out of range");
+    uint64_t v = 0;
+    for (int i = size; i-- > 0;) v = (v << 8) | mem_[addr + i];
+    return v;
+  }
+  Status Store(uint64_t addr, uint8_t size, uint64_t value) override {
+    if (addr + size > mem_.size()) return OutOfRangeError("store out of range");
+    if (addr >= kCodeBase && addr < code_end_) {
+      return PermissionDeniedError("store to execute-only page");
+    }
+    for (int i = 0; i < size; ++i) mem_[addr + i] = static_cast<uint8_t>(value >> (8 * i));
+    return Status::Ok();
+  }
+  Status Fetch(uint64_t addr, MutableByteView out) override {
+    if (addr + out.size() > mem_.size()) {
+      return OutOfRangeError("fetch out of range");
+    }
+    std::memcpy(out.data(), mem_.data() + addr, out.size());
+    return Status::Ok();
+  }
+  bool IsExecutable(uint64_t addr) const override {
+    return addr >= kCodeBase && addr < code_end_;
+  }
+
+ private:
+  Bytes mem_;
+  uint64_t code_end_;
+};
+
+Result<uint64_t> RunCode(const Bytes& code,
+                         void (*setup)(FlatMemory&, Machine&) = nullptr) {
+  FlatMemory mem(code);
+  MachineConfig config;
+  config.stack_top = FlatMemory::kStackTop;
+  config.fs_base = FlatMemory::kFsBase;
+  Machine machine(&mem, config);
+  if (setup) setup(mem, machine);
+  return machine.Run(FlatMemory::kCodeBase);
+}
+
+TEST(InterpTest, MovImmediateAndRet) {
+  Assembler as(FlatMemory::kCodeBase);
+  as.MovRegImm32(kRax, 42);
+  as.Ret();
+  auto r = RunCode(as.bytes());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, 42u);
+}
+
+TEST(InterpTest, ArithmeticChain) {
+  Assembler as(FlatMemory::kCodeBase);
+  as.MovRegImm32(kRax, 10);
+  as.MovRegImm32(kRcx, 4);
+  as.AddRegReg(kRax, kRcx);   // 14
+  as.SubRegImm32(kRax, 2);    // 12
+  as.ShlRegImm8(kRax, 2);     // 48
+  as.Ret();
+  auto r = RunCode(as.bytes());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, 48u);
+}
+
+TEST(InterpTest, LoopWithConditionalBranch) {
+  // rax = sum of 1..10 via a loop.
+  Assembler as(FlatMemory::kCodeBase);
+  as.XorRegReg(kRax, kRax);
+  as.MovRegImm32(kRcx, 10);
+  auto loop = as.NewLabel();
+  as.Bind(loop);
+  as.AddRegReg(kRax, kRcx);
+  as.SubRegImm32(kRcx, 1);
+  as.CmpRegImm32(kRcx, 0);
+  as.JccLabel(kCondNe, loop);
+  as.Ret();
+  Bytes code = as.TakeBytes();
+  auto r = RunCode(code);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, 55u);
+}
+
+TEST(InterpTest, CallAndReturn) {
+  Assembler as(FlatMemory::kCodeBase);
+  auto fn = as.NewLabel();
+  as.MovRegImm32(kRax, 1);
+  as.CallAbs(FlatMemory::kCodeBase + 32);
+  as.AddRegImm32(kRax, 1);  // after the call: rax = 100 + 1
+  as.Ret();
+  as.AlignTo(32);
+  as.Bind(fn);
+  as.MovRegImm32(kRax, 100);
+  as.Ret();
+  Bytes code = as.TakeBytes();
+  auto r = RunCode(code);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, 101u);
+}
+
+TEST(InterpTest, StackPushPop) {
+  Assembler as(FlatMemory::kCodeBase);
+  as.MovRegImm32(kRcx, 77);
+  as.Push(kRcx);
+  as.MovRegImm32(kRcx, 0);
+  as.Pop(kRax);
+  as.Ret();
+  auto r = RunCode(as.bytes());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 77u);
+}
+
+TEST(InterpTest, MemoryLoadStore) {
+  Assembler as(FlatMemory::kCodeBase);
+  as.MovRegImm64(kRbx, FlatMemory::kDataBase);
+  as.MovRegImm32(kRax, 1234);
+  as.MovStore(kRbx, 16, kRax);
+  as.MovRegImm32(kRax, 0);
+  as.MovLoad(kRax, kRbx, 16);
+  as.Ret();
+  auto r = RunCode(as.bytes());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, 1234u);
+}
+
+TEST(InterpTest, FsSegmentReadsThreadArea) {
+  // The stack-protector pattern: read the canary from %fs:0x28.
+  Assembler as(FlatMemory::kCodeBase);
+  as.MovRegFsDisp(kRax, 0x28);
+  as.Ret();
+  auto r = RunCode(as.bytes(), [](FlatMemory& mem, Machine&) {
+    mem.Poke64(FlatMemory::kFsBase + 0x28, 0xc0ffee);
+  });
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, 0xc0ffeeu);
+}
+
+TEST(InterpTest, StackProtectorSequenceRoundTrips) {
+  // Full prologue + epilogue: canary in, canary checked, no corruption ->
+  // the jne is not taken and we return a marker value.
+  Assembler as(FlatMemory::kCodeBase);
+  as.SubRegImm32(kRsp, 24);
+  as.MovRegFsDisp(kRax, 0x28);
+  as.MovStore(kRsp, 16, kRax);
+  // ... function body ...
+  as.MovRegFsDisp(kRax, 0x28);
+  as.CmpRegMem(kRax, kRsp, 16);
+  auto fail = as.NewLabel();
+  as.JccLabel(kCondNe, fail);
+  as.MovRegImm32(kRax, 7);
+  as.AddRegImm32(kRsp, 24);
+  as.Ret();
+  as.Bind(fail);
+  as.Hlt();  // stand-in for __stack_chk_fail
+  Bytes code = as.TakeBytes();
+  auto r = RunCode(code, [](FlatMemory& mem, Machine&) {
+    mem.Poke64(FlatMemory::kFsBase + 0x28, 0x1122334455667788);
+  });
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, 7u);
+}
+
+TEST(InterpTest, IndirectCallThroughRegister) {
+  Assembler as(FlatMemory::kCodeBase);
+  as.MovRegImm64(kRcx, FlatMemory::kCodeBase + 32);
+  as.CallIndirectReg(kRcx);
+  as.Ret();
+  as.AlignTo(32);
+  as.MovRegImm32(kRax, 55);
+  as.Ret();
+  auto r = RunCode(as.bytes());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*r, 55u);
+}
+
+TEST(InterpTest, CmovAndSetcc) {
+  Assembler as(FlatMemory::kCodeBase);
+  as.MovRegImm32(kRax, 1);
+  as.MovRegImm32(kRcx, 9);
+  as.TestRegReg(kRax, kRax);  // ZF=0
+  // cmove: not taken (ZF=0) -> rax stays 1... then setne %al -> 1.
+  auto l = as.NewLabel();
+  as.JccLabel(kCondE, l);
+  as.MovRegReg(kRax, kRcx);  // taken path: rax = 9
+  as.Bind(l);
+  as.Ret();
+  Bytes code = as.TakeBytes();
+  auto r = RunCode(code);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 9u);
+}
+
+TEST(InterpTest, SyscallIsRejected) {
+  Assembler as(FlatMemory::kCodeBase);
+  as.Syscall();
+  auto r = RunCode(as.bytes());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST(InterpTest, WriteToCodePageRejected) {
+  Assembler as(FlatMemory::kCodeBase);
+  as.MovRegImm64(kRbx, FlatMemory::kCodeBase);
+  as.MovStore(kRbx, 0, kRax);  // self-modify attempt
+  as.Ret();
+  auto r = RunCode(as.bytes());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST(InterpTest, FetchFromNonExecutableRejected) {
+  Assembler as(FlatMemory::kCodeBase);
+  as.MovRegImm64(kRcx, FlatMemory::kDataBase);  // data is not executable
+  as.JmpIndirectReg(kRcx);
+  auto r = RunCode(as.bytes());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST(InterpTest, StepLimitStopsInfiniteLoop) {
+  Assembler as(FlatMemory::kCodeBase);
+  auto spin = as.NewLabel();
+  as.Bind(spin);
+  as.JmpLabel(spin);
+  Bytes code = as.TakeBytes();
+  FlatMemory mem(code);
+  MachineConfig config;
+  config.stack_top = FlatMemory::kStackTop;
+  config.max_steps = 1000;
+  Machine machine(&mem, config);
+  auto r = machine.Run(FlatMemory::kCodeBase);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(InterpTest, HltStopsWithRax) {
+  Assembler as(FlatMemory::kCodeBase);
+  as.MovRegImm32(kRax, 99);
+  as.Hlt();
+  auto r = RunCode(as.bytes());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 99u);
+}
+
+TEST(InterpTest, SignedComparisons) {
+  // rax = (-5 < 3) ? 1 : 0 using jl.
+  Assembler as(FlatMemory::kCodeBase);
+  as.MovRegImm64(kRcx, static_cast<uint64_t>(-5));
+  as.MovRegImm32(kRdx, 3);
+  as.CmpRegReg(kRcx, kRdx);
+  auto less = as.NewLabel();
+  as.JccLabel(kCondL, less);
+  as.MovRegImm32(kRax, 0);
+  as.Ret();
+  as.Bind(less);
+  as.MovRegImm32(kRax, 1);
+  as.Ret();
+  Bytes code = as.TakeBytes();
+  auto r = RunCode(code);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 1u);
+}
+
+TEST(InterpTest, ThirtyTwoBitWritesZeroExtend) {
+  Assembler as(FlatMemory::kCodeBase);
+  as.MovRegImm64(kRax, 0xffffffffffffffff);
+  as.MovRegImm32(kRax, 7);  // 32-bit write must clear the top half
+  as.Ret();
+  auto r = RunCode(as.bytes());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7u);
+}
+
+}  // namespace
+}  // namespace engarde::x86

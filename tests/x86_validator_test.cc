@@ -1,0 +1,187 @@
+#include "x86/validator.h"
+
+#include <gtest/gtest.h>
+
+#include "x86/decoder.h"
+#include "x86/encoder.h"
+
+namespace engarde::x86 {
+namespace {
+
+// Decodes `code` into an InsnBuffer and validates with the given roots.
+Status ValidateCode(const Bytes& code, uint64_t base,
+                    std::vector<uint64_t> roots) {
+  auto insns = DecodeAll(ByteView(code.data(), code.size()), base);
+  if (!insns.ok()) return insns.status();
+  InsnBuffer buffer;
+  for (const Insn& i : *insns) buffer.Append(i);
+  ValidationInput input;
+  input.text_start = base;
+  input.text_end = base + code.size();
+  input.roots = std::move(roots);
+  return ValidateNaClConstraints(buffer, input);
+}
+
+TEST(ValidatorTest, AcceptsStraightLineCode) {
+  Assembler as(0x1000);
+  as.MovRegImm32(kRax, 7);
+  as.AddRegImm32(kRax, 1);
+  as.Ret();
+  EXPECT_TRUE(ValidateCode(as.bytes(), 0x1000, {0x1000}).ok());
+}
+
+TEST(ValidatorTest, AcceptsBranchesToInstructionStarts) {
+  Assembler as(0x1000);
+  auto done = as.NewLabel();
+  as.TestRegReg(kRax, kRax);
+  as.JccLabel(kCondE, done);
+  as.AddRegImm32(kRax, 1);
+  as.Bind(done);
+  as.Ret();
+  const Bytes code = as.TakeBytes();
+  EXPECT_TRUE(ValidateCode(code, 0x1000, {0x1000}).ok());
+}
+
+TEST(ValidatorTest, RejectsBundleStraddle) {
+  Assembler as(0x1000);
+  as.NopBytes(30);             // fill to offset 30 in the bundle
+  as.MovRegImm64(kRax, 1);     // 10-byte instruction straddles offset 32
+  as.Ret();
+  const Status s = ValidateCode(as.bytes(), 0x1000, {0x1000});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("bundle"), std::string::npos);
+}
+
+TEST(ValidatorTest, AcceptsWhenBundlePaddingInserted) {
+  Assembler as(0x1000);
+  as.NopBytes(30);
+  as.BundleAlignFor(10);
+  as.MovRegImm64(kRax, 1);
+  as.Ret();
+  EXPECT_TRUE(ValidateCode(as.bytes(), 0x1000, {0x1000}).ok());
+}
+
+TEST(ValidatorTest, RejectsBranchIntoInstructionMiddle) {
+  Assembler as(0x1000);
+  as.JmpAbs(0x1006);           // 5-byte jmp, then a 10-byte movabs at 0x1005;
+  as.MovRegImm64(kRax, 1);     // 0x1006 is inside it
+  as.Ret();
+  const Status s = ValidateCode(as.bytes(), 0x1000, {0x1000});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("not an instruction start"), std::string::npos);
+}
+
+TEST(ValidatorTest, RejectsBranchOutsideText) {
+  Assembler as(0x1000);
+  as.JmpAbs(0x9000);
+  as.Ret();
+  const Status s = ValidateCode(as.bytes(), 0x1000, {0x1000});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("outside text"), std::string::npos);
+}
+
+TEST(ValidatorTest, RejectsUnreachableInstructions) {
+  Assembler as(0x1000);
+  as.Ret();                    // entry returns immediately
+  as.MovRegImm32(kRax, 1);     // dead code, no root covers it
+  as.Ret();
+  const Status s = ValidateCode(as.bytes(), 0x1000, {0x1000});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("unreachable"), std::string::npos);
+}
+
+TEST(ValidatorTest, FunctionSymbolRootsMakeCodeReachable) {
+  Assembler as(0x1000);
+  as.Ret();                    // "main" at 0x1000
+  const uint64_t helper = 0x1001;
+  as.MovRegImm32(kRax, 1);     // "helper" at 0x1001
+  as.Ret();
+  EXPECT_TRUE(ValidateCode(as.bytes(), 0x1000, {0x1000, helper}).ok());
+}
+
+TEST(ValidatorTest, CallFallthroughIsReachable) {
+  Assembler as(0x1000);
+  as.CallAbs(0x1006);          // call the function below (at 0x1005+1)
+  as.Ret();                    // fall-through after the call returns
+  as.MovRegImm32(kRax, 2);     // callee at 0x1006
+  as.Ret();
+  EXPECT_TRUE(ValidateCode(as.bytes(), 0x1000, {0x1000}).ok());
+}
+
+TEST(ValidatorTest, CodeAfterJmpNeedsExplicitRoot) {
+  Assembler as(0x1000);
+  as.JmpAbs(0x100a);           // skip over the block below
+  as.MovRegImm32(kRax, 3);     // at 0x1005: unreachable (jmp does not fall through)
+  as.Ret();                    // at 0x100a
+  const Status unrooted = ValidateCode(as.bytes(), 0x1000, {0x1000});
+  EXPECT_FALSE(unrooted.ok());
+  EXPECT_TRUE(ValidateCode(as.bytes(), 0x1000, {0x1000, 0x1005}).ok());
+}
+
+TEST(ValidatorTest, RejectsRootAtNonInstruction) {
+  Assembler as(0x1000);
+  as.MovRegImm64(kRax, 1);
+  as.Ret();
+  const Status s = ValidateCode(as.bytes(), 0x1000, {0x1000, 0x1003});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("root"), std::string::npos);
+}
+
+TEST(ValidatorTest, EmptyBufferIsValid) {
+  InsnBuffer buffer;
+  ValidationInput input;
+  input.text_start = 0;
+  input.text_end = 0;
+  EXPECT_TRUE(ValidateNaClConstraints(buffer, input).ok());
+}
+
+TEST(InsnBufferTest, AppendAndIndex) {
+  InsnBuffer buf;
+  for (int i = 0; i < 300; ++i) {
+    Insn insn;
+    insn.addr = 0x1000 + static_cast<uint64_t>(i) * 4;
+    insn.length = 4;
+    buf.Append(insn);
+  }
+  EXPECT_EQ(buf.size(), 300u);
+  EXPECT_EQ(buf[0].addr, 0x1000u);
+  EXPECT_EQ(buf[299].addr, 0x1000u + 299 * 4);
+  EXPECT_EQ(buf.IndexOfAddr(0x1000 + 57 * 4), 57u);
+  EXPECT_EQ(buf.IndexOfAddr(0x1002), InsnBuffer::npos);
+}
+
+TEST(InsnBufferTest, ChunkAllocationsFireHook) {
+  size_t allocations = 0;
+  size_t bytes_total = 0;
+  InsnBuffer buf([&](size_t bytes) {
+    ++allocations;
+    bytes_total += bytes;
+  });
+  // Fill a bit more than two chunks' worth.
+  const size_t per_chunk = InsnBuffer::kInsnsPerChunk;
+  for (size_t i = 0; i < 2 * per_chunk + 1; ++i) {
+    Insn insn;
+    insn.addr = i;
+    buf.Append(insn);
+  }
+  EXPECT_EQ(allocations, 3u);  // page-at-a-time, as in the paper
+  EXPECT_EQ(bytes_total, 3 * InsnBuffer::kChunkBytes);
+  EXPECT_EQ(buf.chunk_allocations(), 3u);
+}
+
+TEST(InsnBufferTest, IteratorCoversAll) {
+  InsnBuffer buf;
+  for (int i = 0; i < 100; ++i) {
+    Insn insn;
+    insn.addr = static_cast<uint64_t>(i);
+    buf.Append(insn);
+  }
+  uint64_t expect = 0;
+  for (const Insn& insn : buf) {
+    EXPECT_EQ(insn.addr, expect++);
+  }
+  EXPECT_EQ(expect, 100u);
+}
+
+}  // namespace
+}  // namespace engarde::x86

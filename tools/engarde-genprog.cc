@@ -1,0 +1,145 @@
+// engarde-genprog: emits the synthetic workloads used by the reproduction as
+// real files on disk, so engarde-inspect (and anything else that consumes
+// ELF executables) can be driven end-to-end from the shell.
+//
+// Usage:
+//   engarde-genprog OUT.elf [--insns N] [--seed N] [--stackprot] [--ifcc]
+//                   [--unguarded] [--sabotage] [--libc-version V]
+//                   [--emit-libdb OUT.db]
+//   engarde-genprog --benchmark NAME --flavor plain|stackprot|ifcc OUT.elf
+//
+// Exit code: 0 on success, 2 on usage/IO error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "workload/catalog.h"
+#include "workload/program_builder.h"
+
+using namespace engarde;
+
+namespace {
+
+bool WriteFile(const std::string& path, const Bytes& data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  return static_cast<bool>(out);
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: engarde-genprog OUT.elf [--insns N] [--seed N] [--stackprot]\n"
+      "           [--ifcc] [--unguarded] [--sabotage] [--libc-version V]\n"
+      "           [--emit-libdb OUT.db]\n"
+      "       engarde-genprog --benchmark NAME --flavor plain|stackprot|ifcc"
+      " OUT.elf\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+
+  std::string out_path;
+  std::string libdb_path;
+  std::string benchmark;
+  std::string flavor = "plain";
+  workload::ProgramSpec spec;
+  spec.name = "genprog";
+  spec.target_instructions = 5000;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--insns") {
+      if (++i >= argc) return Usage();
+      spec.target_instructions = std::stoul(argv[i]);
+    } else if (arg == "--seed") {
+      if (++i >= argc) return Usage();
+      spec.seed = std::stoull(argv[i]);
+    } else if (arg == "--stackprot") {
+      spec.stack_protection = true;
+    } else if (arg == "--ifcc") {
+      spec.ifcc = true;
+      spec.indirect_call_sites = 4;
+    } else if (arg == "--unguarded") {
+      spec.unguarded_indirect_call = true;
+      spec.indirect_call_sites = 2;
+    } else if (arg == "--sabotage") {
+      spec.sabotage_one_function = true;
+    } else if (arg == "--libc-version") {
+      if (++i >= argc) return Usage();
+      spec.libc.version = argv[i];
+    } else if (arg == "--emit-libdb") {
+      if (++i >= argc) return Usage();
+      libdb_path = argv[i];
+    } else if (arg == "--benchmark") {
+      if (++i >= argc) return Usage();
+      benchmark = argv[i];
+    } else if (arg == "--flavor") {
+      if (++i >= argc) return Usage();
+      flavor = argv[i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      out_path = arg;
+    }
+  }
+  if (out_path.empty()) return Usage();
+
+  Result<workload::BuiltProgram> program = InternalError("unreached");
+  if (!benchmark.empty()) {
+    const workload::CatalogEntry* entry = nullptr;
+    for (const auto& e : workload::PaperBenchmarks()) {
+      if (benchmark == e.name) entry = &e;
+    }
+    if (entry == nullptr) {
+      std::fprintf(stderr, "unknown benchmark '%s'; options:", benchmark.c_str());
+      for (const auto& e : workload::PaperBenchmarks()) {
+        std::fprintf(stderr, " %s", e.name);
+      }
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+    workload::BuildFlavor f = workload::BuildFlavor::kPlain;
+    if (flavor == "stackprot") f = workload::BuildFlavor::kStackProtector;
+    else if (flavor == "ifcc") f = workload::BuildFlavor::kIfcc;
+    else if (flavor != "plain") return Usage();
+    program = workload::BuildBenchmark(*entry, f);
+  } else {
+    program = workload::BuildProgram(spec);
+  }
+
+  if (!program.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 program.status().ToString().c_str());
+    return 2;
+  }
+  if (!WriteFile(out_path, program->image)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("%s: %zu bytes, %zu instructions\n", out_path.c_str(),
+              program->image.size(), program->emitted_insn_count);
+
+  if (!libdb_path.empty()) {
+    auto db = workload::BuildLibcHashDb(program->libc_options);
+    if (!db.ok()) {
+      std::fprintf(stderr, "libdb generation failed: %s\n",
+                   db.status().ToString().c_str());
+      return 2;
+    }
+    if (!WriteFile(libdb_path, db->Serialize())) {
+      std::fprintf(stderr, "cannot write %s\n", libdb_path.c_str());
+      return 2;
+    }
+    std::printf("%s: %zu function digests (synth-musl v%s)\n",
+                libdb_path.c_str(), db->size(),
+                program->libc_options.version.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,206 @@
+// engarde-inspect: standalone offline inspector.
+//
+// Runs EnGarde's static inspection pipeline (ELF validation, code/data page
+// separation, NaCl-clean disassembly, symbol hash table, policy modules)
+// over an executable on disk — the same checks the in-enclave library
+// applies, usable by a *client* to pre-check policy compliance before
+// provisioning ("The client can also use EnGarde to independently verify
+// policy compliance of the enclave code that it wants to provision",
+// paper Section 3).
+//
+// Usage:
+//   engarde-inspect BINARY [--stackprot] [--ifcc] [--liblink DBFILE]
+//                   [--no-system-insns] [--verbose] [--dump]
+//
+// --dump prints the full disassembly listing (with function labels).
+// Exit code: 0 compliant, 1 rejected, 2 usage/IO error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "core/library_db.h"
+#include "core/policy_ifcc.h"
+#include "core/policy_liblink.h"
+#include "core/policy_stackprot.h"
+#include "core/symbol_table.h"
+#include "x86/decoder.h"
+#include "x86/validator.h"
+
+using namespace engarde;
+
+namespace {
+
+Result<Bytes> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("cannot open " + path);
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  return data;
+}
+
+class NoSystemInsnsPolicy : public core::PolicyModule {
+ public:
+  std::string_view name() const override { return "no-system-instructions"; }
+  std::string Fingerprint() const override { return "no-system-instructions"; }
+  Status Check(const core::PolicyContext& context) const override {
+    for (const x86::Insn& insn : *context.insns) {
+      switch (insn.mnemonic) {
+        case x86::Mnemonic::kSyscall:
+        case x86::Mnemonic::kInt:
+        case x86::Mnemonic::kInt3:
+        case x86::Mnemonic::kCpuid:
+        case x86::Mnemonic::kRdtsc:
+          return PolicyViolationError("forbidden instruction [" +
+                                      insn.ToString() + "]");
+        default:
+          break;
+      }
+    }
+    return Status::Ok();
+  }
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: engarde-inspect BINARY [--stackprot] [--ifcc] "
+               "[--liblink DBFILE] [--no-system-insns] [--verbose] "
+               "[--dump]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string binary_path = argv[1];
+  core::PolicySet policies;
+  bool verbose = false;
+  bool dump = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--stackprot") {
+      policies.push_back(std::make_unique<core::StackProtectionPolicy>());
+    } else if (arg == "--ifcc") {
+      policies.push_back(std::make_unique<core::IndirectCallPolicy>());
+    } else if (arg == "--liblink") {
+      if (++i >= argc) return Usage();
+      auto db_bytes = ReadFile(argv[i]);
+      if (!db_bytes.ok()) {
+        std::fprintf(stderr, "error: %s\n", db_bytes.status().ToString().c_str());
+        return 2;
+      }
+      auto db = core::LibraryHashDb::Deserialize(
+          ByteView(db_bytes->data(), db_bytes->size()));
+      if (!db.ok()) {
+        std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
+        return 2;
+      }
+      policies.push_back(std::make_unique<core::LibraryLinkingPolicy>(
+          std::string(argv[i]), std::move(db).value()));
+    } else if (arg == "--no-system-insns") {
+      policies.push_back(std::make_unique<NoSystemInsnsPolicy>());
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--dump") {
+      dump = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  auto image = ReadFile(binary_path);
+  if (!image.ok()) {
+    std::fprintf(stderr, "error: %s\n", image.status().ToString().c_str());
+    return 2;
+  }
+
+  // ---- The same front door the enclave applies --------------------------------
+  auto elf = elf::ElfFile::Parse(ByteView(image->data(), image->size()));
+  if (!elf.ok()) {
+    std::printf("REJECTED (container): %s\n", elf.status().ToString().c_str());
+    return 1;
+  }
+  if (const Status s = elf->ValidateForEnclave(); !s.ok()) {
+    std::printf("REJECTED (container): %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // ---- Disassembly + NaCl validation -------------------------------------------
+  x86::InsnBuffer insns;
+  uint64_t text_start = UINT64_MAX, text_end = 0;
+  for (const elf::Shdr* section : elf->TextSections()) {
+    auto content = elf->SectionContent(*section);
+    if (!content.ok()) {
+      std::printf("REJECTED: %s\n", content.status().ToString().c_str());
+      return 1;
+    }
+    size_t offset = 0;
+    while (offset < content->size()) {
+      auto insn = x86::DecodeOne(*content, offset, section->addr);
+      if (!insn.ok()) {
+        std::printf("REJECTED (disassembly): %s\n",
+                    insn.status().ToString().c_str());
+        return 1;
+      }
+      insns.Append(*insn);
+      offset += insn->length;
+    }
+    text_start = std::min(text_start, section->addr);
+    text_end = std::max(text_end, section->addr + section->size);
+  }
+  const core::SymbolHashTable symbols = core::SymbolHashTable::Build(*elf);
+
+  x86::ValidationInput validation;
+  validation.text_start = text_start;
+  validation.text_end = text_end;
+  validation.roots.push_back(elf->header().entry);
+  for (const auto& fn : symbols.functions()) validation.roots.push_back(fn.start);
+  if (const Status s = x86::ValidateNaClConstraints(insns, validation); !s.ok()) {
+    std::printf("REJECTED (NaCl constraints): %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  if (verbose) {
+    std::printf("%s: %zu bytes, %zu text sections, %zu instructions, "
+                "%zu functions\n",
+                binary_path.c_str(), image->size(),
+                elf->TextSections().size(), insns.size(), symbols.size());
+  }
+
+  if (dump) {
+    for (const x86::Insn& insn : insns) {
+      if (const std::string* fn = symbols.NameAt(insn.addr); fn != nullptr) {
+        std::printf("\n<%s>:\n", fn->c_str());
+      }
+      std::printf("  %s\n", insn.ToString().c_str());
+    }
+    std::printf("\n");
+  }
+
+  // ---- Policies ------------------------------------------------------------------
+  core::PolicyContext context;
+  context.insns = &insns;
+  context.symbols = &symbols;
+  context.elf = &*elf;
+  for (const auto& policy : policies) {
+    const Status s = policy->Check(context);
+    if (!s.ok()) {
+      std::printf("REJECTED (%.*s): %s\n",
+                  static_cast<int>(policy->name().size()),
+                  policy->name().data(), s.ToString().c_str());
+      return 1;
+    }
+    if (verbose) {
+      std::printf("  policy %.*s: ok\n",
+                  static_cast<int>(policy->name().size()),
+                  policy->name().data());
+    }
+  }
+
+  std::printf("COMPLIANT: %s (%zu instructions, %zu policies)\n",
+              binary_path.c_str(), insns.size(), policies.size());
+  return 0;
+}
