@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_library_linking.dir/fig3_library_linking.cc.o"
+  "CMakeFiles/fig3_library_linking.dir/fig3_library_linking.cc.o.d"
+  "fig3_library_linking"
+  "fig3_library_linking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_library_linking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_stack_protection.dir/fig4_stack_protection.cc.o"
+  "CMakeFiles/fig4_stack_protection.dir/fig4_stack_protection.cc.o.d"
+  "fig4_stack_protection"
+  "fig4_stack_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_stack_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_indirect_call.dir/fig5_indirect_call.cc.o"
+  "CMakeFiles/fig5_indirect_call.dir/fig5_indirect_call.cc.o.d"
+  "fig5_indirect_call"
+  "fig5_indirect_call.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_indirect_call.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

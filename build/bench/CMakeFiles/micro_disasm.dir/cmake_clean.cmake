@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_disasm.dir/micro_disasm.cc.o"
+  "CMakeFiles/micro_disasm.dir/micro_disasm.cc.o.d"
+  "micro_disasm"
+  "micro_disasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_disasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sgx.dir/micro_sgx.cc.o"
+  "CMakeFiles/micro_sgx.dir/micro_sgx.cc.o.d"
+  "micro_sgx"
+  "micro_sgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/malicious_client.dir/malicious_client.cpp.o"
+  "CMakeFiles/malicious_client.dir/malicious_client.cpp.o.d"
+  "malicious_client"
+  "malicious_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/malicious_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

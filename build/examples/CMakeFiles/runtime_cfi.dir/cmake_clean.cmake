@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_cfi.dir/runtime_cfi.cpp.o"
+  "CMakeFiles/runtime_cfi.dir/runtime_cfi.cpp.o.d"
+  "runtime_cfi"
+  "runtime_cfi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_cfi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engarde_client.dir/client.cc.o"
+  "CMakeFiles/engarde_client.dir/client.cc.o.d"
+  "libengarde_client.a"
+  "libengarde_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engarde_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

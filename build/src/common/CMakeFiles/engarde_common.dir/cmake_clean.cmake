@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engarde_common.dir/bytes.cc.o"
+  "CMakeFiles/engarde_common.dir/bytes.cc.o.d"
+  "CMakeFiles/engarde_common.dir/hex.cc.o"
+  "CMakeFiles/engarde_common.dir/hex.cc.o.d"
+  "CMakeFiles/engarde_common.dir/log.cc.o"
+  "CMakeFiles/engarde_common.dir/log.cc.o.d"
+  "CMakeFiles/engarde_common.dir/rng.cc.o"
+  "CMakeFiles/engarde_common.dir/rng.cc.o.d"
+  "libengarde_common.a"
+  "libengarde_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engarde_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

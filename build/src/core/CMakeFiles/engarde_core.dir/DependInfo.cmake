@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/engarde.cc" "src/core/CMakeFiles/engarde_core.dir/engarde.cc.o" "gcc" "src/core/CMakeFiles/engarde_core.dir/engarde.cc.o.d"
+  "/root/repo/src/core/library_db.cc" "src/core/CMakeFiles/engarde_core.dir/library_db.cc.o" "gcc" "src/core/CMakeFiles/engarde_core.dir/library_db.cc.o.d"
+  "/root/repo/src/core/loader.cc" "src/core/CMakeFiles/engarde_core.dir/loader.cc.o" "gcc" "src/core/CMakeFiles/engarde_core.dir/loader.cc.o.d"
+  "/root/repo/src/core/negotiation.cc" "src/core/CMakeFiles/engarde_core.dir/negotiation.cc.o" "gcc" "src/core/CMakeFiles/engarde_core.dir/negotiation.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/engarde_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/engarde_core.dir/policy.cc.o.d"
+  "/root/repo/src/core/policy_ifcc.cc" "src/core/CMakeFiles/engarde_core.dir/policy_ifcc.cc.o" "gcc" "src/core/CMakeFiles/engarde_core.dir/policy_ifcc.cc.o.d"
+  "/root/repo/src/core/policy_liblink.cc" "src/core/CMakeFiles/engarde_core.dir/policy_liblink.cc.o" "gcc" "src/core/CMakeFiles/engarde_core.dir/policy_liblink.cc.o.d"
+  "/root/repo/src/core/policy_stackprot.cc" "src/core/CMakeFiles/engarde_core.dir/policy_stackprot.cc.o" "gcc" "src/core/CMakeFiles/engarde_core.dir/policy_stackprot.cc.o.d"
+  "/root/repo/src/core/protocol.cc" "src/core/CMakeFiles/engarde_core.dir/protocol.cc.o" "gcc" "src/core/CMakeFiles/engarde_core.dir/protocol.cc.o.d"
+  "/root/repo/src/core/runtime_monitor.cc" "src/core/CMakeFiles/engarde_core.dir/runtime_monitor.cc.o" "gcc" "src/core/CMakeFiles/engarde_core.dir/runtime_monitor.cc.o.d"
+  "/root/repo/src/core/sealing.cc" "src/core/CMakeFiles/engarde_core.dir/sealing.cc.o" "gcc" "src/core/CMakeFiles/engarde_core.dir/sealing.cc.o.d"
+  "/root/repo/src/core/symbol_table.cc" "src/core/CMakeFiles/engarde_core.dir/symbol_table.cc.o" "gcc" "src/core/CMakeFiles/engarde_core.dir/symbol_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/engarde_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/engarde_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/engarde_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/engarde_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/engarde_sgx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

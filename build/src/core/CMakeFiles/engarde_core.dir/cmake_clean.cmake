@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engarde_core.dir/engarde.cc.o"
+  "CMakeFiles/engarde_core.dir/engarde.cc.o.d"
+  "CMakeFiles/engarde_core.dir/library_db.cc.o"
+  "CMakeFiles/engarde_core.dir/library_db.cc.o.d"
+  "CMakeFiles/engarde_core.dir/loader.cc.o"
+  "CMakeFiles/engarde_core.dir/loader.cc.o.d"
+  "CMakeFiles/engarde_core.dir/negotiation.cc.o"
+  "CMakeFiles/engarde_core.dir/negotiation.cc.o.d"
+  "CMakeFiles/engarde_core.dir/policy.cc.o"
+  "CMakeFiles/engarde_core.dir/policy.cc.o.d"
+  "CMakeFiles/engarde_core.dir/policy_ifcc.cc.o"
+  "CMakeFiles/engarde_core.dir/policy_ifcc.cc.o.d"
+  "CMakeFiles/engarde_core.dir/policy_liblink.cc.o"
+  "CMakeFiles/engarde_core.dir/policy_liblink.cc.o.d"
+  "CMakeFiles/engarde_core.dir/policy_stackprot.cc.o"
+  "CMakeFiles/engarde_core.dir/policy_stackprot.cc.o.d"
+  "CMakeFiles/engarde_core.dir/protocol.cc.o"
+  "CMakeFiles/engarde_core.dir/protocol.cc.o.d"
+  "CMakeFiles/engarde_core.dir/runtime_monitor.cc.o"
+  "CMakeFiles/engarde_core.dir/runtime_monitor.cc.o.d"
+  "CMakeFiles/engarde_core.dir/sealing.cc.o"
+  "CMakeFiles/engarde_core.dir/sealing.cc.o.d"
+  "CMakeFiles/engarde_core.dir/symbol_table.cc.o"
+  "CMakeFiles/engarde_core.dir/symbol_table.cc.o.d"
+  "libengarde_core.a"
+  "libengarde_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engarde_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

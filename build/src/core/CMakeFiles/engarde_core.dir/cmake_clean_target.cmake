@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libengarde_core.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engarde_crypto.dir/aes.cc.o"
+  "CMakeFiles/engarde_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/engarde_crypto.dir/bigint.cc.o"
+  "CMakeFiles/engarde_crypto.dir/bigint.cc.o.d"
+  "CMakeFiles/engarde_crypto.dir/channel.cc.o"
+  "CMakeFiles/engarde_crypto.dir/channel.cc.o.d"
+  "CMakeFiles/engarde_crypto.dir/drbg.cc.o"
+  "CMakeFiles/engarde_crypto.dir/drbg.cc.o.d"
+  "CMakeFiles/engarde_crypto.dir/hmac.cc.o"
+  "CMakeFiles/engarde_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/engarde_crypto.dir/rsa.cc.o"
+  "CMakeFiles/engarde_crypto.dir/rsa.cc.o.d"
+  "CMakeFiles/engarde_crypto.dir/sha256.cc.o"
+  "CMakeFiles/engarde_crypto.dir/sha256.cc.o.d"
+  "libengarde_crypto.a"
+  "libengarde_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engarde_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engarde_elf.dir/builder.cc.o"
+  "CMakeFiles/engarde_elf.dir/builder.cc.o.d"
+  "CMakeFiles/engarde_elf.dir/reader.cc.o"
+  "CMakeFiles/engarde_elf.dir/reader.cc.o.d"
+  "libengarde_elf.a"
+  "libengarde_elf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engarde_elf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

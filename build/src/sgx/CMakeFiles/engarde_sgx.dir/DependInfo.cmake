@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sgx/attestation.cc" "src/sgx/CMakeFiles/engarde_sgx.dir/attestation.cc.o" "gcc" "src/sgx/CMakeFiles/engarde_sgx.dir/attestation.cc.o.d"
+  "/root/repo/src/sgx/cost_model.cc" "src/sgx/CMakeFiles/engarde_sgx.dir/cost_model.cc.o" "gcc" "src/sgx/CMakeFiles/engarde_sgx.dir/cost_model.cc.o.d"
+  "/root/repo/src/sgx/device.cc" "src/sgx/CMakeFiles/engarde_sgx.dir/device.cc.o" "gcc" "src/sgx/CMakeFiles/engarde_sgx.dir/device.cc.o.d"
+  "/root/repo/src/sgx/epc.cc" "src/sgx/CMakeFiles/engarde_sgx.dir/epc.cc.o" "gcc" "src/sgx/CMakeFiles/engarde_sgx.dir/epc.cc.o.d"
+  "/root/repo/src/sgx/hostos.cc" "src/sgx/CMakeFiles/engarde_sgx.dir/hostos.cc.o" "gcc" "src/sgx/CMakeFiles/engarde_sgx.dir/hostos.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/engarde_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/engarde_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/engarde_x86.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

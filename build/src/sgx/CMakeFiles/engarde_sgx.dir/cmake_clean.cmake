@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engarde_sgx.dir/attestation.cc.o"
+  "CMakeFiles/engarde_sgx.dir/attestation.cc.o.d"
+  "CMakeFiles/engarde_sgx.dir/cost_model.cc.o"
+  "CMakeFiles/engarde_sgx.dir/cost_model.cc.o.d"
+  "CMakeFiles/engarde_sgx.dir/device.cc.o"
+  "CMakeFiles/engarde_sgx.dir/device.cc.o.d"
+  "CMakeFiles/engarde_sgx.dir/epc.cc.o"
+  "CMakeFiles/engarde_sgx.dir/epc.cc.o.d"
+  "CMakeFiles/engarde_sgx.dir/hostos.cc.o"
+  "CMakeFiles/engarde_sgx.dir/hostos.cc.o.d"
+  "libengarde_sgx.a"
+  "libengarde_sgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engarde_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

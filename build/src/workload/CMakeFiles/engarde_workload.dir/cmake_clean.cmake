@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engarde_workload.dir/catalog.cc.o"
+  "CMakeFiles/engarde_workload.dir/catalog.cc.o.d"
+  "CMakeFiles/engarde_workload.dir/funcgen.cc.o"
+  "CMakeFiles/engarde_workload.dir/funcgen.cc.o.d"
+  "CMakeFiles/engarde_workload.dir/program_builder.cc.o"
+  "CMakeFiles/engarde_workload.dir/program_builder.cc.o.d"
+  "CMakeFiles/engarde_workload.dir/synth_libc.cc.o"
+  "CMakeFiles/engarde_workload.dir/synth_libc.cc.o.d"
+  "libengarde_workload.a"
+  "libengarde_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engarde_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libengarde_workload.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/x86/decoder.cc" "src/x86/CMakeFiles/engarde_x86.dir/decoder.cc.o" "gcc" "src/x86/CMakeFiles/engarde_x86.dir/decoder.cc.o.d"
+  "/root/repo/src/x86/encoder.cc" "src/x86/CMakeFiles/engarde_x86.dir/encoder.cc.o" "gcc" "src/x86/CMakeFiles/engarde_x86.dir/encoder.cc.o.d"
+  "/root/repo/src/x86/insn.cc" "src/x86/CMakeFiles/engarde_x86.dir/insn.cc.o" "gcc" "src/x86/CMakeFiles/engarde_x86.dir/insn.cc.o.d"
+  "/root/repo/src/x86/insn_buffer.cc" "src/x86/CMakeFiles/engarde_x86.dir/insn_buffer.cc.o" "gcc" "src/x86/CMakeFiles/engarde_x86.dir/insn_buffer.cc.o.d"
+  "/root/repo/src/x86/interp.cc" "src/x86/CMakeFiles/engarde_x86.dir/interp.cc.o" "gcc" "src/x86/CMakeFiles/engarde_x86.dir/interp.cc.o.d"
+  "/root/repo/src/x86/validator.cc" "src/x86/CMakeFiles/engarde_x86.dir/validator.cc.o" "gcc" "src/x86/CMakeFiles/engarde_x86.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/engarde_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

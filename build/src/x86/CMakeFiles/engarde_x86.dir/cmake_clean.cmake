@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engarde_x86.dir/decoder.cc.o"
+  "CMakeFiles/engarde_x86.dir/decoder.cc.o.d"
+  "CMakeFiles/engarde_x86.dir/encoder.cc.o"
+  "CMakeFiles/engarde_x86.dir/encoder.cc.o.d"
+  "CMakeFiles/engarde_x86.dir/insn.cc.o"
+  "CMakeFiles/engarde_x86.dir/insn.cc.o.d"
+  "CMakeFiles/engarde_x86.dir/insn_buffer.cc.o"
+  "CMakeFiles/engarde_x86.dir/insn_buffer.cc.o.d"
+  "CMakeFiles/engarde_x86.dir/interp.cc.o"
+  "CMakeFiles/engarde_x86.dir/interp.cc.o.d"
+  "CMakeFiles/engarde_x86.dir/validator.cc.o"
+  "CMakeFiles/engarde_x86.dir/validator.cc.o.d"
+  "libengarde_x86.a"
+  "libengarde_x86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engarde_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

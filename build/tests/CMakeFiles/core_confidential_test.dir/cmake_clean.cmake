@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_confidential_test.dir/core_confidential_test.cc.o"
+  "CMakeFiles/core_confidential_test.dir/core_confidential_test.cc.o.d"
+  "core_confidential_test"
+  "core_confidential_test.pdb"
+  "core_confidential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_confidential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_engarde_test.dir/core_engarde_test.cc.o"
+  "CMakeFiles/core_engarde_test.dir/core_engarde_test.cc.o.d"
+  "core_engarde_test"
+  "core_engarde_test.pdb"
+  "core_engarde_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_engarde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

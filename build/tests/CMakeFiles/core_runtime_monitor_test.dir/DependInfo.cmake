@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_runtime_monitor_test.cc" "tests/CMakeFiles/core_runtime_monitor_test.dir/core_runtime_monitor_test.cc.o" "gcc" "tests/CMakeFiles/core_runtime_monitor_test.dir/core_runtime_monitor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/engarde_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/engarde_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/engarde_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/elf/CMakeFiles/engarde_elf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgx/CMakeFiles/engarde_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/engarde_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/x86/CMakeFiles/engarde_x86.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/engarde_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

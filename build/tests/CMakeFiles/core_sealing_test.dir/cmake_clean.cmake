@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sealing_test.dir/core_sealing_test.cc.o"
+  "CMakeFiles/core_sealing_test.dir/core_sealing_test.cc.o.d"
+  "core_sealing_test"
+  "core_sealing_test.pdb"
+  "core_sealing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sealing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

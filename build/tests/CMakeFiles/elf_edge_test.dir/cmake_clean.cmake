@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elf_edge_test.dir/elf_edge_test.cc.o"
+  "CMakeFiles/elf_edge_test.dir/elf_edge_test.cc.o.d"
+  "elf_edge_test"
+  "elf_edge_test.pdb"
+  "elf_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elf_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

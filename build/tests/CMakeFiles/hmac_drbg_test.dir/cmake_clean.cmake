@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmac_drbg_test.dir/hmac_drbg_test.cc.o"
+  "CMakeFiles/hmac_drbg_test.dir/hmac_drbg_test.cc.o.d"
+  "hmac_drbg_test"
+  "hmac_drbg_test.pdb"
+  "hmac_drbg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmac_drbg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

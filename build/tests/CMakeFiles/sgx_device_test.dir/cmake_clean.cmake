@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgx_device_test.dir/sgx_device_test.cc.o"
+  "CMakeFiles/sgx_device_test.dir/sgx_device_test.cc.o.d"
+  "sgx_device_test"
+  "sgx_device_test.pdb"
+  "sgx_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgx_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

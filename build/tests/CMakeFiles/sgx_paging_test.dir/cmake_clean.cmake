@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgx_paging_test.dir/sgx_paging_test.cc.o"
+  "CMakeFiles/sgx_paging_test.dir/sgx_paging_test.cc.o.d"
+  "sgx_paging_test"
+  "sgx_paging_test.pdb"
+  "sgx_paging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgx_paging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

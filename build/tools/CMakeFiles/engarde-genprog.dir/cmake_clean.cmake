@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engarde-genprog.dir/engarde-genprog.cc.o"
+  "CMakeFiles/engarde-genprog.dir/engarde-genprog.cc.o.d"
+  "engarde-genprog"
+  "engarde-genprog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engarde-genprog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engarde-inspect.dir/engarde-inspect.cc.o"
+  "CMakeFiles/engarde-inspect.dir/engarde-inspect.cc.o.d"
+  "engarde-inspect"
+  "engarde-inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engarde-inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
