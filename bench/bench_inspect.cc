@@ -1,0 +1,170 @@
+// Machine-readable inspection benchmark: provisions every catalog benchmark
+// (library-linking flavor, the paper's Figure 3 configuration) at a sweep of
+// inspection_threads values and writes BENCH_inspect.json — per-benchmark
+// per-phase cycles, deterministic SGX-instruction counts, and wall time — so
+// the perf trajectory of the hot path is tracked across PRs instead of
+// eyeballed from table output.
+//
+// Usage: bench_inspect [--scale S] [--threads N] [--out PATH]
+//   --scale S    build benchmarks at S x the paper's instruction count
+//                (default 1.0; CI smoke runs use e.g. 0.1)
+//   --threads N  the parallel data point to compare against serial
+//                (default 8)
+//   --out PATH   output file (default BENCH_inspect.json)
+//
+// The headline metric is speedup = wall(1 thread) / wall(N threads) on the
+// largest benchmark (Nginx). Note: on a single-core host the engine still
+// produces identical verdicts but cannot show wall speedup.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+
+using namespace engarde;
+using namespace engarde::bench;
+
+namespace {
+
+struct Run {
+  size_t threads = 0;
+  PhaseCycles cycles;
+};
+
+void PrintPhaseJson(std::FILE* f, const char* name, uint64_t cycles,
+                    uint64_t sgx, const char* trailing_comma) {
+  std::fprintf(f,
+               "        \"%s\": {\"cycles\": %llu, \"sgx_instructions\": "
+               "%llu}%s\n",
+               name, static_cast<unsigned long long>(cycles),
+               static_cast<unsigned long long>(sgx), trailing_comma);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 1.0;
+  size_t parallel_threads = 8;
+  std::string out_path = "BENCH_inspect.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      scale = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      parallel_threads = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_inspect [--scale S] [--threads N] "
+                   "[--out PATH]\n");
+      return 2;
+    }
+  }
+
+  const std::vector<size_t> thread_sweep = {1, parallel_threads};
+  struct BenchResult {
+    std::string name;
+    std::vector<Run> runs;
+  };
+  std::vector<BenchResult> results;
+
+  for (const workload::CatalogEntry& entry : workload::PaperBenchmarks()) {
+    auto program = workload::BuildBenchmarkScaled(
+        entry, workload::BuildFlavor::kPlain, scale);
+    if (!program.ok()) {
+      std::fprintf(stderr, "%s: build failed: %s\n", entry.name,
+                   program.status().ToString().c_str());
+      return 1;
+    }
+    BenchResult result;
+    result.name = entry.name;
+    for (const size_t threads : thread_sweep) {
+      auto measured = MeasureProvisioning(*program,
+                                          workload::BuildFlavor::kPlain,
+                                          threads);
+      if (!measured.ok() || !measured->compliant) {
+        std::fprintf(stderr, "%s @ %zu threads: provisioning failed\n",
+                     entry.name, threads);
+        return 1;
+      }
+      result.runs.push_back(Run{threads, *measured});
+      std::printf("%-11s threads=%zu  #Inst=%zu  wall=%8.2f ms  "
+                  "disasm=%llu policy=%llu cycles\n",
+                  entry.name, threads, measured->instructions,
+                  static_cast<double>(measured->wall_ns) / 1e6,
+                  static_cast<unsigned long long>(measured->disassembly),
+                  static_cast<unsigned long long>(measured->policy_check));
+    }
+    results.push_back(std::move(result));
+  }
+
+  // The largest benchmark is the catalog's first entry (Nginx).
+  double largest_speedup = 0.0;
+  if (!results.empty() && results.front().runs.size() == 2 &&
+      results.front().runs[1].cycles.wall_ns > 0) {
+    largest_speedup =
+        static_cast<double>(results.front().runs[0].cycles.wall_ns) /
+        static_cast<double>(results.front().runs[1].cycles.wall_ns);
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"cost_model\": {\"sgx_instruction_cycles\": %llu, "
+               "\"clock_ghz\": %.1f},\n",
+               static_cast<unsigned long long>(
+                   sgx::CycleAccountant::kSgxInstructionCycles),
+               sgx::CycleAccountant::kClockGhz);
+  std::fprintf(f, "  \"scale\": %g,\n", scale);
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (size_t b = 0; b < results.size(); ++b) {
+    const BenchResult& result = results[b];
+    std::fprintf(f, "    {\"name\": \"%s\", \"instructions\": %zu, ",
+                 result.name.c_str(),
+                 result.runs.front().cycles.instructions);
+    double speedup = 0.0;
+    if (result.runs.size() == 2 && result.runs[1].cycles.wall_ns > 0) {
+      speedup = static_cast<double>(result.runs[0].cycles.wall_ns) /
+                static_cast<double>(result.runs[1].cycles.wall_ns);
+    }
+    std::fprintf(f, "\"speedup\": %.3f, \"runs\": [\n", speedup);
+    for (size_t r = 0; r < result.runs.size(); ++r) {
+      const Run& run = result.runs[r];
+      std::fprintf(f, "      {\"threads\": %zu, \"wall_ns\": %llu,\n",
+                   run.threads,
+                   static_cast<unsigned long long>(run.cycles.wall_ns));
+      std::fprintf(f, "       \"phases\": {\n");
+      PrintPhaseJson(f, "disassembly", run.cycles.disassembly,
+                     run.cycles.disassembly_sgx, ",");
+      PrintPhaseJson(f, "policy_check", run.cycles.policy_check,
+                     run.cycles.policy_check_sgx, ",");
+      PrintPhaseJson(f, "loading", run.cycles.loading, 0, ",");
+      PrintPhaseJson(f, "channel", run.cycles.channel, 0, "");
+      std::fprintf(f, "      }}%s\n",
+                   r + 1 < result.runs.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]}%s\n", b + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"largest_benchmark\": \"%s\",\n",
+               results.empty() ? "" : results.front().name.c_str());
+  std::fprintf(f, "  \"largest_speedup_%zuv1\": %.3f\n", parallel_threads,
+               largest_speedup);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  std::printf("\nwrote %s (largest benchmark %s: %.2fx at %zu threads)\n",
+              out_path.c_str(),
+              results.empty() ? "?" : results.front().name.c_str(),
+              largest_speedup, parallel_threads);
+  return 0;
+}

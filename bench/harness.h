@@ -5,6 +5,7 @@
 #ifndef ENGARDE_BENCH_HARNESS_H_
 #define ENGARDE_BENCH_HARNESS_H_
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -24,6 +25,13 @@ struct PhaseCycles {
   uint64_t policy_check = 0;
   uint64_t loading = 0;
   uint64_t channel = 0;
+  // Wall-clock nanoseconds for the whole RunProvisioning call (key
+  // unwrapping through verdict). Unlike the cycle columns this is real
+  // elapsed time, so it is what the inspection_threads knob improves.
+  uint64_t wall_ns = 0;
+  // Deterministic per-phase SGX-instruction counts (thread-count invariant).
+  uint64_t disassembly_sgx = 0;
+  uint64_t policy_check_sgx = 0;
   bool compliant = false;
 };
 
@@ -51,8 +59,12 @@ inline core::PolicySet PolicyFor(workload::BuildFlavor flavor,
 }
 
 // Provisions `program` through a fresh enclave and returns the phase costs.
+// `inspection_threads` > 1 runs the parallel inspection engine; the verdict
+// and the SGX-instruction columns are identical at any setting, only wall
+// time (and hence the native-time component of the cycle model) changes.
 inline Result<PhaseCycles> MeasureProvisioning(
-    const workload::BuiltProgram& program, workload::BuildFlavor flavor) {
+    const workload::BuiltProgram& program, workload::BuildFlavor flavor,
+    size_t inspection_threads = 1) {
   sgx::CycleAccountant accountant;
   sgx::SgxDevice device(sgx::SgxDevice::Options{}, &accountant);
   sgx::HostOs host(&device);
@@ -65,6 +77,7 @@ inline Result<PhaseCycles> MeasureProvisioning(
 
   core::EngardeOptions options;
   options.rsa_bits = 1024;  // key size does not affect the measured phases
+  options.inspection_threads = inspection_threads;
   auto enclave = core::EngardeEnclave::Create(
       &host, *quoting, PolicyFor(flavor, program.libc_options), options);
   RETURN_IF_ERROR(enclave.status());
@@ -80,8 +93,10 @@ inline Result<PhaseCycles> MeasureProvisioning(
 
   // Reset the accountant so enclave-build costs do not pollute the phases.
   accountant.Reset();
+  const auto wall_start = std::chrono::steady_clock::now();
   ASSIGN_OR_RETURN(const core::ProvisionOutcome outcome,
                    enclave->RunProvisioning(pipe.EndA()));
+  const auto wall_end = std::chrono::steady_clock::now();
 
   PhaseCycles out;
   out.instructions = outcome.stats.instruction_count;
@@ -91,6 +106,14 @@ inline Result<PhaseCycles> MeasureProvisioning(
       accountant.phase_cost(sgx::Phase::kPolicyCheck).Cycles();
   out.loading = accountant.phase_cost(sgx::Phase::kLoading).Cycles();
   out.channel = accountant.phase_cost(sgx::Phase::kChannel).Cycles();
+  out.wall_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall_end -
+                                                           wall_start)
+          .count());
+  out.disassembly_sgx =
+      accountant.phase_cost(sgx::Phase::kDisassembly).sgx_instructions;
+  out.policy_check_sgx =
+      accountant.phase_cost(sgx::Phase::kPolicyCheck).sgx_instructions;
   out.compliant = outcome.verdict.compliant;
   return out;
 }

@@ -1,0 +1,102 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace engarde::common {
+
+ThreadPool::ThreadPool(size_t threads) {
+  const size_t worker_count = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(worker_count);
+  for (size_t w = 0; w < worker_count; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::RunChunk(const Job& job, size_t chunk_index) {
+  const size_t chunk_begin = job.begin + chunk_index * job.chunk_items;
+  const size_t chunk_end = std::min(job.end, chunk_begin + job.chunk_items);
+  if (chunk_begin >= chunk_end) return;
+  try {
+    (*job.body)(chunk_begin, chunk_end);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (chunk_index < first_error_chunk_) {
+      first_error_chunk_ = chunk_index;
+      first_error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    // Chunk 0 belongs to the caller; worker w owns chunk w + 1.
+    RunChunk(job, worker_index + 1);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_workers_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const RangeBody& body) {
+  if (end <= begin) return;
+  const size_t items = end - begin;
+  if (grain == 0) grain = 1;
+  const size_t max_chunks = (items + grain - 1) / grain;
+  const size_t num_chunks = std::min(thread_count(), max_chunks);
+  if (num_chunks <= 1 || workers_.empty()) {
+    body(begin, end);
+    return;
+  }
+
+  Job job;
+  job.body = &body;
+  job.begin = begin;
+  job.end = end;
+  job.chunk_items = (items + num_chunks - 1) / num_chunks;
+  job.num_chunks = num_chunks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    first_error_ = nullptr;
+    first_error_chunk_ = kNoChunk;
+    active_workers_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  RunChunk(job, 0);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return active_workers_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    first_error_chunk_ = kNoChunk;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace engarde::common

@@ -1,0 +1,83 @@
+// A deterministic fork-join worker pool for the parallel inspection engine.
+//
+// Design constraints, in order:
+//   1. Determinism. EnGarde's verdicts must be bit-for-bit identical at any
+//      thread count, so there is no work stealing and no dynamic scheduling:
+//      ParallelFor statically partitions [begin, end) into contiguous,
+//      in-order chunks and assigns chunk c to participant c. Callers merge
+//      per-chunk results by chunk index and get the serial answer.
+//   2. Reuse. Provisioning runs several parallel scans back to back
+//      (disassembly shards, NaCl rules, policy call sites); workers persist
+//      across ParallelFor calls instead of being respawned per scan.
+//   3. Graceful degradation. With `threads <= 1` no workers are spawned and
+//      every ParallelFor runs inline on the caller — the serial pipeline,
+//      exactly.
+//
+// ParallelFor is NOT reentrant: a body must not call back into the same
+// pool. The inspection pipeline enforces this by handing the pool either to
+// the policy *set* (modules run concurrently) or to a single module (which
+// shards internally), never both.
+#ifndef ENGARDE_COMMON_THREAD_POOL_H_
+#define ENGARDE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace engarde::common {
+
+class ThreadPool {
+ public:
+  // `threads` is the total parallelism including the calling thread, so the
+  // pool spawns `threads - 1` workers. `threads <= 1` spawns none.
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t thread_count() const noexcept { return workers_.size() + 1; }
+
+  // Invokes body(chunk_begin, chunk_end) over a static partition of
+  // [begin, end): at most thread_count() contiguous chunks, each covering at
+  // least `grain` items (except possibly the last). Blocks until every chunk
+  // has finished. If any body invocation throws, the exception from the
+  // lowest-indexed throwing chunk is rethrown here after all chunks
+  // complete — the same exception the serial loop would have surfaced first.
+  using RangeBody = std::function<void(size_t begin, size_t end)>;
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const RangeBody& body);
+
+ private:
+  struct Job {
+    const RangeBody* body = nullptr;
+    size_t begin = 0;
+    size_t end = 0;
+    size_t chunk_items = 0;
+    size_t num_chunks = 0;
+  };
+
+  static constexpr size_t kNoChunk = static_cast<size_t>(-1);
+
+  void WorkerLoop(size_t worker_index);
+  void RunChunk(const Job& job, size_t chunk_index);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Job job_;
+  uint64_t generation_ = 0;
+  size_t active_workers_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+  size_t first_error_chunk_ = kNoChunk;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace engarde::common
+
+#endif  // ENGARDE_COMMON_THREAD_POOL_H_

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/loader.h"
 #include "core/policy.h"
 #include "core/protocol.h"
@@ -48,6 +49,13 @@ struct EngardeOptions {
   // Entropy for the in-enclave DRBG (RSA key, canary). On real hardware this
   // comes from RDRAND inside the enclave.
   Bytes enclave_entropy = {0xe7, 0x6a, 0x2d, 0xe0};
+  // Worker threads for the inspection pass (sharded disassembly, parallel
+  // NaCl rules 1-2, concurrent policy checks). SGX enclaves are
+  // multi-threaded via multiple TCS entries, so the in-enclave inspection
+  // can scale with cores; verdicts, statistics and per-phase SGX-instruction
+  // attribution are bit-for-bit identical at any setting. 1 = the paper's
+  // serial pipeline.
+  size_t inspection_threads = 1;
 };
 
 // Everything the cloud provider is allowed to learn (threat model,
@@ -159,6 +167,10 @@ class EngardeEnclave {
   std::optional<SymbolHashTable> loaded_symbols_;
   Bytes approved_image_;  // retained for sealing; empty until compliant
   uint64_t seal_counter_ = 0;
+  // Inspection worker pool, modelling the extra TCS threads the enclave
+  // dedicates to inspection. Null when inspection_threads <= 1 (the
+  // paper-faithful serial pipeline).
+  std::unique_ptr<common::ThreadPool> inspect_pool_;
 };
 
 }  // namespace engarde::core

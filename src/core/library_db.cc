@@ -1,5 +1,7 @@
 #include "core/library_db.h"
 
+#include <algorithm>
+
 #include "core/symbol_table.h"
 
 namespace engarde::core {
@@ -28,9 +30,18 @@ Result<LibraryHashDb> LibraryHashDb::FromLibraryImage(
         continue;
       }
       ASSIGN_OR_RETURN(const ByteView content, elf.SectionContent(*section));
+      // A malformed symbol table can claim fn.end < fn.start; without this
+      // guard `end - begin` below wraps around and subspan() hashes a
+      // garbage-length view.
+      if (fn.end < fn.start) {
+        return InvalidArgumentError("function " + fn.name +
+                                    " has end before start in the symbol "
+                                    "table");
+      }
       const uint64_t begin = fn.start - section->addr;
-      const uint64_t end = std::min<uint64_t>(fn.end - section->addr,
-                                              section->size);
+      const uint64_t end =
+          std::max(begin, std::min<uint64_t>(fn.end - section->addr,
+                                             section->size));
       db.Add(fn.name, crypto::Sha256::Hash(content.subspan(begin, end - begin)));
       hashed = true;
       break;

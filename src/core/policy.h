@@ -24,12 +24,22 @@
 #include "elf/reader.h"
 #include "x86/insn_buffer.h"
 
+namespace engarde::common {
+class ThreadPool;
+}  // namespace engarde::common
+
 namespace engarde::core {
 
 struct PolicyContext {
   const x86::InsnBuffer* insns = nullptr;
   const SymbolHashTable* symbols = nullptr;
   const elf::ElfFile* elf = nullptr;
+
+  // Optional worker pool a policy may use to shard its own read-only scan.
+  // Null when the policy *modules* themselves run concurrently (the engine
+  // never nests ParallelFor) and in the serial pipeline. A sharded policy
+  // must produce the identical verdict at any thread count.
+  common::ThreadPool* pool = nullptr;
 
   // Raw bytes of the text region [text_start, text_end) in file-vaddr space;
   // used by hashing policies. Sections may be disjoint; Bytes() resolves via

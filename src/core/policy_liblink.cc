@@ -1,25 +1,35 @@
 #include "core/policy_liblink.h"
 
+#include <mutex>
 #include <set>
+#include <unordered_map>
 
 #include "common/hex.h"
+#include "common/thread_pool.h"
 
 namespace engarde::core {
 
 std::string LibraryLinkingPolicy::Fingerprint() const {
-  // The memoization knob does not change what is accepted, only how fast,
-  // so it is deliberately not part of the fingerprint.
+  // The memoization/caching knobs do not change what is accepted, only how
+  // fast, so they are deliberately not part of the fingerprint.
   return "library-linking(" + library_name_ + "," +
          HexEncode(crypto::DigestView(db_.DbDigest())) + ")";
 }
 
-Status LibraryLinkingPolicy::Check(const PolicyContext& context) const {
+Status LibraryLinkingPolicy::CheckRange(const PolicyContext& context,
+                                        size_t begin, size_t end,
+                                        size_t* bad_index) const {
   const x86::InsnBuffer& insns = *context.insns;
   const SymbolHashTable& symbols = *context.symbols;
   std::set<uint64_t> verified;  // function starts already checked (memoized)
+  // Digest cache: one SHA-256 per distinct call target instead of one per
+  // call site. Local to the range, so shards never share mutable state.
+  std::unordered_map<uint64_t, crypto::Sha256Digest> digests;
 
-  for (const x86::Insn& insn : insns) {
+  for (size_t site = begin; site < end; ++site) {
+    const x86::Insn& insn = insns[site];
     if (insn.mnemonic != x86::Mnemonic::kCall) continue;
+    *bad_index = site;
     const uint64_t target = insn.BranchTarget();
     if (options_.memoize_functions && verified.count(target) != 0) continue;
 
@@ -42,26 +52,40 @@ Status LibraryLinkingPolicy::Check(const PolicyContext& context) const {
     // sequentially reads instructions starting from the computed target
     // address and stops when it comes across an instruction that is at the
     // beginning of another function", consulting the symbol hash table per
-    // instruction. (No per-function memoisation — the paper's check re-hashes
-    // on every call site, and so do we.)
-    size_t index = insns.IndexOfAddr(target);
-    if (index == x86::InsnBuffer::npos) {
-      return PolicyViolationError("direct call [" + insn.ToString() +
-                                  "] targets a non-instruction address");
+    // instruction. (No per-function memoisation unless the caller opts in —
+    // the paper's check re-hashes on every call site, and so do we.)
+    const crypto::Sha256Digest* actual = nullptr;
+    crypto::Sha256Digest computed;
+    if (options_.cache_function_digests) {
+      const auto cached = digests.find(target);
+      if (cached != digests.end()) actual = &cached->second;
     }
-    crypto::Sha256 hash;
-    for (; index < insns.size(); ++index) {
-      const x86::Insn& body_insn = insns[index];
-      if (body_insn.addr != target && symbols.IsFunctionStart(body_insn.addr)) {
-        break;
+    if (actual == nullptr) {
+      size_t index = insns.IndexOfAddr(target);
+      if (index == x86::InsnBuffer::npos) {
+        return PolicyViolationError("direct call [" + insn.ToString() +
+                                    "] targets a non-instruction address");
       }
-      if (body_insn.addr >= fn->end) break;  // section-end cap
-      ASSIGN_OR_RETURN(const ByteView bytes,
-                       context.TextBytes(body_insn.addr, body_insn.length));
-      hash.Update(bytes);
+      crypto::Sha256 hash;
+      for (; index < insns.size(); ++index) {
+        const x86::Insn& body_insn = insns[index];
+        if (body_insn.addr != target &&
+            symbols.IsFunctionStart(body_insn.addr)) {
+          break;
+        }
+        if (body_insn.addr >= fn->end) break;  // section-end cap
+        ASSIGN_OR_RETURN(const ByteView bytes,
+                         context.TextBytes(body_insn.addr, body_insn.length));
+        hash.Update(bytes);
+      }
+      computed = hash.Finalize();
+      if (options_.cache_function_digests) {
+        actual = &digests.emplace(target, computed).first->second;
+      } else {
+        actual = &computed;
+      }
     }
-    const crypto::Sha256Digest actual = hash.Finalize();
-    if (!ConstantTimeEqual(crypto::DigestView(actual),
+    if (!ConstantTimeEqual(crypto::DigestView(*actual),
                            crypto::DigestView(*expected))) {
       return PolicyViolationError(
           "function " + fn->name + " does not match the required " +
@@ -69,6 +93,35 @@ Status LibraryLinkingPolicy::Check(const PolicyContext& context) const {
     }
   }
   return Status::Ok();
+}
+
+Status LibraryLinkingPolicy::Check(const PolicyContext& context) const {
+  const x86::InsnBuffer& insns = *context.insns;
+  common::ThreadPool* pool = context.pool;
+  constexpr size_t kGrain = 2048;
+  size_t bad_index = x86::InsnBuffer::npos;
+  if (pool == nullptr || pool->thread_count() <= 1 ||
+      insns.size() < 2 * kGrain) {
+    return CheckRange(context, 0, insns.size(), &bad_index);
+  }
+
+  // Sharded scan. Each shard memoizes/caches locally, so outcomes cannot
+  // depend on shard boundaries; the violation at the lowest call-site index
+  // wins, which is exactly the serial walk's first error.
+  std::mutex mu;
+  size_t first_bad = x86::InsnBuffer::npos;
+  Status first_status = Status::Ok();
+  pool->ParallelFor(0, insns.size(), kGrain, [&](size_t begin, size_t end) {
+    size_t shard_bad = x86::InsnBuffer::npos;
+    const Status status = CheckRange(context, begin, end, &shard_bad);
+    if (status.ok()) return;
+    std::lock_guard<std::mutex> lock(mu);
+    if (shard_bad < first_bad) {
+      first_bad = shard_bad;
+      first_status = status;
+    }
+  });
+  return first_status;
 }
 
 }  // namespace engarde::core

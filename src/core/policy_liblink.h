@@ -33,6 +33,12 @@ class LibraryLinkingPolicy : public PolicyModule {
     // the table — bench/ablation_provisioning quantifies it. Kept off by
     // default for figure fidelity.
     bool memoize_functions = false;
+    // Weaker optimisation: still compare at every call site, but compute the
+    // SHA-256 digest of each distinct call target only once (keyed by the
+    // function's start address). Unlike memoize_functions this keeps the
+    // per-site symbol-table lookup and digest comparison. Off by default so
+    // the paper-faithful re-hash mode remains the bench baseline.
+    bool cache_function_digests = false;
   };
 
   LibraryLinkingPolicy(std::string library_name, LibraryHashDb db)
@@ -45,9 +51,19 @@ class LibraryLinkingPolicy : public PolicyModule {
 
   std::string_view name() const override { return "library-linking"; }
   std::string Fingerprint() const override;
+  // Sharded over context.pool when available: the call-site scan is
+  // partitioned into instruction ranges checked concurrently, and the
+  // lowest-index violation decides — the verdict is identical to the serial
+  // walk at any thread count.
   Status Check(const PolicyContext& context) const override;
 
  private:
+  // Checks the call sites whose instruction index lies in [begin, end). On
+  // violation, *bad_index receives the offending call site's index (for the
+  // cross-shard first-violation reduction).
+  Status CheckRange(const PolicyContext& context, size_t begin, size_t end,
+                    size_t* bad_index) const;
+
   std::string library_name_;  // e.g. "musl-libc v1.0.5"
   LibraryHashDb db_;
   Options options_;

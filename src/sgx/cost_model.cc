@@ -16,34 +16,39 @@ std::string_view PhaseName(Phase phase) noexcept {
 }
 
 void CycleAccountant::CountSgxInstruction() noexcept {
-  ++total_sgx_;
-  ++costs_[static_cast<size_t>(current_)].sgx_instructions;
+  total_sgx_.fetch_add(1, std::memory_order_relaxed);
+  const size_t phase =
+      static_cast<size_t>(current_.load(std::memory_order_relaxed));
+  sgx_counts_[phase].fetch_add(1, std::memory_order_relaxed);
 }
 
 void CycleAccountant::CountTrampoline() noexcept {
-  ++trampolines_;
+  trampolines_.fetch_add(1, std::memory_order_relaxed);
   CountSgxInstruction();  // EEXIT
   CountSgxInstruction();  // EENTER
 }
 
 void CycleAccountant::BeginPhase(Phase phase) noexcept {
   const auto now = Clock::now();
-  costs_[static_cast<size_t>(current_)].native_ns +=
+  const size_t prev =
+      static_cast<size_t>(current_.load(std::memory_order_relaxed));
+  native_ns_[prev] +=
       static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
                                 now - phase_start_)
                                 .count());
-  current_ = phase;
+  current_.store(phase, std::memory_order_relaxed);
   phase_start_ = now;
 }
 
 void CycleAccountant::EndPhase() noexcept { BeginPhase(Phase::kIdle); }
 
 void CycleAccountant::Reset() noexcept {
-  costs_ = {};
-  current_ = Phase::kIdle;
+  native_ns_ = {};
+  for (auto& count : sgx_counts_) count.store(0, std::memory_order_relaxed);
+  current_.store(Phase::kIdle, std::memory_order_relaxed);
   phase_start_ = Clock::now();
-  total_sgx_ = 0;
-  trampolines_ = 0;
+  total_sgx_.store(0, std::memory_order_relaxed);
+  trampolines_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace engarde::sgx

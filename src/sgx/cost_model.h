@@ -12,6 +12,7 @@
 #define ENGARDE_SGX_COST_MODEL_H_
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string_view>
@@ -33,6 +34,14 @@ enum class Phase : uint8_t {
 
 std::string_view PhaseName(Phase phase) noexcept;
 
+// Counting (CountSgxInstruction / CountTrampoline) is thread-safe via
+// relaxed atomics: the parallel inspection engine may charge SGX
+// instructions from several shards at once, and per-shard counts aggregate
+// to the same per-phase totals in any interleaving — cycle attribution stays
+// deterministic regardless of thread count. Phase transitions
+// (Begin/EndPhase, Reset) remain orchestrator-only: they must not race with
+// concurrent counting, which EnGarde's strictly sequential phase structure
+// guarantees (worker shards only ever run *inside* one phase).
 class CycleAccountant {
  public:
   static constexpr uint64_t kSgxInstructionCycles = 10'000;
@@ -61,22 +70,31 @@ class CycleAccountant {
     }
   };
 
-  const PhaseCost& phase_cost(Phase phase) const noexcept {
-    return costs_[static_cast<size_t>(phase)];
+  // Returned by value: the snapshot is assembled from the atomic counters.
+  PhaseCost phase_cost(Phase phase) const noexcept {
+    const size_t i = static_cast<size_t>(phase);
+    return PhaseCost{native_ns_[i],
+                     sgx_counts_[i].load(std::memory_order_relaxed)};
   }
-  uint64_t total_sgx_instructions() const noexcept { return total_sgx_; }
-  uint64_t total_trampolines() const noexcept { return trampolines_; }
+  uint64_t total_sgx_instructions() const noexcept {
+    return total_sgx_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_trampolines() const noexcept {
+    return trampolines_.load(std::memory_order_relaxed);
+  }
 
   void Reset() noexcept;
 
  private:
   using Clock = std::chrono::steady_clock;
+  static constexpr size_t kPhases = static_cast<size_t>(Phase::kCount);
 
-  std::array<PhaseCost, static_cast<size_t>(Phase::kCount)> costs_{};
-  Phase current_ = Phase::kIdle;
+  std::array<uint64_t, kPhases> native_ns_{};
+  std::array<std::atomic<uint64_t>, kPhases> sgx_counts_{};
+  std::atomic<Phase> current_{Phase::kIdle};
   Clock::time_point phase_start_ = Clock::now();
-  uint64_t total_sgx_ = 0;
-  uint64_t trampolines_ = 0;
+  std::atomic<uint64_t> total_sgx_{0};
+  std::atomic<uint64_t> trampolines_{0};
 };
 
 // RAII phase scope.

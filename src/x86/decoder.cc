@@ -1,6 +1,10 @@
 #include "x86/decoder.h"
 
+#include <algorithm>
 #include <sstream>
+
+#include "common/thread_pool.h"
+#include "x86/encoder.h"  // kBundleSize
 
 namespace engarde::x86 {
 namespace {
@@ -742,6 +746,83 @@ Result<std::vector<Insn>> DecodeAll(ByteView code, uint64_t vaddr) {
     out.push_back(insn);
   }
   return out;
+}
+
+namespace {
+
+Status DecodeSerialInto(ByteView content, uint64_t vaddr, InsnBuffer& out) {
+  size_t offset = 0;
+  while (offset < content.size()) {
+    ASSIGN_OR_RETURN(const Insn insn, DecodeOne(content, offset, vaddr));
+    out.Append(insn);
+    offset += insn.length;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status DecodeSectionInto(ByteView content, uint64_t vaddr,
+                         common::ThreadPool* pool, InsnBuffer& out) {
+  // Sections below a few shards' worth of bytes are not worth the fan-out.
+  constexpr size_t kMinShardBytes = 4096;
+  static_assert(kMinShardBytes % kBundleSize == 0);
+  if (pool == nullptr || pool->thread_count() <= 1 ||
+      content.size() < 2 * kMinShardBytes) {
+    return DecodeSerialInto(content, vaddr, out);
+  }
+
+  // Bundle-aligned shards, one per pool thread (rounded up).
+  const size_t threads = pool->thread_count();
+  size_t shard_bytes = (content.size() + threads - 1) / threads;
+  shard_bytes += kBundleSize - 1;
+  shard_bytes -= shard_bytes % kBundleSize;
+  shard_bytes = std::max(shard_bytes, kMinShardBytes);
+  const size_t num_shards = (content.size() + shard_bytes - 1) / shard_bytes;
+
+  std::vector<std::vector<Insn>> shard_insns(num_shards);
+  std::vector<Status> shard_status(num_shards, Status::Ok());
+  std::vector<size_t> shard_end_offset(num_shards, 0);
+  pool->ParallelFor(0, num_shards, 1, [&](size_t begin, size_t end) {
+    for (size_t s = begin; s < end; ++s) {
+      const size_t shard_begin = s * shard_bytes;
+      const size_t shard_limit =
+          std::min(content.size(), shard_begin + shard_bytes);
+      size_t offset = shard_begin;
+      // The last instruction of a shard may legitimately extend past
+      // shard_limit only if it crosses the (bundle-aligned) seam; the seam
+      // check below catches that and forces the serial fallback.
+      while (offset < shard_limit) {
+        auto insn = DecodeOne(content, offset, vaddr);
+        if (!insn.ok()) {
+          shard_status[s] = insn.status();
+          break;
+        }
+        shard_insns[s].push_back(*insn);
+        offset += insn->length;
+      }
+      shard_end_offset[s] = offset;
+    }
+  });
+
+  bool exact = true;
+  for (size_t s = 0; s < num_shards && exact; ++s) {
+    if (!shard_status[s].ok()) exact = false;
+    const size_t shard_limit =
+        std::min(content.size(), (s + 1) * shard_bytes);
+    if (shard_end_offset[s] != shard_limit) exact = false;
+  }
+  if (!exact) {
+    // Divergent decode (undecodable bytes, or an instruction across a shard
+    // seam). The serial pass is canonical — rerun it so the caller sees the
+    // identical instructions or the identical first error.
+    return DecodeSerialInto(content, vaddr, out);
+  }
+
+  for (const std::vector<Insn>& shard : shard_insns) {
+    for (const Insn& insn : shard) out.Append(insn);
+  }
+  return Status::Ok();
 }
 
 }  // namespace engarde::x86

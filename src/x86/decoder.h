@@ -17,6 +17,11 @@
 #include "common/bytes.h"
 #include "common/status.h"
 #include "x86/insn.h"
+#include "x86/insn_buffer.h"
+
+namespace engarde::common {
+class ThreadPool;
+}  // namespace engarde::common
 
 namespace engarde::x86 {
 
@@ -30,6 +35,24 @@ Result<Insn> DecodeOne(ByteView code, size_t offset, uint64_t vaddr);
 // Decodes an entire code region sequentially. Fails on the first undecodable
 // byte sequence (with its offset in the message).
 Result<std::vector<Insn>> DecodeAll(ByteView code, uint64_t vaddr);
+
+// Decodes one whole text section into `out`, sharding the work across `pool`
+// when it has more than one thread (serial when pool is null or single).
+//
+// Shards split on 32-byte bundle boundaries (kBundleSize). For a NaCl-clean
+// binary no instruction crosses a bundle boundary, so every shard's decode
+// ends exactly where the next shard begins and concatenating the shards in
+// address order reproduces the sequential decode byte for byte. If any shard
+// fails to decode, or an instruction straddles a shard seam (a Rule-1
+// violation the validator would reject anyway), the section is re-decoded
+// serially so the appended instructions — or the returned error — are
+// bit-for-bit those of the serial path.
+//
+// All appends into `out` happen on the calling thread, in address order, so
+// InsnBuffer's binary-search invariant and its per-chunk allocation hook
+// (the malloc-trampoline accounting) behave exactly as under serial decode.
+Status DecodeSectionInto(ByteView content, uint64_t vaddr,
+                         common::ThreadPool* pool, InsnBuffer& out);
 
 }  // namespace engarde::x86
 

@@ -1,8 +1,10 @@
 #include "x86/validator.h"
 
+#include <atomic>
 #include <sstream>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "x86/encoder.h"  // kBundleSize
 
 namespace engarde::x86 {
@@ -14,29 +16,68 @@ std::string AddrString(uint64_t addr) {
   return os.str();
 }
 
+// Index of the first instruction for which `pred` holds, or npos. Sharded
+// over `pool` when profitable; the per-shard scan stops at its own first
+// hit, and the lowest index across shards wins — the serial answer.
+template <typename Pred>
+size_t FirstViolation(const InsnBuffer& insns, common::ThreadPool* pool,
+                      const Pred& pred) {
+  constexpr size_t kGrain = 4096;
+  if (pool == nullptr || pool->thread_count() <= 1 ||
+      insns.size() < 2 * kGrain) {
+    for (size_t i = 0; i < insns.size(); ++i) {
+      if (pred(insns[i])) return i;
+    }
+    return InsnBuffer::npos;
+  }
+  std::atomic<size_t> first{InsnBuffer::npos};
+  pool->ParallelFor(0, insns.size(), kGrain, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      if (!pred(insns[i])) continue;
+      size_t cur = first.load(std::memory_order_relaxed);
+      while (i < cur && !first.compare_exchange_weak(
+                            cur, i, std::memory_order_relaxed)) {
+      }
+      break;
+    }
+  });
+  return first.load(std::memory_order_relaxed);
+}
+
 }  // namespace
 
 Status ValidateNaClConstraints(const InsnBuffer& insns,
-                               const ValidationInput& input) {
+                               const ValidationInput& input,
+                               common::ThreadPool* pool) {
   // Rule 1: no instruction overlaps a 32-byte bundle boundary.
-  for (const Insn& insn : insns) {
-    const uint64_t in_bundle = insn.addr % kBundleSize;
-    if (in_bundle + insn.length > kBundleSize) {
-      return PolicyViolationError("instruction at " + AddrString(insn.addr) +
+  {
+    const size_t bad = FirstViolation(insns, pool, [](const Insn& insn) {
+      return insn.addr % kBundleSize + insn.length > kBundleSize;
+    });
+    if (bad != InsnBuffer::npos) {
+      return PolicyViolationError("instruction at " +
+                                  AddrString(insns[bad].addr) +
                                   " overlaps a 32-byte bundle boundary");
     }
   }
 
   // Rule 2: every direct control transfer targets a valid instruction start.
-  for (const Insn& insn : insns) {
-    if (!insn.IsDirectBranch()) continue;
-    const uint64_t target = insn.BranchTarget();
-    if (target < input.text_start || target >= input.text_end) {
-      return PolicyViolationError("control transfer at " +
-                                  AddrString(insn.addr) + " targets " +
-                                  AddrString(target) + " outside text");
-    }
-    if (insns.IndexOfAddr(target) == InsnBuffer::npos) {
+  {
+    const size_t bad =
+        FirstViolation(insns, pool, [&](const Insn& insn) {
+          if (!insn.IsDirectBranch()) return false;
+          const uint64_t target = insn.BranchTarget();
+          return target < input.text_start || target >= input.text_end ||
+                 insns.IndexOfAddr(target) == InsnBuffer::npos;
+        });
+    if (bad != InsnBuffer::npos) {
+      const Insn& insn = insns[bad];
+      const uint64_t target = insn.BranchTarget();
+      if (target < input.text_start || target >= input.text_end) {
+        return PolicyViolationError("control transfer at " +
+                                    AddrString(insn.addr) + " targets " +
+                                    AddrString(target) + " outside text");
+      }
       return PolicyViolationError(
           "control transfer at " + AddrString(insn.addr) + " targets " +
           AddrString(target) + ", which is not an instruction start");

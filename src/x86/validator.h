@@ -16,6 +16,10 @@
 #include "common/status.h"
 #include "x86/insn_buffer.h"
 
+namespace engarde::common {
+class ThreadPool;
+}  // namespace engarde::common
+
 namespace engarde::x86 {
 
 struct ValidationInput {
@@ -28,8 +32,14 @@ struct ValidationInput {
 
 // Returns OK iff all three NaCl constraints hold for `insns` (which must be
 // the complete, in-order disassembly of [text_start, text_end)).
+//
+// Rules 1 and 2 are independent per-instruction scans; when `pool` has more
+// than one thread they run sharded, reporting the lowest-index violation so
+// the error (if any) is the one the serial scan finds first. Rule 3's
+// reachability BFS is inherently sequential and always runs serially.
 Status ValidateNaClConstraints(const InsnBuffer& insns,
-                               const ValidationInput& input);
+                               const ValidationInput& input,
+                               common::ThreadPool* pool = nullptr);
 
 }  // namespace engarde::x86
 

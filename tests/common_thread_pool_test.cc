@@ -1,0 +1,161 @@
+// Unit tests for the deterministic fork-join pool behind the parallel
+// inspection engine: static partitioning (coverage, contiguity, order),
+// serial fallback, exception propagation (lowest chunk wins — the serial
+// answer), and reuse across many ParallelFor calls.
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace engarde::common {
+namespace {
+
+// Records every (begin, end) chunk a ParallelFor produced, thread-safely.
+struct ChunkLog {
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> chunks;
+
+  void Record(size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(begin, end);
+  }
+  // Chunks sorted by begin must tile [begin, end) exactly.
+  void ExpectTiles(size_t begin, size_t end) {
+    std::sort(chunks.begin(), chunks.end());
+    size_t cursor = begin;
+    for (const auto& [b, e] : chunks) {
+      EXPECT_EQ(b, cursor);
+      EXPECT_LT(b, e);
+      cursor = e;
+    }
+    EXPECT_EQ(cursor, end);
+  }
+};
+
+TEST(ThreadPoolTest, ThreadCountIncludesCaller) {
+  EXPECT_EQ(ThreadPool(1).thread_count(), 1u);
+  EXPECT_EQ(ThreadPool(4).thread_count(), 4u);
+  // threads = 0 degrades to the serial pool, same as 1.
+  EXPECT_EQ(ThreadPool(0).thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, ChunksTileTheRangeExactly) {
+  for (const size_t threads : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    for (const size_t items : {1u, 7u, 64u, 1000u}) {
+      ChunkLog log;
+      pool.ParallelFor(10, 10 + items, /*grain=*/1,
+                       [&](size_t b, size_t e) { log.Record(b, e); });
+      log.ExpectTiles(10, 10 + items);
+      EXPECT_LE(log.chunks.size(), threads == 0 ? 1u : threads);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, EveryIndexVisitedExactlyOnce) {
+  ThreadPool pool(8);
+  constexpr size_t kItems = 5000;
+  std::vector<std::atomic<int>> visits(kItems);
+  pool.ParallelFor(0, kItems, /*grain=*/64, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) visits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, GrainBoundsChunkCount) {
+  ThreadPool pool(8);
+  // 100 items at grain 40 allow at most ceil(100/40) = 3 chunks even though
+  // 8 threads are available.
+  ChunkLog log;
+  pool.ParallelFor(0, 100, /*grain=*/40,
+                   [&](size_t b, size_t e) { log.Record(b, e); });
+  log.ExpectTiles(0, 100);
+  EXPECT_LE(log.chunks.size(), 3u);
+}
+
+TEST(ThreadPoolTest, EmptyRangeInvokesNothing) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.ParallelFor(5, 5, 1, [&](size_t, size_t) { called = true; });
+  pool.ParallelFor(7, 3, 1, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  size_t calls = 0;
+  pool.ParallelFor(0, 1000, 1, [&](size_t b, size_t e) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(b, 0u);
+    EXPECT_EQ(e, 1000u);
+    ++calls;  // safe: single chunk, caller thread
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100, 1,
+                       [](size_t, size_t) {
+                         throw std::runtime_error("shard failed");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, LowestChunkExceptionWins) {
+  ThreadPool pool(4);
+  // Every chunk throws its own begin index; the serial loop would have
+  // surfaced the range's first error, so ParallelFor must rethrow the one
+  // from the lowest-indexed chunk — begin == 0.
+  for (int repeat = 0; repeat < 20; ++repeat) {
+    try {
+      pool.ParallelFor(0, 400, 1, [](size_t b, size_t) {
+        throw std::runtime_error("chunk@" + std::to_string(b));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& err) {
+      EXPECT_STREQ(err.what(), "chunk@0");
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAfterException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 10, 1,
+                                [](size_t, size_t) {
+                                  throw std::runtime_error("once");
+                                }),
+               std::runtime_error);
+  // The pool is fully reusable: the next scan sees a clean error slate.
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(0, 100, 1, [&](size_t b, size_t e) {
+    size_t local = 0;
+    for (size_t i = b; i < e; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPoolTest, ManyBackToBackScans) {
+  ThreadPool pool(8);
+  for (int scan = 0; scan < 200; ++scan) {
+    std::atomic<size_t> count{0};
+    pool.ParallelFor(0, 97, 1, [&](size_t b, size_t e) {
+      count.fetch_add(e - b);
+    });
+    ASSERT_EQ(count.load(), 97u) << "scan " << scan;
+  }
+}
+
+}  // namespace
+}  // namespace engarde::common

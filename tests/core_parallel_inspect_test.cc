@@ -1,0 +1,300 @@
+// Parallel/serial equivalence for the inspection engine: provisioning any
+// program at inspection_threads ∈ {1, 2, 8} must produce bit-for-bit
+// identical verdicts, statistics, rejection reasons and per-phase
+// SGX-instruction attribution. (The native-time component of a phase's cycle
+// cost is wall-clock and thus never run-to-run reproducible — the
+// deterministic sgx_instructions column is the equivalence target, as in
+// EXPERIMENTS.md.)
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "core/engarde.h"
+#include "core/policy_ifcc.h"
+#include "core/policy_liblink.h"
+#include "core/policy_stackprot.h"
+#include "elf/builder.h"
+#include "workload/catalog.h"
+#include "workload/program_builder.h"
+
+namespace engarde::core {
+namespace {
+
+constexpr size_t kTestRsaBits = 768;  // small keys keep the suite fast
+// Tests run the full catalog at a fraction of the paper's instruction
+// counts; the sharded pipeline is exercised identically at any scale. (Much
+// below this the smallest benchmarks are too small for the synthetic layout
+// to converge.)
+constexpr double kCatalogScale = 0.2;
+
+// Everything a provisioning run produces that must be invariant under the
+// thread count.
+struct Snapshot {
+  bool compliant = false;
+  std::string reason;
+  size_t instruction_count = 0;
+  size_t insn_buffer_pages = 0;
+  size_t blocks_received = 0;
+  size_t relocations_applied = 0;
+  uint64_t disassembly_sgx = 0;
+  uint64_t policy_sgx = 0;
+  uint64_t loading_sgx = 0;
+  uint64_t channel_sgx = 0;
+  uint64_t total_sgx = 0;
+  uint64_t trampolines = 0;
+};
+
+void ExpectSameSnapshot(const Snapshot& serial, const Snapshot& parallel,
+                        const std::string& label) {
+  EXPECT_EQ(serial.compliant, parallel.compliant) << label;
+  EXPECT_EQ(serial.reason, parallel.reason) << label;
+  EXPECT_EQ(serial.instruction_count, parallel.instruction_count) << label;
+  EXPECT_EQ(serial.insn_buffer_pages, parallel.insn_buffer_pages) << label;
+  EXPECT_EQ(serial.blocks_received, parallel.blocks_received) << label;
+  EXPECT_EQ(serial.relocations_applied, parallel.relocations_applied) << label;
+  EXPECT_EQ(serial.disassembly_sgx, parallel.disassembly_sgx) << label;
+  EXPECT_EQ(serial.policy_sgx, parallel.policy_sgx) << label;
+  EXPECT_EQ(serial.loading_sgx, parallel.loading_sgx) << label;
+  EXPECT_EQ(serial.channel_sgx, parallel.channel_sgx) << label;
+  EXPECT_EQ(serial.total_sgx, parallel.total_sgx) << label;
+  EXPECT_EQ(serial.trampolines, parallel.trampolines) << label;
+}
+
+class ParallelInspectTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto qe = sgx::QuotingEnclave::Provision(ToBytes("parallel-device"),
+                                             kTestRsaBits);
+    ASSERT_TRUE(qe.ok());
+    qe_ = new sgx::QuotingEnclave(std::move(qe).value());
+  }
+  static void TearDownTestSuite() {
+    delete qe_;
+    qe_ = nullptr;
+  }
+  static const sgx::QuotingEnclave& qe() { return *qe_; }
+
+  // Provisions `program` under `policies` with `threads` inspection threads
+  // on a fresh device and returns the invariant snapshot.
+  static Result<Snapshot> Provision(const workload::BuiltProgram& program,
+                                    PolicySet policies, size_t threads) {
+    sgx::CycleAccountant accountant;
+    sgx::SgxDevice device(sgx::SgxDevice::Options{}, &accountant);
+    sgx::HostOs host(&device);
+
+    EngardeOptions options;
+    options.rsa_bits = kTestRsaBits;
+    options.inspection_threads = threads;
+    auto enclave = EngardeEnclave::Create(&host, qe(), std::move(policies),
+                                          options);
+    RETURN_IF_ERROR(enclave.status());
+
+    crypto::DuplexPipe pipe;
+    RETURN_IF_ERROR(enclave->SendHello(pipe.EndA()));
+
+    client::ClientOptions client_options;
+    client_options.attestation_key = qe().attestation_public_key();
+    client_options.skip_measurement_check = true;  // inspection path only
+    client::Client client(client_options, program.image);
+    RETURN_IF_ERROR(client.SendProgram(pipe.EndB()));
+
+    accountant.Reset();
+    ASSIGN_OR_RETURN(const ProvisionOutcome outcome,
+                     enclave->RunProvisioning(pipe.EndA()));
+
+    Snapshot snap;
+    snap.compliant = outcome.verdict.compliant;
+    snap.reason = outcome.verdict.reason;
+    snap.instruction_count = outcome.stats.instruction_count;
+    snap.insn_buffer_pages = outcome.stats.insn_buffer_pages;
+    snap.blocks_received = outcome.stats.blocks_received;
+    snap.relocations_applied = outcome.stats.relocations_applied;
+    snap.disassembly_sgx =
+        accountant.phase_cost(sgx::Phase::kDisassembly).sgx_instructions;
+    snap.policy_sgx =
+        accountant.phase_cost(sgx::Phase::kPolicyCheck).sgx_instructions;
+    snap.loading_sgx =
+        accountant.phase_cost(sgx::Phase::kLoading).sgx_instructions;
+    snap.channel_sgx =
+        accountant.phase_cost(sgx::Phase::kChannel).sgx_instructions;
+    snap.total_sgx = accountant.total_sgx_instructions();
+    snap.trampolines = accountant.total_trampolines();
+    return snap;
+  }
+
+  // Runs Provision at threads {1, 2, 8} and asserts all three snapshots
+  // agree; returns the serial one for additional assertions.
+  static Snapshot ExpectThreadInvariant(
+      const workload::BuiltProgram& program,
+      const std::function<PolicySet()>& make_policies,
+      const std::string& label) {
+    auto serial = Provision(program, make_policies(), 1);
+    EXPECT_TRUE(serial.ok()) << label << ": " << serial.status().ToString();
+    if (!serial.ok()) return Snapshot{};
+    for (const size_t threads : {2u, 8u}) {
+      auto parallel = Provision(program, make_policies(), threads);
+      EXPECT_TRUE(parallel.ok()) << label << " @ " << threads << " threads: "
+                                 << parallel.status().ToString();
+      if (!parallel.ok()) continue;
+      ExpectSameSnapshot(*serial, *parallel,
+                         label + " @ " + std::to_string(threads) +
+                             " threads");
+    }
+    return *serial;
+  }
+
+ private:
+  static sgx::QuotingEnclave* qe_;
+};
+
+sgx::QuotingEnclave* ParallelInspectTest::qe_ = nullptr;
+
+PolicySet LiblinkPolicy(const workload::SynthLibcOptions& libc,
+                        LibraryLinkingPolicy::Options options = {}) {
+  PolicySet policies;
+  auto db = workload::BuildLibcHashDb(libc);
+  EXPECT_TRUE(db.ok());
+  policies.push_back(std::make_unique<LibraryLinkingPolicy>(
+      "synth-musl v" + libc.version, std::move(db).value(), options));
+  return policies;
+}
+
+TEST_F(ParallelInspectTest, FullCatalogThreadInvariant) {
+  for (const workload::CatalogEntry& entry : workload::PaperBenchmarks()) {
+    auto program = workload::BuildBenchmarkScaled(
+        entry, workload::BuildFlavor::kPlain, kCatalogScale);
+    ASSERT_TRUE(program.ok()) << entry.name << ": "
+                              << program.status().ToString();
+    const Snapshot serial = ExpectThreadInvariant(
+        *program,
+        [&] { return LiblinkPolicy(program->libc_options); }, entry.name);
+    EXPECT_TRUE(serial.compliant) << entry.name << ": " << serial.reason;
+    EXPECT_GT(serial.instruction_count, 0u) << entry.name;
+  }
+}
+
+TEST_F(ParallelInspectTest, MultiplePoliciesRunConcurrently) {
+  workload::ProgramSpec spec;
+  spec.name = "multi-policy";
+  spec.seed = 11;
+  spec.target_instructions = 6000;
+  spec.stack_protection = true;
+  spec.ifcc = true;
+  spec.indirect_call_sites = 3;
+  auto program = workload::BuildProgram(spec);
+  ASSERT_TRUE(program.ok());
+
+  const auto make_policies = [&] {
+    PolicySet policies = LiblinkPolicy(program->libc_options);
+    policies.push_back(std::make_unique<StackProtectionPolicy>());
+    policies.push_back(std::make_unique<IndirectCallPolicy>());
+    return policies;
+  };
+  const Snapshot serial =
+      ExpectThreadInvariant(*program, make_policies, "multi-policy");
+  EXPECT_TRUE(serial.compliant) << serial.reason;
+}
+
+TEST_F(ParallelInspectTest, PolicyRejectionReasonThreadInvariant) {
+  // Client links the vulnerable libc; the policy set pins the fixed version.
+  // Every thread count must report the same first violation.
+  workload::ProgramSpec spec;
+  spec.name = "wrong-libc";
+  spec.seed = 3;
+  spec.target_instructions = 6000;
+  spec.libc.version = "1.0.4";
+  auto program = workload::BuildProgram(spec);
+  ASSERT_TRUE(program.ok());
+
+  workload::SynthLibcOptions pinned = program->libc_options;
+  pinned.version = "1.0.5";
+  const Snapshot serial = ExpectThreadInvariant(
+      *program, [&] { return LiblinkPolicy(pinned); }, "wrong-libc");
+  EXPECT_FALSE(serial.compliant);
+  EXPECT_NE(serial.reason.find("library-linking"), std::string::npos)
+      << serial.reason;
+}
+
+TEST_F(ParallelInspectTest, DisassemblyRejectionThreadInvariant) {
+  // A minimal valid ELF whose text is undecodable junk: the sharded decoder
+  // must fall back to the serial scan and report the serial error.
+  workload::BuiltProgram garbage;
+  garbage.name = "garbage";
+  elf::ElfBuilder builder;
+  Bytes junk = {0x0f, 0x10, 0x00, 0x90};  // SSE movups: unsupported
+  junk.resize(64, 0x90);
+  const uint64_t tv = builder.AddTextSection(".text", junk);
+  builder.AddSymbol("main", tv, 4, elf::kSttFunc);
+  auto image = builder.Build();
+  ASSERT_TRUE(image.ok());
+  garbage.image = *image;
+
+  const Snapshot serial = ExpectThreadInvariant(
+      garbage, [] { return PolicySet{}; }, "garbage");
+  EXPECT_FALSE(serial.compliant);
+  EXPECT_NE(serial.reason.find("UNIMPLEMENTED"), std::string::npos)
+      << serial.reason;
+}
+
+TEST_F(ParallelInspectTest, DigestCacheAndMemoizationVerdictInvariant) {
+  // The digest cache and the memoized fast path must not change the verdict
+  // — at any thread count (both keep per-shard state, so shard boundaries
+  // cannot change what is checked).
+  auto program = workload::BuildBenchmarkScaled(
+      workload::PaperBenchmarks().front(), workload::BuildFlavor::kPlain,
+      kCatalogScale);
+  ASSERT_TRUE(program.ok());
+
+  const Snapshot baseline = ExpectThreadInvariant(
+      *program, [&] { return LiblinkPolicy(program->libc_options); },
+      "plain");
+  ASSERT_TRUE(baseline.compliant) << baseline.reason;
+
+  LibraryLinkingPolicy::Options cached;
+  cached.cache_function_digests = true;
+  const Snapshot with_cache = ExpectThreadInvariant(
+      *program,
+      [&] { return LiblinkPolicy(program->libc_options, cached); },
+      "digest-cache");
+  EXPECT_TRUE(with_cache.compliant) << with_cache.reason;
+  EXPECT_EQ(with_cache.instruction_count, baseline.instruction_count);
+
+  LibraryLinkingPolicy::Options memoized;
+  memoized.memoize_functions = true;
+  const Snapshot with_memo = ExpectThreadInvariant(
+      *program,
+      [&] { return LiblinkPolicy(program->libc_options, memoized); },
+      "memoize");
+  EXPECT_TRUE(with_memo.compliant) << with_memo.reason;
+  EXPECT_EQ(with_memo.instruction_count, baseline.instruction_count);
+}
+
+TEST_F(ParallelInspectTest, DigestCacheRejectionInvariant) {
+  // The cache must also reproduce the exact rejection on a violating input.
+  workload::ProgramSpec spec;
+  spec.name = "wrong-libc-cached";
+  spec.seed = 5;
+  spec.target_instructions = 5000;
+  spec.libc.version = "1.0.4";
+  auto program = workload::BuildProgram(spec);
+  ASSERT_TRUE(program.ok());
+  workload::SynthLibcOptions pinned = program->libc_options;
+  pinned.version = "1.0.5";
+
+  const Snapshot plain = ExpectThreadInvariant(
+      *program, [&] { return LiblinkPolicy(pinned); }, "reject-plain");
+  LibraryLinkingPolicy::Options cached;
+  cached.cache_function_digests = true;
+  const Snapshot with_cache = ExpectThreadInvariant(
+      *program, [&] { return LiblinkPolicy(pinned, cached); },
+      "reject-cached");
+  EXPECT_FALSE(plain.compliant);
+  EXPECT_EQ(plain.compliant, with_cache.compliant);
+  EXPECT_EQ(plain.reason, with_cache.reason);
+}
+
+}  // namespace
+}  // namespace engarde::core

@@ -10,16 +10,20 @@
 //
 // Usage:
 //   engarde-inspect BINARY [--stackprot] [--ifcc] [--liblink DBFILE]
-//                   [--no-system-insns] [--verbose] [--dump]
+//                   [--no-system-insns] [--threads N] [--verbose] [--dump]
 //
 // --dump prints the full disassembly listing (with function labels).
+// --threads N shards disassembly, NaCl validation and policy scans over N
+// worker threads; the verdict is identical to the serial run.
 // Exit code: 0 compliant, 1 rejected, 2 usage/IO error.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "core/library_db.h"
 #include "core/policy_ifcc.h"
 #include "core/policy_liblink.h"
@@ -65,8 +69,8 @@ class NoSystemInsnsPolicy : public core::PolicyModule {
 int Usage() {
   std::fprintf(stderr,
                "usage: engarde-inspect BINARY [--stackprot] [--ifcc] "
-               "[--liblink DBFILE] [--no-system-insns] [--verbose] "
-               "[--dump]\n");
+               "[--liblink DBFILE] [--no-system-insns] [--threads N] "
+               "[--verbose] [--dump]\n");
   return 2;
 }
 
@@ -78,6 +82,7 @@ int main(int argc, char** argv) {
   core::PolicySet policies;
   bool verbose = false;
   bool dump = false;
+  size_t threads = 1;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -102,6 +107,11 @@ int main(int argc, char** argv) {
           std::string(argv[i]), std::move(db).value()));
     } else if (arg == "--no-system-insns") {
       policies.push_back(std::make_unique<NoSystemInsnsPolicy>());
+    } else if (arg == "--threads") {
+      if (++i >= argc) return Usage();
+      const long parsed = std::strtol(argv[i], nullptr, 10);
+      if (parsed < 1) return Usage();
+      threads = static_cast<size_t>(parsed);
     } else if (arg == "--verbose") {
       verbose = true;
     } else if (arg == "--dump") {
@@ -129,6 +139,9 @@ int main(int argc, char** argv) {
   }
 
   // ---- Disassembly + NaCl validation -------------------------------------------
+  std::unique_ptr<common::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<common::ThreadPool>(threads);
+
   x86::InsnBuffer insns;
   uint64_t text_start = UINT64_MAX, text_end = 0;
   for (const elf::Shdr* section : elf->TextSections()) {
@@ -137,16 +150,11 @@ int main(int argc, char** argv) {
       std::printf("REJECTED: %s\n", content.status().ToString().c_str());
       return 1;
     }
-    size_t offset = 0;
-    while (offset < content->size()) {
-      auto insn = x86::DecodeOne(*content, offset, section->addr);
-      if (!insn.ok()) {
-        std::printf("REJECTED (disassembly): %s\n",
-                    insn.status().ToString().c_str());
-        return 1;
-      }
-      insns.Append(*insn);
-      offset += insn->length;
+    if (const Status s = x86::DecodeSectionInto(*content, section->addr,
+                                                pool.get(), insns);
+        !s.ok()) {
+      std::printf("REJECTED (disassembly): %s\n", s.ToString().c_str());
+      return 1;
     }
     text_start = std::min(text_start, section->addr);
     text_end = std::max(text_end, section->addr + section->size);
@@ -158,7 +166,9 @@ int main(int argc, char** argv) {
   validation.text_end = text_end;
   validation.roots.push_back(elf->header().entry);
   for (const auto& fn : symbols.functions()) validation.roots.push_back(fn.start);
-  if (const Status s = x86::ValidateNaClConstraints(insns, validation); !s.ok()) {
+  if (const Status s = x86::ValidateNaClConstraints(insns, validation,
+                                                    pool.get());
+      !s.ok()) {
     std::printf("REJECTED (NaCl constraints): %s\n", s.ToString().c_str());
     return 1;
   }
@@ -185,6 +195,8 @@ int main(int argc, char** argv) {
   context.insns = &insns;
   context.symbols = &symbols;
   context.elf = &*elf;
+  // Modules run one after another here, so each may shard its own scan.
+  context.pool = pool.get();
   for (const auto& policy : policies) {
     const Status s = policy->Check(context);
     if (!s.ok()) {
