@@ -43,6 +43,30 @@ void PrintPhaseJson(std::FILE* f, const char* name, uint64_t cycles,
                static_cast<unsigned long long>(sgx), trailing_comma);
 }
 
+// One row per pipeline stage — finer grain than the phase columns (container
+// validation, page separation, symbol table and NaCl validation separate).
+void PrintStageJson(std::FILE* f,
+                    const std::vector<core::StageReport>& reports) {
+  std::fprintf(f, "       \"stages\": [\n");
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const core::StageReport& report = reports[i];
+    std::fprintf(
+        f,
+        "        {\"stage\": \"%.*s\", \"outcome\": \"%.*s\", "
+        "\"wall_ns\": %llu, \"sgx_instructions\": %llu, "
+        "\"modeled_cycles\": %llu}%s\n",
+        static_cast<int>(core::StageName(report.stage).size()),
+        core::StageName(report.stage).data(),
+        static_cast<int>(core::StageOutcomeName(report.outcome).size()),
+        core::StageOutcomeName(report.outcome).data(),
+        static_cast<unsigned long long>(report.wall_ns),
+        static_cast<unsigned long long>(report.sgx_instructions),
+        static_cast<unsigned long long>(report.ModeledCycles()),
+        i + 1 < reports.size() ? "," : "");
+  }
+  std::fprintf(f, "       ],\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -142,6 +166,7 @@ int main(int argc, char** argv) {
       std::fprintf(f, "      {\"threads\": %zu, \"wall_ns\": %llu,\n",
                    run.threads,
                    static_cast<unsigned long long>(run.cycles.wall_ns));
+      PrintStageJson(f, run.cycles.stage_reports);
       std::fprintf(f, "       \"phases\": {\n");
       PrintPhaseJson(f, "disassembly", run.cycles.disassembly,
                      run.cycles.disassembly_sgx, ",");

@@ -1,0 +1,221 @@
+// Concurrent provisioning benchmark: N clients provision through one
+// ProvisioningServer (shared SGX device + host OS + inspection pool), driven
+// once serially and once with a thread per session, and the bench verifies
+// the verdicts and per-session SGX-instruction totals are identical before
+// reporting the wall-time ratio. Writes BENCH_sessions.json.
+//
+// Usage: bench_sessions [--sessions N] [--threads T] [--scale S] [--out PATH]
+//   --sessions N  concurrent client exchanges (default 8)
+//   --threads T   shared inspection pool size (default 1: per-session
+//                 concurrency only)
+//   --scale S     benchmark size multiplier (default 0.2)
+//   --out PATH    output file (default BENCH_sessions.json)
+//
+// Note: on a single-core host the concurrent drive still must produce
+// identical verdicts/accounting; the wall-time ratio is only meaningful with
+// real cores.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/server.h"
+
+using namespace engarde;
+using namespace engarde::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ElapsedNs(Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+}
+
+// A compact enclave layout so many enclaves fit the default 128 MB EPC
+// without eviction churn (which would make serial-vs-concurrent accounting
+// depend on interleaving).
+sgx::EnclaveLayout CompactLayout() {
+  sgx::EnclaveLayout layout;
+  layout.heap_pages = 512;
+  layout.load_pages = 256;
+  return layout;
+}
+
+struct DriveStats {
+  uint64_t wall_ns = 0;
+  std::vector<bool> compliant;
+  std::vector<uint64_t> total_sgx;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t sessions = 8;
+  size_t threads = 1;
+  double scale = 0.2;
+  std::string out_path = "BENCH_sessions.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
+      sessions = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      scale = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_sessions [--sessions N] [--threads T] "
+                   "[--scale S] [--out PATH]\n");
+      return 2;
+    }
+  }
+
+  const workload::CatalogEntry& entry = workload::PaperBenchmarks().front();
+  auto program = workload::BuildBenchmarkScaled(
+      entry, workload::BuildFlavor::kPlain, scale);
+  if (!program.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 program.status().ToString().c_str());
+    return 1;
+  }
+
+  auto qe = sgx::QuotingEnclave::Provision(ToBytes("bench-sessions"), 1024);
+  if (!qe.ok()) {
+    std::fprintf(stderr, "quoting enclave: %s\n",
+                 qe.status().ToString().c_str());
+    return 1;
+  }
+
+  const sgx::EnclaveLayout layout = CompactLayout();
+
+  // One full run: accept `sessions` clients against a fresh device, then
+  // drive them serially or concurrently.
+  const auto run = [&](bool concurrent) -> Result<DriveStats> {
+    sgx::SgxDevice device(sgx::SgxDevice::Options{
+        .epc_pages = sessions * layout.TotalPages() + 64});
+    sgx::HostOs host(&device);
+
+    core::ProvisioningServer::Options options;
+    options.enclave_options.layout = layout;
+    options.enclave_options.rsa_bits = 1024;
+    options.inspection_threads = threads;
+    core::ProvisioningServer server(
+        &host, &*qe,
+        [&] { return PolicyFor(workload::BuildFlavor::kPlain,
+                               program->libc_options); },
+        options);
+
+    std::vector<std::unique_ptr<crypto::DuplexPipe>> pipes;
+    for (size_t i = 0; i < sessions; ++i) {
+      pipes.push_back(std::make_unique<crypto::DuplexPipe>());
+      ASSIGN_OR_RETURN(const size_t index, server.Accept(pipes[i]->EndA()));
+      (void)index;
+      client::ClientOptions client_options;
+      client_options.attestation_key = qe->attestation_public_key();
+      client_options.skip_measurement_check = true;
+      client::Client client(client_options, program->image);
+      RETURN_IF_ERROR(client.SendProgram(pipes[i]->EndB()));
+    }
+
+    DriveStats stats;
+    const Clock::time_point start = Clock::now();
+    if (concurrent) {
+      auto outcomes = server.DriveAll();
+      stats.wall_ns = ElapsedNs(start);
+      for (auto& outcome : outcomes) {
+        RETURN_IF_ERROR(outcome.status());
+        stats.compliant.push_back(outcome->verdict.compliant);
+      }
+    } else {
+      for (size_t i = 0; i < sessions; ++i) {
+        ASSIGN_OR_RETURN(const core::ProvisionOutcome outcome,
+                         server.Drive(i));
+        stats.compliant.push_back(outcome.verdict.compliant);
+      }
+      stats.wall_ns = ElapsedNs(start);
+    }
+    for (size_t i = 0; i < sessions; ++i) {
+      stats.total_sgx.push_back(
+          server.session_accountant(i).total_sgx_instructions());
+    }
+    return stats;
+  };
+
+  auto serial = run(/*concurrent=*/false);
+  if (!serial.ok()) {
+    std::fprintf(stderr, "serial drive: %s\n",
+                 serial.status().ToString().c_str());
+    return 1;
+  }
+  auto concurrent = run(/*concurrent=*/true);
+  if (!concurrent.ok()) {
+    std::fprintf(stderr, "concurrent drive: %s\n",
+                 concurrent.status().ToString().c_str());
+    return 1;
+  }
+
+  // Equivalence gate: a wall-time number for a concurrent drive that changed
+  // the verdicts or the accounting would be meaningless.
+  for (size_t i = 0; i < sessions; ++i) {
+    if (serial->compliant[i] != concurrent->compliant[i] ||
+        serial->total_sgx[i] != concurrent->total_sgx[i]) {
+      std::fprintf(stderr,
+                   "session %zu: serial/concurrent mismatch "
+                   "(compliant %d/%d, sgx %llu/%llu)\n",
+                   i, static_cast<int>(serial->compliant[i]),
+                   static_cast<int>(concurrent->compliant[i]),
+                   static_cast<unsigned long long>(serial->total_sgx[i]),
+                   static_cast<unsigned long long>(concurrent->total_sgx[i]));
+      return 1;
+    }
+  }
+
+  const double ratio =
+      concurrent->wall_ns > 0
+          ? static_cast<double>(serial->wall_ns) /
+                static_cast<double>(concurrent->wall_ns)
+          : 0.0;
+  std::printf("%zu sessions (%s @ scale %g, pool=%zu threads)\n", sessions,
+              entry.name, scale, threads);
+  std::printf("  serial drive:     %8.2f ms\n",
+              static_cast<double>(serial->wall_ns) / 1e6);
+  std::printf("  concurrent drive: %8.2f ms  (%.2fx)\n",
+              static_cast<double>(concurrent->wall_ns) / 1e6, ratio);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"%s\",\n", entry.name);
+  std::fprintf(f, "  \"scale\": %g,\n", scale);
+  std::fprintf(f, "  \"sessions\": %zu,\n", sessions);
+  std::fprintf(f, "  \"inspection_threads\": %zu,\n", threads);
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"serial_wall_ns\": %llu,\n",
+               static_cast<unsigned long long>(serial->wall_ns));
+  std::fprintf(f, "  \"concurrent_wall_ns\": %llu,\n",
+               static_cast<unsigned long long>(concurrent->wall_ns));
+  std::fprintf(f, "  \"speedup\": %.3f,\n", ratio);
+  std::fprintf(f, "  \"per_session_sgx_instructions\": [");
+  for (size_t i = 0; i < sessions; ++i) {
+    std::fprintf(f, "%s%llu", i > 0 ? ", " : "",
+                 static_cast<unsigned long long>(serial->total_sgx[i]));
+  }
+  std::fprintf(f, "]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

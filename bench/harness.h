@@ -9,9 +9,11 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "client/client.h"
 #include "core/engarde.h"
+#include "core/inspection.h"
 #include "core/policy_ifcc.h"
 #include "core/policy_liblink.h"
 #include "core/policy_stackprot.h"
@@ -33,6 +35,10 @@ struct PhaseCycles {
   uint64_t disassembly_sgx = 0;
   uint64_t policy_check_sgx = 0;
   bool compliant = false;
+  // Per-stage reports straight from the inspection pipeline (finer-grained
+  // than the phase columns: container validation, page separation, symbol
+  // table and NaCl validation each get their own row).
+  std::vector<core::StageReport> stage_reports;
 };
 
 // Which policy module to install, matching the figure being reproduced.
@@ -115,6 +121,7 @@ inline Result<PhaseCycles> MeasureProvisioning(
   out.policy_check_sgx =
       accountant.phase_cost(sgx::Phase::kPolicyCheck).sgx_instructions;
   out.compliant = outcome.verdict.compliant;
+  out.stage_reports = outcome.stage_reports;
   return out;
 }
 

@@ -70,6 +70,12 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
     return;
   }
 
+  // One dispatching caller at a time: the pool has a single Job slot, and a
+  // shared pool is now driven by several ProvisioningSessions concurrently.
+  // Serializing dispatch (not the chunk bodies) keeps the static partition —
+  // and therefore the verdict — identical to exclusive use.
+  std::lock_guard<std::mutex> submit_lock(submit_mu_);
+
   Job job;
   job.body = &body;
   job.begin = begin;

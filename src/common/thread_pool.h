@@ -17,6 +17,11 @@
 // pool. The inspection pipeline enforces this by handing the pool either to
 // the policy *set* (modules run concurrently) or to a single module (which
 // shards internally), never both.
+//
+// ParallelFor IS safe to call from several external threads at once: a
+// submit mutex serializes dispatch, so concurrent ProvisioningSessions
+// sharing one inspection pool take turns and each still sees the exact
+// static partition (and verdict) it would get with exclusive use.
 #ifndef ENGARDE_COMMON_THREAD_POOL_H_
 #define ENGARDE_COMMON_THREAD_POOL_H_
 
@@ -66,6 +71,9 @@ class ThreadPool {
   void WorkerLoop(size_t worker_index);
   void RunChunk(const Job& job, size_t chunk_index);
 
+  // Held for the full duration of one ParallelFor dispatch (the pool has a
+  // single Job slot). mu_ below protects the slot's fields themselves.
+  std::mutex submit_mu_;
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;

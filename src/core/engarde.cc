@@ -2,31 +2,14 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
+#include <mutex>
 
 #include "core/sealing.h"
-#include "x86/decoder.h"
+#include "core/session.h"
 #include "x86/interp.h"
-#include "x86/validator.h"
 
 namespace engarde::core {
-namespace {
-
-// Rejection-class statuses become a non-compliant verdict; everything else
-// (channel integrity, protocol framing, internal errors) stays a hard error.
-bool IsRejection(const Status& status) {
-  switch (status.code()) {
-    case StatusCode::kPolicyViolation:
-    case StatusCode::kInvalidArgument:
-    case StatusCode::kUnimplemented:
-    case StatusCode::kOutOfRange:
-    case StatusCode::kResourceExhausted:
-      return true;
-    default:
-      return false;
-  }
-}
-
-}  // namespace
 
 Bytes EngardeEnclave::BootstrapImage(const PolicySet& policies) {
   Bytes image = ToBytes("ENGARDE/1.0 bootstrap: loader+crypto+nacl-disasm\n");
@@ -38,16 +21,43 @@ Bytes EngardeEnclave::BootstrapImage(const PolicySet& policies) {
 
 Result<crypto::Sha256Digest> EngardeEnclave::ExpectedMeasurement(
     const PolicySet& policies, const EngardeOptions& options) {
-  // Reference build on a scratch device: measurement depends only on the
-  // bootstrap image and the layout, both of which are public.
+  // The measurement depends only on the bootstrap image (policy fingerprints)
+  // and the layout, both public — so the reference build is memoized on
+  // those. A provider pinning one policy configuration across many client
+  // connections pays for the scratch ECREATE/EADD/EEXTEND walk once.
+  const Bytes image = BootstrapImage(policies);
+  Bytes key;
+  for (const uint64_t field :
+       {options.layout.base, options.layout.bootstrap_pages,
+        options.layout.heap_pages, options.layout.load_pages,
+        options.layout.stack_pages, options.layout.tls_pages}) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      key.push_back(static_cast<uint8_t>(field >> shift));
+    }
+  }
+  AppendBytes(key, ByteView(image.data(), image.size()));
+
+  static std::mutex cache_mu;
+  static std::map<Bytes, crypto::Sha256Digest>* cache =
+      new std::map<Bytes, crypto::Sha256Digest>();
+  {
+    const std::lock_guard<std::mutex> lock(cache_mu);
+    const auto it = cache->find(key);
+    if (it != cache->end()) return it->second;
+  }
+
+  // Reference build on a scratch device.
   sgx::SgxDevice device(
       sgx::SgxDevice::Options{.epc_pages = options.layout.TotalPages() + 8});
   sgx::HostOs host(&device);
-  const Bytes image = BootstrapImage(policies);
   ASSIGN_OR_RETURN(const uint64_t enclave_id,
                    host.BuildEnclave(options.layout,
                                      ByteView(image.data(), image.size())));
-  return device.Measurement(enclave_id);
+  ASSIGN_OR_RETURN(const crypto::Sha256Digest measurement,
+                   device.Measurement(enclave_id));
+  const std::lock_guard<std::mutex> lock(cache_mu);
+  cache->emplace(std::move(key), measurement);
+  return measurement;
 }
 
 Result<EngardeEnclave> EngardeEnclave::Create(
@@ -88,7 +98,8 @@ EngardeEnclave::EngardeEnclave(sgx::HostOs* host, PolicySet policies,
       drbg_(ByteView(options_.enclave_entropy.data(),
                      options_.enclave_entropy.size())) {
   drbg_.Reseed(ToBytes("post-keygen state separation"));
-  if (options_.inspection_threads > 1) {
+  if (options_.shared_inspection_pool == nullptr &&
+      options_.inspection_threads > 1) {
     inspect_pool_ =
         std::make_unique<common::ThreadPool>(options_.inspection_threads);
   }
@@ -102,285 +113,20 @@ Status EngardeEnclave::SendHello(crypto::DuplexPipe::Endpoint endpoint) {
   return WriteFrame(endpoint, ByteView(key_wire.data(), key_wire.size()));
 }
 
-Status EngardeEnclave::CheckPageSeparation(const elf::ElfFile& elf,
-                                           const Manifest& manifest) const {
-  // Classify every file page by the sections whose *content* overlaps it.
-  // "EnGarde operates at the granularity of memory pages ... EnGarde rejects
-  // pages that contain mixed code and data." Sorted flat vectors, not
-  // std::set: the per-page node allocations were measurable on every
-  // provisioning, and a sort + set_intersection over contiguous memory does
-  // the same classification allocation-free per element.
-  std::vector<uint64_t> code_pages;
-  std::vector<uint64_t> data_pages;
-  for (const elf::Shdr& section : elf.sections()) {
-    if (!(section.flags & elf::kShfAlloc)) continue;
-    if (section.type == elf::kShtNobits || section.size == 0) continue;
-    const bool is_code = (section.flags & elf::kShfExecinstr) != 0;
-    const uint64_t first = section.addr / sgx::kPageSize;
-    const uint64_t last = (section.addr + section.size - 1) / sgx::kPageSize;
-    std::vector<uint64_t>& pages = is_code ? code_pages : data_pages;
-    for (uint64_t page = first; page <= last; ++page) pages.push_back(page);
-  }
-  auto sort_unique = [](std::vector<uint64_t>& pages) {
-    std::sort(pages.begin(), pages.end());
-    pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
-  };
-  sort_unique(code_pages);
-  sort_unique(data_pages);
-  std::vector<uint64_t> mixed;
-  std::set_intersection(code_pages.begin(), code_pages.end(),
-                        data_pages.begin(), data_pages.end(),
-                        std::back_inserter(mixed));
-  if (!mixed.empty()) {
-    // mixed is sorted, so front() is the lowest offending page — the same
-    // page the old ordered-set walk reported first.
-    return PolicyViolationError(
-        "page " + std::to_string(mixed.front()) +
-        " mixes code and data; compile with separated sections");
-  }
-
-  // The client's claimed code-page set must match what the ELF actually says.
-  std::vector<uint64_t> claimed(manifest.code_pages.begin(),
-                                manifest.code_pages.end());
-  sort_unique(claimed);
-  if (claimed != code_pages) {
-    return PolicyViolationError(
-        "manifest code-page list disagrees with the ELF section headers");
-  }
-  return Status::Ok();
-}
-
 Result<ProvisionOutcome> EngardeEnclave::RunProvisioning(
     crypto::DuplexPipe::Endpoint endpoint) {
-  sgx::CycleAccountant* accountant = host_->device()->accountant();
-
-  // ---- Key exchange ---------------------------------------------------------
-  // EENTER: the host switches into the enclave to run EnGarde.
-  RETURN_IF_ERROR(host_->device()->EEnter(enclave_id_));
-  ASSIGN_OR_RETURN(const Bytes wrapped_key, ReadFrame(endpoint));
-  ASSIGN_OR_RETURN(
-      const Bytes master_key,
-      crypto::RsaDecrypt(rsa_.private_key,
-                         ByteView(wrapped_key.data(), wrapped_key.size())));
-  if (master_key.size() != 32) {
-    return ProtocolError("client AES key must be 256 bits");
+  // One-shot driver over the re-entrant session: the whole exchange (wrapped
+  // key, manifest, blocks, DONE) is expected on the endpoint already, so a
+  // single pump must reach the verdict. See core/session.h for the state
+  // machine and core/inspection.h for the staged pipeline it runs.
+  ProvisioningSession session(this, endpoint);
+  RETURN_IF_ERROR(session.Pump());
+  if (!session.done()) {
+    // The peer stopped mid-exchange: surface the same error the old blocking
+    // loop's short read produced.
+    return ProtocolError("short read: peer closed or sent a truncated record");
   }
-  const crypto::SessionKeys keys = crypto::SessionKeys::Derive(
-      ByteView(master_key.data(), master_key.size()));
-  crypto::SecureChannel channel(endpoint, keys, /*is_enclave_side=*/true);
-
-  ProvisionOutcome outcome;
-
-  // ---- Receive the manifest and the encrypted blocks ------------------------
-  Manifest manifest;
-  Bytes image;
-  {
-    sgx::ScopedPhase phase(accountant, sgx::Phase::kChannel);
-    ASSIGN_OR_RETURN(const Message first, ReceiveMessage(channel));
-    if (first.type != MessageType::kManifest) {
-      return ProtocolError("expected manifest as the first record");
-    }
-    ASSIGN_OR_RETURN(manifest, Manifest::Deserialize(ByteView(
-                                   first.payload.data(),
-                                   first.payload.size())));
-    if (manifest.file_size > options_.layout.heap_pages * sgx::kPageSize) {
-      return ProtocolError("executable exceeds the enclave staging area");
-    }
-    image.reserve(manifest.file_size);
-    for (;;) {
-      // Each block crosses the enclave boundary through a trampoline.
-      if (accountant) accountant->CountTrampoline();
-      ASSIGN_OR_RETURN(const Message message, ReceiveMessage(channel));
-      if (message.type == MessageType::kDone) break;
-      if (message.type != MessageType::kBlock) {
-        return ProtocolError("unexpected record type during code transfer");
-      }
-      AppendBytes(image, ByteView(message.payload.data(),
-                                  message.payload.size()));
-      ++outcome.stats.blocks_received;
-      if (image.size() > manifest.file_size) {
-        return ProtocolError("client sent more bytes than the manifest size");
-      }
-    }
-    if (image.size() != manifest.file_size) {
-      return ProtocolError("client sent fewer bytes than the manifest size");
-    }
-    // Stage the plaintext image in the enclave heap (EnGarde's working copy).
-    RETURN_IF_ERROR(host_->device()->EnclaveWrite(
-        enclave_id_, options_.layout.HeapStart(),
-        ByteView(image.data(), image.size())));
-  }
-
-  // ---- Inspect ---------------------------------------------------------------
-  auto result = InspectAndLoad(manifest, image);
-  if (result.ok() && result->verdict.compliant) {
-    approved_image_ = std::move(image);  // retained for SealApprovedProgram
-  }
-
-  // ---- Verdict ----------------------------------------------------------------
-  Verdict verdict;
-  ProvisionOutcome final_outcome;
-  if (result.ok()) {
-    final_outcome = std::move(result).value();
-    final_outcome.stats.blocks_received = outcome.stats.blocks_received;
-    verdict = final_outcome.verdict;
-  } else if (IsRejection(result.status())) {
-    verdict.compliant = false;
-    verdict.reason = result.status().ToString();
-    final_outcome.verdict = verdict;
-    final_outcome.provider_report.compliant = false;
-  } else {
-    return result.status();  // hard protocol/crypto error
-  }
-
-  const Bytes verdict_wire = verdict.Serialize();
-  RETURN_IF_ERROR(SendMessage(channel, MessageType::kVerdict,
-                              ByteView(verdict_wire.data(),
-                                       verdict_wire.size())));
-  RETURN_IF_ERROR(host_->device()->EExit(enclave_id_));
-  return final_outcome;
-}
-
-Result<ProvisionOutcome> EngardeEnclave::InspectAndLoad(
-    const Manifest& manifest, const Bytes& image) {
-  sgx::CycleAccountant* accountant = host_->device()->accountant();
-  ProvisionOutcome outcome;
-
-  // ---- Container checks (front door) ---------------------------------------
-  // "Before disassembling the code sections of the executable, the loader
-  // checks its header to verify that the executable is correctly formatted."
-  ASSIGN_OR_RETURN(const elf::ElfFile elf,
-                   elf::ElfFile::Parse(ByteView(image.data(), image.size())));
-  RETURN_IF_ERROR(elf.ValidateForEnclave());
-  RETURN_IF_ERROR(CheckPageSeparation(elf, manifest));
-
-  // ---- Disassembly -------------------------------------------------------------
-  x86::InsnBuffer insns([accountant](size_t) {
-    // "we reduce the involved overhead by restricting the calls to malloc by
-    // allocating a memory page at a time": one trampoline per buffer page.
-    if (accountant) accountant->CountTrampoline();
-  });
-  SymbolHashTable symbols;
-  {
-    sgx::ScopedPhase phase(accountant, sgx::Phase::kDisassembly);
-    uint64_t text_start = UINT64_MAX;
-    uint64_t text_end = 0;
-    for (const elf::Shdr* section : elf.TextSections()) {
-      ASSIGN_OR_RETURN(const ByteView content, elf.SectionContent(*section));
-      // Bundle-aligned shards decoded concurrently, merged in address order
-      // on this thread (serial when no pool) — see x86::DecodeSectionInto.
-      RETURN_IF_ERROR(x86::DecodeSectionInto(content, section->addr,
-                                             inspect_pool_.get(), insns));
-      text_start = std::min(text_start, section->addr);
-      text_end = std::max(text_end, section->addr + section->size);
-    }
-
-    // "Along with disassembling the executable, the loader also reads the
-    // symbol tables ... constructs a symbol hash table."
-    symbols = SymbolHashTable::Build(elf);
-
-    // NaCl structural constraints (Section 3). Roots: the entry point plus
-    // every named function (a statically-linked binary legitimately contains
-    // functions reached only via the symbol table or jump tables).
-    x86::ValidationInput validation;
-    validation.text_start = text_start;
-    validation.text_end = text_end;
-    validation.roots.push_back(elf.header().entry);
-    for (const SymbolHashTable::Function& fn : symbols.functions()) {
-      validation.roots.push_back(fn.start);
-    }
-    RETURN_IF_ERROR(
-        x86::ValidateNaClConstraints(insns, validation, inspect_pool_.get()));
-  }
-  outcome.stats.instruction_count = insns.size();
-  outcome.stats.insn_buffer_pages = insns.chunk_allocations();
-
-  // ---- Policy checks ------------------------------------------------------------
-  {
-    sgx::ScopedPhase phase(accountant, sgx::Phase::kPolicyCheck);
-    PolicyContext context;
-    context.insns = &insns;
-    context.symbols = &symbols;
-    context.elf = &elf;
-    // The pool goes either to the policy SET (independent read-only modules
-    // checked concurrently) or to a lone module (which may shard its own
-    // scan through context.pool) — never both, since ParallelFor does not
-    // nest. Either way the verdict is the first failure in module order,
-    // exactly what the serial loop reports.
-    common::ThreadPool* pool = inspect_pool_.get();
-    size_t failed = policies_.size();
-    std::vector<Status> statuses(policies_.size(), Status::Ok());
-    if (pool != nullptr && policies_.size() > 1) {
-      pool->ParallelFor(0, policies_.size(), 1, [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          statuses[i] = policies_[i]->Check(context);
-        }
-      });
-      for (size_t i = 0; i < statuses.size(); ++i) {
-        if (!statuses[i].ok()) {
-          failed = i;
-          break;
-        }
-      }
-    } else {
-      context.pool = pool;
-      for (size_t i = 0; i < policies_.size(); ++i) {
-        statuses[i] = policies_[i]->Check(context);
-        if (!statuses[i].ok()) {
-          failed = i;
-          break;
-        }
-      }
-    }
-    if (failed != policies_.size()) {
-      outcome.verdict.compliant = false;
-      outcome.verdict.reason = std::string(policies_[failed]->name()) + ": " +
-                               statuses[failed].ToString();
-      outcome.provider_report.compliant = false;
-      return outcome;
-    }
-  }
-
-  // ---- Load, relocate, enforce W^X, lock ------------------------------------
-  {
-    sgx::ScopedPhase phase(accountant, sgx::Phase::kLoading);
-    const Bytes canary = drbg_.Generate(8);
-    ASSIGN_OR_RETURN(
-        LoadResult load,
-        EnclaveLoader::Load(*host_->device(), enclave_id_, options_.layout,
-                            elf, ByteView(canary.data(), canary.size())));
-    outcome.stats.relocations_applied = load.relocations_applied;
-
-    // Inform the host component: it flips page-table permission bits for the
-    // loaded span (kernel memory writes) and prevents any further enclave
-    // extension. Each request is one enclave exit + re-entry.
-    if (accountant) accountant->CountTrampoline();
-    RETURN_IF_ERROR(host_->ApplyWxPolicy(enclave_id_, options_.layout,
-                                         load.span_pages,
-                                         load.executable_pages));
-    if (accountant) accountant->CountTrampoline();
-    RETURN_IF_ERROR(host_->LockEnclave(enclave_id_));
-
-    outcome.provider_report.compliant = true;
-    outcome.provider_report.executable_pages = load.executable_pages;
-    load_ = std::move(load);
-    loaded_symbols_ = std::move(symbols);
-    outcome.load = load_;
-  }
-
-  // ---- SGX2 EPCM hardening ---------------------------------------------------
-  // Beyond the paper's measured prototype: anchor the W^X split in the EPCM
-  // so a malicious host cannot revert it via page tables (the SGX1 attack
-  // the paper cites as its reason to require SGX2). Accounted separately —
-  // the paper's "Loading and Relocation" column does not include it.
-  if (host_->device()->sgx_version() >= 2) {
-    sgx::ScopedPhase phase(accountant, sgx::Phase::kWxHardening);
-    RETURN_IF_ERROR(
-        host_->HardenWxInEpcm(enclave_id_, load_->executable_pages));
-  }
-
-  outcome.verdict.compliant = true;
-  return outcome;
+  return session.TakeOutcome();
 }
 
 Result<Bytes> EngardeEnclave::SealApprovedProgram() {

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "core/inspection.h"
 #include "core/loader.h"
 #include "core/policy.h"
 #include "core/protocol.h"
@@ -56,6 +57,10 @@ struct EngardeOptions {
   // attribution are bit-for-bit identical at any setting. 1 = the paper's
   // serial pipeline.
   size_t inspection_threads = 1;
+  // When set, the enclave uses this externally owned pool instead of creating
+  // one (and inspection_threads is ignored). A ProvisioningServer shares one
+  // pool across all its enclaves this way. Must outlive the enclave.
+  common::ThreadPool* shared_inspection_pool = nullptr;
 };
 
 // Everything the cloud provider is allowed to learn (threat model,
@@ -78,6 +83,9 @@ struct ProvisionOutcome {
   ProviderReport provider_report;  // visible to the host
   ProvisionStats stats;
   std::optional<LoadResult> load;  // set iff compliant
+  // One report per inspection stage (execution order); empty when the
+  // exchange failed before inspection started.
+  std::vector<StageReport> stage_reports;
 };
 
 class EngardeEnclave {
@@ -112,6 +120,8 @@ class EngardeEnclave {
   // the client queued on the pipe, sends the verdict back, and returns the
   // outcome. Policy violations and malformed binaries yield a non-compliant
   // verdict; channel-integrity and protocol failures are hard errors.
+  // A thin synchronous driver over ProvisioningSession (core/session.h) —
+  // the whole exchange must already be queued on the endpoint.
   Result<ProvisionOutcome> RunProvisioning(
       crypto::DuplexPipe::Endpoint endpoint);
 
@@ -145,16 +155,22 @@ class EngardeEnclave {
     return loaded_symbols_.has_value() ? &*loaded_symbols_ : nullptr;
   }
 
+  // The inspection worker pool in effect: the shared server pool when one
+  // was injected, else this enclave's own. Null = serial pipeline.
+  common::ThreadPool* inspection_pool() const noexcept {
+    return options_.shared_inspection_pool != nullptr
+               ? options_.shared_inspection_pool
+               : inspect_pool_.get();
+  }
+
  private:
+  // The provisioning state machine reads the enclave's private key, policy
+  // set, layout and DRBG, and deposits the load result on compliance.
+  friend class ProvisioningSession;
+
   EngardeEnclave(sgx::HostOs* host, PolicySet policies, EngardeOptions options,
                  crypto::RsaKeyPair rsa, uint64_t enclave_id,
                  sgx::Quote quote);
-
-  // The inspection pipeline on an assembled executable image.
-  Result<ProvisionOutcome> InspectAndLoad(const Manifest& manifest,
-                                          const Bytes& image);
-  Status CheckPageSeparation(const elf::ElfFile& elf,
-                             const Manifest& manifest) const;
 
   sgx::HostOs* host_;
   PolicySet policies_;

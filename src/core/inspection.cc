@@ -1,0 +1,379 @@
+#include "core/inspection.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "x86/decoder.h"
+#include "x86/validator.h"
+
+namespace engarde::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Default rule id for a stage that rejected without depositing one.
+std::string_view DefaultRule(StageId stage) {
+  switch (stage) {
+    case StageId::kContainerValidate: return "elf-container";
+    case StageId::kPageSeparation: return "page-separation";
+    case StageId::kDisassemble: return "nacl-disassembly";
+    case StageId::kBuildSymbols: return "symbol-table";
+    case StageId::kNaClValidate: return "nacl-structural";
+    case StageId::kPolicyCheck: return "policy";
+    case StageId::kLoadAndLock: return "loader";
+    case StageId::kCount: break;
+  }
+  return "?";
+}
+
+uint64_t SgxCount(const sgx::CycleAccountant* accountant) {
+  return accountant ? accountant->total_sgx_instructions() : 0;
+}
+
+// ---- Stage bodies ----------------------------------------------------------
+
+Status StageContainerValidate(InspectionContext& ctx) {
+  // "Before disassembling the code sections of the executable, the loader
+  // checks its header to verify that the executable is correctly formatted."
+  ASSIGN_OR_RETURN(elf::ElfFile elf,
+                   elf::ElfFile::Parse(ByteView(ctx.image->data(),
+                                                ctx.image->size())));
+  RETURN_IF_ERROR(elf.ValidateForEnclave());
+  ctx.elf.emplace(std::move(elf));
+  return Status::Ok();
+}
+
+Status StagePageSeparation(InspectionContext& ctx) {
+  // Classify every file page by the sections whose *content* overlaps it.
+  // "EnGarde operates at the granularity of memory pages ... EnGarde rejects
+  // pages that contain mixed code and data." Sorted flat vectors, not
+  // std::set: the per-page node allocations were measurable on every
+  // provisioning, and a sort + set_intersection over contiguous memory does
+  // the same classification allocation-free per element.
+  std::vector<uint64_t> code_pages;
+  std::vector<uint64_t> data_pages;
+  for (const elf::Shdr& section : ctx.elf->sections()) {
+    if (!(section.flags & elf::kShfAlloc)) continue;
+    if (section.type == elf::kShtNobits || section.size == 0) continue;
+    const bool is_code = (section.flags & elf::kShfExecinstr) != 0;
+    const uint64_t first = section.addr / sgx::kPageSize;
+    const uint64_t last = (section.addr + section.size - 1) / sgx::kPageSize;
+    std::vector<uint64_t>& pages = is_code ? code_pages : data_pages;
+    for (uint64_t page = first; page <= last; ++page) pages.push_back(page);
+  }
+  auto sort_unique = [](std::vector<uint64_t>& pages) {
+    std::sort(pages.begin(), pages.end());
+    pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+  };
+  sort_unique(code_pages);
+  sort_unique(data_pages);
+  std::vector<uint64_t> mixed;
+  std::set_intersection(code_pages.begin(), code_pages.end(),
+                        data_pages.begin(), data_pages.end(),
+                        std::back_inserter(mixed));
+  if (!mixed.empty()) {
+    // mixed is sorted, so front() is the lowest offending page.
+    ctx.pending_vaddr = mixed.front() * sgx::kPageSize;
+    return PolicyViolationError(
+        "page " + std::to_string(mixed.front()) +
+        " mixes code and data; compile with separated sections");
+  }
+
+  // The client's claimed code-page set must match what the ELF actually
+  // says. Offline inspection has no manifest, so there is no claim to check.
+  if (ctx.manifest != nullptr) {
+    std::vector<uint64_t> claimed(ctx.manifest->code_pages.begin(),
+                                  ctx.manifest->code_pages.end());
+    sort_unique(claimed);
+    if (claimed != code_pages) {
+      ctx.pending_rule = "manifest-agreement";
+      return PolicyViolationError(
+          "manifest code-page list disagrees with the ELF section headers");
+    }
+  }
+  return Status::Ok();
+}
+
+Status StageDisassemble(InspectionContext& ctx) {
+  sgx::CycleAccountant* accountant = ctx.accountant;
+  ctx.insns = std::make_unique<x86::InsnBuffer>([accountant](size_t) {
+    // "we reduce the involved overhead by restricting the calls to malloc by
+    // allocating a memory page at a time": one trampoline per buffer page.
+    if (accountant) accountant->CountTrampoline();
+  });
+  ctx.text_start = UINT64_MAX;
+  ctx.text_end = 0;
+  for (const elf::Shdr* section : ctx.elf->TextSections()) {
+    ASSIGN_OR_RETURN(const ByteView content, ctx.elf->SectionContent(*section));
+    // Bundle-aligned shards decoded concurrently, merged in address order
+    // on this thread (serial when no pool) — see x86::DecodeSectionInto.
+    RETURN_IF_ERROR(
+        x86::DecodeSectionInto(content, section->addr, ctx.pool, *ctx.insns));
+    ctx.text_start = std::min(ctx.text_start, section->addr);
+    ctx.text_end = std::max(ctx.text_end, section->addr + section->size);
+  }
+  return Status::Ok();
+}
+
+Status StageBuildSymbols(InspectionContext& ctx) {
+  // "Along with disassembling the executable, the loader also reads the
+  // symbol tables ... constructs a symbol hash table."
+  ctx.symbols = SymbolHashTable::Build(*ctx.elf);
+  return Status::Ok();
+}
+
+Status StageNaClValidate(InspectionContext& ctx) {
+  // NaCl structural constraints (Section 3). Roots: the entry point plus
+  // every named function (a statically-linked binary legitimately contains
+  // functions reached only via the symbol table or jump tables).
+  x86::ValidationInput validation;
+  validation.text_start = ctx.text_start;
+  validation.text_end = ctx.text_end;
+  validation.roots.push_back(ctx.elf->header().entry);
+  for (const SymbolHashTable::Function& fn : ctx.symbols.functions()) {
+    validation.roots.push_back(fn.start);
+  }
+  return x86::ValidateNaClConstraints(*ctx.insns, validation, ctx.pool);
+}
+
+Status StagePolicyCheck(InspectionContext& ctx) {
+  PolicyContext base;
+  base.insns = ctx.insns.get();
+  base.symbols = &ctx.symbols;
+  base.elf = &*ctx.elf;
+  const PolicySet& policies = *ctx.policies;
+  // The pool goes either to the policy SET (independent read-only modules
+  // checked concurrently) or to a lone module (which may shard its own scan
+  // through context.pool) — never both, since ParallelFor does not nest.
+  // Either way the verdict is the first failure in module order, exactly
+  // what the serial loop reports.
+  common::ThreadPool* pool = ctx.pool;
+  size_t failed = policies.size();
+  std::vector<Status> statuses(policies.size(), Status::Ok());
+  std::vector<ViolationSite> sites(policies.size());
+  if (pool != nullptr && policies.size() > 1) {
+    pool->ParallelFor(0, policies.size(), 1, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        PolicyContext context = base;
+        context.violation_out = &sites[i];
+        statuses[i] = policies[i]->Check(context);
+      }
+    });
+    for (size_t i = 0; i < statuses.size(); ++i) {
+      if (!statuses[i].ok()) {
+        failed = i;
+        break;
+      }
+    }
+  } else {
+    for (size_t i = 0; i < policies.size(); ++i) {
+      PolicyContext context = base;
+      context.pool = pool;
+      context.violation_out = &sites[i];
+      statuses[i] = policies[i]->Check(context);
+      if (!statuses[i].ok()) {
+        failed = i;
+        break;
+      }
+    }
+  }
+  if (failed != policies.size()) {
+    ctx.pending_rule = std::string(policies[failed]->name());
+    ctx.pending_vaddr = sites[failed].vaddr;
+    // The legacy reason prefixes the module name — byte-identical to the
+    // pre-pipeline monolith, which tests and old clients grep.
+    ctx.pending_reason = std::string(policies[failed]->name()) + ": " +
+                         statuses[failed].ToString();
+    return statuses[failed];
+  }
+  return Status::Ok();
+}
+
+Status StageLoadAndLock(InspectionContext& ctx) {
+  sgx::CycleAccountant* accountant = ctx.accountant;
+  sgx::SgxDevice* device = ctx.host->device();
+  {
+    sgx::ScopedPhase phase(accountant, sgx::Phase::kLoading);
+    const Bytes canary = ctx.drbg ? ctx.drbg->Generate(8) : Bytes(8, 0);
+    ASSIGN_OR_RETURN(
+        LoadResult load,
+        EnclaveLoader::Load(*device, ctx.enclave_id, *ctx.layout, *ctx.elf,
+                            ByteView(canary.data(), canary.size())));
+
+    // Inform the host component: it flips page-table permission bits for the
+    // loaded span (kernel memory writes) and prevents any further enclave
+    // extension. Each request is one enclave exit + re-entry.
+    if (accountant) accountant->CountTrampoline();
+    RETURN_IF_ERROR(ctx.host->ApplyWxPolicy(ctx.enclave_id, *ctx.layout,
+                                            load.span_pages,
+                                            load.executable_pages));
+    if (accountant) accountant->CountTrampoline();
+    RETURN_IF_ERROR(ctx.host->LockEnclave(ctx.enclave_id));
+    ctx.load = std::move(load);
+  }
+
+  // SGX2 EPCM hardening — beyond the paper's measured prototype: anchor the
+  // W^X split in the EPCM so a malicious host cannot revert it via page
+  // tables (the SGX1 attack the paper cites as its reason to require SGX2).
+  // Accounted as a sibling phase — the paper's "Loading and Relocation"
+  // column does not include it.
+  if (device->sgx_version() >= 2) {
+    sgx::ScopedPhase phase(accountant, sgx::Phase::kWxHardening);
+    RETURN_IF_ERROR(
+        ctx.host->HardenWxInEpcm(ctx.enclave_id, ctx.load->executable_pages));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string_view StageName(StageId stage) noexcept {
+  switch (stage) {
+    case StageId::kContainerValidate: return "ContainerValidate";
+    case StageId::kPageSeparation: return "PageSeparation";
+    case StageId::kDisassemble: return "Disassemble";
+    case StageId::kBuildSymbols: return "BuildSymbols";
+    case StageId::kNaClValidate: return "NaClValidate";
+    case StageId::kPolicyCheck: return "PolicyCheck";
+    case StageId::kLoadAndLock: return "LoadAndLock";
+    case StageId::kCount: break;
+  }
+  return "?";
+}
+
+std::string_view StageOutcomeName(StageOutcome outcome) noexcept {
+  switch (outcome) {
+    case StageOutcome::kPassed: return "passed";
+    case StageOutcome::kRejected: return "rejected";
+    case StageOutcome::kError: return "error";
+    case StageOutcome::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
+bool IsClientRejection(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kPolicyViolation:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kUnimplemented:
+    case StatusCode::kOutOfRange:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsRetryableResourceError(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted;
+}
+
+uint64_t ExtractVaddrHint(std::string_view message) {
+  const size_t pos = message.find("0x");
+  if (pos == std::string_view::npos) return 0;
+  uint64_t value = 0;
+  bool any = false;
+  for (size_t i = pos + 2; i < message.size(); ++i) {
+    const char c = message[i];
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else break;
+    value = (value << 4) | static_cast<uint64_t>(digit);
+    any = true;
+  }
+  return any ? value : 0;
+}
+
+Result<InspectionResult> InspectionPipeline::Run(InspectionContext& context) {
+  struct StageSpec {
+    StageId id;
+    // Phase the stage is wrapped in; kCount = the body manages phases itself
+    // (LoadAndLock switches kLoading -> kWxHardening internally).
+    sgx::Phase phase;
+    Status (*body)(InspectionContext&);
+  };
+  static constexpr StageSpec kStages[] = {
+      {StageId::kContainerValidate, sgx::Phase::kContainer,
+       &StageContainerValidate},
+      {StageId::kPageSeparation, sgx::Phase::kContainer, &StagePageSeparation},
+      {StageId::kDisassemble, sgx::Phase::kDisassembly, &StageDisassemble},
+      {StageId::kBuildSymbols, sgx::Phase::kDisassembly, &StageBuildSymbols},
+      {StageId::kNaClValidate, sgx::Phase::kDisassembly, &StageNaClValidate},
+      {StageId::kPolicyCheck, sgx::Phase::kPolicyCheck, &StagePolicyCheck},
+      {StageId::kLoadAndLock, sgx::Phase::kCount, &StageLoadAndLock},
+  };
+
+  InspectionResult result;
+  result.reports.reserve(std::size(kStages));
+
+  bool stop = false;
+  for (const StageSpec& spec : kStages) {
+    StageReport report;
+    report.stage = spec.id;
+    if (stop || (spec.id == StageId::kLoadAndLock && context.host == nullptr)) {
+      report.outcome = StageOutcome::kSkipped;
+      if (!stop) report.detail = "offline inspection: nothing to load";
+      result.reports.push_back(std::move(report));
+      continue;
+    }
+
+    context.pending_rule.clear();
+    context.pending_vaddr = 0;
+    context.pending_reason.clear();
+
+    const uint64_t sgx_before = SgxCount(context.accountant);
+    const Clock::time_point start = Clock::now();
+    Status status = Status::Ok();
+    {
+      // LoadAndLock drives its own kLoading/kWxHardening sibling phases.
+      sgx::ScopedPhase phase_scope(
+          spec.phase == sgx::Phase::kCount ? nullptr : context.accountant,
+          spec.phase);
+      status = spec.body(context);
+    }
+    report.wall_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count());
+    report.sgx_instructions = SgxCount(context.accountant) - sgx_before;
+
+    if (status.ok()) {
+      report.outcome = StageOutcome::kPassed;
+      result.reports.push_back(std::move(report));
+      continue;
+    }
+    if (!IsClientRejection(status)) {
+      // Infrastructure failure (channel, EPC pressure, internal): hard error.
+      report.outcome = StageOutcome::kError;
+      report.detail = status.ToString();
+      result.reports.push_back(std::move(report));
+      return status;
+    }
+
+    // Client-attributable: build the structured rejection + legacy reason.
+    Rejection rejection;
+    rejection.stage = std::string(StageName(spec.id));
+    rejection.rule = context.pending_rule.empty()
+                         ? std::string(DefaultRule(spec.id))
+                         : context.pending_rule;
+    rejection.vaddr = context.pending_vaddr != 0
+                          ? context.pending_vaddr
+                          : ExtractVaddrHint(status.message());
+    rejection.detail = status.ToString();
+    result.reason = context.pending_reason.empty() ? status.ToString()
+                                                   : context.pending_reason;
+    result.rejection = std::move(rejection);
+    result.compliant = false;
+    report.outcome = StageOutcome::kRejected;
+    report.detail = result.reason;
+    result.reports.push_back(std::move(report));
+    stop = true;  // remaining stages are reported kSkipped
+  }
+
+  result.compliant = !result.rejection.has_value();
+  return result;
+}
+
+}  // namespace engarde::core

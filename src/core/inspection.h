@@ -1,0 +1,154 @@
+// The staged inspection pipeline: EnGarde's in-enclave compliance check as an
+// explicit sequence of named stages over a shared context, instead of the
+// former 460-line inline monolith in EngardeEnclave::InspectAndLoad.
+//
+//   ContainerValidate -> PageSeparation -> Disassemble -> BuildSymbols
+//     -> NaClValidate -> PolicyCheck -> LoadAndLock
+//
+// Each stage emits a StageReport (wall time, modeled cycles under the
+// paper's cost model, SGX-instruction count, outcome), and a failing stage
+// produces a structured Rejection (stage, rule, offending vaddr, detail)
+// that travels end-to-end to the client's Verdict. The pipeline is the seam
+// the provisioning session, the engarde-inspect CLI and the bench harness
+// all share: the CLI runs it "offline" (no enclave, LoadAndLock skipped),
+// the session runs it against a live HostOs.
+//
+// Note on order: the paper presents NaCl validation before the symbol table,
+// but the validator's root set is derived *from* the symbol table (entry
+// point + every named function), so BuildSymbols executes before
+// NaClValidate. Stage reports list execution order.
+#ifndef ENGARDE_CORE_INSPECTION_H_
+#define ENGARDE_CORE_INSPECTION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/loader.h"
+#include "core/policy.h"
+#include "core/protocol.h"
+#include "core/symbol_table.h"
+#include "crypto/drbg.h"
+#include "elf/reader.h"
+#include "sgx/cost_model.h"
+#include "sgx/hostos.h"
+#include "x86/insn_buffer.h"
+
+namespace engarde::core {
+
+enum class StageId : uint8_t {
+  kContainerValidate = 0,
+  kPageSeparation,
+  kDisassemble,
+  kBuildSymbols,
+  kNaClValidate,
+  kPolicyCheck,
+  kLoadAndLock,
+  kCount,
+};
+
+std::string_view StageName(StageId stage) noexcept;
+
+enum class StageOutcome : uint8_t {
+  kPassed = 0,
+  kRejected,  // client-attributable failure: non-compliant verdict
+  kError,     // infrastructure failure: hard error, no verdict
+  kSkipped,   // not reached (after a rejection) or not applicable (offline)
+};
+
+std::string_view StageOutcomeName(StageOutcome outcome) noexcept;
+
+struct StageReport {
+  StageId stage = StageId::kCount;
+  StageOutcome outcome = StageOutcome::kSkipped;
+  uint64_t wall_ns = 0;           // native time spent in the stage
+  uint64_t sgx_instructions = 0;  // SGX instructions the stage charged
+  std::string detail;             // empty unless rejected/errored
+
+  // Cycles under the paper's model: native time at 3.5 GHz plus 10K cycles
+  // per SGX instruction.
+  uint64_t ModeledCycles() const noexcept {
+    return static_cast<uint64_t>(static_cast<double>(wall_ns) *
+                                 sgx::CycleAccountant::kClockGhz) +
+           sgx_instructions * sgx::CycleAccountant::kSgxInstructionCycles;
+  }
+};
+
+// Shared state the stages read and grow. Inputs are non-owning pointers;
+// artifacts (parsed ELF, instruction buffer, symbols, load result) live here
+// so the caller can harvest them after Run().
+struct InspectionContext {
+  // ---- Inputs ----
+  const Bytes* image = nullptr;        // the staged executable (required)
+  const Manifest* manifest = nullptr;  // null = offline: skip the
+                                       // manifest-agreement check
+  const PolicySet* policies = nullptr;
+  common::ThreadPool* pool = nullptr;  // null = serial pipeline
+  sgx::CycleAccountant* accountant = nullptr;
+
+  // Load environment. host == nullptr = offline inspection (engarde-inspect):
+  // LoadAndLock is reported kSkipped and the verdict covers stages 1-6 only.
+  sgx::HostOs* host = nullptr;
+  uint64_t enclave_id = 0;
+  const sgx::EnclaveLayout* layout = nullptr;
+  crypto::HmacDrbg* drbg = nullptr;  // stack-canary source; null = zero canary
+
+  // ---- Artifacts (filled by the stages) ----
+  std::optional<elf::ElfFile> elf;        // ContainerValidate
+  std::unique_ptr<x86::InsnBuffer> insns; // Disassemble
+  uint64_t text_start = 0;                // Disassemble
+  uint64_t text_end = 0;                  // Disassemble
+  SymbolHashTable symbols;                // BuildSymbols
+  std::optional<LoadResult> load;         // LoadAndLock
+
+  // ---- Rejection scratch (set by a failing stage, consumed by Run) ----
+  std::string pending_rule;    // rule/policy id; stage default when empty
+  uint64_t pending_vaddr = 0;  // offending file-vaddr; 0 = unknown
+  std::string pending_reason;  // legacy reason override (policy failures)
+};
+
+struct InspectionResult {
+  bool compliant = false;
+  // Set iff !compliant: the structured diagnosis.
+  std::optional<Rejection> rejection;
+  // The legacy flat reason string, byte-identical to what the pre-pipeline
+  // monolith put in Verdict::reason (tests and old clients grep it).
+  std::string reason;
+  // One report per StageId, in execution order; stages after a rejection are
+  // kSkipped.
+  std::vector<StageReport> reports;
+};
+
+// ---- Status classification --------------------------------------------------
+// Client-attributable failures (malformed/violating binaries) become a
+// non-compliant verdict. Enclave-resource exhaustion (EPC pressure, staging
+// limits) is deliberately NOT in this set: misreporting it as "non-compliant
+// binary" would tell the client their code is bad when the host is merely
+// overloaded. Those surface as retryable hard errors instead.
+bool IsClientRejection(const Status& status);
+// True for resource-pressure failures a caller may retry (against the same
+// or another enclave) without changing the binary.
+bool IsRetryableResourceError(const Status& status);
+
+// Best-effort "0x..." hex-address extraction from a diagnostic message, for
+// stages (decoder, NaCl validator) whose statuses embed the offending vaddr
+// in text. Returns 0 when no address is present.
+uint64_t ExtractVaddrHint(std::string_view message);
+
+class InspectionPipeline {
+ public:
+  // Runs every stage in order against `context`. Client-attributable
+  // failures yield an OK result with compliant == false and a structured
+  // rejection; infrastructure failures (including retryable resource
+  // errors — see IsRetryableResourceError) are returned as hard errors.
+  static Result<InspectionResult> Run(InspectionContext& context);
+};
+
+}  // namespace engarde::core
+
+#endif  // ENGARDE_CORE_INSPECTION_H_

@@ -30,10 +30,24 @@ class ThreadPool;
 
 namespace engarde::core {
 
+// The precise site of a policy violation. A module may deposit this (via
+// PolicyContext::violation_out) just before returning POLICY_VIOLATION; the
+// inspection pipeline folds it into the structured Rejection the client
+// receives, so a rejected client learns the offending vaddr without parsing
+// the human-readable text.
+struct ViolationSite {
+  uint64_t vaddr = 0;  // file-vaddr of the offending instruction/function
+};
+
 struct PolicyContext {
   const x86::InsnBuffer* insns = nullptr;
   const SymbolHashTable* symbols = nullptr;
   const elf::ElfFile* elf = nullptr;
+
+  // Optional out-slot for the violation site (see ViolationSite). Each module
+  // invocation gets its own slot, so concurrent policy checks never share
+  // one. Null when the caller does not want structured diagnostics.
+  ViolationSite* violation_out = nullptr;
 
   // Optional worker pool a policy may use to shard its own read-only scan.
   // Null when the policy *modules* themselves run concurrently (the engine

@@ -23,6 +23,12 @@ std::string IndirectCallPolicy::Fingerprint() const {
 Status IndirectCallPolicy::Check(const PolicyContext& context) const {
   const x86::InsnBuffer& insns = *context.insns;
   const SymbolHashTable& symbols = *context.symbols;
+  // Deposits the offending site for the structured Rejection, then builds
+  // the same POLICY_VIOLATION status as before.
+  const auto violation = [&context](uint64_t vaddr, std::string message) {
+    if (context.violation_out != nullptr) context.violation_out->vaddr = vaddr;
+    return PolicyViolationError(std::move(message));
+  };
 
   // ---- Recover the jump-table range from its entry symbols. ---------------
   uint64_t table_start = UINT64_MAX;
@@ -57,16 +63,16 @@ Status IndirectCallPolicy::Check(const PolicyContext& context) const {
     if (jmp_idx == x86::InsnBuffer::npos ||
         insns[jmp_idx].mnemonic != Mnemonic::kJmp ||
         insns[jmp_idx].length != 5) {
-      return PolicyViolationError(
-          "malformed jump-table entry (expected jmpq rel32) at index " +
-          std::to_string((entry - table_start) / options_.entry_size));
+      return violation(
+          entry, "malformed jump-table entry (expected jmpq rel32) at index " +
+                     std::to_string((entry - table_start) / options_.entry_size));
     }
     const size_t nop_idx = jmp_idx + 1;
     if (nop_idx >= insns.size() ||
         insns[nop_idx].mnemonic != Mnemonic::kNop ||
         insns[nop_idx].addr != entry + 5 || insns[nop_idx].length != 3) {
-      return PolicyViolationError(
-          "malformed jump-table entry (expected trailing nopl)");
+      return violation(entry,
+                       "malformed jump-table entry (expected trailing nopl)");
     }
   }
 
@@ -76,12 +82,15 @@ Status IndirectCallPolicy::Check(const PolicyContext& context) const {
     if (call.mnemonic != Mnemonic::kCallIndirect) continue;
 
     if (call.src.kind != OperandKind::kReg) {
-      return PolicyViolationError(
+      return violation(
+          call.addr,
           InsnError(call, "indirect call through memory is not IFCC-checkable"));
     }
     const uint8_t target_reg = call.src.reg;  // %C
     if (i < 4) {
-      return PolicyViolationError(InsnError(call, "missing IFCC guard"));
+      return violation(
+          call.addr,
+          InsnError(call, "missing IFCC guard"));
     }
 
     const Insn& lea = insns[i - 4];
@@ -93,7 +102,8 @@ Status IndirectCallPolicy::Check(const PolicyContext& context) const {
     if (lea.mnemonic != Mnemonic::kLea ||
         lea.src.kind != OperandKind::kRipRel ||
         lea.dst.kind != OperandKind::kReg) {
-      return PolicyViolationError(
+      return violation(
+          call.addr,
           InsnError(call, "guard does not start with lea <table>(%rip),%reg"));
     }
     const uint8_t base_reg = lea.dst.reg;  // %A
@@ -101,21 +111,24 @@ Status IndirectCallPolicy::Check(const PolicyContext& context) const {
         lea.NextAddr() + static_cast<uint64_t>(
                              static_cast<int64_t>(lea.src.mem.disp));
     if (lea_target != table_start) {
-      return PolicyViolationError(
+      return violation(
+          call.addr,
           InsnError(call, "guard lea does not target the jump table base"));
     }
 
     // sub %A, %C (32-bit in LLVM's emission; accept 32- or 64-bit).
     if (sub.mnemonic != Mnemonic::kSub || !sub.dst.IsReg(target_reg) ||
         !sub.src.IsReg(base_reg)) {
-      return PolicyViolationError(
+      return violation(
+          call.addr,
           InsnError(call, "guard missing sub %table_base,%target"));
     }
 
     // and $MASK, %C
     if (mask.mnemonic != Mnemonic::kAnd || !mask.dst.IsReg(target_reg) ||
         mask.src.kind != OperandKind::kImm) {
-      return PolicyViolationError(
+      return violation(
+          call.addr,
           InsnError(call, "guard missing and $mask,%target"));
     }
     // The mask must keep offsets entry-aligned (low bits clear) and inside
@@ -123,19 +136,22 @@ Status IndirectCallPolicy::Check(const PolicyContext& context) const {
     const int64_t mask_value = mask.src.imm;
     if (mask_value < 0 ||
         (mask_value & static_cast<int64_t>(options_.entry_size - 1)) != 0) {
-      return PolicyViolationError(
+      return violation(
+          call.addr,
           InsnError(call, "IFCC mask does not preserve entry alignment"));
     }
     if (static_cast<uint64_t>(mask_value) + options_.entry_size >
         table_end - table_start) {
-      return PolicyViolationError(InsnError(
-          call, "IFCC mask permits offsets beyond the jump table"));
+      return violation(
+          call.addr,
+          InsnError(call, "IFCC mask permits offsets beyond the jump table"));
     }
 
     // add %A, %C
     if (add.mnemonic != Mnemonic::kAdd || !add.dst.IsReg(target_reg) ||
         !add.src.IsReg(base_reg)) {
-      return PolicyViolationError(
+      return violation(
+          call.addr,
           InsnError(call, "guard missing add %table_base,%target"));
     }
   }

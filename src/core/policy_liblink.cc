@@ -102,7 +102,12 @@ Status LibraryLinkingPolicy::Check(const PolicyContext& context) const {
   size_t bad_index = x86::InsnBuffer::npos;
   if (pool == nullptr || pool->thread_count() <= 1 ||
       insns.size() < 2 * kGrain) {
-    return CheckRange(context, 0, insns.size(), &bad_index);
+    const Status status = CheckRange(context, 0, insns.size(), &bad_index);
+    if (!status.ok() && context.violation_out != nullptr &&
+        bad_index != x86::InsnBuffer::npos) {
+      context.violation_out->vaddr = insns[bad_index].addr;
+    }
+    return status;
   }
 
   // Sharded scan. Each shard memoizes/caches locally, so outcomes cannot
@@ -121,6 +126,10 @@ Status LibraryLinkingPolicy::Check(const PolicyContext& context) const {
       first_status = status;
     }
   });
+  if (!first_status.ok() && context.violation_out != nullptr &&
+      first_bad != x86::InsnBuffer::npos) {
+    context.violation_out->vaddr = insns[first_bad].addr;
+  }
   return first_status;
 }
 

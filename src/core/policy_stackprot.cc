@@ -151,6 +151,9 @@ Status StackProtectionPolicy::Check(const PolicyContext& context) const {
       }
     }
     if (canary_slots.empty()) {
+      if (context.violation_out != nullptr) {
+        context.violation_out->vaddr = fn.start;
+      }
       return PolicyViolationError(FnError(
           fn.name,
           "no stack-protector prologue (mov %fs:0x28,%reg; mov %reg,(%rsp))"));
@@ -199,6 +202,9 @@ Status StackProtectionPolicy::Check(const PolicyContext& context) const {
       checked = true;
     }
     if (!checked) {
+      if (context.violation_out != nullptr) {
+        context.violation_out->vaddr = fn.start;
+      }
       return PolicyViolationError(FnError(
           fn.name,
           "no stack-protector epilogue (reload; cmp; jne; callq " +

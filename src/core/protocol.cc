@@ -28,26 +28,82 @@ Result<Manifest> Manifest::Deserialize(ByteView data) {
   return manifest;
 }
 
-Bytes Verdict::Serialize() const {
+namespace {
+
+void AppendString(Bytes& out, const std::string& s) {
+  AppendLe32(out, static_cast<uint32_t>(s.size()));
+  AppendBytes(out, ToBytes(s));
+}
+
+bool ReadString(ByteReader& reader, std::string& out) {
+  uint32_t len = 0;
+  ByteView bytes;
+  if (!reader.ReadLe32(len) || !reader.ReadBytes(len, bytes)) return false;
+  out = ToString(bytes);
+  return true;
+}
+
+}  // namespace
+
+Bytes Verdict::SerializeLegacy() const {
   Bytes out;
   out.push_back(compliant ? 1 : 0);
-  AppendLe32(out, static_cast<uint32_t>(reason.size()));
-  AppendBytes(out, ToBytes(reason));
+  AppendString(out, reason);
+  return out;
+}
+
+Bytes Verdict::Serialize() const {
+  // v2: version || flag || reason || has_rejection || [stage, rule, vaddr,
+  // detail]. The version byte (2) can never collide with a v1 verdict, whose
+  // first byte is the 0/1 compliance flag.
+  Bytes out;
+  out.push_back(kWireVersion);
+  out.push_back(compliant ? 1 : 0);
+  AppendString(out, reason);
+  out.push_back(rejection.has_value() ? 1 : 0);
+  if (rejection.has_value()) {
+    AppendString(out, rejection->stage);
+    AppendString(out, rejection->rule);
+    AppendLe64(out, rejection->vaddr);
+    AppendString(out, rejection->detail);
+  }
   return out;
 }
 
 Result<Verdict> Verdict::Deserialize(ByteView data) {
   ByteReader reader(data);
+  uint8_t first = 0;
+  if (!reader.ReadU8(first)) return ProtocolError("malformed verdict");
+  Verdict verdict;
+  if (first <= 1) {
+    // v1: flag || reason, nothing else.
+    verdict.compliant = first != 0;
+    if (!ReadString(reader, verdict.reason) || !reader.AtEnd()) {
+      return ProtocolError("malformed verdict");
+    }
+    return verdict;
+  }
+  if (first != kWireVersion) {
+    return ProtocolError("unsupported verdict wire version");
+  }
   uint8_t flag = 0;
-  uint32_t reason_len = 0;
-  ByteView reason_bytes;
-  if (!reader.ReadU8(flag) || !reader.ReadLe32(reason_len) ||
-      !reader.ReadBytes(reason_len, reason_bytes) || !reader.AtEnd()) {
+  uint8_t has_rejection = 0;
+  if (!reader.ReadU8(flag) || !ReadString(reader, verdict.reason) ||
+      !reader.ReadU8(has_rejection) || has_rejection > 1) {
     return ProtocolError("malformed verdict");
   }
-  Verdict verdict;
   verdict.compliant = flag != 0;
-  verdict.reason = ToString(reason_bytes);
+  if (has_rejection) {
+    Rejection rejection;
+    if (!ReadString(reader, rejection.stage) ||
+        !ReadString(reader, rejection.rule) ||
+        !reader.ReadLe64(rejection.vaddr) ||
+        !ReadString(reader, rejection.detail)) {
+      return ProtocolError("malformed verdict");
+    }
+    verdict.rejection = std::move(rejection);
+  }
+  if (!reader.AtEnd()) return ProtocolError("malformed verdict");
   return verdict;
 }
 
@@ -68,6 +124,21 @@ Result<Bytes> ReadFrame(crypto::DuplexPipe::Endpoint& endpoint) {
   return endpoint.Read(length);
 }
 
+Result<std::optional<Bytes>> TryReadFrame(
+    crypto::DuplexPipe::Endpoint& endpoint) {
+  if (endpoint.Available() < 4) return std::optional<Bytes>();
+  const Bytes header = endpoint.Peek(4);
+  const uint32_t length = LoadLe32(header.data());
+  if (length > (64u << 20)) {
+    return ProtocolError("oversized frame");
+  }
+  if (endpoint.Available() < 4 + static_cast<size_t>(length)) {
+    return std::optional<Bytes>();
+  }
+  ASSIGN_OR_RETURN(Bytes frame, ReadFrame(endpoint));
+  return std::optional<Bytes>(std::move(frame));
+}
+
 Status SendMessage(crypto::SecureChannel& channel, MessageType type,
                    ByteView payload) {
   Bytes record;
@@ -78,6 +149,10 @@ Status SendMessage(crypto::SecureChannel& channel, MessageType type,
 
 Result<Message> ReceiveMessage(crypto::SecureChannel& channel) {
   ASSIGN_OR_RETURN(Bytes record, channel.Receive());
+  return ParseMessage(std::move(record));
+}
+
+Result<Message> ParseMessage(Bytes record) {
   if (record.empty()) return ProtocolError("empty protocol record");
   Message message;
   message.type = static_cast<MessageType>(record[0]);

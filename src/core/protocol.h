@@ -10,6 +10,7 @@
 #ifndef ENGARDE_CORE_PROTOCOL_H_
 #define ENGARDE_CORE_PROTOCOL_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -40,19 +41,45 @@ struct Manifest {
   static Result<Manifest> Deserialize(ByteView data);
 };
 
+// Structured diagnosis of a rejection, produced by the inspection pipeline
+// and carried end-to-end to the client (never to the provider). Unlike the
+// flat reason string it names *where* the binary failed: the pipeline stage,
+// the rule or policy id within that stage, and the offending file-vaddr when
+// one is known (0 = not applicable).
+struct Rejection {
+  std::string stage;   // pipeline stage name, e.g. "PolicyCheck"
+  std::string rule;    // rule / policy id, e.g. "stack-protection"
+  uint64_t vaddr = 0;  // offending file-vaddr; 0 when no single site applies
+  std::string detail;  // human-readable detail (the status text)
+};
+
 struct Verdict {
+  // Wire version emitted by Serialize(). v1 verdicts start with the raw
+  // compliance flag (0 or 1); v2 prefixes a version byte and appends the
+  // optional structured rejection. Deserialize() accepts both.
+  static constexpr uint8_t kWireVersion = 2;
+
   bool compliant = false;
   // Human-readable reason on rejection. Sent to the *client* only — the
   // provider learns nothing beyond the compliance bit (threat model).
+  // Kept alongside the structured rejection for wire compatibility.
   std::string reason;
+  // Structured diagnosis; set on rejection when the pipeline produced one.
+  std::optional<Rejection> rejection;
 
   Bytes Serialize() const;
+  // The pre-versioning v1 encoding (flag || reason only). Tests use it to
+  // prove old verdict frames still parse.
+  Bytes SerializeLegacy() const;
   static Result<Verdict> Deserialize(ByteView data);
 };
 
 // Helpers for the plaintext (pre-channel) frames: u32 length || payload.
 Status WriteFrame(crypto::DuplexPipe::Endpoint& endpoint, ByteView payload);
 Result<Bytes> ReadFrame(crypto::DuplexPipe::Endpoint& endpoint);
+// Non-blocking variant: nullopt until the endpoint holds one whole frame.
+// Never consumes a partial frame, so a session can be pumped incrementally.
+Result<std::optional<Bytes>> TryReadFrame(crypto::DuplexPipe::Endpoint& endpoint);
 
 // Helpers for typed records over the secure channel.
 Status SendMessage(crypto::SecureChannel& channel, MessageType type,
@@ -62,6 +89,8 @@ struct Message {
   Bytes payload;
 };
 Result<Message> ReceiveMessage(crypto::SecureChannel& channel);
+// Splits an already-received record into type byte + payload.
+Result<Message> ParseMessage(Bytes record);
 
 }  // namespace engarde::core
 

@@ -1,0 +1,73 @@
+#include "core/server.h"
+
+#include <thread>
+#include <utility>
+
+namespace engarde::core {
+
+ProvisioningServer::ProvisioningServer(sgx::HostOs* host,
+                                       const sgx::QuotingEnclave* quoting,
+                                       std::function<PolicySet()> policy_factory,
+                                       Options options)
+    : host_(host),
+      quoting_(quoting),
+      policy_factory_(std::move(policy_factory)),
+      options_(std::move(options)) {
+  if (options_.inspection_threads > 1) {
+    pool_ = std::make_unique<common::ThreadPool>(options_.inspection_threads);
+  }
+}
+
+Result<size_t> ProvisioningServer::Accept(crypto::DuplexPipe::Endpoint endpoint) {
+  auto entry = std::make_unique<Entry>();
+  {
+    // Enclave construction (ECREATE/EADD/EEXTEND/EINIT, keygen, quote) is
+    // charged to the session's own accountant, like everything else the
+    // session later does.
+    sgx::ScopedAccountant scoped(&entry->accountant);
+    EngardeOptions enclave_options = options_.enclave_options;
+    enclave_options.inspection_threads = 1;  // never an owned per-enclave pool
+    enclave_options.shared_inspection_pool = pool_.get();
+    ASSIGN_OR_RETURN(
+        EngardeEnclave enclave,
+        EngardeEnclave::Create(host_, *quoting_, policy_factory_(),
+                               std::move(enclave_options)));
+    entry->enclave.emplace(std::move(enclave));
+    RETURN_IF_ERROR(entry->enclave->SendHello(endpoint));
+  }
+  entry->session.emplace(&*entry->enclave, endpoint);
+  sessions_.push_back(std::move(entry));
+  return sessions_.size() - 1;
+}
+
+Result<ProvisionOutcome> ProvisioningServer::Drive(size_t index) {
+  if (index >= sessions_.size()) {
+    return OutOfRangeError("no such provisioning session");
+  }
+  Entry& entry = *sessions_[index];
+  // Redirect every SGX charge this thread makes — device calls, channel
+  // trampolines, pipeline phases — to the session's accountant.
+  sgx::ScopedAccountant scoped(&entry.accountant);
+  RETURN_IF_ERROR(entry.session->Pump());
+  if (!entry.session->done()) {
+    return ProtocolError(
+        "session stalled: peer closed or sent a truncated exchange");
+  }
+  return entry.session->TakeOutcome();
+}
+
+std::vector<Result<ProvisionOutcome>> ProvisioningServer::DriveAll() {
+  std::vector<std::optional<Result<ProvisionOutcome>>> slots(sessions_.size());
+  std::vector<std::thread> threads;
+  threads.reserve(sessions_.size());
+  for (size_t i = 0; i < sessions_.size(); ++i) {
+    threads.emplace_back([this, i, &slots] { slots[i].emplace(Drive(i)); });
+  }
+  for (std::thread& thread : threads) thread.join();
+  std::vector<Result<ProvisionOutcome>> results;
+  results.reserve(slots.size());
+  for (auto& slot : slots) results.push_back(std::move(*slot));
+  return results;
+}
+
+}  // namespace engarde::core

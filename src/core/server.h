@@ -1,0 +1,87 @@
+// ProvisioningServer: the cloud provider's front door. Multiplexes N
+// concurrent client provisioning exchanges against one shared HostOs/device:
+// every accepted connection gets its own EnGarde enclave (an enclave is
+// locked by a successful provisioning, so it serves exactly one client) and
+// its own re-entrant ProvisioningSession, while the SGX device, the host OS
+// component and the inspection worker pool are shared.
+//
+// Accounting: each session is driven under a ScopedAccountant bound to a
+// session-private CycleAccountant, so per-phase SGX-instruction attribution
+// is per-client and bit-for-bit identical whether the sessions are driven
+// serially (Drive in a loop) or concurrently (DriveAll) — the property the
+// multi-session tests pin.
+#ifndef ENGARDE_CORE_SERVER_H_
+#define ENGARDE_CORE_SERVER_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/engarde.h"
+#include "core/session.h"
+#include "crypto/channel.h"
+#include "sgx/attestation.h"
+#include "sgx/cost_model.h"
+#include "sgx/hostos.h"
+
+namespace engarde::core {
+
+class ProvisioningServer {
+ public:
+  struct Options {
+    // Per-enclave options. shared_inspection_pool and inspection_threads are
+    // overridden: every enclave uses the server's shared pool.
+    EngardeOptions enclave_options;
+    // Size of the shared inspection worker pool. 1 = serial inspection.
+    size_t inspection_threads = 1;
+  };
+
+  // `policy_factory` builds one mutually-agreed PolicySet per accepted
+  // connection (each enclave owns its modules). `host` and `quoting` must
+  // outlive the server.
+  ProvisioningServer(sgx::HostOs* host, const sgx::QuotingEnclave* quoting,
+                     std::function<PolicySet()> policy_factory,
+                     Options options);
+
+  // Builds a fresh EnGarde enclave for the connection, sends the hello
+  // (quote + public key), and registers a session. Returns the session index.
+  Result<size_t> Accept(crypto::DuplexPipe::Endpoint endpoint);
+
+  // Drives one session to its verdict under its private accountant. Errors
+  // if the queued input does not reach a verdict (truncated exchange) or on
+  // any hard protocol/channel failure. Single use per session.
+  Result<ProvisionOutcome> Drive(size_t index);
+
+  // Drives every session concurrently, one thread per session, and returns
+  // the outcomes by session index.
+  std::vector<Result<ProvisionOutcome>> DriveAll();
+
+  size_t session_count() const noexcept { return sessions_.size(); }
+  EngardeEnclave& enclave(size_t index) { return *sessions_[index]->enclave; }
+  const sgx::CycleAccountant& session_accountant(size_t index) const {
+    return sessions_[index]->accountant;
+  }
+
+ private:
+  struct Entry {
+    sgx::CycleAccountant accountant;
+    std::optional<EngardeEnclave> enclave;
+    std::optional<ProvisioningSession> session;
+  };
+
+  sgx::HostOs* host_;
+  const sgx::QuotingEnclave* quoting_;
+  std::function<PolicySet()> policy_factory_;
+  Options options_;
+  // Shared inspection pool; null when inspection_threads <= 1. Safe across
+  // concurrently driven sessions: dispatch is serialized inside the pool.
+  std::unique_ptr<common::ThreadPool> pool_;
+  std::vector<std::unique_ptr<Entry>> sessions_;
+};
+
+}  // namespace engarde::core
+
+#endif  // ENGARDE_CORE_SERVER_H_

@@ -1,0 +1,186 @@
+#include "core/session.h"
+
+#include <utility>
+
+#include "core/inspection.h"
+#include "crypto/rsa.h"
+#include "sgx/cost_model.h"
+
+namespace engarde::core {
+
+ProvisioningSession::ProvisioningSession(EngardeEnclave* enclave,
+                                         crypto::DuplexPipe::Endpoint endpoint)
+    : enclave_(enclave), endpoint_(endpoint) {}
+
+Status ProvisioningSession::Pump() {
+  sgx::CycleAccountant* accountant = enclave_->host_->device()->accountant();
+  if (!entered_) {
+    // EENTER: the host switches into the enclave to run EnGarde. Charged on
+    // the first pump whether or not any input has arrived yet, exactly where
+    // the old blocking loop charged it.
+    entered_ = true;
+    RETURN_IF_ERROR(enclave_->host_->device()->EEnter(enclave_->enclave_id_));
+  }
+  for (;;) {
+    switch (state_) {
+      case State::kHandshake: {
+        ASSIGN_OR_RETURN(std::optional<Bytes> frame, TryReadFrame(endpoint_));
+        if (!frame.has_value()) return Status::Ok();
+        RETURN_IF_ERROR(OnWrappedKey(std::move(*frame)));
+        break;
+      }
+      case State::kManifest:
+      case State::kBlocks: {
+        sgx::ScopedPhase phase(accountant, sgx::Phase::kChannel);
+        ASSIGN_OR_RETURN(std::optional<Bytes> record, channel_->TryReceive());
+        if (!record.has_value()) return Status::Ok();
+        // Each block record — and the DONE — crosses the enclave boundary
+        // through a trampoline. The manifest does not: counting only after a
+        // whole record is in keeps dry pumps free, so the totals match the
+        // old count-then-block loop.
+        if (state_ == State::kBlocks && accountant) {
+          accountant->CountTrampoline();
+        }
+        ASSIGN_OR_RETURN(Message message, ParseMessage(std::move(*record)));
+        if (state_ == State::kManifest) {
+          RETURN_IF_ERROR(OnManifest(std::move(message)));
+        } else if (message.type == MessageType::kDone) {
+          RETURN_IF_ERROR(OnDone());
+        } else if (message.type == MessageType::kBlock) {
+          RETURN_IF_ERROR(OnBlock(std::move(message)));
+        } else {
+          return ProtocolError("unexpected record type during code transfer");
+        }
+        break;
+      }
+      case State::kInspect:
+        RETURN_IF_ERROR(RunInspectionAndVerdict());
+        break;
+      case State::kDone:
+        if (endpoint_.Available() > 0) {
+          return ProtocolError("record received after the verdict (replay?)");
+        }
+        return Status::Ok();
+    }
+  }
+}
+
+Status ProvisioningSession::OnWrappedKey(Bytes frame) {
+  ASSIGN_OR_RETURN(
+      const Bytes master_key,
+      crypto::RsaDecrypt(enclave_->rsa_.private_key,
+                         ByteView(frame.data(), frame.size())));
+  if (master_key.size() != 32) {
+    return ProtocolError("client AES key must be 256 bits");
+  }
+  const crypto::SessionKeys keys = crypto::SessionKeys::Derive(
+      ByteView(master_key.data(), master_key.size()));
+  channel_.emplace(endpoint_, keys, /*is_enclave_side=*/true);
+  state_ = State::kManifest;
+  return Status::Ok();
+}
+
+Status ProvisioningSession::OnManifest(Message message) {
+  if (message.type != MessageType::kManifest) {
+    return ProtocolError("expected manifest as the first record");
+  }
+  ASSIGN_OR_RETURN(manifest_,
+                   Manifest::Deserialize(ByteView(message.payload.data(),
+                                                  message.payload.size())));
+  if (manifest_.file_size >
+      enclave_->options_.layout.heap_pages * sgx::kPageSize) {
+    return ProtocolError("executable exceeds the enclave staging area");
+  }
+  image_.reserve(manifest_.file_size);
+  state_ = State::kBlocks;
+  return Status::Ok();
+}
+
+Status ProvisioningSession::OnBlock(Message message) {
+  if (image_.size() + message.payload.size() > manifest_.file_size) {
+    return ProtocolError("client sent more bytes than the manifest size");
+  }
+  // Stage the plaintext incrementally at its final heap offset: the enclave
+  // working copy is always exactly the bytes received so far, and no session
+  // buffers a complete image it has not yet been sent.
+  RETURN_IF_ERROR(enclave_->host_->device()->EnclaveWrite(
+      enclave_->enclave_id_,
+      enclave_->options_.layout.HeapStart() + image_.size(),
+      ByteView(message.payload.data(), message.payload.size())));
+  AppendBytes(image_, ByteView(message.payload.data(),
+                               message.payload.size()));
+  ++outcome_.stats.blocks_received;
+  return Status::Ok();
+}
+
+Status ProvisioningSession::OnDone() {
+  if (image_.size() != manifest_.file_size) {
+    return ProtocolError("client sent fewer bytes than the manifest size");
+  }
+  state_ = State::kInspect;
+  return Status::Ok();
+}
+
+Status ProvisioningSession::RunInspectionAndVerdict() {
+  EngardeEnclave* enclave = enclave_;
+  sgx::CycleAccountant* accountant = enclave->host_->device()->accountant();
+
+  InspectionContext ctx;
+  ctx.image = &image_;
+  ctx.manifest = &manifest_;
+  ctx.policies = &enclave->policies_;
+  ctx.pool = enclave->inspection_pool();
+  ctx.accountant = accountant;
+  ctx.host = enclave->host_;
+  ctx.enclave_id = enclave->enclave_id_;
+  ctx.layout = &enclave->options_.layout;
+  ctx.drbg = &enclave->drbg_;
+
+  // Hard (non-client-attributable) failures propagate here and terminate the
+  // session without a verdict or the EEXIT — the old early-return behavior.
+  ASSIGN_OR_RETURN(InspectionResult inspection, InspectionPipeline::Run(ctx));
+
+  outcome_.stage_reports = std::move(inspection.reports);
+  if (ctx.insns) {
+    outcome_.stats.instruction_count = ctx.insns->size();
+    outcome_.stats.insn_buffer_pages = ctx.insns->chunk_allocations();
+  }
+
+  Verdict& verdict = outcome_.verdict;
+  verdict.compliant = inspection.compliant;
+  if (inspection.compliant) {
+    outcome_.stats.relocations_applied = ctx.load->relocations_applied;
+    outcome_.provider_report.compliant = true;
+    outcome_.provider_report.executable_pages = ctx.load->executable_pages;
+    enclave->approved_image_ = std::move(image_);
+    enclave->load_ = std::move(ctx.load);
+    enclave->loaded_symbols_ = std::move(ctx.symbols);
+    outcome_.load = enclave->load_;
+  } else {
+    verdict.reason = inspection.reason;
+    verdict.rejection = std::move(inspection.rejection);
+    outcome_.provider_report.compliant = false;
+  }
+
+  const Bytes verdict_wire = verdict.Serialize();
+  RETURN_IF_ERROR(SendMessage(*channel_, MessageType::kVerdict,
+                              ByteView(verdict_wire.data(),
+                                       verdict_wire.size())));
+  RETURN_IF_ERROR(enclave->host_->device()->EExit(enclave->enclave_id_));
+  state_ = State::kDone;
+  return Status::Ok();
+}
+
+Result<ProvisionOutcome> ProvisioningSession::TakeOutcome() {
+  if (!done()) {
+    return FailedPreconditionError(
+        "provisioning session has not reached a verdict");
+  }
+  if (outcome_taken_) {
+    return FailedPreconditionError("provisioning outcome already taken");
+  }
+  outcome_taken_ = true;
+  return std::move(outcome_);
+}
+
+}  // namespace engarde::core

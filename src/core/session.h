@@ -1,0 +1,85 @@
+// Re-entrant provisioning: one ProvisioningSession is the enclave side of one
+// client's provisioning exchange, restructured from the former blocking
+// receive loop in EngardeEnclave::RunProvisioning into an explicit state
+// machine
+//
+//   Handshake -> Manifest -> Blocks -> Inspect -> Done
+//
+// driven by Pump(): each call consumes every *complete* frame/record the
+// endpoint currently holds, advances the machine, and returns when input runs
+// dry — it never blocks on a partial record. Blocks are staged into the
+// enclave heap incrementally as they arrive, so a session holds no completed
+// image before DONE. This is what lets a ProvisioningServer multiplex many
+// client exchanges without a thread parked per connection (and what the old
+// one-shot RunProvisioning is now a thin driver over).
+//
+// Accounting matches the old loop bit-for-bit: EENTER on the first pump, one
+// channel trampoline per block record and per DONE (none for the manifest),
+// all charged inside Phase::kChannel, EEXIT after the verdict is sent. Hard
+// errors (channel integrity, protocol framing) are terminal and — like the
+// old early returns — skip the EEXIT.
+#ifndef ENGARDE_CORE_SESSION_H_
+#define ENGARDE_CORE_SESSION_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "core/engarde.h"
+#include "core/protocol.h"
+#include "crypto/channel.h"
+
+namespace engarde::core {
+
+class ProvisioningSession {
+ public:
+  enum class State : uint8_t {
+    kHandshake = 0,  // awaiting the RSA-wrapped AES master key (plaintext)
+    kManifest,       // channel up; awaiting the manifest record
+    kBlocks,         // receiving code blocks until DONE
+    kInspect,        // image complete; inspection pipeline pending
+    kDone,           // verdict sent, EEXIT done — terminal
+  };
+
+  // `enclave` must outlive the session and must not be provisioned through
+  // any other path while the session is live.
+  ProvisioningSession(EngardeEnclave* enclave,
+                      crypto::DuplexPipe::Endpoint endpoint);
+
+  // Consumes every complete frame/record queued on the endpoint and advances
+  // the state machine as far as the input allows (through inspection and the
+  // verdict when everything is in). Returns OK both on progress and when the
+  // input merely ran dry; any error is terminal for the session.
+  Status Pump();
+
+  State state() const noexcept { return state_; }
+  bool done() const noexcept { return state_ == State::kDone; }
+  size_t blocks_received() const noexcept {
+    return outcome_.stats.blocks_received;
+  }
+
+  // Moves the provisioning outcome out. Valid once done().
+  Result<ProvisionOutcome> TakeOutcome();
+
+ private:
+  Status OnWrappedKey(Bytes frame);
+  Status OnManifest(Message message);
+  Status OnBlock(Message message);
+  Status OnDone();
+  Status RunInspectionAndVerdict();
+
+  EngardeEnclave* enclave_;
+  crypto::DuplexPipe::Endpoint endpoint_;
+  std::optional<crypto::SecureChannel> channel_;  // set after the handshake
+  State state_ = State::kHandshake;
+  bool entered_ = false;  // EENTER charged on the first Pump
+  Manifest manifest_;
+  Bytes image_;  // grows block by block; mirrored into the enclave heap
+  ProvisionOutcome outcome_;
+  bool outcome_taken_ = false;
+};
+
+}  // namespace engarde::core
+
+#endif  // ENGARDE_CORE_SESSION_H_

@@ -1,5 +1,6 @@
 #include "crypto/channel.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace engarde::crypto {
@@ -30,6 +31,11 @@ Result<Bytes> ByteQueue::Read(size_t n) {
   Bytes out(buffer_.begin(), buffer_.begin() + static_cast<long>(n));
   buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(n));
   return out;
+}
+
+Bytes ByteQueue::Peek(size_t n) const {
+  const size_t take = std::min(n, buffer_.size());
+  return Bytes(buffer_.begin(), buffer_.begin() + static_cast<long>(take));
 }
 
 SessionKeys SessionKeys::Derive(ByteView master_key) {
@@ -106,6 +112,19 @@ Result<Bytes> SecureChannel::Receive() {
   recv_stream_offset_ += ciphertext.size();
   ++recv_seq_;
   return ciphertext;
+}
+
+Result<std::optional<Bytes>> SecureChannel::TryReceive() {
+  if (endpoint_.Available() < 12) return std::optional<Bytes>();
+  const Bytes header = endpoint_.Peek(12);
+  const uint32_t len = LoadLe32(header.data());
+  if (len > 0x7fffffff) return ProtocolError("oversized record");
+  if (endpoint_.Available() <
+      12 + static_cast<size_t>(len) + HmacSha256::kTagSize) {
+    return std::optional<Bytes>();
+  }
+  ASSIGN_OR_RETURN(Bytes record, Receive());
+  return std::optional<Bytes>(std::move(record));
 }
 
 }  // namespace engarde::crypto

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 
 #include "common/bytes.h"
 #include "common/status.h"
@@ -34,6 +35,9 @@ class ByteQueue {
   // Reads exactly n bytes; PROTOCOL_ERROR if fewer are available.
   Result<Bytes> Read(size_t n);
 
+  // Copies up to n bytes without consuming them (non-blocking framing peeks).
+  Bytes Peek(size_t n) const;
+
  private:
   std::deque<uint8_t> buffer_;
 };
@@ -48,6 +52,7 @@ class DuplexPipe {
     void Write(ByteView data) { out_->Write(data); }
     Result<Bytes> Read(size_t n) { return in_->Read(n); }
     size_t Available() const noexcept { return in_->Available(); }
+    Bytes Peek(size_t n) const { return in_->Peek(n); }
 
    private:
     ByteQueue* out_;
@@ -86,6 +91,12 @@ class SecureChannel {
 
   // Reads, authenticates and decrypts the next record.
   Result<Bytes> Receive();
+
+  // Non-blocking variant: nullopt when the pipe does not yet hold one whole
+  // record (header + ciphertext + tag); otherwise behaves exactly like
+  // Receive(). Lets a ProvisioningSession pump partial input without ever
+  // consuming a truncated record.
+  Result<std::optional<Bytes>> TryReceive();
 
   uint64_t records_sent() const noexcept { return send_seq_; }
   uint64_t records_received() const noexcept { return recv_seq_; }

@@ -1,11 +1,26 @@
 #include "sgx/cost_model.h"
 
 namespace engarde::sgx {
+namespace {
+
+thread_local CycleAccountant* tls_accountant = nullptr;
+
+}  // namespace
+
+CycleAccountant* ThreadAccountantOverride() noexcept { return tls_accountant; }
+
+ScopedAccountant::ScopedAccountant(CycleAccountant* accountant) noexcept
+    : previous_(tls_accountant) {
+  tls_accountant = accountant;
+}
+
+ScopedAccountant::~ScopedAccountant() { tls_accountant = previous_; }
 
 std::string_view PhaseName(Phase phase) noexcept {
   switch (phase) {
     case Phase::kIdle: return "idle";
     case Phase::kChannel: return "channel";
+    case Phase::kContainer: return "container-validate";
     case Phase::kDisassembly: return "disassembly";
     case Phase::kPolicyCheck: return "policy-check";
     case Phase::kLoading: return "loading-and-relocation";

@@ -22,6 +22,7 @@ namespace engarde::sgx {
 enum class Phase : uint8_t {
   kIdle = 0,        // enclave build, attestation, everything out of scope
   kChannel,         // receiving + decrypting client blocks
+  kContainer,       // ELF header validation + code/data page separation
   kDisassembly,     // NaCl-style disassembly into the instruction buffer
   kPolicyCheck,     // running policy modules
   kLoading,         // mapping segments, relocating, page-table permissions
@@ -95,6 +96,26 @@ class CycleAccountant {
   Clock::time_point phase_start_ = Clock::now();
   std::atomic<uint64_t> total_sgx_{0};
   std::atomic<uint64_t> trampolines_{0};
+};
+
+// Accountant override for the calling thread, if any (see ScopedAccountant).
+CycleAccountant* ThreadAccountantOverride() noexcept;
+
+// Redirects SGX-instruction charges made *from the current thread* to a
+// session-private accountant for the scope's lifetime. A ProvisioningServer
+// drives each session under one of these, so charges from concurrently
+// interleaved device calls land on the owning session's accountant and the
+// per-phase attribution stays deterministic. Worker-pool shards are
+// unaffected: they charge through pointers captured when the stage started.
+class ScopedAccountant {
+ public:
+  explicit ScopedAccountant(CycleAccountant* accountant) noexcept;
+  ~ScopedAccountant();
+  ScopedAccountant(const ScopedAccountant&) = delete;
+  ScopedAccountant& operator=(const ScopedAccountant&) = delete;
+
+ private:
+  CycleAccountant* previous_;
 };
 
 // RAII phase scope.

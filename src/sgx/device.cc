@@ -118,6 +118,7 @@ crypto::Aes256Key SgxDevice::PageEncryptionKey(uint64_t enclave_id) const {
 // ---- SGX1 lifecycle ---------------------------------------------------------
 
 Result<uint64_t> SgxDevice::ECreate(uint64_t base, uint64_t size) {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   Charge();
   if (base % kPageSize != 0 || size % kPageSize != 0 || size == 0) {
     return InvalidArgumentError("enclave range must be page-aligned");
@@ -146,6 +147,7 @@ Result<uint64_t> SgxDevice::ECreate(uint64_t base, uint64_t size) {
 
 Status SgxDevice::EAdd(uint64_t enclave_id, uint64_t linear, ByteView content,
                        PagePerms perms, PageType type) {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   Charge();
   ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
   if (enclave->initialized) {
@@ -186,6 +188,7 @@ Status SgxDevice::EAdd(uint64_t enclave_id, uint64_t linear, ByteView content,
 }
 
 Status SgxDevice::EExtend(uint64_t enclave_id, uint64_t chunk_linear) {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   Charge();
   ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
   if (enclave->initialized) {
@@ -205,6 +208,7 @@ Status SgxDevice::EExtend(uint64_t enclave_id, uint64_t chunk_linear) {
 }
 
 Status SgxDevice::ExtendPage(uint64_t enclave_id, uint64_t linear) {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   for (size_t chunk = 0; chunk < kPageSize; chunk += 256) {
     RETURN_IF_ERROR(EExtend(enclave_id, PageBase(linear) + chunk));
   }
@@ -212,6 +216,7 @@ Status SgxDevice::ExtendPage(uint64_t enclave_id, uint64_t linear) {
 }
 
 Status SgxDevice::EInit(uint64_t enclave_id) {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   Charge();
   ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
   if (enclave->initialized) {
@@ -223,6 +228,7 @@ Status SgxDevice::EInit(uint64_t enclave_id) {
 }
 
 Status SgxDevice::EEnter(uint64_t enclave_id) {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   Charge();
   ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
   if (!enclave->initialized) {
@@ -233,6 +239,7 @@ Status SgxDevice::EEnter(uint64_t enclave_id) {
 }
 
 Status SgxDevice::EExit(uint64_t enclave_id) {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   Charge();
   ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
   if (enclave->enter_depth == 0) {
@@ -243,6 +250,7 @@ Status SgxDevice::EExit(uint64_t enclave_id) {
 }
 
 Status SgxDevice::ERemove(uint64_t enclave_id, uint64_t linear) {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   Charge();
   ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
   if (enclave->enter_depth > 0) {
@@ -255,6 +263,7 @@ Status SgxDevice::ERemove(uint64_t enclave_id, uint64_t linear) {
 }
 
 Status SgxDevice::DestroyEnclave(uint64_t enclave_id) {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
   while (!enclave->pages.empty()) {
     RETURN_IF_ERROR(ERemove(enclave_id, enclave->pages.begin()->first));
@@ -275,6 +284,7 @@ Status SgxDevice::DestroyEnclave(uint64_t enclave_id) {
 // ---- SGX2 -----------------------------------------------------------------
 
 Status SgxDevice::EAug(uint64_t enclave_id, uint64_t linear) {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   Charge();
   if (sgx_version_ < 2) {
     return UnimplementedError("EAUG requires SGX2 (device is version 1)");
@@ -302,6 +312,7 @@ Status SgxDevice::EAug(uint64_t enclave_id, uint64_t linear) {
 }
 
 Status SgxDevice::EAccept(uint64_t enclave_id, uint64_t linear) {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   Charge();
   if (sgx_version_ < 2) {
     return UnimplementedError("EACCEPT requires SGX2 (device is version 1)");
@@ -318,6 +329,7 @@ Status SgxDevice::EAccept(uint64_t enclave_id, uint64_t linear) {
 
 Status SgxDevice::EModpr(uint64_t enclave_id, uint64_t linear,
                          PagePerms perms) {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   Charge();
   if (sgx_version_ < 2) {
     return UnimplementedError(
@@ -337,6 +349,7 @@ Status SgxDevice::EModpr(uint64_t enclave_id, uint64_t linear,
 
 Status SgxDevice::EModpe(uint64_t enclave_id, uint64_t linear,
                          PagePerms perms) {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   Charge();
   if (sgx_version_ < 2) {
     return UnimplementedError("EMODPE requires SGX2 (device is version 1)");
@@ -355,6 +368,7 @@ Status SgxDevice::EModpe(uint64_t enclave_id, uint64_t linear,
 
 Result<Report> SgxDevice::EReport(uint64_t enclave_id,
                                   const std::array<uint8_t, 64>& report_data) {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   Charge();
   ASSIGN_OR_RETURN(const Enclave* const enclave, FindEnclave(enclave_id));
   if (!enclave->initialized) {
@@ -370,6 +384,7 @@ Result<Report> SgxDevice::EReport(uint64_t enclave_id,
 
 Result<crypto::Aes256Key> SgxDevice::EGetkey(uint64_t enclave_id,
                                              uint64_t key_id) {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   Charge();
   ASSIGN_OR_RETURN(const Enclave* const enclave, FindEnclave(enclave_id));
   if (!enclave->initialized) {
@@ -392,6 +407,7 @@ Result<crypto::Aes256Key> SgxDevice::EGetkey(uint64_t enclave_id,
 // ---- Paging --------------------------------------------------------------
 
 Status SgxDevice::Ewb(uint64_t enclave_id, uint64_t linear) {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   Charge();
   ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
   ASSIGN_OR_RETURN(const size_t epc_index, ResolvePage(*enclave, linear));
@@ -424,6 +440,7 @@ Status SgxDevice::Ewb(uint64_t enclave_id, uint64_t linear) {
 }
 
 Status SgxDevice::Eldu(uint64_t enclave_id, uint64_t linear) {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   Charge();
   ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
   auto it = enclave->evicted.find(PageBase(linear));
@@ -464,6 +481,7 @@ Status SgxDevice::Eldu(uint64_t enclave_id, uint64_t linear) {
 
 Status SgxDevice::EnclaveWrite(uint64_t enclave_id, uint64_t linear,
                                ByteView data) {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
   size_t written = 0;
   while (written < data.size()) {
@@ -488,6 +506,7 @@ Status SgxDevice::EnclaveWrite(uint64_t enclave_id, uint64_t linear,
 
 Status SgxDevice::EnclaveRead(uint64_t enclave_id, uint64_t linear,
                               MutableByteView out) {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
   size_t read = 0;
   while (read < out.size()) {
@@ -512,6 +531,7 @@ Status SgxDevice::EnclaveRead(uint64_t enclave_id, uint64_t linear,
 
 Result<Bytes> SgxDevice::ReadAsOutsider(uint64_t enclave_id,
                                         uint64_t linear) const {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   ASSIGN_OR_RETURN(const Enclave* const enclave, FindEnclave(enclave_id));
   ASSIGN_OR_RETURN(const size_t epc_index, ResolvePage(*enclave, linear));
   // Outside the enclave the memory bus carries only ciphertext: encrypt the
@@ -528,12 +548,14 @@ Result<Bytes> SgxDevice::ReadAsOutsider(uint64_t enclave_id,
 // ---- Introspection --------------------------------------------------------
 
 bool SgxDevice::IsInitialized(uint64_t enclave_id) const {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   auto enclave = FindEnclave(enclave_id);
   return enclave.ok() && (*enclave)->initialized;
 }
 
 Result<crypto::Sha256Digest> SgxDevice::Measurement(
     uint64_t enclave_id) const {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   ASSIGN_OR_RETURN(const Enclave* const enclave, FindEnclave(enclave_id));
   if (!enclave->initialized) {
     return FailedPreconditionError("measurement is final only after EINIT");
@@ -543,23 +565,27 @@ Result<crypto::Sha256Digest> SgxDevice::Measurement(
 
 Result<PagePerms> SgxDevice::EpcmPerms(uint64_t enclave_id,
                                        uint64_t linear) const {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   ASSIGN_OR_RETURN(const Enclave* const enclave, FindEnclave(enclave_id));
   ASSIGN_OR_RETURN(const size_t epc_index, ResolvePage(*enclave, linear));
   return epc_.Entry(epc_index).perms;
 }
 
 bool SgxDevice::HasPage(uint64_t enclave_id, uint64_t linear) const {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   auto enclave = FindEnclave(enclave_id);
   if (!enclave.ok()) return false;
   return (*enclave)->pages.count(PageBase(linear)) != 0;
 }
 
 size_t SgxDevice::PageCount(uint64_t enclave_id) const {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   auto enclave = FindEnclave(enclave_id);
   return enclave.ok() ? (*enclave)->pages.size() : 0;
 }
 
 std::vector<uint64_t> SgxDevice::ResidentPages(uint64_t enclave_id) const {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   std::vector<uint64_t> out;
   auto enclave = FindEnclave(enclave_id);
   if (!enclave.ok()) return out;
@@ -571,6 +597,7 @@ std::vector<uint64_t> SgxDevice::ResidentPages(uint64_t enclave_id) const {
 }
 
 size_t SgxDevice::EvictedPageCount(uint64_t enclave_id) const {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   auto enclave = FindEnclave(enclave_id);
   return enclave.ok() ? (*enclave)->evicted.size() : 0;
 }
@@ -618,6 +645,7 @@ class SgxDevice::EnclaveView : public x86::MemoryIface {
   }
 
   bool IsExecutable(uint64_t addr) const override {
+    const std::lock_guard<std::recursive_mutex> lock(device_->hw_mu_);
     auto enclave = device_->FindEnclave(enclave_id_);
     if (!enclave.ok()) return false;
     // Instruction fetch demand-pages evicted code back in, like a data

@@ -18,6 +18,7 @@
 #include <array>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 
 #include "common/bytes.h"
@@ -77,7 +78,18 @@ class SgxDevice {
 
   int sgx_version() const noexcept { return sgx_version_; }
   Epc& epc() noexcept { return epc_; }
-  CycleAccountant* accountant() noexcept { return accountant_; }
+  // The accountant device operations charge: the calling thread's session
+  // accountant when a ScopedAccountant is active, else the device-wide one.
+  CycleAccountant* accountant() const noexcept {
+    CycleAccountant* tls = ThreadAccountantOverride();
+    return tls != nullptr ? tls : accountant_;
+  }
+  // Serializes every public device operation so concurrent provisioning
+  // sessions can share one device. Recursive, and deliberately shared with
+  // HostOs for its own state (page tables, lock set): faults re-enter the
+  // device through the registered handler and HostOs services call back into
+  // the device, so two locks would deadlock ABBA-style.
+  std::recursive_mutex& hardware_mutex() const noexcept { return hw_mu_; }
   void SetPageTablePolicy(const PageTablePolicy* policy) noexcept {
     page_table_ = policy;
   }
@@ -178,7 +190,8 @@ class SgxDevice {
   class EnclaveView;
 
   void Charge() noexcept {
-    if (accountant_) accountant_->CountSgxInstruction();
+    CycleAccountant* acct = accountant();
+    if (acct) acct->CountSgxInstruction();
   }
   Result<Enclave*> FindEnclave(uint64_t enclave_id);
   Result<const Enclave*> FindEnclave(uint64_t enclave_id) const;
@@ -191,6 +204,7 @@ class SgxDevice {
                            const EpcmEntry& entry) const;
   crypto::Aes256Key PageEncryptionKey(uint64_t enclave_id) const;
 
+  mutable std::recursive_mutex hw_mu_;
   Epc epc_;
   int sgx_version_;
   CycleAccountant* accountant_;

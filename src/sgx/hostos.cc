@@ -6,6 +6,11 @@ namespace engarde::sgx {
 
 Result<uint64_t> HostOs::BuildEnclave(const EnclaveLayout& layout,
                                       ByteView bootstrap_image) {
+  // HostOs state shares the device's recursive hardware mutex: the device
+  // calls back into this class (page-table checks, EPC faults) while holding
+  // it, and these methods call into the device, so a second lock would
+  // deadlock. See SgxDevice::hardware_mutex().
+  const std::lock_guard<std::recursive_mutex> lock(device_->hardware_mutex());
   if (bootstrap_image.size() > layout.bootstrap_pages * kPageSize) {
     return InvalidArgumentError("bootstrap image exceeds bootstrap region");
   }
@@ -57,6 +62,7 @@ Result<uint64_t> HostOs::BuildEnclave(const EnclaveLayout& layout,
 }
 
 PagePerms HostOs::PageTablePerms(uint64_t enclave_id, uint64_t linear) const {
+  const std::lock_guard<std::recursive_mutex> lock(device_->hardware_mutex());
   const uint64_t page = linear & ~(kPageSize - 1);
   const auto it = page_tables_.find({enclave_id, page});
   if (it == page_tables_.end()) return PagePerms::RWX();
@@ -65,6 +71,7 @@ PagePerms HostOs::PageTablePerms(uint64_t enclave_id, uint64_t linear) const {
 
 Status HostOs::SetPageTablePerms(uint64_t enclave_id, uint64_t linear,
                                  uint64_t page_count, PagePerms perms) {
+  const std::lock_guard<std::recursive_mutex> lock(device_->hardware_mutex());
   if (linear % kPageSize != 0) {
     return InvalidArgumentError("page-table update must be page-aligned");
   }
@@ -77,6 +84,7 @@ Status HostOs::SetPageTablePerms(uint64_t enclave_id, uint64_t linear,
 Status HostOs::ApplyWxPolicy(uint64_t enclave_id, const EnclaveLayout& layout,
                              uint64_t span_pages,
                              const std::vector<uint64_t>& executable_pages) {
+  const std::lock_guard<std::recursive_mutex> lock(device_->hardware_mutex());
   if (span_pages > layout.load_pages) {
     return InvalidArgumentError("loaded span exceeds the load region");
   }
@@ -97,6 +105,7 @@ Status HostOs::ApplyWxPolicy(uint64_t enclave_id, const EnclaveLayout& layout,
 
 Status HostOs::HardenWxInEpcm(uint64_t enclave_id,
                               const std::vector<uint64_t>& executable_pages) {
+  const std::lock_guard<std::recursive_mutex> lock(device_->hardware_mutex());
   if (device_->sgx_version() < 2) {
     return UnimplementedError(
         "EPCM hardening requires SGX2: on version-1 hardware the W^X split "
@@ -114,6 +123,7 @@ Status HostOs::HardenWxInEpcm(uint64_t enclave_id,
 }
 
 Status HostOs::LockEnclave(uint64_t enclave_id) {
+  const std::lock_guard<std::recursive_mutex> lock(device_->hardware_mutex());
   locked_.insert(enclave_id);
   return Status::Ok();
 }
@@ -131,6 +141,7 @@ Status HostOs::EvictOneVictim(uint64_t enclave_id, uint64_t protect_linear) {
 }
 
 Status HostOs::OnEpcFault(uint64_t enclave_id, uint64_t linear) {
+  const std::lock_guard<std::recursive_mutex> lock(device_->hardware_mutex());
   ++faults_handled_;
   // Make room if needed, then reload the faulting page.
   Status reloaded = device_->Eldu(enclave_id, linear);
@@ -142,6 +153,7 @@ Status HostOs::OnEpcFault(uint64_t enclave_id, uint64_t linear) {
 }
 
 Status HostOs::EvictPages(uint64_t enclave_id, uint64_t count) {
+  const std::lock_guard<std::recursive_mutex> lock(device_->hardware_mutex());
   for (uint64_t i = 0; i < count; ++i) {
     RETURN_IF_ERROR(EvictOneVictim(enclave_id, /*protect_linear=*/UINT64_MAX));
   }
@@ -150,6 +162,7 @@ Status HostOs::EvictPages(uint64_t enclave_id, uint64_t count) {
 
 Status HostOs::AugmentPages(uint64_t enclave_id, uint64_t linear,
                             uint64_t page_count) {
+  const std::lock_guard<std::recursive_mutex> lock(device_->hardware_mutex());
   if (IsLocked(enclave_id)) {
     return PermissionDeniedError(
         "enclave is locked: EnGarde forbids extension after provisioning");

@@ -82,6 +82,8 @@ class HostOs : public PageTablePolicy, public EpcFaultHandler {
   // Prevents any further growth of the enclave (EAUG requests are refused).
   Status LockEnclave(uint64_t enclave_id);
   bool IsLocked(uint64_t enclave_id) const {
+    const std::lock_guard<std::recursive_mutex> lock(
+        device_->hardware_mutex());
     return locked_.count(enclave_id) != 0;
   }
 

@@ -1,0 +1,443 @@
+// Wire-format and session-ordering robustness: the protocol structs must
+// round-trip exactly, reject every truncated/oversized/trailing-byte
+// variant with an error (never a crash or a silent mis-parse), both verdict
+// wire versions must stay parseable, and a ProvisioningSession pumped with
+// out-of-order or replayed records must fail with the precise protocol
+// error the old blocking loop produced.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "client/client.h"
+#include "core/engarde.h"
+#include "core/protocol.h"
+#include "core/session.h"
+#include "crypto/drbg.h"
+#include "crypto/rsa.h"
+#include "workload/program_builder.h"
+
+namespace engarde::core {
+namespace {
+
+constexpr size_t kRsaBits = 768;
+
+// ---- Manifest wire format --------------------------------------------------
+
+TEST(ManifestWireTest, RoundTrip) {
+  Manifest manifest;
+  manifest.file_size = 123456;
+  manifest.code_pages = {0, 1, 7, 42, 4096};
+  const Bytes wire = manifest.Serialize();
+  auto parsed = Manifest::Deserialize(ByteView(wire.data(), wire.size()));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->file_size, manifest.file_size);
+  EXPECT_EQ(parsed->code_pages, manifest.code_pages);
+}
+
+TEST(ManifestWireTest, EmptyCodePagesRoundTrip) {
+  Manifest manifest;
+  manifest.file_size = 1;
+  const Bytes wire = manifest.Serialize();
+  auto parsed = Manifest::Deserialize(ByteView(wire.data(), wire.size()));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->code_pages.empty());
+}
+
+TEST(ManifestWireTest, EveryTruncationFails) {
+  Manifest manifest;
+  manifest.file_size = 8192;
+  manifest.code_pages = {1, 2, 3};
+  const Bytes wire = manifest.Serialize();
+  for (size_t len = 0; len < wire.size(); ++len) {
+    auto parsed = Manifest::Deserialize(ByteView(wire.data(), len));
+    EXPECT_FALSE(parsed.ok()) << "prefix length " << len;
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kProtocolError);
+    }
+  }
+}
+
+TEST(ManifestWireTest, TrailingBytesFail) {
+  Manifest manifest;
+  manifest.file_size = 4096;
+  manifest.code_pages = {1};
+  Bytes wire = manifest.Serialize();
+  wire.push_back(0x00);
+  auto parsed = Manifest::Deserialize(ByteView(wire.data(), wire.size()));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("trailing"), std::string::npos);
+}
+
+TEST(ManifestWireTest, LyingPageCountFails) {
+  // Claimed count larger than the actual payload: must error, not read OOB.
+  Bytes wire;
+  AppendLe64(wire, 4096);
+  AppendLe32(wire, 1000000);  // claims a million pages, sends none
+  auto parsed = Manifest::Deserialize(ByteView(wire.data(), wire.size()));
+  EXPECT_FALSE(parsed.ok());
+}
+
+// ---- Verdict wire format (both versions) -----------------------------------
+
+Verdict SampleRejection() {
+  Verdict verdict;
+  verdict.compliant = false;
+  verdict.reason = "stack-protection: POLICY_VIOLATION: no prologue";
+  Rejection rejection;
+  rejection.stage = "PolicyCheck";
+  rejection.rule = "stack-protection";
+  rejection.vaddr = 0x10000123;
+  rejection.detail = "POLICY_VIOLATION: no prologue";
+  verdict.rejection = rejection;
+  return verdict;
+}
+
+TEST(VerdictWireTest, V2RoundTripWithRejection) {
+  const Verdict verdict = SampleRejection();
+  const Bytes wire = verdict.Serialize();
+  EXPECT_EQ(wire[0], Verdict::kWireVersion);
+  auto parsed = Verdict::Deserialize(ByteView(wire.data(), wire.size()));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->compliant);
+  EXPECT_EQ(parsed->reason, verdict.reason);
+  ASSERT_TRUE(parsed->rejection.has_value());
+  EXPECT_EQ(parsed->rejection->stage, "PolicyCheck");
+  EXPECT_EQ(parsed->rejection->rule, "stack-protection");
+  EXPECT_EQ(parsed->rejection->vaddr, 0x10000123u);
+  EXPECT_EQ(parsed->rejection->detail, "POLICY_VIOLATION: no prologue");
+}
+
+TEST(VerdictWireTest, V2RoundTripCompliant) {
+  Verdict verdict;
+  verdict.compliant = true;
+  const Bytes wire = verdict.Serialize();
+  auto parsed = Verdict::Deserialize(ByteView(wire.data(), wire.size()));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->compliant);
+  EXPECT_TRUE(parsed->reason.empty());
+  EXPECT_FALSE(parsed->rejection.has_value());
+}
+
+TEST(VerdictWireTest, LegacyV1StillParses) {
+  // Frames produced before the versioned format (raw flag || reason) must
+  // keep parsing: old enclaves talking to new clients.
+  Verdict verdict;
+  verdict.compliant = false;
+  verdict.reason = "legacy rejection reason";
+  const Bytes wire = verdict.SerializeLegacy();
+  EXPECT_LE(wire[0], 1);  // no version byte
+  auto parsed = Verdict::Deserialize(ByteView(wire.data(), wire.size()));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->compliant);
+  EXPECT_EQ(parsed->reason, verdict.reason);
+  EXPECT_FALSE(parsed->rejection.has_value());
+
+  Verdict ok_verdict;
+  ok_verdict.compliant = true;
+  const Bytes ok_wire = ok_verdict.SerializeLegacy();
+  auto ok_parsed = Verdict::Deserialize(ByteView(ok_wire.data(),
+                                                 ok_wire.size()));
+  ASSERT_TRUE(ok_parsed.ok());
+  EXPECT_TRUE(ok_parsed->compliant);
+}
+
+TEST(VerdictWireTest, EveryTruncationFailsBothVersions) {
+  for (const Bytes& wire :
+       {SampleRejection().Serialize(), SampleRejection().SerializeLegacy()}) {
+    for (size_t len = 0; len < wire.size(); ++len) {
+      auto parsed = Verdict::Deserialize(ByteView(wire.data(), len));
+      EXPECT_FALSE(parsed.ok()) << "prefix length " << len << " of "
+                                << wire.size();
+    }
+    Bytes trailing = wire;
+    trailing.push_back(0x00);
+    EXPECT_FALSE(
+        Verdict::Deserialize(ByteView(trailing.data(), trailing.size())).ok());
+  }
+}
+
+TEST(VerdictWireTest, UnknownVersionFails) {
+  Bytes wire = {0x7f, 0x01};
+  auto parsed = Verdict::Deserialize(ByteView(wire.data(), wire.size()));
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("version"), std::string::npos);
+}
+
+// ---- Frame layer -----------------------------------------------------------
+
+TEST(FrameTest, TryReadFrameRejectsOversizedHeader) {
+  crypto::DuplexPipe pipe;
+  auto writer = pipe.EndA();
+  Bytes header;
+  AppendLe32(header, (64u << 20) + 1);
+  writer.Write(ByteView(header.data(), header.size()));
+  auto reader = pipe.EndB();
+  auto frame = TryReadFrame(reader);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_NE(frame.status().message().find("oversized"), std::string::npos);
+}
+
+TEST(FrameTest, TryReadFrameWaitsForWholeFrame) {
+  crypto::DuplexPipe pipe;
+  auto writer = pipe.EndA();
+  auto reader = pipe.EndB();
+  Bytes header;
+  AppendLe32(header, 8);
+  writer.Write(ByteView(header.data(), header.size()));
+  const Bytes half = {1, 2, 3, 4};
+  writer.Write(ByteView(half.data(), half.size()));
+  auto frame = TryReadFrame(reader);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_FALSE(frame->has_value());  // 4 of 8 payload bytes: not yet
+  writer.Write(ByteView(half.data(), half.size()));
+  frame = TryReadFrame(reader);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame->has_value());
+  EXPECT_EQ((*frame)->size(), 8u);
+}
+
+TEST(FrameTest, ParseMessageRejectsEmptyRecord) {
+  EXPECT_FALSE(ParseMessage(Bytes{}).ok());
+}
+
+// ---- Out-of-order session pumping ------------------------------------------
+
+// Minimal hand-rolled client side: performs the key exchange like the real
+// client but then lets a test send arbitrary records in arbitrary order.
+class RawClient {
+ public:
+  RawClient() : drbg_(ToBytes("raw-client")) {}
+
+  Status Handshake(crypto::DuplexPipe::Endpoint endpoint) {
+    ASSIGN_OR_RETURN(const Bytes quote_wire, ReadFrame(endpoint));
+    (void)quote_wire;  // ordering tests do not verify attestation
+    ASSIGN_OR_RETURN(const Bytes key_wire, ReadFrame(endpoint));
+    ASSIGN_OR_RETURN(const crypto::RsaPublicKey enclave_key,
+                     crypto::RsaPublicKey::Deserialize(
+                         ByteView(key_wire.data(), key_wire.size())));
+    const Bytes master_key = drbg_.Generate(32);
+    ASSIGN_OR_RETURN(
+        const Bytes wrapped,
+        crypto::RsaEncrypt(enclave_key,
+                           ByteView(master_key.data(), master_key.size()),
+                           drbg_));
+    RETURN_IF_ERROR(
+        WriteFrame(endpoint, ByteView(wrapped.data(), wrapped.size())));
+    const crypto::SessionKeys keys = crypto::SessionKeys::Derive(
+        ByteView(master_key.data(), master_key.size()));
+    channel_.emplace(endpoint, keys, /*is_enclave_side=*/false);
+    return Status::Ok();
+  }
+
+  Status Send(MessageType type, ByteView payload) {
+    return SendMessage(*channel_, type, payload);
+  }
+
+ private:
+  crypto::HmacDrbg drbg_;
+  std::optional<crypto::SecureChannel> channel_;
+};
+
+class SessionOrderingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto qe =
+        sgx::QuotingEnclave::Provision(ToBytes("order-device"), kRsaBits);
+    ASSERT_TRUE(qe.ok());
+    qe_ = new sgx::QuotingEnclave(std::move(qe).value());
+    workload::ProgramSpec spec;
+    spec.seed = 77;
+    spec.target_instructions = 2000;
+    auto program = workload::BuildProgram(spec);
+    ASSERT_TRUE(program.ok());
+    image_ = new Bytes(program->image);
+  }
+  static void TearDownTestSuite() {
+    delete qe_;
+    qe_ = nullptr;
+    delete image_;
+    image_ = nullptr;
+  }
+
+  void SetUp() override {
+    device_.emplace(sgx::SgxDevice::Options{.epc_pages = 512});
+    host_.emplace(&*device_);
+    EngardeOptions options;
+    options.rsa_bits = kRsaBits;
+    options.layout.heap_pages = 128;
+    options.layout.load_pages = 32;
+    auto enclave =
+        EngardeEnclave::Create(&*host_, *qe_, PolicySet{}, options);
+    ASSERT_TRUE(enclave.ok());
+    enclave_.emplace(std::move(enclave).value());
+    ASSERT_TRUE(enclave_->SendHello(pipe_.EndA()).ok());
+    session_.emplace(&*enclave_, pipe_.EndA());
+    ASSERT_TRUE(client_.Handshake(pipe_.EndB()).ok());
+    // Drain the wrapped key; the session is now waiting for the manifest.
+    ASSERT_TRUE(session_->Pump().ok());
+    ASSERT_EQ(session_->state(), ProvisioningSession::State::kManifest);
+  }
+
+  std::optional<sgx::SgxDevice> device_;
+  std::optional<sgx::HostOs> host_;
+  std::optional<EngardeEnclave> enclave_;
+  crypto::DuplexPipe pipe_;
+  std::optional<ProvisioningSession> session_;
+  RawClient client_;
+
+  static sgx::QuotingEnclave* qe_;
+  static Bytes* image_;
+};
+
+sgx::QuotingEnclave* SessionOrderingTest::qe_ = nullptr;
+Bytes* SessionOrderingTest::image_ = nullptr;
+
+TEST_F(SessionOrderingTest, BlockBeforeManifestRejected) {
+  const Bytes block(kBlockSize, 0xab);
+  ASSERT_TRUE(
+      client_.Send(MessageType::kBlock, ByteView(block.data(), block.size()))
+          .ok());
+  const Status status = session_->Pump();
+  ASSERT_EQ(status.code(), StatusCode::kProtocolError);
+  EXPECT_NE(status.message().find("expected manifest as the first record"),
+            std::string::npos);
+}
+
+TEST_F(SessionOrderingTest, UnexpectedRecordTypeDuringTransfer) {
+  auto manifest = client::BuildManifest(ByteView(image_->data(),
+                                                 image_->size()));
+  ASSERT_TRUE(manifest.ok());
+  const Bytes manifest_wire = manifest->Serialize();
+  ASSERT_TRUE(client_
+                  .Send(MessageType::kManifest,
+                        ByteView(manifest_wire.data(), manifest_wire.size()))
+                  .ok());
+  // A verdict record from the *client* mid-transfer is nonsense.
+  ASSERT_TRUE(client_.Send(MessageType::kVerdict, {}).ok());
+  const Status status = session_->Pump();
+  ASSERT_EQ(status.code(), StatusCode::kProtocolError);
+  EXPECT_NE(status.message().find("unexpected record type"),
+            std::string::npos);
+}
+
+TEST_F(SessionOrderingTest, PrematureDoneRejected) {
+  auto manifest = client::BuildManifest(ByteView(image_->data(),
+                                                 image_->size()));
+  ASSERT_TRUE(manifest.ok());
+  const Bytes manifest_wire = manifest->Serialize();
+  ASSERT_TRUE(client_
+                  .Send(MessageType::kManifest,
+                        ByteView(manifest_wire.data(), manifest_wire.size()))
+                  .ok());
+  ASSERT_TRUE(client_.Send(MessageType::kDone, {}).ok());
+  const Status status = session_->Pump();
+  ASSERT_EQ(status.code(), StatusCode::kProtocolError);
+  EXPECT_NE(status.message().find("fewer bytes"), std::string::npos);
+}
+
+TEST_F(SessionOrderingTest, OverflowingBlocksRejected) {
+  Manifest manifest;
+  manifest.file_size = 16;  // claims 16 bytes, then sends a whole page
+  const Bytes manifest_wire = manifest.Serialize();
+  ASSERT_TRUE(client_
+                  .Send(MessageType::kManifest,
+                        ByteView(manifest_wire.data(), manifest_wire.size()))
+                  .ok());
+  const Bytes block(kBlockSize, 0xcd);
+  ASSERT_TRUE(
+      client_.Send(MessageType::kBlock, ByteView(block.data(), block.size()))
+          .ok());
+  const Status status = session_->Pump();
+  ASSERT_EQ(status.code(), StatusCode::kProtocolError);
+  EXPECT_NE(status.message().find("more bytes"), std::string::npos);
+}
+
+TEST_F(SessionOrderingTest, OversizedManifestRejected) {
+  Manifest manifest;
+  manifest.file_size = 1ull << 32;  // larger than any staging heap
+  const Bytes manifest_wire = manifest.Serialize();
+  ASSERT_TRUE(client_
+                  .Send(MessageType::kManifest,
+                        ByteView(manifest_wire.data(), manifest_wire.size()))
+                  .ok());
+  const Status status = session_->Pump();
+  ASSERT_EQ(status.code(), StatusCode::kProtocolError);
+  EXPECT_NE(status.message().find("staging area"), std::string::npos);
+}
+
+TEST_F(SessionOrderingTest, RecordAfterVerdictIsReplay) {
+  // Full well-formed exchange followed by one extra record: the session must
+  // reach its verdict, then flag the straggler instead of processing it.
+  auto manifest = client::BuildManifest(ByteView(image_->data(),
+                                                 image_->size()));
+  ASSERT_TRUE(manifest.ok());
+  const Bytes manifest_wire = manifest->Serialize();
+  ASSERT_TRUE(client_
+                  .Send(MessageType::kManifest,
+                        ByteView(manifest_wire.data(), manifest_wire.size()))
+                  .ok());
+  for (size_t offset = 0; offset < image_->size(); offset += kBlockSize) {
+    const size_t take = std::min(kBlockSize, image_->size() - offset);
+    ASSERT_TRUE(client_
+                    .Send(MessageType::kBlock,
+                          ByteView(image_->data() + offset, take))
+                    .ok());
+  }
+  ASSERT_TRUE(client_.Send(MessageType::kDone, {}).ok());
+  ASSERT_TRUE(client_.Send(MessageType::kDone, {}).ok());  // the replay
+  const Status status = session_->Pump();
+  ASSERT_EQ(status.code(), StatusCode::kProtocolError);
+  EXPECT_NE(status.message().find("replay"), std::string::npos);
+}
+
+TEST_F(SessionOrderingTest, IncrementalPumpingAdvancesStateMachine) {
+  // Records delivered one at a time with a pump between each: the session
+  // must make exactly the progress the input allows and never block.
+  auto manifest = client::BuildManifest(ByteView(image_->data(),
+                                                 image_->size()));
+  ASSERT_TRUE(manifest.ok());
+  const Bytes manifest_wire = manifest->Serialize();
+  ASSERT_TRUE(client_
+                  .Send(MessageType::kManifest,
+                        ByteView(manifest_wire.data(), manifest_wire.size()))
+                  .ok());
+  ASSERT_TRUE(session_->Pump().ok());
+  EXPECT_EQ(session_->state(), ProvisioningSession::State::kBlocks);
+  EXPECT_EQ(session_->blocks_received(), 0u);
+
+  // An outcome is not available before the verdict.
+  EXPECT_EQ(session_->TakeOutcome().status().code(),
+            StatusCode::kFailedPrecondition);
+
+  size_t sent = 0;
+  for (size_t offset = 0; offset < image_->size(); offset += kBlockSize) {
+    const size_t take = std::min(kBlockSize, image_->size() - offset);
+    ASSERT_TRUE(client_
+                    .Send(MessageType::kBlock,
+                          ByteView(image_->data() + offset, take))
+                    .ok());
+    ASSERT_TRUE(session_->Pump().ok());
+    ++sent;
+    EXPECT_EQ(session_->blocks_received(), sent);
+    EXPECT_EQ(session_->state(), ProvisioningSession::State::kBlocks);
+  }
+  // A dry pump mid-transfer is a no-op, not an error.
+  ASSERT_TRUE(session_->Pump().ok());
+  EXPECT_EQ(session_->state(), ProvisioningSession::State::kBlocks);
+
+  ASSERT_TRUE(client_.Send(MessageType::kDone, {}).ok());
+  ASSERT_TRUE(session_->Pump().ok());
+  EXPECT_TRUE(session_->done());
+
+  auto outcome = session_->TakeOutcome();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->verdict.compliant) << outcome->verdict.reason;
+  EXPECT_EQ(outcome->stats.blocks_received, sent);
+  // Single use: the outcome moves out exactly once.
+  EXPECT_EQ(session_->TakeOutcome().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace engarde::core

@@ -1,0 +1,407 @@
+// Multi-session provisioning through ProvisioningServer: N concurrent client
+// exchanges against one shared SGX device / host OS / inspection pool must
+// produce verdicts, statistics and per-phase SGX-instruction attribution
+// bit-for-bit identical to driving the same sessions serially — the paper's
+// determinism requirement (the provider learns nothing from timing-dependent
+// accounting drift) lifted to the multiplexed server.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "core/inspection.h"
+#include "core/policy_stackprot.h"
+#include "core/server.h"
+#include "workload/program_builder.h"
+
+namespace engarde::core {
+namespace {
+
+constexpr size_t kRsaBits = 768;  // small keys keep the suite fast
+constexpr size_t kSessions = 8;
+
+class SessionServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto qe =
+        sgx::QuotingEnclave::Provision(ToBytes("server-device"), kRsaBits);
+    ASSERT_TRUE(qe.ok());
+    qe_ = new sgx::QuotingEnclave(std::move(qe).value());
+    programs_ = new std::vector<workload::BuiltProgram>();
+    for (size_t i = 0; i < kSessions; ++i) {
+      workload::ProgramSpec spec;
+      spec.name = "session-" + std::to_string(i);
+      spec.seed = 900 + i;
+      spec.target_instructions = 2500;
+      // Even sessions carry stack protectors (compliant under the policy),
+      // odd sessions are plain builds (violating).
+      spec.stack_protection = (i % 2 == 0);
+      auto program = workload::BuildProgram(spec);
+      ASSERT_TRUE(program.ok()) << program.status().ToString();
+      programs_->push_back(std::move(program).value());
+    }
+  }
+  static void TearDownTestSuite() {
+    delete qe_;
+    qe_ = nullptr;
+    delete programs_;
+    programs_ = nullptr;
+  }
+
+  static const sgx::QuotingEnclave& qe() { return *qe_; }
+  static const workload::BuiltProgram& program(size_t i) {
+    return (*programs_)[i];
+  }
+
+  // A compact per-enclave layout so kSessions enclaves coexist in the EPC
+  // without eviction (evictions would make accounting interleaving-
+  // dependent).
+  static EngardeOptions EnclaveOptions() {
+    EngardeOptions options;
+    options.rsa_bits = kRsaBits;
+    options.layout.heap_pages = 128;
+    options.layout.load_pages = 32;
+    return options;
+  }
+
+  static size_t EpcPagesFor(size_t sessions) {
+    return sessions * EnclaveOptions().layout.TotalPages() + 64;
+  }
+
+  static sgx::QuotingEnclave* qe_;
+  static std::vector<workload::BuiltProgram>* programs_;
+};
+
+sgx::QuotingEnclave* SessionServerTest::qe_ = nullptr;
+std::vector<workload::BuiltProgram>* SessionServerTest::programs_ = nullptr;
+
+// Everything one session's provisioning must keep invariant under the
+// driving mode (serial Drive loop vs. concurrent DriveAll).
+struct SessionSnapshot {
+  bool compliant = false;
+  std::string reason;
+  std::string rejection_stage, rejection_rule;
+  uint64_t rejection_vaddr = 0;
+  size_t instruction_count = 0;
+  size_t blocks_received = 0;
+  size_t relocations_applied = 0;
+  size_t stage_count = 0;
+  uint64_t disassembly_sgx = 0;
+  uint64_t policy_sgx = 0;
+  uint64_t loading_sgx = 0;
+  uint64_t channel_sgx = 0;
+  uint64_t total_sgx = 0;
+  uint64_t trampolines = 0;
+};
+
+void ExpectSameSnapshot(const SessionSnapshot& serial,
+                        const SessionSnapshot& concurrent,
+                        const std::string& label) {
+  EXPECT_EQ(serial.compliant, concurrent.compliant) << label;
+  EXPECT_EQ(serial.reason, concurrent.reason) << label;
+  EXPECT_EQ(serial.rejection_stage, concurrent.rejection_stage) << label;
+  EXPECT_EQ(serial.rejection_rule, concurrent.rejection_rule) << label;
+  EXPECT_EQ(serial.rejection_vaddr, concurrent.rejection_vaddr) << label;
+  EXPECT_EQ(serial.instruction_count, concurrent.instruction_count) << label;
+  EXPECT_EQ(serial.blocks_received, concurrent.blocks_received) << label;
+  EXPECT_EQ(serial.relocations_applied, concurrent.relocations_applied)
+      << label;
+  EXPECT_EQ(serial.stage_count, concurrent.stage_count) << label;
+  EXPECT_EQ(serial.disassembly_sgx, concurrent.disassembly_sgx) << label;
+  EXPECT_EQ(serial.policy_sgx, concurrent.policy_sgx) << label;
+  EXPECT_EQ(serial.loading_sgx, concurrent.loading_sgx) << label;
+  EXPECT_EQ(serial.channel_sgx, concurrent.channel_sgx) << label;
+  EXPECT_EQ(serial.total_sgx, concurrent.total_sgx) << label;
+  EXPECT_EQ(serial.trampolines, concurrent.trampolines) << label;
+}
+
+SessionSnapshot Snap(const ProvisionOutcome& outcome,
+                     const sgx::CycleAccountant& accountant) {
+  SessionSnapshot snap;
+  snap.compliant = outcome.verdict.compliant;
+  snap.reason = outcome.verdict.reason;
+  if (outcome.verdict.rejection.has_value()) {
+    snap.rejection_stage = outcome.verdict.rejection->stage;
+    snap.rejection_rule = outcome.verdict.rejection->rule;
+    snap.rejection_vaddr = outcome.verdict.rejection->vaddr;
+  }
+  snap.instruction_count = outcome.stats.instruction_count;
+  snap.blocks_received = outcome.stats.blocks_received;
+  snap.relocations_applied = outcome.stats.relocations_applied;
+  snap.stage_count = outcome.stage_reports.size();
+  snap.disassembly_sgx =
+      accountant.phase_cost(sgx::Phase::kDisassembly).sgx_instructions;
+  snap.policy_sgx =
+      accountant.phase_cost(sgx::Phase::kPolicyCheck).sgx_instructions;
+  snap.loading_sgx =
+      accountant.phase_cost(sgx::Phase::kLoading).sgx_instructions;
+  snap.channel_sgx =
+      accountant.phase_cost(sgx::Phase::kChannel).sgx_instructions;
+  snap.total_sgx = accountant.total_sgx_instructions();
+  snap.trampolines = accountant.total_trampolines();
+  return snap;
+}
+
+// Accepts kSessions clients (alternating compliant/violating programs)
+// against a fresh server and drives them either serially or concurrently.
+Result<std::vector<SessionSnapshot>> RunServer(
+    const sgx::QuotingEnclave& qe,
+    const std::vector<workload::BuiltProgram>& programs,
+    const EngardeOptions& enclave_options, size_t epc_pages,
+    size_t inspection_threads, bool concurrent) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = epc_pages});
+  sgx::HostOs host(&device);
+
+  ProvisioningServer::Options options;
+  options.enclave_options = enclave_options;
+  options.inspection_threads = inspection_threads;
+  ProvisioningServer server(
+      &host, &qe,
+      [] {
+        PolicySet policies;
+        policies.push_back(std::make_unique<StackProtectionPolicy>());
+        return policies;
+      },
+      options);
+
+  std::vector<std::unique_ptr<crypto::DuplexPipe>> pipes;
+  for (size_t i = 0; i < programs.size(); ++i) {
+    pipes.push_back(std::make_unique<crypto::DuplexPipe>());
+    ASSIGN_OR_RETURN(const size_t index, server.Accept(pipes[i]->EndA()));
+    if (index != i) return InternalError("unexpected session index");
+    client::ClientOptions client_options;
+    client_options.attestation_key = qe.attestation_public_key();
+    client_options.skip_measurement_check = true;
+    client::Client client(client_options, programs[i].image);
+    RETURN_IF_ERROR(client.SendProgram(pipes[i]->EndB()));
+  }
+
+  std::vector<SessionSnapshot> snaps;
+  if (concurrent) {
+    auto outcomes = server.DriveAll();
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      RETURN_IF_ERROR(outcomes[i].status());
+      snaps.push_back(Snap(*outcomes[i], server.session_accountant(i)));
+    }
+  } else {
+    for (size_t i = 0; i < programs.size(); ++i) {
+      ASSIGN_OR_RETURN(const ProvisionOutcome outcome, server.Drive(i));
+      snaps.push_back(Snap(outcome, server.session_accountant(i)));
+    }
+  }
+  return snaps;
+}
+
+TEST_F(SessionServerTest, EightMixedSessionsSerialVsConcurrentBitIdentical) {
+  // The acceptance gate: 8 concurrent clients (4 compliant, 4 violating)
+  // against one server, serial and concurrent driving indistinguishable in
+  // every verdict, stat and per-phase SGX column. A shared 2-thread
+  // inspection pool makes the concurrent run exercise pool sharing too.
+  auto serial = RunServer(qe(), *programs_, EnclaveOptions(),
+                          EpcPagesFor(kSessions), /*inspection_threads=*/2,
+                          /*concurrent=*/false);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  auto concurrent = RunServer(qe(), *programs_, EnclaveOptions(),
+                              EpcPagesFor(kSessions), /*inspection_threads=*/2,
+                              /*concurrent=*/true);
+  ASSERT_TRUE(concurrent.ok()) << concurrent.status().ToString();
+
+  ASSERT_EQ(serial->size(), kSessions);
+  ASSERT_EQ(concurrent->size(), kSessions);
+  for (size_t i = 0; i < kSessions; ++i) {
+    const std::string label = "session " + std::to_string(i);
+    ExpectSameSnapshot((*serial)[i], (*concurrent)[i], label);
+    // The mix itself: even = stack-protected = compliant, odd = rejected
+    // with a structured PolicyCheck/stack-protection diagnosis.
+    if (i % 2 == 0) {
+      EXPECT_TRUE((*serial)[i].compliant) << label << ": "
+                                          << (*serial)[i].reason;
+      EXPECT_TRUE((*serial)[i].rejection_stage.empty()) << label;
+    } else {
+      EXPECT_FALSE((*serial)[i].compliant) << label;
+      EXPECT_EQ((*serial)[i].rejection_stage, "PolicyCheck") << label;
+      EXPECT_EQ((*serial)[i].rejection_rule, "stack-protection") << label;
+      EXPECT_NE((*serial)[i].rejection_vaddr, 0u) << label;
+    }
+    EXPECT_GT((*serial)[i].instruction_count, 0u) << label;
+    EXPECT_GT((*serial)[i].blocks_received, 0u) << label;
+    EXPECT_GT((*serial)[i].total_sgx, 0u) << label;
+  }
+}
+
+TEST_F(SessionServerTest, ServerVerdictMatchesStandaloneProvisioning) {
+  // One session through the server must reach the same verdict and stats as
+  // the one-shot EngardeEnclave::RunProvisioning path for the same program.
+  for (const size_t which : {size_t{0}, size_t{1}}) {
+    const workload::BuiltProgram& prog = program(which);
+
+    std::vector<workload::BuiltProgram> one = {prog};
+    auto via_server =
+        RunServer(qe(), one, EnclaveOptions(), EpcPagesFor(1),
+                  /*inspection_threads=*/1, /*concurrent=*/false);
+    ASSERT_TRUE(via_server.ok()) << via_server.status().ToString();
+
+    sgx::SgxDevice device(
+        sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(1)});
+    sgx::HostOs host(&device);
+    PolicySet policies;
+    policies.push_back(std::make_unique<StackProtectionPolicy>());
+    auto enclave = EngardeEnclave::Create(&host, qe(), std::move(policies),
+                                          EnclaveOptions());
+    ASSERT_TRUE(enclave.ok());
+    crypto::DuplexPipe pipe;
+    ASSERT_TRUE(enclave->SendHello(pipe.EndA()).ok());
+    client::ClientOptions client_options;
+    client_options.attestation_key = qe().attestation_public_key();
+    client_options.skip_measurement_check = true;
+    client::Client client(client_options, prog.image);
+    ASSERT_TRUE(client.SendProgram(pipe.EndB()).ok());
+    auto direct = enclave->RunProvisioning(pipe.EndA());
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+
+    EXPECT_EQ(via_server->front().compliant, direct->verdict.compliant);
+    EXPECT_EQ(via_server->front().reason, direct->verdict.reason);
+    EXPECT_EQ(via_server->front().instruction_count,
+              direct->stats.instruction_count);
+    EXPECT_EQ(via_server->front().blocks_received,
+              direct->stats.blocks_received);
+    EXPECT_EQ(via_server->front().stage_count,
+              direct->stage_reports.size());
+  }
+}
+
+TEST_F(SessionServerTest, StructuredRejectionReachesTheClient) {
+  // The (stage, rule, vaddr) diagnosis must survive the verdict wire format
+  // and land in the client's deserialized Verdict — not just in the server-
+  // side outcome.
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(1)});
+  sgx::HostOs host(&device);
+  ProvisioningServer::Options options;
+  options.enclave_options = EnclaveOptions();
+  ProvisioningServer server(
+      &host, &qe(),
+      [] {
+        PolicySet policies;
+        policies.push_back(std::make_unique<StackProtectionPolicy>());
+        return policies;
+      },
+      options);
+
+  crypto::DuplexPipe pipe;
+  ASSERT_TRUE(server.Accept(pipe.EndA()).ok());
+  client::ClientOptions client_options;
+  client_options.attestation_key = qe().attestation_public_key();
+  client_options.skip_measurement_check = true;
+  client::Client client(client_options, program(1).image);  // violating
+  ASSERT_TRUE(client.SendProgram(pipe.EndB()).ok());
+
+  auto outcome = server.Drive(0);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_FALSE(outcome->verdict.compliant);
+
+  auto verdict = client.AwaitVerdict();
+  ASSERT_TRUE(verdict.ok()) << verdict.status().ToString();
+  EXPECT_FALSE(verdict->compliant);
+  ASSERT_TRUE(verdict->rejection.has_value());
+  EXPECT_EQ(verdict->rejection->stage, "PolicyCheck");
+  EXPECT_EQ(verdict->rejection->rule, "stack-protection");
+  EXPECT_NE(verdict->rejection->vaddr, 0u);
+  EXPECT_EQ(verdict->reason, outcome->verdict.reason);
+  // The provider-visible report stays a bare compliance bit.
+  EXPECT_FALSE(outcome->provider_report.compliant);
+  EXPECT_TRUE(outcome->provider_report.executable_pages.empty());
+}
+
+TEST_F(SessionServerTest, StageReportsCoverEveryStage) {
+  // Compliant run: one report per pipeline stage, all passed. Rejected run:
+  // the failing stage reports kRejected and everything after it kSkipped.
+  std::vector<workload::BuiltProgram> one = {program(0)};
+  auto ok_run = RunServer(qe(), one, EnclaveOptions(), EpcPagesFor(1), 1,
+                          /*concurrent=*/false);
+  ASSERT_TRUE(ok_run.ok());
+  EXPECT_EQ(ok_run->front().stage_count,
+            static_cast<size_t>(StageId::kCount));
+
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(1)});
+  sgx::HostOs host(&device);
+  ProvisioningServer::Options options;
+  options.enclave_options = EnclaveOptions();
+  ProvisioningServer server(
+      &host, &qe(),
+      [] {
+        PolicySet policies;
+        policies.push_back(std::make_unique<StackProtectionPolicy>());
+        return policies;
+      },
+      options);
+  crypto::DuplexPipe pipe;
+  ASSERT_TRUE(server.Accept(pipe.EndA()).ok());
+  client::ClientOptions client_options;
+  client_options.attestation_key = qe().attestation_public_key();
+  client_options.skip_measurement_check = true;
+  client::Client client(client_options, program(1).image);
+  ASSERT_TRUE(client.SendProgram(pipe.EndB()).ok());
+  auto outcome = server.Drive(0);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome->stage_reports.size(),
+            static_cast<size_t>(StageId::kCount));
+  bool saw_rejected = false;
+  for (const StageReport& report : outcome->stage_reports) {
+    if (report.stage == StageId::kPolicyCheck) {
+      EXPECT_EQ(report.outcome, StageOutcome::kRejected);
+      saw_rejected = true;
+    } else if (saw_rejected) {
+      EXPECT_EQ(report.outcome, StageOutcome::kSkipped)
+          << StageName(report.stage);
+    } else {
+      EXPECT_EQ(report.outcome, StageOutcome::kPassed)
+          << StageName(report.stage);
+    }
+  }
+  EXPECT_TRUE(saw_rejected);
+}
+
+TEST_F(SessionServerTest, DriveReportsStalledSessionOnSilentClient) {
+  // A client that connects but never sends the wrapped key leaves the
+  // session parked in Handshake; Drive must flag the stall instead of
+  // blocking or fabricating a verdict.
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(1)});
+  sgx::HostOs host(&device);
+  ProvisioningServer::Options options;
+  options.enclave_options = EnclaveOptions();
+  ProvisioningServer server(
+      &host, &qe(), [] { return PolicySet{}; }, options);
+  crypto::DuplexPipe pipe;
+  ASSERT_TRUE(server.Accept(pipe.EndA()).ok());
+  auto outcome = server.Drive(0);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kProtocolError);
+  EXPECT_NE(outcome.status().message().find("stalled"), std::string::npos);
+
+  // Out-of-range index is a caller bug, reported as such.
+  EXPECT_EQ(server.Drive(7).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(SessionServerTest, RejectionClassificationSplitsResourceErrors) {
+  // kResourceExhausted used to be lumped into the client-attributable
+  // bucket; it is an enclave capacity condition, so it must classify as
+  // retryable, never as a client rejection.
+  EXPECT_TRUE(IsClientRejection(PolicyViolationError("x")));
+  EXPECT_TRUE(IsClientRejection(InvalidArgumentError("x")));
+  EXPECT_TRUE(IsClientRejection(UnimplementedError("x")));
+  EXPECT_TRUE(IsClientRejection(OutOfRangeError("x")));
+  EXPECT_FALSE(IsClientRejection(ResourceExhaustedError("x")));
+  EXPECT_FALSE(IsClientRejection(IntegrityError("x")));
+  EXPECT_FALSE(IsClientRejection(InternalError("x")));
+  EXPECT_FALSE(IsClientRejection(Status::Ok()));
+
+  EXPECT_TRUE(IsRetryableResourceError(ResourceExhaustedError("x")));
+  EXPECT_FALSE(IsRetryableResourceError(PolicyViolationError("x")));
+  EXPECT_FALSE(IsRetryableResourceError(InternalError("x")));
+  EXPECT_FALSE(IsRetryableResourceError(Status::Ok()));
+}
+
+}  // namespace
+}  // namespace engarde::core

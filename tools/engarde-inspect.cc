@@ -1,20 +1,23 @@
 // engarde-inspect: standalone offline inspector.
 //
-// Runs EnGarde's static inspection pipeline (ELF validation, code/data page
-// separation, NaCl-clean disassembly, symbol hash table, policy modules)
-// over an executable on disk — the same checks the in-enclave library
-// applies, usable by a *client* to pre-check policy compliance before
-// provisioning ("The client can also use EnGarde to independently verify
-// policy compliance of the enclave code that it wants to provision",
+// Runs EnGarde's staged inspection pipeline (core::InspectionPipeline — the
+// very code the in-enclave library runs, minus the LoadAndLock stage) over an
+// executable on disk, usable by a *client* to pre-check policy compliance
+// before provisioning ("The client can also use EnGarde to independently
+// verify policy compliance of the enclave code that it wants to provision",
 // paper Section 3).
 //
 // Usage:
 //   engarde-inspect BINARY [--stackprot] [--ifcc] [--liblink DBFILE]
 //                   [--no-system-insns] [--threads N] [--verbose] [--dump]
+//                   [--report-json]
 //
 // --dump prints the full disassembly listing (with function labels).
 // --threads N shards disassembly, NaCl validation and policy scans over N
 // worker threads; the verdict is identical to the serial run.
+// --report-json emits one JSON object with a per-stage StageReport array
+// (stage, outcome, wall_ns, sgx_instructions, modeled_cycles) and, on
+// rejection, the structured (stage, rule, vaddr, detail) diagnosis.
 // Exit code: 0 compliant, 1 rejected, 2 usage/IO error.
 #include <cstdio>
 #include <cstdlib>
@@ -24,13 +27,13 @@
 #include <string>
 
 #include "common/thread_pool.h"
+#include "core/inspection.h"
 #include "core/library_db.h"
 #include "core/policy_ifcc.h"
 #include "core/policy_liblink.h"
 #include "core/policy_stackprot.h"
 #include "core/symbol_table.h"
-#include "x86/decoder.h"
-#include "x86/validator.h"
+#include "sgx/cost_model.h"
 
 using namespace engarde;
 
@@ -56,6 +59,9 @@ class NoSystemInsnsPolicy : public core::PolicyModule {
         case x86::Mnemonic::kInt3:
         case x86::Mnemonic::kCpuid:
         case x86::Mnemonic::kRdtsc:
+          if (context.violation_out != nullptr) {
+            context.violation_out->vaddr = insn.addr;
+          }
           return PolicyViolationError("forbidden instruction [" +
                                       insn.ToString() + "]");
         default:
@@ -66,11 +72,68 @@ class NoSystemInsnsPolicy : public core::PolicyModule {
   }
 };
 
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void PrintReportJson(const std::string& binary_path,
+                     const core::InspectionResult& result) {
+  std::printf("{\n  \"binary\": \"%s\",\n  \"compliant\": %s,\n",
+              JsonEscape(binary_path).c_str(),
+              result.compliant ? "true" : "false");
+  std::printf("  \"stages\": [\n");
+  for (size_t i = 0; i < result.reports.size(); ++i) {
+    const core::StageReport& report = result.reports[i];
+    std::printf("    {\"stage\": \"%.*s\", \"outcome\": \"%.*s\", "
+                "\"wall_ns\": %llu, \"sgx_instructions\": %llu, "
+                "\"modeled_cycles\": %llu, \"detail\": \"%s\"}%s\n",
+                static_cast<int>(core::StageName(report.stage).size()),
+                core::StageName(report.stage).data(),
+                static_cast<int>(
+                    core::StageOutcomeName(report.outcome).size()),
+                core::StageOutcomeName(report.outcome).data(),
+                static_cast<unsigned long long>(report.wall_ns),
+                static_cast<unsigned long long>(report.sgx_instructions),
+                static_cast<unsigned long long>(report.ModeledCycles()),
+                JsonEscape(report.detail).c_str(),
+                i + 1 < result.reports.size() ? "," : "");
+  }
+  std::printf("  ]");
+  if (result.rejection.has_value()) {
+    const core::Rejection& rejection = *result.rejection;
+    std::printf(
+        ",\n  \"rejection\": {\"stage\": \"%s\", \"rule\": \"%s\", "
+        "\"vaddr\": %llu, \"detail\": \"%s\"}",
+        JsonEscape(rejection.stage).c_str(), JsonEscape(rejection.rule).c_str(),
+        static_cast<unsigned long long>(rejection.vaddr),
+        JsonEscape(rejection.detail).c_str());
+  }
+  std::printf("\n}\n");
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: engarde-inspect BINARY [--stackprot] [--ifcc] "
                "[--liblink DBFILE] [--no-system-insns] [--threads N] "
-               "[--verbose] [--dump]\n");
+               "[--verbose] [--dump] [--report-json]\n");
   return 2;
 }
 
@@ -82,6 +145,7 @@ int main(int argc, char** argv) {
   core::PolicySet policies;
   bool verbose = false;
   bool dump = false;
+  bool report_json = false;
   size_t threads = 1;
 
   for (int i = 2; i < argc; ++i) {
@@ -116,6 +180,8 @@ int main(int argc, char** argv) {
       verbose = true;
     } else if (arg == "--dump") {
       dump = true;
+    } else if (arg == "--report-json") {
+      report_json = true;
     } else {
       return Usage();
     }
@@ -127,62 +193,38 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // ---- The same front door the enclave applies --------------------------------
-  auto elf = elf::ElfFile::Parse(ByteView(image->data(), image->size()));
-  if (!elf.ok()) {
-    std::printf("REJECTED (container): %s\n", elf.status().ToString().c_str());
-    return 1;
-  }
-  if (const Status s = elf->ValidateForEnclave(); !s.ok()) {
-    std::printf("REJECTED (container): %s\n", s.ToString().c_str());
-    return 1;
-  }
-
-  // ---- Disassembly + NaCl validation -------------------------------------------
+  // ---- The exact pipeline the enclave runs, offline -----------------------
+  // No manifest (nothing claimed), no HostOs (nothing to load into): the
+  // manifest-agreement check and the LoadAndLock stage are skipped, every
+  // other stage is byte-for-byte the in-enclave code path.
   std::unique_ptr<common::ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<common::ThreadPool>(threads);
+  sgx::CycleAccountant accountant;
 
-  x86::InsnBuffer insns;
-  uint64_t text_start = UINT64_MAX, text_end = 0;
-  for (const elf::Shdr* section : elf->TextSections()) {
-    auto content = elf->SectionContent(*section);
-    if (!content.ok()) {
-      std::printf("REJECTED: %s\n", content.status().ToString().c_str());
-      return 1;
-    }
-    if (const Status s = x86::DecodeSectionInto(*content, section->addr,
-                                                pool.get(), insns);
-        !s.ok()) {
-      std::printf("REJECTED (disassembly): %s\n", s.ToString().c_str());
-      return 1;
-    }
-    text_start = std::min(text_start, section->addr);
-    text_end = std::max(text_end, section->addr + section->size);
-  }
-  const core::SymbolHashTable symbols = core::SymbolHashTable::Build(*elf);
+  core::InspectionContext ctx;
+  ctx.image = &*image;
+  ctx.policies = &policies;
+  ctx.pool = pool.get();
+  ctx.accountant = &accountant;
 
-  x86::ValidationInput validation;
-  validation.text_start = text_start;
-  validation.text_end = text_end;
-  validation.roots.push_back(elf->header().entry);
-  for (const auto& fn : symbols.functions()) validation.roots.push_back(fn.start);
-  if (const Status s = x86::ValidateNaClConstraints(insns, validation,
-                                                    pool.get());
-      !s.ok()) {
-    std::printf("REJECTED (NaCl constraints): %s\n", s.ToString().c_str());
-    return 1;
+  auto result = core::InspectionPipeline::Run(ctx);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 2;
   }
 
-  if (verbose) {
+  if (verbose && ctx.insns != nullptr) {
     std::printf("%s: %zu bytes, %zu text sections, %zu instructions, "
                 "%zu functions\n",
                 binary_path.c_str(), image->size(),
-                elf->TextSections().size(), insns.size(), symbols.size());
+                ctx.elf.has_value() ? ctx.elf->TextSections().size() : 0,
+                ctx.insns->size(), ctx.symbols.size());
   }
 
-  if (dump) {
-    for (const x86::Insn& insn : insns) {
-      if (const std::string* fn = symbols.NameAt(insn.addr); fn != nullptr) {
+  if (dump && ctx.insns != nullptr) {
+    for (const x86::Insn& insn : *ctx.insns) {
+      if (const std::string* fn = ctx.symbols.NameAt(insn.addr);
+          fn != nullptr) {
         std::printf("\n<%s>:\n", fn->c_str());
       }
       std::printf("  %s\n", insn.ToString().c_str());
@@ -190,29 +232,34 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
-  // ---- Policies ------------------------------------------------------------------
-  core::PolicyContext context;
-  context.insns = &insns;
-  context.symbols = &symbols;
-  context.elf = &*elf;
-  // Modules run one after another here, so each may shard its own scan.
-  context.pool = pool.get();
-  for (const auto& policy : policies) {
-    const Status s = policy->Check(context);
-    if (!s.ok()) {
-      std::printf("REJECTED (%.*s): %s\n",
-                  static_cast<int>(policy->name().size()),
-                  policy->name().data(), s.ToString().c_str());
-      return 1;
+  if (report_json) {
+    PrintReportJson(binary_path, *result);
+    return result->compliant ? 0 : 1;
+  }
+
+  if (!result->compliant) {
+    const core::Rejection& rejection = *result->rejection;
+    if (rejection.vaddr != 0) {
+      std::printf("REJECTED (%s/%s @ 0x%llx): %s\n", rejection.stage.c_str(),
+                  rejection.rule.c_str(),
+                  static_cast<unsigned long long>(rejection.vaddr),
+                  result->reason.c_str());
+    } else {
+      std::printf("REJECTED (%s/%s): %s\n", rejection.stage.c_str(),
+                  rejection.rule.c_str(), result->reason.c_str());
     }
-    if (verbose) {
+    return 1;
+  }
+
+  if (verbose) {
+    for (const auto& policy : policies) {
       std::printf("  policy %.*s: ok\n",
                   static_cast<int>(policy->name().size()),
                   policy->name().data());
     }
   }
-
   std::printf("COMPLIANT: %s (%zu instructions, %zu policies)\n",
-              binary_path.c_str(), insns.size(), policies.size());
+              binary_path.c_str(),
+              ctx.insns != nullptr ? ctx.insns->size() : 0, policies.size());
   return 0;
 }
