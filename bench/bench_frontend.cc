@@ -1,0 +1,332 @@
+// Front-end provisioning benchmark: N concurrent clients admitted through
+// the readiness-driven ProvisioningFrontend (core/frontend.h) over in-memory
+// transports, cold-built vs. warm-pool enclaves, at 1 / 8 / 64 / 256
+// concurrent clients. Reports sessions/sec and p50/p99 time-to-verdict and
+// writes BENCH_frontend.json.
+//
+// Every throughput number is gated on bit-for-bit equality with a serial
+// ProvisioningServer::Drive of the same client mix: identical verdicts and
+// identical per-phase SGX-instruction attribution, or the bench fails.
+//
+// Usage: bench_frontend [--rsa-bits N] [--insns N] [--out PATH]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "core/frontend.h"
+#include "core/policy_stackprot.h"
+#include "core/server.h"
+#include "net/transport.h"
+#include "workload/program_builder.h"
+
+using namespace engarde;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ElapsedNs(Clock::time_point start, Clock::time_point end) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count());
+}
+
+core::PolicySet MakePolicies() {
+  core::PolicySet policies;
+  policies.push_back(std::make_unique<core::StackProtectionPolicy>());
+  return policies;
+}
+
+core::EngardeOptions EnclaveOptions(size_t rsa_bits) {
+  core::EngardeOptions options;
+  options.rsa_bits = rsa_bits;
+  options.layout.heap_pages = 128;
+  options.layout.load_pages = 32;
+  return options;
+}
+
+// Layout pages + SECS, the device-level footprint of one enclave.
+size_t EpcPagesFor(size_t enclaves, const core::EngardeOptions& options) {
+  return enclaves * (options.layout.TotalPages() + 1) + 64;
+}
+
+client::ClientOptions ClientOptionsFor(const sgx::QuotingEnclave& qe) {
+  client::ClientOptions options;
+  options.attestation_key = qe.attestation_public_key();
+  options.skip_measurement_check = true;
+  return options;
+}
+
+// Everything the equality gate compares per client.
+struct Fingerprint {
+  bool compliant = false;
+  uint64_t idle_sgx = 0, channel_sgx = 0, disassembly_sgx = 0;
+  uint64_t policy_sgx = 0, loading_sgx = 0, total_sgx = 0;
+  bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint Fp(bool compliant, const sgx::CycleAccountant& accountant) {
+  Fingerprint fp;
+  fp.compliant = compliant;
+  fp.idle_sgx = accountant.phase_cost(sgx::Phase::kIdle).sgx_instructions;
+  fp.channel_sgx =
+      accountant.phase_cost(sgx::Phase::kChannel).sgx_instructions;
+  fp.disassembly_sgx =
+      accountant.phase_cost(sgx::Phase::kDisassembly).sgx_instructions;
+  fp.policy_sgx =
+      accountant.phase_cost(sgx::Phase::kPolicyCheck).sgx_instructions;
+  fp.loading_sgx =
+      accountant.phase_cost(sgx::Phase::kLoading).sgx_instructions;
+  fp.total_sgx = accountant.total_sgx_instructions();
+  return fp;
+}
+
+struct RunStats {
+  uint64_t wall_ns = 0;            // accept of first client -> last verdict
+  uint64_t prefill_ns = 0;         // warm runs: pool build time (untimed path)
+  std::vector<uint64_t> latency_ns;  // per client, accept -> verdict
+  std::vector<Fingerprint> fingerprints;
+};
+
+// Serial reference: the same images driven one at a time through
+// ProvisioningServer::Drive on a fresh device.
+Result<std::vector<Fingerprint>> RunSerial(const sgx::QuotingEnclave& qe,
+                                           const std::vector<Bytes>& images,
+                                           const core::EngardeOptions& opts) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{
+      .epc_pages = EpcPagesFor(images.size(), opts)});
+  sgx::HostOs host(&device);
+  core::ProvisioningServer::Options options;
+  options.enclave_options = opts;
+  core::ProvisioningServer server(&host, &qe, MakePolicies, options);
+  std::vector<std::unique_ptr<crypto::DuplexPipe>> pipes;
+  for (size_t i = 0; i < images.size(); ++i) {
+    pipes.push_back(std::make_unique<crypto::DuplexPipe>());
+    ASSIGN_OR_RETURN(const size_t index, server.Accept(pipes[i]->EndA()));
+    (void)index;
+    client::Client client(ClientOptionsFor(qe), images[i]);
+    RETURN_IF_ERROR(client.SendProgram(pipes[i]->EndB()));
+  }
+  std::vector<Fingerprint> fps;
+  for (size_t i = 0; i < images.size(); ++i) {
+    ASSIGN_OR_RETURN(const core::ProvisionOutcome outcome, server.Drive(i));
+    fps.push_back(
+        Fp(outcome.verdict.compliant, server.session_accountant(i)));
+  }
+  return fps;
+}
+
+// One frontend run over in-memory transports, cold or warm.
+Result<RunStats> RunFrontend(const sgx::QuotingEnclave& qe,
+                             const std::vector<Bytes>& images,
+                             const core::EngardeOptions& opts, bool warm) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{
+      .epc_pages = EpcPagesFor(images.size(), opts)});
+  sgx::HostOs host(&device);
+  core::FrontendOptions options;
+  options.enclave_options = opts;
+  core::ProvisioningFrontend frontend(&host, &qe, MakePolicies, options);
+
+  RunStats stats;
+  if (warm) {
+    const Clock::time_point prefill_start = Clock::now();
+    RETURN_IF_ERROR(frontend.PrefillPool(images.size()));
+    stats.prefill_ns = ElapsedNs(prefill_start, Clock::now());
+  }
+
+  const size_t n = images.size();
+  std::vector<std::unique_ptr<crypto::DuplexPipe>> pipes(n);
+  std::vector<std::unique_ptr<client::Client>> clients(n);
+  std::vector<Clock::time_point> accepted(n);
+  std::vector<Clock::time_point> verdicted(n);
+  std::vector<bool> done(n, false);
+  std::vector<bool> compliant(n, false);
+
+  const Clock::time_point start = Clock::now();
+  for (size_t i = 0; i < n; ++i) {
+    pipes[i] = std::make_unique<crypto::DuplexPipe>();
+    clients[i] =
+        std::make_unique<client::Client>(ClientOptionsFor(qe), images[i]);
+    accepted[i] = Clock::now();
+    ASSIGN_OR_RETURN(const uint64_t id,
+                     frontend.Accept(std::make_unique<net::PipeTransport>(
+                         pipes[i]->EndA())));
+    if (id != i) return InternalError("unexpected connection id");
+    ASSIGN_OR_RETURN(const auto retry,
+                     clients[i]->AwaitAdmission(pipes[i]->EndB()));
+    if (retry.has_value()) {
+      return InternalError("unexpected RetryAfter with a full budget");
+    }
+    RETURN_IF_ERROR(clients[i]->SendProgram(pipes[i]->EndB()));
+  }
+  size_t remaining = n;
+  while (remaining > 0) {
+    ASSIGN_OR_RETURN(const size_t progress, frontend.PollOnce());
+    if (progress == 0) {
+      return InternalError("reactor stalled before all verdicts");
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (done[i] ||
+          frontend.state(i) != core::ConnectionState::kDone) {
+        continue;
+      }
+      verdicted[i] = Clock::now();
+      done[i] = true;
+      --remaining;
+    }
+  }
+  stats.wall_ns = ElapsedNs(start, Clock::now());
+  for (size_t i = 0; i < n; ++i) {
+    ASSIGN_OR_RETURN(const core::ProvisionOutcome outcome,
+                     frontend.TakeOutcome(i));
+    compliant[i] = outcome.verdict.compliant;
+    stats.latency_ns.push_back(ElapsedNs(accepted[i], verdicted[i]));
+    stats.fingerprints.push_back(Fp(compliant[i], frontend.accountant(i)));
+    if (warm != frontend.served_from_pool(i)) {
+      return InternalError("pool handout did not match the mode");
+    }
+  }
+  return stats;
+}
+
+uint64_t Percentile(std::vector<uint64_t> values, size_t percent) {
+  std::sort(values.begin(), values.end());
+  return values[(values.size() - 1) * percent / 100];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t rsa_bits = 512;
+  size_t target_instructions = 2500;
+  std::string out_path = "BENCH_frontend.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rsa-bits") == 0 && i + 1 < argc) {
+      rsa_bits = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--insns") == 0 && i + 1 < argc) {
+      target_instructions = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_frontend [--rsa-bits N] [--insns N] "
+                   "[--out PATH]\n");
+      return 2;
+    }
+  }
+
+  auto qe = sgx::QuotingEnclave::Provision(ToBytes("bench-frontend"),
+                                           rsa_bits);
+  if (!qe.ok()) {
+    std::fprintf(stderr, "quoting enclave: %s\n",
+                 qe.status().ToString().c_str());
+    return 1;
+  }
+  const core::EngardeOptions opts = EnclaveOptions(rsa_bits);
+
+  // A small mixed population: even programs carry stack protectors
+  // (compliant), odd ones violate. Client i uses program i % kPrograms.
+  constexpr size_t kPrograms = 8;
+  std::vector<Bytes> library;
+  for (size_t i = 0; i < kPrograms; ++i) {
+    workload::ProgramSpec spec;
+    spec.name = "bench-frontend-" + std::to_string(i);
+    spec.seed = 5200 + i;
+    spec.target_instructions = target_instructions;
+    spec.stack_protection = (i % 2 == 0);
+    auto program = workload::BuildProgram(spec);
+    if (!program.ok()) {
+      std::fprintf(stderr, "program %zu: %s\n", i,
+                   program.status().ToString().c_str());
+      return 1;
+    }
+    library.push_back(program->image);
+  }
+
+  const std::vector<size_t> levels = {1, 8, 64, 256};
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"rsa_bits\": %zu,\n", rsa_bits);
+  std::fprintf(f, "  \"target_instructions\": %zu,\n", target_instructions);
+  std::fprintf(f, "  \"equality_gate\": \"per-client verdict and per-phase "
+                  "SGX instructions vs serial ProvisioningServer::Drive\",\n");
+  std::fprintf(f, "  \"levels\": [");
+
+  bool first_level = true;
+  for (const size_t n : levels) {
+    std::vector<Bytes> images;
+    for (size_t i = 0; i < n; ++i) images.push_back(library[i % kPrograms]);
+
+    auto serial = RunSerial(*qe, images, opts);
+    if (!serial.ok()) {
+      std::fprintf(stderr, "serial %zu: %s\n", n,
+                   serial.status().ToString().c_str());
+      return 1;
+    }
+    auto cold = RunFrontend(*qe, images, opts, /*warm=*/false);
+    if (!cold.ok()) {
+      std::fprintf(stderr, "cold %zu: %s\n", n,
+                   cold.status().ToString().c_str());
+      return 1;
+    }
+    auto warm = RunFrontend(*qe, images, opts, /*warm=*/true);
+    if (!warm.ok()) {
+      std::fprintf(stderr, "warm %zu: %s\n", n,
+                   warm.status().ToString().c_str());
+      return 1;
+    }
+
+    // The gate: throughput numbers from a reactor that changed any verdict
+    // or any per-phase SGX count would be meaningless.
+    for (size_t i = 0; i < n; ++i) {
+      if (!(cold->fingerprints[i] == (*serial)[i]) ||
+          !(warm->fingerprints[i] == (*serial)[i])) {
+        std::fprintf(stderr,
+                     "equality gate failed at %zu clients, client %zu\n", n,
+                     i);
+        return 1;
+      }
+    }
+
+    struct ModeRow {
+      const char* mode;
+      const RunStats* stats;
+    };
+    for (const ModeRow row : {ModeRow{"cold", &*cold}, ModeRow{"warm", &*warm}}) {
+      const double sec = static_cast<double>(row.stats->wall_ns) / 1e9;
+      const double rate = sec > 0 ? static_cast<double>(n) / sec : 0.0;
+      const uint64_t p50 = Percentile(row.stats->latency_ns, 50);
+      const uint64_t p99 = Percentile(row.stats->latency_ns, 99);
+      std::printf(
+          "%3zu clients %-4s  %8.2f sess/s  p50 %8.2f ms  p99 %8.2f ms%s\n",
+          n, row.mode, rate, static_cast<double>(p50) / 1e6,
+          static_cast<double>(p99) / 1e6,
+          row.stats->prefill_ns > 0 ? "  (pool prebuilt)" : "");
+      std::fprintf(f, "%s\n    {\"clients\": %zu, \"mode\": \"%s\", ",
+                   first_level ? "" : ",", n, row.mode);
+      first_level = false;
+      std::fprintf(f, "\"wall_ns\": %llu, \"sessions_per_sec\": %.3f, ",
+                   static_cast<unsigned long long>(row.stats->wall_ns), rate);
+      std::fprintf(f, "\"p50_verdict_ns\": %llu, \"p99_verdict_ns\": %llu, ",
+                   static_cast<unsigned long long>(p50),
+                   static_cast<unsigned long long>(p99));
+      std::fprintf(f, "\"prefill_ns\": %llu, \"equality\": \"ok\"}",
+                   static_cast<unsigned long long>(row.stats->prefill_ns));
+    }
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

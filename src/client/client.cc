@@ -23,6 +23,26 @@ Result<core::Manifest> BuildManifest(ByteView executable) {
   return manifest;
 }
 
+Result<std::optional<core::RetryAfter>> Client::AwaitAdmission(
+    crypto::DuplexPipe::Endpoint endpoint) {
+  ASSIGN_OR_RETURN(const core::ControlFrame control,
+                   core::ReadControlFrame(endpoint));
+  switch (control.type) {
+    case core::ControlType::kHelloFollows:
+      if (!control.body.empty()) {
+        return ProtocolError("hello-follows control frame carries a payload");
+      }
+      return std::optional<core::RetryAfter>();
+    case core::ControlType::kRetryAfter: {
+      ASSIGN_OR_RETURN(core::RetryAfter retry,
+                       core::RetryAfter::Deserialize(ByteView(
+                           control.body.data(), control.body.size())));
+      return std::optional<core::RetryAfter>(retry);
+    }
+  }
+  return ProtocolError("unknown control frame type");
+}
+
 Status Client::SendProgram(crypto::DuplexPipe::Endpoint endpoint) {
   // ---- Hello: quote + enclave public key -----------------------------------
   ASSIGN_OR_RETURN(const Bytes quote_wire, core::ReadFrame(endpoint));

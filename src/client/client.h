@@ -40,6 +40,15 @@ class Client {
         executable_(std::move(executable)),
         drbg_(ByteView(options_.entropy.data(), options_.entropy.size())) {}
 
+  // Front-end admission preamble: when connecting through a provisioning
+  // front end, one control frame precedes the hello. Returns the RetryAfter
+  // record when the front end turned the connection away (the client should
+  // back off and reconnect), or nullopt when admitted — in which case the
+  // hello frames follow and SendProgram may proceed. Direct connections
+  // (enclave hello straight on the pipe) must NOT call this.
+  Result<std::optional<core::RetryAfter>> AwaitAdmission(
+      crypto::DuplexPipe::Endpoint endpoint);
+
   // Protocol steps 1-4: consume the hello, verify, send key + manifest +
   // blocks + done. Returns an error if attestation fails (in which case
   // nothing confidential has been sent).

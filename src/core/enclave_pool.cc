@@ -1,0 +1,67 @@
+#include "core/enclave_pool.h"
+
+#include <utility>
+
+namespace engarde::core {
+
+std::string PolicySetFingerprint(const PolicySet& policies) {
+  std::string fingerprint;
+  for (const auto& policy : policies) {
+    fingerprint += policy->Fingerprint();
+    fingerprint += '\n';
+  }
+  return fingerprint;
+}
+
+WarmEnclavePool::WarmEnclavePool(sgx::HostOs* host,
+                                 const sgx::QuotingEnclave* quoting,
+                                 std::function<PolicySet()> policy_factory,
+                                 EngardeOptions enclave_options)
+    : host_(host),
+      quoting_(quoting),
+      policy_factory_(std::move(policy_factory)),
+      enclave_options_(std::move(enclave_options)) {}
+
+Result<std::unique_ptr<PooledEnclave>> WarmEnclavePool::BuildEntry(
+    sgx::HostOs* host, const sgx::QuotingEnclave& quoting, PolicySet policies,
+    const EngardeOptions& enclave_options) {
+  auto entry = std::make_unique<PooledEnclave>();
+  entry->policy_fingerprint = PolicySetFingerprint(policies);
+  {
+    // Enclave construction (ECREATE/EADD/EEXTEND/EINIT), keygen and quote
+    // are charged to the entry's accountant — exactly the charges a cold
+    // Accept makes — so a session adopting this entry accounts identically.
+    sgx::ScopedAccountant scoped(&entry->accountant);
+    ASSIGN_OR_RETURN(EngardeEnclave enclave,
+                     EngardeEnclave::Create(host, quoting, std::move(policies),
+                                            enclave_options));
+    entry->enclave.emplace(std::move(enclave));
+  }
+  entry->hello_wire = entry->enclave->HelloWire();
+  return entry;
+}
+
+Status WarmEnclavePool::AddOne() {
+  EngardeOptions options = enclave_options_;
+  ASSIGN_OR_RETURN(std::unique_ptr<PooledEnclave> entry,
+                   BuildEntry(host_, *quoting_, policy_factory_(), options));
+  const std::string key = entry->policy_fingerprint;
+  shelves_[key].push_back(std::move(entry));
+  ++size_;
+  ++total_prebuilt_;
+  return Status::Ok();
+}
+
+std::unique_ptr<PooledEnclave> WarmEnclavePool::TryTake(
+    const std::string& fingerprint) {
+  const auto shelf = shelves_.find(fingerprint);
+  if (shelf == shelves_.end() || shelf->second.empty()) return nullptr;
+  std::unique_ptr<PooledEnclave> entry = std::move(shelf->second.front());
+  shelf->second.pop_front();
+  if (shelf->second.empty()) shelves_.erase(shelf);
+  --size_;
+  ++total_handouts_;
+  return entry;
+}
+
+}  // namespace engarde::core

@@ -1,0 +1,89 @@
+// Warm enclave pool: pre-built, measured-but-unlocked EnGarde enclaves keyed
+// by policy-set fingerprint, so an accepted client skips enclave build
+// (ECREATE/EADD/EEXTEND/EINIT), RSA keygen and hello serialization on the
+// provisioning hot path. MAGE-style reasoning: the enclave's measurement
+// depends only on the bootstrap image (policy fingerprints) and the layout,
+// never on which client it will serve — so an enclave built ahead of time
+// attests exactly like one built on demand.
+//
+// Accounting: every pre-build is charged to the entry's own CycleAccountant
+// (enclave construction, keygen, EREPORT/quote — the same charges a cold
+// ProvisioningServer::Accept makes). When the front end hands the entry to a
+// connection, the connection adopts that accountant, so per-phase SGX
+// attribution for a warm-pool session is bit-for-bit identical to a
+// cold-built one; only the wall-clock position of the build moves.
+#ifndef ENGARDE_CORE_ENCLAVE_POOL_H_
+#define ENGARDE_CORE_ENCLAVE_POOL_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "core/engarde.h"
+#include "sgx/attestation.h"
+#include "sgx/cost_model.h"
+#include "sgx/hostos.h"
+
+namespace engarde::core {
+
+// The joint fingerprint of a mutually-agreed policy configuration — the
+// pool's key. Two PolicySets with the same fingerprint produce the same
+// bootstrap image and hence the same MRENCLAVE.
+std::string PolicySetFingerprint(const PolicySet& policies);
+
+// One ready-to-serve enclave. Heap-allocated and moved wholesale because the
+// accountant holds atomics (not movable).
+struct PooledEnclave {
+  sgx::CycleAccountant accountant;  // charged with the build at prefill time
+  std::optional<EngardeEnclave> enclave;
+  Bytes hello_wire;                 // pre-serialized quote + key frames
+  std::string policy_fingerprint;
+};
+
+class WarmEnclavePool {
+ public:
+  // `host` and `quoting` must outlive the pool. `policy_factory` builds the
+  // policy set each pooled enclave is measured against.
+  WarmEnclavePool(sgx::HostOs* host, const sgx::QuotingEnclave* quoting,
+                  std::function<PolicySet()> policy_factory,
+                  EngardeOptions enclave_options);
+
+  // Builds one entry outside any connection: enclave + keygen + quote under
+  // the entry's accountant, hello pre-serialized. Shared by the pool and by
+  // the front end's cold path (which charges the same work at admit time).
+  static Result<std::unique_ptr<PooledEnclave>> BuildEntry(
+      sgx::HostOs* host, const sgx::QuotingEnclave& quoting,
+      PolicySet policies, const EngardeOptions& enclave_options);
+
+  // Pre-builds one enclave and shelves it. The caller budgets EPC: each
+  // pooled enclave holds layout.TotalPages() EPC pages while it waits.
+  Status AddOne();
+
+  // Hands out a warm enclave whose policy fingerprint matches, oldest first;
+  // nullptr when none match (the caller falls back to a cold build). A
+  // stale-keyed entry (policy set changed since prefill) is never returned.
+  std::unique_ptr<PooledEnclave> TryTake(const std::string& fingerprint);
+
+  size_t size() const noexcept { return size_; }
+  size_t total_prebuilt() const noexcept { return total_prebuilt_; }
+  size_t total_handouts() const noexcept { return total_handouts_; }
+
+ private:
+  sgx::HostOs* host_;
+  const sgx::QuotingEnclave* quoting_;
+  std::function<PolicySet()> policy_factory_;
+  EngardeOptions enclave_options_;
+  std::map<std::string, std::deque<std::unique_ptr<PooledEnclave>>> shelves_;
+  size_t size_ = 0;
+  size_t total_prebuilt_ = 0;
+  size_t total_handouts_ = 0;
+};
+
+}  // namespace engarde::core
+
+#endif  // ENGARDE_CORE_ENCLAVE_POOL_H_

@@ -105,12 +105,22 @@ EngardeEnclave::EngardeEnclave(sgx::HostOs* host, PolicySet policies,
   }
 }
 
-Status EngardeEnclave::SendHello(crypto::DuplexPipe::Endpoint endpoint) {
+Bytes EngardeEnclave::HelloWire() const {
   const Bytes quote_wire = quote_.Serialize();
-  RETURN_IF_ERROR(WriteFrame(endpoint, ByteView(quote_wire.data(),
-                                                quote_wire.size())));
   const Bytes key_wire = rsa_.public_key.Serialize();
-  return WriteFrame(endpoint, ByteView(key_wire.data(), key_wire.size()));
+  Bytes out;
+  out.reserve(8 + quote_wire.size() + key_wire.size());
+  AppendLe32(out, static_cast<uint32_t>(quote_wire.size()));
+  AppendBytes(out, ByteView(quote_wire.data(), quote_wire.size()));
+  AppendLe32(out, static_cast<uint32_t>(key_wire.size()));
+  AppendBytes(out, ByteView(key_wire.data(), key_wire.size()));
+  return out;
+}
+
+Status EngardeEnclave::SendHello(crypto::DuplexPipe::Endpoint endpoint) {
+  const Bytes hello = HelloWire();
+  endpoint.Write(ByteView(hello.data(), hello.size()));
+  return Status::Ok();
 }
 
 Result<ProvisionOutcome> EngardeEnclave::RunProvisioning(

@@ -115,6 +115,10 @@ class EngardeEnclave {
 
   // Protocol step 1: plaintext hello frame (serialized quote, then key).
   Status SendHello(crypto::DuplexPipe::Endpoint endpoint);
+  // The hello bytes SendHello writes (both length-prefixed frames).
+  // Deterministic per enclave, so a warm pool can serialize them once at
+  // pre-build time and hand them out without re-serializing on the hot path.
+  Bytes HelloWire() const;
 
   // Protocol steps 2..n: runs the full inspection pipeline against whatever
   // the client queued on the pipe, sends the verdict back, and returns the

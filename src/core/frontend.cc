@@ -1,0 +1,318 @@
+#include "core/frontend.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/inspection.h"
+#include "core/protocol.h"
+#include "sgx/device.h"
+
+namespace engarde::core {
+namespace {
+
+// Moves everything the session has written (via EndA) out to the transport.
+// Returns the number of bytes moved.
+Result<size_t> ShuttleOut(crypto::DuplexPipe::Endpoint wire,
+                          net::Transport& transport) {
+  const size_t pending = wire.Available();
+  if (pending == 0) return size_t{0};
+  ASSIGN_OR_RETURN(const Bytes data, wire.Read(pending));
+  RETURN_IF_ERROR(transport.Send(ByteView(data)));
+  return pending;
+}
+
+}  // namespace
+
+ProvisioningFrontend::ProvisioningFrontend(
+    sgx::HostOs* host, const sgx::QuotingEnclave* quoting,
+    std::function<PolicySet()> policy_factory, FrontendOptions options)
+    : host_(host),
+      quoting_(quoting),
+      policy_factory_(std::move(policy_factory)),
+      options_(std::move(options)),
+      inspection_pool_(options_.inspection_threads > 1
+                           ? std::make_unique<common::ThreadPool>(
+                                 options_.inspection_threads)
+                           : nullptr),
+      pool_(host, quoting, policy_factory_,
+            [this] {
+              EngardeOptions enclave_options = options_.enclave_options;
+              enclave_options.inspection_threads = 1;
+              enclave_options.shared_inspection_pool = inspection_pool_.get();
+              return enclave_options;
+            }()) {
+  const uint64_t capacity = host_->device()->epc().capacity();
+  budget_pages_ = capacity > options_.epc_reserve_pages
+                      ? capacity - options_.epc_reserve_pages
+                      : 0;
+}
+
+Status ProvisioningFrontend::PrefillPool(size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    if (committed_pages_ + PagesPerEnclave() > budget_pages_) {
+      return ResourceExhaustedError(
+          "EPC admission budget cannot hold another pooled enclave");
+    }
+    RETURN_IF_ERROR(pool_.AddOne());
+    committed_pages_ += PagesPerEnclave();
+    max_committed_pages_ = std::max(max_committed_pages_, committed_pages_);
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> ProvisioningFrontend::Accept(
+    std::unique_ptr<net::Transport> transport) {
+  auto conn = std::make_unique<Connection>();
+  conn->id = connections_.size();
+  conn->transport = std::move(transport);
+  conn->pipe = std::make_unique<crypto::DuplexPipe>();
+  connections_.push_back(std::move(conn));
+  Connection& accepted = *connections_.back();
+
+  // Arrivals behind the queue must not overtake it; only try immediate
+  // admission when nobody is already waiting.
+  if (admission_queue_.empty()) {
+    ASSIGN_OR_RETURN(const AdmitResult admitted, TryAdmit(accepted));
+    if (admitted == AdmitResult::kAdmitted) return accepted.id;
+  }
+  if (admission_queue_.size() < options_.admission_queue_capacity) {
+    admission_queue_.push_back(accepted.id);
+    return accepted.id;  // stays kQueued; nothing on the wire yet
+  }
+  RETURN_IF_ERROR(Shed(accepted));
+  return accepted.id;
+}
+
+Result<ProvisioningFrontend::AdmitResult> ProvisioningFrontend::TryAdmit(
+    Connection& conn) {
+  PolicySet policies = policy_factory_();
+  const std::string fingerprint = PolicySetFingerprint(policies);
+  std::unique_ptr<PooledEnclave> slot = pool_.TryTake(fingerprint);
+  if (slot == nullptr) {
+    // Cold path: the enclave's pages are committed now; a pooled handout's
+    // were committed at prefill time.
+    if (committed_pages_ + PagesPerEnclave() > budget_pages_) {
+      return AdmitResult::kNoBudget;
+    }
+    EngardeOptions enclave_options = options_.enclave_options;
+    enclave_options.inspection_threads = 1;
+    enclave_options.shared_inspection_pool = inspection_pool_.get();
+    Result<std::unique_ptr<PooledEnclave>> built = WarmEnclavePool::BuildEntry(
+        host_, *quoting_, std::move(policies), enclave_options);
+    if (!built.ok()) {
+      // The device itself ran out of EPC (someone else holds pages outside
+      // our budget): treat like over-budget so the client gets RetryAfter
+      // instead of a hard failure.
+      if (IsRetryableResourceError(built.status())) {
+        return AdmitResult::kNoBudget;
+      }
+      return built.status();
+    }
+    slot = std::move(*built);
+    committed_pages_ += PagesPerEnclave();
+    max_committed_pages_ = std::max(max_committed_pages_, committed_pages_);
+  } else {
+    conn.from_pool = true;
+  }
+
+  conn.slot = std::move(slot);
+  // Frontend paths announce themselves: a control frame first, then the
+  // exact hello bytes a direct SendHello would produce. Written through
+  // EndA so ordering with later session output is automatic.
+  crypto::DuplexPipe::Endpoint session_side = conn.pipe->EndA();
+  RETURN_IF_ERROR(
+      WriteControlFrame(session_side, ControlType::kHelloFollows, {}));
+  session_side.Write(ByteView(conn.slot->hello_wire));
+  conn.session.emplace(&*conn.slot->enclave, session_side);
+  conn.state = ConnectionState::kActive;
+  // Push the greeting out immediately so in-memory clients can respond to
+  // it right after Accept() returns, without waiting for a PollOnce().
+  RETURN_IF_ERROR(ShuttleOut(conn.pipe->EndB(), *conn.transport).status());
+  RETURN_IF_ERROR(conn.transport->Flush().status());
+  return AdmitResult::kAdmitted;
+}
+
+Status ProvisioningFrontend::Shed(Connection& conn) {
+  RetryAfter record;
+  record.retry_after_ms = options_.retry_after_ms;
+  record.queue_depth = static_cast<uint32_t>(admission_queue_.size());
+  record.epc_pages_in_use = committed_pages_;
+  record.epc_budget_pages = budget_pages_;
+  crypto::DuplexPipe::Endpoint session_side = conn.pipe->EndA();
+  RETURN_IF_ERROR(WriteControlFrame(session_side, ControlType::kRetryAfter,
+                                    ByteView(record.Serialize())));
+  RETURN_IF_ERROR(ShuttleOut(conn.pipe->EndB(), *conn.transport).status());
+  ASSIGN_OR_RETURN(const bool flushed, conn.transport->Flush());
+  if (flushed) conn.transport->Close();
+  conn.state = ConnectionState::kShed;
+  ++shed_count_;
+  return Status::Ok();
+}
+
+Status ProvisioningFrontend::PumpConnection(Connection& conn,
+                                            size_t& progress) {
+  switch (conn.state) {
+    case ConnectionState::kQueued:
+      return Status::Ok();  // admitted via AdmitFromQueue, never pumped
+    case ConnectionState::kShed:
+    case ConnectionState::kDone:
+    case ConnectionState::kFailed: {
+      // Only residual outbound bytes (verdict tail, retry-after) remain.
+      ASSIGN_OR_RETURN(const size_t moved,
+                       ShuttleOut(conn.pipe->EndB(), *conn.transport));
+      ASSIGN_OR_RETURN(const bool flushed, conn.transport->Flush());
+      if (moved > 0) ++progress;
+      if (flushed && conn.pipe->EndB().Available() == 0 &&
+          conn.transport->descriptor() >= 0) {
+        conn.transport->Close();
+      }
+      return Status::Ok();
+    }
+    case ConnectionState::kActive:
+      break;
+  }
+
+  // Inbound: transport -> internal wire.
+  Bytes inbound;
+  ASSIGN_OR_RETURN(const size_t drained, conn.transport->Drain(inbound));
+  crypto::DuplexPipe::Endpoint wire_side = conn.pipe->EndB();
+  if (drained > 0) {
+    wire_side.Write(ByteView(inbound));
+    ++progress;
+  }
+  if (conn.transport->AtEof() && !conn.pipe->EndA().PeerClosed()) {
+    // Propagate the peer's FIN onto the internal wire exactly once (EndA's
+    // PeerClosed mirror tells us whether we already did).
+    wire_side.CloseWrite();
+    ++progress;
+  }
+
+  // Pump the session under its accountant — the same redirection
+  // ProvisioningServer::Drive applies, so per-phase attribution matches a
+  // serial drive bit for bit.
+  const ProvisioningSession::State before = conn.session->state();
+  {
+    sgx::ScopedAccountant scoped(&conn.slot->accountant);
+    const Status pumped = conn.session->Pump();
+    if (!pumped.ok()) {
+      conn.failure = pumped;
+      conn.state = ConnectionState::kFailed;
+      ++progress;
+    }
+  }
+  if (conn.state == ConnectionState::kFailed) {
+    ReleaseEnclave(conn);
+    return Status::Ok();
+  }
+  if (conn.session->state() != before) ++progress;
+
+  if (conn.session->done()) {
+    ASSIGN_OR_RETURN(ProvisionOutcome outcome, conn.session->TakeOutcome());
+    conn.outcome.emplace(std::move(outcome));
+    conn.state = ConnectionState::kDone;
+    ++done_count_;
+    ++progress;
+    if (options_.destroy_enclave_on_verdict) ReleaseEnclave(conn);
+  } else if (conn.session->state() == before &&
+             conn.pipe->EndA().AtEof() &&
+             conn.pipe->EndA().Available() == 0) {
+    // Peer finished sending but the exchange is incomplete and no further
+    // progress is possible: terminal.
+    conn.failure = ProtocolError(
+        "peer closed mid-exchange: session stalled before a verdict");
+    conn.state = ConnectionState::kFailed;
+    ReleaseEnclave(conn);
+    ++progress;
+  }
+
+  // Outbound: internal wire -> transport.
+  ASSIGN_OR_RETURN(const size_t moved,
+                   ShuttleOut(conn.pipe->EndB(), *conn.transport));
+  if (moved > 0) ++progress;
+  RETURN_IF_ERROR(conn.transport->Flush().status());
+  return Status::Ok();
+}
+
+void ProvisioningFrontend::ReleaseEnclave(Connection& conn) {
+  if (conn.slot == nullptr || !conn.slot->enclave.has_value() ||
+      conn.enclave_released) {
+    return;
+  }
+  const uint64_t enclave_id = conn.slot->enclave->enclave_id();
+  conn.session.reset();  // holds a pointer into the enclave
+  // Deliberately OUTSIDE any ScopedAccountant: teardown EREMOVEs are charged
+  // to the device-wide accountant, never the session's, so the session's
+  // per-phase counts stay bit-for-bit equal to a serial Drive of the same
+  // exchange (which never destroys the enclave).
+  (void)host_->device()->DestroyEnclave(enclave_id);
+  conn.slot->enclave.reset();
+  conn.enclave_released = true;
+  committed_pages_ -= PagesPerEnclave();
+}
+
+Status ProvisioningFrontend::AdmitFromQueue(size_t& progress) {
+  while (!admission_queue_.empty()) {
+    Connection& conn = *connections_[admission_queue_.front()];
+    ASSIGN_OR_RETURN(const AdmitResult admitted, TryAdmit(conn));
+    if (admitted == AdmitResult::kNoBudget) break;  // still starved; FIFO
+    admission_queue_.pop_front();
+    ++progress;
+  }
+  return Status::Ok();
+}
+
+Result<size_t> ProvisioningFrontend::PollOnce() {
+  size_t progress = 0;
+  for (const auto& conn : connections_) {
+    RETURN_IF_ERROR(PumpConnection(*conn, progress));
+  }
+  RETURN_IF_ERROR(AdmitFromQueue(progress));
+  return progress;
+}
+
+Status ProvisioningFrontend::DrainAll() {
+  for (;;) {
+    ASSIGN_OR_RETURN(const size_t progress, PollOnce());
+    if (progress == 0) return Status::Ok();
+  }
+}
+
+Result<ProvisionOutcome> ProvisioningFrontend::TakeOutcome(uint64_t id) {
+  if (id >= connections_.size()) {
+    return OutOfRangeError("no such frontend connection");
+  }
+  Connection& conn = *connections_[id];
+  if (conn.state != ConnectionState::kDone) {
+    return FailedPreconditionError("connection has not reached a verdict");
+  }
+  if (conn.outcome_taken || !conn.outcome.has_value()) {
+    return FailedPreconditionError("outcome already taken");
+  }
+  conn.outcome_taken = true;
+  ProvisionOutcome outcome = std::move(*conn.outcome);
+  conn.outcome.reset();
+  return outcome;
+}
+
+size_t ProvisioningFrontend::active_count() const noexcept {
+  size_t active = 0;
+  for (const auto& conn : connections_) {
+    if (conn->state == ConnectionState::kActive) ++active;
+  }
+  return active;
+}
+
+std::vector<int> ProvisioningFrontend::PollDescriptors() const {
+  std::vector<int> descriptors;
+  for (const auto& conn : connections_) {
+    if (conn->state != ConnectionState::kActive &&
+        conn->state != ConnectionState::kQueued) {
+      continue;
+    }
+    const int fd = conn->transport->descriptor();
+    if (fd >= 0) descriptors.push_back(fd);
+  }
+  return descriptors;
+}
+
+}  // namespace engarde::core

@@ -1,0 +1,193 @@
+// ProvisioningFrontend: the provider's readiness-driven front door. A
+// single-threaded poll-style reactor that multiplexes every client
+// provisioning exchange over abstract net::Transports — in-memory pipes for
+// tests and benchmarks, non-blocking TCP sockets for tools/engarde-serve —
+// pumping each ready ProvisioningSession exactly as far as its queued input
+// allows. No thread is ever parked per connection.
+//
+// Three cooperating parts:
+//
+//  * Admission controller — budgets the EPC before anything is built: each
+//    enclave costs layout.TotalPages() pages against the device capacity
+//    minus a reserve, so concurrent arrivals can never push the device into
+//    its nondeterministic eviction path. Arrivals beyond budget wait in a
+//    bounded FIFO; beyond that (or when an enclave build itself fails with
+//    IsRetryableResourceError) the client gets an explicit RetryAfter
+//    control record on the wire and is expected to reconnect.
+//
+//  * Reactor — PollOnce() sweeps every connection: shuttles bytes between
+//    the transport and the connection's internal DuplexPipe, pumps the
+//    session under its own ScopedAccountant (the same discipline as
+//    ProvisioningServer::Drive, so per-phase SGX attribution is bit-for-bit
+//    identical to a serial drive of the same exchange), reaps verdicts, and
+//    re-admits from the queue as EPC frees up.
+//
+//  * Warm enclave pool — admission prefers a pre-built enclave whose
+//    policy-set fingerprint matches, skipping enclave build + RSA keygen +
+//    hello serialization on the hot path (core/enclave_pool.h).
+#ifndef ENGARDE_CORE_FRONTEND_H_
+#define ENGARDE_CORE_FRONTEND_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/enclave_pool.h"
+#include "core/engarde.h"
+#include "core/session.h"
+#include "net/transport.h"
+#include "sgx/attestation.h"
+#include "sgx/cost_model.h"
+#include "sgx/hostos.h"
+
+namespace engarde::core {
+
+struct FrontendOptions {
+  // Per-enclave options; shared_inspection_pool is overridden with the
+  // front end's own shared pool.
+  EngardeOptions enclave_options;
+  // Size of the shared inspection worker pool. 1 = serial inspection.
+  size_t inspection_threads = 1;
+  // EPC pages held back from admission (device bookkeeping headroom).
+  uint64_t epc_reserve_pages = 64;
+  // Arrivals allowed to wait for EPC beyond the budget; past this they are
+  // shed with a RetryAfter record. 0 = shed immediately when over budget.
+  size_t admission_queue_capacity = 0;
+  // Back-off hint carried in the RetryAfter record.
+  uint64_t retry_after_ms = 50;
+  // Destroy the enclave (freeing its EPC pages toward queued arrivals) once
+  // its session reached a verdict and the outcome was recorded. A provider
+  // that keeps compliant enclaves alive to run client code turns this off
+  // and manages lifetimes itself.
+  bool destroy_enclave_on_verdict = true;
+};
+
+enum class ConnectionState : uint8_t {
+  kQueued = 0,  // waiting for EPC budget; nothing sent yet
+  kActive,      // admitted: hello sent, session live
+  kDone,        // verdict reached, outcome recorded
+  kShed,        // RetryAfter sent; client must reconnect
+  kFailed,      // hard protocol/transport error, no verdict
+};
+
+class ProvisioningFrontend {
+ public:
+  // `host`, `quoting` and the transports' peers must outlive the frontend.
+  ProvisioningFrontend(sgx::HostOs* host, const sgx::QuotingEnclave* quoting,
+                       std::function<PolicySet()> policy_factory,
+                       FrontendOptions options);
+
+  // Pre-builds `count` warm enclaves, charging their EPC pages against the
+  // admission budget. Fails with RESOURCE_EXHAUSTED when the budget cannot
+  // hold another pooled enclave.
+  Status PrefillPool(size_t count);
+
+  // Registers a connection and decides admission immediately:
+  //   admitted — control kHelloFollows + hello bytes go out, session is live;
+  //   queued   — parked FIFO until EPC frees, nothing sent yet;
+  //   shed     — RetryAfter record goes out, connection is finished.
+  // Returns the connection id (dense, starting at 0).
+  Result<uint64_t> Accept(std::unique_ptr<net::Transport> transport);
+
+  // One reactor sweep over every connection. Returns how many connections
+  // made progress (bytes moved or state advanced).
+  Result<size_t> PollOnce();
+
+  // Sweeps until a full pass makes no progress (in-memory transports: until
+  // every queued byte is consumed and every completable session completed).
+  Status DrainAll();
+
+  // ---- Introspection -------------------------------------------------------
+  size_t connection_count() const noexcept { return connections_.size(); }
+  ConnectionState state(uint64_t id) const {
+    return connections_[id]->state;
+  }
+  // Terminal failure for kFailed connections (OK otherwise).
+  Status connection_status(uint64_t id) const {
+    return connections_[id]->failure;
+  }
+  // Moves the outcome out of a kDone connection.
+  Result<ProvisionOutcome> TakeOutcome(uint64_t id);
+  const sgx::CycleAccountant& accountant(uint64_t id) const {
+    return connections_[id]->slot->accountant;
+  }
+  bool served_from_pool(uint64_t id) const {
+    return connections_[id]->from_pool;
+  }
+
+  size_t active_count() const noexcept;
+  size_t queued_count() const noexcept { return admission_queue_.size(); }
+  size_t shed_count() const noexcept { return shed_count_; }
+  size_t done_count() const noexcept { return done_count_; }
+
+  // Admission budget telemetry. max_committed_pages() never exceeding
+  // budget_pages() is the no-eviction guarantee the tests pin.
+  uint64_t budget_pages() const noexcept { return budget_pages_; }
+  uint64_t committed_pages() const noexcept { return committed_pages_; }
+  uint64_t max_committed_pages() const noexcept {
+    return max_committed_pages_;
+  }
+
+  WarmEnclavePool& pool() noexcept { return pool_; }
+
+  // Descriptors of all live fd-backed transports, for poll(2) in a serving
+  // loop. In-memory transports have none and are swept unconditionally.
+  std::vector<int> PollDescriptors() const;
+
+ private:
+  struct Connection {
+    uint64_t id = 0;
+    std::unique_ptr<net::Transport> transport;
+    // Internal wire: EndA = session side, EndB = transport side.
+    std::unique_ptr<crypto::DuplexPipe> pipe;
+    std::unique_ptr<PooledEnclave> slot;  // accountant + enclave + hello
+    std::optional<ProvisioningSession> session;
+    ConnectionState state = ConnectionState::kQueued;
+    Status failure;
+    std::optional<ProvisionOutcome> outcome;
+    bool from_pool = false;
+    bool outcome_taken = false;
+    bool enclave_released = false;
+  };
+
+  enum class AdmitResult : uint8_t { kAdmitted, kNoBudget };
+
+  // Tries to admit: warm handout or budgeted cold build + control frame +
+  // hello. kNoBudget when the EPC budget (or a retryable build failure)
+  // stands in the way.
+  Result<AdmitResult> TryAdmit(Connection& conn);
+  // Sends the RetryAfter record and finishes the connection.
+  Status Shed(Connection& conn);
+  // One sweep over one connection; increments `progress` on any advance.
+  Status PumpConnection(Connection& conn, size_t& progress);
+  // Reaps EPC from a finished connection and re-admits queued arrivals.
+  void ReleaseEnclave(Connection& conn);
+  Status AdmitFromQueue(size_t& progress);
+
+  uint64_t PagesPerEnclave() const noexcept {
+    return options_.enclave_options.layout.TotalPages();
+  }
+
+  sgx::HostOs* host_;
+  const sgx::QuotingEnclave* quoting_;
+  std::function<PolicySet()> policy_factory_;
+  FrontendOptions options_;
+  // Shared inspection pool; null when inspection_threads <= 1.
+  std::unique_ptr<common::ThreadPool> inspection_pool_;
+  WarmEnclavePool pool_;
+  uint64_t budget_pages_ = 0;
+  uint64_t committed_pages_ = 0;
+  uint64_t max_committed_pages_ = 0;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::deque<uint64_t> admission_queue_;
+  size_t shed_count_ = 0;
+  size_t done_count_ = 0;
+};
+
+}  // namespace engarde::core
+
+#endif  // ENGARDE_CORE_FRONTEND_H_

@@ -107,6 +107,72 @@ Result<Verdict> Verdict::Deserialize(ByteView data) {
   return verdict;
 }
 
+Bytes RetryAfter::Serialize() const {
+  Bytes out;
+  out.push_back(kWireVersion);
+  AppendLe64(out, retry_after_ms);
+  AppendLe32(out, queue_depth);
+  AppendLe64(out, epc_pages_in_use);
+  AppendLe64(out, epc_budget_pages);
+  return out;
+}
+
+Result<RetryAfter> RetryAfter::Deserialize(ByteView data) {
+  ByteReader reader(data);
+  uint8_t version = 0;
+  if (!reader.ReadU8(version)) return ProtocolError("truncated retry-after");
+  if (version != kWireVersion) {
+    return ProtocolError("unsupported retry-after wire version");
+  }
+  RetryAfter retry;
+  if (!reader.ReadLe64(retry.retry_after_ms) ||
+      !reader.ReadLe32(retry.queue_depth) ||
+      !reader.ReadLe64(retry.epc_pages_in_use) ||
+      !reader.ReadLe64(retry.epc_budget_pages) || !reader.AtEnd()) {
+    return ProtocolError("malformed retry-after");
+  }
+  return retry;
+}
+
+Status WriteControlFrame(crypto::DuplexPipe::Endpoint& endpoint,
+                         ControlType type, ByteView body) {
+  Bytes payload;
+  payload.reserve(1 + body.size());
+  payload.push_back(static_cast<uint8_t>(type));
+  AppendBytes(payload, body);
+  return WriteFrame(endpoint, ByteView(payload.data(), payload.size()));
+}
+
+namespace {
+
+Result<ControlFrame> ParseControlFrame(Bytes frame) {
+  if (frame.empty()) return ProtocolError("empty control frame");
+  const uint8_t type = frame[0];
+  if (type != static_cast<uint8_t>(ControlType::kHelloFollows) &&
+      type != static_cast<uint8_t>(ControlType::kRetryAfter)) {
+    return ProtocolError("unknown control frame type");
+  }
+  ControlFrame control;
+  control.type = static_cast<ControlType>(type);
+  control.body.assign(frame.begin() + 1, frame.end());
+  return control;
+}
+
+}  // namespace
+
+Result<ControlFrame> ReadControlFrame(crypto::DuplexPipe::Endpoint& endpoint) {
+  ASSIGN_OR_RETURN(Bytes frame, ReadFrame(endpoint));
+  return ParseControlFrame(std::move(frame));
+}
+
+Result<std::optional<ControlFrame>> TryReadControlFrame(
+    crypto::DuplexPipe::Endpoint& endpoint) {
+  ASSIGN_OR_RETURN(std::optional<Bytes> frame, TryReadFrame(endpoint));
+  if (!frame.has_value()) return std::optional<ControlFrame>();
+  ASSIGN_OR_RETURN(ControlFrame control, ParseControlFrame(std::move(*frame)));
+  return std::optional<ControlFrame>(std::move(control));
+}
+
 Status WriteFrame(crypto::DuplexPipe::Endpoint& endpoint, ByteView payload) {
   Bytes header;
   AppendLe32(header, static_cast<uint32_t>(payload.size()));
@@ -126,13 +192,21 @@ Result<Bytes> ReadFrame(crypto::DuplexPipe::Endpoint& endpoint) {
 
 Result<std::optional<Bytes>> TryReadFrame(
     crypto::DuplexPipe::Endpoint& endpoint) {
-  if (endpoint.Available() < 4) return std::optional<Bytes>();
+  if (endpoint.Available() < 4) {
+    if (endpoint.PeerClosed() && endpoint.Available() > 0) {
+      return ProtocolError("peer closed mid-frame (EOF inside header)");
+    }
+    return std::optional<Bytes>();
+  }
   const Bytes header = endpoint.Peek(4);
   const uint32_t length = LoadLe32(header.data());
   if (length > (64u << 20)) {
     return ProtocolError("oversized frame");
   }
   if (endpoint.Available() < 4 + static_cast<size_t>(length)) {
+    if (endpoint.PeerClosed()) {
+      return ProtocolError("peer closed mid-frame (EOF inside payload)");
+    }
     return std::optional<Bytes>();
   }
   ASSIGN_OR_RETURN(Bytes frame, ReadFrame(endpoint));

@@ -74,6 +74,46 @@ struct Verdict {
   static Result<Verdict> Deserialize(ByteView data);
 };
 
+// ---- Front-end control frames (plaintext, pre-channel) ---------------------
+// A provisioning front end prepends one typed control frame to the exchange
+// before any hello bytes, so it can turn a client away *before* building an
+// enclave. Versioned alongside verdict v2: old direct paths (enclave hello
+// straight onto the pipe) never emit control frames, and the client only
+// expects one when it connects through a front end.
+enum class ControlType : uint8_t {
+  kHelloFollows = 1,  // admitted: the quote + key frames follow immediately
+  kRetryAfter = 2,    // over EPC budget: back off and reconnect
+};
+
+// The explicit retry-after record an admission controller sends when the EPC
+// budget (or the arrival queue) is full — the wire form of
+// IsRetryableResourceError. The client library surfaces it instead of
+// treating the connection as failed.
+struct RetryAfter {
+  static constexpr uint8_t kWireVersion = 1;
+
+  uint64_t retry_after_ms = 0;  // suggested client back-off
+  uint32_t queue_depth = 0;     // arrivals already waiting ahead
+  uint64_t epc_pages_in_use = 0;  // committed pages at decision time
+  uint64_t epc_budget_pages = 0;  // the controller's admission budget
+
+  Bytes Serialize() const;
+  static Result<RetryAfter> Deserialize(ByteView data);
+};
+
+// Control frames ride the same u32-length framing as the hello; the payload
+// is type byte || body.
+Status WriteControlFrame(crypto::DuplexPipe::Endpoint& endpoint,
+                         ControlType type, ByteView body);
+struct ControlFrame {
+  ControlType type;
+  Bytes body;
+};
+Result<ControlFrame> ReadControlFrame(crypto::DuplexPipe::Endpoint& endpoint);
+// Non-blocking variant: nullopt until a whole control frame is queued.
+Result<std::optional<ControlFrame>> TryReadControlFrame(
+    crypto::DuplexPipe::Endpoint& endpoint);
+
 // Helpers for the plaintext (pre-channel) frames: u32 length || payload.
 Status WriteFrame(crypto::DuplexPipe::Endpoint& endpoint, ByteView payload);
 Result<Bytes> ReadFrame(crypto::DuplexPipe::Endpoint& endpoint);

@@ -45,6 +45,12 @@ Result<ProvisionOutcome> ProvisioningServer::Drive(size_t index) {
     return OutOfRangeError("no such provisioning session");
   }
   Entry& entry = *sessions_[index];
+  if (entry.driven) {
+    // The session's outcome has already been moved out; pumping it again
+    // would re-run a consumed state machine (formerly undefined single-use
+    // behavior). Report the caller bug explicitly instead.
+    return FailedPreconditionError("provisioning session already driven");
+  }
   // Redirect every SGX charge this thread makes — device calls, channel
   // trampolines, pipeline phases — to the session's accountant.
   sgx::ScopedAccountant scoped(&entry.accountant);
@@ -53,7 +59,9 @@ Result<ProvisionOutcome> ProvisioningServer::Drive(size_t index) {
     return ProtocolError(
         "session stalled: peer closed or sent a truncated exchange");
   }
-  return entry.session->TakeOutcome();
+  ASSIGN_OR_RETURN(ProvisionOutcome outcome, entry.session->TakeOutcome());
+  entry.driven = true;
+  return outcome;
 }
 
 std::vector<Result<ProvisionOutcome>> ProvisioningServer::DriveAll() {

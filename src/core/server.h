@@ -52,7 +52,10 @@ class ProvisioningServer {
 
   // Drives one session to its verdict under its private accountant. Errors
   // if the queued input does not reach a verdict (truncated exchange) or on
-  // any hard protocol/channel failure. Single use per session.
+  // any hard protocol/channel failure. Single use per session: a second
+  // Drive of the same index returns FAILED_PRECONDITION (the outcome was
+  // already moved out). A drive that merely stalled may be retried once more
+  // input arrives.
   Result<ProvisionOutcome> Drive(size_t index);
 
   // Drives every session concurrently, one thread per session, and returns
@@ -70,6 +73,7 @@ class ProvisioningServer {
     sgx::CycleAccountant accountant;
     std::optional<EngardeEnclave> enclave;
     std::optional<ProvisioningSession> session;
+    bool driven = false;  // outcome consumed; further drives are an error
   };
 
   sgx::HostOs* host_;

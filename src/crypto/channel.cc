@@ -26,6 +26,9 @@ Sha256Digest DeriveMacKey(ByteView master, std::string_view label) {
 
 Result<Bytes> ByteQueue::Read(size_t n) {
   if (buffer_.size() < n) {
+    if (closed_) {
+      return ProtocolError("short read: peer closed mid-record (EOF)");
+    }
     return ProtocolError("short read: peer closed or sent a truncated record");
   }
   Bytes out(buffer_.begin(), buffer_.begin() + static_cast<long>(n));
@@ -115,12 +118,23 @@ Result<Bytes> SecureChannel::Receive() {
 }
 
 Result<std::optional<Bytes>> SecureChannel::TryReceive() {
-  if (endpoint_.Available() < 12) return std::optional<Bytes>();
+  if (endpoint_.Available() < 12) {
+    if (endpoint_.PeerClosed() && endpoint_.Available() > 0) {
+      // A record header can never complete: the peer half-closed with a
+      // truncated record in flight. A clean EOF between records stays nullopt
+      // (the caller decides whether an EOF there is expected).
+      return ProtocolError("peer closed mid-record (EOF inside header)");
+    }
+    return std::optional<Bytes>();
+  }
   const Bytes header = endpoint_.Peek(12);
   const uint32_t len = LoadLe32(header.data());
   if (len > 0x7fffffff) return ProtocolError("oversized record");
   if (endpoint_.Available() <
       12 + static_cast<size_t>(len) + HmacSha256::kTagSize) {
+    if (endpoint_.PeerClosed()) {
+      return ProtocolError("peer closed mid-record (EOF inside payload)");
+    }
     return std::optional<Bytes>();
   }
   ASSIGN_OR_RETURN(Bytes record, Receive());

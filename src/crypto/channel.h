@@ -27,10 +27,25 @@ namespace engarde::crypto {
 // One direction of an in-memory byte stream. Not thread-safe: the protocol in
 // this reproduction is strictly request/response on one thread, mirroring the
 // synchronous loader loop in the paper's prototype.
+//
+// Half-close: the writing side may Close() the queue (TCP FIN / shutdown).
+// Bytes written before the close remain readable; once they drain, AtEof()
+// turns true. This is what lets a readiness-driven session distinguish "the
+// peer is gone" from "a record is still in flight".
 class ByteQueue {
  public:
-  void Write(ByteView data) { buffer_.insert(buffer_.end(), data.begin(), data.end()); }
+  // Writes after Close() are discarded, like writing past a shutdown socket.
+  void Write(ByteView data) {
+    if (closed_) return;
+    buffer_.insert(buffer_.end(), data.begin(), data.end());
+  }
   size_t Available() const noexcept { return buffer_.size(); }
+
+  // Half-close: no further bytes will ever arrive (pending ones stay).
+  void Close() noexcept { closed_ = true; }
+  bool closed() const noexcept { return closed_; }
+  // End of stream: closed and fully drained.
+  bool AtEof() const noexcept { return closed_ && buffer_.empty(); }
 
   // Reads exactly n bytes; PROTOCOL_ERROR if fewer are available.
   Result<Bytes> Read(size_t n);
@@ -40,6 +55,7 @@ class ByteQueue {
 
  private:
   std::deque<uint8_t> buffer_;
+  bool closed_ = false;
 };
 
 // A bidirectional pipe with two ends. Endpoint A writes into the a-to-b
@@ -53,6 +69,14 @@ class DuplexPipe {
     Result<Bytes> Read(size_t n) { return in_->Read(n); }
     size_t Available() const noexcept { return in_->Available(); }
     Bytes Peek(size_t n) const { return in_->Peek(n); }
+
+    // Half-close semantics (see ByteQueue): CloseWrite signals the peer that
+    // this side will send nothing more; PeerClosed/AtEof report the mirror
+    // signal from the peer, so a pumped session can tell "peer gone" from
+    // "bytes pending".
+    void CloseWrite() noexcept { out_->Close(); }
+    bool PeerClosed() const noexcept { return in_->closed(); }
+    bool AtEof() const noexcept { return in_->AtEof(); }
 
    private:
     ByteQueue* out_;

@@ -79,6 +79,7 @@ void Sha256::ProcessBlock(const uint8_t* block) noexcept {
 }
 
 void Sha256::Update(ByteView data) noexcept {
+  if (data.empty()) return;  // empty views may carry a null data()
   total_bytes_ += data.size();
   size_t offset = 0;
 

@@ -1,0 +1,186 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace engarde::net {
+namespace {
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return InternalError(std::string("fcntl(O_NONBLOCK): ") +
+                         std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(int fd) : fd_(fd) {
+  (void)SetNonBlocking(fd_);
+  // Provisioning exchanges are short framed bursts; coalescing hurts.
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+TcpTransport::~TcpTransport() { Close(); }
+
+Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
+    const std::string& host, uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgumentError("invalid IPv4 address: " + host);
+  }
+  // Blocking connect (client side), then non-blocking I/O from there on.
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return InternalError("connect: " + err);
+  }
+  return std::make_unique<TcpTransport>(fd);
+}
+
+Result<size_t> TcpTransport::Drain(Bytes& out) {
+  if (fd_ < 0) return size_t{0};
+  size_t moved = 0;
+  uint8_t buffer[16384];
+  for (;;) {
+    const ssize_t got = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (got > 0) {
+      AppendBytes(out, ByteView(buffer, static_cast<size_t>(got)));
+      moved += static_cast<size_t>(got);
+      continue;
+    }
+    if (got == 0) {
+      peer_closed_ = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+    if (errno == ECONNRESET) {
+      peer_closed_ = true;
+      break;
+    }
+    return InternalError(std::string("recv: ") + std::strerror(errno));
+  }
+  return moved;
+}
+
+Status TcpTransport::Send(ByteView data) {
+  if (fd_ < 0) return FailedPreconditionError("transport is closed");
+  AppendBytes(backlog_, data);
+  return Flush().status();
+}
+
+Result<bool> TcpTransport::Flush() {
+  if (fd_ < 0) return backlog_.empty();
+  size_t offset = 0;
+  while (offset < backlog_.size()) {
+    const ssize_t sent = ::send(fd_, backlog_.data() + offset,
+                                backlog_.size() - offset, MSG_NOSIGNAL);
+    if (sent > 0) {
+      offset += static_cast<size_t>(sent);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+    if (errno == EPIPE || errno == ECONNRESET) {
+      // Peer is gone; drop the backlog, EOF surfaces on the read side.
+      peer_closed_ = true;
+      backlog_.clear();
+      return true;
+    }
+    return InternalError(std::string("send: ") + std::strerror(errno));
+  }
+  backlog_.erase(backlog_.begin(),
+                 backlog_.begin() + static_cast<long>(offset));
+  return backlog_.empty();
+}
+
+void TcpTransport::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpListener> TcpListener::Bind(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return InternalError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return InternalError("bind: " + err);
+  }
+  if (::listen(fd, 128) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return InternalError("listen: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return InternalError("getsockname: " + err);
+  }
+  const Status nonblocking = SetNonBlocking(fd);
+  if (!nonblocking.ok()) {
+    ::close(fd);
+    return nonblocking;
+  }
+  return TcpListener(fd, ntohs(addr.sin_port));
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<std::unique_ptr<TcpTransport>> TcpListener::TryAccept() {
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      return std::unique_ptr<TcpTransport>();
+    }
+    return InternalError(std::string("accept: ") + std::strerror(errno));
+  }
+  return std::make_unique<TcpTransport>(fd);
+}
+
+}  // namespace engarde::net

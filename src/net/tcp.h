@@ -1,0 +1,70 @@
+// Non-blocking TCP backend for the provisioning front end: a listener that
+// accepts connections without blocking and a Transport over an accepted (or
+// connected) socket. Loopback-friendly: tools/engarde-serve --selftest runs
+// real clients over 127.0.0.1 against the reactor in one process.
+//
+// All sockets are set O_NONBLOCK; partial sends are buffered in the
+// transport and flushed on later sweeps, so a slow peer never stalls the
+// single-threaded reactor.
+#ifndef ENGARDE_NET_TCP_H_
+#define ENGARDE_NET_TCP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/transport.h"
+
+namespace engarde::net {
+
+class TcpTransport final : public Transport {
+ public:
+  // Takes ownership of `fd` and switches it to non-blocking mode.
+  explicit TcpTransport(int fd);
+  ~TcpTransport() override;
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  // Client-side connect (used by the selftest and external tools).
+  static Result<std::unique_ptr<TcpTransport>> Connect(const std::string& host,
+                                                       uint16_t port);
+
+  int descriptor() const noexcept override { return fd_; }
+  Result<size_t> Drain(Bytes& out) override;
+  Status Send(ByteView data) override;
+  Result<bool> Flush() override;
+  bool AtEof() const override { return peer_closed_; }
+  void Close() override;
+
+ private:
+  int fd_;
+  bool peer_closed_ = false;  // recv returned 0 (FIN seen)
+  Bytes backlog_;             // outbound bytes the socket would not take yet
+};
+
+class TcpListener {
+ public:
+  // Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port) and listens.
+  static Result<TcpListener> Bind(uint16_t port);
+  ~TcpListener();
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  uint16_t port() const noexcept { return port_; }
+  int descriptor() const noexcept { return fd_; }
+
+  // Non-blocking accept: nullptr when no connection is pending.
+  Result<std::unique_ptr<TcpTransport>> TryAccept();
+
+ private:
+  TcpListener(int fd, uint16_t port) noexcept : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace engarde::net
+
+#endif  // ENGARDE_NET_TCP_H_

@@ -1,0 +1,37 @@
+#include "net/transport.h"
+
+#include "crypto/hmac.h"
+
+namespace engarde::net {
+
+Result<size_t> PipeTransport::Drain(Bytes& out) {
+  const size_t available = endpoint_.Available();
+  if (available == 0) return size_t{0};
+  ASSIGN_OR_RETURN(const Bytes chunk, endpoint_.Read(available));
+  AppendBytes(out, ByteView(chunk.data(), chunk.size()));
+  return chunk.size();
+}
+
+bool HasCompleteFrames(const crypto::DuplexPipe::Endpoint& endpoint,
+                       size_t count) {
+  const Bytes prefix = endpoint.Peek(endpoint.Available());
+  size_t offset = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (prefix.size() - offset < 4) return false;
+    const uint32_t length = LoadLe32(prefix.data() + offset);
+    if (prefix.size() - offset - 4 < length) return false;
+    offset += 4 + length;
+  }
+  return true;
+}
+
+bool HasCompleteSecureRecord(const crypto::DuplexPipe::Endpoint& endpoint) {
+  const size_t available = endpoint.Available();
+  if (available < 12) return false;
+  const Bytes header = endpoint.Peek(12);
+  const uint32_t length = LoadLe32(header.data());
+  return available >= 12 + static_cast<size_t>(length) +
+                         crypto::HmacSha256::kTagSize;
+}
+
+}  // namespace engarde::net

@@ -1,0 +1,90 @@
+// Abstract byte transport for the provisioning front end's reactor.
+//
+// A Transport is one client connection's byte stream as the front end sees
+// it: non-blocking on both sides, level-triggered (the reactor simply asks
+// "what arrived?" every sweep), with explicit EOF so a half-closed peer is
+// distinguishable from a slow one. Two backends:
+//
+//  * PipeTransport — adapter over the in-memory crypto::DuplexPipe used by
+//    tests and benchmarks: the client holds the other end of the pipe and
+//    the whole exchange stays deterministic and single-threaded.
+//  * TcpTransport (net/tcp.h) — a real non-blocking TCP socket, used by
+//    tools/engarde-serve. descriptor() feeds poll(2)-style readiness.
+//
+// The reactor never hands a Transport to a ProvisioningSession directly:
+// each connection owns an internal DuplexPipe, the reactor shuttles bytes
+// between the transport and the pipe's wire side, and the session pumps the
+// enclave side. That keeps the session code transport-agnostic.
+#ifndef ENGARDE_NET_TRANSPORT_H_
+#define ENGARDE_NET_TRANSPORT_H_
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/channel.h"
+
+namespace engarde::net {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // File descriptor for poll(2) readiness, or -1 for memory-backed
+  // transports (which the reactor treats as always worth sweeping).
+  virtual int descriptor() const noexcept { return -1; }
+
+  // Non-blocking read side: appends every byte the peer has sent so far to
+  // `out` and returns how many were moved (0 = nothing pending).
+  virtual Result<size_t> Drain(Bytes& out) = 0;
+
+  // Non-blocking write side: sends `data` toward the peer, buffering
+  // whatever the backend cannot take immediately.
+  virtual Status Send(ByteView data) = 0;
+
+  // Pushes buffered outbound bytes. Returns true when nothing remains
+  // unsent (safe to close).
+  virtual Result<bool> Flush() = 0;
+
+  // The peer half-closed its sending side and Drain has returned everything
+  // it ever sent ("peer gone", as opposed to "bytes pending").
+  virtual bool AtEof() const = 0;
+
+  virtual void Close() = 0;
+};
+
+// In-memory backend: wraps the front-end-side endpoint of a DuplexPipe whose
+// other end the client drives directly.
+class PipeTransport final : public Transport {
+ public:
+  explicit PipeTransport(crypto::DuplexPipe::Endpoint endpoint) noexcept
+      : endpoint_(endpoint) {}
+
+  Result<size_t> Drain(Bytes& out) override;
+  Status Send(ByteView data) override {
+    endpoint_.Write(data);
+    return Status::Ok();
+  }
+  Result<bool> Flush() override { return true; }
+  bool AtEof() const override { return endpoint_.AtEof(); }
+  void Close() override { endpoint_.CloseWrite(); }
+
+ private:
+  crypto::DuplexPipe::Endpoint endpoint_;
+};
+
+// ---- Framing peeks ---------------------------------------------------------
+// Completeness checks over queued-but-unconsumed bytes, for drivers that
+// bridge the blocking client library onto a non-blocking transport (the TCP
+// selftest and the benches pump the socket until the next protocol unit is
+// whole, then let the client consume it).
+
+// True when `count` consecutive u32-length-prefixed frames are fully queued.
+bool HasCompleteFrames(const crypto::DuplexPipe::Endpoint& endpoint,
+                       size_t count);
+
+// True when one complete secure-channel record (12-byte header, ciphertext,
+// 32-byte MAC tag) is fully queued.
+bool HasCompleteSecureRecord(const crypto::DuplexPipe::Endpoint& endpoint);
+
+}  // namespace engarde::net
+
+#endif  // ENGARDE_NET_TRANSPORT_H_

@@ -173,7 +173,9 @@ Status SgxDevice::EAdd(uint64_t enclave_id, uint64_t linear, ByteView content,
   entry.linear_addr = linear;
   entry.type = type;
   entry.perms = perms;
-  std::memcpy(epc_.PageData(epc_index), content.data(), content.size());
+  if (!content.empty()) {
+    std::memcpy(epc_.PageData(epc_index), content.data(), content.size());
+  }
   enclave->pages.emplace(linear, epc_index);
 
   // Measurement log entry: page offset + security attributes (not content;

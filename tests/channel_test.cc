@@ -170,6 +170,87 @@ TEST_F(SecureChannelTest, LargeRecordRoundTrip) {
   EXPECT_EQ(*got, big);
 }
 
+// ---- Half-close / EOF semantics -------------------------------------------
+
+TEST(ByteQueueTest, CloseStopsWritesButDrainsPendingBytes) {
+  ByteQueue q;
+  q.Write(ToBytes("pending"));
+  q.Close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.AtEof());  // bytes still queued
+  q.Write(ToBytes("late"));  // discarded: nothing follows a close
+  EXPECT_EQ(q.Available(), 7u);
+  auto drained = q.Read(7);
+  ASSERT_TRUE(drained.ok());
+  EXPECT_TRUE(q.AtEof());
+}
+
+TEST(ByteQueueTest, ReadStraddlingEofIsProtocolError) {
+  ByteQueue q;
+  q.Write(ToBytes("abc"));
+  q.Close();
+  // A read past what the peer will ever send must fail loudly, not block.
+  const Status short_read = q.Read(4).status();
+  EXPECT_EQ(short_read.code(), StatusCode::kProtocolError);
+  EXPECT_NE(short_read.ToString().find("EOF"), std::string::npos);
+}
+
+TEST(DuplexPipeTest, HalfCloseIsPerDirection) {
+  DuplexPipe pipe;
+  pipe.EndA().CloseWrite();
+  EXPECT_TRUE(pipe.EndB().PeerClosed());
+  EXPECT_TRUE(pipe.EndB().AtEof());
+  // The other direction still flows.
+  EXPECT_FALSE(pipe.EndA().PeerClosed());
+  pipe.EndB().Write(ToBytes("reply"));
+  auto got = pipe.EndA().Read(5);
+  ASSERT_TRUE(got.ok());
+}
+
+TEST_F(SecureChannelTest, CleanEofBetweenRecordsIsNotAnError) {
+  ASSERT_TRUE(client_.Send(ToBytes("last words")).ok());
+  pipe_.EndA().CloseWrite();
+  auto got = enclave_.TryReceive();
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(got->has_value());
+  // After the final record, EOF reads as "no more records", never an error.
+  auto drained = enclave_.TryReceive();
+  ASSERT_TRUE(drained.ok());
+  EXPECT_FALSE(drained->has_value());
+}
+
+TEST_F(SecureChannelTest, EofInsideRecordHeaderIsProtocolError) {
+  ASSERT_TRUE(client_.Send(ToBytes("cut off")).ok());
+  // Deliver only part of the 12-byte header, then the peer vanishes.
+  auto header_prefix = pipe_.EndB().Read(5);
+  ASSERT_TRUE(header_prefix.ok());
+  Bytes rest(pipe_.EndB().Available());
+  ASSERT_TRUE(pipe_.EndB().Read(rest.size()).ok());
+  DuplexPipe relay;
+  relay.EndA().Write(ByteView(header_prefix->data(), 5));
+  relay.EndA().CloseWrite();
+  SecureChannel receiver(relay.EndB(), keys_, /*is_enclave_side=*/true);
+  const auto got = receiver.TryReceive();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kProtocolError);
+  EXPECT_NE(got.status().ToString().find("EOF"), std::string::npos);
+}
+
+TEST_F(SecureChannelTest, EofInsidePayloadIsProtocolError) {
+  ASSERT_TRUE(client_.Send(ToBytes("truncated payload")).ok());
+  const size_t whole = pipe_.EndB().Available();
+  auto partial = pipe_.EndB().Read(whole - 3);  // keep header, lose the tail
+  ASSERT_TRUE(partial.ok());
+  ASSERT_TRUE(pipe_.EndB().Read(3).ok());
+  DuplexPipe relay;
+  relay.EndA().Write(ByteView(partial->data(), partial->size()));
+  relay.EndA().CloseWrite();
+  SecureChannel receiver(relay.EndB(), keys_, /*is_enclave_side=*/true);
+  const auto got = receiver.TryReceive();
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kProtocolError);
+}
+
 TEST(SecureChannelKeysTest, WrongMasterKeyFailsAuthentication) {
   DuplexPipe pipe;
   const Bytes m1 = ToBytes("master-one");

@@ -1,0 +1,526 @@
+// The readiness-driven provisioning front end (core/frontend.h): the
+// acceptance gate is that a reactor-driven run of a mixed accept/reject
+// client population is bit-for-bit identical — verdicts, statistics,
+// per-phase SGX attribution — to serially Drive()-ing the same exchanges
+// through ProvisioningServer, while the admission controller never lets the
+// committed EPC exceed its budget and the warm pool changes nothing but
+// wall-clock position of the enclave build.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "core/frontend.h"
+#include "core/policy_stackprot.h"
+#include "core/server.h"
+#include "net/transport.h"
+#include "workload/program_builder.h"
+
+namespace engarde::core {
+namespace {
+
+constexpr size_t kRsaBits = 512;  // small keys keep the 64-client gate fast
+constexpr size_t kPrograms = 8;
+
+PolicySet MakePolicies() {
+  PolicySet policies;
+  policies.push_back(std::make_unique<StackProtectionPolicy>());
+  return policies;
+}
+
+client::ClientOptions ClientOptionsFor(const sgx::QuotingEnclave& q) {
+  client::ClientOptions options;
+  options.attestation_key = q.attestation_public_key();
+  options.skip_measurement_check = true;
+  return options;
+}
+
+class FrontendTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto qe =
+        sgx::QuotingEnclave::Provision(ToBytes("frontend-device"), kRsaBits);
+    ASSERT_TRUE(qe.ok());
+    qe_ = new sgx::QuotingEnclave(std::move(qe).value());
+    programs_ = new std::vector<workload::BuiltProgram>();
+    for (size_t i = 0; i < kPrograms; ++i) {
+      workload::ProgramSpec spec;
+      spec.name = "frontend-" + std::to_string(i);
+      spec.seed = 7100 + i;
+      spec.target_instructions = 2500;
+      // Even programs carry stack protectors (compliant), odd ones violate.
+      spec.stack_protection = (i % 2 == 0);
+      auto program = workload::BuildProgram(spec);
+      ASSERT_TRUE(program.ok()) << program.status().ToString();
+      programs_->push_back(std::move(program).value());
+    }
+  }
+  static void TearDownTestSuite() {
+    delete qe_;
+    qe_ = nullptr;
+    delete programs_;
+    programs_ = nullptr;
+  }
+
+  static const sgx::QuotingEnclave& qe() { return *qe_; }
+  static const Bytes& image(size_t client) {
+    return (*programs_)[client % kPrograms].image;
+  }
+  static bool compliant(size_t client) { return (client % kPrograms) % 2 == 0; }
+
+  static EngardeOptions EnclaveOptions() {
+    EngardeOptions options;
+    options.rsa_bits = kRsaBits;
+    options.layout.heap_pages = 128;
+    options.layout.load_pages = 32;
+    return options;
+  }
+
+  // EPC sized for `enclaves` concurrent enclaves (layout pages + SECS) plus
+  // the front end's default reserve.
+  static size_t EpcPagesFor(size_t enclaves) {
+    return enclaves * (EnclaveOptions().layout.TotalPages() + 1) + 64;
+  }
+
+  static sgx::QuotingEnclave* qe_;
+  static std::vector<workload::BuiltProgram>* programs_;
+};
+
+sgx::QuotingEnclave* FrontendTest::qe_ = nullptr;
+std::vector<workload::BuiltProgram>* FrontendTest::programs_ = nullptr;
+
+// The invariants a provisioning exchange must keep across driving modes —
+// same shape as the serial-vs-DriveAll gate in core_session_server_test.cc.
+struct Snapshot {
+  bool compliant = false;
+  std::string reason;
+  size_t instruction_count = 0;
+  size_t blocks_received = 0;
+  size_t relocations_applied = 0;
+  size_t stage_count = 0;
+  uint64_t idle_sgx = 0;
+  uint64_t channel_sgx = 0;
+  uint64_t disassembly_sgx = 0;
+  uint64_t policy_sgx = 0;
+  uint64_t loading_sgx = 0;
+  uint64_t total_sgx = 0;
+  uint64_t trampolines = 0;
+};
+
+Snapshot Snap(const ProvisionOutcome& outcome,
+              const sgx::CycleAccountant& accountant) {
+  Snapshot snap;
+  snap.compliant = outcome.verdict.compliant;
+  snap.reason = outcome.verdict.reason;
+  snap.instruction_count = outcome.stats.instruction_count;
+  snap.blocks_received = outcome.stats.blocks_received;
+  snap.relocations_applied = outcome.stats.relocations_applied;
+  snap.stage_count = outcome.stage_reports.size();
+  snap.idle_sgx = accountant.phase_cost(sgx::Phase::kIdle).sgx_instructions;
+  snap.channel_sgx =
+      accountant.phase_cost(sgx::Phase::kChannel).sgx_instructions;
+  snap.disassembly_sgx =
+      accountant.phase_cost(sgx::Phase::kDisassembly).sgx_instructions;
+  snap.policy_sgx =
+      accountant.phase_cost(sgx::Phase::kPolicyCheck).sgx_instructions;
+  snap.loading_sgx =
+      accountant.phase_cost(sgx::Phase::kLoading).sgx_instructions;
+  snap.total_sgx = accountant.total_sgx_instructions();
+  snap.trampolines = accountant.total_trampolines();
+  return snap;
+}
+
+void ExpectSameSnapshot(const Snapshot& serial, const Snapshot& frontend,
+                        const std::string& label) {
+  EXPECT_EQ(serial.compliant, frontend.compliant) << label;
+  EXPECT_EQ(serial.reason, frontend.reason) << label;
+  EXPECT_EQ(serial.instruction_count, frontend.instruction_count) << label;
+  EXPECT_EQ(serial.blocks_received, frontend.blocks_received) << label;
+  EXPECT_EQ(serial.relocations_applied, frontend.relocations_applied) << label;
+  EXPECT_EQ(serial.stage_count, frontend.stage_count) << label;
+  EXPECT_EQ(serial.idle_sgx, frontend.idle_sgx) << label;
+  EXPECT_EQ(serial.channel_sgx, frontend.channel_sgx) << label;
+  EXPECT_EQ(serial.disassembly_sgx, frontend.disassembly_sgx) << label;
+  EXPECT_EQ(serial.policy_sgx, frontend.policy_sgx) << label;
+  EXPECT_EQ(serial.loading_sgx, frontend.loading_sgx) << label;
+  EXPECT_EQ(serial.total_sgx, frontend.total_sgx) << label;
+  EXPECT_EQ(serial.trampolines, frontend.trampolines) << label;
+}
+
+// Serial reference: the same client population driven one by one through
+// ProvisioningServer::Drive on a fresh device.
+Result<std::vector<Snapshot>> RunSerial(const sgx::QuotingEnclave& qe,
+                                        const std::vector<Bytes>& images,
+                                        const EngardeOptions& enclave_options,
+                                        size_t epc_pages) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = epc_pages});
+  sgx::HostOs host(&device);
+  ProvisioningServer::Options options;
+  options.enclave_options = enclave_options;
+  ProvisioningServer server(&host, &qe, MakePolicies, options);
+
+  std::vector<std::unique_ptr<crypto::DuplexPipe>> pipes;
+  for (size_t i = 0; i < images.size(); ++i) {
+    pipes.push_back(std::make_unique<crypto::DuplexPipe>());
+    ASSIGN_OR_RETURN(const size_t index, server.Accept(pipes[i]->EndA()));
+    if (index != i) return InternalError("unexpected session index");
+    client::Client client(ClientOptionsFor(qe), images[i]);
+    RETURN_IF_ERROR(client.SendProgram(pipes[i]->EndB()));
+  }
+  std::vector<Snapshot> snaps;
+  for (size_t i = 0; i < images.size(); ++i) {
+    ASSIGN_OR_RETURN(const ProvisionOutcome outcome, server.Drive(i));
+    snaps.push_back(Snap(outcome, server.session_accountant(i)));
+  }
+  return snaps;
+}
+
+// One in-memory frontend client: the client-facing pipe plus the blocking
+// client-library driver that feeds it.
+struct MemoryClient {
+  std::unique_ptr<crypto::DuplexPipe> pipe;  // EndA = frontend, EndB = client
+  std::unique_ptr<client::Client> client;
+  uint64_t connection = 0;
+  bool sent = false;
+  std::optional<Verdict> verdict;
+};
+
+Result<MemoryClient> ConnectMemoryClient(ProvisioningFrontend& frontend,
+                                         const sgx::QuotingEnclave& qe,
+                                         const Bytes& image,
+                                         client::ClientOptions options) {
+  MemoryClient mc;
+  mc.pipe = std::make_unique<crypto::DuplexPipe>();
+  mc.client = std::make_unique<client::Client>(std::move(options), image);
+  ASSIGN_OR_RETURN(
+      mc.connection,
+      frontend.Accept(std::make_unique<net::PipeTransport>(mc.pipe->EndA())));
+  return mc;
+}
+
+// Single-threaded orchestration: sweep the reactor, and whenever a client
+// has its full admission preamble queued (control frame + two hello
+// frames), let the blocking client consume it and send the program.
+Status DriveToVerdicts(ProvisioningFrontend& frontend,
+                       std::vector<MemoryClient>& clients) {
+  for (;;) {
+    ASSIGN_OR_RETURN(size_t progress, frontend.PollOnce());
+    for (MemoryClient& mc : clients) {
+      if (!mc.sent && net::HasCompleteFrames(mc.pipe->EndB(), 3)) {
+        ASSIGN_OR_RETURN(const auto retry,
+                         mc.client->AwaitAdmission(mc.pipe->EndB()));
+        if (retry.has_value()) {
+          return InternalError("unexpected RetryAfter in admission test");
+        }
+        RETURN_IF_ERROR(mc.client->SendProgram(mc.pipe->EndB()));
+        mc.sent = true;
+        ++progress;
+      }
+      if (mc.sent && !mc.verdict.has_value() &&
+          net::HasCompleteSecureRecord(mc.pipe->EndB())) {
+        ASSIGN_OR_RETURN(Verdict verdict, mc.client->AwaitVerdict());
+        mc.verdict.emplace(std::move(verdict));
+        ++progress;
+      }
+    }
+    bool all_done = true;
+    for (const MemoryClient& mc : clients) {
+      all_done = all_done && mc.verdict.has_value();
+    }
+    if (all_done) return Status::Ok();
+    if (progress == 0) {
+      return InternalError("frontend made no progress before all verdicts");
+    }
+  }
+}
+
+// ---- The acceptance gate ---------------------------------------------------
+
+TEST_F(FrontendTest, SixtyFourMixedClientsBitIdenticalToSerialDrive) {
+  constexpr size_t kClients = 64;
+  std::vector<Bytes> images;
+  for (size_t i = 0; i < kClients; ++i) images.push_back(image(i));
+  const size_t epc_pages = EpcPagesFor(kClients);
+
+  auto serial = RunSerial(qe(), images, EnclaveOptions(), epc_pages);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_EQ(serial->size(), kClients);
+
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = epc_pages});
+  sgx::HostOs host(&device);
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+
+  std::vector<MemoryClient> clients;
+  for (size_t i = 0; i < kClients; ++i) {
+    auto mc =
+        ConnectMemoryClient(frontend, qe(), images[i], ClientOptionsFor(qe()));
+    ASSERT_TRUE(mc.ok()) << mc.status().ToString();
+    ASSERT_EQ(mc->connection, i);
+    ASSERT_EQ(frontend.state(i), ConnectionState::kActive);
+    clients.push_back(std::move(mc).value());
+  }
+  const Status driven = DriveToVerdicts(frontend, clients);
+  ASSERT_TRUE(driven.ok()) << driven.ToString();
+  ASSERT_EQ(frontend.done_count(), kClients);
+
+  for (size_t i = 0; i < kClients; ++i) {
+    auto outcome = frontend.TakeOutcome(i);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_EQ(outcome->verdict.compliant, compliant(i)) << i;
+    // The client-side verdict decodes to the same compliance bit.
+    ASSERT_TRUE(clients[i].verdict.has_value());
+    EXPECT_EQ(clients[i].verdict->compliant, compliant(i)) << i;
+    ExpectSameSnapshot((*serial)[i], Snap(*outcome, frontend.accountant(i)),
+                       "client " + std::to_string(i));
+  }
+  // The reactor never overdrew its budget, and destroyed enclaves gave
+  // their pages back.
+  EXPECT_LE(frontend.max_committed_pages(), frontend.budget_pages());
+  EXPECT_EQ(frontend.committed_pages(), 0u);
+}
+
+// ---- Admission control -----------------------------------------------------
+
+TEST_F(FrontendTest, QueuedArrivalsAdmitInOrderWithinEpcBudget) {
+  // EPC budget holds two enclaves; six arrivals. Four must wait in the
+  // admission queue and be admitted FIFO as verdicts free pages.
+  constexpr size_t kClients = 6;
+  sgx::SgxDevice device(
+      sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(2)});
+  sgx::HostOs host(&device);
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  options.admission_queue_capacity = kClients;
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+  const uint64_t per_enclave = EnclaveOptions().layout.TotalPages();
+  ASSERT_GE(frontend.budget_pages(), 2 * per_enclave);
+  ASSERT_LT(frontend.budget_pages(), 3 * per_enclave);
+
+  std::vector<MemoryClient> clients;
+  for (size_t i = 0; i < kClients; ++i) {
+    auto mc =
+        ConnectMemoryClient(frontend, qe(), image(i), ClientOptionsFor(qe()));
+    ASSERT_TRUE(mc.ok()) << mc.status().ToString();
+    clients.push_back(std::move(mc).value());
+  }
+  EXPECT_EQ(frontend.state(0), ConnectionState::kActive);
+  EXPECT_EQ(frontend.state(1), ConnectionState::kActive);
+  for (size_t i = 2; i < kClients; ++i) {
+    EXPECT_EQ(frontend.state(i), ConnectionState::kQueued) << i;
+  }
+  EXPECT_EQ(frontend.queued_count(), kClients - 2);
+
+  const Status driven = DriveToVerdicts(frontend, clients);
+  ASSERT_TRUE(driven.ok()) << driven.ToString();
+  EXPECT_EQ(frontend.done_count(), kClients);
+  EXPECT_EQ(frontend.shed_count(), 0u);
+  for (size_t i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(clients[i].verdict.has_value()) << i;
+    EXPECT_EQ(clients[i].verdict->compliant, compliant(i)) << i;
+  }
+  // At no sweep did committed pages exceed the budget — the no-eviction
+  // guarantee.
+  EXPECT_LE(frontend.max_committed_pages(), frontend.budget_pages());
+  EXPECT_EQ(frontend.committed_pages(), 0u);
+}
+
+TEST_F(FrontendTest, OverBudgetArrivalShedWithRetryAfterThenAdmittedOnRetry) {
+  // Budget for one enclave, no queue: the second arrival is shed with an
+  // explicit RetryAfter record; after the first verdict frees the EPC a
+  // reconnect succeeds.
+  sgx::SgxDevice device(
+      sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(1)});
+  sgx::HostOs host(&device);
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  options.admission_queue_capacity = 0;
+  options.retry_after_ms = 125;
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+
+  auto first =
+      ConnectMemoryClient(frontend, qe(), image(0), ClientOptionsFor(qe()));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_EQ(frontend.state(first->connection), ConnectionState::kActive);
+
+  // Second arrival: shed. The client reads a well-formed RetryAfter.
+  auto second =
+      ConnectMemoryClient(frontend, qe(), image(1), ClientOptionsFor(qe()));
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(frontend.state(second->connection), ConnectionState::kShed);
+  EXPECT_EQ(frontend.shed_count(), 1u);
+  auto retry = second->client->AwaitAdmission(second->pipe->EndB());
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  ASSERT_TRUE(retry->has_value());
+  EXPECT_EQ((*retry)->retry_after_ms, 125u);
+  EXPECT_EQ((*retry)->epc_budget_pages, frontend.budget_pages());
+  EXPECT_GT((*retry)->epc_pages_in_use, 0u);
+  // The shed connection's write side was closed: EOF after the record.
+  EXPECT_TRUE(second->pipe->EndB().AtEof());
+
+  // Drive the first client to its verdict; its enclave is destroyed and the
+  // pages return to the budget.
+  std::vector<MemoryClient> active;
+  active.push_back(std::move(*first));
+  const Status driven = DriveToVerdicts(frontend, active);
+  ASSERT_TRUE(driven.ok()) << driven.ToString();
+  EXPECT_EQ(frontend.committed_pages(), 0u);
+
+  // The retry (a fresh connection, as the wire record instructs) admits and
+  // completes.
+  auto retried =
+      ConnectMemoryClient(frontend, qe(), image(1), ClientOptionsFor(qe()));
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ(frontend.state(retried->connection), ConnectionState::kActive);
+  std::vector<MemoryClient> retried_vec;
+  retried_vec.push_back(std::move(*retried));
+  const Status redriven = DriveToVerdicts(frontend, retried_vec);
+  ASSERT_TRUE(redriven.ok()) << redriven.ToString();
+  ASSERT_TRUE(retried_vec[0].verdict.has_value());
+  EXPECT_EQ(retried_vec[0].verdict->compliant, compliant(1));
+  EXPECT_LE(frontend.max_committed_pages(), frontend.budget_pages());
+}
+
+// ---- Warm pool -------------------------------------------------------------
+
+TEST_F(FrontendTest, PooledEnclaveAttestsUnderPinnedMeasurement) {
+  // A warm-pool enclave must attest exactly like a cold-built one: the
+  // client pins the expected EnGarde measurement (no skip) and verifies the
+  // quote before sending anything confidential.
+  sgx::SgxDevice device(
+      sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(2)});
+  sgx::HostOs host(&device);
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+  ASSERT_TRUE(frontend.PrefillPool(1).ok());
+  EXPECT_EQ(frontend.pool().size(), 1u);
+
+  auto expected = EngardeEnclave::ExpectedMeasurement(MakePolicies(),
+                                                      EnclaveOptions());
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+  client::ClientOptions client_options;
+  client_options.attestation_key = qe().attestation_public_key();
+  client_options.expected_measurement = *expected;
+  client_options.skip_measurement_check = false;
+
+  auto mc = ConnectMemoryClient(frontend, qe(), image(0), client_options);
+  ASSERT_TRUE(mc.ok()) << mc.status().ToString();
+  EXPECT_TRUE(frontend.served_from_pool(mc->connection));
+  EXPECT_EQ(frontend.pool().size(), 0u);
+  EXPECT_EQ(frontend.pool().total_handouts(), 1u);
+
+  std::vector<MemoryClient> clients;
+  clients.push_back(std::move(mc).value());
+  const Status driven = DriveToVerdicts(frontend, clients);
+  ASSERT_TRUE(driven.ok()) << driven.ToString();
+  ASSERT_TRUE(clients[0].verdict.has_value());
+  EXPECT_TRUE(clients[0].verdict->compliant);
+}
+
+TEST_F(FrontendTest, WarmAndColdRunsBitIdenticalAcrossAcceptAndReject) {
+  // One compliant and one violating program, provisioned twice: once
+  // through a prefilled pool, once cold. Verdicts, stats and per-phase SGX
+  // attribution must match exactly — pooling only moves the build earlier.
+  const std::vector<Bytes> images = {image(0), image(1)};  // accept, reject
+  const size_t epc_pages = EpcPagesFor(images.size());
+
+  auto run = [&](size_t prefill) -> Result<std::vector<Snapshot>> {
+    sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = epc_pages});
+    sgx::HostOs host(&device);
+    FrontendOptions options;
+    options.enclave_options = EnclaveOptions();
+    ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+    RETURN_IF_ERROR(frontend.PrefillPool(prefill));
+    std::vector<MemoryClient> clients;
+    for (const Bytes& img : images) {
+      ASSIGN_OR_RETURN(MemoryClient mc,
+                       ConnectMemoryClient(frontend, qe(), img,
+                                           ClientOptionsFor(qe())));
+      const bool pooled = frontend.served_from_pool(mc.connection);
+      if (pooled != (mc.connection < prefill)) {
+        return InternalError("unexpected pool handout pattern");
+      }
+      clients.push_back(std::move(mc));
+    }
+    RETURN_IF_ERROR(DriveToVerdicts(frontend, clients));
+    std::vector<Snapshot> snaps;
+    for (size_t i = 0; i < images.size(); ++i) {
+      ASSIGN_OR_RETURN(const ProvisionOutcome outcome, frontend.TakeOutcome(i));
+      snaps.push_back(Snap(outcome, frontend.accountant(i)));
+    }
+    return snaps;
+  };
+
+  auto cold = run(0);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  auto warm = run(images.size());
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ASSERT_EQ(cold->size(), warm->size());
+  EXPECT_TRUE((*cold)[0].compliant);
+  EXPECT_FALSE((*cold)[1].compliant);
+  for (size_t i = 0; i < cold->size(); ++i) {
+    ExpectSameSnapshot((*cold)[i], (*warm)[i],
+                       "warm vs cold client " + std::to_string(i));
+  }
+}
+
+TEST_F(FrontendTest, StalePoolFingerprintFallsBackToColdBuild) {
+  // If the policy set changes after prefill, the shelved enclave's
+  // fingerprint no longer matches and admission must build cold rather than
+  // hand out an enclave measured against the old policies.
+  sgx::SgxDevice device(
+      sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(3)});
+  sgx::HostOs host(&device);
+  bool renegotiated = false;  // toggled after prefill
+  auto factory = [&renegotiated] {
+    StackProtectionPolicy::Options policy_options;
+    if (renegotiated) policy_options.exempt.insert("lib_entry");
+    PolicySet policies;
+    policies.push_back(
+        std::make_unique<StackProtectionPolicy>(policy_options));
+    return policies;
+  };
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  ProvisioningFrontend frontend(&host, &qe(), factory, options);
+  ASSERT_TRUE(frontend.PrefillPool(1).ok());
+  renegotiated = true;
+
+  auto mc = ConnectMemoryClient(frontend, qe(), image(0),
+                                ClientOptionsFor(qe()));
+  ASSERT_TRUE(mc.ok()) << mc.status().ToString();
+  EXPECT_FALSE(frontend.served_from_pool(mc->connection));
+  EXPECT_EQ(frontend.pool().size(), 1u);  // stale entry left shelved
+}
+
+// ---- Failure paths ---------------------------------------------------------
+
+TEST_F(FrontendTest, PeerClosingMidExchangeFailsTheConnection) {
+  sgx::SgxDevice device(
+      sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(1)});
+  sgx::HostOs host(&device);
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+
+  auto mc =
+      ConnectMemoryClient(frontend, qe(), image(0), ClientOptionsFor(qe()));
+  ASSERT_TRUE(mc.ok()) << mc.status().ToString();
+  // The client walks away after the admission preamble without sending its
+  // program: half-close the client's write side.
+  mc->pipe->EndB().CloseWrite();
+  ASSERT_TRUE(frontend.DrainAll().ok());
+  EXPECT_EQ(frontend.state(mc->connection), ConnectionState::kFailed);
+  const Status failure = frontend.connection_status(mc->connection);
+  EXPECT_EQ(failure.code(), StatusCode::kProtocolError);
+  // The failed connection released its EPC pages.
+  EXPECT_EQ(frontend.committed_pages(), 0u);
+  EXPECT_FALSE(frontend.TakeOutcome(mc->connection).ok());
+}
+
+}  // namespace
+}  // namespace engarde::core

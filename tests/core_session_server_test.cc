@@ -403,5 +403,39 @@ TEST_F(SessionServerTest, RejectionClassificationSplitsResourceErrors) {
   EXPECT_FALSE(IsRetryableResourceError(Status::Ok()));
 }
 
+TEST_F(SessionServerTest, DrivingASessionTwiceIsFailedPrecondition) {
+  // Drive() moves the outcome out of the session; a second Drive() on the
+  // same index must refuse explicitly instead of re-running the consumed
+  // state machine.
+  sgx::SgxDevice device(
+      sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(1)});
+  sgx::HostOs host(&device);
+  ProvisioningServer::Options options;
+  options.enclave_options = EnclaveOptions();
+  ProvisioningServer server(
+      &host, &qe(),
+      [] {
+        PolicySet policies;
+        policies.push_back(std::make_unique<StackProtectionPolicy>());
+        return policies;
+      },
+      options);
+  crypto::DuplexPipe pipe;
+  auto index = server.Accept(pipe.EndA());
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  client::ClientOptions client_options;
+  client_options.attestation_key = qe().attestation_public_key();
+  client_options.skip_measurement_check = true;
+  client::Client client(client_options, program(0).image);
+  ASSERT_TRUE(client.SendProgram(pipe.EndB()).ok());
+
+  auto first = server.Drive(*index);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(first->verdict.compliant);
+  const auto second = server.Drive(*index);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kFailedPrecondition);
+}
+
 }  // namespace
 }  // namespace engarde::core

@@ -1,0 +1,167 @@
+// Transport layer for the provisioning front end (net/transport.h,
+// net/tcp.h): the in-memory pipe adapter, the frame-completeness peeks the
+// blocking client library is bridged with, and a real non-blocking TCP
+// loopback round trip including half-close EOF surfacing.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "crypto/channel.h"
+#include "crypto/hmac.h"
+#include "net/tcp.h"
+#include "net/transport.h"
+
+namespace engarde::net {
+namespace {
+
+Bytes Frame(ByteView payload) {
+  Bytes framed;
+  AppendLe32(framed, static_cast<uint32_t>(payload.size()));
+  AppendBytes(framed, payload);
+  return framed;
+}
+
+TEST(PipeTransportTest, DrainsExactlyWhatThePeerWrote) {
+  crypto::DuplexPipe pipe;
+  PipeTransport transport(pipe.EndA());
+  pipe.EndB().Write(ToBytes("hello"));
+  Bytes out;
+  auto drained = transport.Drain(out);
+  ASSERT_TRUE(drained.ok());
+  EXPECT_EQ(*drained, 5u);
+  EXPECT_EQ(out, ToBytes("hello"));
+  // Nothing further pending.
+  auto empty = transport.Drain(out);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(*empty, 0u);
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(PipeTransportTest, SendReachesThePeerAndCloseSignalsEof) {
+  crypto::DuplexPipe pipe;
+  PipeTransport transport(pipe.EndA());
+  ASSERT_TRUE(transport.Send(ToBytes("verdict")).ok());
+  auto flushed = transport.Flush();
+  ASSERT_TRUE(flushed.ok());
+  EXPECT_TRUE(*flushed);
+  EXPECT_EQ(pipe.EndB().Available(), 7u);
+
+  EXPECT_FALSE(transport.AtEof());
+  pipe.EndB().CloseWrite();
+  EXPECT_TRUE(transport.AtEof());  // peer gone, nothing pending
+  transport.Close();
+  EXPECT_TRUE(pipe.EndB().PeerClosed());
+  EXPECT_FALSE(pipe.EndB().AtEof());  // "verdict" still queued
+  ASSERT_TRUE(pipe.EndB().Read(7).ok());
+  EXPECT_TRUE(pipe.EndB().AtEof());
+}
+
+TEST(PipeTransportTest, EofHoldsOffWhileBytesArePending) {
+  crypto::DuplexPipe pipe;
+  PipeTransport transport(pipe.EndA());
+  pipe.EndB().Write(ToBytes("tail"));
+  pipe.EndB().CloseWrite();
+  // "Peer gone" must not eclipse "bytes pending".
+  EXPECT_FALSE(transport.AtEof());
+  Bytes out;
+  ASSERT_TRUE(transport.Drain(out).ok());
+  EXPECT_TRUE(transport.AtEof());
+}
+
+TEST(FramePeekTest, CountsOnlyFullyQueuedFrames) {
+  crypto::DuplexPipe pipe;
+  crypto::DuplexPipe::Endpoint reader = pipe.EndB();
+  EXPECT_FALSE(HasCompleteFrames(reader, 1));
+
+  const Bytes first = Frame(ToBytes("quote"));
+  const Bytes second = Frame(ToBytes("rsa-key"));
+  // Split the first frame mid-header, then mid-payload.
+  pipe.EndA().Write(ByteView(first.data(), 2));
+  EXPECT_FALSE(HasCompleteFrames(reader, 1));
+  pipe.EndA().Write(ByteView(first.data() + 2, 4));
+  EXPECT_FALSE(HasCompleteFrames(reader, 1));
+  pipe.EndA().Write(ByteView(first.data() + 6, first.size() - 6));
+  EXPECT_TRUE(HasCompleteFrames(reader, 1));
+  EXPECT_FALSE(HasCompleteFrames(reader, 2));
+
+  pipe.EndA().Write(second);
+  EXPECT_TRUE(HasCompleteFrames(reader, 2));
+  EXPECT_FALSE(HasCompleteFrames(reader, 3));
+}
+
+TEST(FramePeekTest, SecureRecordNeedsHeaderBodyAndTag) {
+  crypto::DuplexPipe pipe;
+  crypto::DuplexPipe::Endpoint reader = pipe.EndB();
+  EXPECT_FALSE(HasCompleteSecureRecord(reader));
+
+  // Secure record layout: u32 length || u64 sequence || ciphertext || tag.
+  const size_t body = 24;
+  Bytes record;
+  AppendLe32(record, static_cast<uint32_t>(body));
+  AppendLe64(record, 0);
+  record.resize(record.size() + body + crypto::HmacSha256::kTagSize - 1, 0xAB);
+  pipe.EndA().Write(record);
+  EXPECT_FALSE(HasCompleteSecureRecord(reader));  // one tag byte short
+  pipe.EndA().Write(Bytes{0xAB});
+  EXPECT_TRUE(HasCompleteSecureRecord(reader));
+}
+
+TEST(TcpTransportTest, LoopbackRoundTripAndEof) {
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  EXPECT_GT(listener->port(), 0);
+  EXPECT_GE(listener->descriptor(), 0);
+
+  auto client = TcpTransport::Connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  std::unique_ptr<TcpTransport> server;
+  for (int i = 0; i < 1000 && server == nullptr; ++i) {
+    auto accepted = listener->TryAccept();
+    ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+    server = std::move(*accepted);
+  }
+  ASSERT_NE(server, nullptr);
+  EXPECT_GE(server->descriptor(), 0);
+
+  ASSERT_TRUE((*client)->Send(ToBytes("ping")).ok());
+  Bytes inbound;
+  for (int i = 0; i < 1000 && inbound.size() < 4; ++i) {
+    ASSERT_TRUE(server->Drain(inbound).ok());
+  }
+  EXPECT_EQ(inbound, ToBytes("ping"));
+
+  ASSERT_TRUE(server->Send(ToBytes("pong")).ok());
+  Bytes reply;
+  for (int i = 0; i < 1000 && reply.size() < 4; ++i) {
+    ASSERT_TRUE((*client)->Drain(reply).ok());
+  }
+  EXPECT_EQ(reply, ToBytes("pong"));
+
+  // Closing the client surfaces EOF on the server after the drain runs dry.
+  (*client)->Close();
+  Bytes residue;
+  for (int i = 0; i < 1000 && !server->AtEof(); ++i) {
+    ASSERT_TRUE(server->Drain(residue).ok());
+  }
+  EXPECT_TRUE(server->AtEof());
+  EXPECT_TRUE(residue.empty());
+}
+
+TEST(TcpTransportTest, ConnectToUnboundPortFails) {
+  auto listener = TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok());
+  const uint16_t port = listener->port();
+  listener = TcpListener::Bind(0);  // old listener closed by move-assign
+  auto client = TcpTransport::Connect("127.0.0.1", port);
+  EXPECT_FALSE(client.ok());
+}
+
+TEST(TcpTransportTest, RejectsMalformedAddress) {
+  auto client = TcpTransport::Connect("not-an-address", 1);
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace engarde::net

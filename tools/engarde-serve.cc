@@ -1,0 +1,308 @@
+// engarde-serve: the provider's provisioning front door over real TCP.
+//
+// Binds a loopback listener and runs the readiness-driven
+// ProvisioningFrontend: poll(2) over the listener plus every live
+// connection, EPC-budgeted admission (queue + RetryAfter shedding), and an
+// optional warm enclave pool so accepted clients skip enclave build + RSA
+// keygen on the hot path.
+//
+//   engarde-serve [--port N] [--warm N] [--queue N] [--reserve N]
+//                 [--epc-pages N] [--rsa-bits N] [--selftest N]
+//
+// --selftest N provisions N real clients over 127.0.0.1 in threads
+// (pinning the expected EnGarde measurement, honoring RetryAfter back-off)
+// and exits non-zero unless every one of them reaches a verdict.
+#include <poll.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/client.h"
+#include "core/frontend.h"
+#include "core/policy_stackprot.h"
+#include "net/tcp.h"
+#include "workload/program_builder.h"
+
+namespace engarde {
+namespace {
+
+core::PolicySet MakePolicies() {
+  core::PolicySet policies;
+  policies.push_back(std::make_unique<core::StackProtectionPolicy>());
+  return policies;
+}
+
+struct ServeConfig {
+  uint16_t port = 0;  // 0 = kernel-assigned ephemeral
+  size_t warm = 0;
+  size_t queue = 8;
+  uint64_t reserve = 64;
+  size_t epc_pages = sgx::kDefaultEpcPages;
+  size_t rsa_bits = 768;
+  size_t selftest = 0;  // 0 = serve forever
+};
+
+// ---- Selftest client -------------------------------------------------------
+
+// Moves bytes both ways between the socket and the client's side of the
+// bridge pipe. Returns how many bytes moved.
+Result<size_t> Shuttle(net::TcpTransport& socket, crypto::DuplexPipe& pipe) {
+  size_t moved = 0;
+  Bytes inbound;
+  ASSIGN_OR_RETURN(const size_t drained, socket.Drain(inbound));
+  crypto::DuplexPipe::Endpoint bridge = pipe.EndA();
+  if (drained > 0) {
+    bridge.Write(ByteView(inbound));
+    moved += drained;
+  }
+  const size_t pending = bridge.Available();
+  if (pending > 0) {
+    ASSIGN_OR_RETURN(const Bytes outbound, bridge.Read(pending));
+    RETURN_IF_ERROR(socket.Send(ByteView(outbound)));
+    moved += pending;
+  }
+  RETURN_IF_ERROR(socket.Flush().status());
+  return moved;
+}
+
+// Pumps the bridge until `ready()` holds; fails if the server goes away
+// first.
+template <typename Ready>
+Status PumpUntil(net::TcpTransport& socket, crypto::DuplexPipe& pipe,
+                 Ready ready) {
+  while (!ready()) {
+    ASSIGN_OR_RETURN(const size_t moved, Shuttle(socket, pipe));
+    if (moved == 0) {
+      if (socket.AtEof() && pipe.EndB().Available() == 0) {
+        return ProtocolError("server closed before the exchange completed");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  return Status::Ok();
+}
+
+// One full client provisioning over loopback TCP, honoring RetryAfter: on
+// shed, back off for the hinted interval and reconnect.
+Result<core::Verdict> RunSelftestClient(uint16_t port,
+                                        const client::ClientOptions& options,
+                                        const Bytes& executable) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    ASSIGN_OR_RETURN(std::unique_ptr<net::TcpTransport> socket,
+                     net::TcpTransport::Connect("127.0.0.1", port));
+    crypto::DuplexPipe pipe;
+    crypto::DuplexPipe::Endpoint client_end = pipe.EndB();
+    client::Client client(options, executable);
+
+    RETURN_IF_ERROR(PumpUntil(*socket, pipe, [&client_end] {
+      return net::HasCompleteFrames(client_end, 1);
+    }));
+    ASSIGN_OR_RETURN(const std::optional<core::RetryAfter> retry,
+                     client.AwaitAdmission(client_end));
+    if (retry.has_value()) {
+      socket->Close();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(retry->retry_after_ms));
+      continue;
+    }
+    RETURN_IF_ERROR(PumpUntil(*socket, pipe, [&client_end] {
+      return net::HasCompleteFrames(client_end, 2);  // quote + key hello
+    }));
+    RETURN_IF_ERROR(client.SendProgram(client_end));
+    RETURN_IF_ERROR(PumpUntil(*socket, pipe, [&client_end] {
+      return net::HasCompleteSecureRecord(client_end);
+    }));
+    return client.AwaitVerdict();
+  }
+  return ResourceExhaustedError("still shed after 200 admission attempts");
+}
+
+// ---- Serving loop ----------------------------------------------------------
+
+int Serve(const ServeConfig& config) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = config.epc_pages});
+  sgx::HostOs host(&device);
+  auto quoting = sgx::QuotingEnclave::Provision(ToBytes("engarde-serve"),
+                                                config.rsa_bits);
+  if (!quoting.ok()) {
+    std::fprintf(stderr, "quoting enclave: %s\n",
+                 quoting.status().ToString().c_str());
+    return 1;
+  }
+
+  core::FrontendOptions options;
+  options.enclave_options.rsa_bits = config.rsa_bits;
+  options.enclave_options.layout.heap_pages = 128;
+  options.enclave_options.layout.load_pages = 32;
+  options.epc_reserve_pages = config.reserve;
+  options.admission_queue_capacity = config.queue;
+  core::ProvisioningFrontend frontend(&host, &*quoting, MakePolicies, options);
+
+  if (config.warm > 0) {
+    const Status prefilled = frontend.PrefillPool(config.warm);
+    if (!prefilled.ok()) {
+      std::fprintf(stderr, "warm pool: %s\n", prefilled.ToString().c_str());
+      return 1;
+    }
+  }
+
+  auto listener = net::TcpListener::Bind(config.port);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "bind: %s\n", listener.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "engarde-serve: 127.0.0.1:%u (epc budget %llu pages, warm "
+               "pool %zu, queue %zu)\n",
+               listener->port(),
+               static_cast<unsigned long long>(frontend.budget_pages()),
+               frontend.pool().size(), config.queue);
+
+  // Selftest clients run in threads against the same process's listener.
+  std::vector<std::thread> clients;
+  std::atomic<size_t> client_ok{0};
+  std::atomic<size_t> client_failed{0};
+  if (config.selftest > 0) {
+    auto expected = core::EngardeEnclave::ExpectedMeasurement(
+        MakePolicies(), options.enclave_options);
+    if (!expected.ok()) {
+      std::fprintf(stderr, "measurement: %s\n",
+                   expected.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < config.selftest; ++i) {
+      workload::ProgramSpec spec;
+      spec.name = "selftest-" + std::to_string(i);
+      spec.seed = 4200 + i;
+      spec.target_instructions = 2000;
+      spec.stack_protection = (i % 2 == 0);
+      auto program = workload::BuildProgram(spec);
+      if (!program.ok()) {
+        std::fprintf(stderr, "program %zu: %s\n", i,
+                     program.status().ToString().c_str());
+        return 1;
+      }
+      client::ClientOptions client_options;
+      client_options.attestation_key = quoting->attestation_public_key();
+      client_options.expected_measurement = *expected;
+      client_options.entropy = ToBytes("selftest-" + std::to_string(i));
+      const uint16_t port = listener->port();
+      clients.emplace_back([port, client_options,
+                            image = program->image,
+                            compliant = (i % 2 == 0), i, &client_ok,
+                            &client_failed] {
+        auto verdict = RunSelftestClient(port, client_options, image);
+        if (verdict.ok() && verdict->compliant == compliant) {
+          client_ok.fetch_add(1);
+        } else {
+          std::fprintf(stderr, "client %zu: %s\n", i,
+                       verdict.ok() ? "unexpected verdict"
+                                    : verdict.status().ToString().c_str());
+          client_failed.fetch_add(1);
+        }
+      });
+    }
+  }
+
+  size_t reported = 0;
+  for (;;) {
+    // poll(2) over the listener plus every live fd; in-memory transports
+    // (none here) would be swept unconditionally.
+    std::vector<pollfd> fds;
+    fds.push_back({listener->descriptor(), POLLIN, 0});
+    for (const int fd : frontend.PollDescriptors()) {
+      fds.push_back({fd, POLLIN | POLLOUT, 0});
+    }
+    (void)::poll(fds.data(), fds.size(), 20);
+
+    for (;;) {
+      auto accepted = listener->TryAccept();
+      if (!accepted.ok()) {
+        std::fprintf(stderr, "accept: %s\n",
+                     accepted.status().ToString().c_str());
+        return 1;
+      }
+      if (*accepted == nullptr) break;
+      auto id = frontend.Accept(std::move(*accepted));
+      if (!id.ok()) {
+        std::fprintf(stderr, "admit: %s\n", id.status().ToString().c_str());
+        return 1;
+      }
+    }
+
+    auto swept = frontend.PollOnce();
+    if (!swept.ok()) {
+      std::fprintf(stderr, "poll: %s\n", swept.status().ToString().c_str());
+      return 1;
+    }
+
+    for (uint64_t id = 0; id < frontend.connection_count(); ++id) {
+      if (frontend.state(id) != core::ConnectionState::kDone) continue;
+      auto outcome = frontend.TakeOutcome(id);
+      if (!outcome.ok()) continue;  // already reported
+      ++reported;
+      std::fprintf(stderr, "conn %llu: %s%s (blocks=%zu, insns=%zu)\n",
+                   static_cast<unsigned long long>(id),
+                   outcome->verdict.compliant ? "COMPLIANT" : "REJECTED",
+                   frontend.served_from_pool(id) ? " [warm]" : "",
+                   outcome->stats.blocks_received,
+                   outcome->stats.instruction_count);
+    }
+
+    if (config.selftest > 0 &&
+        client_ok.load() + client_failed.load() == config.selftest) {
+      break;
+    }
+  }
+
+  for (std::thread& thread : clients) thread.join();
+  std::fprintf(stderr,
+               "selftest: %zu/%zu clients verdicted (%zu shed retries "
+               "observed, peak EPC %llu/%llu pages, warm handouts %zu)\n",
+               client_ok.load(), config.selftest, frontend.shed_count(),
+               static_cast<unsigned long long>(frontend.max_committed_pages()),
+               static_cast<unsigned long long>(frontend.budget_pages()),
+               frontend.pool().total_handouts());
+  return client_failed.load() == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace engarde
+
+int main(int argc, char** argv) {
+  engarde::ServeConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> long {
+      return (i + 1 < argc) ? std::atol(argv[++i]) : 0;
+    };
+    if (arg == "--port") {
+      config.port = static_cast<uint16_t>(next());
+    } else if (arg == "--warm") {
+      config.warm = static_cast<size_t>(next());
+    } else if (arg == "--queue") {
+      config.queue = static_cast<size_t>(next());
+    } else if (arg == "--reserve") {
+      config.reserve = static_cast<uint64_t>(next());
+    } else if (arg == "--epc-pages") {
+      config.epc_pages = static_cast<size_t>(next());
+    } else if (arg == "--rsa-bits") {
+      config.rsa_bits = static_cast<size_t>(next());
+    } else if (arg == "--selftest") {
+      config.selftest = static_cast<size_t>(next());
+    } else {
+      std::fprintf(stderr,
+                   "usage: engarde-serve [--port N] [--warm N] [--queue N] "
+                   "[--reserve N] [--epc-pages N] [--rsa-bits N] "
+                   "[--selftest N]\n");
+      return 2;
+    }
+  }
+  return engarde::Serve(config);
+}
