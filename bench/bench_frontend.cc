@@ -18,10 +18,15 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+#include <tuple>
+
 #include "client/client.h"
 #include "core/frontend.h"
+#include "core/frontend_group.h"
 #include "core/policy_stackprot.h"
 #include "core/server.h"
+#include "net/tcp.h"
 #include "net/transport.h"
 #include "workload/program_builder.h"
 
@@ -200,6 +205,142 @@ uint64_t Percentile(std::vector<uint64_t> values, size_t percent) {
   return values[(values.size() - 1) * percent / 100];
 }
 
+// ---- Reactor scaling over real TCP -----------------------------------------
+// N FrontendGroup reactor threads race one loopback listener while real
+// client threads provision concurrently. Which reactor (and connection slot)
+// a client lands on is a kernel accept race, so the equality gate compares
+// the SORTED multiset of fingerprints against the serial reference.
+
+// Client-side bridge between the socket and the blocking client library
+// (same shape as tools/engarde-serve --selftest).
+Result<size_t> Shuttle(net::TcpTransport& socket, crypto::DuplexPipe& pipe) {
+  size_t moved = 0;
+  Bytes inbound;
+  ASSIGN_OR_RETURN(const size_t drained, socket.Drain(inbound));
+  crypto::DuplexPipe::Endpoint bridge = pipe.EndA();
+  if (drained > 0) {
+    bridge.Write(ByteView(inbound));
+    moved += drained;
+  }
+  const size_t pending = bridge.Available();
+  if (pending > 0) {
+    ASSIGN_OR_RETURN(const Bytes outbound, bridge.Read(pending));
+    RETURN_IF_ERROR(socket.Send(ByteView(outbound)));
+    moved += pending;
+  }
+  RETURN_IF_ERROR(socket.Flush().status());
+  return moved;
+}
+
+template <typename Ready>
+Status PumpUntil(net::TcpTransport& socket, crypto::DuplexPipe& pipe,
+                 Ready ready) {
+  while (!ready()) {
+    ASSIGN_OR_RETURN(const size_t moved, Shuttle(socket, pipe));
+    if (moved == 0) {
+      if (socket.AtEof() && pipe.EndB().Available() == 0) {
+        return ProtocolError("server closed before the exchange completed");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  return Status::Ok();
+}
+
+Status RunBenchClient(uint16_t port, const client::ClientOptions& options,
+                      const Bytes& executable) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    ASSIGN_OR_RETURN(std::unique_ptr<net::TcpTransport> socket,
+                     net::TcpTransport::Connect("127.0.0.1", port));
+    crypto::DuplexPipe pipe;
+    crypto::DuplexPipe::Endpoint client_end = pipe.EndB();
+    client::Client client(options, executable);
+    RETURN_IF_ERROR(PumpUntil(*socket, pipe, [&client_end] {
+      return net::HasCompleteFrames(client_end, 1);
+    }));
+    ASSIGN_OR_RETURN(const std::optional<core::RetryAfter> retry,
+                     client.AwaitAdmission(client_end));
+    if (retry.has_value()) {
+      socket->Close();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(retry->retry_after_ms));
+      continue;
+    }
+    RETURN_IF_ERROR(PumpUntil(*socket, pipe, [&client_end] {
+      return net::HasCompleteFrames(client_end, 2);
+    }));
+    RETURN_IF_ERROR(client.SendProgram(client_end));
+    RETURN_IF_ERROR(PumpUntil(*socket, pipe, [&client_end] {
+      return net::HasCompleteSecureRecord(client_end);
+    }));
+    return client.AwaitVerdict().status();
+  }
+  return ResourceExhaustedError("still shed after 200 admission attempts");
+}
+
+struct GroupStats {
+  uint64_t wall_ns = 0;
+  std::vector<Fingerprint> fingerprints;  // unordered (accept race)
+};
+
+Result<GroupStats> RunGroupTcp(const sgx::QuotingEnclave& qe,
+                               const std::vector<Bytes>& images,
+                               const core::EngardeOptions& opts,
+                               size_t reactors) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{
+      .epc_pages = EpcPagesFor(images.size(), opts)});
+  sgx::HostOs host(&device);
+  core::FrontendGroupOptions options;
+  options.frontend.enclave_options = opts;
+  options.frontend.admission_queue_capacity = images.size();
+  options.reactors = reactors;
+  core::FrontendGroup group(&host, &qe, MakePolicies, options);
+
+  auto listener = net::TcpListener::Bind(0);
+  if (!listener.ok()) return listener.status();
+  const uint16_t port = listener->port();
+  group.AttachListener(&*listener);
+  RETURN_IF_ERROR(group.Start());
+
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> clients;
+  std::vector<Status> failures(images.size());
+  for (size_t i = 0; i < images.size(); ++i) {
+    clients.emplace_back([port, &qe, &images, &failures, i] {
+      failures[i] = RunBenchClient(port, ClientOptionsFor(qe), images[i]);
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  GroupStats stats;
+  stats.wall_ns = ElapsedNs(start, Clock::now());
+  RETURN_IF_ERROR(group.Stop());
+  for (const Status& failure : failures) RETURN_IF_ERROR(failure);
+
+  // Quiescent now: harvest every connection's fingerprint, whichever reactor
+  // it raced onto.
+  for (size_t r = 0; r < group.reactor_count(); ++r) {
+    core::ProvisioningFrontend& frontend = group.reactor(r);
+    for (uint64_t id = 0; id < frontend.connection_count(); ++id) {
+      if (frontend.state(id) != core::ConnectionState::kDone) continue;
+      ASSIGN_OR_RETURN(const core::ProvisionOutcome outcome,
+                       frontend.TakeOutcome(id));
+      stats.fingerprints.push_back(
+          Fp(outcome.verdict.compliant, frontend.accountant(id)));
+    }
+  }
+  if (stats.fingerprints.size() != images.size()) {
+    return InternalError("verdict count mismatch across reactors");
+  }
+  return stats;
+}
+
+bool FingerprintLess(const Fingerprint& a, const Fingerprint& b) {
+  return std::tie(a.compliant, a.idle_sgx, a.channel_sgx, a.disassembly_sgx,
+                  a.policy_sgx, a.loading_sgx, a.total_sgx) <
+         std::tie(b.compliant, b.idle_sgx, b.channel_sgx, b.disassembly_sgx,
+                  b.policy_sgx, b.loading_sgx, b.total_sgx);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -325,7 +466,57 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(row.stats->prefill_ns));
     }
   }
-  std::fprintf(f, "\n  ]\n}\n");
+  std::fprintf(f, "\n  ],\n");
+
+  // ---- Reactor scaling: one shared listener, N reactor threads, real TCP —
+  // same client mix at every width, equality-gated as a sorted multiset
+  // because the client->reactor assignment is a kernel accept race.
+  constexpr size_t kScalingClients = 32;
+  std::vector<Bytes> scaling_images;
+  for (size_t i = 0; i < kScalingClients; ++i) {
+    scaling_images.push_back(library[i % kPrograms]);
+  }
+  auto scaling_serial = RunSerial(*qe, scaling_images, opts);
+  if (!scaling_serial.ok()) {
+    std::fprintf(stderr, "scaling serial: %s\n",
+                 scaling_serial.status().ToString().c_str());
+    return 1;
+  }
+  std::sort(scaling_serial->begin(), scaling_serial->end(), FingerprintLess);
+
+  std::fprintf(f, "  \"reactor_scaling\": {\n");
+  std::fprintf(f, "    \"clients\": %zu,\n", kScalingClients);
+  std::fprintf(f, "    \"transport\": \"loopback tcp, one shared listener\",\n");
+  std::fprintf(f,
+               "    \"note\": \"wall-clock scaling requires multiple cores; "
+               "see EXPERIMENTS.md for the single-core caveat\",\n");
+  std::fprintf(f, "    \"rows\": [");
+  bool first_row = true;
+  for (const size_t reactors : {size_t{1}, size_t{2}, size_t{4}}) {
+    auto run = RunGroupTcp(*qe, scaling_images, opts, reactors);
+    if (!run.ok()) {
+      std::fprintf(stderr, "reactors=%zu: %s\n", reactors,
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    std::sort(run->fingerprints.begin(), run->fingerprints.end(),
+              FingerprintLess);
+    if (run->fingerprints != *scaling_serial) {
+      std::fprintf(stderr, "equality gate failed at reactors=%zu\n", reactors);
+      return 1;
+    }
+    const double sec = static_cast<double>(run->wall_ns) / 1e9;
+    const double rate =
+        sec > 0 ? static_cast<double>(kScalingClients) / sec : 0.0;
+    std::printf("%3zu clients tcp   %8.2f sess/s  reactors=%zu\n",
+                kScalingClients, rate, reactors);
+    std::fprintf(f, "%s\n      {\"reactors\": %zu, \"wall_ns\": %llu, "
+                    "\"sessions_per_sec\": %.3f, \"equality\": \"ok\"}",
+                 first_row ? "" : ",", reactors,
+                 static_cast<unsigned long long>(run->wall_ns), rate);
+    first_row = false;
+  }
+  std::fprintf(f, "\n    ]\n  }\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

@@ -45,15 +45,48 @@ Status WarmEnclavePool::AddOne() {
   EngardeOptions options = enclave_options_;
   ASSIGN_OR_RETURN(std::unique_ptr<PooledEnclave> entry,
                    BuildEntry(host_, *quoting_, policy_factory_(), options));
+  Shelve(std::move(entry));
+  return Status::Ok();
+}
+
+Result<bool> WarmEnclavePool::TopUpOnce(EpcBudget& budget) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (size_ >= target_size_) return false;
+  }
+  // Reserve before building so the new enclave's pages count against the
+  // same pot the reactors admit from — a top-up can delay an admission but
+  // never overdraw the EPC.
+  if (!budget.TryReserve(PagesPerEnclave())) return false;
+  const Status added = AddOne();
+  if (!added.ok()) {
+    budget.Release(PagesPerEnclave());
+    return added;
+  }
+  return true;
+}
+
+void WarmEnclavePool::SetRefillTarget(size_t target_size) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  target_size_ = target_size;
+}
+
+size_t WarmEnclavePool::refill_target() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return target_size_;
+}
+
+void WarmEnclavePool::Shelve(std::unique_ptr<PooledEnclave> entry) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const std::string key = entry->policy_fingerprint;
   shelves_[key].push_back(std::move(entry));
   ++size_;
   ++total_prebuilt_;
-  return Status::Ok();
 }
 
 std::unique_ptr<PooledEnclave> WarmEnclavePool::TryTake(
     const std::string& fingerprint) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto shelf = shelves_.find(fingerprint);
   if (shelf == shelves_.end() || shelf->second.empty()) return nullptr;
   std::unique_ptr<PooledEnclave> entry = std::move(shelf->second.front());
@@ -62,6 +95,21 @@ std::unique_ptr<PooledEnclave> WarmEnclavePool::TryTake(
   --size_;
   ++total_handouts_;
   return entry;
+}
+
+size_t WarmEnclavePool::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+size_t WarmEnclavePool::total_prebuilt() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return total_prebuilt_;
+}
+
+size_t WarmEnclavePool::total_handouts() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return total_handouts_;
 }
 
 }  // namespace engarde::core

@@ -12,6 +12,11 @@
 // connection, the connection adopts that accountant, so per-phase SGX
 // attribution for a warm-pool session is bit-for-bit identical to a
 // cold-built one; only the wall-clock position of the build moves.
+//
+// Thread safety: the shelves are mutex-guarded so N front-end reactors can
+// TryTake/TopUpOnce against one shared pool. Enclave builds happen OUTSIDE
+// the pool mutex (they are long and take the device's hardware mutex
+// internally); only shelving and handout serialize.
 #ifndef ENGARDE_CORE_ENCLAVE_POOL_H_
 #define ENGARDE_CORE_ENCLAVE_POOL_H_
 
@@ -19,17 +24,30 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
 #include "common/bytes.h"
 #include "common/status.h"
 #include "core/engarde.h"
+#include "core/epc_budget.h"
 #include "sgx/attestation.h"
 #include "sgx/cost_model.h"
 #include "sgx/hostos.h"
 
 namespace engarde::core {
+
+// When the pool replaces a handed-out enclave.
+enum class PoolRefill : uint8_t {
+  // Never behind the client's back: the pool only shrinks as entries are
+  // taken; admissions past the prefill go cold. (The pre-sharding behavior.)
+  kOnAdmission = 0,
+  // A background top-up (FrontendGroup's reactor loop between sweeps)
+  // rebuilds toward `target_size` whenever EPC budget is free, so bursts
+  // keep hitting warm enclaves after the initial prefill drains.
+  kBackground,
+};
 
 // The joint fingerprint of a mutually-agreed policy configuration — the
 // pool's key. Two PolicySets with the same fingerprint produce the same
@@ -64,22 +82,40 @@ class WarmEnclavePool {
   // pooled enclave holds layout.TotalPages() EPC pages while it waits.
   Status AddOne();
 
+  // Background refill step: when fewer than `target_size` entries are
+  // shelved AND `budget` has room for another enclave, builds and shelves
+  // one, returning true. False = the pool is full or the budget is not —
+  // nothing happened. Safe to call from any reactor thread; concurrent
+  // callers may briefly overshoot target_size by the number of in-flight
+  // builds, never the budget.
+  Result<bool> TopUpOnce(EpcBudget& budget);
+
+  void SetRefillTarget(size_t target_size);
+  size_t refill_target() const;
+
   // Hands out a warm enclave whose policy fingerprint matches, oldest first;
   // nullptr when none match (the caller falls back to a cold build). A
   // stale-keyed entry (policy set changed since prefill) is never returned.
   std::unique_ptr<PooledEnclave> TryTake(const std::string& fingerprint);
 
-  size_t size() const noexcept { return size_; }
-  size_t total_prebuilt() const noexcept { return total_prebuilt_; }
-  size_t total_handouts() const noexcept { return total_handouts_; }
+  size_t size() const;
+  size_t total_prebuilt() const;
+  size_t total_handouts() const;
+  uint64_t PagesPerEnclave() const noexcept {
+    return enclave_options_.layout.TotalPages();
+  }
 
  private:
+  void Shelve(std::unique_ptr<PooledEnclave> entry);
+
   sgx::HostOs* host_;
   const sgx::QuotingEnclave* quoting_;
   std::function<PolicySet()> policy_factory_;
   EngardeOptions enclave_options_;
+  mutable std::mutex mu_;  // guards everything below
   std::map<std::string, std::deque<std::unique_ptr<PooledEnclave>>> shelves_;
   size_t size_ = 0;
+  size_t target_size_ = 0;
   size_t total_prebuilt_ = 0;
   size_t total_handouts_ = 0;
 };

@@ -1,0 +1,58 @@
+// The shared EPC admission budget: one pot of pages that every front-end
+// reactor draws from before building (or pooling) an enclave, so N reactors
+// can never jointly push the device into its nondeterministic eviction path.
+// Reservation is all-or-nothing and thread-safe; the high-water mark is the
+// never-exceeds-budget invariant the tests pin.
+#ifndef ENGARDE_CORE_EPC_BUDGET_H_
+#define ENGARDE_CORE_EPC_BUDGET_H_
+
+#include <cstdint>
+#include <mutex>
+
+namespace engarde::core {
+
+class EpcBudget {
+ public:
+  explicit EpcBudget(uint64_t budget_pages) noexcept
+      : budget_pages_(budget_pages) {}
+  EpcBudget(const EpcBudget&) = delete;
+  EpcBudget& operator=(const EpcBudget&) = delete;
+
+  // Commits `pages` against the budget; false (and no change) when the
+  // reservation would overdraw it.
+  bool TryReserve(uint64_t pages) noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (committed_ + pages > budget_pages_) return false;
+    committed_ += pages;
+    if (committed_ > max_committed_) max_committed_ = committed_;
+    return true;
+  }
+
+  // Returns pages a finished (or failed) enclave held.
+  void Release(uint64_t pages) noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    committed_ = pages > committed_ ? 0 : committed_ - pages;
+  }
+
+  uint64_t budget_pages() const noexcept { return budget_pages_; }
+  uint64_t committed_pages() const noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return committed_;
+  }
+  // Peak commitment over the budget's lifetime; never exceeding
+  // budget_pages() is the no-eviction guarantee.
+  uint64_t max_committed_pages() const noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return max_committed_;
+  }
+
+ private:
+  const uint64_t budget_pages_;
+  mutable std::mutex mu_;
+  uint64_t committed_ = 0;
+  uint64_t max_committed_ = 0;
+};
+
+}  // namespace engarde::core
+
+#endif  // ENGARDE_CORE_EPC_BUDGET_H_

@@ -1,6 +1,5 @@
 #include "core/frontend.h"
 
-#include <algorithm>
 #include <utility>
 
 #include "core/inspection.h"
@@ -21,7 +20,21 @@ Result<size_t> ShuttleOut(crypto::DuplexPipe::Endpoint wire,
   return pending;
 }
 
+uint64_t BudgetFromDevice(sgx::HostOs& host, const FrontendOptions& options) {
+  const uint64_t capacity = host.device()->epc().capacity();
+  return capacity > options.epc_reserve_pages
+             ? capacity - options.epc_reserve_pages
+             : 0;
+}
+
 }  // namespace
+
+EngardeOptions ProvisioningFrontend::PerEnclaveOptions() const {
+  EngardeOptions enclave_options = options_.enclave_options;
+  enclave_options.inspection_threads = 1;
+  enclave_options.shared_inspection_pool = inspection_pool_.get();
+  return enclave_options;
+}
 
 ProvisioningFrontend::ProvisioningFrontend(
     sgx::HostOs* host, const sgx::QuotingEnclave* quoting,
@@ -34,28 +47,39 @@ ProvisioningFrontend::ProvisioningFrontend(
                            ? std::make_unique<common::ThreadPool>(
                                  options_.inspection_threads)
                            : nullptr),
-      pool_(host, quoting, policy_factory_,
-            [this] {
-              EngardeOptions enclave_options = options_.enclave_options;
-              enclave_options.inspection_threads = 1;
-              enclave_options.shared_inspection_pool = inspection_pool_.get();
-              return enclave_options;
-            }()) {
-  const uint64_t capacity = host_->device()->epc().capacity();
-  budget_pages_ = capacity > options_.epc_reserve_pages
-                      ? capacity - options_.epc_reserve_pages
-                      : 0;
-}
+      owned_budget_(
+          std::make_unique<EpcBudget>(BudgetFromDevice(*host, options_))),
+      owned_pool_(std::make_unique<WarmEnclavePool>(
+          host, quoting, policy_factory_, PerEnclaveOptions())),
+      budget_(owned_budget_.get()),
+      pool_(owned_pool_.get()) {}
+
+ProvisioningFrontend::ProvisioningFrontend(
+    sgx::HostOs* host, const sgx::QuotingEnclave* quoting,
+    std::function<PolicySet()> policy_factory, FrontendOptions options,
+    EpcBudget* budget, WarmEnclavePool* pool)
+    : host_(host),
+      quoting_(quoting),
+      policy_factory_(std::move(policy_factory)),
+      options_(std::move(options)),
+      inspection_pool_(options_.inspection_threads > 1
+                           ? std::make_unique<common::ThreadPool>(
+                                 options_.inspection_threads)
+                           : nullptr),
+      budget_(budget),
+      pool_(pool) {}
 
 Status ProvisioningFrontend::PrefillPool(size_t count) {
   for (size_t i = 0; i < count; ++i) {
-    if (committed_pages_ + PagesPerEnclave() > budget_pages_) {
+    if (!budget_->TryReserve(PagesPerEnclave())) {
       return ResourceExhaustedError(
           "EPC admission budget cannot hold another pooled enclave");
     }
-    RETURN_IF_ERROR(pool_.AddOne());
-    committed_pages_ += PagesPerEnclave();
-    max_committed_pages_ = std::max(max_committed_pages_, committed_pages_);
+    const Status added = pool_->AddOne();
+    if (!added.ok()) {
+      budget_->Release(PagesPerEnclave());
+      return added;
+    }
   }
   return Status::Ok();
 }
@@ -87,19 +111,18 @@ Result<ProvisioningFrontend::AdmitResult> ProvisioningFrontend::TryAdmit(
     Connection& conn) {
   PolicySet policies = policy_factory_();
   const std::string fingerprint = PolicySetFingerprint(policies);
-  std::unique_ptr<PooledEnclave> slot = pool_.TryTake(fingerprint);
+  std::unique_ptr<PooledEnclave> slot = pool_->TryTake(fingerprint);
   if (slot == nullptr) {
     // Cold path: the enclave's pages are committed now; a pooled handout's
-    // were committed at prefill time.
-    if (committed_pages_ + PagesPerEnclave() > budget_pages_) {
+    // were committed at prefill/top-up time. Reserve first so a sibling
+    // reactor racing this admission can never jointly overdraw the budget.
+    if (!budget_->TryReserve(PagesPerEnclave())) {
       return AdmitResult::kNoBudget;
     }
-    EngardeOptions enclave_options = options_.enclave_options;
-    enclave_options.inspection_threads = 1;
-    enclave_options.shared_inspection_pool = inspection_pool_.get();
     Result<std::unique_ptr<PooledEnclave>> built = WarmEnclavePool::BuildEntry(
-        host_, *quoting_, std::move(policies), enclave_options);
+        host_, *quoting_, std::move(policies), PerEnclaveOptions());
     if (!built.ok()) {
+      budget_->Release(PagesPerEnclave());
       // The device itself ran out of EPC (someone else holds pages outside
       // our budget): treat like over-budget so the client gets RetryAfter
       // instead of a hard failure.
@@ -109,8 +132,6 @@ Result<ProvisioningFrontend::AdmitResult> ProvisioningFrontend::TryAdmit(
       return built.status();
     }
     slot = std::move(*built);
-    committed_pages_ += PagesPerEnclave();
-    max_committed_pages_ = std::max(max_committed_pages_, committed_pages_);
   } else {
     conn.from_pool = true;
   }
@@ -136,8 +157,8 @@ Status ProvisioningFrontend::Shed(Connection& conn) {
   RetryAfter record;
   record.retry_after_ms = options_.retry_after_ms;
   record.queue_depth = static_cast<uint32_t>(admission_queue_.size());
-  record.epc_pages_in_use = committed_pages_;
-  record.epc_budget_pages = budget_pages_;
+  record.epc_pages_in_use = budget_->committed_pages();
+  record.epc_budget_pages = budget_->budget_pages();
   crypto::DuplexPipe::Endpoint session_side = conn.pipe->EndA();
   RETURN_IF_ERROR(WriteControlFrame(session_side, ControlType::kRetryAfter,
                                     ByteView(record.Serialize())));
@@ -145,7 +166,7 @@ Status ProvisioningFrontend::Shed(Connection& conn) {
   ASSIGN_OR_RETURN(const bool flushed, conn.transport->Flush());
   if (flushed) conn.transport->Close();
   conn.state = ConnectionState::kShed;
-  ++shed_count_;
+  shed_count_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -210,7 +231,7 @@ Status ProvisioningFrontend::PumpConnection(Connection& conn,
     ASSIGN_OR_RETURN(ProvisionOutcome outcome, conn.session->TakeOutcome());
     conn.outcome.emplace(std::move(outcome));
     conn.state = ConnectionState::kDone;
-    ++done_count_;
+    done_count_.fetch_add(1, std::memory_order_relaxed);
     ++progress;
     if (options_.destroy_enclave_on_verdict) ReleaseEnclave(conn);
   } else if (conn.session->state() == before &&
@@ -243,11 +264,13 @@ void ProvisioningFrontend::ReleaseEnclave(Connection& conn) {
   // Deliberately OUTSIDE any ScopedAccountant: teardown EREMOVEs are charged
   // to the device-wide accountant, never the session's, so the session's
   // per-phase counts stay bit-for-bit equal to a serial Drive of the same
-  // exchange (which never destroys the enclave).
-  (void)host_->device()->DestroyEnclave(enclave_id);
+  // exchange (which never destroys the enclave). Destroying through the
+  // HostOs (not the raw device) also retires the kernel-side page-table and
+  // lock records — the map leak the lifecycle soak pins.
+  (void)host_->DestroyEnclave(enclave_id);
   conn.slot->enclave.reset();
   conn.enclave_released = true;
-  committed_pages_ -= PagesPerEnclave();
+  budget_->Release(PagesPerEnclave());
 }
 
 Status ProvisioningFrontend::AdmitFromQueue(size_t& progress) {

@@ -13,7 +13,9 @@
 //    its nondeterministic eviction path. Arrivals beyond budget wait in a
 //    bounded FIFO; beyond that (or when an enclave build itself fails with
 //    IsRetryableResourceError) the client gets an explicit RetryAfter
-//    control record on the wire and is expected to reconnect.
+//    control record on the wire and is expected to reconnect. The budget
+//    itself lives in core/epc_budget.h and may be shared: a FrontendGroup
+//    hands N reactors one EpcBudget so they can never jointly overdraw it.
 //
 //  * Reactor — PollOnce() sweeps every connection: shuttles bytes between
 //    the transport and the connection's internal DuplexPipe, pumps the
@@ -24,10 +26,18 @@
 //
 //  * Warm enclave pool — admission prefers a pre-built enclave whose
 //    policy-set fingerprint matches, skipping enclave build + RSA keygen +
-//    hello serialization on the hot path (core/enclave_pool.h).
+//    hello serialization on the hot path (core/enclave_pool.h). Also
+//    shareable across a group.
+//
+// Threading: one ProvisioningFrontend is owned by exactly one thread —
+// Accept/PollOnce/per-connection introspection are not synchronized. What IS
+// safe cross-thread: the shared EpcBudget, the shared WarmEnclavePool, and
+// the aggregate done/shed counters (atomics), which is precisely the state a
+// sibling reactor or a monitoring thread touches while this one runs.
 #ifndef ENGARDE_CORE_FRONTEND_H_
 #define ENGARDE_CORE_FRONTEND_H_
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -38,6 +48,7 @@
 #include "common/thread_pool.h"
 #include "core/enclave_pool.h"
 #include "core/engarde.h"
+#include "core/epc_budget.h"
 #include "core/session.h"
 #include "net/transport.h"
 #include "sgx/attestation.h"
@@ -53,6 +64,7 @@ struct FrontendOptions {
   // Size of the shared inspection worker pool. 1 = serial inspection.
   size_t inspection_threads = 1;
   // EPC pages held back from admission (device bookkeeping headroom).
+  // Ignored when an external EpcBudget is supplied.
   uint64_t epc_reserve_pages = 64;
   // Arrivals allowed to wait for EPC beyond the budget; past this they are
   // shed with a RetryAfter record. 0 = shed immediately when over budget.
@@ -76,10 +88,21 @@ enum class ConnectionState : uint8_t {
 
 class ProvisioningFrontend {
  public:
-  // `host`, `quoting` and the transports' peers must outlive the frontend.
+  // Standalone reactor: owns its budget (device capacity minus
+  // options.epc_reserve_pages) and its warm pool. `host`, `quoting` and the
+  // transports' peers must outlive the frontend.
   ProvisioningFrontend(sgx::HostOs* host, const sgx::QuotingEnclave* quoting,
                        std::function<PolicySet()> policy_factory,
                        FrontendOptions options);
+
+  // Group shard: draws admissions from a shared `budget` and warm handouts
+  // from a shared `pool`, both owned by the caller (FrontendGroup) and
+  // outliving the frontend. epc_reserve_pages in `options` is ignored — the
+  // shared budget already encodes the reserve.
+  ProvisioningFrontend(sgx::HostOs* host, const sgx::QuotingEnclave* quoting,
+                       std::function<PolicySet()> policy_factory,
+                       FrontendOptions options, EpcBudget* budget,
+                       WarmEnclavePool* pool);
 
   // Pre-builds `count` warm enclaves, charging their EPC pages against the
   // admission budget. Fails with RESOURCE_EXHAUSTED when the budget cannot
@@ -101,7 +124,7 @@ class ProvisioningFrontend {
   // every queued byte is consumed and every completable session completed).
   Status DrainAll();
 
-  // ---- Introspection -------------------------------------------------------
+  // ---- Introspection (owner thread, except where noted) -------------------
   size_t connection_count() const noexcept { return connections_.size(); }
   ConnectionState state(uint64_t id) const {
     return connections_[id]->state;
@@ -121,18 +144,27 @@ class ProvisioningFrontend {
 
   size_t active_count() const noexcept;
   size_t queued_count() const noexcept { return admission_queue_.size(); }
-  size_t shed_count() const noexcept { return shed_count_; }
-  size_t done_count() const noexcept { return done_count_; }
-
-  // Admission budget telemetry. max_committed_pages() never exceeding
-  // budget_pages() is the no-eviction guarantee the tests pin.
-  uint64_t budget_pages() const noexcept { return budget_pages_; }
-  uint64_t committed_pages() const noexcept { return committed_pages_; }
-  uint64_t max_committed_pages() const noexcept {
-    return max_committed_pages_;
+  // Aggregate counters — safe to read from any thread while the reactor runs.
+  size_t shed_count() const noexcept {
+    return shed_count_.load(std::memory_order_relaxed);
+  }
+  size_t done_count() const noexcept {
+    return done_count_.load(std::memory_order_relaxed);
   }
 
-  WarmEnclavePool& pool() noexcept { return pool_; }
+  // Admission budget telemetry (thread-safe; possibly shared across a
+  // group). max_committed_pages() never exceeding budget_pages() is the
+  // no-eviction guarantee the tests pin.
+  uint64_t budget_pages() const noexcept { return budget_->budget_pages(); }
+  uint64_t committed_pages() const noexcept {
+    return budget_->committed_pages();
+  }
+  uint64_t max_committed_pages() const noexcept {
+    return budget_->max_committed_pages();
+  }
+  EpcBudget& budget() noexcept { return *budget_; }
+
+  WarmEnclavePool& pool() noexcept { return *pool_; }
 
   // Descriptors of all live fd-backed transports, for poll(2) in a serving
   // loop. In-memory transports have none and are swept unconditionally.
@@ -171,6 +203,7 @@ class ProvisioningFrontend {
   uint64_t PagesPerEnclave() const noexcept {
     return options_.enclave_options.layout.TotalPages();
   }
+  EngardeOptions PerEnclaveOptions() const;
 
   sgx::HostOs* host_;
   const sgx::QuotingEnclave* quoting_;
@@ -178,14 +211,15 @@ class ProvisioningFrontend {
   FrontendOptions options_;
   // Shared inspection pool; null when inspection_threads <= 1.
   std::unique_ptr<common::ThreadPool> inspection_pool_;
-  WarmEnclavePool pool_;
-  uint64_t budget_pages_ = 0;
-  uint64_t committed_pages_ = 0;
-  uint64_t max_committed_pages_ = 0;
+  // Standalone mode owns these; group shards borrow the group's.
+  std::unique_ptr<EpcBudget> owned_budget_;
+  std::unique_ptr<WarmEnclavePool> owned_pool_;
+  EpcBudget* budget_;
+  WarmEnclavePool* pool_;
   std::vector<std::unique_ptr<Connection>> connections_;
   std::deque<uint64_t> admission_queue_;
-  size_t shed_count_ = 0;
-  size_t done_count_ = 0;
+  std::atomic<size_t> shed_count_{0};
+  std::atomic<size_t> done_count_{0};
 };
 
 }  // namespace engarde::core

@@ -1,0 +1,206 @@
+#include "core/frontend_group.h"
+
+#include <chrono>
+#include <utility>
+
+#include "sgx/device.h"
+
+namespace engarde::core {
+
+FrontendGroup::FrontendGroup(sgx::HostOs* host,
+                             const sgx::QuotingEnclave* quoting,
+                             std::function<PolicySet()> policy_factory,
+                             FrontendGroupOptions options)
+    : host_(host),
+      quoting_(quoting),
+      policy_factory_(std::move(policy_factory)),
+      options_(std::move(options)) {
+  if (options_.reactors == 0) options_.reactors = 1;
+
+  const uint64_t capacity = host_->device()->epc().capacity();
+  const uint64_t reserve = options_.frontend.epc_reserve_pages;
+  budget_ = std::make_unique<EpcBudget>(capacity > reserve ? capacity - reserve
+                                                           : 0);
+
+  // Pool entries inspect serially regardless of the shards' inspection
+  // settings: a background build must never borrow a shard's worker pool.
+  EngardeOptions pool_options = options_.frontend.enclave_options;
+  pool_options.inspection_threads = 1;
+  pool_options.shared_inspection_pool = nullptr;
+  pool_ = std::make_unique<WarmEnclavePool>(host_, quoting_, policy_factory_,
+                                            std::move(pool_options));
+  pool_->SetRefillTarget(options_.pool_target);
+
+  shards_.reserve(options_.reactors);
+  for (size_t i = 0; i < options_.reactors; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->frontend = std::make_unique<ProvisioningFrontend>(
+        host_, quoting_, policy_factory_, options_.frontend, budget_.get(),
+        pool_.get());
+    shards_.push_back(std::move(shard));
+  }
+}
+
+FrontendGroup::~FrontendGroup() {
+  if (running_) (void)Stop();
+}
+
+Status FrontendGroup::PrefillPool(size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    if (!budget_->TryReserve(pool_->PagesPerEnclave())) {
+      return ResourceExhaustedError(
+          "EPC admission budget cannot hold another pooled enclave");
+    }
+    const Status added = pool_->AddOne();
+    if (!added.ok()) {
+      budget_->Release(pool_->PagesPerEnclave());
+      return added;
+    }
+  }
+  return Status::Ok();
+}
+
+size_t FrontendGroup::Dispatch(std::unique_ptr<net::Transport> transport) {
+  const size_t index =
+      next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  shards_[index]->inbox.Push(std::move(transport));
+  return index;
+}
+
+void FrontendGroup::AttachListener(net::Listener* listener) {
+  listener_ = listener;
+}
+
+void FrontendGroup::HarvestVerdicts(size_t index, size_t& progress) {
+  if (!options_.on_verdict) return;
+  ProvisioningFrontend& frontend = *shards_[index]->frontend;
+  for (uint64_t id = 0; id < frontend.connection_count(); ++id) {
+    if (frontend.state(id) != ConnectionState::kDone) continue;
+    Result<ProvisionOutcome> outcome = frontend.TakeOutcome(id);
+    if (!outcome.ok()) continue;  // already harvested on an earlier sweep
+    options_.on_verdict(index, id, *outcome, frontend.served_from_pool(id));
+    ++progress;
+  }
+}
+
+Status FrontendGroup::SweepShard(size_t index, size_t& progress) {
+  Shard& shard = *shards_[index];
+
+  // Dispatched arrivals first (strict FIFO per shard: the inbox preserves
+  // Dispatch order and Accept preserves queue order).
+  for (;;) {
+    ASSIGN_OR_RETURN(std::unique_ptr<net::Transport> transport,
+                     shard.inbox.TryAccept());
+    if (transport == nullptr) break;
+    RETURN_IF_ERROR(shard.frontend->Accept(std::move(transport)).status());
+    ++progress;
+  }
+
+  // Then the shared listener, raced against sibling reactors — whoever's
+  // sweep gets there first takes the connection, SO_REUSEPORT-style.
+  if (listener_ != nullptr) {
+    for (;;) {
+      ASSIGN_OR_RETURN(std::unique_ptr<net::Transport> transport,
+                       listener_->TryAccept());
+      if (transport == nullptr) break;
+      RETURN_IF_ERROR(shard.frontend->Accept(std::move(transport)).status());
+      ++progress;
+    }
+  }
+
+  ASSIGN_OR_RETURN(const size_t swept, shard.frontend->PollOnce());
+  progress += swept;
+  HarvestVerdicts(index, progress);
+
+  if (options_.pool_refill == PoolRefill::kBackground) {
+    ASSIGN_OR_RETURN(const bool topped, pool_->TopUpOnce(*budget_));
+    if (topped) ++progress;
+  }
+  return Status::Ok();
+}
+
+Result<size_t> FrontendGroup::PollOnce() {
+  if (running_) {
+    return FailedPreconditionError(
+        "deterministic PollOnce while reactor threads run");
+  }
+  size_t progress = 0;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    RETURN_IF_ERROR(SweepShard(i, progress));
+  }
+  return progress;
+}
+
+Status FrontendGroup::DrainAll() {
+  for (;;) {
+    ASSIGN_OR_RETURN(const size_t progress, PollOnce());
+    if (progress == 0) return Status::Ok();
+  }
+}
+
+void FrontendGroup::RecordFailure(const Status& failure) {
+  const std::lock_guard<std::mutex> lock(failure_mu_);
+  if (first_failure_.ok()) first_failure_ = failure;
+}
+
+void FrontendGroup::ReactorMain(size_t index) {
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    size_t progress = 0;
+    const Status swept = SweepShard(index, progress);
+    if (!swept.ok()) {
+      // This shard is wedged; siblings keep serving. Stop() reports it.
+      RecordFailure(swept);
+      return;
+    }
+    if (progress == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+Status FrontendGroup::Start() {
+  if (running_) return FailedPreconditionError("group already running");
+  stop_requested_.store(false, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(failure_mu_);
+    first_failure_ = Status::Ok();
+  }
+  threads_.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    threads_.emplace_back([this, i] { ReactorMain(i); });
+  }
+  running_ = true;
+  return Status::Ok();
+}
+
+Status FrontendGroup::Stop() {
+  if (!running_) return FailedPreconditionError("group not running");
+  stop_requested_.store(true, std::memory_order_relaxed);
+  for (std::thread& thread : threads_) thread.join();
+  threads_.clear();
+  running_ = false;
+  const std::lock_guard<std::mutex> lock(failure_mu_);
+  return first_failure_;
+}
+
+size_t FrontendGroup::connection_count() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->frontend->connection_count();
+  }
+  return total;
+}
+
+size_t FrontendGroup::done_count() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->frontend->done_count();
+  return total;
+}
+
+size_t FrontendGroup::shed_count() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->frontend->shed_count();
+  return total;
+}
+
+}  // namespace engarde::core

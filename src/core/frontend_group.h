@@ -1,0 +1,160 @@
+// FrontendGroup: N ProvisioningFrontend reactors sharded over one host OS.
+//
+// The single-reactor front end (core/frontend.h) serializes every exchange
+// through one sweep loop; past a point the reactor itself is the bottleneck,
+// not the enclaves. The group splits the connection load across N reactors
+// the way SO_REUSEPORT shards a busy accept queue across processes — while
+// keeping exactly one of everything that must stay global:
+//
+//  * one EpcBudget — reservation is all-or-nothing and thread-safe, so the
+//    reactors can never jointly overdraw the device into its eviction path;
+//  * one WarmEnclavePool — a warm enclave built by (or for) any reactor
+//    serves whichever reactor's client arrives first;
+//  * one HostOs/SgxDevice — already safe under concurrent reactors via the
+//    shared hardware mutex (see sgx/hostos.h), with HostOs::DestroyEnclave
+//    reclaiming both device pages and kernel-side records per verdict.
+//
+// Everything else is per-reactor: connections, sessions, admission FIFO.
+// Because each session pumps under its own ScopedAccountant (thread-local
+// redirection) and teardown charges the device-wide accountant, per-phase
+// SGX attribution stays bit-for-bit identical to a serial Drive of the same
+// exchange no matter which reactor runs it or how sweeps interleave — the
+// property the group tests and bench_frontend gate on.
+//
+// Two execution modes:
+//
+//  * Deterministic (tests, benches over in-memory pipes): the caller owns
+//    the only thread, routes arrivals with Dispatch() (round-robin over
+//    per-reactor inboxes), and turns the crank with PollOnce()/DrainAll().
+//    In-memory pipes are not thread-safe, so this is the ONLY mode they may
+//    be used in.
+//  * Threaded (tools/engarde-serve, TCP benches): Start() spawns one thread
+//    per reactor; each drains its inbox, races the shared Listener attached
+//    via AttachListener() (accept(2) dedups kernel-side), sweeps its shard,
+//    and — under PoolRefill::kBackground — tops the warm pool back up toward
+//    pool_target between sweeps. Stop() joins. Per-connection introspection
+//    is owner-thread-only while running; aggregate counters and the budget
+//    are safe from anywhere, and everything is readable once Stop() returns.
+#ifndef ENGARDE_CORE_FRONTEND_GROUP_H_
+#define ENGARDE_CORE_FRONTEND_GROUP_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/enclave_pool.h"
+#include "core/epc_budget.h"
+#include "core/frontend.h"
+#include "net/transport.h"
+
+namespace engarde::core {
+
+struct FrontendGroupOptions {
+  // Per-reactor options. epc_reserve_pages is applied ONCE to size the
+  // shared budget, not per reactor.
+  FrontendOptions frontend;
+  // Number of reactors (shards). 1 reproduces the single-reactor front end.
+  size_t reactors = 1;
+  // kOnAdmission: the warm pool only drains (pre-sharding behavior).
+  // kBackground: reactors rebuild toward pool_target between sweeps.
+  PoolRefill pool_refill = PoolRefill::kOnAdmission;
+  // Warm enclaves to keep shelved under kBackground.
+  size_t pool_target = 0;
+  // Invoked (from the owning reactor's thread) as each connection reaches a
+  // verdict; the outcome is moved out, so TakeOutcome will not see it again.
+  std::function<void(size_t reactor, uint64_t connection,
+                     const ProvisionOutcome& outcome, bool from_pool)>
+      on_verdict;
+};
+
+class FrontendGroup {
+ public:
+  // `host` and `quoting` must outlive the group.
+  FrontendGroup(sgx::HostOs* host, const sgx::QuotingEnclave* quoting,
+                std::function<PolicySet()> policy_factory,
+                FrontendGroupOptions options);
+  ~FrontendGroup();
+
+  // Pre-builds `count` warm enclaves against the shared budget.
+  Status PrefillPool(size_t count);
+
+  // Routes an arrival round-robin into a reactor's inbox and returns the
+  // chosen reactor index. Thread-safe; the connection is Accept()ed (hello
+  // or RetryAfter sent) on that reactor's next sweep, in FIFO order.
+  size_t Dispatch(std::unique_ptr<net::Transport> transport);
+
+  // Shared accept source for threaded mode; raced by all reactor threads.
+  // Must outlive the group; attach before Start().
+  void AttachListener(net::Listener* listener);
+
+  // ---- Deterministic mode (caller's thread is the only thread) ------------
+  // One sweep of every reactor: inbox accepts, shared-listener accepts,
+  // shard PollOnce, verdict harvest, background top-up. Returns total
+  // progress. Must not be called between Start() and Stop().
+  Result<size_t> PollOnce();
+  // Sweeps until a full pass makes no progress.
+  Status DrainAll();
+
+  // ---- Threaded mode ------------------------------------------------------
+  Status Start();
+  // Signals every reactor thread and joins them; afterwards the group is
+  // quiescent and fully introspectable. Returns the first hard failure any
+  // reactor hit (the group stops sweeping a failed shard but keeps serving
+  // the others).
+  Status Stop();
+  bool running() const noexcept { return running_; }
+
+  // ---- Introspection ------------------------------------------------------
+  size_t reactor_count() const noexcept { return shards_.size(); }
+  ProvisioningFrontend& reactor(size_t index) {
+    return *shards_[index]->frontend;
+  }
+  const ProvisioningFrontend& reactor(size_t index) const {
+    return *shards_[index]->frontend;
+  }
+
+  // Aggregates over all shards (safe any time; exact when quiescent).
+  size_t connection_count() const;
+  size_t done_count() const;
+  size_t shed_count() const;
+
+  EpcBudget& budget() noexcept { return *budget_; }
+  WarmEnclavePool& pool() noexcept { return *pool_; }
+
+ private:
+  // Everything one reactor thread owns besides the shard itself.
+  struct Shard {
+    std::unique_ptr<ProvisioningFrontend> frontend;
+    net::MemoryListener inbox;  // Dispatch() target; thread-safe
+  };
+
+  // One sweep of shard `index`; adds to `progress`. Called by the shard's
+  // thread (threaded mode) or the caller's (deterministic mode).
+  Status SweepShard(size_t index, size_t& progress);
+  void HarvestVerdicts(size_t index, size_t& progress);
+  void ReactorMain(size_t index);
+  void RecordFailure(const Status& failure);
+
+  sgx::HostOs* host_;
+  const sgx::QuotingEnclave* quoting_;
+  std::function<PolicySet()> policy_factory_;
+  FrontendGroupOptions options_;
+  std::unique_ptr<EpcBudget> budget_;
+  std::unique_ptr<WarmEnclavePool> pool_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  net::Listener* listener_ = nullptr;  // not owned
+  std::atomic<size_t> next_shard_{0};
+  std::atomic<bool> stop_requested_{false};
+  bool running_ = false;
+  std::vector<std::thread> threads_;
+  std::mutex failure_mu_;
+  Status first_failure_;  // guarded by failure_mu_
+};
+
+}  // namespace engarde::core
+
+#endif  // ENGARDE_CORE_FRONTEND_GROUP_H_

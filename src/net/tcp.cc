@@ -172,15 +172,17 @@ TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
   return *this;
 }
 
-Result<std::unique_ptr<TcpTransport>> TcpListener::TryAccept() {
+Result<std::unique_ptr<Transport>> TcpListener::TryAccept() {
+  // fd_ is read-only here and accept(2) is kernel-serialized, so reactor
+  // threads of a FrontendGroup may race this without extra locking.
   const int fd = ::accept(fd_, nullptr, nullptr);
   if (fd < 0) {
     if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
-      return std::unique_ptr<TcpTransport>();
+      return std::unique_ptr<Transport>();
     }
     return InternalError(std::string("accept: ") + std::strerror(errno));
   }
-  return std::make_unique<TcpTransport>(fd);
+  return std::unique_ptr<Transport>(std::make_unique<TcpTransport>(fd));
 }
 
 }  // namespace engarde::net

@@ -42,21 +42,25 @@ class TcpTransport final : public Transport {
   Bytes backlog_;             // outbound bytes the socket would not take yet
 };
 
-class TcpListener {
+// Implements net::Listener so a FrontendGroup can share one bound socket
+// across reactors: accept(2) on a shared fd is kernel-serialized, so racing
+// TryAccept from several threads is safe and each connection goes to exactly
+// one caller — the in-process analogue of SO_REUSEPORT sharding.
+class TcpListener final : public Listener {
  public:
   // Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port) and listens.
   static Result<TcpListener> Bind(uint16_t port);
-  ~TcpListener();
+  ~TcpListener() override;
   TcpListener(TcpListener&& other) noexcept;
   TcpListener& operator=(TcpListener&& other) noexcept;
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
   uint16_t port() const noexcept { return port_; }
-  int descriptor() const noexcept { return fd_; }
+  int descriptor() const noexcept override { return fd_; }
 
   // Non-blocking accept: nullptr when no connection is pending.
-  Result<std::unique_ptr<TcpTransport>> TryAccept();
+  Result<std::unique_ptr<Transport>> TryAccept() override;
 
  private:
   TcpListener(int fd, uint16_t port) noexcept : fd_(fd), port_(port) {}

@@ -18,6 +18,10 @@
 #ifndef ENGARDE_NET_TRANSPORT_H_
 #define ENGARDE_NET_TRANSPORT_H_
 
+#include <deque>
+#include <memory>
+#include <mutex>
+
 #include "common/bytes.h"
 #include "common/status.h"
 #include "crypto/channel.h"
@@ -69,6 +73,52 @@ class PipeTransport final : public Transport {
 
  private:
   crypto::DuplexPipe::Endpoint endpoint_;
+};
+
+// ---- Listeners -------------------------------------------------------------
+
+// An accept source the front end's reactors draw connections from. The
+// contract is SO_REUSEPORT-shaped: TryAccept is non-blocking, THREAD-SAFE,
+// and hands each pending connection to exactly one caller — so N reactor
+// threads may race one shared listener and the kernel-style dedup falls out
+// of the implementation, not the callers.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  // File descriptor for poll(2) readiness, or -1 for memory-backed
+  // listeners (swept unconditionally, like memory transports).
+  virtual int descriptor() const noexcept { return -1; }
+
+  // Non-blocking accept: nullptr when no connection is pending.
+  virtual Result<std::unique_ptr<Transport>> TryAccept() = 0;
+};
+
+// In-memory accept source: tests and benchmarks Push() pre-built transports
+// (usually PipeTransports whose peer end a test client drives) and reactors
+// TryAccept() them in FIFO order. Mutex-guarded so it doubles as the
+// per-shard inbox of a threaded FrontendGroup.
+class MemoryListener final : public Listener {
+ public:
+  void Push(std::unique_ptr<Transport> transport) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    pending_.push_back(std::move(transport));
+  }
+  size_t pending() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return pending_.size();
+  }
+  Result<std::unique_ptr<Transport>> TryAccept() override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (pending_.empty()) return std::unique_ptr<Transport>{};
+    std::unique_ptr<Transport> transport = std::move(pending_.front());
+    pending_.pop_front();
+    return transport;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<std::unique_ptr<Transport>> pending_;
 };
 
 // ---- Framing peeks ---------------------------------------------------------

@@ -549,6 +549,11 @@ Result<Bytes> SgxDevice::ReadAsOutsider(uint64_t enclave_id,
 
 // ---- Introspection --------------------------------------------------------
 
+size_t SgxDevice::EnclaveCount() const {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
+  return enclaves_.size();
+}
+
 bool SgxDevice::IsInitialized(uint64_t enclave_id) const {
   const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   auto enclave = FindEnclave(enclave_id);

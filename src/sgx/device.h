@@ -152,6 +152,9 @@ class SgxDevice {
   Result<Bytes> ReadAsOutsider(uint64_t enclave_id, uint64_t linear) const;
 
   // ---- Introspection ----------------------------------------------------------
+  // Live enclaves (SECS allocated, not yet destroyed). The lifecycle soak
+  // pins this back to zero after create/destroy churn.
+  size_t EnclaveCount() const;
   bool IsInitialized(uint64_t enclave_id) const;
   Result<crypto::Sha256Digest> Measurement(uint64_t enclave_id) const;
   Result<PagePerms> EpcmPerms(uint64_t enclave_id, uint64_t linear) const;

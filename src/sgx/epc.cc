@@ -1,5 +1,6 @@
 #include "sgx/epc.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace engarde::sgx {
@@ -19,6 +20,7 @@ Result<size_t> Epc::AllocatePage() {
       }
       std::memset(storage_[index].get(), 0, kPageSize);
       ++in_use_;
+      peak_in_use_ = std::max(peak_in_use_, in_use_);
       next_hint_ = index + 1;
       return index;
     }

@@ -56,6 +56,10 @@ class Epc {
 
   size_t capacity() const noexcept { return entries_.size(); }
   size_t pages_in_use() const noexcept { return in_use_; }
+  // High-water mark of pages_in_use over the EPC's lifetime: lets admission
+  // tests assert the device itself never held more pages than the shared
+  // budget allows, regardless of how many reactors were committing.
+  size_t peak_pages_in_use() const noexcept { return peak_in_use_; }
 
   // Finds a free page and marks it valid. Page storage is allocated lazily so
   // a 128 MB EPC does not cost 128 MB of host memory up front.
@@ -74,6 +78,7 @@ class Epc {
   std::vector<EpcmEntry> entries_;
   std::vector<std::unique_ptr<uint8_t[]>> storage_;
   size_t in_use_ = 0;
+  size_t peak_in_use_ = 0;
   size_t next_hint_ = 0;
 };
 

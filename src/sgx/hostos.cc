@@ -17,55 +17,80 @@ Result<uint64_t> HostOs::BuildEnclave(const EnclaveLayout& layout,
   ASSIGN_OR_RETURN(const uint64_t enclave_id,
                    device_->ECreate(layout.base, layout.TotalSize()));
 
-  // Bootstrap: EnGarde's code, executable, measured page by page. Both the
-  // provider and the client later verify this measurement via attestation.
-  for (uint64_t i = 0; i < layout.bootstrap_pages; ++i) {
-    const uint64_t linear = layout.BootstrapStart() + i * kPageSize;
-    const size_t offset = static_cast<size_t>(i * kPageSize);
-    ByteView content;
-    if (offset < bootstrap_image.size()) {
-      content = bootstrap_image.subspan(
-          offset, std::min(kPageSize, bootstrap_image.size() - offset));
-    }
-    RETURN_IF_ERROR(
-        device_->EAdd(enclave_id, linear, content, PagePerms::RX()));
-    RETURN_IF_ERROR(device_->ExtendPage(enclave_id, linear));
-  }
-
-  // Heap, load region, stack, TLS: zeroed writable pages. SGX1 requires all
-  // enclave memory committed at build time (paper Section 4), so everything
-  // is EADDed here even though the load region is only used after policy
-  // checks pass. Unmeasured, as client content must not influence MRENCLAVE.
-  // When the EPC fills up mid-build, the OS pages earlier additions out to
-  // the encrypted backing store (EWB) and keeps going — enclaves larger than
-  // the EPC are routine on real SGX.
-  auto add_rw_region = [&](uint64_t start, uint64_t pages) -> Status {
-    for (uint64_t i = 0; i < pages; ++i) {
-      const uint64_t linear = start + i * kPageSize;
-      for (;;) {
-        const Status status =
-            device_->EAdd(enclave_id, linear, {}, PagePerms::RW());
-        if (status.ok()) break;
-        if (status.code() != StatusCode::kResourceExhausted) return status;
-        RETURN_IF_ERROR(EvictOneVictim(enclave_id, linear));
+  // From here on the build can still fail; make sure a partial enclave never
+  // leaks device pages or a host record.
+  auto build = [&]() -> Status {
+    // Bootstrap: EnGarde's code, executable, measured page by page. Both the
+    // provider and the client later verify this measurement via attestation.
+    for (uint64_t i = 0; i < layout.bootstrap_pages; ++i) {
+      const uint64_t linear = layout.BootstrapStart() + i * kPageSize;
+      const size_t offset = static_cast<size_t>(i * kPageSize);
+      ByteView content;
+      if (offset < bootstrap_image.size()) {
+        content = bootstrap_image.subspan(
+            offset, std::min(kPageSize, bootstrap_image.size() - offset));
       }
+      RETURN_IF_ERROR(
+          device_->EAdd(enclave_id, linear, content, PagePerms::RX()));
+      RETURN_IF_ERROR(device_->ExtendPage(enclave_id, linear));
     }
-    return Status::Ok();
-  };
-  RETURN_IF_ERROR(add_rw_region(layout.HeapStart(), layout.heap_pages));
-  RETURN_IF_ERROR(add_rw_region(layout.LoadStart(), layout.load_pages));
-  RETURN_IF_ERROR(add_rw_region(layout.StackStart(), layout.stack_pages));
-  RETURN_IF_ERROR(add_rw_region(layout.TlsStart(), layout.tls_pages));
 
-  RETURN_IF_ERROR(device_->EInit(enclave_id));
+    // Heap, load region, stack, TLS: zeroed writable pages. SGX1 requires
+    // all enclave memory committed at build time (paper Section 4), so
+    // everything is EADDed here even though the load region is only used
+    // after policy checks pass. Unmeasured, as client content must not
+    // influence MRENCLAVE. When the EPC fills up mid-build, the OS pages
+    // earlier additions out to the encrypted backing store (EWB) and keeps
+    // going — enclaves larger than the EPC are routine on real SGX.
+    auto add_rw_region = [&](uint64_t start, uint64_t pages) -> Status {
+      for (uint64_t i = 0; i < pages; ++i) {
+        const uint64_t linear = start + i * kPageSize;
+        for (;;) {
+          const Status status =
+              device_->EAdd(enclave_id, linear, {}, PagePerms::RW());
+          if (status.ok()) break;
+          if (status.code() != StatusCode::kResourceExhausted) return status;
+          RETURN_IF_ERROR(EvictOneVictim(enclave_id, linear));
+        }
+      }
+      return Status::Ok();
+    };
+    RETURN_IF_ERROR(add_rw_region(layout.HeapStart(), layout.heap_pages));
+    RETURN_IF_ERROR(add_rw_region(layout.LoadStart(), layout.load_pages));
+    RETURN_IF_ERROR(add_rw_region(layout.StackStart(), layout.stack_pages));
+    RETURN_IF_ERROR(add_rw_region(layout.TlsStart(), layout.tls_pages));
+
+    return device_->EInit(enclave_id);
+  };
+  const Status built = build();
+  if (!built.ok()) {
+    (void)device_->DestroyEnclave(enclave_id);
+    return built;
+  }
+  records_[enclave_id];  // register the lifecycle record
   return enclave_id;
+}
+
+Status HostOs::DestroyEnclave(uint64_t enclave_id) {
+  const std::lock_guard<std::recursive_mutex> lock(device_->hardware_mutex());
+  RETURN_IF_ERROR(device_->DestroyEnclave(enclave_id));
+  // Device teardown succeeded: reclaim every host-side map entry. This is
+  // the leak the monotonic page_tables_/locked_ side tables used to have.
+  records_.erase(enclave_id);
+  return Status::Ok();
+}
+
+EnclaveHostRecord& HostOs::RecordFor(uint64_t enclave_id) {
+  return records_[enclave_id];
 }
 
 PagePerms HostOs::PageTablePerms(uint64_t enclave_id, uint64_t linear) const {
   const std::lock_guard<std::recursive_mutex> lock(device_->hardware_mutex());
+  const auto record = records_.find(enclave_id);
+  if (record == records_.end()) return PagePerms::RWX();
   const uint64_t page = linear & ~(kPageSize - 1);
-  const auto it = page_tables_.find({enclave_id, page});
-  if (it == page_tables_.end()) return PagePerms::RWX();
+  const auto it = record->second.page_perms.find(page);
+  if (it == record->second.page_perms.end()) return PagePerms::RWX();
   return it->second;
 }
 
@@ -75,8 +100,9 @@ Status HostOs::SetPageTablePerms(uint64_t enclave_id, uint64_t linear,
   if (linear % kPageSize != 0) {
     return InvalidArgumentError("page-table update must be page-aligned");
   }
+  EnclaveHostRecord& record = RecordFor(enclave_id);
   for (uint64_t i = 0; i < page_count; ++i) {
-    page_tables_[{enclave_id, linear + i * kPageSize}] = perms;
+    record.page_perms[linear + i * kPageSize] = perms;
   }
   return Status::Ok();
 }
@@ -124,8 +150,14 @@ Status HostOs::HardenWxInEpcm(uint64_t enclave_id,
 
 Status HostOs::LockEnclave(uint64_t enclave_id) {
   const std::lock_guard<std::recursive_mutex> lock(device_->hardware_mutex());
-  locked_.insert(enclave_id);
+  RecordFor(enclave_id).locked = true;
   return Status::Ok();
+}
+
+bool HostOs::IsLocked(uint64_t enclave_id) const {
+  const std::lock_guard<std::recursive_mutex> lock(device_->hardware_mutex());
+  const auto record = records_.find(enclave_id);
+  return record != records_.end() && record->second.locked;
 }
 
 Status HostOs::EvictOneVictim(uint64_t enclave_id, uint64_t protect_linear) {
@@ -172,6 +204,25 @@ Status HostOs::AugmentPages(uint64_t enclave_id, uint64_t linear,
     RETURN_IF_ERROR(device_->EAccept(enclave_id, linear + i * kPageSize));
   }
   return Status::Ok();
+}
+
+size_t HostOs::TrackedEnclaveCount() const {
+  const std::lock_guard<std::recursive_mutex> lock(device_->hardware_mutex());
+  return records_.size();
+}
+
+size_t HostOs::PageTableEntryCount() const {
+  const std::lock_guard<std::recursive_mutex> lock(device_->hardware_mutex());
+  size_t entries = 0;
+  for (const auto& [id, record] : records_) entries += record.page_perms.size();
+  return entries;
+}
+
+size_t HostOs::LockRecordCount() const {
+  const std::lock_guard<std::recursive_mutex> lock(device_->hardware_mutex());
+  size_t locked = 0;
+  for (const auto& [id, record] : records_) locked += record.locked ? 1 : 0;
+  return locked;
 }
 
 }  // namespace engarde::sgx

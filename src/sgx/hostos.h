@@ -5,11 +5,23 @@
 // writable. The remaining pages are given write permissions, but are not
 // given execute permissions. The host OS component of EnGarde also prevents
 // the enclave from being extended after it has been provisioned."
+//
+// Lifecycle ownership: the host OS is the single owner of per-enclave kernel
+// state. Every enclave built through BuildEnclave gets an EnclaveHostRecord
+// (page-table overrides, W^X lock flag) that lives exactly as long as the
+// enclave: DestroyEnclave tears down the device side (EREMOVE every page,
+// free the SECS) *and* reclaims the host-side record, so a provisioning
+// front end that creates and destroys thousands of enclaves holds
+// steady-state map sizes (tests/sgx_lifecycle_test pins this).
+//
+// Thread safety: all HostOs state is guarded by the device's recursive
+// hardware mutex (see SgxDevice::hardware_mutex() for why the lock is
+// shared), so concurrent front-end reactors can build, fault, restrict and
+// destroy enclaves against one HostOs without external serialization.
 #ifndef ENGARDE_SGX_HOSTOS_H_
 #define ENGARDE_SGX_HOSTOS_H_
 
 #include <map>
-#include <set>
 #include <vector>
 
 #include "common/bytes.h"
@@ -40,6 +52,16 @@ struct EnclaveLayout {
   uint64_t TotalSize() const { return TotalPages() * kPageSize; }
 };
 
+// Everything the kernel component tracks for one live enclave. Created by
+// BuildEnclave, reclaimed by DestroyEnclave.
+struct EnclaveHostRecord {
+  // Page-table permission overrides; a page absent here is RWX (permissive
+  // default until the EnGarde host component restricts it).
+  std::map<uint64_t, PagePerms> page_perms;
+  // W^X lock: set after provisioning; EAUG requests are refused.
+  bool locked = false;
+};
+
 class HostOs : public PageTablePolicy, public EpcFaultHandler {
  public:
   explicit HostOs(SgxDevice* device) : device_(device) {
@@ -51,9 +73,16 @@ class HostOs : public PageTablePolicy, public EpcFaultHandler {
 
   // Builds and initializes an EnGarde enclave: bootstrap pages carry
   // `bootstrap_image` (measured into MRENCLAVE), heap/load/stack/TLS pages
-  // are added zeroed and writable. Returns the enclave id.
+  // are added zeroed and writable. Returns the enclave id and registers the
+  // host-side lifecycle record.
   Result<uint64_t> BuildEnclave(const EnclaveLayout& layout,
                                 ByteView bootstrap_image);
+
+  // Tears the enclave down end to end: EREMOVEs every page and frees the
+  // SECS on the device, then reclaims the host-side record (page-table
+  // overrides, lock flag). After this the enclave id is gone from every map
+  // on both sides — the front end calls this after each verdict.
+  Status DestroyEnclave(uint64_t enclave_id);
 
   // ---- Page tables ------------------------------------------------------
   // PageTablePolicy: permissions default to RWX (permissive) until the
@@ -81,11 +110,7 @@ class HostOs : public PageTablePolicy, public EpcFaultHandler {
 
   // Prevents any further growth of the enclave (EAUG requests are refused).
   Status LockEnclave(uint64_t enclave_id);
-  bool IsLocked(uint64_t enclave_id) const {
-    const std::lock_guard<std::recursive_mutex> lock(
-        device_->hardware_mutex());
-    return locked_.count(enclave_id) != 0;
-  }
+  bool IsLocked(uint64_t enclave_id) const;
 
   // OS service: grow an enclave with zeroed RW pages (pre-lock only).
   Status AugmentPages(uint64_t enclave_id, uint64_t linear,
@@ -102,17 +127,28 @@ class HostOs : public PageTablePolicy, public EpcFaultHandler {
   uint64_t epc_faults_handled() const { return faults_handled_; }
   uint64_t pages_evicted() const { return pages_evicted_; }
 
+  // ---- Lifecycle introspection ---------------------------------------------
+  // Map-size telemetry the lifecycle soak pins: after N create/destroy
+  // cycles all three return to their baseline.
+  size_t TrackedEnclaveCount() const;
+  size_t PageTableEntryCount() const;  // sum of per-enclave override entries
+  size_t LockRecordCount() const;      // enclaves currently W^X-locked
+
  private:
   // Picks an eviction victim among the enclave's resident pages, preferring
   // pages other than `protect_linear`.
   Status EvictOneVictim(uint64_t enclave_id, uint64_t protect_linear);
 
+  // The record for a live enclave; creates it lazily so page-table services
+  // keep their historical any-id permissiveness (destroy still reclaims).
+  EnclaveHostRecord& RecordFor(uint64_t enclave_id);
+
   SgxDevice* device_;
   uint64_t faults_handled_ = 0;
   uint64_t pages_evicted_ = 0;
-  // (enclave, linear page) -> perms; absent = RWX.
-  std::map<std::pair<uint64_t, uint64_t>, PagePerms> page_tables_;
-  std::set<uint64_t> locked_;
+  // enclave id -> host-side lifecycle record. Guarded by the device's
+  // hardware mutex, like every other member.
+  std::map<uint64_t, EnclaveHostRecord> records_;
 };
 
 }  // namespace engarde::sgx

@@ -1,0 +1,546 @@
+// The sharded front end (core/frontend_group.h): N reactors over one host
+// OS, one EPC budget, one warm pool. The acceptance gates:
+//
+//  * a two-reactor run of a mixed client population is bit-for-bit identical
+//    — verdicts, statistics, per-phase SGX attribution — to serially
+//    Drive()-ing the same exchanges (sharding moves work between threads,
+//    never between accounting buckets);
+//  * the reactors can never JOINTLY overdraw the shared EPC budget, and each
+//    reactor admits its own queue strictly FIFO;
+//  * PoolRefill::kBackground measurably beats kOnAdmission on warm hit-rate
+//    under burst load;
+//  * the threaded mode serves and sheds real TCP clients, and — via
+//    HostOs::DestroyEnclave — leaves zero residue in the kernel-side maps
+//    after the churn.
+#include "core/frontend_group.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/client.h"
+#include "core/policy_stackprot.h"
+#include "core/server.h"
+#include "net/tcp.h"
+#include "net/transport.h"
+#include "workload/program_builder.h"
+
+namespace engarde::core {
+namespace {
+
+constexpr size_t kRsaBits = 512;
+constexpr size_t kPrograms = 8;
+
+PolicySet MakePolicies() {
+  PolicySet policies;
+  policies.push_back(std::make_unique<StackProtectionPolicy>());
+  return policies;
+}
+
+client::ClientOptions ClientOptionsFor(const sgx::QuotingEnclave& q) {
+  client::ClientOptions options;
+  options.attestation_key = q.attestation_public_key();
+  options.skip_measurement_check = true;
+  return options;
+}
+
+class FrontendGroupTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto qe = sgx::QuotingEnclave::Provision(ToBytes("frontend-group-device"),
+                                             kRsaBits);
+    ASSERT_TRUE(qe.ok());
+    qe_ = new sgx::QuotingEnclave(std::move(qe).value());
+    programs_ = new std::vector<workload::BuiltProgram>();
+    for (size_t i = 0; i < kPrograms; ++i) {
+      workload::ProgramSpec spec;
+      spec.name = "group-" + std::to_string(i);
+      spec.seed = 9300 + i;
+      spec.target_instructions = 2500;
+      spec.stack_protection = (i % 2 == 0);
+      auto program = workload::BuildProgram(spec);
+      ASSERT_TRUE(program.ok()) << program.status().ToString();
+      programs_->push_back(std::move(program).value());
+    }
+  }
+  static void TearDownTestSuite() {
+    delete qe_;
+    qe_ = nullptr;
+    delete programs_;
+    programs_ = nullptr;
+  }
+
+  static const sgx::QuotingEnclave& qe() { return *qe_; }
+  static const Bytes& image(size_t client) {
+    return (*programs_)[client % kPrograms].image;
+  }
+  static bool compliant(size_t client) { return (client % kPrograms) % 2 == 0; }
+
+  static EngardeOptions EnclaveOptions() {
+    EngardeOptions options;
+    options.rsa_bits = kRsaBits;
+    options.layout.heap_pages = 128;
+    options.layout.load_pages = 32;
+    return options;
+  }
+
+  static size_t EpcPagesFor(size_t enclaves) {
+    return enclaves * (EnclaveOptions().layout.TotalPages() + 1) + 64;
+  }
+
+  static sgx::QuotingEnclave* qe_;
+  static std::vector<workload::BuiltProgram>* programs_;
+};
+
+sgx::QuotingEnclave* FrontendGroupTest::qe_ = nullptr;
+std::vector<workload::BuiltProgram>* FrontendGroupTest::programs_ = nullptr;
+
+// Same invariants as core_frontend_test.cc's serial-vs-reactor gate.
+struct Snapshot {
+  bool compliant = false;
+  std::string reason;
+  size_t instruction_count = 0;
+  size_t blocks_received = 0;
+  size_t relocations_applied = 0;
+  size_t stage_count = 0;
+  uint64_t idle_sgx = 0;
+  uint64_t channel_sgx = 0;
+  uint64_t disassembly_sgx = 0;
+  uint64_t policy_sgx = 0;
+  uint64_t loading_sgx = 0;
+  uint64_t total_sgx = 0;
+  uint64_t trampolines = 0;
+};
+
+Snapshot Snap(const ProvisionOutcome& outcome,
+              const sgx::CycleAccountant& accountant) {
+  Snapshot snap;
+  snap.compliant = outcome.verdict.compliant;
+  snap.reason = outcome.verdict.reason;
+  snap.instruction_count = outcome.stats.instruction_count;
+  snap.blocks_received = outcome.stats.blocks_received;
+  snap.relocations_applied = outcome.stats.relocations_applied;
+  snap.stage_count = outcome.stage_reports.size();
+  snap.idle_sgx = accountant.phase_cost(sgx::Phase::kIdle).sgx_instructions;
+  snap.channel_sgx =
+      accountant.phase_cost(sgx::Phase::kChannel).sgx_instructions;
+  snap.disassembly_sgx =
+      accountant.phase_cost(sgx::Phase::kDisassembly).sgx_instructions;
+  snap.policy_sgx =
+      accountant.phase_cost(sgx::Phase::kPolicyCheck).sgx_instructions;
+  snap.loading_sgx =
+      accountant.phase_cost(sgx::Phase::kLoading).sgx_instructions;
+  snap.total_sgx = accountant.total_sgx_instructions();
+  snap.trampolines = accountant.total_trampolines();
+  return snap;
+}
+
+void ExpectSameSnapshot(const Snapshot& serial, const Snapshot& sharded,
+                        const std::string& label) {
+  EXPECT_EQ(serial.compliant, sharded.compliant) << label;
+  EXPECT_EQ(serial.reason, sharded.reason) << label;
+  EXPECT_EQ(serial.instruction_count, sharded.instruction_count) << label;
+  EXPECT_EQ(serial.blocks_received, sharded.blocks_received) << label;
+  EXPECT_EQ(serial.relocations_applied, sharded.relocations_applied) << label;
+  EXPECT_EQ(serial.stage_count, sharded.stage_count) << label;
+  EXPECT_EQ(serial.idle_sgx, sharded.idle_sgx) << label;
+  EXPECT_EQ(serial.channel_sgx, sharded.channel_sgx) << label;
+  EXPECT_EQ(serial.disassembly_sgx, sharded.disassembly_sgx) << label;
+  EXPECT_EQ(serial.policy_sgx, sharded.policy_sgx) << label;
+  EXPECT_EQ(serial.loading_sgx, sharded.loading_sgx) << label;
+  EXPECT_EQ(serial.total_sgx, sharded.total_sgx) << label;
+  EXPECT_EQ(serial.trampolines, sharded.trampolines) << label;
+}
+
+Result<std::vector<Snapshot>> RunSerial(const sgx::QuotingEnclave& qe,
+                                        const std::vector<Bytes>& images,
+                                        const EngardeOptions& enclave_options,
+                                        size_t epc_pages) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = epc_pages});
+  sgx::HostOs host(&device);
+  ProvisioningServer::Options options;
+  options.enclave_options = enclave_options;
+  ProvisioningServer server(&host, &qe, MakePolicies, options);
+
+  std::vector<std::unique_ptr<crypto::DuplexPipe>> pipes;
+  for (size_t i = 0; i < images.size(); ++i) {
+    pipes.push_back(std::make_unique<crypto::DuplexPipe>());
+    ASSIGN_OR_RETURN(const size_t index, server.Accept(pipes[i]->EndA()));
+    if (index != i) return InternalError("unexpected session index");
+    client::Client client(ClientOptionsFor(qe), images[i]);
+    RETURN_IF_ERROR(client.SendProgram(pipes[i]->EndB()));
+  }
+  std::vector<Snapshot> snaps;
+  for (size_t i = 0; i < images.size(); ++i) {
+    ASSIGN_OR_RETURN(const ProvisionOutcome outcome, server.Drive(i));
+    snaps.push_back(Snap(outcome, server.session_accountant(i)));
+  }
+  return snaps;
+}
+
+// One in-memory client dispatched into the group. DuplexPipe is not
+// thread-safe, so these run only in the group's deterministic mode.
+struct MemoryClient {
+  std::unique_ptr<crypto::DuplexPipe> pipe;  // EndA = frontend, EndB = client
+  std::unique_ptr<client::Client> client;
+  size_t reactor = 0;
+  bool sent = false;
+  std::optional<Verdict> verdict;
+};
+
+MemoryClient DispatchMemoryClient(FrontendGroup& group,
+                                  const sgx::QuotingEnclave& qe,
+                                  const Bytes& image,
+                                  client::ClientOptions options) {
+  MemoryClient mc;
+  mc.pipe = std::make_unique<crypto::DuplexPipe>();
+  mc.client = std::make_unique<client::Client>(std::move(options), image);
+  mc.reactor =
+      group.Dispatch(std::make_unique<net::PipeTransport>(mc.pipe->EndA()));
+  return mc;
+}
+
+// Deterministic orchestration: crank the whole group, let any client whose
+// admission preamble is fully queued respond.
+Status DriveToVerdicts(FrontendGroup& group,
+                       std::vector<MemoryClient>& clients) {
+  for (;;) {
+    ASSIGN_OR_RETURN(size_t progress, group.PollOnce());
+    for (MemoryClient& mc : clients) {
+      if (!mc.sent && net::HasCompleteFrames(mc.pipe->EndB(), 3)) {
+        ASSIGN_OR_RETURN(const auto retry,
+                         mc.client->AwaitAdmission(mc.pipe->EndB()));
+        if (retry.has_value()) {
+          return InternalError("unexpected RetryAfter in admission test");
+        }
+        RETURN_IF_ERROR(mc.client->SendProgram(mc.pipe->EndB()));
+        mc.sent = true;
+        ++progress;
+      }
+      if (mc.sent && !mc.verdict.has_value() &&
+          net::HasCompleteSecureRecord(mc.pipe->EndB())) {
+        ASSIGN_OR_RETURN(Verdict verdict, mc.client->AwaitVerdict());
+        mc.verdict.emplace(std::move(verdict));
+        ++progress;
+      }
+    }
+    bool all_done = true;
+    for (const MemoryClient& mc : clients) {
+      all_done = all_done && mc.verdict.has_value();
+    }
+    if (all_done) return Status::Ok();
+    if (progress == 0) {
+      return InternalError("group made no progress before all verdicts");
+    }
+  }
+}
+
+// ---- The acceptance gate ---------------------------------------------------
+
+TEST_F(FrontendGroupTest, TwoReactorsBitIdenticalToSerialDrive) {
+  constexpr size_t kClients = 16;
+  constexpr size_t kReactors = 2;
+  std::vector<Bytes> images;
+  for (size_t i = 0; i < kClients; ++i) images.push_back(image(i));
+  const size_t epc_pages = EpcPagesFor(kClients);
+
+  auto serial = RunSerial(qe(), images, EnclaveOptions(), epc_pages);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = epc_pages});
+  sgx::HostOs host(&device);
+  FrontendGroupOptions options;
+  options.frontend.enclave_options = EnclaveOptions();
+  options.reactors = kReactors;
+  FrontendGroup group(&host, &qe(), MakePolicies, options);
+  ASSERT_EQ(group.reactor_count(), kReactors);
+
+  std::vector<MemoryClient> clients;
+  for (size_t i = 0; i < kClients; ++i) {
+    clients.push_back(
+        DispatchMemoryClient(group, qe(), images[i], ClientOptionsFor(qe())));
+    // Round-robin routing is deterministic: client i lands on reactor i % N
+    // as that shard's (i / N)-th connection.
+    ASSERT_EQ(clients.back().reactor, i % kReactors) << i;
+  }
+  const Status driven = DriveToVerdicts(group, clients);
+  ASSERT_TRUE(driven.ok()) << driven.ToString();
+  ASSERT_EQ(group.done_count(), kClients);
+  EXPECT_EQ(group.reactor(0).connection_count(), kClients / kReactors);
+  EXPECT_EQ(group.reactor(1).connection_count(), kClients / kReactors);
+
+  for (size_t i = 0; i < kClients; ++i) {
+    const size_t reactor = i % kReactors;
+    const uint64_t connection = i / kReactors;
+    auto outcome = group.reactor(reactor).TakeOutcome(connection);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_EQ(outcome->verdict.compliant, compliant(i)) << i;
+    ASSERT_TRUE(clients[i].verdict.has_value());
+    EXPECT_EQ(clients[i].verdict->compliant, compliant(i)) << i;
+    ExpectSameSnapshot(
+        (*serial)[i],
+        Snap(*outcome, group.reactor(reactor).accountant(connection)),
+        "client " + std::to_string(i));
+  }
+  EXPECT_LE(group.budget().max_committed_pages(), group.budget().budget_pages());
+  EXPECT_EQ(group.budget().committed_pages(), 0u);
+  // Every verdicted enclave was destroyed through the host OS: no residue in
+  // the kernel-side maps or the device.
+  EXPECT_EQ(host.TrackedEnclaveCount(), 0u);
+  EXPECT_EQ(host.PageTableEntryCount(), 0u);
+  EXPECT_EQ(device.EnclaveCount(), 0u);
+}
+
+// ---- Shared budget ---------------------------------------------------------
+
+TEST_F(FrontendGroupTest, ReactorsNeverJointlyExceedSharedBudgetAndAdmitFifo) {
+  // Budget holds two enclaves; six arrivals split over two reactors. The
+  // shards must coordinate through the one EpcBudget: at most two enclaves
+  // alive at any sweep, everyone else queued, each shard admitting FIFO.
+  constexpr size_t kClients = 6;
+  constexpr size_t kReactors = 2;
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(2)});
+  sgx::HostOs host(&device);
+  FrontendGroupOptions options;
+  options.frontend.enclave_options = EnclaveOptions();
+  options.frontend.admission_queue_capacity = kClients;
+  options.reactors = kReactors;
+  FrontendGroup group(&host, &qe(), MakePolicies, options);
+  const uint64_t per_enclave = EnclaveOptions().layout.TotalPages();
+  ASSERT_GE(group.budget().budget_pages(), 2 * per_enclave);
+  ASSERT_LT(group.budget().budget_pages(), 3 * per_enclave);
+
+  std::vector<MemoryClient> clients;
+  for (size_t i = 0; i < kClients; ++i) {
+    clients.push_back(
+        DispatchMemoryClient(group, qe(), image(i), ClientOptionsFor(qe())));
+  }
+  // One sweep, deterministic shard order: shard 0 accepts its three
+  // dispatches first and its first two admissions drain the whole budget, so
+  // everyone else — including all of shard 1 — parks in FIFO queues. This is
+  // exactly the coordination under test: shard 1 sees "no budget" because a
+  // SIBLING spent it.
+  auto first_sweep = group.PollOnce();
+  ASSERT_TRUE(first_sweep.ok()) << first_sweep.status().ToString();
+  EXPECT_EQ(group.reactor(0).state(0), ConnectionState::kActive);
+  EXPECT_EQ(group.reactor(0).state(1), ConnectionState::kActive);
+  EXPECT_EQ(group.reactor(0).state(2), ConnectionState::kQueued);
+  for (uint64_t c = 0; c < kClients / kReactors; ++c) {
+    EXPECT_EQ(group.reactor(1).state(c), ConnectionState::kQueued) << c;
+  }
+  EXPECT_EQ(group.reactor(0).queued_count(), 1u);
+  EXPECT_EQ(group.reactor(1).queued_count(), 3u);
+
+  const Status driven = DriveToVerdicts(group, clients);
+  ASSERT_TRUE(driven.ok()) << driven.ToString();
+  EXPECT_EQ(group.done_count(), kClients);
+  EXPECT_EQ(group.shed_count(), 0u);
+  for (size_t i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(clients[i].verdict.has_value()) << i;
+    EXPECT_EQ(clients[i].verdict->compliant, compliant(i)) << i;
+  }
+  // The joint invariant: across every interleaving of two reactors, the
+  // shared budget's high-water mark never exceeded two enclaves' pages.
+  EXPECT_LE(group.budget().max_committed_pages(), 2 * per_enclave);
+  EXPECT_EQ(group.budget().committed_pages(), 0u);
+}
+
+// ---- Background refill -----------------------------------------------------
+
+// Drives `count` clients to verdicts and returns the pool handouts total.
+Result<size_t> RunBurstWaves(FrontendGroup& group,
+                             const sgx::QuotingEnclave& qe, const Bytes& img,
+                             size_t waves, size_t per_wave) {
+  for (size_t wave = 0; wave < waves; ++wave) {
+    std::vector<MemoryClient> clients;
+    for (size_t i = 0; i < per_wave; ++i) {
+      clients.push_back(
+          DispatchMemoryClient(group, qe, img, ClientOptionsFor(qe)));
+    }
+    RETURN_IF_ERROR(DriveToVerdicts(group, clients));
+    // Let kBackground finish restocking between waves (kOnAdmission: no-op).
+    RETURN_IF_ERROR(group.DrainAll());
+  }
+  return group.pool().total_handouts();
+}
+
+TEST_F(FrontendGroupTest, BackgroundRefillBeatsOnAdmissionWarmHitRate) {
+  // Two waves of two clients against a two-entry pool. kOnAdmission spends
+  // the prefill on wave one and goes cold for wave two; kBackground restocks
+  // between waves and stays warm throughout.
+  constexpr size_t kWaves = 2;
+  constexpr size_t kPerWave = 2;
+  auto run = [&](PoolRefill refill) -> Result<size_t> {
+    sgx::SgxDevice device(
+        sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(4)});
+    sgx::HostOs host(&device);
+    FrontendGroupOptions options;
+    options.frontend.enclave_options = EnclaveOptions();
+    options.reactors = 2;
+    options.pool_refill = refill;
+    options.pool_target = kPerWave;
+    FrontendGroup group(&host, &qe(), MakePolicies, options);
+    RETURN_IF_ERROR(group.PrefillPool(kPerWave));
+    return RunBurstWaves(group, qe(), image(0), kWaves, kPerWave);
+  };
+
+  auto on_admission = run(PoolRefill::kOnAdmission);
+  ASSERT_TRUE(on_admission.ok()) << on_admission.status().ToString();
+  auto background = run(PoolRefill::kBackground);
+  ASSERT_TRUE(background.ok()) << background.status().ToString();
+
+  // kOnAdmission: only the prefill serves warm. kBackground: every wave does.
+  EXPECT_EQ(*on_admission, kPerWave);
+  EXPECT_EQ(*background, kWaves * kPerWave);
+  EXPECT_GT(*background, *on_admission);
+}
+
+// ---- Threaded mode over real TCP -------------------------------------------
+
+// Client-side shuttle between the socket and the blocking client library —
+// the same bridge tools/engarde-serve --selftest uses.
+Result<size_t> Shuttle(net::Transport& socket, crypto::DuplexPipe& pipe) {
+  size_t moved = 0;
+  Bytes inbound;
+  ASSIGN_OR_RETURN(const size_t drained, socket.Drain(inbound));
+  crypto::DuplexPipe::Endpoint bridge = pipe.EndA();
+  if (drained > 0) {
+    bridge.Write(ByteView(inbound));
+    moved += drained;
+  }
+  const size_t pending = bridge.Available();
+  if (pending > 0) {
+    ASSIGN_OR_RETURN(const Bytes outbound, bridge.Read(pending));
+    RETURN_IF_ERROR(socket.Send(ByteView(outbound)));
+    moved += pending;
+  }
+  RETURN_IF_ERROR(socket.Flush().status());
+  return moved;
+}
+
+template <typename Ready>
+Status PumpUntil(net::Transport& socket, crypto::DuplexPipe& pipe,
+                 Ready ready) {
+  while (!ready()) {
+    ASSIGN_OR_RETURN(const size_t moved, Shuttle(socket, pipe));
+    if (moved == 0) {
+      if (socket.AtEof() && pipe.EndB().Available() == 0) {
+        return ProtocolError("server closed before the exchange completed");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  return Status::Ok();
+}
+
+// One full TCP provisioning, honoring RetryAfter sheds with reconnects.
+// Returns the number of sheds absorbed along the way.
+Result<size_t> RunTcpClient(uint16_t port, const client::ClientOptions& options,
+                            const Bytes& executable, bool expect_compliant) {
+  for (size_t attempt = 0; attempt < 500; ++attempt) {
+    ASSIGN_OR_RETURN(std::unique_ptr<net::TcpTransport> socket,
+                     net::TcpTransport::Connect("127.0.0.1", port));
+    crypto::DuplexPipe pipe;
+    crypto::DuplexPipe::Endpoint client_end = pipe.EndB();
+    client::Client client(options, executable);
+
+    RETURN_IF_ERROR(PumpUntil(*socket, pipe, [&client_end] {
+      return net::HasCompleteFrames(client_end, 1);
+    }));
+    ASSIGN_OR_RETURN(const std::optional<RetryAfter> retry,
+                     client.AwaitAdmission(client_end));
+    if (retry.has_value()) {
+      if (retry->epc_budget_pages == 0) {
+        return InternalError("RetryAfter carried no budget telemetry");
+      }
+      socket->Close();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(retry->retry_after_ms));
+      continue;
+    }
+    RETURN_IF_ERROR(PumpUntil(*socket, pipe, [&client_end] {
+      return net::HasCompleteFrames(client_end, 2);
+    }));
+    RETURN_IF_ERROR(client.SendProgram(client_end));
+    RETURN_IF_ERROR(PumpUntil(*socket, pipe, [&client_end] {
+      return net::HasCompleteSecureRecord(client_end);
+    }));
+    ASSIGN_OR_RETURN(const Verdict verdict, client.AwaitVerdict());
+    if (verdict.compliant != expect_compliant) {
+      return InternalError("wrong verdict over TCP");
+    }
+    return attempt;  // = sheds absorbed before admission
+  }
+  return ResourceExhaustedError("still shed after 500 admission attempts");
+}
+
+TEST_F(FrontendGroupTest, ThreadedTcpReactorsShedServeAndReclaimEverything) {
+  // Two reactor threads race one loopback listener; the EPC holds two
+  // enclaves and there is no queue, so a six-client stampede MUST shed —
+  // and every shed client's reconnect loop must still land a verdict.
+  constexpr size_t kClients = 6;
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(2)});
+  sgx::HostOs host(&device);
+  FrontendGroupOptions options;
+  options.frontend.enclave_options = EnclaveOptions();
+  options.frontend.admission_queue_capacity = 0;
+  options.frontend.retry_after_ms = 2;
+  options.reactors = 2;
+  FrontendGroup group(&host, &qe(), MakePolicies, options);
+
+  auto listener = net::TcpListener::Bind(0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  const uint16_t port = listener->port();
+  group.AttachListener(&*listener);
+  ASSERT_TRUE(group.Start().ok());
+
+  std::atomic<size_t> verdicts{0};
+  std::atomic<size_t> sheds_absorbed{0};
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures(kClients);
+  for (size_t i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      auto sheds = RunTcpClient(port, ClientOptionsFor(qe()), image(i),
+                                compliant(i));
+      if (sheds.ok()) {
+        verdicts.fetch_add(1);
+        sheds_absorbed.fetch_add(*sheds);
+      } else {
+        failures[i] = sheds.status().ToString();
+      }
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  const Status stopped = group.Stop();
+  EXPECT_TRUE(stopped.ok()) << stopped.ToString();
+
+  for (size_t i = 0; i < kClients; ++i) {
+    EXPECT_TRUE(failures[i].empty()) << "client " << i << ": " << failures[i];
+  }
+  EXPECT_EQ(verdicts.load(), kClients);
+  EXPECT_EQ(group.done_count(), kClients);
+  // With budget 2 and six concurrent arrivals, shedding is guaranteed, and
+  // every shed round-tripped a RetryAfter over a real socket.
+  EXPECT_GT(group.shed_count(), 0u);
+  EXPECT_EQ(group.shed_count(), sheds_absorbed.load());
+
+  // The joint no-eviction guarantee held across the real-thread race…
+  EXPECT_LE(group.budget().max_committed_pages(),
+            group.budget().budget_pages());
+  EXPECT_EQ(group.budget().committed_pages(), 0u);
+  // …and the lifecycle owner reclaimed every enclave on both sides of the
+  // kernel boundary.
+  EXPECT_EQ(host.TrackedEnclaveCount(), 0u);
+  EXPECT_EQ(host.PageTableEntryCount(), 0u);
+  EXPECT_EQ(host.LockRecordCount(), 0u);
+  EXPECT_EQ(device.EnclaveCount(), 0u);
+  EXPECT_EQ(device.epc().pages_in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace engarde::core

@@ -115,7 +115,7 @@ TEST(TcpTransportTest, LoopbackRoundTripAndEof) {
   auto client = TcpTransport::Connect("127.0.0.1", listener->port());
   ASSERT_TRUE(client.ok()) << client.status().ToString();
 
-  std::unique_ptr<TcpTransport> server;
+  std::unique_ptr<Transport> server;
   for (int i = 0; i < 1000 && server == nullptr; ++i) {
     auto accepted = listener->TryAccept();
     ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();

@@ -1,17 +1,21 @@
 // engarde-serve: the provider's provisioning front door over real TCP.
 //
-// Binds a loopback listener and runs the readiness-driven
-// ProvisioningFrontend: poll(2) over the listener plus every live
-// connection, EPC-budgeted admission (queue + RetryAfter shedding), and an
-// optional warm enclave pool so accepted clients skip enclave build + RSA
-// keygen on the hot path.
+// Binds a loopback listener and runs a FrontendGroup of N readiness-driven
+// reactors over one host OS: the main thread accepts and deals connections
+// round-robin into per-reactor inboxes, each reactor thread sweeps its own
+// shard, and all shards draw from one shared EPC admission budget (queue +
+// RetryAfter shedding) and one shared warm enclave pool — optionally topped
+// back up in the background so bursts keep hitting warm enclaves.
 //
-//   engarde-serve [--port N] [--warm N] [--queue N] [--reserve N]
-//                 [--epc-pages N] [--rsa-bits N] [--selftest N]
+//   engarde-serve [--port N] [--reactors N] [--warm N] [--bg-refill]
+//                 [--queue N] [--reserve N] [--epc-pages N] [--rsa-bits N]
+//                 [--selftest N]
 //
 // --selftest N provisions N real clients over 127.0.0.1 in threads
 // (pinning the expected EnGarde measurement, honoring RetryAfter back-off)
-// and exits non-zero unless every one of them reaches a verdict.
+// and exits non-zero unless every one of them reaches a verdict — and, with
+// --reactors >= 2, unless every reactor served at least one client under
+// that same pinned measurement (warm or cold, any shard: one MRENCLAVE).
 #include <poll.h>
 
 #include <atomic>
@@ -24,7 +28,7 @@
 #include <vector>
 
 #include "client/client.h"
-#include "core/frontend.h"
+#include "core/frontend_group.h"
 #include "core/policy_stackprot.h"
 #include "net/tcp.h"
 #include "workload/program_builder.h"
@@ -40,7 +44,9 @@ core::PolicySet MakePolicies() {
 
 struct ServeConfig {
   uint16_t port = 0;  // 0 = kernel-assigned ephemeral
+  size_t reactors = 1;
   size_t warm = 0;
+  bool bg_refill = false;  // keep the pool topped up to --warm in background
   size_t queue = 8;
   uint64_t reserve = 64;
   size_t epc_pages = sgx::kDefaultEpcPages;
@@ -136,16 +142,31 @@ int Serve(const ServeConfig& config) {
     return 1;
   }
 
-  core::FrontendOptions options;
-  options.enclave_options.rsa_bits = config.rsa_bits;
-  options.enclave_options.layout.heap_pages = 128;
-  options.enclave_options.layout.load_pages = 32;
-  options.epc_reserve_pages = config.reserve;
-  options.admission_queue_capacity = config.queue;
-  core::ProvisioningFrontend frontend(&host, &*quoting, MakePolicies, options);
+  core::FrontendGroupOptions options;
+  options.frontend.enclave_options.rsa_bits = config.rsa_bits;
+  options.frontend.enclave_options.layout.heap_pages = 128;
+  options.frontend.enclave_options.layout.load_pages = 32;
+  options.frontend.epc_reserve_pages = config.reserve;
+  options.frontend.admission_queue_capacity = config.queue;
+  options.reactors = config.reactors;
+  if (config.bg_refill) {
+    options.pool_refill = core::PoolRefill::kBackground;
+    options.pool_target = config.warm;
+  }
+  // Verdicts are reported from the owning reactor's thread as they land.
+  options.on_verdict = [](size_t reactor, uint64_t connection,
+                          const core::ProvisionOutcome& outcome,
+                          bool from_pool) {
+    std::fprintf(stderr, "reactor %zu conn %llu: %s%s (blocks=%zu, insns=%zu)\n",
+                 reactor, static_cast<unsigned long long>(connection),
+                 outcome.verdict.compliant ? "COMPLIANT" : "REJECTED",
+                 from_pool ? " [warm]" : "", outcome.stats.blocks_received,
+                 outcome.stats.instruction_count);
+  };
+  core::FrontendGroup group(&host, &*quoting, MakePolicies, options);
 
   if (config.warm > 0) {
-    const Status prefilled = frontend.PrefillPool(config.warm);
+    const Status prefilled = group.PrefillPool(config.warm);
     if (!prefilled.ok()) {
       std::fprintf(stderr, "warm pool: %s\n", prefilled.ToString().c_str());
       return 1;
@@ -158,11 +179,12 @@ int Serve(const ServeConfig& config) {
     return 1;
   }
   std::fprintf(stderr,
-               "engarde-serve: 127.0.0.1:%u (epc budget %llu pages, warm "
-               "pool %zu, queue %zu)\n",
-               listener->port(),
-               static_cast<unsigned long long>(frontend.budget_pages()),
-               frontend.pool().size(), config.queue);
+               "engarde-serve: 127.0.0.1:%u (%zu reactors, epc budget %llu "
+               "pages, warm pool %zu%s, queue %zu)\n",
+               listener->port(), group.reactor_count(),
+               static_cast<unsigned long long>(group.budget().budget_pages()),
+               group.pool().size(), config.bg_refill ? " [bg refill]" : "",
+               config.queue);
 
   // Selftest clients run in threads against the same process's listener.
   std::vector<std::thread> clients;
@@ -170,7 +192,7 @@ int Serve(const ServeConfig& config) {
   std::atomic<size_t> client_failed{0};
   if (config.selftest > 0) {
     auto expected = core::EngardeEnclave::ExpectedMeasurement(
-        MakePolicies(), options.enclave_options);
+        MakePolicies(), options.frontend.enclave_options);
     if (!expected.ok()) {
       std::fprintf(stderr, "measurement: %s\n",
                    expected.status().ToString().c_str());
@@ -210,51 +232,28 @@ int Serve(const ServeConfig& config) {
     }
   }
 
-  size_t reported = 0;
+  // Reactor threads sweep their shards; the main thread only accepts and
+  // deals connections round-robin into the per-reactor inboxes, so every
+  // reactor provably gets a share of the selftest load.
+  const Status started = group.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
+    return 1;
+  }
   for (;;) {
-    // poll(2) over the listener plus every live fd; in-memory transports
-    // (none here) would be swept unconditionally.
-    std::vector<pollfd> fds;
-    fds.push_back({listener->descriptor(), POLLIN, 0});
-    for (const int fd : frontend.PollDescriptors()) {
-      fds.push_back({fd, POLLIN | POLLOUT, 0});
-    }
-    (void)::poll(fds.data(), fds.size(), 20);
-
+    pollfd pfd{listener->descriptor(), POLLIN, 0};
+    (void)::poll(&pfd, 1, 20);
     for (;;) {
       auto accepted = listener->TryAccept();
       if (!accepted.ok()) {
         std::fprintf(stderr, "accept: %s\n",
                      accepted.status().ToString().c_str());
+        (void)group.Stop();
         return 1;
       }
       if (*accepted == nullptr) break;
-      auto id = frontend.Accept(std::move(*accepted));
-      if (!id.ok()) {
-        std::fprintf(stderr, "admit: %s\n", id.status().ToString().c_str());
-        return 1;
-      }
+      group.Dispatch(std::move(*accepted));
     }
-
-    auto swept = frontend.PollOnce();
-    if (!swept.ok()) {
-      std::fprintf(stderr, "poll: %s\n", swept.status().ToString().c_str());
-      return 1;
-    }
-
-    for (uint64_t id = 0; id < frontend.connection_count(); ++id) {
-      if (frontend.state(id) != core::ConnectionState::kDone) continue;
-      auto outcome = frontend.TakeOutcome(id);
-      if (!outcome.ok()) continue;  // already reported
-      ++reported;
-      std::fprintf(stderr, "conn %llu: %s%s (blocks=%zu, insns=%zu)\n",
-                   static_cast<unsigned long long>(id),
-                   outcome->verdict.compliant ? "COMPLIANT" : "REJECTED",
-                   frontend.served_from_pool(id) ? " [warm]" : "",
-                   outcome->stats.blocks_received,
-                   outcome->stats.instruction_count);
-    }
-
     if (config.selftest > 0 &&
         client_ok.load() + client_failed.load() == config.selftest) {
       break;
@@ -262,13 +261,37 @@ int Serve(const ServeConfig& config) {
   }
 
   for (std::thread& thread : clients) thread.join();
-  std::fprintf(stderr,
-               "selftest: %zu/%zu clients verdicted (%zu shed retries "
-               "observed, peak EPC %llu/%llu pages, warm handouts %zu)\n",
-               client_ok.load(), config.selftest, frontend.shed_count(),
-               static_cast<unsigned long long>(frontend.max_committed_pages()),
-               static_cast<unsigned long long>(frontend.budget_pages()),
-               frontend.pool().total_handouts());
+  const Status stopped = group.Stop();
+  if (!stopped.ok()) {
+    std::fprintf(stderr, "reactor failure: %s\n", stopped.ToString().c_str());
+    return 1;
+  }
+
+  std::fprintf(
+      stderr,
+      "selftest: %zu/%zu clients verdicted (%zu shed retries observed, "
+      "peak EPC %llu/%llu pages, warm handouts %zu)\n",
+      client_ok.load(), config.selftest, group.shed_count(),
+      static_cast<unsigned long long>(group.budget().max_committed_pages()),
+      static_cast<unsigned long long>(group.budget().budget_pages()),
+      group.pool().total_handouts());
+  for (size_t r = 0; r < group.reactor_count(); ++r) {
+    std::fprintf(stderr, "  reactor %zu: %zu verdicts, %zu sheds\n", r,
+                 group.reactor(r).done_count(), group.reactor(r).shed_count());
+  }
+  if (config.selftest >= group.reactor_count() && group.reactor_count() > 1) {
+    // Round-robin dealing + pinned-measurement clients: every reactor must
+    // have served at least one verdict, all under the same MRENCLAVE.
+    for (size_t r = 0; r < group.reactor_count(); ++r) {
+      if (group.reactor(r).done_count() == 0) {
+        std::fprintf(stderr,
+                     "selftest: reactor %zu served no verdicts — sharding "
+                     "did not distribute\n",
+                     r);
+        return 1;
+      }
+    }
+  }
   return client_failed.load() == 0 ? 0 : 1;
 }
 
@@ -284,8 +307,12 @@ int main(int argc, char** argv) {
     };
     if (arg == "--port") {
       config.port = static_cast<uint16_t>(next());
+    } else if (arg == "--reactors") {
+      config.reactors = static_cast<size_t>(next());
     } else if (arg == "--warm") {
       config.warm = static_cast<size_t>(next());
+    } else if (arg == "--bg-refill") {
+      config.bg_refill = true;
     } else if (arg == "--queue") {
       config.queue = static_cast<size_t>(next());
     } else if (arg == "--reserve") {
@@ -298,9 +325,9 @@ int main(int argc, char** argv) {
       config.selftest = static_cast<size_t>(next());
     } else {
       std::fprintf(stderr,
-                   "usage: engarde-serve [--port N] [--warm N] [--queue N] "
-                   "[--reserve N] [--epc-pages N] [--rsa-bits N] "
-                   "[--selftest N]\n");
+                   "usage: engarde-serve [--port N] [--reactors N] [--warm N] "
+                   "[--bg-refill] [--queue N] [--reserve N] [--epc-pages N] "
+                   "[--rsa-bits N] [--selftest N]\n");
       return 2;
     }
   }
