@@ -97,6 +97,7 @@ struct RunStats {
   uint64_t prefill_ns = 0;         // warm runs: pool build time (untimed path)
   std::vector<uint64_t> latency_ns;  // per client, accept -> verdict
   std::vector<Fingerprint> fingerprints;
+  core::FrontendMetrics metrics;   // snapshot after the final reap sweep
 };
 
 // Serial reference: the same images driven one at a time through
@@ -197,6 +198,13 @@ Result<RunStats> RunFrontend(const sgx::QuotingEnclave& qe,
       return InternalError("pool handout did not match the mode");
     }
   }
+  // Every outcome is taken: one more drain lets the reaper retire all the
+  // slots, proving the table really returns to O(active) = 0.
+  RETURN_IF_ERROR(frontend.DrainAll());
+  stats.metrics = frontend.metrics();
+  if (stats.metrics.live_connections != 0 || frontend.connection_count() != 0) {
+    return InternalError("reaper left retired connections in the table");
+  }
   return stats;
 }
 
@@ -281,6 +289,7 @@ Status RunBenchClient(uint16_t port, const client::ClientOptions& options,
 struct GroupStats {
   uint64_t wall_ns = 0;
   std::vector<Fingerprint> fingerprints;  // unordered (accept race)
+  core::FrontendMetrics metrics;
 };
 
 Result<GroupStats> RunGroupTcp(const sgx::QuotingEnclave& qe,
@@ -316,11 +325,12 @@ Result<GroupStats> RunGroupTcp(const sgx::QuotingEnclave& qe,
   RETURN_IF_ERROR(group.Stop());
   for (const Status& failure : failures) RETURN_IF_ERROR(failure);
 
-  // Quiescent now: harvest every connection's fingerprint, whichever reactor
-  // it raced onto.
+  // Quiescent now: harvest every live connection's fingerprint, whichever
+  // reactor it raced onto. Ids come from the slot map (sparse after sheds
+  // were reaped mid-run), so iterate the live set, not 0..count.
   for (size_t r = 0; r < group.reactor_count(); ++r) {
     core::ProvisioningFrontend& frontend = group.reactor(r);
-    for (uint64_t id = 0; id < frontend.connection_count(); ++id) {
+    for (const uint64_t id : frontend.connection_ids()) {
       if (frontend.state(id) != core::ConnectionState::kDone) continue;
       ASSIGN_OR_RETURN(const core::ProvisionOutcome outcome,
                        frontend.TakeOutcome(id));
@@ -331,6 +341,7 @@ Result<GroupStats> RunGroupTcp(const sgx::QuotingEnclave& qe,
   if (stats.fingerprints.size() != images.size()) {
     return InternalError("verdict count mismatch across reactors");
   }
+  stats.metrics = group.metrics();
   return stats;
 }
 
@@ -462,8 +473,21 @@ int main(int argc, char** argv) {
       std::fprintf(f, "\"p50_verdict_ns\": %llu, \"p99_verdict_ns\": %llu, ",
                    static_cast<unsigned long long>(p50),
                    static_cast<unsigned long long>(p99));
-      std::fprintf(f, "\"prefill_ns\": %llu, \"equality\": \"ok\"}",
+      std::fprintf(f, "\"prefill_ns\": %llu, ",
                    static_cast<unsigned long long>(row.stats->prefill_ns));
+      std::fprintf(
+          f,
+          "\"reaped\": %llu, \"timed_out\": %llu, \"peak_live\": %llu, "
+          "\"live_after_reap\": %llu, \"max_committed_pages\": %llu, "
+          "\"equality\": \"ok\"}",
+          static_cast<unsigned long long>(row.stats->metrics.reaped),
+          static_cast<unsigned long long>(row.stats->metrics.timed_out),
+          static_cast<unsigned long long>(
+              row.stats->metrics.peak_live_connections),
+          static_cast<unsigned long long>(
+              row.stats->metrics.live_connections),
+          static_cast<unsigned long long>(
+              row.stats->metrics.max_committed_pages));
     }
   }
   std::fprintf(f, "\n  ],\n");
@@ -510,10 +534,18 @@ int main(int argc, char** argv) {
         sec > 0 ? static_cast<double>(kScalingClients) / sec : 0.0;
     std::printf("%3zu clients tcp   %8.2f sess/s  reactors=%zu\n",
                 kScalingClients, rate, reactors);
-    std::fprintf(f, "%s\n      {\"reactors\": %zu, \"wall_ns\": %llu, "
-                    "\"sessions_per_sec\": %.3f, \"equality\": \"ok\"}",
+    std::fprintf(f,
+                 "%s\n      {\"reactors\": %zu, \"wall_ns\": %llu, "
+                 "\"sessions_per_sec\": %.3f, \"accepted\": %llu, "
+                 "\"shed\": %llu, \"reaped\": %llu, \"peak_live\": %llu, "
+                 "\"equality\": \"ok\"}",
                  first_row ? "" : ",", reactors,
-                 static_cast<unsigned long long>(run->wall_ns), rate);
+                 static_cast<unsigned long long>(run->wall_ns), rate,
+                 static_cast<unsigned long long>(run->metrics.accepted),
+                 static_cast<unsigned long long>(run->metrics.shed),
+                 static_cast<unsigned long long>(run->metrics.reaped),
+                 static_cast<unsigned long long>(
+                     run->metrics.peak_live_connections));
     first_row = false;
   }
   std::fprintf(f, "\n    ]\n  }\n}\n");

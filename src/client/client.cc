@@ -39,6 +39,15 @@ Result<std::optional<core::RetryAfter>> Client::AwaitAdmission(
                            control.body.data(), control.body.size())));
       return std::optional<core::RetryAfter>(retry);
     }
+    case core::ControlType::kDeadlineExceeded: {
+      ASSIGN_OR_RETURN(const core::DeadlineNotice notice,
+                       core::DeadlineNotice::Deserialize(ByteView(
+                           control.body.data(), control.body.size())));
+      return DeadlineExceededError(
+          "front end reclaimed the connection after " +
+          std::to_string(notice.elapsed_ms) + "ms (deadline " +
+          std::to_string(notice.deadline_ms) + "ms)");
+    }
   }
   return ProtocolError("unknown control frame type");
 }

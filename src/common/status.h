@@ -29,6 +29,7 @@ enum class StatusCode {
   kIntegrityError,     // MAC/signature/hash/measurement mismatch
   kProtocolError,      // provisioning protocol framing/state violation
   kResourceExhausted,  // out of EPC pages, buffer capacity, ...
+  kDeadlineExceeded,   // a time budget ran out (connection/session deadline)
   kUnimplemented,      // decoder hit an instruction outside supported set
   kInternal,           // invariant violation detected at runtime
 };
@@ -82,6 +83,7 @@ inline std::string_view StatusCodeName(StatusCode code) noexcept {
     case StatusCode::kIntegrityError: return "INTEGRITY_ERROR";
     case StatusCode::kProtocolError: return "PROTOCOL_ERROR";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
     case StatusCode::kInternal: return "INTERNAL";
   }
@@ -115,6 +117,9 @@ inline Status ProtocolError(std::string msg) {
 }
 inline Status ResourceExhaustedError(std::string msg) {
   return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status DeadlineExceededError(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
 }
 inline Status UnimplementedError(std::string msg) {
   return Status(StatusCode::kUnimplemented, std::move(msg));

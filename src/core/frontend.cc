@@ -1,5 +1,8 @@
 #include "core/frontend.h"
 
+#include <algorithm>
+#include <chrono>
+#include <string>
 #include <utility>
 
 #include "core/inspection.h"
@@ -27,13 +30,54 @@ uint64_t BudgetFromDevice(sgx::HostOs& host, const FrontendOptions& options) {
              : 0;
 }
 
+void AtomicMax(std::atomic<uint64_t>& cell, uint64_t value) {
+  uint64_t current = cell.load(std::memory_order_relaxed);
+  while (current < value &&
+         !cell.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
+
+void FrontendMetrics::Merge(const FrontendMetrics& other) noexcept {
+  accepted += other.accepted;
+  admitted += other.admitted;
+  admitted_warm += other.admitted_warm;
+  queued += other.queued;
+  shed += other.shed;
+  timed_out += other.timed_out;
+  failed += other.failed;
+  done += other.done;
+  reaped += other.reaped;
+  live_connections += other.live_connections;
+  peak_live_connections =
+      std::max(peak_live_connections, other.peak_live_connections);
+  queue_depth += other.queue_depth;
+  admission_wait_count += other.admission_wait_count;
+  admission_wait_total_ns += other.admission_wait_total_ns;
+  admission_wait_max_ns =
+      std::max(admission_wait_max_ns, other.admission_wait_max_ns);
+  session_count += other.session_count;
+  session_total_ns += other.session_total_ns;
+  session_max_ns = std::max(session_max_ns, other.session_max_ns);
+  // Budget fields are per-budget, not per-shard: the caller that knows which
+  // shards share a budget fills them once after merging.
+}
 
 EngardeOptions ProvisioningFrontend::PerEnclaveOptions() const {
   EngardeOptions enclave_options = options_.enclave_options;
   enclave_options.inspection_threads = 1;
   enclave_options.shared_inspection_pool = inspection_pool_.get();
   return enclave_options;
+}
+
+uint64_t ProvisioningFrontend::NowNs() const {
+  if (options_.clock) return options_.clock();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 ProvisioningFrontend::ProvisioningFrontend(
@@ -84,14 +128,50 @@ Status ProvisioningFrontend::PrefillPool(size_t count) {
   return Status::Ok();
 }
 
+ProvisioningFrontend::Connection* ProvisioningFrontend::Find(
+    uint64_t id) noexcept {
+  const uint32_t slot = static_cast<uint32_t>(id);
+  const uint32_t generation = static_cast<uint32_t>(id >> kSlotBits);
+  if (slot >= slots_.size()) return nullptr;
+  TableSlot& entry = slots_[slot];
+  if (entry.generation != generation || entry.conn == nullptr) return nullptr;
+  return entry.conn.get();
+}
+
+const ProvisioningFrontend::Connection* ProvisioningFrontend::Find(
+    uint64_t id) const noexcept {
+  return const_cast<ProvisioningFrontend*>(this)->Find(id);
+}
+
+const ProvisioningFrontend::Connection& ProvisioningFrontend::Get(
+    uint64_t id) const {
+  const Connection* conn = Find(id);
+  assert(conn != nullptr && "introspection on a reaped or unknown connection");
+  return *conn;
+}
+
 Result<uint64_t> ProvisioningFrontend::Accept(
     std::unique_ptr<net::Transport> transport) {
+  uint32_t slot_index = 0;
+  if (!free_slots_.empty()) {
+    slot_index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot_index = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
   auto conn = std::make_unique<Connection>();
-  conn->id = connections_.size();
+  conn->id = MakeId(slot_index, slots_[slot_index].generation);
   conn->transport = std::move(transport);
   conn->pipe = std::make_unique<crypto::DuplexPipe>();
-  connections_.push_back(std::move(conn));
-  Connection& accepted = *connections_.back();
+  const uint64_t now = NowNs();
+  conn->accepted_ns = now;
+  conn->last_input_ns = now;
+  slots_[slot_index].conn = std::move(conn);
+  Connection& accepted = *slots_[slot_index].conn;
+  const size_t live = live_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  metrics_cells_.accepted.fetch_add(1, std::memory_order_relaxed);
+  AtomicMax(metrics_cells_.peak_live, live);
 
   // Arrivals behind the queue must not overtake it; only try immediate
   // admission when nobody is already waiting.
@@ -101,6 +181,9 @@ Result<uint64_t> ProvisioningFrontend::Accept(
   }
   if (admission_queue_.size() < options_.admission_queue_capacity) {
     admission_queue_.push_back(accepted.id);
+    metrics_cells_.queue_depth.store(admission_queue_.size(),
+                                     std::memory_order_relaxed);
+    metrics_cells_.queued.fetch_add(1, std::memory_order_relaxed);
     return accepted.id;  // stays kQueued; nothing on the wire yet
   }
   RETURN_IF_ERROR(Shed(accepted));
@@ -146,6 +229,18 @@ Result<ProvisioningFrontend::AdmitResult> ProvisioningFrontend::TryAdmit(
   session_side.Write(ByteView(conn.slot->hello_wire));
   conn.session.emplace(&*conn.slot->enclave, session_side);
   conn.state = ConnectionState::kActive;
+  const uint64_t now = NowNs();
+  conn.last_input_ns = now;  // the idle clock starts at admission
+  const uint64_t wait =
+      now >= conn.accepted_ns ? now - conn.accepted_ns : 0;
+  metrics_cells_.admitted.fetch_add(1, std::memory_order_relaxed);
+  if (conn.from_pool) {
+    metrics_cells_.admitted_warm.fetch_add(1, std::memory_order_relaxed);
+  }
+  metrics_cells_.admission_wait_count.fetch_add(1, std::memory_order_relaxed);
+  metrics_cells_.admission_wait_total_ns.fetch_add(wait,
+                                                   std::memory_order_relaxed);
+  AtomicMax(metrics_cells_.admission_wait_max_ns, wait);
   // Push the greeting out immediately so in-memory clients can respond to
   // it right after Accept() returns, without waiting for a PollOnce().
   RETURN_IF_ERROR(ShuttleOut(conn.pipe->EndB(), *conn.transport).status());
@@ -166,39 +261,179 @@ Status ProvisioningFrontend::Shed(Connection& conn) {
   ASSIGN_OR_RETURN(const bool flushed, conn.transport->Flush());
   if (flushed) conn.transport->Close();
   conn.state = ConnectionState::kShed;
-  shed_count_.fetch_add(1, std::memory_order_relaxed);
+  metrics_cells_.shed.fetch_add(1, std::memory_order_relaxed);
+  RecordTerminal(conn, NowNs());
   return Status::Ok();
 }
 
-Status ProvisioningFrontend::PumpConnection(Connection& conn,
+void ProvisioningFrontend::RecordTerminal(Connection& conn, uint64_t now_ns) {
+  const uint64_t duration =
+      now_ns >= conn.accepted_ns ? now_ns - conn.accepted_ns : 0;
+  metrics_cells_.session_count.fetch_add(1, std::memory_order_relaxed);
+  metrics_cells_.session_total_ns.fetch_add(duration,
+                                            std::memory_order_relaxed);
+  AtomicMax(metrics_cells_.session_max_ns, duration);
+}
+
+bool ProvisioningFrontend::Expired(const Connection& conn, uint64_t now_ns,
+                                   uint64_t* deadline_ms,
+                                   const char** what) const {
+  const auto blown = [now_ns](uint64_t since_ns, uint64_t budget_ms) {
+    return budget_ms > 0 && now_ns >= since_ns &&
+           now_ns - since_ns >= budget_ms * 1000000ull;
+  };
+  if (conn.state == ConnectionState::kQueued &&
+      blown(conn.accepted_ns, options_.queue_deadline_ms)) {
+    *deadline_ms = options_.queue_deadline_ms;
+    *what = "admission-queue";
+    return true;
+  }
+  if (conn.state == ConnectionState::kActive &&
+      blown(conn.last_input_ns, options_.idle_deadline_ms)) {
+    *deadline_ms = options_.idle_deadline_ms;
+    *what = "inbound-idle";
+    return true;
+  }
+  if ((conn.state == ConnectionState::kQueued ||
+       conn.state == ConnectionState::kActive) &&
+      blown(conn.accepted_ns, options_.session_deadline_ms)) {
+    *deadline_ms = options_.session_deadline_ms;
+    *what = "session";
+    return true;
+  }
+  return false;
+}
+
+Status ProvisioningFrontend::ExpireConnection(Connection& conn,
+                                              uint64_t now_ns,
+                                              uint64_t deadline_ms,
+                                              const char* what) {
+  DeadlineNotice notice;
+  notice.elapsed_ms =
+      (now_ns >= conn.accepted_ns ? now_ns - conn.accepted_ns : 0) / 1000000u;
+  notice.deadline_ms = deadline_ms;
+  // Best-effort parting record. A queued connection has had nothing written
+  // yet, so the client's AwaitAdmission sees this as its first control frame;
+  // an admitted one may or may not read past the hello — either way the
+  // enclave and its pages are coming back.
+  crypto::DuplexPipe::Endpoint session_side = conn.pipe->EndA();
+  RETURN_IF_ERROR(WriteControlFrame(session_side,
+                                    ControlType::kDeadlineExceeded,
+                                    ByteView(notice.Serialize())));
+  if (conn.state == ConnectionState::kQueued) {
+    admission_queue_.erase(std::remove(admission_queue_.begin(),
+                                       admission_queue_.end(), conn.id),
+                           admission_queue_.end());
+    metrics_cells_.queue_depth.store(admission_queue_.size(),
+                                     std::memory_order_relaxed);
+  }
+  conn.failure = DeadlineExceededError(
+      std::string(what) + " deadline (" + std::to_string(deadline_ms) +
+      "ms) exceeded after " + std::to_string(notice.elapsed_ms) + "ms");
+  conn.state = ConnectionState::kTimedOut;
+  metrics_cells_.timed_out.fetch_add(1, std::memory_order_relaxed);
+  RecordTerminal(conn, now_ns);
+  ReleaseEnclave(conn);
+  // Best-effort delivery of the notice: an expired connection's wire is
+  // often the thing that misbehaved, so an error here just kills the wire.
+  const Status shuttled = ShuttleOut(conn.pipe->EndB(), *conn.transport)
+                              .status();
+  Result<bool> flush_result =
+      shuttled.ok() ? conn.transport->Flush() : Result<bool>(false);
+  if (!shuttled.ok() || !flush_result.ok()) {
+    conn.wire_dead = true;
+    conn.transport->Close();
+  } else if (*flush_result && conn.transport->descriptor() >= 0) {
+    conn.transport->Close();
+  }
+  return Status::Ok();
+}
+
+Status ProvisioningFrontend::PumpConnection(Connection& conn, uint64_t now_ns,
                                             size_t& progress) {
+  uint64_t deadline_ms = 0;
+  const char* what = nullptr;
   switch (conn.state) {
     case ConnectionState::kQueued:
-      return Status::Ok();  // admitted via AdmitFromQueue, never pumped
+      // Admitted via AdmitFromQueue, never pumped — but the wait itself is
+      // on the clock.
+      if (Expired(conn, now_ns, &deadline_ms, &what)) {
+        RETURN_IF_ERROR(ExpireConnection(conn, now_ns, deadline_ms, what));
+        ++progress;
+      }
+      return Status::Ok();
     case ConnectionState::kShed:
     case ConnectionState::kDone:
-    case ConnectionState::kFailed: {
-      // Only residual outbound bytes (verdict tail, retry-after) remain.
-      ASSIGN_OR_RETURN(const size_t moved,
-                       ShuttleOut(conn.pipe->EndB(), *conn.transport));
-      ASSIGN_OR_RETURN(const bool flushed, conn.transport->Flush());
+    case ConnectionState::kFailed:
+    case ConnectionState::kTimedOut: {
+      // Only residual outbound bytes (verdict tail, retry-after, deadline
+      // notice) remain. A transport hard error here means the tail is
+      // undeliverable: latch wire_dead, stop touching the wire, and let the
+      // reaper take the slot — one bad socket never poisons the sweep.
+      bool dead = conn.wire_dead;
+      size_t moved = 0;
+      bool flushed = true;
+      if (!dead) {
+        Result<size_t> moved_result =
+            ShuttleOut(conn.pipe->EndB(), *conn.transport);
+        if (!moved_result.ok()) {
+          dead = true;
+        } else {
+          moved = *moved_result;
+          Result<bool> flush_result = conn.transport->Flush();
+          if (!flush_result.ok()) {
+            dead = true;
+          } else {
+            flushed = *flush_result;
+          }
+        }
+        if (dead) {
+          conn.wire_dead = true;
+          conn.transport->Close();
+          ++progress;
+        }
+      }
       if (moved > 0) ++progress;
-      if (flushed && conn.pipe->EndB().Available() == 0 &&
+      // An unflushed tail is work in flight (a short-writing transport moves
+      // a bounded chunk per Flush): count it so DrainAll keeps sweeping
+      // until the tail lands and the connection can be reaped.
+      if (!dead && !flushed) ++progress;
+      const bool tail_landed =
+          dead || (flushed && conn.pipe->EndB().Available() == 0);
+      if (!dead && flushed && conn.pipe->EndB().Available() == 0 &&
           conn.transport->descriptor() >= 0) {
         conn.transport->Close();
       }
+      // Reap once the outbound tail has landed (or died) and nobody still
+      // needs the connection's record: a verdict counts as "needed" until
+      // TakeOutcome moves it out, so polling drivers keep their
+      // introspection window.
+      if (tail_landed &&
+          (conn.state != ConnectionState::kDone || conn.outcome_taken)) {
+        Reap(conn);  // invalidates conn
+        ++progress;
+      }
       return Status::Ok();
     }
+    case ConnectionState::kReaped:
+      return InternalError("kReaped is a reporting state, never stored");
     case ConnectionState::kActive:
       break;
   }
 
-  // Inbound: transport -> internal wire.
+  // Inbound: transport -> internal wire. A hard transport error fails this
+  // connection, not the reactor.
   Bytes inbound;
-  ASSIGN_OR_RETURN(const size_t drained, conn.transport->Drain(inbound));
+  Result<size_t> drain_result = conn.transport->Drain(inbound);
+  if (!drain_result.ok()) {
+    FailConnection(conn, drain_result.status(), now_ns, progress);
+    return Status::Ok();
+  }
+  const size_t drained = *drain_result;
   crypto::DuplexPipe::Endpoint wire_side = conn.pipe->EndB();
   if (drained > 0) {
     wire_side.Write(ByteView(inbound));
+    conn.last_input_ns = now_ns;
     ++progress;
   }
   if (conn.transport->AtEof() && !conn.pipe->EndA().PeerClosed()) {
@@ -208,21 +443,26 @@ Status ProvisioningFrontend::PumpConnection(Connection& conn,
     ++progress;
   }
 
+  // Deadlines are judged after the drain so bytes that already arrived
+  // count as progress — only a genuinely idle or overrunning connection
+  // expires.
+  if (Expired(conn, now_ns, &deadline_ms, &what)) {
+    RETURN_IF_ERROR(ExpireConnection(conn, now_ns, deadline_ms, what));
+    ++progress;
+    return Status::Ok();
+  }
+
   // Pump the session under its accountant — the same redirection
   // ProvisioningServer::Drive applies, so per-phase attribution matches a
   // serial drive bit for bit.
   const ProvisioningSession::State before = conn.session->state();
+  Status pumped = Status::Ok();
   {
     sgx::ScopedAccountant scoped(&conn.slot->accountant);
-    const Status pumped = conn.session->Pump();
-    if (!pumped.ok()) {
-      conn.failure = pumped;
-      conn.state = ConnectionState::kFailed;
-      ++progress;
-    }
+    pumped = conn.session->Pump();
   }
-  if (conn.state == ConnectionState::kFailed) {
-    ReleaseEnclave(conn);
+  if (!pumped.ok()) {
+    FailConnection(conn, pumped, now_ns, progress);
     return Status::Ok();
   }
   if (conn.session->state() != before) ++progress;
@@ -231,7 +471,8 @@ Status ProvisioningFrontend::PumpConnection(Connection& conn,
     ASSIGN_OR_RETURN(ProvisionOutcome outcome, conn.session->TakeOutcome());
     conn.outcome.emplace(std::move(outcome));
     conn.state = ConnectionState::kDone;
-    done_count_.fetch_add(1, std::memory_order_relaxed);
+    metrics_cells_.done.fetch_add(1, std::memory_order_relaxed);
+    RecordTerminal(conn, now_ns);
     ++progress;
     if (options_.destroy_enclave_on_verdict) ReleaseEnclave(conn);
   } else if (conn.session->state() == before &&
@@ -239,19 +480,46 @@ Status ProvisioningFrontend::PumpConnection(Connection& conn,
              conn.pipe->EndA().Available() == 0) {
     // Peer finished sending but the exchange is incomplete and no further
     // progress is possible: terminal.
-    conn.failure = ProtocolError(
-        "peer closed mid-exchange: session stalled before a verdict");
-    conn.state = ConnectionState::kFailed;
-    ReleaseEnclave(conn);
-    ++progress;
+    FailConnection(conn,
+                   ProtocolError("peer closed mid-exchange: session stalled "
+                                 "before a verdict"),
+                   now_ns, progress);
   }
 
-  // Outbound: internal wire -> transport.
-  ASSIGN_OR_RETURN(const size_t moved,
-                   ShuttleOut(conn.pipe->EndB(), *conn.transport));
-  if (moved > 0) ++progress;
-  RETURN_IF_ERROR(conn.transport->Flush().status());
+  // Outbound: internal wire -> transport. Hard errors fail the connection;
+  // any tail left on the internal wire is the terminal branch's problem.
+  Result<size_t> moved_result = ShuttleOut(conn.pipe->EndB(), *conn.transport);
+  if (!moved_result.ok()) {
+    if (conn.state == ConnectionState::kActive) {
+      FailConnection(conn, moved_result.status(), now_ns, progress);
+    } else {
+      conn.wire_dead = true;
+      conn.transport->Close();
+    }
+    return Status::Ok();
+  }
+  if (*moved_result > 0) ++progress;
+  Result<bool> flush_result = conn.transport->Flush();
+  if (!flush_result.ok()) {
+    if (conn.state == ConnectionState::kActive) {
+      FailConnection(conn, flush_result.status(), now_ns, progress);
+    } else {
+      conn.wire_dead = true;
+      conn.transport->Close();
+    }
+    return Status::Ok();
+  }
   return Status::Ok();
+}
+
+void ProvisioningFrontend::FailConnection(Connection& conn, Status cause,
+                                          uint64_t now_ns, size_t& progress) {
+  conn.failure = std::move(cause);
+  conn.state = ConnectionState::kFailed;
+  metrics_cells_.failed.fetch_add(1, std::memory_order_relaxed);
+  RecordTerminal(conn, now_ns);
+  ReleaseEnclave(conn);
+  ++progress;
 }
 
 void ProvisioningFrontend::ReleaseEnclave(Connection& conn) {
@@ -273,12 +541,31 @@ void ProvisioningFrontend::ReleaseEnclave(Connection& conn) {
   budget_->Release(PagesPerEnclave());
 }
 
+void ProvisioningFrontend::Reap(Connection& conn) {
+  conn.transport->Close();  // idempotent for both pipe and socket transports
+  const uint32_t slot_index = static_cast<uint32_t>(conn.id);
+  slots_[slot_index].conn.reset();  // destroys conn: pipes, fds, outcome
+  ++slots_[slot_index].generation;  // the old id can never alias the slot again
+  free_slots_.push_back(slot_index);
+  live_count_.fetch_sub(1, std::memory_order_relaxed);
+  metrics_cells_.reaped.fetch_add(1, std::memory_order_relaxed);
+}
+
 Status ProvisioningFrontend::AdmitFromQueue(size_t& progress) {
   while (!admission_queue_.empty()) {
-    Connection& conn = *connections_[admission_queue_.front()];
-    ASSIGN_OR_RETURN(const AdmitResult admitted, TryAdmit(conn));
+    Connection* conn = Find(admission_queue_.front());
+    if (conn == nullptr || conn->state != ConnectionState::kQueued) {
+      // Expired or otherwise finished while waiting; drop the stale entry.
+      admission_queue_.pop_front();
+      metrics_cells_.queue_depth.store(admission_queue_.size(),
+                                       std::memory_order_relaxed);
+      continue;
+    }
+    ASSIGN_OR_RETURN(const AdmitResult admitted, TryAdmit(*conn));
     if (admitted == AdmitResult::kNoBudget) break;  // still starved; FIFO
     admission_queue_.pop_front();
+    metrics_cells_.queue_depth.store(admission_queue_.size(),
+                                     std::memory_order_relaxed);
     ++progress;
   }
   return Status::Ok();
@@ -286,8 +573,13 @@ Status ProvisioningFrontend::AdmitFromQueue(size_t& progress) {
 
 Result<size_t> ProvisioningFrontend::PollOnce() {
   size_t progress = 0;
-  for (const auto& conn : connections_) {
-    RETURN_IF_ERROR(PumpConnection(*conn, progress));
+  const uint64_t now = NowNs();
+  // Index loop, not iterators: Reap() edits the slot under our feet but
+  // never resizes slots_ mid-sweep (only Accept grows it).
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    Connection* conn = slots_[i].conn.get();
+    if (conn == nullptr) continue;
+    RETURN_IF_ERROR(PumpConnection(*conn, now, progress));
   }
   RETURN_IF_ERROR(AdmitFromQueue(progress));
   return progress;
@@ -300,39 +592,94 @@ Status ProvisioningFrontend::DrainAll() {
   }
 }
 
-Result<ProvisionOutcome> ProvisioningFrontend::TakeOutcome(uint64_t id) {
-  if (id >= connections_.size()) {
-    return OutOfRangeError("no such frontend connection");
+std::vector<uint64_t> ProvisioningFrontend::connection_ids() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(live_count_.load(std::memory_order_relaxed));
+  for (const TableSlot& slot : slots_) {
+    if (slot.conn != nullptr) ids.push_back(slot.conn->id);
   }
-  Connection& conn = *connections_[id];
-  if (conn.state != ConnectionState::kDone) {
+  return ids;
+}
+
+ConnectionState ProvisioningFrontend::state(uint64_t id) const noexcept {
+  const Connection* conn = Find(id);
+  return conn != nullptr ? conn->state : ConnectionState::kReaped;
+}
+
+Status ProvisioningFrontend::connection_status(uint64_t id) const {
+  const Connection* conn = Find(id);
+  if (conn == nullptr) {
+    return NotFoundError("connection was reaped (or never existed)");
+  }
+  return conn->failure;
+}
+
+Result<ProvisionOutcome> ProvisioningFrontend::TakeOutcome(uint64_t id) {
+  Connection* conn = Find(id);
+  if (conn == nullptr) {
+    return NotFoundError("connection was reaped (or never existed)");
+  }
+  if (conn->state != ConnectionState::kDone) {
     return FailedPreconditionError("connection has not reached a verdict");
   }
-  if (conn.outcome_taken || !conn.outcome.has_value()) {
+  if (conn->outcome_taken || !conn->outcome.has_value()) {
     return FailedPreconditionError("outcome already taken");
   }
-  conn.outcome_taken = true;
-  ProvisionOutcome outcome = std::move(*conn.outcome);
-  conn.outcome.reset();
+  conn->outcome_taken = true;
+  ProvisionOutcome outcome = std::move(*conn->outcome);
+  conn->outcome.reset();
   return outcome;
+}
+
+FrontendMetrics ProvisioningFrontend::metrics() const noexcept {
+  const auto load = [](const std::atomic<uint64_t>& cell) {
+    return cell.load(std::memory_order_relaxed);
+  };
+  FrontendMetrics m;
+  m.accepted = load(metrics_cells_.accepted);
+  m.admitted = load(metrics_cells_.admitted);
+  m.admitted_warm = load(metrics_cells_.admitted_warm);
+  m.queued = load(metrics_cells_.queued);
+  m.shed = load(metrics_cells_.shed);
+  m.timed_out = load(metrics_cells_.timed_out);
+  m.failed = load(metrics_cells_.failed);
+  m.done = load(metrics_cells_.done);
+  m.reaped = load(metrics_cells_.reaped);
+  m.live_connections = live_count_.load(std::memory_order_relaxed);
+  m.peak_live_connections = load(metrics_cells_.peak_live);
+  m.queue_depth = load(metrics_cells_.queue_depth);
+  m.admission_wait_count = load(metrics_cells_.admission_wait_count);
+  m.admission_wait_total_ns = load(metrics_cells_.admission_wait_total_ns);
+  m.admission_wait_max_ns = load(metrics_cells_.admission_wait_max_ns);
+  m.session_count = load(metrics_cells_.session_count);
+  m.session_total_ns = load(metrics_cells_.session_total_ns);
+  m.session_max_ns = load(metrics_cells_.session_max_ns);
+  m.budget_pages = budget_->budget_pages();
+  m.committed_pages = budget_->committed_pages();
+  m.max_committed_pages = budget_->max_committed_pages();
+  return m;
 }
 
 size_t ProvisioningFrontend::active_count() const noexcept {
   size_t active = 0;
-  for (const auto& conn : connections_) {
-    if (conn->state == ConnectionState::kActive) ++active;
+  for (const TableSlot& slot : slots_) {
+    if (slot.conn != nullptr &&
+        slot.conn->state == ConnectionState::kActive) {
+      ++active;
+    }
   }
   return active;
 }
 
 std::vector<int> ProvisioningFrontend::PollDescriptors() const {
   std::vector<int> descriptors;
-  for (const auto& conn : connections_) {
-    if (conn->state != ConnectionState::kActive &&
-        conn->state != ConnectionState::kQueued) {
+  for (const TableSlot& slot : slots_) {
+    if (slot.conn == nullptr) continue;
+    if (slot.conn->state != ConnectionState::kActive &&
+        slot.conn->state != ConnectionState::kQueued) {
       continue;
     }
-    const int fd = conn->transport->descriptor();
+    const int fd = slot.conn->transport->descriptor();
     if (fd >= 0) descriptors.push_back(fd);
   }
   return descriptors;

@@ -5,7 +5,7 @@
 // pumping each ready ProvisioningSession exactly as far as its queued input
 // allows. No thread is ever parked per connection.
 //
-// Three cooperating parts:
+// Four cooperating parts:
 //
 //  * Admission controller — budgets the EPC before anything is built: each
 //    enclave costs layout.TotalPages() pages against the device capacity
@@ -17,12 +17,27 @@
 //    itself lives in core/epc_budget.h and may be shared: a FrontendGroup
 //    hands N reactors one EpcBudget so they can never jointly overdraw it.
 //
-//  * Reactor — PollOnce() sweeps every connection: shuttles bytes between
-//    the transport and the connection's internal DuplexPipe, pumps the
-//    session under its own ScopedAccountant (the same discipline as
+//  * Reactor — PollOnce() sweeps every live connection: shuttles bytes
+//    between the transport and the connection's internal DuplexPipe, pumps
+//    the session under its own ScopedAccountant (the same discipline as
 //    ProvisioningServer::Drive, so per-phase SGX attribution is bit-for-bit
 //    identical to a serial drive of the same exchange), reaps verdicts, and
 //    re-admits from the queue as EPC frees up.
+//
+//  * Deadline enforcement + reaper — every sweep reads a monotonic clock
+//    (injectable through FrontendOptions::clock for deterministic tests) and
+//    fails any connection that blew one of its time budgets: too long queued
+//    for admission, too long without inbound bytes while admitted, or too
+//    long overall. An expired connection gets a best-effort kDeadlineExceeded
+//    control record, its enclave is destroyed through HostOs::DestroyEnclave
+//    and its EPC pages go back to the budget — a slow-loris client can never
+//    starve the FIFO. Terminal connections (kDone once their outcome is
+//    taken, kShed/kFailed/kTimedOut once their outbound tail is flushed) are
+//    then reaped: the slot-mapped connection table frees the slot, the fd,
+//    and the pipes, so memory and per-sweep work stay O(active) no matter
+//    how many sessions a long-lived server has served. Ids stay stable —
+//    a reused slot gets a fresh generation, so a stale id never aliases a
+//    newer connection (it reads as kReaped).
 //
 //  * Warm enclave pool — admission prefers a pre-built enclave whose
 //    policy-set fingerprint matches, skipping enclave build + RSA keygen +
@@ -32,12 +47,13 @@
 // Threading: one ProvisioningFrontend is owned by exactly one thread —
 // Accept/PollOnce/per-connection introspection are not synchronized. What IS
 // safe cross-thread: the shared EpcBudget, the shared WarmEnclavePool, and
-// the aggregate done/shed counters (atomics), which is precisely the state a
+// the FrontendMetrics counters (atomics), which is precisely the state a
 // sibling reactor or a monitoring thread touches while this one runs.
 #ifndef ENGARDE_CORE_FRONTEND_H_
 #define ENGARDE_CORE_FRONTEND_H_
 
 #include <atomic>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -76,6 +92,25 @@ struct FrontendOptions {
   // that keeps compliant enclaves alive to run client code turns this off
   // and manages lifetimes itself.
   bool destroy_enclave_on_verdict = true;
+
+  // ---- Deadlines (0 = unlimited) -------------------------------------------
+  // All measured against `clock`. Expiry fails the connection with
+  // DEADLINE_EXCEEDED, sends a best-effort kDeadlineExceeded control record,
+  // destroys its enclave through HostOs::DestroyEnclave and returns its EPC
+  // pages so queued arrivals admit.
+  //
+  // Max time an arrival may wait in the admission FIFO before the front end
+  // gives up on EPC freeing in time.
+  uint64_t queue_deadline_ms = 0;
+  // Max time an admitted connection may go without delivering a single
+  // inbound byte — the slow-loris bound.
+  uint64_t idle_deadline_ms = 0;
+  // Max time from accept to verdict, inbound progress or not.
+  uint64_t session_deadline_ms = 0;
+  // Monotonic nanosecond clock the deadlines are measured against. Null =
+  // std::chrono::steady_clock. Must be thread-safe when the frontend is a
+  // FrontendGroup shard (every reactor thread reads it).
+  std::function<uint64_t()> clock;
 };
 
 enum class ConnectionState : uint8_t {
@@ -84,6 +119,45 @@ enum class ConnectionState : uint8_t {
   kDone,        // verdict reached, outcome recorded
   kShed,        // RetryAfter sent; client must reconnect
   kFailed,      // hard protocol/transport error, no verdict
+  kTimedOut,    // a deadline expired; enclave reclaimed, no verdict
+  kReaped,      // slot retired — reported for stale ids, never stored
+};
+
+// Aggregate front-end telemetry. Counters are monotonic over the frontend's
+// lifetime; gauges are sampled at snapshot time. Safe to take from any
+// thread while the reactor runs (the cells are relaxed atomics, same
+// discipline as the budget counters).
+struct FrontendMetrics {
+  // Counters.
+  uint64_t accepted = 0;       // connections ever Accept()ed
+  uint64_t admitted = 0;       // reached kActive (immediately or from queue)
+  uint64_t admitted_warm = 0;  // of those, served from the warm pool
+  uint64_t queued = 0;         // ever parked in the admission FIFO
+  uint64_t shed = 0;           // RetryAfter sent
+  uint64_t timed_out = 0;      // any deadline expiry
+  uint64_t failed = 0;         // hard failures (excluding timeouts)
+  uint64_t done = 0;           // verdicts reached
+  uint64_t reaped = 0;         // slots retired by the reaper
+  // Gauges.
+  uint64_t live_connections = 0;  // slots currently held
+  uint64_t peak_live_connections = 0;
+  uint64_t queue_depth = 0;
+  // Admission wait (accept -> kActive) over admitted connections.
+  uint64_t admission_wait_count = 0;
+  uint64_t admission_wait_total_ns = 0;
+  uint64_t admission_wait_max_ns = 0;
+  // Session duration (accept -> terminal state) over finished connections.
+  uint64_t session_count = 0;
+  uint64_t session_total_ns = 0;
+  uint64_t session_max_ns = 0;
+  // Budget occupancy at snapshot time (shared across a group's shards).
+  uint64_t budget_pages = 0;
+  uint64_t committed_pages = 0;
+  uint64_t max_committed_pages = 0;
+
+  // Shard aggregation: counters and gauges sum, maxima take the max, budget
+  // fields are overwritten by the caller (one shared budget per group).
+  void Merge(const FrontendMetrics& other) noexcept;
 };
 
 class ProvisioningFrontend {
@@ -113,11 +187,13 @@ class ProvisioningFrontend {
   //   admitted — control kHelloFollows + hello bytes go out, session is live;
   //   queued   — parked FIFO until EPC frees, nothing sent yet;
   //   shed     — RetryAfter record goes out, connection is finished.
-  // Returns the connection id (dense, starting at 0).
+  // Returns the connection id: stable for the connection's whole lifetime,
+  // never reused for a later connection (slot index + generation).
   Result<uint64_t> Accept(std::unique_ptr<net::Transport> transport);
 
-  // One reactor sweep over every connection. Returns how many connections
-  // made progress (bytes moved or state advanced).
+  // One reactor sweep over every live connection: deadline enforcement,
+  // byte shuttling, session pumping, reaping, queue admission. Returns how
+  // many connections made progress (bytes moved or state advanced).
   Result<size_t> PollOnce();
 
   // Sweeps until a full pass makes no progress (in-memory transports: until
@@ -125,32 +201,44 @@ class ProvisioningFrontend {
   Status DrainAll();
 
   // ---- Introspection (owner thread, except where noted) -------------------
-  size_t connection_count() const noexcept { return connections_.size(); }
-  ConnectionState state(uint64_t id) const {
-    return connections_[id]->state;
+  // Live (un-reaped) connections currently held.
+  size_t connection_count() const noexcept {
+    return live_count_.load(std::memory_order_relaxed);
   }
-  // Terminal failure for kFailed connections (OK otherwise).
-  Status connection_status(uint64_t id) const {
-    return connections_[id]->failure;
-  }
-  // Moves the outcome out of a kDone connection.
+  // Ids of every live connection, in slot order.
+  std::vector<uint64_t> connection_ids() const;
+  // kReaped for an id the reaper has retired (or that never existed).
+  ConnectionState state(uint64_t id) const noexcept;
+  // Terminal failure for kFailed/kTimedOut connections (OK otherwise,
+  // NOT_FOUND for reaped ids).
+  Status connection_status(uint64_t id) const;
+  // Moves the outcome out of a kDone connection. Once taken, the reaper may
+  // retire the connection on a later sweep.
   Result<ProvisionOutcome> TakeOutcome(uint64_t id);
   const sgx::CycleAccountant& accountant(uint64_t id) const {
-    return connections_[id]->slot->accountant;
+    return Get(id).slot->accountant;
   }
-  bool served_from_pool(uint64_t id) const {
-    return connections_[id]->from_pool;
-  }
+  bool served_from_pool(uint64_t id) const { return Get(id).from_pool; }
 
   size_t active_count() const noexcept;
-  size_t queued_count() const noexcept { return admission_queue_.size(); }
+  size_t queued_count() const noexcept {
+    return metrics_cells_.queue_depth.load(std::memory_order_relaxed);
+  }
   // Aggregate counters — safe to read from any thread while the reactor runs.
   size_t shed_count() const noexcept {
-    return shed_count_.load(std::memory_order_relaxed);
+    return metrics_cells_.shed.load(std::memory_order_relaxed);
   }
   size_t done_count() const noexcept {
-    return done_count_.load(std::memory_order_relaxed);
+    return metrics_cells_.done.load(std::memory_order_relaxed);
   }
+  size_t timed_out_count() const noexcept {
+    return metrics_cells_.timed_out.load(std::memory_order_relaxed);
+  }
+  size_t reaped_count() const noexcept {
+    return metrics_cells_.reaped.load(std::memory_order_relaxed);
+  }
+  // Full telemetry snapshot (thread-safe, like the individual counters).
+  FrontendMetrics metrics() const noexcept;
 
   // Admission budget telemetry (thread-safe; possibly shared across a
   // group). max_committed_pages() never exceeding budget_pages() is the
@@ -184,9 +272,57 @@ class ProvisioningFrontend {
     bool from_pool = false;
     bool outcome_taken = false;
     bool enclave_released = false;
+    // Latched when the transport hard-errors while flushing a terminal
+    // tail: the tail is undeliverable, stop touching the wire and let the
+    // reaper retire the slot.
+    bool wire_dead = false;
+    // Deadline bookkeeping, all in clock() nanoseconds.
+    uint64_t accepted_ns = 0;
+    uint64_t last_input_ns = 0;  // reset on every inbound byte once admitted
+  };
+
+  // One connection-table entry. A retired slot keeps its generation bumped
+  // so the stale id can never alias the slot's next tenant.
+  struct TableSlot {
+    std::unique_ptr<Connection> conn;
+    uint32_t generation = 0;
+  };
+
+  // All monotonic counters live here as relaxed atomics so metrics() and the
+  // legacy shed/done accessors are safe cross-thread.
+  struct MetricsCells {
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> admitted{0};
+    std::atomic<uint64_t> admitted_warm{0};
+    std::atomic<uint64_t> queued{0};
+    std::atomic<uint64_t> shed{0};
+    std::atomic<uint64_t> timed_out{0};
+    std::atomic<uint64_t> failed{0};
+    std::atomic<uint64_t> done{0};
+    std::atomic<uint64_t> reaped{0};
+    std::atomic<uint64_t> peak_live{0};
+    std::atomic<uint64_t> admission_wait_count{0};
+    std::atomic<uint64_t> admission_wait_total_ns{0};
+    std::atomic<uint64_t> admission_wait_max_ns{0};
+    std::atomic<uint64_t> session_count{0};
+    std::atomic<uint64_t> session_total_ns{0};
+    std::atomic<uint64_t> session_max_ns{0};
+    // Gauge mirror of admission_queue_.size(), so queued_count()/metrics()
+    // stay readable off the owner thread.
+    std::atomic<uint64_t> queue_depth{0};
   };
 
   enum class AdmitResult : uint8_t { kAdmitted, kNoBudget };
+
+  static constexpr uint32_t kSlotBits = 32;
+  static uint64_t MakeId(uint32_t slot, uint32_t generation) noexcept {
+    return (static_cast<uint64_t>(generation) << kSlotBits) | slot;
+  }
+  // The live connection behind `id`, or nullptr for stale/unknown ids.
+  Connection* Find(uint64_t id) noexcept;
+  const Connection* Find(uint64_t id) const noexcept;
+  // Asserting variant for accessors whose contract requires a live id.
+  const Connection& Get(uint64_t id) const;
 
   // Tries to admit: warm handout or budgeted cold build + control frame +
   // hello. kNoBudget when the EPC budget (or a retryable build failure)
@@ -195,15 +331,34 @@ class ProvisioningFrontend {
   // Sends the RetryAfter record and finishes the connection.
   Status Shed(Connection& conn);
   // One sweep over one connection; increments `progress` on any advance.
-  Status PumpConnection(Connection& conn, size_t& progress);
+  // `now_ns` is the sweep's clock reading (deadlines). May reap `conn`.
+  Status PumpConnection(Connection& conn, uint64_t now_ns, size_t& progress);
+  // Expires `conn` with DEADLINE_EXCEEDED: best-effort control record,
+  // enclave destroyed, budget released, FIFO entry dropped.
+  Status ExpireConnection(Connection& conn, uint64_t now_ns,
+                          uint64_t deadline_ms, const char* what);
+  // Deadline the connection is currently closest to blowing; 0 = none armed.
+  bool Expired(const Connection& conn, uint64_t now_ns,
+               uint64_t* deadline_ms, const char** what) const;
+  // Fails one connection with `cause` (transport hard error, session
+  // failure): records metrics, destroys the enclave, releases its pages.
+  // A bad wire takes down its own connection, never the whole sweep.
+  void FailConnection(Connection& conn, Status cause, uint64_t now_ns,
+                      size_t& progress);
   // Reaps EPC from a finished connection and re-admits queued arrivals.
   void ReleaseEnclave(Connection& conn);
+  // Retires a terminal, fully-flushed connection: frees the slot, the
+  // transport (fd) and the pipes. The id goes stale (kReaped).
+  void Reap(Connection& conn);
+  void RecordTerminal(Connection& conn, uint64_t now_ns);
   Status AdmitFromQueue(size_t& progress);
 
   uint64_t PagesPerEnclave() const noexcept {
     return options_.enclave_options.layout.TotalPages();
   }
   EngardeOptions PerEnclaveOptions() const;
+  // options_.clock, defaulting to std::chrono::steady_clock nanoseconds.
+  uint64_t NowNs() const;
 
   sgx::HostOs* host_;
   const sgx::QuotingEnclave* quoting_;
@@ -216,10 +371,14 @@ class ProvisioningFrontend {
   std::unique_ptr<WarmEnclavePool> owned_pool_;
   EpcBudget* budget_;
   WarmEnclavePool* pool_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  // Slot-mapped connection table: reaped slots go on the free list and are
+  // reused (with a bumped generation) by later accepts, so the table stays
+  // O(live connections) on a long-lived server.
+  std::vector<TableSlot> slots_;
+  std::vector<uint32_t> free_slots_;
+  std::atomic<size_t> live_count_{0};
   std::deque<uint64_t> admission_queue_;
-  std::atomic<size_t> shed_count_{0};
-  std::atomic<size_t> done_count_{0};
+  MetricsCells metrics_cells_;
 };
 
 }  // namespace engarde::core

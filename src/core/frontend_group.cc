@@ -74,7 +74,10 @@ void FrontendGroup::AttachListener(net::Listener* listener) {
 void FrontendGroup::HarvestVerdicts(size_t index, size_t& progress) {
   if (!options_.on_verdict) return;
   ProvisioningFrontend& frontend = *shards_[index]->frontend;
-  for (uint64_t id = 0; id < frontend.connection_count(); ++id) {
+  // Live ids only — the table is a slot map now, so ids are not dense and a
+  // long-serving shard holds far fewer connections than it ever accepted.
+  // Taking the outcome is what clears a kDone connection for the reaper.
+  for (const uint64_t id : frontend.connection_ids()) {
     if (frontend.state(id) != ConnectionState::kDone) continue;
     Result<ProvisionOutcome> outcome = frontend.TakeOutcome(id);
     if (!outcome.ok()) continue;  // already harvested on an earlier sweep
@@ -179,8 +182,22 @@ Status FrontendGroup::Stop() {
   for (std::thread& thread : threads_) thread.join();
   threads_.clear();
   running_ = false;
-  const std::lock_guard<std::mutex> lock(failure_mu_);
-  return first_failure_;
+  {
+    const std::lock_guard<std::mutex> lock(failure_mu_);
+    if (!first_failure_.ok()) return first_failure_;
+  }
+  // Reap-only epilogue: a reactor may have been stopped between delivering a
+  // connection's verdict and the sweep that would have retired it. Sweep each
+  // shard to quiescence without accepting new arrivals (inbox and listener
+  // stay untouched) so Stop() leaves no finished connection behind.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    for (;;) {
+      ASSIGN_OR_RETURN(size_t progress, shards_[i]->frontend->PollOnce());
+      HarvestVerdicts(i, progress);
+      if (progress == 0) break;
+    }
+  }
+  return Status::Ok();
 }
 
 size_t FrontendGroup::connection_count() const {
@@ -200,6 +217,18 @@ size_t FrontendGroup::done_count() const {
 size_t FrontendGroup::shed_count() const {
   size_t total = 0;
   for (const auto& shard : shards_) total += shard->frontend->shed_count();
+  return total;
+}
+
+FrontendMetrics FrontendGroup::metrics() const {
+  FrontendMetrics total;
+  for (const auto& shard : shards_) {
+    total.Merge(shard->frontend->metrics());
+  }
+  // Every shard reported the same shared budget; count it once.
+  total.budget_pages = budget_->budget_pages();
+  total.committed_pages = budget_->committed_pages();
+  total.max_committed_pages = budget_->max_committed_pages();
   return total;
 }
 

@@ -101,10 +101,12 @@ class FrontendGroup {
 
   // ---- Threaded mode ------------------------------------------------------
   Status Start();
-  // Signals every reactor thread and joins them; afterwards the group is
-  // quiescent and fully introspectable. Returns the first hard failure any
-  // reactor hit (the group stops sweeping a failed shard but keeps serving
-  // the others).
+  // Signals every reactor thread and joins them, then sweeps each shard to
+  // quiescence without accepting new arrivals, so verdicted connections whose
+  // terminal sweep the shutdown raced past are still harvested and reaped.
+  // Afterwards the group is quiescent and fully introspectable. Returns the
+  // first hard failure any reactor hit (the group stops sweeping a failed
+  // shard but keeps serving the others).
   Status Stop();
   bool running() const noexcept { return running_; }
 
@@ -121,6 +123,8 @@ class FrontendGroup {
   size_t connection_count() const;
   size_t done_count() const;
   size_t shed_count() const;
+  // Merged shard telemetry, with the shared budget counted once.
+  FrontendMetrics metrics() const;
 
   EpcBudget& budget() noexcept { return *budget_; }
   WarmEnclavePool& pool() noexcept { return *pool_; }

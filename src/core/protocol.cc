@@ -134,6 +134,29 @@ Result<RetryAfter> RetryAfter::Deserialize(ByteView data) {
   return retry;
 }
 
+Bytes DeadlineNotice::Serialize() const {
+  Bytes out;
+  out.push_back(kWireVersion);
+  AppendLe64(out, elapsed_ms);
+  AppendLe64(out, deadline_ms);
+  return out;
+}
+
+Result<DeadlineNotice> DeadlineNotice::Deserialize(ByteView data) {
+  ByteReader reader(data);
+  uint8_t version = 0;
+  if (!reader.ReadU8(version)) return ProtocolError("truncated deadline notice");
+  if (version != kWireVersion) {
+    return ProtocolError("unsupported deadline-notice wire version");
+  }
+  DeadlineNotice notice;
+  if (!reader.ReadLe64(notice.elapsed_ms) ||
+      !reader.ReadLe64(notice.deadline_ms) || !reader.AtEnd()) {
+    return ProtocolError("malformed deadline notice");
+  }
+  return notice;
+}
+
 Status WriteControlFrame(crypto::DuplexPipe::Endpoint& endpoint,
                          ControlType type, ByteView body) {
   Bytes payload;
@@ -149,7 +172,8 @@ Result<ControlFrame> ParseControlFrame(Bytes frame) {
   if (frame.empty()) return ProtocolError("empty control frame");
   const uint8_t type = frame[0];
   if (type != static_cast<uint8_t>(ControlType::kHelloFollows) &&
-      type != static_cast<uint8_t>(ControlType::kRetryAfter)) {
+      type != static_cast<uint8_t>(ControlType::kRetryAfter) &&
+      type != static_cast<uint8_t>(ControlType::kDeadlineExceeded)) {
     return ProtocolError("unknown control frame type");
   }
   ControlFrame control;

@@ -83,6 +83,7 @@ struct Verdict {
 enum class ControlType : uint8_t {
   kHelloFollows = 1,  // admitted: the quote + key frames follow immediately
   kRetryAfter = 2,    // over EPC budget: back off and reconnect
+  kDeadlineExceeded = 3,  // too slow: the front end reclaimed the connection
 };
 
 // The explicit retry-after record an admission controller sends when the EPC
@@ -99,6 +100,20 @@ struct RetryAfter {
 
   Bytes Serialize() const;
   static Result<RetryAfter> Deserialize(ByteView data);
+};
+
+// The parting record a front end sends (best effort, plaintext) when a
+// connection blows one of its time budgets — waiting in the admission queue,
+// idling mid-exchange, or overrunning the overall session deadline — and the
+// reactor reclaims its enclave and EPC pages for queued arrivals.
+struct DeadlineNotice {
+  static constexpr uint8_t kWireVersion = 1;
+
+  uint64_t elapsed_ms = 0;   // how long the connection had been in flight
+  uint64_t deadline_ms = 0;  // the budget it exceeded
+
+  Bytes Serialize() const;
+  static Result<DeadlineNotice> Deserialize(ByteView data);
 };
 
 // Control frames ride the same u32-length framing as the hello; the payload

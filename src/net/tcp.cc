@@ -6,10 +6,12 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 
 namespace engarde::net {
 namespace {
@@ -35,7 +37,7 @@ TcpTransport::TcpTransport(int fd) : fd_(fd) {
 TcpTransport::~TcpTransport() { Close(); }
 
 Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
-    const std::string& host, uint16_t port) {
+    const std::string& host, uint16_t port, uint64_t timeout_ms) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return InternalError(std::string("socket: ") + std::strerror(errno));
@@ -47,11 +49,58 @@ Result<std::unique_ptr<TcpTransport>> TcpTransport::Connect(
     ::close(fd);
     return InvalidArgumentError("invalid IPv4 address: " + host);
   }
-  // Blocking connect (client side), then non-blocking I/O from there on.
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+  // Non-blocking connect with a bounded wait: a blackholed or unroutable
+  // server must surface DEADLINE_EXCEEDED, never park the client in the
+  // kernel's minutes-long default connect timeout.
+  const Status nonblocking = SetNonBlocking(fd);
+  if (!nonblocking.ok()) {
+    ::close(fd);
+    return nonblocking;
+  }
+  int rc = 0;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0 && errno != EINPROGRESS) {
     const std::string err = std::strerror(errno);
     ::close(fd);
     return InternalError("connect: " + err);
+  }
+  if (rc < 0) {  // EINPROGRESS: wait for writability, re-arming after EINTR
+    const auto give_up = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          give_up - std::chrono::steady_clock::now());
+      if (left.count() <= 0) {
+        ::close(fd);
+        return DeadlineExceededError("connect to " + host + ":" +
+                                     std::to_string(port) + " timed out after " +
+                                     std::to_string(timeout_ms) + "ms");
+      }
+      pollfd pfd{fd, POLLOUT, 0};
+      const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()));
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        const std::string err = std::strerror(errno);
+        ::close(fd);
+        return InternalError("poll(connect): " + err);
+      }
+      if (ready > 0) break;
+      // ready == 0: poll's own timeout; loop re-checks the deadline.
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return InternalError("getsockopt(SO_ERROR): " + err);
+    }
+    if (so_error != 0) {
+      ::close(fd);
+      return InternalError(std::string("connect: ") +
+                           std::strerror(so_error));
+    }
   }
   return std::make_unique<TcpTransport>(fd);
 }
@@ -71,7 +120,11 @@ Result<size_t> TcpTransport::Drain(Bytes& out) {
       peer_closed_ = true;
       break;
     }
-    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+    // A signal interrupting recv does NOT mean the socket is idle — retry,
+    // or a level-triggered reactor would strand delivered bytes until the
+    // next unrelated wakeup.
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == ECONNRESET) {
       peer_closed_ = true;
       break;
@@ -97,7 +150,9 @@ Result<bool> TcpTransport::Flush() {
       offset += static_cast<size_t>(sent);
       continue;
     }
-    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+    if (sent == 0) break;  // no progress, and errno is stale — do not read it
+    if (errno == EINTR) continue;  // interrupted, not full: retry the send
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EPIPE || errno == ECONNRESET) {
       // Peer is gone; drop the backlog, EOF surfaces on the read side.
       peer_closed_ = true;
@@ -119,6 +174,10 @@ void TcpTransport::Close() {
 }
 
 Result<TcpListener> TcpListener::Bind(uint16_t port) {
+  return Bind("127.0.0.1", port);
+}
+
+Result<TcpListener> TcpListener::Bind(const std::string& host, uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return InternalError(std::string("socket: ") + std::strerror(errno));
@@ -128,7 +187,10 @@ Result<TcpListener> TcpListener::Bind(uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return InvalidArgumentError("invalid IPv4 bind address: " + host);
+  }
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     const std::string err = std::strerror(errno);
     ::close(fd);
@@ -175,9 +237,14 @@ TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
 Result<std::unique_ptr<Transport>> TcpListener::TryAccept() {
   // fd_ is read-only here and accept(2) is kernel-serialized, so reactor
   // threads of a FrontendGroup may race this without extra locking.
-  const int fd = ::accept(fd_, nullptr, nullptr);
+  int fd = -1;
+  do {
+    // EINTR does not mean the queue is empty — retry, or a pending
+    // connection waits a whole reactor sweep for no reason.
+    fd = ::accept(fd_, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
   if (fd < 0) {
-    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
       return std::unique_ptr<Transport>();
     }
     return InternalError(std::string("accept: ") + std::strerror(errno));

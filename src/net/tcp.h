@@ -26,8 +26,11 @@ class TcpTransport final : public Transport {
   TcpTransport& operator=(const TcpTransport&) = delete;
 
   // Client-side connect (used by the selftest and external tools).
-  static Result<std::unique_ptr<TcpTransport>> Connect(const std::string& host,
-                                                       uint16_t port);
+  // Non-blocking under the hood with a bounded wait: an unreachable server
+  // returns DEADLINE_EXCEEDED after `timeout_ms` instead of parking the
+  // caller in the kernel's default (minutes-long) connect timeout.
+  static Result<std::unique_ptr<TcpTransport>> Connect(
+      const std::string& host, uint16_t port, uint64_t timeout_ms = 5000);
 
   int descriptor() const noexcept override { return fd_; }
   Result<size_t> Drain(Bytes& out) override;
@@ -50,6 +53,8 @@ class TcpListener final : public Listener {
  public:
   // Binds 127.0.0.1:`port` (0 = kernel-assigned ephemeral port) and listens.
   static Result<TcpListener> Bind(uint16_t port);
+  // Binds an explicit IPv4 address ("0.0.0.0" to serve beyond loopback).
+  static Result<TcpListener> Bind(const std::string& host, uint16_t port);
   ~TcpListener() override;
   TcpListener(TcpListener&& other) noexcept;
   TcpListener& operator=(TcpListener&& other) noexcept;

@@ -1,5 +1,7 @@
 #include "net/transport.h"
 
+#include <algorithm>
+
 #include "crypto/hmac.h"
 
 namespace engarde::net {
@@ -10,6 +12,57 @@ Result<size_t> PipeTransport::Drain(Bytes& out) {
   ASSIGN_OR_RETURN(const Bytes chunk, endpoint_.Read(available));
   AppendBytes(out, ByteView(chunk.data(), chunk.size()));
   return chunk.size();
+}
+
+Result<size_t> FaultInjectingTransport::Drain(Bytes& out) {
+  ++drain_calls_;
+  if (plan_.fail_drain_on_call != 0 &&
+      drain_calls_ == plan_.fail_drain_on_call) {
+    return InternalError("injected drain fault");
+  }
+  // Always pull from the inner transport so its buffers never grow while we
+  // withhold; the faults act on the staged copy.
+  Bytes fresh;
+  RETURN_IF_ERROR(inner_->Drain(fresh).status());
+  AppendBytes(stage_, ByteView(fresh.data(), fresh.size()));
+  const size_t cap =
+      std::min(plan_.stall_inbound_after, plan_.close_inbound_after);
+  const size_t allowance = cap > delivered_ ? cap - delivered_ : 0;
+  const size_t take = std::min(allowance, stage_.size());
+  if (take > 0) {
+    AppendBytes(out, ByteView(stage_.data(), take));
+    stage_.erase(stage_.begin(), stage_.begin() + static_cast<long>(take));
+    delivered_ += take;
+  }
+  return take;
+}
+
+Status FaultInjectingTransport::Send(ByteView data) {
+  AppendBytes(outbound_, data);
+  return Flush().status();
+}
+
+Result<bool> FaultInjectingTransport::Flush() {
+  ++flush_calls_;
+  if (plan_.fail_flush_on_call != 0 &&
+      flush_calls_ == plan_.fail_flush_on_call) {
+    return InternalError("injected flush fault");
+  }
+  const size_t cap = std::max<size_t>(1, plan_.max_flush_bytes);
+  const size_t take = std::min(cap, outbound_.size());
+  if (take > 0) {
+    RETURN_IF_ERROR(inner_->Send(ByteView(outbound_.data(), take)));
+    outbound_.erase(outbound_.begin(),
+                    outbound_.begin() + static_cast<long>(take));
+  }
+  ASSIGN_OR_RETURN(const bool inner_flushed, inner_->Flush());
+  return outbound_.empty() && inner_flushed;
+}
+
+bool FaultInjectingTransport::AtEof() const {
+  if (delivered_ >= plan_.close_inbound_after) return true;  // injected FIN
+  if (delivered_ >= plan_.stall_inbound_after) return false;  // silent, not gone
+  return stage_.empty() && inner_->AtEof();
 }
 
 bool HasCompleteFrames(const crypto::DuplexPipe::Endpoint& endpoint,

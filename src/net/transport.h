@@ -75,6 +75,58 @@ class PipeTransport final : public Transport {
   crypto::DuplexPipe::Endpoint endpoint_;
 };
 
+// ---- Fault injection -------------------------------------------------------
+
+// The pathologies a front end must survive, as a deterministic wrapper: a
+// peer that goes silent mid-frame (slow loris), one that disappears
+// mid-frame, a congested socket that takes writes a few bytes at a time, and
+// syscall layers that fail outright. Tests wrap a healthy inner transport
+// (usually a PipeTransport) and the reactor on top sees exactly the byte
+// stream a hostile network would produce.
+struct FaultPlan {
+  // Deliver at most this many inbound bytes, then go silent — no EOF, the
+  // bytes simply stop (AtEof stays false). SIZE_MAX = no stall.
+  size_t stall_inbound_after = SIZE_MAX;
+  // Deliver at most this many inbound bytes, then report EOF — the mid-frame
+  // FIN of a vanished peer. SIZE_MAX = no early close.
+  size_t close_inbound_after = SIZE_MAX;
+  // Outbound bytes forwarded per Flush() call (short writes). Values < 1
+  // are treated as 1 so a flush always eventually completes.
+  size_t max_flush_bytes = SIZE_MAX;
+  // 1-based call index on which Drain()/Flush() fail with INTERNAL
+  // (0 = never). Models recv/send returning an unexpected errno.
+  size_t fail_drain_on_call = 0;
+  size_t fail_flush_on_call = 0;
+};
+
+class FaultInjectingTransport final : public Transport {
+ public:
+  FaultInjectingTransport(std::unique_ptr<Transport> inner,
+                          FaultPlan plan) noexcept
+      : inner_(std::move(inner)), plan_(plan) {}
+
+  int descriptor() const noexcept override { return inner_->descriptor(); }
+  Result<size_t> Drain(Bytes& out) override;
+  Status Send(ByteView data) override;
+  Result<bool> Flush() override;
+  bool AtEof() const override;
+  void Close() override { inner_->Close(); }
+
+  // Observability for tests.
+  size_t inbound_delivered() const noexcept { return delivered_; }
+  size_t drain_calls() const noexcept { return drain_calls_; }
+  size_t flush_calls() const noexcept { return flush_calls_; }
+
+ private:
+  std::unique_ptr<Transport> inner_;
+  FaultPlan plan_;
+  Bytes stage_;     // drained from inner but withheld from the reactor
+  Bytes outbound_;  // sent by the reactor but not yet forwarded to inner
+  size_t delivered_ = 0;
+  size_t drain_calls_ = 0;
+  size_t flush_calls_ = 0;
+};
+
 // ---- Listeners -------------------------------------------------------------
 
 // An accept source the front end's reactors draw connections from. The

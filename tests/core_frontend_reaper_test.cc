@@ -1,0 +1,905 @@
+// Connection-lifecycle hardening of the provisioning front end
+// (core/frontend.h): per-state deadlines measured against an injected
+// monotonic clock, the reaper that retires terminal connections from the
+// slot-mapped table, containment of per-connection transport faults, and the
+// soak gates — after a 1k-session mixed run the front end must hold O(active)
+// connections with its EPC budget back at zero, and after a TCP soak the
+// process must hold exactly its baseline fd count. Fault schedules come from
+// net::FaultInjectingTransport so every pathology is deterministic.
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "client/client.h"
+#include "core/frontend.h"
+#include "core/frontend_group.h"
+#include "core/policy_stackprot.h"
+#include "core/server.h"
+#include "net/tcp.h"
+#include "net/transport.h"
+#include "workload/program_builder.h"
+
+namespace engarde::core {
+namespace {
+
+constexpr size_t kRsaBits = 512;  // small keys keep the 1k-session soak fast
+constexpr size_t kPrograms = 8;
+
+PolicySet MakePolicies() {
+  PolicySet policies;
+  policies.push_back(std::make_unique<StackProtectionPolicy>());
+  return policies;
+}
+
+client::ClientOptions ClientOptionsFor(const sgx::QuotingEnclave& q) {
+  client::ClientOptions options;
+  options.attestation_key = q.attestation_public_key();
+  options.skip_measurement_check = true;
+  return options;
+}
+
+// Deterministic monotonic clock for the deadline tests: time moves only when
+// the test says so, so "the client went silent for 110ms" is a statement,
+// not a sleep.
+struct FakeClock {
+  std::shared_ptr<std::atomic<uint64_t>> now_ns =
+      std::make_shared<std::atomic<uint64_t>>(uint64_t{1});
+
+  std::function<uint64_t()> fn() const {
+    auto cell = now_ns;
+    return [cell] { return cell->load(std::memory_order_relaxed); };
+  }
+  void AdvanceMs(uint64_t ms) {
+    now_ns->fetch_add(ms * 1000000ull, std::memory_order_relaxed);
+  }
+};
+
+class ReaperTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto qe = sgx::QuotingEnclave::Provision(ToBytes("reaper-device"),
+                                             kRsaBits);
+    ASSERT_TRUE(qe.ok());
+    qe_ = new sgx::QuotingEnclave(std::move(qe).value());
+    programs_ = new std::vector<workload::BuiltProgram>();
+    for (size_t i = 0; i < kPrograms; ++i) {
+      workload::ProgramSpec spec;
+      spec.name = "reaper-" + std::to_string(i);
+      spec.seed = 9300 + i;
+      spec.target_instructions = 2500;
+      // Even programs carry stack protectors (compliant), odd ones violate.
+      spec.stack_protection = (i % 2 == 0);
+      auto program = workload::BuildProgram(spec);
+      ASSERT_TRUE(program.ok()) << program.status().ToString();
+      programs_->push_back(std::move(program).value());
+    }
+  }
+  static void TearDownTestSuite() {
+    delete qe_;
+    qe_ = nullptr;
+    delete programs_;
+    programs_ = nullptr;
+  }
+
+  static const sgx::QuotingEnclave& qe() { return *qe_; }
+  static const Bytes& image(size_t client) {
+    return (*programs_)[client % kPrograms].image;
+  }
+  static bool compliant(size_t client) { return (client % kPrograms) % 2 == 0; }
+
+  static EngardeOptions EnclaveOptions() {
+    EngardeOptions options;
+    options.rsa_bits = kRsaBits;
+    options.layout.heap_pages = 128;
+    options.layout.load_pages = 32;
+    return options;
+  }
+
+  // EPC sized for `enclaves` concurrent enclaves (layout pages + SECS) plus
+  // the front end's default reserve.
+  static size_t EpcPagesFor(size_t enclaves) {
+    return enclaves * (EnclaveOptions().layout.TotalPages() + 1) + 64;
+  }
+
+  static sgx::QuotingEnclave* qe_;
+  static std::vector<workload::BuiltProgram>* programs_;
+};
+
+sgx::QuotingEnclave* ReaperTest::qe_ = nullptr;
+std::vector<workload::BuiltProgram>* ReaperTest::programs_ = nullptr;
+
+// Same invariants as the serial-vs-frontend gate in core_frontend_test.cc.
+struct Snapshot {
+  bool compliant = false;
+  std::string reason;
+  size_t instruction_count = 0;
+  size_t blocks_received = 0;
+  size_t relocations_applied = 0;
+  size_t stage_count = 0;
+  uint64_t idle_sgx = 0;
+  uint64_t channel_sgx = 0;
+  uint64_t disassembly_sgx = 0;
+  uint64_t policy_sgx = 0;
+  uint64_t loading_sgx = 0;
+  uint64_t total_sgx = 0;
+  uint64_t trampolines = 0;
+};
+
+Snapshot Snap(const ProvisionOutcome& outcome,
+              const sgx::CycleAccountant& accountant) {
+  Snapshot snap;
+  snap.compliant = outcome.verdict.compliant;
+  snap.reason = outcome.verdict.reason;
+  snap.instruction_count = outcome.stats.instruction_count;
+  snap.blocks_received = outcome.stats.blocks_received;
+  snap.relocations_applied = outcome.stats.relocations_applied;
+  snap.stage_count = outcome.stage_reports.size();
+  snap.idle_sgx = accountant.phase_cost(sgx::Phase::kIdle).sgx_instructions;
+  snap.channel_sgx =
+      accountant.phase_cost(sgx::Phase::kChannel).sgx_instructions;
+  snap.disassembly_sgx =
+      accountant.phase_cost(sgx::Phase::kDisassembly).sgx_instructions;
+  snap.policy_sgx =
+      accountant.phase_cost(sgx::Phase::kPolicyCheck).sgx_instructions;
+  snap.loading_sgx =
+      accountant.phase_cost(sgx::Phase::kLoading).sgx_instructions;
+  snap.total_sgx = accountant.total_sgx_instructions();
+  snap.trampolines = accountant.total_trampolines();
+  return snap;
+}
+
+auto SnapKey(const Snapshot& s) {
+  return std::make_tuple(s.compliant, s.reason, s.instruction_count,
+                         s.blocks_received, s.relocations_applied,
+                         s.stage_count, s.idle_sgx, s.channel_sgx,
+                         s.disassembly_sgx, s.policy_sgx, s.loading_sgx,
+                         s.total_sgx, s.trampolines);
+}
+
+void ExpectSameSnapshot(const Snapshot& serial, const Snapshot& frontend,
+                        const std::string& label) {
+  EXPECT_EQ(serial.compliant, frontend.compliant) << label;
+  EXPECT_EQ(serial.reason, frontend.reason) << label;
+  EXPECT_EQ(serial.instruction_count, frontend.instruction_count) << label;
+  EXPECT_EQ(serial.blocks_received, frontend.blocks_received) << label;
+  EXPECT_EQ(serial.relocations_applied, frontend.relocations_applied) << label;
+  EXPECT_EQ(serial.stage_count, frontend.stage_count) << label;
+  EXPECT_EQ(serial.idle_sgx, frontend.idle_sgx) << label;
+  EXPECT_EQ(serial.channel_sgx, frontend.channel_sgx) << label;
+  EXPECT_EQ(serial.disassembly_sgx, frontend.disassembly_sgx) << label;
+  EXPECT_EQ(serial.policy_sgx, frontend.policy_sgx) << label;
+  EXPECT_EQ(serial.loading_sgx, frontend.loading_sgx) << label;
+  EXPECT_EQ(serial.total_sgx, frontend.total_sgx) << label;
+  EXPECT_EQ(serial.trampolines, frontend.trampolines) << label;
+}
+
+// Serial reference: the same client population driven one by one through
+// ProvisioningServer::Drive on a fresh device.
+Result<std::vector<Snapshot>> RunSerial(const sgx::QuotingEnclave& qe,
+                                        const std::vector<Bytes>& images,
+                                        const EngardeOptions& enclave_options,
+                                        size_t epc_pages) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = epc_pages});
+  sgx::HostOs host(&device);
+  ProvisioningServer::Options options;
+  options.enclave_options = enclave_options;
+  ProvisioningServer server(&host, &qe, MakePolicies, options);
+
+  std::vector<std::unique_ptr<crypto::DuplexPipe>> pipes;
+  for (size_t i = 0; i < images.size(); ++i) {
+    pipes.push_back(std::make_unique<crypto::DuplexPipe>());
+    ASSIGN_OR_RETURN(const size_t index, server.Accept(pipes[i]->EndA()));
+    if (index != i) return InternalError("unexpected session index");
+    client::Client client(ClientOptionsFor(qe), images[i]);
+    RETURN_IF_ERROR(client.SendProgram(pipes[i]->EndB()));
+  }
+  std::vector<Snapshot> snaps;
+  for (size_t i = 0; i < images.size(); ++i) {
+    ASSIGN_OR_RETURN(const ProvisionOutcome outcome, server.Drive(i));
+    snaps.push_back(Snap(outcome, server.session_accountant(i)));
+  }
+  return snaps;
+}
+
+// One in-memory frontend client (EndA = frontend side, EndB = client side).
+struct MemoryClient {
+  std::unique_ptr<crypto::DuplexPipe> pipe;
+  std::unique_ptr<client::Client> client;
+  uint64_t connection = 0;
+  bool sent = false;
+  std::optional<Verdict> verdict;
+};
+
+Result<MemoryClient> ConnectMemoryClient(ProvisioningFrontend& frontend,
+                                         const Bytes& image,
+                                         client::ClientOptions options) {
+  MemoryClient mc;
+  mc.pipe = std::make_unique<crypto::DuplexPipe>();
+  mc.client = std::make_unique<client::Client>(std::move(options), image);
+  ASSIGN_OR_RETURN(
+      mc.connection,
+      frontend.Accept(std::make_unique<net::PipeTransport>(mc.pipe->EndA())));
+  return mc;
+}
+
+// Sweeps `poll` until every client holds a verdict, letting the blocking
+// client library consume whole protocol units as they land.
+template <typename Poll>
+Status DriveClients(Poll&& poll, std::vector<MemoryClient>& clients) {
+  for (;;) {
+    ASSIGN_OR_RETURN(size_t progress, poll());
+    for (MemoryClient& mc : clients) {
+      if (!mc.sent && net::HasCompleteFrames(mc.pipe->EndB(), 3)) {
+        ASSIGN_OR_RETURN(const auto retry,
+                         mc.client->AwaitAdmission(mc.pipe->EndB()));
+        if (retry.has_value()) {
+          return InternalError("unexpected RetryAfter in reaper test");
+        }
+        RETURN_IF_ERROR(mc.client->SendProgram(mc.pipe->EndB()));
+        mc.sent = true;
+        ++progress;
+      }
+      if (mc.sent && !mc.verdict.has_value() &&
+          net::HasCompleteSecureRecord(mc.pipe->EndB())) {
+        ASSIGN_OR_RETURN(Verdict verdict, mc.client->AwaitVerdict());
+        mc.verdict.emplace(std::move(verdict));
+        ++progress;
+      }
+    }
+    bool all_done = true;
+    for (const MemoryClient& mc : clients) {
+      all_done = all_done && mc.verdict.has_value();
+    }
+    if (all_done) return Status::Ok();
+    if (progress == 0) {
+      return InternalError("no progress before all verdicts");
+    }
+  }
+}
+
+Status DriveToVerdicts(ProvisioningFrontend& frontend,
+                       std::vector<MemoryClient>& clients) {
+  return DriveClients([&frontend] { return frontend.PollOnce(); }, clients);
+}
+
+// ---- Deadlines -------------------------------------------------------------
+
+TEST_F(ReaperTest, SlowLorisReclaimedAtIdleDeadlineAndQueuedClientAdmits) {
+  // Budget for exactly one enclave: a silent admitted client is the only
+  // thing standing between the queued client and admission.
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(1)});
+  sgx::HostOs host(&device);
+  FakeClock clock;
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  options.admission_queue_capacity = 4;
+  options.idle_deadline_ms = 100;
+  options.clock = clock.fn();
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+  const uint64_t per_enclave = EnclaveOptions().layout.TotalPages();
+  ASSERT_LT(frontend.budget_pages(), 2 * per_enclave);
+
+  auto loris =
+      ConnectMemoryClient(frontend, image(0), ClientOptionsFor(qe()));
+  ASSERT_TRUE(loris.ok()) << loris.status().ToString();
+  ASSERT_EQ(frontend.state(loris->connection), ConnectionState::kActive);
+  auto waiter =
+      ConnectMemoryClient(frontend, image(0), ClientOptionsFor(qe()));
+  ASSERT_TRUE(waiter.ok()) << waiter.status().ToString();
+  ASSERT_EQ(frontend.state(waiter->connection), ConnectionState::kQueued);
+  EXPECT_EQ(frontend.committed_pages(), per_enclave);
+
+  // 50ms of silence: under the deadline, nothing happens.
+  clock.AdvanceMs(50);
+  ASSERT_TRUE(frontend.PollOnce().ok());
+  EXPECT_EQ(frontend.state(loris->connection), ConnectionState::kActive);
+  EXPECT_EQ(frontend.state(waiter->connection), ConnectionState::kQueued);
+
+  // 110ms total: the loris expires, its enclave's pages come back, and the
+  // queued client admits in the same sweep.
+  clock.AdvanceMs(60);
+  ASSERT_TRUE(frontend.PollOnce().ok());
+  EXPECT_EQ(frontend.state(loris->connection), ConnectionState::kTimedOut);
+  const Status loris_status = frontend.connection_status(loris->connection);
+  EXPECT_EQ(loris_status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(loris_status.message().find("inbound-idle"), std::string::npos)
+      << loris_status.ToString();
+  EXPECT_EQ(frontend.state(waiter->connection), ConnectionState::kActive);
+  EXPECT_EQ(frontend.timed_out_count(), 1u);
+  EXPECT_EQ(frontend.queued_count(), 0u);
+  EXPECT_EQ(frontend.committed_pages(), per_enclave);  // the waiter's now
+
+  // The loris's wire carries the full parting sequence: admission preamble
+  // (control + quote + key) followed by the deadline notice.
+  crypto::DuplexPipe::Endpoint loris_end = loris->pipe->EndB();
+  auto hello_control = ReadControlFrame(loris_end);
+  ASSERT_TRUE(hello_control.ok());
+  EXPECT_EQ(hello_control->type, ControlType::kHelloFollows);
+  ASSERT_TRUE(ReadFrame(loris_end).ok());  // quote
+  ASSERT_TRUE(ReadFrame(loris_end).ok());  // RSA key
+  auto parting = ReadControlFrame(loris_end);
+  ASSERT_TRUE(parting.ok());
+  ASSERT_EQ(parting->type, ControlType::kDeadlineExceeded);
+  auto notice = DeadlineNotice::Deserialize(
+      ByteView(parting->body.data(), parting->body.size()));
+  ASSERT_TRUE(notice.ok());
+  EXPECT_EQ(notice->deadline_ms, 100u);
+  EXPECT_GE(notice->elapsed_ms, 100u);
+
+  // The admitted waiter completes normally.
+  std::vector<MemoryClient> clients;
+  clients.push_back(std::move(waiter).value());
+  const Status driven = DriveToVerdicts(frontend, clients);
+  ASSERT_TRUE(driven.ok()) << driven.ToString();
+  EXPECT_TRUE(clients[0].verdict->compliant);
+  ASSERT_TRUE(frontend.TakeOutcome(clients[0].connection).ok());
+
+  // The reaper retires both: the table, the budget, the metrics all agree.
+  ASSERT_TRUE(frontend.DrainAll().ok());
+  EXPECT_EQ(frontend.state(loris->connection), ConnectionState::kReaped);
+  EXPECT_EQ(frontend.state(clients[0].connection), ConnectionState::kReaped);
+  EXPECT_EQ(frontend.connection_count(), 0u);
+  EXPECT_EQ(frontend.committed_pages(), 0u);
+  EXPECT_EQ(frontend.reaped_count(), 2u);
+
+  const FrontendMetrics metrics = frontend.metrics();
+  EXPECT_EQ(metrics.accepted, 2u);
+  EXPECT_EQ(metrics.admitted, 2u);
+  EXPECT_EQ(metrics.queued, 1u);
+  EXPECT_EQ(metrics.timed_out, 1u);
+  EXPECT_EQ(metrics.done, 1u);
+  EXPECT_EQ(metrics.reaped, 2u);
+  EXPECT_EQ(metrics.live_connections, 0u);
+  EXPECT_EQ(metrics.peak_live_connections, 2u);
+  EXPECT_EQ(metrics.session_count, 2u);
+  // The waiter's admission waited out the loris's 110ms.
+  EXPECT_GE(metrics.admission_wait_max_ns, 100u * 1000000u);
+}
+
+TEST_F(ReaperTest, QueueWaitDeadlineExpiresAndClientSeesTheNotice) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(1)});
+  sgx::HostOs host(&device);
+  FakeClock clock;
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  options.admission_queue_capacity = 4;
+  options.queue_deadline_ms = 80;
+  options.clock = clock.fn();
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+
+  auto holder =
+      ConnectMemoryClient(frontend, image(0), ClientOptionsFor(qe()));
+  ASSERT_TRUE(holder.ok());
+  ASSERT_EQ(frontend.state(holder->connection), ConnectionState::kActive);
+  auto waiter =
+      ConnectMemoryClient(frontend, image(0), ClientOptionsFor(qe()));
+  ASSERT_TRUE(waiter.ok());
+  ASSERT_EQ(frontend.state(waiter->connection), ConnectionState::kQueued);
+
+  // The holder keeps its enclave (no idle deadline armed); only the queued
+  // arrival's wait is on the clock.
+  clock.AdvanceMs(100);
+  ASSERT_TRUE(frontend.PollOnce().ok());
+  EXPECT_EQ(frontend.state(holder->connection), ConnectionState::kActive);
+  EXPECT_EQ(frontend.state(waiter->connection), ConnectionState::kTimedOut);
+  EXPECT_EQ(frontend.connection_status(waiter->connection).code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(frontend.queued_count(), 0u);
+
+  // Nothing else was ever written to a queued connection, so the client's
+  // own AwaitAdmission surfaces the deadline as its admission answer.
+  const auto admission = waiter->client->AwaitAdmission(waiter->pipe->EndB());
+  ASSERT_FALSE(admission.ok());
+  EXPECT_EQ(admission.status().code(), StatusCode::kDeadlineExceeded);
+
+  ASSERT_TRUE(frontend.DrainAll().ok());
+  EXPECT_EQ(frontend.state(waiter->connection), ConnectionState::kReaped);
+  EXPECT_EQ(frontend.connection_count(), 1u);  // the holder lives on
+  EXPECT_EQ(frontend.state(holder->connection), ConnectionState::kActive);
+}
+
+TEST_F(ReaperTest, SessionDeadlineCapsTheExchangeEvenWithInboundProgress) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(1)});
+  sgx::HostOs host(&device);
+  FakeClock clock;
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  options.session_deadline_ms = 200;
+  options.clock = clock.fn();
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+
+  auto mc =
+      ConnectMemoryClient(frontend, image(0), ClientOptionsFor(qe()));
+  ASSERT_TRUE(mc.ok());
+  // The client is live — it even delivers its whole program — but the
+  // overall session budget has already run out by the next sweep.
+  auto admission = mc->client->AwaitAdmission(mc->pipe->EndB());
+  ASSERT_TRUE(admission.ok());
+  ASSERT_FALSE(admission->has_value());
+  ASSERT_TRUE(mc->client->SendProgram(mc->pipe->EndB()).ok());
+
+  clock.AdvanceMs(250);
+  ASSERT_TRUE(frontend.PollOnce().ok());
+  EXPECT_EQ(frontend.state(mc->connection), ConnectionState::kTimedOut);
+  const Status status = frontend.connection_status(mc->connection);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(status.message().find("session"), std::string::npos)
+      << status.ToString();
+  EXPECT_EQ(frontend.committed_pages(), 0u);
+
+  ASSERT_TRUE(frontend.DrainAll().ok());
+  EXPECT_EQ(frontend.connection_count(), 0u);
+}
+
+// ---- Slot map --------------------------------------------------------------
+
+TEST_F(ReaperTest, StaleIdsNeverAliasReusedSlots) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(1)});
+  sgx::HostOs host(&device);
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+
+  auto first =
+      ConnectMemoryClient(frontend, image(0), ClientOptionsFor(qe()));
+  ASSERT_TRUE(first.ok());
+  const uint64_t first_id = first->connection;
+  EXPECT_EQ(first_id, 0u);  // slot 0, generation 0
+
+  std::vector<MemoryClient> clients;
+  clients.push_back(std::move(first).value());
+  ASSERT_TRUE(DriveToVerdicts(frontend, clients).ok());
+  ASSERT_TRUE(frontend.TakeOutcome(first_id).ok());
+  ASSERT_TRUE(frontend.DrainAll().ok());
+  EXPECT_EQ(frontend.state(first_id), ConnectionState::kReaped);
+  EXPECT_EQ(frontend.connection_status(first_id).code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(frontend.TakeOutcome(first_id).ok());
+  EXPECT_EQ(frontend.connection_count(), 0u);
+
+  // The next accept reuses slot 0 under a bumped generation: a fresh id the
+  // stale one can never alias.
+  auto second =
+      ConnectMemoryClient(frontend, image(1), ClientOptionsFor(qe()));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->connection, uint64_t{1} << 32);  // slot 0, generation 1
+  EXPECT_EQ(frontend.state(second->connection), ConnectionState::kActive);
+  EXPECT_EQ(frontend.state(first_id), ConnectionState::kReaped);
+  EXPECT_EQ(frontend.connection_count(), 1u);
+  EXPECT_EQ(frontend.reaped_count(), 1u);
+}
+
+// ---- Fault injection -------------------------------------------------------
+
+TEST_F(ReaperTest, MidFrameCloseFailsAndReapsTheConnection) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(1)});
+  sgx::HostOs host(&device);
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+
+  auto pipe = std::make_unique<crypto::DuplexPipe>();
+  net::FaultPlan plan;
+  plan.close_inbound_after = 48;  // EOF inside the wrapped-key frame
+  auto accepted = frontend.Accept(std::make_unique<net::FaultInjectingTransport>(
+      std::make_unique<net::PipeTransport>(pipe->EndA()), plan));
+  ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+  const uint64_t id = *accepted;
+
+  client::Client client(ClientOptionsFor(qe()), image(0));
+  auto admission = client.AwaitAdmission(pipe->EndB());
+  ASSERT_TRUE(admission.ok());
+  ASSERT_FALSE(admission->has_value());
+  ASSERT_TRUE(client.SendProgram(pipe->EndB()).ok());
+
+  for (int sweep = 0;
+       sweep < 10 && frontend.state(id) == ConnectionState::kActive; ++sweep) {
+    ASSERT_TRUE(frontend.PollOnce().ok());
+  }
+  EXPECT_EQ(frontend.state(id), ConnectionState::kFailed);
+  const Status status = frontend.connection_status(id);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("mid-frame"), std::string::npos)
+      << status.ToString();
+  EXPECT_EQ(frontend.committed_pages(), 0u);
+
+  ASSERT_TRUE(frontend.DrainAll().ok());
+  EXPECT_EQ(frontend.state(id), ConnectionState::kReaped);
+  const FrontendMetrics metrics = frontend.metrics();
+  EXPECT_EQ(metrics.failed, 1u);
+  EXPECT_EQ(metrics.reaped, 1u);
+  EXPECT_EQ(metrics.live_connections, 0u);
+}
+
+TEST_F(ReaperTest, ShortWritesStillDeliverTheVerdict) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(1)});
+  sgx::HostOs host(&device);
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+
+  auto pipe = std::make_unique<crypto::DuplexPipe>();
+  net::FaultPlan plan;
+  plan.max_flush_bytes = 7;  // severely congested outbound path
+  auto transport = std::make_unique<net::FaultInjectingTransport>(
+      std::make_unique<net::PipeTransport>(pipe->EndA()), plan);
+  net::FaultInjectingTransport* fault = transport.get();
+  auto accepted = frontend.Accept(std::move(transport));
+  ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+  const uint64_t id = *accepted;
+
+  client::Client client(ClientOptionsFor(qe()), image(0));
+  crypto::DuplexPipe::Endpoint client_end = pipe->EndB();
+  bool sent = false;
+  std::optional<Verdict> verdict;
+  for (int sweep = 0; sweep < 5000 && !verdict.has_value(); ++sweep) {
+    ASSERT_TRUE(frontend.PollOnce().ok());
+    if (!sent && net::HasCompleteFrames(client_end, 3)) {
+      auto admission = client.AwaitAdmission(client_end);
+      ASSERT_TRUE(admission.ok());
+      ASSERT_FALSE(admission->has_value());
+      ASSERT_TRUE(client.SendProgram(client_end).ok());
+      sent = true;
+    }
+    if (sent && net::HasCompleteSecureRecord(client_end)) {
+      auto v = client.AwaitVerdict();
+      ASSERT_TRUE(v.ok()) << v.status().ToString();
+      verdict.emplace(std::move(v).value());
+    }
+  }
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_TRUE(verdict->compliant);
+  // The whole hello + verdict actually went out 7 bytes at a time.
+  EXPECT_GT(fault->flush_calls(), 20u);
+  ASSERT_TRUE(frontend.TakeOutcome(id).ok());
+
+  // DrainAll keeps sweeping through the trickle until the tail lands and
+  // the reaper can retire the slot.
+  ASSERT_TRUE(frontend.DrainAll().ok());
+  EXPECT_EQ(frontend.state(id), ConnectionState::kReaped);
+  EXPECT_EQ(frontend.connection_count(), 0u);
+}
+
+TEST_F(ReaperTest, InjectedDrainFaultFailsOnlyThatConnection) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(2)});
+  sgx::HostOs host(&device);
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+  const uint64_t per_enclave = EnclaveOptions().layout.TotalPages();
+
+  auto faulty_pipe = std::make_unique<crypto::DuplexPipe>();
+  net::FaultPlan plan;
+  plan.fail_drain_on_call = 1;  // recv blows up on the very first sweep
+  auto accepted = frontend.Accept(std::make_unique<net::FaultInjectingTransport>(
+      std::make_unique<net::PipeTransport>(faulty_pipe->EndA()), plan));
+  ASSERT_TRUE(accepted.ok());
+  const uint64_t faulty_id = *accepted;
+
+  auto healthy =
+      ConnectMemoryClient(frontend, image(0), ClientOptionsFor(qe()));
+  ASSERT_TRUE(healthy.ok());
+
+  // The faulty wire fails its own connection; the sweep — and the healthy
+  // neighbor — carry on.
+  ASSERT_TRUE(frontend.PollOnce().ok());
+  EXPECT_EQ(frontend.state(faulty_id), ConnectionState::kFailed);
+  const Status status = frontend.connection_status(faulty_id);
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("injected drain fault"), std::string::npos)
+      << status.ToString();
+  EXPECT_EQ(frontend.committed_pages(), per_enclave);  // healthy's only
+
+  std::vector<MemoryClient> clients;
+  clients.push_back(std::move(healthy).value());
+  ASSERT_TRUE(DriveToVerdicts(frontend, clients).ok());
+  EXPECT_TRUE(clients[0].verdict->compliant);
+  ASSERT_TRUE(frontend.TakeOutcome(clients[0].connection).ok());
+
+  ASSERT_TRUE(frontend.DrainAll().ok());
+  EXPECT_EQ(frontend.connection_count(), 0u);
+  EXPECT_EQ(frontend.committed_pages(), 0u);
+  const FrontendMetrics metrics = frontend.metrics();
+  EXPECT_EQ(metrics.failed, 1u);
+  EXPECT_EQ(metrics.done, 1u);
+  EXPECT_EQ(metrics.reaped, 2u);
+}
+
+TEST_F(ReaperTest, InjectedFlushFaultFailsOnlyThatConnection) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(1)});
+  sgx::HostOs host(&device);
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+
+  auto pipe = std::make_unique<crypto::DuplexPipe>();
+  net::FaultPlan plan;
+  // Calls 1-2 flush the hello at admission (Send flushes eagerly); call 3 —
+  // the first sweep's outbound flush — fails.
+  plan.fail_flush_on_call = 3;
+  auto accepted = frontend.Accept(std::make_unique<net::FaultInjectingTransport>(
+      std::make_unique<net::PipeTransport>(pipe->EndA()), plan));
+  ASSERT_TRUE(accepted.ok());
+  const uint64_t id = *accepted;
+
+  ASSERT_TRUE(frontend.PollOnce().ok());
+  EXPECT_EQ(frontend.state(id), ConnectionState::kFailed);
+  EXPECT_NE(frontend.connection_status(id).message().find(
+                "injected flush fault"),
+            std::string::npos);
+  EXPECT_EQ(frontend.committed_pages(), 0u);
+
+  ASSERT_TRUE(frontend.DrainAll().ok());
+  EXPECT_EQ(frontend.state(id), ConnectionState::kReaped);
+  EXPECT_EQ(frontend.connection_count(), 0u);
+}
+
+TEST_F(ReaperTest, StalledInboundTripsTheIdleDeadline) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(1)});
+  sgx::HostOs host(&device);
+  FakeClock clock;
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  options.idle_deadline_ms = 100;
+  options.clock = clock.fn();
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+
+  auto pipe = std::make_unique<crypto::DuplexPipe>();
+  net::FaultPlan plan;
+  plan.stall_inbound_after = 32;  // the peer dribbles 32 bytes, then silence
+  auto accepted = frontend.Accept(std::make_unique<net::FaultInjectingTransport>(
+      std::make_unique<net::PipeTransport>(pipe->EndA()), plan));
+  ASSERT_TRUE(accepted.ok());
+  const uint64_t id = *accepted;
+
+  client::Client client(ClientOptionsFor(qe()), image(0));
+  auto admission = client.AwaitAdmission(pipe->EndB());
+  ASSERT_TRUE(admission.ok());
+  ASSERT_FALSE(admission->has_value());
+  ASSERT_TRUE(client.SendProgram(pipe->EndB()).ok());
+
+  // The 32 delivered bytes count as progress on the sweep they arrive...
+  ASSERT_TRUE(frontend.PollOnce().ok());
+  EXPECT_EQ(frontend.state(id), ConnectionState::kActive);
+  // ...but the stall that follows runs out the idle budget.
+  clock.AdvanceMs(110);
+  ASSERT_TRUE(frontend.PollOnce().ok());
+  EXPECT_EQ(frontend.state(id), ConnectionState::kTimedOut);
+  EXPECT_EQ(frontend.connection_status(id).code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(frontend.committed_pages(), 0u);
+
+  ASSERT_TRUE(frontend.DrainAll().ok());
+  EXPECT_EQ(frontend.connection_count(), 0u);
+}
+
+// ---- Soaks -----------------------------------------------------------------
+
+TEST_F(ReaperTest, ThousandSessionSoakStaysBoundedAndBitIdentical) {
+  constexpr size_t kPerWave = kPrograms;
+  constexpr size_t kWaves = 125;  // 1000 sessions
+
+  std::vector<Bytes> wave_images;
+  for (size_t i = 0; i < kPerWave; ++i) wave_images.push_back(image(i));
+  auto serial =
+      RunSerial(qe(), wave_images, EnclaveOptions(), EpcPagesFor(kPerWave));
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  std::vector<Snapshot> serial_sorted = std::move(serial).value();
+  std::sort(serial_sorted.begin(), serial_sorted.end(),
+            [](const Snapshot& a, const Snapshot& b) {
+              return SnapKey(a) < SnapKey(b);
+            });
+
+  // Two reactors over a shared budget that holds four enclaves: every wave
+  // exercises queueing, admission hand-off, verdict harvest and the reaper.
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(4)});
+  sgx::HostOs host(&device);
+  FrontendGroupOptions options;
+  options.frontend.enclave_options = EnclaveOptions();
+  options.frontend.admission_queue_capacity = kPerWave;
+  options.reactors = 2;
+  std::vector<Snapshot> wave_snaps;
+  FrontendGroup* group_ptr = nullptr;
+  options.on_verdict = [&wave_snaps, &group_ptr](
+                           size_t reactor, uint64_t connection,
+                           const ProvisionOutcome& outcome, bool /*pool*/) {
+    wave_snaps.push_back(
+        Snap(outcome, group_ptr->reactor(reactor).accountant(connection)));
+  };
+  FrontendGroup group(&host, &qe(), MakePolicies, options);
+  group_ptr = &group;
+
+  for (size_t wave = 0; wave < kWaves; ++wave) {
+    wave_snaps.clear();
+    std::vector<MemoryClient> clients;
+    for (size_t i = 0; i < kPerWave; ++i) {
+      MemoryClient mc;
+      mc.pipe = std::make_unique<crypto::DuplexPipe>();
+      mc.client = std::make_unique<client::Client>(ClientOptionsFor(qe()),
+                                                   wave_images[i]);
+      group.Dispatch(std::make_unique<net::PipeTransport>(mc.pipe->EndA()));
+      clients.push_back(std::move(mc));
+    }
+    const Status driven =
+        DriveClients([&group] { return group.PollOnce(); }, clients);
+    ASSERT_TRUE(driven.ok()) << "wave " << wave << ": " << driven.ToString();
+    ASSERT_EQ(wave_snaps.size(), kPerWave) << wave;
+
+    // Accounting is bit-identical to the serial drive, wave after wave, no
+    // matter which reactor served which client.
+    std::sort(wave_snaps.begin(), wave_snaps.end(),
+              [](const Snapshot& a, const Snapshot& b) {
+                return SnapKey(a) < SnapKey(b);
+              });
+    for (size_t i = 0; i < kPerWave; ++i) {
+      ExpectSameSnapshot(serial_sorted[i], wave_snaps[i],
+                         "wave " + std::to_string(wave) + " rank " +
+                             std::to_string(i));
+    }
+
+    // O(active): after the wave drains, the table is empty again — no
+    // retained connections, no held pages.
+    ASSERT_TRUE(group.DrainAll().ok());
+    ASSERT_EQ(group.connection_count(), 0u) << wave;
+    ASSERT_EQ(group.budget().committed_pages(), 0u) << wave;
+  }
+
+  const FrontendMetrics metrics = group.metrics();
+  EXPECT_EQ(metrics.accepted, kWaves * kPerWave);
+  EXPECT_EQ(metrics.done, kWaves * kPerWave);
+  EXPECT_EQ(metrics.reaped, kWaves * kPerWave);
+  EXPECT_EQ(metrics.failed, 0u);
+  EXPECT_EQ(metrics.timed_out, 0u);
+  EXPECT_EQ(metrics.shed, 0u);
+  EXPECT_EQ(metrics.live_connections, 0u);
+  EXPECT_LE(metrics.peak_live_connections, kPerWave);
+  EXPECT_LE(metrics.max_committed_pages, metrics.budget_pages);
+  EXPECT_EQ(metrics.committed_pages, 0u);
+}
+
+size_t CountOpenFds() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  size_t count = 0;
+  while (struct dirent* entry = readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name != "." && name != "..") ++count;
+  }
+  closedir(dir);
+  return count;  // includes the enumeration fd itself; the bias cancels
+}
+
+// Blocking TCP client used by the fd soak (same shape as the serve selftest).
+Status RunTcpSoakClient(uint16_t port, const client::ClientOptions& options,
+                        const Bytes& executable) {
+  auto socket = net::TcpTransport::Connect("127.0.0.1", port);
+  if (!socket.ok()) return socket.status();
+  crypto::DuplexPipe pipe;
+  crypto::DuplexPipe::Endpoint client_end = pipe.EndB();
+  client::Client client(options, executable);
+
+  const auto pump_until = [&](auto ready) -> Status {
+    while (!ready()) {
+      Bytes inbound;
+      ASSIGN_OR_RETURN(const size_t drained, (*socket)->Drain(inbound));
+      crypto::DuplexPipe::Endpoint bridge = pipe.EndA();
+      if (drained > 0) bridge.Write(ByteView(inbound));
+      const size_t pending = bridge.Available();
+      size_t moved = drained;
+      if (pending > 0) {
+        ASSIGN_OR_RETURN(const Bytes outbound, bridge.Read(pending));
+        RETURN_IF_ERROR((*socket)->Send(ByteView(outbound)));
+        moved += pending;
+      }
+      RETURN_IF_ERROR((*socket)->Flush().status());
+      if (moved == 0) {
+        if ((*socket)->AtEof() && client_end.Available() == 0) {
+          return ProtocolError("server closed before the exchange completed");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    return Status::Ok();
+  };
+
+  RETURN_IF_ERROR(pump_until(
+      [&client_end] { return net::HasCompleteFrames(client_end, 1); }));
+  ASSIGN_OR_RETURN(const std::optional<RetryAfter> retry,
+                   client.AwaitAdmission(client_end));
+  if (retry.has_value()) {
+    return ResourceExhaustedError("unexpected shed in fd soak");
+  }
+  RETURN_IF_ERROR(pump_until(
+      [&client_end] { return net::HasCompleteFrames(client_end, 2); }));
+  RETURN_IF_ERROR(client.SendProgram(client_end));
+  RETURN_IF_ERROR(pump_until(
+      [&client_end] { return net::HasCompleteSecureRecord(client_end); }));
+  ASSIGN_OR_RETURN(const Verdict verdict, client.AwaitVerdict());
+  (void)verdict;
+  (*socket)->Close();
+  return Status::Ok();
+}
+
+TEST_F(ReaperTest, TcpSoakReturnsFdsAndPagesToBaseline) {
+  constexpr size_t kPerWave = 8;
+  constexpr size_t kSoakWaves = 4;
+
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(2)});
+  sgx::HostOs host(&device);
+  FrontendGroupOptions options;
+  options.frontend.enclave_options = EnclaveOptions();
+  options.frontend.admission_queue_capacity = kPerWave;
+  options.reactors = 1;
+  std::atomic<size_t> verdicts{0};
+  options.on_verdict = [&verdicts](size_t, uint64_t, const ProvisionOutcome&,
+                                   bool) {
+    verdicts.fetch_add(1, std::memory_order_relaxed);
+  };
+  FrontendGroup group(&host, &qe(), MakePolicies, options);
+
+  auto listener = net::TcpListener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  const uint16_t port = listener->port();
+  group.AttachListener(&listener.value());
+
+  const size_t fd_baseline = CountOpenFds();
+  ASSERT_TRUE(group.Start().ok());
+
+  for (size_t wave = 0; wave < kSoakWaves; ++wave) {
+    std::vector<std::thread> threads;
+    std::vector<Status> failures(kPerWave);
+    for (size_t i = 0; i < kPerWave; ++i) {
+      threads.emplace_back([&, i] {
+        failures[i] = RunTcpSoakClient(port, ClientOptionsFor(qe()), image(i));
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    for (size_t i = 0; i < kPerWave; ++i) {
+      EXPECT_TRUE(failures[i].ok())
+          << "wave " << wave << " client " << i << ": "
+          << failures[i].ToString();
+    }
+    // The reactor thread keeps sweeping: harvested verdicts clear the way
+    // for the reaper, which closes the server-side fds.
+    for (int spin = 0; spin < 5000 && group.connection_count() != 0; ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_EQ(group.connection_count(), 0u) << "wave " << wave;
+  }
+
+  ASSERT_TRUE(group.Stop().ok());
+  EXPECT_EQ(verdicts.load(), kSoakWaves * kPerWave);
+  // Every socket the soak opened — client side and server side — is closed:
+  // the process is back at its pre-soak fd count.
+  EXPECT_EQ(CountOpenFds(), fd_baseline);
+  EXPECT_EQ(group.budget().committed_pages(), 0u);
+  const FrontendMetrics metrics = group.metrics();
+  EXPECT_EQ(metrics.done, kSoakWaves * kPerWave);
+  EXPECT_EQ(metrics.reaped, kSoakWaves * kPerWave);
+  EXPECT_EQ(metrics.live_connections, 0u);
+}
+
+// ---- TCP bind satellites ---------------------------------------------------
+
+TEST(TcpBindTest, RejectsMalformedHost) {
+  auto listener = net::TcpListener::Bind("not-an-address", 0);
+  ASSERT_FALSE(listener.ok());
+  EXPECT_EQ(listener.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TcpBindTest, WildcardHostBindsAnEphemeralPort) {
+  auto listener = net::TcpListener::Bind("0.0.0.0", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  EXPECT_GT(listener->port(), 0u);
+}
+
+}  // namespace
+}  // namespace engarde::core

@@ -513,13 +513,27 @@ TEST_F(FrontendTest, PeerClosingMidExchangeFailsTheConnection) {
   // The client walks away after the admission preamble without sending its
   // program: half-close the client's write side.
   mc->pipe->EndB().CloseWrite();
-  ASSERT_TRUE(frontend.DrainAll().ok());
+  // One sweep turns the connection terminal; the failure stays observable
+  // until the reaper's next pass retires the slot.
+  ASSERT_TRUE(frontend.PollOnce().ok());
   EXPECT_EQ(frontend.state(mc->connection), ConnectionState::kFailed);
   const Status failure = frontend.connection_status(mc->connection);
   EXPECT_EQ(failure.code(), StatusCode::kProtocolError);
   // The failed connection released its EPC pages.
   EXPECT_EQ(frontend.committed_pages(), 0u);
   EXPECT_FALSE(frontend.TakeOutcome(mc->connection).ok());
+  // Draining lets the reaper retire the slot: the id goes stale and the
+  // table holds nothing for it anymore.
+  ASSERT_TRUE(frontend.DrainAll().ok());
+  EXPECT_EQ(frontend.state(mc->connection), ConnectionState::kReaped);
+  EXPECT_EQ(frontend.connection_status(mc->connection).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(frontend.connection_count(), 0u);
+  EXPECT_EQ(frontend.reaped_count(), 1u);
+  const FrontendMetrics metrics = frontend.metrics();
+  EXPECT_EQ(metrics.failed, 1u);
+  EXPECT_EQ(metrics.reaped, 1u);
+  EXPECT_EQ(metrics.live_connections, 0u);
 }
 
 }  // namespace

@@ -7,9 +7,17 @@
 // RetryAfter shedding) and one shared warm enclave pool — optionally topped
 // back up in the background so bursts keep hitting warm enclaves.
 //
-//   engarde-serve [--port N] [--reactors N] [--warm N] [--bg-refill]
-//                 [--queue N] [--reserve N] [--epc-pages N] [--rsa-bits N]
-//                 [--selftest N]
+//   engarde-serve [--host A.B.C.D] [--port N] [--reactors N] [--warm N]
+//                 [--bg-refill] [--queue N] [--reserve N] [--epc-pages N]
+//                 [--rsa-bits N] [--queue-ms N] [--idle-ms N] [--session-ms N]
+//                 [--metrics-json] [--selftest N]
+//
+// --host widens the bind address beyond the loopback default. The *-ms flags
+// arm the front end's per-state deadlines (admission-queue wait, inbound
+// idle, overall session; 0 = unlimited) — an expired connection gets a
+// DEADLINE_EXCEEDED control record and its enclave/EPC come back for queued
+// arrivals. --metrics-json dumps the group's aggregated FrontendMetrics as
+// JSON on stdout when serving ends.
 //
 // --selftest N provisions N real clients over 127.0.0.1 in threads
 // (pinning the expected EnGarde measurement, honoring RetryAfter back-off)
@@ -43,6 +51,7 @@ core::PolicySet MakePolicies() {
 }
 
 struct ServeConfig {
+  std::string host = "127.0.0.1";
   uint16_t port = 0;  // 0 = kernel-assigned ephemeral
   size_t reactors = 1;
   size_t warm = 0;
@@ -51,8 +60,43 @@ struct ServeConfig {
   uint64_t reserve = 64;
   size_t epc_pages = sgx::kDefaultEpcPages;
   size_t rsa_bits = 768;
+  uint64_t queue_ms = 0;    // admission-queue wait deadline (0 = unlimited)
+  uint64_t idle_ms = 0;     // inbound-idle deadline (0 = unlimited)
+  uint64_t session_ms = 0;  // overall session deadline (0 = unlimited)
+  bool metrics_json = false;
   size_t selftest = 0;  // 0 = serve forever
 };
+
+void DumpMetricsJson(const core::FrontendMetrics& m) {
+  const auto u = [](uint64_t v) { return static_cast<unsigned long long>(v); };
+  std::printf("{\n");
+  std::printf("  \"accepted\": %llu,\n", u(m.accepted));
+  std::printf("  \"admitted\": %llu,\n", u(m.admitted));
+  std::printf("  \"admitted_warm\": %llu,\n", u(m.admitted_warm));
+  std::printf("  \"queued\": %llu,\n", u(m.queued));
+  std::printf("  \"shed\": %llu,\n", u(m.shed));
+  std::printf("  \"timed_out\": %llu,\n", u(m.timed_out));
+  std::printf("  \"failed\": %llu,\n", u(m.failed));
+  std::printf("  \"done\": %llu,\n", u(m.done));
+  std::printf("  \"reaped\": %llu,\n", u(m.reaped));
+  std::printf("  \"live_connections\": %llu,\n", u(m.live_connections));
+  std::printf("  \"peak_live_connections\": %llu,\n",
+              u(m.peak_live_connections));
+  std::printf("  \"queue_depth\": %llu,\n", u(m.queue_depth));
+  std::printf("  \"admission_wait_count\": %llu,\n",
+              u(m.admission_wait_count));
+  std::printf("  \"admission_wait_total_ns\": %llu,\n",
+              u(m.admission_wait_total_ns));
+  std::printf("  \"admission_wait_max_ns\": %llu,\n",
+              u(m.admission_wait_max_ns));
+  std::printf("  \"session_count\": %llu,\n", u(m.session_count));
+  std::printf("  \"session_total_ns\": %llu,\n", u(m.session_total_ns));
+  std::printf("  \"session_max_ns\": %llu,\n", u(m.session_max_ns));
+  std::printf("  \"budget_pages\": %llu,\n", u(m.budget_pages));
+  std::printf("  \"committed_pages\": %llu,\n", u(m.committed_pages));
+  std::printf("  \"max_committed_pages\": %llu\n", u(m.max_committed_pages));
+  std::printf("}\n");
+}
 
 // ---- Selftest client -------------------------------------------------------
 
@@ -148,6 +192,9 @@ int Serve(const ServeConfig& config) {
   options.frontend.enclave_options.layout.load_pages = 32;
   options.frontend.epc_reserve_pages = config.reserve;
   options.frontend.admission_queue_capacity = config.queue;
+  options.frontend.queue_deadline_ms = config.queue_ms;
+  options.frontend.idle_deadline_ms = config.idle_ms;
+  options.frontend.session_deadline_ms = config.session_ms;
   options.reactors = config.reactors;
   if (config.bg_refill) {
     options.pool_refill = core::PoolRefill::kBackground;
@@ -173,15 +220,15 @@ int Serve(const ServeConfig& config) {
     }
   }
 
-  auto listener = net::TcpListener::Bind(config.port);
+  auto listener = net::TcpListener::Bind(config.host, config.port);
   if (!listener.ok()) {
     std::fprintf(stderr, "bind: %s\n", listener.status().ToString().c_str());
     return 1;
   }
   std::fprintf(stderr,
-               "engarde-serve: 127.0.0.1:%u (%zu reactors, epc budget %llu "
+               "engarde-serve: %s:%u (%zu reactors, epc budget %llu "
                "pages, warm pool %zu%s, queue %zu)\n",
-               listener->port(), group.reactor_count(),
+               config.host.c_str(), listener->port(), group.reactor_count(),
                static_cast<unsigned long long>(group.budget().budget_pages()),
                group.pool().size(), config.bg_refill ? " [bg refill]" : "",
                config.queue);
@@ -276,9 +323,16 @@ int Serve(const ServeConfig& config) {
       static_cast<unsigned long long>(group.budget().budget_pages()),
       group.pool().total_handouts());
   for (size_t r = 0; r < group.reactor_count(); ++r) {
-    std::fprintf(stderr, "  reactor %zu: %zu verdicts, %zu sheds\n", r,
-                 group.reactor(r).done_count(), group.reactor(r).shed_count());
+    std::fprintf(stderr,
+                 "  reactor %zu: %zu verdicts, %zu sheds, %zu timeouts, "
+                 "%zu reaped, %zu live\n",
+                 r, group.reactor(r).done_count(),
+                 group.reactor(r).shed_count(),
+                 group.reactor(r).timed_out_count(),
+                 group.reactor(r).reaped_count(),
+                 group.reactor(r).connection_count());
   }
+  if (config.metrics_json) DumpMetricsJson(group.metrics());
   if (config.selftest >= group.reactor_count() && group.reactor_count() > 1) {
     // Round-robin dealing + pinned-measurement clients: every reactor must
     // have served at least one verdict, all under the same MRENCLAVE.
@@ -305,7 +359,12 @@ int main(int argc, char** argv) {
     auto next = [&]() -> long {
       return (i + 1 < argc) ? std::atol(argv[++i]) : 0;
     };
-    if (arg == "--port") {
+    auto next_str = [&]() -> std::string {
+      return (i + 1 < argc) ? std::string(argv[++i]) : std::string();
+    };
+    if (arg == "--host") {
+      config.host = next_str();
+    } else if (arg == "--port") {
       config.port = static_cast<uint16_t>(next());
     } else if (arg == "--reactors") {
       config.reactors = static_cast<size_t>(next());
@@ -321,13 +380,23 @@ int main(int argc, char** argv) {
       config.epc_pages = static_cast<size_t>(next());
     } else if (arg == "--rsa-bits") {
       config.rsa_bits = static_cast<size_t>(next());
+    } else if (arg == "--queue-ms") {
+      config.queue_ms = static_cast<uint64_t>(next());
+    } else if (arg == "--idle-ms") {
+      config.idle_ms = static_cast<uint64_t>(next());
+    } else if (arg == "--session-ms") {
+      config.session_ms = static_cast<uint64_t>(next());
+    } else if (arg == "--metrics-json") {
+      config.metrics_json = true;
     } else if (arg == "--selftest") {
       config.selftest = static_cast<size_t>(next());
     } else {
       std::fprintf(stderr,
-                   "usage: engarde-serve [--port N] [--reactors N] [--warm N] "
-                   "[--bg-refill] [--queue N] [--reserve N] [--epc-pages N] "
-                   "[--rsa-bits N] [--selftest N]\n");
+                   "usage: engarde-serve [--host A.B.C.D] [--port N] "
+                   "[--reactors N] [--warm N] [--bg-refill] [--queue N] "
+                   "[--reserve N] [--epc-pages N] [--rsa-bits N] "
+                   "[--queue-ms N] [--idle-ms N] [--session-ms N] "
+                   "[--metrics-json] [--selftest N]\n");
       return 2;
     }
   }
