@@ -1,12 +1,15 @@
 // Front-end provisioning benchmark: N concurrent clients admitted through
 // the readiness-driven ProvisioningFrontend (core/frontend.h) over in-memory
-// transports, cold-built vs. warm-pool enclaves, at 1 / 8 / 64 / 256
-// concurrent clients. Reports sessions/sec and p50/p99 time-to-verdict and
-// writes BENCH_frontend.json.
+// transports, cold-built vs. warm-pool enclaves — and cold with streaming
+// inspection (speculative decode overlapped with block upload) — at
+// 1 / 8 / 64 / 256 concurrent clients. Reports sessions/sec, p50/p99
+// time-to-verdict and the achieved decode-overlap ratio, and writes
+// BENCH_frontend.json.
 //
 // Every throughput number is gated on bit-for-bit equality with a serial
-// ProvisioningServer::Drive of the same client mix: identical verdicts and
-// identical per-phase SGX-instruction attribution, or the bench fails.
+// staged ProvisioningServer::Drive of the same client mix: identical
+// verdicts and identical per-phase SGX-instruction attribution, or the
+// bench fails.
 //
 // Usage: bench_frontend [--rsa-bits N] [--insns N] [--out PATH]
 #include <algorithm>
@@ -48,11 +51,12 @@ core::PolicySet MakePolicies() {
   return policies;
 }
 
-core::EngardeOptions EnclaveOptions(size_t rsa_bits) {
+core::EngardeOptions EnclaveOptions(size_t rsa_bits, bool streaming) {
   core::EngardeOptions options;
   options.rsa_bits = rsa_bits;
   options.layout.heap_pages = 128;
   options.layout.load_pages = 32;
+  options.streaming_inspection = streaming;
   return options;
 }
 
@@ -380,7 +384,10 @@ int main(int argc, char** argv) {
                  qe.status().ToString().c_str());
     return 1;
   }
-  const core::EngardeOptions opts = EnclaveOptions(rsa_bits);
+  // The serial reference and the cold/warm baselines run the staged
+  // pipeline; the streaming rows are gated against that same reference.
+  const core::EngardeOptions opts = EnclaveOptions(rsa_bits, false);
+  const core::EngardeOptions streaming_opts = EnclaveOptions(rsa_bits, true);
 
   // A small mixed population: even programs carry stack protectors
   // (compliant), odd ones violate. Client i uses program i % kPrograms.
@@ -432,6 +439,12 @@ int main(int argc, char** argv) {
                    cold.status().ToString().c_str());
       return 1;
     }
+    auto streaming = RunFrontend(*qe, images, streaming_opts, /*warm=*/false);
+    if (!streaming.ok()) {
+      std::fprintf(stderr, "streaming %zu: %s\n", n,
+                   streaming.status().ToString().c_str());
+      return 1;
+    }
     auto warm = RunFrontend(*qe, images, opts, /*warm=*/true);
     if (!warm.ok()) {
       std::fprintf(stderr, "warm %zu: %s\n", n,
@@ -440,9 +453,11 @@ int main(int argc, char** argv) {
     }
 
     // The gate: throughput numbers from a reactor that changed any verdict
-    // or any per-phase SGX count would be meaningless.
+    // or any per-phase SGX count would be meaningless. Streaming rows gate
+    // against the same staged serial reference.
     for (size_t i = 0; i < n; ++i) {
       if (!(cold->fingerprints[i] == (*serial)[i]) ||
+          !(streaming->fingerprints[i] == (*serial)[i]) ||
           !(warm->fingerprints[i] == (*serial)[i])) {
         std::fprintf(stderr,
                      "equality gate failed at %zu clients, client %zu\n", n,
@@ -455,16 +470,29 @@ int main(int argc, char** argv) {
       const char* mode;
       const RunStats* stats;
     };
-    for (const ModeRow row : {ModeRow{"cold", &*cold}, ModeRow{"warm", &*warm}}) {
+    for (const ModeRow row : {ModeRow{"cold", &*cold},
+                              ModeRow{"cold-streaming", &*streaming},
+                              ModeRow{"warm", &*warm}}) {
       const double sec = static_cast<double>(row.stats->wall_ns) / 1e9;
       const double rate = sec > 0 ? static_cast<double>(n) / sec : 0.0;
       const uint64_t p50 = Percentile(row.stats->latency_ns, 50);
       const uint64_t p99 = Percentile(row.stats->latency_ns, 99);
+      const core::FrontendMetrics& metrics = row.stats->metrics;
+      const uint64_t overlap_mean =
+          metrics.decode_overlap_count > 0
+              ? metrics.decode_overlap_sum_permille /
+                    metrics.decode_overlap_count
+              : 0;
       std::printf(
-          "%3zu clients %-4s  %8.2f sess/s  p50 %8.2f ms  p99 %8.2f ms%s\n",
+          "%3zu clients %-14s  %8.2f sess/s  p50 %8.2f ms  p99 %8.2f ms"
+          "%s%s\n",
           n, row.mode, rate, static_cast<double>(p50) / 1e6,
           static_cast<double>(p99) / 1e6,
-          row.stats->prefill_ns > 0 ? "  (pool prebuilt)" : "");
+          row.stats->prefill_ns > 0 ? "  (pool prebuilt)" : "",
+          metrics.decode_overlap_count > 0
+              ? ("  overlap " + std::to_string(overlap_mean) + "\xE2\x80\xB0")
+                    .c_str()
+              : "");
       std::fprintf(f, "%s\n    {\"clients\": %zu, \"mode\": \"%s\", ",
                    first_level ? "" : ",", n, row.mode);
       first_level = false;
@@ -477,17 +505,23 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(row.stats->prefill_ns));
       std::fprintf(
           f,
+          "\"decode_overlap_count\": %llu, "
+          "\"decode_overlap_mean_permille\": %llu, "
+          "\"decode_overlap_max_permille\": %llu, ",
+          static_cast<unsigned long long>(metrics.decode_overlap_count),
+          static_cast<unsigned long long>(overlap_mean),
+          static_cast<unsigned long long>(
+              metrics.decode_overlap_max_permille));
+      std::fprintf(
+          f,
           "\"reaped\": %llu, \"timed_out\": %llu, \"peak_live\": %llu, "
           "\"live_after_reap\": %llu, \"max_committed_pages\": %llu, "
           "\"equality\": \"ok\"}",
-          static_cast<unsigned long long>(row.stats->metrics.reaped),
-          static_cast<unsigned long long>(row.stats->metrics.timed_out),
-          static_cast<unsigned long long>(
-              row.stats->metrics.peak_live_connections),
-          static_cast<unsigned long long>(
-              row.stats->metrics.live_connections),
-          static_cast<unsigned long long>(
-              row.stats->metrics.max_committed_pages));
+          static_cast<unsigned long long>(metrics.reaped),
+          static_cast<unsigned long long>(metrics.timed_out),
+          static_cast<unsigned long long>(metrics.peak_live_connections),
+          static_cast<unsigned long long>(metrics.live_connections),
+          static_cast<unsigned long long>(metrics.max_committed_pages));
     }
   }
   std::fprintf(f, "\n  ],\n");
@@ -517,7 +551,10 @@ int main(int argc, char** argv) {
   std::fprintf(f, "    \"rows\": [");
   bool first_row = true;
   for (const size_t reactors : {size_t{1}, size_t{2}, size_t{4}}) {
-    auto run = RunGroupTcp(*qe, scaling_images, opts, reactors);
+    // The group rows run streaming inspection — gated against the staged
+    // serial reference, so the TCP + multi-reactor path re-proves the
+    // staged/streaming equivalence on every bench run.
+    auto run = RunGroupTcp(*qe, scaling_images, streaming_opts, reactors);
     if (!run.ok()) {
       std::fprintf(stderr, "reactors=%zu: %s\n", reactors,
                    run.status().ToString().c_str());

@@ -1,9 +1,10 @@
 // Machine-readable inspection benchmark: provisions every catalog benchmark
 // (library-linking flavor, the paper's Figure 3 configuration) at a sweep of
-// inspection_threads values and writes BENCH_inspect.json — per-benchmark
-// per-phase cycles, deterministic SGX-instruction counts, and wall time — so
-// the perf trajectory of the hot path is tracked across PRs instead of
-// eyeballed from table output.
+// inspection_threads values — staged and streaming — and writes
+// BENCH_inspect.json: per-benchmark per-phase cycles, deterministic
+// SGX-instruction counts, wall time, and for streaming runs the achieved
+// decode overlap, so the perf trajectory of the hot path is tracked across
+// PRs instead of eyeballed from table output.
 //
 // Usage: bench_inspect [--scale S] [--threads N] [--out PATH]
 //   --scale S    build benchmarks at S x the paper's instruction count
@@ -13,8 +14,11 @@
 //   --out PATH   output file (default BENCH_inspect.json)
 //
 // The headline metric is speedup = wall(1 thread) / wall(N threads) on the
-// largest benchmark (Nginx). Note: on a single-core host the engine still
-// produces identical verdicts but cannot show wall speedup.
+// largest benchmark (Nginx). Every streaming row is equality-gated against
+// its staged twin: identical verdict and per-phase SGX-instruction counts,
+// or the bench fails. Note: on a single-core host the engine still produces
+// identical verdicts but cannot show wall speedup — the overlap_permille
+// column is the scheduling-independent evidence the speculation engaged.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +35,7 @@ namespace {
 
 struct Run {
   size_t threads = 0;
+  bool streaming = false;
   PhaseCycles cycles;
 };
 
@@ -106,32 +111,69 @@ int main(int argc, char** argv) {
     BenchResult result;
     result.name = entry.name;
     for (const size_t threads : thread_sweep) {
-      auto measured = MeasureProvisioning(*program,
-                                          workload::BuildFlavor::kPlain,
-                                          threads);
-      if (!measured.ok() || !measured->compliant) {
-        std::fprintf(stderr, "%s @ %zu threads: provisioning failed\n",
-                     entry.name, threads);
-        return 1;
+      for (const bool streaming : {false, true}) {
+        auto measured = MeasureProvisioning(*program,
+                                            workload::BuildFlavor::kPlain,
+                                            threads, streaming);
+        if (!measured.ok() || !measured->compliant) {
+          std::fprintf(stderr, "%s @ %zu threads (%s): provisioning failed\n",
+                       entry.name, threads,
+                       streaming ? "streaming" : "staged");
+          return 1;
+        }
+        if (streaming) {
+          // The gate: the streaming run must be bit-identical to the staged
+          // run it is measured against on every deterministic column.
+          const PhaseCycles& staged = result.runs.back().cycles;
+          if (measured->instructions != staged.instructions ||
+              measured->disassembly_sgx != staged.disassembly_sgx ||
+              measured->policy_check_sgx != staged.policy_check_sgx) {
+            std::fprintf(stderr,
+                         "%s @ %zu threads: streaming/staged equality gate "
+                         "failed\n",
+                         entry.name, threads);
+            return 1;
+          }
+        }
+        result.runs.push_back(Run{threads, streaming, *measured});
+        const uint64_t overlap =
+            measured->streaming_text_bytes > 0
+                ? measured->streaming_before_done * 1000 /
+                      measured->streaming_text_bytes
+                : 0;
+        std::printf("%-11s threads=%zu %-9s  #Inst=%zu  wall=%8.2f ms  "
+                    "disasm=%llu policy=%llu cycles  overlap=%llu‰\n",
+                    entry.name, threads,
+                    streaming ? "streaming" : "staged",
+                    measured->instructions,
+                    static_cast<double>(measured->wall_ns) / 1e6,
+                    static_cast<unsigned long long>(measured->disassembly),
+                    static_cast<unsigned long long>(measured->policy_check),
+                    static_cast<unsigned long long>(overlap));
       }
-      result.runs.push_back(Run{threads, *measured});
-      std::printf("%-11s threads=%zu  #Inst=%zu  wall=%8.2f ms  "
-                  "disasm=%llu policy=%llu cycles\n",
-                  entry.name, threads, measured->instructions,
-                  static_cast<double>(measured->wall_ns) / 1e6,
-                  static_cast<unsigned long long>(measured->disassembly),
-                  static_cast<unsigned long long>(measured->policy_check));
     }
     results.push_back(std::move(result));
   }
 
-  // The largest benchmark is the catalog's first entry (Nginx).
+  const auto find_run = [](const BenchResult& result, size_t threads,
+                           bool streaming) -> const Run* {
+    for (const Run& run : result.runs) {
+      if (run.threads == threads && run.streaming == streaming) return &run;
+    }
+    return nullptr;
+  };
+
+  // The largest benchmark is the catalog's first entry (Nginx); staged
+  // serial vs staged parallel, as before the streaming rows were added.
   double largest_speedup = 0.0;
-  if (!results.empty() && results.front().runs.size() == 2 &&
-      results.front().runs[1].cycles.wall_ns > 0) {
-    largest_speedup =
-        static_cast<double>(results.front().runs[0].cycles.wall_ns) /
-        static_cast<double>(results.front().runs[1].cycles.wall_ns);
+  if (!results.empty()) {
+    const Run* serial = find_run(results.front(), 1, false);
+    const Run* parallel = find_run(results.front(), parallel_threads, false);
+    if (serial != nullptr && parallel != nullptr &&
+        parallel->cycles.wall_ns > 0) {
+      largest_speedup = static_cast<double>(serial->cycles.wall_ns) /
+                        static_cast<double>(parallel->cycles.wall_ns);
+    }
   }
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
@@ -156,16 +198,41 @@ int main(int argc, char** argv) {
                  result.name.c_str(),
                  result.runs.front().cycles.instructions);
     double speedup = 0.0;
-    if (result.runs.size() == 2 && result.runs[1].cycles.wall_ns > 0) {
-      speedup = static_cast<double>(result.runs[0].cycles.wall_ns) /
-                static_cast<double>(result.runs[1].cycles.wall_ns);
+    {
+      const Run* serial = find_run(result, 1, false);
+      const Run* parallel = find_run(result, parallel_threads, false);
+      if (serial != nullptr && parallel != nullptr &&
+          parallel->cycles.wall_ns > 0) {
+        speedup = static_cast<double>(serial->cycles.wall_ns) /
+                  static_cast<double>(parallel->cycles.wall_ns);
+      }
     }
     std::fprintf(f, "\"speedup\": %.3f, \"runs\": [\n", speedup);
     for (size_t r = 0; r < result.runs.size(); ++r) {
       const Run& run = result.runs[r];
-      std::fprintf(f, "      {\"threads\": %zu, \"wall_ns\": %llu,\n",
-                   run.threads,
+      std::fprintf(f,
+                   "      {\"threads\": %zu, \"mode\": \"%s\", "
+                   "\"wall_ns\": %llu,\n",
+                   run.threads, run.streaming ? "streaming" : "staged",
                    static_cast<unsigned long long>(run.cycles.wall_ns));
+      if (run.streaming) {
+        const uint64_t overlap =
+            run.cycles.streaming_text_bytes > 0
+                ? run.cycles.streaming_before_done * 1000 /
+                      run.cycles.streaming_text_bytes
+                : 0;
+        std::fprintf(
+            f,
+            "       \"streaming\": {\"text_bytes_planned\": %llu, "
+            "\"bytes_decoded_before_done\": %llu, \"overlap_permille\": "
+            "%llu, \"spliced_sections\": %llu, \"fallback_sections\": "
+            "%llu, \"equality\": \"ok\"},\n",
+            static_cast<unsigned long long>(run.cycles.streaming_text_bytes),
+            static_cast<unsigned long long>(run.cycles.streaming_before_done),
+            static_cast<unsigned long long>(overlap),
+            static_cast<unsigned long long>(run.cycles.streaming_spliced),
+            static_cast<unsigned long long>(run.cycles.streaming_fallback));
+      }
       PrintStageJson(f, run.cycles.stage_reports);
       std::fprintf(f, "       \"phases\": {\n");
       PrintPhaseJson(f, "disassembly", run.cycles.disassembly,

@@ -39,6 +39,12 @@ struct PhaseCycles {
   // than the phase columns: container validation, page separation, symbol
   // table and NaCl validation each get their own row).
   std::vector<core::StageReport> stage_reports;
+  // Streaming-inspection telemetry (zero in staged runs): how much of the
+  // text was already decoded when the last block landed.
+  uint64_t streaming_text_bytes = 0;
+  uint64_t streaming_before_done = 0;
+  uint64_t streaming_spliced = 0;
+  uint64_t streaming_fallback = 0;
 };
 
 // Which policy module to install, matching the figure being reproduced.
@@ -65,12 +71,13 @@ inline core::PolicySet PolicyFor(workload::BuildFlavor flavor,
 }
 
 // Provisions `program` through a fresh enclave and returns the phase costs.
-// `inspection_threads` > 1 runs the parallel inspection engine; the verdict
+// `inspection_threads` > 1 runs the parallel inspection engine; `streaming`
+// overlaps the speculative per-block decode with the upload. The verdict
 // and the SGX-instruction columns are identical at any setting, only wall
 // time (and hence the native-time component of the cycle model) changes.
 inline Result<PhaseCycles> MeasureProvisioning(
     const workload::BuiltProgram& program, workload::BuildFlavor flavor,
-    size_t inspection_threads = 1) {
+    size_t inspection_threads = 1, bool streaming = false) {
   sgx::CycleAccountant accountant;
   sgx::SgxDevice device(sgx::SgxDevice::Options{}, &accountant);
   sgx::HostOs host(&device);
@@ -84,6 +91,7 @@ inline Result<PhaseCycles> MeasureProvisioning(
   core::EngardeOptions options;
   options.rsa_bits = 1024;  // key size does not affect the measured phases
   options.inspection_threads = inspection_threads;
+  options.streaming_inspection = streaming;
   auto enclave = core::EngardeEnclave::Create(
       &host, *quoting, PolicyFor(flavor, program.libc_options), options);
   RETURN_IF_ERROR(enclave.status());
@@ -122,6 +130,10 @@ inline Result<PhaseCycles> MeasureProvisioning(
       accountant.phase_cost(sgx::Phase::kPolicyCheck).sgx_instructions;
   out.compliant = outcome.verdict.compliant;
   out.stage_reports = outcome.stage_reports;
+  out.streaming_text_bytes = outcome.stats.streaming_text_bytes;
+  out.streaming_before_done = outcome.stats.streaming_bytes_before_done;
+  out.streaming_spliced = outcome.stats.streaming_spliced_sections;
+  out.streaming_fallback = outcome.stats.streaming_fallback_sections;
   return out;
 }
 

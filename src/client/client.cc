@@ -99,10 +99,11 @@ Status Client::SendProgram(crypto::DuplexPipe::Endpoint endpoint) {
   RETURN_IF_ERROR(core::SendMessage(*channel_, core::MessageType::kManifest,
                                     ByteView(manifest_wire.data(),
                                              manifest_wire.size())));
+  const size_t block_size =
+      options_.block_size > 0 ? options_.block_size : core::kBlockSize;
   for (size_t offset = 0; offset < executable_.size();
-       offset += core::kBlockSize) {
-    const size_t take =
-        std::min(core::kBlockSize, executable_.size() - offset);
+       offset += block_size) {
+    const size_t take = std::min(block_size, executable_.size() - offset);
     RETURN_IF_ERROR(core::SendMessage(
         *channel_, core::MessageType::kBlock,
         ByteView(executable_.data() + offset, take)));

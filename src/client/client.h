@@ -31,6 +31,10 @@ struct ClientOptions {
   // Skip the measurement pin (used by tests that exercise the mismatch path
   // deliberately; production clients always pin).
   bool skip_measurement_check = false;
+  // Bytes of executable per encrypted block record. The default matches the
+  // enclave's page-sized staging granularity; tests sweep it (down to 1) to
+  // pin that the streaming inspector's results are block-size independent.
+  size_t block_size = core::kBlockSize;
 };
 
 class Client {

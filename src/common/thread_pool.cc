@@ -19,6 +19,14 @@ ThreadPool::~ThreadPool() {
   }
   work_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  // Every submitted task runs exactly once: anything the workers had not
+  // picked up before the stop runs inline here, so a producer waiting on its
+  // tasks' side effects can never be stranded by teardown.
+  while (!tasks_.empty()) {
+    Task task = std::move(tasks_.front());
+    tasks_.pop_front();
+    task();
+  }
 }
 
 void ThreadPool::RunChunk(const Job& job, size_t chunk_index) {
@@ -40,20 +48,34 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
   uint64_t seen_generation = 0;
   for (;;) {
     Job job;
+    bool run_chunk = false;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] {
-        return stop_ || generation_ != seen_generation;
+        return stop_ || generation_ != seen_generation || !tasks_.empty();
       });
       if (stop_) return;
-      seen_generation = generation_;
-      job = job_;
+      if (generation_ != seen_generation) {
+        // A ParallelFor caller is blocked on this chunk: it outranks any
+        // queued task.
+        seen_generation = generation_;
+        job = job_;
+        run_chunk = true;
+      } else {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
     }
-    // Chunk 0 belongs to the caller; worker w owns chunk w + 1.
-    RunChunk(job, worker_index + 1);
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--active_workers_ == 0) done_cv_.notify_all();
+    if (run_chunk) {
+      // Chunk 0 belongs to the caller; worker w owns chunk w + 1.
+      RunChunk(job, worker_index + 1);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--active_workers_ == 0) done_cv_.notify_all();
+      }
+    } else {
+      task();
     }
   }
 }
@@ -103,6 +125,18 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
     lock.unlock();
     std::rethrow_exception(error);
   }
+}
+
+void ThreadPool::Submit(Task task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
 }
 
 }  // namespace engarde::common

@@ -22,12 +22,21 @@
 // submit mutex serializes dispatch, so concurrent ProvisioningSessions
 // sharing one inspection pool take turns and each still sees the exact
 // static partition (and verdict) it would get with exclusive use.
+//
+// Submit() is the second, independent work source: fire-and-forget tasks
+// (the streaming inspector's speculative page decodes) that workers pick up
+// whenever no ParallelFor chunk is pending. Tasks never participate in the
+// fork-join generation protocol, so a ParallelFor dispatched while tasks are
+// queued still sees its exact static partition — a busy worker just picks up
+// its chunk after the task it is running retires. A task must not call back
+// into the same pool (neither ParallelFor nor, transitively, Submit-and-wait).
 #ifndef ENGARDE_COMMON_THREAD_POOL_H_
 #define ENGARDE_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -57,6 +66,14 @@ class ThreadPool {
   void ParallelFor(size_t begin, size_t end, size_t grain,
                    const RangeBody& body);
 
+  // Enqueues a fire-and-forget task for the next free worker. With no
+  // workers (threads <= 1) the task runs inline on the caller before Submit
+  // returns — the serial pipeline, exactly, with no queue to drain. A task
+  // that throws terminates (tasks own their error reporting; the streaming
+  // decoder records per-chunk Statuses instead of throwing).
+  using Task = std::function<void()>;
+  void Submit(Task task);
+
  private:
   struct Job {
     const RangeBody* body = nullptr;
@@ -83,6 +100,7 @@ class ThreadPool {
   bool stop_ = false;
   std::exception_ptr first_error_;
   size_t first_error_chunk_ = kNoChunk;
+  std::deque<Task> tasks_;
   std::vector<std::thread> workers_;
 };
 

@@ -61,6 +61,19 @@ struct EngardeOptions {
   // one (and inspection_threads is ignored). A ProvisioningServer shares one
   // pool across all its enclaves this way. Must outlive the enclave.
   common::ThreadPool* shared_inspection_pool = nullptr;
+  // Overlap block upload with speculative page decode: each executable page
+  // is dispatched onto the inspection pool the moment its bytes are staged,
+  // and the Disassemble stage splices the pre-decoded instructions at the
+  // DONE barrier (core/streaming.h). Verdicts, stage reports and per-phase
+  // SGX attribution are bit-identical to the staged run at any setting —
+  // the speculation charges nothing and falls back to the staged decode on
+  // any mismatch. Off = stage the full image before inspecting (PR-5
+  // behavior), useful as a baseline.
+  bool streaming_inspection = true;
+  // Cap on dispatched-but-unmerged speculative page decodes per session
+  // before DONE arrives, bounding the memory and pool-queue share a fast
+  // uploader can claim ahead of the barrier stages.
+  size_t max_inflight_decode_pages = 64;
 };
 
 // Everything the cloud provider is allowed to learn (threat model,
@@ -76,6 +89,12 @@ struct ProvisionStats {
   size_t insn_buffer_pages = 0;      // malloc-trampoline allocations
   size_t blocks_received = 0;
   size_t relocations_applied = 0;
+  // Streaming-inspection telemetry (zero when streaming was off or never
+  // engaged). Scheduling-dependent: reported, never equality-gated.
+  uint64_t streaming_text_bytes = 0;        // bytes planned for decode
+  uint64_t streaming_bytes_before_done = 0; // of those, decoded pre-DONE
+  uint64_t streaming_spliced_sections = 0;
+  uint64_t streaming_fallback_sections = 0;
 };
 
 struct ProvisionOutcome {

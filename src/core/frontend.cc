@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "core/inspection.h"
@@ -61,6 +62,11 @@ void FrontendMetrics::Merge(const FrontendMetrics& other) noexcept {
   session_count += other.session_count;
   session_total_ns += other.session_total_ns;
   session_max_ns = std::max(session_max_ns, other.session_max_ns);
+  decode_overlap_count += other.decode_overlap_count;
+  decode_early_bytes_total += other.decode_early_bytes_total;
+  decode_overlap_sum_permille += other.decode_overlap_sum_permille;
+  decode_overlap_max_permille =
+      std::max(decode_overlap_max_permille, other.decode_overlap_max_permille);
   // Budget fields are per-budget, not per-shard: the caller that knows which
   // shards share a budget fills them once after merging.
 }
@@ -228,6 +234,10 @@ Result<ProvisioningFrontend::AdmitResult> ProvisioningFrontend::TryAdmit(
       WriteControlFrame(session_side, ControlType::kHelloFollows, {}));
   session_side.Write(ByteView(conn.slot->hello_wire));
   conn.session.emplace(&*conn.slot->enclave, session_side);
+  // A session parked at the DONE barrier behind in-flight decode tasks must
+  // yield to the sweep instead of blocking it; PumpConnection re-pumps it
+  // until the pool drains and the verdict lands.
+  conn.session->set_async_barrier(true);
   conn.state = ConnectionState::kActive;
   const uint64_t now = NowNs();
   conn.last_input_ns = now;  // the idle clock starts at admission
@@ -264,6 +274,18 @@ Status ProvisioningFrontend::Shed(Connection& conn) {
   metrics_cells_.shed.fetch_add(1, std::memory_order_relaxed);
   RecordTerminal(conn, NowNs());
   return Status::Ok();
+}
+
+void ProvisioningFrontend::RecordDecodeOverlap(const ProvisionStats& stats) {
+  if (stats.streaming_text_bytes == 0) return;  // staged run: no speculation
+  metrics_cells_.decode_overlap_count.fetch_add(1, std::memory_order_relaxed);
+  metrics_cells_.decode_early_bytes_total.fetch_add(
+      stats.streaming_bytes_before_done, std::memory_order_relaxed);
+  const uint64_t permille =
+      stats.streaming_bytes_before_done * 1000 / stats.streaming_text_bytes;
+  metrics_cells_.decode_overlap_sum_permille.fetch_add(
+      permille, std::memory_order_relaxed);
+  AtomicMax(metrics_cells_.decode_overlap_max_permille, permille);
 }
 
 void ProvisioningFrontend::RecordTerminal(Connection& conn, uint64_t now_ns) {
@@ -469,12 +491,20 @@ Status ProvisioningFrontend::PumpConnection(Connection& conn, uint64_t now_ns,
 
   if (conn.session->done()) {
     ASSIGN_OR_RETURN(ProvisionOutcome outcome, conn.session->TakeOutcome());
+    RecordDecodeOverlap(outcome.stats);
     conn.outcome.emplace(std::move(outcome));
     conn.state = ConnectionState::kDone;
     metrics_cells_.done.fetch_add(1, std::memory_order_relaxed);
     RecordTerminal(conn, now_ns);
     ++progress;
     if (options_.destroy_enclave_on_verdict) ReleaseEnclave(conn);
+  } else if (conn.session->waiting_on_decode()) {
+    // The image is complete but decode tasks are still retiring on the
+    // inspection pool: that is work in flight, not a stall. Count it as
+    // progress so DrainAll keeps sweeping until the verdict lands, and give
+    // the workers the cycles they need to get there.
+    ++progress;
+    std::this_thread::yield();
   } else if (conn.session->state() == before &&
              conn.pipe->EndA().AtEof() &&
              conn.pipe->EndA().Available() == 0) {
@@ -654,6 +684,12 @@ FrontendMetrics ProvisioningFrontend::metrics() const noexcept {
   m.session_count = load(metrics_cells_.session_count);
   m.session_total_ns = load(metrics_cells_.session_total_ns);
   m.session_max_ns = load(metrics_cells_.session_max_ns);
+  m.decode_overlap_count = load(metrics_cells_.decode_overlap_count);
+  m.decode_early_bytes_total = load(metrics_cells_.decode_early_bytes_total);
+  m.decode_overlap_sum_permille =
+      load(metrics_cells_.decode_overlap_sum_permille);
+  m.decode_overlap_max_permille =
+      load(metrics_cells_.decode_overlap_max_permille);
   m.budget_pages = budget_->budget_pages();
   m.committed_pages = budget_->committed_pages();
   m.max_committed_pages = budget_->max_committed_pages();

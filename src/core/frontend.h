@@ -150,6 +150,14 @@ struct FrontendMetrics {
   uint64_t session_count = 0;
   uint64_t session_total_ns = 0;
   uint64_t session_max_ns = 0;
+  // Streaming-decode overlap over verdicts whose session planned speculative
+  // decode work (EngardeOptions::streaming_inspection): how many bytes were
+  // already decoded when DONE arrived, and the per-session overlap ratio
+  // (bytes-before-DONE / planned text bytes, in permille).
+  uint64_t decode_overlap_count = 0;         // verdicts with planned decode
+  uint64_t decode_early_bytes_total = 0;     // bytes decoded before DONE
+  uint64_t decode_overlap_sum_permille = 0;  // sum of per-session ratios
+  uint64_t decode_overlap_max_permille = 0;
   // Budget occupancy at snapshot time (shared across a group's shards).
   uint64_t budget_pages = 0;
   uint64_t committed_pages = 0;
@@ -307,6 +315,10 @@ class ProvisioningFrontend {
     std::atomic<uint64_t> session_count{0};
     std::atomic<uint64_t> session_total_ns{0};
     std::atomic<uint64_t> session_max_ns{0};
+    std::atomic<uint64_t> decode_overlap_count{0};
+    std::atomic<uint64_t> decode_early_bytes_total{0};
+    std::atomic<uint64_t> decode_overlap_sum_permille{0};
+    std::atomic<uint64_t> decode_overlap_max_permille{0};
     // Gauge mirror of admission_queue_.size(), so queued_count()/metrics()
     // stay readable off the owner thread.
     std::atomic<uint64_t> queue_depth{0};
@@ -351,6 +363,8 @@ class ProvisioningFrontend {
   // transport (fd) and the pipes. The id goes stale (kReaped).
   void Reap(Connection& conn);
   void RecordTerminal(Connection& conn, uint64_t now_ns);
+  // Folds a verdict's streaming telemetry into the overlap cells.
+  void RecordDecodeOverlap(const ProvisionStats& stats);
   Status AdmitFromQueue(size_t& progress);
 
   uint64_t PagesPerEnclave() const noexcept {

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 
+#include "core/streaming.h"
 #include "x86/decoder.h"
 #include "x86/validator.h"
 
@@ -106,6 +107,17 @@ Status StageDisassemble(InspectionContext& ctx) {
   ctx.text_end = 0;
   for (const elf::Shdr* section : ctx.elf->TextSections()) {
     ASSIGN_OR_RETURN(const ByteView content, ctx.elf->SectionContent(*section));
+    // Streaming path: the upload already decoded these pages speculatively;
+    // splice them if they tile the section exactly. Appends (and their
+    // per-page malloc trampolines) happen here either way, so a spliced
+    // section is byte- and accounting-identical to a decoded one.
+    if (ctx.streaming != nullptr &&
+        ctx.streaming->SpliceSection(section->offset, section->addr,
+                                     content.size(), *ctx.insns)) {
+      ctx.text_start = std::min(ctx.text_start, section->addr);
+      ctx.text_end = std::max(ctx.text_end, section->addr + section->size);
+      continue;
+    }
     // Bundle-aligned shards decoded concurrently, merged in address order
     // on this thread (serial when no pool) — see x86::DecodeSectionInto.
     RETURN_IF_ERROR(

@@ -41,6 +41,8 @@
 
 namespace engarde::core {
 
+class StreamingInspector;
+
 enum class StageId : uint8_t {
   kContainerValidate = 0,
   kPageSeparation,
@@ -97,6 +99,12 @@ struct InspectionContext {
   uint64_t enclave_id = 0;
   const sgx::EnclaveLayout* layout = nullptr;
   crypto::HmacDrbg* drbg = nullptr;  // stack-canary source; null = zero canary
+
+  // Speculative decode state from the upload (core/streaming.h). When set
+  // (and decode-idle), StageDisassemble splices each section's pre-decoded
+  // instructions instead of decoding it, falling back to the staged decode
+  // per section on any mismatch. Null = fully staged Disassemble.
+  StreamingInspector* streaming = nullptr;
 
   // ---- Artifacts (filled by the stages) ----
   std::optional<elf::ElfFile> elf;        // ContainerValidate

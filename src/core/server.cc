@@ -52,7 +52,11 @@ Result<ProvisionOutcome> ProvisioningServer::Drive(size_t index) {
     return FailedPreconditionError("provisioning session already driven");
   }
   // Redirect every SGX charge this thread makes — device calls, channel
-  // trampolines, pipeline phases — to the session's accountant.
+  // trampolines, pipeline phases — to the session's accountant. The session
+  // keeps its default blocking barrier: with streaming inspection on, this
+  // one Pump dispatches the speculative page decodes as it stages blocks and
+  // then waits out the stragglers at the DONE barrier before the verdict —
+  // a synchronous Drive never observes a half-inspected session.
   sgx::ScopedAccountant scoped(&entry.accountant);
   RETURN_IF_ERROR(entry.session->Pump());
   if (!entry.session->done()) {

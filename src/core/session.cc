@@ -54,6 +54,12 @@ Status ProvisioningSession::Pump() {
         break;
       }
       case State::kInspect:
+        if (async_barrier_ && streaming_ != nullptr &&
+            !streaming_->DecodeIdle()) {
+          // Decode tasks for the last pages are still on the pool. Yield to
+          // the reactor instead of blocking its sweep; it pumps us again.
+          return Status::Ok();
+        }
         RETURN_IF_ERROR(RunInspectionAndVerdict());
         break;
       case State::kDone:
@@ -92,6 +98,13 @@ Status ProvisioningSession::OnManifest(Message message) {
     return ProtocolError("executable exceeds the enclave staging area");
   }
   image_.reserve(manifest_.file_size);
+  if (enclave_->options_.streaming_inspection) {
+    // The reserve above pins image_'s data pointer for the whole upload, so
+    // decode tasks can read staged bytes while later blocks append.
+    streaming_ = std::make_unique<StreamingInspector>(
+        &image_, manifest_.file_size, enclave_->inspection_pool(),
+        enclave_->options_.max_inflight_decode_pages);
+  }
   state_ = State::kBlocks;
   return Status::Ok();
 }
@@ -109,6 +122,11 @@ Status ProvisioningSession::OnBlock(Message message) {
       ByteView(message.payload.data(), message.payload.size())));
   AppendBytes(image_, ByteView(message.payload.data(),
                                message.payload.size()));
+  // Kick the incremental front half: plan once the program headers are in,
+  // then dispatch every newly completed executable page for decode. The
+  // speculation charges no SGX instructions — only this thread's kChannel
+  // wall time when it runs inline (no pool).
+  if (streaming_ != nullptr) streaming_->OnBytesStaged();
   ++outcome_.stats.blocks_received;
   return Status::Ok();
 }
@@ -117,6 +135,10 @@ Status ProvisioningSession::OnDone() {
   if (image_.size() != manifest_.file_size) {
     return ProtocolError("client sent fewer bytes than the manifest size");
   }
+  // Lifts the in-flight cap and dispatches the remaining chunks; completions
+  // cascade on the pool while the reactor keeps sweeping (async barrier) or
+  // while this thread proceeds to the barrier wait (blocking drivers).
+  if (streaming_ != nullptr) streaming_->OnUploadComplete();
   state_ = State::kInspect;
   return Status::Ok();
 }
@@ -124,6 +146,14 @@ Status ProvisioningSession::OnDone() {
 Status ProvisioningSession::RunInspectionAndVerdict() {
   EngardeEnclave* enclave = enclave_;
   sgx::CycleAccountant* accountant = enclave->host_->device()->accountant();
+
+  // The DONE barrier: every speculative decode must have retired before the
+  // staged stages splice its results. Blocking drivers
+  // (ProvisioningServer::Drive, RunProvisioning) park here; an async-barrier
+  // reactor only reaches this point once DecodeIdle() already held, so the
+  // wait is free. Charged to no phase — the workers do the decoding, and
+  // their work is uncharged by design.
+  if (streaming_ != nullptr) streaming_->WaitDecodeIdle();
 
   InspectionContext ctx;
   ctx.image = &image_;
@@ -135,6 +165,7 @@ Status ProvisioningSession::RunInspectionAndVerdict() {
   ctx.enclave_id = enclave->enclave_id_;
   ctx.layout = &enclave->options_.layout;
   ctx.drbg = &enclave->drbg_;
+  ctx.streaming = streaming_.get();
 
   // Hard (non-client-attributable) failures propagate here and terminate the
   // session without a verdict or the EEXIT — the old early-return behavior.
@@ -144,6 +175,14 @@ Status ProvisioningSession::RunInspectionAndVerdict() {
   if (ctx.insns) {
     outcome_.stats.instruction_count = ctx.insns->size();
     outcome_.stats.insn_buffer_pages = ctx.insns->chunk_allocations();
+  }
+  if (streaming_ != nullptr) {
+    const StreamingStats streaming = streaming_->stats();
+    outcome_.stats.streaming_text_bytes = streaming.text_bytes_planned;
+    outcome_.stats.streaming_bytes_before_done =
+        streaming.bytes_decoded_before_done;
+    outcome_.stats.streaming_spliced_sections = streaming.spliced_sections;
+    outcome_.stats.streaming_fallback_sections = streaming.fallback_sections;
   }
 
   Verdict& verdict = outcome_.verdict;

@@ -22,12 +22,14 @@
 #define ENGARDE_CORE_SESSION_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "common/bytes.h"
 #include "common/status.h"
 #include "core/engarde.h"
 #include "core/protocol.h"
+#include "core/streaming.h"
 #include "crypto/channel.h"
 
 namespace engarde::core {
@@ -59,6 +61,21 @@ class ProvisioningSession {
     return outcome_.stats.blocks_received;
   }
 
+  // Async barrier mode, set by a reactor that multiplexes many sessions:
+  // when the image is complete but speculative decode tasks are still in
+  // flight on the inspection pool, Pump() returns OK without blocking (and
+  // waiting_on_decode() reports true) so the sweep can serve other
+  // connections; a later Pump runs the barrier stages once decode is idle.
+  // Off (the default, used by the blocking ProvisioningServer::Drive and
+  // RunProvisioning), Pump waits at the barrier inside the kInspect step.
+  void set_async_barrier(bool async) noexcept { async_barrier_ = async; }
+  // True iff the session is parked at the DONE barrier behind in-flight
+  // decode work. A reactor must not treat such a session as stalled.
+  bool waiting_on_decode() const noexcept {
+    return state_ == State::kInspect && streaming_ != nullptr &&
+           !streaming_->DecodeIdle();
+  }
+
   // Moves the provisioning outcome out. Valid once done().
   Result<ProvisionOutcome> TakeOutcome();
 
@@ -76,6 +93,10 @@ class ProvisioningSession {
   bool entered_ = false;  // EENTER charged on the first Pump
   Manifest manifest_;
   Bytes image_;  // grows block by block; mirrored into the enclave heap
+  // Speculative decode over image_. Declared after image_ so its destructor
+  // (which waits out in-flight decode tasks reading the buffer) runs first.
+  std::unique_ptr<StreamingInspector> streaming_;
+  bool async_barrier_ = false;
   ProvisionOutcome outcome_;
   bool outcome_taken_ = false;
 };

@@ -1,0 +1,278 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+
+#include "elf/elf_types.h"
+#include "x86/decoder.h"
+
+namespace engarde::core {
+namespace {
+
+// The ELF constants the speculative header parse needs. The real parse with
+// full validation still happens in StageContainerValidate; this one only has
+// to be conservative — any anomaly disables speculation, it never rejects.
+constexpr uint8_t kElfMagic[4] = {0x7f, 'E', 'L', 'F'};
+constexpr size_t kPhoffOff = 32;
+constexpr size_t kPhentsizeOff = 54;
+constexpr size_t kPhnumOff = 56;
+
+}  // namespace
+
+StreamingInspector::StreamingInspector(const Bytes* image,
+                                       uint64_t expected_size,
+                                       common::ThreadPool* pool,
+                                       size_t max_inflight)
+    : image_(image),
+      expected_size_(expected_size),
+      pool_(pool),
+      max_inflight_(max_inflight > 0 ? max_inflight : 1),
+      inline_mode_(pool == nullptr || pool->thread_count() <= 1) {}
+
+StreamingInspector::~StreamingInspector() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Undispatched chunks stay undispatched; in-flight ones hold pointers into
+  // our chunk table and the session's staging buffer, so wait them out.
+  abandoned_ = true;
+  cv_.wait(lock, [&] { return inflight_ == 0; });
+}
+
+void StreamingInspector::TryPlanLocked() {
+  if (planned_ || plan_failed_) return;
+  const uint8_t* base = image_->data();
+  if (watermark_ < elf::kEhdrSize) return;  // headers not staged yet
+  if (!std::equal(kElfMagic, kElfMagic + 4, base) || base[4] != 2 /*ELF64*/ ||
+      base[5] != 1 /*little-endian*/) {
+    plan_failed_ = true;  // ContainerValidate will deal with it
+    return;
+  }
+  const uint64_t phoff = LoadLe64(base + kPhoffOff);
+  const uint16_t phentsize = LoadLe16(base + kPhentsizeOff);
+  const uint16_t phnum = LoadLe16(base + kPhnumOff);
+  if (phnum == 0 || phentsize != elf::kPhdrSize ||
+      phoff > expected_size_ ||
+      static_cast<uint64_t>(phnum) * elf::kPhdrSize >
+          expected_size_ - phoff) {
+    plan_failed_ = true;
+    return;
+  }
+  const uint64_t phdrs_end = phoff + static_cast<uint64_t>(phnum) *
+                                         elf::kPhdrSize;
+  if (watermark_ < phdrs_end) return;  // phdrs not fully staged yet
+
+  // Executable file ranges from the PF_X PT_LOAD segments.
+  struct Range {
+    uint64_t begin, end, vaddr;
+  };
+  std::vector<Range> ranges;
+  for (uint16_t i = 0; i < phnum; ++i) {
+    const uint8_t* p = base + phoff + i * elf::kPhdrSize;
+    if (LoadLe32(p) != elf::kPtLoad) continue;
+    if ((LoadLe32(p + 4) & elf::kPfX) == 0) continue;
+    const uint64_t offset = LoadLe64(p + 8);
+    const uint64_t vaddr = LoadLe64(p + 16);
+    const uint64_t filesz = LoadLe64(p + 32);
+    if (filesz == 0) continue;
+    if (offset > expected_size_ || filesz > expected_size_ - offset) {
+      plan_failed_ = true;  // malformed; leave it to the real validator
+      return;
+    }
+    ranges.push_back({offset, offset + filesz, vaddr});
+  }
+  std::sort(ranges.begin(), ranges.end(),
+            [](const Range& a, const Range& b) { return a.begin < b.begin; });
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    if (ranges[i].begin < ranges[i - 1].end) {
+      plan_failed_ = true;  // overlapping exec segments: do not speculate
+      return;
+    }
+  }
+
+  // Page-sized chunks at absolute file-offset page boundaries, so a chunk is
+  // dispatchable the moment the block carrying its last byte is staged.
+  for (const Range& range : ranges) {
+    uint64_t begin = range.begin;
+    while (begin < range.end) {
+      const uint64_t page_end = (begin / kChunkBytes + 1) * kChunkBytes;
+      const uint64_t end = std::min<uint64_t>(range.end, page_end);
+      Chunk chunk;
+      chunk.file_begin = begin;
+      chunk.file_end = end;
+      chunk.vaddr = range.vaddr + (begin - range.begin);
+      chunks_.push_back(std::move(chunk));
+      stats_.text_bytes_planned += end - begin;
+      begin = end;
+    }
+  }
+  stats_.planned_chunks = chunks_.size();
+  planned_ = true;
+}
+
+void StreamingInspector::DecodeChunk(const uint8_t* base, Chunk& chunk) {
+  const ByteView code(base + chunk.file_begin,
+                      chunk.file_end - chunk.file_begin);
+  size_t offset = 0;
+  bool clean = true;
+  while (offset < code.size()) {
+    Result<x86::Insn> insn = x86::DecodeOne(code, offset, chunk.vaddr);
+    if (!insn.ok()) {
+      // Undecodable — or an instruction that straddles the chunk seam. The
+      // barrier re-decodes this section through the staged path, so the
+      // staged error (and its exact message) is the one that surfaces.
+      clean = false;
+      break;
+    }
+    chunk.insns.push_back(*insn);
+    offset += insn->length;
+  }
+  chunk.clean = clean && offset == code.size();
+}
+
+void StreamingInspector::CompleteChunkLocked(Chunk& chunk) {
+  chunk.completed = true;
+  ++stats_.completed_chunks;
+  if (chunk.clean) ++stats_.clean_chunks;
+  if (!upload_done_) {
+    stats_.bytes_decoded_before_done += chunk.file_end - chunk.file_begin;
+  }
+  --inflight_;
+  // Cascade: a retiring task frees a cap slot (or, after DONE, simply makes
+  // room), so the next staged chunk dispatches without waiting for another
+  // producer call. Inline mode needs no cascade — the dispatch loop that
+  // invoked us keeps iterating (recursing here would nest once per chunk).
+  if (!abandoned_ && !inline_mode_) DispatchReadyLocked();
+  cv_.notify_all();
+}
+
+void StreamingInspector::DispatchReadyLocked() {
+  const uint8_t* base = image_->data();
+  while (dispatched_ < chunks_.size() &&
+         chunks_[dispatched_].file_end <= watermark_ &&
+         (upload_done_ || inflight_ < max_inflight_)) {
+    Chunk& chunk = chunks_[dispatched_++];
+    ++inflight_;
+    if (inline_mode_) {
+      DecodeChunk(base, chunk);
+      CompleteChunkLocked(chunk);
+    } else {
+      pool_->Submit([this, base, &chunk] {
+        DecodeChunk(base, chunk);
+        std::lock_guard<std::mutex> lock(mu_);
+        CompleteChunkLocked(chunk);
+      });
+    }
+  }
+}
+
+void StreamingInspector::OnBytesStaged() {
+  std::lock_guard<std::mutex> lock(mu_);
+  watermark_ = std::min<uint64_t>(image_->size(), expected_size_);
+  TryPlanLocked();
+  if (planned_ && !abandoned_) DispatchReadyLocked();
+}
+
+void StreamingInspector::OnUploadComplete() {
+  std::lock_guard<std::mutex> lock(mu_);
+  upload_done_ = true;
+  watermark_ = std::min<uint64_t>(image_->size(), expected_size_);
+  TryPlanLocked();
+  if (planned_ && !abandoned_) DispatchReadyLocked();
+}
+
+bool StreamingInspector::DecodeIdle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_ == 0 && (dispatched_ == chunks_.size() || !planned_);
+}
+
+void StreamingInspector::WaitDecodeIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return inflight_ == 0 && (dispatched_ == chunks_.size() || !planned_);
+  });
+}
+
+bool StreamingInspector::SpliceSection(uint64_t sec_offset, uint64_t sec_vaddr,
+                                       uint64_t size, x86::InsnBuffer& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (size == 0) {
+    ++stats_.spliced_sections;
+    return true;  // nothing to decode either way
+  }
+  const auto fallback = [&] {
+    ++stats_.fallback_sections;
+    return false;
+  };
+  if (!planned_) return fallback();
+  const uint64_t sec_end = sec_offset + size;
+  if (sec_vaddr < sec_offset) return fallback();  // mapping would underflow
+  const uint64_t delta = sec_vaddr - sec_offset;
+
+  // The chain of chunks covering [sec_offset, sec_end): contiguous, clean,
+  // and mapped with the section's own vaddr delta.
+  size_t first = chunks_.size();
+  for (size_t i = 0; i < chunks_.size(); ++i) {
+    if (chunks_[i].file_begin <= sec_offset && sec_offset < chunks_[i].file_end) {
+      first = i;
+      break;
+    }
+  }
+  if (first == chunks_.size()) return fallback();
+
+  // Validate the whole chain before touching `out`: a partial append would
+  // diverge from the staged decode.
+  struct Selection {
+    const Chunk* chunk;
+    size_t begin, end;  // insn index range within the chunk
+  };
+  std::vector<Selection> selections;
+  uint64_t covered = sec_offset;   // file offset validated so far
+  uint64_t expect_addr = sec_vaddr;  // next instruction must start here
+  for (size_t i = first; i < chunks_.size() && covered < sec_end; ++i) {
+    const Chunk& chunk = chunks_[i];
+    if (chunk.file_begin > covered) return fallback();  // coverage gap
+    if (!chunk.completed || !chunk.clean) return fallback();
+    if (chunk.vaddr - chunk.file_begin != delta) return fallback();
+
+    const uint64_t lo = sec_vaddr + (std::max(chunk.file_begin, sec_offset) -
+                                     sec_offset);
+    const uint64_t hi = sec_vaddr + (std::min(chunk.file_end, sec_end) -
+                                     sec_offset);
+    Selection sel{&chunk, chunk.insns.size(), chunk.insns.size()};
+    bool in_range = false;
+    for (size_t k = 0; k < chunk.insns.size(); ++k) {
+      const x86::Insn& insn = chunk.insns[k];
+      if (insn.addr < lo) continue;
+      if (insn.addr >= hi) break;
+      // Every selected instruction must butt up against the previous one —
+      // the exact tiling sequential decode from the section start produces.
+      if (insn.addr != expect_addr) return fallback();
+      if (!in_range) {
+        sel.begin = k;
+        in_range = true;
+      }
+      sel.end = k + 1;
+      expect_addr = insn.addr + insn.length;
+    }
+    selections.push_back(sel);
+    covered = chunk.file_end;
+  }
+  if (covered < sec_end) return fallback();        // chain ran out early
+  if (expect_addr != sec_vaddr + size) return fallback();  // ragged tail
+
+  // The chunks tile the section exactly: append in address order on the
+  // caller thread, firing the same InsnBuffer page-allocation trampolines
+  // the staged decode would.
+  for (const Selection& sel : selections) {
+    for (size_t k = sel.begin; k < sel.end; ++k) {
+      out.Append(sel.chunk->insns[k]);
+    }
+  }
+  ++stats_.spliced_sections;
+  return true;
+}
+
+StreamingStats StreamingInspector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace engarde::core

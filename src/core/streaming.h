@@ -1,0 +1,147 @@
+// StreamingInspector: the incremental front half of the inspection pipeline.
+//
+// The staged pipeline only starts after a session has seen DONE, so the
+// channel phase and the disassembly phase are fully serialized. This class
+// overlaps them: as each decrypted block lands in the session's staging
+// buffer it (1) speculatively parses the ELF header + program headers the
+// moment those bytes are present (the builder puts them at the front of the
+// file, long before the section headers at the end), (2) derives the
+// executable file ranges from the PF_X PT_LOAD segments, carves them into
+// page-sized decode chunks, and (3) dispatches each chunk's decode onto the
+// shared inspection ThreadPool as soon as the chunk's bytes are staged —
+// decode for page k proceeds while blocks k+1… are still on the wire.
+//
+// At the DONE barrier the staged stages run unchanged; StageDisassemble asks
+// SpliceSection for each text section. A splice succeeds only when the
+// speculative chunks tile the section exactly — every covering chunk decoded
+// cleanly to its exact end, the segment's vaddr/offset mapping matches the
+// section's, and the selected instructions are contiguous from the section's
+// first byte to its last. Sequential decode is memoryless per instruction,
+// so a successful splice appends byte-for-byte the instructions the staged
+// x86::DecodeSectionInto would have appended (and fires the same per-chunk
+// InsnBuffer malloc trampolines — those depend only on the total count).
+// Any mismatch falls back to the staged decode of that section, so verdicts,
+// stage reports and per-phase SGX accounting stay bit-identical in every
+// case: the speculation itself runs with NO accountant and charges nothing.
+//
+// Threading: the producer (the session's Pump thread) calls OnBytesStaged /
+// OnUploadComplete; decode tasks run on pool workers and only read staging
+// bytes below the watermark captured at dispatch (the session reserves the
+// full file size up front, so the buffer's data pointer never moves). With
+// no workers every decode runs inline on the producer — the serial pipeline,
+// just reordered inside Phase::kChannel wall time. The destructor waits for
+// in-flight tasks, so a torn-block/early-FIN session can be destroyed safely
+// while decodes are still running.
+#ifndef ENGARDE_CORE_STREAMING_H_
+#define ENGARDE_CORE_STREAMING_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/thread_pool.h"
+#include "x86/insn.h"
+#include "x86/insn_buffer.h"
+
+namespace engarde::core {
+
+// Telemetry for the overlap the speculation actually achieved. Counts are
+// exact; the before-DONE split depends on scheduling and is reported, never
+// equality-gated.
+struct StreamingStats {
+  uint64_t planned_chunks = 0;    // decode chunks carved from PF_X segments
+  uint64_t completed_chunks = 0;  // chunks whose decode finished
+  uint64_t clean_chunks = 0;      // of those, decoded cleanly to their end
+  uint64_t text_bytes_planned = 0;
+  uint64_t bytes_decoded_before_done = 0;  // decode finished pre-DONE
+  uint64_t spliced_sections = 0;   // sections served from speculation
+  uint64_t fallback_sections = 0;  // sections re-decoded at the barrier
+
+  // Overlap ratio in permille: how much of the planned text had already
+  // been decoded when DONE arrived. 0 when nothing was planned.
+  uint64_t OverlapPermille() const noexcept {
+    return text_bytes_planned == 0
+               ? 0
+               : bytes_decoded_before_done * 1000 / text_bytes_planned;
+  }
+};
+
+class StreamingInspector {
+ public:
+  // One decode chunk per staged page of executable segment.
+  static constexpr size_t kChunkBytes = 4096;
+
+  // `image` is the session's staging buffer; the caller must have reserved
+  // `expected_size` bytes in it already (so appends never reallocate) and
+  // must keep the inspector alive until after its own destructor has run
+  // (member order: declare the inspector after the buffer). `pool` may be
+  // null or single-threaded — decode then runs inline on the producer.
+  // `max_inflight` caps dispatched-but-unfinished chunk decodes before DONE.
+  StreamingInspector(const Bytes* image, uint64_t expected_size,
+                     common::ThreadPool* pool, size_t max_inflight);
+  ~StreamingInspector();
+  StreamingInspector(const StreamingInspector&) = delete;
+  StreamingInspector& operator=(const StreamingInspector&) = delete;
+
+  // Producer side: call after every append to the staging buffer, and once
+  // when DONE arrives (lifts the in-flight cap and dispatches the rest).
+  void OnBytesStaged();
+  void OnUploadComplete();
+
+  // True once every planned chunk has been dispatched and finished (or the
+  // plan failed / never engaged). The async-barrier pump polls this; a
+  // blocking driver calls WaitDecodeIdle instead.
+  bool DecodeIdle() const;
+  void WaitDecodeIdle();
+
+  // Barrier half, called from StageDisassemble with decode idle: appends the
+  // speculative decode of the section at [sec_offset, sec_offset + size) /
+  // vaddr `sec_vaddr` into `out` iff the chunks tile it exactly (see file
+  // comment). Returns false when the caller must decode the section itself.
+  bool SpliceSection(uint64_t sec_offset, uint64_t sec_vaddr, uint64_t size,
+                     x86::InsnBuffer& out);
+
+  StreamingStats stats() const;
+
+ private:
+  struct Chunk {
+    uint64_t file_begin = 0;
+    uint64_t file_end = 0;
+    uint64_t vaddr = 0;  // of file_begin
+    std::vector<x86::Insn> insns;
+    bool clean = false;  // decoded to exactly file_end with no error
+    bool completed = false;
+  };
+
+  // Parses ehdr + phdrs once enough bytes are staged; plans the chunks.
+  void TryPlanLocked();
+  // Dispatches every chunk whose bytes are fully staged, respecting the
+  // in-flight cap until upload completes.
+  void DispatchReadyLocked();
+  void CompleteChunkLocked(Chunk& chunk);
+  static void DecodeChunk(const uint8_t* base, Chunk& chunk);
+
+  const Bytes* image_;
+  const uint64_t expected_size_;
+  common::ThreadPool* pool_;  // null/single-threaded = inline decode
+  const size_t max_inflight_;
+  const bool inline_mode_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Chunk> chunks_;  // sorted by file_begin, non-overlapping
+  uint64_t watermark_ = 0;     // staged bytes at last OnBytesStaged
+  size_t dispatched_ = 0;      // chunks_[0..dispatched_) handed out
+  size_t inflight_ = 0;
+  bool planned_ = false;
+  bool plan_failed_ = false;  // not a valid ELF64 prefix: no speculation
+  bool upload_done_ = false;
+  bool abandoned_ = false;  // tearing down: stop dispatching
+  StreamingStats stats_;
+};
+
+}  // namespace engarde::core
+
+#endif  // ENGARDE_CORE_STREAMING_H_

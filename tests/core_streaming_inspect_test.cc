@@ -1,0 +1,423 @@
+// Staged/streaming equivalence for the inspection engine: provisioning any
+// program with streaming inspection on (speculative per-block decode
+// overlapped with upload, core/streaming.h) must produce bit-for-bit the
+// verdict, stage reports and per-phase SGX-instruction attribution of the
+// staged run — at every block size (the client controls how the file is
+// chunked on the wire) and every inspection thread count. The overlap
+// telemetry itself is scheduling-dependent and is only sanity-checked, never
+// equality-gated. Torn uploads (mid-block EOF, stalled inbound) through a
+// front end must fail their connection cleanly while speculative decodes are
+// still in flight — the TSan CI job runs this file to pin that teardown.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "core/engarde.h"
+#include "core/frontend.h"
+#include "core/policy_liblink.h"
+#include "elf/builder.h"
+#include "net/transport.h"
+#include "workload/catalog.h"
+#include "workload/program_builder.h"
+
+namespace engarde::core {
+namespace {
+
+constexpr size_t kTestRsaBits = 768;  // small keys keep the suite fast
+constexpr double kCatalogScale = 0.2;
+
+// Everything a provisioning run produces that must be invariant under the
+// streaming mode, the wire block size and the thread count.
+struct Snapshot {
+  bool compliant = false;
+  std::string reason;
+  size_t instruction_count = 0;
+  size_t insn_buffer_pages = 0;
+  size_t relocations_applied = 0;
+  // StageReports flattened to their deterministic columns (wall_ns is
+  // wall-clock and thus excluded, exactly as in EXPERIMENTS.md).
+  std::string stages;
+  uint64_t disassembly_sgx = 0;
+  uint64_t policy_sgx = 0;
+  uint64_t loading_sgx = 0;
+  uint64_t channel_sgx = 0;
+  uint64_t total_sgx = 0;
+  uint64_t trampolines = 0;
+  // Telemetry (reported, never gated).
+  uint64_t streaming_text_bytes = 0;
+  uint64_t streaming_bytes_before_done = 0;
+  uint64_t streaming_spliced_sections = 0;
+  uint64_t streaming_fallback_sections = 0;
+};
+
+void ExpectSameSnapshot(const Snapshot& staged, const Snapshot& streaming,
+                        const std::string& label) {
+  EXPECT_EQ(staged.compliant, streaming.compliant) << label;
+  EXPECT_EQ(staged.reason, streaming.reason) << label;
+  EXPECT_EQ(staged.instruction_count, streaming.instruction_count) << label;
+  EXPECT_EQ(staged.insn_buffer_pages, streaming.insn_buffer_pages) << label;
+  EXPECT_EQ(staged.relocations_applied, streaming.relocations_applied)
+      << label;
+  EXPECT_EQ(staged.stages, streaming.stages) << label;
+  EXPECT_EQ(staged.disassembly_sgx, streaming.disassembly_sgx) << label;
+  EXPECT_EQ(staged.policy_sgx, streaming.policy_sgx) << label;
+  EXPECT_EQ(staged.loading_sgx, streaming.loading_sgx) << label;
+  EXPECT_EQ(staged.channel_sgx, streaming.channel_sgx) << label;
+  EXPECT_EQ(staged.total_sgx, streaming.total_sgx) << label;
+  EXPECT_EQ(staged.trampolines, streaming.trampolines) << label;
+}
+
+struct RunConfig {
+  bool streaming = false;
+  size_t block_size = kBlockSize;
+  size_t threads = 1;
+};
+
+class StreamingInspectTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto qe = sgx::QuotingEnclave::Provision(ToBytes("streaming-device"),
+                                             kTestRsaBits);
+    ASSERT_TRUE(qe.ok());
+    qe_ = new sgx::QuotingEnclave(std::move(qe).value());
+  }
+  static void TearDownTestSuite() {
+    delete qe_;
+    qe_ = nullptr;
+  }
+  static const sgx::QuotingEnclave& qe() { return *qe_; }
+
+  static Result<Snapshot> Provision(const workload::BuiltProgram& program,
+                                    PolicySet policies,
+                                    const RunConfig& config) {
+    sgx::CycleAccountant accountant;
+    sgx::SgxDevice device(sgx::SgxDevice::Options{}, &accountant);
+    sgx::HostOs host(&device);
+
+    EngardeOptions options;
+    options.rsa_bits = kTestRsaBits;
+    options.inspection_threads = config.threads;
+    options.streaming_inspection = config.streaming;
+    auto enclave = EngardeEnclave::Create(&host, qe(), std::move(policies),
+                                          options);
+    RETURN_IF_ERROR(enclave.status());
+
+    crypto::DuplexPipe pipe;
+    RETURN_IF_ERROR(enclave->SendHello(pipe.EndA()));
+
+    client::ClientOptions client_options;
+    client_options.attestation_key = qe().attestation_public_key();
+    client_options.skip_measurement_check = true;  // inspection path only
+    client_options.block_size = config.block_size;
+    client::Client client(client_options, program.image);
+    RETURN_IF_ERROR(client.SendProgram(pipe.EndB()));
+
+    accountant.Reset();
+    ASSIGN_OR_RETURN(const ProvisionOutcome outcome,
+                     enclave->RunProvisioning(pipe.EndA()));
+
+    Snapshot snap;
+    snap.compliant = outcome.verdict.compliant;
+    snap.reason = outcome.verdict.reason;
+    snap.instruction_count = outcome.stats.instruction_count;
+    snap.insn_buffer_pages = outcome.stats.insn_buffer_pages;
+    snap.relocations_applied = outcome.stats.relocations_applied;
+    for (const StageReport& report : outcome.stage_reports) {
+      snap.stages += std::string(StageName(report.stage)) + ":" +
+                     std::string(StageOutcomeName(report.outcome)) + ":" +
+                     std::to_string(report.sgx_instructions) + ";";
+    }
+    snap.disassembly_sgx =
+        accountant.phase_cost(sgx::Phase::kDisassembly).sgx_instructions;
+    snap.policy_sgx =
+        accountant.phase_cost(sgx::Phase::kPolicyCheck).sgx_instructions;
+    snap.loading_sgx =
+        accountant.phase_cost(sgx::Phase::kLoading).sgx_instructions;
+    snap.channel_sgx =
+        accountant.phase_cost(sgx::Phase::kChannel).sgx_instructions;
+    snap.total_sgx = accountant.total_sgx_instructions();
+    snap.trampolines = accountant.total_trampolines();
+    snap.streaming_text_bytes = outcome.stats.streaming_text_bytes;
+    snap.streaming_bytes_before_done =
+        outcome.stats.streaming_bytes_before_done;
+    snap.streaming_spliced_sections =
+        outcome.stats.streaming_spliced_sections;
+    snap.streaming_fallback_sections =
+        outcome.stats.streaming_fallback_sections;
+    return snap;
+  }
+
+  // For each block size: provisions a staged reference (streaming off — the
+  // channel phase's SGX cost scales with the record count, so the reference
+  // must see the same wire chunking; thread invariance of the staged
+  // pipeline is core_parallel_inspect_test's job) and asserts every
+  // streaming run at that block size × threads {1, 2, 8} matches it.
+  static Snapshot ExpectStreamingInvariant(
+      const workload::BuiltProgram& program,
+      const std::function<PolicySet()>& make_policies,
+      const std::vector<size_t>& block_sizes, const std::string& label) {
+    Snapshot first{};
+    bool have_first = false;
+    for (const size_t block_size : block_sizes) {
+      RunConfig staged_config;
+      staged_config.block_size = block_size;
+      auto staged = Provision(program, make_policies(), staged_config);
+      EXPECT_TRUE(staged.ok())
+          << label << " staged @ block " << block_size << ": "
+          << staged.status().ToString();
+      if (!staged.ok()) continue;
+      if (!have_first) {
+        first = *staged;
+        have_first = true;
+      }
+      for (const size_t threads : {1u, 2u, 8u}) {
+        RunConfig config;
+        config.streaming = true;
+        config.block_size = block_size;
+        config.threads = threads;
+        auto streaming = Provision(program, make_policies(), config);
+        const std::string variant = label + " @ block " +
+                                    std::to_string(block_size) + " x " +
+                                    std::to_string(threads) + " threads";
+        EXPECT_TRUE(streaming.ok())
+            << variant << ": " << streaming.status().ToString();
+        if (!streaming.ok()) continue;
+        ExpectSameSnapshot(*staged, *streaming, variant);
+        // Overlap telemetry must be internally consistent whenever the
+        // speculation engaged (it cannot decode more than it planned).
+        EXPECT_LE(streaming->streaming_bytes_before_done,
+                  streaming->streaming_text_bytes)
+            << variant;
+      }
+    }
+    return first;
+  }
+
+ private:
+  static sgx::QuotingEnclave* qe_;
+};
+
+sgx::QuotingEnclave* StreamingInspectTest::qe_ = nullptr;
+
+PolicySet LiblinkPolicy(const workload::SynthLibcOptions& libc) {
+  PolicySet policies;
+  auto db = workload::BuildLibcHashDb(libc);
+  EXPECT_TRUE(db.ok());
+  policies.push_back(std::make_unique<LibraryLinkingPolicy>(
+      "synth-musl v" + libc.version, std::move(db).value()));
+  return policies;
+}
+
+// ---- Equivalence ----------------------------------------------------------
+
+TEST_F(StreamingInspectTest, FullCatalogStagedStreamingInvariant) {
+  for (const workload::CatalogEntry& entry : workload::PaperBenchmarks()) {
+    auto program = workload::BuildBenchmarkScaled(
+        entry, workload::BuildFlavor::kPlain, kCatalogScale);
+    ASSERT_TRUE(program.ok()) << entry.name << ": "
+                              << program.status().ToString();
+    const Snapshot staged = ExpectStreamingInvariant(
+        *program, [&] { return LiblinkPolicy(program->libc_options); },
+        {4096, 1 << 20}, entry.name);
+    EXPECT_TRUE(staged.compliant) << entry.name << ": " << staged.reason;
+    EXPECT_GT(staged.instruction_count, 0u) << entry.name;
+  }
+}
+
+TEST_F(StreamingInspectTest, OneByteBlocksStillBitIdentical) {
+  // The degenerate wire: one encrypted record per byte. The inspector sees
+  // every possible partial-staging state — the header alone, a torn phdr
+  // table, chunks filling one byte at a time. (Full catalog at 1-byte blocks
+  // would mean hundreds of thousands of AES-GCM records, so this runs one
+  // small program; the chunk/plan machinery is size-oblivious.)
+  workload::ProgramSpec spec;
+  spec.name = "one-byte-blocks";
+  spec.seed = 17;
+  spec.target_instructions = 1200;
+  auto program = workload::BuildProgram(spec);
+  ASSERT_TRUE(program.ok());
+  const Snapshot staged = ExpectStreamingInvariant(
+      *program, [&] { return LiblinkPolicy(program->libc_options); }, {1},
+      "one-byte-blocks");
+  EXPECT_TRUE(staged.compliant) << staged.reason;
+}
+
+TEST_F(StreamingInspectTest, RejectionReasonStreamingInvariant) {
+  // Client links the vulnerable libc; the policy pins the fixed version.
+  // The streaming run must report the exact staged rejection.
+  workload::ProgramSpec spec;
+  spec.name = "wrong-libc-streaming";
+  spec.seed = 3;
+  spec.target_instructions = 6000;
+  spec.libc.version = "1.0.4";
+  auto program = workload::BuildProgram(spec);
+  ASSERT_TRUE(program.ok());
+  workload::SynthLibcOptions pinned = program->libc_options;
+  pinned.version = "1.0.5";
+  const Snapshot staged = ExpectStreamingInvariant(
+      *program, [&] { return LiblinkPolicy(pinned); }, {4096, 1 << 20},
+      "wrong-libc-streaming");
+  EXPECT_FALSE(staged.compliant);
+  EXPECT_NE(staged.reason.find("library-linking"), std::string::npos)
+      << staged.reason;
+}
+
+TEST_F(StreamingInspectTest, UndecodableTextFallsBackToStagedError) {
+  // Junk text decodes unclean in every speculative chunk, so every section
+  // falls back to the staged decode — which must then surface the staged
+  // error verbatim.
+  workload::BuiltProgram garbage;
+  garbage.name = "garbage-streaming";
+  elf::ElfBuilder builder;
+  Bytes junk = {0x0f, 0x10, 0x00, 0x90};  // SSE movups: unsupported
+  junk.resize(64, 0x90);
+  const uint64_t tv = builder.AddTextSection(".text", junk);
+  builder.AddSymbol("main", tv, 4, elf::kSttFunc);
+  auto image = builder.Build();
+  ASSERT_TRUE(image.ok());
+  garbage.image = *image;
+
+  const Snapshot staged = ExpectStreamingInvariant(
+      garbage, [] { return PolicySet{}; }, {1, 4096}, "garbage-streaming");
+  EXPECT_FALSE(staged.compliant);
+  EXPECT_NE(staged.reason.find("UNIMPLEMENTED"), std::string::npos)
+      << staged.reason;
+}
+
+TEST_F(StreamingInspectTest, InlineModeOverlapsEverythingBeforeDone) {
+  // With one inspection thread the speculative decode runs inline on the
+  // producer: every planned chunk completes the moment its bytes land, so
+  // by DONE the whole text is decoded and every section splices.
+  auto program = workload::BuildBenchmarkScaled(
+      workload::PaperBenchmarks().front(), workload::BuildFlavor::kPlain,
+      kCatalogScale);
+  ASSERT_TRUE(program.ok());
+  RunConfig config;
+  config.streaming = true;
+  config.block_size = 4096;
+  config.threads = 1;
+  auto snap =
+      Provision(*program, LiblinkPolicy(program->libc_options), config);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_TRUE(snap->compliant) << snap->reason;
+  EXPECT_GT(snap->streaming_text_bytes, 0u);
+  EXPECT_EQ(snap->streaming_bytes_before_done, snap->streaming_text_bytes);
+  EXPECT_GT(snap->streaming_spliced_sections, 0u);
+  EXPECT_EQ(snap->streaming_fallback_sections, 0u);
+}
+
+// ---- Torn uploads through the front end -----------------------------------
+// The async-barrier pump: a reactor sweep must neither block on an
+// in-flight speculative decode nor misread "decode still running" as a
+// stalled peer — and tearing the connection down mid-decode must be safe
+// (the TSan job runs these).
+
+PolicySet NoPolicies() { return {}; }
+
+TEST_F(StreamingInspectTest, MidUploadEofFailsConnectionCleanly) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{});
+  sgx::HostOs host(&device);
+  FrontendOptions options;
+  options.enclave_options.rsa_bits = kTestRsaBits;
+  options.inspection_threads = 8;  // decode truly concurrent with the sweep
+  ProvisioningFrontend frontend(&host, &qe(), NoPolicies, options);
+
+  auto program = workload::BuildBenchmarkScaled(
+      workload::PaperBenchmarks().front(), workload::BuildFlavor::kPlain,
+      kCatalogScale);
+  ASSERT_TRUE(program.ok());
+
+  auto pipe = std::make_unique<crypto::DuplexPipe>();
+  net::FaultPlan plan;
+  // EOF deep inside the block stream: past the manifest and the first
+  // blocks, so speculative decodes are already dispatched when the wire
+  // dies mid-record.
+  plan.close_inbound_after = 3000;
+  auto accepted =
+      frontend.Accept(std::make_unique<net::FaultInjectingTransport>(
+          std::make_unique<net::PipeTransport>(pipe->EndA()), plan));
+  ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+  const uint64_t id = *accepted;
+
+  client::ClientOptions client_options;
+  client_options.attestation_key = qe().attestation_public_key();
+  client_options.skip_measurement_check = true;
+  client::Client client(client_options, program->image);
+  auto admission = client.AwaitAdmission(pipe->EndB());
+  ASSERT_TRUE(admission.ok());
+  ASSERT_FALSE(admission->has_value());
+  ASSERT_TRUE(client.SendProgram(pipe->EndB()).ok());
+
+  // DrainAll keeps sweeping while the session waits out its in-flight
+  // decodes, then fails the connection on the truncated exchange and reaps
+  // the slot once the tail is flushed.
+  ASSERT_TRUE(frontend.DrainAll().ok());
+  EXPECT_EQ(frontend.state(id), ConnectionState::kReaped);
+  EXPECT_EQ(frontend.committed_pages(), 0u);
+  EXPECT_EQ(frontend.connection_count(), 0u);
+  const FrontendMetrics metrics = frontend.metrics();
+  EXPECT_EQ(metrics.failed, 1u);
+  EXPECT_EQ(metrics.done, 0u);
+  EXPECT_EQ(metrics.reaped, 1u);
+}
+
+TEST_F(StreamingInspectTest, FrontendVerdictMatchesStagedAndRecordsOverlap) {
+  // The same program through a streaming front end and a staged direct
+  // drive: identical verdict, and the front end's metrics carry the
+  // overlap telemetry for the verdicted session.
+  auto program = workload::BuildBenchmarkScaled(
+      workload::PaperBenchmarks().front(), workload::BuildFlavor::kPlain,
+      kCatalogScale);
+  ASSERT_TRUE(program.ok());
+
+  RunConfig staged_config;  // streaming off
+  auto staged = Provision(*program, LiblinkPolicy(program->libc_options),
+                          staged_config);
+  ASSERT_TRUE(staged.ok()) << staged.status().ToString();
+
+  sgx::SgxDevice device(sgx::SgxDevice::Options{});
+  sgx::HostOs host(&device);
+  FrontendOptions options;
+  options.enclave_options.rsa_bits = kTestRsaBits;
+  options.inspection_threads = 2;
+  const auto libc = program->libc_options;
+  ProvisioningFrontend frontend(&host, &qe(), [libc] {
+    return LiblinkPolicy(libc);
+  }, options);
+
+  auto pipe = std::make_unique<crypto::DuplexPipe>();
+  auto accepted = frontend.Accept(
+      std::make_unique<net::PipeTransport>(pipe->EndA()));
+  ASSERT_TRUE(accepted.ok()) << accepted.status().ToString();
+  const uint64_t id = *accepted;
+
+  client::ClientOptions client_options;
+  client_options.attestation_key = qe().attestation_public_key();
+  client_options.skip_measurement_check = true;
+  client::Client client(client_options, program->image);
+  auto admission = client.AwaitAdmission(pipe->EndB());
+  ASSERT_TRUE(admission.ok());
+  ASSERT_FALSE(admission->has_value());
+  ASSERT_TRUE(client.SendProgram(pipe->EndB()).ok());
+  ASSERT_TRUE(frontend.DrainAll().ok());
+
+  ASSERT_EQ(frontend.state(id), ConnectionState::kDone);
+  auto outcome = frontend.TakeOutcome(id);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->verdict.compliant, staged->compliant);
+  EXPECT_EQ(outcome->verdict.reason, staged->reason);
+  EXPECT_EQ(outcome->stats.instruction_count, staged->instruction_count);
+
+  const FrontendMetrics metrics = frontend.metrics();
+  EXPECT_EQ(metrics.decode_overlap_count, 1u);
+  EXPECT_EQ(metrics.decode_early_bytes_total,
+            outcome->stats.streaming_bytes_before_done);
+  EXPECT_LE(metrics.decode_overlap_max_permille, 1000u);
+}
+
+}  // namespace
+}  // namespace engarde::core

@@ -94,7 +94,14 @@ void DumpMetricsJson(const core::FrontendMetrics& m) {
   std::printf("  \"session_max_ns\": %llu,\n", u(m.session_max_ns));
   std::printf("  \"budget_pages\": %llu,\n", u(m.budget_pages));
   std::printf("  \"committed_pages\": %llu,\n", u(m.committed_pages));
-  std::printf("  \"max_committed_pages\": %llu\n", u(m.max_committed_pages));
+  std::printf("  \"max_committed_pages\": %llu,\n", u(m.max_committed_pages));
+  std::printf("  \"decode_overlap_count\": %llu,\n", u(m.decode_overlap_count));
+  std::printf("  \"decode_early_bytes_total\": %llu,\n",
+              u(m.decode_early_bytes_total));
+  std::printf("  \"decode_overlap_sum_permille\": %llu,\n",
+              u(m.decode_overlap_sum_permille));
+  std::printf("  \"decode_overlap_max_permille\": %llu\n",
+              u(m.decode_overlap_max_permille));
   std::printf("}\n");
 }
 
