@@ -77,6 +77,13 @@ size_t WarmEnclavePool::refill_target() const {
 }
 
 void WarmEnclavePool::Shelve(std::unique_ptr<PooledEnclave> entry) {
+  // A shelved enclave is idle by definition: nobody pumps it until TryTake.
+  // Mark it a preferred reclaim victim so the background reclaimer pages
+  // warm-pool enclaves out before any admitted session's working set.
+  if (entry->enclave.has_value()) {
+    (void)host_->device()->SetReclaimPreferred(entry->enclave->enclave_id(),
+                                               true);
+  }
   const std::lock_guard<std::mutex> lock(mu_);
   const std::string key = entry->policy_fingerprint;
   shelves_[key].push_back(std::move(entry));
@@ -86,14 +93,23 @@ void WarmEnclavePool::Shelve(std::unique_ptr<PooledEnclave> entry) {
 
 std::unique_ptr<PooledEnclave> WarmEnclavePool::TryTake(
     const std::string& fingerprint) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  const auto shelf = shelves_.find(fingerprint);
-  if (shelf == shelves_.end() || shelf->second.empty()) return nullptr;
-  std::unique_ptr<PooledEnclave> entry = std::move(shelf->second.front());
-  shelf->second.pop_front();
-  if (shelf->second.empty()) shelves_.erase(shelf);
-  --size_;
-  ++total_handouts_;
+  std::unique_ptr<PooledEnclave> entry;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto shelf = shelves_.find(fingerprint);
+    if (shelf == shelves_.end() || shelf->second.empty()) return nullptr;
+    entry = std::move(shelf->second.front());
+    shelf->second.pop_front();
+    if (shelf->second.empty()) shelves_.erase(shelf);
+    --size_;
+    ++total_handouts_;
+  }
+  // Back in service: this enclave competes for residency like any admitted
+  // session again (pages it lost while shelved fault back in on demand).
+  if (entry->enclave.has_value()) {
+    (void)host_->device()->SetReclaimPreferred(entry->enclave->enclave_id(),
+                                               false);
+  }
   return entry;
 }
 

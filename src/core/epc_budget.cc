@@ -1,0 +1,61 @@
+#include "core/epc_budget.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace engarde::core {
+
+namespace {
+
+uint64_t ScaleByRatio(uint64_t physical_pages, double ratio) {
+  if (!(ratio > 1.0)) return physical_pages;  // also rejects NaN
+  const double scaled = std::floor(static_cast<double>(physical_pages) * ratio);
+  return static_cast<uint64_t>(scaled);
+}
+
+}  // namespace
+
+EpcBudget::EpcBudget(uint64_t physical_pages, double oversub_ratio,
+                     uint64_t session_quota_pages) noexcept
+    : physical_pages_(physical_pages),
+      oversub_ratio_(oversub_ratio > 1.0 ? oversub_ratio : 1.0),
+      virtual_pages_(ScaleByRatio(physical_pages, oversub_ratio)),
+      session_quota_(session_quota_pages) {}
+
+bool EpcBudget::TryReserve(uint64_t pages) noexcept {
+  if (session_quota_ > 0 && pages > session_quota_) return false;
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (committed_ + pages > virtual_pages_) return false;
+  committed_ += pages;
+  if (committed_ > max_committed_) max_committed_ = committed_;
+  return true;
+}
+
+void EpcBudget::Release(uint64_t pages) noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (pages > committed_) {
+    ++underflows_;
+    assert(pages <= committed_ &&
+           "EpcBudget::Release underflow (double release?)");
+    committed_ = 0;
+    return;
+  }
+  committed_ -= pages;
+}
+
+uint64_t EpcBudget::committed_pages() const noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return committed_;
+}
+
+uint64_t EpcBudget::max_committed_pages() const noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return max_committed_;
+}
+
+uint64_t EpcBudget::underflow_count() const noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return underflows_;
+}
+
+}  // namespace engarde::core

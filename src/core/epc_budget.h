@@ -1,8 +1,17 @@
 // The shared EPC admission budget: one pot of pages that every front-end
-// reactor draws from before building (or pooling) an enclave, so N reactors
-// can never jointly push the device into its nondeterministic eviction path.
-// Reservation is all-or-nothing and thread-safe; the high-water mark is the
-// never-exceeds-budget invariant the tests pin.
+// reactor draws from before building (or pooling) an enclave.
+//
+// Since the ksgxd-style reclaimer landed, the budget tracks *committed*
+// (virtual) pages, not resident ones: capacity is the physical EPC times an
+// oversubscription ratio, and the device plus reclaimer keep the resident
+// set within physical bounds by paging cold pages out. At ratio 1.0 this
+// degenerates to the historical never-evict guarantee (max_committed_pages()
+// <= physical_pages()); above 1.0 the front end admits more sessions than
+// fit and relies on EWB/ELDU to multiplex them.
+//
+// An optional per-session quota (cgroup-style: the misc.max sgx_epc shape)
+// caps any single reservation so one huge enclave cannot monopolize the
+// virtual pot. Reservation is all-or-nothing and thread-safe.
 #ifndef ENGARDE_CORE_EPC_BUDGET_H_
 #define ENGARDE_CORE_EPC_BUDGET_H_
 
@@ -13,44 +22,47 @@ namespace engarde::core {
 
 class EpcBudget {
  public:
-  explicit EpcBudget(uint64_t budget_pages) noexcept
-      : budget_pages_(budget_pages) {}
+  // `physical_pages` is the real EPC backing this budget; `oversub_ratio`
+  // scales it into the virtual capacity TryReserve admits against (values
+  // below 1.0 are clamped to 1.0 — the budget never undersells the
+  // hardware). `session_quota_pages` caps a single reservation; 0 = no cap.
+  explicit EpcBudget(uint64_t physical_pages, double oversub_ratio = 1.0,
+                     uint64_t session_quota_pages = 0) noexcept;
   EpcBudget(const EpcBudget&) = delete;
   EpcBudget& operator=(const EpcBudget&) = delete;
 
-  // Commits `pages` against the budget; false (and no change) when the
-  // reservation would overdraw it.
-  bool TryReserve(uint64_t pages) noexcept {
-    const std::lock_guard<std::mutex> lock(mu_);
-    if (committed_ + pages > budget_pages_) return false;
-    committed_ += pages;
-    if (committed_ > max_committed_) max_committed_ = committed_;
-    return true;
-  }
+  // Commits `pages` against the virtual capacity; false (and no change)
+  // when the reservation would overdraw it or exceed the per-session quota.
+  bool TryReserve(uint64_t pages) noexcept;
 
-  // Returns pages a finished (or failed) enclave held.
-  void Release(uint64_t pages) noexcept {
-    const std::lock_guard<std::mutex> lock(mu_);
-    committed_ = pages > committed_ ? 0 : committed_ - pages;
-  }
+  // Returns pages a finished (or failed) enclave held. Releasing more than
+  // is committed is a caller bug (a double release); debug builds abort,
+  // release builds clamp to zero and count it in underflow_count().
+  void Release(uint64_t pages) noexcept;
 
-  uint64_t budget_pages() const noexcept { return budget_pages_; }
-  uint64_t committed_pages() const noexcept {
-    const std::lock_guard<std::mutex> lock(mu_);
-    return committed_;
-  }
-  // Peak commitment over the budget's lifetime; never exceeding
-  // budget_pages() is the no-eviction guarantee.
-  uint64_t max_committed_pages() const noexcept {
-    const std::lock_guard<std::mutex> lock(mu_);
-    return max_committed_;
-  }
+  // Virtual capacity: physical_pages() scaled by the oversubscription ratio.
+  uint64_t budget_pages() const noexcept { return virtual_pages_; }
+  uint64_t physical_pages() const noexcept { return physical_pages_; }
+  double oversub_ratio() const noexcept { return oversub_ratio_; }
+  uint64_t session_quota_pages() const noexcept { return session_quota_; }
+
+  uint64_t committed_pages() const noexcept;
+  // Peak commitment over the budget's lifetime. At ratio 1.0, never
+  // exceeding physical_pages() is the no-eviction guarantee.
+  uint64_t max_committed_pages() const noexcept;
+  // Times Release() was asked for more pages than were committed. Tests pin
+  // this to zero: any nonzero value is a front-end double-release bug.
+  uint64_t underflow_count() const noexcept;
 
  private:
-  const uint64_t budget_pages_;
+  const uint64_t physical_pages_;
+  const double oversub_ratio_;
+  const uint64_t virtual_pages_;
+  const uint64_t session_quota_;
   mutable std::mutex mu_;
   uint64_t committed_ = 0;
   uint64_t max_committed_ = 0;
+  uint64_t underflows_ = 0;
 };
 
 }  // namespace engarde::core

@@ -67,8 +67,24 @@ void FrontendMetrics::Merge(const FrontendMetrics& other) noexcept {
   decode_overlap_sum_permille += other.decode_overlap_sum_permille;
   decode_overlap_max_permille =
       std::max(decode_overlap_max_permille, other.decode_overlap_max_permille);
-  // Budget fields are per-budget, not per-shard: the caller that knows which
-  // shards share a budget fills them once after merging.
+  // Budget and paging fields are per-budget / per-host-OS, not per-shard:
+  // taking the max keeps a self-merge correct, and the caller that knows
+  // which shards share them fills them once after merging.
+  budget_pages = std::max(budget_pages, other.budget_pages);
+  committed_pages = std::max(committed_pages, other.committed_pages);
+  max_committed_pages = std::max(max_committed_pages, other.max_committed_pages);
+  physical_budget_pages =
+      std::max(physical_budget_pages, other.physical_budget_pages);
+  budget_underflows = std::max(budget_underflows, other.budget_underflows);
+  epc_faults = std::max(epc_faults, other.epc_faults);
+  eldu_loads = std::max(eldu_loads, other.eldu_loads);
+  pages_reclaimed = std::max(pages_reclaimed, other.pages_reclaimed);
+  pages_evicted_inline =
+      std::max(pages_evicted_inline, other.pages_evicted_inline);
+  reclaim_wakeups = std::max(reclaim_wakeups, other.reclaim_wakeups);
+  epc_resident_pages = std::max(epc_resident_pages, other.epc_resident_pages);
+  epc_resident_peak = std::max(epc_resident_peak, other.epc_resident_peak);
+  epc_capacity_pages = std::max(epc_capacity_pages, other.epc_capacity_pages);
 }
 
 EngardeOptions ProvisioningFrontend::PerEnclaveOptions() const {
@@ -97,8 +113,9 @@ ProvisioningFrontend::ProvisioningFrontend(
                            ? std::make_unique<common::ThreadPool>(
                                  options_.inspection_threads)
                            : nullptr),
-      owned_budget_(
-          std::make_unique<EpcBudget>(BudgetFromDevice(*host, options_))),
+      owned_budget_(std::make_unique<EpcBudget>(
+          BudgetFromDevice(*host, options_), options_.epc_oversub,
+          options_.session_quota_pages)),
       owned_pool_(std::make_unique<WarmEnclavePool>(
           host, quoting, policy_factory_, PerEnclaveOptions())),
       budget_(owned_budget_.get()),
@@ -255,6 +272,13 @@ Result<ProvisioningFrontend::AdmitResult> ProvisioningFrontend::TryAdmit(
   // it right after Accept() returns, without waiting for a PollOnce().
   RETURN_IF_ERROR(ShuttleOut(conn.pipe->EndB(), *conn.transport).status());
   RETURN_IF_ERROR(conn.transport->Flush().status());
+  // Oversubscribed admission eats physical headroom before any page faults:
+  // kick the reclaimer now so cold pages are already written back when the
+  // new session starts touching its working set.
+  if (options_.reclaim_low_watermark > 0 &&
+      host_->device()->FreeEpcPages() < options_.reclaim_low_watermark) {
+    host_->NotifyEpcPressure();
+  }
   return AdmitResult::kAdmitted;
 }
 
@@ -480,6 +504,11 @@ Status ProvisioningFrontend::PumpConnection(Connection& conn, uint64_t now_ns,
   const ProvisioningSession::State before = conn.session->state();
   Status pumped = Status::Ok();
   {
+    // Pin this enclave's pages for the duration of the pump: the reclaimer
+    // must not write back the working set mid-stage. Between pumps the pin
+    // drops, so a session parked in Blocks ages out like any cold enclave.
+    sgx::ScopedEpcPin pin(host_->device(),
+                          conn.slot->enclave->enclave_id());
     sgx::ScopedAccountant scoped(&conn.slot->accountant);
     pumped = conn.session->Pump();
   }
@@ -693,6 +722,17 @@ FrontendMetrics ProvisioningFrontend::metrics() const noexcept {
   m.budget_pages = budget_->budget_pages();
   m.committed_pages = budget_->committed_pages();
   m.max_committed_pages = budget_->max_committed_pages();
+  m.physical_budget_pages = budget_->physical_pages();
+  m.budget_underflows = budget_->underflow_count();
+  m.epc_faults = host_->epc_faults_handled();
+  m.eldu_loads = host_->eldu_loads();
+  m.pages_reclaimed = host_->pages_reclaimed();
+  m.pages_evicted_inline = host_->pages_evicted();
+  m.reclaim_wakeups = host_->reclaim_wakeups();
+  const sgx::Epc& epc = host_->device()->epc();
+  m.epc_resident_pages = epc.pages_in_use();
+  m.epc_resident_peak = epc.peak_pages_in_use();
+  m.epc_capacity_pages = epc.capacity();
   return m;
 }
 

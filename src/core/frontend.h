@@ -82,6 +82,20 @@ struct FrontendOptions {
   // EPC pages held back from admission (device bookkeeping headroom).
   // Ignored when an external EpcBudget is supplied.
   uint64_t epc_reserve_pages = 64;
+  // EPC oversubscription ratio: admission capacity = physical budget ×
+  // this ratio (values <= 1.0 mean no oversubscription). Above 1.0 the
+  // front end admits more enclaves than physically fit and relies on the
+  // host OS reclaimer (EWB/ELDU) to multiplex the resident set. Ignored
+  // when an external EpcBudget is supplied.
+  double epc_oversub = 1.0;
+  // Per-session page quota (cgroup-style): a single enclave larger than
+  // this is shed outright instead of admitted. 0 = no quota. Ignored when
+  // an external EpcBudget is supplied.
+  uint64_t session_quota_pages = 0;
+  // When > 0, every admission that leaves fewer than this many free EPC
+  // pages kicks HostOs::NotifyEpcPressure() so the background reclaimer
+  // restores headroom before the next fault. 0 = never kick.
+  uint64_t reclaim_low_watermark = 0;
   // Arrivals allowed to wait for EPC beyond the budget; past this they are
   // shed with a RetryAfter record. 0 = shed immediately when over budget.
   size_t admission_queue_capacity = 0;
@@ -159,12 +173,28 @@ struct FrontendMetrics {
   uint64_t decode_overlap_sum_permille = 0;  // sum of per-session ratios
   uint64_t decode_overlap_max_permille = 0;
   // Budget occupancy at snapshot time (shared across a group's shards).
+  // budget_pages is the *virtual* (oversubscribed) capacity;
+  // physical_budget_pages is the physical pot it scales.
   uint64_t budget_pages = 0;
   uint64_t committed_pages = 0;
   uint64_t max_committed_pages = 0;
+  uint64_t physical_budget_pages = 0;
+  uint64_t budget_underflows = 0;  // EpcBudget double releases; must stay 0
+  // Paging telemetry from the shared host OS / device (counters monotonic,
+  // residency fields sampled). epc_resident_pages is physical occupancy —
+  // committed_pages above it is the oversubscription in action.
+  uint64_t epc_faults = 0;             // faults serviced by ELDU
+  uint64_t eldu_loads = 0;             // successful ELDU reloads
+  uint64_t pages_reclaimed = 0;        // background/batch reclaim EWBs
+  uint64_t pages_evicted_inline = 0;   // last-resort same-enclave EWBs
+  uint64_t reclaim_wakeups = 0;        // reclaimer scans that found pressure
+  uint64_t epc_resident_pages = 0;     // physical EPC pages in use now
+  uint64_t epc_resident_peak = 0;      // high-water physical occupancy
+  uint64_t epc_capacity_pages = 0;     // physical EPC size
 
-  // Shard aggregation: counters and gauges sum, maxima take the max, budget
-  // fields are overwritten by the caller (one shared budget per group).
+  // Shard aggregation: counters and gauges sum, maxima take the max; budget
+  // and paging fields are shared (one budget / host OS per group), so Merge
+  // keeps the max and the group overwrites them once after merging.
   void Merge(const FrontendMetrics& other) noexcept;
 };
 

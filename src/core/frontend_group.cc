@@ -19,8 +19,9 @@ FrontendGroup::FrontendGroup(sgx::HostOs* host,
 
   const uint64_t capacity = host_->device()->epc().capacity();
   const uint64_t reserve = options_.frontend.epc_reserve_pages;
-  budget_ = std::make_unique<EpcBudget>(capacity > reserve ? capacity - reserve
-                                                           : 0);
+  budget_ = std::make_unique<EpcBudget>(
+      capacity > reserve ? capacity - reserve : 0,
+      options_.frontend.epc_oversub, options_.frontend.session_quota_pages);
 
   // Pool entries inspect serially regardless of the shards' inspection
   // settings: a background build must never borrow a shard's worker pool.
@@ -225,10 +226,23 @@ FrontendMetrics FrontendGroup::metrics() const {
   for (const auto& shard : shards_) {
     total.Merge(shard->frontend->metrics());
   }
-  // Every shard reported the same shared budget; count it once.
+  // Every shard reported the same shared budget and host OS; count them
+  // once (Merge kept the max, which for shared monotonic counters is
+  // already exact — overwriting makes the sourcing explicit).
   total.budget_pages = budget_->budget_pages();
   total.committed_pages = budget_->committed_pages();
   total.max_committed_pages = budget_->max_committed_pages();
+  total.physical_budget_pages = budget_->physical_pages();
+  total.budget_underflows = budget_->underflow_count();
+  total.epc_faults = host_->epc_faults_handled();
+  total.eldu_loads = host_->eldu_loads();
+  total.pages_reclaimed = host_->pages_reclaimed();
+  total.pages_evicted_inline = host_->pages_evicted();
+  total.reclaim_wakeups = host_->reclaim_wakeups();
+  const sgx::Epc& epc = host_->device()->epc();
+  total.epc_resident_pages = epc.pages_in_use();
+  total.epc_resident_peak = epc.peak_pages_in_use();
+  total.epc_capacity_pages = epc.capacity();
   return total;
 }
 

@@ -1,6 +1,7 @@
 #include "sgx/device.h"
 
 #include <cstring>
+#include <iterator>
 
 #include "crypto/hmac.h"
 
@@ -78,17 +79,23 @@ Result<size_t> SgxDevice::ResolvePage(const Enclave& enclave,
 Result<size_t> SgxDevice::ResolvePageFaulting(Enclave& enclave,
                                               uint64_t linear) {
   auto resolved = ResolvePage(enclave, linear);
-  if (resolved.ok()) return resolved;
-  // Only the "page is evicted" precondition is recoverable by the OS.
-  if (resolved.status().code() != StatusCode::kFailedPrecondition ||
-      fault_handler_ == nullptr || in_fault_) {
-    return resolved;
+  if (!resolved.ok()) {
+    // Only the "page is evicted" precondition is recoverable by the OS.
+    if (resolved.status().code() != StatusCode::kFailedPrecondition ||
+        fault_handler_ == nullptr || in_fault_) {
+      return resolved;
+    }
+    in_fault_ = true;
+    const Status handled = fault_handler_->OnEpcFault(enclave.id, linear);
+    in_fault_ = false;
+    RETURN_IF_ERROR(handled);
+    resolved = ResolvePage(enclave, linear);
+    if (!resolved.ok()) return resolved;
   }
-  in_fault_ = true;
-  const Status handled = fault_handler_->OnEpcFault(enclave.id, linear);
-  in_fault_ = false;
-  RETURN_IF_ERROR(handled);
-  return ResolvePage(enclave, linear);
+  // Age-on-access: the reference bit feeds the reclaimer's second-chance
+  // scan, so pages a session is actively touching survive aging rounds.
+  epc_.Entry(*resolved).accessed = true;
+  return resolved;
 }
 
 PagePerms SgxDevice::EffectivePerms(const Enclave& enclave, uint64_t linear,
@@ -119,12 +126,15 @@ crypto::Aes256Key SgxDevice::PageEncryptionKey(uint64_t enclave_id) const {
 
 Result<uint64_t> SgxDevice::ECreate(uint64_t base, uint64_t size) {
   const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
-  Charge();
   if (base % kPageSize != 0 || size % kPageSize != 0 || size == 0) {
     return InvalidArgumentError("enclave range must be page-aligned");
   }
-  // The SECS itself occupies an EPC page.
+  // The SECS itself occupies an EPC page. Like EADD, a faulted ECREATE (no
+  // free slot) charges nothing: the OS reclaims and retries, and only the
+  // attempt that succeeds is accounted — so a build under EPC pressure
+  // accounts identically to the same build with ample EPC.
   ASSIGN_OR_RETURN(const size_t secs_page, epc_.AllocatePage());
+  Charge();
   EpcmEntry& secs = epc_.Entry(secs_page);
   secs.type = PageType::kSecs;
 
@@ -148,7 +158,6 @@ Result<uint64_t> SgxDevice::ECreate(uint64_t base, uint64_t size) {
 Status SgxDevice::EAdd(uint64_t enclave_id, uint64_t linear, ByteView content,
                        PagePerms perms, PageType type) {
   const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
-  Charge();
   ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
   if (enclave->initialized) {
     return FailedPreconditionError(
@@ -167,7 +176,12 @@ Status SgxDevice::EAdd(uint64_t enclave_id, uint64_t linear, ByteView content,
     return FailedPreconditionError("EADD over an existing page");
   }
 
+  // No charge on a faulted EADD: when the EPC has no free slot the
+  // instruction aborts before doing work, and the OS retries it after
+  // paging something out. Charging only the successful attempt keeps a
+  // build-under-pressure bit-identical to the same build with ample EPC.
   ASSIGN_OR_RETURN(const size_t epc_index, epc_.AllocatePage());
+  Charge();
   EpcmEntry& entry = epc_.Entry(epc_index);
   entry.enclave_id = enclave_id;
   entry.linear_addr = linear;
@@ -177,6 +191,7 @@ Status SgxDevice::EAdd(uint64_t enclave_id, uint64_t linear, ByteView content,
     std::memcpy(epc_.PageData(epc_index), content.data(), content.size());
   }
   enclave->pages.emplace(linear, epc_index);
+  if (type == PageType::kReg) RecordReclaimablePage(enclave_id, linear);
 
   // Measurement log entry: page offset + security attributes (not content;
   // content is covered by EEXTEND, as on real hardware).
@@ -261,6 +276,7 @@ Status SgxDevice::ERemove(uint64_t enclave_id, uint64_t linear) {
   ASSIGN_OR_RETURN(const size_t epc_index, ResolvePage(*enclave, linear));
   RETURN_IF_ERROR(epc_.FreePage(epc_index));
   enclave->pages.erase(PageBase(linear));
+  DropReclaimRecord(enclave_id, PageBase(linear));
   return Status::Ok();
 }
 
@@ -310,6 +326,7 @@ Status SgxDevice::EAug(uint64_t enclave_id, uint64_t linear) {
   entry.perms = PagePerms::RW();
   entry.pending = true;
   enclave->pages.emplace(linear, epc_index);
+  RecordReclaimablePage(enclave_id, linear);
   return Status::Ok();
 }
 
@@ -438,6 +455,7 @@ Status SgxDevice::Ewb(uint64_t enclave_id, uint64_t linear) {
   enclave->evicted[PageBase(linear)] = std::move(evicted);
   RETURN_IF_ERROR(epc_.FreePage(epc_index));
   enclave->pages.erase(PageBase(linear));
+  DropReclaimRecord(enclave_id, PageBase(linear));
   return Status::Ok();
 }
 
@@ -474,9 +492,122 @@ Status SgxDevice::Eldu(uint64_t enclave_id, uint64_t linear) {
 
   epc_.Entry(epc_index) = evicted.entry;
   epc_.Entry(epc_index).valid = true;
+  // A freshly reloaded page is hot by definition: record it on the young
+  // end of the LRU with its reference bit set, as the driver does after a
+  // fault-in.
+  epc_.Entry(epc_index).accessed = true;
   enclave->pages.emplace(PageBase(linear), epc_index);
   enclave->evicted.erase(it);
+  if (epc_.Entry(epc_index).type == PageType::kReg) {
+    RecordReclaimablePage(enclave_id, PageBase(linear));
+  }
   return Status::Ok();
+}
+
+// ---- Reclaimable-page LRU ---------------------------------------------------
+
+void SgxDevice::RecordReclaimablePage(uint64_t enclave_id, uint64_t linear) {
+  const auto key = std::make_pair(enclave_id, linear);
+  const auto pos = reclaim_pos_.find(key);
+  if (pos != reclaim_pos_.end()) {
+    reclaim_lru_.splice(reclaim_lru_.end(), reclaim_lru_, pos->second);
+    return;
+  }
+  reclaim_lru_.push_back(ReclaimVictim{enclave_id, linear});
+  reclaim_pos_.emplace(key, std::prev(reclaim_lru_.end()));
+}
+
+void SgxDevice::DropReclaimRecord(uint64_t enclave_id, uint64_t linear) {
+  const auto pos = reclaim_pos_.find(std::make_pair(enclave_id, linear));
+  if (pos == reclaim_pos_.end()) return;
+  reclaim_lru_.erase(pos->second);
+  reclaim_pos_.erase(pos);
+}
+
+std::vector<SgxDevice::ReclaimVictim> SgxDevice::SelectReclaimVictims(
+    size_t max_victims, bool force) {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
+  std::vector<ReclaimVictim> victims;
+  // One clock revolution normally — every entry is selected, rotated
+  // (second chance / pinned), or skipped, so the scan terminates. Under
+  // `force` a second revolution harvests pages the first pass just aged, so
+  // a demand caller makes progress even when every page was referenced.
+  size_t budget = (force ? 2 : 1) * reclaim_lru_.size();
+  auto it = reclaim_lru_.begin();
+  while (budget-- > 0 && victims.size() < max_victims &&
+         it != reclaim_lru_.end()) {
+    const auto cur = it++;
+    const auto enclave_it = enclaves_.find(cur->enclave_id);
+    if (enclave_it == enclaves_.end()) {
+      // Stale record (should not happen — EREMOVE drops records); drop it.
+      reclaim_pos_.erase(std::make_pair(cur->enclave_id, cur->linear));
+      reclaim_lru_.erase(cur);
+      continue;
+    }
+    Enclave& enclave = enclave_it->second;
+    if (enclave.pin_depth > 0) {
+      // An inspection stage is actively touching this enclave: rotate the
+      // page to the young end and move on.
+      reclaim_lru_.splice(reclaim_lru_.end(), reclaim_lru_, cur);
+      continue;
+    }
+    const auto page = enclave.pages.find(cur->linear);
+    if (page == enclave.pages.end()) continue;  // defensive; EWB drops records
+    EpcmEntry& entry = epc_.Entry(page->second);
+    if (entry.accessed && !enclave.reclaim_preferred) {
+      // Second chance: clear the reference bit and age the page instead of
+      // evicting it. Preferred (idle warm-pool) enclaves get no grace.
+      entry.accessed = false;
+      reclaim_lru_.splice(reclaim_lru_.end(), reclaim_lru_, cur);
+      continue;
+    }
+    victims.push_back(*cur);
+  }
+  return victims;
+}
+
+Status SgxDevice::PinEnclavePages(uint64_t enclave_id) {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
+  ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
+  ++enclave->pin_depth;
+  return Status::Ok();
+}
+
+Status SgxDevice::UnpinEnclavePages(uint64_t enclave_id) {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
+  ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
+  if (enclave->pin_depth == 0) {
+    return FailedPreconditionError("unpin without matching pin");
+  }
+  --enclave->pin_depth;
+  return Status::Ok();
+}
+
+bool SgxDevice::IsPinned(uint64_t enclave_id) const {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
+  auto enclave = FindEnclave(enclave_id);
+  return enclave.ok() && (*enclave)->pin_depth > 0;
+}
+
+Status SgxDevice::SetReclaimPreferred(uint64_t enclave_id, bool preferred) {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
+  ASSIGN_OR_RETURN(Enclave* const enclave, FindEnclave(enclave_id));
+  enclave->reclaim_preferred = preferred;
+  if (!preferred) return Status::Ok();
+  // Demote the enclave's pages to the old end of the LRU so the next aging
+  // scan reaches them before any session's pages.
+  for (auto it = reclaim_lru_.begin(); it != reclaim_lru_.end();) {
+    const auto cur = it++;
+    if (cur->enclave_id == enclave_id) {
+      reclaim_lru_.splice(reclaim_lru_.begin(), reclaim_lru_, cur);
+    }
+  }
+  return Status::Ok();
+}
+
+size_t SgxDevice::ReclaimablePageCount() const {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
+  return reclaim_lru_.size();
 }
 
 // ---- Memory access ----------------------------------------------------------

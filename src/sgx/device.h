@@ -16,10 +16,12 @@
 #define ENGARDE_SGX_DEVICE_H_
 
 #include <array>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <utility>
 
 #include "common/bytes.h"
 #include "common/status.h"
@@ -142,6 +144,44 @@ class SgxDevice {
   // Loads an evicted page back, verifying MAC and version (anti-rollback).
   Status Eldu(uint64_t enclave_id, uint64_t linear);
 
+  // ---- Reclaimable-page LRU --------------------------------------------------
+  // The Linux SGX driver's shape: every resident REG page is recorded on a
+  // global LRU at EADD/EAUG/ELDU time (sgx_record_epc_page), gets its
+  // reference bit set on every resolved access, and is aged with a
+  // second-chance scan when the reclaimer needs victims (sgx_reclaimer_age).
+  // The OS-side writeback of the selected victims is HostOs's job
+  // (sgx_encl_ewb); the device only picks and ages.
+  struct ReclaimVictim {
+    uint64_t enclave_id = 0;
+    uint64_t linear = 0;
+  };
+  // Ages the LRU and returns up to `max_victims` cold pages, oldest first.
+  // Pinned enclaves are skipped; a page with its reference bit set gets a
+  // second chance (bit cleared, rotated to the young end) unless its enclave
+  // is marked reclaim-preferred (idle warm-pool enclaves go first).
+  // `force` allows a second clock revolution: when every page carries its
+  // reference bit the first pass only ages, and demand paths (a build or
+  // fault that must free pages now) harvest on the second pass rather than
+  // fail. Background aging leaves `force` off so hot pages keep their grace.
+  std::vector<ReclaimVictim> SelectReclaimVictims(size_t max_victims,
+                                                  bool force = false);
+  // Pin depth > 0 makes every page of the enclave non-reclaimable — held by
+  // the front end while an inspection stage is actively touching the
+  // enclave, so the reclaimer can never page a hot working set out from
+  // under a running session.
+  Status PinEnclavePages(uint64_t enclave_id);
+  Status UnpinEnclavePages(uint64_t enclave_id);
+  bool IsPinned(uint64_t enclave_id) const;
+  // Reclaim-preferred enclaves (shelved warm-pool entries) skip second
+  // chances and have their pages demoted to the old end of the LRU, so they
+  // are written back before any session's pages.
+  Status SetReclaimPreferred(uint64_t enclave_id, bool preferred);
+  // Pages currently on the reclaim LRU; the leak gates pin this to zero
+  // after a full drain.
+  size_t ReclaimablePageCount() const;
+  // Lock-free watermark probe for the background reclaimer.
+  size_t FreeEpcPages() const noexcept { return epc_.free_pages(); }
+
   // ---- Memory access ---------------------------------------------------------
   // Enclave-software view (EnGarde running inside the enclave). Checks both
   // EPCM and page-table permissions; faults on evicted pages are raised to
@@ -188,6 +228,9 @@ class SgxDevice {
     std::map<uint64_t, size_t> pages;  // linear page addr -> EPC index
     std::map<uint64_t, EvictedPage> evicted;
     uint64_t next_version = 1;
+    // Reclaim policy state (see the LRU section above).
+    int pin_depth = 0;
+    bool reclaim_preferred = false;
   };
 
   class EnclaveView;
@@ -206,6 +249,11 @@ class SgxDevice {
   PagePerms EffectivePerms(const Enclave& enclave, uint64_t linear,
                            const EpcmEntry& entry) const;
   crypto::Aes256Key PageEncryptionKey(uint64_t enclave_id) const;
+  // sgx_record_epc_page: puts a resident REG page on the young end of the
+  // reclaim LRU (or rejuvenates it if already recorded).
+  void RecordReclaimablePage(uint64_t enclave_id, uint64_t linear);
+  // Removes a page from the LRU when it stops being resident (EWB, EREMOVE).
+  void DropReclaimRecord(uint64_t enclave_id, uint64_t linear);
 
   mutable std::recursive_mutex hw_mu_;
   Epc epc_;
@@ -217,6 +265,33 @@ class SgxDevice {
   Bytes device_secret_;
   std::map<uint64_t, Enclave> enclaves_;
   uint64_t next_enclave_id_ = 1;
+  // Global reclaim LRU over resident REG pages: front = oldest/coldest,
+  // back = youngest. The index map gives O(log n) rejuvenation on access.
+  std::list<ReclaimVictim> reclaim_lru_;
+  std::map<std::pair<uint64_t, uint64_t>, std::list<ReclaimVictim>::iterator>
+      reclaim_pos_;
+};
+
+// RAII pin over one enclave's pages for the duration of an inspection stage:
+// the front end wraps each session pump in one of these so the reclaimer
+// only ever writes back pages of enclaves that are genuinely idle (shelved
+// in the warm pool, or parked between pumps — e.g. stalled in Blocks).
+class ScopedEpcPin {
+ public:
+  ScopedEpcPin(SgxDevice* device, uint64_t enclave_id)
+      : device_(device), enclave_id_(enclave_id) {
+    pinned_ = device_ != nullptr && device_->PinEnclavePages(enclave_id_).ok();
+  }
+  ~ScopedEpcPin() {
+    if (pinned_) (void)device_->UnpinEnclavePages(enclave_id_);
+  }
+  ScopedEpcPin(const ScopedEpcPin&) = delete;
+  ScopedEpcPin& operator=(const ScopedEpcPin&) = delete;
+
+ private:
+  SgxDevice* device_;
+  uint64_t enclave_id_;
+  bool pinned_ = false;
 };
 
 }  // namespace engarde::sgx

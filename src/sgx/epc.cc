@@ -6,7 +6,7 @@
 namespace engarde::sgx {
 
 Result<size_t> Epc::AllocatePage() {
-  if (in_use_ == entries_.size()) {
+  if (pages_in_use() == entries_.size()) {
     return ResourceExhaustedError("EPC is full (" +
                                   std::to_string(entries_.size()) + " pages)");
   }
@@ -19,8 +19,11 @@ Result<size_t> Epc::AllocatePage() {
         storage_[index] = std::make_unique<uint8_t[]>(kPageSize);
       }
       std::memset(storage_[index].get(), 0, kPageSize);
-      ++in_use_;
-      peak_in_use_ = std::max(peak_in_use_, in_use_);
+      const size_t now_in_use =
+          in_use_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (now_in_use > peak_in_use_.load(std::memory_order_relaxed)) {
+        peak_in_use_.store(now_in_use, std::memory_order_relaxed);
+      }
       next_hint_ = index + 1;
       return index;
     }
@@ -38,7 +41,7 @@ Status Epc::FreePage(size_t index) {
   entries_[index] = EpcmEntry{};
   // Scrub on free: evicted or reused pages must never leak plaintext.
   std::memset(storage_[index].get(), 0, kPageSize);
-  --in_use_;
+  in_use_.fetch_sub(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 

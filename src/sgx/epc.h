@@ -9,6 +9,7 @@
 #ifndef ENGARDE_SGX_EPC_H_
 #define ENGARDE_SGX_EPC_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -46,6 +47,9 @@ struct EpcmEntry {
   PagePerms perms;
   bool pending = false;   // SGX2: EAUG'd, awaiting EACCEPT
   bool evicted = false;   // swapped out via EWB
+  // Reference bit for the reclaimer's second-chance aging: set on every
+  // resolved enclave access, cleared by SgxDevice::SelectReclaimVictims.
+  bool accessed = false;
 };
 
 class Epc {
@@ -55,11 +59,21 @@ class Epc {
   }
 
   size_t capacity() const noexcept { return entries_.size(); }
-  size_t pages_in_use() const noexcept { return in_use_; }
+  // Occupancy counters are relaxed atomics: mutation happens under the
+  // device's hardware mutex, but the background reclaimer's watermark checks
+  // and metrics snapshots read them lock-free from other threads.
+  size_t pages_in_use() const noexcept {
+    return in_use_.load(std::memory_order_relaxed);
+  }
+  size_t free_pages() const noexcept {
+    return entries_.size() - pages_in_use();
+  }
   // High-water mark of pages_in_use over the EPC's lifetime: lets admission
   // tests assert the device itself never held more pages than the shared
   // budget allows, regardless of how many reactors were committing.
-  size_t peak_pages_in_use() const noexcept { return peak_in_use_; }
+  size_t peak_pages_in_use() const noexcept {
+    return peak_in_use_.load(std::memory_order_relaxed);
+  }
 
   // Finds a free page and marks it valid. Page storage is allocated lazily so
   // a 128 MB EPC does not cost 128 MB of host memory up front.
@@ -77,8 +91,8 @@ class Epc {
  private:
   std::vector<EpcmEntry> entries_;
   std::vector<std::unique_ptr<uint8_t[]>> storage_;
-  size_t in_use_ = 0;
-  size_t peak_in_use_ = 0;
+  std::atomic<size_t> in_use_{0};
+  std::atomic<size_t> peak_in_use_{0};
   size_t next_hint_ = 0;
 };
 

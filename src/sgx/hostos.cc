@@ -1,8 +1,19 @@
 #include "sgx/hostos.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace engarde::sgx {
+namespace {
+
+std::string HexLinear(uint64_t linear) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(linear));
+  return buf;
+}
+
+}  // namespace
 
 Result<uint64_t> HostOs::BuildEnclave(const EnclaveLayout& layout,
                                       ByteView bootstrap_image) {
@@ -14,8 +25,20 @@ Result<uint64_t> HostOs::BuildEnclave(const EnclaveLayout& layout,
   if (bootstrap_image.size() > layout.bootstrap_pages * kPageSize) {
     return InvalidArgumentError("bootstrap image exceeds bootstrap region");
   }
-  ASSIGN_OR_RETURN(const uint64_t enclave_id,
-                   device_->ECreate(layout.base, layout.TotalSize()));
+  // Under oversubscription even the SECS allocation can find the EPC full:
+  // reclaim globally-cold pages and retry, like any other build-time fault.
+  // Reclaim respects second chance here (no force): when every resident page
+  // is referenced the build fails with a retryable status instead — the
+  // admission queue holds the session and retries on a later sweep, which
+  // self-regulates admitted concurrency to what physical EPC can keep mostly
+  // resident rather than thrashing live working sets.
+  Result<uint64_t> created = device_->ECreate(layout.base, layout.TotalSize());
+  while (!created.ok() &&
+         created.status().code() == StatusCode::kResourceExhausted) {
+    if (ReclaimBatchLocked(fault_reclaim_batch_) == 0) return created.status();
+    created = device_->ECreate(layout.base, layout.TotalSize());
+  }
+  ASSIGN_OR_RETURN(const uint64_t enclave_id, created);
 
   // From here on the build can still fail; make sure a partial enclave never
   // leaks device pages or a host record.
@@ -50,7 +73,7 @@ Result<uint64_t> HostOs::BuildEnclave(const EnclaveLayout& layout,
               device_->EAdd(enclave_id, linear, {}, PagePerms::RW());
           if (status.ok()) break;
           if (status.code() != StatusCode::kResourceExhausted) return status;
-          RETURN_IF_ERROR(EvictOneVictim(enclave_id, linear));
+          RETURN_IF_ERROR(MakeRoom(enclave_id, linear));
         }
       }
       return Status::Ok();
@@ -161,27 +184,173 @@ bool HostOs::IsLocked(uint64_t enclave_id) const {
 }
 
 Status HostOs::EvictOneVictim(uint64_t enclave_id, uint64_t protect_linear) {
+  // Paging is OS work: EWB charges go to the device-wide accountant even
+  // when a session's ScopedAccountant is active on this thread.
+  ScopedAccountant neutral(nullptr);
   const std::vector<uint64_t> resident = device_->ResidentPages(enclave_id);
   for (const uint64_t victim : resident) {
     if (victim == protect_linear) continue;
     RETURN_IF_ERROR(device_->Ewb(enclave_id, victim));
-    ++pages_evicted_;
+    pages_evicted_.fetch_add(1, std::memory_order_relaxed);
     return Status::Ok();
   }
   return ResourceExhaustedError(
       "EPC full and the enclave has no evictable resident pages");
 }
 
+size_t HostOs::ReclaimBatchLocked(size_t max_pages, bool force) {
+  // Same accountant neutrality as EvictOneVictim: reclaim traffic must
+  // never land on whichever session accountant is active on this thread.
+  ScopedAccountant neutral(nullptr);
+  size_t reclaimed = 0;
+  for (const auto& victim : device_->SelectReclaimVictims(max_pages, force)) {
+    if (device_->Ewb(victim.enclave_id, victim.linear).ok()) ++reclaimed;
+  }
+  if (reclaimed > 0) {
+    pages_reclaimed_.fetch_add(reclaimed, std::memory_order_relaxed);
+  }
+  return reclaimed;
+}
+
+size_t HostOs::ReclaimBatch(size_t max_pages, bool force) {
+  const std::lock_guard<std::recursive_mutex> lock(device_->hardware_mutex());
+  return ReclaimBatchLocked(max_pages, force);
+}
+
+Status HostOs::MakeRoom(uint64_t enclave_id, uint64_t protect_linear) {
+  // Globally-cold pages first (idle warm-pool enclaves, sessions parked
+  // between pumps); fall back to one of this enclave's own pages when the
+  // rest of the EPC is pinned hot — self-eviction cannot thrash a sibling.
+  // No force: a referenced page keeps its second chance even under demand,
+  // because harvesting freshly-aged hot pages here just converts one fault
+  // into a refault cascade; the self-eviction fallback guarantees progress.
+  if (ReclaimBatchLocked(fault_reclaim_batch_) > 0) return Status::Ok();
+  return EvictOneVictim(enclave_id, protect_linear);
+}
+
 Status HostOs::OnEpcFault(uint64_t enclave_id, uint64_t linear) {
   const std::lock_guard<std::recursive_mutex> lock(device_->hardware_mutex());
-  ++faults_handled_;
-  // Make room if needed, then reload the faulting page.
+  // Fault service is OS work: the ELDU (and any EWB making room for it)
+  // charges the device-wide accountant, never the faulting session's —
+  // paging traffic must not perturb per-phase session attribution.
+  ScopedAccountant neutral(nullptr);
+  faults_handled_.fetch_add(1, std::memory_order_relaxed);
   Status reloaded = device_->Eldu(enclave_id, linear);
+  if (reloaded.ok()) {
+    eldu_loads_.fetch_add(1, std::memory_order_relaxed);
+    return reloaded;
+  }
+  if (reloaded.code() != StatusCode::kResourceExhausted) return reloaded;
+  const Status room = MakeRoom(enclave_id, linear);
+  if (!room.ok()) {
+    NotifyEpcPressure();
+    return ResourceExhaustedError(
+        "EPC fault at " + HexLinear(linear) + " (enclave " +
+        std::to_string(enclave_id) +
+        "): nothing reclaimable (every resident page pinned); retryable — "
+        "back off and retry the access");
+  }
+  reloaded = device_->Eldu(enclave_id, linear);
+  if (reloaded.ok()) {
+    eldu_loads_.fetch_add(1, std::memory_order_relaxed);
+    return reloaded;
+  }
   if (reloaded.code() == StatusCode::kResourceExhausted) {
-    RETURN_IF_ERROR(EvictOneVictim(enclave_id, linear));
-    reloaded = device_->Eldu(enclave_id, linear);
+    // Double fault: a concurrent allocator raced away the slot we just
+    // freed. Surface typed retryable backpressure instead of spinning under
+    // the hardware mutex; the reclaimer is signalled to restore headroom.
+    NotifyEpcPressure();
+    return ResourceExhaustedError(
+        "EPC fault at " + HexLinear(linear) + " (enclave " +
+        std::to_string(enclave_id) +
+        "): still exhausted after reclaim; retryable backpressure — back "
+        "off and retry the access");
   }
   return reloaded;
+}
+
+// ---- Background reclaimer (ksgxd) ------------------------------------------
+
+Status HostOs::StartReclaimer(const ReclaimerOptions& options) {
+  if (options.low_watermark_pages == 0) {
+    return InvalidArgumentError("reclaimer low watermark must be > 0");
+  }
+  if (options.batch_pages == 0) {
+    return InvalidArgumentError("reclaimer batch must be > 0");
+  }
+  {
+    const std::lock_guard<std::mutex> lock(reclaim_mu_);
+    if (reclaimer_running_) {
+      return FailedPreconditionError("reclaimer already running");
+    }
+    reclaim_stop_ = false;
+    reclaim_pressure_ = false;
+    reclaimer_running_ = true;
+  }
+  {
+    // The fault path shares the reclaimer's batch size.
+    const std::lock_guard<std::recursive_mutex> hw(device_->hardware_mutex());
+    fault_reclaim_batch_ = options.batch_pages;
+  }
+  reclaimer_ = std::thread([this, options] { ReclaimerMain(options); });
+  return Status::Ok();
+}
+
+void HostOs::StopReclaimer() {
+  {
+    const std::lock_guard<std::mutex> lock(reclaim_mu_);
+    if (!reclaimer_running_) return;
+    reclaim_stop_ = true;
+  }
+  reclaim_cv_.notify_one();
+  if (reclaimer_.joinable()) reclaimer_.join();
+  const std::lock_guard<std::mutex> lock(reclaim_mu_);
+  reclaimer_running_ = false;
+}
+
+bool HostOs::reclaimer_running() const {
+  const std::lock_guard<std::mutex> lock(reclaim_mu_);
+  return reclaimer_running_;
+}
+
+void HostOs::NotifyEpcPressure() {
+  {
+    const std::lock_guard<std::mutex> lock(reclaim_mu_);
+    reclaim_pressure_ = true;
+  }
+  reclaim_cv_.notify_one();
+}
+
+void HostOs::ReclaimerMain(ReclaimerOptions options) {
+  const uint64_t high = options.high_watermark_pages > 0
+                            ? options.high_watermark_pages
+                            : 2 * options.low_watermark_pages;
+  std::unique_lock<std::mutex> lk(reclaim_mu_);
+  while (!reclaim_stop_) {
+    reclaim_cv_.wait_for(
+        lk, std::chrono::milliseconds(options.poll_interval_ms),
+        [this] { return reclaim_stop_ || reclaim_pressure_; });
+    if (reclaim_stop_) break;
+    const bool pressured = reclaim_pressure_;
+    reclaim_pressure_ = false;
+    lk.unlock();
+    // Reclaim only when an allocator signalled pressure AND free EPC is
+    // genuinely below the low watermark — a timeout wake is a backstop
+    // re-arm, not a reclaim trigger (see ReclaimerOptions::poll_interval_ms).
+    // Then push free EPC toward the high watermark in cold-page batches,
+    // dropping the hardware mutex between batches so faults and admissions
+    // interleave with the daemon. The aging scan respects second chance
+    // (no force): a referenced page survives the wake, so the daemon sheds
+    // idle working sets without stealing hot ones.
+    if (pressured &&
+        device_->FreeEpcPages() < options.low_watermark_pages) {
+      reclaim_wakeups_.fetch_add(1, std::memory_order_relaxed);
+      while (device_->FreeEpcPages() < high &&
+             ReclaimBatch(options.batch_pages) > 0) {
+      }
+    }
+    lk.lock();
+  }
 }
 
 Status HostOs::EvictPages(uint64_t enclave_id, uint64_t count) {

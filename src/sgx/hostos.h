@@ -21,7 +21,11 @@
 #ifndef ENGARDE_SGX_HOSTOS_H_
 #define ENGARDE_SGX_HOSTOS_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <map>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/bytes.h"
@@ -52,6 +56,25 @@ struct EnclaveLayout {
   uint64_t TotalSize() const { return TotalPages() * kPageSize; }
 };
 
+// Tuning for the ksgxd-style background reclaimer. The defaults mirror the
+// Linux driver's shape: a small scan batch (SGX_NR_TO_SCAN) and a
+// low/high watermark pair the daemon reclaims between.
+struct ReclaimerOptions {
+  // Wake and reclaim when free EPC drops below this many pages.
+  uint64_t low_watermark_pages = 128;
+  // Reclaim until free EPC reaches this; 0 = twice the low watermark.
+  uint64_t high_watermark_pages = 0;
+  // EWB writebacks per aging scan (the driver's SGX_NR_TO_SCAN).
+  size_t batch_pages = 16;
+  // Wait re-arm period. The daemon reclaims only when pressure was signalled
+  // (like ksgxd sleeping on its waitqueue until an allocator wakes it); a
+  // timeout wake is just a backstop re-check, never a reclaim trigger —
+  // under oversubscription free EPC sits below any watermark by design, so a
+  // poll-triggered watermark check would degenerate into evicting live
+  // working sets on every period.
+  uint64_t poll_interval_ms = 5;
+};
+
 // Everything the kernel component tracks for one live enclave. Created by
 // BuildEnclave, reclaimed by DestroyEnclave.
 struct EnclaveHostRecord {
@@ -68,6 +91,7 @@ class HostOs : public PageTablePolicy, public EpcFaultHandler {
     device_->SetPageTablePolicy(this);
     device_->SetFaultHandler(this);
   }
+  ~HostOs() { StopReclaimer(); }
 
   SgxDevice* device() noexcept { return device_; }
 
@@ -117,15 +141,58 @@ class HostOs : public PageTablePolicy, public EpcFaultHandler {
                       uint64_t page_count);
 
   // ---- Demand paging (the SGX driver's EWB/ELDU duty) -----------------------
-  // EpcFaultHandler: an access touched an evicted page. Evict a victim if
-  // the EPC is full (FIFO over the enclave's resident pages), then ELDU the
-  // faulting page back.
+  // EpcFaultHandler: an access touched an evicted page. ELDU it back,
+  // writing back a batch of globally-cold pages first when the EPC is full
+  // (falling back to one of the faulting enclave's own pages when everything
+  // else is pinned hot). Every EWB/ELDU here is charged to the device-wide
+  // accountant, never the calling session's, so paging traffic can never
+  // perturb per-phase session attribution.
+  //
+  // Backpressure contract: when even reclaim cannot make room (every
+  // resident page pinned, or a concurrent allocator races the freed slot
+  // away), this returns RESOURCE_EXHAUSTED — a *retryable* status
+  // (core::IsRetryableResourceError) that propagates out of the faulting
+  // EnclaveRead/Write/fetch. Callers are expected to back off and retry the
+  // access; they must not treat it as a hard fault.
   Status OnEpcFault(uint64_t enclave_id, uint64_t linear) override;
   // Explicitly push `count` of the enclave's resident pages out to the
   // encrypted backing store (memory-pressure simulation).
   Status EvictPages(uint64_t enclave_id, uint64_t count);
-  uint64_t epc_faults_handled() const { return faults_handled_; }
-  uint64_t pages_evicted() const { return pages_evicted_; }
+
+  // ---- Background reclaimer (ksgxd) ----------------------------------------
+  // Spawns the reclaimer thread: it sleeps until NotifyEpcPressure() and,
+  // when free EPC is below the low watermark, ages the device LRU and EWBs
+  // cold (unreferenced) pages in batches until free EPC reaches the high
+  // watermark or the aging scan comes back empty.
+  Status StartReclaimer(const ReclaimerOptions& options);
+  // Joins the thread. Idempotent; also run by the destructor.
+  void StopReclaimer();
+  bool reclaimer_running() const;
+  // Kicks the reclaimer without blocking: called from the fault path and by
+  // the front end when an admission drops free EPC below its watermark.
+  void NotifyEpcPressure();
+  // Synchronous reclaim step (also the reclaimer thread's worker): one aging
+  // scan + writeback of up to `max_pages` victims. Returns pages written
+  // back. Exposed so tests and the fault path get deterministic reclaim.
+  // `force` = harvest even freshly-aged pages (see
+  // SgxDevice::SelectReclaimVictims); the daemon leaves it off.
+  size_t ReclaimBatch(size_t max_pages, bool force = false);
+
+  uint64_t epc_faults_handled() const {
+    return faults_handled_.load(std::memory_order_relaxed);
+  }
+  uint64_t pages_evicted() const {
+    return pages_evicted_.load(std::memory_order_relaxed);
+  }
+  uint64_t pages_reclaimed() const {
+    return pages_reclaimed_.load(std::memory_order_relaxed);
+  }
+  uint64_t reclaim_wakeups() const {
+    return reclaim_wakeups_.load(std::memory_order_relaxed);
+  }
+  uint64_t eldu_loads() const {
+    return eldu_loads_.load(std::memory_order_relaxed);
+  }
 
   // ---- Lifecycle introspection ---------------------------------------------
   // Map-size telemetry the lifecycle soak pins: after N create/destroy
@@ -136,19 +203,43 @@ class HostOs : public PageTablePolicy, public EpcFaultHandler {
 
  private:
   // Picks an eviction victim among the enclave's resident pages, preferring
-  // pages other than `protect_linear`.
+  // pages other than `protect_linear`. The last-resort path when the global
+  // LRU has nothing reclaimable (self-eviction cannot thrash a sibling).
   Status EvictOneVictim(uint64_t enclave_id, uint64_t protect_linear);
+  // ReclaimBatch body; caller holds the hardware mutex.
+  size_t ReclaimBatchLocked(size_t max_pages, bool force = false);
+  // Makes room for one page during a build or fault: global LRU batch
+  // first, same-enclave victim as fallback.
+  Status MakeRoom(uint64_t enclave_id, uint64_t protect_linear);
+  void ReclaimerMain(ReclaimerOptions options);
 
   // The record for a live enclave; creates it lazily so page-table services
   // keep their historical any-id permissiveness (destroy still reclaims).
   EnclaveHostRecord& RecordFor(uint64_t enclave_id);
 
   SgxDevice* device_;
-  uint64_t faults_handled_ = 0;
-  uint64_t pages_evicted_ = 0;
+  // Paging counters are relaxed atomics: bumped under the hardware mutex by
+  // reactor threads and the reclaimer, read lock-free by metrics snapshots.
+  std::atomic<uint64_t> faults_handled_{0};
+  std::atomic<uint64_t> pages_evicted_{0};
+  std::atomic<uint64_t> pages_reclaimed_{0};
+  std::atomic<uint64_t> reclaim_wakeups_{0};
+  std::atomic<uint64_t> eldu_loads_{0};
+  // Batch size the fault path uses; set under the hardware mutex by
+  // StartReclaimer, read under it by OnEpcFault/BuildEnclave.
+  size_t fault_reclaim_batch_ = 16;
   // enclave id -> host-side lifecycle record. Guarded by the device's
-  // hardware mutex, like every other member.
+  // hardware mutex, like every other member above.
   std::map<uint64_t, EnclaveHostRecord> records_;
+  // Reclaimer thread plumbing. reclaim_mu_ is ordered AFTER the hardware
+  // mutex (NotifyEpcPressure may run with it held); the reclaimer thread
+  // never holds reclaim_mu_ while taking the hardware mutex.
+  mutable std::mutex reclaim_mu_;
+  std::condition_variable reclaim_cv_;
+  std::thread reclaimer_;
+  bool reclaim_stop_ = false;      // guarded by reclaim_mu_
+  bool reclaim_pressure_ = false;  // guarded by reclaim_mu_
+  bool reclaimer_running_ = false; // guarded by reclaim_mu_
 };
 
 }  // namespace engarde::sgx

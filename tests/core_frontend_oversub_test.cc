@@ -1,0 +1,428 @@
+// EPC oversubscription at the front end: the EpcBudget resident/committed
+// split (core/epc_budget.h) and the admission path that hands out more
+// virtual EPC than physically exists, leaning on the host OS reclaimer for
+// residency. The gates mirror the bench: verdicts and per-phase SGX
+// accounting bit-identical to a serial non-oversubscribed run, committed
+// pages back to zero after drain, and no device pages retained.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "core/epc_budget.h"
+#include "core/frontend.h"
+#include "core/policy_stackprot.h"
+#include "core/server.h"
+#include "net/transport.h"
+#include "workload/program_builder.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define ENGARDE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ENGARDE_TSAN 1
+#endif
+#endif
+
+namespace engarde::core {
+namespace {
+
+// ---- EpcBudget unit coverage ------------------------------------------------
+
+TEST(EpcBudgetTest, OversubRatioScalesVirtualCapacity) {
+  EpcBudget budget(100, 2.0);
+  EXPECT_EQ(budget.physical_pages(), 100u);
+  EXPECT_EQ(budget.budget_pages(), 200u);
+  EXPECT_DOUBLE_EQ(budget.oversub_ratio(), 2.0);
+
+  EpcBudget fractional(100, 1.5);
+  EXPECT_EQ(fractional.budget_pages(), 150u);
+}
+
+TEST(EpcBudgetTest, RatiosAtOrBelowOneAndNonFiniteAreClamped) {
+  // Under-1 ratios would make admission shed below physical capacity;
+  // they clamp to the identity, as do NaN/inf from bad flag parses.
+  EXPECT_EQ(EpcBudget(100, 0.5).budget_pages(), 100u);
+  EXPECT_EQ(EpcBudget(100, 1.0).budget_pages(), 100u);
+  EXPECT_EQ(EpcBudget(100, -3.0).budget_pages(), 100u);
+  EXPECT_EQ(EpcBudget(100, std::numeric_limits<double>::quiet_NaN())
+                .budget_pages(),
+            100u);
+  EXPECT_DOUBLE_EQ(EpcBudget(100, 0.5).oversub_ratio(), 1.0);
+}
+
+TEST(EpcBudgetTest, SessionQuotaCapsSingleReservations) {
+  EpcBudget budget(100, 4.0, /*session_quota_pages=*/30);
+  EXPECT_EQ(budget.session_quota_pages(), 30u);
+  EXPECT_FALSE(budget.TryReserve(31));
+  EXPECT_EQ(budget.committed_pages(), 0u);
+  EXPECT_TRUE(budget.TryReserve(30));
+  EXPECT_EQ(budget.committed_pages(), 30u);
+  budget.Release(30);
+}
+
+TEST(EpcBudgetTest, ReserveReleaseAccounting) {
+  EpcBudget budget(100, 2.0);
+  EXPECT_TRUE(budget.TryReserve(150));
+  EXPECT_FALSE(budget.TryReserve(51));  // virtual capacity is 200
+  EXPECT_TRUE(budget.TryReserve(50));
+  EXPECT_EQ(budget.committed_pages(), 200u);
+  EXPECT_EQ(budget.max_committed_pages(), 200u);
+  budget.Release(150);
+  budget.Release(50);
+  EXPECT_EQ(budget.committed_pages(), 0u);
+  EXPECT_EQ(budget.max_committed_pages(), 200u);  // high-water sticks
+  EXPECT_EQ(budget.underflow_count(), 0u);
+}
+
+// Release of more than is committed is a double-release bug. Debug builds
+// abort on it loudly; release builds clamp to zero and count it so the
+// metrics surface (budget_underflows) can pin it to zero in CI.
+#if defined(NDEBUG)
+TEST(EpcBudgetTest, UnderflowClampsAndCountsInReleaseBuilds) {
+  EpcBudget budget(100);
+  ASSERT_TRUE(budget.TryReserve(10));
+  budget.Release(20);
+  EXPECT_EQ(budget.committed_pages(), 0u);
+  EXPECT_EQ(budget.underflow_count(), 1u);
+}
+#elif !defined(ENGARDE_TSAN)
+// EXPECT_DEATH forks; TSan's runtime does not survive that, so the
+// death-test variant only runs in plain debug builds.
+TEST(EpcBudgetDeathTest, UnderflowAbortsInDebugBuilds) {
+  EpcBudget budget(100);
+  ASSERT_TRUE(budget.TryReserve(10));
+  EXPECT_DEATH(budget.Release(20), "underflow");
+}
+#endif
+
+// ---- Oversubscribed admission end-to-end ------------------------------------
+
+constexpr size_t kRsaBits = 512;
+constexpr size_t kPrograms = 8;
+
+PolicySet MakePolicies() {
+  PolicySet policies;
+  policies.push_back(std::make_unique<StackProtectionPolicy>());
+  return policies;
+}
+
+client::ClientOptions ClientOptionsFor(const sgx::QuotingEnclave& q) {
+  client::ClientOptions options;
+  options.attestation_key = q.attestation_public_key();
+  options.skip_measurement_check = true;
+  return options;
+}
+
+class FrontendOversubTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto qe =
+        sgx::QuotingEnclave::Provision(ToBytes("oversub-device"), kRsaBits);
+    ASSERT_TRUE(qe.ok());
+    qe_ = new sgx::QuotingEnclave(std::move(qe).value());
+    programs_ = new std::vector<workload::BuiltProgram>();
+    for (size_t i = 0; i < kPrograms; ++i) {
+      workload::ProgramSpec spec;
+      spec.name = "oversub-" + std::to_string(i);
+      spec.seed = 7300 + i;
+      spec.target_instructions = 2500;
+      spec.stack_protection = (i % 2 == 0);
+      auto program = workload::BuildProgram(spec);
+      ASSERT_TRUE(program.ok()) << program.status().ToString();
+      programs_->push_back(std::move(program).value());
+    }
+  }
+  static void TearDownTestSuite() {
+    delete qe_;
+    qe_ = nullptr;
+    delete programs_;
+    programs_ = nullptr;
+  }
+
+  static const sgx::QuotingEnclave& qe() { return *qe_; }
+  static const Bytes& image(size_t client) {
+    return (*programs_)[client % kPrograms].image;
+  }
+  static bool compliant(size_t client) { return (client % kPrograms) % 2 == 0; }
+
+  static EngardeOptions EnclaveOptions() {
+    EngardeOptions options;
+    options.rsa_bits = kRsaBits;
+    options.layout.heap_pages = 128;
+    options.layout.load_pages = 32;
+    return options;
+  }
+
+  static size_t EpcPagesFor(size_t enclaves) {
+    return enclaves * (EnclaveOptions().layout.TotalPages() + 1) + 64;
+  }
+
+  static sgx::QuotingEnclave* qe_;
+  static std::vector<workload::BuiltProgram>* programs_;
+};
+
+sgx::QuotingEnclave* FrontendOversubTest::qe_ = nullptr;
+std::vector<workload::BuiltProgram>* FrontendOversubTest::programs_ = nullptr;
+
+struct Snapshot {
+  bool compliant = false;
+  std::string reason;
+  size_t instruction_count = 0;
+  size_t blocks_received = 0;
+  size_t relocations_applied = 0;
+  size_t stage_count = 0;
+  uint64_t idle_sgx = 0;
+  uint64_t channel_sgx = 0;
+  uint64_t disassembly_sgx = 0;
+  uint64_t policy_sgx = 0;
+  uint64_t loading_sgx = 0;
+  uint64_t total_sgx = 0;
+  uint64_t trampolines = 0;
+};
+
+Snapshot Snap(const ProvisionOutcome& outcome,
+              const sgx::CycleAccountant& accountant) {
+  Snapshot snap;
+  snap.compliant = outcome.verdict.compliant;
+  snap.reason = outcome.verdict.reason;
+  snap.instruction_count = outcome.stats.instruction_count;
+  snap.blocks_received = outcome.stats.blocks_received;
+  snap.relocations_applied = outcome.stats.relocations_applied;
+  snap.stage_count = outcome.stage_reports.size();
+  snap.idle_sgx = accountant.phase_cost(sgx::Phase::kIdle).sgx_instructions;
+  snap.channel_sgx =
+      accountant.phase_cost(sgx::Phase::kChannel).sgx_instructions;
+  snap.disassembly_sgx =
+      accountant.phase_cost(sgx::Phase::kDisassembly).sgx_instructions;
+  snap.policy_sgx =
+      accountant.phase_cost(sgx::Phase::kPolicyCheck).sgx_instructions;
+  snap.loading_sgx =
+      accountant.phase_cost(sgx::Phase::kLoading).sgx_instructions;
+  snap.total_sgx = accountant.total_sgx_instructions();
+  snap.trampolines = accountant.total_trampolines();
+  return snap;
+}
+
+void ExpectSameSnapshot(const Snapshot& serial, const Snapshot& oversub,
+                        const std::string& label) {
+  EXPECT_EQ(serial.compliant, oversub.compliant) << label;
+  EXPECT_EQ(serial.reason, oversub.reason) << label;
+  EXPECT_EQ(serial.instruction_count, oversub.instruction_count) << label;
+  EXPECT_EQ(serial.blocks_received, oversub.blocks_received) << label;
+  EXPECT_EQ(serial.relocations_applied, oversub.relocations_applied) << label;
+  EXPECT_EQ(serial.stage_count, oversub.stage_count) << label;
+  EXPECT_EQ(serial.idle_sgx, oversub.idle_sgx) << label;
+  EXPECT_EQ(serial.channel_sgx, oversub.channel_sgx) << label;
+  EXPECT_EQ(serial.disassembly_sgx, oversub.disassembly_sgx) << label;
+  EXPECT_EQ(serial.policy_sgx, oversub.policy_sgx) << label;
+  EXPECT_EQ(serial.loading_sgx, oversub.loading_sgx) << label;
+  EXPECT_EQ(serial.total_sgx, oversub.total_sgx) << label;
+  EXPECT_EQ(serial.trampolines, oversub.trampolines) << label;
+}
+
+// Serial reference on ample EPC: the bit-identity target the oversubscribed
+// run must hit despite paging.
+Result<std::vector<Snapshot>> RunSerial(const sgx::QuotingEnclave& qe,
+                                        const std::vector<Bytes>& images,
+                                        const EngardeOptions& enclave_options,
+                                        size_t epc_pages) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = epc_pages});
+  sgx::HostOs host(&device);
+  ProvisioningServer::Options options;
+  options.enclave_options = enclave_options;
+  ProvisioningServer server(&host, &qe, MakePolicies, options);
+
+  std::vector<std::unique_ptr<crypto::DuplexPipe>> pipes;
+  for (size_t i = 0; i < images.size(); ++i) {
+    pipes.push_back(std::make_unique<crypto::DuplexPipe>());
+    ASSIGN_OR_RETURN(const size_t index, server.Accept(pipes[i]->EndA()));
+    if (index != i) return InternalError("unexpected session index");
+    client::Client client(ClientOptionsFor(qe), images[i]);
+    RETURN_IF_ERROR(client.SendProgram(pipes[i]->EndB()));
+  }
+  std::vector<Snapshot> snaps;
+  for (size_t i = 0; i < images.size(); ++i) {
+    ASSIGN_OR_RETURN(const ProvisionOutcome outcome, server.Drive(i));
+    snaps.push_back(Snap(outcome, server.session_accountant(i)));
+  }
+  return snaps;
+}
+
+struct MemoryClient {
+  std::unique_ptr<crypto::DuplexPipe> pipe;  // EndA = frontend, EndB = client
+  std::unique_ptr<client::Client> client;
+  uint64_t connection = 0;
+  bool sent = false;
+  std::optional<Verdict> verdict;
+};
+
+Result<MemoryClient> ConnectMemoryClient(ProvisioningFrontend& frontend,
+                                         const Bytes& image,
+                                         client::ClientOptions options) {
+  MemoryClient mc;
+  mc.pipe = std::make_unique<crypto::DuplexPipe>();
+  mc.client = std::make_unique<client::Client>(std::move(options), image);
+  ASSIGN_OR_RETURN(
+      mc.connection,
+      frontend.Accept(std::make_unique<net::PipeTransport>(mc.pipe->EndA())));
+  return mc;
+}
+
+// Single-threaded sweep loop; queued clients produce their admission
+// preamble only once the FIFO admits them, so HasCompleteFrames gates the
+// client-side reads exactly as in core_frontend_test.cc.
+Status DriveToVerdicts(ProvisioningFrontend& frontend,
+                       std::vector<MemoryClient>& clients) {
+  for (;;) {
+    ASSIGN_OR_RETURN(size_t progress, frontend.PollOnce());
+    for (MemoryClient& mc : clients) {
+      if (!mc.sent && net::HasCompleteFrames(mc.pipe->EndB(), 3)) {
+        ASSIGN_OR_RETURN(const auto retry,
+                         mc.client->AwaitAdmission(mc.pipe->EndB()));
+        if (retry.has_value()) {
+          return InternalError("unexpected RetryAfter under oversubscription");
+        }
+        RETURN_IF_ERROR(mc.client->SendProgram(mc.pipe->EndB()));
+        mc.sent = true;
+        ++progress;
+      }
+      if (mc.sent && !mc.verdict.has_value() &&
+          net::HasCompleteSecureRecord(mc.pipe->EndB())) {
+        ASSIGN_OR_RETURN(Verdict verdict, mc.client->AwaitVerdict());
+        mc.verdict.emplace(std::move(verdict));
+        ++progress;
+      }
+    }
+    bool all_done = true;
+    for (const MemoryClient& mc : clients) {
+      all_done = all_done && mc.verdict.has_value();
+    }
+    if (all_done) return Status::Ok();
+    if (progress == 0) {
+      return InternalError("frontend made no progress before all verdicts");
+    }
+  }
+}
+
+TEST_F(FrontendOversubTest, OversubscribedRunBitIdenticalToSerial) {
+  // Physical EPC holds two enclaves; ratio 2.0 doubles the admission
+  // capacity, so all four clients either admit immediately or wait briefly
+  // in the FIFO while demand reclaim pages cold enclaves out — none is
+  // shed, and the verdict/accounting stream matches the serial reference on
+  // ample EPC bit for bit.
+  constexpr size_t kClients = 4;
+  std::vector<Bytes> images;
+  for (size_t i = 0; i < kClients; ++i) images.push_back(image(i));
+
+  auto serial =
+      RunSerial(qe(), images, EnclaveOptions(), EpcPagesFor(kClients));
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  const size_t physical_pages = EpcPagesFor(2);
+  sgx::SgxDevice device(
+      sgx::SgxDevice::Options{.epc_pages = physical_pages});
+  sgx::HostOs host(&device);
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  options.epc_oversub = 2.0;
+  options.admission_queue_capacity = kClients;
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+  const uint64_t per_enclave = EnclaveOptions().layout.TotalPages();
+  // The virtual budget covers all four enclaves even though the device
+  // cannot hold them resident at once.
+  ASSERT_GE(frontend.budget_pages(), kClients * per_enclave);
+
+  std::vector<MemoryClient> clients;
+  for (size_t i = 0; i < kClients; ++i) {
+    auto mc = ConnectMemoryClient(frontend, images[i], ClientOptionsFor(qe()));
+    ASSERT_TRUE(mc.ok()) << mc.status().ToString();
+    ASSERT_NE(frontend.state(mc->connection), ConnectionState::kShed) << i;
+    clients.push_back(std::move(mc).value());
+  }
+  const Status driven = DriveToVerdicts(frontend, clients);
+  ASSERT_TRUE(driven.ok()) << driven.ToString();
+  ASSERT_EQ(frontend.done_count(), kClients);
+  EXPECT_EQ(frontend.shed_count(), 0u);
+
+  for (size_t i = 0; i < kClients; ++i) {
+    auto outcome = frontend.TakeOutcome(clients[i].connection);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    ASSERT_TRUE(clients[i].verdict.has_value());
+    EXPECT_EQ(clients[i].verdict->compliant, compliant(i)) << i;
+    ExpectSameSnapshot((*serial)[i],
+                       Snap(*outcome, frontend.accountant(clients[i].connection)),
+                       "client " + std::to_string(i));
+  }
+
+  // Oversubscription actually engaged: committed exceeded physical EPC at
+  // some point, the host OS paged to cover it, and everything drained clean.
+  EXPECT_GT(frontend.max_committed_pages(), physical_pages);
+  EXPECT_LE(frontend.max_committed_pages(), frontend.budget_pages());
+  EXPECT_GT(host.epc_faults_handled() + host.pages_evicted() +
+                host.pages_reclaimed(),
+            0u);
+  EXPECT_EQ(frontend.committed_pages(), 0u);
+  EXPECT_EQ(frontend.budget().underflow_count(), 0u);
+  ASSERT_TRUE(frontend.DrainAll().ok());
+  EXPECT_EQ(frontend.connection_count(), 0u);
+  EXPECT_EQ(device.EnclaveCount(), 0u);
+  EXPECT_EQ(device.ReclaimablePageCount(), 0u);
+  EXPECT_EQ(device.FreeEpcPages(), physical_pages);
+
+  const FrontendMetrics metrics = frontend.metrics();
+  EXPECT_EQ(metrics.physical_budget_pages * 2, metrics.budget_pages);
+  EXPECT_EQ(metrics.epc_capacity_pages, physical_pages);
+  EXPECT_LE(metrics.epc_resident_peak, physical_pages);
+  EXPECT_EQ(metrics.budget_underflows, 0u);
+}
+
+TEST_F(FrontendOversubTest, RatioOneKeepsShedOnFullSemantics) {
+  // The identity ratio is the pre-oversubscription front end: budget for
+  // one enclave, no queue, so the second arrival sheds with RetryAfter.
+  sgx::SgxDevice device(
+      sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(1)});
+  sgx::HostOs host(&device);
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  options.epc_oversub = 1.0;
+  options.admission_queue_capacity = 0;
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+
+  auto first = ConnectMemoryClient(frontend, image(0), ClientOptionsFor(qe()));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(frontend.state(first->connection), ConnectionState::kActive);
+  auto second = ConnectMemoryClient(frontend, image(1), ClientOptionsFor(qe()));
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(frontend.state(second->connection), ConnectionState::kShed);
+  EXPECT_EQ(frontend.shed_count(), 1u);
+}
+
+TEST_F(FrontendOversubTest, SessionQuotaRejectsOversizeEnclave) {
+  // A per-session quota smaller than the enclave layout makes every
+  // admission fail its reservation: with no queue the arrival sheds, and
+  // nothing is ever built or committed.
+  sgx::SgxDevice device(
+      sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(2)});
+  sgx::HostOs host(&device);
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  options.epc_oversub = 2.0;
+  options.session_quota_pages = 16;  // far below the ~200-page layout
+  options.admission_queue_capacity = 0;
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+
+  auto mc = ConnectMemoryClient(frontend, image(0), ClientOptionsFor(qe()));
+  ASSERT_TRUE(mc.ok()) << mc.status().ToString();
+  EXPECT_EQ(frontend.state(mc->connection), ConnectionState::kShed);
+  EXPECT_EQ(frontend.committed_pages(), 0u);
+  EXPECT_EQ(frontend.max_committed_pages(), 0u);
+  EXPECT_EQ(device.EnclaveCount(), 0u);
+}
+
+}  // namespace
+}  // namespace engarde::core

@@ -9,8 +9,10 @@
 //
 //   engarde-serve [--host A.B.C.D] [--port N] [--reactors N] [--warm N]
 //                 [--bg-refill] [--queue N] [--reserve N] [--epc-pages N]
-//                 [--rsa-bits N] [--queue-ms N] [--idle-ms N] [--session-ms N]
-//                 [--metrics-json] [--selftest N]
+//                 [--epc-oversub R] [--reclaim-low-watermark N]
+//                 [--reclaim-batch N] [--rsa-bits N] [--queue-ms N]
+//                 [--idle-ms N] [--session-ms N] [--metrics-json]
+//                 [--selftest N]
 //
 // --host widens the bind address beyond the loopback default. The *-ms flags
 // arm the front end's per-state deadlines (admission-queue wait, inbound
@@ -18,6 +20,13 @@
 // DEADLINE_EXCEEDED control record and its enclave/EPC come back for queued
 // arrivals. --metrics-json dumps the group's aggregated FrontendMetrics as
 // JSON on stdout when serving ends.
+//
+// --epc-oversub R (R >= 1.0) admits up to R times the physical EPC budget;
+// the ksgxd-style background reclaimer then pages cold enclaves out to keep
+// the resident set physical. --reclaim-low-watermark sets the free-page
+// level that wakes the reclaimer (it also gates admission pressure kicks;
+// defaults to 1/32 of the EPC whenever oversubscription is on), and
+// --reclaim-batch bounds EWB writebacks per scan.
 //
 // --selftest N provisions N real clients over 127.0.0.1 in threads
 // (pinning the expected EnGarde measurement, honoring RetryAfter back-off)
@@ -59,6 +68,9 @@ struct ServeConfig {
   size_t queue = 8;
   uint64_t reserve = 64;
   size_t epc_pages = sgx::kDefaultEpcPages;
+  double epc_oversub = 1.0;           // virtual capacity / physical budget
+  uint64_t reclaim_low_watermark = 0;  // 0 = auto (epc/32) when oversub > 1
+  size_t reclaim_batch = 16;
   size_t rsa_bits = 768;
   uint64_t queue_ms = 0;    // admission-queue wait deadline (0 = unlimited)
   uint64_t idle_ms = 0;     // inbound-idle deadline (0 = unlimited)
@@ -95,6 +107,18 @@ void DumpMetricsJson(const core::FrontendMetrics& m) {
   std::printf("  \"budget_pages\": %llu,\n", u(m.budget_pages));
   std::printf("  \"committed_pages\": %llu,\n", u(m.committed_pages));
   std::printf("  \"max_committed_pages\": %llu,\n", u(m.max_committed_pages));
+  std::printf("  \"physical_budget_pages\": %llu,\n",
+              u(m.physical_budget_pages));
+  std::printf("  \"budget_underflows\": %llu,\n", u(m.budget_underflows));
+  std::printf("  \"epc_faults\": %llu,\n", u(m.epc_faults));
+  std::printf("  \"eldu_loads\": %llu,\n", u(m.eldu_loads));
+  std::printf("  \"pages_reclaimed\": %llu,\n", u(m.pages_reclaimed));
+  std::printf("  \"pages_evicted_inline\": %llu,\n",
+              u(m.pages_evicted_inline));
+  std::printf("  \"reclaim_wakeups\": %llu,\n", u(m.reclaim_wakeups));
+  std::printf("  \"epc_resident_pages\": %llu,\n", u(m.epc_resident_pages));
+  std::printf("  \"epc_resident_peak\": %llu,\n", u(m.epc_resident_peak));
+  std::printf("  \"epc_capacity_pages\": %llu,\n", u(m.epc_capacity_pages));
   std::printf("  \"decode_overlap_count\": %llu,\n", u(m.decode_overlap_count));
   std::printf("  \"decode_early_bytes_total\": %llu,\n",
               u(m.decode_early_bytes_total));
@@ -193,11 +217,33 @@ int Serve(const ServeConfig& config) {
     return 1;
   }
 
+  // Oversubscription: spin up the host-OS reclaimer before any admission can
+  // overdraw physical EPC. The auto watermark is deliberately small (EPC/32):
+  // oversubscribed steady state keeps free pages low by design, so a large
+  // watermark is perpetually breached and turns the poll loop into thrash —
+  // the watermark should cover allocation headroom, not target residency.
+  uint64_t low_watermark = config.reclaim_low_watermark;
+  if (low_watermark == 0 && config.epc_oversub > 1.0) {
+    low_watermark = config.epc_pages / 32;
+  }
+  if (low_watermark > 0) {
+    sgx::ReclaimerOptions reclaimer;
+    reclaimer.low_watermark_pages = low_watermark;
+    reclaimer.batch_pages = config.reclaim_batch;
+    const Status started = host.StartReclaimer(reclaimer);
+    if (!started.ok()) {
+      std::fprintf(stderr, "reclaimer: %s\n", started.ToString().c_str());
+      return 1;
+    }
+  }
+
   core::FrontendGroupOptions options;
   options.frontend.enclave_options.rsa_bits = config.rsa_bits;
   options.frontend.enclave_options.layout.heap_pages = 128;
   options.frontend.enclave_options.layout.load_pages = 32;
   options.frontend.epc_reserve_pages = config.reserve;
+  options.frontend.epc_oversub = config.epc_oversub;
+  options.frontend.reclaim_low_watermark = low_watermark;
   options.frontend.admission_queue_capacity = config.queue;
   options.frontend.queue_deadline_ms = config.queue_ms;
   options.frontend.idle_deadline_ms = config.idle_ms;
@@ -234,11 +280,13 @@ int Serve(const ServeConfig& config) {
   }
   std::fprintf(stderr,
                "engarde-serve: %s:%u (%zu reactors, epc budget %llu "
-               "pages, warm pool %zu%s, queue %zu)\n",
+               "pages%s, warm pool %zu%s, queue %zu%s)\n",
                config.host.c_str(), listener->port(), group.reactor_count(),
                static_cast<unsigned long long>(group.budget().budget_pages()),
+               config.epc_oversub > 1.0 ? " [oversubscribed]" : "",
                group.pool().size(), config.bg_refill ? " [bg refill]" : "",
-               config.queue);
+               config.queue,
+               host.reclaimer_running() ? ", reclaimer on" : "");
 
   // Selftest clients run in threads against the same process's listener.
   std::vector<std::thread> clients;
@@ -315,6 +363,7 @@ int Serve(const ServeConfig& config) {
   }
 
   for (std::thread& thread : clients) thread.join();
+  host.StopReclaimer();  // quiesce paging before the final metrics snapshot
   const Status stopped = group.Stop();
   if (!stopped.ok()) {
     std::fprintf(stderr, "reactor failure: %s\n", stopped.ToString().c_str());
@@ -385,6 +434,13 @@ int main(int argc, char** argv) {
       config.reserve = static_cast<uint64_t>(next());
     } else if (arg == "--epc-pages") {
       config.epc_pages = static_cast<size_t>(next());
+    } else if (arg == "--epc-oversub") {
+      config.epc_oversub =
+          (i + 1 < argc) ? std::atof(argv[++i]) : 1.0;
+    } else if (arg == "--reclaim-low-watermark") {
+      config.reclaim_low_watermark = static_cast<uint64_t>(next());
+    } else if (arg == "--reclaim-batch") {
+      config.reclaim_batch = static_cast<size_t>(next());
     } else if (arg == "--rsa-bits") {
       config.rsa_bits = static_cast<size_t>(next());
     } else if (arg == "--queue-ms") {
@@ -401,9 +457,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: engarde-serve [--host A.B.C.D] [--port N] "
                    "[--reactors N] [--warm N] [--bg-refill] [--queue N] "
-                   "[--reserve N] [--epc-pages N] [--rsa-bits N] "
-                   "[--queue-ms N] [--idle-ms N] [--session-ms N] "
-                   "[--metrics-json] [--selftest N]\n");
+                   "[--reserve N] [--epc-pages N] [--epc-oversub R] "
+                   "[--reclaim-low-watermark N] [--reclaim-batch N] "
+                   "[--rsa-bits N] [--queue-ms N] [--idle-ms N] "
+                   "[--session-ms N] [--metrics-json] [--selftest N]\n");
       return 2;
     }
   }
