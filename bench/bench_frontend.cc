@@ -11,6 +11,13 @@
 // verdicts and identical per-phase SGX-instruction attribution, or the
 // bench fails.
 //
+// The re-upload sweep measures the verdict cache through the front end: the
+// same client mix re-uploads with 0% / 10% / 100% of each program's
+// application functions mutated, cold (no cache) vs warm (a cache seeded
+// with the original mix, fresh per repetition). Warm rows are gated on the
+// same serial fingerprints, and the 0%-changed warm row must beat cold on
+// sessions/sec or the bench fails.
+//
 // Usage: bench_frontend [--rsa-bits N] [--insns N] [--out PATH]
 #include <algorithm>
 #include <chrono>
@@ -24,13 +31,17 @@
 #include <thread>
 #include <tuple>
 
+#include <filesystem>
+
 #include "client/client.h"
 #include "core/frontend.h"
 #include "core/frontend_group.h"
 #include "core/policy_stackprot.h"
 #include "core/server.h"
+#include "core/verdict_cache.h"
 #include "net/tcp.h"
 #include "net/transport.h"
+#include "workload/mutate.h"
 #include "workload/program_builder.h"
 
 using namespace engarde;
@@ -700,6 +711,225 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "\n  ],\n");
 
+  // ---- Verdict-cache re-upload sweep ---------------------------------------
+  // Cold vs warm-cache at a fixed client count: warm runs provision through
+  // cold-built enclaves (no warm pool — the two caches compose but would
+  // blur attribution) sharing one sealed verdict cache seeded with the
+  // original client mix. Median-of-reps throughput, interleaved so both
+  // modes see the same noise windows; fingerprints gate every repetition.
+  constexpr size_t kReuploadClients = 16;
+  constexpr size_t kReuploadReps = 3;
+  // The re-upload clients carry 10x-larger programs than the base mix: at
+  // 2.5k instructions inspection is a sliver of the session (enclave build
+  // and RSA keygen dominate), so the work a cache hit skips sits inside
+  // scheduler noise. Re-uploaded production binaries are exactly the large
+  // ones, so the sweep sizes its programs to make inspection the majority
+  // of the session it is in practice.
+  const size_t reupload_insns = target_instructions * 10;
+  std::fprintf(f, "  \"reupload\": {\n");
+  std::fprintf(f, "    \"clients\": %zu,\n", kReuploadClients);
+  std::fprintf(f, "    \"reps\": %zu,\n", kReuploadReps);
+  std::fprintf(f, "    \"target_instructions\": %zu,\n", reupload_insns);
+  std::fprintf(f,
+               "    \"warm\": \"verdict cache seeded with the original mix, "
+               "fresh per repetition; no warm enclave pool\",\n");
+  std::fprintf(f,
+               "    \"gate\": \"serial fingerprints on every repetition; "
+               "0%%-changed warm beats cold sessions/sec\",\n");
+  std::fprintf(f, "    \"rows\": [");
+  bool reupload_gate_failed = false;
+  if (!oversub_only) {
+    const std::string cache_dir =
+        (std::filesystem::temp_directory_path() / "engarde-evc-bench-frontend")
+            .string();
+    std::vector<Bytes> reupload_library;
+    for (size_t i = 0; i < kPrograms; ++i) {
+      workload::ProgramSpec spec;
+      spec.name = "bench-reupload-" + std::to_string(i);
+      spec.seed = 5300 + i;
+      spec.target_instructions = reupload_insns;
+      spec.stack_protection = (i % 2 == 0);
+      auto program = workload::BuildProgram(spec);
+      if (!program.ok()) {
+        std::fprintf(stderr, "reupload program %zu: %s\n", i,
+                     program.status().ToString().c_str());
+        return 1;
+      }
+      reupload_library.push_back(program->image);
+    }
+    std::vector<Bytes> original_images;
+    for (size_t i = 0; i < kReuploadClients; ++i) {
+      original_images.push_back(reupload_library[i % kPrograms]);
+    }
+    bool first_reupload = true;
+    double reupload_cold0_rate = 0.0;
+    for (const size_t pct : {size_t{0}, size_t{10}, size_t{100}}) {
+      std::vector<Bytes> mutated_library = reupload_library;
+      size_t changed_per_program = 0;
+      if (pct > 0) {
+        for (size_t j = 0; j < kPrograms; ++j) {
+          auto total = workload::CountMutableFunctions(
+              mutated_library[j], /*library_functions=*/false);
+          if (!total.ok() || *total == 0) {
+            std::fprintf(stderr, "reupload: no mutable functions in %zu\n", j);
+            return 1;
+          }
+          workload::MutationOptions mutation;
+          mutation.count = std::max<size_t>(1, *total * pct / 100);
+          changed_per_program = mutation.count;
+          auto names = workload::MutateFunctions(mutated_library[j], mutation);
+          if (!names.ok()) {
+            std::fprintf(stderr, "reupload %zu%%: %s\n", pct,
+                         names.status().ToString().c_str());
+            return 1;
+          }
+        }
+      }
+      std::vector<Bytes> reupload_images;
+      for (size_t i = 0; i < kReuploadClients; ++i) {
+        reupload_images.push_back(mutated_library[i % kPrograms]);
+      }
+      auto serial = RunSerial(*qe, reupload_images, opts);
+      if (!serial.ok()) {
+        std::fprintf(stderr, "reupload serial %zu%%: %s\n", pct,
+                     serial.status().ToString().c_str());
+        return 1;
+      }
+
+      std::vector<RunStats> cold_samples, warm_samples;
+      uint64_t warm_hits = 0, warm_partial = 0, warm_misses = 0;
+      for (size_t rep = 0; rep < kReuploadReps; ++rep) {
+        auto cold = RunFrontend(*qe, reupload_images, opts, /*warm=*/false);
+        if (!cold.ok()) {
+          std::fprintf(stderr, "reupload cold %zu%%: %s\n", pct,
+                       cold.status().ToString().c_str());
+          return 1;
+        }
+        std::error_code ec;
+        std::filesystem::remove_all(cache_dir, ec);
+        core::VerdictCacheOptions cache_options;
+        cache_options.directory = cache_dir;
+        auto cache = core::VerdictCache::Create(std::move(cache_options),
+                                                MakePolicies(), opts.layout);
+        if (!cache.ok()) {
+          std::fprintf(stderr, "reupload cache: %s\n",
+                       cache.status().ToString().c_str());
+          return 1;
+        }
+        core::EngardeOptions cache_opts = opts;
+        cache_opts.verdict_cache = *cache;
+        auto seeding =
+            RunFrontend(*qe, original_images, cache_opts, /*warm=*/false);
+        if (!seeding.ok()) {
+          std::fprintf(stderr, "reupload seed %zu%%: %s\n", pct,
+                       seeding.status().ToString().c_str());
+          return 1;
+        }
+        const core::VerdictCacheStats seeded = (*cache)->stats();
+        auto warm =
+            RunFrontend(*qe, reupload_images, cache_opts, /*warm=*/false);
+        if (!warm.ok()) {
+          std::fprintf(stderr, "reupload warm %zu%%: %s\n", pct,
+                       warm.status().ToString().c_str());
+          return 1;
+        }
+        const core::VerdictCacheStats after = (*cache)->stats();
+        warm_hits = after.hits - seeded.hits;
+        warm_partial = after.partial_hits - seeded.partial_hits;
+        warm_misses = after.misses - seeded.misses;
+        if (pct == 0 && warm_hits != kReuploadClients) {
+          std::fprintf(stderr,
+                       "reupload 0%%: expected %zu full hits, got %llu\n",
+                       kReuploadClients,
+                       static_cast<unsigned long long>(warm_hits));
+          return 1;
+        }
+        for (size_t i = 0; i < kReuploadClients; ++i) {
+          if (!(cold->fingerprints[i] == (*serial)[i]) ||
+              !(warm->fingerprints[i] == (*serial)[i])) {
+            std::fprintf(stderr,
+                         "reupload equality gate failed at %zu%%, client "
+                         "%zu\n",
+                         pct, i);
+            return 1;
+          }
+        }
+        cold_samples.push_back(std::move(*cold));
+        warm_samples.push_back(std::move(*warm));
+      }
+
+      const auto median_by_wall = [](std::vector<RunStats>& samples) {
+        std::sort(samples.begin(), samples.end(),
+                  [](const RunStats& a, const RunStats& b) {
+                    return a.wall_ns < b.wall_ns;
+                  });
+        return &samples[samples.size() / 2];
+      };
+      struct ReuploadMode {
+        const char* mode;
+        const RunStats* stats;
+      };
+      const RunStats* cold_median = median_by_wall(cold_samples);
+      const RunStats* warm_median = median_by_wall(warm_samples);
+      double cold_rate = 0.0;
+      for (const ReuploadMode row : {ReuploadMode{"cold", cold_median},
+                                     ReuploadMode{"warm-cache", warm_median}}) {
+        const double sec = static_cast<double>(row.stats->wall_ns) / 1e9;
+        const double rate =
+            sec > 0 ? static_cast<double>(kReuploadClients) / sec : 0.0;
+        if (row.stats == cold_median) cold_rate = rate;
+        if (pct == 0 && row.stats == cold_median) reupload_cold0_rate = rate;
+        const uint64_t p50 = Percentile(row.stats->latency_ns, 50);
+        const uint64_t p99 = Percentile(row.stats->latency_ns, 99);
+        std::printf(
+            "%3zu clients reupload %3zu%% %-10s  %8.2f sess/s  p50 %8.2f ms"
+            "  p99 %8.2f ms\n",
+            kReuploadClients, pct, row.mode, rate,
+            static_cast<double>(p50) / 1e6, static_cast<double>(p99) / 1e6);
+        std::fprintf(f,
+                     "%s\n      {\"changed_pct\": %zu, \"mode\": \"%s\", "
+                     "\"changed_functions_per_program\": %zu, "
+                     "\"wall_ns\": %llu, \"sessions_per_sec\": %.3f, "
+                     "\"p50_verdict_ns\": %llu, \"p99_verdict_ns\": %llu, ",
+                     first_reupload ? "" : ",", pct, row.mode,
+                     changed_per_program,
+                     static_cast<unsigned long long>(row.stats->wall_ns),
+                     rate, static_cast<unsigned long long>(p50),
+                     static_cast<unsigned long long>(p99));
+        first_reupload = false;
+        if (row.stats == warm_median) {
+          std::fprintf(
+              f,
+              "\"cache_hits\": %llu, \"cache_partial_hits\": %llu, "
+              "\"cache_misses\": %llu, \"speedup_vs_cold\": %.3f, ",
+              static_cast<unsigned long long>(warm_hits),
+              static_cast<unsigned long long>(warm_partial),
+              static_cast<unsigned long long>(warm_misses),
+              cold_rate > 0 ? rate / cold_rate : 0.0);
+        }
+        std::fprintf(f, "\"equality\": \"ok\"}");
+      }
+      // The CI gate: byte-identical re-uploads through a warm cache must
+      // out-provision cold inspection. The verdict is deferred to process
+      // exit so a gate miss still leaves a complete, parseable JSON.
+      if (pct == 0) {
+        const double warm_sec =
+            static_cast<double>(warm_median->wall_ns) / 1e9;
+        const double warm_rate =
+            warm_sec > 0 ? static_cast<double>(kReuploadClients) / warm_sec
+                         : 0.0;
+        if (warm_rate <= reupload_cold0_rate) {
+          std::fprintf(stderr,
+                       "reupload gate: 0%%-changed warm-cache %.2f sess/s "
+                       "does not beat cold %.2f sess/s\n",
+                       warm_rate, reupload_cold0_rate);
+          reupload_gate_failed = true;
+        }
+      }
+    }
+  }
+  std::fprintf(f, "\n    ]\n  },\n");
+
   // ---- Reactor scaling: one shared listener, N reactor threads, real TCP —
   // same client mix at every width, equality-gated as a sorted multiset
   // because the client->reactor assignment is a kernel accept race.
@@ -895,5 +1125,5 @@ int main(int argc, char** argv) {
   std::fprintf(f, "\n    ]\n  }\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
-  return 0;
+  return reupload_gate_failed ? 1 : 0;
 }

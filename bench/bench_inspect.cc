@@ -19,14 +19,23 @@
 // or the bench fails. Note: on a single-core host the engine still produces
 // identical verdicts but cannot show wall speedup — the overlap_permille
 // column is the scheduling-independent evidence the speculation engaged.
+//
+// The re-upload sweep measures the verdict cache: the largest benchmark is
+// re-uploaded with 0% / 10% / 100% of its application functions mutated,
+// cold (no cache) vs warm (cache seeded with the original binary). Warm runs
+// are equality-gated against cold on verdict and per-phase SGX counts, and
+// the 0%-changed warm row must beat cold on wall time or the bench fails.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/harness.h"
+#include "workload/mutate.h"
 
 using namespace engarde;
 using namespace engarde::bench;
@@ -155,6 +164,172 @@ int main(int argc, char** argv) {
     results.push_back(std::move(result));
   }
 
+  // ---- Re-upload sweep: the verdict cache, cold vs warm ---------------------
+  // Each row re-uploads the largest benchmark with k of N application
+  // functions mutated. Cold = no cache. Warm = a cache freshly seeded (per
+  // repetition) with the ORIGINAL binary, so 0% changed replays the full
+  // sealed verdict and >0% takes the per-function partial-hit path. Wall
+  // time is best-of-reps; cycle columns are equality-gated, never compared —
+  // the cache's whole contract is that they do not move.
+  struct ReuploadRow {
+    size_t changed_pct = 0;
+    size_t changed_functions = 0;
+    uint64_t cold_best_ns = 0, cold_p50_ns = 0;
+    uint64_t warm_best_ns = 0, warm_p50_ns = 0;
+    const char* warm_outcome = "";
+  };
+  std::vector<ReuploadRow> reupload_rows;
+  size_t reupload_total_functions = 0;
+  std::string reupload_benchmark;
+  {
+    constexpr size_t kReps = 5;
+    const workload::CatalogEntry& entry = workload::PaperBenchmarks().front();
+    reupload_benchmark = entry.name;
+    auto original = workload::BuildBenchmarkScaled(
+        entry, workload::BuildFlavor::kPlain, scale);
+    if (!original.ok()) {
+      std::fprintf(stderr, "reupload: build failed: %s\n",
+                   original.status().ToString().c_str());
+      return 1;
+    }
+    auto total = workload::CountMutableFunctions(original->image,
+                                                 /*library_functions=*/false);
+    if (!total.ok()) {
+      std::fprintf(stderr, "reupload: %s\n", total.status().ToString().c_str());
+      return 1;
+    }
+    reupload_total_functions = *total;
+    const std::string cache_dir =
+        (std::filesystem::temp_directory_path() / "engarde-evc-bench-inspect")
+            .string();
+
+    std::printf("\n");
+    for (const size_t pct : {size_t{0}, size_t{10}, size_t{100}}) {
+      size_t changed = *total * pct / 100;
+      if (pct > 0 && changed == 0) changed = 1;
+      workload::BuiltProgram reupload = *original;
+      if (changed > 0) {
+        workload::MutationOptions mutation;
+        mutation.count = changed;
+        auto mutated = workload::MutateFunctions(reupload.image, mutation);
+        if (!mutated.ok()) {
+          std::fprintf(stderr, "reupload %zu%%: %s\n", pct,
+                       mutated.status().ToString().c_str());
+          return 1;
+        }
+      }
+
+      std::vector<uint64_t> cold_ns, warm_ns;
+      PhaseCycles cold_reference;
+      for (size_t rep = 0; rep < kReps; ++rep) {
+        auto cold = MeasureProvisioning(reupload, workload::BuildFlavor::kPlain);
+        if (!cold.ok() || !cold->compliant) {
+          std::fprintf(stderr, "reupload %zu%%: cold run failed\n", pct);
+          return 1;
+        }
+        if (rep == 0) cold_reference = *cold;
+        cold_ns.push_back(cold->wall_ns);
+      }
+      const char* warm_outcome = nullptr;
+      for (size_t rep = 0; rep < kReps; ++rep) {
+        // A fresh cache per repetition, seeded with the original upload, so
+        // every measured warm run exercises the same first-contact path (a
+        // reused cache would turn every >0% rep after the first into a full
+        // hit of the mutated bytes).
+        std::error_code ec;
+        std::filesystem::remove_all(cache_dir, ec);
+        core::VerdictCacheOptions cache_options;
+        cache_options.directory = cache_dir;
+        auto cache = core::VerdictCache::Create(
+            std::move(cache_options),
+            bench::PolicyFor(workload::BuildFlavor::kPlain,
+                             original->libc_options),
+            sgx::EnclaveLayout{});
+        if (!cache.ok()) {
+          std::fprintf(stderr, "reupload cache: %s\n",
+                       cache.status().ToString().c_str());
+          return 1;
+        }
+        auto seed = MeasureProvisioning(*original,
+                                        workload::BuildFlavor::kPlain, 1,
+                                        false, *cache);
+        if (!seed.ok() || !seed->compliant) {
+          std::fprintf(stderr, "reupload %zu%%: cache seeding failed\n", pct);
+          return 1;
+        }
+        auto warm = MeasureProvisioning(reupload,
+                                        workload::BuildFlavor::kPlain, 1,
+                                        false, *cache);
+        if (!warm.ok() || !warm->compliant) {
+          std::fprintf(stderr, "reupload %zu%%: warm run failed\n", pct);
+          return 1;
+        }
+        // The gate: a cached verdict that moved any deterministic column is
+        // a correctness bug, not a perf result.
+        if (warm->instructions != cold_reference.instructions ||
+            warm->disassembly_sgx != cold_reference.disassembly_sgx ||
+            warm->policy_check_sgx != cold_reference.policy_check_sgx) {
+          std::fprintf(stderr,
+                       "reupload %zu%%: warm/cold equality gate failed\n",
+                       pct);
+          return 1;
+        }
+        const core::VerdictCacheStats stats = (*cache)->stats();
+        const char* outcome = stats.hits == 1        ? "hit"
+                              : stats.partial_hits == 1 ? "partial-hit"
+                                                        : "miss";
+        if (pct == 0 && stats.hits != 1) {
+          std::fprintf(stderr,
+                       "reupload 0%%: expected a full hit, classified %s\n",
+                       outcome);
+          return 1;
+        }
+        if (pct > 0 && stats.partial_hits != 1) {
+          std::fprintf(stderr,
+                       "reupload %zu%%: expected a partial hit (library "
+                       "functions unchanged), classified %s\n",
+                       pct, outcome);
+          return 1;
+        }
+        warm_outcome = outcome;
+        warm_ns.push_back(warm->wall_ns);
+      }
+      std::sort(cold_ns.begin(), cold_ns.end());
+      std::sort(warm_ns.begin(), warm_ns.end());
+      ReuploadRow row;
+      row.changed_pct = pct;
+      row.changed_functions = changed;
+      row.cold_best_ns = cold_ns.front();
+      row.cold_p50_ns = cold_ns[cold_ns.size() / 2];
+      row.warm_best_ns = warm_ns.front();
+      row.warm_p50_ns = warm_ns[warm_ns.size() / 2];
+      row.warm_outcome = warm_outcome;
+      std::printf(
+          "%-11s reupload %3zu%% changed (%zu/%zu fns)  cold %8.2f ms  "
+          "warm %8.2f ms (%s)  speedup %.2fx\n",
+          entry.name, pct, changed, *total,
+          static_cast<double>(row.cold_best_ns) / 1e6,
+          static_cast<double>(row.warm_best_ns) / 1e6, row.warm_outcome,
+          row.warm_best_ns > 0 ? static_cast<double>(row.cold_best_ns) /
+                                     static_cast<double>(row.warm_best_ns)
+                               : 0.0);
+      reupload_rows.push_back(row);
+    }
+    // The CI gate: a byte-identical re-upload through a warm cache must be
+    // faster than cold inspection, best-of-reps against best-of-reps.
+    if (reupload_rows.front().warm_best_ns >=
+        reupload_rows.front().cold_best_ns) {
+      std::fprintf(stderr,
+                   "reupload gate: 0%%-changed warm (%llu ns) does not beat "
+                   "cold (%llu ns)\n",
+                   static_cast<unsigned long long>(
+                       reupload_rows.front().warm_best_ns),
+                   static_cast<unsigned long long>(
+                       reupload_rows.front().cold_best_ns));
+      return 1;
+    }
+  }
+
   const auto find_run = [](const BenchResult& result, size_t threads,
                            bool streaming) -> const Run* {
     for (const Run& run : result.runs) {
@@ -247,6 +422,37 @@ int main(int argc, char** argv) {
     std::fprintf(f, "    ]}%s\n", b + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"reupload\": {\n");
+  std::fprintf(f, "    \"benchmark\": \"%s\",\n", reupload_benchmark.c_str());
+  std::fprintf(f, "    \"mutable_app_functions\": %zu,\n",
+               reupload_total_functions);
+  std::fprintf(f,
+               "    \"warm\": \"verdict cache seeded with the original "
+               "binary, fresh per repetition\",\n");
+  std::fprintf(f,
+               "    \"gate\": \"warm equals cold on verdict and per-phase "
+               "SGX counts; 0%%-changed warm beats cold on wall time\",\n");
+  std::fprintf(f, "    \"rows\": [\n");
+  for (size_t r = 0; r < reupload_rows.size(); ++r) {
+    const ReuploadRow& row = reupload_rows[r];
+    std::fprintf(
+        f,
+        "      {\"changed_pct\": %zu, \"changed_functions\": %zu, "
+        "\"cold_wall_ns_best\": %llu, \"cold_wall_ns_p50\": %llu, "
+        "\"warm_wall_ns_best\": %llu, \"warm_wall_ns_p50\": %llu, "
+        "\"warm_outcome\": \"%s\", \"speedup_best\": %.3f, "
+        "\"equality\": \"ok\"}%s\n",
+        row.changed_pct, row.changed_functions,
+        static_cast<unsigned long long>(row.cold_best_ns),
+        static_cast<unsigned long long>(row.cold_p50_ns),
+        static_cast<unsigned long long>(row.warm_best_ns),
+        static_cast<unsigned long long>(row.warm_p50_ns), row.warm_outcome,
+        row.warm_best_ns > 0 ? static_cast<double>(row.cold_best_ns) /
+                                   static_cast<double>(row.warm_best_ns)
+                             : 0.0,
+        r + 1 < reupload_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  },\n");
   std::fprintf(f, "  \"largest_benchmark\": \"%s\",\n",
                results.empty() ? "" : results.front().name.c_str());
   std::fprintf(f, "  \"largest_speedup_%zuv1\": %.3f\n", parallel_threads,

@@ -17,6 +17,7 @@
 #include "core/policy_ifcc.h"
 #include "core/policy_liblink.h"
 #include "core/policy_stackprot.h"
+#include "core/verdict_cache.h"
 #include "workload/catalog.h"
 
 namespace engarde::bench {
@@ -72,12 +73,15 @@ inline core::PolicySet PolicyFor(workload::BuildFlavor flavor,
 
 // Provisions `program` through a fresh enclave and returns the phase costs.
 // `inspection_threads` > 1 runs the parallel inspection engine; `streaming`
-// overlaps the speculative per-block decode with the upload. The verdict
-// and the SGX-instruction columns are identical at any setting, only wall
-// time (and hence the native-time component of the cycle model) changes.
+// overlaps the speculative per-block decode with the upload; a non-null
+// `verdict_cache` lets the pipeline replay or partially reuse prior results.
+// The verdict and the SGX-instruction columns are identical at any setting,
+// only wall time (and hence the native-time component of the cycle model)
+// changes.
 inline Result<PhaseCycles> MeasureProvisioning(
     const workload::BuiltProgram& program, workload::BuildFlavor flavor,
-    size_t inspection_threads = 1, bool streaming = false) {
+    size_t inspection_threads = 1, bool streaming = false,
+    std::shared_ptr<core::VerdictCache> verdict_cache = nullptr) {
   sgx::CycleAccountant accountant;
   sgx::SgxDevice device(sgx::SgxDevice::Options{}, &accountant);
   sgx::HostOs host(&device);
@@ -92,6 +96,7 @@ inline Result<PhaseCycles> MeasureProvisioning(
   options.rsa_bits = 1024;  // key size does not affect the measured phases
   options.inspection_threads = inspection_threads;
   options.streaming_inspection = streaming;
+  options.verdict_cache = std::move(verdict_cache);
   auto enclave = core::EngardeEnclave::Create(
       &host, *quoting, PolicyFor(flavor, program.libc_options), options);
   RETURN_IF_ERROR(enclave.status());

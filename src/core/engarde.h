@@ -44,6 +44,8 @@
 
 namespace engarde::core {
 
+class VerdictCache;
+
 struct EngardeOptions {
   sgx::EnclaveLayout layout;
   size_t rsa_bits = 2048;  // tests dial this down for speed
@@ -74,6 +76,12 @@ struct EngardeOptions {
   // before DONE arrives, bounding the memory and pool-queue share a fast
   // uploader can claim ahead of the barrier stages.
   size_t max_inflight_decode_pages = 64;
+  // Content-addressed sealed verdict cache (core/verdict_cache.h), shared
+  // across every enclave/shard built from these options (the object is
+  // thread-safe). Null = no caching. Verdicts, rejection strings and
+  // per-phase SGX attribution are bit-identical with or without it; only
+  // wall time changes.
+  std::shared_ptr<VerdictCache> verdict_cache;
 };
 
 // Everything the cloud provider is allowed to learn (threat model,

@@ -8,6 +8,7 @@
 
 #include "core/inspection.h"
 #include "core/protocol.h"
+#include "core/verdict_cache.h"
 #include "sgx/device.h"
 
 namespace engarde::core {
@@ -85,6 +86,19 @@ void FrontendMetrics::Merge(const FrontendMetrics& other) noexcept {
   epc_resident_pages = std::max(epc_resident_pages, other.epc_resident_pages);
   epc_resident_peak = std::max(epc_resident_peak, other.epc_resident_peak);
   epc_capacity_pages = std::max(epc_capacity_pages, other.epc_capacity_pages);
+  // The verdict cache is one shared object across a group's shards (see the
+  // budget/paging note above), so its totals max-merge too.
+  verdict_cache_hits = std::max(verdict_cache_hits, other.verdict_cache_hits);
+  verdict_cache_partial_hits =
+      std::max(verdict_cache_partial_hits, other.verdict_cache_partial_hits);
+  verdict_cache_misses =
+      std::max(verdict_cache_misses, other.verdict_cache_misses);
+  verdict_cache_tamper_rejects = std::max(verdict_cache_tamper_rejects,
+                                          other.verdict_cache_tamper_rejects);
+  verdict_cache_evictions =
+      std::max(verdict_cache_evictions, other.verdict_cache_evictions);
+  verdict_cache_bytes_sealed =
+      std::max(verdict_cache_bytes_sealed, other.verdict_cache_bytes_sealed);
 }
 
 EngardeOptions ProvisioningFrontend::PerEnclaveOptions() const {
@@ -733,6 +747,16 @@ FrontendMetrics ProvisioningFrontend::metrics() const noexcept {
   m.epc_resident_pages = epc.pages_in_use();
   m.epc_resident_peak = epc.peak_pages_in_use();
   m.epc_capacity_pages = epc.capacity();
+  if (const VerdictCache* cache = options_.enclave_options.verdict_cache.get();
+      cache != nullptr) {
+    const VerdictCacheStats stats = cache->stats();
+    m.verdict_cache_hits = stats.hits;
+    m.verdict_cache_partial_hits = stats.partial_hits;
+    m.verdict_cache_misses = stats.misses;
+    m.verdict_cache_tamper_rejects = stats.tamper_rejects;
+    m.verdict_cache_evictions = stats.evictions;
+    m.verdict_cache_bytes_sealed = stats.bytes_sealed;
+  }
   return m;
 }
 

@@ -191,6 +191,17 @@ struct FrontendMetrics {
   uint64_t epc_resident_pages = 0;     // physical EPC pages in use now
   uint64_t epc_resident_peak = 0;      // high-water physical occupancy
   uint64_t epc_capacity_pages = 0;     // physical EPC size
+  // Verdict-cache telemetry (core/verdict_cache.h), read from the cache
+  // object the enclave options carry. Like the budget/paging fields, the
+  // cache is shared across a group's shards, so Merge keeps the max instead
+  // of summing (every shard reports the same shared totals). All zero when
+  // no cache is configured.
+  uint64_t verdict_cache_hits = 0;
+  uint64_t verdict_cache_partial_hits = 0;
+  uint64_t verdict_cache_misses = 0;
+  uint64_t verdict_cache_tamper_rejects = 0;
+  uint64_t verdict_cache_evictions = 0;
+  uint64_t verdict_cache_bytes_sealed = 0;  // gauge: sealed bytes on disk
 
   // Shard aggregation: counters and gauges sum, maxima take the max; budget
   // and paging fields are shared (one budget / host OS per group), so Merge

@@ -5,6 +5,8 @@
 #include <cstdint>
 
 #include "core/streaming.h"
+#include "core/verdict_cache.h"
+#include "crypto/sha256.h"
 #include "x86/decoder.h"
 #include "x86/validator.h"
 
@@ -154,6 +156,8 @@ Status StagePolicyCheck(InspectionContext& ctx) {
   base.insns = ctx.insns.get();
   base.symbols = &ctx.symbols;
   base.elf = &*ctx.elf;
+  base.liblink_reuse = ctx.liblink_reuse;
+  base.reuse_log = ctx.reuse_log;
   const PolicySet& policies = *ctx.policies;
   // The pool goes either to the policy SET (independent read-only modules
   // checked concurrently) or to a lone module (which may shard its own scan
@@ -240,6 +244,16 @@ Status StageLoadAndLock(InspectionContext& ctx) {
 
 }  // namespace
 
+std::string_view VerdictCacheOutcomeName(VerdictCacheOutcome outcome) noexcept {
+  switch (outcome) {
+    case VerdictCacheOutcome::kDisabled: return "disabled";
+    case VerdictCacheOutcome::kMiss: return "miss";
+    case VerdictCacheOutcome::kPartialHit: return "partial-hit";
+    case VerdictCacheOutcome::kFullHit: return "hit";
+  }
+  return "?";
+}
+
 std::string_view StageName(StageId stage) noexcept {
   switch (stage) {
     case StageId::kContainerValidate: return "ContainerValidate";
@@ -298,93 +312,241 @@ uint64_t ExtractVaddrHint(std::string_view message) {
   return any ? value : 0;
 }
 
-Result<InspectionResult> InspectionPipeline::Run(InspectionContext& context) {
-  struct StageSpec {
-    StageId id;
-    // Phase the stage is wrapped in; kCount = the body manages phases itself
-    // (LoadAndLock switches kLoading -> kWxHardening internally).
-    sgx::Phase phase;
-    Status (*body)(InspectionContext&);
-  };
-  static constexpr StageSpec kStages[] = {
-      {StageId::kContainerValidate, sgx::Phase::kContainer,
-       &StageContainerValidate},
-      {StageId::kPageSeparation, sgx::Phase::kContainer, &StagePageSeparation},
-      {StageId::kDisassemble, sgx::Phase::kDisassembly, &StageDisassemble},
-      {StageId::kBuildSymbols, sgx::Phase::kDisassembly, &StageBuildSymbols},
-      {StageId::kNaClValidate, sgx::Phase::kDisassembly, &StageNaClValidate},
-      {StageId::kPolicyCheck, sgx::Phase::kPolicyCheck, &StagePolicyCheck},
-      {StageId::kLoadAndLock, sgx::Phase::kCount, &StageLoadAndLock},
-  };
+namespace {
 
+struct StageSpec {
+  StageId id;
+  // Phase the stage is wrapped in; kCount = the body manages phases itself
+  // (LoadAndLock switches kLoading -> kWxHardening internally).
+  sgx::Phase phase;
+  Status (*body)(InspectionContext&);
+};
+constexpr StageSpec kStages[] = {
+    {StageId::kContainerValidate, sgx::Phase::kContainer,
+     &StageContainerValidate},
+    {StageId::kPageSeparation, sgx::Phase::kContainer, &StagePageSeparation},
+    {StageId::kDisassemble, sgx::Phase::kDisassembly, &StageDisassemble},
+    {StageId::kBuildSymbols, sgx::Phase::kDisassembly, &StageBuildSymbols},
+    {StageId::kNaClValidate, sgx::Phase::kDisassembly, &StageNaClValidate},
+    {StageId::kPolicyCheck, sgx::Phase::kPolicyCheck, &StagePolicyCheck},
+    {StageId::kLoadAndLock, sgx::Phase::kCount, &StageLoadAndLock},
+};
+
+// Runs one stage body live — timing, phase scope, SGX delta, rejection
+// assembly — and appends its report. Returns the hard-error status on an
+// infrastructure failure, otherwise whether the pipeline must stop (a client
+// rejection was recorded in `result`).
+Result<bool> ExecuteLiveStage(const StageSpec& spec, InspectionContext& context,
+                              InspectionResult& result) {
+  StageReport report;
+  report.stage = spec.id;
+
+  context.pending_rule.clear();
+  context.pending_vaddr = 0;
+  context.pending_reason.clear();
+
+  const uint64_t sgx_before = SgxCount(context.accountant);
+  const Clock::time_point start = Clock::now();
+  Status status = Status::Ok();
+  {
+    // LoadAndLock drives its own kLoading/kWxHardening sibling phases.
+    sgx::ScopedPhase phase_scope(
+        spec.phase == sgx::Phase::kCount ? nullptr : context.accountant,
+        spec.phase);
+    status = spec.body(context);
+  }
+  report.wall_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start)
+          .count());
+  report.sgx_instructions = SgxCount(context.accountant) - sgx_before;
+
+  if (status.ok()) {
+    report.outcome = StageOutcome::kPassed;
+    result.reports.push_back(std::move(report));
+    return false;
+  }
+  if (!IsClientRejection(status)) {
+    // Infrastructure failure (channel, EPC pressure, internal): hard error.
+    report.outcome = StageOutcome::kError;
+    report.detail = status.ToString();
+    result.reports.push_back(std::move(report));
+    return status;
+  }
+
+  // Client-attributable: build the structured rejection + legacy reason.
+  Rejection rejection;
+  rejection.stage = std::string(StageName(spec.id));
+  rejection.rule = context.pending_rule.empty()
+                       ? std::string(DefaultRule(spec.id))
+                       : context.pending_rule;
+  rejection.vaddr = context.pending_vaddr != 0
+                        ? context.pending_vaddr
+                        : ExtractVaddrHint(status.message());
+  rejection.detail = status.ToString();
+  result.reason = context.pending_reason.empty() ? status.ToString()
+                                                 : context.pending_reason;
+  result.rejection = std::move(rejection);
+  result.compliant = false;
+  report.outcome = StageOutcome::kRejected;
+  report.detail = result.reason;
+  result.reports.push_back(std::move(report));
+  return true;  // remaining stages are reported kSkipped
+}
+
+// Full verdict-cache hit: `result` holds the live ContainerValidate and
+// PageSeparation reports; the cached Disassemble..PolicyCheck reports are
+// replayed verbatim, and the live accountant is charged exactly what the
+// cold stages charged (Disassemble's per-buffer-page malloc trampolines are
+// their only SGX cost), so per-phase SGX accounting is bit-identical to a
+// cold run. LoadAndLock is NEVER replayed from the cache: an accept loads
+// and locks against the live enclave — the cache vouches for the
+// content-determined verdict, not for any measurement or EPC state.
+Result<InspectionResult> ReplayCachedVerdict(InspectionContext& context,
+                                             InspectionResult result,
+                                             CachedVerdict cached) {
+  result.cache_outcome = VerdictCacheOutcome::kFullHit;
+  result.cached_instruction_count = cached.instruction_count;
+  result.cached_insn_buffer_pages = cached.insn_buffer_pages;
+  {
+    sgx::ScopedPhase phase_scope(context.accountant, sgx::Phase::kDisassembly);
+    if (context.accountant != nullptr) {
+      for (uint64_t i = 0; i < cached.insn_buffer_pages; ++i) {
+        context.accountant->CountTrampoline();
+      }
+    }
+    // The loader and the session need the symbol table even when the verdict
+    // is replayed; building it is pure in-enclave compute (no SGX charges).
+    if (cached.compliant) {
+      context.symbols = SymbolHashTable::Build(*context.elf);
+    }
+  }
+  for (StageReport& report : cached.reports) {
+    result.reports.push_back(std::move(report));
+  }
+
+  if (!cached.compliant) {
+    result.compliant = false;
+    result.rejection = std::move(cached.rejection);
+    result.reason = std::move(cached.reason);
+    StageReport skipped;
+    skipped.stage = StageId::kLoadAndLock;
+    result.reports.push_back(std::move(skipped));
+    return result;
+  }
+
+  result.compliant = true;
+  if (context.host == nullptr) {
+    StageReport skipped;
+    skipped.stage = StageId::kLoadAndLock;
+    skipped.detail = "offline inspection: nothing to load";
+    result.reports.push_back(std::move(skipped));
+    return result;
+  }
+  ASSIGN_OR_RETURN(
+      const bool stopped,
+      ExecuteLiveStage(kStages[static_cast<size_t>(StageId::kLoadAndLock)],
+                       context, result));
+  (void)stopped;  // a LoadAndLock rejection already updated `result`
+  return result;
+}
+
+}  // namespace
+
+Result<InspectionResult> InspectionPipeline::Run(InspectionContext& context) {
   InspectionResult result;
   result.reports.reserve(std::size(kStages));
 
+  // Verdict-cache state for this run. The reuse pointers alias locals, so
+  // they must not outlive this frame no matter how we leave it.
+  crypto::Sha256Digest binary_sha{};
+  bool probed = false;
+  std::map<uint64_t, uint64_t> reuse;
+  VerifiedRangeLog reuse_log;
+  struct ReuseScopeClear {
+    InspectionContext& ctx;
+    ~ReuseScopeClear() {
+      ctx.liblink_reuse = nullptr;
+      ctx.reuse_log = nullptr;
+    }
+  } reuse_scope{context};
+
   bool stop = false;
   for (const StageSpec& spec : kStages) {
-    StageReport report;
-    report.stage = spec.id;
     if (stop || (spec.id == StageId::kLoadAndLock && context.host == nullptr)) {
+      StageReport report;
+      report.stage = spec.id;
       report.outcome = StageOutcome::kSkipped;
       if (!stop) report.detail = "offline inspection: nothing to load";
       result.reports.push_back(std::move(report));
       continue;
     }
 
-    context.pending_rule.clear();
-    context.pending_vaddr = 0;
-    context.pending_reason.clear();
-
-    const uint64_t sgx_before = SgxCount(context.accountant);
-    const Clock::time_point start = Clock::now();
-    Status status = Status::Ok();
-    {
-      // LoadAndLock drives its own kLoading/kWxHardening sibling phases.
-      sgx::ScopedPhase phase_scope(
-          spec.phase == sgx::Phase::kCount ? nullptr : context.accountant,
-          spec.phase);
-      status = spec.body(context);
+    if (spec.id == StageId::kDisassemble && context.verdict_cache != nullptr) {
+      // Probe once the live-only stages passed: ContainerValidate and
+      // PageSeparation always execute (the latter checks the per-session
+      // manifest, which the cache key deliberately does not cover).
+      binary_sha = crypto::Sha256::Hash(
+          ByteView(context.image->data(), context.image->size()));
+      probed = true;
+      if (std::optional<CachedVerdict> cached =
+              context.verdict_cache->Probe(binary_sha)) {
+        return ReplayCachedVerdict(context, std::move(result),
+                                   std::move(*cached));
+      }
     }
-    report.wall_ns = static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                             start)
-            .count());
-    report.sgx_instructions = SgxCount(context.accountant) - sgx_before;
-
-    if (status.ok()) {
-      report.outcome = StageOutcome::kPassed;
-      result.reports.push_back(std::move(report));
-      continue;
-    }
-    if (!IsClientRejection(status)) {
-      // Infrastructure failure (channel, EPC pressure, internal): hard error.
-      report.outcome = StageOutcome::kError;
-      report.detail = status.ToString();
-      result.reports.push_back(std::move(report));
-      return status;
+    if (spec.id == StageId::kPolicyCheck && probed) {
+      // Partial hit: library functions whose bytes are provably unchanged
+      // since a prior verification skip the body-hash walk. Newly verified
+      // ranges are collected for persisting below.
+      reuse = context.verdict_cache->ResolveReuse(context.symbols,
+                                                  *context.elf);
+      context.liblink_reuse = reuse.empty() ? nullptr : &reuse;
+      context.reuse_log = &reuse_log;
     }
 
-    // Client-attributable: build the structured rejection + legacy reason.
-    Rejection rejection;
-    rejection.stage = std::string(StageName(spec.id));
-    rejection.rule = context.pending_rule.empty()
-                         ? std::string(DefaultRule(spec.id))
-                         : context.pending_rule;
-    rejection.vaddr = context.pending_vaddr != 0
-                          ? context.pending_vaddr
-                          : ExtractVaddrHint(status.message());
-    rejection.detail = status.ToString();
-    result.reason = context.pending_reason.empty() ? status.ToString()
-                                                   : context.pending_reason;
-    result.rejection = std::move(rejection);
-    result.compliant = false;
-    report.outcome = StageOutcome::kRejected;
-    report.detail = result.reason;
-    result.reports.push_back(std::move(report));
-    stop = true;  // remaining stages are reported kSkipped
+    ASSIGN_OR_RETURN(stop, ExecuteLiveStage(spec, context, result));
   }
 
   result.compliant = !result.rejection.has_value();
+
+  if (probed) {
+    VerdictCache& cache = *context.verdict_cache;
+    if (reuse.empty()) {
+      cache.CountMiss();
+      result.cache_outcome = VerdictCacheOutcome::kMiss;
+    } else {
+      cache.CountPartialHit();
+      result.cache_outcome = VerdictCacheOutcome::kPartialHit;
+    }
+    // LoadAndLock outcomes depend on the live enclave (EPC pressure, lock
+    // state), not on the binary's content — a rejection there must not be
+    // replayed onto future uploads of the same bytes.
+    const bool content_determined =
+        result.compliant ||
+        result.rejection->stage != StageName(StageId::kLoadAndLock);
+    if (content_determined && context.insns != nullptr) {
+      CachedVerdict entry;
+      entry.compliant = result.compliant;
+      entry.reason = result.reason;
+      entry.rejection = result.rejection;
+      entry.instruction_count = context.insns->size();
+      entry.insn_buffer_pages = context.insns->chunk_allocations();
+      // The four content-determined stage reports: Disassemble, BuildSymbols,
+      // NaClValidate, PolicyCheck (kSkipped ones included, so a replayed
+      // rejection reproduces the cold report sequence exactly).
+      entry.reports.assign(
+          result.reports.begin() +
+              static_cast<ptrdiff_t>(StageId::kDisassemble),
+          result.reports.begin() +
+              static_cast<ptrdiff_t>(StageId::kLoadAndLock));
+      cache.Store(binary_sha, entry);
+    }
+    if (!reuse_log.ranges.empty()) {
+      // PolicyCheck's workers have joined; the log is exclusively ours now.
+      cache.MergeVerifiedFunctions(reuse_log.ranges, context.symbols,
+                                   *context.elf);
+    }
+  }
   return result;
 }
 

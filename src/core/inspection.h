@@ -20,6 +20,7 @@
 #ifndef ENGARDE_CORE_INSPECTION_H_
 #define ENGARDE_CORE_INSPECTION_H_
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -42,6 +43,17 @@
 namespace engarde::core {
 
 class StreamingInspector;
+class VerdictCache;
+
+// How the verdict cache (core/verdict_cache.h) participated in a run.
+enum class VerdictCacheOutcome : uint8_t {
+  kDisabled = 0,   // no cache attached
+  kMiss,           // probed; nothing reusable, fully cold inspection
+  kPartialHit,     // probed; >=1 verified function skipped re-hashing
+  kFullHit,        // exact-binary entry replayed
+};
+
+std::string_view VerdictCacheOutcomeName(VerdictCacheOutcome outcome) noexcept;
 
 enum class StageId : uint8_t {
   kContainerValidate = 0,
@@ -106,6 +118,20 @@ struct InspectionContext {
   // per section on any mismatch. Null = fully staged Disassemble.
   StreamingInspector* streaming = nullptr;
 
+  // Content-addressed sealed verdict cache (core/verdict_cache.h). When set,
+  // Run() probes it once ContainerValidate + PageSeparation pass (those two
+  // always run live — PageSeparation checks the per-session manifest): a
+  // full hit replays the cached Disassemble..PolicyCheck reports and verdict
+  // bit-identically (LoadAndLock still runs live for accepts), a miss falls
+  // through to cold inspection with per-function reuse where provable, and
+  // the cold result is published back. Null = no caching.
+  VerdictCache* verdict_cache = nullptr;
+  // Per-function reuse plumbing Run() threads into StagePolicyCheck's
+  // PolicyContext (see PolicyContext::liblink_reuse / reuse_log). Owned by
+  // Run()'s frame; always null outside a Run() with a verdict cache.
+  const std::map<uint64_t, uint64_t>* liblink_reuse = nullptr;
+  VerifiedRangeLog* reuse_log = nullptr;
+
   // ---- Artifacts (filled by the stages) ----
   std::optional<elf::ElfFile> elf;        // ContainerValidate
   std::unique_ptr<x86::InsnBuffer> insns; // Disassemble
@@ -130,6 +156,12 @@ struct InspectionResult {
   // One report per StageId, in execution order; stages after a rejection are
   // kSkipped.
   std::vector<StageReport> reports;
+  // How the verdict cache participated (kDisabled when none was attached).
+  VerdictCacheOutcome cache_outcome = VerdictCacheOutcome::kDisabled;
+  // Set on a full hit, where context.insns stays null: the instruction-buffer
+  // statistics the cold run recorded, so callers report identical stats.
+  uint64_t cached_instruction_count = 0;
+  uint64_t cached_insn_buffer_pages = 0;
 };
 
 // ---- Status classification --------------------------------------------------

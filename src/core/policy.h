@@ -14,9 +14,12 @@
 #ifndef ENGARDE_CORE_POLICY_H_
 #define ENGARDE_CORE_POLICY_H_
 
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -39,6 +42,22 @@ struct ViolationSite {
   uint64_t vaddr = 0;  // file-vaddr of the offending instruction/function
 };
 
+// Thread-safe out-slot collecting the [start, hashed_end) byte ranges whose
+// body hash the library-linking policy verified against the agreed database
+// during this check. The verdict cache persists them (core/verdict_cache.h)
+// so a re-upload can skip re-hashing functions whose bytes are unchanged.
+// Like violation_out, this is an output channel, not module state — Check()
+// remains const and side-effect-free with respect to the binary.
+struct VerifiedRangeLog {
+  std::mutex mu;
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;  // [start, hashed_end)
+
+  void Add(uint64_t start, uint64_t hashed_end) {
+    const std::lock_guard<std::mutex> lock(mu);
+    ranges.emplace_back(start, hashed_end);
+  }
+};
+
 struct PolicyContext {
   const x86::InsnBuffer* insns = nullptr;
   const SymbolHashTable* symbols = nullptr;
@@ -55,6 +74,17 @@ struct PolicyContext {
   // must produce the identical verdict at any thread count.
   common::ThreadPool* pool = nullptr;
 
+  // Verdict-cache reuse (core/verdict_cache.h). liblink_reuse maps function
+  // starts whose [start, hashed_end) bytes are PROVABLY unchanged since a
+  // prior verification to that hashed_end: the library-linking policy may
+  // skip the body-hash walk for those targets (the symbol-table and
+  // instruction-boundary checks still run, so the verdict — including every
+  // rejection string and the lowest-index-violation reduction — is
+  // bit-identical to a cold check). reuse_log, when set, collects the ranges
+  // verified during THIS check for persisting. Both null when caching is off.
+  const std::map<uint64_t, uint64_t>* liblink_reuse = nullptr;
+  VerifiedRangeLog* reuse_log = nullptr;
+
   // Raw bytes of the text region [text_start, text_end) in file-vaddr space;
   // used by hashing policies. Sections may be disjoint; Bytes() resolves via
   // the ELF.
@@ -69,6 +99,11 @@ class PolicyModule {
   // Stable description of the module + its configuration (library version,
   // exemption lists, ...). Folded into the enclave measurement.
   virtual std::string Fingerprint() const = 0;
+  // Fingerprint of any external reference database the module checks against
+  // (the library hash db for library-linking); empty for self-contained
+  // modules. Split out from Fingerprint() so the verdict cache can key on
+  // the library dimension independently of the policy configuration.
+  virtual std::string LibraryFingerprint() const { return {}; }
 
   // OK iff the client code complies. Must not mutate anything and must not
   // leak information beyond the status (threat model, Section 3).

@@ -16,6 +16,10 @@ std::string LibraryLinkingPolicy::Fingerprint() const {
          HexEncode(crypto::DigestView(db_.DbDigest())) + ")";
 }
 
+std::string LibraryLinkingPolicy::LibraryFingerprint() const {
+  return library_name_ + ":" + HexEncode(crypto::DigestView(db_.DbDigest()));
+}
+
 Status LibraryLinkingPolicy::CheckRange(const PolicyContext& context,
                                         size_t begin, size_t end,
                                         size_t* bad_index) const {
@@ -25,6 +29,9 @@ Status LibraryLinkingPolicy::CheckRange(const PolicyContext& context,
   // Digest cache: one SHA-256 per distinct call target instead of one per
   // call site. Local to the range, so shards never share mutable state.
   std::unordered_map<uint64_t, crypto::Sha256Digest> digests;
+  // Targets this shard already logged to context.reuse_log (the verdict
+  // cache dedups across shards; this just bounds the log's growth).
+  std::set<uint64_t> deposited;
 
   for (size_t site = begin; site < end; ++site) {
     const x86::Insn& insn = insns[site];
@@ -48,6 +55,26 @@ Status LibraryLinkingPolicy::CheckRange(const PolicyContext& context,
     if (options_.memoize_functions) verified.insert(target);
     if (expected == nullptr) continue;
 
+    // Cross-session reuse (core/verdict_cache.h): this target's bytes are
+    // provably unchanged since a prior verification against the same
+    // database. The symbol-table lookup above and the instruction-boundary
+    // check here still run live — only the body-hash walk is skipped — so
+    // rejection strings and the lowest-index-violation reduction are
+    // bit-identical to a cold walk.
+    if (context.liblink_reuse != nullptr) {
+      const auto reusable = context.liblink_reuse->find(target);
+      if (reusable != context.liblink_reuse->end()) {
+        if (insns.IndexOfAddr(target) == x86::InsnBuffer::npos) {
+          return PolicyViolationError("direct call [" + insn.ToString() +
+                                      "] targets a non-instruction address");
+        }
+        if (context.reuse_log != nullptr && deposited.insert(target).second) {
+          context.reuse_log->Add(target, reusable->second);
+        }
+        continue;
+      }
+    }
+
     // Hash the function body the way the paper describes: "the policy module
     // sequentially reads instructions starting from the computed target
     // address and stops when it comes across an instruction that is at the
@@ -56,6 +83,8 @@ Status LibraryLinkingPolicy::CheckRange(const PolicyContext& context,
     // the paper's check re-hashes on every call site, and so do we.)
     const crypto::Sha256Digest* actual = nullptr;
     crypto::Sha256Digest computed;
+    bool freshly_hashed = false;
+    uint64_t hashed_end = 0;  // one past the last byte the walk hashed
     if (options_.cache_function_digests) {
       const auto cached = digests.find(target);
       if (cached != digests.end()) actual = &cached->second;
@@ -77,8 +106,10 @@ Status LibraryLinkingPolicy::CheckRange(const PolicyContext& context,
         ASSIGN_OR_RETURN(const ByteView bytes,
                          context.TextBytes(body_insn.addr, body_insn.length));
         hash.Update(bytes);
+        hashed_end = body_insn.addr + body_insn.length;
       }
       computed = hash.Finalize();
+      freshly_hashed = true;
       if (options_.cache_function_digests) {
         actual = &digests.emplace(target, computed).first->second;
       } else {
@@ -90,6 +121,12 @@ Status LibraryLinkingPolicy::CheckRange(const PolicyContext& context,
       return PolicyViolationError(
           "function " + fn->name + " does not match the required " +
           library_name_ + " implementation (wrong library version?)");
+    }
+    // A fresh walk just matched the database: record exactly what it hashed
+    // so a future upload with these bytes unchanged can skip the walk.
+    if (freshly_hashed && context.reuse_log != nullptr &&
+        hashed_end > target && deposited.insert(target).second) {
+      context.reuse_log->Add(target, hashed_end);
     }
   }
   return Status::Ok();

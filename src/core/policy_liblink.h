@@ -51,6 +51,10 @@ class LibraryLinkingPolicy : public PolicyModule {
 
   std::string_view name() const override { return "library-linking"; }
   std::string Fingerprint() const override;
+  // The reference-database dimension of the verdict-cache key: upgrading the
+  // agreed library invalidates cached verdicts even if the policy
+  // configuration is otherwise unchanged.
+  std::string LibraryFingerprint() const override;
   // Sharded over context.pool when available: the call-site scan is
   // partitioned into instruction ranges checked concurrently, and the
   // lowest-index violation decides — the verdict is identical to the serial

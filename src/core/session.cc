@@ -166,6 +166,7 @@ Status ProvisioningSession::RunInspectionAndVerdict() {
   ctx.layout = &enclave->options_.layout;
   ctx.drbg = &enclave->drbg_;
   ctx.streaming = streaming_.get();
+  ctx.verdict_cache = enclave->options_.verdict_cache.get();
 
   // Hard (non-client-attributable) failures propagate here and terminate the
   // session without a verdict or the EEXIT — the old early-return behavior.
@@ -175,6 +176,11 @@ Status ProvisioningSession::RunInspectionAndVerdict() {
   if (ctx.insns) {
     outcome_.stats.instruction_count = ctx.insns->size();
     outcome_.stats.insn_buffer_pages = ctx.insns->chunk_allocations();
+  } else if (inspection.cache_outcome == VerdictCacheOutcome::kFullHit) {
+    // Full verdict-cache hit: no live instruction buffer exists; report the
+    // statistics the cold run recorded so clients see identical numbers.
+    outcome_.stats.instruction_count = inspection.cached_instruction_count;
+    outcome_.stats.insn_buffer_pages = inspection.cached_insn_buffer_pages;
   }
   if (streaming_ != nullptr) {
     const StreamingStats streaming = streaming_->stats();

@@ -1,0 +1,575 @@
+#include "core/verdict_cache.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <system_error>
+#include <utility>
+
+#include "common/hex.h"
+#include "core/enclave_pool.h"
+#include "core/engarde.h"
+#include "core/sealing.h"
+#include "sgx/hostos.h"
+
+namespace engarde::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Bumped whenever the sealed plaintext layout changes; an entry with any
+// other value is stale and degrades to a counted miss.
+constexpr uint32_t kEntrySchema = 1;
+constexpr uint32_t kFunctionStoreSchema = 1;
+// SealedBlob key id marking verdict-cache artifacts (vs sealed programs,
+// whose ids are per-enclave counters).
+constexpr uint64_t kVerdictCacheKeyId = 0xe7cac4e1;
+
+constexpr std::string_view kEntrySuffix = ".evc";
+constexpr std::string_view kTempSuffix = ".tmp";
+
+void AppendString(Bytes& out, std::string_view s) {
+  AppendLe32(out, static_cast<uint32_t>(s.size()));
+  AppendBytes(out, ToBytes(s));
+}
+
+bool ReadString(ByteReader& reader, std::string& out) {
+  uint32_t length = 0;
+  ByteView view;
+  if (!reader.ReadLe32(length) || !reader.ReadBytes(length, view)) return false;
+  out = ToString(view);
+  return true;
+}
+
+bool ReadDigest(ByteReader& reader, crypto::Sha256Digest& out) {
+  ByteView view;
+  if (!reader.ReadBytes(out.size(), view)) return false;
+  std::copy(view.begin(), view.end(), out.begin());
+  return true;
+}
+
+// The raw bytes [start, end) if they lie within one text section of `elf`;
+// nullopt otherwise (the range is then not provably re-hashable).
+std::optional<ByteView> RangeBytes(const elf::ElfFile& elf, uint64_t start,
+                                   uint64_t end) {
+  if (end <= start) return std::nullopt;
+  for (const elf::Shdr* section : elf.TextSections()) {
+    if (start >= section->addr &&
+        end <= section->addr + section->size) {
+      Result<ByteView> content = elf.SectionContent(*section);
+      if (!content.ok()) return std::nullopt;
+      return content->subspan(start - section->addr, end - start);
+    }
+  }
+  return std::nullopt;
+}
+
+Bytes SerializeEntry(const crypto::Sha256Digest& binary_sha,
+                     const crypto::Sha256Digest& policy_fp,
+                     const crypto::Sha256Digest& library_fp,
+                     const CachedVerdict& verdict) {
+  Bytes out;
+  AppendLe32(out, kEntrySchema);
+  AppendBytes(out, crypto::DigestView(binary_sha));
+  AppendBytes(out, crypto::DigestView(policy_fp));
+  AppendBytes(out, crypto::DigestView(library_fp));
+  out.push_back(verdict.compliant ? 1 : 0);
+  AppendString(out, verdict.reason);
+  out.push_back(verdict.rejection.has_value() ? 1 : 0);
+  if (verdict.rejection.has_value()) {
+    AppendString(out, verdict.rejection->stage);
+    AppendString(out, verdict.rejection->rule);
+    AppendLe64(out, verdict.rejection->vaddr);
+    AppendString(out, verdict.rejection->detail);
+  }
+  AppendLe64(out, verdict.instruction_count);
+  AppendLe64(out, verdict.insn_buffer_pages);
+  AppendLe32(out, static_cast<uint32_t>(verdict.reports.size()));
+  for (const StageReport& report : verdict.reports) {
+    out.push_back(static_cast<uint8_t>(report.stage));
+    out.push_back(static_cast<uint8_t>(report.outcome));
+    AppendLe64(out, report.wall_ns);
+    AppendLe64(out, report.sgx_instructions);
+    AppendString(out, report.detail);
+  }
+  return out;
+}
+
+// Strict parse + fingerprint validation; nullopt = stale/corrupt (counted as
+// a tamper reject by the caller).
+std::optional<CachedVerdict> ParseEntry(ByteView plaintext,
+                                        const crypto::Sha256Digest& binary_sha,
+                                        const crypto::Sha256Digest& policy_fp,
+                                        const crypto::Sha256Digest& library_fp) {
+  ByteReader reader(plaintext);
+  uint32_t schema = 0;
+  if (!reader.ReadLe32(schema) || schema != kEntrySchema) return std::nullopt;
+  crypto::Sha256Digest sha{}, pfp{}, lfp{};
+  if (!ReadDigest(reader, sha) || !ReadDigest(reader, pfp) ||
+      !ReadDigest(reader, lfp)) {
+    return std::nullopt;
+  }
+  if (sha != binary_sha || pfp != policy_fp || lfp != library_fp) {
+    return std::nullopt;
+  }
+  CachedVerdict verdict;
+  uint8_t compliant = 0, has_rejection = 0;
+  if (!reader.ReadU8(compliant)) return std::nullopt;
+  verdict.compliant = compliant != 0;
+  if (!ReadString(reader, verdict.reason)) return std::nullopt;
+  if (!reader.ReadU8(has_rejection)) return std::nullopt;
+  if (has_rejection != 0) {
+    Rejection rejection;
+    if (!ReadString(reader, rejection.stage) ||
+        !ReadString(reader, rejection.rule) ||
+        !reader.ReadLe64(rejection.vaddr) ||
+        !ReadString(reader, rejection.detail)) {
+      return std::nullopt;
+    }
+    verdict.rejection = std::move(rejection);
+  }
+  if (verdict.compliant == verdict.rejection.has_value()) return std::nullopt;
+  if (!reader.ReadLe64(verdict.instruction_count) ||
+      !reader.ReadLe64(verdict.insn_buffer_pages)) {
+    return std::nullopt;
+  }
+  uint32_t report_count = 0;
+  if (!reader.ReadLe32(report_count) || report_count > 16) return std::nullopt;
+  verdict.reports.reserve(report_count);
+  for (uint32_t i = 0; i < report_count; ++i) {
+    StageReport report;
+    uint8_t stage = 0, outcome = 0;
+    if (!reader.ReadU8(stage) || !reader.ReadU8(outcome) ||
+        !reader.ReadLe64(report.wall_ns) ||
+        !reader.ReadLe64(report.sgx_instructions) ||
+        !ReadString(reader, report.detail)) {
+      return std::nullopt;
+    }
+    if (stage >= static_cast<uint8_t>(StageId::kCount) || outcome > 3) {
+      return std::nullopt;
+    }
+    report.stage = static_cast<StageId>(stage);
+    report.outcome = static_cast<StageOutcome>(outcome);
+    verdict.reports.push_back(std::move(report));
+  }
+  return reader.AtEnd() ? std::optional<CachedVerdict>(std::move(verdict))
+                        : std::nullopt;
+}
+
+Bytes SerializeFunctionStore(const crypto::Sha256Digest& policy_fp,
+                             const crypto::Sha256Digest& library_fp,
+                             const std::vector<VerifiedFunctionRecord>& records) {
+  Bytes out;
+  AppendLe32(out, kFunctionStoreSchema);
+  AppendBytes(out, crypto::DigestView(policy_fp));
+  AppendBytes(out, crypto::DigestView(library_fp));
+  AppendLe32(out, static_cast<uint32_t>(records.size()));
+  for (const VerifiedFunctionRecord& record : records) {
+    AppendString(out, record.name);
+    AppendLe64(out, record.start);
+    AppendLe64(out, record.end);
+    AppendLe64(out, record.hashed_end);
+    AppendBytes(out, crypto::DigestView(record.digest));
+  }
+  return out;
+}
+
+std::optional<std::vector<VerifiedFunctionRecord>> ParseFunctionStore(
+    ByteView plaintext, const crypto::Sha256Digest& policy_fp,
+    const crypto::Sha256Digest& library_fp) {
+  ByteReader reader(plaintext);
+  uint32_t schema = 0;
+  if (!reader.ReadLe32(schema) || schema != kFunctionStoreSchema) {
+    return std::nullopt;
+  }
+  crypto::Sha256Digest pfp{}, lfp{};
+  if (!ReadDigest(reader, pfp) || !ReadDigest(reader, lfp)) return std::nullopt;
+  if (pfp != policy_fp || lfp != library_fp) return std::nullopt;
+  uint32_t count = 0;
+  if (!reader.ReadLe32(count)) return std::nullopt;
+  std::vector<VerifiedFunctionRecord> records;
+  records.reserve(std::min<uint32_t>(count, 4096));
+  for (uint32_t i = 0; i < count; ++i) {
+    VerifiedFunctionRecord record;
+    if (!ReadString(reader, record.name) || !reader.ReadLe64(record.start) ||
+        !reader.ReadLe64(record.end) || !reader.ReadLe64(record.hashed_end) ||
+        !ReadDigest(reader, record.digest)) {
+      return std::nullopt;
+    }
+    records.push_back(std::move(record));
+  }
+  if (!reader.AtEnd()) return std::nullopt;
+  return records;
+}
+
+}  // namespace
+
+VerdictCache::VerdictCache(VerdictCacheOptions options, crypto::Aes256Key key,
+                           crypto::Sha256Digest policy_fp,
+                           crypto::Sha256Digest library_fp)
+    : options_(std::move(options)),
+      key_(key),
+      policy_fp_(policy_fp),
+      library_fp_(library_fp) {}
+
+Result<std::shared_ptr<VerdictCache>> VerdictCache::Create(
+    VerdictCacheOptions options, const PolicySet& policies,
+    const sgx::EnclaveLayout& layout) {
+  if (options.directory.empty()) {
+    return InvalidArgumentError("verdict cache requires a directory");
+  }
+  std::error_code ec;
+  fs::create_directories(options.directory, ec);
+  if (ec) {
+    return InternalError("cannot create verdict cache directory " +
+                         options.directory + ": " + ec.message());
+  }
+
+  // Fingerprints: the policy dimension covers every module's configuration,
+  // the library dimension only the reference databases, so a library upgrade
+  // and a policy reconfiguration invalidate independently (and visibly — the
+  // plaintext embeds both).
+  const std::string policy_text = PolicySetFingerprint(policies);
+  const crypto::Sha256Digest policy_fp =
+      crypto::Sha256::Hash(ByteView(ToBytes(policy_text)));
+  std::string library_text;
+  for (const auto& policy : policies) {
+    library_text += policy->LibraryFingerprint();
+    library_text += '\n';
+  }
+  const crypto::Sha256Digest library_fp =
+      crypto::Sha256::Hash(ByteView(ToBytes(library_text)));
+
+  // Seal-key derivation, once, on a scratch device (the ExpectedMeasurement
+  // idiom): build the EnGarde bootstrap for this policy set and run EGETKEY
+  // against it. The key is thereby bound to the policy-set MRENCLAVE — an
+  // entry sealed under a different policy set or layout simply fails its
+  // MAC — and no live session's accountant observes the derivation charges.
+  const Bytes bootstrap = EngardeEnclave::BootstrapImage(policies);
+  sgx::SgxDevice device(
+      sgx::SgxDevice::Options{.epc_pages = layout.TotalPages() + 8});
+  sgx::HostOs host(&device);
+  ASSIGN_OR_RETURN(
+      const uint64_t enclave_id,
+      host.BuildEnclave(layout, ByteView(bootstrap.data(), bootstrap.size())));
+  ASSIGN_OR_RETURN(const crypto::Aes256Key key,
+                   device.EGetkey(enclave_id, kVerdictCacheKeyId));
+
+  std::shared_ptr<VerdictCache> cache(
+      new VerdictCache(std::move(options), key, policy_fp, library_fp));
+
+  // Seed the LRU index from entry mtimes and sweep stray temp files (a crash
+  // mid-publish leaves at most one; it was never visible to readers).
+  std::vector<std::pair<fs::file_time_type, std::pair<std::string, uint64_t>>>
+      found;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(cache->options_.directory, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() > kTempSuffix.size() &&
+        name.compare(name.size() - kTempSuffix.size(), kTempSuffix.size(),
+                     kTempSuffix) == 0) {
+      fs::remove(entry.path(), ec);
+      continue;
+    }
+    if (name.size() > kEntrySuffix.size() &&
+        name.compare(name.size() - kEntrySuffix.size(), kEntrySuffix.size(),
+                     kEntrySuffix) == 0) {
+      found.emplace_back(
+          entry.last_write_time(ec),
+          std::make_pair(name, static_cast<uint64_t>(entry.file_size(ec))));
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  {
+    const std::lock_guard<std::mutex> lock(cache->mu_);
+    for (auto& [mtime, name_bytes] : found) {
+      auto& [name, bytes] = name_bytes;
+      cache->lru_.push_back(name);
+      cache->index_.emplace(
+          name, IndexEntry{std::prev(cache->lru_.end()), bytes});
+      cache->bytes_sealed_.fetch_add(bytes, std::memory_order_relaxed);
+    }
+    cache->EvictPastCapacityLocked();
+  }
+  cache->LoadFunctionStore();
+  return cache;
+}
+
+std::string VerdictCache::EntryFileName(
+    const crypto::Sha256Digest& binary_sha) const {
+  crypto::Sha256 hash;
+  hash.Update(ByteView(ToBytes("engarde-verdict-entry/1")));
+  hash.Update(crypto::DigestView(policy_fp_));
+  hash.Update(crypto::DigestView(library_fp_));
+  hash.Update(crypto::DigestView(binary_sha));
+  const crypto::Sha256Digest name = hash.Finalize();
+  return HexEncode(crypto::DigestView(name)) + std::string(kEntrySuffix);
+}
+
+std::string VerdictCache::EntryPathFor(
+    const crypto::Sha256Digest& binary_sha) const {
+  return (fs::path(options_.directory) / EntryFileName(binary_sha)).string();
+}
+
+std::string VerdictCache::FunctionStorePath() const {
+  crypto::Sha256 hash;
+  hash.Update(ByteView(ToBytes("engarde-fn-store/1")));
+  hash.Update(crypto::DigestView(policy_fp_));
+  hash.Update(crypto::DigestView(library_fp_));
+  const crypto::Sha256Digest name = hash.Finalize();
+  return (fs::path(options_.directory) /
+          ("functions-" + HexEncode(crypto::DigestView(name)).substr(0, 16) +
+           ".evcfn"))
+      .string();
+}
+
+Bytes VerdictCache::Seal(ByteView plaintext) const {
+  // SIV-style deterministic nonce: derived from the plaintext, so the only
+  // way to repeat a (key, nonce) pair is to re-seal the identical plaintext,
+  // which reuses the keystream on identical bytes — harmless.
+  crypto::Sha256 nonce_hash;
+  nonce_hash.Update(ByteView(ToBytes("engarde-evc-nonce/1")));
+  nonce_hash.Update(plaintext);
+  const crypto::Sha256Digest nonce_digest = nonce_hash.Finalize();
+  std::array<uint8_t, 12> nonce{};
+  std::copy_n(nonce_digest.begin(), nonce.size(), nonce.begin());
+  return core::Seal(key_, kVerdictCacheKeyId, nonce, plaintext).Serialize();
+}
+
+Bytes VerdictCache::SealForTesting(ByteView plaintext) const {
+  return Seal(plaintext);
+}
+
+Result<Bytes> VerdictCache::UnsealFile(const std::string& path) const {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("verdict cache entry unreadable: " + path);
+  Bytes wire((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  ASSIGN_OR_RETURN(const SealedBlob blob,
+                   SealedBlob::Deserialize(ByteView(wire.data(), wire.size())));
+  return Unseal(key_, blob);
+}
+
+Status VerdictCache::PublishLocked(const std::string& path,
+                                   const Bytes& sealed) {
+  const std::string temp = path + std::string(kTempSuffix);
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) return InternalError("cannot write " + temp);
+    out.write(reinterpret_cast<const char*>(sealed.data()),
+              static_cast<std::streamsize>(sealed.size()));
+    if (!out) {
+      std::error_code ec;
+      fs::remove(temp, ec);
+      return InternalError("short write to " + temp);
+    }
+  }
+  // Atomic publish: readers see the old entry or the new one, never a torn
+  // prefix. (And an unsealable torn file would only count a tamper miss.)
+  std::error_code ec;
+  fs::rename(temp, path, ec);
+  if (ec) {
+    fs::remove(temp, ec);
+    return InternalError("cannot publish " + path);
+  }
+  return Status::Ok();
+}
+
+void VerdictCache::TouchLocked(const std::string& name) {
+  const auto it = index_.find(name);
+  if (it == index_.end()) return;
+  lru_.splice(lru_.end(), lru_, it->second.lru);
+}
+
+void VerdictCache::RemoveEntryLocked(const std::string& name) {
+  const auto it = index_.find(name);
+  if (it == index_.end()) return;
+  bytes_sealed_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+  lru_.erase(it->second.lru);
+  index_.erase(it);
+  std::error_code ec;
+  fs::remove(fs::path(options_.directory) / name, ec);
+}
+
+void VerdictCache::EvictPastCapacityLocked() {
+  if (options_.capacity == 0) return;
+  while (index_.size() > options_.capacity && !lru_.empty()) {
+    const std::string victim = lru_.front();
+    RemoveEntryLocked(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::optional<CachedVerdict> VerdictCache::Probe(
+    const crypto::Sha256Digest& binary_sha) {
+  const std::string name = EntryFileName(binary_sha);
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (index_.find(name) == index_.end()) return std::nullopt;
+  const std::string path =
+      (fs::path(options_.directory) / name).string();
+  const Result<Bytes> plaintext = UnsealFile(path);
+  if (!plaintext.ok()) {
+    // Bit-flip, truncation, wrong key (other policy set / library db /
+    // layout): silent counted miss, and the poisoned file is dropped so the
+    // next probe goes straight to cold inspection.
+    CountTamper();
+    RemoveEntryLocked(name);
+    return std::nullopt;
+  }
+  std::optional<CachedVerdict> verdict = ParseEntry(
+      ByteView(plaintext->data(), plaintext->size()), binary_sha, policy_fp_,
+      library_fp_);
+  if (!verdict.has_value()) {
+    CountTamper();
+    RemoveEntryLocked(name);
+    return std::nullopt;
+  }
+  TouchLocked(name);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return verdict;
+}
+
+void VerdictCache::Store(const crypto::Sha256Digest& binary_sha,
+                         const CachedVerdict& verdict) {
+  const Bytes sealed =
+      Seal(ByteView(SerializeEntry(binary_sha, policy_fp_, library_fp_,
+                                   verdict)));
+  const std::string name = EntryFileName(binary_sha);
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::string path = (fs::path(options_.directory) / name).string();
+  if (!PublishLocked(path, sealed).ok()) return;  // disk trouble = no caching
+  const auto it = index_.find(name);
+  if (it != index_.end()) {
+    bytes_sealed_.fetch_add(sealed.size(), std::memory_order_relaxed);
+    bytes_sealed_.fetch_sub(it->second.bytes, std::memory_order_relaxed);
+    it->second.bytes = sealed.size();
+    TouchLocked(name);
+  } else {
+    lru_.push_back(name);
+    index_.emplace(name, IndexEntry{std::prev(lru_.end()),
+                                    static_cast<uint64_t>(sealed.size())});
+    bytes_sealed_.fetch_add(sealed.size(), std::memory_order_relaxed);
+    EvictPastCapacityLocked();
+  }
+}
+
+std::map<uint64_t, uint64_t> VerdictCache::ResolveReuse(
+    const SymbolHashTable& symbols, const elf::ElfFile& elf) const {
+  std::vector<VerifiedFunctionRecord> records;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    records = fn_records_;
+  }
+  std::map<uint64_t, uint64_t> reuse;
+  for (const VerifiedFunctionRecord& record : records) {
+    // Reuse demands the function sit at the identical [start, end) — a
+    // shifted or resized function re-hashes cold (its relocated bytes would
+    // differ anyway), and an unchanged `end` also proves no new function
+    // start appeared inside the body (ends are derived from the next start).
+    const SymbolHashTable::Function* fn = symbols.FunctionAt(record.start);
+    if (fn == nullptr || fn->name != record.name ||
+        fn->start != record.start || fn->end != record.end) {
+      continue;
+    }
+    const std::optional<ByteView> bytes =
+        RangeBytes(elf, record.start, record.hashed_end);
+    if (!bytes.has_value()) continue;
+    if (crypto::Sha256::Hash(*bytes) == record.digest) {
+      reuse.emplace(record.start, record.hashed_end);
+    }
+  }
+  return reuse;
+}
+
+void VerdictCache::MergeVerifiedFunctions(
+    const std::vector<std::pair<uint64_t, uint64_t>>& ranges,
+    const SymbolHashTable& symbols, const elf::ElfFile& elf) {
+  std::vector<VerifiedFunctionRecord> fresh;
+  fresh.reserve(ranges.size());
+  for (const auto& [start, hashed_end] : ranges) {
+    const SymbolHashTable::Function* fn = symbols.FunctionAt(start);
+    if (fn == nullptr) continue;
+    const std::optional<ByteView> bytes = RangeBytes(elf, start, hashed_end);
+    if (!bytes.has_value()) continue;
+    VerifiedFunctionRecord record;
+    record.name = fn->name;
+    record.start = start;
+    record.end = fn->end;
+    record.hashed_end = hashed_end;
+    record.digest = crypto::Sha256::Hash(*bytes);
+    fresh.push_back(std::move(record));
+  }
+  if (fresh.empty()) return;
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (VerifiedFunctionRecord& record : fresh) {
+    const auto existing = std::find_if(
+        fn_records_.begin(), fn_records_.end(),
+        [&](const VerifiedFunctionRecord& r) {
+          return r.name == record.name && r.start == record.start;
+        });
+    if (existing != fn_records_.end()) {
+      *existing = std::move(record);
+    } else {
+      fn_records_.push_back(std::move(record));
+    }
+  }
+  if (options_.max_function_records > 0 &&
+      fn_records_.size() > options_.max_function_records) {
+    fn_records_.erase(fn_records_.begin(),
+                      fn_records_.begin() +
+                          static_cast<ptrdiff_t>(fn_records_.size() -
+                                                 options_.max_function_records));
+  }
+  const Bytes sealed = Seal(
+      ByteView(SerializeFunctionStore(policy_fp_, library_fp_, fn_records_)));
+  if (!PublishLocked(FunctionStorePath(), sealed).ok()) return;
+  bytes_sealed_.fetch_add(sealed.size(), std::memory_order_relaxed);
+  bytes_sealed_.fetch_sub(fn_store_bytes_, std::memory_order_relaxed);
+  fn_store_bytes_ = sealed.size();
+}
+
+void VerdictCache::LoadFunctionStore() {
+  const std::string path = FunctionStorePath();
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  const Result<Bytes> plaintext = UnsealFile(path);
+  std::optional<std::vector<VerifiedFunctionRecord>> records;
+  if (plaintext.ok()) {
+    records = ParseFunctionStore(ByteView(plaintext->data(), plaintext->size()),
+                                 policy_fp_, library_fp_);
+  }
+  if (!records.has_value()) {
+    // Tampered/stale function store: reset it. Every re-upload re-hashes
+    // cold until compliant runs repopulate it — a counted miss, never a
+    // wrong reuse.
+    CountTamper();
+    fs::remove(path, ec);
+    return;
+  }
+  fn_records_ = std::move(*records);
+  fn_store_bytes_ = static_cast<uint64_t>(fs::file_size(path, ec));
+  bytes_sealed_.fetch_add(fn_store_bytes_, std::memory_order_relaxed);
+}
+
+VerdictCacheStats VerdictCache::stats() const {
+  VerdictCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.partial_hits = partial_hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.tamper_rejects = tamper_rejects_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.bytes_sealed = bytes_sealed_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+size_t VerdictCache::entry_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+}  // namespace engarde::core

@@ -1,0 +1,211 @@
+// Content-addressed sealed verdict cache: at fleet scale most clients
+// re-upload identical or near-identical binaries, so EnGarde would re-run the
+// full inspection pipeline over work it has already judged. The cache makes a
+// re-upload cheap on two granularities:
+//
+//  * Full hit — the exact binary (by SHA-256) was inspected before under the
+//    same policy set and library database: the pipeline replays the cached
+//    per-stage reports and structured rejection bit-identically, skipping
+//    Disassemble/NaClValidate/PolicyCheck. An ACCEPT verdict still re-runs
+//    LoadAndLock against the live enclave — the cache never vouches for a
+//    measurement, only for the content-determined verdict.
+//  * Partial hit — the binary is new, but the per-function digest store
+//    remembers which library-function bodies the library-linking policy has
+//    already verified. Functions whose raw bytes are provably unchanged skip
+//    the per-call-site body hashing (the dominant policy-check cost); changed
+//    functions re-hash cold, preserving the lowest-index-violation reduction.
+//
+// Trust argument: entries are sealed (core/sealing.h) under an
+// EGETKEY-derived key bound to the MRENCLAVE of the EnGarde bootstrap for
+// THIS policy set and layout — the same key-derivation the sealed-program
+// path uses. The host stores opaque blobs; it cannot forge an entry (MAC),
+// splice a verdict onto a different binary (the plaintext embeds the binary
+// SHA-256 the filename was derived from), or replay an entry sealed under a
+// weaker policy set (different bootstrap -> different MRENCLAVE -> different
+// key -> MAC fails). Any tamper, truncation, schema or fingerprint mismatch
+// degrades to a counted miss followed by cold inspection — never a crash,
+// never a wrong accept.
+//
+// Concurrency: one VerdictCache is shared by every reactor shard of a
+// FrontendGroup (and its warm pool). Probes and stores serialize on one
+// mutex; publishes write a temp file and commit with an atomic rename, so a
+// crash mid-write leaves either the old entry or a stray .tmp (swept at
+// Create), never a torn read. Counters are relaxed atomics, readable from
+// any thread while reactors run.
+#ifndef ENGARDE_CORE_VERDICT_CACHE_H_
+#define ENGARDE_CORE_VERDICT_CACHE_H_
+
+#include <atomic>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "core/inspection.h"
+#include "core/policy.h"
+#include "core/symbol_table.h"
+#include "crypto/aes.h"
+#include "crypto/sha256.h"
+#include "elf/reader.h"
+#include "sgx/hostos.h"
+
+namespace engarde::core {
+
+struct VerdictCacheOptions {
+  // On-disk store; created if missing. One directory per (policy set,
+  // library db) deployment is typical, but entries from different
+  // configurations coexist safely — the key and filename both cover the
+  // fingerprints.
+  std::string directory;
+  // Max sealed verdict entries on disk; the least-recently-used entry is
+  // evicted (unlinked) past this. 0 = unlimited.
+  size_t capacity = 256;
+  // Bound on persisted per-function digest records; oldest are dropped.
+  size_t max_function_records = 65536;
+};
+
+// The replayable payload of a full hit: everything a cold run of the cached
+// stages (Disassemble, BuildSymbols, NaClValidate, PolicyCheck) produced
+// that is content-determined — verdict, rejection, stage reports, and the
+// instruction-buffer statistics the session reports.
+struct CachedVerdict {
+  bool compliant = false;
+  std::string reason;                  // legacy flat reason; empty if compliant
+  std::optional<Rejection> rejection;  // set iff !compliant
+  uint64_t instruction_count = 0;
+  uint64_t insn_buffer_pages = 0;  // malloc trampolines to replay (kDisassembly)
+  // Reports for the four cached stages, in execution order.
+  std::vector<StageReport> reports;
+};
+
+// One library function the linking policy verified: the call-site walk
+// hashed exactly the raw bytes [start, hashed_end) (hashed_end can exceed
+// the symbol-table `end` when the final instruction straddles it), and the
+// digest matched the agreed library database. Reuse on a re-upload requires
+// the function to sit at the same [start, end) with byte-identical
+// [start, hashed_end) content — anything else re-hashes cold.
+struct VerifiedFunctionRecord {
+  std::string name;
+  uint64_t start = 0;
+  uint64_t end = 0;         // symbol-table end at verification time
+  uint64_t hashed_end = 0;  // one past the last byte the walk hashed
+  crypto::Sha256Digest digest{};  // SHA-256 of image bytes [start, hashed_end)
+};
+
+struct VerdictCacheStats {
+  uint64_t hits = 0;            // full entry replayed
+  uint64_t partial_hits = 0;    // >=1 function skipped re-hashing
+  uint64_t misses = 0;          // cold inspection, nothing reused
+  uint64_t tamper_rejects = 0;  // sealed artifact failed validation
+  uint64_t evictions = 0;       // LRU unlinks past capacity
+  uint64_t bytes_sealed = 0;    // gauge: sealed bytes currently on disk
+};
+
+class VerdictCache {
+ public:
+  // Derives the sealing key once, at construction: a scratch device builds
+  // the EnGarde bootstrap for `policies` under `layout` (the same reference
+  // build ExpectedMeasurement performs) and runs EGETKEY against it, so the
+  // key is bound to this exact policy-set MRENCLAVE and no live-session
+  // accountant ever sees the derivation. Scans `options.directory`, seeding
+  // the LRU index from entry mtimes and sweeping stray temp files.
+  static Result<std::shared_ptr<VerdictCache>> Create(
+      VerdictCacheOptions options, const PolicySet& policies,
+      const sgx::EnclaveLayout& layout);
+
+  // Full-entry probe. A valid entry counts a hit and returns the cached
+  // verdict; absence returns nullopt uncounted (the pipeline classifies the
+  // run as partial hit or miss once function reuse is known). Tampered,
+  // truncated, stale-schema or wrong-fingerprint entries count a tamper
+  // reject, are unlinked, and return nullopt.
+  std::optional<CachedVerdict> Probe(const crypto::Sha256Digest& binary_sha);
+
+  // Publishes the verdict for `binary_sha`: seal, write to a temp file,
+  // atomic-rename into place, then LRU-evict past capacity. Thread-safe
+  // single-writer; concurrent stores of the same binary are idempotent.
+  void Store(const crypto::Sha256Digest& binary_sha,
+             const CachedVerdict& verdict);
+
+  // Resolves the persisted function records against a new binary: returns
+  // start -> hashed_end for every recorded function that exists in `symbols`
+  // at the same [start, end) with a byte-identical [start, hashed_end) range
+  // in `elf`. Those call targets may skip the body-hash walk.
+  std::map<uint64_t, uint64_t> ResolveReuse(const SymbolHashTable& symbols,
+                                            const elf::ElfFile& elf) const;
+
+  // Folds newly verified [start, hashed_end) ranges into the sealed
+  // per-function store (named via `symbols`), bounded by
+  // max_function_records, and republishes it (temp file + atomic rename).
+  void MergeVerifiedFunctions(
+      const std::vector<std::pair<uint64_t, uint64_t>>& ranges,
+      const SymbolHashTable& symbols, const elf::ElfFile& elf);
+
+  // Probe classification the pipeline reports once reuse is known.
+  void CountMiss() { misses_.fetch_add(1, std::memory_order_relaxed); }
+  void CountPartialHit() {
+    partial_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  VerdictCacheStats stats() const;
+
+  const std::string& directory() const { return options_.directory; }
+  size_t entry_count() const;
+
+  // ---- Test hooks (tamper-injection tests forge on-disk artifacts) --------
+  // Path the entry for `binary_sha` lives at under THIS cache's fingerprints.
+  std::string EntryPathFor(const crypto::Sha256Digest& binary_sha) const;
+  // Seals arbitrary plaintext under this cache's key, for forging entries
+  // with wrong schemas/fingerprints in tests.
+  Bytes SealForTesting(ByteView plaintext) const;
+
+ private:
+  VerdictCache(VerdictCacheOptions options, crypto::Aes256Key key,
+               crypto::Sha256Digest policy_fp, crypto::Sha256Digest library_fp);
+
+  struct IndexEntry {
+    std::list<std::string>::iterator lru;  // position in lru_ (front = oldest)
+    uint64_t bytes = 0;
+  };
+
+  std::string EntryFileName(const crypto::Sha256Digest& binary_sha) const;
+  std::string FunctionStorePath() const;
+  Bytes Seal(ByteView plaintext) const;
+  Result<Bytes> UnsealFile(const std::string& path) const;
+  // Writes `sealed` to `path` via temp file + atomic rename. Under mu_.
+  Status PublishLocked(const std::string& path, const Bytes& sealed);
+  void TouchLocked(const std::string& name);
+  void RemoveEntryLocked(const std::string& name);
+  void EvictPastCapacityLocked();
+  void LoadFunctionStore();  // Create-time; tamper resets the store
+  void CountTamper() {
+    tamper_rejects_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  VerdictCacheOptions options_;
+  crypto::Aes256Key key_{};
+  crypto::Sha256Digest policy_fp_{};
+  crypto::Sha256Digest library_fp_{};
+
+  mutable std::mutex mu_;  // guards the index, LRU, fn records and file IO
+  std::list<std::string> lru_;  // entry file names, front = oldest
+  std::unordered_map<std::string, IndexEntry> index_;
+  std::vector<VerifiedFunctionRecord> fn_records_;  // in-memory mirror
+  uint64_t fn_store_bytes_ = 0;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> partial_hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> tamper_rejects_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> bytes_sealed_{0};
+};
+
+}  // namespace engarde::core
+
+#endif  // ENGARDE_CORE_VERDICT_CACHE_H_

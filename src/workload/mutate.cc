@@ -1,0 +1,149 @@
+#include "workload/mutate.h"
+
+#include <algorithm>
+
+#include "core/symbol_table.h"
+#include "elf/reader.h"
+#include "x86/decoder.h"
+#include "x86/insn_buffer.h"
+
+namespace engarde::workload {
+namespace {
+
+// Application-private functions are the fn_* bodies (plus main); everything
+// else in the synthetic programs' symbol tables comes from the embedded
+// libc, which the library database names and the linking policy hashes.
+bool IsLibraryFunction(const std::string& name) {
+  return name.rfind("fn_", 0) != 0 && name != "main";
+}
+
+// A byte we can flip without perturbing decode or NaCl structure: inside the
+// 4-byte immediate of a non-branch instruction (mov/add reg, imm32 filler —
+// the generators emit these densely). Branches encode their rel32 in the
+// immediate slot, so they are excluded.
+bool SafelyMutable(const x86::Insn& insn) {
+  return insn.imm_len == 4 && !insn.IsDirectBranch() &&
+         insn.src.kind == x86::OperandKind::kImm;
+}
+
+struct DecodedImage {
+  elf::ElfFile elf;
+  core::SymbolHashTable symbols;
+  std::unique_ptr<x86::InsnBuffer> insns;
+};
+
+Result<DecodedImage> Decode(const Bytes& image) {
+  ASSIGN_OR_RETURN(elf::ElfFile elf,
+                   elf::ElfFile::Parse(ByteView(image.data(), image.size())));
+  auto insns = std::make_unique<x86::InsnBuffer>([](size_t) {});
+  for (const elf::Shdr* section : elf.TextSections()) {
+    ASSIGN_OR_RETURN(const ByteView content, elf.SectionContent(*section));
+    RETURN_IF_ERROR(
+        x86::DecodeSectionInto(content, section->addr, nullptr, *insns));
+  }
+  core::SymbolHashTable symbols = core::SymbolHashTable::Build(elf);
+  return DecodedImage{std::move(elf), std::move(symbols), std::move(insns)};
+}
+
+bool HasMutableInsn(const x86::InsnBuffer& insns,
+                    const core::SymbolHashTable::Function& fn) {
+  size_t index = insns.IndexOfAddr(fn.start);
+  for (; index != x86::InsnBuffer::npos && index < insns.size(); ++index) {
+    if (insns[index].addr >= fn.end) break;
+    if (SafelyMutable(insns[index])) return true;
+  }
+  return false;
+}
+
+// File offset of vaddr `addr` (which must lie in a text section).
+Result<size_t> FileOffsetOf(const elf::ElfFile& elf, uint64_t addr) {
+  for (const elf::Shdr* section : elf.TextSections()) {
+    if (addr >= section->addr && addr < section->addr + section->size) {
+      return static_cast<size_t>(section->offset + (addr - section->addr));
+    }
+  }
+  return NotFoundError("vaddr outside every text section");
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> MutateFunctions(
+    Bytes& image, const MutationOptions& options) {
+  ASSIGN_OR_RETURN(DecodedImage decoded, Decode(image));
+  const x86::InsnBuffer& insns = *decoded.insns;
+
+  std::vector<const core::SymbolHashTable::Function*> targets;
+  if (!options.only_names.empty()) {
+    for (const std::string& name : options.only_names) {
+      const core::SymbolHashTable::Function* fn = nullptr;
+      for (const core::SymbolHashTable::Function& candidate :
+           decoded.symbols.functions()) {
+        if (candidate.name == name) {
+          fn = &candidate;
+          break;
+        }
+      }
+      if (fn == nullptr) return NotFoundError("no function named " + name);
+      targets.push_back(fn);
+    }
+  } else {
+    std::vector<const core::SymbolHashTable::Function*> eligible;
+    for (const core::SymbolHashTable::Function& fn :
+         decoded.symbols.functions()) {
+      if (IsLibraryFunction(fn.name) == options.library_functions &&
+          HasMutableInsn(insns, fn)) {
+        eligible.push_back(&fn);
+      }
+    }
+    if (options.count > eligible.size()) {
+      return OutOfRangeError("asked to mutate " +
+                             std::to_string(options.count) + " of " +
+                             std::to_string(eligible.size()) + " functions");
+    }
+    const size_t stride = std::max<size_t>(1, eligible.size() / options.count);
+    for (size_t i = 0; i < options.count; ++i) {
+      targets.push_back(eligible[std::min(i * stride, eligible.size() - 1)]);
+    }
+  }
+
+  std::vector<std::string> mutated;
+  mutated.reserve(targets.size());
+  for (const core::SymbolHashTable::Function* fn : targets) {
+    size_t index = insns.IndexOfAddr(fn->start);
+    bool flipped = false;
+    for (; index != x86::InsnBuffer::npos && index < insns.size(); ++index) {
+      const x86::Insn& insn = insns[index];
+      if (insn.addr >= fn->end) break;
+      if (!SafelyMutable(insn)) continue;
+      // The immediate is the trailing imm_len bytes of the encoding.
+      ASSIGN_OR_RETURN(
+          const size_t offset,
+          FileOffsetOf(decoded.elf, insn.addr + insn.length - insn.imm_len));
+      image[offset] ^= 0x5a;
+      flipped = true;
+      break;
+    }
+    if (!flipped) {
+      return FailedPreconditionError("function " + fn->name +
+                                     " has no safely mutable instruction");
+    }
+    mutated.push_back(fn->name);
+  }
+  return mutated;
+}
+
+Result<size_t> CountMutableFunctions(const Bytes& image,
+                                     bool library_functions) {
+  ASSIGN_OR_RETURN(const DecodedImage decoded, Decode(image));
+  size_t count = 0;
+  for (const core::SymbolHashTable::Function& fn :
+       decoded.symbols.functions()) {
+    if (IsLibraryFunction(fn.name) == library_functions &&
+        HasMutableInsn(*decoded.insns, fn)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace engarde::workload

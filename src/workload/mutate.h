@@ -1,0 +1,48 @@
+// Deterministic in-place function mutation for re-upload experiments: the
+// verdict-cache tests and benches need "the same binary with k of N
+// functions changed". Mutating a real instruction stream safely means
+// preserving instruction boundaries and NaCl structure, so the mutator only
+// flips a byte inside the 4-byte immediate of a non-branch ALU/mov
+// instruction — the decode, symbol table and page classification are
+// untouched; only the mutated functions' bytes (and hence digests) change.
+//
+// Mutating an application function (fn_*) keeps the binary fully compliant;
+// mutating a library-named function changes a body the library-linking
+// policy hashes, so the re-upload is rejected with the standard
+// wrong-library-version violation — the "mutation that introduces a policy
+// violation" case.
+#ifndef ENGARDE_WORKLOAD_MUTATE_H_
+#define ENGARDE_WORKLOAD_MUTATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace engarde::workload {
+
+struct MutationOptions {
+  // How many functions to mutate, evenly spaced over the eligible set (so
+  // "10% changed" spreads across the binary instead of clustering).
+  size_t count = 1;
+  // false = application functions (binary stays compliant); true = functions
+  // the library database names (introduces a library-linking violation).
+  bool library_functions = false;
+  // Mutate exactly these functions instead of count/library selection.
+  std::vector<std::string> only_names;
+};
+
+// Flips one immediate byte in each selected function of the ELF `image`,
+// in place. Returns the names of the functions actually mutated; an error if
+// a requested function has no safely mutable instruction.
+Result<std::vector<std::string>> MutateFunctions(Bytes& image,
+                                                 const MutationOptions& options);
+
+// Number of functions eligible for the given selection mode — the N in
+// "k of N changed".
+Result<size_t> CountMutableFunctions(const Bytes& image, bool library_functions);
+
+}  // namespace engarde::workload
+
+#endif  // ENGARDE_WORKLOAD_MUTATE_H_

@@ -1,0 +1,633 @@
+// The content-addressed sealed verdict cache must be invisible except for
+// speed: a full hit replays the cold run's verdict, rejection string, stage
+// reports and per-phase SGX attribution bit-identically; a partial hit
+// (k of N library functions changed) re-hashes only the changed bodies and
+// still reproduces the cold verdict — including the lowest-index violation
+// when a mutation introduces one, and the flip back to COMPLIANT when it is
+// removed. Every sealed-artifact failure mode the host can produce — bit
+// flips, truncation, forged schemas, entries replayed across policy-set /
+// library-DB fingerprints — must degrade to a silently counted miss followed
+// by cold inspection: never a crash, never a wrong accept. The TSan CI job
+// runs this file to pin concurrent probe/store across sharded reactors.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/client.h"
+#include "core/engarde.h"
+#include "core/policy_liblink.h"
+#include "core/verdict_cache.h"
+#include "crypto/sha256.h"
+#include "workload/mutate.h"
+#include "workload/program_builder.h"
+
+namespace engarde::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr size_t kTestRsaBits = 768;  // small keys keep the suite fast
+
+// Everything a provisioning run produces that must be invariant under the
+// cache (wall_ns is wall-clock and thus excluded — the wall time is exactly
+// what the cache is supposed to change).
+struct Snapshot {
+  bool compliant = false;
+  std::string reason;
+  size_t instruction_count = 0;
+  size_t insn_buffer_pages = 0;
+  size_t relocations_applied = 0;
+  std::string stages;  // "Name:outcome:sgx;" per report
+  uint64_t disassembly_sgx = 0;
+  uint64_t policy_sgx = 0;
+  uint64_t loading_sgx = 0;
+  uint64_t total_sgx = 0;
+  uint64_t trampolines = 0;
+};
+
+void ExpectSameSnapshot(const Snapshot& cold, const Snapshot& cached,
+                        const std::string& label) {
+  EXPECT_EQ(cold.compliant, cached.compliant) << label;
+  EXPECT_EQ(cold.reason, cached.reason) << label;
+  EXPECT_EQ(cold.instruction_count, cached.instruction_count) << label;
+  EXPECT_EQ(cold.insn_buffer_pages, cached.insn_buffer_pages) << label;
+  EXPECT_EQ(cold.relocations_applied, cached.relocations_applied) << label;
+  EXPECT_EQ(cold.stages, cached.stages) << label;
+  EXPECT_EQ(cold.disassembly_sgx, cached.disassembly_sgx) << label;
+  EXPECT_EQ(cold.policy_sgx, cached.policy_sgx) << label;
+  EXPECT_EQ(cold.loading_sgx, cached.loading_sgx) << label;
+  EXPECT_EQ(cold.total_sgx, cached.total_sgx) << label;
+  EXPECT_EQ(cold.trampolines, cached.trampolines) << label;
+}
+
+PolicySet LiblinkPolicy(const workload::SynthLibcOptions& libc) {
+  PolicySet policies;
+  auto db = workload::BuildLibcHashDb(libc);
+  EXPECT_TRUE(db.ok());
+  policies.push_back(std::make_unique<LibraryLinkingPolicy>(
+      "synth-musl v" + libc.version, std::move(db).value()));
+  return policies;
+}
+
+class VerdictCacheTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto qe = sgx::QuotingEnclave::Provision(ToBytes("verdict-cache-device"),
+                                             kTestRsaBits);
+    ASSERT_TRUE(qe.ok());
+    qe_ = new sgx::QuotingEnclave(std::move(qe).value());
+  }
+  static void TearDownTestSuite() {
+    delete qe_;
+    qe_ = nullptr;
+  }
+  static const sgx::QuotingEnclave& qe() { return *qe_; }
+
+  // A fresh on-disk cache directory per logical fixture; wiped up front so
+  // reruns never see a previous process's entries.
+  static std::string FreshDir(const std::string& name) {
+    const fs::path dir =
+        fs::temp_directory_path() / ("engarde-evc-test-" + name);
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    return dir.string();
+  }
+
+  static Result<std::shared_ptr<VerdictCache>> MakeCache(
+      const std::string& dir, const PolicySet& policies,
+      size_t capacity = 256) {
+    VerdictCacheOptions options;
+    options.directory = dir;
+    options.capacity = capacity;
+    return VerdictCache::Create(std::move(options), policies,
+                                sgx::EnclaveLayout{});
+  }
+
+  // One full provisioning run (its own device, host, enclave and
+  // accountant), optionally sharing `cache` with other runs.
+  static Result<Snapshot> Provision(const Bytes& image, PolicySet policies,
+                                    std::shared_ptr<VerdictCache> cache,
+                                    size_t threads = 1) {
+    sgx::CycleAccountant accountant;
+    sgx::SgxDevice device(sgx::SgxDevice::Options{}, &accountant);
+    sgx::HostOs host(&device);
+
+    EngardeOptions options;
+    options.rsa_bits = kTestRsaBits;
+    options.inspection_threads = threads;
+    options.verdict_cache = std::move(cache);
+    auto enclave =
+        EngardeEnclave::Create(&host, qe(), std::move(policies), options);
+    RETURN_IF_ERROR(enclave.status());
+
+    crypto::DuplexPipe pipe;
+    RETURN_IF_ERROR(enclave->SendHello(pipe.EndA()));
+
+    client::ClientOptions client_options;
+    client_options.attestation_key = qe().attestation_public_key();
+    client_options.skip_measurement_check = true;  // inspection path only
+    client::Client client(client_options, image);
+    RETURN_IF_ERROR(client.SendProgram(pipe.EndB()));
+
+    accountant.Reset();
+    ASSIGN_OR_RETURN(const ProvisionOutcome outcome,
+                     enclave->RunProvisioning(pipe.EndA()));
+
+    Snapshot snap;
+    snap.compliant = outcome.verdict.compliant;
+    snap.reason = outcome.verdict.reason;
+    snap.instruction_count = outcome.stats.instruction_count;
+    snap.insn_buffer_pages = outcome.stats.insn_buffer_pages;
+    snap.relocations_applied = outcome.stats.relocations_applied;
+    for (const StageReport& report : outcome.stage_reports) {
+      snap.stages += std::string(StageName(report.stage)) + ":" +
+                     std::string(StageOutcomeName(report.outcome)) + ":" +
+                     std::to_string(report.sgx_instructions) + ";";
+    }
+    snap.disassembly_sgx =
+        accountant.phase_cost(sgx::Phase::kDisassembly).sgx_instructions;
+    snap.policy_sgx =
+        accountant.phase_cost(sgx::Phase::kPolicyCheck).sgx_instructions;
+    snap.loading_sgx =
+        accountant.phase_cost(sgx::Phase::kLoading).sgx_instructions;
+    snap.total_sgx = accountant.total_sgx_instructions();
+    snap.trampolines = accountant.total_trampolines();
+    return snap;
+  }
+
+  static workload::BuiltProgram MakeProgram(const std::string& name,
+                                            uint64_t seed,
+                                            size_t insns = 2000) {
+    workload::ProgramSpec spec;
+    spec.name = name;
+    spec.seed = seed;
+    spec.target_instructions = insns;
+    auto program = workload::BuildProgram(spec);
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    return std::move(program).value();
+  }
+
+  static crypto::Sha256Digest ShaOf(const Bytes& image) {
+    return crypto::Sha256::Hash(ByteView(image.data(), image.size()));
+  }
+
+ private:
+  static sgx::QuotingEnclave* qe_;
+};
+
+sgx::QuotingEnclave* VerdictCacheTest::qe_ = nullptr;
+
+// ---- Full hits -------------------------------------------------------------
+
+TEST_F(VerdictCacheTest, FullHitCompliantBitIdenticalAcrossThreads) {
+  const auto program = MakeProgram("evc-compliant", 101);
+  const auto make_policies = [&] { return LiblinkPolicy(program.libc_options); };
+
+  auto uncached = Provision(program.image, make_policies(), nullptr);
+  ASSERT_TRUE(uncached.ok()) << uncached.status().ToString();
+  ASSERT_TRUE(uncached->compliant) << uncached->reason;
+
+  auto cache = MakeCache(FreshDir("full-hit"), make_policies());
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+
+  // Cold-with-cache: the probe and store must not perturb the run.
+  auto miss = Provision(program.image, make_policies(), *cache);
+  ASSERT_TRUE(miss.ok()) << miss.status().ToString();
+  ExpectSameSnapshot(*uncached, *miss, "cold run with cache attached");
+  EXPECT_EQ((*cache)->stats().misses, 1u);
+  EXPECT_EQ((*cache)->stats().hits, 0u);
+  EXPECT_EQ((*cache)->entry_count(), 1u);
+  EXPECT_GT((*cache)->stats().bytes_sealed, 0u);
+
+  for (const size_t threads : {1u, 2u, 8u}) {
+    const uint64_t hits_before = (*cache)->stats().hits;
+    auto warm = Provision(program.image, make_policies(), *cache, threads);
+    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+    ExpectSameSnapshot(*uncached, *warm,
+                       "full hit x " + std::to_string(threads) + " threads");
+    EXPECT_EQ((*cache)->stats().hits, hits_before + 1);
+  }
+  EXPECT_EQ((*cache)->stats().tamper_rejects, 0u);
+  EXPECT_EQ((*cache)->stats().misses, 1u);
+}
+
+TEST_F(VerdictCacheTest, FullHitRejectionBitIdentical) {
+  // Client links the vulnerable libc; the policy pins the fixed version. The
+  // replayed rejection must reproduce the cold one verbatim.
+  workload::ProgramSpec spec;
+  spec.name = "evc-wrong-libc";
+  spec.seed = 7;
+  spec.target_instructions = 4000;
+  spec.libc.version = "1.0.4";
+  auto program = workload::BuildProgram(spec);
+  ASSERT_TRUE(program.ok());
+  workload::SynthLibcOptions pinned = program->libc_options;
+  pinned.version = "1.0.5";
+  const auto make_policies = [&] { return LiblinkPolicy(pinned); };
+
+  auto uncached = Provision(program->image, make_policies(), nullptr);
+  ASSERT_TRUE(uncached.ok()) << uncached.status().ToString();
+  ASSERT_FALSE(uncached->compliant);
+  ASSERT_NE(uncached->reason.find("library-linking"), std::string::npos)
+      << uncached->reason;
+
+  auto cache = MakeCache(FreshDir("full-hit-reject"), make_policies());
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+
+  auto miss = Provision(program->image, make_policies(), *cache);
+  ASSERT_TRUE(miss.ok()) << miss.status().ToString();
+  ExpectSameSnapshot(*uncached, *miss, "cold rejection with cache");
+
+  auto warm = Provision(program->image, make_policies(), *cache);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ExpectSameSnapshot(*uncached, *warm, "replayed rejection");
+  EXPECT_EQ((*cache)->stats().hits, 1u);
+  EXPECT_EQ((*cache)->stats().misses, 1u);
+}
+
+// ---- Partial hits: k of N functions changed --------------------------------
+
+TEST_F(VerdictCacheTest, PartialHitMutatedAppFunctionsStayBitIdentical) {
+  const auto program = MakeProgram("evc-partial", 211, 4000);
+  const auto make_policies = [&] { return LiblinkPolicy(program.libc_options); };
+
+  auto cache = MakeCache(FreshDir("partial-hit"), make_policies());
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+
+  // Seed the per-function store with the original upload.
+  auto seed = Provision(program.image, make_policies(), *cache);
+  ASSERT_TRUE(seed.ok()) << seed.status().ToString();
+  ASSERT_TRUE(seed->compliant) << seed->reason;
+  ASSERT_EQ((*cache)->stats().misses, 1u);
+
+  // Each thread count re-uploads with a different k of N application
+  // functions changed, so every image is new to the cache (a repeat would be
+  // a full hit, which FullHit* already covers).
+  for (const size_t threads : {1u, 2u, 8u}) {
+    Bytes mutated = program.image;
+    workload::MutationOptions mutation;
+    mutation.count = threads;  // k = 1, 2, 8
+    auto names = workload::MutateFunctions(mutated, mutation);
+    ASSERT_TRUE(names.ok()) << names.status().ToString();
+    ASSERT_EQ(names->size(), threads);
+
+    auto uncached = Provision(mutated, make_policies(), nullptr, threads);
+    ASSERT_TRUE(uncached.ok()) << uncached.status().ToString();
+    ASSERT_TRUE(uncached->compliant) << uncached->reason;
+
+    const uint64_t partial_before = (*cache)->stats().partial_hits;
+    auto partial = Provision(mutated, make_policies(), *cache, threads);
+    ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+    ExpectSameSnapshot(*uncached, *partial,
+                       "partial hit, k=" + std::to_string(threads));
+    EXPECT_EQ((*cache)->stats().partial_hits, partial_before + 1)
+        << "library functions unchanged: the upload must classify as a "
+           "partial hit, not a miss";
+  }
+  EXPECT_EQ((*cache)->stats().hits, 0u);
+  EXPECT_EQ((*cache)->stats().tamper_rejects, 0u);
+}
+
+TEST_F(VerdictCacheTest, PartialHitMutatedLibraryFunctionAddsViolation) {
+  const auto program = MakeProgram("evc-lib-violation", 223, 4000);
+  const auto make_policies = [&] { return LiblinkPolicy(program.libc_options); };
+
+  auto cache = MakeCache(FreshDir("partial-violation"), make_policies());
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+  auto seed = Provision(program.image, make_policies(), *cache);
+  ASSERT_TRUE(seed.ok()) << seed.status().ToString();
+  ASSERT_TRUE(seed->compliant) << seed->reason;
+
+  // Flip a byte inside a library-named body: the linking policy hashes that
+  // body, so the re-upload must be rejected at the same lowest-index call
+  // site cold and warm.
+  Bytes mutated = program.image;
+  workload::MutationOptions mutation;
+  mutation.library_functions = true;
+  auto names = workload::MutateFunctions(mutated, mutation);
+  ASSERT_TRUE(names.ok()) << names.status().ToString();
+
+  auto uncached = Provision(mutated, make_policies(), nullptr);
+  ASSERT_TRUE(uncached.ok()) << uncached.status().ToString();
+  ASSERT_FALSE(uncached->compliant);
+  ASSERT_NE(uncached->reason.find("library-linking"), std::string::npos)
+      << uncached->reason;
+
+  auto warm = Provision(mutated, make_policies(), *cache);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ExpectSameSnapshot(*uncached, *warm, "mutation introducing a violation");
+
+  // Patching the mutation back restores the original bytes — the compliant
+  // verdict replays as a full hit: the violation is gone.
+  const uint64_t hits_before = (*cache)->stats().hits;
+  auto restored = Provision(program.image, make_policies(), *cache);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectSameSnapshot(*seed, *restored, "mutation patched back");
+  EXPECT_TRUE(restored->compliant) << restored->reason;
+  EXPECT_EQ((*cache)->stats().hits, hits_before + 1);
+}
+
+TEST_F(VerdictCacheTest, ViolationRemovedByNewUploadGoesCompliant) {
+  // The first upload this cache ever sees is already rejected; a fixed
+  // re-upload (different bytes, so no full entry applies) must come back
+  // compliant and bit-identical to its own cold run — stale rejection state
+  // must never leak forward.
+  const auto program = MakeProgram("evc-fix-forward", 227, 4000);
+  const auto make_policies = [&] { return LiblinkPolicy(program.libc_options); };
+
+  Bytes broken = program.image;
+  workload::MutationOptions mutation;
+  mutation.library_functions = true;
+  auto names = workload::MutateFunctions(broken, mutation);
+  ASSERT_TRUE(names.ok()) << names.status().ToString();
+
+  auto cache = MakeCache(FreshDir("fix-forward"), make_policies());
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+
+  auto rejected = Provision(broken, make_policies(), *cache);
+  ASSERT_TRUE(rejected.ok()) << rejected.status().ToString();
+  ASSERT_FALSE(rejected->compliant);
+
+  auto uncached = Provision(program.image, make_policies(), nullptr);
+  ASSERT_TRUE(uncached.ok()) << uncached.status().ToString();
+  ASSERT_TRUE(uncached->compliant) << uncached->reason;
+
+  auto fixed = Provision(program.image, make_policies(), *cache);
+  ASSERT_TRUE(fixed.ok()) << fixed.status().ToString();
+  ExpectSameSnapshot(*uncached, *fixed, "fixed re-upload after rejection");
+  EXPECT_TRUE(fixed->compliant) << fixed->reason;
+  EXPECT_EQ((*cache)->stats().hits, 0u);
+  EXPECT_EQ((*cache)->stats().partial_hits + (*cache)->stats().misses, 2u);
+}
+
+// ---- Tamper injection: every failure mode is a silent counted miss ---------
+
+class VerdictCacheTamperTest : public VerdictCacheTest {
+ protected:
+  // Seeds `dir` with the sealed entry for the fixture program and returns
+  // the entry's path plus the cold reference snapshot.
+  struct Seeded {
+    workload::BuiltProgram program;
+    std::shared_ptr<VerdictCache> cache;
+    std::string entry_path;
+    Snapshot cold;
+  };
+
+  Seeded Seed(const std::string& dir_name, uint64_t seed) {
+    Seeded out{MakeProgram("evc-tamper-" + dir_name, seed), nullptr, "", {}};
+    const auto make_policies = [&] {
+      return LiblinkPolicy(out.program.libc_options);
+    };
+    auto cache = MakeCache(FreshDir(dir_name), make_policies());
+    EXPECT_TRUE(cache.ok()) << cache.status().ToString();
+    out.cache = *cache;
+
+    auto uncached = Provision(out.program.image, make_policies(), nullptr);
+    EXPECT_TRUE(uncached.ok()) << uncached.status().ToString();
+    out.cold = *uncached;
+
+    auto miss = Provision(out.program.image, make_policies(), out.cache);
+    EXPECT_TRUE(miss.ok()) << miss.status().ToString();
+    out.entry_path = out.cache->EntryPathFor(ShaOf(out.program.image));
+    EXPECT_TRUE(fs::exists(out.entry_path)) << out.entry_path;
+    return out;
+  }
+
+  // After tampering, the next upload must silently fall back to a cold run
+  // with identical results, count exactly one tamper reject — and re-publish
+  // a good entry, so the upload after that is a clean hit again.
+  void ExpectTamperedFallback(Seeded& seeded, const std::string& label) {
+    const auto make_policies = [&] {
+      return LiblinkPolicy(seeded.program.libc_options);
+    };
+    const VerdictCacheStats before = seeded.cache->stats();
+    auto fallback =
+        Provision(seeded.program.image, make_policies(), seeded.cache);
+    ASSERT_TRUE(fallback.ok()) << label << ": " << fallback.status().ToString();
+    ExpectSameSnapshot(seeded.cold, *fallback, label + " cold fallback");
+    const VerdictCacheStats after = seeded.cache->stats();
+    EXPECT_EQ(after.tamper_rejects, before.tamper_rejects + 1) << label;
+    EXPECT_EQ(after.hits, before.hits) << label;
+
+    auto rehit = Provision(seeded.program.image, make_policies(), seeded.cache);
+    ASSERT_TRUE(rehit.ok()) << label << ": " << rehit.status().ToString();
+    ExpectSameSnapshot(seeded.cold, *rehit, label + " re-published hit");
+    EXPECT_EQ(seeded.cache->stats().hits, after.hits + 1) << label;
+  }
+};
+
+TEST_F(VerdictCacheTamperTest, BitFlipIsCountedMissWithColdFallback) {
+  Seeded seeded = Seed("tamper-flip", 301);
+  std::fstream file(seeded.entry_path,
+                    std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(file.good());
+  file.seekg(0, std::ios::end);
+  const std::streamoff size = file.tellg();
+  ASSERT_GT(size, 0);
+  file.seekg(size / 2);
+  char byte = 0;
+  file.read(&byte, 1);
+  byte ^= 0x01;
+  file.seekp(size / 2);
+  file.write(&byte, 1);
+  file.close();
+  ExpectTamperedFallback(seeded, "bit flip");
+}
+
+TEST_F(VerdictCacheTamperTest, TruncationIsCountedMissWithColdFallback) {
+  Seeded seeded = Seed("tamper-truncate", 307);
+  std::error_code ec;
+  fs::resize_file(seeded.entry_path, fs::file_size(seeded.entry_path) / 2, ec);
+  ASSERT_FALSE(ec) << ec.message();
+  ExpectTamperedFallback(seeded, "truncation");
+}
+
+TEST_F(VerdictCacheTamperTest, ForgedSchemaIsCountedMiss) {
+  Seeded seeded = Seed("tamper-schema", 311);
+  // A validly sealed blob whose plaintext is not a verdict entry at all
+  // (stands in for any future/foreign schema): unseals fine, parses never.
+  const Bytes forged = seeded.cache->SealForTesting(
+      ByteView(ToBytes("not-a-verdict-entry-schema-99")));
+  {
+    std::ofstream file(seeded.entry_path, std::ios::binary | std::ios::trunc);
+    file.write(reinterpret_cast<const char*>(forged.data()),
+               static_cast<std::streamsize>(forged.size()));
+  }
+  ExpectTamperedFallback(seeded, "forged schema");
+}
+
+TEST_F(VerdictCacheTamperTest, ReplayAcrossFingerprintsIsCountedMiss) {
+  // Seal an entry under policy set A, then plant those bytes at the path a
+  // cache for policy set B (different library DB -> different fingerprints
+  // and sealing key) would look up. B must reject it as tampered and inspect
+  // cold under its own policies.
+  const auto program = MakeProgram("evc-cross-fp", 313, 4000);
+  const auto policies_a = [&] { return LiblinkPolicy(program.libc_options); };
+  workload::SynthLibcOptions pinned = program.libc_options;
+  pinned.version = program.libc_options.version + "-next";
+  const auto policies_b = [&] { return LiblinkPolicy(pinned); };
+
+  auto cache_a = MakeCache(FreshDir("cross-fp-a"), policies_a());
+  ASSERT_TRUE(cache_a.ok()) << cache_a.status().ToString();
+  auto stored = Provision(program.image, policies_a(), *cache_a);
+  ASSERT_TRUE(stored.ok()) << stored.status().ToString();
+  ASSERT_TRUE(stored->compliant) << stored->reason;
+  const std::string path_a = (*cache_a)->EntryPathFor(ShaOf(program.image));
+  ASSERT_TRUE(fs::exists(path_a));
+
+  // Plant A's sealed accept where B expects its own entry, BEFORE creating
+  // B's cache (the Create-time scan seeds the probe index from disk).
+  const std::string dir_b = FreshDir("cross-fp-b");
+  {
+    VerdictCacheOptions probe_options;
+    probe_options.directory = dir_b;
+    auto name_probe = VerdictCache::Create(std::move(probe_options),
+                                           policies_b(), sgx::EnclaveLayout{});
+    ASSERT_TRUE(name_probe.ok()) << name_probe.status().ToString();
+    std::error_code ec;
+    fs::copy_file((*name_probe)->EntryPathFor(ShaOf(program.image)), path_a,
+                  ec);  // no-op: just documents the names differ
+    fs::copy_file(path_a, (*name_probe)->EntryPathFor(ShaOf(program.image)),
+                  fs::copy_options::overwrite_existing, ec);
+    ASSERT_FALSE(ec) << ec.message();
+  }
+  auto cache_b = MakeCache(dir_b, policies_b());
+  ASSERT_TRUE(cache_b.ok()) << cache_b.status().ToString();
+  ASSERT_EQ((*cache_b)->entry_count(), 1u);  // the planted entry is indexed
+
+  // Under B the program links the wrong libc: B's cold verdict is a
+  // rejection. A replayed accept sealed under A would be a wrong accept —
+  // the MAC mismatch must stop it.
+  auto uncached_b = Provision(program.image, policies_b(), nullptr);
+  ASSERT_TRUE(uncached_b.ok()) << uncached_b.status().ToString();
+  ASSERT_FALSE(uncached_b->compliant);
+
+  auto warm_b = Provision(program.image, policies_b(), *cache_b);
+  ASSERT_TRUE(warm_b.ok()) << warm_b.status().ToString();
+  ExpectSameSnapshot(*uncached_b, *warm_b, "cross-fingerprint replay");
+  EXPECT_FALSE(warm_b->compliant);
+  EXPECT_EQ((*cache_b)->stats().tamper_rejects, 1u);
+  EXPECT_EQ((*cache_b)->stats().hits, 0u);
+}
+
+// ---- Persistence, eviction, concurrency ------------------------------------
+
+TEST_F(VerdictCacheTest, EntriesSurviveRestart) {
+  const auto program = MakeProgram("evc-restart", 401);
+  const auto make_policies = [&] { return LiblinkPolicy(program.libc_options); };
+  const std::string dir = FreshDir("restart");
+
+  auto uncached = Provision(program.image, make_policies(), nullptr);
+  ASSERT_TRUE(uncached.ok()) << uncached.status().ToString();
+
+  {
+    auto cache = MakeCache(dir, make_policies());
+    ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+    auto miss = Provision(program.image, make_policies(), *cache);
+    ASSERT_TRUE(miss.ok()) << miss.status().ToString();
+    EXPECT_EQ((*cache)->stats().misses, 1u);
+  }  // cache destroyed: only the sealed files survive
+
+  // A brand-new process: fresh device, fresh EGETKEY derivation, same
+  // directory. The entry must unseal and replay.
+  auto cache = MakeCache(dir, make_policies());
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+  EXPECT_EQ((*cache)->entry_count(), 1u);
+  auto warm = Provision(program.image, make_policies(), *cache);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ExpectSameSnapshot(*uncached, *warm, "hit after restart");
+  EXPECT_EQ((*cache)->stats().hits, 1u);
+  EXPECT_EQ((*cache)->stats().tamper_rejects, 0u);
+}
+
+TEST_F(VerdictCacheTest, LruEvictionPastCapacity) {
+  const auto a = MakeProgram("evc-lru-a", 501);
+  const auto b = MakeProgram("evc-lru-b", 503);
+  const auto c = MakeProgram("evc-lru-c", 509);
+  const auto make_policies = [&] { return LiblinkPolicy(a.libc_options); };
+
+  auto cache = MakeCache(FreshDir("lru"), make_policies(), /*capacity=*/2);
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+
+  for (const auto* program : {&a, &b, &c}) {
+    auto run = Provision(program->image, make_policies(), *cache);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+  }
+  EXPECT_EQ((*cache)->entry_count(), 2u);
+  EXPECT_EQ((*cache)->stats().evictions, 1u);
+  EXPECT_FALSE(fs::exists((*cache)->EntryPathFor(ShaOf(a.image))))
+      << "oldest entry must be the one unlinked";
+  EXPECT_TRUE(fs::exists((*cache)->EntryPathFor(ShaOf(c.image))));
+
+  // The evicted binary re-inspects cold and re-enters, displacing the next
+  // oldest — steady-state LRU, not a one-shot.
+  auto again = Provision(a.image, make_policies(), *cache);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ((*cache)->stats().evictions, 2u);
+  EXPECT_EQ((*cache)->stats().hits, 0u);
+  EXPECT_FALSE(fs::exists((*cache)->EntryPathFor(ShaOf(b.image))));
+}
+
+TEST_F(VerdictCacheTest, ConcurrentSessionsShareOneCache) {
+  // What a sharded FrontendGroup does: many sessions on different threads
+  // probing, storing and merging into one cache. Half the threads upload one
+  // shared binary (racing store/hit), half upload private mutations of it
+  // (racing the per-function store). The TSan job runs this.
+  const auto program = MakeProgram("evc-concurrent", 601, 4000);
+  const auto make_policies = [&] { return LiblinkPolicy(program.libc_options); };
+
+  auto cache = MakeCache(FreshDir("concurrent"), make_policies());
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+
+  constexpr size_t kThreads = 8;
+  std::vector<Bytes> images(kThreads, program.image);
+  for (size_t i = 0; i < kThreads; ++i) {
+    if (i % 2 == 1) {  // odd threads get a unique compliant mutation
+      workload::MutationOptions mutation;
+      mutation.count = 1 + i / 2;
+      auto names = workload::MutateFunctions(images[i], mutation);
+      ASSERT_TRUE(names.ok()) << names.status().ToString();
+    }
+  }
+
+  std::atomic<size_t> compliant{0};
+  std::atomic<size_t> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      for (size_t round = 0; round < 2; ++round) {
+        auto run = Provision(images[i], make_policies(), *cache);
+        if (run.ok() && run->compliant) {
+          compliant.fetch_add(1);
+        } else {
+          failures.fetch_add(1);
+        }
+      }
+      (void)(*cache)->stats();  // racing reader
+      (void)(*cache)->entry_count();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(compliant.load(), kThreads * 2);
+  const VerdictCacheStats stats = (*cache)->stats();
+  // Every run classified exactly once, whatever the interleaving.
+  EXPECT_EQ(stats.hits + stats.partial_hits + stats.misses, kThreads * 2);
+  // Round two of every thread re-uploads bytes already stored in round one.
+  EXPECT_GE(stats.hits, kThreads);
+  EXPECT_EQ(stats.tamper_rejects, 0u);
+  EXPECT_EQ((*cache)->entry_count(), 1 + kThreads / 2);
+}
+
+}  // namespace
+}  // namespace engarde::core

@@ -11,6 +11,7 @@
 //   engarde-inspect BINARY [--stackprot] [--ifcc] [--liblink DBFILE]
 //                   [--no-system-insns] [--threads N] [--verbose] [--dump]
 //                   [--report-json] [--stream] [--block-size N]
+//                   [--verdict-cache DIR]
 //
 // --dump prints the full disassembly listing (with function labels).
 // --threads N shards disassembly, NaCl validation and policy scans over N
@@ -23,6 +24,11 @@
 // stages blocks off the wire, then runs the barrier stages; the verdict is
 // identical to the staged run, and the report gains the achieved decode
 // overlap (ratio of text bytes already decoded when the last block landed).
+// --verdict-cache DIR keeps a content-addressed sealed verdict cache in DIR
+// (core/verdict_cache.h): re-inspecting an unchanged binary replays the
+// cached verdict, a near-identical one skips re-hashing unchanged library
+// functions; the verdict is identical either way. The report gains a
+// "verdict_cache" object (outcome + counters).
 // Exit code: 0 compliant, 1 rejected, 2 usage/IO error.
 #include <algorithm>
 #include <cstdio>
@@ -42,6 +48,7 @@
 #include "core/policy_liblink.h"
 #include "core/policy_stackprot.h"
 #include "core/symbol_table.h"
+#include "core/verdict_cache.h"
 #include "sgx/cost_model.h"
 
 using namespace engarde;
@@ -105,7 +112,8 @@ std::string JsonEscape(std::string_view text) {
 
 void PrintReportJson(const std::string& binary_path,
                      const core::InspectionResult& result,
-                     const core::StreamingStats* streaming) {
+                     const core::StreamingStats* streaming,
+                     const core::VerdictCache* cache) {
   std::printf("{\n  \"binary\": \"%s\",\n  \"compliant\": %s,\n",
               JsonEscape(binary_path).c_str(),
               result.compliant ? "true" : "false");
@@ -138,6 +146,23 @@ void PrintReportJson(const std::string& binary_path,
         static_cast<unsigned long long>(streaming->spliced_sections),
         static_cast<unsigned long long>(streaming->fallback_sections));
   }
+  if (cache != nullptr) {
+    const core::VerdictCacheStats stats = cache->stats();
+    const std::string_view outcome =
+        core::VerdictCacheOutcomeName(result.cache_outcome);
+    std::printf(
+        ",\n  \"verdict_cache\": {\"outcome\": \"%.*s\", \"hits\": %llu, "
+        "\"partial_hits\": %llu, \"misses\": %llu, \"tamper_rejects\": %llu, "
+        "\"evictions\": %llu, \"bytes_sealed\": %llu, \"entries\": %llu}",
+        static_cast<int>(outcome.size()), outcome.data(),
+        static_cast<unsigned long long>(stats.hits),
+        static_cast<unsigned long long>(stats.partial_hits),
+        static_cast<unsigned long long>(stats.misses),
+        static_cast<unsigned long long>(stats.tamper_rejects),
+        static_cast<unsigned long long>(stats.evictions),
+        static_cast<unsigned long long>(stats.bytes_sealed),
+        static_cast<unsigned long long>(cache->entry_count()));
+  }
   if (result.rejection.has_value()) {
     const core::Rejection& rejection = *result.rejection;
     std::printf(
@@ -155,7 +180,7 @@ int Usage() {
                "usage: engarde-inspect BINARY [--stackprot] [--ifcc] "
                "[--liblink DBFILE] [--no-system-insns] [--threads N] "
                "[--verbose] [--dump] [--report-json] [--stream] "
-               "[--block-size N]\n");
+               "[--block-size N] [--verdict-cache DIR]\n");
   return 2;
 }
 
@@ -171,6 +196,7 @@ int main(int argc, char** argv) {
   bool stream = false;
   size_t threads = 1;
   size_t block_size = core::kBlockSize;
+  std::string cache_dir;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -213,6 +239,9 @@ int main(int argc, char** argv) {
       const long parsed = std::strtol(argv[i], nullptr, 10);
       if (parsed < 1) return Usage();
       block_size = static_cast<size_t>(parsed);
+    } else if (arg == "--verdict-cache") {
+      if (++i >= argc) return Usage();
+      cache_dir = argv[i];
     } else {
       return Usage();
     }
@@ -237,6 +266,23 @@ int main(int argc, char** argv) {
   ctx.policies = &policies;
   ctx.pool = pool.get();
   ctx.accountant = &accountant;
+
+  // The cache key is bound to the policy set (and the default layout the
+  // offline inspector shares with the serve defaults), so runs with
+  // different policy flags never cross-hit.
+  std::shared_ptr<core::VerdictCache> cache;
+  if (!cache_dir.empty()) {
+    auto created = core::VerdictCache::Create(
+        core::VerdictCacheOptions{.directory = cache_dir}, policies,
+        sgx::EnclaveLayout{});
+    if (!created.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   created.status().ToString().c_str());
+      return 2;
+    }
+    cache = std::move(created).value();
+    ctx.verdict_cache = cache.get();
+  }
 
   // --stream replays the provisioning session's staging sequence offline:
   // the file lands block by block, the streaming inspector speculates after
@@ -290,8 +336,17 @@ int main(int argc, char** argv) {
 
   if (report_json) {
     PrintReportJson(binary_path, *result,
-                    streaming_stats ? &*streaming_stats : nullptr);
+                    streaming_stats ? &*streaming_stats : nullptr,
+                    cache.get());
     return result->compliant ? 0 : 1;
+  }
+
+  if (cache != nullptr) {
+    const std::string_view outcome =
+        core::VerdictCacheOutcomeName(result->cache_outcome);
+    std::printf("verdict-cache: %.*s (%zu entries in %s)\n",
+                static_cast<int>(outcome.size()), outcome.data(),
+                cache->entry_count(), cache->directory().c_str());
   }
 
   if (streaming_stats.has_value()) {
@@ -333,6 +388,9 @@ int main(int argc, char** argv) {
   }
   std::printf("COMPLIANT: %s (%zu instructions, %zu policies)\n",
               binary_path.c_str(),
-              ctx.insns != nullptr ? ctx.insns->size() : 0, policies.size());
+              ctx.insns != nullptr
+                  ? ctx.insns->size()
+                  : static_cast<size_t>(result->cached_instruction_count),
+              policies.size());
   return 0;
 }

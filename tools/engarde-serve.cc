@@ -12,7 +12,7 @@
 //                 [--epc-oversub R] [--reclaim-low-watermark N]
 //                 [--reclaim-batch N] [--rsa-bits N] [--queue-ms N]
 //                 [--idle-ms N] [--session-ms N] [--metrics-json]
-//                 [--selftest N]
+//                 [--verdict-cache DIR] [--selftest N]
 //
 // --host widens the bind address beyond the loopback default. The *-ms flags
 // arm the front end's per-state deadlines (admission-queue wait, inbound
@@ -27,6 +27,12 @@
 // level that wakes the reclaimer (it also gates admission pressure kicks;
 // defaults to 1/32 of the EPC whenever oversubscription is on), and
 // --reclaim-batch bounds EWB writebacks per scan.
+//
+// --verdict-cache DIR enables the content-addressed sealed verdict cache in
+// DIR, shared by every reactor shard and the warm pool: re-uploads of a
+// byte-identical binary replay the sealed verdict instead of re-inspecting,
+// and partial matches re-hash only the library functions that changed. The
+// cache's hit/miss/tamper counters ride along in --metrics-json output.
 //
 // --selftest N provisions N real clients over 127.0.0.1 in threads
 // (pinning the expected EnGarde measurement, honoring RetryAfter back-off)
@@ -47,6 +53,7 @@
 #include "client/client.h"
 #include "core/frontend_group.h"
 #include "core/policy_stackprot.h"
+#include "core/verdict_cache.h"
 #include "net/tcp.h"
 #include "workload/program_builder.h"
 
@@ -76,7 +83,8 @@ struct ServeConfig {
   uint64_t idle_ms = 0;     // inbound-idle deadline (0 = unlimited)
   uint64_t session_ms = 0;  // overall session deadline (0 = unlimited)
   bool metrics_json = false;
-  size_t selftest = 0;  // 0 = serve forever
+  std::string verdict_cache_dir;  // empty = verdict cache disabled
+  size_t selftest = 0;            // 0 = serve forever
 };
 
 void DumpMetricsJson(const core::FrontendMetrics& m) {
@@ -124,8 +132,18 @@ void DumpMetricsJson(const core::FrontendMetrics& m) {
               u(m.decode_early_bytes_total));
   std::printf("  \"decode_overlap_sum_permille\": %llu,\n",
               u(m.decode_overlap_sum_permille));
-  std::printf("  \"decode_overlap_max_permille\": %llu\n",
+  std::printf("  \"decode_overlap_max_permille\": %llu,\n",
               u(m.decode_overlap_max_permille));
+  std::printf("  \"verdict_cache_hits\": %llu,\n", u(m.verdict_cache_hits));
+  std::printf("  \"verdict_cache_partial_hits\": %llu,\n",
+              u(m.verdict_cache_partial_hits));
+  std::printf("  \"verdict_cache_misses\": %llu,\n", u(m.verdict_cache_misses));
+  std::printf("  \"verdict_cache_tamper_rejects\": %llu,\n",
+              u(m.verdict_cache_tamper_rejects));
+  std::printf("  \"verdict_cache_evictions\": %llu,\n",
+              u(m.verdict_cache_evictions));
+  std::printf("  \"verdict_cache_bytes_sealed\": %llu\n",
+              u(m.verdict_cache_bytes_sealed));
   std::printf("}\n");
 }
 
@@ -252,6 +270,22 @@ int Serve(const ServeConfig& config) {
   if (config.bg_refill) {
     options.pool_refill = core::PoolRefill::kBackground;
     options.pool_target = config.warm;
+  }
+  if (!config.verdict_cache_dir.empty()) {
+    // One shared cache across every shard and the warm pool: the group's
+    // per-enclave options copy the shared_ptr, so all reactors publish into
+    // (and probe) the same sealed store. Created against the same policies
+    // and layout the group provisions with, so the sealing key and the
+    // policy/library fingerprints match what sessions will inspect under.
+    auto cache = core::VerdictCache::Create(
+        core::VerdictCacheOptions{.directory = config.verdict_cache_dir},
+        MakePolicies(), options.frontend.enclave_options.layout);
+    if (!cache.ok()) {
+      std::fprintf(stderr, "verdict cache: %s\n",
+                   cache.status().ToString().c_str());
+      return 1;
+    }
+    options.frontend.enclave_options.verdict_cache = std::move(*cache);
   }
   // Verdicts are reported from the owning reactor's thread as they land.
   options.on_verdict = [](size_t reactor, uint64_t connection,
@@ -451,6 +485,8 @@ int main(int argc, char** argv) {
       config.session_ms = static_cast<uint64_t>(next());
     } else if (arg == "--metrics-json") {
       config.metrics_json = true;
+    } else if (arg == "--verdict-cache") {
+      config.verdict_cache_dir = next_str();
     } else if (arg == "--selftest") {
       config.selftest = static_cast<size_t>(next());
     } else {
@@ -460,7 +496,8 @@ int main(int argc, char** argv) {
                    "[--reserve N] [--epc-pages N] [--epc-oversub R] "
                    "[--reclaim-low-watermark N] [--reclaim-batch N] "
                    "[--rsa-bits N] [--queue-ms N] [--idle-ms N] "
-                   "[--session-ms N] [--metrics-json] [--selftest N]\n");
+                   "[--session-ms N] [--metrics-json] "
+                   "[--verdict-cache DIR] [--selftest N]\n");
       return 2;
     }
   }
