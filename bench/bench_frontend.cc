@@ -18,7 +18,16 @@
 // same serial fingerprints, and the 0%-changed warm row must beat cold on
 // sessions/sec or the bench fails.
 //
+// The fleet sweep contrasts one co-admitted group connection against N
+// independent sessions for every workload-catalog topology, verdict cache
+// off and on (fresh sealed store per run). Replica-set group medians must
+// beat N independent sessions in both cache modes or the bench fails (the
+// verdict is deferred to exit, like the re-upload gate).
+//
 // Usage: bench_frontend [--rsa-bits N] [--insns N] [--out PATH]
+//                       [--oversub-only] [--smoke]
+// --smoke is the CI profile: levels 1/4, two fleet topologies at one rep,
+// no re-upload / reactor-scaling / oversubscription sweeps.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -41,6 +50,7 @@
 #include "core/verdict_cache.h"
 #include "net/tcp.h"
 #include "net/transport.h"
+#include "workload/catalog.h"
 #include "workload/mutate.h"
 #include "workload/program_builder.h"
 
@@ -530,6 +540,96 @@ Result<OversubStats> RunOversub(const sgx::QuotingEnclave& qe,
   return stats;
 }
 
+// ---- Fleet provisioning: one group connection vs N independent sessions ---
+// A replica set (N copies of one binary) or a pipeline (N distinct stages)
+// deploys as ONE co-admitted group: one GroupManifest, one group quote, one
+// shared channel keyed to member 0, each distinct binary uploaded and
+// decrypted once and fanned out per member. The contrast run provisions the
+// same images as N independent front-end sessions. Both run against a warm
+// pool built outside the timed window, so the timed contrast is the
+// handshake + transfer + inspection work the group actually amortizes, not
+// N RSA keygens both modes pay identically.
+
+struct FleetStats {
+  uint64_t wall_ns = 0;
+  std::vector<Fingerprint> fingerprints;  // member declaration order
+  core::FrontendMetrics metrics;
+  bool rejected = false;  // mutual verification overrode the verdicts
+};
+
+Result<FleetStats> RunFleetGroup(const sgx::QuotingEnclave& qe,
+                                 const std::vector<Bytes>& images,
+                                 const core::EngardeOptions& opts) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{
+      .epc_pages = EpcPagesFor(images.size(), opts)});
+  sgx::HostOs host(&device);
+  core::FrontendOptions options;
+  options.enclave_options = opts;
+  options.group_provisioning = true;
+  core::ProvisioningFrontend frontend(&host, &qe, MakePolicies, options);
+  RETURN_IF_ERROR(frontend.PrefillPool(images.size()));  // untimed, like warm
+
+  crypto::DuplexPipe pipe;
+  client::GroupClient client(ClientOptionsFor(qe), images,
+                             core::PolicySetFingerprint(MakePolicies()));
+
+  FleetStats stats;
+  const Clock::time_point start = Clock::now();
+  ASSIGN_OR_RETURN(const uint64_t id,
+                   frontend.Accept(
+                       std::make_unique<net::PipeTransport>(pipe.EndA())));
+  RETURN_IF_ERROR(client.SendGroupManifest(pipe.EndB()));
+  // One sweep parses the manifest, co-admits the group atomically and writes
+  // the control frame + group hello (quote + one key per member).
+  RETURN_IF_ERROR(frontend.PollOnce().status());
+  ASSIGN_OR_RETURN(const auto retry, client.AwaitAdmission(pipe.EndB()));
+  if (retry.has_value()) {
+    return InternalError("unexpected RetryAfter with a full budget");
+  }
+  RETURN_IF_ERROR(client.SendPrograms(pipe.EndB()));
+  for (;;) {
+    const core::ConnectionState state = frontend.state(id);
+    if (state == core::ConnectionState::kDone) break;
+    if (state == core::ConnectionState::kFailed ||
+        state == core::ConnectionState::kTimedOut) {
+      return frontend.connection_status(id);
+    }
+    ASSIGN_OR_RETURN(const size_t progress, frontend.PollOnce());
+    if (progress == 0) {
+      return InternalError("fleet reactor stalled before the group verdicts");
+    }
+  }
+  stats.wall_ns = ElapsedNs(start, Clock::now());
+  stats.rejected = frontend.group_rejected(id);
+  ASSIGN_OR_RETURN(const std::vector<core::ProvisionOutcome> outcomes,
+                   frontend.TakeGroupOutcomes(id));
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    stats.fingerprints.push_back(Fp(outcomes[i].verdict.compliant,
+                                    frontend.group_member_accountant(id, i)));
+  }
+  ASSIGN_OR_RETURN(const std::vector<core::Verdict> verdicts,
+                   client.AwaitVerdicts());
+  if (verdicts.size() != images.size()) {
+    return InternalError("fleet verdict count disagrees with the group size");
+  }
+  for (size_t i = 0; i < verdicts.size(); ++i) {
+    if (verdicts[i].compliant != outcomes[i].verdict.compliant) {
+      return InternalError(
+          "client-visible fleet verdict disagrees with the outcome");
+    }
+  }
+  RETURN_IF_ERROR(frontend.DrainAll());
+  stats.metrics = frontend.metrics();
+  if (frontend.connection_count() != 0 ||
+      stats.metrics.live_connections != 0) {
+    return InternalError("fleet run left live connections");
+  }
+  if (device.EnclaveCount() != 0 || device.epc().pages_in_use() != 0) {
+    return InternalError("fleet run retained EPC pages after teardown");
+  }
+  return stats;
+}
+
 bool FingerprintLess(const Fingerprint& a, const Fingerprint& b) {
   return std::tie(a.compliant, a.idle_sgx, a.channel_sgx, a.disassembly_sgx,
                   a.policy_sgx, a.loading_sgx, a.total_sgx) <
@@ -544,6 +644,7 @@ int main(int argc, char** argv) {
   size_t target_instructions = 2500;
   std::string out_path = "BENCH_frontend.json";
   bool oversub_only = false;  // skip to the oversubscription sweep (iteration)
+  bool smoke = false;  // CI: reduced levels, no reupload/scaling/oversub
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--rsa-bits") == 0 && i + 1 < argc) {
       rsa_bits = static_cast<size_t>(std::atol(argv[++i]));
@@ -553,10 +654,12 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (std::strcmp(argv[i], "--oversub-only") == 0) {
       oversub_only = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
     } else {
       std::fprintf(stderr,
                    "usage: bench_frontend [--rsa-bits N] [--insns N] "
-                   "[--out PATH] [--oversub-only]\n");
+                   "[--out PATH] [--oversub-only] [--smoke]\n");
       return 2;
     }
   }
@@ -593,7 +696,9 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<size_t> levels =
-      oversub_only ? std::vector<size_t>{} : std::vector<size_t>{1, 8, 64, 256};
+      oversub_only ? std::vector<size_t>{}
+      : smoke      ? std::vector<size_t>{1, 4}
+                   : std::vector<size_t>{1, 8, 64, 256};
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -738,7 +843,7 @@ int main(int argc, char** argv) {
                "0%%-changed warm beats cold sessions/sec\",\n");
   std::fprintf(f, "    \"rows\": [");
   bool reupload_gate_failed = false;
-  if (!oversub_only) {
+  if (!oversub_only && !smoke) {
     const std::string cache_dir =
         (std::filesystem::temp_directory_path() / "engarde-evc-bench-frontend")
             .string();
@@ -930,13 +1035,190 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "\n    ]\n  },\n");
 
+  // ---- Fleet sweep: one group connection vs N independent sessions --------
+  // Every catalog topology deploys twice per repetition — as one co-admitted
+  // group and as N independent warm-pool sessions — with the verdict cache
+  // off and on (fresh sealed store per run, never shared between the two
+  // modes). Per-member fingerprints gate against a no-cache serial reference
+  // on every repetition; the cache-on rows gate against the SAME reference
+  // because cache replay reproduces per-phase SGX accounting bit-for-bit
+  // (core/inspection.cc, ReplayCachedVerdict). The amortization gate —
+  // replica-set group medians must beat N independent sessions, cache off
+  // and on — is deferred to process exit so a miss still leaves complete
+  // JSON.
+  const double fleet_scale = 0.05;
+  const size_t fleet_reps = smoke ? 1 : 3;
+  std::fprintf(f, "  \"fleet\": {\n");
+  std::fprintf(f, "    \"scale\": %.2f,\n", fleet_scale);
+  std::fprintf(f, "    \"reps\": %zu,\n", fleet_reps);
+  std::fprintf(f,
+               "    \"contrast\": \"one group connection vs N independent "
+               "sessions, both against a pool prebuilt outside the timed "
+               "window\",\n");
+  std::fprintf(f,
+               "    \"gate\": \"per-member fingerprints vs a no-cache serial "
+               "reference on every repetition; replica-set group medians "
+               "beat independent, cache off and on\",\n");
+  std::fprintf(f, "    \"rows\": [");
+  bool fleet_gate_failed = false;
+  bool first_fleet = true;
+  if (!oversub_only) {
+    const std::string fleet_cache_dir =
+        (std::filesystem::temp_directory_path() / "engarde-evc-bench-fleet")
+            .string();
+    // Fresh sealed store per run: remove the directory, then hand the run
+    // its own cache so group and independent modes never warm each other.
+    const auto fresh_cache =
+        [&](core::EngardeOptions& run_opts) -> Status {
+      std::error_code ec;
+      std::filesystem::remove_all(fleet_cache_dir, ec);
+      core::VerdictCacheOptions cache_options;
+      cache_options.directory = fleet_cache_dir;
+      ASSIGN_OR_RETURN(run_opts.verdict_cache,
+                       core::VerdictCache::Create(std::move(cache_options),
+                                                  MakePolicies(),
+                                                  opts.layout));
+      return Status::Ok();
+    };
+    for (const workload::GroupTopology& topology :
+         workload::GroupTopologies()) {
+      if (smoke && std::strcmp(topology.name, "replica-set-memcached-2") != 0 &&
+          std::strcmp(topology.name, "pipeline-web") != 0) {
+        continue;
+      }
+      auto members = workload::BuildGroup(topology, fleet_scale);
+      if (!members.ok()) {
+        std::fprintf(stderr, "fleet %s: %s\n", topology.name,
+                     members.status().ToString().c_str());
+        return 1;
+      }
+      std::vector<Bytes> images;
+      for (const workload::BuiltProgram& built : *members) {
+        images.push_back(built.image);
+      }
+      auto serial = RunSerial(*qe, images, opts);
+      if (!serial.ok()) {
+        std::fprintf(stderr, "fleet serial %s: %s\n", topology.name,
+                     serial.status().ToString().c_str());
+        return 1;
+      }
+      const bool replica_set =
+          topology.slots.size() == 1 && topology.slots.front().replicas > 1;
+      for (const bool cache_on : {false, true}) {
+        std::vector<FleetStats> group_samples;
+        std::vector<RunStats> solo_samples;
+        for (size_t rep = 0; rep < fleet_reps; ++rep) {
+          core::EngardeOptions group_opts = opts;
+          if (cache_on) {
+            const Status cached = fresh_cache(group_opts);
+            if (!cached.ok()) {
+              std::fprintf(stderr, "fleet cache: %s\n",
+                           cached.ToString().c_str());
+              return 1;
+            }
+          }
+          auto group = RunFleetGroup(*qe, images, group_opts);
+          if (!group.ok()) {
+            std::fprintf(stderr, "fleet group %s rep %zu: %s\n",
+                         topology.name, rep,
+                         group.status().ToString().c_str());
+            return 1;
+          }
+          if (group->rejected) {
+            std::fprintf(stderr, "fleet %s: group rejected by mutual verify\n",
+                         topology.name);
+            return 1;
+          }
+          core::EngardeOptions solo_opts = opts;
+          if (cache_on) {
+            const Status cached = fresh_cache(solo_opts);
+            if (!cached.ok()) {
+              std::fprintf(stderr, "fleet cache: %s\n",
+                           cached.ToString().c_str());
+              return 1;
+            }
+          }
+          auto solo = RunFrontend(*qe, images, solo_opts, /*warm=*/true);
+          if (!solo.ok()) {
+            std::fprintf(stderr, "fleet independent %s rep %zu: %s\n",
+                         topology.name, rep,
+                         solo.status().ToString().c_str());
+            return 1;
+          }
+          for (size_t i = 0; i < images.size(); ++i) {
+            if (!(group->fingerprints[i] == (*serial)[i]) ||
+                !(solo->fingerprints[i] == (*serial)[i])) {
+              std::fprintf(stderr,
+                           "fleet equality gate failed: %s cache=%d rep %zu "
+                           "member %zu\n",
+                           topology.name, cache_on ? 1 : 0, rep, i);
+              return 1;
+            }
+          }
+          group_samples.push_back(std::move(*group));
+          solo_samples.push_back(std::move(*solo));
+        }
+        std::sort(group_samples.begin(), group_samples.end(),
+                  [](const FleetStats& a, const FleetStats& b) {
+                    return a.wall_ns < b.wall_ns;
+                  });
+        std::sort(solo_samples.begin(), solo_samples.end(),
+                  [](const RunStats& a, const RunStats& b) {
+                    return a.wall_ns < b.wall_ns;
+                  });
+        const FleetStats& group_median =
+            group_samples[group_samples.size() / 2];
+        const RunStats& solo_median = solo_samples[solo_samples.size() / 2];
+        const double speedup =
+            group_median.wall_ns > 0
+                ? static_cast<double>(solo_median.wall_ns) /
+                      static_cast<double>(group_median.wall_ns)
+                : 0.0;
+        std::printf(
+            "fleet %-26s n=%zu cache=%-3s  group %8.2f ms  independent "
+            "%8.2f ms  speedup %.2fx\n",
+            topology.name, images.size(), cache_on ? "on" : "off",
+            static_cast<double>(group_median.wall_ns) / 1e6,
+            static_cast<double>(solo_median.wall_ns) / 1e6, speedup);
+        if (replica_set && group_median.wall_ns >= solo_median.wall_ns) {
+          std::fprintf(stderr,
+                       "fleet gate: %s cache=%s group %.2f ms does not beat "
+                       "%zu independent sessions' %.2f ms\n",
+                       topology.name, cache_on ? "on" : "off",
+                       static_cast<double>(group_median.wall_ns) / 1e6,
+                       images.size(),
+                       static_cast<double>(solo_median.wall_ns) / 1e6);
+          fleet_gate_failed = true;
+        }
+        const core::FrontendMetrics& gm = group_median.metrics;
+        std::fprintf(
+            f,
+            "%s\n      {\"topology\": \"%s\", \"members\": %zu, "
+            "\"replica_set\": %s, \"cache\": \"%s\", "
+            "\"group_wall_ns\": %llu, \"independent_wall_ns\": %llu, "
+            "\"speedup\": %.3f, \"groups_admitted\": %llu, "
+            "\"group_members_admitted\": %llu, \"admitted_warm\": %llu, "
+            "\"equality\": \"ok\"}",
+            first_fleet ? "" : ",", topology.name, images.size(),
+            replica_set ? "true" : "false", cache_on ? "on" : "off",
+            static_cast<unsigned long long>(group_median.wall_ns),
+            static_cast<unsigned long long>(solo_median.wall_ns), speedup,
+            static_cast<unsigned long long>(gm.groups_admitted),
+            static_cast<unsigned long long>(gm.group_members_admitted),
+            static_cast<unsigned long long>(gm.admitted_warm));
+        first_fleet = false;
+      }
+    }
+  }
+  std::fprintf(f, "\n    ]\n  },\n");
+
   // ---- Reactor scaling: one shared listener, N reactor threads, real TCP —
   // same client mix at every width, equality-gated as a sorted multiset
   // because the client->reactor assignment is a kernel accept race.
   constexpr size_t kScalingClients = 32;
   std::vector<Bytes> scaling_images;
   std::vector<Fingerprint> scaling_serial;
-  if (!oversub_only) {
+  if (!oversub_only && !smoke) {
     for (size_t i = 0; i < kScalingClients; ++i) {
       scaling_images.push_back(library[i % kPrograms]);
     }
@@ -959,8 +1241,8 @@ int main(int argc, char** argv) {
   std::fprintf(f, "    \"rows\": [");
   bool first_row = true;
   const std::vector<size_t> reactor_widths =
-      oversub_only ? std::vector<size_t>{}
-                   : std::vector<size_t>{1, 2, 4};
+      (oversub_only || smoke) ? std::vector<size_t>{}
+                              : std::vector<size_t>{1, 2, 4};
   for (const size_t reactors : reactor_widths) {
     // The group rows run streaming inspection — gated against the staged
     // serial reference, so the TCP + multi-reactor path re-proves the
@@ -1008,11 +1290,15 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < kOversubClients; ++i) {
     oversub_images.push_back(library[i % kPrograms]);
   }
-  auto oversub_serial = RunSerial(*qe, oversub_images, opts);
-  if (!oversub_serial.ok()) {
-    std::fprintf(stderr, "oversub serial: %s\n",
-                 oversub_serial.status().ToString().c_str());
-    return 1;
+  std::vector<Fingerprint> oversub_serial;
+  if (!smoke) {
+    auto serial = RunSerial(*qe, oversub_images, opts);
+    if (!serial.ok()) {
+      std::fprintf(stderr, "oversub serial: %s\n",
+                   serial.status().ToString().c_str());
+      return 1;
+    }
+    oversub_serial = std::move(*serial);
   }
 
   std::fprintf(f, "  \"oversub\": {\n");
@@ -1034,7 +1320,8 @@ int main(int argc, char** argv) {
   // (fingerprint equality against the serial reference, zero-leak teardown)
   // run on EVERY repetition; only the throughput number is summarized.
   constexpr size_t kOversubReps = 5;
-  const std::vector<double> oversub_ratios = {1.0, 1.5, 2.0, 4.0};
+  const std::vector<double> oversub_ratios =
+      smoke ? std::vector<double>{} : std::vector<double>{1.0, 1.5, 2.0, 4.0};
   std::vector<std::vector<OversubStats>> oversub_samples(
       oversub_ratios.size());
   for (size_t rep = 0; rep < kOversubReps; ++rep) {
@@ -1047,7 +1334,7 @@ int main(int argc, char** argv) {
         return 1;
       }
       for (size_t i = 0; i < kOversubClients; ++i) {
-        if (!(sample->fingerprints[i] == (*oversub_serial)[i])) {
+        if (!(sample->fingerprints[i] == oversub_serial[i])) {
           std::fprintf(stderr,
                        "oversub equality gate failed at ratio %.1f rep %zu, "
                        "client %zu\n",
@@ -1125,5 +1412,5 @@ int main(int argc, char** argv) {
   std::fprintf(f, "\n    ]\n  }\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
-  return reupload_gate_failed ? 1 : 0;
+  return (reupload_gate_failed || fleet_gate_failed) ? 1 : 0;
 }

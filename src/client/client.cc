@@ -1,4 +1,5 @@
 #include "client/client.h"
+#include <array>
 
 #include <set>
 
@@ -23,7 +24,11 @@ Result<core::Manifest> BuildManifest(ByteView executable) {
   return manifest;
 }
 
-Result<std::optional<core::RetryAfter>> Client::AwaitAdmission(
+namespace {
+
+// Shared admission preamble for solo and group clients: one control frame
+// decides admit / back-off / reclaim.
+Result<std::optional<core::RetryAfter>> AwaitFrontendAdmission(
     crypto::DuplexPipe::Endpoint endpoint) {
   ASSIGN_OR_RETURN(const core::ControlFrame control,
                    core::ReadControlFrame(endpoint));
@@ -50,6 +55,13 @@ Result<std::optional<core::RetryAfter>> Client::AwaitAdmission(
     }
   }
   return ProtocolError("unknown control frame type");
+}
+
+}  // namespace
+
+Result<std::optional<core::RetryAfter>> Client::AwaitAdmission(
+    crypto::DuplexPipe::Endpoint endpoint) {
+  return AwaitFrontendAdmission(endpoint);
 }
 
 Status Client::SendProgram(crypto::DuplexPipe::Endpoint endpoint) {
@@ -122,6 +134,158 @@ Result<core::Verdict> Client::AwaitVerdict() {
   }
   return core::Verdict::Deserialize(ByteView(message.payload.data(),
                                              message.payload.size()));
+}
+
+Result<core::GroupManifest> BuildGroupManifest(
+    const std::vector<Bytes>& executables,
+    const std::string& policy_fingerprint) {
+  if (executables.empty()) {
+    return InvalidArgumentError("a group needs at least one executable");
+  }
+  core::GroupManifest manifest;
+  std::vector<crypto::Sha256Digest> digests;
+  digests.reserve(executables.size());
+  for (const Bytes& executable : executables) {
+    digests.push_back(crypto::Sha256::Hash(
+        ByteView(executable.data(), executable.size())));
+  }
+  manifest.members.reserve(executables.size());
+  for (size_t i = 0; i < executables.size(); ++i) {
+    core::GroupMember member;
+    member.binary_digest = digests[i];
+    member.binary_size = executables[i].size();
+    member.policy_fingerprint = policy_fingerprint;
+    // The full sibling matrix: every member vouches for every other.
+    for (size_t j = 0; j < executables.size(); ++j) {
+      if (j == i) continue;
+      member.siblings.emplace_back(static_cast<uint32_t>(j), digests[j]);
+    }
+    manifest.members.push_back(std::move(member));
+  }
+  return manifest;
+}
+
+Status GroupClient::EnsureManifest() {
+  if (manifest_.has_value()) return Status::Ok();
+  ASSIGN_OR_RETURN(core::GroupManifest manifest,
+                   BuildGroupManifest(executables_, policy_fingerprint_));
+  manifest_.emplace(std::move(manifest));
+  return Status::Ok();
+}
+
+Status GroupClient::SendGroupManifest(crypto::DuplexPipe::Endpoint endpoint) {
+  RETURN_IF_ERROR(EnsureManifest());
+  const Bytes wire = manifest_->Serialize();
+  return core::WriteFrame(endpoint, ByteView(wire.data(), wire.size()));
+}
+
+Result<std::optional<core::RetryAfter>> GroupClient::AwaitAdmission(
+    crypto::DuplexPipe::Endpoint endpoint) {
+  return AwaitFrontendAdmission(endpoint);
+}
+
+Status GroupClient::SendPrograms(crypto::DuplexPipe::Endpoint endpoint) {
+  RETURN_IF_ERROR(EnsureManifest());
+  const size_t count = executables_.size();
+  // ---- Group hello: one quote + every member's public key ------------------
+  ASSIGN_OR_RETURN(const Bytes quote_wire, core::ReadFrame(endpoint));
+  ASSIGN_OR_RETURN(const sgx::Quote quote,
+                   sgx::Quote::Deserialize(ByteView(quote_wire.data(),
+                                                    quote_wire.size())));
+  std::vector<crypto::RsaPublicKey> member_keys;
+  std::vector<std::array<uint8_t, 64>> member_report_data;
+  member_keys.reserve(count);
+  member_report_data.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(const Bytes key_wire, core::ReadFrame(endpoint));
+    ASSIGN_OR_RETURN(crypto::RsaPublicKey key,
+                     crypto::RsaPublicKey::Deserialize(
+                         ByteView(key_wire.data(), key_wire.size())));
+    // Re-deriving the report_data block from the presented key is what binds
+    // each key into the single signed group quote: substituting any one key
+    // breaks the group report-data hash.
+    member_report_data.push_back(sgx::BindPublicKey(key));
+    member_keys.push_back(std::move(key));
+  }
+
+  // ---- Attestation: ONE verification covers the whole fleet ----------------
+  if (options_.skip_measurement_check) {
+    RETURN_IF_ERROR(sgx::VerifyGroupQuote(quote, options_.attestation_key,
+                                          member_report_data));
+  } else {
+    RETURN_IF_ERROR(sgx::VerifyGroupQuote(quote, options_.attestation_key,
+                                          member_report_data,
+                                          options_.expected_measurement));
+  }
+
+  // ---- Key exchange: ONE master key, wrapped to member 0 -------------------
+  const Bytes master_key = drbg_.Generate(32);
+  ASSIGN_OR_RETURN(
+      const Bytes wrapped,
+      crypto::RsaEncrypt(member_keys.front(),
+                         ByteView(master_key.data(), master_key.size()),
+                         drbg_));
+  RETURN_IF_ERROR(
+      core::WriteFrame(endpoint, ByteView(wrapped.data(), wrapped.size())));
+  const crypto::SessionKeys keys = crypto::SessionKeys::Derive(
+      ByteView(master_key.data(), master_key.size()));
+  channel_.emplace(endpoint, keys, /*is_enclave_side=*/false);
+
+  // ---- Uploads: each distinct declared binary crosses the wire once --------
+  // Classes in first-appearance order over the *declared* digests — the same
+  // grouping the group session derives, so both sides agree on the upload
+  // order without negotiating it.
+  std::vector<size_t> class_primaries;
+  {
+    std::set<crypto::Sha256Digest> seen;
+    for (size_t i = 0; i < count; ++i) {
+      if (seen.insert(manifest_->members[i].binary_digest).second) {
+        class_primaries.push_back(i);
+      }
+    }
+  }
+  const size_t block_size =
+      options_.block_size > 0 ? options_.block_size : core::kBlockSize;
+  for (const size_t primary : class_primaries) {
+    const Bytes& executable = executables_[primary];
+    ASSIGN_OR_RETURN(const core::Manifest manifest,
+                     BuildManifest(ByteView(executable.data(),
+                                            executable.size())));
+    const Bytes manifest_wire = manifest.Serialize();
+    RETURN_IF_ERROR(core::SendMessage(*channel_, core::MessageType::kManifest,
+                                      ByteView(manifest_wire.data(),
+                                               manifest_wire.size())));
+    for (size_t offset = 0; offset < executable.size(); offset += block_size) {
+      const size_t take = std::min(block_size, executable.size() - offset);
+      RETURN_IF_ERROR(core::SendMessage(
+          *channel_, core::MessageType::kBlock,
+          ByteView(executable.data() + offset, take)));
+    }
+    RETURN_IF_ERROR(
+        core::SendMessage(*channel_, core::MessageType::kDone, {}));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<core::Verdict>> GroupClient::AwaitVerdicts() {
+  if (!channel_.has_value()) {
+    return FailedPreconditionError(
+        "SendPrograms has not established a channel");
+  }
+  std::vector<core::Verdict> verdicts;
+  verdicts.reserve(executables_.size());
+  for (size_t i = 0; i < executables_.size(); ++i) {
+    ASSIGN_OR_RETURN(const core::Message message,
+                     core::ReceiveMessage(*channel_));
+    if (message.type != core::MessageType::kVerdict) {
+      return ProtocolError("expected a verdict record");
+    }
+    ASSIGN_OR_RETURN(core::Verdict verdict,
+                     core::Verdict::Deserialize(ByteView(
+                         message.payload.data(), message.payload.size())));
+    verdicts.push_back(std::move(verdict));
+  }
+  return verdicts;
 }
 
 }  // namespace engarde::client

@@ -11,6 +11,8 @@
 #define ENGARDE_CLIENT_CLIENT_H_
 
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "core/protocol.h"
 #include "crypto/channel.h"
@@ -71,6 +73,62 @@ class Client {
 // Derives the manifest (file size + code-page list) from the executable the
 // honest client is about to send. Exposed so tests can build tampered ones.
 Result<core::Manifest> BuildManifest(ByteView executable);
+
+// The honest GroupManifest for a fleet deployment: per member its binary's
+// SHA-256 and size, the agreed policy-set fingerprint, and the full sibling
+// matrix (every member vouches for every other member's digest — the
+// MAGE-style mutual pre-measurement). Exposed so tests can tamper a
+// declaration before handing it to a GroupClient.
+Result<core::GroupManifest> BuildGroupManifest(
+    const std::vector<Bytes>& executables,
+    const std::string& policy_fingerprint);
+
+// Fleet client: deploys N cooperating executables as ONE group over ONE
+// connection to a group-provisioning front end. The exchange:
+//   1. SendGroupManifest — the plaintext GroupManifest frame leads.
+//   2. AwaitAdmission    — the front end's control frame (admit / retry).
+//   3. SendPrograms      — reads the group hello (one group quote covering
+//      the ordered member identities + one public key per member), verifies
+//      the single quote in place of N per-member verifications, wraps ONE
+//      AES master key to member 0's key, then uploads each distinct binary
+//      once (members sharing a digest share the upload).
+//   4. AwaitVerdicts     — one verdict per member, in declaration order.
+class GroupClient {
+ public:
+  // `policy_fingerprint` is the agreed PolicySetFingerprint every member
+  // declares (the client knows it: the policy set is mutually negotiated).
+  GroupClient(ClientOptions options, std::vector<Bytes> executables,
+              std::string policy_fingerprint)
+      : options_(std::move(options)),
+        executables_(std::move(executables)),
+        policy_fingerprint_(std::move(policy_fingerprint)),
+        drbg_(ByteView(options_.entropy.data(), options_.entropy.size())) {}
+
+  // Replaces the honest manifest with a tampered one (tests: digest lies,
+  // sibling-measurement mismatches). Must be called before SendGroupManifest.
+  void set_manifest(core::GroupManifest manifest) {
+    manifest_.emplace(std::move(manifest));
+  }
+
+  Status SendGroupManifest(crypto::DuplexPipe::Endpoint endpoint);
+  // Same control-frame semantics as Client::AwaitAdmission.
+  Result<std::optional<core::RetryAfter>> AwaitAdmission(
+      crypto::DuplexPipe::Endpoint endpoint);
+  Status SendPrograms(crypto::DuplexPipe::Endpoint endpoint);
+  Result<std::vector<core::Verdict>> AwaitVerdicts();
+
+  size_t member_count() const noexcept { return executables_.size(); }
+
+ private:
+  Status EnsureManifest();
+
+  ClientOptions options_;
+  std::vector<Bytes> executables_;
+  std::string policy_fingerprint_;
+  std::optional<core::GroupManifest> manifest_;
+  crypto::HmacDrbg drbg_;
+  std::optional<crypto::SecureChannel> channel_;
+};
 
 }  // namespace engarde::client
 

@@ -113,6 +113,22 @@ std::unique_ptr<PooledEnclave> WarmEnclavePool::TryTake(
   return entry;
 }
 
+void WarmEnclavePool::Return(std::unique_ptr<PooledEnclave> entry) {
+  if (entry == nullptr) return;
+  // Back on the shelf and idle again: preferred reclaim victim, handout
+  // un-counted. Deliberately NOT routed through Shelve(): a returned entry
+  // was never newly built, so total_prebuilt_ must not move.
+  if (entry->enclave.has_value()) {
+    (void)host_->device()->SetReclaimPreferred(entry->enclave->enclave_id(),
+                                               true);
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = entry->policy_fingerprint;
+  shelves_[key].push_back(std::move(entry));
+  ++size_;
+  --total_handouts_;
+}
+
 size_t WarmEnclavePool::size() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return size_;

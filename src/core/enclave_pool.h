@@ -98,6 +98,13 @@ class WarmEnclavePool {
   // stale-keyed entry (policy set changed since prefill) is never returned.
   std::unique_ptr<PooledEnclave> TryTake(const std::string& fingerprint);
 
+  // Puts back an entry a caller took but never used — an atomic group
+  // admission that failed mid-group returns every member's handout. The
+  // entry is re-shelved untouched (same accountant, same hello) and the
+  // handout is un-counted, so a rolled-back admission leaves the pool's
+  // statistics exactly as if TryTake had never happened.
+  void Return(std::unique_ptr<PooledEnclave> entry);
+
   size_t size() const;
   size_t total_prebuilt() const;
   size_t total_handouts() const;

@@ -123,6 +123,10 @@ Status EngardeEnclave::SendHello(crypto::DuplexPipe::Endpoint endpoint) {
   return Status::Ok();
 }
 
+Result<Bytes> EngardeEnclave::UnwrapMasterKey(ByteView wrapped) const {
+  return crypto::RsaDecrypt(rsa_.private_key, wrapped);
+}
+
 Result<ProvisionOutcome> EngardeEnclave::RunProvisioning(
     crypto::DuplexPipe::Endpoint endpoint) {
   // One-shot driver over the re-entrant session: the whole exchange (wrapped

@@ -46,12 +46,21 @@ namespace engarde::core {
 
 class VerdictCache;
 
+// Default entropy for the in-enclave DRBG. Built out of line: an
+// initializer-list default member initializer trips GCC 12's
+// -Wmaybe-uninitialized when EngardeOptions is copied at -O2 (the
+// class-scope backing array confuses the inliner's tracking).
+inline Bytes DefaultEnclaveEntropy() {
+  static const uint8_t kSeed[] = {0xe7, 0x6a, 0x2d, 0xe0};
+  return Bytes(kSeed, kSeed + sizeof(kSeed));
+}
+
 struct EngardeOptions {
   sgx::EnclaveLayout layout;
   size_t rsa_bits = 2048;  // tests dial this down for speed
   // Entropy for the in-enclave DRBG (RSA key, canary). On real hardware this
   // comes from RDRAND inside the enclave.
-  Bytes enclave_entropy = {0xe7, 0x6a, 0x2d, 0xe0};
+  Bytes enclave_entropy = DefaultEnclaveEntropy();
   // Worker threads for the inspection pass (sharded disassembly, parallel
   // NaCl rules 1-2, concurrent policy checks). SGX enclaves are
   // multi-threaded via multiple TCS entries, so the in-enclave inspection
@@ -139,6 +148,12 @@ class EngardeEnclave {
   const crypto::RsaPublicKey& public_key() const {
     return rsa_.public_key;
   }
+
+  // Unwraps a client's RSA-wrapped AES master key with this enclave's
+  // ephemeral private key. Used by the group provisioning session, where the
+  // leader member's key bootstraps ONE shared secure channel for the whole
+  // group instead of one per member.
+  Result<Bytes> UnwrapMasterKey(ByteView wrapped) const;
 
   // Protocol step 1: plaintext hello frame (serialized quote, then key).
   Status SendHello(crypto::DuplexPipe::Endpoint endpoint);

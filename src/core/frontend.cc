@@ -99,6 +99,9 @@ void FrontendMetrics::Merge(const FrontendMetrics& other) noexcept {
       std::max(verdict_cache_evictions, other.verdict_cache_evictions);
   verdict_cache_bytes_sealed =
       std::max(verdict_cache_bytes_sealed, other.verdict_cache_bytes_sealed);
+  groups_admitted += other.groups_admitted;
+  group_members_admitted += other.group_members_admitted;
+  groups_rejected_mutual += other.groups_rejected_mutual;
 }
 
 EngardeOptions ProvisioningFrontend::PerEnclaveOptions() const {
@@ -210,6 +213,14 @@ Result<uint64_t> ProvisioningFrontend::Accept(
   metrics_cells_.accepted.fetch_add(1, std::memory_order_relaxed);
   AtomicMax(metrics_cells_.peak_live, live);
 
+  // Fleet mode: nothing is admitted (or even budgeted) until the client's
+  // GroupManifest frame arrives — the connection parks and the reactor
+  // decides once it can see the whole group.
+  if (options_.group_provisioning) {
+    accepted.state = ConnectionState::kAwaitGroup;
+    return accepted.id;
+  }
+
   // Arrivals behind the queue must not overtake it; only try immediate
   // admission when nobody is already waiting.
   if (admission_queue_.empty()) {
@@ -296,6 +307,190 @@ Result<ProvisioningFrontend::AdmitResult> ProvisioningFrontend::TryAdmit(
   return AdmitResult::kAdmitted;
 }
 
+Result<ProvisioningFrontend::AdmitResult> ProvisioningFrontend::TryAdmitGroup(
+    Connection& conn) {
+  const GroupManifest& manifest = *conn.group_manifest;
+  const std::string fingerprint = PolicySetFingerprint(policy_factory_());
+  const uint64_t pages = PagesPerEnclave();
+  const uint64_t heap_bytes =
+      options_.enclave_options.layout.heap_pages * sgx::kPageSize;
+  const size_t count = manifest.members.size();
+
+  // All-or-nothing: any exit before the success epilogue must leave the pool
+  // and the budget exactly as it found them.
+  std::vector<std::unique_ptr<PooledEnclave>> slots(count);
+  std::vector<bool> warm(count, false);
+  const auto roll_back_handouts = [&] {
+    for (size_t i = 0; i < count; ++i) {
+      if (slots[i] != nullptr && warm[i]) pool_->Return(std::move(slots[i]));
+    }
+  };
+
+  // Validate-then-acquire per member, in declaration order: a manifest that
+  // turns invalid at member k must return the k handouts already taken.
+  for (size_t i = 0; i < count; ++i) {
+    const GroupMember& member = manifest.members[i];
+    Status invalid = Status::Ok();
+    if (member.policy_fingerprint != fingerprint) {
+      invalid = InvalidArgumentError(
+          "group member " + std::to_string(i) +
+          " expects a policy set this front end does not serve");
+    } else if (member.binary_size == 0 || member.binary_size > heap_bytes) {
+      invalid = InvalidArgumentError(
+          "group member " + std::to_string(i) +
+          " declares a binary that cannot fit the enclave staging area");
+    }
+    if (!invalid.ok()) {
+      roll_back_handouts();
+      return invalid;
+    }
+    slots[i] = pool_->TryTake(fingerprint);
+    warm[i] = slots[i] != nullptr;
+  }
+
+  // One reservation covers every cold member; warm handouts carry their
+  // prefill-time reservation with them.
+  size_t cold = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (!warm[i]) ++cold;
+  }
+  if (cold > 0 && !budget_->TryReserve(cold * pages)) {
+    roll_back_handouts();
+    return AdmitResult::kNoBudget;
+  }
+  Status build_failure = Status::Ok();
+  for (size_t i = 0; i < count && build_failure.ok(); ++i) {
+    if (slots[i] != nullptr) continue;
+    Result<std::unique_ptr<PooledEnclave>> built = WarmEnclavePool::BuildEntry(
+        host_, *quoting_, policy_factory_(), PerEnclaveOptions());
+    if (!built.ok()) {
+      build_failure = built.status();
+    } else {
+      slots[i] = std::move(*built);
+    }
+  }
+  if (!build_failure.ok()) {
+    for (size_t i = 0; i < count; ++i) {
+      if (slots[i] == nullptr || warm[i]) continue;
+      // Cold members built before the failure go away entirely.
+      (void)host_->DestroyEnclave(slots[i]->enclave->enclave_id());
+      slots[i].reset();
+    }
+    budget_->Release(cold * pages);
+    roll_back_handouts();
+    if (IsRetryableResourceError(build_failure)) return AdmitResult::kNoBudget;
+    return build_failure;
+  }
+
+  // Group hello: one quote signed over the ordered member identities, then
+  // each member's public key. Signed outside any ScopedAccountant — like a
+  // solo quote, attestation is provider-side work, never a session charge.
+  std::vector<sgx::Report> reports;
+  reports.reserve(count);
+  for (const auto& slot : slots) {
+    reports.push_back(slot->enclave->quote().report);
+  }
+  Result<sgx::Quote> group_quote = quoting_->CreateGroupQuote(reports);
+  if (!group_quote.ok()) {
+    for (size_t i = 0; i < count; ++i) {
+      if (slots[i] == nullptr || warm[i]) continue;
+      (void)host_->DestroyEnclave(slots[i]->enclave->enclave_id());
+      slots[i].reset();
+    }
+    budget_->Release(cold * pages);
+    roll_back_handouts();
+    return group_quote.status();
+  }
+  crypto::DuplexPipe::Endpoint session_side = conn.pipe->EndA();
+  RETURN_IF_ERROR(
+      WriteControlFrame(session_side, ControlType::kHelloFollows, {}));
+  RETURN_IF_ERROR(
+      WriteFrame(session_side, ByteView(group_quote->Serialize())));
+  for (const auto& slot : slots) {
+    RETURN_IF_ERROR(WriteFrame(
+        session_side, ByteView(slot->enclave->public_key().Serialize())));
+  }
+
+  conn.from_pool = cold == 0;
+  conn.group_slots = std::move(slots);
+  std::vector<PooledEnclave*> borrowed;
+  borrowed.reserve(count);
+  for (const auto& slot : conn.group_slots) borrowed.push_back(slot.get());
+  conn.group_session = std::make_unique<GroupProvisioningSession>(
+      host_, std::move(*conn.group_manifest), std::move(borrowed),
+      session_side);
+  conn.group_manifest.reset();
+  conn.state = ConnectionState::kActive;
+
+  const uint64_t now = NowNs();
+  conn.last_input_ns = now;
+  const uint64_t wait = now >= conn.accepted_ns ? now - conn.accepted_ns : 0;
+  metrics_cells_.admitted.fetch_add(1, std::memory_order_relaxed);
+  if (conn.from_pool) {
+    metrics_cells_.admitted_warm.fetch_add(1, std::memory_order_relaxed);
+  }
+  metrics_cells_.groups_admitted.fetch_add(1, std::memory_order_relaxed);
+  metrics_cells_.group_members_admitted.fetch_add(count,
+                                                  std::memory_order_relaxed);
+  metrics_cells_.admission_wait_count.fetch_add(1, std::memory_order_relaxed);
+  metrics_cells_.admission_wait_total_ns.fetch_add(wait,
+                                                   std::memory_order_relaxed);
+  AtomicMax(metrics_cells_.admission_wait_max_ns, wait);
+  RETURN_IF_ERROR(ShuttleOut(conn.pipe->EndB(), *conn.transport).status());
+  RETURN_IF_ERROR(conn.transport->Flush().status());
+  if (options_.reclaim_low_watermark > 0 &&
+      host_->device()->FreeEpcPages() < options_.reclaim_low_watermark) {
+    host_->NotifyEpcPressure();
+  }
+  return AdmitResult::kAdmitted;
+}
+
+Status ProvisioningFrontend::PumpAwaitGroup(Connection& conn, uint64_t now_ns,
+                                            size_t& progress) {
+  crypto::DuplexPipe::Endpoint session_side = conn.pipe->EndA();
+  Result<std::optional<Bytes>> frame = TryReadFrame(session_side);
+  if (!frame.ok()) {
+    FailConnection(conn, frame.status(), now_ns, progress);
+    return Status::Ok();
+  }
+  if (!frame->has_value()) {
+    if (session_side.AtEof()) {
+      FailConnection(
+          conn, ProtocolError("peer closed before sending a group manifest"),
+          now_ns, progress);
+    }
+    return Status::Ok();
+  }
+  Result<GroupManifest> parsed =
+      GroupManifest::Deserialize(ByteView((*frame)->data(), (*frame)->size()));
+  if (!parsed.ok()) {
+    FailConnection(conn, parsed.status(), now_ns, progress);
+    return Status::Ok();
+  }
+  conn.group_manifest.emplace(std::move(*parsed));
+  ++progress;
+
+  // Same FIFO discipline as solo Accept: a freshly declared group must not
+  // overtake groups already queued for budget.
+  if (admission_queue_.empty()) {
+    Result<AdmitResult> admitted = TryAdmitGroup(conn);
+    if (!admitted.ok()) {
+      FailConnection(conn, admitted.status(), now_ns, progress);
+      return Status::Ok();
+    }
+    if (*admitted == AdmitResult::kAdmitted) return Status::Ok();
+  }
+  if (admission_queue_.size() < options_.admission_queue_capacity) {
+    conn.state = ConnectionState::kQueued;
+    admission_queue_.push_back(conn.id);
+    metrics_cells_.queue_depth.store(admission_queue_.size(),
+                                     std::memory_order_relaxed);
+    metrics_cells_.queued.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  return Shed(conn);
+}
+
 Status ProvisioningFrontend::Shed(Connection& conn) {
   RetryAfter record;
   record.retry_after_ms = options_.retry_after_ms;
@@ -348,14 +543,16 @@ bool ProvisioningFrontend::Expired(const Connection& conn, uint64_t now_ns,
     *what = "admission-queue";
     return true;
   }
-  if (conn.state == ConnectionState::kActive &&
+  if ((conn.state == ConnectionState::kActive ||
+       conn.state == ConnectionState::kAwaitGroup) &&
       blown(conn.last_input_ns, options_.idle_deadline_ms)) {
     *deadline_ms = options_.idle_deadline_ms;
     *what = "inbound-idle";
     return true;
   }
   if ((conn.state == ConnectionState::kQueued ||
-       conn.state == ConnectionState::kActive) &&
+       conn.state == ConnectionState::kActive ||
+       conn.state == ConnectionState::kAwaitGroup) &&
       blown(conn.accepted_ns, options_.session_deadline_ms)) {
     *deadline_ms = options_.session_deadline_ms;
     *what = "session";
@@ -466,10 +663,13 @@ Status ProvisioningFrontend::PumpConnection(Connection& conn, uint64_t now_ns,
       }
       // Reap once the outbound tail has landed (or died) and nobody still
       // needs the connection's record: a verdict counts as "needed" until
-      // TakeOutcome moves it out, so polling drivers keep their
-      // introspection window.
+      // TakeOutcome (or TakeGroupOutcomes) moves it out, so polling drivers
+      // keep their introspection window.
+      const bool outcome_claimed = conn.group_session != nullptr
+                                       ? conn.group_outcomes_taken
+                                       : conn.outcome_taken;
       if (tail_landed &&
-          (conn.state != ConnectionState::kDone || conn.outcome_taken)) {
+          (conn.state != ConnectionState::kDone || outcome_claimed)) {
         Reap(conn);  // invalidates conn
         ++progress;
       }
@@ -477,6 +677,7 @@ Status ProvisioningFrontend::PumpConnection(Connection& conn, uint64_t now_ns,
     }
     case ConnectionState::kReaped:
       return InternalError("kReaped is a reporting state, never stored");
+    case ConnectionState::kAwaitGroup:
     case ConnectionState::kActive:
       break;
   }
@@ -512,51 +713,96 @@ Status ProvisioningFrontend::PumpConnection(Connection& conn, uint64_t now_ns,
     return Status::Ok();
   }
 
-  // Pump the session under its accountant — the same redirection
-  // ProvisioningServer::Drive applies, so per-phase attribution matches a
-  // serial drive bit for bit.
-  const ProvisioningSession::State before = conn.session->state();
-  Status pumped = Status::Ok();
-  {
-    // Pin this enclave's pages for the duration of the pump: the reclaimer
-    // must not write back the working set mid-stage. Between pumps the pin
-    // drops, so a session parked in Blocks ages out like any cold enclave.
-    sgx::ScopedEpcPin pin(host_->device(),
-                          conn.slot->enclave->enclave_id());
-    sgx::ScopedAccountant scoped(&conn.slot->accountant);
-    pumped = conn.session->Pump();
+  if (conn.state == ConnectionState::kAwaitGroup) {
+    // Nothing has been written yet, so no outbound step is owed here;
+    // admission/shedding write and flush their own bytes.
+    return PumpAwaitGroup(conn, now_ns, progress);
   }
-  if (!pumped.ok()) {
-    FailConnection(conn, pumped, now_ns, progress);
-    return Status::Ok();
-  }
-  if (conn.session->state() != before) ++progress;
 
-  if (conn.session->done()) {
-    ASSIGN_OR_RETURN(ProvisionOutcome outcome, conn.session->TakeOutcome());
-    RecordDecodeOverlap(outcome.stats);
-    conn.outcome.emplace(std::move(outcome));
-    conn.state = ConnectionState::kDone;
-    metrics_cells_.done.fetch_add(1, std::memory_order_relaxed);
-    RecordTerminal(conn, now_ns);
-    ++progress;
-    if (options_.destroy_enclave_on_verdict) ReleaseEnclave(conn);
-  } else if (conn.session->waiting_on_decode()) {
-    // The image is complete but decode tasks are still retiring on the
-    // inspection pool: that is work in flight, not a stall. Count it as
-    // progress so DrainAll keeps sweeping until the verdict lands, and give
-    // the workers the cycles they need to get there.
-    ++progress;
-    std::this_thread::yield();
-  } else if (conn.session->state() == before &&
-             conn.pipe->EndA().AtEof() &&
-             conn.pipe->EndA().Available() == 0) {
-    // Peer finished sending but the exchange is incomplete and no further
-    // progress is possible: terminal.
-    FailConnection(conn,
-                   ProtocolError("peer closed mid-exchange: session stalled "
-                                 "before a verdict"),
-                   now_ns, progress);
+  if (conn.group_session != nullptr) {
+    // Fleet connection: the group session scopes each member's accountant
+    // and EPC pin itself, so no connection-level redirection here.
+    const GroupProvisioningSession::State before = conn.group_session->state();
+    const Status pumped = conn.group_session->Pump();
+    if (!pumped.ok()) {
+      FailConnection(conn, pumped, now_ns, progress);
+      return Status::Ok();
+    }
+    if (conn.group_session->state() != before) ++progress;
+    if (conn.group_session->done()) {
+      ASSIGN_OR_RETURN(std::vector<ProvisionOutcome> outcomes,
+                       conn.group_session->TakeOutcomes());
+      for (const ProvisionOutcome& outcome : outcomes) {
+        RecordDecodeOverlap(outcome.stats);
+      }
+      if (conn.group_session->group_rejected()) {
+        metrics_cells_.groups_rejected_mutual.fetch_add(
+            1, std::memory_order_relaxed);
+      }
+      conn.group_outcomes = std::move(outcomes);
+      conn.state = ConnectionState::kDone;
+      metrics_cells_.done.fetch_add(1, std::memory_order_relaxed);
+      RecordTerminal(conn, now_ns);
+      ++progress;
+      if (options_.destroy_enclave_on_verdict) ReleaseEnclave(conn);
+    } else if (conn.group_session->waiting_on_decode()) {
+      ++progress;
+      std::this_thread::yield();
+    } else if (conn.group_session->state() == before &&
+               conn.pipe->EndA().AtEof() &&
+               conn.pipe->EndA().Available() == 0) {
+      FailConnection(conn,
+                     ProtocolError("peer closed mid-exchange: group stalled "
+                                   "before its verdicts"),
+                     now_ns, progress);
+    }
+  } else {
+    // Pump the session under its accountant — the same redirection
+    // ProvisioningServer::Drive applies, so per-phase attribution matches a
+    // serial drive bit for bit.
+    const ProvisioningSession::State before = conn.session->state();
+    Status pumped = Status::Ok();
+    {
+      // Pin this enclave's pages for the duration of the pump: the reclaimer
+      // must not write back the working set mid-stage. Between pumps the pin
+      // drops, so a session parked in Blocks ages out like any cold enclave.
+      sgx::ScopedEpcPin pin(host_->device(),
+                            conn.slot->enclave->enclave_id());
+      sgx::ScopedAccountant scoped(&conn.slot->accountant);
+      pumped = conn.session->Pump();
+    }
+    if (!pumped.ok()) {
+      FailConnection(conn, pumped, now_ns, progress);
+      return Status::Ok();
+    }
+    if (conn.session->state() != before) ++progress;
+
+    if (conn.session->done()) {
+      ASSIGN_OR_RETURN(ProvisionOutcome outcome, conn.session->TakeOutcome());
+      RecordDecodeOverlap(outcome.stats);
+      conn.outcome.emplace(std::move(outcome));
+      conn.state = ConnectionState::kDone;
+      metrics_cells_.done.fetch_add(1, std::memory_order_relaxed);
+      RecordTerminal(conn, now_ns);
+      ++progress;
+      if (options_.destroy_enclave_on_verdict) ReleaseEnclave(conn);
+    } else if (conn.session->waiting_on_decode()) {
+      // The image is complete but decode tasks are still retiring on the
+      // inspection pool: that is work in flight, not a stall. Count it as
+      // progress so DrainAll keeps sweeping until the verdict lands, and
+      // give the workers the cycles they need to get there.
+      ++progress;
+      std::this_thread::yield();
+    } else if (conn.session->state() == before &&
+               conn.pipe->EndA().AtEof() &&
+               conn.pipe->EndA().Available() == 0) {
+      // Peer finished sending but the exchange is incomplete and no further
+      // progress is possible: terminal.
+      FailConnection(conn,
+                     ProtocolError("peer closed mid-exchange: session "
+                                   "stalled before a verdict"),
+                     now_ns, progress);
+    }
   }
 
   // Outbound: internal wire -> transport. Hard errors fail the connection;
@@ -596,8 +842,23 @@ void ProvisioningFrontend::FailConnection(Connection& conn, Status cause,
 }
 
 void ProvisioningFrontend::ReleaseEnclave(Connection& conn) {
-  if (conn.slot == nullptr || !conn.slot->enclave.has_value() ||
-      conn.enclave_released) {
+  if (conn.enclave_released) return;
+  if (!conn.group_slots.empty()) {
+    // Fleet connection: every member goes back at once — sessions first
+    // (each holds a pointer into its enclave), then the enclaves, then one
+    // release covering the whole group's reservation. Same
+    // outside-any-accountant discipline as the solo path.
+    if (conn.group_session != nullptr) conn.group_session->ResetSessions();
+    for (auto& slot : conn.group_slots) {
+      if (slot == nullptr || !slot->enclave.has_value()) continue;
+      (void)host_->DestroyEnclave(slot->enclave->enclave_id());
+      slot->enclave.reset();
+    }
+    conn.enclave_released = true;
+    budget_->Release(conn.group_slots.size() * PagesPerEnclave());
+    return;
+  }
+  if (conn.slot == nullptr || !conn.slot->enclave.has_value()) {
     return;
   }
   const uint64_t enclave_id = conn.slot->enclave->enclave_id();
@@ -634,7 +895,24 @@ Status ProvisioningFrontend::AdmitFromQueue(size_t& progress) {
                                        std::memory_order_relaxed);
       continue;
     }
-    ASSIGN_OR_RETURN(const AdmitResult admitted, TryAdmit(*conn));
+    // A queued fleet connection carries its parsed manifest; everything else
+    // is a solo admission.
+    AdmitResult admitted = AdmitResult::kNoBudget;
+    if (conn->group_manifest.has_value()) {
+      Result<AdmitResult> group_admitted = TryAdmitGroup(*conn);
+      if (!group_admitted.ok()) {
+        // A manifest that turns out invalid fails its own connection, not
+        // the queue sweep.
+        admission_queue_.pop_front();
+        metrics_cells_.queue_depth.store(admission_queue_.size(),
+                                         std::memory_order_relaxed);
+        FailConnection(*conn, group_admitted.status(), NowNs(), progress);
+        continue;
+      }
+      admitted = *group_admitted;
+    } else {
+      ASSIGN_OR_RETURN(admitted, TryAdmit(*conn));
+    }
     if (admitted == AdmitResult::kNoBudget) break;  // still starved; FIFO
     admission_queue_.pop_front();
     metrics_cells_.queue_depth.store(admission_queue_.size(),
@@ -685,6 +963,22 @@ Status ProvisioningFrontend::connection_status(uint64_t id) const {
     return NotFoundError("connection was reaped (or never existed)");
   }
   return conn->failure;
+}
+
+Result<std::vector<ProvisionOutcome>> ProvisioningFrontend::TakeGroupOutcomes(
+    uint64_t id) {
+  Connection* conn = Find(id);
+  if (conn == nullptr) {
+    return NotFoundError("connection was reaped (or never existed)");
+  }
+  if (conn->state != ConnectionState::kDone || conn->group_session == nullptr) {
+    return FailedPreconditionError("group has not reached its verdicts");
+  }
+  if (conn->group_outcomes_taken) {
+    return FailedPreconditionError("group outcomes already taken");
+  }
+  conn->group_outcomes_taken = true;
+  return std::move(conn->group_outcomes);
 }
 
 Result<ProvisionOutcome> ProvisioningFrontend::TakeOutcome(uint64_t id) {
@@ -757,6 +1051,9 @@ FrontendMetrics ProvisioningFrontend::metrics() const noexcept {
     m.verdict_cache_evictions = stats.evictions;
     m.verdict_cache_bytes_sealed = stats.bytes_sealed;
   }
+  m.groups_admitted = load(metrics_cells_.groups_admitted);
+  m.group_members_admitted = load(metrics_cells_.group_members_admitted);
+  m.groups_rejected_mutual = load(metrics_cells_.groups_rejected_mutual);
   return m;
 }
 
@@ -776,7 +1073,8 @@ std::vector<int> ProvisioningFrontend::PollDescriptors() const {
   for (const TableSlot& slot : slots_) {
     if (slot.conn == nullptr) continue;
     if (slot.conn->state != ConnectionState::kActive &&
-        slot.conn->state != ConnectionState::kQueued) {
+        slot.conn->state != ConnectionState::kQueued &&
+        slot.conn->state != ConnectionState::kAwaitGroup) {
       continue;
     }
     const int fd = slot.conn->transport->descriptor();

@@ -65,6 +65,7 @@
 #include "core/enclave_pool.h"
 #include "core/engarde.h"
 #include "core/epc_budget.h"
+#include "core/group_session.h"
 #include "core/session.h"
 #include "net/transport.h"
 #include "sgx/attestation.h"
@@ -106,6 +107,14 @@ struct FrontendOptions {
   // that keeps compliant enclaves alive to run client code turns this off
   // and manages lifetimes itself.
   bool destroy_enclave_on_verdict = true;
+  // Fleet mode: every connection leads with a GroupManifest frame
+  // (core/protocol.h) and co-provisions all declared members over ONE shared
+  // channel (core/group_session.h). Admission is atomic per group — warm
+  // handouts plus one all-or-nothing EpcBudget reservation for the cold
+  // remainder; any mid-group failure rolls every member back. Off (the
+  // default), the front end speaks the original one-connection-one-enclave
+  // protocol, byte for byte.
+  bool group_provisioning = false;
 
   // ---- Deadlines (0 = unlimited) -------------------------------------------
   // All measured against `clock`. Expiry fails the connection with
@@ -130,6 +139,7 @@ struct FrontendOptions {
 enum class ConnectionState : uint8_t {
   kQueued = 0,  // waiting for EPC budget; nothing sent yet
   kActive,      // admitted: hello sent, session live
+  kAwaitGroup,  // fleet mode: waiting for the client's GroupManifest frame
   kDone,        // verdict reached, outcome recorded
   kShed,        // RetryAfter sent; client must reconnect
   kFailed,      // hard protocol/transport error, no verdict
@@ -202,6 +212,10 @@ struct FrontendMetrics {
   uint64_t verdict_cache_tamper_rejects = 0;
   uint64_t verdict_cache_evictions = 0;
   uint64_t verdict_cache_bytes_sealed = 0;  // gauge: sealed bytes on disk
+  // Fleet provisioning (group_provisioning mode; all zero otherwise).
+  uint64_t groups_admitted = 0;         // whole groups co-admitted
+  uint64_t group_members_admitted = 0;  // members across those groups
+  uint64_t groups_rejected_mutual = 0;  // groups rejected by mutual verify
 
   // Shard aggregation: counters and gauges sum, maxima take the max; budget
   // and paging fields are shared (one budget / host OS per group), so Merge
@@ -269,6 +283,25 @@ class ProvisioningFrontend {
   }
   bool served_from_pool(uint64_t id) const { return Get(id).from_pool; }
 
+  // ---- Fleet-mode introspection (group_provisioning connections) ----------
+  // Member count of a co-admitted group; 0 before admission or for a solo
+  // connection.
+  size_t group_member_count(uint64_t id) const {
+    return Get(id).group_slots.size();
+  }
+  const sgx::CycleAccountant& group_member_accountant(uint64_t id,
+                                                      size_t member) const {
+    return Get(id).group_slots[member]->accountant;
+  }
+  // True for a kDone group whose verdicts were overridden by mutual
+  // verification.
+  bool group_rejected(uint64_t id) const {
+    const Connection& conn = Get(id);
+    return conn.group_session != nullptr && conn.group_session->group_rejected();
+  }
+  // Moves every member outcome (declaration order) out of a kDone group.
+  Result<std::vector<ProvisionOutcome>> TakeGroupOutcomes(uint64_t id);
+
   size_t active_count() const noexcept;
   size_t queued_count() const noexcept {
     return metrics_cells_.queue_depth.load(std::memory_order_relaxed);
@@ -315,6 +348,14 @@ class ProvisioningFrontend {
     std::unique_ptr<crypto::DuplexPipe> pipe;
     std::unique_ptr<PooledEnclave> slot;  // accountant + enclave + hello
     std::optional<ProvisioningSession> session;
+    // Fleet mode (group_provisioning): the parsed manifest is held while the
+    // group waits in the admission FIFO; on co-admission the connection owns
+    // one slot per member plus the group session that borrows them.
+    std::optional<GroupManifest> group_manifest;
+    std::vector<std::unique_ptr<PooledEnclave>> group_slots;
+    std::unique_ptr<GroupProvisioningSession> group_session;
+    std::vector<ProvisionOutcome> group_outcomes;
+    bool group_outcomes_taken = false;
     ConnectionState state = ConnectionState::kQueued;
     Status failure;
     std::optional<ProvisionOutcome> outcome;
@@ -360,6 +401,9 @@ class ProvisioningFrontend {
     std::atomic<uint64_t> decode_early_bytes_total{0};
     std::atomic<uint64_t> decode_overlap_sum_permille{0};
     std::atomic<uint64_t> decode_overlap_max_permille{0};
+    std::atomic<uint64_t> groups_admitted{0};
+    std::atomic<uint64_t> group_members_admitted{0};
+    std::atomic<uint64_t> groups_rejected_mutual{0};
     // Gauge mirror of admission_queue_.size(), so queued_count()/metrics()
     // stay readable off the owner thread.
     std::atomic<uint64_t> queue_depth{0};
@@ -381,6 +425,15 @@ class ProvisioningFrontend {
   // hello. kNoBudget when the EPC budget (or a retryable build failure)
   // stands in the way.
   Result<AdmitResult> TryAdmit(Connection& conn);
+  // Atomic group co-admission against conn.group_manifest: validates every
+  // member, takes warm handouts, makes ONE all-or-nothing budget reservation
+  // for the cold remainder and builds it. Any failure rolls back every
+  // handout, build and reserved page — kNoBudget for retryable starvation
+  // (the group can queue), a hard status for an invalid manifest.
+  Result<AdmitResult> TryAdmitGroup(Connection& conn);
+  // kAwaitGroup step: parse the GroupManifest frame once it is whole, then
+  // admit / queue / shed the group.
+  Status PumpAwaitGroup(Connection& conn, uint64_t now_ns, size_t& progress);
   // Sends the RetryAfter record and finishes the connection.
   Status Shed(Connection& conn);
   // One sweep over one connection; increments `progress` on any advance.

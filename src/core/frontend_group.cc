@@ -80,6 +80,17 @@ void FrontendGroup::HarvestVerdicts(size_t index, size_t& progress) {
   // Taking the outcome is what clears a kDone connection for the reaper.
   for (const uint64_t id : frontend.connection_ids()) {
     if (frontend.state(id) != ConnectionState::kDone) continue;
+    if (frontend.group_member_count(id) > 0) {
+      // Fleet connection: one callback per member, declaration order.
+      Result<std::vector<ProvisionOutcome>> outcomes =
+          frontend.TakeGroupOutcomes(id);
+      if (!outcomes.ok()) continue;  // already harvested on an earlier sweep
+      for (const ProvisionOutcome& outcome : *outcomes) {
+        options_.on_verdict(index, id, outcome, frontend.served_from_pool(id));
+      }
+      ++progress;
+      continue;
+    }
     Result<ProvisionOutcome> outcome = frontend.TakeOutcome(id);
     if (!outcome.ok()) continue;  // already harvested on an earlier sweep
     options_.on_verdict(index, id, *outcome, frontend.served_from_pool(id));

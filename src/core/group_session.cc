@@ -1,0 +1,243 @@
+#include "core/group_session.h"
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "sgx/cost_model.h"
+#include "sgx/device.h"
+
+namespace engarde::core {
+
+GroupProvisioningSession::GroupProvisioningSession(
+    sgx::HostOs* host, GroupManifest manifest,
+    std::vector<PooledEnclave*> members, crypto::DuplexPipe::Endpoint endpoint)
+    : host_(host), manifest_(std::move(manifest)), endpoint_(endpoint) {
+  std::map<crypto::Sha256Digest, size_t> class_by_digest;
+  members_.reserve(members.size());
+  for (size_t i = 0; i < members.size(); ++i) {
+    Member member;
+    member.entry = members[i];
+    member.feed = std::make_unique<crypto::DuplexPipe>();
+    member.session = std::make_unique<ProvisioningSession>(
+        &*member.entry->enclave, member.feed->EndB());
+    member.session->EnterExternalFeed();
+    member.session->set_hold_verdict(true);
+    member.session->set_async_barrier(true);
+    const crypto::Sha256Digest& digest = manifest_.members[i].binary_digest;
+    const auto found = class_by_digest.find(digest);
+    if (found == class_by_digest.end()) {
+      member.upload_class = classes_.size();
+      class_by_digest.emplace(digest, classes_.size());
+      classes_.push_back({i});
+    } else {
+      member.upload_class = found->second;
+      classes_[found->second].push_back(i);
+    }
+    members_.push_back(std::move(member));
+  }
+}
+
+bool GroupProvisioningSession::waiting_on_decode() const noexcept {
+  for (const Member& member : members_) {
+    if (member.session != nullptr && member.session->waiting_on_decode()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status GroupProvisioningSession::PumpMembers() {
+  for (Member& member : members_) {
+    if (member.session == nullptr || member.session->done()) continue;
+    // Same per-member discipline as a solo front-end connection: charges from
+    // this member's pump (EENTER, inspection phases) land on its own
+    // accountant, and its pages are pinned against reclaim for the duration.
+    sgx::ScopedEpcPin pin(host_->device(),
+                          member.entry->enclave->enclave_id());
+    sgx::ScopedAccountant scoped(&member.entry->accountant);
+    RETURN_IF_ERROR(member.session->Pump());
+  }
+  return Status::Ok();
+}
+
+Status GroupProvisioningSession::Pump() {
+  // Members first: charges each EENTER before any wire input is consumed
+  // (the solo ordering) and drives inspections whose DONE already landed.
+  RETURN_IF_ERROR(PumpMembers());
+  for (;;) {
+    switch (state_) {
+      case State::kAwaitKey: {
+        // The client wraps ONE master key to member 0's public key; the
+        // unwrap is charged to the leader — for a single-member group this
+        // is exactly the solo handshake.
+        Member& leader = members_.front();
+        sgx::ScopedEpcPin pin(host_->device(),
+                              leader.entry->enclave->enclave_id());
+        sgx::ScopedAccountant scoped(&leader.entry->accountant);
+        ASSIGN_OR_RETURN(std::optional<Bytes> frame, TryReadFrame(endpoint_));
+        if (!frame.has_value()) return Status::Ok();
+        ASSIGN_OR_RETURN(const Bytes master_key,
+                         leader.entry->enclave->UnwrapMasterKey(
+                             ByteView(frame->data(), frame->size())));
+        if (master_key.size() != 32) {
+          return ProtocolError("client AES key must be 256 bits");
+        }
+        const crypto::SessionKeys keys = crypto::SessionKeys::Derive(
+            ByteView(master_key.data(), master_key.size()));
+        channel_.emplace(endpoint_, keys, /*is_enclave_side=*/true);
+        state_ = State::kStreaming;
+        break;
+      }
+      case State::kStreaming: {
+        if (current_class_ >= classes_.size()) {
+          state_ = State::kQuiesce;
+          break;
+        }
+        const std::vector<size_t>& cls = classes_[current_class_];
+        std::optional<Bytes> record;
+        {
+          // The shared decrypt is work a solo session does per connection;
+          // here it runs once per record, charged to the class primary (the
+          // solo sequence exactly, when the group has one member).
+          Member& primary = members_[cls.front()];
+          sgx::ScopedEpcPin pin(host_->device(),
+                                primary.entry->enclave->enclave_id());
+          sgx::ScopedAccountant scoped(&primary.entry->accountant);
+          ASSIGN_OR_RETURN(record, channel_->TryReceive());
+        }
+        if (!record.has_value()) return Status::Ok();
+        ASSIGN_OR_RETURN(Message message, ParseMessage(std::move(*record)));
+        if (message.type == MessageType::kManifest) {
+          // Cross-check the uploaded manifest against the group declaration
+          // before any member stages a byte: a size lie fails fast instead
+          // of surfacing as a digest mismatch after N full uploads.
+          ASSIGN_OR_RETURN(
+              const Manifest uploaded,
+              Manifest::Deserialize(ByteView(message.payload.data(),
+                                             message.payload.size())));
+          for (const size_t index : cls) {
+            if (uploaded.file_size != manifest_.members[index].binary_size) {
+              return ProtocolError(
+                  "upload manifest size disagrees with the group declaration "
+                  "for member " + std::to_string(index));
+            }
+          }
+        }
+        const bool class_done = message.type == MessageType::kDone;
+        for (const size_t index : cls) {
+          Member& member = members_[index];
+          // Each class member receives its own copy of the record under its
+          // own accountant: staging, trampolines and EnclaveWrites account
+          // exactly as if the member had its own connection.
+          Message copy{message.type, message.payload};
+          sgx::ScopedEpcPin pin(host_->device(),
+                                member.entry->enclave->enclave_id());
+          sgx::ScopedAccountant scoped(&member.entry->accountant);
+          RETURN_IF_ERROR(member.session->InjectRecord(std::move(copy)));
+        }
+        if (class_done) {
+          ++current_class_;
+          // Kick the finished class's inspections before the next class's
+          // records arrive.
+          RETURN_IF_ERROR(PumpMembers());
+        }
+        break;
+      }
+      case State::kQuiesce: {
+        RETURN_IF_ERROR(PumpMembers());
+        for (const Member& member : members_) {
+          // Still inspecting (or parked behind in-flight decode): yield to
+          // the reactor; a later pump re-enters here.
+          if (!member.session->verdict_pending()) return Status::Ok();
+        }
+        RETURN_IF_ERROR(MutualVerifyAndRelease());
+        state_ = State::kDone;
+        break;
+      }
+      case State::kDone:
+        if (endpoint_.Available() > 0) {
+          return ProtocolError(
+              "record received after the group verdicts (replay?)");
+        }
+        return Status::Ok();
+    }
+  }
+}
+
+Status GroupProvisioningSession::MutualVerifyAndRelease() {
+  // Cross-check every member's actually-inspected identity before ANY
+  // verdict commits. First mismatch wins; the whole group shares it.
+  std::optional<Rejection> group_override;
+  for (size_t i = 0; i < members_.size() && !group_override.has_value(); ++i) {
+    if (!ConstantTimeEqual(
+            crypto::DigestView(members_[i].session->image_digest()),
+            crypto::DigestView(manifest_.members[i].binary_digest))) {
+      Rejection rejection;
+      rejection.stage = "GroupVerify";
+      rejection.rule = "binary-digest";
+      rejection.detail = "group rejected: member " + std::to_string(i) +
+                         " staged a binary whose SHA-256 disagrees with its "
+                         "own group declaration";
+      group_override.emplace(std::move(rejection));
+    }
+  }
+  for (size_t i = 0; i < members_.size() && !group_override.has_value(); ++i) {
+    for (const auto& [slot, digest] : manifest_.members[i].siblings) {
+      if (!ConstantTimeEqual(
+              crypto::DigestView(members_[slot].session->image_digest()),
+              crypto::DigestView(digest))) {
+        Rejection rejection;
+        rejection.stage = "GroupVerify";
+        rejection.rule = "sibling-measurement";
+        rejection.detail =
+            "group rejected: member " + std::to_string(i) +
+            " vouched for member " + std::to_string(slot) +
+            " with a measurement the inspected binary does not have";
+        group_override.emplace(std::move(rejection));
+        break;
+      }
+    }
+  }
+  group_rejected_ = group_override.has_value();
+
+  for (Member& member : members_) {
+    Verdict verdict;
+    {
+      // The release EEXIT is the member's own charge, like a solo verdict.
+      sgx::ScopedEpcPin pin(host_->device(),
+                            member.entry->enclave->enclave_id());
+      sgx::ScopedAccountant scoped(&member.entry->accountant);
+      ASSIGN_OR_RETURN(verdict, member.session->ReleaseVerdict(group_override));
+    }
+    // Verdict records go out over the shared channel in declaration order.
+    // Uncharged, like the solo send (AES + HMAC only, no SGX instructions).
+    const Bytes wire = verdict.Serialize();
+    RETURN_IF_ERROR(SendMessage(*channel_, MessageType::kVerdict,
+                                ByteView(wire.data(), wire.size())));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<ProvisionOutcome>> GroupProvisioningSession::TakeOutcomes() {
+  if (!done()) {
+    return FailedPreconditionError(
+        "group provisioning has not reached its verdicts");
+  }
+  std::vector<ProvisionOutcome> outcomes;
+  outcomes.reserve(members_.size());
+  for (Member& member : members_) {
+    ASSIGN_OR_RETURN(ProvisionOutcome outcome, member.session->TakeOutcome());
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+void GroupProvisioningSession::ResetSessions() {
+  for (Member& member : members_) {
+    member.session.reset();
+    member.feed.reset();
+  }
+}
+
+}  // namespace engarde::core

@@ -1,0 +1,131 @@
+// GroupProvisioningSession: the enclave side of one *fleet* provisioning
+// exchange — one connection co-provisions N cooperating enclaves (a pipeline,
+// a replica set) declared up front by a GroupManifest (core/protocol.h).
+//
+// Wire shape, after the front end has co-admitted the group and written the
+// control frame + group hello (group quote frame + one public-key frame per
+// member, in declaration order):
+//
+//   client -> frame: RSA-wrapped AES master key, encrypted to MEMBER 0's key
+//   — ONE SecureChannel for the whole group comes up on both sides —
+//   client -> per upload class: manifest record, block records, DONE
+//   enclave -> one verdict record per member, in declaration order
+//
+// Upload classes: members declaring the same binary digest share one upload —
+// their manifest/blocks/DONE cross the wire (and are decrypted) exactly once,
+// and the group session fans each decrypted record out to every class member.
+// This is where the amortization over N independent connections comes from:
+// one RSA unwrap and one AES decrypt per record instead of N, while each
+// member still stages, inspects and accounts its own copy exactly as a solo
+// session would.
+//
+// Accounting: every member borrows a PooledEnclave whose CycleAccountant
+// receives exactly the charges a solo front-end connection makes — EENTER on
+// the member's first pump, one kChannel trampoline per injected block/DONE,
+// the inspection phases, EEXIT at verdict release. Shared-channel work that a
+// solo session would not perform per member (the single unwrap, the single
+// decrypt) is charged to the class primary's accountant, which for a
+// single-member group IS the solo sequence — so N=1 groups account
+// bit-for-bit identically to the pre-group path.
+//
+// Mutual verification (MAGE-style): no verdict commits until every member is
+// inspected. The group then cross-checks each member's actually-inspected
+// SHA-256 against (a) its own declared digest and (b) every sibling
+// declaration naming it. Any mismatch overrides ALL member verdicts with one
+// structured Rejection{stage: "GroupVerify"} — the whole group is rejected,
+// compliant members included, because a group vouching relationship that
+// failed for one member is void for all of them.
+#ifndef ENGARDE_CORE_GROUP_SESSION_H_
+#define ENGARDE_CORE_GROUP_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/enclave_pool.h"
+#include "core/protocol.h"
+#include "core/session.h"
+#include "crypto/channel.h"
+#include "sgx/hostos.h"
+
+namespace engarde::core {
+
+class GroupProvisioningSession {
+ public:
+  enum class State : uint8_t {
+    kAwaitKey = 0,  // group hello sent; awaiting the wrapped master key
+    kStreaming,     // shared channel up; upload classes arriving in order
+    kQuiesce,       // all uploads in; waiting for every member's inspection
+    kDone,          // mutual verification done, all verdicts sent — terminal
+  };
+
+  // `members` are borrowed, one per GroupManifest entry in declaration
+  // order; they (and `host`) must outlive the session. `endpoint` is the
+  // session side of the connection's wire, positioned after the group hello.
+  GroupProvisioningSession(sgx::HostOs* host, GroupManifest manifest,
+                           std::vector<PooledEnclave*> members,
+                           crypto::DuplexPipe::Endpoint endpoint);
+
+  // Consumes every complete frame/record queued on the endpoint, fans
+  // records out to member sessions, and drives member inspections. Returns
+  // OK on progress and when input ran dry; errors are terminal for the
+  // whole group.
+  Status Pump();
+
+  State state() const noexcept { return state_; }
+  bool done() const noexcept { return state_ == State::kDone; }
+  // True iff any member is parked at the DONE barrier behind in-flight
+  // decode tasks — work in flight, not a stall.
+  bool waiting_on_decode() const noexcept;
+
+  size_t member_count() const noexcept { return members_.size(); }
+  // Distinct binaries actually uploaded (<= member_count()).
+  size_t upload_class_count() const noexcept { return classes_.size(); }
+  // Set iff mutual verification failed and every verdict was overridden.
+  bool group_rejected() const noexcept { return group_rejected_; }
+  const sgx::CycleAccountant& member_accountant(size_t index) const {
+    return members_[index].entry->accountant;
+  }
+
+  // Moves every member's outcome out, in declaration order. Valid once
+  // done(); each outcome can be taken once.
+  Result<std::vector<ProvisionOutcome>> TakeOutcomes();
+
+  // Drops the member sessions (each holds a pointer into its enclave).
+  // Must run before the owner destroys the member enclaves.
+  void ResetSessions();
+
+ private:
+  struct Member {
+    PooledEnclave* entry = nullptr;  // borrowed: accountant + enclave
+    // Dummy wire for the session ctor; an external-feed member never reads
+    // from it.
+    std::unique_ptr<crypto::DuplexPipe> feed;
+    std::unique_ptr<ProvisioningSession> session;
+    size_t upload_class = 0;
+  };
+
+  // Pumps every live member under its own accountant + EPC pin (EENTER on
+  // first pump, inspection once its DONE landed).
+  Status PumpMembers();
+  Status MutualVerifyAndRelease();
+
+  sgx::HostOs* host_;
+  GroupManifest manifest_;
+  crypto::DuplexPipe::Endpoint endpoint_;
+  std::optional<crypto::SecureChannel> channel_;  // keyed to member 0
+  std::vector<Member> members_;
+  // Upload classes in first-appearance order; each lists member indices in
+  // declaration order, so classes_[c][0] is the class primary whose
+  // accountant carries the shared decrypt.
+  std::vector<std::vector<size_t>> classes_;
+  size_t current_class_ = 0;
+  State state_ = State::kAwaitKey;
+  bool group_rejected_ = false;
+};
+
+}  // namespace engarde::core
+
+#endif  // ENGARDE_CORE_GROUP_SESSION_H_

@@ -1,5 +1,7 @@
 #include "core/protocol.h"
 
+#include <algorithm>
+
 namespace engarde::core {
 
 Bytes Manifest::Serialize() const {
@@ -105,6 +107,79 @@ Result<Verdict> Verdict::Deserialize(ByteView data) {
   }
   if (!reader.AtEnd()) return ProtocolError("malformed verdict");
   return verdict;
+}
+
+Bytes GroupManifest::Serialize() const {
+  Bytes out;
+  out.push_back(kWireVersion);
+  AppendLe32(out, static_cast<uint32_t>(members.size()));
+  for (const GroupMember& member : members) {
+    AppendBytes(out, crypto::DigestView(member.binary_digest));
+    AppendLe64(out, member.binary_size);
+    AppendString(out, member.policy_fingerprint);
+    AppendLe32(out, static_cast<uint32_t>(member.siblings.size()));
+    for (const auto& [slot, digest] : member.siblings) {
+      AppendLe32(out, slot);
+      AppendBytes(out, crypto::DigestView(digest));
+    }
+  }
+  return out;
+}
+
+Result<GroupManifest> GroupManifest::Deserialize(ByteView data) {
+  ByteReader reader(data);
+  uint8_t version = 0;
+  if (!reader.ReadU8(version)) return ProtocolError("truncated group manifest");
+  if (version != kWireVersion) {
+    return ProtocolError("unsupported group-manifest wire version");
+  }
+  uint32_t count = 0;
+  if (!reader.ReadLe32(count)) return ProtocolError("truncated group manifest");
+  if (count == 0) return ProtocolError("group manifest declares no members");
+  if (count > kMaxMembers) {
+    return ProtocolError("group manifest exceeds the member bound");
+  }
+  GroupManifest manifest;
+  manifest.members.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    GroupMember member;
+    ByteView digest;
+    uint32_t sibling_count = 0;
+    if (!reader.ReadBytes(member.binary_digest.size(), digest) ||
+        !reader.ReadLe64(member.binary_size) ||
+        !ReadString(reader, member.policy_fingerprint) ||
+        !reader.ReadLe32(sibling_count)) {
+      return ProtocolError("truncated group manifest");
+    }
+    std::copy(digest.begin(), digest.end(), member.binary_digest.begin());
+    if (sibling_count > kMaxMembers) {
+      return ProtocolError("group member declares too many siblings");
+    }
+    member.siblings.reserve(sibling_count);
+    for (uint32_t s = 0; s < sibling_count; ++s) {
+      uint32_t slot = 0;
+      ByteView sibling_digest;
+      crypto::Sha256Digest expected{};
+      if (!reader.ReadLe32(slot) ||
+          !reader.ReadBytes(expected.size(), sibling_digest)) {
+        return ProtocolError("truncated group manifest");
+      }
+      if (slot >= count) {
+        return ProtocolError("sibling slot points outside the group");
+      }
+      if (slot == i) {
+        return ProtocolError("group member declares itself as a sibling");
+      }
+      std::copy(sibling_digest.begin(), sibling_digest.end(),
+                expected.begin());
+      member.siblings.emplace_back(slot, expected);
+    }
+    manifest.members.push_back(std::move(member));
+  }
+  if (!reader.AtEnd()) {
+    return ProtocolError("group manifest has trailing bytes");
+  }
+  return manifest;
 }
 
 Bytes RetryAfter::Serialize() const {

@@ -12,11 +12,13 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
 #include "crypto/channel.h"
+#include "crypto/sha256.h"
 
 namespace engarde::core {
 
@@ -72,6 +74,39 @@ struct Verdict {
   // prove old verdict frames still parse.
   Bytes SerializeLegacy() const;
   static Result<Verdict> Deserialize(ByteView data);
+};
+
+// ---- Group provisioning (fleet deployments) --------------------------------
+// A client deploying N cooperating enclaves (a pipeline, a replica set) as
+// one logical unit opens ONE connection and leads with a GroupManifest: one
+// entry per member, in deployment order. Each entry names the binary the
+// member will run (its SHA-256 and size — members sharing a digest form an
+// upload class whose bytes cross the wire once), the policy-set fingerprint
+// the member expects, and the MAGE-style pre-measured sibling identities:
+// (member index, expected binary digest) pairs the member vouches for. After
+// every member is staged and inspected, the group session cross-checks each
+// declared sibling digest against the actually-inspected identity; any
+// mismatch rejects the whole group with a structured Rejection.
+struct GroupMember {
+  crypto::Sha256Digest binary_digest{};  // SHA-256 of this member's binary
+  uint64_t binary_size = 0;              // bytes the member will stage
+  std::string policy_fingerprint;        // expected PolicySetFingerprint
+  // Pre-measured sibling identities: (member index, expected binary digest).
+  std::vector<std::pair<uint32_t, crypto::Sha256Digest>> siblings;
+};
+
+struct GroupManifest {
+  static constexpr uint8_t kWireVersion = 1;
+  // Sanity bound on one co-admitted deployment; a fleet larger than this
+  // provisions as multiple groups.
+  static constexpr size_t kMaxMembers = 64;
+
+  std::vector<GroupMember> members;
+
+  Bytes Serialize() const;
+  // Rejects empty groups, groups beyond kMaxMembers, and sibling slots that
+  // point outside the group or at the declaring member itself.
+  static Result<GroupManifest> Deserialize(ByteView data);
 };
 
 // ---- Front-end control frames (plaintext, pre-channel) ---------------------

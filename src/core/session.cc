@@ -31,6 +31,9 @@ Status ProvisioningSession::Pump() {
       }
       case State::kManifest:
       case State::kBlocks: {
+        // External-feed members have no channel of their own: the group
+        // session decrypts from the shared channel and injects records.
+        if (external_feed_) return Status::Ok();
         sgx::ScopedPhase phase(accountant, sgx::Phase::kChannel);
         ASSIGN_OR_RETURN(std::optional<Bytes> record, channel_->TryReceive());
         if (!record.has_value()) return Status::Ok();
@@ -62,6 +65,10 @@ Status ProvisioningSession::Pump() {
         }
         RETURN_IF_ERROR(RunInspectionAndVerdict());
         break;
+      case State::kVerdictPending:
+        // Parked for the group-level mutual verification; ReleaseVerdict
+        // finishes the member.
+        return Status::Ok();
       case State::kDone:
         if (endpoint_.Available() > 0) {
           return ProtocolError("record received after the verdict (replay?)");
@@ -69,6 +76,32 @@ Status ProvisioningSession::Pump() {
         return Status::Ok();
     }
   }
+}
+
+Status ProvisioningSession::InjectRecord(Message message) {
+  if (!external_feed_) {
+    return FailedPreconditionError(
+        "session owns its channel; drive it with Pump");
+  }
+  if (!entered_) {
+    // The group session normally pumps every member (charging its EENTER)
+    // before any record can arrive; this is a safety net for direct callers.
+    entered_ = true;
+    RETURN_IF_ERROR(enclave_->host_->device()->EEnter(enclave_->enclave_id_));
+  }
+  if (state_ != State::kManifest && state_ != State::kBlocks) {
+    return ProtocolError("record injected outside the transfer states");
+  }
+  // Same charges as the owned-channel path in Pump(): the record crosses the
+  // enclave boundary in Phase::kChannel, one trampoline per block and per
+  // DONE, none for the manifest.
+  sgx::CycleAccountant* accountant = enclave_->host_->device()->accountant();
+  sgx::ScopedPhase phase(accountant, sgx::Phase::kChannel);
+  if (state_ == State::kBlocks && accountant) accountant->CountTrampoline();
+  if (state_ == State::kManifest) return OnManifest(std::move(message));
+  if (message.type == MessageType::kDone) return OnDone();
+  if (message.type == MessageType::kBlock) return OnBlock(std::move(message));
+  return ProtocolError("unexpected record type during code transfer");
 }
 
 Status ProvisioningSession::OnWrappedKey(Bytes frame) {
@@ -193,6 +226,13 @@ Status ProvisioningSession::RunInspectionAndVerdict() {
 
   Verdict& verdict = outcome_.verdict;
   verdict.compliant = inspection.compliant;
+  if (hold_verdict_) {
+    // Captured before a compliant image moves into the enclave: the
+    // actually-inspected identity the group layer cross-checks declared
+    // sibling measurements against.
+    image_digest_ = crypto::Sha256::Hash(ByteView(image_.data(),
+                                                  image_.size()));
+  }
   if (inspection.compliant) {
     outcome_.stats.relocations_applied = ctx.load->relocations_applied;
     outcome_.provider_report.compliant = true;
@@ -207,6 +247,14 @@ Status ProvisioningSession::RunInspectionAndVerdict() {
     outcome_.provider_report.compliant = false;
   }
 
+  if (hold_verdict_) {
+    // Group mode: the outcome is complete but nothing commits — no verdict on
+    // the wire, no EEXIT — until the group layer has cross-checked every
+    // member and calls ReleaseVerdict.
+    state_ = State::kVerdictPending;
+    return Status::Ok();
+  }
+
   const Bytes verdict_wire = verdict.Serialize();
   RETURN_IF_ERROR(SendMessage(*channel_, MessageType::kVerdict,
                               ByteView(verdict_wire.data(),
@@ -214,6 +262,38 @@ Status ProvisioningSession::RunInspectionAndVerdict() {
   RETURN_IF_ERROR(enclave->host_->device()->EExit(enclave->enclave_id_));
   state_ = State::kDone;
   return Status::Ok();
+}
+
+Result<Verdict> ProvisioningSession::ReleaseVerdict(
+    const std::optional<Rejection>& group_override) {
+  if (state_ != State::kVerdictPending) {
+    return FailedPreconditionError("no verdict is pending release");
+  }
+  if (group_override.has_value()) {
+    // The group's mutual verification failed: the whole group is rejected, so
+    // this member's own verdict — compliant or not — is replaced with the
+    // structured group rejection, and any approved program state is dropped
+    // (a member of a rejected group must not be runnable).
+    Verdict& verdict = outcome_.verdict;
+    verdict.compliant = false;
+    verdict.reason = group_override->detail;
+    verdict.rejection = *group_override;
+    outcome_.provider_report.compliant = false;
+    outcome_.provider_report.executable_pages.clear();
+    outcome_.load.reset();
+    enclave_->approved_image_.clear();
+    enclave_->load_.reset();
+    enclave_->loaded_symbols_.reset();
+  }
+  if (channel_.has_value()) {
+    const Bytes verdict_wire = outcome_.verdict.Serialize();
+    RETURN_IF_ERROR(SendMessage(*channel_, MessageType::kVerdict,
+                                ByteView(verdict_wire.data(),
+                                         verdict_wire.size())));
+  }
+  RETURN_IF_ERROR(enclave_->host_->device()->EExit(enclave_->enclave_id_));
+  state_ = State::kDone;
+  return outcome_.verdict;
 }
 
 Result<ProvisionOutcome> ProvisioningSession::TakeOutcome() {

@@ -41,6 +41,7 @@ class ProvisioningSession {
     kManifest,       // channel up; awaiting the manifest record
     kBlocks,         // receiving code blocks until DONE
     kInspect,        // image complete; inspection pipeline pending
+    kVerdictPending,  // inspected; verdict held for a group-level release
     kDone,           // verdict sent, EEXIT done — terminal
   };
 
@@ -48,6 +49,41 @@ class ProvisioningSession {
   // any other path while the session is live.
   ProvisioningSession(EngardeEnclave* enclave,
                       crypto::DuplexPipe::Endpoint endpoint);
+
+  // ---- Group (external-feed) mode ------------------------------------------
+  // A GroupProvisioningSession owns ONE shared secure channel for a whole
+  // group and routes each decrypted record to the right member. Such a member
+  // session never performs its own handshake or channel reads: EnterExternalFeed
+  // jumps the machine to kManifest, and records arrive via InjectRecord —
+  // charged exactly as Pump charges them (one channel trampoline per block
+  // record and per DONE, none for the manifest), under whatever accountant
+  // the caller scoped. Pump() remains the driver for the inspection states.
+  void EnterExternalFeed() noexcept {
+    external_feed_ = true;
+    if (state_ == State::kHandshake) state_ = State::kManifest;
+  }
+  Status InjectRecord(Message message);
+
+  // Verdict hold: with hold_verdict set, the session stops at kVerdictPending
+  // after inspection — outcome computed, inspected-image digest captured, but
+  // nothing sent and no EEXIT — so a group can cross-check every member's
+  // identity before ANY verdict commits. ReleaseVerdict finishes the member:
+  // an engaged `group_override` replaces the member's own verdict with the
+  // whole-group structured rejection (and drops any approved image/load
+  // state); either way the EEXIT is charged to the scoped accountant and the
+  // final verdict is returned for the caller to transmit (the session also
+  // sends it itself when it owns a channel).
+  void set_hold_verdict(bool hold) noexcept { hold_verdict_ = hold; }
+  bool verdict_pending() const noexcept {
+    return state_ == State::kVerdictPending;
+  }
+  Result<Verdict> ReleaseVerdict(const std::optional<Rejection>& group_override);
+  // SHA-256 of the staged image — the actually-inspected identity the group
+  // layer checks declared sibling measurements against. Valid from
+  // kVerdictPending on (hold_verdict mode only).
+  const crypto::Sha256Digest& image_digest() const noexcept {
+    return image_digest_;
+  }
 
   // Consumes every complete frame/record queued on the endpoint and advances
   // the state machine as far as the input allows (through inspection and the
@@ -91,6 +127,9 @@ class ProvisioningSession {
   std::optional<crypto::SecureChannel> channel_;  // set after the handshake
   State state_ = State::kHandshake;
   bool entered_ = false;  // EENTER charged on the first Pump
+  bool external_feed_ = false;  // records injected by a group session
+  bool hold_verdict_ = false;   // park at kVerdictPending instead of sending
+  crypto::Sha256Digest image_digest_{};  // set at the hold point
   Manifest manifest_;
   Bytes image_;  // grows block by block; mirrored into the enclave heap
   // Speculative decode over image_. Declared after image_ so its destructor

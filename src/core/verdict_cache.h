@@ -64,8 +64,9 @@ struct VerdictCacheOptions {
   // fingerprints.
   std::string directory;
   // Max sealed verdict entries on disk; the least-recently-used entry is
-  // evicted (unlinked) past this. 0 = unlimited.
-  size_t capacity = 256;
+  // evicted (unlinked) past this. 0 = unlimited (the default — operators
+  // bound the store explicitly via --verdict-cache-max-entries).
+  size_t capacity = 0;
   // Bound on persisted per-function digest records; oldest are dropped.
   size_t max_function_records = 65536;
 };

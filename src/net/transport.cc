@@ -79,12 +79,21 @@ bool HasCompleteFrames(const crypto::DuplexPipe::Endpoint& endpoint,
 }
 
 bool HasCompleteSecureRecord(const crypto::DuplexPipe::Endpoint& endpoint) {
+  return HasCompleteSecureRecords(endpoint, 1);
+}
+
+bool HasCompleteSecureRecords(const crypto::DuplexPipe::Endpoint& endpoint,
+                              size_t count) {
   const size_t available = endpoint.Available();
-  if (available < 12) return false;
-  const Bytes header = endpoint.Peek(12);
-  const uint32_t length = LoadLe32(header.data());
-  return available >= 12 + static_cast<size_t>(length) +
-                         crypto::HmacSha256::kTagSize;
+  size_t offset = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (available < offset + 12) return false;
+    const Bytes prefix = endpoint.Peek(offset + 12);
+    const uint32_t length = LoadLe32(prefix.data() + offset);
+    offset += 12 + static_cast<size_t>(length) + crypto::HmacSha256::kTagSize;
+    if (available < offset) return false;
+  }
+  return true;
 }
 
 }  // namespace engarde::net

@@ -187,6 +187,11 @@ bool HasCompleteFrames(const crypto::DuplexPipe::Endpoint& endpoint,
 // 32-byte MAC tag) is fully queued.
 bool HasCompleteSecureRecord(const crypto::DuplexPipe::Endpoint& endpoint);
 
+// True when `count` consecutive complete secure-channel records are fully
+// queued (fleet clients await one verdict record per group member).
+bool HasCompleteSecureRecords(const crypto::DuplexPipe::Endpoint& endpoint,
+                              size_t count);
+
 }  // namespace engarde::net
 
 #endif  // ENGARDE_NET_TRANSPORT_H_

@@ -66,6 +66,84 @@ Status VerifyQuote(const Quote& quote,
   return Status::Ok();
 }
 
+crypto::Sha256Digest GroupMeasurement(
+    const std::vector<crypto::Sha256Digest>& member_measurements) {
+  crypto::Sha256 hasher;
+  for (const crypto::Sha256Digest& digest : member_measurements) {
+    hasher.Update(crypto::DigestView(digest));
+  }
+  return hasher.Finalize();
+}
+
+std::array<uint8_t, 64> GroupReportData(
+    const std::vector<std::array<uint8_t, 64>>& member_report_data) {
+  crypto::Sha256 hasher;
+  for (const auto& block : member_report_data) {
+    hasher.Update(ByteView(block.data(), block.size()));
+  }
+  const crypto::Sha256Digest digest = hasher.Finalize();
+  std::array<uint8_t, 64> data{};
+  std::memcpy(data.data(), digest.data(), digest.size());
+  return data;
+}
+
+Result<Quote> QuotingEnclave::CreateGroupQuote(
+    const std::vector<Report>& members) const {
+  if (members.empty()) {
+    return InvalidArgumentError("a group quote needs at least one member");
+  }
+  std::vector<crypto::Sha256Digest> measurements;
+  std::vector<std::array<uint8_t, 64>> report_data;
+  measurements.reserve(members.size());
+  report_data.reserve(members.size());
+  for (const Report& member : members) {
+    measurements.push_back(member.mr_enclave);
+    report_data.push_back(member.report_data);
+  }
+  Report synthetic;
+  synthetic.mr_enclave = GroupMeasurement(measurements);
+  synthetic.enclave_id = members.size();
+  synthetic.attributes = 0;
+  synthetic.report_data = GroupReportData(report_data);
+  return CreateQuote(synthetic);
+}
+
+Status VerifyGroupQuote(
+    const Quote& quote, const crypto::RsaPublicKey& attestation_key,
+    const std::vector<std::array<uint8_t, 64>>& member_report_data) {
+  RETURN_IF_ERROR(VerifyQuote(quote, attestation_key));
+  if (quote.report.enclave_id != member_report_data.size()) {
+    return IntegrityError(
+        "group quote does not cover the expected member count");
+  }
+  const std::array<uint8_t, 64> expected =
+      GroupReportData(member_report_data);
+  if (!ConstantTimeEqual(ByteView(quote.report.report_data.data(),
+                                  quote.report.report_data.size()),
+                         ByteView(expected.data(), expected.size()))) {
+    return IntegrityError(
+        "group report data does not bind the presented member keys");
+  }
+  return Status::Ok();
+}
+
+Status VerifyGroupQuote(
+    const Quote& quote, const crypto::RsaPublicKey& attestation_key,
+    const std::vector<std::array<uint8_t, 64>>& member_report_data,
+    const crypto::Sha256Digest& expected_member_measurement) {
+  RETURN_IF_ERROR(
+      VerifyGroupQuote(quote, attestation_key, member_report_data));
+  const std::vector<crypto::Sha256Digest> expected(
+      member_report_data.size(), expected_member_measurement);
+  if (!ConstantTimeEqual(crypto::DigestView(quote.report.mr_enclave),
+                         crypto::DigestView(GroupMeasurement(expected)))) {
+    return IntegrityError(
+        "group measurement mismatch: a member does not run the expected "
+        "EnGarde bootstrap");
+  }
+  return Status::Ok();
+}
+
 std::array<uint8_t, 64> BindPublicKey(const crypto::RsaPublicKey& key) {
   std::array<uint8_t, 64> data{};
   const Bytes wire = key.Serialize();

@@ -12,6 +12,8 @@
 #ifndef ENGARDE_SGX_ATTESTATION_H_
 #define ENGARDE_SGX_ATTESTATION_H_
 
+#include <vector>
+
 #include "common/bytes.h"
 #include "common/status.h"
 #include "crypto/rsa.h"
@@ -43,6 +45,18 @@ class QuotingEnclave {
   // Signs a hardware report into a quote.
   Result<Quote> CreateQuote(const Report& report) const;
 
+  // Group attestation: ONE quote covering an ordered vector of member
+  // reports, so a client provisioning N cooperating enclaves verifies one
+  // signature instead of N (the Confidential-Attestation amortization on top
+  // of MAGE's mutual pre-measurement). The signed synthetic report has
+  //   mr_enclave  = GroupMeasurement(ordered member MRENCLAVEs),
+  //   enclave_id  = member count,
+  //   attributes  = 0,
+  //   report_data = GroupReportData(ordered member report_data blocks),
+  // where each member's report_data already binds that member's ephemeral
+  // RSA key — so the one signature transitively binds every member key.
+  Result<Quote> CreateGroupQuote(const std::vector<Report>& members) const;
+
  private:
   explicit QuotingEnclave(crypto::RsaKeyPair key_pair)
       : key_pair_(std::move(key_pair)) {}
@@ -60,6 +74,30 @@ Status VerifyQuote(const Quote& quote,
 
 // Convenience: the report_data binding for an RSA public key.
 std::array<uint8_t, 64> BindPublicKey(const crypto::RsaPublicKey& key);
+
+// ---- Group attestation helpers ---------------------------------------------
+// SHA-256 over the concatenated, ordered member measurements. Both sides can
+// recompute it: the quoting enclave from the live reports, the client from
+// the expected EnGarde bootstrap measurement repeated per member.
+crypto::Sha256Digest GroupMeasurement(
+    const std::vector<crypto::Sha256Digest>& member_measurements);
+// SHA-256 over the concatenated, ordered member report_data blocks, placed in
+// the first 32 bytes of a 64-byte report_data. The client recomputes it from
+// the member public keys it received (BindPublicKey each).
+std::array<uint8_t, 64> GroupReportData(
+    const std::vector<std::array<uint8_t, 64>>& member_report_data);
+
+// Verifies a group quote: the signature, the member count and the binding of
+// every member's report_data (and hence key). Pure function of public data.
+Status VerifyGroupQuote(
+    const Quote& quote, const crypto::RsaPublicKey& attestation_key,
+    const std::vector<std::array<uint8_t, 64>>& member_report_data);
+// Additionally pins every member to the expected EnGarde measurement (all
+// group members run the same agreed bootstrap, so one digest covers them).
+Status VerifyGroupQuote(
+    const Quote& quote, const crypto::RsaPublicKey& attestation_key,
+    const std::vector<std::array<uint8_t, 64>>& member_report_data,
+    const crypto::Sha256Digest& expected_member_measurement);
 
 }  // namespace engarde::sgx
 

@@ -1,5 +1,8 @@
 #include "workload/catalog.h"
 
+#include <string>
+#include <string_view>
+
 namespace engarde::workload {
 
 const std::vector<CatalogEntry>& PaperBenchmarks() {
@@ -64,6 +67,67 @@ Result<BuiltProgram> BuildBenchmarkScaled(const CatalogEntry& entry,
   spec.data_bytes = 256 + spec.target_instructions / 64;
   spec.bss_bytes = 4096;
   return BuildProgram(spec);
+}
+
+const CatalogEntry* FindBenchmark(const char* name) {
+  for (const CatalogEntry& entry : PaperBenchmarks()) {
+    if (std::string_view(entry.name) == name) return &entry;
+  }
+  return nullptr;
+}
+
+const std::vector<GroupTopology>& GroupTopologies() {
+  static const std::vector<GroupTopology> kTopologies = {
+      // Replica sets: one binary, N members. The group path uploads and
+      // decrypts the binary once (and, with the verdict cache, inspects it
+      // once), fanning the records out to every replica.
+      {"replica-set-memcached-2",
+       {{"Memcached", BuildFlavor::kStackProtector, 2}}},
+      {"replica-set-memcached-4",
+       {{"Memcached", BuildFlavor::kStackProtector, 4}}},
+      {"replica-set-otp-8",
+       {{"Otp-gen", BuildFlavor::kStackProtector, 8}}},
+      // Pipelines: distinct cooperating stages, mutually vouched. Every
+      // binary is inspected, but attestation and channel setup amortize.
+      {"pipeline-web",
+       {{"Nginx", BuildFlavor::kStackProtector, 1},
+        {"Memcached", BuildFlavor::kStackProtector, 1},
+        {"Otp-gen", BuildFlavor::kStackProtector, 1}}},
+      {"pipeline-batch",
+       {{"401.bzip2", BuildFlavor::kStackProtector, 1},
+        {"429.mcf", BuildFlavor::kStackProtector, 1},
+        {"Graph-500", BuildFlavor::kStackProtector, 1}}},
+      // Mixed: a front tier of replicas plus a distinct backing store.
+      {"mixed-web-tier",
+       {{"Netperf", BuildFlavor::kStackProtector, 2},
+        {"Memcached", BuildFlavor::kStackProtector, 1}}},
+  };
+  return kTopologies;
+}
+
+Result<std::vector<BuiltProgram>> BuildGroup(const GroupTopology& topology,
+                                             double scale) {
+  std::vector<BuiltProgram> members;
+  members.reserve(topology.MemberCount());
+  for (const GroupTopologySlot& slot : topology.slots) {
+    const CatalogEntry* entry = FindBenchmark(slot.benchmark);
+    if (entry == nullptr) {
+      return NotFoundError(std::string("unknown benchmark in topology: ") +
+                           slot.benchmark);
+    }
+    if (slot.replicas == 0) {
+      return InvalidArgumentError(std::string("topology slot with zero "
+                                              "replicas: ") +
+                                  slot.benchmark);
+    }
+    ASSIGN_OR_RETURN(BuiltProgram built,
+                     BuildBenchmarkScaled(*entry, slot.flavor, scale));
+    for (size_t r = 1; r < slot.replicas; ++r) {
+      members.push_back(built);  // replicas: byte-identical copies
+    }
+    members.push_back(std::move(built));
+  }
+  return members;
 }
 
 }  // namespace engarde::workload

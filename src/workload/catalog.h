@@ -61,6 +61,42 @@ Result<BuiltProgram> BuildBenchmark(const CatalogEntry& entry,
 Result<BuiltProgram> BuildBenchmarkScaled(const CatalogEntry& entry,
                                           BuildFlavor flavor, double scale);
 
+// Looks a benchmark up by its catalog name ("Nginx", "Memcached", ...).
+const CatalogEntry* FindBenchmark(const char* name);
+
+// ---- Fleet topologies -------------------------------------------------------
+//
+// A deployment shape for the group-provisioning path: an ordered member list
+// where `replicas` copies of one benchmark share the identical binary — and
+// therefore one upload class, one verdict-cache key, and one inspection.
+// Pipelines mix distinct binaries that attest as one mutually-vouching group.
+
+struct GroupTopologySlot {
+  const char* benchmark;  // catalog name, see PaperBenchmarks()
+  BuildFlavor flavor;
+  size_t replicas;
+};
+
+struct GroupTopology {
+  const char* name;
+  std::vector<GroupTopologySlot> slots;
+
+  size_t MemberCount() const {
+    size_t n = 0;
+    for (const GroupTopologySlot& slot : slots) n += slot.replicas;
+    return n;
+  }
+};
+
+// The deployment shapes the group benchmarks sweep: replica sets (N identical
+// servers behind a balancer) and pipelines (distinct cooperating stages).
+const std::vector<GroupTopology>& GroupTopologies();
+
+// Materializes the topology's member binaries in declaration order at
+// `scale`; replicas of a slot are byte-identical copies of one build.
+Result<std::vector<BuiltProgram>> BuildGroup(const GroupTopology& topology,
+                                             double scale);
+
 }  // namespace engarde::workload
 
 #endif  // ENGARDE_WORKLOAD_CATALOG_H_

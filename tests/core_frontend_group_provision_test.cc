@@ -1,0 +1,541 @@
+// Fleet provisioning through the group-aware front end (core/frontend.h +
+// core/group_session.h): one connection declares a GroupManifest, the
+// admission controller co-admits the whole group atomically against the
+// shared EpcBudget, one shared channel uploads each distinct binary once,
+// and MAGE-style mutual verification cross-checks every member's declared
+// sibling measurements against the actually-inspected identities.
+//
+// The gates:
+//  * Atomicity soak: a group that cannot be admitted in full — EPC budget
+//    exhaustion mid-group, or a manifest that turns invalid at member k>0 —
+//    retains NOTHING: zero extra enclaves, zero committed pages beyond the
+//    warm pool's own reservation, every warm handout returned, no page-table
+//    or lock records left behind.
+//  * Single-member groups are bit-for-bit identical — verdict, stage
+//    reports, per-phase SGX instruction attribution — to the pre-refactor
+//    solo path (serial ProvisioningServer::Drive) at 1/2/8 inspection
+//    threads.
+//  * A sibling-measurement mismatch rejects the WHOLE group with a
+//    structured Rejection{stage: "GroupVerify"} visible on the wire in
+//    every member's verdict.
+//  * A replica set sharing one verdict cache inspects once: one miss, N-1
+//    full hits, fingerprints still equal to a no-cache serial reference.
+//  * client::Client::AwaitAdmission surfaces kRetryAfter as a retry value
+//    and kDeadlineExceeded as a DEADLINE_EXCEEDED error even while a retry
+//    is pending from an earlier shed.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "client/client.h"
+#include "core/frontend.h"
+#include "core/policy_stackprot.h"
+#include "core/server.h"
+#include "core/verdict_cache.h"
+#include "net/transport.h"
+#include "workload/program_builder.h"
+
+namespace engarde::core {
+namespace {
+
+constexpr size_t kRsaBits = 512;
+
+PolicySet MakePolicies() {
+  PolicySet policies;
+  policies.push_back(std::make_unique<StackProtectionPolicy>());
+  return policies;
+}
+
+client::ClientOptions ClientOptionsFor(const sgx::QuotingEnclave& q) {
+  client::ClientOptions options;
+  options.attestation_key = q.attestation_public_key();
+  options.skip_measurement_check = true;
+  return options;
+}
+
+class FrontendGroupProvisionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto qe = sgx::QuotingEnclave::Provision(ToBytes("group-provision-device"),
+                                             kRsaBits);
+    ASSERT_TRUE(qe.ok());
+    qe_ = new sgx::QuotingEnclave(std::move(qe).value());
+    images_ = new std::vector<Bytes>();
+    // Four distinct compliant programs plus one violator, reused across the
+    // tests below.
+    for (size_t i = 0; i < 5; ++i) {
+      workload::ProgramSpec spec;
+      spec.name = "group-prov-" + std::to_string(i);
+      spec.seed = 9400 + i;
+      spec.target_instructions = 2000;
+      spec.stack_protection = (i != 4);
+      auto program = workload::BuildProgram(spec);
+      ASSERT_TRUE(program.ok()) << program.status().ToString();
+      images_->push_back(std::move(program->image));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete qe_;
+    qe_ = nullptr;
+    delete images_;
+    images_ = nullptr;
+  }
+
+  static const sgx::QuotingEnclave& qe() { return *qe_; }
+  static const Bytes& image(size_t i) { return (*images_)[i]; }
+
+  static EngardeOptions EnclaveOptions(size_t inspection_threads = 1) {
+    EngardeOptions options;
+    options.rsa_bits = kRsaBits;
+    options.layout.heap_pages = 128;
+    options.layout.load_pages = 32;
+    options.inspection_threads = inspection_threads;
+    return options;
+  }
+
+  static size_t EpcPagesFor(size_t enclaves) {
+    return enclaves * (EnclaveOptions().layout.TotalPages() + 1) + 64;
+  }
+
+  static std::string Fingerprint() {
+    return PolicySetFingerprint(MakePolicies());
+  }
+
+  static sgx::QuotingEnclave* qe_;
+  static std::vector<Bytes>* images_;
+};
+
+sgx::QuotingEnclave* FrontendGroupProvisionTest::qe_ = nullptr;
+std::vector<Bytes>* FrontendGroupProvisionTest::images_ = nullptr;
+
+// Same invariants as the solo frontend gate (core_frontend_test.cc).
+struct Snapshot {
+  bool compliant = false;
+  std::string reason;
+  size_t instruction_count = 0;
+  size_t blocks_received = 0;
+  size_t relocations_applied = 0;
+  size_t stage_count = 0;
+  uint64_t idle_sgx = 0;
+  uint64_t channel_sgx = 0;
+  uint64_t disassembly_sgx = 0;
+  uint64_t policy_sgx = 0;
+  uint64_t loading_sgx = 0;
+  uint64_t total_sgx = 0;
+  uint64_t trampolines = 0;
+};
+
+Snapshot Snap(const ProvisionOutcome& outcome,
+              const sgx::CycleAccountant& accountant) {
+  Snapshot snap;
+  snap.compliant = outcome.verdict.compliant;
+  snap.reason = outcome.verdict.reason;
+  snap.instruction_count = outcome.stats.instruction_count;
+  snap.blocks_received = outcome.stats.blocks_received;
+  snap.relocations_applied = outcome.stats.relocations_applied;
+  snap.stage_count = outcome.stage_reports.size();
+  snap.idle_sgx = accountant.phase_cost(sgx::Phase::kIdle).sgx_instructions;
+  snap.channel_sgx =
+      accountant.phase_cost(sgx::Phase::kChannel).sgx_instructions;
+  snap.disassembly_sgx =
+      accountant.phase_cost(sgx::Phase::kDisassembly).sgx_instructions;
+  snap.policy_sgx =
+      accountant.phase_cost(sgx::Phase::kPolicyCheck).sgx_instructions;
+  snap.loading_sgx =
+      accountant.phase_cost(sgx::Phase::kLoading).sgx_instructions;
+  snap.total_sgx = accountant.total_sgx_instructions();
+  snap.trampolines = accountant.total_trampolines();
+  return snap;
+}
+
+void ExpectSameSnapshot(const Snapshot& serial, const Snapshot& group,
+                        const std::string& label) {
+  EXPECT_EQ(serial.compliant, group.compliant) << label;
+  EXPECT_EQ(serial.reason, group.reason) << label;
+  EXPECT_EQ(serial.instruction_count, group.instruction_count) << label;
+  EXPECT_EQ(serial.blocks_received, group.blocks_received) << label;
+  EXPECT_EQ(serial.relocations_applied, group.relocations_applied) << label;
+  EXPECT_EQ(serial.stage_count, group.stage_count) << label;
+  EXPECT_EQ(serial.idle_sgx, group.idle_sgx) << label;
+  EXPECT_EQ(serial.channel_sgx, group.channel_sgx) << label;
+  EXPECT_EQ(serial.disassembly_sgx, group.disassembly_sgx) << label;
+  EXPECT_EQ(serial.policy_sgx, group.policy_sgx) << label;
+  EXPECT_EQ(serial.loading_sgx, group.loading_sgx) << label;
+  EXPECT_EQ(serial.total_sgx, group.total_sgx) << label;
+  EXPECT_EQ(serial.trampolines, group.trampolines) << label;
+}
+
+// Serial reference: the same images driven one by one through the
+// pre-refactor solo path on a fresh device.
+Result<std::vector<Snapshot>> RunSerial(const sgx::QuotingEnclave& qe,
+                                        const std::vector<Bytes>& images,
+                                        const EngardeOptions& opts) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{
+      .epc_pages = images.size() * (opts.layout.TotalPages() + 1) + 64});
+  sgx::HostOs host(&device);
+  ProvisioningServer::Options options;
+  options.enclave_options = opts;
+  ProvisioningServer server(&host, &qe, MakePolicies, options);
+  std::vector<std::unique_ptr<crypto::DuplexPipe>> pipes;
+  for (size_t i = 0; i < images.size(); ++i) {
+    pipes.push_back(std::make_unique<crypto::DuplexPipe>());
+    ASSIGN_OR_RETURN(const size_t index, server.Accept(pipes[i]->EndA()));
+    (void)index;
+    client::Client client(ClientOptionsFor(qe), images[i]);
+    RETURN_IF_ERROR(client.SendProgram(pipes[i]->EndB()));
+  }
+  std::vector<Snapshot> snaps;
+  for (size_t i = 0; i < images.size(); ++i) {
+    ASSIGN_OR_RETURN(const ProvisionOutcome outcome, server.Drive(i));
+    snaps.push_back(Snap(outcome, server.session_accountant(i)));
+  }
+  return snaps;
+}
+
+// Everything one deterministic in-memory group run produces.
+struct GroupRun {
+  uint64_t id = 0;
+  std::vector<Snapshot> snapshots;   // member declaration order
+  std::vector<Verdict> verdicts;     // as decoded by the client
+  bool rejected = false;             // mutual verification overrode verdicts
+  FrontendMetrics metrics;
+};
+
+// Drives one GroupClient against a group-provisioning frontend to all
+// verdicts. `tamper` may replace the honest manifest before it is sent.
+Result<GroupRun> RunGroup(ProvisioningFrontend& frontend,
+                          const sgx::QuotingEnclave& qe,
+                          const std::vector<Bytes>& images,
+                          std::optional<GroupManifest> tamper = std::nullopt) {
+  crypto::DuplexPipe pipe;
+  client::GroupClient client(ClientOptionsFor(qe), images,
+                             PolicySetFingerprint(MakePolicies()));
+  if (tamper.has_value()) client.set_manifest(std::move(*tamper));
+
+  GroupRun run;
+  ASSIGN_OR_RETURN(run.id, frontend.Accept(std::make_unique<net::PipeTransport>(
+                               pipe.EndA())));
+  RETURN_IF_ERROR(client.SendGroupManifest(pipe.EndB()));
+  RETURN_IF_ERROR(frontend.PollOnce().status());
+  ASSIGN_OR_RETURN(const auto retry, client.AwaitAdmission(pipe.EndB()));
+  if (retry.has_value()) {
+    return ResourceExhaustedError("group was shed (RetryAfter)");
+  }
+  RETURN_IF_ERROR(client.SendPrograms(pipe.EndB()));
+  for (;;) {
+    const ConnectionState state = frontend.state(run.id);
+    if (state == ConnectionState::kDone) break;
+    if (state == ConnectionState::kFailed ||
+        state == ConnectionState::kTimedOut) {
+      return frontend.connection_status(run.id);
+    }
+    ASSIGN_OR_RETURN(const size_t progress, frontend.PollOnce());
+    if (progress == 0) {
+      return InternalError("reactor stalled before the group verdicts");
+    }
+  }
+  run.rejected = frontend.group_rejected(run.id);
+  ASSIGN_OR_RETURN(const std::vector<ProvisionOutcome> outcomes,
+                   frontend.TakeGroupOutcomes(run.id));
+  if (outcomes.size() != images.size()) {
+    return InternalError("outcome count disagrees with the group size");
+  }
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    run.snapshots.push_back(
+        Snap(outcomes[i], frontend.group_member_accountant(run.id, i)));
+  }
+  ASSIGN_OR_RETURN(run.verdicts, client.AwaitVerdicts());
+  if (run.verdicts.size() != images.size()) {
+    return InternalError("verdict count disagrees with the group size");
+  }
+  RETURN_IF_ERROR(frontend.DrainAll());
+  run.metrics = frontend.metrics();
+  return run;
+}
+
+// ---- Single-member bit-identity to the pre-refactor path -------------------
+
+TEST_F(FrontendGroupProvisionTest, SingleMemberGroupBitIdenticalToSolo) {
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    const EngardeOptions opts = EnclaveOptions(threads);
+    for (const size_t program : {size_t{0}, size_t{4}}) {  // accept + reject
+      const std::vector<Bytes> images = {image(program)};
+      auto serial = RunSerial(qe(), images, opts);
+      ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+      sgx::SgxDevice device(
+          sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(1)});
+      sgx::HostOs host(&device);
+      FrontendOptions options;
+      options.enclave_options = opts;
+      options.group_provisioning = true;
+      ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+      auto run = RunGroup(frontend, qe(), images);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      EXPECT_FALSE(run->rejected);
+      const std::string label = "threads=" + std::to_string(threads) +
+                                " program=" + std::to_string(program);
+      ExpectSameSnapshot((*serial)[0], run->snapshots[0], label);
+      EXPECT_EQ(run->verdicts[0].compliant, program != 4) << label;
+      EXPECT_EQ(run->metrics.groups_admitted, 1u);
+      EXPECT_EQ(run->metrics.group_members_admitted, 1u);
+      EXPECT_EQ(run->metrics.groups_rejected_mutual, 0u);
+      EXPECT_EQ(device.EnclaveCount(), 0u);
+      EXPECT_EQ(device.epc().pages_in_use(), 0u);
+    }
+  }
+}
+
+// ---- Mixed pipeline: distinct binaries, per-member accounting --------------
+
+TEST_F(FrontendGroupProvisionTest, PipelineGroupMatchesSerialPerMember) {
+  const std::vector<Bytes> images = {image(0), image(1), image(4), image(2)};
+  const EngardeOptions opts = EnclaveOptions();
+  auto serial = RunSerial(qe(), images, opts);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  sgx::SgxDevice device(
+      sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(images.size())});
+  sgx::HostOs host(&device);
+  FrontendOptions options;
+  options.enclave_options = opts;
+  options.group_provisioning = true;
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+  auto run = RunGroup(frontend, qe(), images);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_FALSE(run->rejected);
+  for (size_t i = 0; i < images.size(); ++i) {
+    ExpectSameSnapshot((*serial)[i], run->snapshots[i],
+                       "member " + std::to_string(i));
+    EXPECT_EQ(run->verdicts[i].compliant, run->snapshots[i].compliant) << i;
+  }
+  // The violator's verdict stays per-member: mutual verification only
+  // overrides on identity mismatch, not on policy rejection.
+  EXPECT_FALSE(run->verdicts[2].compliant);
+  EXPECT_TRUE(run->verdicts[0].compliant);
+  EXPECT_EQ(frontend.connection_count(), 0u);
+  EXPECT_EQ(device.EnclaveCount(), 0u);
+  EXPECT_EQ(device.epc().pages_in_use(), 0u);
+  EXPECT_EQ(host.TrackedEnclaveCount(), 0u);
+  EXPECT_EQ(host.PageTableEntryCount(), 0u);
+  EXPECT_EQ(host.LockRecordCount(), 0u);
+}
+
+// ---- Atomic co-admission: all-or-nothing soak ------------------------------
+
+TEST_F(FrontendGroupProvisionTest, EpcExhaustionMidGroupRetainsNothing) {
+  // EPC holds two enclaves; the warm pool owns one of them. A four-member
+  // group takes the single warm handout, then fails TryReserve for the three
+  // cold members — the handout must return to the pool, the budget must
+  // revert to the pool's own reservation, and no enclave may outlive the
+  // attempt. Soak it: repeated attempts must not creep.
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(2)});
+  sgx::HostOs host(&device);
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  options.group_provisioning = true;
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+  ASSERT_TRUE(frontend.PrefillPool(1).ok());
+  const uint64_t committed_baseline = frontend.committed_pages();
+  const size_t enclaves_baseline = device.EnclaveCount();
+  const size_t pages_baseline = device.epc().pages_in_use();
+  ASSERT_EQ(frontend.pool().size(), 1u);
+
+  const std::vector<Bytes> images = {image(0), image(1), image(2), image(3)};
+  for (size_t attempt = 0; attempt < 5; ++attempt) {
+    crypto::DuplexPipe pipe;
+    client::GroupClient client(ClientOptionsFor(qe()), images, Fingerprint());
+    auto id = frontend.Accept(
+        std::make_unique<net::PipeTransport>(pipe.EndA()));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ASSERT_TRUE(client.SendGroupManifest(pipe.EndB()).ok());
+    ASSERT_TRUE(frontend.PollOnce().ok());
+    auto retry = client.AwaitAdmission(pipe.EndB());
+    ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+    ASSERT_TRUE(retry->has_value()) << "group admitted past the EPC budget";
+    EXPECT_GT((*retry)->retry_after_ms, 0u);
+    // Nothing retained: pool intact, budget back to baseline, no stray
+    // enclaves or pages, no group slots pinned to the shed connection.
+    EXPECT_EQ(frontend.pool().size(), 1u) << attempt;
+    EXPECT_EQ(frontend.committed_pages(), committed_baseline) << attempt;
+    EXPECT_EQ(device.EnclaveCount(), enclaves_baseline) << attempt;
+    EXPECT_EQ(device.epc().pages_in_use(), pages_baseline) << attempt;
+    EXPECT_EQ(frontend.group_member_count(*id), 0u) << attempt;
+    ASSERT_TRUE(frontend.DrainAll().ok());
+  }
+  EXPECT_EQ(frontend.metrics().groups_admitted, 0u);
+  EXPECT_EQ(frontend.metrics().shed, 5u);
+}
+
+TEST_F(FrontendGroupProvisionTest, InvalidMemberMidGroupRollsBackHandouts) {
+  // Member 2 of a three-member group declares an impossible binary size; by
+  // then the admission pass has already taken warm handouts for members 0-1.
+  // The whole group must fail with nothing retained.
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(3)});
+  sgx::HostOs host(&device);
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  options.group_provisioning = true;
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+  ASSERT_TRUE(frontend.PrefillPool(2).ok());
+  const uint64_t committed_baseline = frontend.committed_pages();
+  const size_t enclaves_baseline = device.EnclaveCount();
+
+  const std::vector<Bytes> images = {image(0), image(1), image(2)};
+  for (size_t attempt = 0; attempt < 5; ++attempt) {
+    auto manifest = client::BuildGroupManifest(images, Fingerprint());
+    ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+    manifest->members[2].binary_size = 0;  // turns invalid at member k=2
+
+    crypto::DuplexPipe pipe;
+    client::GroupClient client(ClientOptionsFor(qe()), images, Fingerprint());
+    client.set_manifest(std::move(*manifest));
+    auto id = frontend.Accept(
+        std::make_unique<net::PipeTransport>(pipe.EndA()));
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ASSERT_TRUE(client.SendGroupManifest(pipe.EndB()).ok());
+    ASSERT_TRUE(frontend.PollOnce().ok());
+    EXPECT_EQ(frontend.state(*id), ConnectionState::kFailed) << attempt;
+    const Status failure = frontend.connection_status(*id);
+    EXPECT_EQ(failure.code(), StatusCode::kInvalidArgument) << attempt;
+    EXPECT_EQ(frontend.pool().size(), 2u) << attempt;
+    EXPECT_EQ(frontend.committed_pages(), committed_baseline) << attempt;
+    EXPECT_EQ(device.EnclaveCount(), enclaves_baseline) << attempt;
+    EXPECT_EQ(frontend.group_member_count(*id), 0u) << attempt;
+    ASSERT_TRUE(frontend.DrainAll().ok());
+  }
+  EXPECT_EQ(frontend.metrics().groups_admitted, 0u);
+}
+
+// ---- MAGE-style mutual verification ----------------------------------------
+
+TEST_F(FrontendGroupProvisionTest, SiblingMismatchRejectsWholeGroupOnWire) {
+  // Member 0 vouches for a sibling identity member 1 does not actually run:
+  // tamper member 0's pre-measured digest for member 1 while member 1's own
+  // declaration stays honest (so upload classes — keyed by each member's own
+  // declared digest — still match the bytes on the wire). Every member's
+  // verdict must carry the structured whole-group rejection.
+  const std::vector<Bytes> images = {image(0), image(1), image(2)};
+  auto manifest = client::BuildGroupManifest(images, Fingerprint());
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  bool tampered = false;
+  for (auto& sibling : manifest->members[0].siblings) {
+    if (sibling.first == 1) {
+      sibling.second[0] ^= 0xff;
+      tampered = true;
+    }
+  }
+  ASSERT_TRUE(tampered);
+
+  sgx::SgxDevice device(
+      sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(images.size())});
+  sgx::HostOs host(&device);
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  options.group_provisioning = true;
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+  auto run = RunGroup(frontend, qe(), images, std::move(*manifest));
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->rejected);
+  EXPECT_EQ(run->metrics.groups_rejected_mutual, 1u);
+  for (size_t i = 0; i < images.size(); ++i) {
+    // On the wire: every member sees the structured whole-group rejection.
+    EXPECT_FALSE(run->verdicts[i].compliant) << i;
+    ASSERT_TRUE(run->verdicts[i].rejection.has_value()) << i;
+    EXPECT_EQ(run->verdicts[i].rejection->stage, "GroupVerify") << i;
+    EXPECT_EQ(run->verdicts[i].rejection->rule, "sibling-measurement") << i;
+  }
+  EXPECT_EQ(device.EnclaveCount(), 0u);
+  EXPECT_EQ(device.epc().pages_in_use(), 0u);
+}
+
+// ---- Replica sets inspect once through the shared verdict cache ------------
+
+TEST_F(FrontendGroupProvisionTest, ReplicaSetInspectsOnceWithVerdictCache) {
+  constexpr size_t kReplicas = 4;
+  const std::vector<Bytes> images(kReplicas, image(0));
+  const EngardeOptions base = EnclaveOptions();
+  // The no-cache serial reference gates the cached run too: replay
+  // reproduces per-phase accounting bit-for-bit (ReplayCachedVerdict).
+  auto serial = RunSerial(qe(), images, base);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+
+  const std::string cache_dir =
+      (std::filesystem::temp_directory_path() / "engarde-evc-group-test")
+          .string();
+  std::error_code ec;
+  std::filesystem::remove_all(cache_dir, ec);
+  VerdictCacheOptions cache_options;
+  cache_options.directory = cache_dir;
+  auto cache = VerdictCache::Create(std::move(cache_options), MakePolicies(),
+                                    base.layout);
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+  EngardeOptions opts = base;
+  opts.verdict_cache = *cache;
+
+  sgx::SgxDevice device(
+      sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(kReplicas)});
+  sgx::HostOs host(&device);
+  FrontendOptions options;
+  options.enclave_options = opts;
+  options.group_provisioning = true;
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+  auto run = RunGroup(frontend, qe(), images);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_FALSE(run->rejected);
+  const VerdictCacheStats stats = (*cache)->stats();
+  EXPECT_EQ(stats.misses, 1u);                // member 0 inspects
+  EXPECT_EQ(stats.hits, kReplicas - 1);       // replicas replay
+  for (size_t i = 0; i < kReplicas; ++i) {
+    ExpectSameSnapshot((*serial)[i], run->snapshots[i],
+                       "replica " + std::to_string(i));
+  }
+  std::filesystem::remove_all(cache_dir, ec);
+}
+
+// ---- Client admission control frames (satellite: deadline during retry) ----
+
+TEST_F(FrontendGroupProvisionTest, AwaitAdmissionDeadlineWhileRetryPending) {
+  // A shed client holds a RetryAfter and reconnects later; the front end may
+  // answer the *reconnect* with kDeadlineExceeded (e.g. its queue deadline
+  // fired between the two). Model both control frames queued in order: the
+  // first AwaitAdmission surfaces the retry value, the second must turn the
+  // deadline notice into a DEADLINE_EXCEEDED error — not a retry, not a
+  // protocol error.
+  crypto::DuplexPipe pipe;
+  crypto::DuplexPipe::Endpoint server_side = pipe.EndA();
+
+  RetryAfter retry_record;
+  retry_record.retry_after_ms = 25;
+  retry_record.queue_depth = 3;
+  ASSERT_TRUE(WriteControlFrame(server_side, ControlType::kRetryAfter,
+                                ByteView(retry_record.Serialize()))
+                  .ok());
+  DeadlineNotice notice;
+  notice.elapsed_ms = 120;
+  notice.deadline_ms = 100;
+  ASSERT_TRUE(WriteControlFrame(server_side, ControlType::kDeadlineExceeded,
+                                ByteView(notice.Serialize()))
+                  .ok());
+
+  client::Client client(ClientOptionsFor(qe()), image(0));
+  auto first = client.AwaitAdmission(pipe.EndB());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(first->has_value());
+  EXPECT_EQ((*first)->retry_after_ms, 25u);
+  EXPECT_EQ((*first)->queue_depth, 3u);
+
+  auto second = client.AwaitAdmission(pipe.EndB());
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kDeadlineExceeded);
+  const std::string text = second.status().ToString();
+  EXPECT_NE(text.find("120"), std::string::npos) << text;
+  EXPECT_NE(text.find("100"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace engarde::core

@@ -194,7 +194,7 @@ struct MemoryClient {
 };
 
 MemoryClient DispatchMemoryClient(FrontendGroup& group,
-                                  const sgx::QuotingEnclave& qe,
+                                  const sgx::QuotingEnclave& /*qe*/,
                                   const Bytes& image,
                                   client::ClientOptions options) {
   MemoryClient mc;

@@ -188,7 +188,7 @@ struct MemoryClient {
 };
 
 Result<MemoryClient> ConnectMemoryClient(ProvisioningFrontend& frontend,
-                                         const sgx::QuotingEnclave& qe,
+                                         const sgx::QuotingEnclave& /*qe*/,
                                          const Bytes& image,
                                          client::ClientOptions options) {
   MemoryClient mc;

@@ -180,7 +180,8 @@ int Usage() {
                "usage: engarde-inspect BINARY [--stackprot] [--ifcc] "
                "[--liblink DBFILE] [--no-system-insns] [--threads N] "
                "[--verbose] [--dump] [--report-json] [--stream] "
-               "[--block-size N] [--verdict-cache DIR]\n");
+               "[--block-size N] [--verdict-cache DIR] "
+               "[--verdict-cache-max-entries N]\n");
   return 2;
 }
 
@@ -197,6 +198,7 @@ int main(int argc, char** argv) {
   size_t threads = 1;
   size_t block_size = core::kBlockSize;
   std::string cache_dir;
+  size_t cache_max_entries = 0;  // 0 = unlimited (no LRU eviction)
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -242,6 +244,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--verdict-cache") {
       if (++i >= argc) return Usage();
       cache_dir = argv[i];
+    } else if (arg == "--verdict-cache-max-entries") {
+      if (++i >= argc) return Usage();
+      const long parsed = std::strtol(argv[i], nullptr, 10);
+      if (parsed < 0) return Usage();
+      cache_max_entries = static_cast<size_t>(parsed);
     } else {
       return Usage();
     }
@@ -272,9 +279,11 @@ int main(int argc, char** argv) {
   // different policy flags never cross-hit.
   std::shared_ptr<core::VerdictCache> cache;
   if (!cache_dir.empty()) {
-    auto created = core::VerdictCache::Create(
-        core::VerdictCacheOptions{.directory = cache_dir}, policies,
-        sgx::EnclaveLayout{});
+    core::VerdictCacheOptions cache_options;
+    cache_options.directory = cache_dir;
+    cache_options.capacity = cache_max_entries;
+    auto created = core::VerdictCache::Create(cache_options, policies,
+                                              sgx::EnclaveLayout{});
     if (!created.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    created.status().ToString().c_str());

@@ -11,15 +11,23 @@
 //                 [--bg-refill] [--queue N] [--reserve N] [--epc-pages N]
 //                 [--epc-oversub R] [--reclaim-low-watermark N]
 //                 [--reclaim-batch N] [--rsa-bits N] [--queue-ms N]
-//                 [--idle-ms N] [--session-ms N] [--metrics-json]
-//                 [--verdict-cache DIR] [--selftest N]
+//                 [--idle-ms N] [--session-ms N] [--metrics-json [PATH]]
+//                 [--verdict-cache DIR] [--verdict-cache-max-entries N]
+//                 [--group-size N] [--selftest N]
 //
 // --host widens the bind address beyond the loopback default. The *-ms flags
 // arm the front end's per-state deadlines (admission-queue wait, inbound
 // idle, overall session; 0 = unlimited) — an expired connection gets a
 // DEADLINE_EXCEEDED control record and its enclave/EPC come back for queued
 // arrivals. --metrics-json dumps the group's aggregated FrontendMetrics as
-// JSON on stdout when serving ends.
+// JSON when serving ends: on stdout by default, or — given a PATH — written
+// to a same-directory temp file and atomically renamed into place, so a
+// scraper polling PATH never reads a torn or half-written snapshot.
+//
+// --group-size N switches every shard into fleet provisioning: a connection
+// leads with a GroupManifest and is co-admitted atomically as one N-member
+// group (one group quote, one shared channel, per-member verdicts). The
+// selftest then deploys N-replica groups instead of solo programs.
 //
 // --epc-oversub R (R >= 1.0) admits up to R times the physical EPC budget;
 // the ksgxd-style background reclaimer then pages cold enclaves out to keep
@@ -42,6 +50,7 @@
 #include <poll.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -83,68 +92,108 @@ struct ServeConfig {
   uint64_t idle_ms = 0;     // inbound-idle deadline (0 = unlimited)
   uint64_t session_ms = 0;  // overall session deadline (0 = unlimited)
   bool metrics_json = false;
-  std::string verdict_cache_dir;  // empty = verdict cache disabled
-  size_t selftest = 0;            // 0 = serve forever
+  std::string metrics_json_path;      // empty = stdout
+  std::string verdict_cache_dir;      // empty = verdict cache disabled
+  size_t verdict_cache_max_entries = 0;  // 0 = unlimited (LRU off)
+  size_t group_size = 0;              // 0 = solo provisioning
+  size_t selftest = 0;                // 0 = serve forever
 };
 
-void DumpMetricsJson(const core::FrontendMetrics& m) {
+void WriteMetricsJson(std::FILE* out, const core::FrontendMetrics& m) {
   const auto u = [](uint64_t v) { return static_cast<unsigned long long>(v); };
-  std::printf("{\n");
-  std::printf("  \"accepted\": %llu,\n", u(m.accepted));
-  std::printf("  \"admitted\": %llu,\n", u(m.admitted));
-  std::printf("  \"admitted_warm\": %llu,\n", u(m.admitted_warm));
-  std::printf("  \"queued\": %llu,\n", u(m.queued));
-  std::printf("  \"shed\": %llu,\n", u(m.shed));
-  std::printf("  \"timed_out\": %llu,\n", u(m.timed_out));
-  std::printf("  \"failed\": %llu,\n", u(m.failed));
-  std::printf("  \"done\": %llu,\n", u(m.done));
-  std::printf("  \"reaped\": %llu,\n", u(m.reaped));
-  std::printf("  \"live_connections\": %llu,\n", u(m.live_connections));
-  std::printf("  \"peak_live_connections\": %llu,\n",
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"accepted\": %llu,\n", u(m.accepted));
+  std::fprintf(out, "  \"admitted\": %llu,\n", u(m.admitted));
+  std::fprintf(out, "  \"admitted_warm\": %llu,\n", u(m.admitted_warm));
+  std::fprintf(out, "  \"queued\": %llu,\n", u(m.queued));
+  std::fprintf(out, "  \"shed\": %llu,\n", u(m.shed));
+  std::fprintf(out, "  \"timed_out\": %llu,\n", u(m.timed_out));
+  std::fprintf(out, "  \"failed\": %llu,\n", u(m.failed));
+  std::fprintf(out, "  \"done\": %llu,\n", u(m.done));
+  std::fprintf(out, "  \"reaped\": %llu,\n", u(m.reaped));
+  std::fprintf(out, "  \"live_connections\": %llu,\n", u(m.live_connections));
+  std::fprintf(out, "  \"peak_live_connections\": %llu,\n",
               u(m.peak_live_connections));
-  std::printf("  \"queue_depth\": %llu,\n", u(m.queue_depth));
-  std::printf("  \"admission_wait_count\": %llu,\n",
+  std::fprintf(out, "  \"queue_depth\": %llu,\n", u(m.queue_depth));
+  std::fprintf(out, "  \"admission_wait_count\": %llu,\n",
               u(m.admission_wait_count));
-  std::printf("  \"admission_wait_total_ns\": %llu,\n",
+  std::fprintf(out, "  \"admission_wait_total_ns\": %llu,\n",
               u(m.admission_wait_total_ns));
-  std::printf("  \"admission_wait_max_ns\": %llu,\n",
+  std::fprintf(out, "  \"admission_wait_max_ns\": %llu,\n",
               u(m.admission_wait_max_ns));
-  std::printf("  \"session_count\": %llu,\n", u(m.session_count));
-  std::printf("  \"session_total_ns\": %llu,\n", u(m.session_total_ns));
-  std::printf("  \"session_max_ns\": %llu,\n", u(m.session_max_ns));
-  std::printf("  \"budget_pages\": %llu,\n", u(m.budget_pages));
-  std::printf("  \"committed_pages\": %llu,\n", u(m.committed_pages));
-  std::printf("  \"max_committed_pages\": %llu,\n", u(m.max_committed_pages));
-  std::printf("  \"physical_budget_pages\": %llu,\n",
+  std::fprintf(out, "  \"session_count\": %llu,\n", u(m.session_count));
+  std::fprintf(out, "  \"session_total_ns\": %llu,\n", u(m.session_total_ns));
+  std::fprintf(out, "  \"session_max_ns\": %llu,\n", u(m.session_max_ns));
+  std::fprintf(out, "  \"budget_pages\": %llu,\n", u(m.budget_pages));
+  std::fprintf(out, "  \"committed_pages\": %llu,\n", u(m.committed_pages));
+  std::fprintf(out, "  \"max_committed_pages\": %llu,\n", u(m.max_committed_pages));
+  std::fprintf(out, "  \"physical_budget_pages\": %llu,\n",
               u(m.physical_budget_pages));
-  std::printf("  \"budget_underflows\": %llu,\n", u(m.budget_underflows));
-  std::printf("  \"epc_faults\": %llu,\n", u(m.epc_faults));
-  std::printf("  \"eldu_loads\": %llu,\n", u(m.eldu_loads));
-  std::printf("  \"pages_reclaimed\": %llu,\n", u(m.pages_reclaimed));
-  std::printf("  \"pages_evicted_inline\": %llu,\n",
+  std::fprintf(out, "  \"budget_underflows\": %llu,\n", u(m.budget_underflows));
+  std::fprintf(out, "  \"epc_faults\": %llu,\n", u(m.epc_faults));
+  std::fprintf(out, "  \"eldu_loads\": %llu,\n", u(m.eldu_loads));
+  std::fprintf(out, "  \"pages_reclaimed\": %llu,\n", u(m.pages_reclaimed));
+  std::fprintf(out, "  \"pages_evicted_inline\": %llu,\n",
               u(m.pages_evicted_inline));
-  std::printf("  \"reclaim_wakeups\": %llu,\n", u(m.reclaim_wakeups));
-  std::printf("  \"epc_resident_pages\": %llu,\n", u(m.epc_resident_pages));
-  std::printf("  \"epc_resident_peak\": %llu,\n", u(m.epc_resident_peak));
-  std::printf("  \"epc_capacity_pages\": %llu,\n", u(m.epc_capacity_pages));
-  std::printf("  \"decode_overlap_count\": %llu,\n", u(m.decode_overlap_count));
-  std::printf("  \"decode_early_bytes_total\": %llu,\n",
+  std::fprintf(out, "  \"reclaim_wakeups\": %llu,\n", u(m.reclaim_wakeups));
+  std::fprintf(out, "  \"epc_resident_pages\": %llu,\n", u(m.epc_resident_pages));
+  std::fprintf(out, "  \"epc_resident_peak\": %llu,\n", u(m.epc_resident_peak));
+  std::fprintf(out, "  \"epc_capacity_pages\": %llu,\n", u(m.epc_capacity_pages));
+  std::fprintf(out, "  \"decode_overlap_count\": %llu,\n", u(m.decode_overlap_count));
+  std::fprintf(out, "  \"decode_early_bytes_total\": %llu,\n",
               u(m.decode_early_bytes_total));
-  std::printf("  \"decode_overlap_sum_permille\": %llu,\n",
+  std::fprintf(out, "  \"decode_overlap_sum_permille\": %llu,\n",
               u(m.decode_overlap_sum_permille));
-  std::printf("  \"decode_overlap_max_permille\": %llu,\n",
+  std::fprintf(out, "  \"decode_overlap_max_permille\": %llu,\n",
               u(m.decode_overlap_max_permille));
-  std::printf("  \"verdict_cache_hits\": %llu,\n", u(m.verdict_cache_hits));
-  std::printf("  \"verdict_cache_partial_hits\": %llu,\n",
+  std::fprintf(out, "  \"verdict_cache_hits\": %llu,\n", u(m.verdict_cache_hits));
+  std::fprintf(out, "  \"verdict_cache_partial_hits\": %llu,\n",
               u(m.verdict_cache_partial_hits));
-  std::printf("  \"verdict_cache_misses\": %llu,\n", u(m.verdict_cache_misses));
-  std::printf("  \"verdict_cache_tamper_rejects\": %llu,\n",
+  std::fprintf(out, "  \"verdict_cache_misses\": %llu,\n", u(m.verdict_cache_misses));
+  std::fprintf(out, "  \"verdict_cache_tamper_rejects\": %llu,\n",
               u(m.verdict_cache_tamper_rejects));
-  std::printf("  \"verdict_cache_evictions\": %llu,\n",
+  std::fprintf(out, "  \"verdict_cache_evictions\": %llu,\n",
               u(m.verdict_cache_evictions));
-  std::printf("  \"verdict_cache_bytes_sealed\": %llu\n",
+  std::fprintf(out, "  \"verdict_cache_bytes_sealed\": %llu,\n",
               u(m.verdict_cache_bytes_sealed));
-  std::printf("}\n");
+  std::fprintf(out, "  \"groups_admitted\": %llu,\n", u(m.groups_admitted));
+  std::fprintf(out, "  \"group_members_admitted\": %llu,\n",
+              u(m.group_members_admitted));
+  std::fprintf(out, "  \"groups_rejected_mutual\": %llu\n",
+              u(m.groups_rejected_mutual));
+  std::fprintf(out, "}\n");
+}
+
+// Dumps the metrics snapshot: to stdout when `path` is empty, otherwise via
+// write-to-temp + rename(2) so a concurrent reader of `path` sees either the
+// previous snapshot or this one in full — never a torn write. The temp file
+// lives next to the target (rename is only atomic within a filesystem).
+int DumpMetrics(const core::FrontendMetrics& m, const std::string& path) {
+  if (path.empty()) {
+    WriteMetricsJson(stdout, m);
+    return 0;
+  }
+  const std::string temp = path + ".tmp";
+  std::FILE* out = std::fopen(temp.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "metrics: cannot open %s: %s\n", temp.c_str(),
+                 std::strerror(errno));
+    return 1;
+  }
+  WriteMetricsJson(out, m);
+  const bool write_failed = std::ferror(out) != 0;
+  if (std::fclose(out) != 0 || write_failed) {
+    std::fprintf(stderr, "metrics: write to %s failed\n", temp.c_str());
+    std::remove(temp.c_str());
+    return 1;
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::fprintf(stderr, "metrics: rename %s -> %s failed: %s\n", temp.c_str(),
+                 path.c_str(), std::strerror(errno));
+    std::remove(temp.c_str());
+    return 1;
+  }
+  return 0;
 }
 
 // ---- Selftest client -------------------------------------------------------
@@ -222,6 +271,46 @@ Result<core::Verdict> RunSelftestClient(uint16_t port,
   return ResourceExhaustedError("still shed after 200 admission attempts");
 }
 
+// One fleet provisioning over loopback TCP: the whole replica set rides one
+// connection (manifest -> admission -> group hello -> shared uploads -> one
+// verdict per member), honoring RetryAfter the same way.
+Result<std::vector<core::Verdict>> RunSelftestGroupClient(
+    uint16_t port, const client::ClientOptions& options,
+    const std::vector<Bytes>& executables,
+    const std::string& policy_fingerprint) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    ASSIGN_OR_RETURN(std::unique_ptr<net::TcpTransport> socket,
+                     net::TcpTransport::Connect("127.0.0.1", port));
+    crypto::DuplexPipe pipe;
+    crypto::DuplexPipe::Endpoint client_end = pipe.EndB();
+    client::GroupClient group_client(options, executables, policy_fingerprint);
+    const size_t members = group_client.member_count();
+
+    RETURN_IF_ERROR(group_client.SendGroupManifest(client_end));
+    RETURN_IF_ERROR(PumpUntil(*socket, pipe, [&client_end] {
+      return net::HasCompleteFrames(client_end, 1);  // control frame
+    }));
+    ASSIGN_OR_RETURN(const std::optional<core::RetryAfter> retry,
+                     group_client.AwaitAdmission(client_end));
+    if (retry.has_value()) {
+      socket->Close();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(retry->retry_after_ms));
+      continue;
+    }
+    RETURN_IF_ERROR(PumpUntil(*socket, pipe, [&client_end, members] {
+      // Group hello: one group quote + one public key per member.
+      return net::HasCompleteFrames(client_end, 1 + members);
+    }));
+    RETURN_IF_ERROR(group_client.SendPrograms(client_end));
+    RETURN_IF_ERROR(PumpUntil(*socket, pipe, [&client_end, members] {
+      return net::HasCompleteSecureRecords(client_end, members);
+    }));
+    return group_client.AwaitVerdicts();
+  }
+  return ResourceExhaustedError("still shed after 200 admission attempts");
+}
+
 // ---- Serving loop ----------------------------------------------------------
 
 int Serve(const ServeConfig& config) {
@@ -262,6 +351,7 @@ int Serve(const ServeConfig& config) {
   options.frontend.epc_reserve_pages = config.reserve;
   options.frontend.epc_oversub = config.epc_oversub;
   options.frontend.reclaim_low_watermark = low_watermark;
+  options.frontend.group_provisioning = config.group_size > 0;
   options.frontend.admission_queue_capacity = config.queue;
   options.frontend.queue_deadline_ms = config.queue_ms;
   options.frontend.idle_deadline_ms = config.idle_ms;
@@ -277,9 +367,12 @@ int Serve(const ServeConfig& config) {
     // (and probe) the same sealed store. Created against the same policies
     // and layout the group provisions with, so the sealing key and the
     // policy/library fingerprints match what sessions will inspect under.
+    core::VerdictCacheOptions cache_options;
+    cache_options.directory = config.verdict_cache_dir;
+    cache_options.capacity = config.verdict_cache_max_entries;
     auto cache = core::VerdictCache::Create(
-        core::VerdictCacheOptions{.directory = config.verdict_cache_dir},
-        MakePolicies(), options.frontend.enclave_options.layout);
+        cache_options, MakePolicies(),
+        options.frontend.enclave_options.layout);
     if (!cache.ok()) {
       std::fprintf(stderr, "verdict cache: %s\n",
                    cache.status().ToString().c_str());
@@ -351,6 +444,37 @@ int Serve(const ServeConfig& config) {
       client_options.expected_measurement = *expected;
       client_options.entropy = ToBytes("selftest-" + std::to_string(i));
       const uint16_t port = listener->port();
+      if (config.group_size > 0) {
+        // Fleet mode: each selftest deployment is a replica set of
+        // group_size byte-identical members on one connection; every
+        // member's verdict must match the program's expected outcome.
+        const std::vector<Bytes> replicas(config.group_size, program->image);
+        const std::string fingerprint =
+            core::PolicySetFingerprint(MakePolicies());
+        clients.emplace_back([port, client_options, replicas, fingerprint,
+                              compliant = (i % 2 == 0), i, &client_ok,
+                              &client_failed] {
+          auto verdicts =
+              RunSelftestGroupClient(port, client_options, replicas,
+                                     fingerprint);
+          bool ok = verdicts.ok() && !verdicts->empty();
+          if (ok) {
+            for (const core::Verdict& verdict : *verdicts) {
+              ok = ok && verdict.compliant == compliant;
+            }
+          }
+          if (ok) {
+            client_ok.fetch_add(1);
+          } else {
+            std::fprintf(stderr, "group client %zu: %s\n", i,
+                         verdicts.ok()
+                             ? "unexpected verdict"
+                             : verdicts.status().ToString().c_str());
+            client_failed.fetch_add(1);
+          }
+        });
+        continue;
+      }
       clients.emplace_back([port, client_options,
                             image = program->image,
                             compliant = (i % 2 == 0), i, &client_ok,
@@ -422,7 +546,10 @@ int Serve(const ServeConfig& config) {
                  group.reactor(r).reaped_count(),
                  group.reactor(r).connection_count());
   }
-  if (config.metrics_json) DumpMetricsJson(group.metrics());
+  if (config.metrics_json &&
+      DumpMetrics(group.metrics(), config.metrics_json_path) != 0) {
+    return 1;
+  }
   if (config.selftest >= group.reactor_count() && group.reactor_count() > 1) {
     // Round-robin dealing + pinned-measurement clients: every reactor must
     // have served at least one verdict, all under the same MRENCLAVE.
@@ -485,8 +612,16 @@ int main(int argc, char** argv) {
       config.session_ms = static_cast<uint64_t>(next());
     } else if (arg == "--metrics-json") {
       config.metrics_json = true;
+      // Optional PATH operand: atomic temp+rename target instead of stdout.
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        config.metrics_json_path = argv[++i];
+      }
     } else if (arg == "--verdict-cache") {
       config.verdict_cache_dir = next_str();
+    } else if (arg == "--verdict-cache-max-entries") {
+      config.verdict_cache_max_entries = static_cast<size_t>(next());
+    } else if (arg == "--group-size") {
+      config.group_size = static_cast<size_t>(next());
     } else if (arg == "--selftest") {
       config.selftest = static_cast<size_t>(next());
     } else {
@@ -496,8 +631,9 @@ int main(int argc, char** argv) {
                    "[--reserve N] [--epc-pages N] [--epc-oversub R] "
                    "[--reclaim-low-watermark N] [--reclaim-batch N] "
                    "[--rsa-bits N] [--queue-ms N] [--idle-ms N] "
-                   "[--session-ms N] [--metrics-json] "
-                   "[--verdict-cache DIR] [--selftest N]\n");
+                   "[--session-ms N] [--metrics-json [PATH]] "
+                   "[--verdict-cache DIR] [--verdict-cache-max-entries N] "
+                   "[--group-size N] [--selftest N]\n");
       return 2;
     }
   }
