@@ -630,6 +630,272 @@ Result<FleetStats> RunFleetGroup(const sgx::QuotingEnclave& qe,
   return stats;
 }
 
+// ---- Hostile-mix: adaptive overload control and multi-tenant fairness ------
+// Three tenants share one single-threaded shard: a steady tenant
+// provisioning sequentially (the goodput under test), a bursty tenant
+// slamming the queue with 4-connection floods, and a slow-loris tenant whose
+// connections trickle half a frame through a FaultInjectingTransport and
+// then stall, pinning an enclave slot until the idle deadline reaps it.
+// Adaptive deadlines, oldest-eviction, weighted-fair admission and the
+// per-tenant token bucket are all ON. The baseline run is the same steady
+// tenant alone under identical options, so the contrast isolates what the
+// hostile load costs. Gates (CI, including --smoke): steady fingerprints
+// bit-identical to the serial reference, steady goodput within
+// kHostileGoodputFactor of the baseline, the overload machinery actually
+// exercised (eviction, rate-limit deferral, timeout, 3 tenants seen), and
+// zero retained connections, queue entries or EPC pages after teardown.
+
+// Hostile steady goodput may trail the solo baseline by at most this factor.
+// Generous on purpose: a single-core host serializes the loris idle windows
+// with everything else (see EXPERIMENTS.md), and the gate is a starvation
+// canary, not a latency SLO.
+constexpr double kHostileGoodputFactor = 8.0;
+
+struct HostileMixStats {
+  uint64_t steady_wall_ns = 0;            // mix start -> last steady verdict
+  std::vector<Fingerprint> steady_fps;    // steady client order
+  size_t bursty_done = 0;
+  size_t bursty_abandoned = 0;
+  core::FrontendMetrics metrics;
+};
+
+Result<HostileMixStats> RunHostileMix(const sgx::QuotingEnclave& qe,
+                                      const std::vector<Bytes>& steady_images,
+                                      const Bytes& hostile_image,
+                                      const core::EngardeOptions& opts,
+                                      bool hostile) {
+  constexpr size_t kBursts = 2;
+  constexpr size_t kBurstSize = 4;
+  constexpr size_t kLorisCount = 3;
+  // Two resident enclaves: small enough that the loris connections can pin
+  // the whole budget and the queue actually overflows under a burst.
+  sgx::SgxDevice device(
+      sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(2, opts)});
+  sgx::HostOs host(&device);
+  core::FrontendOptions options;
+  options.enclave_options = opts;
+  options.admission_queue_capacity = 4;
+  options.queue_deadline_ms = 2000;
+  options.idle_deadline_ms = 100;  // a stalled loris pins a slot this long
+  options.session_deadline_ms = 10000;
+  options.retry_after_ms = 5;
+  options.adaptive_deadlines = true;
+  options.adaptive_min_samples = 8;
+  options.adaptive_max_ms = 2000;
+  options.evict_oldest = true;
+  options.fair_admission = true;
+  options.tenant_rate = 20.0;  // admissions/sec/tenant
+  options.tenant_burst = 2.0;
+  core::ProvisioningFrontend frontend(&host, &qe, MakePolicies, options);
+
+  enum class Kind { kSteady, kBursty, kLoris };
+  struct Slot {
+    Kind kind = Kind::kSteady;
+    const Bytes* image = nullptr;
+    const char* tenant = "";
+    int steady_rank = -1;
+    std::unique_ptr<crypto::DuplexPipe> pipe;
+    std::unique_ptr<client::Client> client;
+    uint64_t conn_id = 0;
+    bool accepted = false, connected = false, done = false;
+    size_t sheds = 0;
+    Clock::time_point start_at, retry_at, verdict_at;
+    Fingerprint fp;
+    bool got_verdict = false;
+  };
+  std::vector<Slot> slots;
+  const Clock::time_point start = Clock::now();
+  // Vector order is service order within one sweep: loris first so they
+  // grab the budget at t=0, the way a real attack lands ahead of the
+  // legitimate load.
+  if (hostile) {
+    for (size_t i = 0; i < kLorisCount; ++i) {
+      Slot s;
+      s.kind = Kind::kLoris;
+      s.image = &hostile_image;
+      s.tenant = "loris.example";
+      s.start_at = start + std::chrono::milliseconds(20 * i);
+      slots.push_back(std::move(s));
+    }
+    for (size_t b = 0; b < kBursts; ++b) {
+      for (size_t i = 0; i < kBurstSize; ++i) {
+        Slot s;
+        s.kind = Kind::kBursty;
+        s.image = &hostile_image;
+        s.tenant = "bursty.example";
+        s.start_at = start + std::chrono::milliseconds(150 * b);
+        slots.push_back(std::move(s));
+      }
+    }
+  }
+  for (size_t i = 0; i < steady_images.size(); ++i) {
+    Slot s;
+    s.kind = Kind::kSteady;
+    s.image = &steady_images[i];
+    s.tenant = "steady.example";
+    s.steady_rank = static_cast<int>(i);
+    s.start_at = start;
+    slots.push_back(std::move(s));
+  }
+
+  HostileMixStats stats;
+  int done_steady = 0;
+  const auto all_done = [&slots] {
+    for (const Slot& s : slots) {
+      if (!s.done) return false;
+    }
+    return true;
+  };
+  const auto give_up_or_back_off = [&stats](Slot& s, uint64_t backoff_ms,
+                                            Clock::time_point now) {
+    ++s.sheds;
+    if (s.kind == Kind::kBursty && s.sheds >= 3) {
+      s.done = true;
+      ++stats.bursty_abandoned;
+      return;
+    }
+    s.accepted = false;
+    s.connected = false;
+    s.retry_at = now + std::chrono::milliseconds(backoff_ms);
+  };
+  while (!all_done()) {
+    if (Clock::now() - start > std::chrono::seconds(60)) {
+      return InternalError("hostile mix did not converge within 60s");
+    }
+    const Clock::time_point now = Clock::now();
+    for (Slot& s : slots) {
+      if (s.done) continue;
+      if (!s.accepted) {
+        if (now < s.start_at || now < s.retry_at) continue;
+        if (s.steady_rank > done_steady) continue;  // steady is sequential
+        s.pipe = std::make_unique<crypto::DuplexPipe>();
+        auto inner = std::make_unique<net::PipeTransport>(s.pipe->EndA());
+        inner->set_peer(s.tenant);
+        std::unique_ptr<net::Transport> wire = std::move(inner);
+        if (s.kind == Kind::kLoris) {
+          net::FaultPlan plan;
+          plan.stall_inbound_after = 8;  // half the trickle, then silence
+          wire = std::make_unique<net::FaultInjectingTransport>(
+              std::move(wire), plan);
+        }
+        ASSIGN_OR_RETURN(s.conn_id, frontend.Accept(std::move(wire)));
+        s.accepted = true;
+        if (s.kind == Kind::kLoris) {
+          // A plausible header promising a 1 KiB frame that never arrives:
+          // the session waits on the remainder until a deadline fires.
+          const Bytes trickle = {0x00, 0x04, 0x00, 0x00, 'l', 'o', 'r', 'i',
+                                 's',  'l',  'o',  'r',  'i', 's', '!', '!'};
+          s.pipe->EndB().Write(ByteView(trickle));
+        } else {
+          s.client = std::make_unique<client::Client>(ClientOptionsFor(qe),
+                                                      *s.image);
+        }
+        continue;  // give the reactor a sweep before reading the decision
+      }
+      const core::ConnectionState state = frontend.state(s.conn_id);
+      if (s.kind == Kind::kLoris) {
+        if (state == core::ConnectionState::kTimedOut ||
+            state == core::ConnectionState::kShed ||
+            state == core::ConnectionState::kFailed ||
+            state == core::ConnectionState::kReaped) {
+          s.done = true;
+        }
+        continue;
+      }
+      if (!s.connected) {
+        if (net::HasCompleteFrames(s.pipe->EndB(), 1)) {
+          ASSIGN_OR_RETURN(const auto retry,
+                           s.client->AwaitAdmission(s.pipe->EndB()));
+          if (retry.has_value()) {
+            give_up_or_back_off(s, client::RetryBackoffMs(*retry, s.sheds + 1),
+                                now);
+            continue;
+          }
+          RETURN_IF_ERROR(s.client->SendProgram(s.pipe->EndB()));
+          s.connected = true;
+          continue;
+        }
+        if (state == core::ConnectionState::kTimedOut ||
+            state == core::ConnectionState::kFailed ||
+            state == core::ConnectionState::kReaped) {
+          // Expired in the queue without a readable decision frame: back off
+          // blind and reconnect.
+          give_up_or_back_off(
+              s, uint64_t{5} << std::min<size_t>(s.sheds + 1, 6), now);
+        }
+        continue;
+      }
+      if (state == core::ConnectionState::kDone) {
+        ASSIGN_OR_RETURN(const core::ProvisionOutcome outcome,
+                         frontend.TakeOutcome(s.conn_id));
+        s.fp = Fp(outcome.verdict.compliant, frontend.accountant(s.conn_id));
+        s.got_verdict = true;
+        s.verdict_at = Clock::now();
+        s.done = true;
+        if (s.kind == Kind::kSteady) {
+          ++done_steady;
+        } else {
+          ++stats.bursty_done;
+        }
+        continue;
+      }
+      if (state == core::ConnectionState::kTimedOut ||
+          state == core::ConnectionState::kFailed) {
+        // Killed mid-session (a deadline the adaptive controller tightened,
+        // or overload): reconnect from scratch like a production client.
+        give_up_or_back_off(s, 20, now);
+      }
+    }
+    ASSIGN_OR_RETURN(const size_t progress, frontend.PollOnce());
+    if (progress == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  // Quiesce: every client pipe is still alive in `slots`, so the reaper can
+  // flush shed tails and retire every slot before the pipes go away.
+  for (int i = 0; i < 2000 && frontend.connection_count() != 0; ++i) {
+    RETURN_IF_ERROR(frontend.DrainAll());
+    if (frontend.connection_count() != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  stats.metrics = frontend.metrics();
+  // The retention gates: every slot, queue entry and EPC page must be gone.
+  if (frontend.connection_count() != 0 ||
+      stats.metrics.live_connections != 0) {
+    return InternalError("hostile mix left live connections");
+  }
+  if (frontend.queued_count() != 0 || stats.metrics.queue_depth != 0) {
+    return InternalError("hostile mix left queue entries");
+  }
+  if (device.EnclaveCount() != 0 || device.epc().pages_in_use() != 0) {
+    return InternalError(
+        "hostile mix retained EPC pages after teardown: enclaves=" +
+        std::to_string(device.EnclaveCount()) +
+        " pages=" + std::to_string(device.epc().pages_in_use()) +
+        " done=" + std::to_string(stats.metrics.done) +
+        " timed_out=" + std::to_string(stats.metrics.timed_out) +
+        " failed=" + std::to_string(stats.metrics.failed) +
+        " shed=" + std::to_string(stats.metrics.shed) +
+        " reaped=" + std::to_string(stats.metrics.reaped));
+  }
+  if (stats.metrics.committed_pages != 0 ||
+      stats.metrics.budget_underflows != 0) {
+    return InternalError("hostile mix left the budget unbalanced");
+  }
+  uint64_t last_verdict_ns = 0;
+  for (const Slot& s : slots) {
+    if (s.kind != Kind::kSteady) continue;
+    if (!s.got_verdict) {
+      return InternalError("steady session ended without a verdict");
+    }
+    stats.steady_fps.push_back(s.fp);
+    last_verdict_ns = std::max(last_verdict_ns, ElapsedNs(start, s.verdict_at));
+  }
+  stats.steady_wall_ns = last_verdict_ns;
+  return stats;
+}
+
 bool FingerprintLess(const Fingerprint& a, const Fingerprint& b) {
   return std::tie(a.compliant, a.idle_sgx, a.channel_sgx, a.disassembly_sgx,
                   a.policy_sgx, a.loading_sgx, a.total_sgx) <
@@ -815,6 +1081,135 @@ int main(int argc, char** argv) {
     }
   }
   std::fprintf(f, "\n  ],\n");
+
+  // ---- Hostile-mix sweep (runs in --smoke: this is the CI overload gate) ---
+  std::fprintf(f, "  \"hostile_mix\": {\n");
+  std::fprintf(f,
+               "    \"mix\": \"steady tenant (8 sequential sessions) vs 2x4 "
+               "bursty floods vs 3 slow-loris stalls, adaptive deadlines + "
+               "oldest-eviction + fair admission + 20/s token bucket\",\n");
+  std::fprintf(f,
+               "    \"gate\": \"steady fingerprints vs serial; steady goodput "
+               "within %.0fx of the solo baseline; eviction, deferral and "
+               "timeout all exercised; zero retained connections, queue "
+               "entries and EPC pages\",\n",
+               kHostileGoodputFactor);
+  std::fprintf(f, "    \"rows\": [");
+  bool hostile_gate_failed = false;
+  if (!oversub_only) {
+    constexpr size_t kSteadySessions = 8;
+    std::vector<Bytes> steady_images;
+    for (size_t i = 0; i < kSteadySessions; ++i) {
+      steady_images.push_back(library[i % kPrograms]);
+    }
+    auto serial = RunSerial(*qe, steady_images, opts);
+    if (!serial.ok()) {
+      std::fprintf(stderr, "hostile serial: %s\n",
+                   serial.status().ToString().c_str());
+      return 1;
+    }
+    auto baseline =
+        RunHostileMix(*qe, steady_images, library[0], opts, /*hostile=*/false);
+    if (!baseline.ok()) {
+      std::fprintf(stderr, "hostile baseline: %s\n",
+                   baseline.status().ToString().c_str());
+      return 1;
+    }
+    auto mix =
+        RunHostileMix(*qe, steady_images, library[0], opts, /*hostile=*/true);
+    if (!mix.ok()) {
+      std::fprintf(stderr, "hostile mix: %s\n",
+                   mix.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < kSteadySessions; ++i) {
+      if (!(baseline->steady_fps[i] == (*serial)[i]) ||
+          !(mix->steady_fps[i] == (*serial)[i])) {
+        std::fprintf(stderr,
+                     "hostile equality gate failed at steady client %zu\n", i);
+        return 1;
+      }
+    }
+    const auto steady_rate = [kSteadySessions](const HostileMixStats& s) {
+      const double sec = static_cast<double>(s.steady_wall_ns) / 1e9;
+      return sec > 0 ? static_cast<double>(kSteadySessions) / sec : 0.0;
+    };
+    const double baseline_rate = steady_rate(*baseline);
+    const double mix_rate = steady_rate(*mix);
+    const core::FrontendMetrics& hm = mix->metrics;
+    std::printf(
+        "hostile mix  steady %8.2f sess/s (solo %8.2f)  evicted %llu  "
+        "deferred %llu  timed_out %llu  tenants %llu\n",
+        mix_rate, baseline_rate,
+        static_cast<unsigned long long>(hm.evicted_oldest),
+        static_cast<unsigned long long>(hm.rate_limit_deferrals),
+        static_cast<unsigned long long>(hm.timed_out),
+        static_cast<unsigned long long>(hm.tenants_seen));
+    // The goodput gate (deferred to exit so the JSON stays complete): the
+    // steady tenant must not starve behind the flood and the stalls.
+    if (mix_rate * kHostileGoodputFactor < baseline_rate) {
+      std::fprintf(stderr,
+                   "hostile gate: steady %.2f sess/s under attack is worse "
+                   "than 1/%.0f of the solo %.2f sess/s\n",
+                   mix_rate, kHostileGoodputFactor, baseline_rate);
+      hostile_gate_failed = true;
+    }
+    // The machinery gates: a mix that never evicted, never deferred and never
+    // timed anything out did not actually exercise the overload paths.
+    if (hm.evicted_oldest < 1 || hm.rate_limit_deferrals < 1 ||
+        hm.timed_out < 1 || hm.tenants_seen != 3 ||
+        hm.deadline_recomputes < 1) {
+      std::fprintf(stderr,
+                   "hostile gate: overload machinery idle (evicted %llu, "
+                   "deferred %llu, timed_out %llu, tenants %llu, recomputes "
+                   "%llu)\n",
+                   static_cast<unsigned long long>(hm.evicted_oldest),
+                   static_cast<unsigned long long>(hm.rate_limit_deferrals),
+                   static_cast<unsigned long long>(hm.timed_out),
+                   static_cast<unsigned long long>(hm.tenants_seen),
+                   static_cast<unsigned long long>(hm.deadline_recomputes));
+      hostile_gate_failed = true;
+    }
+    struct HostileRow {
+      const char* mode;
+      const HostileMixStats* stats;
+      double rate;
+    };
+    bool first_hostile = true;
+    for (const HostileRow row :
+         {HostileRow{"steady-solo", &*baseline, baseline_rate},
+          HostileRow{"hostile-mix", &*mix, mix_rate}}) {
+      const core::FrontendMetrics& m = row.stats->metrics;
+      std::fprintf(
+          f,
+          "%s\n      {\"mode\": \"%s\", \"steady_wall_ns\": %llu, "
+          "\"steady_sessions_per_sec\": %.3f, \"bursty_done\": %zu, "
+          "\"bursty_abandoned\": %zu, \"evicted_oldest\": %llu, "
+          "\"rate_limit_deferrals\": %llu, \"timed_out\": %llu, "
+          "\"shed\": %llu, \"tenants_seen\": %llu, "
+          "\"deadline_recomputes\": %llu, "
+          "\"effective_session_deadline_ms\": %llu, "
+          "\"effective_idle_deadline_ms\": %llu, "
+          "\"effective_queue_deadline_ms\": %llu, "
+          "\"effective_retry_after_ms\": %llu, "
+          "\"leak_gate\": \"ok\", \"equality\": \"ok\"}",
+          first_hostile ? "" : ",", row.mode,
+          static_cast<unsigned long long>(row.stats->steady_wall_ns),
+          row.rate, row.stats->bursty_done, row.stats->bursty_abandoned,
+          static_cast<unsigned long long>(m.evicted_oldest),
+          static_cast<unsigned long long>(m.rate_limit_deferrals),
+          static_cast<unsigned long long>(m.timed_out),
+          static_cast<unsigned long long>(m.shed),
+          static_cast<unsigned long long>(m.tenants_seen),
+          static_cast<unsigned long long>(m.deadline_recomputes),
+          static_cast<unsigned long long>(m.effective_session_deadline_ms),
+          static_cast<unsigned long long>(m.effective_idle_deadline_ms),
+          static_cast<unsigned long long>(m.effective_queue_deadline_ms),
+          static_cast<unsigned long long>(m.effective_retry_after_ms));
+      first_hostile = false;
+    }
+  }
+  std::fprintf(f, "\n    ]\n  },\n");
 
   // ---- Verdict-cache re-upload sweep ---------------------------------------
   // Cold vs warm-cache at a fixed client count: warm runs provision through
@@ -1412,5 +1807,7 @@ int main(int argc, char** argv) {
   std::fprintf(f, "\n    ]\n  }\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
-  return (reupload_gate_failed || fleet_gate_failed) ? 1 : 0;
+  return (reupload_gate_failed || fleet_gate_failed || hostile_gate_failed)
+             ? 1
+             : 0;
 }

@@ -1,4 +1,5 @@
 #include "client/client.h"
+#include <algorithm>
 #include <array>
 
 #include <set>
@@ -6,6 +7,15 @@
 #include "elf/reader.h"
 
 namespace engarde::client {
+
+uint64_t RetryBackoffMs(const core::RetryAfter& retry,
+                        size_t consecutive_sheds) noexcept {
+  const uint64_t base = std::max<uint64_t>(1, retry.retry_after_ms);
+  const size_t doublings =
+      consecutive_sheds > 0 ? std::min<size_t>(consecutive_sheds - 1, 4) : 0;
+  const uint64_t backoff = base << doublings;  // capped at 16× the hint
+  return std::min<uint64_t>(backoff, 10000);
+}
 
 Result<core::Manifest> BuildManifest(ByteView executable) {
   ASSIGN_OR_RETURN(const elf::ElfFile elf, elf::ElfFile::Parse(executable));

@@ -39,6 +39,15 @@ struct ClientOptions {
   size_t block_size = core::kBlockSize;
 };
 
+// Back-off before the next reconnect after `consecutive_sheds` RetryAfter
+// records in a row (1-based). Honors the server's adaptive hint as the base
+// delay and doubles per consecutive shed — a front end under sustained
+// pressure pushes its clients apart exponentially — capped at 16× the hint
+// and a 10 s absolute ceiling. A zero hint (old or misconfigured server)
+// still backs off from 1 ms.
+uint64_t RetryBackoffMs(const core::RetryAfter& retry,
+                        size_t consecutive_sheds) noexcept;
+
 class Client {
  public:
   Client(ClientOptions options, Bytes executable)

@@ -1,6 +1,7 @@
 #include "core/frontend.h"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <string>
 #include <thread>
@@ -40,7 +41,37 @@ void AtomicMax(std::atomic<uint64_t>& cell, uint64_t value) {
   }
 }
 
+// Round-up nanoseconds -> milliseconds (a derived deadline must cover the
+// samples it came from).
+uint64_t CeilNsToMs(uint64_t ns) { return (ns + 999999) / 1000000; }
+
 }  // namespace
+
+size_t LatencyBucketIndex(uint64_t duration_ns) noexcept {
+  if (duration_ns == 0) return 0;
+  const size_t bit = static_cast<size_t>(std::bit_width(duration_ns)) - 1;
+  return std::min(bit, kLatencyBuckets - 1);
+}
+
+uint64_t HistogramCount(const uint64_t (&buckets)[kLatencyBuckets]) noexcept {
+  uint64_t total = 0;
+  for (const uint64_t count : buckets) total += count;
+  return total;
+}
+
+uint64_t HistogramPercentileNs(const uint64_t (&buckets)[kLatencyBuckets],
+                               uint32_t percent) noexcept {
+  const uint64_t total = HistogramCount(buckets);
+  if (total == 0) return 0;
+  const uint64_t need = (total * percent + 99) / 100;  // ceil
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kLatencyBuckets; ++i) {
+    seen += buckets[i];
+    // Exclusive upper bound of the covering bucket: conservative by design.
+    if (seen >= need) return uint64_t{1} << std::min<size_t>(i + 1, 63);
+  }
+  return uint64_t{1} << std::min<size_t>(kLatencyBuckets, 63);
+}
 
 void FrontendMetrics::Merge(const FrontendMetrics& other) noexcept {
   accepted += other.accepted;
@@ -68,6 +99,25 @@ void FrontendMetrics::Merge(const FrontendMetrics& other) noexcept {
   decode_overlap_sum_permille += other.decode_overlap_sum_permille;
   decode_overlap_max_permille =
       std::max(decode_overlap_max_permille, other.decode_overlap_max_permille);
+  for (size_t i = 0; i < kLatencyBuckets; ++i) {
+    admission_wait_hist[i] += other.admission_wait_hist[i];
+    session_hist[i] += other.session_hist[i];
+  }
+  // Effective deadlines are per-shard policy outputs over (mostly) the same
+  // workload; the max is the representative aggregate. tenants_seen maxes
+  // because one tenant may hit several shards.
+  effective_queue_deadline_ms =
+      std::max(effective_queue_deadline_ms, other.effective_queue_deadline_ms);
+  effective_idle_deadline_ms =
+      std::max(effective_idle_deadline_ms, other.effective_idle_deadline_ms);
+  effective_session_deadline_ms = std::max(effective_session_deadline_ms,
+                                           other.effective_session_deadline_ms);
+  effective_retry_after_ms =
+      std::max(effective_retry_after_ms, other.effective_retry_after_ms);
+  deadline_recomputes += other.deadline_recomputes;
+  evicted_oldest += other.evicted_oldest;
+  rate_limit_deferrals += other.rate_limit_deferrals;
+  tenants_seen = std::max(tenants_seen, other.tenants_seen);
   // Budget and paging fields are per-budget / per-host-OS, not per-shard:
   // taking the max keeps a self-merge correct, and the caller that knows
   // which shards share them fills them once after merging.
@@ -136,7 +186,9 @@ ProvisioningFrontend::ProvisioningFrontend(
       owned_pool_(std::make_unique<WarmEnclavePool>(
           host, quoting, policy_factory_, PerEnclaveOptions())),
       budget_(owned_budget_.get()),
-      pool_(owned_pool_.get()) {}
+      pool_(owned_pool_.get()) {
+  InitEffectiveDeadlines();
+}
 
 ProvisioningFrontend::ProvisioningFrontend(
     sgx::HostOs* host, const sgx::QuotingEnclave* quoting,
@@ -151,7 +203,88 @@ ProvisioningFrontend::ProvisioningFrontend(
                                  options_.inspection_threads)
                            : nullptr),
       budget_(budget),
-      pool_(pool) {}
+      pool_(pool) {
+  InitEffectiveDeadlines();
+}
+
+void ProvisioningFrontend::InitEffectiveDeadlines() noexcept {
+  metrics_cells_.eff_queue_deadline_ms.store(options_.queue_deadline_ms,
+                                             std::memory_order_relaxed);
+  metrics_cells_.eff_idle_deadline_ms.store(options_.idle_deadline_ms,
+                                            std::memory_order_relaxed);
+  metrics_cells_.eff_session_deadline_ms.store(options_.session_deadline_ms,
+                                               std::memory_order_relaxed);
+  metrics_cells_.eff_retry_after_ms.store(options_.retry_after_ms,
+                                          std::memory_order_relaxed);
+}
+
+uint64_t ProvisioningFrontend::ClampAdaptiveMs(uint64_t ms) const noexcept {
+  const uint64_t floor_ms = options_.adaptive_min_ms;
+  const uint64_t ceil_ms = std::max(options_.adaptive_max_ms, floor_ms);
+  return std::min(std::max(ms, floor_ms), ceil_ms);
+}
+
+uint64_t ApplyHysteresis(uint64_t current, uint64_t proposed,
+                         uint64_t hysteresis_pct) noexcept {
+  if (current == 0) return proposed;  // nothing in force yet: adopt outright
+  const uint64_t delta =
+      current > proposed ? current - proposed : proposed - current;
+  return delta * 100 > current * hysteresis_pct ? proposed : current;
+}
+
+uint64_t ProvisioningFrontend::WithHysteresis(uint64_t current,
+                                              uint64_t proposed) const noexcept {
+  return ApplyHysteresis(current, proposed, options_.adaptive_hysteresis_pct);
+}
+
+void ProvisioningFrontend::MaybeRecomputeDeadlines(uint64_t now_ns) {
+  if (!options_.adaptive_deadlines) return;
+  const uint64_t cadence_ns = options_.adaptive_recompute_ms * 1000000ull;
+  if (last_recompute_ns_ != 0 && now_ns >= last_recompute_ns_ &&
+      now_ns - last_recompute_ns_ < cadence_ns) {
+    return;
+  }
+  last_recompute_ns_ = now_ns;
+  metrics_cells_.deadline_recomputes.fetch_add(1, std::memory_order_relaxed);
+
+  const auto adopt = [this](std::atomic<uint64_t>& cell, uint64_t proposed) {
+    const uint64_t current = cell.load(std::memory_order_relaxed);
+    const uint64_t next = WithHysteresis(current, proposed);
+    if (next != current) cell.store(next, std::memory_order_relaxed);
+  };
+  const auto snapshot = [](const std::atomic<uint64_t> (&cells)[kLatencyBuckets],
+                           uint64_t (&out)[kLatencyBuckets]) {
+    for (size_t i = 0; i < kLatencyBuckets; ++i) {
+      out[i] = cells[i].load(std::memory_order_relaxed);
+    }
+  };
+
+  // Cold start: each histogram drives its deadlines only once it holds
+  // enough samples; until then the value in force (initially the static
+  // option) stands.
+  uint64_t sessions[kLatencyBuckets];
+  snapshot(metrics_cells_.session_hist, sessions);
+  if (HistogramCount(sessions) >= options_.adaptive_min_samples) {
+    const uint64_t p95_ns = HistogramPercentileNs(sessions, 95);
+    adopt(metrics_cells_.eff_session_deadline_ms,
+          ClampAdaptiveMs(CeilNsToMs(8 * p95_ns)));
+    adopt(metrics_cells_.eff_idle_deadline_ms,
+          ClampAdaptiveMs(CeilNsToMs(4 * p95_ns)));
+  }
+  uint64_t waits[kLatencyBuckets];
+  snapshot(metrics_cells_.admission_wait_hist, waits);
+  if (HistogramCount(waits) >= options_.adaptive_min_samples) {
+    adopt(metrics_cells_.eff_queue_deadline_ms,
+          ClampAdaptiveMs(CeilNsToMs(4 * HistogramPercentileNs(waits, 95))));
+    // The back-off hint tracks the median wait: long enough that a retry
+    // usually finds room, short enough not to idle a healthy client. Only
+    // the ceiling applies — a sub-adaptive_min_ms hint is useful.
+    const uint64_t hint_ms = std::max<uint64_t>(
+        1, std::min(CeilNsToMs(HistogramPercentileNs(waits, 50)),
+                    std::max(options_.adaptive_max_ms, uint64_t{1})));
+    adopt(metrics_cells_.eff_retry_after_ms, hint_ms);
+  }
+}
 
 Status ProvisioningFrontend::PrefillPool(size_t count) {
   for (size_t i = 0; i < count; ++i) {
@@ -204,6 +337,7 @@ Result<uint64_t> ProvisioningFrontend::Accept(
   conn->id = MakeId(slot_index, slots_[slot_index].generation);
   conn->transport = std::move(transport);
   conn->pipe = std::make_unique<crypto::DuplexPipe>();
+  conn->tenant = conn->transport->peer();
   const uint64_t now = NowNs();
   conn->accepted_ns = now;
   conn->last_input_ns = now;
@@ -222,17 +356,31 @@ Result<uint64_t> ProvisioningFrontend::Accept(
   }
 
   // Arrivals behind the queue must not overtake it; only try immediate
-  // admission when nobody is already waiting.
-  if (admission_queue_.empty()) {
-    ASSIGN_OR_RETURN(const AdmitResult admitted, TryAdmit(accepted));
-    if (admitted == AdmitResult::kAdmitted) return accepted.id;
+  // admission when nobody is already waiting (and, under fair admission,
+  // the tenant's token bucket covers the session).
+  bool admissible = true;
+  if (options_.fair_admission) {
+    admissible = TenantAdmissible(TenantFor(accepted.tenant), 1, now);
   }
-  if (admission_queue_.size() < options_.admission_queue_capacity) {
-    admission_queue_.push_back(accepted.id);
-    metrics_cells_.queue_depth.store(admission_queue_.size(),
-                                     std::memory_order_relaxed);
-    metrics_cells_.queued.fetch_add(1, std::memory_order_relaxed);
+  if (TotalQueued() == 0 && admissible) {
+    ASSIGN_OR_RETURN(const AdmitResult admitted, TryAdmit(accepted));
+    if (admitted == AdmitResult::kAdmitted) {
+      if (options_.fair_admission) ChargeTokens(TenantFor(accepted.tenant), 1);
+      return accepted.id;
+    }
+  }
+  if (TotalQueued() < options_.admission_queue_capacity) {
+    EnqueueForAdmission(accepted);
     return accepted.id;  // stays kQueued; nothing on the wire yet
+  }
+  if (options_.evict_oldest) {
+    // Queue pressure: the oldest waiter — the one closest to blowing its
+    // queue deadline — yields its place to the newcomer.
+    ASSIGN_OR_RETURN(const bool evicted, EvictOldestQueued());
+    if (evicted) {
+      EnqueueForAdmission(accepted);
+      return accepted.id;
+    }
   }
   RETURN_IF_ERROR(Shed(accepted));
   return accepted.id;
@@ -293,6 +441,8 @@ Result<ProvisioningFrontend::AdmitResult> ProvisioningFrontend::TryAdmit(
   metrics_cells_.admission_wait_total_ns.fetch_add(wait,
                                                    std::memory_order_relaxed);
   AtomicMax(metrics_cells_.admission_wait_max_ns, wait);
+  metrics_cells_.admission_wait_hist[LatencyBucketIndex(wait)].fetch_add(
+      1, std::memory_order_relaxed);
   // Push the greeting out immediately so in-memory clients can respond to
   // it right after Accept() returns, without waiting for a PollOnce().
   RETURN_IF_ERROR(ShuttleOut(conn.pipe->EndB(), *conn.transport).status());
@@ -436,6 +586,8 @@ Result<ProvisioningFrontend::AdmitResult> ProvisioningFrontend::TryAdmitGroup(
   metrics_cells_.admission_wait_total_ns.fetch_add(wait,
                                                    std::memory_order_relaxed);
   AtomicMax(metrics_cells_.admission_wait_max_ns, wait);
+  metrics_cells_.admission_wait_hist[LatencyBucketIndex(wait)].fetch_add(
+      1, std::memory_order_relaxed);
   RETURN_IF_ERROR(ShuttleOut(conn.pipe->EndB(), *conn.transport).status());
   RETURN_IF_ERROR(conn.transport->Flush().status());
   if (options_.reclaim_low_watermark > 0 &&
@@ -471,41 +623,70 @@ Status ProvisioningFrontend::PumpAwaitGroup(Connection& conn, uint64_t now_ns,
   ++progress;
 
   // Same FIFO discipline as solo Accept: a freshly declared group must not
-  // overtake groups already queued for budget.
-  if (admission_queue_.empty()) {
+  // overtake groups already queued for budget. A group charges its full
+  // co-admission cost — all members — to its tenant's bucket.
+  const uint64_t cost = AdmissionCost(conn);
+  bool admissible = true;
+  if (options_.fair_admission) {
+    admissible = TenantAdmissible(TenantFor(conn.tenant), cost, now_ns);
+  }
+  if (TotalQueued() == 0 && admissible) {
     Result<AdmitResult> admitted = TryAdmitGroup(conn);
     if (!admitted.ok()) {
       FailConnection(conn, admitted.status(), now_ns, progress);
       return Status::Ok();
     }
-    if (*admitted == AdmitResult::kAdmitted) return Status::Ok();
+    if (*admitted == AdmitResult::kAdmitted) {
+      if (options_.fair_admission) ChargeTokens(TenantFor(conn.tenant), cost);
+      return Status::Ok();
+    }
   }
-  if (admission_queue_.size() < options_.admission_queue_capacity) {
+  if (TotalQueued() < options_.admission_queue_capacity) {
     conn.state = ConnectionState::kQueued;
-    admission_queue_.push_back(conn.id);
-    metrics_cells_.queue_depth.store(admission_queue_.size(),
-                                     std::memory_order_relaxed);
-    metrics_cells_.queued.fetch_add(1, std::memory_order_relaxed);
+    EnqueueForAdmission(conn);
     return Status::Ok();
+  }
+  if (options_.evict_oldest) {
+    ASSIGN_OR_RETURN(const bool evicted, EvictOldestQueued());
+    if (evicted) {
+      conn.state = ConnectionState::kQueued;
+      EnqueueForAdmission(conn);
+      return Status::Ok();
+    }
   }
   return Shed(conn);
 }
 
 Status ProvisioningFrontend::Shed(Connection& conn) {
   RetryAfter record;
-  record.retry_after_ms = options_.retry_after_ms;
-  record.queue_depth = static_cast<uint32_t>(admission_queue_.size());
+  record.retry_after_ms =
+      metrics_cells_.eff_retry_after_ms.load(std::memory_order_relaxed);
+  record.queue_depth = static_cast<uint32_t>(TotalQueued());
   record.epc_pages_in_use = budget_->committed_pages();
   record.epc_budget_pages = budget_->budget_pages();
   crypto::DuplexPipe::Endpoint session_side = conn.pipe->EndA();
   RETURN_IF_ERROR(WriteControlFrame(session_side, ControlType::kRetryAfter,
                                     ByteView(record.Serialize())));
-  RETURN_IF_ERROR(ShuttleOut(conn.pipe->EndB(), *conn.transport).status());
-  ASSIGN_OR_RETURN(const bool flushed, conn.transport->Flush());
-  if (flushed) conn.transport->Close();
   conn.state = ConnectionState::kShed;
   metrics_cells_.shed.fetch_add(1, std::memory_order_relaxed);
   RecordTerminal(conn, NowNs());
+  // Best-effort delivery, same containment as ExpireConnection: a hard wire
+  // error here used to propagate out of Accept()/AdmitFromQueue() and poison
+  // the whole sweep — now it just latches wire_dead and the reaper retires
+  // the slot. A short write (flushed == false) leaves the tail on the
+  // internal wire; the terminal-state branch of PumpConnection keeps
+  // draining it every sweep and only reaps once the RetryAfter has fully
+  // landed, so a shed client never misses the record.
+  const Status shuttled =
+      ShuttleOut(conn.pipe->EndB(), *conn.transport).status();
+  Result<bool> flush_result =
+      shuttled.ok() ? conn.transport->Flush() : Result<bool>(false);
+  if (!shuttled.ok() || !flush_result.ok()) {
+    conn.wire_dead = true;
+    conn.transport->Close();
+  } else if (*flush_result) {
+    conn.transport->Close();
+  }
   return Status::Ok();
 }
 
@@ -528,6 +709,8 @@ void ProvisioningFrontend::RecordTerminal(Connection& conn, uint64_t now_ns) {
   metrics_cells_.session_total_ns.fetch_add(duration,
                                             std::memory_order_relaxed);
   AtomicMax(metrics_cells_.session_max_ns, duration);
+  metrics_cells_.session_hist[LatencyBucketIndex(duration)].fetch_add(
+      1, std::memory_order_relaxed);
 }
 
 bool ProvisioningFrontend::Expired(const Connection& conn, uint64_t now_ns,
@@ -537,24 +720,32 @@ bool ProvisioningFrontend::Expired(const Connection& conn, uint64_t now_ns,
     return budget_ms > 0 && now_ns >= since_ns &&
            now_ns - since_ns >= budget_ms * 1000000ull;
   };
+  // Deadlines in force: the static options, or the latest adaptive
+  // recompute's percentile-derived values (identical when adaptive is off).
+  const uint64_t queue_ms =
+      metrics_cells_.eff_queue_deadline_ms.load(std::memory_order_relaxed);
+  const uint64_t idle_ms =
+      metrics_cells_.eff_idle_deadline_ms.load(std::memory_order_relaxed);
+  const uint64_t session_ms =
+      metrics_cells_.eff_session_deadline_ms.load(std::memory_order_relaxed);
   if (conn.state == ConnectionState::kQueued &&
-      blown(conn.accepted_ns, options_.queue_deadline_ms)) {
-    *deadline_ms = options_.queue_deadline_ms;
+      blown(conn.accepted_ns, queue_ms)) {
+    *deadline_ms = queue_ms;
     *what = "admission-queue";
     return true;
   }
   if ((conn.state == ConnectionState::kActive ||
        conn.state == ConnectionState::kAwaitGroup) &&
-      blown(conn.last_input_ns, options_.idle_deadline_ms)) {
-    *deadline_ms = options_.idle_deadline_ms;
+      blown(conn.last_input_ns, idle_ms)) {
+    *deadline_ms = idle_ms;
     *what = "inbound-idle";
     return true;
   }
   if ((conn.state == ConnectionState::kQueued ||
        conn.state == ConnectionState::kActive ||
        conn.state == ConnectionState::kAwaitGroup) &&
-      blown(conn.accepted_ns, options_.session_deadline_ms)) {
-    *deadline_ms = options_.session_deadline_ms;
+      blown(conn.accepted_ns, session_ms)) {
+    *deadline_ms = session_ms;
     *what = "session";
     return true;
   }
@@ -577,13 +768,7 @@ Status ProvisioningFrontend::ExpireConnection(Connection& conn,
   RETURN_IF_ERROR(WriteControlFrame(session_side,
                                     ControlType::kDeadlineExceeded,
                                     ByteView(notice.Serialize())));
-  if (conn.state == ConnectionState::kQueued) {
-    admission_queue_.erase(std::remove(admission_queue_.begin(),
-                                       admission_queue_.end(), conn.id),
-                           admission_queue_.end());
-    metrics_cells_.queue_depth.store(admission_queue_.size(),
-                                     std::memory_order_relaxed);
-  }
+  if (conn.state == ConnectionState::kQueued) RemoveFromQueue(conn);
   conn.failure = DeadlineExceededError(
       std::string(what) + " deadline (" + std::to_string(deadline_ms) +
       "ms) exceeded after " + std::to_string(notice.elapsed_ms) + "ms");
@@ -851,6 +1036,10 @@ void ProvisioningFrontend::ReleaseEnclave(Connection& conn) {
     if (conn.group_session != nullptr) conn.group_session->ResetSessions();
     for (auto& slot : conn.group_slots) {
       if (slot == nullptr || !slot->enclave.has_value()) continue;
+      // A member abandoned mid-exchange still has its logical thread "inside"
+      // (EENTER with no verdict-side EEXIT); force the asynchronous exit the
+      // kernel would deliver by IPI before teardown, or EREMOVE refuses.
+      host_->device()->AexAll(slot->enclave->enclave_id());
       (void)host_->DestroyEnclave(slot->enclave->enclave_id());
       slot->enclave.reset();
     }
@@ -863,6 +1052,13 @@ void ProvisioningFrontend::ReleaseEnclave(Connection& conn) {
   }
   const uint64_t enclave_id = conn.slot->enclave->enclave_id();
   conn.session.reset();  // holds a pointer into the enclave
+  // A session abandoned before its verdict (idle/session expiry, a failed
+  // wire, an evicted peer) EENTERed on its first pump and never reached the
+  // cooperative EEXIT on the verdict path, so the device still counts a
+  // logical thread inside and EREMOVE would refuse. Real kernels IPI every
+  // CPU out of the enclave (an asynchronous exit) before sgx_encl_release
+  // EREMOVEs the pages; AexAll is that forced exit.
+  host_->device()->AexAll(enclave_id);
   // Deliberately OUTSIDE any ScopedAccountant: teardown EREMOVEs are charged
   // to the device-wide accountant, never the session's, so the session's
   // per-phase counts stay bit-for-bit equal to a serial Drive of the same
@@ -885,7 +1081,226 @@ void ProvisioningFrontend::Reap(Connection& conn) {
   metrics_cells_.reaped.fetch_add(1, std::memory_order_relaxed);
 }
 
+uint64_t ProvisioningFrontend::AdmissionCost(const Connection& conn) noexcept {
+  return conn.group_manifest.has_value()
+             ? std::max<uint64_t>(1, conn.group_manifest->members.size())
+             : 1;
+}
+
+size_t ProvisioningFrontend::TotalQueued() const noexcept {
+  return options_.fair_admission ? queued_total_ : admission_queue_.size();
+}
+
+void ProvisioningFrontend::StoreQueueDepth() noexcept {
+  metrics_cells_.queue_depth.store(TotalQueued(), std::memory_order_relaxed);
+}
+
+void ProvisioningFrontend::EnqueueForAdmission(Connection& conn) {
+  if (options_.fair_admission) {
+    TenantState& tenant = TenantFor(conn.tenant);
+    tenant.waiting.push_back(conn.id);
+    ++queued_total_;
+    if (!tenant.in_rotation) {
+      rotation_.push_back(conn.tenant);
+      tenant.in_rotation = true;
+    }
+  } else {
+    admission_queue_.push_back(conn.id);
+  }
+  StoreQueueDepth();
+  metrics_cells_.queued.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ProvisioningFrontend::RemoveFromQueue(Connection& conn) {
+  if (!options_.fair_admission) {
+    admission_queue_.erase(std::remove(admission_queue_.begin(),
+                                       admission_queue_.end(), conn.id),
+                           admission_queue_.end());
+    StoreQueueDepth();
+    return;
+  }
+  const auto it = tenants_.find(conn.tenant);
+  if (it == tenants_.end()) return;
+  TenantState& tenant = it->second;
+  const size_t before = tenant.waiting.size();
+  tenant.waiting.erase(
+      std::remove(tenant.waiting.begin(), tenant.waiting.end(), conn.id),
+      tenant.waiting.end());
+  queued_total_ -= before - tenant.waiting.size();
+  if (tenant.waiting.empty() && tenant.in_rotation) {
+    rotation_.erase(std::remove(rotation_.begin(), rotation_.end(),
+                                conn.tenant),
+                    rotation_.end());
+    tenant.in_rotation = false;
+    tenant.deficit = 0;
+  }
+  StoreQueueDepth();
+}
+
+ProvisioningFrontend::Connection* ProvisioningFrontend::OldestQueued() noexcept {
+  if (!options_.fair_admission) {
+    // The global FIFO is in arrival order: the first still-valid entry is
+    // the oldest. Stale entries are skipped (and lazily dropped later).
+    for (const uint64_t id : admission_queue_) {
+      Connection* conn = Find(id);
+      if (conn != nullptr && conn->state == ConnectionState::kQueued) {
+        return conn;
+      }
+    }
+    return nullptr;
+  }
+  // Per-tenant queues are each in arrival order, so the global oldest is the
+  // oldest among the tenants' first valid entries.
+  Connection* oldest = nullptr;
+  for (const std::string& name : rotation_) {
+    const auto it = tenants_.find(name);
+    if (it == tenants_.end()) continue;
+    for (const uint64_t id : it->second.waiting) {
+      Connection* conn = Find(id);
+      if (conn == nullptr || conn->state != ConnectionState::kQueued) continue;
+      if (oldest == nullptr || conn->accepted_ns < oldest->accepted_ns) {
+        oldest = conn;
+      }
+      break;
+    }
+  }
+  return oldest;
+}
+
+Result<bool> ProvisioningFrontend::EvictOldestQueued() {
+  Connection* victim = OldestQueued();
+  if (victim == nullptr) return false;
+  RemoveFromQueue(*victim);
+  metrics_cells_.evicted_oldest.fetch_add(1, std::memory_order_relaxed);
+  RETURN_IF_ERROR(Shed(*victim));
+  return true;
+}
+
+ProvisioningFrontend::TenantState& ProvisioningFrontend::TenantFor(
+    const std::string& tenant) {
+  const auto [it, inserted] = tenants_.try_emplace(tenant);
+  if (inserted) {
+    metrics_cells_.tenant_count.store(tenants_.size(),
+                                      std::memory_order_relaxed);
+  }
+  return it->second;
+}
+
+void ProvisioningFrontend::RefillTokens(TenantState& tenant,
+                                        uint64_t now_ns) const {
+  if (options_.tenant_rate <= 0) return;
+  const double burst = options_.tenant_burst > 0
+                           ? options_.tenant_burst
+                           : std::max(4.0, 2 * options_.tenant_rate);
+  if (tenant.token_refill_ns == 0) {
+    // First sighting: a full bucket, so a new tenant's initial burst is
+    // bounded but never zero.
+    tenant.tokens = burst;
+    tenant.token_refill_ns = now_ns;
+    return;
+  }
+  if (now_ns <= tenant.token_refill_ns) return;
+  const double elapsed_s = (now_ns - tenant.token_refill_ns) / 1e9;
+  tenant.tokens = std::min(burst, tenant.tokens +
+                                      elapsed_s * options_.tenant_rate);
+  tenant.token_refill_ns = now_ns;
+}
+
+bool ProvisioningFrontend::TenantAdmissible(TenantState& tenant, uint64_t cost,
+                                            uint64_t now_ns) {
+  if (options_.tenant_rate <= 0) return true;
+  RefillTokens(tenant, now_ns);
+  // Small epsilon so exact refills (fake clocks land on whole tokens) pass.
+  if (tenant.tokens + 1e-9 >= static_cast<double>(cost)) return true;
+  metrics_cells_.rate_limit_deferrals.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void ProvisioningFrontend::ChargeTokens(TenantState& tenant,
+                                        uint64_t cost) const {
+  if (options_.tenant_rate <= 0) return;
+  tenant.tokens = std::max(0.0, tenant.tokens - static_cast<double>(cost));
+}
+
+Status ProvisioningFrontend::AdmitFromQueueFair(size_t& progress) {
+  const uint64_t now = NowNs();
+  // One deficit-round-robin pass: each rotation visit earns the tenant one
+  // admission unit of credit (never hoarding past its head's cost), and the
+  // pass ends once a full rotation admits nothing — every remaining tenant
+  // is blocked on deficit, tokens, or EPC budget. Budget starvation does
+  // not stall the pass: another tenant's cheaper head (a solo session
+  // behind a big group) may still fit, which is exactly the cross-tenant
+  // fairness the single FIFO could not give.
+  size_t visits_without_admit = 0;
+  while (!rotation_.empty() && visits_without_admit < rotation_.size()) {
+    const std::string name = rotation_.front();
+    rotation_.pop_front();
+    TenantState& tenant = tenants_[name];
+    // Drop stale heads WITHOUT charging the deficit: an arrival that
+    // expired or failed while queued must not eat its tenant's share.
+    const auto drop_stale_heads = [&] {
+      while (!tenant.waiting.empty()) {
+        Connection* head = Find(tenant.waiting.front());
+        if (head != nullptr && head->state == ConnectionState::kQueued) break;
+        tenant.waiting.pop_front();
+        --queued_total_;
+        StoreQueueDepth();
+      }
+    };
+    drop_stale_heads();
+    if (tenant.waiting.empty()) {
+      tenant.in_rotation = false;
+      tenant.deficit = 0;  // an empty queue hoards no credit
+      continue;            // rotation shrank; not a starved visit
+    }
+    Connection* head = Find(tenant.waiting.front());
+    if (tenant.deficit < AdmissionCost(*head)) ++tenant.deficit;
+    bool admitted_any = false;
+    while (!tenant.waiting.empty()) {
+      drop_stale_heads();
+      if (tenant.waiting.empty()) break;
+      head = Find(tenant.waiting.front());
+      const uint64_t cost = AdmissionCost(*head);
+      if (tenant.deficit < cost) break;
+      if (!TenantAdmissible(tenant, cost, now)) break;  // bucket empty
+      AdmitResult result = AdmitResult::kNoBudget;
+      if (head->group_manifest.has_value()) {
+        Result<AdmitResult> group_admitted = TryAdmitGroup(*head);
+        if (!group_admitted.ok()) {
+          // An invalid manifest fails its own connection, not the sweep —
+          // and leaves deficit and tokens untouched.
+          tenant.waiting.pop_front();
+          --queued_total_;
+          StoreQueueDepth();
+          FailConnection(*head, group_admitted.status(), now, progress);
+          continue;
+        }
+        result = *group_admitted;
+      } else {
+        ASSIGN_OR_RETURN(result, TryAdmit(*head));
+      }
+      if (result == AdmitResult::kNoBudget) break;  // EPC starved: next tenant
+      tenant.deficit -= cost;
+      ChargeTokens(tenant, cost);
+      tenant.waiting.pop_front();
+      --queued_total_;
+      StoreQueueDepth();
+      ++progress;
+      admitted_any = true;
+    }
+    if (tenant.waiting.empty()) {
+      tenant.in_rotation = false;
+      tenant.deficit = 0;
+    } else {
+      rotation_.push_back(name);
+    }
+    visits_without_admit = admitted_any ? 0 : visits_without_admit + 1;
+  }
+  return Status::Ok();
+}
+
 Status ProvisioningFrontend::AdmitFromQueue(size_t& progress) {
+  if (options_.fair_admission) return AdmitFromQueueFair(progress);
   while (!admission_queue_.empty()) {
     Connection* conn = Find(admission_queue_.front());
     if (conn == nullptr || conn->state != ConnectionState::kQueued) {
@@ -925,6 +1340,9 @@ Status ProvisioningFrontend::AdmitFromQueue(size_t& progress) {
 Result<size_t> ProvisioningFrontend::PollOnce() {
   size_t progress = 0;
   const uint64_t now = NowNs();
+  // Adaptive deadlines track the workload on a sweep cadence; this is a
+  // no-op (and the effective cells stay at the static options) when off.
+  MaybeRecomputeDeadlines(now);
   // Index loop, not iterators: Reap() edits the slot under our feet but
   // never resizes slots_ mid-sweep (only Accept grows it).
   for (size_t i = 0; i < slots_.size(); ++i) {
@@ -1027,6 +1445,19 @@ FrontendMetrics ProvisioningFrontend::metrics() const noexcept {
       load(metrics_cells_.decode_overlap_sum_permille);
   m.decode_overlap_max_permille =
       load(metrics_cells_.decode_overlap_max_permille);
+  for (size_t i = 0; i < kLatencyBuckets; ++i) {
+    m.admission_wait_hist[i] = load(metrics_cells_.admission_wait_hist[i]);
+    m.session_hist[i] = load(metrics_cells_.session_hist[i]);
+  }
+  m.effective_queue_deadline_ms = load(metrics_cells_.eff_queue_deadline_ms);
+  m.effective_idle_deadline_ms = load(metrics_cells_.eff_idle_deadline_ms);
+  m.effective_session_deadline_ms =
+      load(metrics_cells_.eff_session_deadline_ms);
+  m.effective_retry_after_ms = load(metrics_cells_.eff_retry_after_ms);
+  m.deadline_recomputes = load(metrics_cells_.deadline_recomputes);
+  m.evicted_oldest = load(metrics_cells_.evicted_oldest);
+  m.rate_limit_deferrals = load(metrics_cells_.rate_limit_deferrals);
+  m.tenants_seen = load(metrics_cells_.tenant_count);
   m.budget_pages = budget_->budget_pages();
   m.committed_pages = budget_->committed_pages();
   m.max_committed_pages = budget_->max_committed_pages();

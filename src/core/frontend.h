@@ -56,8 +56,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -73,6 +75,39 @@
 #include "sgx/hostos.h"
 
 namespace engarde::core {
+
+// ---- Log-scale latency histograms ------------------------------------------
+// Fixed-bucket power-of-two histogram over nanosecond durations: bucket i
+// counts samples in [2^i, 2^(i+1)) ns (bucket 0 also takes 0 ns), and the
+// last bucket absorbs everything from 2^(kLatencyBuckets-1) ns (~9 minutes)
+// up. Cells are relaxed atomics updated with one fetch_add per sample, so
+// recording is lock-free and shard merging is element-wise summation. The
+// count/total/max triple the metrics already carry cannot yield a p95; this
+// can, at the cost of power-of-two resolution — plenty for deriving
+// deadlines that only move on order-of-magnitude workload shifts.
+inline constexpr size_t kLatencyBuckets = 40;
+
+// Bucket the duration lands in (see the bucketing rule above).
+size_t LatencyBucketIndex(uint64_t duration_ns) noexcept;
+
+// Conservative percentile: the EXCLUSIVE upper bound (2^(i+1) ns) of the
+// first bucket at which the cumulative count reaches `percent`% of the
+// total. 0 when the histogram is empty. Conservative-by-rounding-up is the
+// right bias for deadline derivation — a deadline must cover the samples it
+// was derived from.
+uint64_t HistogramPercentileNs(const uint64_t (&buckets)[kLatencyBuckets],
+                               uint32_t percent) noexcept;
+
+// Total sample count across the buckets.
+uint64_t HistogramCount(const uint64_t (&buckets)[kLatencyBuckets]) noexcept;
+
+// Hysteresis rule for adaptive-deadline adoption: returns `proposed` when it
+// moved more than `hysteresis_pct` percent of `current` away from it, else
+// `current`. A zero `current` (nothing in force yet) adopts outright. Note
+// the asymmetry at pct >= 100: a downward move can never exceed 100% of
+// `current`, so shrinking deadlines requires pct < 100.
+uint64_t ApplyHysteresis(uint64_t current, uint64_t proposed,
+                         uint64_t hysteresis_pct) noexcept;
 
 struct FrontendOptions {
   // Per-enclave options; shared_inspection_pool is overridden with the
@@ -134,6 +169,49 @@ struct FrontendOptions {
   // std::chrono::steady_clock. Must be thread-safe when the frontend is a
   // FrontendGroup shard (every reactor thread reads it).
   std::function<uint64_t()> clock;
+
+  // ---- Adaptive overload control (off = static flags above rule) -----------
+  // Derive the three deadlines and the RetryAfter hint from the observed
+  // latency histograms instead of the static flags. Every
+  // adaptive_recompute_ms of reactor time the front end recomputes
+  //   session deadline = 8 × p95(session duration)
+  //   idle deadline    = 4 × p95(session duration)
+  //   queue deadline   = 4 × p95(admission wait)
+  //   retry hint       = p50(admission wait)
+  // each clamped to [adaptive_min_ms, adaptive_max_ms] (the hint only to the
+  // max), with hysteresis: a recomputed value is adopted only when it moves
+  // more than adaptive_hysteresis_pct away from the one in force. Until a
+  // histogram holds adaptive_min_samples samples the corresponding static
+  // value stays in force (cold start), so a freshly booted server behaves
+  // exactly like a static one.
+  bool adaptive_deadlines = false;
+  uint64_t adaptive_recompute_ms = 100;
+  uint64_t adaptive_min_samples = 32;
+  uint64_t adaptive_min_ms = 10;
+  uint64_t adaptive_max_ms = 60000;
+  uint64_t adaptive_hysteresis_pct = 25;
+
+  // Under queue pressure (an arrival finding the admission queue at
+  // capacity), shed the OLDEST queued arrival — the one closest to its queue
+  // deadline, i.e. the most likely doomed — and park the newcomer in its
+  // place, instead of refusing the newcomer. Fixes the tail-latency
+  // inversion where a waiter that will expire anyway blocks a fresh admit.
+  // Off: classic shed-the-newest, byte-identical to earlier behavior.
+  bool evict_oldest = false;
+
+  // Weighted-fair admission across tenants (Transport::peer() tags): one
+  // FIFO per tenant drained deficit-round-robin (quantum: one admission unit
+  // per rotation; a group session costs its member count), so one heavy or
+  // slow tenant cannot starve the rest. Off: the original single global
+  // FIFO, byte-identical to earlier behavior.
+  bool fair_admission = false;
+  // Token-bucket rate limit per tenant, in admission units (group members)
+  // per second; 0 = unlimited. A rate-limited tenant's arrivals queue (or
+  // shed when the queue is full) until its bucket refills. Only consulted
+  // when fair_admission is on.
+  double tenant_rate = 0.0;
+  // Token-bucket capacity. 0 = max(4, 2 × tenant_rate).
+  double tenant_burst = 0.0;
 };
 
 enum class ConnectionState : uint8_t {
@@ -174,6 +252,26 @@ struct FrontendMetrics {
   uint64_t session_count = 0;
   uint64_t session_total_ns = 0;
   uint64_t session_max_ns = 0;
+  // Log-scale histograms behind the triples above (see kLatencyBuckets):
+  // percentile sources for adaptive deadlines and --metrics-json.
+  uint64_t admission_wait_hist[kLatencyBuckets] = {};
+  uint64_t session_hist[kLatencyBuckets] = {};
+  // Adaptive overload control. The effective_* values are the deadlines and
+  // hint currently in force — equal to the static options until an adaptive
+  // recompute adopts a percentile-derived value. deadline_recomputes counts
+  // recompute passes (sums across shards); evicted_oldest counts queued
+  // arrivals shed by the oldest-eviction policy; rate_limit_deferrals counts
+  // admission attempts deferred by an empty tenant token bucket.
+  uint64_t effective_queue_deadline_ms = 0;
+  uint64_t effective_idle_deadline_ms = 0;
+  uint64_t effective_session_deadline_ms = 0;
+  uint64_t effective_retry_after_ms = 0;
+  uint64_t deadline_recomputes = 0;
+  uint64_t evicted_oldest = 0;
+  uint64_t rate_limit_deferrals = 0;
+  // Distinct tenant tags this shard has seen (gauge; max across shards — a
+  // tenant may hit several shards, so summing would overcount).
+  uint64_t tenants_seen = 0;
   // Streaming-decode overlap over verdicts whose session planned speculative
   // decode work (EngardeOptions::streaming_inspection): how many bytes were
   // already decoded when DONE arrived, and the per-session overlap ratio
@@ -322,6 +420,22 @@ class ProvisioningFrontend {
   // Full telemetry snapshot (thread-safe, like the individual counters).
   FrontendMetrics metrics() const noexcept;
 
+  // Deadlines / back-off hint currently in force (thread-safe). Equal to the
+  // static options until adaptive_deadlines adopts percentile-derived values.
+  uint64_t effective_queue_deadline_ms() const noexcept {
+    return metrics_cells_.eff_queue_deadline_ms.load(std::memory_order_relaxed);
+  }
+  uint64_t effective_idle_deadline_ms() const noexcept {
+    return metrics_cells_.eff_idle_deadline_ms.load(std::memory_order_relaxed);
+  }
+  uint64_t effective_session_deadline_ms() const noexcept {
+    return metrics_cells_.eff_session_deadline_ms.load(
+        std::memory_order_relaxed);
+  }
+  uint64_t effective_retry_after_ms() const noexcept {
+    return metrics_cells_.eff_retry_after_ms.load(std::memory_order_relaxed);
+  }
+
   // Admission budget telemetry (thread-safe; possibly shared across a
   // group). max_committed_pages() never exceeding budget_pages() is the
   // no-eviction guarantee the tests pin.
@@ -351,6 +465,9 @@ class ProvisioningFrontend {
     // Fleet mode (group_provisioning): the parsed manifest is held while the
     // group waits in the admission FIFO; on co-admission the connection owns
     // one slot per member plus the group session that borrows them.
+    // Fair-admission tenant tag, copied from Transport::peer() at accept
+    // (empty = anonymous default tenant).
+    std::string tenant;
     std::optional<GroupManifest> group_manifest;
     std::vector<std::unique_ptr<PooledEnclave>> group_slots;
     std::unique_ptr<GroupProvisioningSession> group_session;
@@ -404,12 +521,44 @@ class ProvisioningFrontend {
     std::atomic<uint64_t> groups_admitted{0};
     std::atomic<uint64_t> group_members_admitted{0};
     std::atomic<uint64_t> groups_rejected_mutual{0};
-    // Gauge mirror of admission_queue_.size(), so queued_count()/metrics()
-    // stay readable off the owner thread.
+    // Gauge mirror of the total queued population (the global FIFO, or the
+    // sum across tenant queues under fair admission), so
+    // queued_count()/metrics() stay readable off the owner thread.
     std::atomic<uint64_t> queue_depth{0};
+    // Log-scale latency histograms (one fetch_add per sample).
+    std::atomic<uint64_t> admission_wait_hist[kLatencyBuckets] = {};
+    std::atomic<uint64_t> session_hist[kLatencyBuckets] = {};
+    // Deadlines/hint currently in force. Mirrored into atomics (initialized
+    // from the static options at construction) so Expired()/Shed() on the
+    // owner thread and metrics() on a monitor thread read the same values
+    // without synchronization.
+    std::atomic<uint64_t> eff_queue_deadline_ms{0};
+    std::atomic<uint64_t> eff_idle_deadline_ms{0};
+    std::atomic<uint64_t> eff_session_deadline_ms{0};
+    std::atomic<uint64_t> eff_retry_after_ms{0};
+    std::atomic<uint64_t> deadline_recomputes{0};
+    std::atomic<uint64_t> evicted_oldest{0};
+    std::atomic<uint64_t> rate_limit_deferrals{0};
+    std::atomic<uint64_t> tenant_count{0};  // gauge mirror of tenants_.size()
   };
 
   enum class AdmitResult : uint8_t { kAdmitted, kNoBudget };
+
+  // Per-tenant fair-admission state (fair_admission mode). A tenant entry
+  // persists across queue emptiness so its token bucket keeps draining and
+  // refilling on real time; the map is bounded by the number of distinct
+  // peer tags the server ever sees.
+  struct TenantState {
+    std::deque<uint64_t> waiting;  // kQueued connection ids, arrival order
+    // Deficit-round-robin credit, in admission units. Earned one quantum per
+    // rotation visit while arrivals wait; reset when the queue drains so an
+    // idle tenant cannot hoard credit.
+    uint64_t deficit = 0;
+    // Token bucket (tenant_rate > 0): admission units available now.
+    double tokens = 0.0;
+    uint64_t token_refill_ns = 0;  // 0 = bucket not yet initialized
+    bool in_rotation = false;      // member of rotation_
+  };
 
   static constexpr uint32_t kSlotBits = 32;
   static uint64_t MakeId(uint32_t slot, uint32_t generation) noexcept {
@@ -460,6 +609,45 @@ class ProvisioningFrontend {
   // Folds a verdict's streaming telemetry into the overlap cells.
   void RecordDecodeOverlap(const ProvisionStats& stats);
   Status AdmitFromQueue(size_t& progress);
+  // Fair-admission variant: one deficit-round-robin pass over the tenant
+  // rotation, admitting heads while deficit, tokens and EPC budget allow.
+  Status AdmitFromQueueFair(size_t& progress);
+
+  // ---- Admission-queue bookkeeping (both modes) ---------------------------
+  // Admission units a connection charges: 1 solo, member count for a group.
+  static uint64_t AdmissionCost(const Connection& conn) noexcept;
+  // Queued population across whichever queue structure is active.
+  size_t TotalQueued() const noexcept;
+  // Parks a kQueued connection (global FIFO, or its tenant's queue).
+  void EnqueueForAdmission(Connection& conn);
+  // Eagerly removes a connection's queue entry (expiry path); lazily-dropped
+  // stale entries elsewhere never charge DRR deficit.
+  void RemoveFromQueue(Connection& conn);
+  // Oldest valid kQueued connection across the queue(s); nullptr when none.
+  Connection* OldestQueued() noexcept;
+  // evict_oldest policy: sheds the oldest queued arrival to make room.
+  // Returns false (leaving the queues untouched) when nothing is evictable.
+  Result<bool> EvictOldestQueued();
+  void StoreQueueDepth() noexcept;
+
+  // ---- Tenant token buckets (fair_admission && tenant_rate > 0) ----------
+  TenantState& TenantFor(const std::string& tenant);
+  void RefillTokens(TenantState& tenant, uint64_t now_ns) const;
+  // True when the tenant may admit `cost` units now; counts a deferral
+  // otherwise. Always true when rate limiting is off.
+  bool TenantAdmissible(TenantState& tenant, uint64_t cost, uint64_t now_ns);
+  void ChargeTokens(TenantState& tenant, uint64_t cost) const;
+
+  // ---- Adaptive deadlines -------------------------------------------------
+  // Seeds the effective-deadline cells from the static options (ctors).
+  void InitEffectiveDeadlines() noexcept;
+  // Recomputes the effective deadlines/hint from the histograms on the
+  // adaptive_recompute_ms cadence. No-op when adaptive_deadlines is off.
+  void MaybeRecomputeDeadlines(uint64_t now_ns);
+  uint64_t ClampAdaptiveMs(uint64_t ms) const noexcept;
+  // `proposed` if it moved more than adaptive_hysteresis_pct away from
+  // `current` (or current is 0), else `current`.
+  uint64_t WithHysteresis(uint64_t current, uint64_t proposed) const noexcept;
 
   uint64_t PagesPerEnclave() const noexcept {
     return options_.enclave_options.layout.TotalPages();
@@ -485,7 +673,15 @@ class ProvisioningFrontend {
   std::vector<TableSlot> slots_;
   std::vector<uint32_t> free_slots_;
   std::atomic<size_t> live_count_{0};
+  // Legacy global admission FIFO (fair_admission off) — untouched by the
+  // fair path so the default admission order stays byte-identical.
   std::deque<uint64_t> admission_queue_;
+  // Fair admission: per-tenant queues + the DRR rotation of tenants with
+  // waiting arrivals. queued_total_ mirrors the sum of waiting sizes.
+  std::map<std::string, TenantState> tenants_;
+  std::deque<std::string> rotation_;
+  size_t queued_total_ = 0;
+  uint64_t last_recompute_ns_ = 0;
   MetricsCells metrics_cells_;
 };
 

@@ -238,10 +238,13 @@ Result<std::unique_ptr<Transport>> TcpListener::TryAccept() {
   // fd_ is read-only here and accept(2) is kernel-serialized, so reactor
   // threads of a FrontendGroup may race this without extra locking.
   int fd = -1;
+  sockaddr_in peer_addr{};
+  socklen_t peer_len = sizeof(peer_addr);
   do {
     // EINTR does not mean the queue is empty — retry, or a pending
     // connection waits a whole reactor sweep for no reason.
-    fd = ::accept(fd_, nullptr, nullptr);
+    peer_len = sizeof(peer_addr);
+    fd = ::accept(fd_, reinterpret_cast<sockaddr*>(&peer_addr), &peer_len);
   } while (fd < 0 && errno == EINTR);
   if (fd < 0) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -249,7 +252,16 @@ Result<std::unique_ptr<Transport>> TcpListener::TryAccept() {
     }
     return InternalError(std::string("accept: ") + std::strerror(errno));
   }
-  return std::unique_ptr<Transport>(std::make_unique<TcpTransport>(fd));
+  auto transport = std::make_unique<TcpTransport>(fd);
+  // Tenant tag = remote IP (no port: every connection from one host shares
+  // one fair-admission bucket). An inet_ntop failure leaves the peer
+  // anonymous rather than failing the accept.
+  char ip[INET_ADDRSTRLEN] = {};
+  if (peer_addr.sin_family == AF_INET &&
+      ::inet_ntop(AF_INET, &peer_addr.sin_addr, ip, sizeof(ip)) != nullptr) {
+    transport->set_peer(ip);
+  }
+  return std::unique_ptr<Transport>(std::move(transport));
 }
 
 }  // namespace engarde::net

@@ -21,6 +21,8 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <utility>
 
 #include "common/bytes.h"
 #include "common/status.h"
@@ -31,6 +33,14 @@ namespace engarde::net {
 class Transport {
  public:
   virtual ~Transport() = default;
+
+  // Tenant identity of the peer behind this connection, as the accept path
+  // saw it: the remote IP for TCP sockets, whatever tag a test or bench
+  // chose for in-memory pipes. Empty = anonymous (the front end lumps such
+  // connections into one default tenant). Set once at accept time, before
+  // the transport is handed to a reactor — not synchronized.
+  const std::string& peer() const noexcept { return peer_; }
+  void set_peer(std::string peer) { peer_ = std::move(peer); }
 
   // File descriptor for poll(2) readiness, or -1 for memory-backed
   // transports (which the reactor treats as always worth sweeping).
@@ -53,6 +63,9 @@ class Transport {
   virtual bool AtEof() const = 0;
 
   virtual void Close() = 0;
+
+ private:
+  std::string peer_;
 };
 
 // In-memory backend: wraps the front-end-side endpoint of a DuplexPipe whose
@@ -101,9 +114,10 @@ struct FaultPlan {
 
 class FaultInjectingTransport final : public Transport {
  public:
-  FaultInjectingTransport(std::unique_ptr<Transport> inner,
-                          FaultPlan plan) noexcept
-      : inner_(std::move(inner)), plan_(plan) {}
+  FaultInjectingTransport(std::unique_ptr<Transport> inner, FaultPlan plan)
+      : inner_(std::move(inner)), plan_(plan) {
+    set_peer(inner_->peer());  // faults do not change who the peer is
+  }
 
   int descriptor() const noexcept override { return inner_->descriptor(); }
   Result<size_t> Drain(Bytes& out) override;

@@ -266,6 +266,16 @@ Status SgxDevice::EExit(uint64_t enclave_id) {
   return Status::Ok();
 }
 
+void SgxDevice::AexAll(uint64_t enclave_id) noexcept {
+  const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
+  Result<Enclave*> enclave = FindEnclave(enclave_id);
+  if (!enclave.ok()) return;
+  // Hardware saves state into the SSA and exits; it does not run enclave
+  // code, so nothing is charged per exiting thread beyond the event itself.
+  if ((*enclave)->enter_depth > 0) Charge();
+  (*enclave)->enter_depth = 0;
+}
+
 Status SgxDevice::ERemove(uint64_t enclave_id, uint64_t linear) {
   const std::lock_guard<std::recursive_mutex> lock(hw_mu_);
   Charge();

@@ -114,6 +114,13 @@ class SgxDevice {
   Status EInit(uint64_t enclave_id);
   Status EEnter(uint64_t enclave_id);
   Status EExit(uint64_t enclave_id);
+  // AEX: asynchronous exit. On real hardware an interrupt (or, at teardown,
+  // the kernel's IPI sweep in sgx_encl_release) forces every logical
+  // processor out of the enclave without a cooperative EEXIT. Host runtimes
+  // that abandon an in-enclave session — a peer that vanished mid-exchange —
+  // must force this exit before EREMOVE, which refuses while enter_depth > 0.
+  // A no-op for unknown ids or enclaves with nobody inside.
+  void AexAll(uint64_t enclave_id) noexcept;
   Status ERemove(uint64_t enclave_id, uint64_t linear);
   Status DestroyEnclave(uint64_t enclave_id);
 

@@ -1,0 +1,763 @@
+// Adaptive overload control and multi-tenant fairness in the provisioning
+// front end (core/frontend.h): percentile-derived deadlines (log-scale
+// histogram buckets, cold start, recompute cadence, hysteresis), the
+// oldest-eviction policy vs the classic newest-shed, deficit-round-robin
+// admission across Transport::peer() tenants with token-bucket rate limits,
+// and containment of short-writing / hard-failing transports on the
+// RetryAfter path. Everything runs against the injected fake clock, so every
+// latency sample and every refill is a statement, not a sleep.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "core/frontend.h"
+#include "core/policy_stackprot.h"
+#include "net/transport.h"
+#include "workload/program_builder.h"
+
+namespace engarde::core {
+namespace {
+
+constexpr size_t kRsaBits = 512;
+
+PolicySet MakePolicies() {
+  PolicySet policies;
+  policies.push_back(std::make_unique<StackProtectionPolicy>());
+  return policies;
+}
+
+client::ClientOptions ClientOptionsFor(const sgx::QuotingEnclave& q) {
+  client::ClientOptions options;
+  options.attestation_key = q.attestation_public_key();
+  options.skip_measurement_check = true;
+  return options;
+}
+
+struct FakeClock {
+  std::shared_ptr<std::atomic<uint64_t>> now_ns =
+      std::make_shared<std::atomic<uint64_t>>(uint64_t{1});
+
+  std::function<uint64_t()> fn() const {
+    auto cell = now_ns;
+    return [cell] { return cell->load(std::memory_order_relaxed); };
+  }
+  void AdvanceMs(uint64_t ms) {
+    now_ns->fetch_add(ms * 1000000ull, std::memory_order_relaxed);
+  }
+};
+
+class FairnessTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto qe =
+        sgx::QuotingEnclave::Provision(ToBytes("fairness-device"), kRsaBits);
+    ASSERT_TRUE(qe.ok());
+    qe_ = new sgx::QuotingEnclave(std::move(qe).value());
+    workload::ProgramSpec spec;
+    spec.name = "fairness";
+    spec.seed = 4100;
+    spec.target_instructions = 2500;
+    spec.stack_protection = true;
+    auto program = workload::BuildProgram(spec);
+    ASSERT_TRUE(program.ok()) << program.status().ToString();
+    image_ = new Bytes(std::move(program).value().image);
+  }
+  static void TearDownTestSuite() {
+    delete qe_;
+    qe_ = nullptr;
+    delete image_;
+    image_ = nullptr;
+  }
+
+  static const sgx::QuotingEnclave& qe() { return *qe_; }
+  static const Bytes& image() { return *image_; }
+
+  static EngardeOptions EnclaveOptions() {
+    EngardeOptions options;
+    options.rsa_bits = kRsaBits;
+    options.layout.heap_pages = 128;
+    options.layout.load_pages = 32;
+    return options;
+  }
+
+  static size_t EpcPagesFor(size_t enclaves) {
+    return enclaves * (EnclaveOptions().layout.TotalPages() + 1) + 64;
+  }
+
+  static sgx::QuotingEnclave* qe_;
+  static Bytes* image_;
+};
+
+sgx::QuotingEnclave* FairnessTest::qe_ = nullptr;
+Bytes* FairnessTest::image_ = nullptr;
+
+struct MemoryClient {
+  std::unique_ptr<crypto::DuplexPipe> pipe;
+  std::unique_ptr<client::Client> client;
+  uint64_t connection = 0;
+  bool sent = false;
+  std::optional<Verdict> verdict;
+};
+
+// Accepts a client whose transport carries a tenant tag (Transport::peer()),
+// optionally wrapped in a FaultInjectingTransport.
+Result<MemoryClient> ConnectTenant(ProvisioningFrontend& frontend,
+                                   const Bytes& image,
+                                   client::ClientOptions options,
+                                   const std::string& peer,
+                                   const net::FaultPlan* plan = nullptr) {
+  MemoryClient mc;
+  mc.pipe = std::make_unique<crypto::DuplexPipe>();
+  mc.client = std::make_unique<client::Client>(std::move(options), image);
+  auto pipe_transport = std::make_unique<net::PipeTransport>(mc.pipe->EndA());
+  pipe_transport->set_peer(peer);
+  std::unique_ptr<net::Transport> transport = std::move(pipe_transport);
+  if (plan != nullptr) {
+    transport = std::make_unique<net::FaultInjectingTransport>(
+        std::move(transport), *plan);
+  }
+  ASSIGN_OR_RETURN(mc.connection, frontend.Accept(std::move(transport)));
+  return mc;
+}
+
+Status DriveToVerdicts(ProvisioningFrontend& frontend,
+                       std::vector<MemoryClient*> clients) {
+  for (;;) {
+    ASSIGN_OR_RETURN(size_t progress, frontend.PollOnce());
+    for (MemoryClient* mc : clients) {
+      if (!mc->sent && net::HasCompleteFrames(mc->pipe->EndB(), 3)) {
+        ASSIGN_OR_RETURN(const auto retry,
+                         mc->client->AwaitAdmission(mc->pipe->EndB()));
+        if (retry.has_value()) {
+          return InternalError("unexpected RetryAfter in fairness test");
+        }
+        RETURN_IF_ERROR(mc->client->SendProgram(mc->pipe->EndB()));
+        mc->sent = true;
+        ++progress;
+      }
+      if (mc->sent && !mc->verdict.has_value() &&
+          net::HasCompleteSecureRecord(mc->pipe->EndB())) {
+        ASSIGN_OR_RETURN(Verdict verdict, mc->client->AwaitVerdict());
+        mc->verdict.emplace(std::move(verdict));
+        ++progress;
+      }
+    }
+    bool all_done = true;
+    for (const MemoryClient* mc : clients) {
+      all_done = all_done && mc->verdict.has_value();
+    }
+    if (all_done) return Status::Ok();
+    if (progress == 0) return InternalError("no progress before all verdicts");
+  }
+}
+
+#define ASSERT_OK(expr)                          \
+  do {                                           \
+    const Status _status = (expr);               \
+    ASSERT_TRUE(_status.ok()) << _status.ToString(); \
+  } while (0)
+
+// Sweeps until `id` reaches kActive (bounded; queue admission is at most one
+// sweep behind an EPC release).
+Status PollUntilActive(ProvisioningFrontend& frontend, uint64_t id) {
+  for (int i = 0; i < 200; ++i) {
+    if (frontend.state(id) == ConnectionState::kActive) return Status::Ok();
+    RETURN_IF_ERROR(frontend.PollOnce().status());
+  }
+  return InternalError("connection never admitted");
+}
+
+// One accept -> verdict -> outcome-taken session whose duration (and nothing
+// else) advances the fake clock, so the session histogram fills with exactly
+// the durations the test dictates.
+Status RunTimedSession(ProvisioningFrontend& frontend, FakeClock& clock,
+                       const Bytes& image, const sgx::QuotingEnclave& q,
+                       uint64_t duration_ms) {
+  ASSIGN_OR_RETURN(MemoryClient mc,
+                   ConnectTenant(frontend, image, ClientOptionsFor(q), ""));
+  if (frontend.state(mc.connection) != ConnectionState::kActive) {
+    return InternalError("timed session not admitted immediately");
+  }
+  clock.AdvanceMs(duration_ms);
+  RETURN_IF_ERROR(DriveToVerdicts(frontend, {&mc}));
+  RETURN_IF_ERROR(frontend.TakeOutcome(mc.connection).status());
+  // Reap the slot while mc's pipe is still alive: the frontend's transport
+  // holds an endpoint into it, and the frontend ctor contract says peers
+  // outlive their connections.
+  RETURN_IF_ERROR(frontend.DrainAll());
+  if (frontend.state(mc.connection) != ConnectionState::kReaped) {
+    return InternalError("timed session not reaped after outcome taken");
+  }
+  return Status::Ok();
+}
+
+// ---- Histogram primitives --------------------------------------------------
+
+TEST(LatencyHistogramTest, BucketIndexIsFloorLog2WithSaturation) {
+  EXPECT_EQ(LatencyBucketIndex(0), 0u);
+  EXPECT_EQ(LatencyBucketIndex(1), 0u);
+  EXPECT_EQ(LatencyBucketIndex(2), 1u);
+  EXPECT_EQ(LatencyBucketIndex(3), 1u);
+  EXPECT_EQ(LatencyBucketIndex(4), 2u);
+  EXPECT_EQ(LatencyBucketIndex((uint64_t{1} << 21) - 1), 20u);
+  EXPECT_EQ(LatencyBucketIndex(uint64_t{1} << 21), 21u);
+  // Everything past the last bucket boundary saturates into the last bucket.
+  EXPECT_EQ(LatencyBucketIndex(uint64_t{1} << (kLatencyBuckets - 1)),
+            kLatencyBuckets - 1);
+  EXPECT_EQ(LatencyBucketIndex(~uint64_t{0}), kLatencyBuckets - 1);
+}
+
+TEST(LatencyHistogramTest, PercentileIsConservativeUpperBound) {
+  uint64_t hist[kLatencyBuckets] = {};
+  EXPECT_EQ(HistogramCount(hist), 0u);
+  EXPECT_EQ(HistogramPercentileNs(hist, 95), 0u);  // empty: no estimate
+
+  // A single sample reports the exclusive upper bound of its bucket: the
+  // derived deadline must cover the sample, never undercut it.
+  hist[LatencyBucketIndex(3000)] = 1;  // bucket 11 = [2048, 4096)
+  EXPECT_EQ(HistogramPercentileNs(hist, 50), uint64_t{1} << 12);
+  EXPECT_EQ(HistogramPercentileNs(hist, 95), uint64_t{1} << 12);
+
+  // 9 fast + 1 slow: the median stays in the fast bucket, the p95 climbs to
+  // the slow one.
+  uint64_t mixed[kLatencyBuckets] = {};
+  mixed[10] = 9;
+  mixed[20] = 1;
+  EXPECT_EQ(HistogramCount(mixed), 10u);
+  EXPECT_EQ(HistogramPercentileNs(mixed, 50), uint64_t{1} << 11);
+  EXPECT_EQ(HistogramPercentileNs(mixed, 95), uint64_t{1} << 21);
+}
+
+// ---- Adaptive deadlines ----------------------------------------------------
+
+TEST_F(FairnessTest, AdaptiveColdStartHoldsStaticDeadlinesAndCadenceGates) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(2)});
+  sgx::HostOs host(&device);
+  FakeClock clock;
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  options.clock = clock.fn();
+  options.queue_deadline_ms = 2000;
+  options.idle_deadline_ms = 1000;
+  options.session_deadline_ms = 5000;
+  options.retry_after_ms = 50;
+  options.adaptive_deadlines = true;
+  options.adaptive_recompute_ms = 100;
+  options.adaptive_min_samples = 32;  // more than this test ever produces
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+
+  // Before any traffic the effective values ARE the static options.
+  EXPECT_EQ(frontend.effective_queue_deadline_ms(), 2000u);
+  EXPECT_EQ(frontend.effective_idle_deadline_ms(), 1000u);
+  EXPECT_EQ(frontend.effective_session_deadline_ms(), 5000u);
+  EXPECT_EQ(frontend.effective_retry_after_ms(), 50u);
+
+  // Two sessions' worth of samples: far below adaptive_min_samples, so a
+  // recompute pass runs but adopts nothing.
+  ASSERT_OK(RunTimedSession(frontend, clock, image(), qe(), 16));
+  ASSERT_OK(RunTimedSession(frontend, clock, image(), qe(), 16));
+  clock.AdvanceMs(150);
+  ASSERT_TRUE(frontend.PollOnce().ok());
+  FrontendMetrics m = frontend.metrics();
+  EXPECT_EQ(HistogramCount(m.session_hist), 2u);
+  EXPECT_GE(m.deadline_recomputes, 2u);
+  EXPECT_EQ(frontend.effective_queue_deadline_ms(), 2000u);
+  EXPECT_EQ(frontend.effective_idle_deadline_ms(), 1000u);
+  EXPECT_EQ(frontend.effective_session_deadline_ms(), 5000u);
+  EXPECT_EQ(frontend.effective_retry_after_ms(), 50u);
+
+  // Recompute cadence: same instant and 99ms later are both inside the
+  // 100ms window; the 100th millisecond opens it.
+  const uint64_t recomputes = frontend.metrics().deadline_recomputes;
+  ASSERT_TRUE(frontend.PollOnce().ok());
+  EXPECT_EQ(frontend.metrics().deadline_recomputes, recomputes);
+  clock.AdvanceMs(99);
+  ASSERT_TRUE(frontend.PollOnce().ok());
+  EXPECT_EQ(frontend.metrics().deadline_recomputes, recomputes);
+  clock.AdvanceMs(1);
+  ASSERT_TRUE(frontend.PollOnce().ok());
+  EXPECT_EQ(frontend.metrics().deadline_recomputes, recomputes + 1);
+}
+
+TEST_F(FairnessTest, AdaptiveAdoptsPercentileDerivedDeadlines) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(2)});
+  sgx::HostOs host(&device);
+  FakeClock clock;
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  options.clock = clock.fn();
+  options.queue_deadline_ms = 2000;
+  options.idle_deadline_ms = 1000;
+  options.session_deadline_ms = 5000;
+  options.retry_after_ms = 50;
+  options.adaptive_deadlines = true;
+  options.adaptive_recompute_ms = 100;
+  options.adaptive_min_samples = 4;
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+
+  // Four 16ms sessions: every session sample lands in bucket 23
+  // ([2^23, 2^24) ns), every admission-wait sample in bucket 0 (immediate
+  // admits under a frozen clock wait exactly 0ns).
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_OK(RunTimedSession(frontend, clock, image(), qe(), 16));
+  }
+  clock.AdvanceMs(150);
+  ASSERT_TRUE(frontend.PollOnce().ok());
+
+  FrontendMetrics m = frontend.metrics();
+  ASSERT_EQ(HistogramCount(m.session_hist), 4u);
+  ASSERT_GE(HistogramCount(m.admission_wait_hist), 4u);
+  ASSERT_EQ(HistogramPercentileNs(m.session_hist, 95), uint64_t{1} << 24);
+
+  // session = 8 x p95 = 8 x 2^24 ns -> ceil 135ms; idle = 4 x p95 -> 68ms;
+  // queue = 4 x p95(wait) = 8ns -> 1ms, clamped up to adaptive_min_ms = 10;
+  // hint = p50(wait) = 2ns -> 1ms (the hint is exempt from the floor).
+  EXPECT_EQ(frontend.effective_session_deadline_ms(), 135u);
+  EXPECT_EQ(frontend.effective_idle_deadline_ms(), 68u);
+  EXPECT_EQ(frontend.effective_queue_deadline_ms(), 10u);
+  EXPECT_EQ(frontend.effective_retry_after_ms(), 1u);
+  EXPECT_EQ(m.effective_session_deadline_ms, 135u);
+}
+
+TEST(ApplyHysteresisTest, AdoptHoldAndAsymmetry) {
+  // Nothing in force: adopt outright, whatever the band.
+  EXPECT_EQ(ApplyHysteresis(0, 135, 25), 135u);
+  EXPECT_EQ(ApplyHysteresis(0, 1, 1000), 1u);
+  // Moves inside the band hold the value in force; moves past it adopt.
+  EXPECT_EQ(ApplyHysteresis(100, 125, 25), 100u);  // delta == band: holds
+  EXPECT_EQ(ApplyHysteresis(100, 126, 25), 126u);
+  EXPECT_EQ(ApplyHysteresis(100, 75, 25), 100u);
+  EXPECT_EQ(ApplyHysteresis(100, 74, 25), 74u);
+  // Unchanged proposal is always a hold.
+  EXPECT_EQ(ApplyHysteresis(135, 135, 25), 135u);
+  // At pct >= 100 a downward move can never exceed the band (delta <=
+  // current), so shrinking requires the upward-only asymmetry documented on
+  // the declaration.
+  EXPECT_EQ(ApplyHysteresis(1000, 1, 100), 1000u);
+  EXPECT_EQ(ApplyHysteresis(1000, 2001, 100), 2001u);
+}
+
+TEST_F(FairnessTest, AdaptiveHysteresisSuppressesSmallMoves) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(2)});
+  sgx::HostOs host(&device);
+  FakeClock clock;
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  options.clock = clock.fn();
+  // Static session/idle deadlines stay 0 (unlimited): the first recompute
+  // adopts outright (nothing in force), and later phases only fight the
+  // deadlines the recomputes themselves put in force.
+  options.adaptive_deadlines = true;
+  options.adaptive_recompute_ms = 100;
+  options.adaptive_min_samples = 1;
+  // Hysteresis wide enough that a one-bucket (2x) percentile move holds the
+  // value in force while a two-bucket (4x) move breaks through.
+  options.adaptive_hysteresis_pct = 150;
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+
+  // One 16ms session: p95 = 2^24 ns -> session deadline 135ms (idle 68ms)
+  // adopted outright over the zero in force.
+  ASSERT_OK(RunTimedSession(frontend, clock, image(), qe(), 16));
+  clock.AdvanceMs(150);
+  ASSERT_TRUE(frontend.PollOnce().ok());
+  ASSERT_EQ(frontend.effective_session_deadline_ms(), 135u);
+
+  // Nine 32ms sessions (under the 68ms idle deadline in force) drag the p95
+  // one bucket up (2^25 ns -> proposal 269ms). Delta 134 <= 150% of 135:
+  // hysteresis holds 135.
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_OK(RunTimedSession(frontend, clock, image(), qe(), 32));
+  }
+  clock.AdvanceMs(150);
+  ASSERT_TRUE(frontend.PollOnce().ok());
+  FrontendMetrics m = frontend.metrics();
+  ASSERT_EQ(HistogramPercentileNs(m.session_hist, 95), uint64_t{1} << 25);
+  EXPECT_EQ(frontend.effective_session_deadline_ms(), 135u);
+
+  // Ten 64ms sessions (still under the idle deadline) push the p95 two
+  // buckets from the adopted point (2^26 ns -> proposal 537ms). Delta 402
+  // > 150% of 135: adopted.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(RunTimedSession(frontend, clock, image(), qe(), 64));
+  }
+  clock.AdvanceMs(150);
+  ASSERT_TRUE(frontend.PollOnce().ok());
+  m = frontend.metrics();
+  ASSERT_EQ(HistogramPercentileNs(m.session_hist, 95), uint64_t{1} << 26);
+  EXPECT_EQ(frontend.effective_session_deadline_ms(), 537u);
+}
+
+// ---- Oldest-eviction vs newest-shed ----------------------------------------
+
+TEST_F(FairnessTest, EvictOldestShedsOldestQueuedArrivalNotNewest) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(1)});
+  sgx::HostOs host(&device);
+  FakeClock clock;
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  options.clock = clock.fn();
+  options.admission_queue_capacity = 1;
+  options.retry_after_ms = 77;
+  options.evict_oldest = true;
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+
+  auto active = ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "");
+  ASSERT_TRUE(active.ok()) << active.status().ToString();
+  ASSERT_EQ(frontend.state(active->connection), ConnectionState::kActive);
+  auto oldest = ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "");
+  ASSERT_TRUE(oldest.ok());
+  ASSERT_EQ(frontend.state(oldest->connection), ConnectionState::kQueued);
+  clock.AdvanceMs(5);
+
+  // Queue pressure: the OLDEST waiter yields its place to the newcomer
+  // (classic behavior would shed the newcomer instead).
+  auto newest = ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "");
+  ASSERT_TRUE(newest.ok());
+  EXPECT_EQ(frontend.state(oldest->connection), ConnectionState::kShed);
+  EXPECT_EQ(frontend.state(newest->connection), ConnectionState::kQueued);
+  FrontendMetrics m = frontend.metrics();
+  EXPECT_EQ(m.evicted_oldest, 1u);
+  EXPECT_EQ(m.shed, 1u);
+  EXPECT_EQ(frontend.queued_count(), 1u);
+
+  // The evicted waiter reads a well-formed RetryAfter with the shed-time
+  // queue depth (itself already removed, the newcomer not yet parked).
+  auto retry = oldest->client->AwaitAdmission(oldest->pipe->EndB());
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  ASSERT_TRUE(retry->has_value());
+  EXPECT_EQ((*retry)->retry_after_ms, 77u);
+
+  // The survivor admits once the active session finishes.
+  ASSERT_TRUE(DriveToVerdicts(frontend, {&*active, &*newest}).ok());
+  ASSERT_TRUE(frontend.TakeOutcome(active->connection).ok());
+  ASSERT_TRUE(frontend.TakeOutcome(newest->connection).ok());
+  ASSERT_TRUE(frontend.DrainAll().ok());
+  EXPECT_EQ(frontend.committed_pages(), 0u);
+  EXPECT_EQ(frontend.connection_count(), 0u);
+}
+
+TEST_F(FairnessTest, EvictOldestOffKeepsClassicNewestShed) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(1)});
+  sgx::HostOs host(&device);
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  options.admission_queue_capacity = 1;
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+
+  auto active = ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "");
+  ASSERT_TRUE(active.ok());
+  auto oldest = ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "");
+  ASSERT_TRUE(oldest.ok());
+  auto newest = ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "");
+  ASSERT_TRUE(newest.ok());
+  EXPECT_EQ(frontend.state(oldest->connection), ConnectionState::kQueued);
+  EXPECT_EQ(frontend.state(newest->connection), ConnectionState::kShed);
+  EXPECT_EQ(frontend.metrics().evicted_oldest, 0u);
+}
+
+// ---- Weighted-fair admission -----------------------------------------------
+
+TEST_F(FairnessTest, FairAdmissionPreventsSingleTenantStarvation) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(1)});
+  sgx::HostOs host(&device);
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  options.admission_queue_capacity = 8;
+  options.fair_admission = true;
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+
+  // Tenant X floods; tenant Y sends one arrival AFTER X's backlog.
+  auto ax = ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "10.0.0.1");
+  ASSERT_TRUE(ax.ok());
+  ASSERT_EQ(frontend.state(ax->connection), ConnectionState::kActive);
+  auto x1 = ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "10.0.0.1");
+  auto x2 = ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "10.0.0.1");
+  auto y1 = ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "10.0.0.2");
+  ASSERT_TRUE(x1.ok() && x2.ok() && y1.ok());
+  EXPECT_EQ(frontend.queued_count(), 3u);
+  EXPECT_EQ(frontend.metrics().tenants_seen, 2u);
+
+  // First EPC release goes to X (its rotation turn)...
+  ASSERT_TRUE(DriveToVerdicts(frontend, {&*ax}).ok());
+  ASSERT_TRUE(frontend.TakeOutcome(ax->connection).ok());
+  ASSERT_TRUE(PollUntilActive(frontend, x1->connection).ok());
+  EXPECT_EQ(frontend.state(x2->connection), ConnectionState::kQueued);
+  EXPECT_EQ(frontend.state(y1->connection), ConnectionState::kQueued);
+
+  // ...but the second goes to Y, ahead of X's earlier-arrived x2: a single
+  // FIFO would have served x2 first and starved Y behind the flood.
+  ASSERT_TRUE(DriveToVerdicts(frontend, {&*x1}).ok());
+  ASSERT_TRUE(frontend.TakeOutcome(x1->connection).ok());
+  ASSERT_TRUE(PollUntilActive(frontend, y1->connection).ok());
+  EXPECT_EQ(frontend.state(x2->connection), ConnectionState::kQueued);
+
+  ASSERT_TRUE(DriveToVerdicts(frontend, {&*y1}).ok());
+  ASSERT_TRUE(frontend.TakeOutcome(y1->connection).ok());
+  ASSERT_TRUE(PollUntilActive(frontend, x2->connection).ok());
+  ASSERT_TRUE(DriveToVerdicts(frontend, {&*x2}).ok());
+  ASSERT_TRUE(frontend.TakeOutcome(x2->connection).ok());
+
+  ASSERT_TRUE(frontend.DrainAll().ok());
+  EXPECT_EQ(frontend.queued_count(), 0u);
+  EXPECT_EQ(frontend.metrics().queue_depth, 0u);
+  EXPECT_EQ(frontend.committed_pages(), 0u);
+  EXPECT_EQ(frontend.connection_count(), 0u);
+}
+
+TEST_F(FairnessTest, LegacyFifoServesFloodBeforeLateTenant) {
+  // Control for the test above: fair_admission off, same arrival pattern —
+  // the flood's x2 is served before Y.
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(1)});
+  sgx::HostOs host(&device);
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  options.admission_queue_capacity = 8;
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+
+  auto ax = ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "10.0.0.1");
+  ASSERT_TRUE(ax.ok());
+  auto x1 = ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "10.0.0.1");
+  auto x2 = ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "10.0.0.1");
+  auto y1 = ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "10.0.0.2");
+  ASSERT_TRUE(x1.ok() && x2.ok() && y1.ok());
+
+  ASSERT_TRUE(DriveToVerdicts(frontend, {&*ax}).ok());
+  ASSERT_TRUE(frontend.TakeOutcome(ax->connection).ok());
+  ASSERT_TRUE(PollUntilActive(frontend, x1->connection).ok());
+  ASSERT_TRUE(DriveToVerdicts(frontend, {&*x1}).ok());
+  ASSERT_TRUE(frontend.TakeOutcome(x1->connection).ok());
+  ASSERT_TRUE(PollUntilActive(frontend, x2->connection).ok());
+  EXPECT_EQ(frontend.state(y1->connection), ConnectionState::kQueued);
+}
+
+TEST_F(FairnessTest, TenantRateLimitDefersUntilBucketRefills) {
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(3)});
+  sgx::HostOs host(&device);
+  FakeClock clock;
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  options.clock = clock.fn();
+  options.admission_queue_capacity = 4;
+  options.fair_admission = true;
+  options.tenant_rate = 1000;  // 1 admission unit per fake millisecond
+  options.tenant_burst = 1;
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+
+  // X's first arrival drains its one-token bucket; the second queues on the
+  // rate limit even though the EPC has room for it.
+  auto x1 = ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "10.0.0.1");
+  ASSERT_TRUE(x1.ok());
+  ASSERT_EQ(frontend.state(x1->connection), ConnectionState::kActive);
+  auto x2 = ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "10.0.0.1");
+  ASSERT_TRUE(x2.ok());
+  EXPECT_EQ(frontend.state(x2->connection), ConnectionState::kQueued);
+  EXPECT_GE(frontend.metrics().rate_limit_deferrals, 1u);
+
+  // Y is a different tenant with its own (full) bucket: it overtakes X's
+  // blocked arrival instead of queueing behind it.
+  auto y1 = ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "10.0.0.2");
+  ASSERT_TRUE(y1.ok());
+  ASSERT_TRUE(PollUntilActive(frontend, y1->connection).ok());
+  EXPECT_EQ(frontend.state(x2->connection), ConnectionState::kQueued);
+
+  // A sweep with a frozen clock refills nothing; one fake millisecond
+  // refills one token and x2 admits.
+  ASSERT_TRUE(frontend.PollOnce().ok());
+  EXPECT_EQ(frontend.state(x2->connection), ConnectionState::kQueued);
+  clock.AdvanceMs(1);
+  ASSERT_TRUE(PollUntilActive(frontend, x2->connection).ok());
+
+  ASSERT_TRUE(DriveToVerdicts(frontend, {&*x1, &*x2, &*y1}).ok());
+  for (const auto* mc : {&*x1, &*x2, &*y1}) {
+    ASSERT_TRUE(frontend.TakeOutcome(mc->connection).ok());
+  }
+  ASSERT_TRUE(frontend.DrainAll().ok());
+  EXPECT_EQ(frontend.committed_pages(), 0u);
+  EXPECT_EQ(frontend.connection_count(), 0u);
+}
+
+// ---- RetryAfter delivery under transport faults (shed containment) ---------
+
+TEST_F(FairnessTest, ShortWritingTransportStillDeliversFullRetryAfter) {
+  // The shed path's Flush() reports an unflushed tail (the transport
+  // forwards one byte per flush). The reactor must keep draining the tail
+  // across sweeps — not error out of Accept() — until the whole RetryAfter
+  // record lands, and only then retire the slot.
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(1)});
+  sgx::HostOs host(&device);
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  options.admission_queue_capacity = 0;
+  options.retry_after_ms = 125;
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+
+  auto active = ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "");
+  ASSERT_TRUE(active.ok());
+  ASSERT_EQ(frontend.state(active->connection), ConnectionState::kActive);
+
+  net::FaultPlan trickle;
+  trickle.max_flush_bytes = 1;
+  auto shed = ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "",
+                            &trickle);
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();  // no sweep poisoning
+  EXPECT_EQ(frontend.state(shed->connection), ConnectionState::kShed);
+
+  // Sweep until the record has fully trickled out (one byte per sweep).
+  for (int i = 0; i < 300 && !net::HasCompleteFrames(shed->pipe->EndB(), 1);
+       ++i) {
+    ASSERT_TRUE(frontend.PollOnce().ok());
+  }
+  auto retry = shed->client->AwaitAdmission(shed->pipe->EndB());
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  ASSERT_TRUE(retry->has_value());
+  EXPECT_EQ((*retry)->retry_after_ms, 125u);
+
+  // The slot is only retired after the tail landed; the sweep stays healthy.
+  ASSERT_TRUE(frontend.DrainAll().ok());
+  EXPECT_EQ(frontend.state(shed->connection), ConnectionState::kReaped);
+  ASSERT_TRUE(DriveToVerdicts(frontend, {&*active}).ok());
+  ASSERT_TRUE(frontend.TakeOutcome(active->connection).ok());
+  ASSERT_TRUE(frontend.DrainAll().ok());
+  EXPECT_EQ(frontend.connection_count(), 0u);
+  EXPECT_EQ(frontend.committed_pages(), 0u);
+}
+
+TEST_F(FairnessTest, EvictionDrivenShedDrainsShortWritingVictim) {
+  // Same short-write containment, but the shed comes from the oldest-evict
+  // path instead of the front door.
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(1)});
+  sgx::HostOs host(&device);
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  options.admission_queue_capacity = 1;
+  options.evict_oldest = true;
+  options.retry_after_ms = 99;
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+
+  auto active = ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "");
+  ASSERT_TRUE(active.ok());
+  net::FaultPlan trickle;
+  trickle.max_flush_bytes = 1;
+  auto victim = ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "",
+                              &trickle);
+  ASSERT_TRUE(victim.ok());
+  ASSERT_EQ(frontend.state(victim->connection), ConnectionState::kQueued);
+
+  auto newcomer = ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "");
+  ASSERT_TRUE(newcomer.ok()) << newcomer.status().ToString();
+  EXPECT_EQ(frontend.state(victim->connection), ConnectionState::kShed);
+  EXPECT_EQ(frontend.metrics().evicted_oldest, 1u);
+
+  for (int i = 0; i < 300 && !net::HasCompleteFrames(victim->pipe->EndB(), 1);
+       ++i) {
+    ASSERT_TRUE(frontend.PollOnce().ok());
+  }
+  auto retry = victim->client->AwaitAdmission(victim->pipe->EndB());
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  ASSERT_TRUE(retry->has_value());
+  EXPECT_EQ((*retry)->retry_after_ms, 99u);
+
+  ASSERT_TRUE(DriveToVerdicts(frontend, {&*active, &*newcomer}).ok());
+  ASSERT_TRUE(frontend.TakeOutcome(active->connection).ok());
+  ASSERT_TRUE(frontend.TakeOutcome(newcomer->connection).ok());
+  ASSERT_TRUE(frontend.DrainAll().ok());
+  EXPECT_EQ(frontend.connection_count(), 0u);
+  EXPECT_EQ(frontend.committed_pages(), 0u);
+}
+
+TEST_F(FairnessTest, HardFlushFailureOnShedPathIsContained) {
+  // A transport whose Flush() hard-fails on the very first call: the old
+  // code propagated that error out of Accept() and poisoned the sweep; now
+  // the wire is latched dead and the reaper retires the slot.
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(1)});
+  sgx::HostOs host(&device);
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  options.admission_queue_capacity = 0;
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+
+  auto active = ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "");
+  ASSERT_TRUE(active.ok());
+  net::FaultPlan broken;
+  broken.fail_flush_on_call = 1;
+  auto shed = ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "",
+                            &broken);
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+  EXPECT_EQ(frontend.state(shed->connection), ConnectionState::kShed);
+
+  ASSERT_TRUE(frontend.DrainAll().ok());
+  EXPECT_EQ(frontend.state(shed->connection), ConnectionState::kReaped);
+  ASSERT_TRUE(DriveToVerdicts(frontend, {&*active}).ok());
+  ASSERT_TRUE(frontend.TakeOutcome(active->connection).ok());
+  ASSERT_TRUE(frontend.DrainAll().ok());
+  EXPECT_EQ(frontend.connection_count(), 0u);
+  EXPECT_EQ(frontend.committed_pages(), 0u);
+}
+
+// ---- Stale queue entries under per-tenant queues ---------------------------
+
+TEST_F(FairnessTest, StaleTenantQueueEntriesDropWithoutCorruptingGauges) {
+  // Arrivals that expire while queued must vanish from the per-tenant
+  // queues, the depth gauge must return to zero, and the dead entries must
+  // not eat their tenant's DRR share: a fresh arrival admits immediately
+  // once EPC frees.
+  sgx::SgxDevice device(sgx::SgxDevice::Options{.epc_pages = EpcPagesFor(1)});
+  sgx::HostOs host(&device);
+  FakeClock clock;
+  FrontendOptions options;
+  options.enclave_options = EnclaveOptions();
+  options.clock = clock.fn();
+  options.admission_queue_capacity = 8;
+  options.queue_deadline_ms = 50;
+  options.fair_admission = true;
+  ProvisioningFrontend frontend(&host, &qe(), MakePolicies, options);
+
+  auto active = ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "");
+  ASSERT_TRUE(active.ok());
+  std::vector<Result<MemoryClient>> waiters;
+  waiters.push_back(
+      ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "10.0.0.1"));
+  waiters.push_back(
+      ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "10.0.0.1"));
+  waiters.push_back(
+      ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "10.0.0.2"));
+  for (const auto& w : waiters) ASSERT_TRUE(w.ok());
+  EXPECT_EQ(frontend.queued_count(), 3u);
+
+  // Every waiter blows the 50ms queue deadline.
+  clock.AdvanceMs(60);
+  ASSERT_TRUE(frontend.PollOnce().ok());
+  for (const auto& w : waiters) {
+    EXPECT_EQ(frontend.state((*w).connection), ConnectionState::kTimedOut);
+  }
+  EXPECT_EQ(frontend.queued_count(), 0u);
+  EXPECT_EQ(frontend.metrics().queue_depth, 0u);
+  EXPECT_EQ(frontend.metrics().timed_out, 3u);
+
+  // The expired flood left no deficit debt behind: a fresh arrival from a
+  // third tenant queues (the active session still holds the EPC) and admits
+  // on the first release.
+  auto fresh =
+      ConnectTenant(frontend, image(), ClientOptionsFor(qe()), "10.0.0.3");
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(DriveToVerdicts(frontend, {&*active}).ok());
+  ASSERT_TRUE(frontend.TakeOutcome(active->connection).ok());
+  ASSERT_TRUE(PollUntilActive(frontend, fresh->connection).ok());
+  ASSERT_TRUE(DriveToVerdicts(frontend, {&*fresh}).ok());
+  ASSERT_TRUE(frontend.TakeOutcome(fresh->connection).ok());
+
+  ASSERT_TRUE(frontend.DrainAll().ok());
+  EXPECT_EQ(frontend.queued_count(), 0u);
+  EXPECT_EQ(frontend.metrics().queue_depth, 0u);
+  EXPECT_EQ(frontend.committed_pages(), 0u);
+  EXPECT_EQ(frontend.connection_count(), 0u);
+}
+
+}  // namespace
+}  // namespace engarde::core

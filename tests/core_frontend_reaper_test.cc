@@ -746,10 +746,15 @@ TEST_F(ReaperTest, ThousandSessionSoakStaysBoundedAndBitIdentical) {
     }
 
     // O(active): after the wave drains, the table is empty again — no
-    // retained connections, no held pages.
+    // retained connections, no held pages, and the queue-depth gauge is back
+    // at zero on every reactor (lazily-dropped stale FIFO entries included).
     ASSERT_TRUE(group.DrainAll().ok());
     ASSERT_EQ(group.connection_count(), 0u) << wave;
     ASSERT_EQ(group.budget().committed_pages(), 0u) << wave;
+    ASSERT_EQ(group.metrics().queue_depth, 0u) << wave;
+    for (size_t r = 0; r < options.reactors; ++r) {
+      ASSERT_EQ(group.reactor(r).queued_count(), 0u) << wave << " r" << r;
+    }
   }
 
   const FrontendMetrics metrics = group.metrics();
@@ -763,6 +768,7 @@ TEST_F(ReaperTest, ThousandSessionSoakStaysBoundedAndBitIdentical) {
   EXPECT_LE(metrics.peak_live_connections, kPerWave);
   EXPECT_LE(metrics.max_committed_pages, metrics.budget_pages);
   EXPECT_EQ(metrics.committed_pages, 0u);
+  EXPECT_EQ(metrics.queue_depth, 0u);
 }
 
 size_t CountOpenFds() {

@@ -11,7 +11,9 @@
 //                 [--bg-refill] [--queue N] [--reserve N] [--epc-pages N]
 //                 [--epc-oversub R] [--reclaim-low-watermark N]
 //                 [--reclaim-batch N] [--rsa-bits N] [--queue-ms N]
-//                 [--idle-ms N] [--session-ms N] [--metrics-json [PATH]]
+//                 [--idle-ms N] [--session-ms N] [--adaptive-deadlines]
+//                 [--evict-oldest] [--fair-admission] [--tenant-rate R]
+//                 [--tenant-burst R] [--metrics-json [PATH]]
 //                 [--verdict-cache DIR] [--verdict-cache-max-entries N]
 //                 [--group-size N] [--selftest N]
 //
@@ -23,6 +25,17 @@
 // JSON when serving ends: on stdout by default, or — given a PATH — written
 // to a same-directory temp file and atomically renamed into place, so a
 // scraper polling PATH never reads a torn or half-written snapshot.
+//
+// --adaptive-deadlines derives the three deadlines and the RetryAfter hint
+// from observed admission-wait / session-duration percentiles (log-scale
+// histograms, exported in --metrics-json) instead of the static *-ms flags,
+// recomputed on a sweep cadence with hysteresis. --evict-oldest sheds the
+// OLDEST queued arrival under queue pressure instead of refusing the newest.
+// --fair-admission replaces the single admission FIFO with per-tenant
+// (peer-IP) queues drained deficit-round-robin, and --tenant-rate R caps each
+// tenant at R admissions/second (token bucket of --tenant-burst capacity;
+// a group charges all its members at once), so one hostile tenant cannot
+// starve the rest.
 //
 // --group-size N switches every shard into fleet provisioning: a connection
 // leads with a GroupManifest and is co-admitted atomically as one N-member
@@ -91,6 +104,11 @@ struct ServeConfig {
   uint64_t queue_ms = 0;    // admission-queue wait deadline (0 = unlimited)
   uint64_t idle_ms = 0;     // inbound-idle deadline (0 = unlimited)
   uint64_t session_ms = 0;  // overall session deadline (0 = unlimited)
+  bool adaptive_deadlines = false;  // derive deadlines from percentiles
+  bool evict_oldest = false;        // shed oldest queued, not newest arrival
+  bool fair_admission = false;      // per-tenant DRR admission queues
+  double tenant_rate = 0.0;         // admissions/sec/tenant (0 = unlimited)
+  double tenant_burst = 0.0;        // token-bucket capacity (0 = auto)
   bool metrics_json = false;
   std::string metrics_json_path;      // empty = stdout
   std::string verdict_cache_dir;      // empty = verdict cache disabled
@@ -124,6 +142,38 @@ void WriteMetricsJson(std::FILE* out, const core::FrontendMetrics& m) {
   std::fprintf(out, "  \"session_count\": %llu,\n", u(m.session_count));
   std::fprintf(out, "  \"session_total_ns\": %llu,\n", u(m.session_total_ns));
   std::fprintf(out, "  \"session_max_ns\": %llu,\n", u(m.session_max_ns));
+  // Log-scale histograms (bucket i counts samples in [2^i, 2^(i+1)) ns) and
+  // the percentiles the adaptive deadlines were derived from.
+  const auto hist = [out, &u](const char* name,
+                              const uint64_t (&buckets)[core::kLatencyBuckets]) {
+    std::fprintf(out, "  \"%s\": [", name);
+    for (size_t i = 0; i < core::kLatencyBuckets; ++i) {
+      std::fprintf(out, "%s%llu", i == 0 ? "" : ", ", u(buckets[i]));
+    }
+    std::fprintf(out, "],\n");
+  };
+  hist("admission_wait_hist", m.admission_wait_hist);
+  hist("session_hist", m.session_hist);
+  std::fprintf(out, "  \"admission_wait_p50_ns\": %llu,\n",
+               u(core::HistogramPercentileNs(m.admission_wait_hist, 50)));
+  std::fprintf(out, "  \"admission_wait_p95_ns\": %llu,\n",
+               u(core::HistogramPercentileNs(m.admission_wait_hist, 95)));
+  std::fprintf(out, "  \"session_p95_ns\": %llu,\n",
+               u(core::HistogramPercentileNs(m.session_hist, 95)));
+  std::fprintf(out, "  \"effective_queue_deadline_ms\": %llu,\n",
+               u(m.effective_queue_deadline_ms));
+  std::fprintf(out, "  \"effective_idle_deadline_ms\": %llu,\n",
+               u(m.effective_idle_deadline_ms));
+  std::fprintf(out, "  \"effective_session_deadline_ms\": %llu,\n",
+               u(m.effective_session_deadline_ms));
+  std::fprintf(out, "  \"effective_retry_after_ms\": %llu,\n",
+               u(m.effective_retry_after_ms));
+  std::fprintf(out, "  \"deadline_recomputes\": %llu,\n",
+               u(m.deadline_recomputes));
+  std::fprintf(out, "  \"evicted_oldest\": %llu,\n", u(m.evicted_oldest));
+  std::fprintf(out, "  \"rate_limit_deferrals\": %llu,\n",
+               u(m.rate_limit_deferrals));
+  std::fprintf(out, "  \"tenants_seen\": %llu,\n", u(m.tenants_seen));
   std::fprintf(out, "  \"budget_pages\": %llu,\n", u(m.budget_pages));
   std::fprintf(out, "  \"committed_pages\": %llu,\n", u(m.committed_pages));
   std::fprintf(out, "  \"max_committed_pages\": %llu,\n", u(m.max_committed_pages));
@@ -255,8 +305,10 @@ Result<core::Verdict> RunSelftestClient(uint16_t port,
                      client.AwaitAdmission(client_end));
     if (retry.has_value()) {
       socket->Close();
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(retry->retry_after_ms));
+      // Honor the server's (possibly adaptive) hint, doubling per
+      // consecutive shed so sustained pressure spreads the retries out.
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          client::RetryBackoffMs(*retry, static_cast<size_t>(attempt) + 1)));
       continue;
     }
     RETURN_IF_ERROR(PumpUntil(*socket, pipe, [&client_end] {
@@ -294,8 +346,8 @@ Result<std::vector<core::Verdict>> RunSelftestGroupClient(
                      group_client.AwaitAdmission(client_end));
     if (retry.has_value()) {
       socket->Close();
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(retry->retry_after_ms));
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          client::RetryBackoffMs(*retry, static_cast<size_t>(attempt) + 1)));
       continue;
     }
     RETURN_IF_ERROR(PumpUntil(*socket, pipe, [&client_end, members] {
@@ -356,6 +408,11 @@ int Serve(const ServeConfig& config) {
   options.frontend.queue_deadline_ms = config.queue_ms;
   options.frontend.idle_deadline_ms = config.idle_ms;
   options.frontend.session_deadline_ms = config.session_ms;
+  options.frontend.adaptive_deadlines = config.adaptive_deadlines;
+  options.frontend.evict_oldest = config.evict_oldest;
+  options.frontend.fair_admission = config.fair_admission;
+  options.frontend.tenant_rate = config.tenant_rate;
+  options.frontend.tenant_burst = config.tenant_burst;
   options.reactors = config.reactors;
   if (config.bg_refill) {
     options.pool_refill = core::PoolRefill::kBackground;
@@ -569,47 +626,125 @@ int Serve(const ServeConfig& config) {
 }  // namespace
 }  // namespace engarde
 
+namespace {
+
+constexpr const char* kUsage =
+    "usage: engarde-serve [--host A.B.C.D] [--port N] "
+    "[--reactors N] [--warm N] [--bg-refill] [--queue N] "
+    "[--reserve N] [--epc-pages N] [--epc-oversub R] "
+    "[--reclaim-low-watermark N] [--reclaim-batch N] "
+    "[--rsa-bits N] [--queue-ms N] [--idle-ms N] "
+    "[--session-ms N] [--adaptive-deadlines] [--evict-oldest] "
+    "[--fair-admission] [--tenant-rate R] [--tenant-burst R] "
+    "[--metrics-json [PATH]] "
+    "[--verdict-cache DIR] [--verdict-cache-max-entries N] "
+    "[--group-size N] [--selftest N]\n";
+
+[[noreturn]] void UsageError(const std::string& message) {
+  std::fprintf(stderr, "engarde-serve: %s\n%s", message.c_str(), kUsage);
+  std::exit(2);
+}
+
+// Strict numeric operands. The old parser funneled std::atol through
+// unsigned casts, so "--queue-ms -5" silently wrapped to a ~585-million-year
+// deadline and "--selftest banana" parsed as 0; both now exit with a usage
+// error instead.
+uint64_t ParseU64(const std::string& flag, const char* value) {
+  if (value == nullptr || *value == '\0') {
+    UsageError(flag + " needs a value");
+  }
+  if (value[0] == '-' || value[0] == '+') {
+    UsageError(flag + " expects a non-negative integer, got '" +
+               std::string(value) + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE) {
+    UsageError(flag + " expects a non-negative integer, got '" +
+               std::string(value) + "'");
+  }
+  return parsed;
+}
+
+double ParseNonNegativeDouble(const std::string& flag, const char* value) {
+  if (value == nullptr || *value == '\0') {
+    UsageError(flag + " needs a value");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0' || errno == ERANGE || parsed < 0.0 ||
+      !(parsed == parsed) /* NaN */) {
+    UsageError(flag + " expects a non-negative number, got '" +
+               std::string(value) + "'");
+  }
+  return parsed;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   engarde::ServeConfig config;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto next = [&]() -> long {
-      return (i + 1 < argc) ? std::atol(argv[++i]) : 0;
+    auto next_value = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    auto next_u64 = [&]() -> uint64_t { return ParseU64(arg, next_value()); };
+    auto next_double = [&]() -> double {
+      return ParseNonNegativeDouble(arg, next_value());
     };
     auto next_str = [&]() -> std::string {
-      return (i + 1 < argc) ? std::string(argv[++i]) : std::string();
+      const char* value = next_value();
+      if (value == nullptr || *value == '\0') UsageError(arg + " needs a value");
+      return value;
     };
     if (arg == "--host") {
       config.host = next_str();
     } else if (arg == "--port") {
-      config.port = static_cast<uint16_t>(next());
+      const uint64_t port = next_u64();
+      if (port > 65535) UsageError("--port must be within [0, 65535]");
+      config.port = static_cast<uint16_t>(port);
     } else if (arg == "--reactors") {
-      config.reactors = static_cast<size_t>(next());
+      config.reactors = static_cast<size_t>(next_u64());
     } else if (arg == "--warm") {
-      config.warm = static_cast<size_t>(next());
+      config.warm = static_cast<size_t>(next_u64());
     } else if (arg == "--bg-refill") {
       config.bg_refill = true;
     } else if (arg == "--queue") {
-      config.queue = static_cast<size_t>(next());
+      config.queue = static_cast<size_t>(next_u64());
     } else if (arg == "--reserve") {
-      config.reserve = static_cast<uint64_t>(next());
+      config.reserve = next_u64();
     } else if (arg == "--epc-pages") {
-      config.epc_pages = static_cast<size_t>(next());
+      config.epc_pages = static_cast<size_t>(next_u64());
     } else if (arg == "--epc-oversub") {
-      config.epc_oversub =
-          (i + 1 < argc) ? std::atof(argv[++i]) : 1.0;
+      config.epc_oversub = next_double();
+      if (config.epc_oversub < 1.0) {
+        UsageError("--epc-oversub expects a ratio >= 1.0");
+      }
     } else if (arg == "--reclaim-low-watermark") {
-      config.reclaim_low_watermark = static_cast<uint64_t>(next());
+      config.reclaim_low_watermark = next_u64();
     } else if (arg == "--reclaim-batch") {
-      config.reclaim_batch = static_cast<size_t>(next());
+      config.reclaim_batch = static_cast<size_t>(next_u64());
     } else if (arg == "--rsa-bits") {
-      config.rsa_bits = static_cast<size_t>(next());
+      config.rsa_bits = static_cast<size_t>(next_u64());
     } else if (arg == "--queue-ms") {
-      config.queue_ms = static_cast<uint64_t>(next());
+      config.queue_ms = next_u64();
     } else if (arg == "--idle-ms") {
-      config.idle_ms = static_cast<uint64_t>(next());
+      config.idle_ms = next_u64();
     } else if (arg == "--session-ms") {
-      config.session_ms = static_cast<uint64_t>(next());
+      config.session_ms = next_u64();
+    } else if (arg == "--adaptive-deadlines") {
+      config.adaptive_deadlines = true;
+    } else if (arg == "--evict-oldest") {
+      config.evict_oldest = true;
+    } else if (arg == "--fair-admission") {
+      config.fair_admission = true;
+    } else if (arg == "--tenant-rate") {
+      config.tenant_rate = next_double();
+    } else if (arg == "--tenant-burst") {
+      config.tenant_burst = next_double();
     } else if (arg == "--metrics-json") {
       config.metrics_json = true;
       // Optional PATH operand: atomic temp+rename target instead of stdout.
@@ -619,22 +754,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--verdict-cache") {
       config.verdict_cache_dir = next_str();
     } else if (arg == "--verdict-cache-max-entries") {
-      config.verdict_cache_max_entries = static_cast<size_t>(next());
+      config.verdict_cache_max_entries = static_cast<size_t>(next_u64());
     } else if (arg == "--group-size") {
-      config.group_size = static_cast<size_t>(next());
+      config.group_size = static_cast<size_t>(next_u64());
     } else if (arg == "--selftest") {
-      config.selftest = static_cast<size_t>(next());
+      config.selftest = static_cast<size_t>(next_u64());
     } else {
-      std::fprintf(stderr,
-                   "usage: engarde-serve [--host A.B.C.D] [--port N] "
-                   "[--reactors N] [--warm N] [--bg-refill] [--queue N] "
-                   "[--reserve N] [--epc-pages N] [--epc-oversub R] "
-                   "[--reclaim-low-watermark N] [--reclaim-batch N] "
-                   "[--rsa-bits N] [--queue-ms N] [--idle-ms N] "
-                   "[--session-ms N] [--metrics-json [PATH]] "
-                   "[--verdict-cache DIR] [--verdict-cache-max-entries N] "
-                   "[--group-size N] [--selftest N]\n");
-      return 2;
+      UsageError("unknown flag '" + arg + "'");
     }
   }
   return engarde::Serve(config);
